@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Ablation A1: simulated-annealing design choices.
+ *
+ * DESIGN.md calls out three placer design choices; this harness
+ * ablates each on a mid-size benchmark (general_purpose_mfd) and a
+ * dense synthetic (synthetic_grid), reporting post-route quality so
+ * the choice's downstream effect is visible, not just its HPWL:
+ *
+ *   (a) routing halo: 0 / 600 / 1200 / 2400 um;
+ *   (b) annealing budget: 15 / 30 / 60 / 120 / 240 steps;
+ *   (c) swap-move probability: 0 / 0.25 / 0.5.
+ */
+
+#include "bench_common.hh"
+
+#include "analysis/table.hh"
+#include "place/annealing_placer.hh"
+#include "place/cost.hh"
+#include "route/router.hh"
+#include "suite/suite.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+struct Outcome
+{
+    int64_t hpwl;
+    int64_t boundingArea;
+    double completion;
+    int64_t routedLength;
+    size_t violations;
+};
+
+Outcome
+evaluate(const Device &netlist, const place::AnnealingOptions &options)
+{
+    Device device = netlist;
+    place::AnnealingPlacer placer(options);
+    place::Placement placement = placer.place(device);
+    place::PlacementCost cost =
+        place::evaluatePlacement(device, placement);
+    route::RouteResult routed =
+        route::routeDevice(device, placement);
+    return Outcome{cost.hpwl, cost.boundingArea,
+                   routed.completionRate(), routed.totalLength,
+                   routed.totalViolations};
+}
+
+void
+sweepTable(const char *title, const Device &device,
+           const std::vector<std::pair<std::string,
+                                       place::AnnealingOptions>>
+               &variants)
+{
+    std::printf("%s (%s)\n", title, device.name().c_str());
+    analysis::TextTable table;
+    table.beginRow();
+    table.cell(std::string("variant"));
+    table.cell(std::string("hpwl"));
+    table.cell(std::string("area mm^2"));
+    table.cell(std::string("cmpl%"));
+    table.cell(std::string("len mm"));
+    table.cell(std::string("viol"));
+    for (const auto &[label, options] : variants) {
+        Outcome outcome = evaluate(device, options);
+        table.beginRow();
+        table.cell(label);
+        table.cell(outcome.hpwl);
+        table.cell(static_cast<double>(outcome.boundingArea) / 1e6,
+                   1);
+        table.cell(100.0 * outcome.completion, 1);
+        table.cell(static_cast<double>(outcome.routedLength) /
+                       1000.0,
+                   1);
+        table.cell(outcome.violations);
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+void
+report()
+{
+    bench::heading("A1", "placer ablations (effect measured after "
+                         "routing)");
+    for (const char *name :
+         {"general_purpose_mfd", "synthetic_grid"}) {
+        Device device = suite::buildBenchmark(name);
+
+        std::vector<std::pair<std::string, place::AnnealingOptions>>
+            halos;
+        for (int64_t halo : {0, 600, 1200, 2400}) {
+            place::AnnealingOptions options;
+            options.seed = 1;
+            options.halo = halo;
+            halos.emplace_back("halo=" + std::to_string(halo),
+                               options);
+        }
+        sweepTable("(a) routing halo", device, halos);
+
+        std::vector<std::pair<std::string, place::AnnealingOptions>>
+            budgets;
+        for (size_t steps : {15, 30, 60, 120, 240}) {
+            place::AnnealingOptions options;
+            options.seed = 1;
+            options.steps = steps;
+            budgets.emplace_back("steps=" + std::to_string(steps),
+                                 options);
+        }
+        sweepTable("(b) annealing budget", device, budgets);
+
+        std::vector<std::pair<std::string, place::AnnealingOptions>>
+            swaps;
+        for (double p : {0.0, 0.25, 0.5}) {
+            place::AnnealingOptions options;
+            options.seed = 1;
+            options.swapProbability = p;
+            char label[32];
+            std::snprintf(label, sizeof(label), "swap=%.2f", p);
+            swaps.emplace_back(label, options);
+        }
+        sweepTable("(c) swap probability", device, swaps);
+    }
+}
+
+} // namespace
+
+PARCHMINT_BENCH_MAIN(report)

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Ablation A2: router design choices.
+ *
+ * Ablates the router's three main mechanisms on the dense synthetic
+ * benchmarks (where they matter), reporting strict completion (no
+ * relaxed pass) so each mechanism's contribution is isolated:
+ *
+ *   (a) targeted rip-up-and-reroute rounds: 0 / 1 / 2 / 5 / 10;
+ *   (b) bend penalty: 0 / 2 / 8 cell units;
+ *   (c) grid resolution: cell size 100 / 200 / 400 um.
+ */
+
+#include "bench_common.hh"
+
+#include "analysis/table.hh"
+#include "place/annealing_placer.hh"
+#include "route/router.hh"
+#include "suite/suite.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+struct Outcome
+{
+    double completion;
+    int64_t length;
+    int bends;
+    double wallMs;
+};
+
+Outcome
+evaluate(const Device &netlist, const place::Placement &placement,
+         const route::RouterOptions &options)
+{
+    Device device = netlist;
+    bench::Stopwatch watch;
+    route::RouteResult result =
+        route::routeDevice(device, placement, options);
+    return Outcome{result.completionRate(), result.totalLength,
+                   result.totalBends, watch.elapsedMs()};
+}
+
+void
+sweepTable(const char *title, const Device &device,
+           const place::Placement &placement,
+           const std::vector<std::pair<std::string,
+                                       route::RouterOptions>>
+               &variants)
+{
+    std::printf("%s (%s)\n", title, device.name().c_str());
+    analysis::TextTable table;
+    table.beginRow();
+    table.cell(std::string("variant"));
+    table.cell(std::string("strict cmpl%"));
+    table.cell(std::string("len mm"));
+    table.cell(std::string("bends"));
+    table.cell(std::string("wall ms"));
+    for (const auto &[label, options] : variants) {
+        Outcome outcome = evaluate(device, placement, options);
+        table.beginRow();
+        table.cell(label);
+        table.cell(100.0 * outcome.completion, 1);
+        table.cell(static_cast<double>(outcome.length) / 1000.0, 1);
+        table.cell(outcome.bends);
+        table.cell(outcome.wallMs, 1);
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+void
+report()
+{
+    bench::heading("A2", "router ablations (strict mode, no relaxed "
+                         "final pass)");
+    for (const char *name : {"synthetic_mux", "synthetic_random"}) {
+        Device device = suite::buildBenchmark(name);
+        place::AnnealingOptions placer_options;
+        placer_options.seed = 1;
+        place::Placement placement =
+            place::AnnealingPlacer(placer_options).place(device);
+
+        std::vector<std::pair<std::string, route::RouterOptions>>
+            rounds;
+        for (size_t r : {0, 1, 2, 5, 10}) {
+            route::RouterOptions options;
+            options.relaxedFinalPass = false;
+            options.ripupRounds = r;
+            rounds.emplace_back("ripup=" + std::to_string(r),
+                                options);
+        }
+        sweepTable("(a) rip-up rounds", device, placement, rounds);
+
+        std::vector<std::pair<std::string, route::RouterOptions>>
+            bends;
+        for (double penalty : {0.0, 2.0, 8.0}) {
+            route::RouterOptions options;
+            options.relaxedFinalPass = false;
+            options.bendPenalty = penalty;
+            char label[32];
+            std::snprintf(label, sizeof(label), "bend=%.0f",
+                          penalty);
+            bends.emplace_back(label, options);
+        }
+        sweepTable("(b) bend penalty", device, placement, bends);
+
+        std::vector<std::pair<std::string, route::RouterOptions>>
+            cells;
+        for (int64_t size : {100, 200, 400}) {
+            route::RouterOptions options;
+            options.relaxedFinalPass = false;
+            options.cellSize = size;
+            cells.emplace_back("cell=" + std::to_string(size),
+                               options);
+        }
+        sweepTable("(c) grid cell size", device, placement, cells);
+    }
+}
+
+} // namespace
+
+PARCHMINT_BENCH_MAIN(report)

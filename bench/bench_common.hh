@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness binaries.
+ *
+ * Every bench binary regenerates one table or figure of the
+ * reproduction (see DESIGN.md's experiment index): it prints the
+ * report rows first, then runs any registered google-benchmark
+ * timers. Reports go to stdout so `bench_* | tee` captures the
+ * artifact.
+ */
+
+#ifndef PARCHMINT_BENCH_BENCH_COMMON_HH
+#define PARCHMINT_BENCH_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+namespace parchmint::bench
+{
+
+/** Wall-clock stopwatch reporting milliseconds. */
+class Stopwatch
+{
+  public:
+    Stopwatch()
+        : start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    /** Milliseconds since construction or the last reset. */
+    double
+    elapsedMs() const
+    {
+        auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double, std::milli>(now -
+                                                         start_)
+            .count();
+    }
+
+    void
+    reset()
+    {
+        start_ = std::chrono::steady_clock::now();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Print a section heading for a report block. */
+inline void
+heading(const char *experiment, const char *title)
+{
+    std::printf("== %s: %s ==\n\n", experiment, title);
+}
+
+/**
+ * Standard main body: print the report, then hand over to
+ * google-benchmark for the registered timers.
+ */
+#define PARCHMINT_BENCH_MAIN(report_function)                        \
+    int main(int argc, char **argv)                                  \
+    {                                                                \
+        report_function();                                           \
+        ::benchmark::Initialize(&argc, argv);                        \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv))    \
+            return 1;                                                \
+        ::benchmark::RunSpecifiedBenchmarks();                       \
+        ::benchmark::Shutdown();                                     \
+        return 0;                                                    \
+    }
+
+} // namespace parchmint::bench
+
+#endif // PARCHMINT_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Experiment F1 [R]: interchange cost vs netlist size.
+ *
+ * The report prints one series: synthetic grid netlists of growing
+ * size, with the document size and the serialize / parse /
+ * validate round-trip times. Expected shape: all three costs are
+ * (near-)linear in the document size. The google-benchmark timers
+ * expose the same three stages for rigorous measurement.
+ */
+
+#include "bench_common.hh"
+
+#include "analysis/table.hh"
+#include "core/deserialize.hh"
+#include "core/serialize.hh"
+#include "json/parse.hh"
+#include "schema/rules.hh"
+#include "suite/suite.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+constexpr size_t kGridSizes[] = {4, 8, 12, 16, 24, 32};
+
+void
+report()
+{
+    bench::heading("F1", "interchange cost vs netlist size "
+                         "(synthetic grid family)");
+    analysis::TextTable table;
+    table.beginRow();
+    table.cell(std::string("grid n"));
+    table.cell(std::string("comps"));
+    table.cell(std::string("conns"));
+    table.cell(std::string("bytes"));
+    table.cell(std::string("serialize ms"));
+    table.cell(std::string("parse ms"));
+    table.cell(std::string("validate ms"));
+
+    for (size_t n : kGridSizes) {
+        Device device = suite::syntheticGrid(n);
+        // Warm-up pass, then a small average.
+        std::string text = toJsonText(device);
+        constexpr int repeats = 5;
+
+        bench::Stopwatch serialize_watch;
+        for (int i = 0; i < repeats; ++i)
+            benchmark::DoNotOptimize(toJsonText(device));
+        double serialize_ms =
+            serialize_watch.elapsedMs() / repeats;
+
+        bench::Stopwatch parse_watch;
+        for (int i = 0; i < repeats; ++i)
+            benchmark::DoNotOptimize(json::parse(text));
+        double parse_ms = parse_watch.elapsedMs() / repeats;
+
+        json::Value document = json::parse(text);
+        bench::Stopwatch validate_watch;
+        for (int i = 0; i < repeats; ++i) {
+            benchmark::DoNotOptimize(
+                schema::validateDocument(document));
+        }
+        double validate_ms =
+            validate_watch.elapsedMs() / repeats;
+
+        table.beginRow();
+        table.cell(n);
+        table.cell(device.components().size());
+        table.cell(device.connections().size());
+        table.cell(text.size());
+        table.cell(serialize_ms, 3);
+        table.cell(parse_ms, 3);
+        table.cell(validate_ms, 3);
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+void
+BM_Serialize(benchmark::State &state)
+{
+    Device device =
+        suite::syntheticGrid(static_cast<size_t>(state.range(0)));
+    size_t bytes = toJsonText(device).size();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(toJsonText(device));
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * bytes));
+}
+
+void
+BM_Parse(benchmark::State &state)
+{
+    Device device =
+        suite::syntheticGrid(static_cast<size_t>(state.range(0)));
+    std::string text = toJsonText(device);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(json::parse(text));
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * text.size()));
+}
+
+void
+BM_ValidateDocument(benchmark::State &state)
+{
+    Device device =
+        suite::syntheticGrid(static_cast<size_t>(state.range(0)));
+    json::Value document = toJson(device);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            schema::validateDocument(document));
+    }
+}
+
+void
+BM_LoadDevice(benchmark::State &state)
+{
+    Device device =
+        suite::syntheticGrid(static_cast<size_t>(state.range(0)));
+    json::Value document = toJson(device);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fromJson(document));
+}
+
+} // namespace
+
+BENCHMARK(BM_Serialize)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_Parse)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_ValidateDocument)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_LoadDevice)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+PARCHMINT_BENCH_MAIN(report)

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Experiment F2 [R]: placement quality comparison across the suite.
+ *
+ * For every benchmark, place with the random baseline, the greedy
+ * row baseline and the simulated-annealing placer, and report HPWL,
+ * overlap and bounding-box area. Expected shape: annealing beats
+ * random on HPWL by a factor that grows with netlist size and
+ * matches or beats row; random is the only placer with overlap.
+ */
+
+#include "bench_common.hh"
+
+#include "analysis/table.hh"
+#include "place/annealing_placer.hh"
+#include "place/cost.hh"
+#include "place/random_placer.hh"
+#include "place/row_placer.hh"
+#include "suite/suite.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+place::AnnealingOptions
+benchAnnealingOptions()
+{
+    place::AnnealingOptions options;
+    options.seed = 1;
+    return options;
+}
+
+void
+report()
+{
+    bench::heading("F2",
+                   "placement quality: random vs row vs annealing");
+    analysis::TextTable table;
+    table.beginRow();
+    table.cell(std::string("benchmark"));
+    table.cell(std::string("rand hpwl"));
+    table.cell(std::string("row hpwl"));
+    table.cell(std::string("sa hpwl"));
+    table.cell(std::string("rand/sa"));
+    table.cell(std::string("row/sa"));
+    table.cell(std::string("sa area mm^2"));
+    table.cell(std::string("sa ovl"));
+
+    for (const suite::BenchmarkInfo &info : suite::standardSuite()) {
+        Device device = info.build();
+
+        place::Placement random_placement =
+            place::RandomPlacer(1).place(device);
+        place::Placement row_placement =
+            place::RowPlacer().place(device);
+        place::AnnealingPlacer annealer(benchAnnealingOptions());
+        place::Placement annealed = annealer.place(device);
+
+        auto cost = [&](const place::Placement &placement) {
+            return place::evaluatePlacement(device, placement);
+        };
+        place::PlacementCost random_cost = cost(random_placement);
+        place::PlacementCost row_cost = cost(row_placement);
+        place::PlacementCost sa_cost = cost(annealed);
+
+        table.beginRow();
+        table.cell(info.name);
+        table.cell(random_cost.hpwl);
+        table.cell(row_cost.hpwl);
+        table.cell(sa_cost.hpwl);
+        table.cell(static_cast<double>(random_cost.hpwl) /
+                       static_cast<double>(
+                           std::max<int64_t>(1, sa_cost.hpwl)),
+                   2);
+        table.cell(static_cast<double>(row_cost.hpwl) /
+                       static_cast<double>(
+                           std::max<int64_t>(1, sa_cost.hpwl)),
+                   2);
+        table.cell(static_cast<double>(sa_cost.boundingArea) / 1e6,
+                   1);
+        table.cell(sa_cost.overlapArea);
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+void
+BM_RandomPlace(benchmark::State &state)
+{
+    Device device = suite::buildBenchmark("general_purpose_mfd");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            place::RandomPlacer(1).place(device));
+    }
+}
+
+void
+BM_RowPlace(benchmark::State &state)
+{
+    Device device = suite::buildBenchmark("general_purpose_mfd");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(place::RowPlacer().place(device));
+}
+
+void
+BM_AnnealingPlace(benchmark::State &state)
+{
+    Device device = suite::buildBenchmark("general_purpose_mfd");
+    place::AnnealingOptions options = benchAnnealingOptions();
+    options.steps = static_cast<size_t>(state.range(0));
+    for (auto _ : state) {
+        place::AnnealingPlacer placer(options);
+        benchmark::DoNotOptimize(placer.place(device));
+    }
+    state.SetLabel("steps=" + std::to_string(state.range(0)));
+}
+
+} // namespace
+
+BENCHMARK(BM_RandomPlace);
+BENCHMARK(BM_RowPlace);
+BENCHMARK(BM_AnnealingPlace)->Arg(20)->Arg(40)->Arg(80);
+
+PARCHMINT_BENCH_MAIN(report)

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Experiment F3 [R]: routing quality after placement.
+ *
+ * For every benchmark, route after (a) the row baseline placement
+ * and (b) the annealing placement, and report completion rate,
+ * total routed channel length and bends. Expected shape: completion
+ * near 100% everywhere; the annealing placement yields shorter
+ * total channel length than the row baseline on connection-rich
+ * benchmarks.
+ */
+
+#include "bench_common.hh"
+
+#include "analysis/table.hh"
+#include "place/annealing_placer.hh"
+#include "place/row_placer.hh"
+#include "route/router.hh"
+#include "suite/suite.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+struct RoutedOutcome
+{
+    double completion;
+    int64_t length;
+    int bends;
+    size_t violations;
+};
+
+RoutedOutcome
+routeWith(const Device &netlist, const place::Placement &placement)
+{
+    Device device = netlist; // Route a copy; paths mutate it.
+    route::RouteResult result =
+        route::routeDevice(device, placement);
+    return RoutedOutcome{result.completionRate(),
+                         result.totalLength, result.totalBends,
+                         result.totalViolations};
+}
+
+void
+report()
+{
+    bench::heading("F3", "routing quality: row vs annealing "
+                         "placement");
+    analysis::TextTable table;
+    table.beginRow();
+    table.cell(std::string("benchmark"));
+    table.cell(std::string("row cmpl%"));
+    table.cell(std::string("row len mm"));
+    table.cell(std::string("row bends"));
+    table.cell(std::string("sa cmpl%"));
+    table.cell(std::string("sa len mm"));
+    table.cell(std::string("sa bends"));
+    table.cell(std::string("row viol"));
+    table.cell(std::string("sa viol"));
+
+    for (const suite::BenchmarkInfo &info : suite::standardSuite()) {
+        Device device = info.build();
+        place::Placement row_placement =
+            place::RowPlacer().place(device);
+        place::AnnealingOptions options;
+        options.seed = 1;
+        place::Placement annealed =
+            place::AnnealingPlacer(options).place(device);
+
+        RoutedOutcome row = routeWith(device, row_placement);
+        RoutedOutcome sa = routeWith(device, annealed);
+
+        table.beginRow();
+        table.cell(info.name);
+        table.cell(100.0 * row.completion, 1);
+        table.cell(static_cast<double>(row.length) / 1000.0, 1);
+        table.cell(row.bends);
+        table.cell(100.0 * sa.completion, 1);
+        table.cell(static_cast<double>(sa.length) / 1000.0, 1);
+        table.cell(sa.bends);
+        table.cell(row.violations);
+        table.cell(sa.violations);
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+void
+BM_RouteRowPlacement(benchmark::State &state)
+{
+    const auto &info =
+        suite::standardSuite()[static_cast<size_t>(state.range(0))];
+    Device device = info.build();
+    place::Placement placement = place::RowPlacer().place(device);
+    for (auto _ : state) {
+        Device copy = device;
+        benchmark::DoNotOptimize(
+            route::routeDevice(copy, placement));
+    }
+    state.SetLabel(info.name);
+}
+
+} // namespace
+
+BENCHMARK(BM_RouteRowPlacement)->Arg(0)->Arg(4)->Arg(6)->Arg(9);
+
+PARCHMINT_BENCH_MAIN(report)

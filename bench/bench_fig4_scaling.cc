@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Experiment F4 [R]: synthetic scaling of the physical design flow.
+ *
+ * Sweeps each synthetic family's size parameter and reports
+ * netlist size, place+route wall time and routed quality. Expected
+ * shape: runtime grows polynomially with component count (the
+ * annealing move budget is linear in components and the maze
+ * router's grid grows with die area); completion stays near 100%
+ * on the planar families.
+ */
+
+#include "bench_common.hh"
+
+#include "analysis/table.hh"
+#include "place/annealing_placer.hh"
+#include "place/row_placer.hh"
+#include "route/router.hh"
+#include "suite/suite.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+struct FlowOutcome
+{
+    size_t components;
+    size_t connections;
+    double placeMs;
+    double routeMs;
+    double completion;
+    int64_t length;
+};
+
+FlowOutcome
+runFlow(Device device)
+{
+    FlowOutcome outcome;
+    outcome.components = device.components().size();
+    outcome.connections = device.connections().size();
+
+    place::AnnealingOptions options;
+    options.seed = 1;
+    options.steps = 50;
+    bench::Stopwatch place_watch;
+    place::Placement placement =
+        place::AnnealingPlacer(options).place(device);
+    outcome.placeMs = place_watch.elapsedMs();
+
+    bench::Stopwatch route_watch;
+    route::RouteResult result =
+        route::routeDevice(device, placement);
+    outcome.routeMs = route_watch.elapsedMs();
+    outcome.completion = result.completionRate();
+    outcome.length = result.totalLength;
+    return outcome;
+}
+
+void
+reportFamily(const char *family,
+             const std::vector<std::pair<std::string, Device>> &runs)
+{
+    std::printf("family: %s\n", family);
+    analysis::TextTable table;
+    table.beginRow();
+    table.cell(std::string("instance"));
+    table.cell(std::string("comps"));
+    table.cell(std::string("conns"));
+    table.cell(std::string("place ms"));
+    table.cell(std::string("route ms"));
+    table.cell(std::string("cmpl%"));
+    table.cell(std::string("len mm"));
+
+    for (const auto &[label, device] : runs) {
+        FlowOutcome outcome = runFlow(device);
+        table.beginRow();
+        table.cell(label);
+        table.cell(outcome.components);
+        table.cell(outcome.connections);
+        table.cell(outcome.placeMs, 1);
+        table.cell(outcome.routeMs, 1);
+        table.cell(100.0 * outcome.completion, 1);
+        table.cell(static_cast<double>(outcome.length) / 1000.0, 1);
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+void
+report()
+{
+    bench::heading("F4", "place+route scaling on the synthetic "
+                         "families");
+
+    std::vector<std::pair<std::string, Device>> grids;
+    for (size_t n : {2, 4, 6, 8}) {
+        grids.emplace_back("grid_" + std::to_string(n),
+                           suite::syntheticGrid(n));
+    }
+    reportFamily("grid (n x n mesh)", grids);
+
+    std::vector<std::pair<std::string, Device>> trees;
+    for (size_t depth : {2, 3, 4, 5}) {
+        trees.emplace_back("tree_" + std::to_string(depth),
+                           suite::syntheticTree(depth));
+    }
+    reportFamily("tree (depth d)", trees);
+
+    std::vector<std::pair<std::string, Device>> muxes;
+    for (size_t targets : {4, 8, 16, 32}) {
+        muxes.emplace_back("mux_" + std::to_string(targets),
+                           suite::syntheticMux(targets));
+    }
+    reportFamily("mux (k targets)", muxes);
+
+    std::vector<std::pair<std::string, Device>> randoms;
+    for (size_t components : {16, 32, 64, 96}) {
+        randoms.emplace_back(
+            "random_" + std::to_string(components),
+            suite::syntheticRandomPlanar(components, 7));
+    }
+    reportFamily("random planar (m components)", randoms);
+}
+
+void
+BM_PlaceRouteGrid(benchmark::State &state)
+{
+    Device device =
+        suite::syntheticGrid(static_cast<size_t>(state.range(0)));
+    place::AnnealingOptions options;
+    options.seed = 1;
+    options.steps = 30;
+    for (auto _ : state) {
+        Device copy = device;
+        place::Placement placement =
+            place::AnnealingPlacer(options).place(copy);
+        benchmark::DoNotOptimize(
+            route::routeDevice(copy, placement));
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_PlaceRouteGrid)->Arg(2)->Arg(4)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+PARCHMINT_BENCH_MAIN(report)

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Experiment T1 [R]: the benchmark characterization table.
+ *
+ * Regenerates the suite statistics table: per-benchmark layer,
+ * component, connection, valve and I/O counts plus the structure of
+ * the flow-layer connectivity graph (max degree, density, diameter,
+ * cut vertices, planarity, connectedness). The google-benchmark
+ * timers measure the characterization cost itself per benchmark.
+ */
+
+#include "bench_common.hh"
+
+#include "analysis/suite_report.hh"
+#include "suite/suite.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+void
+report()
+{
+    bench::heading("T1", "benchmark characterization");
+    auto rows = analysis::characterizeSuite();
+    std::printf("%s\n",
+                analysis::renderCharacterizationTable(rows).c_str());
+}
+
+void
+BM_Characterize(benchmark::State &state)
+{
+    const auto &info =
+        suite::standardSuite()[static_cast<size_t>(state.range(0))];
+    Device device = info.build();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            analysis::computeNetlistStats(device));
+    }
+    state.SetLabel(info.name);
+}
+
+} // namespace
+
+BENCHMARK(BM_Characterize)->DenseRange(0, 11);
+
+PARCHMINT_BENCH_MAIN(report)

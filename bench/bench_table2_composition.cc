@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Experiment T2 [R]: suite composition.
+ *
+ * Regenerates the entity-histogram table: one row per catalogue
+ * entity, one column per benchmark, cells are instance counts. The
+ * timers measure netlist construction cost per benchmark (the cost
+ * of regenerating a suite artifact from its builder).
+ */
+
+#include "bench_common.hh"
+
+#include "analysis/suite_report.hh"
+#include "suite/suite.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+void
+report()
+{
+    bench::heading("T2", "suite composition (entity histogram)");
+    auto rows = analysis::characterizeSuite();
+    std::printf("%s\n",
+                analysis::renderCompositionTable(rows).c_str());
+}
+
+void
+BM_BuildBenchmark(benchmark::State &state)
+{
+    const auto &info =
+        suite::standardSuite()[static_cast<size_t>(state.range(0))];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(info.build());
+    state.SetLabel(info.name);
+}
+
+} // namespace
+
+BENCHMARK(BM_BuildBenchmark)->DenseRange(0, 11);
+
+PARCHMINT_BENCH_MAIN(report)

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Experiment T3 [R]: validation coverage.
+ *
+ * Two report blocks:
+ *   (a) per-benchmark validation outcome of the full pipeline
+ *       (schema + device load + semantic rules), confirming the
+ *       entire suite is clean;
+ *   (b) the error-injection detection matrix: fourteen mutation
+ *       classes applied to a clean benchmark document, each of
+ *       which the pipeline must flag.
+ *
+ * Timers measure the validation pipeline cost per benchmark.
+ */
+
+#include "bench_common.hh"
+
+#include "analysis/table.hh"
+#include "core/serialize.hh"
+#include "json/value.hh"
+#include "schema/rules.hh"
+#include "suite/suite.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+void
+reportSuiteValidation()
+{
+    bench::heading("T3a", "suite validation outcomes");
+    analysis::TextTable table;
+    table.beginRow();
+    table.cell(std::string("benchmark"));
+    table.cell(std::string("errors"));
+    table.cell(std::string("warnings"));
+    table.cell(std::string("verdict"));
+
+    for (const suite::BenchmarkInfo &info : suite::standardSuite()) {
+        auto issues = schema::validateDocument(toJson(info.build()));
+        size_t errors = 0;
+        size_t warnings = 0;
+        for (const schema::Issue &issue : issues) {
+            if (issue.severity == schema::Severity::Error)
+                ++errors;
+            else
+                ++warnings;
+        }
+        table.beginRow();
+        table.cell(info.name);
+        table.cell(errors);
+        table.cell(warnings);
+        table.cell(std::string(errors == 0 ? "valid" : "INVALID"));
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+/** Mutation classes; mirrors the sweep in tests/rules_test.cc. */
+struct Mutation
+{
+    const char *name;
+    void (*apply)(json::Value &);
+};
+
+const Mutation mutations[] = {
+    {"drop device name",
+     [](json::Value &root) { root.erase("name"); }},
+    {"empty layer list",
+     [](json::Value &root) {
+         root.set("layers", json::Value::makeArray());
+     }},
+    {"bad layer type",
+     [](json::Value &root) {
+         root.at("layers").at(size_t(0)).set("type",
+                                             json::Value("GAS"));
+     }},
+    {"negative span",
+     [](json::Value &root) {
+         root.at("components")
+             .at(size_t(0))
+             .set("x-span", json::Value(-100));
+     }},
+    {"real-valued span",
+     [](json::Value &root) {
+         root.at("components")
+             .at(size_t(0))
+             .set("x-span", json::Value(12.5));
+     }},
+    {"string span",
+     [](json::Value &root) {
+         root.at("components")
+             .at(size_t(0))
+             .set("x-span", json::Value("wide"));
+     }},
+    {"dangling port layer",
+     [](json::Value &root) {
+         root.at("components")
+             .at(size_t(0))
+             .at("ports")
+             .at(size_t(0))
+             .set("layer", json::Value("phantom"));
+     }},
+    {"port off boundary",
+     [](json::Value &root) {
+         // Target a non-PORT component: PORT entities are exempt
+         // from the boundary rule (centre terminal convention).
+         auto &components = root.at("components");
+         for (size_t i = 0; i < components.size(); ++i) {
+             auto &component = components.at(i);
+             if (component.at("entity").asString() == "PORT")
+                 continue;
+             auto &port = component.at("ports").at(size_t(0));
+             port.set("x", json::Value(
+                               component.at("x-span").asInteger() /
+                               2));
+             port.set("y", json::Value(
+                               component.at("y-span").asInteger() /
+                               2));
+             return;
+         }
+     }},
+    {"dangling connection source",
+     [](json::Value &root) {
+         json::Value target = json::Value::makeObject();
+         target.set("component", json::Value("ghost"));
+         root.at("connections")
+             .at(size_t(0))
+             .set("source", std::move(target));
+     }},
+    {"empty sink list",
+     [](json::Value &root) {
+         root.at("connections")
+             .at(size_t(0))
+             .set("sinks", json::Value::makeArray());
+     }},
+    {"duplicate component id",
+     [](json::Value &root) {
+         json::Value clone = root.at("components").at(size_t(0));
+         root.at("components").append(std::move(clone));
+     }},
+    {"invalid id alphabet",
+     [](json::Value &root) {
+         root.at("components")
+             .at(size_t(0))
+             .set("id", json::Value("two words"));
+     }},
+    {"zero channel width",
+     [](json::Value &root) {
+         json::Value params = json::Value::makeObject();
+         params.set("channelWidth", json::Value(0));
+         root.at("connections")
+             .at(size_t(0))
+             .set("params", std::move(params));
+     }},
+    {"misspelled sink member",
+     [](json::Value &root) {
+         json::Value sink = json::Value::makeObject();
+         sink.set("comp", json::Value("x"));
+         root.at("connections")
+             .at(size_t(0))
+             .set("sinks",
+                  json::Value::makeArray({std::move(sink)}));
+     }},
+};
+
+void
+reportMutationMatrix()
+{
+    bench::heading("T3b", "error-injection detection matrix");
+    analysis::TextTable table;
+    table.beginRow();
+    table.cell(std::string("mutation"));
+    table.cell(std::string("detected"));
+    table.cell(std::string("errors"));
+
+    size_t detected = 0;
+    for (const Mutation &mutation : mutations) {
+        json::Value root =
+            toJson(suite::buildBenchmark("aquaflex_3b"));
+        mutation.apply(root);
+        auto issues = schema::validateDocument(root);
+        size_t errors = 0;
+        for (const schema::Issue &issue : issues) {
+            if (issue.severity == schema::Severity::Error)
+                ++errors;
+        }
+        if (errors > 0)
+            ++detected;
+        table.beginRow();
+        table.cell(std::string(mutation.name));
+        table.cellYesNo(errors > 0);
+        table.cell(errors);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("detection rate: %zu/%zu\n\n", detected,
+                std::size(mutations));
+}
+
+void
+report()
+{
+    reportSuiteValidation();
+    reportMutationMatrix();
+}
+
+void
+BM_ValidatePipeline(benchmark::State &state)
+{
+    const auto &info =
+        suite::standardSuite()[static_cast<size_t>(state.range(0))];
+    json::Value document = toJson(info.build());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            schema::validateDocument(document));
+    }
+    state.SetLabel(info.name);
+}
+
+} // namespace
+
+BENCHMARK(BM_ValidatePipeline)->DenseRange(0, 11);
+
+PARCHMINT_BENCH_MAIN(report)

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Suite characterization from the command line: print the
+ * benchmark characterization and composition tables, or validate a
+ * ParchMint JSON file supplied as an argument.
+ *
+ * Run:  ./characterize                  (suite tables)
+ *       ./characterize --json           (suite report as JSON)
+ *       ./characterize netlist.json    (validate + characterize one
+ *                                        file)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/error.hh"
+#include "analysis/stats_json.hh"
+#include "analysis/suite_report.hh"
+#include "json/write.hh"
+#include "core/deserialize.hh"
+#include "core/serialize.hh"
+#include "schema/rules.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+int
+characterizeFile(const std::string &path)
+{
+    Device device = loadDevice(path);
+    auto issues = schema::validateDocument(toJson(device));
+    std::printf("%s: %s\n", path.c_str(),
+                schema::hasErrors(issues) ? "INVALID" : "valid");
+    if (!issues.empty())
+        std::printf("%s", schema::formatIssues(issues).c_str());
+
+    analysis::NetlistStats stats =
+        analysis::computeNetlistStats(device);
+    std::printf("components: %zu  connections: %zu  valves: %zu  "
+                "i/o: %zu\n",
+                stats.componentCount, stats.connectionCount,
+                stats.valveCount, stats.ioPortCount);
+    std::printf("flow graph: density %.3f, max degree %zu, "
+                "diameter %zu, %s, %s\n",
+                stats.flowGraph.density, stats.flowGraph.maxDegree,
+                stats.flowGraph.diameter,
+                stats.flowGraph.planar ? "planar" : "non-planar",
+                stats.flowGraph.connected ? "connected"
+                                          : "disconnected");
+    return schema::hasErrors(issues) ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        if (argc > 1 && std::string(argv[1]) == "--json") {
+            auto rows = analysis::characterizeSuite();
+            std::printf(
+                "%s",
+                json::write(analysis::suiteReportToJson(rows))
+                    .c_str());
+            return 0;
+        }
+        if (argc > 1)
+            return characterizeFile(argv[1]);
+
+        auto rows = analysis::characterizeSuite();
+        std::printf("ParchMint standard suite characterization\n\n");
+        std::printf(
+            "%s\n",
+            analysis::renderCharacterizationTable(rows).c_str());
+        std::printf("Suite composition (entity instances)\n\n");
+        std::printf("%s",
+                    analysis::renderCompositionTable(rows).c_str());
+        return 0;
+    } catch (const UserError &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}

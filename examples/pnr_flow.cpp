@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Physical design flow: place and route a suite benchmark, then
+ * write the routed netlist (ParchMint JSON with positions and
+ * paths) and an SVG rendering.
+ *
+ * Run:  ./pnr_flow [benchmark] [seed]
+ *
+ * Defaults to the cell_trap_array benchmark. Benchmark names are
+ * the standard suite names (see DESIGN.md or run ./characterize).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hh"
+#include "core/serialize.hh"
+#include "export/svg.hh"
+#include "place/annealing_placer.hh"
+#include "place/cost.hh"
+#include "route/metrics.hh"
+#include "route/router.hh"
+#include "suite/suite.hh"
+
+using namespace parchmint;
+
+int
+main(int argc, char **argv)
+{
+    try {
+        std::string name =
+            argc > 1 ? argv[1] : "cell_trap_array";
+        uint64_t seed =
+            argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+        Device device = suite::buildBenchmark(name);
+        std::printf("benchmark %s: %zu components, "
+                    "%zu connections\n",
+                    name.c_str(), device.components().size(),
+                    device.connections().size());
+
+        // Place with simulated annealing.
+        place::AnnealingOptions options;
+        options.seed = seed;
+        place::AnnealingPlacer placer(options);
+        place::Placement placement = placer.place(device);
+        const place::PlacementCost &cost = placer.lastCost();
+        std::printf("placement: hpwl=%lld um, overlap=%lld um^2, "
+                    "bounding area=%lld um^2\n",
+                    static_cast<long long>(cost.hpwl),
+                    static_cast<long long>(cost.overlapArea),
+                    static_cast<long long>(cost.boundingArea));
+
+        // Route every channel.
+        route::RouteResult routed = route::routeDevice(device,
+                                                       placement);
+        std::printf("routing: %zu/%zu nets routed (%.1f%%), "
+                    "length=%lld um, bends=%d, violations=%zu\n",
+                    routed.routedCount, routed.nets.size(),
+                    100.0 * routed.completionRate(),
+                    static_cast<long long>(routed.totalLength),
+                    routed.totalBends, routed.totalViolations);
+
+        // Persist physical design state into the netlist.
+        placement.writeTo(device);
+        saveDevice(name + "_routed.json", device);
+        exporter::writeSvg(name + ".svg", device, placement);
+        std::printf("wrote %s_routed.json and %s.svg\n",
+                    name.c_str(), name.c_str());
+        return 0;
+    } catch (const UserError &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Hydraulic analysis flow: place and route a benchmark, then solve
+ * the steady-state pressure/flow network of its flow layer using
+ * the routed channel lengths.
+ *
+ * Run:  ./simulate [benchmark] [pressure_kpa]
+ *
+ * Defaults to the gradient generator at 20 kPa: inlets pressurized,
+ * outlets at ambient; the flow profile across the five outlets is
+ * the device's concentration-gradient driver.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hh"
+#include "place/annealing_placer.hh"
+#include "route/router.hh"
+#include "sim/hydraulic.hh"
+#include "suite/suite.hh"
+
+using namespace parchmint;
+
+int
+main(int argc, char **argv)
+{
+    try {
+        std::string name =
+            argc > 1 ? argv[1] : "gradient_generator";
+        double pressure_pa =
+            (argc > 2 ? std::strtod(argv[2], nullptr) : 20.0) *
+            1000.0;
+
+        Device device = suite::buildBenchmark(name);
+
+        // Physical design first: routed lengths feed the model.
+        place::AnnealingOptions options;
+        options.seed = 1;
+        place::Placement placement =
+            place::AnnealingPlacer(options).place(device);
+        route::routeDevice(device, placement);
+
+        sim::HydraulicModel model =
+            sim::HydraulicModel::build(device);
+
+        // Boundary conditions: pressurize input-ish ports (IDs
+        // beginning with "in" or named inlet/supply/sample/buffer),
+        // ground the rest of the I/O ports.
+        size_t sources = 0;
+        size_t drains = 0;
+        for (const Component &component : device.components()) {
+            if (component.entityKind() != EntityKind::Port)
+                continue;
+            const Layer *flow =
+                device.firstLayer(LayerType::Flow);
+            if (!component.onLayer(flow->id))
+                continue; // Pneumatic control ports.
+            const std::string &id = component.id();
+            bool is_source = id.rfind("in", 0) == 0 ||
+                             id.rfind("inlet", 0) == 0 ||
+                             id.rfind("supply", 0) == 0 ||
+                             id.rfind("sample", 0) == 0 ||
+                             id.rfind("buffer", 0) == 0 ||
+                             id.rfind("fill", 0) == 0 ||
+                             id.rfind("elution", 0) == 0 ||
+                             id.rfind("win", 0) == 0;
+            model.setPressure(id, is_source ? pressure_pa : 0.0);
+            ++(is_source ? sources : drains);
+        }
+        if (sources == 0 || drains == 0)
+            fatal("benchmark has no obvious source/drain port "
+                  "split; choose another");
+
+        sim::HydraulicSolution solution = model.solve();
+
+        std::printf("hydraulic solve of %s: %zu nodes, %zu "
+                    "resistors, %zu sources at %.1f kPa, %zu "
+                    "drains at 0\n",
+                    name.c_str(), model.nodeCount(),
+                    model.edges().size(), sources,
+                    pressure_pa / 1000.0, drains);
+
+        // Report per-drain outflow in nL/s.
+        for (const Component &component : device.components()) {
+            if (component.entityKind() != EntityKind::Port)
+                continue;
+            const std::string &id = component.id();
+            double inflow = 0.0;
+            try {
+                inflow = solution.netInflow(id);
+            } catch (const UserError &) {
+                continue;
+            }
+            if (solution.floating().end() !=
+                std::find(solution.floating().begin(),
+                          solution.floating().end(), id)) {
+                continue;
+            }
+            std::printf("  port %-12s net inflow %+9.3f nL/s\n",
+                        id.c_str(), inflow * 1e12);
+        }
+        if (!solution.floating().empty()) {
+            std::printf("floating components: %zu\n",
+                        solution.floating().size());
+        }
+        return 0;
+    } catch (const UserError &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}

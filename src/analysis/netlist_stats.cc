@@ -1,0 +1,83 @@
+#include "analysis/netlist_stats.hh"
+
+#include <unordered_map>
+
+namespace parchmint::analysis
+{
+
+graph::Graph
+deviceGraph(const Device &device, const std::string &layer_id)
+{
+    graph::Graph graph;
+    std::unordered_map<std::string, graph::VertexId> vertex_of;
+
+    for (const Component &component : device.components()) {
+        if (!layer_id.empty() && !component.onLayer(layer_id))
+            continue;
+        vertex_of[component.id()] = graph.addVertex(component.id());
+    }
+
+    for (const Connection &connection : device.connections()) {
+        if (!layer_id.empty() && connection.layerId() != layer_id)
+            continue;
+        auto source_it =
+            vertex_of.find(connection.source().componentId);
+        if (source_it == vertex_of.end())
+            continue; // Dangling reference; rules report it.
+        for (const ConnectionTarget &sink : connection.sinks()) {
+            auto sink_it = vertex_of.find(sink.componentId);
+            if (sink_it == vertex_of.end())
+                continue;
+            graph.addEdge(source_it->second, sink_it->second, 1.0,
+                          connection.id());
+        }
+    }
+    return graph;
+}
+
+NetlistStats
+computeNetlistStats(const Device &device)
+{
+    NetlistStats stats;
+    stats.name = device.name();
+
+    stats.layerCount = device.layers().size();
+    for (const Layer &layer : device.layers()) {
+        if (layer.type == LayerType::Flow)
+            ++stats.flowLayerCount;
+        else if (layer.type == LayerType::Control)
+            ++stats.controlLayerCount;
+    }
+
+    stats.componentCount = device.components().size();
+    for (const Component &component : device.components()) {
+        ++stats.entityHistogram[component.entity()];
+        EntityKind kind = component.entityKind();
+        if (kind == EntityKind::Unknown) {
+            ++stats.unknownEntityCount;
+        } else {
+            const EntityInfo &info = entityInfo(kind);
+            if (info.isIo)
+                ++stats.ioPortCount;
+            stats.valveCount +=
+                static_cast<size_t>(info.valveCount);
+        }
+    }
+
+    stats.connectionCount = device.connections().size();
+    for (const Connection &connection : device.connections()) {
+        if (connection.sinks().size() > 1)
+            ++stats.multiSinkConnectionCount;
+        const Layer *layer = device.findLayer(connection.layerId());
+        if (layer && layer->type == LayerType::Control)
+            ++stats.controlConnectionCount;
+    }
+
+    const Layer *flow = device.firstLayer(LayerType::Flow);
+    graph::Graph flow_graph =
+        deviceGraph(device, flow ? flow->id : "");
+    stats.flowGraph = graph::computeMetrics(flow_graph);
+    return stats;
+}
+
+} // namespace parchmint::analysis

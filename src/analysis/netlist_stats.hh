@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Netlist characterization.
+ *
+ * The statistics behind the benchmark characterization table:
+ * inventory counts (layers, components, connections, valves, I/O),
+ * the entity histogram, and structural metrics of the flow-layer
+ * connectivity graph (density, degree, planarity, ...). Also exposes
+ * the Device-to-Graph conversion used everywhere a netlist is viewed
+ * as a graph.
+ */
+
+#ifndef PARCHMINT_ANALYSIS_NETLIST_STATS_HH
+#define PARCHMINT_ANALYSIS_NETLIST_STATS_HH
+
+#include <map>
+#include <string>
+
+#include "core/device.hh"
+#include "graph/metrics.hh"
+
+namespace parchmint::analysis
+{
+
+/**
+ * Build the connectivity graph of a device: one vertex per
+ * component, one edge per (source, sink) pair of every connection
+ * (multi-sink nets become stars). Edge weights are 1.
+ *
+ * @param device The netlist.
+ * @param layer_id Restrict to connections on this layer and
+ *        components referencing it; empty selects everything.
+ */
+graph::Graph deviceGraph(const Device &device,
+                         const std::string &layer_id = "");
+
+/** Characterization record for one netlist. */
+struct NetlistStats
+{
+    std::string name;
+
+    size_t layerCount = 0;
+    size_t flowLayerCount = 0;
+    size_t controlLayerCount = 0;
+
+    size_t componentCount = 0;
+    size_t connectionCount = 0;
+    /** Connections with more than one sink. */
+    size_t multiSinkConnectionCount = 0;
+    /** Connections on CONTROL layers. */
+    size_t controlConnectionCount = 0;
+
+    /** Chip I/O primitives (entity PORT). */
+    size_t ioPortCount = 0;
+    /**
+     * Control-actuated valves: explicit VALVE components plus the
+     * valves embedded in catalogue entities (pumps, muxes, rotary
+     * pumps).
+     */
+    size_t valveCount = 0;
+    /** Components whose entity string is outside the catalogue. */
+    size_t unknownEntityCount = 0;
+
+    /** Entity string -> instance count. */
+    std::map<std::string, size_t> entityHistogram;
+
+    /** Structural metrics of the flow-layer connectivity graph. */
+    graph::GraphMetrics flowGraph;
+};
+
+/** Compute the full characterization of a netlist. */
+NetlistStats computeNetlistStats(const Device &device);
+
+} // namespace parchmint::analysis
+
+#endif // PARCHMINT_ANALYSIS_NETLIST_STATS_HH

@@ -1,0 +1,87 @@
+#include "analysis/stats_json.hh"
+
+namespace parchmint::analysis
+{
+
+json::Value
+statsToJson(const NetlistStats &stats)
+{
+    json::Value root = json::Value::makeObject();
+    root.set("name", json::Value(stats.name));
+
+    json::Value counts = json::Value::makeObject();
+    counts.set("layers",
+               json::Value(static_cast<int64_t>(stats.layerCount)));
+    counts.set("flowLayers",
+               json::Value(
+                   static_cast<int64_t>(stats.flowLayerCount)));
+    counts.set("controlLayers",
+               json::Value(
+                   static_cast<int64_t>(stats.controlLayerCount)));
+    counts.set("components",
+               json::Value(
+                   static_cast<int64_t>(stats.componentCount)));
+    counts.set("connections",
+               json::Value(
+                   static_cast<int64_t>(stats.connectionCount)));
+    counts.set("valves",
+               json::Value(static_cast<int64_t>(stats.valveCount)));
+    counts.set("ioPorts",
+               json::Value(static_cast<int64_t>(stats.ioPortCount)));
+    counts.set("multiSink",
+               json::Value(static_cast<int64_t>(
+                   stats.multiSinkConnectionCount)));
+    counts.set("controlConnections",
+               json::Value(static_cast<int64_t>(
+                   stats.controlConnectionCount)));
+    counts.set("unknownEntities",
+               json::Value(static_cast<int64_t>(
+                   stats.unknownEntityCount)));
+    root.set("counts", std::move(counts));
+
+    json::Value entities = json::Value::makeObject();
+    for (const auto &[entity, count] : stats.entityHistogram) {
+        entities.set(entity,
+                     json::Value(static_cast<int64_t>(count)));
+    }
+    root.set("entities", std::move(entities));
+
+    const graph::GraphMetrics &m = stats.flowGraph;
+    json::Value flow = json::Value::makeObject();
+    flow.set("vertices",
+             json::Value(static_cast<int64_t>(m.vertexCount)));
+    flow.set("edges", json::Value(static_cast<int64_t>(m.edgeCount)));
+    flow.set("minDegree",
+             json::Value(static_cast<int64_t>(m.minDegree)));
+    flow.set("maxDegree",
+             json::Value(static_cast<int64_t>(m.maxDegree)));
+    flow.set("meanDegree", json::Value(m.meanDegree));
+    flow.set("density", json::Value(m.density));
+    flow.set("components",
+             json::Value(static_cast<int64_t>(m.componentCount)));
+    flow.set("connected", json::Value(m.connected));
+    flow.set("planar", json::Value(m.planar));
+    flow.set("articulationPoints",
+             json::Value(
+                 static_cast<int64_t>(m.articulationPointCount)));
+    flow.set("cyclomatic",
+             json::Value(static_cast<int64_t>(m.cyclomaticNumber)));
+    flow.set("diameter",
+             json::Value(static_cast<int64_t>(m.diameter)));
+    root.set("flowGraph", std::move(flow));
+    return root;
+}
+
+json::Value
+suiteReportToJson(const std::vector<NetlistStats> &rows)
+{
+    json::Value root = json::Value::makeObject();
+    root.set("suite", json::Value("parchmint-standard"));
+    json::Value benchmarks = json::Value::makeArray();
+    for (const NetlistStats &row : rows)
+        benchmarks.append(statsToJson(row));
+    root.set("benchmarks", std::move(benchmarks));
+    return root;
+}
+
+} // namespace parchmint::analysis

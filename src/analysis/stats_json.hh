@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Machine-readable characterization reports.
+ *
+ * The text tables serve humans; downstream tooling (plotting,
+ * regression tracking across library versions) wants the same
+ * numbers as JSON. statsToJson/suiteReportToJson give a stable,
+ * documented shape:
+ *
+ *     {
+ *         "name": "...",
+ *         "counts": {"layers", "components", "connections",
+ *                    "valves", "ioPorts", "multiSink",
+ *                    "controlConnections", "unknownEntities"},
+ *         "entities": {"MIXER": 4, ...},
+ *         "flowGraph": {"vertices", "edges", "minDegree",
+ *                       "maxDegree", "meanDegree", "density",
+ *                       "components", "connected", "planar",
+ *                       "articulationPoints", "cyclomatic",
+ *                       "diameter"}
+ *     }
+ */
+
+#ifndef PARCHMINT_ANALYSIS_STATS_JSON_HH
+#define PARCHMINT_ANALYSIS_STATS_JSON_HH
+
+#include "analysis/netlist_stats.hh"
+#include "json/value.hh"
+
+namespace parchmint::analysis
+{
+
+/** Serialize one netlist's characterization. */
+json::Value statsToJson(const NetlistStats &stats);
+
+/**
+ * Serialize a whole suite report: an object with a "benchmarks"
+ * array in suite order.
+ */
+json::Value suiteReportToJson(const std::vector<NetlistStats> &rows);
+
+} // namespace parchmint::analysis
+
+#endif // PARCHMINT_ANALYSIS_STATS_JSON_HH

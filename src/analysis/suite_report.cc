@@ -1,0 +1,97 @@
+#include "analysis/suite_report.hh"
+
+#include <map>
+#include <set>
+
+#include "analysis/table.hh"
+#include "suite/suite.hh"
+
+namespace parchmint::analysis
+{
+
+std::vector<NetlistStats>
+characterizeSuite()
+{
+    std::vector<NetlistStats> rows;
+    for (const suite::BenchmarkInfo &info : suite::standardSuite()) {
+        Device device = info.build();
+        NetlistStats stats = computeNetlistStats(device);
+        stats.name = info.name;
+        rows.push_back(std::move(stats));
+    }
+    return rows;
+}
+
+std::string
+renderCharacterizationTable(const std::vector<NetlistStats> &rows)
+{
+    TextTable table;
+    table.beginRow();
+    table.cell(std::string("benchmark"));
+    table.cell(std::string("layers"));
+    table.cell(std::string("comps"));
+    table.cell(std::string("conns"));
+    table.cell(std::string("valves"));
+    table.cell(std::string("i/o"));
+    table.cell(std::string("multi"));
+    table.cell(std::string("maxdeg"));
+    table.cell(std::string("density"));
+    table.cell(std::string("diam"));
+    table.cell(std::string("cut"));
+    table.cell(std::string("planar"));
+    table.cell(std::string("conn?"));
+
+    for (const NetlistStats &row : rows) {
+        table.beginRow();
+        table.cell(row.name);
+        table.cell(row.layerCount);
+        table.cell(row.componentCount);
+        table.cell(row.connectionCount);
+        table.cell(row.valveCount);
+        table.cell(row.ioPortCount);
+        table.cell(row.multiSinkConnectionCount);
+        table.cell(row.flowGraph.maxDegree);
+        table.cell(row.flowGraph.density, 3);
+        table.cell(row.flowGraph.diameter);
+        table.cell(row.flowGraph.articulationPointCount);
+        table.cellYesNo(row.flowGraph.planar);
+        table.cellYesNo(row.flowGraph.connected);
+    }
+    return table.render();
+}
+
+std::string
+renderCompositionTable(const std::vector<NetlistStats> &rows)
+{
+    // Collect the union of entity strings across the suite.
+    std::set<std::string> entities;
+    for (const NetlistStats &row : rows) {
+        for (const auto &[entity, count] : row.entityHistogram)
+            entities.insert(entity);
+    }
+
+    TextTable table;
+    table.beginRow();
+    table.cell(std::string("entity"));
+    for (const NetlistStats &row : rows) {
+        // Abbreviate benchmark names to keep the table readable.
+        std::string header = row.name;
+        if (header.size() > 10)
+            header = header.substr(0, 10);
+        table.cell(header);
+    }
+
+    for (const std::string &entity : entities) {
+        table.beginRow();
+        table.cell(entity);
+        for (const NetlistStats &row : rows) {
+            auto it = row.entityHistogram.find(entity);
+            table.cell(it == row.entityHistogram.end()
+                           ? static_cast<size_t>(0)
+                           : it->second);
+        }
+    }
+    return table.render();
+}
+
+} // namespace parchmint::analysis

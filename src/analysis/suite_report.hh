@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Suite-level characterization reports (the paper's tables).
+ */
+
+#ifndef PARCHMINT_ANALYSIS_SUITE_REPORT_HH
+#define PARCHMINT_ANALYSIS_SUITE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/netlist_stats.hh"
+
+namespace parchmint::analysis
+{
+
+/**
+ * Characterize every benchmark of the standard suite.
+ * Rows come back in suite order.
+ */
+std::vector<NetlistStats> characterizeSuite();
+
+/**
+ * Render the benchmark characterization table (experiment T1):
+ * per-benchmark layer/component/connection/valve/IO counts and
+ * flow-graph structure.
+ */
+std::string renderCharacterizationTable(
+    const std::vector<NetlistStats> &rows);
+
+/**
+ * Render the suite composition table (experiment T2): one row per
+ * entity, one column per benchmark, cells are instance counts.
+ */
+std::string renderCompositionTable(
+    const std::vector<NetlistStats> &rows);
+
+} // namespace parchmint::analysis
+
+#endif // PARCHMINT_ANALYSIS_SUITE_REPORT_HH

@@ -1,0 +1,108 @@
+#include "analysis/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hh"
+
+namespace parchmint::analysis
+{
+
+void
+TextTable::beginRow()
+{
+    rows_.emplace_back();
+}
+
+void
+TextTable::cell(const std::string &text)
+{
+    if (rows_.empty())
+        panic("TextTable::cell called before beginRow");
+    rows_.back().push_back(Cell{text, false});
+}
+
+void
+TextTable::cell(int64_t value)
+{
+    cell(std::to_string(value));
+    rows_.back().back().numeric = true;
+}
+
+void
+TextTable::cell(size_t value)
+{
+    cell(static_cast<int64_t>(value));
+}
+
+void
+TextTable::cell(int value)
+{
+    cell(static_cast<int64_t>(value));
+}
+
+void
+TextTable::cell(double value, int precision)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+    cell(std::string(buffer));
+    rows_.back().back().numeric = true;
+}
+
+void
+TextTable::cellYesNo(bool value)
+{
+    cell(std::string(value ? "yes" : "no"));
+}
+
+std::string
+TextTable::render() const
+{
+    if (rows_.empty())
+        return "";
+    size_t columns = 0;
+    for (const auto &row : rows_)
+        columns = std::max(columns, row.size());
+
+    std::vector<size_t> widths(columns, 0);
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].text.size());
+    }
+
+    std::string out;
+    auto render_row = [&](const std::vector<Cell> &row) {
+        for (size_t c = 0; c < columns; ++c) {
+            if (c > 0)
+                out += "  ";
+            std::string text =
+                c < row.size() ? row[c].text : std::string();
+            bool numeric = c < row.size() && row[c].numeric;
+            size_t pad = widths[c] - text.size();
+            if (numeric) {
+                out.append(pad, ' ');
+                out += text;
+            } else {
+                out += text;
+                out.append(pad, ' ');
+            }
+        }
+        // Trim trailing spaces.
+        while (!out.empty() && out.back() == ' ')
+            out.pop_back();
+        out.push_back('\n');
+    };
+
+    render_row(rows_[0]);
+    size_t total = 0;
+    for (size_t c = 0; c < columns; ++c)
+        total += widths[c] + (c > 0 ? 2 : 0);
+    out.append(total, '-');
+    out.push_back('\n');
+    for (size_t r = 1; r < rows_.size(); ++r)
+        render_row(rows_[r]);
+    return out;
+}
+
+} // namespace parchmint::analysis

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Plain-text table rendering for benchmark reports.
+ *
+ * The benchmark harness prints the paper-style tables to stdout;
+ * TextTable handles alignment and separators so every bench binary
+ * produces consistent output.
+ */
+
+#ifndef PARCHMINT_ANALYSIS_TABLE_HH
+#define PARCHMINT_ANALYSIS_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parchmint::analysis
+{
+
+/**
+ * A simple column-aligned text table. The first row added is the
+ * header; numeric cells right-align, text cells left-align.
+ */
+class TextTable
+{
+  public:
+    /** Start a row. */
+    void beginRow();
+
+    /** Append a text cell to the current row (left-aligned). */
+    void cell(const std::string &text);
+
+    /** Append numeric cells (right-aligned). */
+    void cell(int64_t value);
+    void cell(size_t value);
+    void cell(int value);
+    /** Append a real cell with the given precision. */
+    void cell(double value, int precision = 2);
+    /** Append a boolean cell rendered yes/no. */
+    void cellYesNo(bool value);
+
+    /** Render with a header separator line. */
+    std::string render() const;
+
+  private:
+    struct Cell
+    {
+        std::string text;
+        bool numeric;
+    };
+
+    std::vector<std::vector<Cell>> rows_;
+};
+
+} // namespace parchmint::analysis
+
+#endif // PARCHMINT_ANALYSIS_TABLE_HH

@@ -1,0 +1,33 @@
+#include "common/error.hh"
+
+namespace parchmint
+{
+
+Error::Error(const std::string &message)
+    : std::runtime_error(message)
+{
+}
+
+UserError::UserError(const std::string &message)
+    : Error(message)
+{
+}
+
+InternalError::InternalError(const std::string &message)
+    : Error(message)
+{
+}
+
+void
+fatal(const std::string &message)
+{
+    throw UserError(message);
+}
+
+void
+panic(const std::string &message)
+{
+    throw InternalError("internal error: " + message);
+}
+
+} // namespace parchmint

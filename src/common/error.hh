@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Error types shared by every parchmint library.
+ *
+ * Following the gem5 fatal()/panic() convention, user-triggerable
+ * conditions (malformed input files, invalid netlists, impossible
+ * requests) raise UserError, while conditions that indicate a bug in
+ * this library itself raise InternalError. Tests assert on the
+ * distinction, and command line tools map UserError to a clean exit
+ * with a message and InternalError to an abort-style report.
+ */
+
+#ifndef PARCHMINT_COMMON_ERROR_HH
+#define PARCHMINT_COMMON_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace parchmint
+{
+
+/**
+ * Base class of all exceptions thrown by parchmint libraries.
+ */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &message);
+};
+
+/**
+ * The user handed us something invalid: a malformed JSON document, a
+ * netlist that violates the ParchMint rules, a MINT program with a
+ * syntax error, or an impossible request (e.g. routing on a device
+ * with no flow layer). Equivalent of gem5's fatal().
+ */
+class UserError : public Error
+{
+  public:
+    explicit UserError(const std::string &message);
+};
+
+/**
+ * The library itself is broken: an invariant that user input cannot
+ * violate failed to hold. Equivalent of gem5's panic().
+ */
+class InternalError : public Error
+{
+  public:
+    explicit InternalError(const std::string &message);
+};
+
+/**
+ * Throw UserError with a printf-free formatted message.
+ *
+ * @param message The complete, already-formatted message.
+ */
+[[noreturn]] void fatal(const std::string &message);
+
+/**
+ * Throw InternalError; call sites mark "cannot happen" states.
+ *
+ * @param message The complete, already-formatted message.
+ */
+[[noreturn]] void panic(const std::string &message);
+
+} // namespace parchmint
+
+#endif // PARCHMINT_COMMON_ERROR_HH

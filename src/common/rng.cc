@@ -1,0 +1,96 @@
+#include "common/rng.hh"
+
+#include "common/error.hh"
+
+namespace parchmint
+{
+
+namespace
+{
+
+/** splitmix64 step, used only for seeding. */
+uint64_t
+splitMix(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotateLeft(uint64_t value, int shift)
+{
+    return (value << shift) | (value >> (64 - shift));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t mix = seed;
+    for (auto &word : state_)
+        word = splitMix(mix);
+    // xoshiro must not start in the all-zero state.
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 &&
+        state_[3] == 0) {
+        state_[0] = 1;
+    }
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotateLeft(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotateLeft(state_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::nextBelow called with bound 0");
+    // Rejection sampling over the largest multiple of bound.
+    uint64_t threshold = (0 - bound) % bound;
+    while (true) {
+        uint64_t raw = next();
+        if (raw >= threshold)
+            return raw % bound;
+    }
+}
+
+int64_t
+Rng::nextInRange(int64_t low, int64_t high)
+{
+    if (low > high)
+        panic("Rng::nextInRange called with low > high");
+    uint64_t width = static_cast<uint64_t>(high - low) + 1;
+    if (width == 0) {
+        // Full 64-bit range requested.
+        return static_cast<int64_t>(next());
+    }
+    return low + static_cast<int64_t>(nextBelow(width));
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high bits give a uniform double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double probability)
+{
+    return nextDouble() < probability;
+}
+
+} // namespace parchmint

@@ -1,0 +1,127 @@
+#include "common/strings.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace parchmint
+{
+
+std::vector<std::string>
+split(std::string_view text, char delimiter)
+{
+    std::vector<std::string> fields;
+    size_t start = 0;
+    while (true) {
+        size_t pos = text.find(delimiter, start);
+        if (pos == std::string_view::npos) {
+            fields.emplace_back(text.substr(start));
+            return fields;
+        }
+        fields.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string
+join(const std::vector<std::string> &parts, std::string_view separator)
+{
+    std::string joined;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            joined.append(separator);
+        joined.append(parts[i]);
+    }
+    return joined;
+}
+
+std::string
+trim(std::string_view text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin]))) {
+        ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        --end;
+    }
+    return std::string(text.substr(begin, end - begin));
+}
+
+std::string
+toLower(std::string_view text)
+{
+    std::string lowered(text);
+    for (char &c : lowered)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return lowered;
+}
+
+std::string
+toUpper(std::string_view text)
+{
+    std::string raised(text);
+    for (char &c : raised)
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return raised;
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+bool
+endsWith(std::string_view text, std::string_view suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string
+formatDouble(double value)
+{
+    if (std::isfinite(value) && value == std::floor(value) &&
+        std::fabs(value) < 1e15) {
+        // Integral value: print without exponent or fraction.
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+        return buffer;
+    }
+    // Shortest representation that round-trips.
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    double parsed = 0.0;
+    std::sscanf(buffer, "%lf", &parsed);
+    for (int precision = 1; precision < 17; ++precision) {
+        char candidate[64];
+        std::snprintf(candidate, sizeof(candidate), "%.*g", precision,
+                      value);
+        std::sscanf(candidate, "%lf", &parsed);
+        if (parsed == value)
+            return candidate;
+    }
+    return buffer;
+}
+
+bool
+isValidId(std::string_view text)
+{
+    if (text.empty() || text.front() == '-')
+        return false;
+    for (char c : text) {
+        bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
+                  c == '_' || c == '.' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+} // namespace parchmint

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Small string helpers used across the parchmint libraries.
+ */
+
+#ifndef PARCHMINT_COMMON_STRINGS_HH
+#define PARCHMINT_COMMON_STRINGS_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parchmint
+{
+
+/**
+ * Split a string on a single-character delimiter. Empty fields are
+ * preserved, so "a,,b" splits into {"a", "", "b"} and "" splits into
+ * {""}.
+ *
+ * @param text The string to split.
+ * @param delimiter The separator character.
+ * @return The fields, in order.
+ */
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/**
+ * Join strings with a separator; the inverse of split().
+ */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view separator);
+
+/** Strip ASCII whitespace from both ends of a string. */
+std::string trim(std::string_view text);
+
+/** Lowercase an ASCII string. */
+std::string toLower(std::string_view text);
+
+/** Uppercase an ASCII string. */
+std::string toUpper(std::string_view text);
+
+/** True when text begins with the given prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** True when text ends with the given suffix. */
+bool endsWith(std::string_view text, std::string_view suffix);
+
+/**
+ * Render a double the way JSON expects: integral values get no
+ * trailing ".0" stripped surprises and non-integral values keep
+ * round-trip precision.
+ */
+std::string formatDouble(double value);
+
+/**
+ * True when the string is a valid identifier for netlist IDs:
+ * non-empty, characters drawn from [A-Za-z0-9_.-], not starting
+ * with '-'.
+ */
+bool isValidId(std::string_view text);
+
+} // namespace parchmint
+
+#endif // PARCHMINT_COMMON_STRINGS_HH

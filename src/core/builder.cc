@@ -1,0 +1,162 @@
+#include "core/builder.hh"
+
+#include "common/error.hh"
+
+namespace parchmint
+{
+
+ConnectionTarget
+parseTarget(std::string_view spec)
+{
+    ConnectionTarget target;
+    size_t dot = spec.find('.');
+    if (dot == std::string_view::npos) {
+        target.componentId = std::string(spec);
+    } else {
+        target.componentId = std::string(spec.substr(0, dot));
+        target.portLabel = std::string(spec.substr(dot + 1));
+    }
+    if (target.componentId.empty())
+        fatal("endpoint spec \"" + std::string(spec) +
+              "\" has an empty component ID");
+    return target;
+}
+
+DeviceBuilder::DeviceBuilder(std::string name)
+    : device_(std::move(name))
+{
+}
+
+DeviceBuilder &
+DeviceBuilder::flowLayer(std::string id, std::string name)
+{
+    device_.addLayer(
+        Layer{std::move(id), std::move(name), LayerType::Flow});
+    return *this;
+}
+
+DeviceBuilder &
+DeviceBuilder::controlLayer(std::string id, std::string name)
+{
+    device_.addLayer(
+        Layer{std::move(id), std::move(name), LayerType::Control});
+    return *this;
+}
+
+DeviceBuilder &
+DeviceBuilder::integrationLayer(std::string id, std::string name)
+{
+    device_.addLayer(
+        Layer{std::move(id), std::move(name), LayerType::Integration});
+    return *this;
+}
+
+std::string
+DeviceBuilder::requireFlowLayer() const
+{
+    const Layer *layer = device_.firstLayer(LayerType::Flow);
+    if (!layer)
+        fatal("builder: add a flow layer before components or "
+              "channels");
+    return layer->id;
+}
+
+std::string
+DeviceBuilder::requireControlLayer() const
+{
+    const Layer *layer = device_.firstLayer(LayerType::Control);
+    if (!layer)
+        fatal("builder: add a control layer before control channels");
+    return layer->id;
+}
+
+std::string
+DeviceBuilder::controlLayerOrEmpty() const
+{
+    const Layer *layer = device_.firstLayer(LayerType::Control);
+    return layer ? layer->id : std::string();
+}
+
+DeviceBuilder &
+DeviceBuilder::component(std::string id, EntityKind kind)
+{
+    std::string name = id;
+    return component(std::move(id), std::move(name), kind);
+}
+
+DeviceBuilder &
+DeviceBuilder::component(std::string id, std::string name,
+                         EntityKind kind)
+{
+    device_.addComponent(makeComponent(std::move(id), std::move(name),
+                                       kind, requireFlowLayer(),
+                                       controlLayerOrEmpty()));
+    return *this;
+}
+
+DeviceBuilder &
+DeviceBuilder::component(Component component)
+{
+    device_.addComponent(std::move(component));
+    return *this;
+}
+
+DeviceBuilder &
+DeviceBuilder::channel(std::string id, std::string_view source,
+                       std::string_view sink, int64_t channel_width)
+{
+    std::string name = id;
+    Connection connection(std::move(id), std::move(name),
+                          requireFlowLayer());
+    connection.setSource(parseTarget(source));
+    connection.addSink(parseTarget(sink));
+    connection.params().set("channelWidth", json::Value(channel_width));
+    device_.addConnection(std::move(connection));
+    return *this;
+}
+
+DeviceBuilder &
+DeviceBuilder::net(std::string id, std::string_view source,
+                   std::initializer_list<std::string_view> sinks,
+                   int64_t channel_width)
+{
+    std::string name = id;
+    Connection connection(std::move(id), std::move(name),
+                          requireFlowLayer());
+    connection.setSource(parseTarget(source));
+    for (std::string_view sink : sinks)
+        connection.addSink(parseTarget(sink));
+    connection.params().set("channelWidth", json::Value(channel_width));
+    device_.addConnection(std::move(connection));
+    return *this;
+}
+
+DeviceBuilder &
+DeviceBuilder::controlChannel(std::string id, std::string_view source,
+                              std::string_view sink,
+                              int64_t channel_width)
+{
+    std::string name = id;
+    Connection connection(std::move(id), std::move(name),
+                          requireControlLayer());
+    connection.setSource(parseTarget(source));
+    connection.addSink(parseTarget(sink));
+    connection.params().set("channelWidth", json::Value(channel_width));
+    device_.addConnection(std::move(connection));
+    return *this;
+}
+
+DeviceBuilder &
+DeviceBuilder::param(std::string_view name, json::Value value)
+{
+    device_.params().set(name, std::move(value));
+    return *this;
+}
+
+Device
+DeviceBuilder::build()
+{
+    return std::move(device_);
+}
+
+} // namespace parchmint

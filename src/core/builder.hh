@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Fluent construction API for device netlists.
+ *
+ * The benchmark suite and the examples build netlists in code; the
+ * raw Device API makes that verbose (every port of every component
+ * spelled out). DeviceBuilder layers a terse, chainable interface on
+ * top: standard flow/control layers, catalogue-based component
+ * instantiation, and "component.port" endpoint strings.
+ */
+
+#ifndef PARCHMINT_CORE_BUILDER_HH
+#define PARCHMINT_CORE_BUILDER_HH
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/device.hh"
+
+namespace parchmint
+{
+
+/**
+ * Parse an endpoint spec of the form "component" or "component.port"
+ * into a ConnectionTarget.
+ */
+ConnectionTarget parseTarget(std::string_view spec);
+
+/**
+ * Chainable netlist builder. All methods return *this; build() hands
+ * the finished Device over (the builder is then empty).
+ */
+class DeviceBuilder
+{
+  public:
+    /** Start a device with the given name. */
+    explicit DeviceBuilder(std::string name);
+
+    /** Add a flow layer (default ID "flow"). */
+    DeviceBuilder &flowLayer(std::string id = "flow",
+                             std::string name = "flow");
+
+    /** Add a control layer (default ID "control"). */
+    DeviceBuilder &controlLayer(std::string id = "control",
+                                std::string name = "control");
+
+    /** Add an integration layer. */
+    DeviceBuilder &integrationLayer(std::string id,
+                                    std::string name);
+
+    /**
+     * Instantiate a catalogue entity on the default layers. The
+     * instance name defaults to the ID. Control-layer ports bind to
+     * the first control layer when one exists and are dropped
+     * otherwise.
+     */
+    DeviceBuilder &component(std::string id, EntityKind kind);
+
+    /** Instantiate with an explicit instance name. */
+    DeviceBuilder &component(std::string id, std::string name,
+                             EntityKind kind);
+
+    /** Add a fully custom component. */
+    DeviceBuilder &component(Component component);
+
+    /**
+     * Add a two-terminal channel on the first flow layer.
+     *
+     * @param id Connection ID.
+     * @param source Endpoint spec "component" or "component.port".
+     * @param sink Endpoint spec.
+     * @param channel_width Channel width parameter in micrometers.
+     */
+    DeviceBuilder &channel(std::string id, std::string_view source,
+                           std::string_view sink,
+                           int64_t channel_width = 400);
+
+    /**
+     * Add a multi-sink net on the first flow layer.
+     */
+    DeviceBuilder &net(std::string id, std::string_view source,
+                       std::initializer_list<std::string_view> sinks,
+                       int64_t channel_width = 400);
+
+    /** Add a two-terminal channel on the first control layer. */
+    DeviceBuilder &controlChannel(std::string id,
+                                  std::string_view source,
+                                  std::string_view sink,
+                                  int64_t channel_width = 200);
+
+    /** Set a device-level parameter. */
+    DeviceBuilder &param(std::string_view name, json::Value value);
+
+    /** Access the device under construction, for advanced edits. */
+    Device &device() { return device_; }
+
+    /** Finish and take the device. */
+    Device build();
+
+  private:
+    std::string requireFlowLayer() const;
+    std::string requireControlLayer() const;
+    std::string controlLayerOrEmpty() const;
+
+    Device device_;
+};
+
+} // namespace parchmint
+
+#endif // PARCHMINT_CORE_BUILDER_HH

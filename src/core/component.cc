@@ -1,0 +1,120 @@
+#include "core/component.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace parchmint
+{
+
+Component::Component(std::string id, std::string name,
+                     std::string entity, int64_t x_span, int64_t y_span)
+    : id_(std::move(id)), name_(std::move(name)),
+      entity_(std::move(entity)), entityKind_(parseEntity(entity_)),
+      xSpan_(x_span), ySpan_(y_span)
+{
+}
+
+void
+Component::setSpans(int64_t x_span, int64_t y_span)
+{
+    xSpan_ = x_span;
+    ySpan_ = y_span;
+}
+
+void
+Component::addLayerId(std::string layer_id)
+{
+    if (!onLayer(layer_id))
+        layerIds_.push_back(std::move(layer_id));
+}
+
+bool
+Component::onLayer(std::string_view layer_id) const
+{
+    return std::find(layerIds_.begin(), layerIds_.end(), layer_id) !=
+           layerIds_.end();
+}
+
+void
+Component::addPort(Port port)
+{
+    if (findPort(port.label))
+        fatal("component \"" + id_ + "\" already has a port labelled \"" +
+              port.label + "\"");
+    ports_.push_back(std::move(port));
+}
+
+const Port *
+Component::findPort(std::string_view label) const
+{
+    for (const Port &port : ports_) {
+        if (port.label == label)
+            return &port;
+    }
+    return nullptr;
+}
+
+Rect
+Component::placedRect(const Point &origin) const
+{
+    return Rect{origin.x, origin.y, xSpan_, ySpan_};
+}
+
+Point
+Component::portPosition(const Point &origin, std::string_view label) const
+{
+    const Port *port = findPort(label);
+    if (!port)
+        fatal("component \"" + id_ + "\" has no port labelled \"" +
+              std::string(label) + "\"");
+    return Point{origin.x + port->x, origin.y + port->y};
+}
+
+bool
+Component::operator==(const Component &other) const
+{
+    return id_ == other.id_ && name_ == other.name_ &&
+           entity_ == other.entity_ && xSpan_ == other.xSpan_ &&
+           ySpan_ == other.ySpan_ && layerIds_ == other.layerIds_ &&
+           ports_ == other.ports_ && params_ == other.params_;
+}
+
+Component
+makeComponent(std::string id, std::string name, EntityKind kind,
+              const std::string &flow_layer,
+              const std::string &control_layer)
+{
+    const EntityInfo &info = entityInfo(kind);
+    Component component(std::move(id), std::move(name), info.name,
+                        info.defaultXSpan, info.defaultYSpan);
+    component.addLayerId(flow_layer);
+
+    bool uses_control = false;
+    for (const PortTemplate &tmpl : info.ports) {
+        if (tmpl.onControlLayer) {
+            if (control_layer.empty()) {
+                // Caller asked for a flow-only instance of an entity
+                // with control terminals; skip them.
+                continue;
+            }
+            uses_control = true;
+        }
+        Port port;
+        port.label = tmpl.label;
+        port.layerId = tmpl.onControlLayer ? control_layer : flow_layer;
+        port.x = static_cast<int64_t>(
+            std::llround(tmpl.xFraction *
+                         static_cast<double>(info.defaultXSpan)));
+        port.y = static_cast<int64_t>(
+            std::llround(tmpl.yFraction *
+                         static_cast<double>(info.defaultYSpan)));
+        component.addPort(std::move(port));
+    }
+    if (uses_control)
+        component.addLayerId(control_layer);
+    return component;
+}
+
+} // namespace parchmint

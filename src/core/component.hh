@@ -1,0 +1,136 @@
+/**
+ * @file
+ * ParchMint components and their ports.
+ */
+
+#ifndef PARCHMINT_CORE_COMPONENT_HH
+#define PARCHMINT_CORE_COMPONENT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/entity.hh"
+#include "core/geometry.hh"
+#include "core/params.hh"
+
+namespace parchmint
+{
+
+/**
+ * A component terminal. Coordinates are relative to the component's
+ * top-left corner and must lie on its boundary for the netlist to be
+ * valid (checked by the semantic rule checker, not the constructor,
+ * so partially built netlists can exist in memory).
+ */
+struct Port
+{
+    /** Label unique within the owning component, e.g. "1" or "c2". */
+    std::string label;
+    /** ID of the layer the terminal connects on. */
+    std::string layerId;
+    /** X offset from the component's left edge, micrometers. */
+    int64_t x = 0;
+    /** Y offset from the component's top edge, micrometers. */
+    int64_t y = 0;
+
+    bool operator==(const Port &other) const = default;
+};
+
+/**
+ * A functional primitive instance in a device netlist: a mixer, a
+ * tree, an I/O port, etc. Placement (the component's position) is
+ * deliberately *not* part of the component: ParchMint separates the
+ * netlist from physical design state, which the placement engine
+ * carries externally (see place/placement.hh).
+ */
+class Component
+{
+  public:
+    /**
+     * @param id Netlist-unique identifier.
+     * @param name Human-readable instance name.
+     * @param entity Entity string, e.g. "MIXER".
+     * @param x_span Bounding-box width in micrometers.
+     * @param y_span Bounding-box height in micrometers.
+     */
+    Component(std::string id, std::string name, std::string entity,
+              int64_t x_span, int64_t y_span);
+
+    const std::string &id() const { return id_; }
+    const std::string &name() const { return name_; }
+
+    /** Raw entity string as written in the netlist. */
+    const std::string &entity() const { return entity_; }
+    /** Parsed entity kind; Unknown for novel strings. */
+    EntityKind entityKind() const { return entityKind_; }
+
+    int64_t xSpan() const { return xSpan_; }
+    int64_t ySpan() const { return ySpan_; }
+    void setSpans(int64_t x_span, int64_t y_span);
+
+    /** IDs of the layers this component participates in. */
+    const std::vector<std::string> &layerIds() const { return layerIds_; }
+    /** Add a layer reference (deduplicated). */
+    void addLayerId(std::string layer_id);
+    /** True when the component references the given layer. */
+    bool onLayer(std::string_view layer_id) const;
+
+    const std::vector<Port> &ports() const { return ports_; }
+    /**
+     * Add a terminal.
+     * @throws UserError when a port with the same label exists.
+     */
+    void addPort(Port port);
+    /** Find a port by label; nullptr when absent. */
+    const Port *findPort(std::string_view label) const;
+
+    ParamSet &params() { return params_; }
+    const ParamSet &params() const { return params_; }
+
+    /** Bounding rectangle when placed with top-left at 'origin'. */
+    Rect placedRect(const Point &origin) const;
+
+    /**
+     * Absolute position of a port when the component's top-left is at
+     * 'origin'.
+     * @throws UserError when no such port exists.
+     */
+    Point portPosition(const Point &origin,
+                       std::string_view label) const;
+
+    bool operator==(const Component &other) const;
+
+  private:
+    std::string id_;
+    std::string name_;
+    std::string entity_;
+    EntityKind entityKind_;
+    int64_t xSpan_;
+    int64_t ySpan_;
+    std::vector<std::string> layerIds_;
+    std::vector<Port> ports_;
+    ParamSet params_;
+};
+
+/**
+ * Instantiate a component from the entity catalogue: spans default to
+ * the catalogue values and catalogue port templates are stamped onto
+ * the given flow/control layers.
+ *
+ * @param id Netlist-unique identifier.
+ * @param name Instance name.
+ * @param kind Catalogue entity (not Unknown).
+ * @param flow_layer Layer ID to use for flow-layer ports.
+ * @param control_layer Layer ID for control-layer ports; may be empty
+ *        when the entity has none.
+ * @return The populated component.
+ */
+Component makeComponent(std::string id, std::string name,
+                        EntityKind kind, const std::string &flow_layer,
+                        const std::string &control_layer = "");
+
+} // namespace parchmint
+
+#endif // PARCHMINT_CORE_COMPONENT_HH

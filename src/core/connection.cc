@@ -1,0 +1,97 @@
+#include "core/connection.hh"
+
+namespace parchmint
+{
+
+int64_t
+ChannelPath::length() const
+{
+    int64_t total = 0;
+    for (size_t i = 1; i < waypoints.size(); ++i)
+        total += manhattanDistance(waypoints[i - 1], waypoints[i]);
+    return total;
+}
+
+int
+ChannelPath::bends() const
+{
+    // Compress zero-length segments first so direction continuity
+    // survives duplicated waypoints.
+    std::vector<Point> distinct;
+    for (const Point &point : waypoints) {
+        if (distinct.empty() || !(distinct.back() == point))
+            distinct.push_back(point);
+    }
+    int count = 0;
+    for (size_t i = 2; i < distinct.size(); ++i) {
+        const Point &a = distinct[i - 2];
+        const Point &b = distinct[i - 1];
+        const Point &c = distinct[i];
+        bool ab_horizontal = (a.y == b.y);
+        bool bc_horizontal = (b.y == c.y);
+        // A bend is a transition between a horizontal and a vertical
+        // segment.
+        if (ab_horizontal != bc_horizontal)
+            ++count;
+    }
+    return count;
+}
+
+Connection::Connection(std::string id, std::string name,
+                       std::string layer_id)
+    : id_(std::move(id)), name_(std::move(name)),
+      layerId_(std::move(layer_id))
+{
+}
+
+void
+Connection::setSource(ConnectionTarget source)
+{
+    source_ = std::move(source);
+}
+
+void
+Connection::addSink(ConnectionTarget sink)
+{
+    sinks_.push_back(std::move(sink));
+}
+
+void
+Connection::addPath(ChannelPath path)
+{
+    paths_.push_back(std::move(path));
+}
+
+void
+Connection::clearPaths()
+{
+    paths_.clear();
+}
+
+int64_t
+Connection::channelWidth(int64_t fallback) const
+{
+    return params_.getInt("channelWidth", fallback);
+}
+
+std::vector<ConnectionTarget>
+Connection::endpoints() const
+{
+    std::vector<ConnectionTarget> all;
+    all.reserve(1 + sinks_.size());
+    all.push_back(source_);
+    for (const ConnectionTarget &sink : sinks_)
+        all.push_back(sink);
+    return all;
+}
+
+bool
+Connection::operator==(const Connection &other) const
+{
+    return id_ == other.id_ && name_ == other.name_ &&
+           layerId_ == other.layerId_ && source_ == other.source_ &&
+           sinks_ == other.sinks_ && paths_ == other.paths_ &&
+           params_ == other.params_;
+}
+
+} // namespace parchmint

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * ParchMint connections: channels joining component terminals.
+ */
+
+#ifndef PARCHMINT_CORE_CONNECTION_HH
+#define PARCHMINT_CORE_CONNECTION_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/geometry.hh"
+#include "core/params.hh"
+
+namespace parchmint
+{
+
+/**
+ * One endpoint of a connection: a component, optionally narrowed to a
+ * specific port. A target without a port label means "any terminal of
+ * that component on the connection's layer", which the format permits
+ * for netlists authored before physical design.
+ */
+struct ConnectionTarget
+{
+    /** ID of the referenced component. */
+    std::string componentId;
+    /** Port label within that component; nullopt when unspecified. */
+    std::optional<std::string> portLabel;
+
+    bool operator==(const ConnectionTarget &other) const = default;
+};
+
+/**
+ * A routed channel segment: an ordered polyline of waypoints in
+ * absolute device coordinates. Netlists without physical design carry
+ * no paths; routers append them.
+ */
+struct ChannelPath
+{
+    /** Endpoint this path starts from. */
+    ConnectionTarget source;
+    /** Endpoint this path ends at. */
+    ConnectionTarget sink;
+    /** Polyline waypoints, including both endpoints. */
+    std::vector<Point> waypoints;
+
+    bool operator==(const ChannelPath &other) const = default;
+
+    /** Total Manhattan length of the polyline. */
+    int64_t length() const;
+
+    /** Number of direction changes along the polyline. */
+    int bends() const;
+};
+
+/**
+ * A channel net: one source, one or more sinks, all on a single
+ * layer. Matches the ParchMint "connections" array element.
+ */
+class Connection
+{
+  public:
+    /**
+     * @param id Netlist-unique identifier.
+     * @param name Human-readable net name.
+     * @param layer_id Layer the channel is fabricated on.
+     */
+    Connection(std::string id, std::string name, std::string layer_id);
+
+    const std::string &id() const { return id_; }
+    const std::string &name() const { return name_; }
+    const std::string &layerId() const { return layerId_; }
+
+    const ConnectionTarget &source() const { return source_; }
+    void setSource(ConnectionTarget source);
+
+    const std::vector<ConnectionTarget> &sinks() const { return sinks_; }
+    void addSink(ConnectionTarget sink);
+
+    /** Routed geometry; empty for pre-physical netlists. */
+    const std::vector<ChannelPath> &paths() const { return paths_; }
+    void addPath(ChannelPath path);
+    void clearPaths();
+
+    ParamSet &params() { return params_; }
+    const ParamSet &params() const { return params_; }
+
+    /**
+     * Channel width in micrometers, from the "channelWidth" param.
+     * @param fallback Returned when the parameter is absent.
+     */
+    int64_t channelWidth(int64_t fallback = 400) const;
+
+    /** All endpoints: source first, then sinks in order. */
+    std::vector<ConnectionTarget> endpoints() const;
+
+    bool operator==(const Connection &other) const;
+
+  private:
+    std::string id_;
+    std::string name_;
+    std::string layerId_;
+    ConnectionTarget source_;
+    std::vector<ConnectionTarget> sinks_;
+    std::vector<ChannelPath> paths_;
+    ParamSet params_;
+};
+
+} // namespace parchmint
+
+#endif // PARCHMINT_CORE_CONNECTION_HH

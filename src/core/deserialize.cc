@@ -1,0 +1,232 @@
+#include "core/deserialize.hh"
+
+#include "common/error.hh"
+#include "json/parse.hh"
+
+namespace parchmint
+{
+
+namespace
+{
+
+/**
+ * Checked member extraction with pointer-style diagnostics. 'where'
+ * is a JSON-pointer-ish location string used in error messages.
+ */
+const json::Value &
+member(const json::Value &object, const char *key,
+       const std::string &where)
+{
+    if (!object.isObject())
+        fatal(where + ": expected an object");
+    const json::Value *value = object.find(key);
+    if (!value)
+        fatal(where + ": missing required member \"" +
+              std::string(key) + "\"");
+    return *value;
+}
+
+std::string
+stringMember(const json::Value &object, const char *key,
+             const std::string &where)
+{
+    const json::Value &value = member(object, key, where);
+    if (!value.isString())
+        fatal(where + "/" + key + ": expected a string");
+    return value.asString();
+}
+
+int64_t
+integerMember(const json::Value &object, const char *key,
+              const std::string &where)
+{
+    const json::Value &value = member(object, key, where);
+    if (value.isInteger())
+        return value.asInteger();
+    fatal(where + "/" + key + ": expected an integer");
+}
+
+ConnectionTarget
+readTarget(const json::Value &value, const std::string &where)
+{
+    ConnectionTarget target;
+    target.componentId = stringMember(value, "component", where);
+    if (const json::Value *port = value.isObject() ? value.find("port")
+                                                   : nullptr) {
+        if (!port->isString())
+            fatal(where + "/port: expected a string");
+        target.portLabel = port->asString();
+    }
+    return target;
+}
+
+Point
+readWaypoint(const json::Value &value, const std::string &where)
+{
+    if (!value.isArray() || value.size() != 2 ||
+        !value.at(size_t(0)).isInteger() ||
+        !value.at(size_t(1)).isInteger()) {
+        fatal(where + ": expected a [x, y] integer pair");
+    }
+    return Point{value.at(size_t(0)).asInteger(),
+                 value.at(size_t(1)).asInteger()};
+}
+
+ParamSet
+readParams(const json::Value &object, const std::string &where)
+{
+    const json::Value *params = object.find("params");
+    if (!params)
+        return ParamSet();
+    if (!params->isObject())
+        fatal(where + "/params: expected an object");
+    return ParamSet(*params);
+}
+
+Layer
+readLayer(const json::Value &value, const std::string &where)
+{
+    Layer layer;
+    layer.id = stringMember(value, "id", where);
+    layer.name = stringMember(value, "name", where);
+    layer.type = parseLayerType(stringMember(value, "type", where));
+    return layer;
+}
+
+Component
+readComponent(const json::Value &value, const std::string &where)
+{
+    Component component(stringMember(value, "id", where),
+                        stringMember(value, "name", where),
+                        stringMember(value, "entity", where),
+                        integerMember(value, "x-span", where),
+                        integerMember(value, "y-span", where));
+
+    const json::Value &layers = member(value, "layers", where);
+    if (!layers.isArray())
+        fatal(where + "/layers: expected an array");
+    for (size_t i = 0; i < layers.size(); ++i) {
+        const json::Value &layer = layers.at(i);
+        if (!layer.isString())
+            fatal(where + "/layers/" + std::to_string(i) +
+                  ": expected a string layer ID");
+        component.addLayerId(layer.asString());
+    }
+
+    const json::Value &ports = member(value, "ports", where);
+    if (!ports.isArray())
+        fatal(where + "/ports: expected an array");
+    for (size_t i = 0; i < ports.size(); ++i) {
+        std::string port_where = where + "/ports/" + std::to_string(i);
+        const json::Value &entry = ports.at(i);
+        Port port;
+        port.label = stringMember(entry, "label", port_where);
+        port.layerId = stringMember(entry, "layer", port_where);
+        port.x = integerMember(entry, "x", port_where);
+        port.y = integerMember(entry, "y", port_where);
+        component.addPort(std::move(port));
+    }
+
+    component.params() = readParams(value, where);
+    return component;
+}
+
+Connection
+readConnection(const json::Value &value, const std::string &where)
+{
+    Connection connection(stringMember(value, "id", where),
+                          stringMember(value, "name", where),
+                          stringMember(value, "layer", where));
+
+    connection.setSource(
+        readTarget(member(value, "source", where), where + "/source"));
+
+    const json::Value &sinks = member(value, "sinks", where);
+    if (!sinks.isArray())
+        fatal(where + "/sinks: expected an array");
+    for (size_t i = 0; i < sinks.size(); ++i) {
+        connection.addSink(readTarget(
+            sinks.at(i), where + "/sinks/" + std::to_string(i)));
+    }
+
+    if (const json::Value *paths = value.find("paths")) {
+        if (!paths->isArray())
+            fatal(where + "/paths: expected an array");
+        for (size_t i = 0; i < paths->size(); ++i) {
+            std::string path_where =
+                where + "/paths/" + std::to_string(i);
+            const json::Value &entry = paths->at(i);
+            ChannelPath path;
+            path.source = readTarget(
+                member(entry, "source", path_where),
+                path_where + "/source");
+            path.sink = readTarget(member(entry, "sink", path_where),
+                                   path_where + "/sink");
+            const json::Value &waypoints =
+                member(entry, "wayPoints", path_where);
+            if (!waypoints.isArray())
+                fatal(path_where + "/wayPoints: expected an array");
+            for (size_t k = 0; k < waypoints.size(); ++k) {
+                path.waypoints.push_back(readWaypoint(
+                    waypoints.at(k),
+                    path_where + "/wayPoints/" + std::to_string(k)));
+            }
+            connection.addPath(std::move(path));
+        }
+    }
+
+    connection.params() = readParams(value, where);
+    return connection;
+}
+
+} // namespace
+
+Device
+fromJson(const json::Value &root)
+{
+    if (!root.isObject())
+        fatal("ParchMint document root must be an object");
+
+    Device device(stringMember(root, "name", ""));
+
+    const json::Value &layers = member(root, "layers", "");
+    if (!layers.isArray())
+        fatal("/layers: expected an array");
+    for (size_t i = 0; i < layers.size(); ++i) {
+        device.addLayer(
+            readLayer(layers.at(i), "/layers/" + std::to_string(i)));
+    }
+
+    const json::Value &components = member(root, "components", "");
+    if (!components.isArray())
+        fatal("/components: expected an array");
+    for (size_t i = 0; i < components.size(); ++i) {
+        device.addComponent(readComponent(
+            components.at(i), "/components/" + std::to_string(i)));
+    }
+
+    const json::Value &connections = member(root, "connections", "");
+    if (!connections.isArray())
+        fatal("/connections: expected an array");
+    for (size_t i = 0; i < connections.size(); ++i) {
+        device.addConnection(readConnection(
+            connections.at(i), "/connections/" + std::to_string(i)));
+    }
+
+    device.params() = readParams(root, "");
+    return device;
+}
+
+Device
+fromJsonText(const std::string &text)
+{
+    return fromJson(json::parse(text));
+}
+
+Device
+loadDevice(const std::string &path)
+{
+    return fromJson(json::parseFile(path));
+}
+
+} // namespace parchmint

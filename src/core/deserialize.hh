@@ -1,0 +1,40 @@
+/**
+ * @file
+ * JSON-to-Device deserialization (the ParchMint reader).
+ *
+ * The reader is deliberately more permissive than the writer in ways
+ * an interchange format requires (unknown entity strings pass
+ * through, absent optional members default) and strict everywhere
+ * else: wrong kinds, missing required members and duplicate IDs are
+ * reported as UserError with a JSON-pointer-style location. Semantic
+ * cross-reference checking lives in schema/rules.hh; the reader only
+ * guarantees a structurally well-formed in-memory Device.
+ */
+
+#ifndef PARCHMINT_CORE_DESERIALIZE_HH
+#define PARCHMINT_CORE_DESERIALIZE_HH
+
+#include <string>
+
+#include "core/device.hh"
+#include "json/value.hh"
+
+namespace parchmint
+{
+
+/**
+ * Build a Device from a parsed ParchMint document.
+ *
+ * @throws UserError describing the first structural problem found.
+ */
+Device fromJson(const json::Value &root);
+
+/** Parse ParchMint JSON text into a Device. */
+Device fromJsonText(const std::string &text);
+
+/** Load a Device from a .json file. */
+Device loadDevice(const std::string &path);
+
+} // namespace parchmint
+
+#endif // PARCHMINT_CORE_DESERIALIZE_HH

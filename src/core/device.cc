@@ -1,0 +1,142 @@
+#include "core/device.hh"
+
+#include "common/error.hh"
+#include "common/strings.hh"
+
+namespace parchmint
+{
+
+LayerType
+parseLayerType(std::string_view text)
+{
+    std::string upper = toUpper(text);
+    if (upper == "FLOW")
+        return LayerType::Flow;
+    if (upper == "CONTROL")
+        return LayerType::Control;
+    if (upper == "INTEGRATION")
+        return LayerType::Integration;
+    fatal("unknown layer type \"" + std::string(text) +
+          "\" (expected FLOW, CONTROL or INTEGRATION)");
+}
+
+const char *
+layerTypeName(LayerType type)
+{
+    switch (type) {
+      case LayerType::Flow: return "FLOW";
+      case LayerType::Control: return "CONTROL";
+      case LayerType::Integration: return "INTEGRATION";
+    }
+    panic("layerTypeName: invalid LayerType tag");
+}
+
+Device::Device(std::string name)
+    : name_(std::move(name))
+{
+}
+
+void
+Device::registerId(const std::string &id, const char *what)
+{
+    auto [it, inserted] = ids_.emplace(id, what);
+    if (!inserted) {
+        fatal("duplicate ID \"" + id + "\": already used by a " +
+              std::string(it->second) + ", cannot add " + what);
+    }
+}
+
+Layer &
+Device::addLayer(Layer layer)
+{
+    registerId(layer.id, "layer");
+    layers_.push_back(std::move(layer));
+    return layers_.back();
+}
+
+const Layer *
+Device::findLayer(std::string_view id) const
+{
+    for (const Layer &layer : layers_) {
+        if (layer.id == id)
+            return &layer;
+    }
+    return nullptr;
+}
+
+const Layer *
+Device::firstLayer(LayerType type) const
+{
+    for (const Layer &layer : layers_) {
+        if (layer.type == type)
+            return &layer;
+    }
+    return nullptr;
+}
+
+Component &
+Device::addComponent(Component component)
+{
+    registerId(component.id(), "component");
+    componentIndex_.emplace(component.id(), components_.size());
+    components_.push_back(std::move(component));
+    return components_.back();
+}
+
+const Component *
+Device::findComponent(std::string_view id) const
+{
+    auto it = componentIndex_.find(std::string(id));
+    if (it == componentIndex_.end())
+        return nullptr;
+    return &components_[it->second];
+}
+
+Component *
+Device::findComponent(std::string_view id)
+{
+    const Device &self = *this;
+    return const_cast<Component *>(self.findComponent(id));
+}
+
+Connection &
+Device::addConnection(Connection connection)
+{
+    registerId(connection.id(), "connection");
+    connectionIndex_.emplace(connection.id(), connections_.size());
+    connections_.push_back(std::move(connection));
+    return connections_.back();
+}
+
+const Connection *
+Device::findConnection(std::string_view id) const
+{
+    auto it = connectionIndex_.find(std::string(id));
+    if (it == connectionIndex_.end())
+        return nullptr;
+    return &connections_[it->second];
+}
+
+Connection *
+Device::findConnection(std::string_view id)
+{
+    const Device &self = *this;
+    return const_cast<Connection *>(self.findConnection(id));
+}
+
+bool
+Device::hasId(std::string_view id) const
+{
+    return ids_.find(std::string(id)) != ids_.end();
+}
+
+bool
+Device::operator==(const Device &other) const
+{
+    return name_ == other.name_ && params_ == other.params_ &&
+           layers_ == other.layers_ &&
+           components_ == other.components_ &&
+           connections_ == other.connections_;
+}
+
+} // namespace parchmint

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The Device: a complete ParchMint netlist.
+ *
+ * A Device owns layers, components and connections. Insertion order
+ * is preserved (it is the serialization order), and id-to-index maps
+ * give O(1) lookup. Devices enforce only *local* invariants on
+ * mutation (unique IDs); global validity — references resolving,
+ * ports on declared layers — is the job of schema/rules.hh, keeping
+ * construction flexible for tools that build netlists incrementally.
+ */
+
+#ifndef PARCHMINT_CORE_DEVICE_HH
+#define PARCHMINT_CORE_DEVICE_HH
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/component.hh"
+#include "core/connection.hh"
+#include "core/params.hh"
+
+namespace parchmint
+{
+
+/** Fabrication layer roles. */
+enum class LayerType
+{
+    Flow,         ///< Channels carrying fluid.
+    Control,      ///< Pneumatic valve-control plumbing.
+    Integration,  ///< Auxiliary layer (sensing, heating, ...).
+};
+
+/** Parse a layer type string ("FLOW"/"CONTROL"/"INTEGRATION"). */
+LayerType parseLayerType(std::string_view text);
+
+/** Canonical string of a layer type. */
+const char *layerTypeName(LayerType type);
+
+/** A fabrication layer of the device. */
+struct Layer
+{
+    /** Netlist-unique identifier. */
+    std::string id;
+    /** Human-readable name, e.g. "flow". */
+    std::string name;
+    /** Role of this layer. */
+    LayerType type = LayerType::Flow;
+
+    bool operator==(const Layer &other) const = default;
+};
+
+/**
+ * A complete continuous-flow device netlist in the ParchMint model.
+ */
+class Device
+{
+  public:
+    /** Interchange format version this library reads and writes. */
+    static constexpr const char *formatVersion = "1.0";
+
+    /** @param name Device name (required by the format). */
+    explicit Device(std::string name = "");
+
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    ParamSet &params() { return params_; }
+    const ParamSet &params() const { return params_; }
+
+    // --- Layers ---------------------------------------------------
+
+    /**
+     * Add a layer.
+     * @throws UserError when the ID collides with any existing
+     *         layer/component/connection ID.
+     */
+    Layer &addLayer(Layer layer);
+
+    const std::vector<Layer> &layers() const { return layers_; }
+    /** Find a layer by ID; nullptr when absent. */
+    const Layer *findLayer(std::string_view id) const;
+    /** First layer of the given type; nullptr when none exists. */
+    const Layer *firstLayer(LayerType type) const;
+
+    // --- Components -------------------------------------------------
+
+    /**
+     * Add a component.
+     * @throws UserError on ID collision.
+     */
+    Component &addComponent(Component component);
+
+    const std::vector<Component> &components() const
+    {
+        return components_;
+    }
+    std::vector<Component> &components() { return components_; }
+
+    /** Find a component by ID; nullptr when absent. */
+    const Component *findComponent(std::string_view id) const;
+    Component *findComponent(std::string_view id);
+
+    // --- Connections --------------------------------------------------
+
+    /**
+     * Add a connection.
+     * @throws UserError on ID collision.
+     */
+    Connection &addConnection(Connection connection);
+
+    const std::vector<Connection> &connections() const
+    {
+        return connections_;
+    }
+    std::vector<Connection> &connections() { return connections_; }
+
+    /** Find a connection by ID; nullptr when absent. */
+    const Connection *findConnection(std::string_view id) const;
+    Connection *findConnection(std::string_view id);
+
+    /** True when any object (layer/component/connection) has this ID. */
+    bool hasId(std::string_view id) const;
+
+    bool operator==(const Device &other) const;
+
+  private:
+    void registerId(const std::string &id, const char *what);
+
+    std::string name_;
+    ParamSet params_;
+    std::vector<Layer> layers_;
+    std::vector<Component> components_;
+    std::vector<Connection> connections_;
+    /** Every ID in the netlist, for uniqueness enforcement. */
+    std::unordered_map<std::string, const char *> ids_;
+    /** Component ID to index in components_. */
+    std::unordered_map<std::string, size_t> componentIndex_;
+    /** Connection ID to index in connections_. */
+    std::unordered_map<std::string, size_t> connectionIndex_;
+};
+
+} // namespace parchmint
+
+#endif // PARCHMINT_CORE_DEVICE_HH

@@ -1,0 +1,199 @@
+#include "core/diff.hh"
+
+#include "json/write.hh"
+
+namespace parchmint
+{
+
+namespace
+{
+
+void
+report(std::vector<DiffEntry> &entries, std::string location,
+       std::string description)
+{
+    entries.push_back(DiffEntry{std::move(location),
+                                std::move(description)});
+}
+
+std::string
+paramsText(const ParamSet &params)
+{
+    json::WriteOptions options;
+    options.pretty = false;
+    return json::write(params.asJson(), options);
+}
+
+void
+diffParams(std::vector<DiffEntry> &entries, const std::string &where,
+           const ParamSet &before, const ParamSet &after)
+{
+    if (!(before == after)) {
+        report(entries, where, "params: " + paramsText(before) +
+                                   " vs " + paramsText(after));
+    }
+}
+
+void
+diffLayers(std::vector<DiffEntry> &entries, const Device &before,
+           const Device &after)
+{
+    for (const Layer &layer : before.layers()) {
+        const Layer *other = after.findLayer(layer.id);
+        if (!other) {
+            report(entries, "layer " + layer.id, "removed");
+            continue;
+        }
+        if (layer.name != other->name) {
+            report(entries, "layer " + layer.id,
+                   "name: \"" + layer.name + "\" vs \"" + other->name +
+                       "\"");
+        }
+        if (layer.type != other->type) {
+            report(entries, "layer " + layer.id,
+                   std::string("type: ") + layerTypeName(layer.type) +
+                       " vs " + layerTypeName(other->type));
+        }
+    }
+    for (const Layer &layer : after.layers()) {
+        if (!before.findLayer(layer.id))
+            report(entries, "layer " + layer.id, "added");
+    }
+}
+
+std::string
+portText(const Port &port)
+{
+    return port.label + "@" + port.layerId + "(" +
+           std::to_string(port.x) + "," + std::to_string(port.y) + ")";
+}
+
+void
+diffComponents(std::vector<DiffEntry> &entries, const Device &before,
+               const Device &after)
+{
+    for (const Component &component : before.components()) {
+        const std::string where = "component " + component.id();
+        const Component *other = after.findComponent(component.id());
+        if (!other) {
+            report(entries, where, "removed");
+            continue;
+        }
+        if (component.name() != other->name()) {
+            report(entries, where, "name: \"" + component.name() +
+                                       "\" vs \"" + other->name() +
+                                       "\"");
+        }
+        if (component.entity() != other->entity()) {
+            report(entries, where, "entity: \"" + component.entity() +
+                                       "\" vs \"" + other->entity() +
+                                       "\"");
+        }
+        if (component.xSpan() != other->xSpan() ||
+            component.ySpan() != other->ySpan()) {
+            report(entries, where,
+                   "span: " + std::to_string(component.xSpan()) + "x" +
+                       std::to_string(component.ySpan()) + " vs " +
+                       std::to_string(other->xSpan()) + "x" +
+                       std::to_string(other->ySpan()));
+        }
+        if (component.layerIds() != other->layerIds())
+            report(entries, where, "layer list differs");
+        if (component.ports() != other->ports()) {
+            std::string lhs;
+            std::string rhs;
+            for (const Port &port : component.ports())
+                lhs += portText(port) + " ";
+            for (const Port &port : other->ports())
+                rhs += portText(port) + " ";
+            report(entries, where, "ports: " + lhs + "vs " + rhs);
+        }
+        diffParams(entries, where, component.params(), other->params());
+    }
+    for (const Component &component : after.components()) {
+        if (!before.findComponent(component.id()))
+            report(entries, "component " + component.id(), "added");
+    }
+}
+
+std::string
+targetText(const ConnectionTarget &target)
+{
+    if (target.portLabel)
+        return target.componentId + "." + *target.portLabel;
+    return target.componentId;
+}
+
+void
+diffConnections(std::vector<DiffEntry> &entries, const Device &before,
+                const Device &after)
+{
+    for (const Connection &connection : before.connections()) {
+        const std::string where = "connection " + connection.id();
+        const Connection *other =
+            after.findConnection(connection.id());
+        if (!other) {
+            report(entries, where, "removed");
+            continue;
+        }
+        if (connection.name() != other->name()) {
+            report(entries, where, "name: \"" + connection.name() +
+                                       "\" vs \"" + other->name() +
+                                       "\"");
+        }
+        if (connection.layerId() != other->layerId()) {
+            report(entries, where, "layer: " + connection.layerId() +
+                                       " vs " + other->layerId());
+        }
+        if (!(connection.source() == other->source())) {
+            report(entries, where,
+                   "source: " + targetText(connection.source()) +
+                       " vs " + targetText(other->source()));
+        }
+        if (connection.sinks() != other->sinks()) {
+            std::string lhs;
+            std::string rhs;
+            for (const ConnectionTarget &sink : connection.sinks())
+                lhs += targetText(sink) + " ";
+            for (const ConnectionTarget &sink : other->sinks())
+                rhs += targetText(sink) + " ";
+            report(entries, where, "sinks: " + lhs + "vs " + rhs);
+        }
+        if (connection.paths() != other->paths())
+            report(entries, where, "routed paths differ");
+        diffParams(entries, where, connection.params(),
+                   other->params());
+    }
+    for (const Connection &connection : after.connections()) {
+        if (!before.findConnection(connection.id()))
+            report(entries, "connection " + connection.id(), "added");
+    }
+}
+
+} // namespace
+
+std::vector<DiffEntry>
+diff(const Device &before, const Device &after)
+{
+    std::vector<DiffEntry> entries;
+    if (before.name() != after.name()) {
+        report(entries, "device", "name: \"" + before.name() +
+                                      "\" vs \"" + after.name() + "\"");
+    }
+    diffParams(entries, "device", before.params(), after.params());
+    diffLayers(entries, before, after);
+    diffComponents(entries, before, after);
+    diffConnections(entries, before, after);
+    return entries;
+}
+
+std::string
+formatDiff(const std::vector<DiffEntry> &entries)
+{
+    std::string out;
+    for (const DiffEntry &entry : entries)
+        out += entry.location + ": " + entry.description + "\n";
+    return out;
+}
+
+} // namespace parchmint

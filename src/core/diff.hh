@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Structural diffing of device netlists.
+ *
+ * Interchange round-trip testing ("tool A wrote it, tool B read it —
+ * did anything change?") needs better output than a boolean. diff()
+ * walks two devices and reports every difference as a human-readable
+ * line anchored at the object that changed.
+ */
+
+#ifndef PARCHMINT_CORE_DIFF_HH
+#define PARCHMINT_CORE_DIFF_HH
+
+#include <string>
+#include <vector>
+
+#include "core/device.hh"
+
+namespace parchmint
+{
+
+/** One difference between two netlists. */
+struct DiffEntry
+{
+    /** Where: "device", "layer flow", "component c1", ... */
+    std::string location;
+    /** What changed, e.g. "x-span: 6000 vs 4000". */
+    std::string description;
+};
+
+/**
+ * Compare two netlists structurally.
+ *
+ * Objects are matched by ID; order differences of same-ID objects are
+ * reported as moves, not as remove/add pairs.
+ *
+ * @param before The left-hand netlist.
+ * @param after The right-hand netlist.
+ * @return All differences; empty means the devices are equal.
+ */
+std::vector<DiffEntry> diff(const Device &before, const Device &after);
+
+/** Render a diff as one line per entry. */
+std::string formatDiff(const std::vector<DiffEntry> &entries);
+
+} // namespace parchmint
+
+#endif // PARCHMINT_CORE_DIFF_HH

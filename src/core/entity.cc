@@ -1,0 +1,173 @@
+#include "core/entity.hh"
+
+#include <cctype>
+
+#include "common/error.hh"
+#include "common/strings.hh"
+
+namespace parchmint
+{
+
+namespace
+{
+
+/** Shorthand for a flow-layer port template. */
+PortTemplate
+flowPort(const char *label, double xf, double yf)
+{
+    return PortTemplate{label, xf, yf, false};
+}
+
+/** Shorthand for a control-layer port template. */
+PortTemplate
+controlPort(const char *label, double xf, double yf)
+{
+    return PortTemplate{label, xf, yf, true};
+}
+
+std::vector<EntityInfo>
+buildCatalogue()
+{
+    std::vector<EntityInfo> catalogue;
+
+    catalogue.push_back(EntityInfo{
+        EntityKind::Port, "PORT", 2000, 2000,
+        {flowPort("1", 0.5, 0.5)},
+        true, 0});
+
+    catalogue.push_back(EntityInfo{
+        EntityKind::Via, "VIA", 1000, 1000,
+        {flowPort("1", 0.5, 0.0), flowPort("2", 0.5, 1.0)},
+        false, 0});
+
+    catalogue.push_back(EntityInfo{
+        EntityKind::Mixer, "MIXER", 6000, 3000,
+        {flowPort("1", 0.0, 0.5), flowPort("2", 1.0, 0.5)},
+        false, 0});
+
+    catalogue.push_back(EntityInfo{
+        EntityKind::DiamondChamber, "DIAMOND CHAMBER", 4000, 2000,
+        {flowPort("1", 0.0, 0.5), flowPort("2", 1.0, 0.5)},
+        false, 0});
+
+    catalogue.push_back(EntityInfo{
+        EntityKind::RotaryPump, "ROTARY PUMP", 8000, 8000,
+        {flowPort("1", 0.0, 0.5), flowPort("2", 1.0, 0.5),
+         controlPort("c1", 0.25, 0.0), controlPort("c2", 0.5, 0.0),
+         controlPort("c3", 0.75, 0.0)},
+        false, 3});
+
+    catalogue.push_back(EntityInfo{
+        EntityKind::Tree, "TREE", 6000, 6000,
+        {flowPort("1", 0.5, 0.0), flowPort("2", 0.25, 1.0),
+         flowPort("3", 0.75, 1.0)},
+        false, 0});
+
+    catalogue.push_back(EntityInfo{
+        EntityKind::Mux, "MUX", 8000, 6000,
+        {flowPort("1", 0.5, 0.0), flowPort("2", 0.125, 1.0),
+         flowPort("3", 0.375, 1.0), flowPort("4", 0.625, 1.0),
+         flowPort("5", 0.875, 1.0),
+         controlPort("c1", 0.0, 0.25), controlPort("c2", 0.0, 0.5),
+         controlPort("c3", 0.0, 0.75), controlPort("c4", 1.0, 0.25)},
+        false, 4});
+
+    catalogue.push_back(EntityInfo{
+        EntityKind::Transposer, "TRANSPOSER", 5000, 5000,
+        {flowPort("1", 0.0, 0.25), flowPort("2", 0.0, 0.75),
+         flowPort("3", 1.0, 0.25), flowPort("4", 1.0, 0.75)},
+        false, 0});
+
+    catalogue.push_back(EntityInfo{
+        EntityKind::Valve, "VALVE", 1500, 1500,
+        {flowPort("1", 0.0, 0.5), flowPort("2", 1.0, 0.5),
+         controlPort("c1", 0.5, 0.0)},
+        false, 1});
+
+    catalogue.push_back(EntityInfo{
+        EntityKind::Pump, "PUMP", 4500, 1500,
+        {flowPort("1", 0.0, 0.5), flowPort("2", 1.0, 0.5),
+         controlPort("c1", 0.17, 0.0), controlPort("c2", 0.5, 0.0),
+         controlPort("c3", 0.83, 0.0)},
+        false, 3});
+
+    catalogue.push_back(EntityInfo{
+        EntityKind::CellTrap, "CELL TRAP", 7000, 4000,
+        {flowPort("1", 0.0, 0.5), flowPort("2", 1.0, 0.5)},
+        false, 0});
+
+    catalogue.push_back(EntityInfo{
+        EntityKind::Filter, "FILTER", 3000, 3000,
+        {flowPort("1", 0.0, 0.5), flowPort("2", 1.0, 0.5)},
+        false, 0});
+
+    catalogue.push_back(EntityInfo{
+        EntityKind::Reservoir, "RESERVOIR", 6000, 6000,
+        {flowPort("1", 0.5, 1.0)},
+        false, 0});
+
+    catalogue.push_back(EntityInfo{
+        EntityKind::Heater, "HEATER", 5000, 5000,
+        {flowPort("1", 0.0, 0.5), flowPort("2", 1.0, 0.5)},
+        false, 0});
+
+    catalogue.push_back(EntityInfo{
+        EntityKind::Sensor, "SENSOR", 3000, 3000,
+        {flowPort("1", 0.0, 0.5), flowPort("2", 1.0, 0.5)},
+        false, 0});
+
+    return catalogue;
+}
+
+/** Normalize an entity string for matching. */
+std::string
+normalizeEntity(std::string_view name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        if (c == '-' || c == '_' || c == ' ')
+            continue;
+        out.push_back(
+            static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+    return out;
+}
+
+} // namespace
+
+const std::vector<EntityInfo> &
+entityCatalogue()
+{
+    static const std::vector<EntityInfo> catalogue = buildCatalogue();
+    return catalogue;
+}
+
+const EntityInfo &
+entityInfo(EntityKind kind)
+{
+    for (const EntityInfo &info : entityCatalogue()) {
+        if (info.kind == kind)
+            return info;
+    }
+    panic("entityInfo: no catalogue record for requested kind");
+}
+
+EntityKind
+parseEntity(std::string_view name)
+{
+    std::string normalized = normalizeEntity(name);
+    for (const EntityInfo &info : entityCatalogue()) {
+        if (normalizeEntity(info.name) == normalized)
+            return info.kind;
+    }
+    return EntityKind::Unknown;
+}
+
+const std::string &
+entityName(EntityKind kind)
+{
+    return entityInfo(kind).name;
+}
+
+} // namespace parchmint

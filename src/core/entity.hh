@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The continuous-flow component entity catalogue.
+ *
+ * ParchMint components name their functional primitive through an
+ * "entity" string ("MIXER", "TREE", ...). The catalogue here records,
+ * for every entity the suite uses, the canonical string, a terminal
+ * template (how many ports a fresh instance gets and where they sit
+ * on the component boundary), default spans, and classification bits
+ * (is it an I/O primitive, does it need the control layer).
+ *
+ * The catalogue is open: unknown entity strings are legal ParchMint
+ * (tools must pass through components they do not understand), so
+ * EntityKind has an Unknown member and nothing below rejects novel
+ * strings.
+ */
+
+#ifndef PARCHMINT_CORE_ENTITY_HH
+#define PARCHMINT_CORE_ENTITY_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parchmint
+{
+
+/** Known continuous-flow component primitives. */
+enum class EntityKind
+{
+    Port,            ///< Fluid I/O punch-through.
+    Via,             ///< Inter-layer flow transition.
+    Mixer,           ///< Serpentine passive mixer.
+    DiamondChamber,  ///< Diamond reaction chamber.
+    RotaryPump,      ///< Valve-actuated rotary mixer.
+    Tree,            ///< 1-to-N splitting tree.
+    Mux,             ///< Valve-addressed multiplexer.
+    Transposer,      ///< Droplet/plug transposer.
+    Valve,           ///< Single control-actuated valve.
+    Pump,            ///< Three-valve peristaltic pump.
+    CellTrap,        ///< Cell capture chamber array.
+    Filter,          ///< Debris filter.
+    Reservoir,       ///< On-chip storage reservoir.
+    Heater,          ///< Thermal control region.
+    Sensor,          ///< Optical/electrochemical sensing site.
+    Unknown,         ///< Any entity string not in the catalogue.
+};
+
+/**
+ * Where a template port sits on the component outline.
+ */
+struct PortTemplate
+{
+    /** Port label, unique within the component ("1", "2", ...). */
+    std::string label;
+    /** Fraction of the x span, in [0, 1]. */
+    double xFraction;
+    /** Fraction of the y span, in [0, 1]. */
+    double yFraction;
+    /** True when the port lives on the control layer. */
+    bool onControlLayer;
+};
+
+/**
+ * Catalogue record for one entity.
+ */
+struct EntityInfo
+{
+    EntityKind kind;
+    /** Canonical ParchMint entity string, e.g. "ROTARY PUMP". */
+    std::string name;
+    /** Default x span in micrometers. */
+    int64_t defaultXSpan;
+    /** Default y span in micrometers. */
+    int64_t defaultYSpan;
+    /** Terminal layout of a fresh instance. */
+    std::vector<PortTemplate> ports;
+    /** True for chip I/O primitives (counted as I/O in stats). */
+    bool isIo;
+    /** Number of control-layer valves the entity embeds. */
+    int valveCount;
+};
+
+/**
+ * Look up catalogue info by kind.
+ * @throws InternalError for EntityKind::Unknown, which has no record.
+ */
+const EntityInfo &entityInfo(EntityKind kind);
+
+/**
+ * Parse an entity string. Matching is case-insensitive and treats
+ * '-', '_' and ' ' as equivalent, so "rotary-pump" and "ROTARY PUMP"
+ * both resolve to RotaryPump.
+ *
+ * @return The kind, or EntityKind::Unknown for unrecognized strings.
+ */
+EntityKind parseEntity(std::string_view name);
+
+/** Canonical string of a known kind; throws for Unknown. */
+const std::string &entityName(EntityKind kind);
+
+/** All catalogue records, for iteration (excludes Unknown). */
+const std::vector<EntityInfo> &entityCatalogue();
+
+} // namespace parchmint
+
+#endif // PARCHMINT_CORE_ENTITY_HH

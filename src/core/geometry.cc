@@ -1,0 +1,21 @@
+#include "core/geometry.hh"
+
+namespace parchmint
+{
+
+std::string
+toString(const Point &point)
+{
+    return "(" + std::to_string(point.x) + ", " +
+           std::to_string(point.y) + ")";
+}
+
+std::string
+toString(const Rect &rect)
+{
+    return "[x=" + std::to_string(rect.x) + " y=" +
+           std::to_string(rect.y) + " w=" + std::to_string(rect.width) +
+           " h=" + std::to_string(rect.height) + "]";
+}
+
+} // namespace parchmint

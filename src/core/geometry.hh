@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Planar geometry primitives for device layouts.
+ *
+ * ParchMint coordinates are micrometers in the device plane, with the
+ * origin at the top-left corner and y growing downward (screen
+ * convention, matching the reference schema). Integer coordinates are
+ * used throughout: micrometer resolution is finer than any
+ * continuous-flow fabrication process, and integers keep layouts
+ * exactly serializable.
+ */
+
+#ifndef PARCHMINT_CORE_GEOMETRY_HH
+#define PARCHMINT_CORE_GEOMETRY_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace parchmint
+{
+
+/** A point in the device plane, in micrometers. */
+struct Point
+{
+    int64_t x = 0;
+    int64_t y = 0;
+
+    bool operator==(const Point &other) const = default;
+};
+
+/** Manhattan distance between two points. */
+inline int64_t
+manhattanDistance(const Point &a, const Point &b)
+{
+    return std::llabs(a.x - b.x) + std::llabs(a.y - b.y);
+}
+
+/**
+ * An axis-aligned rectangle given by its top-left corner and spans.
+ * Spans are strictly positive for any placed component.
+ */
+struct Rect
+{
+    int64_t x = 0;
+    int64_t y = 0;
+    int64_t width = 0;
+    int64_t height = 0;
+
+    bool operator==(const Rect &other) const = default;
+
+    int64_t left() const { return x; }
+    int64_t top() const { return y; }
+    int64_t right() const { return x + width; }
+    int64_t bottom() const { return y + height; }
+
+    int64_t area() const { return width * height; }
+
+    Point
+    center() const
+    {
+        return Point{x + width / 2, y + height / 2};
+    }
+
+    /** True when the point lies inside or on the boundary. */
+    bool
+    contains(const Point &p) const
+    {
+        return p.x >= left() && p.x <= right() && p.y >= top() &&
+               p.y <= bottom();
+    }
+
+    /** True when the two rectangles overlap with positive area. */
+    bool
+    intersects(const Rect &other) const
+    {
+        return left() < other.right() && other.left() < right() &&
+               top() < other.bottom() && other.top() < bottom();
+    }
+
+    /**
+     * Area of the overlap region between two rectangles; zero when
+     * they are disjoint or merely touch.
+     */
+    int64_t
+    overlapArea(const Rect &other) const
+    {
+        int64_t w = std::min(right(), other.right()) -
+                    std::max(left(), other.left());
+        int64_t h = std::min(bottom(), other.bottom()) -
+                    std::max(top(), other.top());
+        if (w <= 0 || h <= 0)
+            return 0;
+        return w * h;
+    }
+
+    /** Smallest rectangle containing both inputs. */
+    static Rect
+    boundingBox(const Rect &a, const Rect &b)
+    {
+        int64_t l = std::min(a.left(), b.left());
+        int64_t t = std::min(a.top(), b.top());
+        int64_t r = std::max(a.right(), b.right());
+        int64_t m = std::max(a.bottom(), b.bottom());
+        return Rect{l, t, r - l, m - t};
+    }
+};
+
+/** Debug rendering, e.g. "(10, 20)". */
+std::string toString(const Point &point);
+
+/** Debug rendering, e.g. "[x=0 y=0 w=100 h=50]". */
+std::string toString(const Rect &rect);
+
+} // namespace parchmint
+
+#endif // PARCHMINT_CORE_GEOMETRY_HH

@@ -1,0 +1,130 @@
+#include "core/params.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace parchmint
+{
+
+ParamSet::ParamSet()
+    : object_(json::Value::makeObject())
+{
+}
+
+ParamSet::ParamSet(json::Value object)
+    : object_(std::move(object))
+{
+    if (!object_.isObject())
+        fatal("params must be a JSON object, found " +
+              std::string(json::kindName(object_.kind())));
+}
+
+bool
+ParamSet::has(std::string_view name) const
+{
+    return object_.contains(name);
+}
+
+void
+ParamSet::set(std::string_view name, json::Value value)
+{
+    object_.set(name, std::move(value));
+}
+
+bool
+ParamSet::erase(std::string_view name)
+{
+    return object_.erase(name);
+}
+
+const json::Value &
+ParamSet::require(std::string_view name) const
+{
+    const json::Value *value = object_.find(name);
+    if (!value)
+        fatal("missing parameter \"" + std::string(name) + "\"");
+    return *value;
+}
+
+int64_t
+ParamSet::getInt(std::string_view name) const
+{
+    const json::Value &value = require(name);
+    if (value.isInteger())
+        return value.asInteger();
+    if (value.isReal()) {
+        double real = value.asDouble();
+        if (real == std::floor(real) && std::fabs(real) <= 0x1p53)
+            return static_cast<int64_t>(real);
+    }
+    fatal("parameter \"" + std::string(name) +
+          "\" is not an integer");
+}
+
+int64_t
+ParamSet::getInt(std::string_view name, int64_t fallback) const
+{
+    return has(name) ? getInt(name) : fallback;
+}
+
+double
+ParamSet::getDouble(std::string_view name) const
+{
+    const json::Value &value = require(name);
+    if (!value.isNumber())
+        fatal("parameter \"" + std::string(name) + "\" is not numeric");
+    return value.asDouble();
+}
+
+double
+ParamSet::getDouble(std::string_view name, double fallback) const
+{
+    return has(name) ? getDouble(name) : fallback;
+}
+
+const std::string &
+ParamSet::getString(std::string_view name) const
+{
+    const json::Value &value = require(name);
+    if (!value.isString())
+        fatal("parameter \"" + std::string(name) + "\" is not a string");
+    return value.asString();
+}
+
+std::string
+ParamSet::getString(std::string_view name,
+                    const std::string &fallback) const
+{
+    return has(name) ? getString(name) : fallback;
+}
+
+bool
+ParamSet::getBool(std::string_view name) const
+{
+    const json::Value &value = require(name);
+    if (!value.isBoolean())
+        fatal("parameter \"" + std::string(name) +
+              "\" is not a boolean");
+    return value.asBoolean();
+}
+
+bool
+ParamSet::getBool(std::string_view name, bool fallback) const
+{
+    return has(name) ? getBool(name) : fallback;
+}
+
+const json::Value *
+ParamSet::find(std::string_view name) const
+{
+    return object_.find(name);
+}
+
+bool
+ParamSet::operator==(const ParamSet &other) const
+{
+    return object_ == other.object_;
+}
+
+} // namespace parchmint

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Free-form parameter sets.
+ *
+ * Every ParchMint entity (device, component, connection) carries a
+ * "params" object holding tool- or entity-specific values such as
+ * channelWidth, rotation, or numberOfBends. ParamSet wraps a JSON
+ * object with typed, checked accessors and defaulting.
+ */
+
+#ifndef PARCHMINT_CORE_PARAMS_HH
+#define PARCHMINT_CORE_PARAMS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "json/value.hh"
+
+namespace parchmint
+{
+
+/**
+ * An ordered string-to-JSON-value map with typed access.
+ */
+class ParamSet
+{
+  public:
+    ParamSet();
+
+    /**
+     * Wrap an existing JSON object.
+     * @throws UserError when the value is not an object.
+     */
+    explicit ParamSet(json::Value object);
+
+    /** Number of parameters. */
+    size_t size() const { return object_.size(); }
+    bool empty() const { return object_.empty(); }
+
+    /** True when a parameter of that name exists. */
+    bool has(std::string_view name) const;
+
+    /** Set (or overwrite) a parameter. */
+    void set(std::string_view name, json::Value value);
+
+    /** Remove a parameter; @return true when one was removed. */
+    bool erase(std::string_view name);
+
+    /**
+     * Integer parameter access. Real-valued parameters that are
+     * exactly integral are accepted and converted.
+     *
+     * @throws UserError when absent or not numeric-integral.
+     */
+    int64_t getInt(std::string_view name) const;
+
+    /** Integer access with a default for absent parameters. */
+    int64_t getInt(std::string_view name, int64_t fallback) const;
+
+    /** Numeric parameter access (integer or real). */
+    double getDouble(std::string_view name) const;
+    double getDouble(std::string_view name, double fallback) const;
+
+    /** String parameter access. */
+    const std::string &getString(std::string_view name) const;
+    std::string getString(std::string_view name,
+                          const std::string &fallback) const;
+
+    /** Boolean parameter access. */
+    bool getBool(std::string_view name) const;
+    bool getBool(std::string_view name, bool fallback) const;
+
+    /** Raw JSON access; nullptr when absent. */
+    const json::Value *find(std::string_view name) const;
+
+    /** The underlying JSON object (insertion-ordered). */
+    const json::Value &asJson() const { return object_; }
+
+    bool operator==(const ParamSet &other) const;
+
+  private:
+    const json::Value &require(std::string_view name) const;
+
+    json::Value object_;
+};
+
+} // namespace parchmint
+
+#endif // PARCHMINT_CORE_PARAMS_HH

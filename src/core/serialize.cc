@@ -1,0 +1,140 @@
+#include "core/serialize.hh"
+
+#include "json/write.hh"
+
+namespace parchmint
+{
+
+namespace
+{
+
+json::Value
+portToJson(const Port &port)
+{
+    json::Value object = json::Value::makeObject();
+    object.set("label", json::Value(port.label));
+    object.set("layer", json::Value(port.layerId));
+    object.set("x", json::Value(port.x));
+    object.set("y", json::Value(port.y));
+    return object;
+}
+
+json::Value
+targetToJson(const ConnectionTarget &target)
+{
+    json::Value object = json::Value::makeObject();
+    object.set("component", json::Value(target.componentId));
+    if (target.portLabel)
+        object.set("port", json::Value(*target.portLabel));
+    return object;
+}
+
+json::Value
+pathToJson(const ChannelPath &path)
+{
+    json::Value object = json::Value::makeObject();
+    object.set("source", targetToJson(path.source));
+    object.set("sink", targetToJson(path.sink));
+    json::Value waypoints = json::Value::makeArray();
+    for (const Point &point : path.waypoints) {
+        json::Value pair = json::Value::makeArray();
+        pair.append(json::Value(point.x));
+        pair.append(json::Value(point.y));
+        waypoints.append(std::move(pair));
+    }
+    object.set("wayPoints", std::move(waypoints));
+    return object;
+}
+
+json::Value
+componentToJson(const Component &component)
+{
+    json::Value object = json::Value::makeObject();
+    object.set("id", json::Value(component.id()));
+    object.set("name", json::Value(component.name()));
+    json::Value layers = json::Value::makeArray();
+    for (const std::string &layer_id : component.layerIds())
+        layers.append(json::Value(layer_id));
+    object.set("layers", std::move(layers));
+    object.set("x-span", json::Value(component.xSpan()));
+    object.set("y-span", json::Value(component.ySpan()));
+    object.set("entity", json::Value(component.entity()));
+    json::Value ports = json::Value::makeArray();
+    for (const Port &port : component.ports())
+        ports.append(portToJson(port));
+    object.set("ports", std::move(ports));
+    if (!component.params().empty())
+        object.set("params", component.params().asJson());
+    return object;
+}
+
+json::Value
+connectionToJson(const Connection &connection)
+{
+    json::Value object = json::Value::makeObject();
+    object.set("id", json::Value(connection.id()));
+    object.set("name", json::Value(connection.name()));
+    object.set("layer", json::Value(connection.layerId()));
+    object.set("source", targetToJson(connection.source()));
+    json::Value sinks = json::Value::makeArray();
+    for (const ConnectionTarget &sink : connection.sinks())
+        sinks.append(targetToJson(sink));
+    object.set("sinks", std::move(sinks));
+    if (!connection.paths().empty()) {
+        json::Value paths = json::Value::makeArray();
+        for (const ChannelPath &path : connection.paths())
+            paths.append(pathToJson(path));
+        object.set("paths", std::move(paths));
+    }
+    if (!connection.params().empty())
+        object.set("params", connection.params().asJson());
+    return object;
+}
+
+} // namespace
+
+json::Value
+toJson(const Device &device)
+{
+    json::Value root = json::Value::makeObject();
+    root.set("name", json::Value(device.name()));
+    root.set("version", json::Value(Device::formatVersion));
+
+    json::Value layers = json::Value::makeArray();
+    for (const Layer &layer : device.layers()) {
+        json::Value object = json::Value::makeObject();
+        object.set("id", json::Value(layer.id));
+        object.set("name", json::Value(layer.name));
+        object.set("type", json::Value(layerTypeName(layer.type)));
+        layers.append(std::move(object));
+    }
+    root.set("layers", std::move(layers));
+
+    json::Value components = json::Value::makeArray();
+    for (const Component &component : device.components())
+        components.append(componentToJson(component));
+    root.set("components", std::move(components));
+
+    json::Value connections = json::Value::makeArray();
+    for (const Connection &connection : device.connections())
+        connections.append(connectionToJson(connection));
+    root.set("connections", std::move(connections));
+
+    if (!device.params().empty())
+        root.set("params", device.params().asJson());
+    return root;
+}
+
+std::string
+toJsonText(const Device &device)
+{
+    return json::write(toJson(device));
+}
+
+void
+saveDevice(const std::string &path, const Device &device)
+{
+    json::writeFile(path, toJson(device));
+}
+
+} // namespace parchmint

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Device-to-JSON serialization (the ParchMint writer).
+ *
+ * The on-disk shape follows the ParchMint interchange format:
+ *
+ *     {
+ *         "name": "...",
+ *         "version": "1.0",
+ *         "layers": [{"id", "name", "type"}, ...],
+ *         "components": [{"id", "name", "layers", "x-span",
+ *                         "y-span", "entity", "ports", "params"}],
+ *         "connections": [{"id", "name", "layer", "source",
+ *                          "sinks", "paths", "params"}],
+ *         "params": {...}
+ *     }
+ *
+ * Ports are {"label", "layer", "x", "y"}; connection endpoints are
+ * {"component", "port"?}; paths are {"source", "sink",
+ * "wayPoints": [[x, y], ...]}. Empty params objects and empty paths
+ * arrays are omitted so hand-authored and generated files look alike.
+ */
+
+#ifndef PARCHMINT_CORE_SERIALIZE_HH
+#define PARCHMINT_CORE_SERIALIZE_HH
+
+#include <string>
+
+#include "core/device.hh"
+#include "json/value.hh"
+
+namespace parchmint
+{
+
+/** Serialize a netlist to its ParchMint JSON document. */
+json::Value toJson(const Device &device);
+
+/** Serialize a netlist to ParchMint JSON text (pretty-printed). */
+std::string toJsonText(const Device &device);
+
+/** Serialize a netlist to a .json file. */
+void saveDevice(const std::string &path, const Device &device);
+
+} // namespace parchmint
+
+#endif // PARCHMINT_CORE_SERIALIZE_HH

@@ -1,0 +1,71 @@
+#include "export/dot.hh"
+
+#include <fstream>
+
+#include "common/error.hh"
+
+namespace parchmint::exporter
+{
+
+namespace
+{
+
+/** Escape a string for a double-quoted DOT identifier. */
+std::string
+dotEscape(const std::string &text)
+{
+    std::string out;
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+renderDot(const Device &device)
+{
+    std::string dot;
+    dot += "digraph \"" + dotEscape(device.name()) + "\" {\n";
+    dot += "    rankdir=LR;\n";
+    dot += "    node [shape=box, fontname=\"monospace\"];\n";
+
+    for (const Component &component : device.components()) {
+        dot += "    \"" + dotEscape(component.id()) +
+               "\" [label=\"" + dotEscape(component.id()) + "\\n" +
+               dotEscape(component.entity()) + "\"];\n";
+    }
+
+    for (const Connection &connection : device.connections()) {
+        const Layer *layer = device.findLayer(connection.layerId());
+        bool control =
+            layer && layer->type == LayerType::Control;
+        for (const ConnectionTarget &sink : connection.sinks()) {
+            dot += "    \"" +
+                   dotEscape(connection.source().componentId) +
+                   "\" -> \"" + dotEscape(sink.componentId) + "\"";
+            dot += " [label=\"" + dotEscape(connection.id()) + "\"";
+            if (control)
+                dot += ", style=dashed, color=orange";
+            dot += "];\n";
+        }
+    }
+    dot += "}\n";
+    return dot;
+}
+
+void
+writeDot(const std::string &path, const Device &device)
+{
+    std::ofstream stream(path, std::ios::binary);
+    if (!stream)
+        fatal("cannot open DOT output file: " + path);
+    stream << renderDot(device);
+    if (!stream)
+        fatal("failed writing DOT file: " + path);
+}
+
+} // namespace parchmint::exporter

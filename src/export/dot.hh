@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Graphviz DOT export of netlist connectivity.
+ */
+
+#ifndef PARCHMINT_EXPORT_DOT_HH
+#define PARCHMINT_EXPORT_DOT_HH
+
+#include <string>
+
+#include "core/device.hh"
+
+namespace parchmint::exporter
+{
+
+/**
+ * Render the netlist's connectivity as a Graphviz digraph: one node
+ * per component (labelled "id\nentity"), one edge per (source, sink)
+ * pair, flow channels solid and control channels dashed.
+ */
+std::string renderDot(const Device &device);
+
+/** Render and write to a .dot file. */
+void writeDot(const std::string &path, const Device &device);
+
+} // namespace parchmint::exporter
+
+#endif // PARCHMINT_EXPORT_DOT_HH

@@ -1,0 +1,142 @@
+#include "export/svg.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hh"
+
+namespace parchmint::exporter
+{
+
+namespace
+{
+
+std::string
+fmt(double value)
+{
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%.2f", value);
+    return buffer;
+}
+
+const char *
+componentFill(const Device &device, const Component &component)
+{
+    bool on_control = false;
+    bool on_flow = false;
+    for (const std::string &layer_id : component.layerIds()) {
+        const Layer *layer = device.findLayer(layer_id);
+        if (!layer)
+            continue;
+        if (layer->type == LayerType::Control)
+            on_control = true;
+        if (layer->type == LayerType::Flow)
+            on_flow = true;
+    }
+    if (component.entityKind() == EntityKind::Port)
+        return on_control ? "#f2c094" : "#9fc5e8";
+    if (on_control && on_flow)
+        return "#d5a6bd";
+    if (on_control)
+        return "#f9cb9c";
+    return "#b6d7a8";
+}
+
+const char *
+connectionStroke(const Device &device, const Connection &connection)
+{
+    const Layer *layer = device.findLayer(connection.layerId());
+    if (layer && layer->type == LayerType::Control)
+        return "#e69138";
+    return "#3d85c6";
+}
+
+} // namespace
+
+std::string
+renderSvg(const Device &device, const place::Placement &placement,
+          const SvgOptions &options)
+{
+    Rect box = placement.boundingBox(device);
+    Rect canvas{box.x - options.margin, box.y - options.margin,
+                box.width + 2 * options.margin,
+                box.height + 2 * options.margin};
+    double s = options.scale;
+    auto sx = [&](int64_t x) {
+        return fmt(static_cast<double>(x - canvas.x) * s);
+    };
+    auto sy = [&](int64_t y) {
+        return fmt(static_cast<double>(y - canvas.y) * s);
+    };
+
+    std::string svg;
+    svg += "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+           fmt(static_cast<double>(canvas.width) * s) +
+           "\" height=\"" +
+           fmt(static_cast<double>(canvas.height) * s) +
+           "\" viewBox=\"0 0 " +
+           fmt(static_cast<double>(canvas.width) * s) + " " +
+           fmt(static_cast<double>(canvas.height) * s) + "\">\n";
+    svg += "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+    svg += "<!-- device: " + device.name() + " -->\n";
+
+    // Channels first so components draw over them.
+    for (const Connection &connection : device.connections()) {
+        const char *stroke = connectionStroke(device, connection);
+        for (const ChannelPath &path : connection.paths()) {
+            if (path.waypoints.size() < 2)
+                continue;
+            svg += "<polyline fill=\"none\" stroke=\"" +
+                   std::string(stroke) +
+                   "\" stroke-width=\"2\" points=\"";
+            for (const Point &p : path.waypoints)
+                svg += sx(p.x) + "," + sy(p.y) + " ";
+            svg += "\"/>\n";
+        }
+    }
+
+    for (const Component &component : device.components()) {
+        if (!placement.isPlaced(component.id()))
+            continue;
+        Point origin = placement.position(component.id());
+        Rect rect = component.placedRect(origin);
+        svg += "<rect x=\"" + sx(rect.x) + "\" y=\"" + sy(rect.y) +
+               "\" width=\"" +
+               fmt(static_cast<double>(rect.width) * s) +
+               "\" height=\"" +
+               fmt(static_cast<double>(rect.height) * s) +
+               "\" fill=\"" + componentFill(device, component) +
+               "\" stroke=\"#333333\" stroke-width=\"1\"/>\n";
+        for (const Port &port : component.ports()) {
+            svg += "<circle cx=\"" + sx(origin.x + port.x) +
+                   "\" cy=\"" + sy(origin.y + port.y) +
+                   "\" r=\"2.5\" fill=\"#cc0000\"/>\n";
+        }
+        if (options.labels) {
+            Point center = rect.center();
+            svg += "<text x=\"" + sx(center.x) + "\" y=\"" +
+                   sy(center.y) +
+                   "\" font-size=\"9\" text-anchor=\"middle\" "
+                   "dominant-baseline=\"middle\" "
+                   "font-family=\"monospace\">" +
+                   component.id() + "</text>\n";
+        }
+    }
+
+    svg += "</svg>\n";
+    return svg;
+}
+
+void
+writeSvg(const std::string &path, const Device &device,
+         const place::Placement &placement, const SvgOptions &options)
+{
+    std::ofstream stream(path, std::ios::binary);
+    if (!stream)
+        fatal("cannot open SVG output file: " + path);
+    stream << renderSvg(device, placement, options);
+    if (!stream)
+        fatal("failed writing SVG file: " + path);
+}
+
+} // namespace parchmint::exporter

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * SVG rendering of placed and routed devices.
+ *
+ * Produces a standalone SVG document: components as rectangles
+ * labelled with their ID (colour-coded by layer membership), ports
+ * as dots, routed channels as polylines. Used by the examples to
+ * make results inspectable without any GUI tooling.
+ */
+
+#ifndef PARCHMINT_EXPORT_SVG_HH
+#define PARCHMINT_EXPORT_SVG_HH
+
+#include <string>
+
+#include "place/placement.hh"
+
+namespace parchmint::exporter
+{
+
+/** Rendering knobs. */
+struct SvgOptions
+{
+    /** Micrometers per SVG unit. */
+    double scale = 0.01;
+    /** Draw component ID labels. */
+    bool labels = true;
+    /** Canvas margin in micrometers. */
+    int64_t margin = 4000;
+};
+
+/**
+ * Render a placed (and possibly routed) device to SVG text.
+ *
+ * @param device The netlist; routed paths on connections are drawn.
+ * @param placement Positions for the components; unplaced components
+ *        are skipped.
+ */
+std::string renderSvg(const Device &device,
+                      const place::Placement &placement,
+                      const SvgOptions &options = {});
+
+/** Render and write to a file. */
+void writeSvg(const std::string &path, const Device &device,
+              const place::Placement &placement,
+              const SvgOptions &options = {});
+
+} // namespace parchmint::exporter
+
+#endif // PARCHMINT_EXPORT_SVG_HH

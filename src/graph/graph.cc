@@ -1,0 +1,120 @@
+#include "graph/graph.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hh"
+
+namespace parchmint::graph
+{
+
+Graph::Graph(size_t vertex_count)
+    : labels_(vertex_count), adjacency_(vertex_count)
+{
+}
+
+VertexId
+Graph::addVertex(std::string label)
+{
+    labels_.push_back(std::move(label));
+    adjacency_.emplace_back();
+    return static_cast<VertexId>(labels_.size() - 1);
+}
+
+void
+Graph::checkVertex(VertexId v) const
+{
+    if (v >= adjacency_.size())
+        panic("graph vertex ID " + std::to_string(v) +
+              " out of range (have " +
+              std::to_string(adjacency_.size()) + " vertices)");
+}
+
+EdgeId
+Graph::addEdge(VertexId a, VertexId b, double weight, std::string label)
+{
+    checkVertex(a);
+    checkVertex(b);
+    EdgeId id = static_cast<EdgeId>(edges_.size());
+    edges_.push_back(Edge{a, b, weight, std::move(label)});
+    adjacency_[a].push_back(Incidence{b, id});
+    if (a != b)
+        adjacency_[b].push_back(Incidence{a, id});
+    return id;
+}
+
+const std::string &
+Graph::vertexLabel(VertexId v) const
+{
+    checkVertex(v);
+    return labels_[v];
+}
+
+const Graph::Edge &
+Graph::edge(EdgeId e) const
+{
+    if (e >= edges_.size())
+        panic("graph edge ID out of range");
+    return edges_[e];
+}
+
+const std::vector<Graph::Incidence> &
+Graph::incident(VertexId v) const
+{
+    checkVertex(v);
+    return adjacency_[v];
+}
+
+size_t
+Graph::degree(VertexId v) const
+{
+    checkVertex(v);
+    size_t count = adjacency_[v].size();
+    // Self-loops appear once in the list but contribute 2 to degree.
+    for (const Incidence &inc : adjacency_[v]) {
+        if (inc.neighbor == v)
+            ++count;
+    }
+    return count;
+}
+
+VertexId
+Graph::findVertex(std::string_view label) const
+{
+    for (size_t v = 0; v < labels_.size(); ++v) {
+        if (labels_[v] == label)
+            return static_cast<VertexId>(v);
+    }
+    return kNoVertex;
+}
+
+size_t
+Graph::selfLoopCount() const
+{
+    size_t count = 0;
+    for (const Edge &edge : edges_) {
+        if (edge.a == edge.b)
+            ++count;
+    }
+    return count;
+}
+
+Graph
+Graph::simplified() const
+{
+    Graph simple;
+    for (const std::string &label : labels_)
+        simple.addVertex(label);
+
+    std::set<std::pair<VertexId, VertexId>> seen;
+    for (const Edge &edge : edges_) {
+        if (edge.a == edge.b)
+            continue;
+        auto key = std::minmax(edge.a, edge.b);
+        if (seen.insert({key.first, key.second}).second)
+            simple.addEdge(edge.a, edge.b, edge.weight, edge.label);
+    }
+    return simple;
+}
+
+} // namespace parchmint::graph

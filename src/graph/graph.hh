@@ -1,0 +1,128 @@
+/**
+ * @file
+ * A small undirected multigraph.
+ *
+ * Netlist analysis views a device as a graph: components are
+ * vertices, channels are edges. The graph library is independent of
+ * the netlist model (analysis/ owns the conversion) so the algorithms
+ * are reusable and testable on plain graphs.
+ *
+ * Vertices and edges are dense integer IDs, assigned in creation
+ * order; labels are optional strings carried for diagnostics.
+ * Parallel edges and self-loops are representable because netlists
+ * produce both (two channels between the same mixers; a recirculation
+ * loop on a rotary pump).
+ */
+
+#ifndef PARCHMINT_GRAPH_GRAPH_HH
+#define PARCHMINT_GRAPH_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parchmint::graph
+{
+
+/** Dense vertex identifier. */
+using VertexId = uint32_t;
+/** Dense edge identifier. */
+using EdgeId = uint32_t;
+
+/** Sentinel for "no vertex". */
+constexpr VertexId kNoVertex = static_cast<VertexId>(-1);
+/** Sentinel for "no edge". */
+constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+
+/**
+ * An undirected multigraph with labelled vertices, weighted edges
+ * and O(1) incidence iteration.
+ */
+class Graph
+{
+  public:
+    /** An edge record: both endpoints, weight, label. */
+    struct Edge
+    {
+        VertexId a;
+        VertexId b;
+        double weight;
+        std::string label;
+
+        /** The endpoint that is not 'v'; for self-loops returns v. */
+        VertexId
+        other(VertexId v) const
+        {
+            return v == a ? b : a;
+        }
+    };
+
+    /** One entry of a vertex's incidence list. */
+    struct Incidence
+    {
+        /** The neighbouring vertex. */
+        VertexId neighbor;
+        /** The connecting edge. */
+        EdgeId edge;
+    };
+
+    Graph() = default;
+
+    /** Construct with n unlabelled vertices. */
+    explicit Graph(size_t vertex_count);
+
+    /** Add a vertex. @return Its ID. */
+    VertexId addVertex(std::string label = "");
+
+    /**
+     * Add an undirected edge.
+     *
+     * @param a First endpoint (must exist).
+     * @param b Second endpoint (must exist).
+     * @param weight Edge weight; defaults to 1.
+     * @param label Diagnostic label.
+     * @return The edge's ID.
+     */
+    EdgeId addEdge(VertexId a, VertexId b, double weight = 1.0,
+                   std::string label = "");
+
+    size_t vertexCount() const { return adjacency_.size(); }
+    size_t edgeCount() const { return edges_.size(); }
+
+    const std::string &vertexLabel(VertexId v) const;
+    const Edge &edge(EdgeId e) const;
+
+    /** Incidence list of a vertex, in edge insertion order. */
+    const std::vector<Incidence> &incident(VertexId v) const;
+
+    /** Degree counting parallel edges; self-loops count twice. */
+    size_t degree(VertexId v) const;
+
+    /**
+     * Look up a vertex by label; linear scan.
+     * @return The ID, or kNoVertex when absent.
+     */
+    VertexId findVertex(std::string_view label) const;
+
+    /** Count of self-loop edges. */
+    size_t selfLoopCount() const;
+
+    /**
+     * A copy with self-loops removed and parallel edges collapsed to
+     * one (keeping the smallest weight). Used by algorithms defined
+     * on simple graphs, e.g. planarity.
+     */
+    Graph simplified() const;
+
+  private:
+    void checkVertex(VertexId v) const;
+
+    std::vector<std::string> labels_;
+    std::vector<Edge> edges_;
+    std::vector<std::vector<Incidence>> adjacency_;
+};
+
+} // namespace parchmint::graph
+
+#endif // PARCHMINT_GRAPH_GRAPH_HH

@@ -1,0 +1,64 @@
+#include "graph/metrics.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/planarity.hh"
+#include "graph/traversal.hh"
+
+namespace parchmint::graph
+{
+
+GraphMetrics
+computeMetrics(const Graph &graph)
+{
+    GraphMetrics metrics;
+    metrics.vertexCount = graph.vertexCount();
+    metrics.edgeCount = graph.edgeCount();
+
+    if (metrics.vertexCount == 0) {
+        metrics.connected = true;
+        metrics.planar = true;
+        return metrics;
+    }
+
+    size_t degree_total = 0;
+    metrics.minDegree = std::numeric_limits<size_t>::max();
+    for (VertexId v = 0; v < graph.vertexCount(); ++v) {
+        size_t d = graph.degree(v);
+        degree_total += d;
+        metrics.minDegree = std::min(metrics.minDegree, d);
+        metrics.maxDegree = std::max(metrics.maxDegree, d);
+    }
+    metrics.meanDegree = static_cast<double>(degree_total) /
+                         static_cast<double>(metrics.vertexCount);
+
+    Graph simple = graph.simplified();
+    if (metrics.vertexCount > 1) {
+        metrics.density =
+            2.0 * static_cast<double>(simple.edgeCount()) /
+            (static_cast<double>(metrics.vertexCount) *
+             static_cast<double>(metrics.vertexCount - 1));
+    }
+
+    metrics.componentCount = componentCount(graph);
+    metrics.connected = metrics.componentCount == 1;
+    metrics.planar = isPlanar(graph);
+    metrics.articulationPointCount = articulationPoints(graph).size();
+    metrics.cyclomaticNumber = metrics.edgeCount +
+                               metrics.componentCount -
+                               metrics.vertexCount;
+
+    // Exact diameter by all-pairs BFS; benchmarks are small enough.
+    constexpr size_t unreachable = std::numeric_limits<size_t>::max();
+    for (VertexId v = 0; v < graph.vertexCount(); ++v) {
+        std::vector<size_t> distance = bfsDistances(graph, v);
+        for (size_t d : distance) {
+            if (d != unreachable)
+                metrics.diameter = std::max(metrics.diameter, d);
+        }
+    }
+    return metrics;
+}
+
+} // namespace parchmint::graph

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Whole-graph summary metrics used by netlist characterization.
+ */
+
+#ifndef PARCHMINT_GRAPH_METRICS_HH
+#define PARCHMINT_GRAPH_METRICS_HH
+
+#include <cstddef>
+
+#include "graph/graph.hh"
+
+namespace parchmint::graph
+{
+
+/** Aggregate structural metrics of a graph. */
+struct GraphMetrics
+{
+    size_t vertexCount = 0;
+    size_t edgeCount = 0;
+    size_t minDegree = 0;
+    size_t maxDegree = 0;
+    double meanDegree = 0.0;
+    /** Edge density of the simplified graph: 2m / (n (n-1)). */
+    double density = 0.0;
+    size_t componentCount = 0;
+    bool connected = false;
+    bool planar = false;
+    /** Cut vertices (see articulationPoints). */
+    size_t articulationPointCount = 0;
+    /** Independent cycles: m - n + c of the multigraph. */
+    size_t cyclomaticNumber = 0;
+    /**
+     * Longest shortest path within the largest component, in hops.
+     * Exact (all-pairs BFS); zero for empty graphs.
+     */
+    size_t diameter = 0;
+};
+
+/** Compute every metric in one pass over the graph. */
+GraphMetrics computeMetrics(const Graph &graph);
+
+} // namespace parchmint::graph
+
+#endif // PARCHMINT_GRAPH_METRICS_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Planarity testing.
+ *
+ * Continuous-flow devices are fabricated as planar channel networks
+ * on each layer; whether a netlist's flow graph is planar decides
+ * whether it can be routed without vias. The benchmark
+ * characterization table reports planarity per benchmark, so the
+ * library carries a real linear-time test: the left-right algorithm
+ * of de Fraysseix and Rosenstiehl, in Brandes' formulation.
+ */
+
+#ifndef PARCHMINT_GRAPH_PLANARITY_HH
+#define PARCHMINT_GRAPH_PLANARITY_HH
+
+#include "graph/graph.hh"
+
+namespace parchmint::graph
+{
+
+/**
+ * Test whether the graph admits a planar embedding.
+ *
+ * Self-loops and parallel edges are irrelevant to planarity and are
+ * removed internally; the input graph may contain both.
+ *
+ * @return True when the graph is planar.
+ */
+bool isPlanar(const Graph &graph);
+
+} // namespace parchmint::graph
+
+#endif // PARCHMINT_GRAPH_PLANARITY_HH

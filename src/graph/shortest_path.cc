@@ -1,0 +1,68 @@
+#include "graph/shortest_path.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hh"
+
+namespace parchmint::graph
+{
+
+std::vector<VertexId>
+ShortestPaths::pathTo(VertexId target) const
+{
+    if (target >= distance.size())
+        panic("ShortestPaths::pathTo: target out of range");
+    if (distance[target] == unreachable)
+        return {};
+    std::vector<VertexId> path;
+    VertexId v = target;
+    path.push_back(v);
+    while (predecessor[v] != kNoVertex) {
+        v = predecessor[v];
+        path.push_back(v);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+ShortestPaths
+dijkstra(const Graph &graph, VertexId source)
+{
+    if (source >= graph.vertexCount())
+        panic("dijkstra: source vertex out of range");
+    for (size_t e = 0; e < graph.edgeCount(); ++e) {
+        if (graph.edge(static_cast<EdgeId>(e)).weight < 0)
+            fatal("dijkstra requires non-negative edge weights");
+    }
+
+    ShortestPaths result;
+    result.distance.assign(graph.vertexCount(),
+                           ShortestPaths::unreachable);
+    result.predecessor.assign(graph.vertexCount(), kNoVertex);
+    result.distance[source] = 0.0;
+
+    using Entry = std::pair<double, VertexId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
+        frontier;
+    frontier.push({0.0, source});
+
+    while (!frontier.empty()) {
+        auto [dist, v] = frontier.top();
+        frontier.pop();
+        if (dist > result.distance[v])
+            continue; // Stale entry.
+        for (const Graph::Incidence &inc : graph.incident(v)) {
+            double candidate =
+                dist + graph.edge(inc.edge).weight;
+            if (candidate < result.distance[inc.neighbor]) {
+                result.distance[inc.neighbor] = candidate;
+                result.predecessor[inc.neighbor] = v;
+                frontier.push({candidate, inc.neighbor});
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace parchmint::graph

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Weighted shortest paths (Dijkstra).
+ */
+
+#ifndef PARCHMINT_GRAPH_SHORTEST_PATH_HH
+#define PARCHMINT_GRAPH_SHORTEST_PATH_HH
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace parchmint::graph
+{
+
+/** Result of a single-source shortest-path run. */
+struct ShortestPaths
+{
+    /** Distance sentinel for unreachable vertices. */
+    static constexpr double unreachable =
+        std::numeric_limits<double>::infinity();
+
+    /** Per-vertex distance from the source. */
+    std::vector<double> distance;
+    /** Per-vertex predecessor on a shortest path; kNoVertex at the
+     * source and at unreachable vertices. */
+    std::vector<VertexId> predecessor;
+
+    /**
+     * Reconstruct the path source..target (inclusive).
+     * @return Empty when the target is unreachable.
+     */
+    std::vector<VertexId> pathTo(VertexId target) const;
+};
+
+/**
+ * Dijkstra single-source shortest paths.
+ *
+ * @param graph The graph; edge weights must be non-negative.
+ * @param source Start vertex.
+ * @throws UserError when any edge weight is negative.
+ */
+ShortestPaths dijkstra(const Graph &graph, VertexId source);
+
+} // namespace parchmint::graph
+
+#endif // PARCHMINT_GRAPH_SHORTEST_PATH_HH

@@ -1,0 +1,54 @@
+#include "graph/spanning_tree.hh"
+
+#include <queue>
+#include <vector>
+
+namespace parchmint::graph
+{
+
+SpanningForest
+minimumSpanningForest(const Graph &graph)
+{
+    SpanningForest forest;
+    size_t n = graph.vertexCount();
+    std::vector<bool> inTree(n, false);
+
+    using Entry = std::pair<double, EdgeId>;
+    for (VertexId seed = 0; seed < n; ++seed) {
+        if (inTree[seed])
+            continue;
+        ++forest.treeCount;
+        inTree[seed] = true;
+        std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
+            frontier;
+        auto push_edges = [&](VertexId v) {
+            for (const Graph::Incidence &inc : graph.incident(v)) {
+                if (!inTree[inc.neighbor]) {
+                    frontier.push(
+                        {graph.edge(inc.edge).weight, inc.edge});
+                }
+            }
+        };
+        push_edges(seed);
+        while (!frontier.empty()) {
+            auto [weight, edge_id] = frontier.top();
+            frontier.pop();
+            const Graph::Edge &edge = graph.edge(edge_id);
+            VertexId fresh;
+            if (!inTree[edge.a]) {
+                fresh = edge.a;
+            } else if (!inTree[edge.b]) {
+                fresh = edge.b;
+            } else {
+                continue; // Both ends already connected.
+            }
+            inTree[fresh] = true;
+            forest.edges.push_back(edge_id);
+            forest.totalWeight += weight;
+            push_edges(fresh);
+        }
+    }
+    return forest;
+}
+
+} // namespace parchmint::graph

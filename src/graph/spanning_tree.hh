@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Minimum spanning forests (Prim).
+ */
+
+#ifndef PARCHMINT_GRAPH_SPANNING_TREE_HH
+#define PARCHMINT_GRAPH_SPANNING_TREE_HH
+
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace parchmint::graph
+{
+
+/** Result of a spanning-forest computation. */
+struct SpanningForest
+{
+    /** Edges in the forest, one per selected graph edge. */
+    std::vector<EdgeId> edges;
+    /** Total weight of selected edges. */
+    double totalWeight = 0.0;
+    /** Number of trees (== connected components of the graph). */
+    size_t treeCount = 0;
+};
+
+/**
+ * Minimum spanning forest via Prim's algorithm run per component.
+ * Self-loops are never selected.
+ */
+SpanningForest minimumSpanningForest(const Graph &graph);
+
+} // namespace parchmint::graph
+
+#endif // PARCHMINT_GRAPH_SPANNING_TREE_HH

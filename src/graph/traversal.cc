@@ -1,0 +1,210 @@
+#include "graph/traversal.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+
+#include "common/error.hh"
+
+namespace parchmint::graph
+{
+
+std::vector<VertexId>
+bfsOrder(const Graph &graph, VertexId start)
+{
+    std::vector<VertexId> order;
+    if (start >= graph.vertexCount())
+        panic("bfsOrder: start vertex out of range");
+    std::vector<bool> visited(graph.vertexCount(), false);
+    std::deque<VertexId> queue{start};
+    visited[start] = true;
+    while (!queue.empty()) {
+        VertexId v = queue.front();
+        queue.pop_front();
+        order.push_back(v);
+        for (const Graph::Incidence &inc : graph.incident(v)) {
+            if (!visited[inc.neighbor]) {
+                visited[inc.neighbor] = true;
+                queue.push_back(inc.neighbor);
+            }
+        }
+    }
+    return order;
+}
+
+std::vector<VertexId>
+dfsOrder(const Graph &graph, VertexId start)
+{
+    std::vector<VertexId> order;
+    if (start >= graph.vertexCount())
+        panic("dfsOrder: start vertex out of range");
+    std::vector<bool> visited(graph.vertexCount(), false);
+    std::vector<VertexId> stack{start};
+    while (!stack.empty()) {
+        VertexId v = stack.back();
+        stack.pop_back();
+        if (visited[v])
+            continue;
+        visited[v] = true;
+        order.push_back(v);
+        // Push in reverse so that the first-listed neighbour is
+        // visited first, matching recursive DFS.
+        const auto &incident = graph.incident(v);
+        for (auto it = incident.rbegin(); it != incident.rend(); ++it) {
+            if (!visited[it->neighbor])
+                stack.push_back(it->neighbor);
+        }
+    }
+    return order;
+}
+
+std::vector<size_t>
+connectedComponents(const Graph &graph)
+{
+    constexpr size_t unassigned = std::numeric_limits<size_t>::max();
+    std::vector<size_t> component(graph.vertexCount(), unassigned);
+    size_t next = 0;
+    for (VertexId seed = 0; seed < graph.vertexCount(); ++seed) {
+        if (component[seed] != unassigned)
+            continue;
+        size_t label = next++;
+        std::vector<VertexId> stack{seed};
+        component[seed] = label;
+        while (!stack.empty()) {
+            VertexId v = stack.back();
+            stack.pop_back();
+            for (const Graph::Incidence &inc : graph.incident(v)) {
+                if (component[inc.neighbor] == unassigned) {
+                    component[inc.neighbor] = label;
+                    stack.push_back(inc.neighbor);
+                }
+            }
+        }
+    }
+    return component;
+}
+
+size_t
+componentCount(const Graph &graph)
+{
+    std::vector<size_t> component = connectedComponents(graph);
+    size_t highest = 0;
+    for (size_t label : component)
+        highest = std::max(highest, label + 1);
+    return highest;
+}
+
+bool
+isConnected(const Graph &graph)
+{
+    if (graph.vertexCount() == 0)
+        return true;
+    return componentCount(graph) == 1;
+}
+
+bool
+hasCycle(const Graph &graph)
+{
+    if (graph.selfLoopCount() > 0)
+        return true;
+    // An acyclic undirected graph is a forest: m = n - c. Any extra
+    // edge (including a parallel one) closes a cycle.
+    size_t n = graph.vertexCount();
+    size_t m = graph.edgeCount();
+    size_t c = componentCount(graph);
+    return m > n - c;
+}
+
+std::vector<VertexId>
+articulationPoints(const Graph &graph)
+{
+    // Parallel edges and self-loops never change vertex
+    // connectivity, so run on the simple version and keep the
+    // classic Tarjan formulation (which assumes simple graphs).
+    Graph simple = graph.simplified();
+    size_t n = simple.vertexCount();
+    constexpr uint32_t unvisited = std::numeric_limits<uint32_t>::max();
+    std::vector<uint32_t> discovery(n, unvisited);
+    std::vector<uint32_t> low(n, 0);
+    std::vector<VertexId> parent(n, kNoVertex);
+    std::vector<bool> is_cut(n, false);
+    uint32_t timer = 0;
+
+    // Iterative Tarjan: each frame remembers the incidence index to
+    // resume at after returning from a child.
+    struct Frame
+    {
+        VertexId v;
+        size_t childIndex;
+        size_t treeChildren;
+    };
+
+    for (VertexId root = 0; root < n; ++root) {
+        if (discovery[root] != unvisited)
+            continue;
+        std::vector<Frame> stack;
+        discovery[root] = low[root] = timer++;
+        stack.push_back(Frame{root, 0, 0});
+        while (!stack.empty()) {
+            Frame &frame = stack.back();
+            VertexId v = frame.v;
+            const auto &incident = simple.incident(v);
+            if (frame.childIndex < incident.size()) {
+                VertexId w = incident[frame.childIndex++].neighbor;
+                if (discovery[w] == unvisited) {
+                    parent[w] = v;
+                    ++frame.treeChildren;
+                    discovery[w] = low[w] = timer++;
+                    stack.push_back(Frame{w, 0, 0});
+                } else if (w != parent[v]) {
+                    low[v] = std::min(low[v], discovery[w]);
+                }
+            } else {
+                size_t tree_children = frame.treeChildren;
+                stack.pop_back();
+                VertexId p = parent[v];
+                if (p != kNoVertex) {
+                    low[p] = std::min(low[p], low[v]);
+                    if (parent[p] != kNoVertex &&
+                        low[v] >= discovery[p]) {
+                        is_cut[p] = true;
+                    }
+                }
+                if (p == kNoVertex && tree_children > 1)
+                    is_cut[v] = true;
+            }
+        }
+    }
+
+    std::vector<VertexId> cuts;
+    for (VertexId v = 0; v < n; ++v) {
+        if (is_cut[v])
+            cuts.push_back(v);
+    }
+    return cuts;
+}
+
+std::vector<size_t>
+bfsDistances(const Graph &graph, VertexId start)
+{
+    constexpr size_t unreachable = std::numeric_limits<size_t>::max();
+    std::vector<size_t> distance(graph.vertexCount(), unreachable);
+    if (start >= graph.vertexCount())
+        panic("bfsDistances: start vertex out of range");
+    std::deque<VertexId> queue{start};
+    distance[start] = 0;
+    while (!queue.empty()) {
+        VertexId v = queue.front();
+        queue.pop_front();
+        for (const Graph::Incidence &inc : graph.incident(v)) {
+            if (distance[inc.neighbor] == unreachable) {
+                distance[inc.neighbor] = distance[v] + 1;
+                queue.push_back(inc.neighbor);
+            }
+        }
+    }
+    return distance;
+}
+
+} // namespace parchmint::graph

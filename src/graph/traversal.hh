@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Graph traversal algorithms: BFS/DFS orders, connected components,
+ * cycle detection, articulation points.
+ */
+
+#ifndef PARCHMINT_GRAPH_TRAVERSAL_HH
+#define PARCHMINT_GRAPH_TRAVERSAL_HH
+
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace parchmint::graph
+{
+
+/**
+ * Breadth-first order from a start vertex; unreachable vertices are
+ * absent from the result.
+ */
+std::vector<VertexId> bfsOrder(const Graph &graph, VertexId start);
+
+/** Depth-first preorder from a start vertex (iterative). */
+std::vector<VertexId> dfsOrder(const Graph &graph, VertexId start);
+
+/**
+ * Connected-component labelling.
+ *
+ * @return A vector mapping each vertex to a component index in
+ *         [0, componentCount); components are numbered by the lowest
+ *         vertex they contain.
+ */
+std::vector<size_t> connectedComponents(const Graph &graph);
+
+/** Number of connected components. */
+size_t componentCount(const Graph &graph);
+
+/** True when every vertex is reachable from every other. */
+bool isConnected(const Graph &graph);
+
+/**
+ * True when the graph contains any cycle (self-loops and parallel
+ * edges count as cycles).
+ */
+bool hasCycle(const Graph &graph);
+
+/**
+ * Articulation points (cut vertices): vertices whose removal
+ * increases the number of connected components. Tarjan's lowlink
+ * algorithm, iterative.
+ *
+ * @return Sorted list of cut vertices.
+ */
+std::vector<VertexId> articulationPoints(const Graph &graph);
+
+/**
+ * Unweighted shortest-path distances from a start vertex.
+ *
+ * @return Per-vertex hop counts; unreachable vertices get
+ *         SIZE_MAX.
+ */
+std::vector<size_t> bfsDistances(const Graph &graph, VertexId start);
+
+} // namespace parchmint::graph
+
+#endif // PARCHMINT_GRAPH_TRAVERSAL_HH

@@ -1,0 +1,384 @@
+#include "json/parse.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace parchmint::json
+{
+
+ParseError::ParseError(const std::string &message, size_t line,
+                       size_t column)
+    : UserError("JSON parse error at line " + std::to_string(line) +
+                ", column " + std::to_string(column) + ": " + message),
+      line_(line), column_(column)
+{
+}
+
+namespace
+{
+
+/**
+ * The recursive-descent parser over a string_view with position
+ * tracking. One instance per parse() call.
+ */
+class Parser
+{
+  public:
+    Parser(std::string_view text, const ParseOptions &options)
+        : text_(text), options_(options)
+    {
+    }
+
+    Value
+    run()
+    {
+        skipWhitespace();
+        Value value = parseValue();
+        skipWhitespace();
+        if (!atEnd())
+            fail("trailing content after JSON value");
+        return value;
+    }
+
+  private:
+    bool atEnd() const { return pos_ >= text_.size(); }
+
+    char
+    peek() const
+    {
+        if (atEnd())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    char
+    advance()
+    {
+        char c = peek();
+        ++pos_;
+        if (c == '\n') {
+            ++line_;
+            column_ = 1;
+        } else {
+            ++column_;
+        }
+        return c;
+    }
+
+    [[noreturn]] void
+    fail(const std::string &message) const
+    {
+        throw ParseError(message, line_, column_);
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (!atEnd()) {
+            char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                advance();
+            else
+                break;
+        }
+    }
+
+    void
+    expect(char wanted)
+    {
+        if (atEnd() || peek() != wanted) {
+            fail(std::string("expected '") + wanted + "'");
+        }
+        advance();
+    }
+
+    void
+    expectLiteral(std::string_view literal)
+    {
+        for (char wanted : literal) {
+            if (atEnd() || peek() != wanted)
+                fail("invalid literal");
+            advance();
+        }
+    }
+
+    Value
+    parseValue()
+    {
+        if (depth_ > options_.maxDepth)
+            fail("nesting depth exceeds limit of " +
+                 std::to_string(options_.maxDepth));
+        char c = peek();
+        switch (c) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return Value(parseString());
+          case 't':
+            expectLiteral("true");
+            return Value(true);
+          case 'f':
+            expectLiteral("false");
+            return Value(false);
+          case 'n':
+            expectLiteral("null");
+            return Value();
+          default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return parseNumber();
+            fail(std::string("unexpected character '") + c + "'");
+        }
+    }
+
+    Value
+    parseObject()
+    {
+        ++depth_;
+        expect('{');
+        Value object = Value::makeObject();
+        skipWhitespace();
+        if (!atEnd() && peek() == '}') {
+            advance();
+            --depth_;
+            return object;
+        }
+        while (true) {
+            skipWhitespace();
+            if (atEnd() || peek() != '"')
+                fail("expected string key in object");
+            std::string key = parseString();
+            skipWhitespace();
+            expect(':');
+            skipWhitespace();
+            if (object.contains(key))
+                fail("duplicate object key \"" + key + "\"");
+            object.set(key, parseValue());
+            skipWhitespace();
+            char c = peek();
+            if (c == ',') {
+                advance();
+                continue;
+            }
+            if (c == '}') {
+                advance();
+                --depth_;
+                return object;
+            }
+            fail("expected ',' or '}' in object");
+        }
+    }
+
+    Value
+    parseArray()
+    {
+        ++depth_;
+        expect('[');
+        Value array = Value::makeArray();
+        skipWhitespace();
+        if (!atEnd() && peek() == ']') {
+            advance();
+            --depth_;
+            return array;
+        }
+        while (true) {
+            skipWhitespace();
+            array.append(parseValue());
+            skipWhitespace();
+            char c = peek();
+            if (c == ',') {
+                advance();
+                continue;
+            }
+            if (c == ']') {
+                advance();
+                --depth_;
+                return array;
+            }
+            fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (atEnd())
+                fail("unterminated string");
+            char c = advance();
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            char escape = advance();
+            switch (escape) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u':
+                appendUnicodeEscape(out);
+                break;
+              default:
+                fail(std::string("invalid escape '\\") + escape + "'");
+            }
+        }
+    }
+
+    unsigned
+    parseHex4()
+    {
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = advance();
+            code <<= 4;
+            if (c >= '0' && c <= '9')
+                code |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                code |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                code |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("invalid \\u escape digit");
+        }
+        return code;
+    }
+
+    void
+    appendUnicodeEscape(std::string &out)
+    {
+        unsigned code = parseHex4();
+        if (code >= 0xd800 && code <= 0xdbff) {
+            // High surrogate: a low surrogate must follow.
+            if (atEnd() || advance() != '\\' || atEnd() ||
+                advance() != 'u') {
+                fail("high surrogate not followed by \\u escape");
+            }
+            unsigned low = parseHex4();
+            if (low < 0xdc00 || low > 0xdfff)
+                fail("invalid low surrogate");
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+        } else if (code >= 0xdc00 && code <= 0xdfff) {
+            fail("unpaired low surrogate");
+        }
+        appendUtf8(out, code);
+    }
+
+    static void
+    appendUtf8(std::string &out, unsigned code)
+    {
+        if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        } else if (code < 0x10000) {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        } else {
+            out.push_back(static_cast<char>(0xf0 | (code >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        }
+    }
+
+    Value
+    parseNumber()
+    {
+        size_t start = pos_;
+        bool is_real = false;
+
+        if (peek() == '-')
+            advance();
+        if (atEnd())
+            fail("truncated number");
+        if (peek() == '0') {
+            advance();
+        } else if (peek() >= '1' && peek() <= '9') {
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                advance();
+        } else {
+            fail("invalid number");
+        }
+        if (!atEnd() && peek() == '.') {
+            is_real = true;
+            advance();
+            if (atEnd() || peek() < '0' || peek() > '9')
+                fail("digit required after decimal point");
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                advance();
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            is_real = true;
+            advance();
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                advance();
+            if (atEnd() || peek() < '0' || peek() > '9')
+                fail("digit required in exponent");
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                advance();
+        }
+
+        std::string lexeme(text_.substr(start, pos_ - start));
+        if (!is_real) {
+            errno = 0;
+            char *end = nullptr;
+            long long integer = std::strtoll(lexeme.c_str(), &end, 10);
+            if (errno != ERANGE && end && *end == '\0')
+                return Value(static_cast<int64_t>(integer));
+            // Fall through: magnitude exceeds int64, store as real.
+        }
+        errno = 0;
+        double real = std::strtod(lexeme.c_str(), nullptr);
+        if (!std::isfinite(real))
+            fail("number out of representable range");
+        return Value(real);
+    }
+
+    std::string_view text_;
+    const ParseOptions &options_;
+    size_t pos_ = 0;
+    size_t line_ = 1;
+    size_t column_ = 1;
+    size_t depth_ = 0;
+};
+
+} // namespace
+
+Value
+parse(std::string_view text, const ParseOptions &options)
+{
+    Parser parser(text, options);
+    return parser.run();
+}
+
+Value
+parseFile(const std::string &path, const ParseOptions &options)
+{
+    std::ifstream stream(path, std::ios::binary);
+    if (!stream)
+        fatal("cannot open file for reading: " + path);
+    std::ostringstream buffer;
+    buffer << stream.rdbuf();
+    return parse(buffer.str(), options);
+}
+
+} // namespace parchmint::json

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * JSON parser.
+ *
+ * A strict, recursive-descent RFC 8259 parser. Strictness matters for
+ * an interchange format: netlists that one tool writes loosely and
+ * another rejects defeat the point of ParchMint, so this parser
+ * accepts exactly the JSON grammar (no comments, no trailing commas,
+ * no bare NaN/Infinity) and reports errors with line and column.
+ */
+
+#ifndef PARCHMINT_JSON_PARSE_HH
+#define PARCHMINT_JSON_PARSE_HH
+
+#include <string>
+#include <string_view>
+
+#include "common/error.hh"
+#include "json/value.hh"
+
+namespace parchmint::json
+{
+
+/**
+ * A parse failure: what went wrong and where.
+ */
+class ParseError : public UserError
+{
+  public:
+    /**
+     * @param message Description of the failure.
+     * @param line 1-based line of the offending character.
+     * @param column 1-based column of the offending character.
+     */
+    ParseError(const std::string &message, size_t line, size_t column);
+
+    /** @return 1-based line number of the error. */
+    size_t line() const { return line_; }
+    /** @return 1-based column number of the error. */
+    size_t column() const { return column_; }
+
+  private:
+    size_t line_;
+    size_t column_;
+};
+
+/** Parser knobs. */
+struct ParseOptions
+{
+    /**
+     * Maximum container nesting depth, guarding against stack
+     * exhaustion from adversarial inputs.
+     */
+    size_t maxDepth = 256;
+};
+
+/**
+ * Parse a complete JSON document. Trailing content after the value
+ * (other than whitespace) is an error.
+ *
+ * @param text The document text.
+ * @param options Parser knobs.
+ * @return The parsed value.
+ * @throws ParseError on malformed input.
+ */
+Value parse(std::string_view text, const ParseOptions &options = {});
+
+/**
+ * Read and parse a JSON file.
+ *
+ * @param path Filesystem path.
+ * @throws UserError when the file cannot be read; ParseError when the
+ *         content is malformed.
+ */
+Value parseFile(const std::string &path,
+                const ParseOptions &options = {});
+
+} // namespace parchmint::json
+
+#endif // PARCHMINT_JSON_PARSE_HH

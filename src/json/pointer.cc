@@ -1,0 +1,148 @@
+#include "json/pointer.hh"
+
+#include <cctype>
+
+#include "common/error.hh"
+
+namespace parchmint::json
+{
+
+namespace
+{
+
+std::string
+unescapeToken(std::string_view token)
+{
+    std::string out;
+    for (size_t i = 0; i < token.size(); ++i) {
+        if (token[i] != '~') {
+            out.push_back(token[i]);
+            continue;
+        }
+        if (i + 1 >= token.size())
+            fatal("JSON pointer token ends with bare '~'");
+        char next = token[i + 1];
+        if (next == '0')
+            out.push_back('~');
+        else if (next == '1')
+            out.push_back('/');
+        else
+            fatal("invalid JSON pointer escape '~" +
+                  std::string(1, next) + "'");
+        ++i;
+    }
+    return out;
+}
+
+std::string
+escapeToken(const std::string &token)
+{
+    std::string out;
+    for (char c : token) {
+        if (c == '~')
+            out += "~0";
+        else if (c == '/')
+            out += "~1";
+        else
+            out.push_back(c);
+    }
+    return out;
+}
+
+/**
+ * Parse a token as an array index: digits only, no leading zeros
+ * except "0" itself, per RFC 6901.
+ *
+ * @return True and sets index on success.
+ */
+bool
+parseIndex(const std::string &token, size_t &index)
+{
+    if (token.empty())
+        return false;
+    if (token.size() > 1 && token[0] == '0')
+        return false;
+    size_t value = 0;
+    for (char c : token) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+        value = value * 10 + static_cast<size_t>(c - '0');
+    }
+    index = value;
+    return true;
+}
+
+} // namespace
+
+Pointer::Pointer(std::string_view text)
+{
+    if (text.empty())
+        return;
+    if (text.front() != '/')
+        fatal("JSON pointer must start with '/': \"" +
+              std::string(text) + "\"");
+    size_t start = 1;
+    while (true) {
+        size_t slash = text.find('/', start);
+        if (slash == std::string_view::npos) {
+            tokens_.push_back(unescapeToken(text.substr(start)));
+            break;
+        }
+        tokens_.push_back(
+            unescapeToken(text.substr(start, slash - start)));
+        start = slash + 1;
+    }
+}
+
+Pointer::Pointer(std::vector<std::string> tokens)
+    : tokens_(std::move(tokens))
+{
+}
+
+Pointer
+Pointer::child(std::string_view key) const
+{
+    std::vector<std::string> extended = tokens_;
+    extended.emplace_back(key);
+    return Pointer(std::move(extended));
+}
+
+Pointer
+Pointer::child(size_t index) const
+{
+    return child(std::to_string(index));
+}
+
+std::string
+Pointer::toString() const
+{
+    std::string out;
+    for (const std::string &token : tokens_) {
+        out.push_back('/');
+        out += escapeToken(token);
+    }
+    return out;
+}
+
+const Value *
+Pointer::resolve(const Value &root) const
+{
+    const Value *current = &root;
+    for (const std::string &token : tokens_) {
+        if (current->isObject()) {
+            current = current->find(token);
+            if (!current)
+                return nullptr;
+        } else if (current->isArray()) {
+            size_t index = 0;
+            if (!parseIndex(token, index) || index >= current->size())
+                return nullptr;
+            current = &current->at(index);
+        } else {
+            return nullptr;
+        }
+    }
+    return current;
+}
+
+} // namespace parchmint::json

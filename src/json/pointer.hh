@@ -1,0 +1,71 @@
+/**
+ * @file
+ * JSON Pointer (RFC 6901).
+ *
+ * Validation diagnostics reference locations inside netlist documents
+ * ("/components/3/ports/0/x"); JSON Pointer is the standard notation
+ * for that. This header provides resolution against a Value tree and
+ * pointer construction helpers.
+ */
+
+#ifndef PARCHMINT_JSON_POINTER_HH
+#define PARCHMINT_JSON_POINTER_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/value.hh"
+
+namespace parchmint::json
+{
+
+/**
+ * An RFC 6901 JSON Pointer: an ordered list of reference tokens.
+ */
+class Pointer
+{
+  public:
+    /** The empty pointer, referring to the whole document. */
+    Pointer() = default;
+
+    /**
+     * Parse the textual form, e.g. "/components/0/id". The empty
+     * string is the whole-document pointer.
+     *
+     * @throws UserError on syntactically invalid pointers.
+     */
+    explicit Pointer(std::string_view text);
+
+    /** Construct from already-unescaped tokens. */
+    explicit Pointer(std::vector<std::string> tokens);
+
+    /** @return The unescaped reference tokens, in order. */
+    const std::vector<std::string> &tokens() const { return tokens_; }
+
+    /** @return A pointer extended by one object key. */
+    Pointer child(std::string_view key) const;
+
+    /** @return A pointer extended by one array index. */
+    Pointer child(size_t index) const;
+
+    /** Render back to the escaped textual form. */
+    std::string toString() const;
+
+    /**
+     * Resolve against a document.
+     *
+     * @return The referenced value, or nullptr when any step is
+     *         missing or of the wrong kind.
+     */
+    const Value *resolve(const Value &root) const;
+
+    bool operator==(const Pointer &other) const = default;
+
+  private:
+    std::vector<std::string> tokens_;
+};
+
+} // namespace parchmint::json
+
+#endif // PARCHMINT_JSON_POINTER_HH

@@ -1,0 +1,400 @@
+#include "json/value.hh"
+
+#include <limits>
+
+#include "common/error.hh"
+
+namespace parchmint::json
+{
+
+const char *
+kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::Null: return "null";
+      case Kind::Boolean: return "boolean";
+      case Kind::Integer: return "integer";
+      case Kind::Real: return "real";
+      case Kind::String: return "string";
+      case Kind::Array: return "array";
+      case Kind::Object: return "object";
+    }
+    panic("kindName: invalid Kind tag");
+}
+
+Value::Value()
+    : kind_(Kind::Null), integer_(0)
+{
+}
+
+Value::Value(bool boolean)
+    : kind_(Kind::Boolean), boolean_(boolean)
+{
+}
+
+Value::Value(int64_t integer)
+    : kind_(Kind::Integer), integer_(integer)
+{
+}
+
+Value::Value(int integer)
+    : kind_(Kind::Integer), integer_(integer)
+{
+}
+
+Value::Value(double real)
+    : kind_(Kind::Real), real_(real)
+{
+}
+
+Value::Value(std::string text)
+    : kind_(Kind::String), string_(new std::string(std::move(text)))
+{
+}
+
+Value::Value(const char *text)
+    : kind_(Kind::String), string_(new std::string(text))
+{
+}
+
+Value::Value(const Value &other)
+    : kind_(Kind::Null), integer_(0)
+{
+    copyFrom(other);
+}
+
+Value::Value(Value &&other) noexcept
+    : kind_(Kind::Null), integer_(0)
+{
+    moveFrom(std::move(other));
+}
+
+Value &
+Value::operator=(const Value &other)
+{
+    if (this != &other) {
+        destroy();
+        copyFrom(other);
+    }
+    return *this;
+}
+
+Value &
+Value::operator=(Value &&other) noexcept
+{
+    if (this != &other) {
+        destroy();
+        moveFrom(std::move(other));
+    }
+    return *this;
+}
+
+Value::~Value()
+{
+    destroy();
+}
+
+void
+Value::destroy()
+{
+    switch (kind_) {
+      case Kind::String:
+        delete string_;
+        break;
+      case Kind::Array:
+        delete array_;
+        break;
+      case Kind::Object:
+        delete object_;
+        break;
+      default:
+        break;
+    }
+    kind_ = Kind::Null;
+    integer_ = 0;
+}
+
+void
+Value::copyFrom(const Value &other)
+{
+    kind_ = other.kind_;
+    switch (kind_) {
+      case Kind::Null:
+        integer_ = 0;
+        break;
+      case Kind::Boolean:
+        boolean_ = other.boolean_;
+        break;
+      case Kind::Integer:
+        integer_ = other.integer_;
+        break;
+      case Kind::Real:
+        real_ = other.real_;
+        break;
+      case Kind::String:
+        string_ = new std::string(*other.string_);
+        break;
+      case Kind::Array:
+        array_ = new std::vector<Value>(*other.array_);
+        break;
+      case Kind::Object:
+        object_ = new std::vector<Member>(*other.object_);
+        break;
+    }
+}
+
+void
+Value::moveFrom(Value &&other) noexcept
+{
+    kind_ = other.kind_;
+    switch (kind_) {
+      case Kind::Null:
+        integer_ = 0;
+        break;
+      case Kind::Boolean:
+        boolean_ = other.boolean_;
+        break;
+      case Kind::Integer:
+        integer_ = other.integer_;
+        break;
+      case Kind::Real:
+        real_ = other.real_;
+        break;
+      case Kind::String:
+        string_ = other.string_;
+        break;
+      case Kind::Array:
+        array_ = other.array_;
+        break;
+      case Kind::Object:
+        object_ = other.object_;
+        break;
+    }
+    other.kind_ = Kind::Null;
+    other.integer_ = 0;
+}
+
+Value
+Value::makeArray()
+{
+    Value value;
+    value.kind_ = Kind::Array;
+    value.array_ = new std::vector<Value>();
+    return value;
+}
+
+Value
+Value::makeArray(std::vector<Value> elements)
+{
+    Value value;
+    value.kind_ = Kind::Array;
+    value.array_ = new std::vector<Value>(std::move(elements));
+    return value;
+}
+
+Value
+Value::makeObject()
+{
+    Value value;
+    value.kind_ = Kind::Object;
+    value.object_ = new std::vector<Member>();
+    return value;
+}
+
+Value
+Value::makeObject(std::vector<Member> members)
+{
+    Value value;
+    value.kind_ = Kind::Object;
+    value.object_ = new std::vector<Member>(std::move(members));
+    return value;
+}
+
+void
+Value::kindMismatch(const char *expected) const
+{
+    fatal(std::string("JSON kind mismatch: expected ") + expected +
+          ", found " + kindName(kind_));
+}
+
+bool
+Value::asBoolean() const
+{
+    if (!isBoolean())
+        kindMismatch("boolean");
+    return boolean_;
+}
+
+int64_t
+Value::asInteger() const
+{
+    if (!isInteger())
+        kindMismatch("integer");
+    return integer_;
+}
+
+double
+Value::asDouble() const
+{
+    if (isInteger())
+        return static_cast<double>(integer_);
+    if (isReal())
+        return real_;
+    kindMismatch("number");
+}
+
+const std::string &
+Value::asString() const
+{
+    if (!isString())
+        kindMismatch("string");
+    return *string_;
+}
+
+size_t
+Value::size() const
+{
+    if (isArray())
+        return array_->size();
+    if (isObject())
+        return object_->size();
+    kindMismatch("array or object");
+}
+
+const Value &
+Value::at(size_t index) const
+{
+    if (!isArray())
+        kindMismatch("array");
+    if (index >= array_->size())
+        fatal("JSON array index " + std::to_string(index) +
+              " out of range (size " + std::to_string(array_->size()) +
+              ")");
+    return (*array_)[index];
+}
+
+Value &
+Value::at(size_t index)
+{
+    const Value &self = *this;
+    return const_cast<Value &>(self.at(index));
+}
+
+void
+Value::append(Value element)
+{
+    if (!isArray())
+        kindMismatch("array");
+    array_->push_back(std::move(element));
+}
+
+const std::vector<Value> &
+Value::elements() const
+{
+    if (!isArray())
+        kindMismatch("array");
+    return *array_;
+}
+
+bool
+Value::contains(std::string_view key) const
+{
+    return find(key) != nullptr;
+}
+
+const Value *
+Value::find(std::string_view key) const
+{
+    if (!isObject())
+        kindMismatch("object");
+    for (const Member &member : *object_) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
+}
+
+Value *
+Value::find(std::string_view key)
+{
+    const Value &self = *this;
+    return const_cast<Value *>(self.find(key));
+}
+
+const Value &
+Value::at(std::string_view key) const
+{
+    const Value *value = find(key);
+    if (!value)
+        fatal("JSON object has no member \"" + std::string(key) + "\"");
+    return *value;
+}
+
+Value &
+Value::at(std::string_view key)
+{
+    const Value &self = *this;
+    return const_cast<Value &>(self.at(key));
+}
+
+void
+Value::set(std::string_view key, Value value)
+{
+    if (!isObject())
+        kindMismatch("object");
+    for (Member &member : *object_) {
+        if (member.first == key) {
+            member.second = std::move(value);
+            return;
+        }
+    }
+    object_->emplace_back(std::string(key), std::move(value));
+}
+
+bool
+Value::erase(std::string_view key)
+{
+    if (!isObject())
+        kindMismatch("object");
+    for (auto it = object_->begin(); it != object_->end(); ++it) {
+        if (it->first == key) {
+            object_->erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<Value::Member> &
+Value::members() const
+{
+    if (!isObject())
+        kindMismatch("object");
+    return *object_;
+}
+
+bool
+Value::operator==(const Value &other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::Null:
+        return true;
+      case Kind::Boolean:
+        return boolean_ == other.boolean_;
+      case Kind::Integer:
+        return integer_ == other.integer_;
+      case Kind::Real:
+        return real_ == other.real_;
+      case Kind::String:
+        return *string_ == *other.string_;
+      case Kind::Array:
+        return *array_ == *other.array_;
+      case Kind::Object:
+        return *object_ == *other.object_;
+    }
+    panic("Value::operator==: invalid Kind tag");
+}
+
+} // namespace parchmint::json

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * JSON value model.
+ *
+ * parchmint carries its own JSON implementation so the interchange
+ * format has no external dependencies. Value is a tagged union over
+ * the seven JSON kinds (null, boolean, integer, real, string, array,
+ * object). Integers and reals are kept distinct so that netlist
+ * coordinates written as integers round-trip as integers, which the
+ * ParchMint schema requires of spans and port positions.
+ *
+ * Objects preserve insertion order. ParchMint files are exchanged
+ * between tools and read by humans; keeping key order stable makes
+ * serialization deterministic and diffs meaningful.
+ */
+
+#ifndef PARCHMINT_JSON_VALUE_HH
+#define PARCHMINT_JSON_VALUE_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace parchmint::json
+{
+
+/** The seven JSON value kinds; Integer/Real split JSON's number. */
+enum class Kind
+{
+    Null,
+    Boolean,
+    Integer,
+    Real,
+    String,
+    Array,
+    Object,
+};
+
+/** Human-readable name of a Kind, e.g. "object". */
+const char *kindName(Kind kind);
+
+/**
+ * A JSON document node. Values are regular: copyable, movable,
+ * equality-comparable. Accessors are checked and throw UserError on
+ * kind mismatches so that malformed netlists surface as clean errors
+ * rather than undefined behaviour.
+ */
+class Value
+{
+  public:
+    /** An object member: key plus value, in insertion order. */
+    using Member = std::pair<std::string, Value>;
+
+    /** Construct null. */
+    Value();
+    /** Construct a boolean. */
+    Value(bool boolean);
+    /** Construct an integer number. */
+    Value(int64_t integer);
+    /** Construct an integer number from int (convenience). */
+    Value(int integer);
+    /** Construct a real number. */
+    Value(double real);
+    /** Construct a string. */
+    Value(std::string text);
+    /** Construct a string from a literal. */
+    Value(const char *text);
+
+    Value(const Value &other);
+    Value(Value &&other) noexcept;
+    Value &operator=(const Value &other);
+    Value &operator=(Value &&other) noexcept;
+    ~Value();
+
+    /** Make an empty array. */
+    static Value makeArray();
+    /** Make an array from elements. */
+    static Value makeArray(std::vector<Value> elements);
+    /** Make an empty object. */
+    static Value makeObject();
+    /** Make an object from members, preserving the given order. */
+    static Value makeObject(std::vector<Member> members);
+
+    /** @return This value's kind tag. */
+    Kind kind() const { return kind_; }
+
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBoolean() const { return kind_ == Kind::Boolean; }
+    bool isInteger() const { return kind_ == Kind::Integer; }
+    bool isReal() const { return kind_ == Kind::Real; }
+    /** True for Integer or Real. */
+    bool isNumber() const { return isInteger() || isReal(); }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** @return The boolean payload; throws unless isBoolean(). */
+    bool asBoolean() const;
+    /** @return The integer payload; throws unless isInteger(). */
+    int64_t asInteger() const;
+    /**
+     * @return The numeric payload as double; throws unless
+     * isNumber(). Integers convert exactly up to 2^53.
+     */
+    double asDouble() const;
+    /** @return The string payload; throws unless isString(). */
+    const std::string &asString() const;
+
+    // --- Array access -------------------------------------------------
+
+    /** Number of elements (array) or members (object); throws else. */
+    size_t size() const;
+    /** True when an array/object has no elements/members. */
+    bool empty() const { return size() == 0; }
+
+    /** Checked element access; throws on kind or range errors. */
+    const Value &at(size_t index) const;
+    Value &at(size_t index);
+
+    /** Append an element; throws unless isArray(). */
+    void append(Value element);
+
+    /** Underlying element vector; throws unless isArray(). */
+    const std::vector<Value> &elements() const;
+
+    // --- Object access ------------------------------------------------
+
+    /** True when the object has the given key; throws unless object. */
+    bool contains(std::string_view key) const;
+
+    /**
+     * Checked member access; throws unless isObject() and the key is
+     * present.
+     */
+    const Value &at(std::string_view key) const;
+    Value &at(std::string_view key);
+
+    /**
+     * @return Pointer to the member value, or nullptr when absent.
+     * Throws unless isObject().
+     */
+    const Value *find(std::string_view key) const;
+    Value *find(std::string_view key);
+
+    /**
+     * Insert or overwrite a member. New keys append at the end,
+     * preserving insertion order. Throws unless isObject().
+     */
+    void set(std::string_view key, Value value);
+
+    /**
+     * Remove a member if present.
+     * @return True when a member was removed.
+     */
+    bool erase(std::string_view key);
+
+    /** Ordered member list; throws unless isObject(). */
+    const std::vector<Member> &members() const;
+
+    /** Deep structural equality; integer 1 != real 1.0 by design. */
+    bool operator==(const Value &other) const;
+    bool operator!=(const Value &other) const { return !(*this == other); }
+
+  private:
+    void destroy();
+    void copyFrom(const Value &other);
+    void moveFrom(Value &&other) noexcept;
+
+    [[noreturn]] void kindMismatch(const char *expected) const;
+
+    Kind kind_;
+    union
+    {
+        bool boolean_;
+        int64_t integer_;
+        double real_;
+        std::string *string_;
+        std::vector<Value> *array_;
+        std::vector<Member> *object_;
+    };
+};
+
+} // namespace parchmint::json
+
+#endif // PARCHMINT_JSON_VALUE_HH

@@ -1,0 +1,243 @@
+#include "json/write.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hh"
+#include "common/strings.hh"
+
+namespace parchmint::json
+{
+
+namespace
+{
+
+void
+appendEscaped(std::string &out, const std::string &text, bool ascii_only)
+{
+    for (size_t i = 0; i < text.size(); ++i) {
+        unsigned char c = static_cast<unsigned char>(text[i]);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                out += buffer;
+            } else if (c < 0x80 || !ascii_only) {
+                out.push_back(static_cast<char>(c));
+            } else {
+                // Decode UTF-8 and emit \uXXXX (surrogates for
+                // astral code points).
+                unsigned code = 0;
+                size_t extra = 0;
+                if ((c & 0xe0) == 0xc0) {
+                    code = c & 0x1f;
+                    extra = 1;
+                } else if ((c & 0xf0) == 0xe0) {
+                    code = c & 0x0f;
+                    extra = 2;
+                } else if ((c & 0xf8) == 0xf0) {
+                    code = c & 0x07;
+                    extra = 3;
+                } else {
+                    fatal("invalid UTF-8 byte in string being "
+                          "serialized");
+                }
+                if (i + extra >= text.size())
+                    fatal("truncated UTF-8 sequence in string being "
+                          "serialized");
+                for (size_t k = 1; k <= extra; ++k) {
+                    unsigned char cont =
+                        static_cast<unsigned char>(text[i + k]);
+                    if ((cont & 0xc0) != 0x80)
+                        fatal("invalid UTF-8 continuation byte");
+                    code = (code << 6) | (cont & 0x3f);
+                }
+                i += extra;
+                char buffer[16];
+                if (code < 0x10000) {
+                    std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                                  code);
+                    out += buffer;
+                } else {
+                    unsigned reduced = code - 0x10000;
+                    unsigned high = 0xd800 + (reduced >> 10);
+                    unsigned low = 0xdc00 + (reduced & 0x3ff);
+                    std::snprintf(buffer, sizeof(buffer),
+                                  "\\u%04x\\u%04x", high, low);
+                    out += buffer;
+                }
+            }
+        }
+    }
+}
+
+/** Recursive writer with indentation state. */
+class Writer
+{
+  public:
+    Writer(const WriteOptions &options)
+        : options_(options)
+    {
+    }
+
+    std::string
+    run(const Value &value)
+    {
+        writeValue(value, 0);
+        if (options_.pretty)
+            out_.push_back('\n');
+        return std::move(out_);
+    }
+
+  private:
+    void
+    indent(int depth)
+    {
+        out_.append(static_cast<size_t>(depth) *
+                    static_cast<size_t>(options_.indentWidth), ' ');
+    }
+
+    void
+    writeValue(const Value &value, int depth)
+    {
+        switch (value.kind()) {
+          case Kind::Null:
+            out_ += "null";
+            break;
+          case Kind::Boolean:
+            out_ += value.asBoolean() ? "true" : "false";
+            break;
+          case Kind::Integer:
+            out_ += std::to_string(value.asInteger());
+            break;
+          case Kind::Real:
+            writeReal(value.asDouble());
+            break;
+          case Kind::String:
+            out_.push_back('"');
+            appendEscaped(out_, value.asString(), options_.asciiOnly);
+            out_.push_back('"');
+            break;
+          case Kind::Array:
+            writeArray(value, depth);
+            break;
+          case Kind::Object:
+            writeObject(value, depth);
+            break;
+        }
+    }
+
+    void
+    writeReal(double real)
+    {
+        if (!std::isfinite(real))
+            fatal("cannot serialize non-finite number to JSON");
+        std::string text = formatDouble(real);
+        out_ += text;
+        // JSON has no integer/real distinction on the wire; keep the
+        // reader's Kind::Real by forcing a fractional marker.
+        if (text.find('.') == std::string::npos &&
+            text.find('e') == std::string::npos &&
+            text.find('E') == std::string::npos) {
+            out_ += ".0";
+        }
+    }
+
+    void
+    writeArray(const Value &value, int depth)
+    {
+        if (value.empty()) {
+            out_ += "[]";
+            return;
+        }
+        out_.push_back('[');
+        bool first = true;
+        for (const Value &element : value.elements()) {
+            if (!first)
+                out_.push_back(',');
+            first = false;
+            if (options_.pretty) {
+                out_.push_back('\n');
+                indent(depth + 1);
+            }
+            writeValue(element, depth + 1);
+        }
+        if (options_.pretty) {
+            out_.push_back('\n');
+            indent(depth);
+        }
+        out_.push_back(']');
+    }
+
+    void
+    writeObject(const Value &value, int depth)
+    {
+        if (value.empty()) {
+            out_ += "{}";
+            return;
+        }
+        out_.push_back('{');
+        bool first = true;
+        for (const Value::Member &member : value.members()) {
+            if (!first)
+                out_.push_back(',');
+            first = false;
+            if (options_.pretty) {
+                out_.push_back('\n');
+                indent(depth + 1);
+            }
+            out_.push_back('"');
+            appendEscaped(out_, member.first, options_.asciiOnly);
+            out_ += options_.pretty ? "\": " : "\":";
+            writeValue(member.second, depth + 1);
+        }
+        if (options_.pretty) {
+            out_.push_back('\n');
+            indent(depth);
+        }
+        out_.push_back('}');
+    }
+
+    const WriteOptions &options_;
+    std::string out_;
+};
+
+} // namespace
+
+std::string
+write(const Value &value, const WriteOptions &options)
+{
+    Writer writer(options);
+    return writer.run(value);
+}
+
+void
+writeFile(const std::string &path, const Value &value,
+          const WriteOptions &options)
+{
+    std::ofstream stream(path, std::ios::binary);
+    if (!stream)
+        fatal("cannot open file for writing: " + path);
+    stream << write(value, options);
+    if (!stream)
+        fatal("failed writing file: " + path);
+}
+
+std::string
+escapeString(const std::string &text, bool ascii_only)
+{
+    std::string out;
+    appendEscaped(out, text, ascii_only);
+    return out;
+}
+
+} // namespace parchmint::json

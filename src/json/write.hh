@@ -1,0 +1,53 @@
+/**
+ * @file
+ * JSON serializer.
+ *
+ * Deterministic output: the same Value always serializes to the same
+ * bytes, which makes netlist files diffable and lets tests compare
+ * serialized documents directly. Member order is insertion order.
+ */
+
+#ifndef PARCHMINT_JSON_WRITE_HH
+#define PARCHMINT_JSON_WRITE_HH
+
+#include <string>
+
+#include "json/value.hh"
+
+namespace parchmint::json
+{
+
+/** Serializer knobs. */
+struct WriteOptions
+{
+    /** Pretty-print with newlines and indentation when true. */
+    bool pretty = true;
+    /** Spaces per indentation level in pretty mode. */
+    int indentWidth = 4;
+    /** Escape non-ASCII bytes as \\uXXXX when true. */
+    bool asciiOnly = false;
+};
+
+/**
+ * Serialize a value to a string.
+ *
+ * @param value The document root.
+ * @param options Formatting knobs.
+ * @return The serialized text; pretty output ends with a newline.
+ */
+std::string write(const Value &value, const WriteOptions &options = {});
+
+/**
+ * Serialize a value to a file.
+ *
+ * @throws UserError when the file cannot be written.
+ */
+void writeFile(const std::string &path, const Value &value,
+               const WriteOptions &options = {});
+
+/** Escape a string body per JSON rules (no surrounding quotes). */
+std::string escapeString(const std::string &text, bool ascii_only = false);
+
+} // namespace parchmint::json
+
+#endif // PARCHMINT_JSON_WRITE_HH

@@ -1,0 +1,4 @@
+// The MINT AST is a passive data structure; its definitions live
+// entirely in ast.hh. This translation unit exists so the build
+// system has a home for future out-of-line AST helpers.
+#include "mint/ast.hh"

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * MINT abstract syntax tree.
+ *
+ * The AST mirrors the source faithfully (per-layer statement lists,
+ * unresolved entity strings) so elaboration errors can reference the
+ * source line. Resolution against the entity catalogue and target
+ * checking happen in elaborate.hh.
+ */
+
+#ifndef PARCHMINT_MINT_AST_HH
+#define PARCHMINT_MINT_AST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/device.hh"
+
+namespace parchmint::mint
+{
+
+/** A key=value parameter attached to a statement. */
+struct AstParam
+{
+    std::string name;
+    /** Value as JSON (integer, real or string). */
+    json::Value value;
+    size_t line = 0;
+};
+
+/** A component declaration: `MIXER m1, m2 numBends=5;`. */
+struct AstPrimitive
+{
+    /** Entity spelling as written, e.g. "ROTARY_PUMP". */
+    std::string entity;
+    /** Declared instance names. */
+    std::vector<std::string> names;
+    std::vector<AstParam> params;
+    size_t line = 0;
+};
+
+/** A channel/net endpoint: component plus optional port. */
+struct AstEndpoint
+{
+    std::string component;
+    /** Port label; empty means unspecified. */
+    std::string port;
+    size_t line = 0;
+};
+
+/** A channel or net declaration. */
+struct AstConnection
+{
+    std::string name;
+    AstEndpoint source;
+    std::vector<AstEndpoint> sinks;
+    std::vector<AstParam> params;
+    size_t line = 0;
+};
+
+/** One `LAYER ... END LAYER` block. */
+struct AstLayer
+{
+    /** "FLOW", "CONTROL" or "INTEGRATION". */
+    std::string type;
+    std::vector<AstPrimitive> primitives;
+    std::vector<AstConnection> connections;
+    size_t line = 0;
+};
+
+/** A whole MINT compilation unit. */
+struct AstDevice
+{
+    std::string name;
+    std::vector<AstLayer> layers;
+};
+
+} // namespace parchmint::mint
+
+#endif // PARCHMINT_MINT_AST_HH

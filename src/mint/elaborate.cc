@@ -1,0 +1,241 @@
+#include "mint/elaborate.hh"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hh"
+#include "mint/parser.hh"
+
+namespace parchmint::mint
+{
+
+namespace
+{
+
+/** Layer IDs generated for each MINT layer type. */
+std::string
+layerIdFor(const std::string &type, size_t ordinal)
+{
+    std::string base;
+    if (type == "FLOW")
+        base = "flow";
+    else if (type == "CONTROL")
+        base = "control";
+    else
+        base = "integration";
+    if (ordinal == 0)
+        return base;
+    return base + "_" + std::to_string(ordinal);
+}
+
+class Elaborator
+{
+  public:
+    explicit Elaborator(const AstDevice &ast)
+        : ast_(ast), device_(ast.name)
+    {
+    }
+
+    Device
+    run()
+    {
+        declareLayers();
+        declareComponents();
+        declareConnections();
+        return std::move(device_);
+    }
+
+  private:
+    void
+    declareLayers()
+    {
+        std::unordered_map<std::string, size_t> counts;
+        for (const AstLayer &layer : ast_.layers) {
+            size_t ordinal = counts[layer.type]++;
+            Layer declared;
+            declared.id = layerIdFor(layer.type, ordinal);
+            declared.name = declared.id;
+            declared.type = parseLayerType(layer.type);
+            device_.addLayer(declared);
+            layerIds_.push_back(declared.id);
+        }
+        if (!device_.firstLayer(LayerType::Flow))
+            fatal("MINT device \"" + ast_.name +
+                  "\" declares no FLOW layer");
+    }
+
+    void
+    declareComponents()
+    {
+        const Layer *control = device_.firstLayer(LayerType::Control);
+        const std::string control_id = control ? control->id : "";
+
+        for (size_t li = 0; li < ast_.layers.size(); ++li) {
+            const AstLayer &layer = ast_.layers[li];
+            // Template "flow" terminals bind to the layer of the
+            // block the component is declared in, so a PORT inside
+            // LAYER CONTROL becomes a pneumatic input.
+            const std::string &primary_id = layerIds_[li];
+            for (const AstPrimitive &primitive : layer.primitives) {
+                EntityKind kind = parseEntity(primitive.entity);
+                if (kind == EntityKind::Unknown) {
+                    fatal("MINT line " +
+                          std::to_string(primitive.line) +
+                          ": unknown entity \"" + primitive.entity +
+                          "\"");
+                }
+                for (const std::string &name : primitive.names) {
+                    if (device_.hasId(name)) {
+                        fatal("MINT line " +
+                              std::to_string(primitive.line) +
+                              ": duplicate instance name \"" + name +
+                              "\"");
+                    }
+                    Component component = makeComponent(
+                        name, name, kind, primary_id, control_id);
+                    for (const AstParam &param : primitive.params) {
+                        component.params().set(param.name,
+                                               param.value);
+                    }
+                    applyGeometryParams(component);
+                    device_.addComponent(std::move(component));
+                }
+            }
+        }
+    }
+
+    /**
+     * MINT geometry parameters override catalogue spans: width /
+     * height (or xSpan / ySpan) resize the component, scaling port
+     * positions proportionally.
+     */
+    void
+    applyGeometryParams(Component &component)
+    {
+        int64_t x_span = component.params().getInt(
+            "width", component.params().getInt("xSpan",
+                                               component.xSpan()));
+        int64_t y_span = component.params().getInt(
+            "height", component.params().getInt("ySpan",
+                                                component.ySpan()));
+        if (x_span == component.xSpan() &&
+            y_span == component.ySpan()) {
+            return;
+        }
+        if (x_span <= 0 || y_span <= 0)
+            fatal("component \"" + component.id() +
+                  "\": width/height parameters must be positive");
+        Component resized(component.id(), component.name(),
+                          component.entity(), x_span, y_span);
+        for (const std::string &layer_id : component.layerIds())
+            resized.addLayerId(layer_id);
+        for (const Port &port : component.ports()) {
+            Port scaled = port;
+            scaled.x = port.x * x_span / component.xSpan();
+            scaled.y = port.y * y_span / component.ySpan();
+            resized.addPort(scaled);
+        }
+        resized.params() = component.params();
+        component = std::move(resized);
+    }
+
+    /**
+     * Pick the port for an endpoint. Explicit ports are verified;
+     * open endpoints stay open (ParchMint permits portless targets).
+     */
+    ConnectionTarget
+    resolveEndpoint(const AstEndpoint &endpoint,
+                    const std::string &layer_id)
+    {
+        const Component *component =
+            device_.findComponent(endpoint.component);
+        if (!component) {
+            fatal("MINT line " + std::to_string(endpoint.line) +
+                  ": endpoint references undeclared component \"" +
+                  endpoint.component + "\"");
+        }
+        ConnectionTarget target;
+        target.componentId = endpoint.component;
+        if (!endpoint.port.empty()) {
+            const Port *port = component->findPort(endpoint.port);
+            if (!port) {
+                fatal("MINT line " + std::to_string(endpoint.line) +
+                      ": component \"" + endpoint.component +
+                      "\" has no port \"" + endpoint.port + "\"");
+            }
+            if (port->layerId != layer_id) {
+                fatal("MINT line " + std::to_string(endpoint.line) +
+                      ": port \"" + endpoint.port +
+                      "\" is not on layer \"" + layer_id + "\"");
+            }
+            target.portLabel = endpoint.port;
+        }
+        return target;
+    }
+
+    void
+    declareConnections()
+    {
+        std::unordered_set<std::string> names;
+        for (size_t li = 0; li < ast_.layers.size(); ++li) {
+            const AstLayer &layer = ast_.layers[li];
+            const std::string &layer_id = layerIds_[li];
+            for (const AstConnection &ast_connection :
+                 layer.connections) {
+                if (device_.hasId(ast_connection.name)) {
+                    fatal("MINT line " +
+                          std::to_string(ast_connection.line) +
+                          ": duplicate connection name \"" +
+                          ast_connection.name + "\"");
+                }
+                Connection connection(ast_connection.name,
+                                      ast_connection.name, layer_id);
+                connection.setSource(resolveEndpoint(
+                    ast_connection.source, layer_id));
+                for (const AstEndpoint &sink : ast_connection.sinks) {
+                    connection.addSink(
+                        resolveEndpoint(sink, layer_id));
+                }
+                for (const AstParam &param : ast_connection.params) {
+                    connection.params().set(param.name, param.value);
+                }
+                device_.addConnection(std::move(connection));
+            }
+        }
+    }
+
+    const AstDevice &ast_;
+    Device device_;
+    /** Generated layer ID per AST layer, by index. */
+    std::vector<std::string> layerIds_;
+};
+
+} // namespace
+
+Device
+elaborate(const AstDevice &ast)
+{
+    Elaborator elaborator(ast);
+    return elaborator.run();
+}
+
+Device
+compileMint(std::string_view source)
+{
+    return elaborate(parseMint(source));
+}
+
+Device
+compileMintFile(const std::string &path)
+{
+    std::ifstream stream(path, std::ios::binary);
+    if (!stream)
+        fatal("cannot open MINT file: " + path);
+    std::ostringstream buffer;
+    buffer << stream.rdbuf();
+    return compileMint(buffer.str());
+}
+
+} // namespace parchmint::mint

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * MINT elaboration: AST to Device.
+ *
+ * Elaboration resolves entity spellings against the catalogue,
+ * instantiates components with default geometry and port templates,
+ * assigns default ports to channel endpoints that left them open
+ * (first free flow port of the component, in template order), and
+ * carries MINT parameters through to ParchMint params.
+ */
+
+#ifndef PARCHMINT_MINT_ELABORATE_HH
+#define PARCHMINT_MINT_ELABORATE_HH
+
+#include <string_view>
+
+#include "core/device.hh"
+#include "mint/ast.hh"
+
+namespace parchmint::mint
+{
+
+/**
+ * Elaborate a parsed MINT device into a ParchMint netlist.
+ *
+ * @throws UserError on semantic problems: unknown entity, duplicate
+ *         instance names, endpoints naming undeclared components,
+ *         explicit ports that do not exist.
+ */
+Device elaborate(const AstDevice &ast);
+
+/** Parse and elaborate MINT source in one step. */
+Device compileMint(std::string_view source);
+
+/** Read, parse and elaborate a .mint file. */
+Device compileMintFile(const std::string &path);
+
+} // namespace parchmint::mint
+
+#endif // PARCHMINT_MINT_ELABORATE_HH

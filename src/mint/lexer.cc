@@ -1,0 +1,156 @@
+#include "mint/lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace parchmint::mint
+{
+
+MintError::MintError(const std::string &message, size_t line,
+                     size_t column)
+    : UserError("MINT error at line " + std::to_string(line) +
+                ", column " + std::to_string(column) + ": " + message),
+      line_(line), column_(column)
+{
+}
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentBody(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '-';
+}
+
+} // namespace
+
+std::vector<Token>
+tokenize(std::string_view source)
+{
+    std::vector<Token> tokens;
+    size_t pos = 0;
+    size_t line = 1;
+    size_t column = 1;
+
+    auto advance = [&]() {
+        if (source[pos] == '\n') {
+            ++line;
+            column = 1;
+        } else {
+            ++column;
+        }
+        ++pos;
+    };
+
+    while (pos < source.size()) {
+        char c = source[pos];
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance();
+            continue;
+        }
+        if (c == '#') {
+            while (pos < source.size() && source[pos] != '\n')
+                advance();
+            continue;
+        }
+
+        Token token;
+        token.line = line;
+        token.column = column;
+
+        if (c == ',') {
+            token.kind = TokenKind::Comma;
+            token.text = ",";
+            advance();
+        } else if (c == ';') {
+            token.kind = TokenKind::Semicolon;
+            token.text = ";";
+            advance();
+        } else if (c == '=') {
+            token.kind = TokenKind::Equals;
+            token.text = "=";
+            advance();
+        } else if (c == '"') {
+            advance();
+            std::string text;
+            while (true) {
+                if (pos >= source.size())
+                    throw MintError("unterminated string literal",
+                                    token.line, token.column);
+                char d = source[pos];
+                if (d == '"') {
+                    advance();
+                    break;
+                }
+                if (d == '\n')
+                    throw MintError("newline in string literal",
+                                    token.line, token.column);
+                text.push_back(d);
+                advance();
+            }
+            token.kind = TokenKind::String;
+            token.text = std::move(text);
+        } else if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::string text;
+            bool is_real = false;
+            while (pos < source.size()) {
+                char d = source[pos];
+                if (std::isdigit(static_cast<unsigned char>(d))) {
+                    text.push_back(d);
+                    advance();
+                } else if (d == '.' && !is_real &&
+                           pos + 1 < source.size() &&
+                           std::isdigit(static_cast<unsigned char>(
+                               source[pos + 1]))) {
+                    is_real = true;
+                    text.push_back(d);
+                    advance();
+                } else {
+                    break;
+                }
+            }
+            if (pos < source.size() && isIdentStart(source[pos])) {
+                throw MintError("identifier cannot start with a digit",
+                                token.line, token.column);
+            }
+            token.text = text;
+            if (is_real) {
+                token.kind = TokenKind::Real;
+                token.real = std::strtod(text.c_str(), nullptr);
+            } else {
+                token.kind = TokenKind::Integer;
+                token.integer = std::strtoll(text.c_str(), nullptr, 10);
+            }
+        } else if (isIdentStart(c)) {
+            std::string text;
+            while (pos < source.size() && isIdentBody(source[pos])) {
+                text.push_back(source[pos]);
+                advance();
+            }
+            token.kind = TokenKind::Identifier;
+            token.text = std::move(text);
+        } else {
+            throw MintError(std::string("unexpected character '") + c +
+                                "'",
+                            line, column);
+        }
+        tokens.push_back(std::move(token));
+    }
+
+    Token eof;
+    eof.kind = TokenKind::EndOfFile;
+    eof.line = line;
+    eof.column = column;
+    tokens.push_back(eof);
+    return tokens;
+}
+
+} // namespace parchmint::mint

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * MINT lexer.
+ */
+
+#ifndef PARCHMINT_MINT_LEXER_HH
+#define PARCHMINT_MINT_LEXER_HH
+
+#include <string_view>
+#include <vector>
+
+#include "common/error.hh"
+#include "mint/token.hh"
+
+namespace parchmint::mint
+{
+
+/** A lexical or syntactic MINT error with source position. */
+class MintError : public UserError
+{
+  public:
+    MintError(const std::string &message, size_t line, size_t column);
+
+    size_t line() const { return line_; }
+    size_t column() const { return column_; }
+
+  private:
+    size_t line_;
+    size_t column_;
+};
+
+/**
+ * Tokenize MINT source. The result always ends with an EndOfFile
+ * token carrying the final position.
+ *
+ * @throws MintError on malformed input (bad characters, unterminated
+ *         strings, malformed numbers).
+ */
+std::vector<Token> tokenize(std::string_view source);
+
+} // namespace parchmint::mint
+
+#endif // PARCHMINT_MINT_LEXER_HH

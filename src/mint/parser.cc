@@ -1,0 +1,229 @@
+#include "mint/parser.hh"
+
+#include "mint/lexer.hh"
+
+namespace parchmint::mint
+{
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens)
+        : tokens_(std::move(tokens))
+    {
+    }
+
+    AstDevice
+    run()
+    {
+        AstDevice device;
+        expectKeyword("DEVICE");
+        device.name = expect(TokenKind::Identifier).text;
+
+        while (!peek().isKeyword("END") &&
+               peek().kind != TokenKind::EndOfFile) {
+            device.layers.push_back(parseLayer());
+        }
+        // Optional trailing "END DEVICE".
+        if (peek().isKeyword("END")) {
+            next();
+            if (peek().isKeyword("DEVICE"))
+                next();
+        }
+        if (peek().kind != TokenKind::EndOfFile)
+            fail("trailing content after device");
+        return device;
+    }
+
+  private:
+    const Token &peek(size_t ahead = 0) const
+    {
+        size_t index = std::min(pos_ + ahead, tokens_.size() - 1);
+        return tokens_[index];
+    }
+
+    const Token &
+    next()
+    {
+        const Token &token = peek();
+        if (pos_ + 1 < tokens_.size())
+            ++pos_;
+        return token;
+    }
+
+    [[noreturn]] void
+    fail(const std::string &message) const
+    {
+        throw MintError(message, peek().line, peek().column);
+    }
+
+    const Token &
+    expect(TokenKind kind)
+    {
+        if (peek().kind != kind) {
+            fail(std::string("expected ") + tokenKindName(kind) +
+                 ", found " + tokenKindName(peek().kind) +
+                 (peek().text.empty() ? "" : " \"" + peek().text +
+                                                 "\""));
+        }
+        return next();
+    }
+
+    void
+    expectKeyword(const char *keyword)
+    {
+        if (!peek().isKeyword(keyword))
+            fail(std::string("expected keyword ") + keyword);
+        next();
+    }
+
+    AstLayer
+    parseLayer()
+    {
+        AstLayer layer;
+        layer.line = peek().line;
+        expectKeyword("LAYER");
+        const Token &type = expect(TokenKind::Identifier);
+        if (type.isKeyword("FLOW")) {
+            layer.type = "FLOW";
+        } else if (type.isKeyword("CONTROL")) {
+            layer.type = "CONTROL";
+        } else if (type.isKeyword("INTEGRATION")) {
+            layer.type = "INTEGRATION";
+        } else {
+            throw MintError("unknown layer type \"" + type.text +
+                                "\"",
+                            type.line, type.column);
+        }
+
+        while (!peek().isKeyword("END")) {
+            if (peek().kind == TokenKind::EndOfFile)
+                fail("unterminated LAYER block (missing END LAYER)");
+            parseStatement(layer);
+        }
+        expectKeyword("END");
+        expectKeyword("LAYER");
+        return layer;
+    }
+
+    void
+    parseStatement(AstLayer &layer)
+    {
+        if (peek().isKeyword("CHANNEL")) {
+            layer.connections.push_back(parseConnection(false));
+        } else if (peek().isKeyword("NET")) {
+            layer.connections.push_back(parseConnection(true));
+        } else {
+            layer.primitives.push_back(parsePrimitive());
+        }
+    }
+
+    AstPrimitive
+    parsePrimitive()
+    {
+        AstPrimitive primitive;
+        primitive.line = peek().line;
+        primitive.entity = expect(TokenKind::Identifier).text;
+        primitive.names.push_back(
+            expect(TokenKind::Identifier).text);
+        while (peek().kind == TokenKind::Comma) {
+            next();
+            primitive.names.push_back(
+                expect(TokenKind::Identifier).text);
+        }
+        primitive.params = parseParams();
+        expect(TokenKind::Semicolon);
+        return primitive;
+    }
+
+    AstConnection
+    parseConnection(bool multi_sink)
+    {
+        AstConnection connection;
+        connection.line = peek().line;
+        next(); // CHANNEL or NET keyword.
+        connection.name = expect(TokenKind::Identifier).text;
+        expectKeyword("FROM");
+        connection.source = parseEndpoint();
+        expectKeyword("TO");
+        connection.sinks.push_back(parseEndpoint());
+        while (multi_sink && peek().kind == TokenKind::Comma) {
+            next();
+            connection.sinks.push_back(parseEndpoint());
+        }
+        connection.params = parseParams();
+        expect(TokenKind::Semicolon);
+        return connection;
+    }
+
+    AstEndpoint
+    parseEndpoint()
+    {
+        AstEndpoint endpoint;
+        endpoint.line = peek().line;
+        endpoint.component = expect(TokenKind::Identifier).text;
+        // Optional port: an integer, or an identifier that is not a
+        // keyword and is followed by something other than '='
+        // (otherwise it is a parameter name).
+        if (peek().kind == TokenKind::Integer) {
+            endpoint.port = peek().text;
+            next();
+        } else if (peek().kind == TokenKind::Identifier &&
+                   !peek().isKeyword("TO") &&
+                   !peek().isKeyword("FROM") &&
+                   peek(1).kind != TokenKind::Equals) {
+            endpoint.port = peek().text;
+            next();
+        }
+        return endpoint;
+    }
+
+    std::vector<AstParam>
+    parseParams()
+    {
+        std::vector<AstParam> params;
+        while (peek().kind == TokenKind::Identifier &&
+               peek(1).kind == TokenKind::Equals) {
+            AstParam param;
+            param.line = peek().line;
+            param.name = next().text;
+            next(); // '='
+            const Token &value = next();
+            switch (value.kind) {
+              case TokenKind::Integer:
+                param.value = json::Value(value.integer);
+                break;
+              case TokenKind::Real:
+                param.value = json::Value(value.real);
+                break;
+              case TokenKind::String:
+              case TokenKind::Identifier:
+                param.value = json::Value(value.text);
+                break;
+              default:
+                throw MintError(
+                    "expected a parameter value after '='",
+                    value.line, value.column);
+            }
+            params.push_back(std::move(param));
+        }
+        return params;
+    }
+
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+AstDevice
+parseMint(std::string_view source)
+{
+    Parser parser(tokenize(source));
+    return parser.run();
+}
+
+} // namespace parchmint::mint

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * MINT parser: tokens to AST.
+ */
+
+#ifndef PARCHMINT_MINT_PARSER_HH
+#define PARCHMINT_MINT_PARSER_HH
+
+#include <string_view>
+
+#include "mint/ast.hh"
+
+namespace parchmint::mint
+{
+
+/**
+ * Parse MINT source text into an AST.
+ *
+ * @throws MintError on lexical or syntactic problems, with source
+ *         line and column.
+ */
+AstDevice parseMint(std::string_view source);
+
+} // namespace parchmint::mint
+
+#endif // PARCHMINT_MINT_PARSER_HH

@@ -1,0 +1,45 @@
+#include "mint/token.hh"
+
+#include <cctype>
+
+#include "common/error.hh"
+
+namespace parchmint::mint
+{
+
+const char *
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::Identifier: return "identifier";
+      case TokenKind::Integer: return "integer";
+      case TokenKind::Real: return "real";
+      case TokenKind::String: return "string";
+      case TokenKind::Comma: return "','";
+      case TokenKind::Semicolon: return "';'";
+      case TokenKind::Equals: return "'='";
+      case TokenKind::EndOfFile: return "end of file";
+    }
+    panic("tokenKindName: invalid TokenKind");
+}
+
+bool
+Token::isKeyword(const char *keyword) const
+{
+    if (kind != TokenKind::Identifier)
+        return false;
+    size_t i = 0;
+    for (; keyword[i] != '\0'; ++i) {
+        if (i >= text.size())
+            return false;
+        char a = static_cast<char>(
+            std::toupper(static_cast<unsigned char>(text[i])));
+        char b = static_cast<char>(
+            std::toupper(static_cast<unsigned char>(keyword[i])));
+        if (a != b)
+            return false;
+    }
+    return i == text.size();
+}
+
+} // namespace parchmint::mint

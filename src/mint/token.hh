@@ -1,0 +1,73 @@
+/**
+ * @file
+ * MINT token definitions.
+ *
+ * MINT is the human-writable netlist language of the microfluidic
+ * design flow ParchMint descends from ("Parch" + "MINT"): designers
+ * author devices in MINT, tools elaborate them into ParchMint JSON.
+ * The grammar accepted here:
+ *
+ *     device     = "DEVICE" ident stmt*
+ *     layerBlock = "LAYER" ("FLOW"|"CONTROL"|"INTEGRATION") stmt*
+ *                  "END" "LAYER"
+ *     primitive  = entity ident ("," ident)* param* ";"
+ *     channel    = "CHANNEL" ident "FROM" endpoint "TO" endpoint
+ *                  param* ";"
+ *     net        = "NET" ident "FROM" endpoint "TO" endpoint
+ *                  ("," endpoint)* param* ";"
+ *     endpoint   = ident (integer | ident)?
+ *     param      = ident "=" (integer | real | string)
+ *     entity     = ident resolved through the entity catalogue,
+ *                  e.g. MIXER, TREE, ROTARY_PUMP
+ *
+ * '#' starts a comment running to end of line. Keywords are
+ * case-insensitive; identifiers are case-sensitive.
+ */
+
+#ifndef PARCHMINT_MINT_TOKEN_HH
+#define PARCHMINT_MINT_TOKEN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace parchmint::mint
+{
+
+/** Lexical token categories. */
+enum class TokenKind
+{
+    Identifier,  ///< Names and keywords (keywords resolved later).
+    Integer,     ///< Decimal integer literal.
+    Real,        ///< Decimal real literal.
+    String,      ///< Double-quoted string literal.
+    Comma,
+    Semicolon,
+    Equals,
+    EndOfFile,
+};
+
+/** Human-readable name of a token kind. */
+const char *tokenKindName(TokenKind kind);
+
+/** One lexical token with its source position. */
+struct Token
+{
+    TokenKind kind = TokenKind::EndOfFile;
+    /** Raw text (identifier spelling, literal text). */
+    std::string text;
+    /** Integer payload for Integer tokens. */
+    int64_t integer = 0;
+    /** Real payload for Real tokens. */
+    double real = 0.0;
+    /** 1-based source line. */
+    size_t line = 0;
+    /** 1-based source column of the first character. */
+    size_t column = 0;
+
+    /** Case-insensitive keyword comparison for identifiers. */
+    bool isKeyword(const char *keyword) const;
+};
+
+} // namespace parchmint::mint
+
+#endif // PARCHMINT_MINT_TOKEN_HH

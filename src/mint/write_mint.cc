@@ -1,0 +1,208 @@
+#include "mint/write_mint.hh"
+
+#include <cctype>
+
+#include "common/error.hh"
+#include "common/strings.hh"
+
+namespace parchmint::mint
+{
+
+namespace
+{
+
+/** Catalogue entity spelling in MINT form (spaces to underscores). */
+std::string
+mintEntity(const Component &component)
+{
+    if (component.entityKind() == EntityKind::Unknown)
+        fatal("cannot render component \"" + component.id() +
+              "\" to MINT: entity \"" + component.entity() +
+              "\" is not in the catalogue");
+    std::string name = component.entity();
+    for (char &c : name) {
+        if (c == ' ')
+            c = '_';
+    }
+    return name;
+}
+
+/** True when a param value is expressible as a MINT param. */
+bool
+isScalar(const json::Value &value)
+{
+    return value.isInteger() || value.isReal() || value.isString() ||
+           value.isBoolean();
+}
+
+std::string
+paramValueText(const json::Value &value)
+{
+    if (value.isInteger())
+        return std::to_string(value.asInteger());
+    if (value.isReal())
+        return formatDouble(value.asDouble());
+    if (value.isBoolean())
+        return value.asBoolean() ? "true" : "false";
+    const std::string &text = value.asString();
+    for (char c : text) {
+        bool bare = std::isalnum(static_cast<unsigned char>(c)) ||
+                    c == '_' || c == '.' || c == '-';
+        if (!bare)
+            return "\"" + text + "\"";
+    }
+    if (text.empty())
+        return "\"\"";
+    if (std::isdigit(static_cast<unsigned char>(text[0])))
+        return "\"" + text + "\"";
+    return text;
+}
+
+std::string
+endpointText(const ConnectionTarget &target)
+{
+    std::string out = target.componentId;
+    if (target.portLabel)
+        out += " " + *target.portLabel;
+    return out;
+}
+
+class Renderer
+{
+  public:
+    explicit Renderer(const Device &device)
+        : device_(device)
+    {
+    }
+
+    RenderResult
+    run()
+    {
+        out_ += "# Generated from ParchMint device \"" +
+                device_.name() + "\".\n";
+        out_ += "DEVICE " + device_.name() + "\n";
+        if (!device_.params().empty()) {
+            loss("device", "device-level params");
+        }
+        for (const Layer &layer : device_.layers())
+            renderLayer(layer);
+        return RenderResult{std::move(out_), std::move(losses_)};
+    }
+
+  private:
+    void
+    loss(std::string location, std::string description)
+    {
+        losses_.push_back(RenderLoss{std::move(location),
+                                     std::move(description)});
+    }
+
+    /** The layer a component is declared under: its first layer. */
+    bool
+    declaredUnder(const Component &component, const Layer &layer)
+    {
+        return !component.layerIds().empty() &&
+               component.layerIds().front() == layer.id;
+    }
+
+    void
+    renderComponentParams(const Component &component)
+    {
+        // Spans that differ from the catalogue defaults are carried
+        // as width/height geometry params.
+        const EntityInfo &info = entityInfo(component.entityKind());
+        if (component.xSpan() != info.defaultXSpan)
+            out_ += " width=" + std::to_string(component.xSpan());
+        if (component.ySpan() != info.defaultYSpan)
+            out_ += " height=" + std::to_string(component.ySpan());
+        for (const json::Value::Member &member :
+             component.params().asJson().members()) {
+            const auto &[name, value] = member;
+            if (name == "width" || name == "height" ||
+                name == "xSpan" || name == "ySpan") {
+                continue; // Geometry handled above.
+            }
+            if (name == "position" || !isScalar(value)) {
+                loss("component " + component.id(),
+                     "param \"" + name + "\"");
+                continue;
+            }
+            out_ += " " + name + "=" + paramValueText(value);
+        }
+    }
+
+    void
+    renderLayer(const Layer &layer)
+    {
+        out_ += "\nLAYER ";
+        out_ += layerTypeName(layer.type);
+        out_ += "\n";
+
+        for (const Component &component : device_.components()) {
+            if (!declaredUnder(component, layer))
+                continue;
+            if (component.name() != component.id()) {
+                loss("component " + component.id(),
+                     "display name \"" + component.name() + "\"");
+            }
+            out_ += "    " + mintEntity(component) + " " +
+                    component.id();
+            renderComponentParams(component);
+            out_ += ";\n";
+        }
+
+        for (const Connection &connection : device_.connections()) {
+            if (connection.layerId() != layer.id)
+                continue;
+            renderConnection(connection);
+        }
+        out_ += "END LAYER\n";
+    }
+
+    void
+    renderConnection(const Connection &connection)
+    {
+        if (connection.name() != connection.id()) {
+            loss("connection " + connection.id(),
+                 "display name \"" + connection.name() + "\"");
+        }
+        if (!connection.paths().empty()) {
+            loss("connection " + connection.id(), "routed paths");
+        }
+        bool multi = connection.sinks().size() > 1;
+        out_ += multi ? "    NET " : "    CHANNEL ";
+        out_ += connection.id() + " from " +
+                endpointText(connection.source()) + " to ";
+        for (size_t i = 0; i < connection.sinks().size(); ++i) {
+            if (i > 0)
+                out_ += ", ";
+            out_ += endpointText(connection.sinks()[i]);
+        }
+        for (const json::Value::Member &member :
+             connection.params().asJson().members()) {
+            const auto &[name, value] = member;
+            if (!isScalar(value)) {
+                loss("connection " + connection.id(),
+                     "param \"" + name + "\"");
+                continue;
+            }
+            out_ += " " + name + "=" + paramValueText(value);
+        }
+        out_ += ";\n";
+    }
+
+    const Device &device_;
+    std::string out_;
+    std::vector<RenderLoss> losses_;
+};
+
+} // namespace
+
+RenderResult
+renderMint(const Device &device)
+{
+    Renderer renderer(device);
+    return renderer.run();
+}
+
+} // namespace parchmint::mint

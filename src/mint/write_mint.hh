@@ -1,0 +1,59 @@
+/**
+ * @file
+ * MINT writer: Device back to MINT source.
+ *
+ * The inverse of the MINT front end, closing the authoring loop:
+ * netlists built programmatically or received as ParchMint JSON can
+ * be rendered as human-editable MINT. Output is canonical —
+ * deterministic ordering and spelling — so compile(render(d)) is a
+ * fixed point for devices expressible in MINT.
+ *
+ * MINT expresses less than ParchMint: it cannot carry routed paths,
+ * per-port geometry overrides, or components whose entity is outside
+ * the catalogue. render() reports such losses; callers choose
+ * whether lossy output is acceptable.
+ */
+
+#ifndef PARCHMINT_MINT_WRITE_MINT_HH
+#define PARCHMINT_MINT_WRITE_MINT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/device.hh"
+
+namespace parchmint::mint
+{
+
+/** What a render dropped or approximated. */
+struct RenderLoss
+{
+    /** Object that lost information, e.g. "connection c1". */
+    std::string location;
+    /** What was dropped, e.g. "routed paths". */
+    std::string description;
+};
+
+/** Result of rendering a device to MINT. */
+struct RenderResult
+{
+    /** The MINT source text. */
+    std::string text;
+    /** Everything the MINT form cannot express. */
+    std::vector<RenderLoss> losses;
+
+    bool lossless() const { return losses.empty(); }
+};
+
+/**
+ * Render a device as MINT source.
+ *
+ * @throws UserError when the device cannot be expressed at all
+ *         (an unknown entity string, since MINT statements are
+ *         keyed by catalogue entity).
+ */
+RenderResult renderMint(const Device &device);
+
+} // namespace parchmint::mint
+
+#endif // PARCHMINT_MINT_WRITE_MINT_HH

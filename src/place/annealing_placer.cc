@@ -1,0 +1,446 @@
+#include "place/annealing_placer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "place/row_placer.hh"
+
+namespace parchmint::place
+{
+
+namespace
+{
+
+/**
+ * Working state with incremental cost bookkeeping. Components and
+ * connections are flattened to indices; a move re-evaluates only the
+ * moved components' incident connections and pairwise overlaps
+ * (O(C + d) instead of O(C^2 + N) per move).
+ */
+class AnnealingState
+{
+  public:
+    AnnealingState(const Device &device,
+                   const AnnealingOptions &options,
+                   const Placement &initial)
+        : device_(device), options_(options)
+    {
+        size_t count = device.components().size();
+        positions_.resize(count);
+        for (size_t i = 0; i < count; ++i) {
+            const Component &component = device.components()[i];
+            index_[component.id()] = i;
+            positions_[i] = initial.position(component.id());
+        }
+
+        incident_.resize(count);
+        const auto &connections = device.connections();
+        hpwl_.resize(connections.size());
+        for (size_t c = 0; c < connections.size(); ++c) {
+            bool valid = true;
+            for (const ConnectionTarget &target :
+                 connections[c].endpoints()) {
+                if (!device.findComponent(target.componentId)) {
+                    valid = false;
+                    break;
+                }
+            }
+            connectionValid_.push_back(valid);
+            if (!valid) {
+                hpwl_[c] = 0;
+                continue;
+            }
+            for (const ConnectionTarget &target :
+                 connections[c].endpoints()) {
+                size_t i = index_[target.componentId];
+                if (incident_[i].empty() ||
+                    incident_[i].back() != c) {
+                    incident_[i].push_back(c);
+                }
+            }
+            hpwl_[c] = computeHpwl(c);
+        }
+        totalHpwl_ = 0;
+        for (int64_t h : hpwl_)
+            totalHpwl_ += h;
+        totalOverlap_ = computeTotalOverlap();
+    }
+
+    Point position(size_t i) const { return positions_[i]; }
+
+    void
+    setPosition(size_t i, Point p)
+    {
+        positions_[i] = p;
+    }
+
+    /** Scalar cost of the current state. */
+    double
+    cost() const
+    {
+        return options_.weights.hpwl *
+                   static_cast<double>(totalHpwl_) +
+               options_.weights.overlap *
+                   static_cast<double>(totalOverlap_) +
+               options_.weights.area *
+                   static_cast<double>(boundingArea());
+    }
+
+    /**
+     * Call before mutating the given components' positions:
+     * subtracts their HPWL and overlap contributions so endMove()
+     * can add the refreshed ones. Incremental O(C + d) per move.
+     */
+    void
+    beginMove(const std::vector<size_t> &moved)
+    {
+        totalOverlap_ -= groupOverlap(moved);
+    }
+
+    /** Call after mutating positions; pairs with beginMove(). */
+    void
+    endMove(const std::vector<size_t> &moved)
+    {
+        totalOverlap_ += groupOverlap(moved);
+        std::vector<size_t> connections;
+        for (size_t i : moved) {
+            for (size_t c : incident_[i])
+                connections.push_back(c);
+        }
+        std::sort(connections.begin(), connections.end());
+        connections.erase(
+            std::unique(connections.begin(), connections.end()),
+            connections.end());
+        for (size_t c : connections) {
+            totalHpwl_ -= hpwl_[c];
+            hpwl_[c] = computeHpwl(c);
+            totalHpwl_ += hpwl_[c];
+        }
+    }
+
+    PlacementCost
+    fullCost() const
+    {
+        PlacementCost cost;
+        cost.hpwl = totalHpwl_;
+        cost.overlapArea = totalOverlap_;
+        cost.boundingArea = boundingArea();
+        cost.total = options_.weights.hpwl *
+                         static_cast<double>(cost.hpwl) +
+                     options_.weights.overlap *
+                         static_cast<double>(cost.overlapArea) +
+                     options_.weights.area *
+                         static_cast<double>(cost.boundingArea);
+        return cost;
+    }
+
+    Placement
+    toPlacement() const
+    {
+        Placement placement;
+        for (size_t i = 0; i < positions_.size(); ++i) {
+            placement.setPosition(device_.components()[i].id(),
+                                  positions_[i]);
+        }
+        return placement;
+    }
+
+    size_t componentCount() const { return positions_.size(); }
+
+    /** Current halo-inflated overlap total (incremental). */
+    int64_t overlap() const { return totalOverlap_; }
+
+  private:
+    int64_t
+    computeHpwl(size_t c) const
+    {
+        if (!connectionValid_[c])
+            return 0;
+        const Connection &connection = device_.connections()[c];
+        int64_t min_x = 0;
+        int64_t max_x = 0;
+        int64_t min_y = 0;
+        int64_t max_y = 0;
+        bool first = true;
+        for (const ConnectionTarget &target :
+             connection.endpoints()) {
+            size_t i = index_.at(target.componentId);
+            const Component &component = device_.components()[i];
+            Point p;
+            if (target.portLabel) {
+                p = component.portPosition(positions_[i],
+                                           *target.portLabel);
+            } else {
+                p = component.placedRect(positions_[i]).center();
+            }
+            if (first) {
+                min_x = max_x = p.x;
+                min_y = max_y = p.y;
+                first = false;
+            } else {
+                min_x = std::min(min_x, p.x);
+                max_x = std::max(max_x, p.x);
+                min_y = std::min(min_y, p.y);
+                max_y = std::max(max_y, p.y);
+            }
+        }
+        return (max_x - min_x) + (max_y - min_y);
+    }
+
+    /**
+     * Total overlap involving any component of the (deduplicated)
+     * group: pairs inside the group counted once, pairs with
+     * outsiders once each.
+     */
+    /** Component rect inflated by the routing halo. */
+    Rect
+    haloRect(size_t i) const
+    {
+        Rect rect =
+            device_.components()[i].placedRect(positions_[i]);
+        int64_t h = options_.halo / 2;
+        return Rect{rect.x - h, rect.y - h, rect.width + 2 * h,
+                    rect.height + 2 * h};
+    }
+
+    int64_t
+    groupOverlap(const std::vector<size_t> &moved) const
+    {
+        std::vector<size_t> group = moved;
+        std::sort(group.begin(), group.end());
+        group.erase(std::unique(group.begin(), group.end()),
+                    group.end());
+        const auto &components = device_.components();
+        int64_t total = 0;
+        for (size_t gi = 0; gi < group.size(); ++gi) {
+            size_t i = group[gi];
+            Rect a = haloRect(i);
+            for (size_t j = 0; j < components.size(); ++j) {
+                if (j == i)
+                    continue;
+                // Count in-group pairs only once (when j > i).
+                bool in_group = std::binary_search(group.begin(),
+                                                   group.end(), j);
+                if (in_group && j < i)
+                    continue;
+                total += a.overlapArea(haloRect(j));
+            }
+        }
+        return total;
+    }
+
+    int64_t
+    computeTotalOverlap() const
+    {
+        // O(C^2) but only over rect pairs with cheap arithmetic;
+        // component counts in the suite keep this comfortably fast.
+        int64_t total = 0;
+        const auto &components = device_.components();
+        for (size_t i = 0; i < components.size(); ++i) {
+            Rect a = haloRect(i);
+            for (size_t j = i + 1; j < components.size(); ++j)
+                total += a.overlapArea(haloRect(j));
+        }
+        return total;
+    }
+
+    int64_t
+    boundingArea() const
+    {
+        if (positions_.empty())
+            return 0;
+        const auto &components = device_.components();
+        Rect box = components[0].placedRect(positions_[0]);
+        for (size_t i = 1; i < components.size(); ++i) {
+            box = Rect::boundingBox(
+                box, components[i].placedRect(positions_[i]));
+        }
+        return box.area();
+    }
+
+    const Device &device_;
+    const AnnealingOptions &options_;
+    std::vector<Point> positions_;
+    std::unordered_map<std::string, size_t> index_;
+    /** Connection indices incident to each component. */
+    std::vector<std::vector<size_t>> incident_;
+    std::vector<int64_t> hpwl_;
+    std::vector<bool> connectionValid_;
+    int64_t totalHpwl_ = 0;
+    int64_t totalOverlap_ = 0;
+};
+
+} // namespace
+
+AnnealingPlacer::AnnealingPlacer(AnnealingOptions options)
+    : options_(std::move(options))
+{
+}
+
+Placement
+AnnealingPlacer::place(const Device &device)
+{
+    if (device.components().empty()) {
+        lastCost_ = PlacementCost{};
+        return Placement();
+    }
+
+    RowPlacer seeder(1000, options_.fillFactor);
+    Placement initial = seeder.place(device);
+    AnnealingState state(device, options_, initial);
+    Rng rng(options_.seed);
+    Rect die = estimateDie(device, options_.fillFactor);
+
+    size_t moves_per_step = options_.movesPerStep
+                                ? options_.movesPerStep
+                                : 20 * state.componentCount();
+
+    // Calibrate the starting temperature from sampled displace
+    // moves with a realistic (die/8) range. The distribution of
+    // uphill deltas is heavy-tailed — moves that land a component
+    // on top of another cost orders of magnitude more than typical
+    // wirelength changes — so calibrate on a low percentile, not
+    // the mean: the resulting temperature accepts routine uphill
+    // wirelength moves while rejecting legality disasters.
+    double typical_uphill = 1.0;
+    {
+        std::vector<double> uphill;
+        double before = state.cost();
+        int64_t sample_range = std::max<int64_t>(500, die.width / 8);
+        for (size_t k = 0; k < 200; ++k) {
+            size_t i = rng.nextBelow(state.componentCount());
+            Point old_pos = state.position(i);
+            const Component &component = device.components()[i];
+            int64_t max_x = std::max<int64_t>(
+                0, die.width - component.xSpan());
+            int64_t max_y = std::max<int64_t>(
+                0, die.height - component.ySpan());
+            Point fresh{
+                std::clamp<int64_t>(
+                    old_pos.x +
+                        rng.nextInRange(-sample_range, sample_range),
+                    0, max_x),
+                std::clamp<int64_t>(
+                    old_pos.y +
+                        rng.nextInRange(-sample_range, sample_range),
+                    0, max_y),
+            };
+            int64_t overlap_before = state.overlap();
+            state.beginMove({i});
+            state.setPosition(i, fresh);
+            state.endMove({i});
+            // Remove the overlap term from the sampled delta: the
+            // temperature should be on the wirelength scale, so
+            // overlap-creating moves stay effectively forbidden.
+            double delta =
+                state.cost() - before -
+                options_.weights.overlap *
+                    static_cast<double>(state.overlap() -
+                                        overlap_before);
+            if (delta > 0)
+                uphill.push_back(delta);
+            state.beginMove({i});
+            state.setPosition(i, old_pos);
+            state.endMove({i});
+        }
+        if (!uphill.empty()) {
+            std::sort(uphill.begin(), uphill.end());
+            typical_uphill = uphill[uphill.size() / 2];
+        }
+        if (typical_uphill <= 0)
+            typical_uphill = 1.0;
+    }
+    double temperature =
+        -typical_uphill / std::log(options_.initialAcceptance);
+    if (!(temperature > 0))
+        temperature = 1.0;
+
+    double current = state.cost();
+    // Track the best state seen, realized as a Placement snapshot.
+    Placement best = state.toPlacement();
+    double best_cost = current;
+
+    for (size_t step = 0; step < options_.steps; ++step) {
+        // Displacement range shrinks with temperature.
+        double progress =
+            static_cast<double>(step) /
+            static_cast<double>(std::max<size_t>(1, options_.steps));
+        int64_t range = std::max<int64_t>(
+            500, static_cast<int64_t>(
+                     static_cast<double>(die.width) *
+                     (1.0 - 0.9 * progress)));
+
+        for (size_t k = 0; k < moves_per_step; ++k) {
+            bool swap_move =
+                state.componentCount() >= 2 &&
+                rng.nextBool(options_.swapProbability);
+            if (swap_move) {
+                size_t i = rng.nextBelow(state.componentCount());
+                size_t j = rng.nextBelow(state.componentCount());
+                if (i == j)
+                    continue;
+                Point pi = state.position(i);
+                Point pj = state.position(j);
+                state.beginMove({i, j});
+                state.setPosition(i, pj);
+                state.setPosition(j, pi);
+                state.endMove({i, j});
+                double candidate = state.cost();
+                double delta = candidate - current;
+                if (delta <= 0 ||
+                    rng.nextDouble() <
+                        std::exp(-delta / temperature)) {
+                    current = candidate;
+                } else {
+                    state.beginMove({i, j});
+                    state.setPosition(i, pi);
+                    state.setPosition(j, pj);
+                    state.endMove({i, j});
+                }
+            } else {
+                size_t i = rng.nextBelow(state.componentCount());
+                const Component &component = device.components()[i];
+                Point old_pos = state.position(i);
+                int64_t max_x = std::max<int64_t>(
+                    0, die.width - component.xSpan());
+                int64_t max_y = std::max<int64_t>(
+                    0, die.height - component.ySpan());
+                Point fresh{
+                    std::clamp<int64_t>(
+                        old_pos.x + rng.nextInRange(-range, range),
+                        0, max_x),
+                    std::clamp<int64_t>(
+                        old_pos.y + rng.nextInRange(-range, range),
+                        0, max_y),
+                };
+                state.beginMove({i});
+                state.setPosition(i, fresh);
+                state.endMove({i});
+                double candidate = state.cost();
+                double delta = candidate - current;
+                if (delta <= 0 ||
+                    rng.nextDouble() <
+                        std::exp(-delta / temperature)) {
+                    current = candidate;
+                } else {
+                    state.beginMove({i});
+                    state.setPosition(i, old_pos);
+                    state.endMove({i});
+                }
+            }
+            if (current < best_cost) {
+                best_cost = current;
+                best = state.toPlacement();
+            }
+        }
+        temperature *= options_.cooling;
+    }
+
+    // Report the cost of the best snapshot.
+    lastCost_ = evaluatePlacement(device, best, options_.weights);
+    return best;
+}
+
+} // namespace parchmint::place

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Simulated-annealing placement.
+ *
+ * The library's main placer, in the lineage of microfluidic physical
+ * design tools (Fluigi places planar microfluidic netlists with
+ * simulated annealing). Starting from the row placer's legal
+ * solution, it perturbs the layout with displace and swap moves,
+ * accepting uphill moves with Boltzmann probability under a
+ * geometric cooling schedule. Cost is the standard CostWeights
+ * blend, so the result trades wirelength against area while staying
+ * (effectively) overlap-free.
+ */
+
+#ifndef PARCHMINT_PLACE_ANNEALING_PLACER_HH
+#define PARCHMINT_PLACE_ANNEALING_PLACER_HH
+
+#include <cstdint>
+
+#include "place/cost.hh"
+#include "place/placer.hh"
+
+namespace parchmint::place
+{
+
+/** Annealing schedule and move-mix knobs. */
+struct AnnealingOptions
+{
+    /** Deterministic seed. */
+    uint64_t seed = 1;
+    /** Moves attempted per temperature step. */
+    size_t movesPerStep = 0; // 0 = auto: 20 * components.
+    /** Temperature steps. */
+    size_t steps = 120;
+    /** Geometric cooling factor per step. */
+    double cooling = 0.93;
+    /**
+     * Initial acceptance probability targeted when calibrating the
+     * starting temperature from sampled move deltas.
+     */
+    double initialAcceptance = 0.8;
+    /** Probability of a swap move (vs a displace move). */
+    double swapProbability = 0.25;
+    /** Die-size multiplier for the placement region. */
+    double fillFactor = 4.0;
+    /**
+     * Routing halo in micrometers: the overlap term treats every
+     * component as inflated by halo/2 on each side, so "legal"
+     * placements keep corridors wide enough for the router's
+     * clearance plus a channel between neighbours.
+     */
+    int64_t halo = 1000;
+    /** Cost weights. */
+    CostWeights weights;
+};
+
+/** See file comment. */
+class AnnealingPlacer : public Placer
+{
+  public:
+    explicit AnnealingPlacer(AnnealingOptions options = {});
+
+    std::string name() const override { return "annealing"; }
+
+    Placement place(const Device &device) override;
+
+    /** Cost of the last produced placement. */
+    const PlacementCost &lastCost() const { return lastCost_; }
+
+  private:
+    AnnealingOptions options_;
+    PlacementCost lastCost_;
+};
+
+} // namespace parchmint::place
+
+#endif // PARCHMINT_PLACE_ANNEALING_PLACER_HH

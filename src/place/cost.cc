@@ -1,0 +1,60 @@
+#include "place/cost.hh"
+
+#include <algorithm>
+
+namespace parchmint::place
+{
+
+int64_t
+connectionHpwl(const Device &device, const Placement &placement,
+               const Connection &connection)
+{
+    int64_t min_x = 0;
+    int64_t max_x = 0;
+    int64_t min_y = 0;
+    int64_t max_y = 0;
+    bool first = true;
+    for (const ConnectionTarget &target : connection.endpoints()) {
+        Point p = placement.targetPosition(device, target);
+        if (first) {
+            min_x = max_x = p.x;
+            min_y = max_y = p.y;
+            first = false;
+        } else {
+            min_x = std::min(min_x, p.x);
+            max_x = std::max(max_x, p.x);
+            min_y = std::min(min_y, p.y);
+            max_y = std::max(max_y, p.y);
+        }
+    }
+    return (max_x - min_x) + (max_y - min_y);
+}
+
+PlacementCost
+evaluatePlacement(const Device &device, const Placement &placement,
+                  const CostWeights &weights)
+{
+    PlacementCost cost;
+    for (const Connection &connection : device.connections()) {
+        bool all_placed = true;
+        for (const ConnectionTarget &target :
+             connection.endpoints()) {
+            if (!device.findComponent(target.componentId) ||
+                !placement.isPlaced(target.componentId)) {
+                all_placed = false;
+                break;
+            }
+        }
+        if (all_placed)
+            cost.hpwl += connectionHpwl(device, placement, connection);
+    }
+    cost.overlapArea = placement.totalOverlapArea(device);
+    cost.boundingArea = placement.boundingBox(device).area();
+    cost.total = weights.hpwl * static_cast<double>(cost.hpwl) +
+                 weights.overlap *
+                     static_cast<double>(cost.overlapArea) +
+                 weights.area * static_cast<double>(cost.boundingArea);
+    return cost;
+}
+
+} // namespace parchmint::place

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Placement cost model.
+ *
+ * The standard cost used by the annealing placer and by the
+ * benchmark harness to compare placers: a weighted sum of
+ *
+ *   - total half-perimeter wirelength (HPWL) over all flow and
+ *     control connections, measured between endpoint port positions
+ *     (component centres for open endpoints);
+ *   - total pairwise component overlap area (illegal in a final
+ *     layout; heavily weighted);
+ *   - the area of the placement bounding box (chip real estate).
+ */
+
+#ifndef PARCHMINT_PLACE_COST_HH
+#define PARCHMINT_PLACE_COST_HH
+
+#include "place/placement.hh"
+
+namespace parchmint::place
+{
+
+/** Decomposed placement cost. */
+struct PlacementCost
+{
+    /** Half-perimeter wirelength sum, micrometers. */
+    int64_t hpwl = 0;
+    /** Total pairwise overlap, square micrometers. */
+    int64_t overlapArea = 0;
+    /** Bounding-box area, square micrometers. */
+    int64_t boundingArea = 0;
+    /** Weighted scalar cost. */
+    double total = 0.0;
+};
+
+/** Cost weights. */
+struct CostWeights
+{
+    double hpwl = 1.0;
+    /** Overlap is a legality violation; weigh it to dominate. */
+    double overlap = 50.0;
+    /** Area matters less than wirelength per unit. */
+    double area = 0.000'05;
+};
+
+/**
+ * Evaluate a placement. Unplaced components contribute nothing;
+ * connections with any unplaced endpoint are skipped.
+ */
+PlacementCost evaluatePlacement(const Device &device,
+                                const Placement &placement,
+                                const CostWeights &weights = {});
+
+/**
+ * HPWL of a single connection under a placement.
+ * @throws UserError when an endpoint is unplaced.
+ */
+int64_t connectionHpwl(const Device &device,
+                       const Placement &placement,
+                       const Connection &connection);
+
+} // namespace parchmint::place
+
+#endif // PARCHMINT_PLACE_COST_HH

@@ -1,0 +1,131 @@
+#include "place/placement.hh"
+
+#include "common/error.hh"
+
+namespace parchmint::place
+{
+
+void
+Placement::setPosition(std::string_view component_id, Point position)
+{
+    positions_[std::string(component_id)] = position;
+}
+
+bool
+Placement::isPlaced(std::string_view component_id) const
+{
+    return positions_.find(std::string(component_id)) !=
+           positions_.end();
+}
+
+Point
+Placement::position(std::string_view component_id) const
+{
+    auto it = positions_.find(std::string(component_id));
+    if (it == positions_.end())
+        fatal("component \"" + std::string(component_id) +
+              "\" is not placed");
+    return it->second;
+}
+
+Rect
+Placement::rectOf(const Device &device,
+                  std::string_view component_id) const
+{
+    const Component *component = device.findComponent(component_id);
+    if (!component)
+        fatal("device has no component \"" +
+              std::string(component_id) + "\"");
+    return component->placedRect(position(component_id));
+}
+
+Point
+Placement::targetPosition(const Device &device,
+                          const ConnectionTarget &target) const
+{
+    const Component *component =
+        device.findComponent(target.componentId);
+    if (!component)
+        fatal("device has no component \"" + target.componentId +
+              "\"");
+    Point origin = position(target.componentId);
+    if (target.portLabel)
+        return component->portPosition(origin, *target.portLabel);
+    return component->placedRect(origin).center();
+}
+
+Rect
+Placement::boundingBox(const Device &device) const
+{
+    bool first = true;
+    Rect box;
+    for (const Component &component : device.components()) {
+        if (!isPlaced(component.id()))
+            continue;
+        Rect rect = component.placedRect(position(component.id()));
+        box = first ? rect : Rect::boundingBox(box, rect);
+        first = false;
+    }
+    return box;
+}
+
+int64_t
+Placement::totalOverlapArea(const Device &device) const
+{
+    // O(k^2) pairwise scan; device component counts are small
+    // enough that a sweep line would be overkill.
+    std::vector<Rect> rects;
+    rects.reserve(device.components().size());
+    for (const Component &component : device.components()) {
+        if (isPlaced(component.id())) {
+            rects.push_back(
+                component.placedRect(position(component.id())));
+        }
+    }
+    int64_t total = 0;
+    for (size_t i = 0; i < rects.size(); ++i) {
+        for (size_t j = i + 1; j < rects.size(); ++j)
+            total += rects[i].overlapArea(rects[j]);
+    }
+    return total;
+}
+
+void
+Placement::writeTo(Device &device) const
+{
+    for (Component &component : device.components()) {
+        auto it = positions_.find(component.id());
+        if (it == positions_.end())
+            continue;
+        json::Value pair = json::Value::makeArray();
+        pair.append(json::Value(it->second.x));
+        pair.append(json::Value(it->second.y));
+        component.params().set("position", std::move(pair));
+    }
+}
+
+Placement
+Placement::readFrom(const Device &device)
+{
+    Placement placement;
+    for (const Component &component : device.components()) {
+        const json::Value *position =
+            component.params().find("position");
+        if (!position)
+            continue;
+        if (!position->isArray() || position->size() != 2 ||
+            !position->at(size_t(0)).isInteger() ||
+            !position->at(size_t(1)).isInteger()) {
+            fatal("component \"" + component.id() +
+                  "\": malformed position param (expected [x, y] "
+                  "integers)");
+        }
+        placement.setPosition(
+            component.id(),
+            Point{position->at(size_t(0)).asInteger(),
+                  position->at(size_t(1)).asInteger()});
+    }
+    return placement;
+}
+
+} // namespace parchmint::place

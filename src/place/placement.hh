@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Placement state for device netlists.
+ *
+ * ParchMint separates the logical netlist from physical design
+ * state; a Placement is that state for components: a map from
+ * component ID to the absolute position of its top-left corner, in
+ * micrometers. Placements can be persisted into a device (component
+ * params "position": [x, y]) so placed netlists round-trip through
+ * the interchange format, mirroring how physical design results are
+ * exchanged in practice.
+ */
+
+#ifndef PARCHMINT_PLACE_PLACEMENT_HH
+#define PARCHMINT_PLACE_PLACEMENT_HH
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/device.hh"
+#include "core/geometry.hh"
+
+namespace parchmint::place
+{
+
+/**
+ * Component positions for one device.
+ */
+class Placement
+{
+  public:
+    Placement() = default;
+
+    /** Set (or move) a component's top-left corner. */
+    void setPosition(std::string_view component_id, Point position);
+
+    /** True when the component has been placed. */
+    bool isPlaced(std::string_view component_id) const;
+
+    /**
+     * Position of a component.
+     * @throws UserError when the component is unplaced.
+     */
+    Point position(std::string_view component_id) const;
+
+    /** Number of placed components. */
+    size_t size() const { return positions_.size(); }
+
+    /**
+     * Placed rectangle of a component.
+     * @throws UserError when the component is unplaced or unknown to
+     *         the device.
+     */
+    Rect rectOf(const Device &device,
+                std::string_view component_id) const;
+
+    /**
+     * Absolute position of a connection target: the named port when
+     * given, the component centre otherwise.
+     */
+    Point targetPosition(const Device &device,
+                         const ConnectionTarget &target) const;
+
+    /** Bounding box of all placed components of the device. */
+    Rect boundingBox(const Device &device) const;
+
+    /** Sum of pairwise overlap areas between placed components. */
+    int64_t totalOverlapArea(const Device &device) const;
+
+    /**
+     * Persist positions into the device's component params
+     * ("position": [x, y]).
+     */
+    void writeTo(Device &device) const;
+
+    /**
+     * Recover a placement from component "position" params.
+     * Components without the param are left unplaced.
+     */
+    static Placement readFrom(const Device &device);
+
+  private:
+    std::unordered_map<std::string, Point> positions_;
+};
+
+} // namespace parchmint::place
+
+#endif // PARCHMINT_PLACE_PLACEMENT_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The placer interface.
+ */
+
+#ifndef PARCHMINT_PLACE_PLACER_HH
+#define PARCHMINT_PLACE_PLACER_HH
+
+#include <string>
+
+#include "place/placement.hh"
+
+namespace parchmint::place
+{
+
+/**
+ * A placement algorithm: assigns a position to every component of a
+ * device.
+ */
+class Placer
+{
+  public:
+    virtual ~Placer() = default;
+
+    /** Algorithm name for reports, e.g. "annealing". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Place every component of the device.
+     *
+     * @param device The netlist; not modified.
+     * @return A placement covering all components.
+     */
+    virtual Placement place(const Device &device) = 0;
+};
+
+/**
+ * Die-size heuristic shared by the placers: a square whose area is
+ * 'fill_factor' times the total component area, at least as wide as
+ * the widest component.
+ *
+ * @param device The netlist.
+ * @param fill_factor Area multiplier; >= 1.
+ * @return The die rectangle anchored at the origin.
+ */
+Rect estimateDie(const Device &device, double fill_factor = 4.0);
+
+} // namespace parchmint::place
+
+#endif // PARCHMINT_PLACE_PLACER_HH

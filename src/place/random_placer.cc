@@ -1,0 +1,55 @@
+#include "place/random_placer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hh"
+
+namespace parchmint::place
+{
+
+Rect
+estimateDie(const Device &device, double fill_factor)
+{
+    int64_t total_area = 0;
+    int64_t widest = 1;
+    int64_t tallest = 1;
+    for (const Component &component : device.components()) {
+        total_area += component.xSpan() * component.ySpan();
+        widest = std::max(widest, component.xSpan());
+        tallest = std::max(tallest, component.ySpan());
+    }
+    double side_f =
+        std::sqrt(std::max(1.0, fill_factor *
+                                    static_cast<double>(total_area)));
+    int64_t side = static_cast<int64_t>(std::ceil(side_f));
+    side = std::max({side, widest, tallest});
+    return Rect{0, 0, side, side};
+}
+
+RandomPlacer::RandomPlacer(uint64_t seed, double fill_factor)
+    : seed_(seed), fillFactor_(fill_factor)
+{
+}
+
+Placement
+RandomPlacer::place(const Device &device)
+{
+    Rng rng(seed_);
+    Rect die = estimateDie(device, fillFactor_);
+    Placement placement;
+    for (const Component &component : device.components()) {
+        int64_t max_x = std::max<int64_t>(
+            0, die.width - component.xSpan());
+        int64_t max_y = std::max<int64_t>(
+            0, die.height - component.ySpan());
+        Point position{
+            die.x + rng.nextInRange(0, max_x),
+            die.y + rng.nextInRange(0, max_y),
+        };
+        placement.setPosition(component.id(), position);
+    }
+    return placement;
+}
+
+} // namespace parchmint::place

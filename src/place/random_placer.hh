@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Uniform-random placement baseline.
+ *
+ * The weakest baseline in the placer comparison: every component is
+ * dropped uniformly at random inside the estimated die, with no
+ * regard for overlap or wirelength. Seeded, so runs reproduce.
+ */
+
+#ifndef PARCHMINT_PLACE_RANDOM_PLACER_HH
+#define PARCHMINT_PLACE_RANDOM_PLACER_HH
+
+#include <cstdint>
+
+#include "place/placer.hh"
+
+namespace parchmint::place
+{
+
+/** See file comment. */
+class RandomPlacer : public Placer
+{
+  public:
+    explicit RandomPlacer(uint64_t seed = 1, double fill_factor = 4.0);
+
+    std::string name() const override { return "random"; }
+
+    Placement place(const Device &device) override;
+
+  private:
+    uint64_t seed_;
+    double fillFactor_;
+};
+
+} // namespace parchmint::place
+
+#endif // PARCHMINT_PLACE_RANDOM_PLACER_HH

@@ -1,0 +1,91 @@
+#include "place/row_placer.hh"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace parchmint::place
+{
+
+namespace
+{
+
+/**
+ * Component IDs in BFS order over the connectivity graph, starting
+ * from the first component; unreached components follow in netlist
+ * order.
+ */
+std::vector<std::string>
+bfsComponentOrder(const Device &device)
+{
+    std::unordered_map<std::string, std::vector<std::string>>
+        adjacency;
+    for (const Connection &connection : device.connections()) {
+        const std::string &source =
+            connection.source().componentId;
+        for (const ConnectionTarget &sink : connection.sinks()) {
+            if (!device.findComponent(source) ||
+                !device.findComponent(sink.componentId)) {
+                continue;
+            }
+            adjacency[source].push_back(sink.componentId);
+            adjacency[sink.componentId].push_back(source);
+        }
+    }
+
+    std::vector<std::string> order;
+    std::unordered_set<std::string> visited;
+    auto visit_from = [&](const std::string &seed) {
+        if (visited.count(seed))
+            return;
+        std::deque<std::string> queue{seed};
+        visited.insert(seed);
+        while (!queue.empty()) {
+            std::string id = queue.front();
+            queue.pop_front();
+            order.push_back(id);
+            for (const std::string &next : adjacency[id]) {
+                if (visited.insert(next).second)
+                    queue.push_back(next);
+            }
+        }
+    };
+    for (const Component &component : device.components())
+        visit_from(component.id());
+    return order;
+}
+
+} // namespace
+
+RowPlacer::RowPlacer(int64_t spacing, double fill_factor)
+    : spacing_(spacing), fillFactor_(fill_factor)
+{
+}
+
+Placement
+RowPlacer::place(const Device &device)
+{
+    Placement placement;
+    Rect die = estimateDie(device, fillFactor_);
+
+    int64_t cursor_x = 0;
+    int64_t cursor_y = 0;
+    int64_t row_height = 0;
+    for (const std::string &id : bfsComponentOrder(device)) {
+        const Component *component = device.findComponent(id);
+        if (cursor_x > 0 &&
+            cursor_x + component->xSpan() > die.width) {
+            // Start a new row.
+            cursor_x = 0;
+            cursor_y += row_height + spacing_;
+            row_height = 0;
+        }
+        placement.setPosition(id, Point{cursor_x, cursor_y});
+        cursor_x += component->xSpan() + spacing_;
+        row_height = std::max(row_height, component->ySpan());
+    }
+    return placement;
+}
+
+} // namespace parchmint::place

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Greedy row placement baseline.
+ *
+ * A deterministic constructive placer: components are taken in BFS
+ * order over the netlist (so connected components land near each
+ * other) and packed left-to-right into rows with a fixed channel
+ * spacing between neighbours. Always overlap-free; used both as the
+ * stronger baseline in the comparison and as the annealing placer's
+ * initial solution.
+ */
+
+#ifndef PARCHMINT_PLACE_ROW_PLACER_HH
+#define PARCHMINT_PLACE_ROW_PLACER_HH
+
+#include <cstdint>
+
+#include "place/placer.hh"
+
+namespace parchmint::place
+{
+
+/** See file comment. */
+class RowPlacer : public Placer
+{
+  public:
+    /**
+     * @param spacing Clearance between neighbouring components,
+     *        micrometers.
+     * @param fill_factor Die-size multiplier (sets row width).
+     */
+    explicit RowPlacer(int64_t spacing = 1000,
+                       double fill_factor = 4.0);
+
+    std::string name() const override { return "row"; }
+
+    Placement place(const Device &device) override;
+
+  private:
+    int64_t spacing_;
+    double fillFactor_;
+};
+
+} // namespace parchmint::place
+
+#endif // PARCHMINT_PLACE_ROW_PLACER_HH

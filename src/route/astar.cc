@@ -1,0 +1,172 @@
+#include "route/astar.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <queue>
+
+namespace parchmint::route
+{
+
+namespace
+{
+
+/** Direction encoding: 0 none, 1 E, 2 W, 3 S, 4 N. */
+constexpr int kDirections = 5;
+
+struct Node
+{
+    double f;
+    double g;
+    int32_t col;
+    int32_t row;
+    int8_t direction;
+
+    bool
+    operator>(const Node &other) const
+    {
+        return f > other.f;
+    }
+};
+
+} // namespace
+
+AStarResult
+findPath(const RoutingGrid &grid, Cell start, Cell goal,
+         const std::string &net, const AStarOptions &options)
+{
+    AStarResult result;
+    if (!grid.inBounds(start) || !grid.inBounds(goal))
+        return result;
+
+    const size_t cells = static_cast<size_t>(grid.columns()) *
+                         static_cast<size_t>(grid.rows());
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    // Per (cell, arrival-direction) best cost, so bend penalties are
+    // handled exactly.
+    std::vector<double> best(cells * kDirections, inf);
+    // Parent pointers: packed (cell index * kDirections + direction).
+    std::vector<int64_t> parent(cells * kDirections, -1);
+
+    auto cell_index = [&](int32_t col, int32_t row) {
+        return static_cast<size_t>(row) *
+                   static_cast<size_t>(grid.columns()) +
+               static_cast<size_t>(col);
+    };
+    auto heuristic = [&](int32_t col, int32_t row) {
+        return static_cast<double>(std::abs(col - goal.col) +
+                                   std::abs(row - goal.row));
+    };
+    auto passable = [&](Cell cell, double &extra_cost,
+                        bool &violation) {
+        extra_cost = 0.0;
+        violation = false;
+        if (cell == start || cell == goal)
+            return true;
+        CellState state = grid.state(cell);
+        if (state == CellState::Free ||
+            state == CellState::PortOpening) {
+            return true;
+        }
+        if (state == CellState::Occupied) {
+            if (grid.occupant(cell) == net)
+                return true; // Reuse own trunk for free.
+            if (options.occupiedCost >= 0) {
+                extra_cost = options.occupiedCost;
+                violation = true;
+                return true;
+            }
+        }
+        return false;
+    };
+
+    std::priority_queue<Node, std::vector<Node>, std::greater<>> open;
+    size_t start_slot = cell_index(start.col, start.row) * kDirections;
+    best[start_slot] = 0.0;
+    open.push(Node{heuristic(start.col, start.row), 0.0, start.col,
+                   start.row, 0});
+
+    const int32_t dcol[] = {0, 1, -1, 0, 0};
+    const int32_t drow[] = {0, 0, 0, 1, -1};
+
+    int64_t goal_state = -1;
+    while (!open.empty()) {
+        Node node = open.top();
+        open.pop();
+        size_t slot =
+            cell_index(node.col, node.row) * kDirections +
+            static_cast<size_t>(node.direction);
+        if (node.g > best[slot])
+            continue; // Stale.
+        ++result.expanded;
+        if (options.expansionLimit &&
+            result.expanded > options.expansionLimit) {
+            return result;
+        }
+        if (node.col == goal.col && node.row == goal.row) {
+            goal_state = static_cast<int64_t>(slot);
+            break;
+        }
+        for (int8_t dir = 1; dir < kDirections; ++dir) {
+            Cell next{node.col + dcol[dir], node.row + drow[dir]};
+            if (!grid.inBounds(next))
+                continue;
+            double extra = 0.0;
+            bool violation = false;
+            if (!passable(next, extra, violation))
+                continue;
+            double step = 1.0 + extra;
+            if (node.direction != 0 && node.direction != dir)
+                step += options.bendPenalty;
+            double g = node.g + step;
+            size_t next_slot =
+                cell_index(next.col, next.row) * kDirections +
+                static_cast<size_t>(dir);
+            if (g < best[next_slot]) {
+                best[next_slot] = g;
+                parent[next_slot] = static_cast<int64_t>(slot);
+                open.push(Node{g + heuristic(next.col, next.row), g,
+                               next.col, next.row, dir});
+            }
+        }
+    }
+
+    if (goal_state < 0)
+        return result;
+
+    // Walk parents back to the start.
+    std::vector<Cell> reversed;
+    int64_t cursor = goal_state;
+    while (cursor >= 0) {
+        size_t cell = static_cast<size_t>(cursor) / kDirections;
+        Cell c{static_cast<int32_t>(cell %
+                                    static_cast<size_t>(
+                                        grid.columns())),
+               static_cast<int32_t>(cell /
+                                    static_cast<size_t>(
+                                        grid.columns()))};
+        if (reversed.empty() || !(reversed.back() == c))
+            reversed.push_back(c);
+        cursor = parent[static_cast<size_t>(cursor)];
+    }
+    std::reverse(reversed.begin(), reversed.end());
+    result.path = std::move(reversed);
+
+    for (const Cell &cell : result.path) {
+        if (grid.state(cell) == CellState::Occupied &&
+            grid.occupant(cell) != net && !(cell == start) &&
+            !(cell == goal)) {
+            ++result.violations;
+            const std::string &blocker = grid.occupant(cell);
+            if (std::find(result.crossedNets.begin(),
+                          result.crossedNets.end(),
+                          blocker) == result.crossedNets.end()) {
+                result.crossedNets.push_back(blocker);
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace parchmint::route

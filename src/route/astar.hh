@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A* maze search on a routing grid.
+ */
+
+#ifndef PARCHMINT_ROUTE_ASTAR_HH
+#define PARCHMINT_ROUTE_ASTAR_HH
+
+#include <string>
+#include <vector>
+
+#include "route/routing_grid.hh"
+
+namespace parchmint::route
+{
+
+/** Search knobs. */
+struct AStarOptions
+{
+    /** Extra cost per direction change, in cell units. */
+    double bendPenalty = 2.0;
+    /**
+     * Cost multiplier for stepping onto a cell occupied by another
+     * net; infinity (the default) forbids it. Finite values enable
+     * "negotiated" overlap during relaxed passes.
+     */
+    double occupiedCost = -1.0; // < 0 means forbidden.
+    /** Cells the search may expand before giving up (0 = no cap). */
+    size_t expansionLimit = 0;
+};
+
+/** Search outcome. */
+struct AStarResult
+{
+    /** Start..goal cells inclusive; empty when unreachable. */
+    std::vector<Cell> path;
+    /** Cells expanded (search effort). */
+    size_t expanded = 0;
+    /** Number of path cells that were Occupied by another net. */
+    size_t violations = 0;
+    /** Names of the other nets whose cells the path crosses
+     * (deduplicated); the rip-up scheduler targets these. */
+    std::vector<std::string> crossedNets;
+};
+
+/**
+ * Shortest path between two cells. Steps are 4-neighbour, cost 1 per
+ * step plus the bend penalty; Obstacle cells are impassable; the
+ * start and goal cells are treated as free regardless of their
+ * state (terminals sit in carved port openings).
+ *
+ * @param grid The occupancy raster.
+ * @param start Start cell.
+ * @param goal Goal cell.
+ * @param net Net being routed: its own Occupied cells are free to
+ *        reuse (trunk sharing for multi-sink nets).
+ */
+AStarResult findPath(const RoutingGrid &grid, Cell start, Cell goal,
+                     const std::string &net,
+                     const AStarOptions &options = {});
+
+} // namespace parchmint::route
+
+#endif // PARCHMINT_ROUTE_ASTAR_HH

@@ -1,0 +1,35 @@
+#include "route/metrics.hh"
+
+#include <algorithm>
+
+namespace parchmint::route
+{
+
+RoutedStats
+measureRoutedDevice(const Device &device)
+{
+    RoutedStats stats;
+    size_t path_count = 0;
+    for (const Connection &connection : device.connections()) {
+        if (connection.paths().empty()) {
+            ++stats.unroutedConnections;
+            continue;
+        }
+        ++stats.routedConnections;
+        for (const ChannelPath &path : connection.paths()) {
+            int64_t length = path.length();
+            stats.totalLength += length;
+            stats.totalBends += path.bends();
+            stats.maxPathLength =
+                std::max(stats.maxPathLength, length);
+            ++path_count;
+        }
+    }
+    if (path_count > 0) {
+        stats.meanPathLength = static_cast<double>(stats.totalLength) /
+                               static_cast<double>(path_count);
+    }
+    return stats;
+}
+
+} // namespace parchmint::route

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Routed-design quality metrics.
+ */
+
+#ifndef PARCHMINT_ROUTE_METRICS_HH
+#define PARCHMINT_ROUTE_METRICS_HH
+
+#include <cstdint>
+
+#include "core/device.hh"
+
+namespace parchmint::route
+{
+
+/** Aggregate geometry of the routed channels stored on a device. */
+struct RoutedStats
+{
+    /** Connections carrying at least one path. */
+    size_t routedConnections = 0;
+    /** Connections without paths. */
+    size_t unroutedConnections = 0;
+    /** Total channel length over all paths, micrometers. */
+    int64_t totalLength = 0;
+    /** Total bends over all paths. */
+    int totalBends = 0;
+    /** Longest single source-sink path, micrometers. */
+    int64_t maxPathLength = 0;
+    /** Mean path length; 0 when nothing is routed. */
+    double meanPathLength = 0.0;
+};
+
+/** Measure the paths already stored on a device's connections. */
+RoutedStats measureRoutedDevice(const Device &device);
+
+} // namespace parchmint::route
+
+#endif // PARCHMINT_ROUTE_METRICS_HH

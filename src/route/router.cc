@@ -1,0 +1,481 @@
+#include "route/router.hh"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/error.hh"
+#include "place/cost.hh"
+
+namespace parchmint::route
+{
+
+double
+RouteResult::completionRate() const
+{
+    if (nets.empty())
+        return 1.0;
+    return static_cast<double>(routedCount) /
+           static_cast<double>(nets.size());
+}
+
+namespace
+{
+
+/** Drop collinear interior waypoints. */
+std::vector<Point>
+simplify(const std::vector<Point> &points)
+{
+    std::vector<Point> out;
+    for (const Point &p : points) {
+        if (out.size() >= 2) {
+            const Point &a = out[out.size() - 2];
+            Point &b = out.back();
+            bool collinear = (a.x == b.x && b.x == p.x) ||
+                             (a.y == b.y && b.y == p.y);
+            if (collinear) {
+                b = p;
+                continue;
+            }
+        }
+        if (out.empty() || !(out.back() == p))
+            out.push_back(p);
+    }
+    return out;
+}
+
+class DeviceRouter
+{
+  public:
+    DeviceRouter(Device &device, const place::Placement &placement,
+                 const RouterOptions &options)
+        : device_(device), placement_(placement), options_(options)
+    {
+    }
+
+    RouteResult
+    run()
+    {
+        RouteResult result;
+        for (const Layer &layer : device_.layers())
+            routeLayer(layer, result);
+
+        for (const NetResult &net : result.nets) {
+            if (net.routed) {
+                ++result.routedCount;
+                result.totalLength += net.length;
+                result.totalBends += net.bends;
+                result.totalViolations += net.violations;
+            } else {
+                ++result.failedCount;
+            }
+        }
+        return result;
+    }
+
+  private:
+    int64_t
+    pickCellSize(const Rect &region) const
+    {
+        if (options_.cellSize > 0)
+            return options_.cellSize;
+        int64_t automatic = region.width / 384;
+        return std::max<int64_t>(automatic, 100);
+    }
+
+    RoutingGrid
+    buildGrid(const Layer &layer) const
+    {
+        Rect box = placement_.boundingBox(device_);
+        // Margin so channels can skirt edge components.
+        int64_t margin = std::max<int64_t>(2000, box.width / 10);
+        Rect region{box.x - margin, box.y - margin,
+                    box.width + 2 * margin, box.height + 2 * margin};
+        RoutingGrid grid(region, pickCellSize(region));
+
+        for (const Component &component : device_.components()) {
+            if (!component.onLayer(layer.id))
+                continue;
+            grid.blockRect(
+                placement_.rectOf(device_, component.id()),
+                options_.clearance);
+        }
+        // Port openings: carve a corridor from each terminal
+        // outward through the component body and clearance ring so
+        // the terminal is reachable from free space. The corridor
+        // direction is the outward normal of the boundary edge the
+        // port sits on; centre ports (I/O punch-throughs) carve in
+        // all four directions.
+        for (const Component &component : device_.components()) {
+            Point origin = placement_.position(component.id());
+            for (const Port &port : component.ports()) {
+                if (port.layerId != layer.id)
+                    continue;
+                carvePortCorridor(grid, component, origin, port);
+            }
+        }
+        return grid;
+    }
+
+    void
+    carvePortCorridor(RoutingGrid &grid, const Component &component,
+                      Point origin, const Port &port) const
+    {
+        Cell start = grid.cellAt(
+            Point{origin.x + port.x, origin.y + port.y});
+        std::vector<std::pair<int32_t, int32_t>> directions;
+        if (port.x <= 0)
+            directions.push_back({-1, 0});
+        else if (port.x >= component.xSpan())
+            directions.push_back({1, 0});
+        if (port.y <= 0)
+            directions.push_back({0, -1});
+        else if (port.y >= component.ySpan())
+            directions.push_back({0, 1});
+        if (directions.empty()) {
+            // Interior (centre) port: open in all four directions.
+            directions = {{-1, 0}, {1, 0}, {0, -1}, {0, 1}};
+        }
+
+        // Enough cells to clear half the component plus the
+        // clearance ring, whatever is larger.
+        int64_t reach =
+            std::max({component.xSpan() / 2, component.ySpan() / 2,
+                      options_.clearance}) /
+                grid.cellSize() +
+            2;
+        grid.carve(start);
+        for (auto [dc, dr] : directions) {
+            Cell cursor = start;
+            bool exited = false;
+            for (int64_t step = 0; step < reach && !exited; ++step) {
+                cursor = Cell{cursor.col + dc, cursor.row + dr};
+                if (!grid.inBounds(cursor))
+                    break;
+                exited = grid.state(cursor) == CellState::Free;
+                // Carve three cells wide so several channels can
+                // converge on a shared port (a junction) without
+                // fighting over a single-cell mouth.
+                grid.carve(cursor);
+                grid.carve(Cell{cursor.col + dr, cursor.row + dc});
+                grid.carve(Cell{cursor.col - dr, cursor.row - dc});
+            }
+            if (!exited)
+                continue;
+            // Apron: a wider shared plaza past the clearance ring.
+            // Passing nets travel through it without occupying it,
+            // so wall-hugging traffic cannot seal neighbouring
+            // corridor mouths.
+            for (int64_t step = 0; step < 2; ++step) {
+                cursor = Cell{cursor.col + dc, cursor.row + dr};
+                if (!grid.inBounds(cursor))
+                    break;
+                for (int spread = -2; spread <= 2; ++spread) {
+                    Cell wide{cursor.col + dr * spread,
+                              cursor.row + dc * spread};
+                    if (grid.inBounds(wide) &&
+                        grid.state(wide) == CellState::Free) {
+                        grid.carve(wide);
+                    }
+                }
+            }
+        }
+    }
+
+    /** Connections on the layer, shortest HPWL first. */
+    std::vector<Connection *>
+    layerConnections(const Layer &layer)
+    {
+        std::vector<std::pair<int64_t, Connection *>> ordered;
+        for (Connection &connection : device_.connections()) {
+            if (connection.layerId() != layer.id)
+                continue;
+            for (const ConnectionTarget &target :
+                 connection.endpoints()) {
+                if (!device_.findComponent(target.componentId)) {
+                    fatal("cannot route connection \"" +
+                          connection.id() +
+                          "\": endpoint component \"" +
+                          target.componentId + "\" does not exist");
+                }
+            }
+            int64_t hpwl = place::connectionHpwl(device_, placement_,
+                                                 connection);
+            ordered.emplace_back(hpwl, &connection);
+        }
+        std::sort(ordered.begin(), ordered.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.first != b.first)
+                          return a.first < b.first;
+                      return a.second->id() < b.second->id();
+                  });
+        std::vector<Connection *> connections;
+        for (const auto &[hpwl, connection] : ordered)
+            connections.push_back(connection);
+        return connections;
+    }
+
+    /**
+     * Route one connection's sinks on the grid. Returns success;
+     * fills the NetResult and, on success, rewrites the
+     * connection's paths.
+     */
+    bool
+    routeNet(RoutingGrid &grid, Connection &connection,
+             NetResult &net, const AStarOptions &astar,
+             std::vector<std::string> *crossed_out = nullptr)
+    {
+        std::vector<ChannelPath> paths;
+        std::vector<std::vector<Cell>> cell_paths;
+        int64_t length = 0;
+        int bends = 0;
+        size_t violations = 0;
+
+        for (const ConnectionTarget &sink : connection.sinks()) {
+            Point source_pos = placement_.targetPosition(
+                device_, connection.source());
+            Point sink_pos =
+                placement_.targetPosition(device_, sink);
+            Cell start = grid.cellAt(source_pos);
+            Cell goal = grid.cellAt(sink_pos);
+            AStarResult found =
+                findPath(grid, start, goal, connection.id(), astar);
+            if (found.path.empty())
+                return false;
+            // Occupy immediately so later sinks share the trunk.
+            grid.occupyPath(found.path, connection.id());
+            cell_paths.push_back(found.path);
+            violations += found.violations;
+            if (crossed_out) {
+                for (const std::string &blocker :
+                     found.crossedNets) {
+                    if (std::find(crossed_out->begin(),
+                                  crossed_out->end(), blocker) ==
+                        crossed_out->end()) {
+                        crossed_out->push_back(blocker);
+                    }
+                }
+            }
+
+            std::vector<Point> waypoints;
+            waypoints.push_back(source_pos);
+            for (const Cell &cell : found.path)
+                waypoints.push_back(grid.center(cell));
+            waypoints.push_back(sink_pos);
+            ChannelPath path;
+            path.source = connection.source();
+            path.sink = sink;
+            path.waypoints = simplify(waypoints);
+            if (path.waypoints.size() < 2) {
+                // Degenerate (same cell): keep both terminals.
+                path.waypoints = {source_pos, sink_pos};
+            }
+            length += path.length();
+            bends += path.bends();
+            paths.push_back(std::move(path));
+        }
+
+        connection.clearPaths();
+        for (ChannelPath &path : paths)
+            connection.addPath(std::move(path));
+        net.routed = true;
+        net.length = length;
+        net.bends = bends;
+        net.violations = violations;
+        return true;
+    }
+
+    void
+    routeLayer(const Layer &layer, RouteResult &result)
+    {
+        std::vector<Connection *> connections =
+            layerConnections(layer);
+        if (connections.empty())
+            return;
+        RoutingGrid grid = buildGrid(layer);
+
+        AStarOptions strict;
+        strict.bendPenalty = options_.bendPenalty;
+        strict.occupiedCost = -1.0;
+
+        std::unordered_map<std::string, NetResult> results;
+        std::vector<Connection *> failed;
+        for (Connection *connection : connections) {
+            NetResult net;
+            net.connectionId = connection->id();
+            if (!routeNet(grid, *connection, net, strict)) {
+                grid.releaseNet(connection->id());
+                failed.push_back(connection);
+            }
+            results[connection->id()] = net;
+        }
+
+        // Keep the best configuration (most nets routed) seen
+        // across rip-up rounds, so an unlucky round can never make
+        // the final result worse than an earlier state.
+        struct Snapshot
+        {
+            RoutingGrid grid;
+            std::unordered_map<std::string, NetResult> results;
+            std::vector<std::vector<ChannelPath>> paths;
+            size_t routedCount;
+        };
+        auto count_routed = [&]() {
+            size_t count = 0;
+            for (Connection *connection : connections) {
+                if (results[connection->id()].routed)
+                    ++count;
+            }
+            return count;
+        };
+        auto take_snapshot = [&]() {
+            Snapshot snapshot{grid, results, {}, count_routed()};
+            for (Connection *connection : connections)
+                snapshot.paths.push_back(connection->paths());
+            return snapshot;
+        };
+        Snapshot best = take_snapshot();
+
+        // Targeted rip-up-and-reroute: for each failed net, probe
+        // with a relaxed search to discover exactly which routed
+        // nets block its corridor, rip those up, commit the failed
+        // net strictly, and queue the ripped nets for rerouting.
+        for (size_t round = 0;
+             round < options_.ripupRounds && !failed.empty();
+             ++round) {
+            std::vector<Connection *> queue = std::move(failed);
+            failed.clear();
+            auto mark_failed = [&](Connection *connection) {
+                if (std::find(failed.begin(), failed.end(),
+                              connection) == failed.end()) {
+                    failed.push_back(connection);
+                }
+                results[connection->id()] =
+                    NetResult{connection->id(), false, 0, 0, 0};
+            };
+            for (Connection *connection : queue) {
+                // A previously ripped net may already have been
+                // requeued and routed; skip stale entries.
+                if (results[connection->id()].routed)
+                    continue;
+                NetResult net;
+                net.connectionId = connection->id();
+                if (routeNet(grid, *connection, net, strict)) {
+                    results[connection->id()] = net;
+                    continue;
+                }
+                grid.releaseNet(connection->id());
+
+                AStarOptions probe = strict;
+                probe.occupiedCost = 20.0;
+                NetResult probe_net;
+                probe_net.connectionId = connection->id();
+                std::vector<std::string> blockers;
+                if (!routeNet(grid, *connection, probe_net, probe,
+                              &blockers)) {
+                    grid.releaseNet(connection->id());
+                    mark_failed(connection);
+                    continue;
+                }
+                // Undo the probe, rip the blockers, retry strictly.
+                grid.releaseNet(connection->id());
+                connection->clearPaths();
+                for (const std::string &name : blockers) {
+                    Connection *blocker =
+                        device_.findConnection(name);
+                    if (!blocker)
+                        continue;
+                    grid.releaseNet(name);
+                    blocker->clearPaths();
+                    mark_failed(blocker);
+                }
+                NetResult retry;
+                retry.connectionId = connection->id();
+                if (routeNet(grid, *connection, retry, strict)) {
+                    results[connection->id()] = retry;
+                } else {
+                    grid.releaseNet(connection->id());
+                    mark_failed(connection);
+                }
+            }
+        }
+
+        // Post-rip-up stabilization: keep re-attempting leftover
+        // nets strictly (no further ripping) until a sweep makes no
+        // progress.
+        bool progress = !failed.empty();
+        while (progress) {
+            progress = false;
+            std::vector<Connection *> still_failed;
+            for (Connection *connection : failed) {
+                NetResult net;
+                net.connectionId = connection->id();
+                if (routeNet(grid, *connection, net, strict)) {
+                    results[connection->id()] = net;
+                    progress = true;
+                } else {
+                    grid.releaseNet(connection->id());
+                    still_failed.push_back(connection);
+                }
+            }
+            failed = std::move(still_failed);
+        }
+
+        // Restore the best configuration if rip-up ended worse.
+        if (count_routed() < best.routedCount) {
+            grid = std::move(best.grid);
+            results = std::move(best.results);
+            failed.clear();
+            for (size_t i = 0; i < connections.size(); ++i) {
+                Connection *connection = connections[i];
+                connection->clearPaths();
+                for (ChannelPath &path : best.paths[i])
+                    connection->addPath(std::move(path));
+                if (!results[connection->id()].routed)
+                    failed.push_back(connection);
+            }
+        }
+
+        if (options_.relaxedFinalPass && !failed.empty()) {
+            AStarOptions relaxed = strict;
+            relaxed.occupiedCost = 20.0;
+            std::vector<Connection *> still_failed;
+            for (Connection *connection : failed) {
+                NetResult net;
+                net.connectionId = connection->id();
+                if (!routeNet(grid, *connection, net, relaxed)) {
+                    grid.releaseNet(connection->id());
+                    still_failed.push_back(connection);
+                }
+                results[connection->id()] = net;
+            }
+            failed = std::move(still_failed);
+        }
+
+        for (Connection *connection : connections)
+            result.nets.push_back(results[connection->id()]);
+    }
+
+    Device &device_;
+    const place::Placement &placement_;
+    const RouterOptions &options_;
+};
+
+} // namespace
+
+RouteResult
+routeDevice(Device &device, const place::Placement &placement,
+            const RouterOptions &options)
+{
+    for (const Component &component : device.components()) {
+        if (!placement.isPlaced(component.id()))
+            fatal("cannot route: component \"" + component.id() +
+                  "\" is unplaced");
+    }
+    if (device.components().empty())
+        return RouteResult{};
+    DeviceRouter router(device, placement, options);
+    return router.run();
+}
+
+} // namespace parchmint::route

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The channel router.
+ *
+ * Routes every connection of a placed device, one layer at a time:
+ *
+ *   1. build a RoutingGrid per layer, blocking placed components
+ *      (with clearance) and carving port openings;
+ *   2. route nets in ascending-HPWL order (short nets first), each
+ *      sink of a multi-sink net reusing the net's own trunk cells;
+ *   3. rip-up-and-reroute rounds: failed nets release and re-route
+ *      after the nets blocking their corridor are ripped up;
+ *   4. an optional relaxed final pass admits crossings at high cost
+ *      and reports them as violations instead of failures.
+ *
+ * Results are written back as ChannelPath waypoints on the
+ * connections, so a routed device round-trips through ParchMint
+ * JSON.
+ */
+
+#ifndef PARCHMINT_ROUTE_ROUTER_HH
+#define PARCHMINT_ROUTE_ROUTER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "place/placement.hh"
+#include "route/astar.hh"
+
+namespace parchmint::route
+{
+
+/** Router knobs. */
+struct RouterOptions
+{
+    /** Grid cell size; 0 = auto (die width / 384, min 100 um). */
+    int64_t cellSize = 0;
+    /** Obstacle clearance around components, micrometers. */
+    int64_t clearance = 200;
+    /** Bend penalty in cell units. */
+    double bendPenalty = 2.0;
+    /** Rip-up-and-reroute rounds after the first pass. */
+    size_t ripupRounds = 5;
+    /** Run the relaxed (violating) final pass for leftover nets. */
+    bool relaxedFinalPass = true;
+};
+
+/** Per-connection routing outcome. */
+struct NetResult
+{
+    std::string connectionId;
+    bool routed = false;
+    /** Total Manhattan length over all sink paths, micrometers. */
+    int64_t length = 0;
+    /** Total bends over all sink paths. */
+    int bends = 0;
+    /** Cells crossing another net (relaxed pass only). */
+    size_t violations = 0;
+};
+
+/** Whole-device routing outcome. */
+struct RouteResult
+{
+    std::vector<NetResult> nets;
+    size_t routedCount = 0;
+    size_t failedCount = 0;
+    int64_t totalLength = 0;
+    int totalBends = 0;
+    size_t totalViolations = 0;
+
+    /** routedCount / nets.size(); 1.0 for empty devices. */
+    double completionRate() const;
+};
+
+/**
+ * Route a placed device.
+ *
+ * @param device The netlist; connection paths are overwritten on
+ *        routed nets.
+ * @param placement Positions for every component.
+ * @param options Router knobs.
+ * @throws UserError when a connection endpoint is unplaced.
+ */
+RouteResult routeDevice(Device &device, const place::Placement &placement,
+                        const RouterOptions &options = {});
+
+} // namespace parchmint::route
+
+#endif // PARCHMINT_ROUTE_ROUTER_HH

@@ -1,0 +1,148 @@
+#include "route/routing_grid.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace parchmint::route
+{
+
+RoutingGrid::RoutingGrid(Rect region, int64_t cell_size)
+    : region_(region), cellSize_(cell_size)
+{
+    if (cell_size <= 0)
+        fatal("routing grid cell size must be positive");
+    if (region.width <= 0 || region.height <= 0)
+        fatal("routing grid region must have positive area");
+    columns_ = static_cast<int32_t>(
+        (region.width + cell_size - 1) / cell_size);
+    rows_ = static_cast<int32_t>(
+        (region.height + cell_size - 1) / cell_size);
+    states_.assign(static_cast<size_t>(columns_) *
+                       static_cast<size_t>(rows_),
+                   CellState::Free);
+    occupants_.assign(states_.size(), "");
+}
+
+size_t
+RoutingGrid::index(Cell cell) const
+{
+    if (!inBounds(cell))
+        panic("routing grid cell out of bounds");
+    return static_cast<size_t>(cell.row) *
+               static_cast<size_t>(columns_) +
+           static_cast<size_t>(cell.col);
+}
+
+CellState
+RoutingGrid::state(Cell cell) const
+{
+    if (!inBounds(cell))
+        return CellState::Obstacle;
+    return states_[index(cell)];
+}
+
+const std::string &
+RoutingGrid::occupant(Cell cell) const
+{
+    static const std::string empty;
+    if (!inBounds(cell))
+        return empty;
+    return occupants_[index(cell)];
+}
+
+void
+RoutingGrid::setState(Cell cell, CellState state,
+                      const std::string &net)
+{
+    size_t i = index(cell);
+    states_[i] = state;
+    occupants_[i] = state == CellState::Occupied ? net : "";
+    if (state == CellState::Occupied)
+        netCells_[net].push_back(cell);
+}
+
+Cell
+RoutingGrid::cellAt(Point point) const
+{
+    int64_t col = (point.x - region_.x) / cellSize_;
+    int64_t row = (point.y - region_.y) / cellSize_;
+    col = std::clamp<int64_t>(col, 0, columns_ - 1);
+    row = std::clamp<int64_t>(row, 0, rows_ - 1);
+    return Cell{static_cast<int32_t>(col), static_cast<int32_t>(row)};
+}
+
+Point
+RoutingGrid::center(Cell cell) const
+{
+    return Point{
+        region_.x + cell.col * cellSize_ + cellSize_ / 2,
+        region_.y + cell.row * cellSize_ + cellSize_ / 2,
+    };
+}
+
+void
+RoutingGrid::blockRect(Rect rect, int64_t clearance)
+{
+    Rect inflated{rect.x - clearance, rect.y - clearance,
+                  rect.width + 2 * clearance,
+                  rect.height + 2 * clearance};
+    Cell lo = cellAt(Point{inflated.left(), inflated.top()});
+    Cell hi = cellAt(Point{inflated.right(), inflated.bottom()});
+    for (int32_t row = lo.row; row <= hi.row; ++row) {
+        for (int32_t col = lo.col; col <= hi.col; ++col) {
+            Cell cell{col, row};
+            if (inflated.contains(center(cell)))
+                setState(cell, CellState::Obstacle);
+        }
+    }
+}
+
+void
+RoutingGrid::carve(Cell cell)
+{
+    if (inBounds(cell))
+        setState(cell, CellState::PortOpening);
+}
+
+void
+RoutingGrid::occupyPath(const std::vector<Cell> &path,
+                        const std::string &net)
+{
+    // PortOpening cells stay shared; only Free cells are claimed.
+    for (const Cell &cell : path) {
+        if (state(cell) == CellState::Free)
+            setState(cell, CellState::Occupied, net);
+    }
+}
+
+void
+RoutingGrid::releaseNet(const std::string &net)
+{
+    auto it = netCells_.find(net);
+    if (it == netCells_.end())
+        return;
+    for (const Cell &cell : it->second) {
+        size_t i = index(cell);
+        // Stale entries (overwritten since) keep their new owner.
+        if (states_[i] == CellState::Occupied &&
+            occupants_[i] == net) {
+            states_[i] = CellState::Free;
+            occupants_[i].clear();
+        }
+    }
+    netCells_.erase(it);
+}
+
+size_t
+RoutingGrid::freeCellCount() const
+{
+    size_t count = 0;
+    for (CellState state : states_) {
+        if (state == CellState::Free)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace parchmint::route

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The routing grid: a uniform occupancy raster over the placed die.
+ *
+ * Channel routing happens per layer on a grid whose cells are either
+ * free, blocked by a placed component (inflated by a clearance
+ * margin), or occupied by an already-routed net. Ports punch
+ * openings through their component's blockage so channels can reach
+ * the terminal.
+ */
+
+#ifndef PARCHMINT_ROUTE_ROUTING_GRID_HH
+#define PARCHMINT_ROUTE_ROUTING_GRID_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/geometry.hh"
+
+namespace parchmint::route
+{
+
+/** Grid cell coordinates. */
+struct Cell
+{
+    int32_t col = 0;
+    int32_t row = 0;
+
+    bool operator==(const Cell &other) const = default;
+};
+
+/** Cell occupancy states. */
+enum class CellState : uint8_t
+{
+    Free,
+    Obstacle,     ///< Component body (plus clearance).
+    Occupied,     ///< A routed channel runs through.
+    PortOpening,  ///< Terminal access corridor: passable by every
+                  ///< net, never claimed by any (so several nets can
+                  ///< reach the same port).
+};
+
+/**
+ * A per-layer occupancy raster.
+ */
+class RoutingGrid
+{
+  public:
+    /**
+     * @param region Device-space rectangle the grid covers.
+     * @param cell_size Cell edge length, micrometers; > 0.
+     */
+    RoutingGrid(Rect region, int64_t cell_size);
+
+    int32_t columns() const { return columns_; }
+    int32_t rows() const { return rows_; }
+    int64_t cellSize() const { return cellSize_; }
+    const Rect &region() const { return region_; }
+
+    bool
+    inBounds(Cell cell) const
+    {
+        return cell.col >= 0 && cell.col < columns_ && cell.row >= 0 &&
+               cell.row < rows_;
+    }
+
+    /** State of a cell; out-of-bounds reads as Obstacle. */
+    CellState state(Cell cell) const;
+
+    /** Net that occupies the cell; empty unless Occupied. */
+    const std::string &occupant(Cell cell) const;
+
+    /** Set a cell's state (bounds-checked, panics when outside). */
+    void setState(Cell cell, CellState state,
+                  const std::string &net = "");
+
+    /** Cell containing a device-space point (clamped to bounds). */
+    Cell cellAt(Point point) const;
+
+    /** Device-space centre of a cell. */
+    Point center(Cell cell) const;
+
+    /**
+     * Mark every cell whose centre lies inside the rectangle
+     * (inflated by 'clearance') as Obstacle.
+     */
+    void blockRect(Rect rect, int64_t clearance);
+
+    /** Mark a single cell as a port-opening corridor cell. */
+    void carve(Cell cell);
+
+    /** Mark a cell path as occupied by a net. */
+    void occupyPath(const std::vector<Cell> &path,
+                    const std::string &net);
+
+    /** Free every cell occupied by the given net. */
+    void releaseNet(const std::string &net);
+
+    /** Count of cells in each state, for diagnostics. */
+    size_t freeCellCount() const;
+
+  private:
+    size_t index(Cell cell) const;
+
+    Rect region_;
+    int64_t cellSize_;
+    int32_t columns_;
+    int32_t rows_;
+    std::vector<CellState> states_;
+    std::vector<std::string> occupants_;
+    /** Cells each net occupies, so releaseNet is O(net), not
+     * O(grid). Entries may contain stale cells (overwritten by
+     * setState); releaseNet re-checks the occupant. */
+    std::unordered_map<std::string, std::vector<Cell>> netCells_;
+};
+
+} // namespace parchmint::route
+
+#endif // PARCHMINT_ROUTE_ROUTING_GRID_HH

@@ -1,0 +1,197 @@
+#include "schema/parchmint_schema.hh"
+
+namespace parchmint::schema
+{
+
+namespace
+{
+
+/**
+ * The schema text. IDs are restricted to the identifier alphabet the
+ * rule checker also enforces; spans and coordinates are integers
+ * (micrometers). "additionalProperties" stays permissive on the
+ * top-level object and on params so tools can attach extensions, but
+ * is strict inside ports, endpoints and waypoints, where silent
+ * extra members usually mean a misspelled key.
+ */
+const char *schema_text = R"JSON(
+{
+    "type": "object",
+    "required": ["name", "layers", "components", "connections"],
+    "properties": {
+        "name": {"type": "string", "minLength": 1},
+        "version": {"type": "string"},
+        "params": {"type": "object"},
+        "layers": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["id", "name", "type"],
+                "properties": {
+                    "id": {
+                        "type": "string",
+                        "pattern": "^[A-Za-z0-9_.][A-Za-z0-9_.-]*$"
+                    },
+                    "name": {"type": "string", "minLength": 1},
+                    "type": {
+                        "type": "string",
+                        "enum": ["FLOW", "CONTROL", "INTEGRATION"]
+                    },
+                    "params": {"type": "object"}
+                }
+            }
+        },
+        "components": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["id", "name", "layers", "x-span",
+                             "y-span", "entity", "ports"],
+                "properties": {
+                    "id": {
+                        "type": "string",
+                        "pattern": "^[A-Za-z0-9_.][A-Za-z0-9_.-]*$"
+                    },
+                    "name": {"type": "string", "minLength": 1},
+                    "layers": {
+                        "type": "array",
+                        "minItems": 1,
+                        "items": {"type": "string", "minLength": 1}
+                    },
+                    "x-span": {"type": "integer", "exclusiveMinimum": 0},
+                    "y-span": {"type": "integer", "exclusiveMinimum": 0},
+                    "entity": {"type": "string", "minLength": 1},
+                    "ports": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["label", "layer", "x", "y"],
+                            "additionalProperties": false,
+                            "properties": {
+                                "label": {
+                                    "type": "string",
+                                    "minLength": 1
+                                },
+                                "layer": {
+                                    "type": "string",
+                                    "minLength": 1
+                                },
+                                "x": {"type": "integer", "minimum": 0},
+                                "y": {"type": "integer", "minimum": 0}
+                            }
+                        }
+                    },
+                    "params": {"type": "object"}
+                }
+            }
+        },
+        "connections": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["id", "name", "layer", "source", "sinks"],
+                "properties": {
+                    "id": {
+                        "type": "string",
+                        "pattern": "^[A-Za-z0-9_.][A-Za-z0-9_.-]*$"
+                    },
+                    "name": {"type": "string", "minLength": 1},
+                    "layer": {"type": "string", "minLength": 1},
+                    "source": {
+                        "type": "object",
+                        "required": ["component"],
+                        "additionalProperties": false,
+                        "properties": {
+                            "component": {
+                                "type": "string",
+                                "minLength": 1
+                            },
+                            "port": {"type": "string", "minLength": 1}
+                        }
+                    },
+                    "sinks": {
+                        "type": "array",
+                        "minItems": 1,
+                        "items": {
+                            "type": "object",
+                            "required": ["component"],
+                            "additionalProperties": false,
+                            "properties": {
+                                "component": {
+                                    "type": "string",
+                                    "minLength": 1
+                                },
+                                "port": {
+                                    "type": "string",
+                                    "minLength": 1
+                                }
+                            }
+                        }
+                    },
+                    "paths": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["source", "sink", "wayPoints"],
+                            "additionalProperties": false,
+                            "properties": {
+                                "source": {
+                                    "type": "object",
+                                    "required": ["component"],
+                                    "properties": {
+                                        "component": {"type": "string"},
+                                        "port": {"type": "string"}
+                                    }
+                                },
+                                "sink": {
+                                    "type": "object",
+                                    "required": ["component"],
+                                    "properties": {
+                                        "component": {"type": "string"},
+                                        "port": {"type": "string"}
+                                    }
+                                },
+                                "wayPoints": {
+                                    "type": "array",
+                                    "minItems": 2,
+                                    "items": {
+                                        "type": "array",
+                                        "minItems": 2,
+                                        "maxItems": 2,
+                                        "items": {"type": "integer"}
+                                    }
+                                }
+                            }
+                        }
+                    },
+                    "params": {"type": "object"}
+                }
+            }
+        }
+    }
+}
+)JSON";
+
+} // namespace
+
+const char *
+parchmintSchemaText()
+{
+    return schema_text;
+}
+
+const Schema &
+parchmintSchema()
+{
+    static const Schema schema = Schema::fromText(schema_text);
+    return schema;
+}
+
+std::vector<Issue>
+validateStructure(const json::Value &document)
+{
+    return parchmintSchema().validate(document);
+}
+
+} // namespace parchmint::schema

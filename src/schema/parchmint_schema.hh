@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The ParchMint interchange-format schema.
+ *
+ * The structural contract of a ParchMint document, expressed as a
+ * JSON Schema document (see schema.hh for the supported keyword
+ * subset) and compiled once on first use.
+ */
+
+#ifndef PARCHMINT_SCHEMA_PARCHMINT_SCHEMA_HH
+#define PARCHMINT_SCHEMA_PARCHMINT_SCHEMA_HH
+
+#include "schema/schema.hh"
+
+namespace parchmint::schema
+{
+
+/** The ParchMint schema document as JSON text. */
+const char *parchmintSchemaText();
+
+/** The compiled ParchMint schema (built once, cached). */
+const Schema &parchmintSchema();
+
+/**
+ * Validate a document against the ParchMint structural schema.
+ * Shorthand for parchmintSchema().validate(document).
+ */
+std::vector<Issue> validateStructure(const json::Value &document);
+
+} // namespace parchmint::schema
+
+#endif // PARCHMINT_SCHEMA_PARCHMINT_SCHEMA_HH

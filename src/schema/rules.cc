@@ -1,0 +1,368 @@
+#include "schema/rules.hh"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hh"
+#include "common/strings.hh"
+#include "core/deserialize.hh"
+#include "json/parse.hh"
+#include "schema/parchmint_schema.hh"
+
+namespace parchmint::schema
+{
+
+namespace
+{
+
+class RuleChecker
+{
+  public:
+    explicit RuleChecker(const Device &device)
+        : device_(device)
+    {
+    }
+
+    std::vector<Issue>
+    run()
+    {
+        checkLayers();
+        checkComponents();
+        checkConnections();
+        checkConnectivity();
+        return std::move(issues_);
+    }
+
+  private:
+    void
+    error(std::string location, std::string message)
+    {
+        issues_.push_back(Issue{Severity::Error, std::move(location),
+                                std::move(message)});
+    }
+
+    void
+    warning(std::string location, std::string message)
+    {
+        issues_.push_back(Issue{Severity::Warning,
+                                std::move(location),
+                                std::move(message)});
+    }
+
+    void
+    checkId(const std::string &location, const std::string &id)
+    {
+        if (!isValidId(id)) {
+            error(location, "R2: invalid identifier \"" + id +
+                                "\" (allowed: [A-Za-z0-9_.-], must "
+                                "not start with '-')");
+        }
+    }
+
+    void
+    checkLayers()
+    {
+        if (!device_.firstLayer(LayerType::Flow))
+            error("device", "R1: no FLOW layer declared");
+        for (const Layer &layer : device_.layers())
+            checkId("layer " + layer.id, layer.id);
+    }
+
+    void
+    checkComponents()
+    {
+        for (const Component &component : device_.components()) {
+            const std::string where = "component " + component.id();
+            checkId(where, component.id());
+
+            if (component.xSpan() <= 0 || component.ySpan() <= 0) {
+                error(where, "R6: spans must be positive, found " +
+                                 std::to_string(component.xSpan()) +
+                                 "x" +
+                                 std::to_string(component.ySpan()));
+            }
+
+            if (component.layerIds().empty())
+                error(where, "R3: component references no layers");
+            for (const std::string &layer_id : component.layerIds()) {
+                if (!device_.findLayer(layer_id)) {
+                    error(where, "R3: references undeclared layer \"" +
+                                     layer_id + "\"");
+                }
+            }
+
+            for (const Port &port : component.ports()) {
+                const std::string port_where =
+                    where + " port " + port.label;
+                if (!device_.findLayer(port.layerId)) {
+                    error(port_where,
+                          "R4: references undeclared layer \"" +
+                              port.layerId + "\"");
+                } else if (!component.onLayer(port.layerId)) {
+                    error(port_where,
+                          "R4: port layer \"" + port.layerId +
+                              "\" is not in the component's layer "
+                              "list");
+                }
+                checkPortGeometry(port_where, component, port);
+            }
+
+            if (component.entityKind() == EntityKind::Unknown) {
+                warning(where, "R13: entity \"" + component.entity() +
+                                   "\" is not in the catalogue");
+            }
+        }
+    }
+
+    void
+    checkPortGeometry(const std::string &where,
+                      const Component &component, const Port &port)
+    {
+        bool inside = port.x >= 0 && port.x <= component.xSpan() &&
+                      port.y >= 0 && port.y <= component.ySpan();
+        if (!inside) {
+            error(where, "R5: port at (" + std::to_string(port.x) +
+                             ", " + std::to_string(port.y) +
+                             ") lies outside the component span " +
+                             std::to_string(component.xSpan()) + "x" +
+                             std::to_string(component.ySpan()));
+            return;
+        }
+        bool on_boundary = port.x == 0 ||
+                           port.x == component.xSpan() ||
+                           port.y == 0 || port.y == component.ySpan();
+        // Single-port I/O primitives (PORT) conventionally put the
+        // terminal at the centre; exempt them.
+        if (!on_boundary &&
+            component.entityKind() != EntityKind::Port) {
+            error(where,
+                  "R5: port at (" + std::to_string(port.x) + ", " +
+                      std::to_string(port.y) +
+                      ") is not on the component boundary");
+        }
+    }
+
+    /**
+     * Resolve a connection endpoint; reports R8/R9 violations.
+     */
+    void
+    checkTarget(const std::string &where, const Connection &connection,
+                const ConnectionTarget &target)
+    {
+        const Component *component =
+            device_.findComponent(target.componentId);
+        if (!component) {
+            error(where, "R8: references missing component \"" +
+                             target.componentId + "\"");
+            return;
+        }
+        if (!target.portLabel)
+            return;
+        const Port *port = component->findPort(*target.portLabel);
+        if (!port) {
+            error(where, "R8: component \"" + target.componentId +
+                             "\" has no port \"" + *target.portLabel +
+                             "\"");
+            return;
+        }
+        if (port->layerId != connection.layerId()) {
+            error(where, "R9: port \"" + *target.portLabel +
+                             "\" is on layer \"" + port->layerId +
+                             "\" but the connection is on \"" +
+                             connection.layerId() + "\"");
+        }
+    }
+
+    void
+    checkConnections()
+    {
+        for (const Connection &connection : device_.connections()) {
+            const std::string where =
+                "connection " + connection.id();
+            checkId(where, connection.id());
+
+            if (!device_.findLayer(connection.layerId())) {
+                error(where, "R7: references undeclared layer \"" +
+                                 connection.layerId() + "\"");
+            }
+
+            if (connection.source().componentId.empty()) {
+                error(where, "R8: connection has no source");
+            } else {
+                checkTarget(where + " source", connection,
+                            connection.source());
+            }
+
+            if (connection.sinks().empty())
+                error(where, "R10: connection has no sinks");
+            for (size_t i = 0; i < connection.sinks().size(); ++i) {
+                checkTarget(where + " sink " + std::to_string(i),
+                            connection, connection.sinks()[i]);
+            }
+
+            if (connection.params().has("channelWidth")) {
+                const json::Value *width =
+                    connection.params().find("channelWidth");
+                bool valid = width->isInteger() &&
+                             width->asInteger() > 0;
+                if (!valid) {
+                    error(where, "R11: channelWidth must be a "
+                                 "positive integer");
+                }
+            }
+
+            checkPaths(where, connection);
+        }
+    }
+
+    void
+    checkPaths(const std::string &where, const Connection &connection)
+    {
+        // Build the set of legal path endpoints.
+        auto target_key = [](const ConnectionTarget &target) {
+            return target.componentId + "." +
+                   (target.portLabel ? *target.portLabel : "*");
+        };
+        std::unordered_set<std::string> endpoint_keys;
+        for (const ConnectionTarget &target : connection.endpoints())
+            endpoint_keys.insert(target_key(target));
+
+        auto endpoint_ok = [&](const ConnectionTarget &target) {
+            if (endpoint_keys.count(target_key(target)))
+                return true;
+            // A path endpoint may also name a port of an endpoint
+            // component whose connection target left the port open.
+            return endpoint_keys.count(target.componentId + ".*") > 0;
+        };
+
+        for (size_t i = 0; i < connection.paths().size(); ++i) {
+            const ChannelPath &path = connection.paths()[i];
+            const std::string path_where =
+                where + " path " + std::to_string(i);
+            if (path.waypoints.size() < 2) {
+                error(path_where,
+                      "R12: path needs at least two waypoints");
+            }
+            if (!endpoint_ok(path.source)) {
+                error(path_where, "R12: path source \"" +
+                                      path.source.componentId +
+                                      "\" is not an endpoint of the "
+                                      "connection");
+            }
+            if (!endpoint_ok(path.sink)) {
+                error(path_where, "R12: path sink \"" +
+                                      path.sink.componentId +
+                                      "\" is not an endpoint of the "
+                                      "connection");
+            }
+        }
+    }
+
+    void
+    checkConnectivity()
+    {
+        // R14: the flow netlist should be one connected component.
+        // Build component-adjacency over flow-layer connections.
+        std::unordered_map<std::string, size_t> index;
+        std::vector<std::vector<size_t>> adjacency;
+        auto vertex = [&](const std::string &id) {
+            auto [it, inserted] =
+                index.emplace(id, adjacency.size());
+            if (inserted)
+                adjacency.emplace_back();
+            return it->second;
+        };
+        const Layer *flow = device_.firstLayer(LayerType::Flow);
+        if (!flow)
+            return;
+        for (const Component &component : device_.components()) {
+            if (component.onLayer(flow->id))
+                vertex(component.id());
+        }
+        for (const Connection &connection : device_.connections()) {
+            if (connection.layerId() != flow->id)
+                continue;
+            if (!device_.findComponent(
+                    connection.source().componentId)) {
+                continue; // R8 already reported.
+            }
+            size_t a = vertex(connection.source().componentId);
+            for (const ConnectionTarget &sink : connection.sinks()) {
+                if (!device_.findComponent(sink.componentId))
+                    continue;
+                size_t b = vertex(sink.componentId);
+                adjacency[a].push_back(b);
+                adjacency[b].push_back(a);
+            }
+        }
+        if (adjacency.size() < 2)
+            return;
+        std::vector<bool> seen(adjacency.size(), false);
+        std::vector<size_t> stack{0};
+        seen[0] = true;
+        size_t visited = 1;
+        while (!stack.empty()) {
+            size_t v = stack.back();
+            stack.pop_back();
+            for (size_t w : adjacency[v]) {
+                if (!seen[w]) {
+                    seen[w] = true;
+                    ++visited;
+                    stack.push_back(w);
+                }
+            }
+        }
+        if (visited != adjacency.size()) {
+            warning("device",
+                    "R14: flow netlist is disconnected (" +
+                        std::to_string(adjacency.size() - visited) +
+                        " of " + std::to_string(adjacency.size()) +
+                        " flow components unreachable from the "
+                        "first)");
+        }
+    }
+
+    const Device &device_;
+    std::vector<Issue> issues_;
+};
+
+} // namespace
+
+std::vector<Issue>
+checkRules(const Device &device)
+{
+    RuleChecker checker(device);
+    return checker.run();
+}
+
+std::vector<Issue>
+validateDocument(const json::Value &document)
+{
+    std::vector<Issue> issues = validateStructure(document);
+    if (hasErrors(issues))
+        return issues;
+    try {
+        Device device = fromJson(document);
+        std::vector<Issue> rule_issues = checkRules(device);
+        issues.insert(issues.end(), rule_issues.begin(),
+                      rule_issues.end());
+    } catch (const UserError &error) {
+        issues.push_back(
+            Issue{Severity::Error, "", error.what()});
+    }
+    return issues;
+}
+
+std::vector<Issue>
+validateText(const std::string &text)
+{
+    json::Value document;
+    try {
+        document = json::parse(text);
+    } catch (const json::ParseError &error) {
+        return {Issue{Severity::Error, "", error.what()}};
+    }
+    return validateDocument(document);
+}
+
+} // namespace parchmint::schema

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * ParchMint semantic rules.
+ *
+ * The JSON Schema constrains each object's shape; it cannot express
+ * cross-references (a port naming a layer that exists) or geometry
+ * (ports sitting on the component boundary). Those rules live here,
+ * operating on the in-memory Device. The rule inventory:
+ *
+ *   R1  the device has at least one FLOW layer
+ *   R2  every ID (layer/component/connection) uses the identifier
+ *       alphabet
+ *   R3  component layer references resolve
+ *   R4  every port's layer is declared by its component and exists
+ *   R5  port coordinates lie on the component boundary rectangle
+ *   R6  component spans are positive
+ *   R7  connection layer references resolve
+ *   R8  connection endpoints name existing components; named ports
+ *       exist on those components
+ *   R9  a named endpoint port lies on the connection's layer
+ *   R10 connections have at least one sink
+ *   R11 channelWidth, when present, is a positive integer
+ *   R12 routed path endpoints are endpoints of their connection, and
+ *       every path has at least two waypoints
+ *   R13 (warning) entity strings outside the catalogue
+ *   R14 (warning) flow-layer connectivity graph is disconnected
+ *
+ * Uniqueness of IDs is enforced structurally by Device::add* and by
+ * the reader, so it cannot reach the rule checker in violated form;
+ * the validation pipeline reports it as a load error instead.
+ */
+
+#ifndef PARCHMINT_SCHEMA_RULES_HH
+#define PARCHMINT_SCHEMA_RULES_HH
+
+#include <string>
+#include <vector>
+
+#include "core/device.hh"
+#include "schema/schema.hh"
+
+namespace parchmint::schema
+{
+
+/**
+ * Run every semantic rule against a device.
+ *
+ * @return All violations; locations are object descriptions such as
+ *         "component mixer1" rather than JSON pointers, because the
+ *         device may never have existed as JSON.
+ */
+std::vector<Issue> checkRules(const Device &device);
+
+/**
+ * Full validation pipeline for a ParchMint document: structural
+ * schema first; when structure passes, build the Device and run the
+ * semantic rules. Load failures (duplicate IDs, malformed members
+ * missed by the schema) are converted into issues rather than
+ * exceptions.
+ */
+std::vector<Issue> validateDocument(const json::Value &document);
+
+/** Parse text and run the full pipeline; parse errors become issues. */
+std::vector<Issue> validateText(const std::string &text);
+
+} // namespace parchmint::schema
+
+#endif // PARCHMINT_SCHEMA_RULES_HH

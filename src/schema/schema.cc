@@ -1,0 +1,380 @@
+#include "schema/schema.hh"
+
+#include <cmath>
+#include <optional>
+#include <regex>
+
+#include "common/error.hh"
+#include "json/parse.hh"
+
+namespace parchmint::schema
+{
+
+std::string
+formatIssues(const std::vector<Issue> &issues)
+{
+    std::string out;
+    for (const Issue &issue : issues) {
+        out += issue.severity == Severity::Error ? "error " : "warning ";
+        out += issue.location.empty() ? "/" : issue.location;
+        out += ": " + issue.message + "\n";
+    }
+    return out;
+}
+
+bool
+hasErrors(const std::vector<Issue> &issues)
+{
+    for (const Issue &issue : issues) {
+        if (issue.severity == Severity::Error)
+            return true;
+    }
+    return false;
+}
+
+/** Instance kinds a schema "type" keyword can demand. */
+enum class TypeTag
+{
+    Any,
+    Object,
+    Array,
+    String,
+    Integer,
+    Number,
+    Boolean,
+    Null,
+};
+
+/** A compiled schema node. */
+struct Schema::Node
+{
+    TypeTag type = TypeTag::Any;
+
+    /** properties: name -> subschema. */
+    std::vector<std::pair<std::string, std::unique_ptr<Node>>>
+        properties;
+    std::vector<std::string> required;
+    /** additionalProperties: false forbids unknown members. */
+    bool additionalAllowed = true;
+
+    std::unique_ptr<Node> items;
+    std::optional<size_t> minItems;
+    std::optional<size_t> maxItems;
+
+    std::vector<std::string> enumValues;
+
+    std::optional<double> minimum;
+    std::optional<double> maximum;
+    std::optional<double> exclusiveMinimum;
+
+    std::optional<size_t> minLength;
+    std::optional<std::regex> pattern;
+    std::string patternText;
+};
+
+namespace
+{
+
+TypeTag
+parseType(const std::string &name)
+{
+    if (name == "object") return TypeTag::Object;
+    if (name == "array") return TypeTag::Array;
+    if (name == "string") return TypeTag::String;
+    if (name == "integer") return TypeTag::Integer;
+    if (name == "number") return TypeTag::Number;
+    if (name == "boolean") return TypeTag::Boolean;
+    if (name == "null") return TypeTag::Null;
+    fatal("schema: unsupported \"type\" value \"" + name + "\"");
+}
+
+const char *
+typeName(TypeTag tag)
+{
+    switch (tag) {
+      case TypeTag::Any: return "any";
+      case TypeTag::Object: return "object";
+      case TypeTag::Array: return "array";
+      case TypeTag::String: return "string";
+      case TypeTag::Integer: return "integer";
+      case TypeTag::Number: return "number";
+      case TypeTag::Boolean: return "boolean";
+      case TypeTag::Null: return "null";
+    }
+    panic("typeName: invalid TypeTag");
+}
+
+bool
+matchesType(const json::Value &value, TypeTag tag)
+{
+    switch (tag) {
+      case TypeTag::Any: return true;
+      case TypeTag::Object: return value.isObject();
+      case TypeTag::Array: return value.isArray();
+      case TypeTag::String: return value.isString();
+      case TypeTag::Integer:
+        if (value.isInteger())
+            return true;
+        // JSON Schema: a real with zero fraction is an integer.
+        return value.isReal() &&
+               value.asDouble() == std::floor(value.asDouble());
+      case TypeTag::Number: return value.isNumber();
+      case TypeTag::Boolean: return value.isBoolean();
+      case TypeTag::Null: return value.isNull();
+    }
+    panic("matchesType: invalid TypeTag");
+}
+
+std::unique_ptr<Schema::Node>
+compile(const json::Value &document, const std::string &where)
+{
+    if (!document.isObject())
+        fatal("schema" + where + ": schema must be an object");
+
+    auto node = std::make_unique<Schema::Node>();
+
+    if (const json::Value *type = document.find("type")) {
+        if (!type->isString())
+            fatal("schema" + where + "/type: must be a string");
+        node->type = parseType(type->asString());
+    }
+
+    if (const json::Value *properties = document.find("properties")) {
+        if (!properties->isObject())
+            fatal("schema" + where + "/properties: must be an object");
+        for (const json::Value::Member &member :
+             properties->members()) {
+            node->properties.emplace_back(
+                member.first,
+                compile(member.second,
+                        where + "/properties/" + member.first));
+        }
+    }
+
+    if (const json::Value *required = document.find("required")) {
+        if (!required->isArray())
+            fatal("schema" + where + "/required: must be an array");
+        for (const json::Value &entry : required->elements()) {
+            if (!entry.isString())
+                fatal("schema" + where +
+                      "/required: entries must be strings");
+            node->required.push_back(entry.asString());
+        }
+    }
+
+    if (const json::Value *additional =
+            document.find("additionalProperties")) {
+        if (!additional->isBoolean())
+            fatal("schema" + where + "/additionalProperties: only "
+                  "boolean form is supported");
+        node->additionalAllowed = additional->asBoolean();
+    }
+
+    if (const json::Value *items = document.find("items"))
+        node->items = compile(*items, where + "/items");
+
+    if (const json::Value *min_items = document.find("minItems")) {
+        if (!min_items->isInteger() || min_items->asInteger() < 0)
+            fatal("schema" + where +
+                  "/minItems: must be a non-negative integer");
+        node->minItems = static_cast<size_t>(min_items->asInteger());
+    }
+
+    if (const json::Value *max_items = document.find("maxItems")) {
+        if (!max_items->isInteger() || max_items->asInteger() < 0)
+            fatal("schema" + where +
+                  "/maxItems: must be a non-negative integer");
+        node->maxItems = static_cast<size_t>(max_items->asInteger());
+    }
+
+    if (const json::Value *enumeration = document.find("enum")) {
+        if (!enumeration->isArray() || enumeration->empty())
+            fatal("schema" + where +
+                  "/enum: must be a non-empty array");
+        for (const json::Value &entry : enumeration->elements()) {
+            if (!entry.isString())
+                fatal("schema" + where +
+                      "/enum: only string enums are supported");
+            node->enumValues.push_back(entry.asString());
+        }
+    }
+
+    if (const json::Value *minimum = document.find("minimum")) {
+        if (!minimum->isNumber())
+            fatal("schema" + where + "/minimum: must be a number");
+        node->minimum = minimum->asDouble();
+    }
+
+    if (const json::Value *maximum = document.find("maximum")) {
+        if (!maximum->isNumber())
+            fatal("schema" + where + "/maximum: must be a number");
+        node->maximum = maximum->asDouble();
+    }
+
+    if (const json::Value *exclusive =
+            document.find("exclusiveMinimum")) {
+        if (!exclusive->isNumber())
+            fatal("schema" + where +
+                  "/exclusiveMinimum: must be a number");
+        node->exclusiveMinimum = exclusive->asDouble();
+    }
+
+    if (const json::Value *min_length = document.find("minLength")) {
+        if (!min_length->isInteger() || min_length->asInteger() < 0)
+            fatal("schema" + where +
+                  "/minLength: must be a non-negative integer");
+        node->minLength = static_cast<size_t>(min_length->asInteger());
+    }
+
+    if (const json::Value *pattern = document.find("pattern")) {
+        if (!pattern->isString())
+            fatal("schema" + where + "/pattern: must be a string");
+        node->patternText = pattern->asString();
+        try {
+            node->pattern = std::regex(node->patternText,
+                                       std::regex::ECMAScript);
+        } catch (const std::regex_error &) {
+            fatal("schema" + where + "/pattern: invalid regex \"" +
+                  node->patternText + "\"");
+        }
+    }
+
+    return node;
+}
+
+void
+validateNode(const Schema::Node &node, const json::Value &instance,
+             const json::Pointer &where, std::vector<Issue> &issues)
+{
+    auto emit = [&](std::string message) {
+        issues.push_back(Issue{Severity::Error, where.toString(),
+                               std::move(message)});
+    };
+
+    if (!matchesType(instance, node.type)) {
+        emit(std::string("expected ") + typeName(node.type) +
+             ", found " + json::kindName(instance.kind()));
+        // Structure checks below would only cascade; stop here.
+        return;
+    }
+
+    if (!node.enumValues.empty()) {
+        bool found = false;
+        if (instance.isString()) {
+            for (const std::string &allowed : node.enumValues) {
+                if (instance.asString() == allowed) {
+                    found = true;
+                    break;
+                }
+            }
+        }
+        if (!found) {
+            std::string allowed;
+            for (const std::string &entry : node.enumValues) {
+                if (!allowed.empty())
+                    allowed += ", ";
+                allowed += "\"" + entry + "\"";
+            }
+            emit("value not in enum {" + allowed + "}");
+        }
+    }
+
+    if (instance.isNumber()) {
+        double value = instance.asDouble();
+        if (node.minimum && value < *node.minimum)
+            emit("value below minimum " +
+                 std::to_string(*node.minimum));
+        if (node.maximum && value > *node.maximum)
+            emit("value above maximum " +
+                 std::to_string(*node.maximum));
+        if (node.exclusiveMinimum && value <= *node.exclusiveMinimum)
+            emit("value not above exclusiveMinimum " +
+                 std::to_string(*node.exclusiveMinimum));
+    }
+
+    if (instance.isString()) {
+        if (node.minLength &&
+            instance.asString().size() < *node.minLength) {
+            emit("string shorter than minLength " +
+                 std::to_string(*node.minLength));
+        }
+        if (node.pattern &&
+            !std::regex_search(instance.asString(), *node.pattern)) {
+            emit("string does not match pattern \"" +
+                 node.patternText + "\"");
+        }
+    }
+
+    if (instance.isObject()) {
+        for (const std::string &key : node.required) {
+            if (!instance.contains(key))
+                emit("missing required member \"" + key + "\"");
+        }
+        for (const json::Value::Member &member : instance.members()) {
+            const Schema::Node *subschema = nullptr;
+            for (const auto &[name, sub] : node.properties) {
+                if (name == member.first) {
+                    subschema = sub.get();
+                    break;
+                }
+            }
+            if (subschema) {
+                validateNode(*subschema, member.second,
+                             where.child(member.first), issues);
+            } else if (!node.additionalAllowed) {
+                issues.push_back(
+                    Issue{Severity::Error,
+                          where.child(member.first).toString(),
+                          "unknown member \"" + member.first + "\""});
+            }
+        }
+    }
+
+    if (instance.isArray()) {
+        if (node.minItems && instance.size() < *node.minItems)
+            emit("array shorter than minItems " +
+                 std::to_string(*node.minItems));
+        if (node.maxItems && instance.size() > *node.maxItems)
+            emit("array longer than maxItems " +
+                 std::to_string(*node.maxItems));
+        if (node.items) {
+            for (size_t i = 0; i < instance.size(); ++i) {
+                validateNode(*node.items, instance.at(i),
+                             where.child(i), issues);
+            }
+        }
+    }
+}
+
+} // namespace
+
+Schema::Schema(std::unique_ptr<Node> root)
+    : root_(std::move(root))
+{
+}
+
+Schema::Schema(Schema &&) noexcept = default;
+Schema &Schema::operator=(Schema &&) noexcept = default;
+Schema::~Schema() = default;
+
+Schema
+Schema::fromJson(const json::Value &document)
+{
+    return Schema(compile(document, ""));
+}
+
+Schema
+Schema::fromText(const std::string &text)
+{
+    return fromJson(json::parse(text));
+}
+
+std::vector<Issue>
+Schema::validate(const json::Value &instance) const
+{
+    std::vector<Issue> issues;
+    validateNode(*root_, instance, json::Pointer(), issues);
+    return issues;
+}
+
+} // namespace parchmint::schema

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A JSON-Schema-subset validation engine.
+ *
+ * ParchMint's structural contract is published as a JSON Schema;
+ * validating against it is the first stage of netlist checking. The
+ * engine implements the keyword subset that contract needs:
+ *
+ *   type, properties, required, additionalProperties, items,
+ *   minItems, maxItems, enum (of strings), minimum, maximum,
+ *   exclusiveMinimum, minLength, pattern (ECMAScript regex).
+ *
+ * Schemas are themselves JSON documents compiled with
+ * Schema::fromJson, so the published schema text is usable directly.
+ * Validation never throws on invalid *instances*; it returns the
+ * full list of violations with JSON-pointer locations. Invalid
+ * *schemas* throw UserError at compile time.
+ */
+
+#ifndef PARCHMINT_SCHEMA_SCHEMA_HH
+#define PARCHMINT_SCHEMA_SCHEMA_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "json/pointer.hh"
+#include "json/value.hh"
+
+namespace parchmint::schema
+{
+
+/** Severity of a validation issue. */
+enum class Severity
+{
+    Error,
+    Warning,
+};
+
+/** One violation found during validation. */
+struct Issue
+{
+    Severity severity = Severity::Error;
+    /** Location of the offending value in the instance document. */
+    std::string location;
+    /** What is wrong, e.g. "missing required member \"name\"". */
+    std::string message;
+};
+
+/** Render issues one per line as "<severity> <location>: <message>". */
+std::string formatIssues(const std::vector<Issue> &issues);
+
+/** True when any issue has Severity::Error. */
+bool hasErrors(const std::vector<Issue> &issues);
+
+/**
+ * A compiled schema, ready to validate instances.
+ */
+class Schema
+{
+  public:
+    /**
+     * Compile a schema from its JSON document form.
+     *
+     * @throws UserError on unsupported or malformed schema
+     *         constructs (unknown "type" string, non-object
+     *         "properties", invalid "pattern", ...).
+     */
+    static Schema fromJson(const json::Value &document);
+
+    /** Compile from schema text. */
+    static Schema fromText(const std::string &text);
+
+    Schema(Schema &&) noexcept;
+    Schema &operator=(Schema &&) noexcept;
+    ~Schema();
+
+    /**
+     * Validate an instance document.
+     *
+     * @return Every violation found (the engine does not stop at the
+     *         first); empty means the instance conforms.
+     */
+    std::vector<Issue> validate(const json::Value &instance) const;
+
+    /** Compiled node; implementation detail exposed for the .cc. */
+    struct Node;
+
+  private:
+    explicit Schema(std::unique_ptr<Node> root);
+
+    std::unique_ptr<Node> root_;
+};
+
+} // namespace parchmint::schema
+
+#endif // PARCHMINT_SCHEMA_SCHEMA_HH

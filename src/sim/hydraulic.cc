@@ -1,0 +1,245 @@
+#include "sim/hydraulic.hh"
+
+#include <cmath>
+#include <deque>
+
+#include "common/error.hh"
+#include "sim/linear_solver.hh"
+
+namespace parchmint::sim
+{
+
+namespace
+{
+
+/**
+ * Channel length for one sink of a connection: the routed path when
+ * one exists, the nominal length otherwise.
+ */
+double
+channelLength(const Connection &connection,
+              const ConnectionTarget &sink,
+              const HydraulicOptions &options)
+{
+    for (const ChannelPath &path : connection.paths()) {
+        if (path.sink.componentId == sink.componentId &&
+            (!sink.portLabel || !path.sink.portLabel ||
+             *path.sink.portLabel == *sink.portLabel)) {
+            return static_cast<double>(path.length());
+        }
+    }
+    return static_cast<double>(options.nominalChannelLength);
+}
+
+} // namespace
+
+double
+HydraulicSolution::pressureAt(const std::string &component_id) const
+{
+    auto it = pressures_.find(component_id);
+    if (it == pressures_.end())
+        fatal("no solved pressure for component \"" + component_id +
+              "\" (unknown or floating)");
+    return it->second;
+}
+
+double
+HydraulicSolution::flowThrough(const std::string &connection_id,
+                               size_t sink_index) const
+{
+    for (size_t i = 0; i < edges_.size(); ++i) {
+        if (edges_[i].connectionId == connection_id &&
+            edges_[i].sinkIndex == sink_index) {
+            return flows_[i];
+        }
+    }
+    fatal("no flow edge for connection \"" + connection_id +
+          "\" sink " + std::to_string(sink_index));
+}
+
+double
+HydraulicSolution::netInflow(const std::string &component_id) const
+{
+    double total = 0.0;
+    for (size_t i = 0; i < edges_.size(); ++i) {
+        if (edges_[i].sinkId == component_id)
+            total += flows_[i];
+        if (edges_[i].sourceId == component_id)
+            total -= flows_[i];
+    }
+    return total;
+}
+
+HydraulicModel
+HydraulicModel::build(const Device &device,
+                      const HydraulicOptions &options)
+{
+    const Layer *flow = device.firstLayer(LayerType::Flow);
+    if (!flow)
+        fatal("hydraulic model: device has no flow layer");
+
+    HydraulicModel model;
+    for (const Component &component : device.components()) {
+        if (!component.onLayer(flow->id))
+            continue;
+        model.nodeIndex_[component.id()] = model.nodes_.size();
+        model.nodes_.push_back(component.id());
+    }
+
+    for (const Connection &connection : device.connections()) {
+        if (connection.layerId() != flow->id)
+            continue;
+        const Component *source =
+            device.findComponent(connection.source().componentId);
+        if (!source)
+            continue; // Rule checker reports dangling references.
+        for (size_t s = 0; s < connection.sinks().size(); ++s) {
+            const ConnectionTarget &sink_target =
+                connection.sinks()[s];
+            const Component *sink =
+                device.findComponent(sink_target.componentId);
+            if (!sink)
+                continue;
+            double length =
+                channelLength(connection, sink_target, options);
+            double width =
+                static_cast<double>(connection.channelWidth());
+            double resistance = channelResistance(
+                length, width,
+                static_cast<double>(options.channelHeight),
+                options.viscosity);
+            // Endpoint components contribute half their internal
+            // path each (the channel ends mid-component).
+            resistance +=
+                0.5 * entityInternalResistance(source->entityKind());
+            resistance +=
+                0.5 * entityInternalResistance(sink->entityKind());
+            model.edges_.push_back(HydraulicEdge{
+                connection.id(), s, source->id(), sink->id(),
+                resistance});
+        }
+    }
+    return model;
+}
+
+void
+HydraulicModel::setPressure(const std::string &component_id,
+                            double pascals)
+{
+    if (nodeIndex_.find(component_id) == nodeIndex_.end())
+        fatal("hydraulic model has no node \"" + component_id +
+              "\"");
+    boundaries_[component_id] = pascals;
+}
+
+HydraulicSolution
+HydraulicModel::solve() const
+{
+    if (boundaries_.size() < 2)
+        fatal("hydraulic solve needs at least two boundary "
+              "pressures");
+
+    // Adjacency for reachability from boundary nodes.
+    std::vector<std::vector<size_t>> adjacency(nodes_.size());
+    for (const HydraulicEdge &edge : edges_) {
+        size_t a = nodeIndex_.at(edge.sourceId);
+        size_t b = nodeIndex_.at(edge.sinkId);
+        adjacency[a].push_back(b);
+        adjacency[b].push_back(a);
+    }
+    std::vector<bool> reachable(nodes_.size(), false);
+    std::deque<size_t> queue;
+    for (const auto &[id, pressure] : boundaries_) {
+        size_t index = nodeIndex_.at(id);
+        if (!reachable[index]) {
+            reachable[index] = true;
+            queue.push_back(index);
+        }
+    }
+    while (!queue.empty()) {
+        size_t v = queue.front();
+        queue.pop_front();
+        for (size_t w : adjacency[v]) {
+            if (!reachable[w]) {
+                reachable[w] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+
+    HydraulicSolution solution;
+    solution.edges_ = edges_;
+
+    // Unknowns: reachable, non-boundary nodes.
+    std::vector<size_t> unknown_of_node(nodes_.size(), SIZE_MAX);
+    std::vector<size_t> unknowns;
+    for (size_t v = 0; v < nodes_.size(); ++v) {
+        if (!reachable[v]) {
+            solution.floating_.push_back(nodes_[v]);
+            continue;
+        }
+        if (boundaries_.count(nodes_[v]))
+            continue;
+        unknown_of_node[v] = unknowns.size();
+        unknowns.push_back(v);
+    }
+
+    // Assemble G p = s over the unknowns.
+    Matrix conductance(unknowns.size());
+    std::vector<double> rhs(unknowns.size(), 0.0);
+    for (const HydraulicEdge &edge : edges_) {
+        size_t a = nodeIndex_.at(edge.sourceId);
+        size_t b = nodeIndex_.at(edge.sinkId);
+        if (!reachable[a] || !reachable[b])
+            continue;
+        double g = 1.0 / edge.resistance;
+        auto contribute = [&](size_t self, size_t other) {
+            size_t row = unknown_of_node[self];
+            if (row == SIZE_MAX)
+                return; // Boundary node: no equation.
+            conductance.at(row, row) += g;
+            size_t other_col = unknown_of_node[other];
+            if (other_col != SIZE_MAX) {
+                conductance.at(row, other_col) -= g;
+            } else {
+                rhs[row] += g * boundaries_.at(nodes_[other]);
+            }
+        };
+        contribute(a, b);
+        contribute(b, a);
+    }
+
+    std::vector<double> solved =
+        unknowns.empty()
+            ? std::vector<double>{}
+            : solveLinearSystem(std::move(conductance),
+                                std::move(rhs));
+
+    for (size_t v = 0; v < nodes_.size(); ++v) {
+        if (!reachable[v])
+            continue;
+        auto boundary = boundaries_.find(nodes_[v]);
+        if (boundary != boundaries_.end()) {
+            solution.pressures_[nodes_[v]] = boundary->second;
+        } else {
+            solution.pressures_[nodes_[v]] =
+                solved[unknown_of_node[v]];
+        }
+    }
+
+    solution.flows_.reserve(edges_.size());
+    for (const HydraulicEdge &edge : edges_) {
+        size_t a = nodeIndex_.at(edge.sourceId);
+        size_t b = nodeIndex_.at(edge.sinkId);
+        if (!reachable[a] || !reachable[b]) {
+            solution.flows_.push_back(0.0);
+            continue;
+        }
+        double pa = solution.pressures_.at(edge.sourceId);
+        double pb = solution.pressures_.at(edge.sinkId);
+        solution.flows_.push_back((pa - pb) / edge.resistance);
+    }
+    return solution;
+}
+
+} // namespace parchmint::sim

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Steady-state hydraulic network analysis of flow-layer netlists.
+ *
+ * Builds the resistor-network model of a device's flow layer (one
+ * pressure node per component, one resistor per channel source-sink
+ * pair including the endpoints' internal resistances), applies
+ * Dirichlet pressure boundary conditions at chosen components
+ * (normally the I/O PORTs), and solves Kirchhoff's current law for
+ * all interior pressures. The solution reports per-channel
+ * volumetric flow rates, which is what assay designers actually
+ * need from a netlist before fabrication.
+ *
+ * Channel lengths come from routed paths when the device carries
+ * them; unrouted channels fall back to a configurable nominal
+ * length, so the model is usable at every design stage.
+ */
+
+#ifndef PARCHMINT_SIM_HYDRAULIC_HH
+#define PARCHMINT_SIM_HYDRAULIC_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/device.hh"
+#include "sim/resistance.hh"
+
+namespace parchmint::sim
+{
+
+/** Model-construction knobs. */
+struct HydraulicOptions
+{
+    /** Fluid viscosity, Pa*s. */
+    double viscosity = kWaterViscosity;
+    /** Channel depth when the netlist does not specify one, um. */
+    int64_t channelHeight = kDefaultChannelHeight;
+    /** Length assumed for unrouted channels, um. */
+    int64_t nominalChannelLength = 5000;
+};
+
+/** One resolved resistor of the network. */
+struct HydraulicEdge
+{
+    /** Owning connection. */
+    std::string connectionId;
+    /** Which sink of the connection (multi-sink nets fan out). */
+    size_t sinkIndex;
+    /** Source and sink component IDs. */
+    std::string sourceId;
+    std::string sinkId;
+    /** Total resistance, Pa*s/m^3. */
+    double resistance;
+};
+
+/** Result of a solve. */
+class HydraulicSolution
+{
+  public:
+    /**
+     * Pressure at a component, Pa.
+     * @throws UserError for unknown or floating components.
+     */
+    double pressureAt(const std::string &component_id) const;
+
+    /**
+     * Signed volumetric flow through one source-sink resistor of a
+     * connection, m^3/s; positive flows source-to-sink.
+     *
+     * @throws UserError when the connection/sink does not exist in
+     *         the model.
+     */
+    double flowThrough(const std::string &connection_id,
+                       size_t sink_index = 0) const;
+
+    /**
+     * Net volumetric inflow into a component from all incident
+     * channels, m^3/s. Zero (to numerical precision) for interior
+     * components (conservation); positive at outlet boundaries.
+     */
+    double netInflow(const std::string &component_id) const;
+
+    /** Components excluded because no path reaches a boundary. */
+    const std::vector<std::string> &floating() const
+    {
+        return floating_;
+    }
+
+    /** The resolved resistor network, for inspection. */
+    const std::vector<HydraulicEdge> &edges() const
+    {
+        return edges_;
+    }
+
+  private:
+    friend class HydraulicModel;
+
+    std::unordered_map<std::string, double> pressures_;
+    std::vector<HydraulicEdge> edges_;
+    /** Flow per edge, parallel to edges_. */
+    std::vector<double> flows_;
+    std::vector<std::string> floating_;
+};
+
+/**
+ * The hydraulic model of one device's flow layer.
+ */
+class HydraulicModel
+{
+  public:
+    /**
+     * Build the resistor network from a device.
+     *
+     * @param device The netlist; routed paths are used for channel
+     *        lengths when present.
+     * @param options Model knobs.
+     * @throws UserError when the device has no flow layer.
+     */
+    static HydraulicModel build(const Device &device,
+                                const HydraulicOptions &options = {});
+
+    /**
+     * Fix a component's pressure (Dirichlet boundary), Pa.
+     * @throws UserError for components not in the model.
+     */
+    void setPressure(const std::string &component_id,
+                     double pascals);
+
+    /** Number of pressure nodes in the model. */
+    size_t nodeCount() const { return nodes_.size(); }
+
+    /** The resistor list (before solving). */
+    const std::vector<HydraulicEdge> &edges() const
+    {
+        return edges_;
+    }
+
+    /**
+     * Solve for all pressures and flows.
+     *
+     * @throws UserError when fewer than two boundary pressures are
+     *         set (no flow problem exists).
+     */
+    HydraulicSolution solve() const;
+
+  private:
+    HydraulicModel() = default;
+
+    std::vector<std::string> nodes_;
+    std::unordered_map<std::string, size_t> nodeIndex_;
+    std::vector<HydraulicEdge> edges_;
+    std::unordered_map<std::string, double> boundaries_;
+};
+
+} // namespace parchmint::sim
+
+#endif // PARCHMINT_SIM_HYDRAULIC_HH

@@ -1,0 +1,79 @@
+#include "sim/linear_solver.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace parchmint::sim
+{
+
+Matrix::Matrix(size_t n)
+    : n_(n), cells_(n * n, 0.0)
+{
+}
+
+double &
+Matrix::at(size_t row, size_t col)
+{
+    if (row >= n_ || col >= n_)
+        panic("Matrix::at out of range");
+    return cells_[row * n_ + col];
+}
+
+double
+Matrix::at(size_t row, size_t col) const
+{
+    if (row >= n_ || col >= n_)
+        panic("Matrix::at out of range");
+    return cells_[row * n_ + col];
+}
+
+std::vector<double>
+solveLinearSystem(Matrix a, std::vector<double> b)
+{
+    size_t n = a.size();
+    if (b.size() != n)
+        panic("solveLinearSystem: dimension mismatch");
+
+    // Forward elimination with partial pivoting.
+    for (size_t col = 0; col < n; ++col) {
+        size_t pivot = col;
+        double best = std::fabs(a.at(col, col));
+        for (size_t row = col + 1; row < n; ++row) {
+            double candidate = std::fabs(a.at(row, col));
+            if (candidate > best) {
+                best = candidate;
+                pivot = row;
+            }
+        }
+        if (best < 1e-300)
+            fatal("hydraulic system is singular: a node has no "
+                  "path to any pressure boundary");
+        if (pivot != col) {
+            for (size_t k = 0; k < n; ++k)
+                std::swap(a.at(col, k), a.at(pivot, k));
+            std::swap(b[col], b[pivot]);
+        }
+        for (size_t row = col + 1; row < n; ++row) {
+            double factor = a.at(row, col) / a.at(col, col);
+            if (factor == 0.0)
+                continue;
+            for (size_t k = col; k < n; ++k)
+                a.at(row, k) -= factor * a.at(col, k);
+            b[row] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    std::vector<double> x(n, 0.0);
+    for (size_t row_plus1 = n; row_plus1 > 0; --row_plus1) {
+        size_t row = row_plus1 - 1;
+        double sum = b[row];
+        for (size_t k = row + 1; k < n; ++k)
+            sum -= a.at(row, k) * x[k];
+        x[row] = sum / a.at(row, row);
+    }
+    return x;
+}
+
+} // namespace parchmint::sim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Dense linear solver for the hydraulic network equations.
+ *
+ * Device networks have at most a few hundred pressure nodes, so a
+ * dense LU with partial pivoting (written here, no external linear
+ * algebra dependency) is simple and more than fast enough.
+ */
+
+#ifndef PARCHMINT_SIM_LINEAR_SOLVER_HH
+#define PARCHMINT_SIM_LINEAR_SOLVER_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace parchmint::sim
+{
+
+/** A dense row-major square matrix. */
+class Matrix
+{
+  public:
+    /** Create an n x n zero matrix. */
+    explicit Matrix(size_t n);
+
+    size_t size() const { return n_; }
+
+    double &at(size_t row, size_t col);
+    double at(size_t row, size_t col) const;
+
+  private:
+    size_t n_;
+    std::vector<double> cells_;
+};
+
+/**
+ * Solve A x = b by LU decomposition with partial pivoting. A is
+ * consumed (decomposed in place on a copy).
+ *
+ * @throws UserError when the system is singular (to working
+ *         precision), which for hydraulic networks means a floating
+ *         node with no path to any pressure boundary.
+ */
+std::vector<double> solveLinearSystem(Matrix a,
+                                      std::vector<double> b);
+
+} // namespace parchmint::sim
+
+#endif // PARCHMINT_SIM_LINEAR_SOLVER_HH

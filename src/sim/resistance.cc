@@ -1,0 +1,73 @@
+#include "sim/resistance.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace parchmint::sim
+{
+
+double
+channelResistance(double length_um, double width_um,
+                  double height_um, double viscosity)
+{
+    if (width_um <= 0 || height_um <= 0)
+        fatal("channelResistance: cross-section must be positive");
+    if (length_um < 0)
+        fatal("channelResistance: length must be non-negative");
+    // The approximation wants h <= w.
+    double w = std::max(width_um, height_um) * 1e-6;
+    double h = std::min(width_um, height_um) * 1e-6;
+    double length = length_um * 1e-6;
+    double aspect = 1.0 - 0.63 * h / w;
+    return 12.0 * viscosity * length / (w * h * h * h * aspect);
+}
+
+double
+entityInternalResistance(EntityKind kind)
+{
+    // Characteristic internal channel per entity: length (um) of an
+    // equivalent 400x100 um channel. Values reflect the geometry the
+    // catalogue assumes: mixers are long serpentines, chambers and
+    // traps are wide (low-resistance) cavities, pass-throughs are
+    // short stubs.
+    double equivalent_length_um = 0.0;
+    switch (kind) {
+      case EntityKind::Mixer:
+        equivalent_length_um = 30000; // Serpentine.
+        break;
+      case EntityKind::RotaryPump:
+        equivalent_length_um = 25000; // Mixing ring.
+        break;
+      case EntityKind::DiamondChamber:
+      case EntityKind::Reservoir:
+        equivalent_length_um = 1000; // Wide cavity.
+        break;
+      case EntityKind::CellTrap:
+        equivalent_length_um = 12000; // Trap array.
+        break;
+      case EntityKind::Filter:
+        equivalent_length_um = 8000; // Porous section.
+        break;
+      case EntityKind::Heater:
+      case EntityKind::Sensor:
+      case EntityKind::Tree:
+      case EntityKind::Mux:
+      case EntityKind::Transposer:
+        equivalent_length_um = 4000;
+        break;
+      case EntityKind::Valve:
+      case EntityKind::Pump:
+        equivalent_length_um = 2000; // Open-state constriction.
+        break;
+      case EntityKind::Port:
+      case EntityKind::Via:
+      case EntityKind::Unknown:
+        equivalent_length_um = 500; // Pass-through stub.
+        break;
+    }
+    return channelResistance(equivalent_length_um, 400,
+                             kDefaultChannelHeight);
+}
+
+} // namespace parchmint::sim

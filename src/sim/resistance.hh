@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Hydraulic resistance models.
+ *
+ * Continuous-flow devices at low Reynolds number behave like
+ * resistor networks: pressure is voltage, volumetric flow is
+ * current, and a rectangular channel's hydraulic resistance follows
+ * the planar Poiseuille approximation
+ *
+ *     R = 12 mu L / (w h^3 (1 - 0.63 h / w)),   h <= w
+ *
+ * with mu the fluid viscosity, L the channel length and w x h the
+ * cross-section. The catalogue entities get internal resistances
+ * derived from their characteristic channel geometry (a mixer is a
+ * long serpentine; a valve in the open state is a short constriction).
+ */
+
+#ifndef PARCHMINT_SIM_RESISTANCE_HH
+#define PARCHMINT_SIM_RESISTANCE_HH
+
+#include <cstdint>
+
+#include "core/entity.hh"
+
+namespace parchmint::sim
+{
+
+/** Dynamic viscosity of water at room temperature, Pa*s. */
+constexpr double kWaterViscosity = 1.0e-3;
+
+/** Default channel depth when a netlist does not specify one, um. */
+constexpr int64_t kDefaultChannelHeight = 100;
+
+/**
+ * Hydraulic resistance of a rectangular channel.
+ *
+ * @param length_um Channel length in micrometers; >= 0.
+ * @param width_um Channel width in micrometers; > 0.
+ * @param height_um Channel depth in micrometers; > 0. Width and
+ *        height are swapped internally when height > width (the
+ *        formula wants the narrow dimension cubed).
+ * @param viscosity Fluid viscosity in Pa*s.
+ * @return Resistance in Pa*s/m^3.
+ */
+double channelResistance(double length_um, double width_um,
+                         double height_um,
+                         double viscosity = kWaterViscosity);
+
+/**
+ * Internal flow-path resistance of a catalogue entity, between its
+ * flow terminals, in Pa*s/m^3. Entities model their characteristic
+ * internal channel (serpentine length for mixers, ring length for
+ * rotary pumps, near-zero for pass-through primitives).
+ *
+ * @param kind Catalogue entity; Unknown gets a plain pass-through.
+ */
+double entityInternalResistance(EntityKind kind);
+
+} // namespace parchmint::sim
+
+#endif // PARCHMINT_SIM_RESISTANCE_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Internal construction helpers shared by the suite builders.
+ */
+
+#ifndef PARCHMINT_SUITE_HELPERS_HH
+#define PARCHMINT_SUITE_HELPERS_HH
+
+#include <string>
+
+#include "common/error.hh"
+#include "core/builder.hh"
+
+namespace parchmint::suite
+{
+
+/**
+ * A pneumatic I/O port on the control layer: entity PORT with its
+ * single terminal on the control layer (the catalogue template puts
+ * PORT terminals on the flow layer, which is wrong for control
+ * inputs).
+ */
+inline Component
+makeControlPort(const std::string &id, const std::string &control_layer)
+{
+    const EntityInfo &info = entityInfo(EntityKind::Port);
+    Component component(id, id, info.name, info.defaultXSpan,
+                        info.defaultYSpan);
+    component.addLayerId(control_layer);
+    Port port;
+    port.label = "1";
+    port.layerId = control_layer;
+    port.x = info.defaultXSpan / 2;
+    port.y = info.defaultYSpan / 2;
+    component.addPort(port);
+    return component;
+}
+
+/**
+ * Add a control input port "<valve_id>_ctl" and a control channel
+ * "<valve_id>_cc" driving the given control terminal of a component.
+ */
+inline void
+attachControlLine(DeviceBuilder &builder, const std::string &component_id,
+                  const std::string &control_label)
+{
+    const Layer *control =
+        builder.device().firstLayer(LayerType::Control);
+    if (!control)
+        fatal("attachControlLine: device has no control layer");
+    const std::string port_id =
+        component_id + "_" + control_label + "_ctl";
+    builder.component(makeControlPort(port_id, control->id));
+    builder.controlChannel(component_id + "_" + control_label + "_cc",
+                           port_id + ".1",
+                           component_id + "." + control_label);
+}
+
+/**
+ * Attach control lines for every control-layer terminal the
+ * component currently has (labels starting with 'c').
+ */
+inline void
+attachAllControlLines(DeviceBuilder &builder,
+                      const std::string &component_id)
+{
+    const Component *component =
+        builder.device().findComponent(component_id);
+    if (!component)
+        fatal("attachAllControlLines: no component \"" + component_id +
+              "\"");
+    std::vector<std::string> labels;
+    for (const Port &port : component->ports()) {
+        if (!port.label.empty() && port.label[0] == 'c')
+            labels.push_back(port.label);
+    }
+    for (const std::string &label : labels)
+        attachControlLine(builder, component_id, label);
+}
+
+} // namespace parchmint::suite
+
+#endif // PARCHMINT_SUITE_HELPERS_HH

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Recreated-device benchmarks, part 1: the AquaFlex-style sample
+ * preparation chips, the rotary-pump immunoprecipitation device and
+ * the general-purpose programmable device.
+ *
+ * Topologies are reconstructed from the published descriptions of
+ * the underlying devices (component inventory and connectivity); see
+ * DESIGN.md "Substitutions" for what this preserves relative to the
+ * original suite's JSON artifacts.
+ */
+
+#include "suite/suite.hh"
+
+#include "suite/helpers.hh"
+
+namespace parchmint::suite
+{
+
+Device
+aquaflex3b()
+{
+    DeviceBuilder builder("aquaflex_3b");
+    builder.flowLayer().controlLayer();
+
+    // Three reagent inlets, each gated by a valve, merging into a
+    // two-stage mixing train, a reaction chamber, and a switched
+    // product/waste split.
+    builder.component("in1", EntityKind::Port)
+        .component("in2", EntityKind::Port)
+        .component("in3", EntityKind::Port)
+        .component("v_in1", EntityKind::Valve)
+        .component("v_in2", EntityKind::Valve)
+        .component("v_in3", EntityKind::Valve)
+        .component("mix1", EntityKind::Mixer)
+        .component("mix2", EntityKind::Mixer)
+        .component("chamber", EntityKind::DiamondChamber)
+        .component("v_out", EntityKind::Valve)
+        .component("v_waste", EntityKind::Valve)
+        .component("out", EntityKind::Port)
+        .component("waste", EntityKind::Port);
+
+    builder.channel("c_in1", "in1.1", "v_in1.1")
+        .channel("c_in2", "in2.1", "v_in2.1")
+        .channel("c_in3", "in3.1", "v_in3.1")
+        .channel("c_merge1", "v_in1.2", "mix1.1")
+        .channel("c_merge2", "v_in2.2", "mix1.1")
+        .channel("c_merge3", "v_in3.2", "mix1.1")
+        .channel("c_train", "mix1.2", "mix2.1")
+        .channel("c_react", "mix2.2", "chamber.1")
+        .channel("c_split_out", "chamber.2", "v_out.1")
+        .channel("c_split_waste", "chamber.2", "v_waste.1")
+        .channel("c_out", "v_out.2", "out.1")
+        .channel("c_waste", "v_waste.2", "waste.1");
+
+    for (const char *valve :
+         {"v_in1", "v_in2", "v_in3", "v_out", "v_waste"}) {
+        attachAllControlLines(builder, valve);
+    }
+    return builder.build();
+}
+
+Device
+aquaflex5a()
+{
+    DeviceBuilder builder("aquaflex_5a");
+    builder.flowLayer().controlLayer();
+
+    // Five gated inlets feeding two parallel mixing trains whose
+    // products are combined by a rotary pump before a sensed outlet;
+    // a peristaltic pump drives the slow branch.
+    for (int i = 1; i <= 5; ++i) {
+        const std::string n = std::to_string(i);
+        builder.component("in" + n, EntityKind::Port)
+            .component("v_in" + n, EntityKind::Valve)
+            .channel("c_in" + n, "in" + n + ".1", "v_in" + n + ".1");
+    }
+
+    builder.component("mixA1", EntityKind::Mixer)
+        .component("mixA2", EntityKind::Mixer)
+        .component("mixB1", EntityKind::Mixer)
+        .component("mixB2", EntityKind::Mixer)
+        .component("pumpB", EntityKind::Pump)
+        .component("rotary", EntityKind::RotaryPump)
+        .component("sense", EntityKind::Sensor)
+        .component("v_out", EntityKind::Valve)
+        .component("out", EntityKind::Port)
+        .component("v_waste", EntityKind::Valve)
+        .component("waste", EntityKind::Port);
+
+    // Branch A: inlets 1-2; branch B: inlets 3-5.
+    builder.channel("c_a1", "v_in1.2", "mixA1.1")
+        .channel("c_a2", "v_in2.2", "mixA1.1")
+        .channel("c_a3", "mixA1.2", "mixA2.1")
+        .channel("c_b1", "v_in3.2", "mixB1.1")
+        .channel("c_b2", "v_in4.2", "mixB1.1")
+        .channel("c_b3", "v_in5.2", "mixB1.1")
+        .channel("c_b4", "mixB1.2", "pumpB.1")
+        .channel("c_b5", "pumpB.2", "mixB2.1")
+        .channel("c_combine_a", "mixA2.2", "rotary.1")
+        .channel("c_combine_b", "mixB2.2", "rotary.1")
+        .channel("c_sense", "rotary.2", "sense.1")
+        .channel("c_gate", "sense.2", "v_out.1")
+        .channel("c_gate_waste", "sense.2", "v_waste.1")
+        .channel("c_out", "v_out.2", "out.1")
+        .channel("c_waste", "v_waste.2", "waste.1");
+
+    for (const char *gated : {"v_in1", "v_in2", "v_in3", "v_in4",
+                              "v_in5", "v_out", "v_waste", "pumpB",
+                              "rotary"}) {
+        attachAllControlLines(builder, gated);
+    }
+    return builder.build();
+}
+
+Device
+chipChromatography()
+{
+    DeviceBuilder builder("chip_chromatography");
+    builder.flowLayer().controlLayer();
+
+    // Four samples addressed by a multiplexer into a rotary mixing
+    // ring, then captured in a trap column; buffer and elution inlets
+    // service the ring directly.
+    builder.component("sample1", EntityKind::Port)
+        .component("sample2", EntityKind::Port)
+        .component("sample3", EntityKind::Port)
+        .component("sample4", EntityKind::Port)
+        .component("mux_in", EntityKind::Mux)
+        .component("buffer", EntityKind::Port)
+        .component("v_buffer", EntityKind::Valve)
+        .component("elution", EntityKind::Port)
+        .component("v_elution", EntityKind::Valve)
+        .component("rotary", EntityKind::RotaryPump)
+        .component("trap", EntityKind::CellTrap)
+        .component("filter", EntityKind::Filter)
+        .component("v_collect", EntityKind::Valve)
+        .component("collect", EntityKind::Port)
+        .component("v_waste", EntityKind::Valve)
+        .component("waste", EntityKind::Port);
+
+    // The mux's port 1 faces the pump; 2-5 face the samples.
+    builder.channel("c_s1", "sample1.1", "mux_in.2")
+        .channel("c_s2", "sample2.1", "mux_in.3")
+        .channel("c_s3", "sample3.1", "mux_in.4")
+        .channel("c_s4", "sample4.1", "mux_in.5")
+        .channel("c_mux", "mux_in.1", "rotary.1")
+        .channel("c_buf1", "buffer.1", "v_buffer.1")
+        .channel("c_buf2", "v_buffer.2", "rotary.1")
+        .channel("c_elu1", "elution.1", "v_elution.1")
+        .channel("c_elu2", "v_elution.2", "rotary.1")
+        .channel("c_ring", "rotary.2", "trap.1")
+        .channel("c_col", "trap.2", "filter.1")
+        .channel("c_split1", "filter.2", "v_collect.1")
+        .channel("c_split2", "filter.2", "v_waste.1")
+        .channel("c_collect", "v_collect.2", "collect.1")
+        .channel("c_waste", "v_waste.2", "waste.1");
+
+    for (const char *controlled :
+         {"mux_in", "rotary", "v_buffer", "v_elution", "v_collect",
+          "v_waste"}) {
+        attachAllControlLines(builder, controlled);
+    }
+    return builder.build();
+}
+
+Device
+generalPurposeMfd()
+{
+    DeviceBuilder builder("general_purpose_mfd");
+    builder.flowLayer().controlLayer();
+
+    // A programmable platform: four reagent reservoirs behind a
+    // multiplexer, a shared mixing/reaction core (rotary pump,
+    // heater, sensor), a transposer for plug reordering, and a
+    // four-way demultiplexer to assay chambers.
+    for (int i = 1; i <= 4; ++i) {
+        const std::string n = std::to_string(i);
+        builder.component("res" + n, EntityKind::Reservoir)
+            .component("fill" + n, EntityKind::Port)
+            .channel("c_fill" + n, "fill" + n + ".1",
+                     "res" + n + ".1");
+    }
+    builder.component("mux_src", EntityKind::Mux)
+        .component("pump_feed", EntityKind::Pump)
+        .component("rotary", EntityKind::RotaryPump)
+        .component("heater", EntityKind::Heater)
+        .component("sensor", EntityKind::Sensor)
+        .component("transposer", EntityKind::Transposer)
+        .component("mux_dst", EntityKind::Mux)
+        .component("out_main", EntityKind::Port)
+        .component("v_purge", EntityKind::Valve)
+        .component("purge", EntityKind::Port);
+
+    for (int i = 1; i <= 4; ++i) {
+        const std::string n = std::to_string(i);
+        builder.channel("c_res" + n, "res" + n + ".1",
+                        "mux_src." + std::to_string(i + 1));
+        builder.component("assay" + n, EntityKind::DiamondChamber)
+            .component("read" + n, EntityKind::Port)
+            .channel("c_assay" + n,
+                     "mux_dst." + std::to_string(i + 1),
+                     "assay" + n + ".1")
+            .channel("c_read" + n, "assay" + n + ".2",
+                     "read" + n + ".1");
+    }
+
+    builder.channel("c_feed1", "mux_src.1", "pump_feed.1")
+        .channel("c_feed2", "pump_feed.2", "rotary.1")
+        .channel("c_core1", "rotary.2", "heater.1")
+        .channel("c_core2", "heater.2", "sensor.1")
+        .channel("c_core3", "sensor.2", "transposer.1")
+        .channel("c_core4", "transposer.3", "mux_dst.1")
+        .channel("c_purge1", "transposer.4", "v_purge.1")
+        .channel("c_purge2", "v_purge.2", "purge.1")
+        .channel("c_main", "transposer.2", "out_main.1");
+
+    for (const char *controlled : {"mux_src", "mux_dst", "pump_feed",
+                                   "rotary", "v_purge"}) {
+        attachAllControlLines(builder, controlled);
+    }
+    return builder.build();
+}
+
+} // namespace parchmint::suite

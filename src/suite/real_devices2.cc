@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Recreated-device benchmarks, part 2: gradient generator, cell-trap
+ * array, droplet transposer and valve-logic inverter.
+ */
+
+#include "suite/suite.hh"
+
+#include "suite/helpers.hh"
+
+namespace parchmint::suite
+{
+
+Device
+gradientGenerator()
+{
+    DeviceBuilder builder("gradient_generator");
+    builder.flowLayer();
+
+    // The classic "Christmas tree" diffusion gradient generator:
+    // two inlets feed a pyramid of serpentine mixers (rows of 3, 4
+    // and 5), every mixer splitting its output to the two mixers
+    // beneath it; five outlets collect the gradient.
+    builder.component("inA", EntityKind::Port)
+        .component("inB", EntityKind::Port);
+
+    const size_t rows[] = {3, 4, 5};
+    for (size_t r = 0; r < 3; ++r) {
+        for (size_t i = 0; i < rows[r]; ++i) {
+            builder.component("mix" + std::to_string(r + 1) + "_" +
+                                  std::to_string(i + 1),
+                              EntityKind::Mixer);
+        }
+    }
+    for (size_t i = 0; i < 5; ++i) {
+        builder.component("out" + std::to_string(i + 1),
+                          EntityKind::Port);
+    }
+
+    // Inlets to row 1: A feeds mixers 1-2, B feeds mixers 2-3.
+    builder.channel("c_a1", "inA.1", "mix1_1.1")
+        .channel("c_a2", "inA.1", "mix1_2.1")
+        .channel("c_b1", "inB.1", "mix1_2.1")
+        .channel("c_b2", "inB.1", "mix1_3.1");
+
+    // Row r mixer i feeds row r+1 mixers i and i+1.
+    for (size_t r = 0; r < 2; ++r) {
+        for (size_t i = 0; i < rows[r]; ++i) {
+            const std::string src = "mix" + std::to_string(r + 1) +
+                                    "_" + std::to_string(i + 1);
+            for (size_t k = 0; k < 2; ++k) {
+                const std::string dst =
+                    "mix" + std::to_string(r + 2) + "_" +
+                    std::to_string(i + 1 + k);
+                builder.channel("c_" + src + "_" + dst, src + ".2",
+                                dst + ".1");
+            }
+        }
+    }
+
+    // Row 3 to outlets.
+    for (size_t i = 0; i < 5; ++i) {
+        const std::string n = std::to_string(i + 1);
+        builder.channel("c_out" + n, "mix3_" + n + ".2",
+                        "out" + n + ".1");
+    }
+    return builder.build();
+}
+
+Device
+cellTrapArray()
+{
+    DeviceBuilder builder("cell_trap_array");
+    builder.flowLayer().controlLayer();
+
+    // One gated inlet, a debris filter, a two-level splitting tree
+    // fanning out to four lanes of two serial traps each, and a
+    // common gated outlet.
+    builder.component("inlet", EntityKind::Port)
+        .component("v_in", EntityKind::Valve)
+        .component("filter", EntityKind::Filter)
+        .component("split_top", EntityKind::Tree)
+        .component("split_left", EntityKind::Tree)
+        .component("split_right", EntityKind::Tree)
+        .component("v_out", EntityKind::Valve)
+        .component("outlet", EntityKind::Port);
+
+    builder.channel("c_in", "inlet.1", "v_in.1")
+        .channel("c_filter", "v_in.2", "filter.1")
+        .channel("c_top", "filter.2", "split_top.1")
+        .channel("c_left", "split_top.2", "split_left.1")
+        .channel("c_right", "split_top.3", "split_right.1");
+
+    const char *branch_ports[4][2] = {
+        {"split_left", "2"},
+        {"split_left", "3"},
+        {"split_right", "2"},
+        {"split_right", "3"},
+    };
+    for (size_t lane = 0; lane < 4; ++lane) {
+        const std::string n = std::to_string(lane + 1);
+        builder.component("trap" + n + "a", EntityKind::CellTrap)
+            .component("trap" + n + "b", EntityKind::CellTrap);
+        builder.channel("c_lane" + n + "_in",
+                        std::string(branch_ports[lane][0]) + "." +
+                            branch_ports[lane][1],
+                        "trap" + n + "a.1")
+            .channel("c_lane" + n + "_mid", "trap" + n + "a.2",
+                     "trap" + n + "b.1")
+            .channel("c_lane" + n + "_out", "trap" + n + "b.2",
+                     "v_out.1");
+    }
+    builder.channel("c_out", "v_out.2", "outlet.1");
+
+    attachAllControlLines(builder, "v_in");
+    attachAllControlLines(builder, "v_out");
+    return builder.build();
+}
+
+Device
+dropletTransposer()
+{
+    DeviceBuilder builder("droplet_transposer");
+    builder.flowLayer();
+
+    // Two sample streams pass through a cascade of two transposers
+    // that exchange plug order, with mixers conditioning each stream
+    // between stages.
+    builder.component("inA", EntityKind::Port)
+        .component("inB", EntityKind::Port)
+        .component("t1", EntityKind::Transposer)
+        .component("mixA", EntityKind::Mixer)
+        .component("mixB", EntityKind::Mixer)
+        .component("t2", EntityKind::Transposer)
+        .component("outA", EntityKind::Port)
+        .component("outB", EntityKind::Port);
+
+    builder.channel("c_inA", "inA.1", "t1.1")
+        .channel("c_inB", "inB.1", "t1.2")
+        .channel("c_midA", "t1.3", "mixA.1")
+        .channel("c_midB", "t1.4", "mixB.1")
+        .channel("c_stage2A", "mixA.2", "t2.1")
+        .channel("c_stage2B", "mixB.2", "t2.2")
+        .channel("c_outA", "t2.3", "outA.1")
+        .channel("c_outB", "t2.4", "outB.1");
+    return builder.build();
+}
+
+Device
+logicInverter()
+{
+    DeviceBuilder builder("logic_inverter");
+    builder.flowLayer().controlLayer();
+
+    // A valve-logic NOT gate in the Fluigi style: a supply stream
+    // reaches the output through a normally-open valve; the gate
+    // input pressurizes that valve, cutting the output, while a
+    // pull-down path drains the output node through a peristaltic
+    // pump to waste.
+    builder.component("supply", EntityKind::Port)
+        .component("v_gate", EntityKind::Valve)
+        .component("node", EntityKind::Via)
+        .component("v_pull", EntityKind::Valve)
+        .component("pump_drain", EntityKind::Pump)
+        .component("out", EntityKind::Port)
+        .component("waste", EntityKind::Port);
+
+    builder.channel("c_supply", "supply.1", "v_gate.1")
+        .channel("c_node", "v_gate.2", "node.1")
+        .channel("c_out", "node.2", "out.1")
+        .channel("c_pull", "node.2", "v_pull.1")
+        .channel("c_drain1", "v_pull.2", "pump_drain.1")
+        .channel("c_drain2", "pump_drain.2", "waste.1");
+
+    attachAllControlLines(builder, "v_gate");
+    attachAllControlLines(builder, "v_pull");
+    attachAllControlLines(builder, "pump_drain");
+    return builder.build();
+}
+
+} // namespace parchmint::suite

@@ -1,0 +1,62 @@
+#include "suite/suite.hh"
+
+#include "common/error.hh"
+
+namespace parchmint::suite
+{
+
+const std::vector<BenchmarkInfo> &
+standardSuite()
+{
+    static const std::vector<BenchmarkInfo> suite = {
+        {"aquaflex_3b", Category::Recreated,
+         "AquaFlex-style sample-prep chip, branch B", aquaflex3b},
+        {"aquaflex_5a", Category::Recreated,
+         "AquaFlex-style sample-prep chip, branch A", aquaflex5a},
+        {"chip_chromatography", Category::Recreated,
+         "Rotary-pump immunoprecipitation device",
+         chipChromatography},
+        {"general_purpose_mfd", Category::Recreated,
+         "General-purpose programmable microfluidic device",
+         generalPurposeMfd},
+        {"gradient_generator", Category::Recreated,
+         "Tree-cascade concentration gradient chip",
+         gradientGenerator},
+        {"cell_trap_array", Category::Recreated,
+         "Parallel cell-trap assay chip", cellTrapArray},
+        {"droplet_transposer", Category::Recreated,
+         "Plug transposition network", dropletTransposer},
+        {"logic_inverter", Category::Recreated,
+         "Valve-logic inverter", logicInverter},
+        {"synthetic_grid", Category::Synthetic,
+         "8x8 mixer mesh", [] { return syntheticGrid(8); }},
+        {"synthetic_tree", Category::Synthetic,
+         "Depth-5 splitting tree", [] { return syntheticTree(5); }},
+        {"synthetic_mux", Category::Synthetic,
+         "16-chamber multiplexer network",
+         [] { return syntheticMux(16); }},
+        {"synthetic_random", Category::Synthetic,
+         "Random planar netlist, 64 components, seed 7",
+         [] { return syntheticRandomPlanar(64, 7); }},
+    };
+    return suite;
+}
+
+Device
+buildBenchmark(std::string_view name)
+{
+    for (const BenchmarkInfo &info : standardSuite()) {
+        if (info.name == name)
+            return info.build();
+    }
+    std::string known;
+    for (const BenchmarkInfo &info : standardSuite()) {
+        if (!known.empty())
+            known += ", ";
+        known += info.name;
+    }
+    fatal("unknown benchmark \"" + std::string(name) +
+          "\" (known: " + known + ")");
+}
+
+} // namespace parchmint::suite

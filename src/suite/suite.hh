@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The ParchMint benchmark suite registry.
+ *
+ * The suite contains twelve benchmarks in two categories:
+ *
+ * Recreated devices — netlists reproducing the topology of published
+ * continuous-flow LoCs (the original suite distributed the authors'
+ * JSON files; this library regenerates equivalent netlists
+ * programmatically — see DESIGN.md "Substitutions"):
+ *
+ *   aquaflex_3b           AquaFlex-style sample-prep chip, branch B
+ *   aquaflex_5a           AquaFlex-style sample-prep chip, branch A
+ *   chip_chromatography   Rotary-pump immunoprecipitation device
+ *   general_purpose_mfd   General-purpose programmable device
+ *   gradient_generator    Tree-cascade concentration gradient chip
+ *   cell_trap_array       Parallel cell-trap assay chip
+ *   droplet_transposer    Plug transposition network
+ *   logic_inverter        Valve-logic inverter (Fluigi-style)
+ *
+ * Synthetic families — parameterized generators used for scaling
+ * studies; the standard suite pins one instance of each:
+ *
+ *   synthetic_grid        n x n mixer mesh           (grid_8)
+ *   synthetic_tree        depth-d splitting tree     (tree_5)
+ *   synthetic_mux         k-target mux network       (mux_16)
+ *   synthetic_random      random planar netlist      (random_64)
+ *
+ * Every benchmark passes the full validation pipeline (schema +
+ * semantic rules) with zero errors; tests/suite_test.cc enforces
+ * this.
+ */
+
+#ifndef PARCHMINT_SUITE_SUITE_HH
+#define PARCHMINT_SUITE_SUITE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/device.hh"
+
+namespace parchmint::suite
+{
+
+/** Benchmark category. */
+enum class Category
+{
+    Recreated,  ///< Recreation of a published device topology.
+    Synthetic,  ///< Generated netlist family instance.
+};
+
+/** Registry record for one suite benchmark. */
+struct BenchmarkInfo
+{
+    /** Suite-unique benchmark name, e.g. "gradient_generator". */
+    std::string name;
+    Category category;
+    /** One-line description for reports. */
+    std::string description;
+    /** Build the netlist. */
+    std::function<Device()> build;
+};
+
+/** All twelve standard benchmarks, in canonical order. */
+const std::vector<BenchmarkInfo> &standardSuite();
+
+/**
+ * Build a standard benchmark by name.
+ * @throws UserError for unknown names.
+ */
+Device buildBenchmark(std::string_view name);
+
+// --- Recreated devices ------------------------------------------------
+
+Device aquaflex3b();
+Device aquaflex5a();
+Device chipChromatography();
+Device generalPurposeMfd();
+Device gradientGenerator();
+Device cellTrapArray();
+Device dropletTransposer();
+Device logicInverter();
+
+// --- Synthetic generators ------------------------------------------------
+
+/**
+ * An n x n mesh of mixers with I/O ports on the west and east edges.
+ * Planar by construction.
+ *
+ * @param n Grid side; n >= 1.
+ */
+Device syntheticGrid(size_t n);
+
+/**
+ * A complete splitting tree: one inlet, 2^depth outlets, TREE
+ * components at interior nodes.
+ *
+ * @param depth Tree depth; depth >= 1.
+ */
+Device syntheticTree(size_t depth);
+
+/**
+ * A valve-addressed multiplexer network distributing one inlet to k
+ * reaction chambers, with a binary control bus.
+ *
+ * @param targets Number of chambers; targets >= 2.
+ */
+Device syntheticMux(size_t targets);
+
+/**
+ * A random connected planar netlist: a random spanning tree over n
+ * components plus extra random channels accepted only while the
+ * netlist graph stays planar (checked with the library's own
+ * left-right test).
+ *
+ * @param components Number of non-port components; >= 2.
+ * @param seed Deterministic generator seed.
+ */
+Device syntheticRandomPlanar(size_t components, uint64_t seed);
+
+} // namespace parchmint::suite
+
+#endif // PARCHMINT_SUITE_SUITE_HH

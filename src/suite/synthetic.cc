@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Synthetic benchmark generators.
+ *
+ * The synthetic families provide controlled-size netlists for
+ * scaling studies: a planar mixer mesh, a splitting tree, a
+ * valve-addressed multiplexer network and a random planar netlist
+ * whose extra channels are admitted only while the whole netlist
+ * stays planar (verified with the library's own left-right test).
+ */
+
+#include "suite/suite.hh"
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "graph/planarity.hh"
+#include "suite/helpers.hh"
+
+namespace parchmint::suite
+{
+
+Device
+syntheticGrid(size_t n)
+{
+    if (n < 1)
+        fatal("syntheticGrid: n must be >= 1");
+    DeviceBuilder builder("synthetic_grid_" + std::to_string(n));
+    builder.flowLayer();
+    builder.param("generator", json::Value("grid"));
+    builder.param("n", json::Value(static_cast<int64_t>(n)));
+
+    auto cell = [](size_t r, size_t c) {
+        return "g" + std::to_string(r) + "_" + std::to_string(c);
+    };
+
+    for (size_t r = 0; r < n; ++r) {
+        for (size_t c = 0; c < n; ++c)
+            builder.component(cell(r, c), EntityKind::Mixer);
+    }
+    // West-edge inlets and east-edge outlets.
+    for (size_t r = 0; r < n; ++r) {
+        const std::string n_str = std::to_string(r);
+        builder.component("win" + n_str, EntityKind::Port)
+            .component("wout" + n_str, EntityKind::Port)
+            .channel("c_win" + n_str, "win" + n_str + ".1",
+                     cell(r, 0) + ".1")
+            .channel("c_wout" + n_str, cell(r, n - 1) + ".2",
+                     "wout" + n_str + ".1");
+    }
+    // Mesh channels: east and south neighbours.
+    for (size_t r = 0; r < n; ++r) {
+        for (size_t c = 0; c < n; ++c) {
+            if (c + 1 < n) {
+                builder.channel("c_e_" + cell(r, c),
+                                cell(r, c) + ".2",
+                                cell(r, c + 1) + ".1");
+            }
+            if (r + 1 < n) {
+                builder.channel("c_s_" + cell(r, c),
+                                cell(r, c) + ".2",
+                                cell(r + 1, c) + ".1");
+            }
+        }
+    }
+    return builder.build();
+}
+
+Device
+syntheticTree(size_t depth)
+{
+    if (depth < 1)
+        fatal("syntheticTree: depth must be >= 1");
+    DeviceBuilder builder("synthetic_tree_" + std::to_string(depth));
+    builder.flowLayer();
+    builder.param("generator", json::Value("tree"));
+    builder.param("depth",
+                  json::Value(static_cast<int64_t>(depth)));
+
+    auto node = [](size_t level, size_t index) {
+        return "t" + std::to_string(level) + "_" +
+               std::to_string(index);
+    };
+
+    builder.component("inlet", EntityKind::Port);
+    for (size_t level = 0; level < depth; ++level) {
+        size_t width = size_t(1) << level;
+        for (size_t i = 0; i < width; ++i)
+            builder.component(node(level, i), EntityKind::Tree);
+    }
+    builder.channel("c_root", "inlet.1", node(0, 0) + ".1");
+
+    for (size_t level = 0; level + 1 < depth; ++level) {
+        size_t width = size_t(1) << level;
+        for (size_t i = 0; i < width; ++i) {
+            builder.channel("c_l_" + node(level, i),
+                            node(level, i) + ".2",
+                            node(level + 1, 2 * i) + ".1");
+            builder.channel("c_r_" + node(level, i),
+                            node(level, i) + ".3",
+                            node(level + 1, 2 * i + 1) + ".1");
+        }
+    }
+
+    // Leaves: every port of the last level feeds an outlet.
+    size_t leaf_level = depth - 1;
+    size_t width = size_t(1) << leaf_level;
+    for (size_t i = 0; i < width; ++i) {
+        for (size_t branch = 0; branch < 2; ++branch) {
+            const std::string out =
+                "out" + std::to_string(2 * i + branch);
+            builder.component(out, EntityKind::Port);
+            builder.channel(
+                "c_" + out,
+                node(leaf_level, i) + "." +
+                    std::to_string(2 + branch),
+                out + ".1");
+        }
+    }
+    return builder.build();
+}
+
+Device
+syntheticMux(size_t targets)
+{
+    if (targets < 2)
+        fatal("syntheticMux: targets must be >= 2");
+    DeviceBuilder builder("synthetic_mux_" + std::to_string(targets));
+    builder.flowLayer().controlLayer();
+    builder.param("generator", json::Value("mux"));
+    builder.param("targets",
+                  json::Value(static_cast<int64_t>(targets)));
+
+    builder.component("inlet", EntityKind::Port)
+        .component("pump_in", EntityKind::Pump)
+        .channel("c_inlet", "inlet.1", "pump_in.1");
+    attachAllControlLines(builder, "pump_in");
+
+    // Grow a 4-ary tree of MUX components until at least 'targets'
+    // leaf outputs are available. Each frontier entry is an open
+    // "component.port" output.
+    size_t mux_count = 0;
+    auto new_mux = [&]() {
+        const std::string id = "mux" + std::to_string(mux_count++);
+        builder.component(id, EntityKind::Mux);
+        attachAllControlLines(builder, id);
+        return id;
+    };
+
+    std::vector<std::string> frontier;
+    const std::string root = new_mux();
+    builder.channel("c_root", "pump_in.2", root + ".1");
+    for (int out = 2; out <= 5; ++out)
+        frontier.push_back(root + "." + std::to_string(out));
+
+    size_t expand_index = 0;
+    while (frontier.size() < targets) {
+        const std::string feed = frontier[expand_index];
+        frontier.erase(frontier.begin() +
+                       static_cast<long>(expand_index));
+        const std::string id = new_mux();
+        builder.channel("c_feed_" + id, feed, id + ".1");
+        for (int out = 2; out <= 5; ++out)
+            frontier.push_back(id + "." + std::to_string(out));
+    }
+
+    for (size_t i = 0; i < targets; ++i) {
+        const std::string n = std::to_string(i);
+        builder.component("chamber" + n, EntityKind::DiamondChamber)
+            .component("read" + n, EntityKind::Port)
+            .channel("c_chamber" + n, frontier[i],
+                     "chamber" + n + ".1")
+            .channel("c_read" + n, "chamber" + n + ".2",
+                     "read" + n + ".1");
+    }
+    return builder.build();
+}
+
+Device
+syntheticRandomPlanar(size_t components, uint64_t seed)
+{
+    if (components < 2)
+        fatal("syntheticRandomPlanar: components must be >= 2");
+    DeviceBuilder builder("synthetic_random_" +
+                          std::to_string(components) + "_s" +
+                          std::to_string(seed));
+    builder.flowLayer();
+    builder.param("generator", json::Value("random_planar"));
+    builder.param("components",
+                  json::Value(static_cast<int64_t>(components)));
+    builder.param("seed",
+                  json::Value(static_cast<int64_t>(seed)));
+
+    Rng rng(seed);
+    const EntityKind kinds[] = {
+        EntityKind::Mixer,     EntityKind::DiamondChamber,
+        EntityKind::CellTrap,  EntityKind::Filter,
+        EntityKind::Heater,    EntityKind::Sensor,
+    };
+
+    auto comp = [](size_t i) { return "n" + std::to_string(i); };
+
+    for (size_t i = 0; i < components; ++i) {
+        EntityKind kind =
+            kinds[rng.nextBelow(std::size(kinds))];
+        builder.component(comp(i), kind);
+    }
+
+    // Mirror graph for planarity checks while adding channels.
+    graph::Graph mirror(components);
+    size_t channel_count = 0;
+    auto add_channel = [&](size_t a, size_t b) {
+        builder.channel("c" + std::to_string(channel_count++),
+                        comp(a) + ".2", comp(b) + ".1");
+        mirror.addEdge(static_cast<graph::VertexId>(a),
+                       static_cast<graph::VertexId>(b));
+    };
+
+    // Random spanning tree keeps the netlist connected.
+    for (size_t i = 1; i < components; ++i)
+        add_channel(rng.nextBelow(i), i);
+
+    // Extra channels, admitted while the netlist stays planar.
+    size_t attempts = 2 * components;
+    for (size_t k = 0; k < attempts; ++k) {
+        size_t a = rng.nextBelow(components);
+        size_t b = rng.nextBelow(components);
+        if (a == b)
+            continue;
+        graph::Graph candidate = mirror;
+        candidate.addEdge(static_cast<graph::VertexId>(a),
+                          static_cast<graph::VertexId>(b));
+        if (graph::isPlanar(candidate))
+            add_channel(a, b);
+    }
+
+    // I/O ports at the tree root and at the last component.
+    builder.component("inlet", EntityKind::Port)
+        .component("outlet", EntityKind::Port)
+        .channel("c_inlet", "inlet.1", comp(0) + ".1")
+        .channel("c_outlet", comp(components - 1) + ".2",
+                 "outlet.1");
+    return builder.build();
+}
+
+} // namespace parchmint::suite

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for netlist characterization, the suite report tables and
+ * the text-table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/netlist_stats.hh"
+#include "analysis/suite_report.hh"
+#include "analysis/table.hh"
+#include "common/error.hh"
+#include "core/builder.hh"
+#include "suite/suite.hh"
+
+namespace parchmint::analysis
+{
+namespace
+{
+
+// --- deviceGraph -----------------------------------------------------
+
+TEST(DeviceGraphTest, ComponentsBecomeVertices)
+{
+    Device device = suite::buildBenchmark("droplet_transposer");
+    graph::Graph graph = deviceGraph(device);
+    EXPECT_EQ(device.components().size(), graph.vertexCount());
+    // Each 2-pin channel is one edge.
+    EXPECT_EQ(device.connections().size(), graph.edgeCount());
+}
+
+TEST(DeviceGraphTest, LayerFilterRestricts)
+{
+    Device device = suite::buildBenchmark("logic_inverter");
+    graph::Graph flow = deviceGraph(device, "flow");
+    graph::Graph all = deviceGraph(device);
+    EXPECT_LT(flow.vertexCount(), all.vertexCount());
+    EXPECT_LT(flow.edgeCount(), all.edgeCount());
+}
+
+TEST(DeviceGraphTest, MultiSinkNetsBecomeStars)
+{
+    Device device = DeviceBuilder("star")
+                        .flowLayer()
+                        .component("s", EntityKind::Port)
+                        .component("a", EntityKind::Mixer)
+                        .component("b", EntityKind::Mixer)
+                        .component("c", EntityKind::Mixer)
+                        .net("n", "s.1", {"a.1", "b.1", "c.1"})
+                        .build();
+    graph::Graph graph = deviceGraph(device);
+    EXPECT_EQ(3u, graph.edgeCount());
+    EXPECT_EQ(3u, graph.degree(graph.findVertex("s")));
+}
+
+TEST(DeviceGraphTest, VertexLabelsAreComponentIds)
+{
+    Device device = suite::buildBenchmark("logic_inverter");
+    graph::Graph graph = deviceGraph(device);
+    EXPECT_NE(graph::kNoVertex, graph.findVertex("v_gate"));
+    EXPECT_EQ(graph::kNoVertex, graph.findVertex("missing"));
+}
+
+// --- computeNetlistStats -------------------------------------------------
+
+TEST(NetlistStatsTest, CountsOnKnownDevice)
+{
+    Device device = suite::buildBenchmark("aquaflex_3b");
+    NetlistStats stats = computeNetlistStats(device);
+    EXPECT_EQ("aquaflex_3b", stats.name);
+    EXPECT_EQ(2u, stats.layerCount);
+    EXPECT_EQ(1u, stats.flowLayerCount);
+    EXPECT_EQ(1u, stats.controlLayerCount);
+    // 13 flow-side components + 5 control ports.
+    EXPECT_EQ(18u, stats.componentCount);
+    // 12 flow channels + 5 control channels.
+    EXPECT_EQ(17u, stats.connectionCount);
+    EXPECT_EQ(5u, stats.controlConnectionCount);
+    // 5 valves, each a single-valve entity.
+    EXPECT_EQ(5u, stats.valveCount);
+    // Flow I/O: in1-3, out, waste; control I/O: 5 PORT instances.
+    EXPECT_EQ(10u, stats.ioPortCount);
+    EXPECT_EQ(0u, stats.unknownEntityCount);
+    EXPECT_EQ(5u, stats.entityHistogram.at("VALVE"));
+    EXPECT_EQ(2u, stats.entityHistogram.at("MIXER"));
+}
+
+TEST(NetlistStatsTest, FlowGraphMetricsPresent)
+{
+    Device device = suite::buildBenchmark("gradient_generator");
+    NetlistStats stats = computeNetlistStats(device);
+    EXPECT_TRUE(stats.flowGraph.connected);
+    EXPECT_TRUE(stats.flowGraph.planar);
+    EXPECT_GT(stats.flowGraph.maxDegree, 0u);
+    EXPECT_GT(stats.flowGraph.diameter, 0u);
+}
+
+TEST(NetlistStatsTest, ValveCountAggregatesEmbeddedValves)
+{
+    Device device = DeviceBuilder("v")
+                        .flowLayer()
+                        .controlLayer()
+                        .component("r", EntityKind::RotaryPump)
+                        .component("p", EntityKind::Pump)
+                        .component("m", EntityKind::Mux)
+                        .component("x", EntityKind::Valve)
+                        .build();
+    NetlistStats stats = computeNetlistStats(device);
+    // 3 (rotary) + 3 (pump) + 4 (mux) + 1 (valve).
+    EXPECT_EQ(11u, stats.valveCount);
+}
+
+TEST(NetlistStatsTest, UnknownEntitiesCounted)
+{
+    Device device("u");
+    device.addLayer(Layer{"flow", "flow", LayerType::Flow});
+    Component exotic("e", "e", "WARP DRIVE", 10, 10);
+    exotic.addLayerId("flow");
+    device.addComponent(std::move(exotic));
+    NetlistStats stats = computeNetlistStats(device);
+    EXPECT_EQ(1u, stats.unknownEntityCount);
+    EXPECT_EQ(1u, stats.entityHistogram.at("WARP DRIVE"));
+}
+
+// --- Suite reports ---------------------------------------------------
+
+TEST(SuiteReportTest, CharacterizesAllBenchmarks)
+{
+    auto rows = characterizeSuite();
+    ASSERT_EQ(suite::standardSuite().size(), rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(suite::standardSuite()[i].name, rows[i].name);
+        EXPECT_GT(rows[i].componentCount, 0u) << rows[i].name;
+        EXPECT_GT(rows[i].connectionCount, 0u) << rows[i].name;
+    }
+}
+
+TEST(SuiteReportTest, CharacterizationTableContainsEveryBenchmark)
+{
+    auto rows = characterizeSuite();
+    std::string table = renderCharacterizationTable(rows);
+    for (const suite::BenchmarkInfo &info : suite::standardSuite())
+        EXPECT_NE(std::string::npos, table.find(info.name));
+    // Header present.
+    EXPECT_NE(std::string::npos, table.find("benchmark"));
+    EXPECT_NE(std::string::npos, table.find("planar"));
+}
+
+TEST(SuiteReportTest, CompositionTableListsEntities)
+{
+    auto rows = characterizeSuite();
+    std::string table = renderCompositionTable(rows);
+    EXPECT_NE(std::string::npos, table.find("MIXER"));
+    EXPECT_NE(std::string::npos, table.find("PORT"));
+    EXPECT_NE(std::string::npos, table.find("VALVE"));
+}
+
+// --- TextTable -----------------------------------------------------------
+
+TEST(TextTableTest, AlignsColumns)
+{
+    TextTable table;
+    table.beginRow();
+    table.cell(std::string("name"));
+    table.cell(std::string("count"));
+    table.beginRow();
+    table.cell(std::string("a"));
+    table.cell(int64_t(5));
+    table.beginRow();
+    table.cell(std::string("long_name"));
+    table.cell(int64_t(123));
+
+    std::string out = table.render();
+    // Numeric column right-aligned: "    5" under "count".
+    EXPECT_NE(std::string::npos, out.find("name       count"));
+    EXPECT_NE(std::string::npos, out.find("a              5"));
+    EXPECT_NE(std::string::npos, out.find("long_name    123"));
+    // Separator under header.
+    EXPECT_NE(std::string::npos, out.find("----"));
+}
+
+TEST(TextTableTest, RealAndBoolCells)
+{
+    TextTable table;
+    table.beginRow();
+    table.cell(std::string("x"));
+    table.beginRow();
+    table.cell(3.14159, 2);
+    table.beginRow();
+    table.cellYesNo(true);
+    std::string out = table.render();
+    EXPECT_NE(std::string::npos, out.find("3.14"));
+    EXPECT_NE(std::string::npos, out.find("yes"));
+}
+
+TEST(TextTableTest, EmptyTableRendersEmpty)
+{
+    TextTable table;
+    EXPECT_EQ("", table.render());
+}
+
+TEST(TextTableTest, CellBeforeRowPanics)
+{
+    TextTable table;
+    EXPECT_THROW(table.cell(std::string("x")), InternalError);
+}
+
+} // namespace
+} // namespace parchmint::analysis

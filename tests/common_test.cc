@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the common utilities: errors, strings, and the
+ * deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "common/strings.hh"
+
+namespace parchmint
+{
+namespace
+{
+
+TEST(ErrorTest, FatalThrowsUserError)
+{
+    EXPECT_THROW(fatal("bad input"), UserError);
+}
+
+TEST(ErrorTest, PanicThrowsInternalError)
+{
+    EXPECT_THROW(panic("broken invariant"), InternalError);
+}
+
+TEST(ErrorTest, UserErrorIsNotInternalError)
+{
+    try {
+        fatal("bad input");
+        FAIL() << "fatal did not throw";
+    } catch (const Error &error) {
+        EXPECT_EQ(nullptr,
+                  dynamic_cast<const InternalError *>(&error));
+        EXPECT_STREQ("bad input", error.what());
+    }
+}
+
+TEST(ErrorTest, PanicMessageIsPrefixed)
+{
+    try {
+        panic("stack underflow");
+        FAIL() << "panic did not throw";
+    } catch (const InternalError &error) {
+        EXPECT_EQ(std::string("internal error: stack underflow"),
+                  error.what());
+    }
+}
+
+TEST(StringsTest, SplitBasic)
+{
+    auto fields = split("a,b,c", ',');
+    ASSERT_EQ(3u, fields.size());
+    EXPECT_EQ("a", fields[0]);
+    EXPECT_EQ("b", fields[1]);
+    EXPECT_EQ("c", fields[2]);
+}
+
+TEST(StringsTest, SplitPreservesEmptyFields)
+{
+    auto fields = split("a,,b", ',');
+    ASSERT_EQ(3u, fields.size());
+    EXPECT_EQ("", fields[1]);
+}
+
+TEST(StringsTest, SplitEmptyStringYieldsOneField)
+{
+    auto fields = split("", ',');
+    ASSERT_EQ(1u, fields.size());
+    EXPECT_EQ("", fields[0]);
+}
+
+TEST(StringsTest, JoinInvertsSplit)
+{
+    std::vector<std::string> parts{"x", "y", "z"};
+    EXPECT_EQ("x/y/z", join(parts, "/"));
+    EXPECT_EQ("xyz", join(parts, ""));
+    EXPECT_EQ("", join({}, "/"));
+}
+
+TEST(StringsTest, Trim)
+{
+    EXPECT_EQ("abc", trim("  abc\t\n"));
+    EXPECT_EQ("a b", trim("a b"));
+    EXPECT_EQ("", trim("   "));
+    EXPECT_EQ("", trim(""));
+}
+
+TEST(StringsTest, CaseConversion)
+{
+    EXPECT_EQ("mixer", toLower("MiXeR"));
+    EXPECT_EQ("MIXER", toUpper("mIxEr"));
+    EXPECT_EQ("a1-b", toLower("A1-B"));
+}
+
+TEST(StringsTest, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("parchmint", "parch"));
+    EXPECT_FALSE(startsWith("parch", "parchmint"));
+    EXPECT_TRUE(endsWith("netlist.json", ".json"));
+    EXPECT_FALSE(endsWith(".json", "netlist.json"));
+    EXPECT_TRUE(startsWith("x", ""));
+    EXPECT_TRUE(endsWith("x", ""));
+}
+
+TEST(StringsTest, FormatDoubleIntegral)
+{
+    EXPECT_EQ("42", formatDouble(42.0));
+    EXPECT_EQ("0", formatDouble(0.0));
+    EXPECT_EQ("-7", formatDouble(-7.0));
+}
+
+TEST(StringsTest, FormatDoubleRoundTrips)
+{
+    for (double value : {0.1, 3.14159265358979, -2.5e-8, 1.0 / 3.0}) {
+        std::string text = formatDouble(value);
+        EXPECT_EQ(value, std::stod(text)) << text;
+    }
+}
+
+TEST(StringsTest, IsValidId)
+{
+    EXPECT_TRUE(isValidId("mixer1"));
+    EXPECT_TRUE(isValidId("a.b-c_d"));
+    EXPECT_TRUE(isValidId("0port"));
+    EXPECT_FALSE(isValidId(""));
+    EXPECT_FALSE(isValidId("-leading"));
+    EXPECT_FALSE(isValidId("has space"));
+    EXPECT_FALSE(isValidId("semi;colon"));
+}
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    size_t equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++equal;
+    }
+    EXPECT_LT(equal, 4u);
+}
+
+TEST(RngTest, NextBelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(13), 13u);
+}
+
+TEST(RngTest, NextBelowCoversAllResidues)
+{
+    Rng rng(11);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.nextBelow(7));
+    EXPECT_EQ(7u, seen.size());
+}
+
+TEST(RngTest, NextBelowZeroPanics)
+{
+    Rng rng(5);
+    EXPECT_THROW(rng.nextBelow(0), InternalError);
+}
+
+TEST(RngTest, NextInRangeInclusive)
+{
+    Rng rng(3);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        int64_t v = rng.nextInRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(5u, seen.size());
+}
+
+TEST(RngTest, NextInRangeReversedPanics)
+{
+    Rng rng(5);
+    EXPECT_THROW(rng.nextInRange(2, 1), InternalError);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+        double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    // Mean of U[0,1) should be near 0.5.
+    EXPECT_NEAR(0.5, sum / 2000.0, 0.05);
+}
+
+TEST(RngTest, NextBoolRespectsProbability)
+{
+    Rng rng(23);
+    int trues = 0;
+    for (int i = 0; i < 2000; ++i) {
+        if (rng.nextBool(0.25))
+            ++trues;
+    }
+    EXPECT_NEAR(0.25, trues / 2000.0, 0.05);
+}
+
+} // namespace
+} // namespace parchmint

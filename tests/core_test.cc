@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Tests for the core netlist model: geometry, params, entities,
+ * components, connections, devices and the builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "core/builder.hh"
+#include "core/device.hh"
+
+namespace parchmint
+{
+namespace
+{
+
+// --- Geometry -------------------------------------------------------
+
+TEST(GeometryTest, ManhattanDistance)
+{
+    EXPECT_EQ(0, manhattanDistance({0, 0}, {0, 0}));
+    EXPECT_EQ(7, manhattanDistance({1, 2}, {4, -2}));
+    EXPECT_EQ(7, manhattanDistance({4, -2}, {1, 2}));
+}
+
+TEST(GeometryTest, RectEdgesAndArea)
+{
+    Rect rect{10, 20, 30, 40};
+    EXPECT_EQ(10, rect.left());
+    EXPECT_EQ(40, rect.right());
+    EXPECT_EQ(20, rect.top());
+    EXPECT_EQ(60, rect.bottom());
+    EXPECT_EQ(1200, rect.area());
+    EXPECT_EQ((Point{25, 40}), rect.center());
+}
+
+TEST(GeometryTest, RectContainsBoundaryInclusive)
+{
+    Rect rect{0, 0, 10, 10};
+    EXPECT_TRUE(rect.contains({0, 0}));
+    EXPECT_TRUE(rect.contains({10, 10}));
+    EXPECT_TRUE(rect.contains({5, 5}));
+    EXPECT_FALSE(rect.contains({11, 5}));
+    EXPECT_FALSE(rect.contains({5, -1}));
+}
+
+TEST(GeometryTest, RectIntersection)
+{
+    Rect a{0, 0, 10, 10};
+    EXPECT_TRUE(a.intersects({5, 5, 10, 10}));
+    // Touching edges do not count as intersection.
+    EXPECT_FALSE(a.intersects({10, 0, 5, 5}));
+    EXPECT_FALSE(a.intersects({20, 20, 5, 5}));
+}
+
+TEST(GeometryTest, OverlapArea)
+{
+    Rect a{0, 0, 10, 10};
+    EXPECT_EQ(25, a.overlapArea({5, 5, 10, 10}));
+    EXPECT_EQ(0, a.overlapArea({10, 0, 5, 5}));
+    EXPECT_EQ(100, a.overlapArea(a));
+}
+
+TEST(GeometryTest, BoundingBox)
+{
+    Rect box = Rect::boundingBox({0, 0, 10, 10}, {20, 30, 5, 5});
+    EXPECT_EQ((Rect{0, 0, 25, 35}), box);
+}
+
+// --- ParamSet -----------------------------------------------------------
+
+TEST(ParamSetTest, TypedAccessors)
+{
+    ParamSet params;
+    params.set("count", json::Value(5));
+    params.set("width", json::Value(2.5));
+    params.set("name", json::Value("mixer"));
+    params.set("flag", json::Value(true));
+
+    EXPECT_EQ(5, params.getInt("count"));
+    EXPECT_DOUBLE_EQ(2.5, params.getDouble("width"));
+    EXPECT_DOUBLE_EQ(5.0, params.getDouble("count"));
+    EXPECT_EQ("mixer", params.getString("name"));
+    EXPECT_TRUE(params.getBool("flag"));
+}
+
+TEST(ParamSetTest, IntegralRealConvertsToInt)
+{
+    ParamSet params;
+    params.set("n", json::Value(4.0));
+    EXPECT_EQ(4, params.getInt("n"));
+    params.set("frac", json::Value(4.5));
+    EXPECT_THROW(params.getInt("frac"), UserError);
+}
+
+TEST(ParamSetTest, Defaults)
+{
+    ParamSet params;
+    EXPECT_EQ(7, params.getInt("missing", 7));
+    EXPECT_DOUBLE_EQ(1.5, params.getDouble("missing", 1.5));
+    EXPECT_EQ("d", params.getString("missing", "d"));
+    EXPECT_TRUE(params.getBool("missing", true));
+}
+
+TEST(ParamSetTest, MissingRequiredThrows)
+{
+    ParamSet params;
+    EXPECT_THROW(params.getInt("absent"), UserError);
+    EXPECT_THROW(params.getString("absent"), UserError);
+}
+
+TEST(ParamSetTest, WrongKindThrows)
+{
+    ParamSet params;
+    params.set("s", json::Value("text"));
+    EXPECT_THROW(params.getInt("s"), UserError);
+    EXPECT_THROW(params.getDouble("s"), UserError);
+    EXPECT_THROW(params.getBool("s"), UserError);
+}
+
+TEST(ParamSetTest, NonObjectJsonRejected)
+{
+    EXPECT_THROW(ParamSet(json::Value(3)), UserError);
+}
+
+TEST(ParamSetTest, EraseAndHas)
+{
+    ParamSet params;
+    params.set("a", json::Value(1));
+    EXPECT_TRUE(params.has("a"));
+    EXPECT_TRUE(params.erase("a"));
+    EXPECT_FALSE(params.erase("a"));
+    EXPECT_FALSE(params.has("a"));
+}
+
+// --- Entity catalogue ----------------------------------------------------
+
+TEST(EntityTest, ParseIsCaseAndSeparatorInsensitive)
+{
+    EXPECT_EQ(EntityKind::RotaryPump, parseEntity("ROTARY PUMP"));
+    EXPECT_EQ(EntityKind::RotaryPump, parseEntity("rotary-pump"));
+    EXPECT_EQ(EntityKind::RotaryPump, parseEntity("Rotary_Pump"));
+    EXPECT_EQ(EntityKind::Mixer, parseEntity("mixer"));
+    EXPECT_EQ(EntityKind::CellTrap, parseEntity("CELL TRAP"));
+    EXPECT_EQ(EntityKind::Unknown, parseEntity("FLUX CAPACITOR"));
+}
+
+TEST(EntityTest, CatalogueIsComplete)
+{
+    // Every catalogue record parses back to its own kind.
+    for (const EntityInfo &info : entityCatalogue()) {
+        EXPECT_EQ(info.kind, parseEntity(info.name)) << info.name;
+        EXPECT_GT(info.defaultXSpan, 0) << info.name;
+        EXPECT_GT(info.defaultYSpan, 0) << info.name;
+        EXPECT_FALSE(info.ports.empty()) << info.name;
+    }
+}
+
+TEST(EntityTest, PortTemplatesSitOnBoundaryFractions)
+{
+    for (const EntityInfo &info : entityCatalogue()) {
+        if (info.kind == EntityKind::Port)
+            continue; // Centre port by convention.
+        for (const PortTemplate &port : info.ports) {
+            bool boundary = port.xFraction == 0.0 ||
+                            port.xFraction == 1.0 ||
+                            port.yFraction == 0.0 ||
+                            port.yFraction == 1.0;
+            EXPECT_TRUE(boundary)
+                << info.name << " port " << port.label;
+        }
+    }
+}
+
+TEST(EntityTest, ValveBearingEntitiesDeclareControlPorts)
+{
+    for (const EntityInfo &info : entityCatalogue()) {
+        size_t control_ports = 0;
+        for (const PortTemplate &port : info.ports) {
+            if (port.onControlLayer)
+                ++control_ports;
+        }
+        if (info.valveCount > 0) {
+            EXPECT_GT(control_ports, 0u) << info.name;
+        } else {
+            EXPECT_EQ(0u, control_ports) << info.name;
+        }
+    }
+}
+
+TEST(EntityTest, UnknownHasNoInfo)
+{
+    EXPECT_THROW(entityInfo(EntityKind::Unknown), InternalError);
+}
+
+// --- Component -----------------------------------------------------------
+
+TEST(ComponentTest, MakeComponentStampsTemplate)
+{
+    Component mixer =
+        makeComponent("m1", "mixer one", EntityKind::Mixer, "flow");
+    EXPECT_EQ("m1", mixer.id());
+    EXPECT_EQ("mixer one", mixer.name());
+    EXPECT_EQ("MIXER", mixer.entity());
+    EXPECT_EQ(EntityKind::Mixer, mixer.entityKind());
+    EXPECT_EQ(6000, mixer.xSpan());
+    EXPECT_EQ(3000, mixer.ySpan());
+    ASSERT_EQ(2u, mixer.ports().size());
+    EXPECT_EQ("flow", mixer.ports()[0].layerId);
+    // Port 1 on the west edge, port 2 on the east edge.
+    EXPECT_EQ(0, mixer.findPort("1")->x);
+    EXPECT_EQ(6000, mixer.findPort("2")->x);
+}
+
+TEST(ComponentTest, ControlPortsBindControlLayer)
+{
+    Component valve = makeComponent("v1", "v1", EntityKind::Valve,
+                                    "flow", "control");
+    ASSERT_NE(nullptr, valve.findPort("c1"));
+    EXPECT_EQ("control", valve.findPort("c1")->layerId);
+    EXPECT_TRUE(valve.onLayer("flow"));
+    EXPECT_TRUE(valve.onLayer("control"));
+}
+
+TEST(ComponentTest, ControlPortsDroppedWithoutControlLayer)
+{
+    Component valve =
+        makeComponent("v1", "v1", EntityKind::Valve, "flow");
+    EXPECT_EQ(nullptr, valve.findPort("c1"));
+    EXPECT_FALSE(valve.onLayer("control"));
+    ASSERT_EQ(2u, valve.ports().size());
+}
+
+TEST(ComponentTest, DuplicatePortLabelRejected)
+{
+    Component component("c1", "c1", "MIXER", 100, 100);
+    component.addPort(Port{"1", "flow", 0, 50});
+    EXPECT_THROW(component.addPort(Port{"1", "flow", 100, 50}),
+                 UserError);
+}
+
+TEST(ComponentTest, LayerIdsDeduplicated)
+{
+    Component component("c1", "c1", "MIXER", 100, 100);
+    component.addLayerId("flow");
+    component.addLayerId("flow");
+    EXPECT_EQ(1u, component.layerIds().size());
+}
+
+TEST(ComponentTest, PlacedGeometry)
+{
+    Component mixer =
+        makeComponent("m1", "m1", EntityKind::Mixer, "flow");
+    Rect rect = mixer.placedRect({100, 200});
+    EXPECT_EQ((Rect{100, 200, 6000, 3000}), rect);
+    Point port = mixer.portPosition({100, 200}, "2");
+    EXPECT_EQ((Point{6100, 1700}), port);
+    EXPECT_THROW(mixer.portPosition({0, 0}, "nope"), UserError);
+}
+
+// --- Connection -----------------------------------------------------------
+
+TEST(ConnectionTest, EndpointsOrder)
+{
+    Connection connection("c1", "c1", "flow");
+    connection.setSource(ConnectionTarget{"a", "1"});
+    connection.addSink(ConnectionTarget{"b", "1"});
+    connection.addSink(ConnectionTarget{"c", std::nullopt});
+    auto endpoints = connection.endpoints();
+    ASSERT_EQ(3u, endpoints.size());
+    EXPECT_EQ("a", endpoints[0].componentId);
+    EXPECT_EQ("b", endpoints[1].componentId);
+    EXPECT_FALSE(endpoints[2].portLabel.has_value());
+}
+
+TEST(ConnectionTest, ChannelWidthParam)
+{
+    Connection connection("c1", "c1", "flow");
+    EXPECT_EQ(400, connection.channelWidth());
+    EXPECT_EQ(99, connection.channelWidth(99));
+    connection.params().set("channelWidth", json::Value(250));
+    EXPECT_EQ(250, connection.channelWidth());
+}
+
+TEST(ChannelPathTest, LengthAndBends)
+{
+    ChannelPath path;
+    path.waypoints = {{0, 0}, {100, 0}, {100, 50}, {200, 50}};
+    EXPECT_EQ(250, path.length());
+    EXPECT_EQ(2, path.bends());
+}
+
+TEST(ChannelPathTest, ZeroLengthSegmentsIgnoredInBends)
+{
+    ChannelPath path;
+    path.waypoints = {{0, 0}, {0, 0}, {100, 0}, {100, 0}, {100, 50}};
+    EXPECT_EQ(1, path.bends());
+    EXPECT_EQ(150, path.length());
+}
+
+// --- Device -----------------------------------------------------------
+
+TEST(DeviceTest, AddAndFind)
+{
+    Device device("chip");
+    device.addLayer(Layer{"flow", "flow", LayerType::Flow});
+    device.addComponent(
+        makeComponent("m1", "m1", EntityKind::Mixer, "flow"));
+    Connection connection("c1", "c1", "flow");
+    connection.setSource(ConnectionTarget{"m1", "1"});
+    connection.addSink(ConnectionTarget{"m1", "2"});
+    device.addConnection(std::move(connection));
+
+    EXPECT_NE(nullptr, device.findLayer("flow"));
+    EXPECT_NE(nullptr, device.findComponent("m1"));
+    EXPECT_NE(nullptr, device.findConnection("c1"));
+    EXPECT_EQ(nullptr, device.findComponent("missing"));
+    EXPECT_TRUE(device.hasId("m1"));
+    EXPECT_FALSE(device.hasId("nope"));
+}
+
+TEST(DeviceTest, IdUniquenessAcrossKinds)
+{
+    Device device("chip");
+    device.addLayer(Layer{"x", "x", LayerType::Flow});
+    // A component may not reuse a layer ID.
+    EXPECT_THROW(device.addComponent(
+                     makeComponent("x", "x", EntityKind::Mixer, "x")),
+                 UserError);
+    device.addComponent(
+        makeComponent("m", "m", EntityKind::Mixer, "x"));
+    // A connection may not reuse a component ID.
+    EXPECT_THROW(device.addConnection(Connection("m", "m", "x")),
+                 UserError);
+}
+
+TEST(DeviceTest, FirstLayerByType)
+{
+    Device device("chip");
+    device.addLayer(Layer{"f1", "f1", LayerType::Flow});
+    device.addLayer(Layer{"c1", "c1", LayerType::Control});
+    device.addLayer(Layer{"f2", "f2", LayerType::Flow});
+    EXPECT_EQ("f1", device.firstLayer(LayerType::Flow)->id);
+    EXPECT_EQ("c1", device.firstLayer(LayerType::Control)->id);
+    EXPECT_EQ(nullptr, device.firstLayer(LayerType::Integration));
+}
+
+TEST(DeviceTest, LayerTypeParsing)
+{
+    EXPECT_EQ(LayerType::Flow, parseLayerType("FLOW"));
+    EXPECT_EQ(LayerType::Control, parseLayerType("control"));
+    EXPECT_EQ(LayerType::Integration, parseLayerType("Integration"));
+    EXPECT_THROW(parseLayerType("FLUID"), UserError);
+    EXPECT_STREQ("FLOW", layerTypeName(LayerType::Flow));
+}
+
+// --- Builder -----------------------------------------------------------
+
+TEST(BuilderTest, ParseTarget)
+{
+    ConnectionTarget plain = parseTarget("m1");
+    EXPECT_EQ("m1", plain.componentId);
+    EXPECT_FALSE(plain.portLabel.has_value());
+
+    ConnectionTarget with_port = parseTarget("m1.2");
+    EXPECT_EQ("m1", with_port.componentId);
+    EXPECT_EQ("2", *with_port.portLabel);
+
+    EXPECT_THROW(parseTarget(".2"), UserError);
+}
+
+TEST(BuilderTest, BuildsValidTwoComponentDevice)
+{
+    Device device = DeviceBuilder("demo")
+                        .flowLayer()
+                        .component("in", EntityKind::Port)
+                        .component("m1", EntityKind::Mixer)
+                        .channel("c1", "in.1", "m1.1")
+                        .build();
+    EXPECT_EQ("demo", device.name());
+    EXPECT_EQ(1u, device.layers().size());
+    EXPECT_EQ(2u, device.components().size());
+    ASSERT_EQ(1u, device.connections().size());
+    EXPECT_EQ(400, device.connections()[0].channelWidth());
+}
+
+TEST(BuilderTest, ComponentBeforeLayerFails)
+{
+    DeviceBuilder builder("demo");
+    EXPECT_THROW(builder.component("m1", EntityKind::Mixer),
+                 UserError);
+}
+
+TEST(BuilderTest, ControlChannelRequiresControlLayer)
+{
+    DeviceBuilder builder("demo");
+    builder.flowLayer();
+    builder.component("m1", EntityKind::Mixer);
+    builder.component("m2", EntityKind::Mixer);
+    EXPECT_THROW(builder.controlChannel("cc", "m1.1", "m2.1"),
+                 UserError);
+}
+
+TEST(BuilderTest, NetWithMultipleSinks)
+{
+    Device device = DeviceBuilder("demo")
+                        .flowLayer()
+                        .component("src", EntityKind::Port)
+                        .component("a", EntityKind::Mixer)
+                        .component("b", EntityKind::Mixer)
+                        .net("n1", "src.1", {"a.1", "b.1"}, 300)
+                        .build();
+    const Connection *net = device.findConnection("n1");
+    ASSERT_NE(nullptr, net);
+    EXPECT_EQ(2u, net->sinks().size());
+    EXPECT_EQ(300, net->channelWidth());
+}
+
+TEST(BuilderTest, DeviceParams)
+{
+    Device device = DeviceBuilder("demo")
+                        .flowLayer()
+                        .param("author", json::Value("test"))
+                        .build();
+    EXPECT_EQ("test", device.params().getString("author"));
+}
+
+} // namespace
+} // namespace parchmint

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the SVG and DOT export back ends.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/builder.hh"
+#include "export/dot.hh"
+#include "export/svg.hh"
+#include "place/row_placer.hh"
+#include "route/router.hh"
+#include "suite/suite.hh"
+
+namespace parchmint::exporter
+{
+namespace
+{
+
+Device
+placedDevice(place::Placement &placement)
+{
+    Device device = suite::buildBenchmark("logic_inverter");
+    placement = place::RowPlacer().place(device);
+    return device;
+}
+
+TEST(SvgTest, ProducesWellFormedDocument)
+{
+    place::Placement placement;
+    Device device = placedDevice(placement);
+    std::string svg = renderSvg(device, placement);
+    EXPECT_EQ(0u, svg.find("<svg "));
+    EXPECT_NE(std::string::npos, svg.find("</svg>"));
+    EXPECT_NE(std::string::npos, svg.find("xmlns"));
+}
+
+TEST(SvgTest, DrawsEveryPlacedComponent)
+{
+    place::Placement placement;
+    Device device = placedDevice(placement);
+    std::string svg = renderSvg(device, placement);
+    size_t rects = 0;
+    size_t pos = 0;
+    while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+        ++rects;
+        pos += 5;
+    }
+    // Background + one per component.
+    EXPECT_EQ(device.components().size() + 1, rects);
+}
+
+TEST(SvgTest, LabelsToggle)
+{
+    place::Placement placement;
+    Device device = placedDevice(placement);
+    SvgOptions with_labels;
+    EXPECT_NE(std::string::npos,
+              renderSvg(device, placement, with_labels)
+                  .find("v_gate"));
+    SvgOptions without;
+    without.labels = false;
+    EXPECT_EQ(std::string::npos,
+              renderSvg(device, placement, without).find("<text"));
+}
+
+TEST(SvgTest, RoutedChannelsBecomePolylines)
+{
+    place::Placement placement;
+    Device device = placedDevice(placement);
+    std::string before = renderSvg(device, placement);
+    EXPECT_EQ(std::string::npos, before.find("<polyline"));
+    route::routeDevice(device, placement);
+    std::string after = renderSvg(device, placement);
+    EXPECT_NE(std::string::npos, after.find("<polyline"));
+}
+
+TEST(SvgTest, SkipsUnplacedComponents)
+{
+    Device device = suite::buildBenchmark("logic_inverter");
+    place::Placement partial;
+    partial.setPosition("supply", {0, 0});
+    std::string svg = renderSvg(device, partial);
+    // Only one component rect (plus background).
+    size_t rects = 0;
+    size_t pos = 0;
+    while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+        ++rects;
+        pos += 5;
+    }
+    EXPECT_EQ(2u, rects);
+}
+
+TEST(DotTest, ContainsAllComponentsAndChannels)
+{
+    Device device = suite::buildBenchmark("droplet_transposer");
+    std::string dot = renderDot(device);
+    EXPECT_EQ(0u, dot.find("digraph"));
+    for (const Component &component : device.components()) {
+        EXPECT_NE(std::string::npos,
+                  dot.find("\"" + component.id() + "\""));
+    }
+    for (const Connection &connection : device.connections()) {
+        EXPECT_NE(std::string::npos, dot.find(connection.id()));
+    }
+}
+
+TEST(DotTest, ControlEdgesDashed)
+{
+    Device device = suite::buildBenchmark("logic_inverter");
+    std::string dot = renderDot(device);
+    EXPECT_NE(std::string::npos, dot.find("style=dashed"));
+}
+
+TEST(DotTest, EscapesQuotes)
+{
+    Device device("quo\"ted");
+    std::string dot = renderDot(device);
+    EXPECT_NE(std::string::npos, dot.find("quo\\\"ted"));
+}
+
+} // namespace
+} // namespace parchmint::exporter

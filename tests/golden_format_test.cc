@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Interchange-format stability: the exact bytes the writer produces
+ * for a reference device are pinned here. A diff in this test means
+ * the on-disk format changed, which is a compatibility event for
+ * every tool exchanging ParchMint files — bump Device::formatVersion
+ * and update the golden text deliberately, never accidentally.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/builder.hh"
+#include "core/deserialize.hh"
+#include "core/serialize.hh"
+
+namespace parchmint
+{
+namespace
+{
+
+Device
+referenceDevice()
+{
+    DeviceBuilder builder("golden");
+    builder.flowLayer().controlLayer();
+    builder.component("in", EntityKind::Port)
+        .component("v", EntityKind::Valve)
+        .component("out", EntityKind::Port)
+        .channel("c1", "in.1", "v.1")
+        .channel("c2", "v.2", "out.1", 250);
+    builder.param("note", json::Value("golden fixture"));
+    Connection *c1 = builder.device().findConnection("c1");
+    ChannelPath path;
+    path.source = c1->source();
+    path.sink = c1->sinks()[0];
+    path.waypoints = {{1000, 1000}, {4000, 1000}, {4000, 750}};
+    c1->addPath(path);
+    return builder.build();
+}
+
+const char *golden_text = R"JSON({
+    "name": "golden",
+    "version": "1.0",
+    "layers": [
+        {
+            "id": "flow",
+            "name": "flow",
+            "type": "FLOW"
+        },
+        {
+            "id": "control",
+            "name": "control",
+            "type": "CONTROL"
+        }
+    ],
+    "components": [
+        {
+            "id": "in",
+            "name": "in",
+            "layers": [
+                "flow"
+            ],
+            "x-span": 2000,
+            "y-span": 2000,
+            "entity": "PORT",
+            "ports": [
+                {
+                    "label": "1",
+                    "layer": "flow",
+                    "x": 1000,
+                    "y": 1000
+                }
+            ]
+        },
+        {
+            "id": "v",
+            "name": "v",
+            "layers": [
+                "flow",
+                "control"
+            ],
+            "x-span": 1500,
+            "y-span": 1500,
+            "entity": "VALVE",
+            "ports": [
+                {
+                    "label": "1",
+                    "layer": "flow",
+                    "x": 0,
+                    "y": 750
+                },
+                {
+                    "label": "2",
+                    "layer": "flow",
+                    "x": 1500,
+                    "y": 750
+                },
+                {
+                    "label": "c1",
+                    "layer": "control",
+                    "x": 750,
+                    "y": 0
+                }
+            ]
+        },
+        {
+            "id": "out",
+            "name": "out",
+            "layers": [
+                "flow"
+            ],
+            "x-span": 2000,
+            "y-span": 2000,
+            "entity": "PORT",
+            "ports": [
+                {
+                    "label": "1",
+                    "layer": "flow",
+                    "x": 1000,
+                    "y": 1000
+                }
+            ]
+        }
+    ],
+    "connections": [
+        {
+            "id": "c1",
+            "name": "c1",
+            "layer": "flow",
+            "source": {
+                "component": "in",
+                "port": "1"
+            },
+            "sinks": [
+                {
+                    "component": "v",
+                    "port": "1"
+                }
+            ],
+            "paths": [
+                {
+                    "source": {
+                        "component": "in",
+                        "port": "1"
+                    },
+                    "sink": {
+                        "component": "v",
+                        "port": "1"
+                    },
+                    "wayPoints": [
+                        [
+                            1000,
+                            1000
+                        ],
+                        [
+                            4000,
+                            1000
+                        ],
+                        [
+                            4000,
+                            750
+                        ]
+                    ]
+                }
+            ],
+            "params": {
+                "channelWidth": 400
+            }
+        },
+        {
+            "id": "c2",
+            "name": "c2",
+            "layer": "flow",
+            "source": {
+                "component": "v",
+                "port": "2"
+            },
+            "sinks": [
+                {
+                    "component": "out",
+                    "port": "1"
+                }
+            ],
+            "params": {
+                "channelWidth": 250
+            }
+        }
+    ],
+    "params": {
+        "note": "golden fixture"
+    }
+}
+)JSON";
+
+TEST(GoldenFormatTest, WriterProducesPinnedBytes)
+{
+    EXPECT_EQ(golden_text, toJsonText(referenceDevice()));
+}
+
+TEST(GoldenFormatTest, GoldenTextLoadsBackToReferenceDevice)
+{
+    Device loaded = fromJsonText(golden_text);
+    EXPECT_EQ(referenceDevice(), loaded);
+}
+
+} // namespace
+} // namespace parchmint

@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Tests for the graph library: structure, traversal, shortest
+ * paths, spanning forests and metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/error.hh"
+#include "graph/graph.hh"
+#include "graph/metrics.hh"
+#include "graph/shortest_path.hh"
+#include "graph/spanning_tree.hh"
+#include "graph/traversal.hh"
+
+namespace parchmint::graph
+{
+namespace
+{
+
+/** A path graph 0-1-2-...-(n-1). */
+Graph
+pathGraph(size_t n)
+{
+    Graph graph(n);
+    for (VertexId v = 0; v + 1 < n; ++v)
+        graph.addEdge(v, v + 1);
+    return graph;
+}
+
+/** A cycle graph on n vertices. */
+Graph
+cycleGraph(size_t n)
+{
+    Graph graph = pathGraph(n);
+    graph.addEdge(static_cast<VertexId>(n - 1), 0);
+    return graph;
+}
+
+/** Complete graph K_n. */
+Graph
+completeGraph(size_t n)
+{
+    Graph graph(n);
+    for (VertexId a = 0; a < n; ++a) {
+        for (VertexId b = a + 1; b < n; ++b)
+            graph.addEdge(a, b);
+    }
+    return graph;
+}
+
+// --- Structure -------------------------------------------------------
+
+TEST(GraphTest, AddVertexAndEdge)
+{
+    Graph graph;
+    VertexId a = graph.addVertex("a");
+    VertexId b = graph.addVertex("b");
+    EdgeId e = graph.addEdge(a, b, 2.5, "ab");
+    EXPECT_EQ(2u, graph.vertexCount());
+    EXPECT_EQ(1u, graph.edgeCount());
+    EXPECT_EQ("a", graph.vertexLabel(a));
+    EXPECT_EQ(2.5, graph.edge(e).weight);
+    EXPECT_EQ(b, graph.edge(e).other(a));
+    EXPECT_EQ(a, graph.edge(e).other(b));
+}
+
+TEST(GraphTest, FindVertexByLabel)
+{
+    Graph graph;
+    graph.addVertex("x");
+    VertexId y = graph.addVertex("y");
+    EXPECT_EQ(y, graph.findVertex("y"));
+    EXPECT_EQ(kNoVertex, graph.findVertex("z"));
+}
+
+TEST(GraphTest, DegreeCountsParallelAndSelfLoops)
+{
+    Graph graph(2);
+    graph.addEdge(0, 1);
+    graph.addEdge(0, 1);
+    graph.addEdge(0, 0);
+    EXPECT_EQ(4u, graph.degree(0)); // 2 parallel + self-loop x2.
+    EXPECT_EQ(2u, graph.degree(1));
+    EXPECT_EQ(1u, graph.selfLoopCount());
+}
+
+TEST(GraphTest, SimplifiedRemovesLoopsAndParallels)
+{
+    Graph graph(3);
+    graph.addEdge(0, 1, 3.0);
+    graph.addEdge(1, 0, 1.0); // Parallel, lighter.
+    graph.addEdge(1, 1);
+    graph.addEdge(1, 2);
+    Graph simple = graph.simplified();
+    EXPECT_EQ(2u, simple.edgeCount());
+    EXPECT_EQ(0u, simple.selfLoopCount());
+}
+
+TEST(GraphTest, OutOfRangePanics)
+{
+    Graph graph(2);
+    EXPECT_THROW(graph.addEdge(0, 5), InternalError);
+    EXPECT_THROW(graph.degree(9), InternalError);
+}
+
+// --- Traversal -----------------------------------------------------------
+
+TEST(TraversalTest, BfsOrderFromStart)
+{
+    Graph graph = pathGraph(4);
+    auto order = bfsOrder(graph, 0);
+    ASSERT_EQ(4u, order.size());
+    EXPECT_EQ(0u, order[0]);
+    EXPECT_EQ(3u, order[3]);
+}
+
+TEST(TraversalTest, BfsSkipsUnreachable)
+{
+    Graph graph(4);
+    graph.addEdge(0, 1);
+    auto order = bfsOrder(graph, 0);
+    EXPECT_EQ(2u, order.size());
+}
+
+TEST(TraversalTest, DfsVisitsAllReachable)
+{
+    Graph graph = cycleGraph(5);
+    auto order = dfsOrder(graph, 2);
+    EXPECT_EQ(5u, order.size());
+    EXPECT_EQ(2u, order[0]);
+}
+
+TEST(TraversalTest, ConnectedComponentsLabelling)
+{
+    Graph graph(5);
+    graph.addEdge(0, 1);
+    graph.addEdge(3, 4);
+    auto labels = connectedComponents(graph);
+    EXPECT_EQ(labels[0], labels[1]);
+    EXPECT_EQ(labels[3], labels[4]);
+    EXPECT_NE(labels[0], labels[2]);
+    EXPECT_NE(labels[0], labels[3]);
+    EXPECT_EQ(3u, componentCount(graph));
+    EXPECT_FALSE(isConnected(graph));
+    EXPECT_TRUE(isConnected(pathGraph(4)));
+    EXPECT_TRUE(isConnected(Graph(0)));
+}
+
+TEST(TraversalTest, CycleDetection)
+{
+    EXPECT_FALSE(hasCycle(pathGraph(5)));
+    EXPECT_TRUE(hasCycle(cycleGraph(3)));
+
+    Graph parallel(2);
+    parallel.addEdge(0, 1);
+    parallel.addEdge(0, 1);
+    EXPECT_TRUE(hasCycle(parallel));
+
+    Graph loop(1);
+    loop.addEdge(0, 0);
+    EXPECT_TRUE(hasCycle(loop));
+
+    // Forest with two trees.
+    Graph forest(4);
+    forest.addEdge(0, 1);
+    forest.addEdge(2, 3);
+    EXPECT_FALSE(hasCycle(forest));
+}
+
+TEST(TraversalTest, ArticulationPointsOfPath)
+{
+    // Every interior vertex of a path is a cut vertex.
+    auto cuts = articulationPoints(pathGraph(5));
+    EXPECT_EQ((std::vector<VertexId>{1, 2, 3}), cuts);
+}
+
+TEST(TraversalTest, CycleHasNoArticulationPoints)
+{
+    EXPECT_TRUE(articulationPoints(cycleGraph(6)).empty());
+}
+
+TEST(TraversalTest, BridgeVertexBetweenTwoCycles)
+{
+    // Two triangles sharing vertex 2.
+    Graph graph(5);
+    graph.addEdge(0, 1);
+    graph.addEdge(1, 2);
+    graph.addEdge(2, 0);
+    graph.addEdge(2, 3);
+    graph.addEdge(3, 4);
+    graph.addEdge(4, 2);
+    auto cuts = articulationPoints(graph);
+    EXPECT_EQ((std::vector<VertexId>{2}), cuts);
+}
+
+TEST(TraversalTest, ParallelEdgesDoNotCreateCutVertices)
+{
+    // 0 =2= 1 - 2: vertex 1 is still a cut vertex (vertex
+    // connectivity ignores edge multiplicity).
+    Graph graph(3);
+    graph.addEdge(0, 1);
+    graph.addEdge(0, 1);
+    graph.addEdge(1, 2);
+    auto cuts = articulationPoints(graph);
+    EXPECT_EQ((std::vector<VertexId>{1}), cuts);
+}
+
+TEST(TraversalTest, BfsDistances)
+{
+    Graph graph = pathGraph(4);
+    auto distance = bfsDistances(graph, 0);
+    EXPECT_EQ(0u, distance[0]);
+    EXPECT_EQ(3u, distance[3]);
+
+    Graph disconnected(3);
+    disconnected.addEdge(0, 1);
+    auto d2 = bfsDistances(disconnected, 0);
+    EXPECT_EQ(std::numeric_limits<size_t>::max(), d2[2]);
+}
+
+// --- Shortest paths ---------------------------------------------------
+
+TEST(DijkstraTest, PrefersLighterLongerRoute)
+{
+    Graph graph(4);
+    graph.addEdge(0, 1, 1.0);
+    graph.addEdge(1, 2, 1.0);
+    graph.addEdge(2, 3, 1.0);
+    graph.addEdge(0, 3, 10.0);
+    ShortestPaths paths = dijkstra(graph, 0);
+    EXPECT_DOUBLE_EQ(3.0, paths.distance[3]);
+    EXPECT_EQ((std::vector<VertexId>{0, 1, 2, 3}), paths.pathTo(3));
+}
+
+TEST(DijkstraTest, UnreachableVertices)
+{
+    Graph graph(3);
+    graph.addEdge(0, 1, 1.0);
+    ShortestPaths paths = dijkstra(graph, 0);
+    EXPECT_EQ(ShortestPaths::unreachable, paths.distance[2]);
+    EXPECT_TRUE(paths.pathTo(2).empty());
+}
+
+TEST(DijkstraTest, ParallelEdgesUseLightest)
+{
+    Graph graph(2);
+    graph.addEdge(0, 1, 5.0);
+    graph.addEdge(0, 1, 2.0);
+    ShortestPaths paths = dijkstra(graph, 0);
+    EXPECT_DOUBLE_EQ(2.0, paths.distance[1]);
+}
+
+TEST(DijkstraTest, NegativeWeightRejected)
+{
+    Graph graph(2);
+    graph.addEdge(0, 1, -1.0);
+    EXPECT_THROW(dijkstra(graph, 0), UserError);
+}
+
+// --- Spanning forest ---------------------------------------------------
+
+TEST(SpanningForestTest, TreeOfConnectedGraph)
+{
+    Graph graph = completeGraph(5);
+    SpanningForest forest = minimumSpanningForest(graph);
+    EXPECT_EQ(4u, forest.edges.size());
+    EXPECT_EQ(1u, forest.treeCount);
+    EXPECT_DOUBLE_EQ(4.0, forest.totalWeight);
+}
+
+TEST(SpanningForestTest, PicksCheapEdges)
+{
+    Graph graph(3);
+    graph.addEdge(0, 1, 1.0);
+    graph.addEdge(1, 2, 1.0);
+    graph.addEdge(0, 2, 10.0);
+    SpanningForest forest = minimumSpanningForest(graph);
+    EXPECT_DOUBLE_EQ(2.0, forest.totalWeight);
+}
+
+TEST(SpanningForestTest, ForestOfDisconnectedGraph)
+{
+    Graph graph(5);
+    graph.addEdge(0, 1, 1.0);
+    graph.addEdge(2, 3, 1.0);
+    SpanningForest forest = minimumSpanningForest(graph);
+    EXPECT_EQ(2u, forest.edges.size());
+    EXPECT_EQ(3u, forest.treeCount); // Two pairs + isolated vertex.
+}
+
+TEST(SpanningForestTest, IgnoresSelfLoops)
+{
+    Graph graph(2);
+    graph.addEdge(0, 0, 0.1);
+    graph.addEdge(0, 1, 1.0);
+    SpanningForest forest = minimumSpanningForest(graph);
+    EXPECT_EQ(1u, forest.edges.size());
+    EXPECT_DOUBLE_EQ(1.0, forest.totalWeight);
+}
+
+// --- Metrics -----------------------------------------------------------
+
+TEST(MetricsTest, EmptyGraph)
+{
+    GraphMetrics metrics = computeMetrics(Graph(0));
+    EXPECT_EQ(0u, metrics.vertexCount);
+    EXPECT_TRUE(metrics.connected);
+    EXPECT_TRUE(metrics.planar);
+}
+
+TEST(MetricsTest, PathGraphMetrics)
+{
+    GraphMetrics metrics = computeMetrics(pathGraph(5));
+    EXPECT_EQ(5u, metrics.vertexCount);
+    EXPECT_EQ(4u, metrics.edgeCount);
+    EXPECT_EQ(1u, metrics.minDegree);
+    EXPECT_EQ(2u, metrics.maxDegree);
+    EXPECT_DOUBLE_EQ(8.0 / 5.0, metrics.meanDegree);
+    EXPECT_EQ(1u, metrics.componentCount);
+    EXPECT_TRUE(metrics.connected);
+    EXPECT_TRUE(metrics.planar);
+    EXPECT_EQ(3u, metrics.articulationPointCount);
+    EXPECT_EQ(0u, metrics.cyclomaticNumber);
+    EXPECT_EQ(4u, metrics.diameter);
+}
+
+TEST(MetricsTest, CompleteGraphDensityIsOne)
+{
+    GraphMetrics metrics = computeMetrics(completeGraph(4));
+    EXPECT_DOUBLE_EQ(1.0, metrics.density);
+    EXPECT_EQ(3u, metrics.cyclomaticNumber);
+    EXPECT_EQ(1u, metrics.diameter);
+    EXPECT_TRUE(metrics.planar); // K4 is planar.
+}
+
+TEST(MetricsTest, K5IsNotPlanar)
+{
+    GraphMetrics metrics = computeMetrics(completeGraph(5));
+    EXPECT_FALSE(metrics.planar);
+}
+
+TEST(MetricsTest, DiameterOfDisconnectedGraphIsLargestComponent)
+{
+    Graph graph(6);
+    graph.addEdge(0, 1);
+    graph.addEdge(1, 2);
+    graph.addEdge(2, 3); // Path of 4: diameter 3.
+    graph.addEdge(4, 5); // Pair: diameter 1.
+    GraphMetrics metrics = computeMetrics(graph);
+    EXPECT_EQ(3u, metrics.diameter);
+    EXPECT_EQ(2u, metrics.componentCount);
+}
+
+} // namespace
+} // namespace parchmint::graph

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for JSON Pointer (RFC 6901) parsing and resolution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "json/parse.hh"
+#include "json/pointer.hh"
+
+namespace parchmint::json
+{
+namespace
+{
+
+Value
+sampleDocument()
+{
+    return parse(R"({
+        "name": "chip",
+        "components": [
+            {"id": "m1", "ports": [{"x": 0}, {"x": 10}]},
+            {"id": "m2"}
+        ],
+        "a/b": 1,
+        "m~n": 2,
+        "": 3
+    })");
+}
+
+TEST(PointerTest, EmptyPointerIsWholeDocument)
+{
+    Value document = sampleDocument();
+    Pointer pointer("");
+    const Value *resolved = pointer.resolve(document);
+    ASSERT_NE(nullptr, resolved);
+    EXPECT_EQ(&document, resolved);
+}
+
+TEST(PointerTest, ResolvesNestedMembers)
+{
+    Value document = sampleDocument();
+    const Value *name = Pointer("/name").resolve(document);
+    ASSERT_NE(nullptr, name);
+    EXPECT_EQ("chip", name->asString());
+
+    const Value *x =
+        Pointer("/components/0/ports/1/x").resolve(document);
+    ASSERT_NE(nullptr, x);
+    EXPECT_EQ(10, x->asInteger());
+}
+
+TEST(PointerTest, MissingPathsResolveToNull)
+{
+    Value document = sampleDocument();
+    EXPECT_EQ(nullptr, Pointer("/missing").resolve(document));
+    EXPECT_EQ(nullptr, Pointer("/components/5").resolve(document));
+    EXPECT_EQ(nullptr, Pointer("/name/deeper").resolve(document));
+}
+
+TEST(PointerTest, ArrayIndexRules)
+{
+    Value document = sampleDocument();
+    // Leading zeros are not valid indices per RFC 6901.
+    EXPECT_EQ(nullptr, Pointer("/components/01").resolve(document));
+    EXPECT_EQ(nullptr, Pointer("/components/-1").resolve(document));
+    EXPECT_EQ(nullptr, Pointer("/components/x").resolve(document));
+    EXPECT_NE(nullptr, Pointer("/components/0").resolve(document));
+}
+
+TEST(PointerTest, EscapedTokens)
+{
+    Value document = sampleDocument();
+    const Value *slash = Pointer("/a~1b").resolve(document);
+    ASSERT_NE(nullptr, slash);
+    EXPECT_EQ(1, slash->asInteger());
+
+    const Value *tilde = Pointer("/m~0n").resolve(document);
+    ASSERT_NE(nullptr, tilde);
+    EXPECT_EQ(2, tilde->asInteger());
+
+    const Value *empty = Pointer("/").resolve(document);
+    ASSERT_NE(nullptr, empty);
+    EXPECT_EQ(3, empty->asInteger());
+}
+
+TEST(PointerTest, RoundTripToString)
+{
+    for (const char *text :
+         {"", "/a", "/a/0/b", "/a~1b", "/m~0n", "/"}) {
+        EXPECT_EQ(text, Pointer(text).toString()) << text;
+    }
+}
+
+TEST(PointerTest, ChildConstruction)
+{
+    Pointer base("/components");
+    Pointer extended = base.child(size_t(2)).child("id");
+    EXPECT_EQ("/components/2/id", extended.toString());
+    // Escaping applies to constructed children too.
+    EXPECT_EQ("/components/a~1b",
+              base.child("a/b").toString());
+}
+
+TEST(PointerTest, InvalidSyntaxThrows)
+{
+    EXPECT_THROW(Pointer("missing-slash"), UserError);
+    EXPECT_THROW(Pointer("/bad~2escape"), UserError);
+    EXPECT_THROW(Pointer("/trailing~"), UserError);
+}
+
+TEST(PointerTest, Equality)
+{
+    EXPECT_EQ(Pointer("/a/b"), Pointer("/a/b"));
+    EXPECT_FALSE(Pointer("/a/b") == Pointer("/a/c"));
+}
+
+} // namespace
+} // namespace parchmint::json

@@ -1,0 +1,446 @@
+/**
+ * @file
+ * Tests for the JSON value model, parser and writer, including
+ * round-trip property sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "json/parse.hh"
+#include "json/value.hh"
+#include "json/write.hh"
+
+namespace parchmint::json
+{
+namespace
+{
+
+// --- Value model ------------------------------------------------------
+
+TEST(ValueTest, DefaultIsNull)
+{
+    Value value;
+    EXPECT_TRUE(value.isNull());
+    EXPECT_EQ(Kind::Null, value.kind());
+}
+
+TEST(ValueTest, ScalarConstruction)
+{
+    EXPECT_TRUE(Value(true).isBoolean());
+    EXPECT_TRUE(Value(int64_t(3)).isInteger());
+    EXPECT_TRUE(Value(3).isInteger());
+    EXPECT_TRUE(Value(3.5).isReal());
+    EXPECT_TRUE(Value("text").isString());
+    EXPECT_TRUE(Value(std::string("text")).isString());
+}
+
+TEST(ValueTest, AccessorsReturnPayloads)
+{
+    EXPECT_EQ(true, Value(true).asBoolean());
+    EXPECT_EQ(42, Value(42).asInteger());
+    EXPECT_DOUBLE_EQ(2.5, Value(2.5).asDouble());
+    EXPECT_EQ("hi", Value("hi").asString());
+}
+
+TEST(ValueTest, IntegerConvertsToDouble)
+{
+    EXPECT_DOUBLE_EQ(7.0, Value(7).asDouble());
+}
+
+TEST(ValueTest, KindMismatchThrowsUserError)
+{
+    Value value(42);
+    EXPECT_THROW(value.asString(), UserError);
+    EXPECT_THROW(value.asBoolean(), UserError);
+    EXPECT_THROW(Value("x").asInteger(), UserError);
+    EXPECT_THROW(Value().asDouble(), UserError);
+}
+
+TEST(ValueTest, ArrayOperations)
+{
+    Value array = Value::makeArray();
+    EXPECT_TRUE(array.isArray());
+    EXPECT_TRUE(array.empty());
+    array.append(Value(1));
+    array.append(Value("two"));
+    ASSERT_EQ(2u, array.size());
+    EXPECT_EQ(1, array.at(size_t(0)).asInteger());
+    EXPECT_EQ("two", array.at(size_t(1)).asString());
+    EXPECT_THROW(array.at(size_t(2)), UserError);
+}
+
+TEST(ValueTest, ObjectPreservesInsertionOrder)
+{
+    Value object = Value::makeObject();
+    object.set("zebra", Value(1));
+    object.set("alpha", Value(2));
+    object.set("mid", Value(3));
+    ASSERT_EQ(3u, object.size());
+    EXPECT_EQ("zebra", object.members()[0].first);
+    EXPECT_EQ("alpha", object.members()[1].first);
+    EXPECT_EQ("mid", object.members()[2].first);
+}
+
+TEST(ValueTest, ObjectSetOverwritesInPlace)
+{
+    Value object = Value::makeObject();
+    object.set("a", Value(1));
+    object.set("b", Value(2));
+    object.set("a", Value(99));
+    ASSERT_EQ(2u, object.size());
+    EXPECT_EQ("a", object.members()[0].first);
+    EXPECT_EQ(99, object.at("a").asInteger());
+}
+
+TEST(ValueTest, ObjectFindAndContains)
+{
+    Value object = Value::makeObject();
+    object.set("key", Value("value"));
+    EXPECT_TRUE(object.contains("key"));
+    EXPECT_FALSE(object.contains("missing"));
+    EXPECT_NE(nullptr, object.find("key"));
+    EXPECT_EQ(nullptr, object.find("missing"));
+    EXPECT_THROW(object.at("missing"), UserError);
+}
+
+TEST(ValueTest, ObjectErase)
+{
+    Value object = Value::makeObject();
+    object.set("a", Value(1));
+    object.set("b", Value(2));
+    EXPECT_TRUE(object.erase("a"));
+    EXPECT_FALSE(object.erase("a"));
+    EXPECT_EQ(1u, object.size());
+}
+
+TEST(ValueTest, DeepCopyIsIndependent)
+{
+    Value object = Value::makeObject();
+    object.set("list", Value::makeArray());
+    object.at("list").append(Value(1));
+    Value copy = object;
+    copy.at("list").append(Value(2));
+    EXPECT_EQ(1u, object.at("list").size());
+    EXPECT_EQ(2u, copy.at("list").size());
+}
+
+TEST(ValueTest, MoveLeavesSourceNull)
+{
+    Value source("payload");
+    Value target = std::move(source);
+    EXPECT_EQ("payload", target.asString());
+    EXPECT_TRUE(source.isNull());
+}
+
+TEST(ValueTest, EqualityDistinguishesIntegerAndReal)
+{
+    EXPECT_NE(Value(1), Value(1.0));
+    EXPECT_EQ(Value(1), Value(1));
+    EXPECT_EQ(Value(1.0), Value(1.0));
+}
+
+TEST(ValueTest, DeepEquality)
+{
+    Value a = Value::makeObject();
+    a.set("k", Value::makeArray({Value(1), Value("s")}));
+    Value b = Value::makeObject();
+    b.set("k", Value::makeArray({Value(1), Value("s")}));
+    EXPECT_EQ(a, b);
+    b.at("k").append(Value(2));
+    EXPECT_NE(a, b);
+}
+
+// --- Parser -----------------------------------------------------------
+
+TEST(ParseTest, Scalars)
+{
+    EXPECT_TRUE(parse("null").isNull());
+    EXPECT_EQ(true, parse("true").asBoolean());
+    EXPECT_EQ(false, parse("false").asBoolean());
+    EXPECT_EQ(42, parse("42").asInteger());
+    EXPECT_EQ(-17, parse("-17").asInteger());
+    EXPECT_DOUBLE_EQ(2.5, parse("2.5").asDouble());
+    EXPECT_EQ("hello", parse("\"hello\"").asString());
+}
+
+TEST(ParseTest, NumbersWithExponentsAreReal)
+{
+    EXPECT_TRUE(parse("1e3").isReal());
+    EXPECT_DOUBLE_EQ(1000.0, parse("1e3").asDouble());
+    EXPECT_DOUBLE_EQ(0.25, parse("2.5e-1").asDouble());
+    EXPECT_DOUBLE_EQ(120.0, parse("1.2E+2").asDouble());
+}
+
+TEST(ParseTest, HugeIntegerFallsBackToReal)
+{
+    Value value = parse("123456789012345678901234567890");
+    EXPECT_TRUE(value.isReal());
+    EXPECT_GT(value.asDouble(), 1e29);
+}
+
+TEST(ParseTest, NestedStructures)
+{
+    Value root = parse(R"({"a": [1, {"b": null}], "c": "x"})");
+    EXPECT_EQ(2u, root.size());
+    EXPECT_EQ(1, root.at("a").at(size_t(0)).asInteger());
+    EXPECT_TRUE(root.at("a").at(size_t(1)).at("b").isNull());
+}
+
+TEST(ParseTest, StringEscapes)
+{
+    EXPECT_EQ("a\"b", parse(R"("a\"b")").asString());
+    EXPECT_EQ("a\\b", parse(R"("a\\b")").asString());
+    EXPECT_EQ("a/b", parse(R"("a\/b")").asString());
+    EXPECT_EQ("\b\f\n\r\t", parse(R"("\b\f\n\r\t")").asString());
+}
+
+TEST(ParseTest, UnicodeEscapes)
+{
+    EXPECT_EQ("A", parse(R"("\u0041")").asString());
+    EXPECT_EQ("\xc3\xa9", parse(R"("\u00e9")").asString());
+    EXPECT_EQ("\xe6\xb0\xb4", parse(R"("\u6c34")").asString());
+    // Surrogate pair: U+1F600.
+    EXPECT_EQ("\xf0\x9f\x98\x80",
+              parse(R"("\ud83d\ude00")").asString());
+    // Raw UTF-8 passes through untouched.
+    EXPECT_EQ("\xe6\xb0\xb4", parse("\"\xe6\xb0\xb4\"").asString());
+}
+
+TEST(ParseTest, UnpairedSurrogateIsRejected)
+{
+    EXPECT_THROW(parse(R"("\ud83d")"), ParseError);
+    EXPECT_THROW(parse(R"("\ude00")"), ParseError);
+}
+
+TEST(ParseTest, WhitespaceIsTolerated)
+{
+    Value root = parse(" \n\t{ \"a\" : [ 1 , 2 ] } \r\n");
+    EXPECT_EQ(2u, root.at("a").size());
+}
+
+TEST(ParseTest, RejectsMalformedDocuments)
+{
+    EXPECT_THROW(parse(""), ParseError);
+    EXPECT_THROW(parse("{"), ParseError);
+    EXPECT_THROW(parse("[1,]"), ParseError);
+    EXPECT_THROW(parse("{\"a\":}"), ParseError);
+    EXPECT_THROW(parse("{\"a\" 1}"), ParseError);
+    EXPECT_THROW(parse("[1 2]"), ParseError);
+    EXPECT_THROW(parse("tru"), ParseError);
+    EXPECT_THROW(parse("nul"), ParseError);
+    EXPECT_THROW(parse("01"), ParseError);
+    EXPECT_THROW(parse("1."), ParseError);
+    EXPECT_THROW(parse(".5"), ParseError);
+    EXPECT_THROW(parse("+1"), ParseError);
+    EXPECT_THROW(parse("\"unterminated"), ParseError);
+    EXPECT_THROW(parse("\"bad\\q\""), ParseError);
+    EXPECT_THROW(parse("nan"), ParseError);
+    EXPECT_THROW(parse("Infinity"), ParseError);
+}
+
+TEST(ParseTest, RejectsTrailingContent)
+{
+    EXPECT_THROW(parse("1 2"), ParseError);
+    EXPECT_THROW(parse("{} []"), ParseError);
+}
+
+TEST(ParseTest, RejectsDuplicateKeys)
+{
+    EXPECT_THROW(parse(R"({"a": 1, "a": 2})"), ParseError);
+}
+
+TEST(ParseTest, RejectsRawControlCharactersInStrings)
+{
+    std::string text = "\"a\nb\"";
+    EXPECT_THROW(parse(text), ParseError);
+}
+
+TEST(ParseTest, ErrorCarriesLineAndColumn)
+{
+    try {
+        parse("{\n  \"a\": bad\n}");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError &error) {
+        EXPECT_EQ(2u, error.line());
+        EXPECT_GT(error.column(), 1u);
+    }
+}
+
+TEST(ParseTest, DepthLimitIsEnforced)
+{
+    std::string deep;
+    for (int i = 0; i < 300; ++i)
+        deep += "[";
+    ParseOptions options;
+    options.maxDepth = 256;
+    EXPECT_THROW(parse(deep, options), ParseError);
+
+    // A document inside the limit parses fine.
+    std::string ok = "[[[[[[[[[[1]]]]]]]]]]";
+    EXPECT_NO_THROW(parse(ok, options));
+}
+
+// --- Writer -----------------------------------------------------------
+
+TEST(WriteTest, CompactScalars)
+{
+    WriteOptions compact;
+    compact.pretty = false;
+    EXPECT_EQ("null", write(Value(), compact));
+    EXPECT_EQ("true", write(Value(true), compact));
+    EXPECT_EQ("42", write(Value(42), compact));
+    EXPECT_EQ("\"x\"", write(Value("x"), compact));
+}
+
+TEST(WriteTest, RealsKeepFractionalMarker)
+{
+    WriteOptions compact;
+    compact.pretty = false;
+    std::string out = write(Value(2.0), compact);
+    EXPECT_EQ("2.0", out);
+    // Round-trip stays Real.
+    EXPECT_TRUE(parse(out).isReal());
+}
+
+TEST(WriteTest, CompactContainers)
+{
+    WriteOptions compact;
+    compact.pretty = false;
+    Value object = Value::makeObject();
+    object.set("a", Value::makeArray({Value(1), Value(2)}));
+    EXPECT_EQ(R"({"a":[1,2]})", write(object, compact));
+}
+
+TEST(WriteTest, PrettyIndentation)
+{
+    Value object = Value::makeObject();
+    object.set("a", Value(1));
+    std::string out = write(object);
+    EXPECT_EQ("{\n    \"a\": 1\n}\n", out);
+}
+
+TEST(WriteTest, EmptyContainersStayCompact)
+{
+    EXPECT_EQ("[]\n", write(Value::makeArray()));
+    EXPECT_EQ("{}\n", write(Value::makeObject()));
+}
+
+TEST(WriteTest, EscapesSpecialCharacters)
+{
+    WriteOptions compact;
+    compact.pretty = false;
+    EXPECT_EQ(R"("a\"b\\c\nd")", write(Value("a\"b\\c\nd"), compact));
+    EXPECT_EQ("\"\\u0001\"", write(Value(std::string("\x01")),
+                                   compact));
+}
+
+TEST(WriteTest, AsciiOnlyEscapesUtf8)
+{
+    WriteOptions options;
+    options.pretty = false;
+    options.asciiOnly = true;
+    EXPECT_EQ("\"\\u00e9\"", write(Value("\xc3\xa9"), options));
+    EXPECT_EQ("\"\\ud83d\\ude00\"",
+              write(Value("\xf0\x9f\x98\x80"), options));
+}
+
+TEST(WriteTest, NonFiniteNumbersAreRejected)
+{
+    EXPECT_THROW(write(Value(std::numeric_limits<double>::infinity())),
+                 UserError);
+    EXPECT_THROW(
+        write(Value(std::numeric_limits<double>::quiet_NaN())),
+        UserError);
+}
+
+// --- Round-trip properties -------------------------------------------
+
+/** Generate a random JSON value with bounded depth. */
+Value
+randomValue(parchmint::Rng &rng, int depth)
+{
+    uint64_t choice = rng.nextBelow(depth > 0 ? 7 : 5);
+    switch (choice) {
+      case 0:
+        return Value();
+      case 1:
+        return Value(rng.nextBool());
+      case 2:
+        return Value(rng.nextInRange(-1'000'000, 1'000'000));
+      case 3:
+        return Value(rng.nextDouble() * 100.0 - 50.0);
+      case 4: {
+        std::string text;
+        size_t length = rng.nextBelow(12);
+        for (size_t i = 0; i < length; ++i) {
+            // Mix printable ASCII with escapes.
+            char c = static_cast<char>(32 + rng.nextBelow(95));
+            text.push_back(c);
+        }
+        return Value(std::move(text));
+      }
+      case 5: {
+        Value array = Value::makeArray();
+        size_t count = rng.nextBelow(5);
+        for (size_t i = 0; i < count; ++i)
+            array.append(randomValue(rng, depth - 1));
+        return array;
+      }
+      default: {
+        Value object = Value::makeObject();
+        size_t count = rng.nextBelow(5);
+        for (size_t i = 0; i < count; ++i) {
+            object.set("k" + std::to_string(i),
+                       randomValue(rng, depth - 1));
+        }
+        return object;
+      }
+    }
+}
+
+class RoundTripTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RoundTripTest, PrettyRoundTripPreservesValue)
+{
+    parchmint::Rng rng(GetParam());
+    Value original = randomValue(rng, 4);
+    Value reparsed = parse(write(original));
+    EXPECT_EQ(original, reparsed);
+}
+
+TEST_P(RoundTripTest, CompactRoundTripPreservesValue)
+{
+    parchmint::Rng rng(GetParam() * 31 + 7);
+    Value original = randomValue(rng, 4);
+    WriteOptions compact;
+    compact.pretty = false;
+    Value reparsed = parse(write(original, compact));
+    EXPECT_EQ(original, reparsed);
+}
+
+TEST_P(RoundTripTest, AsciiOnlyRoundTripPreservesValue)
+{
+    parchmint::Rng rng(GetParam() * 101 + 13);
+    Value original = randomValue(rng, 3);
+    WriteOptions options;
+    options.asciiOnly = true;
+    Value reparsed = parse(write(original, options));
+    EXPECT_EQ(original, reparsed);
+}
+
+TEST_P(RoundTripTest, SerializationIsDeterministic)
+{
+    parchmint::Rng rng(GetParam() * 7 + 3);
+    Value value = randomValue(rng, 4);
+    EXPECT_EQ(write(value), write(value));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+} // namespace
+} // namespace parchmint::json

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Tests for the MINT front end: lexer, parser and elaboration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "mint/elaborate.hh"
+#include "mint/lexer.hh"
+#include "mint/parser.hh"
+#include "schema/rules.hh"
+
+namespace parchmint::mint
+{
+namespace
+{
+
+// --- Lexer ------------------------------------------------------------
+
+TEST(LexerTest, TokenKinds)
+{
+    auto tokens = tokenize("DEVICE chip1 , ; = 42 2.5 \"str\"");
+    ASSERT_EQ(9u, tokens.size()); // 8 tokens + EOF.
+    EXPECT_EQ(TokenKind::Identifier, tokens[0].kind);
+    EXPECT_EQ(TokenKind::Identifier, tokens[1].kind);
+    EXPECT_EQ(TokenKind::Comma, tokens[2].kind);
+    EXPECT_EQ(TokenKind::Semicolon, tokens[3].kind);
+    EXPECT_EQ(TokenKind::Equals, tokens[4].kind);
+    EXPECT_EQ(TokenKind::Integer, tokens[5].kind);
+    EXPECT_EQ(42, tokens[5].integer);
+    EXPECT_EQ(TokenKind::Real, tokens[6].kind);
+    EXPECT_DOUBLE_EQ(2.5, tokens[6].real);
+    EXPECT_EQ(TokenKind::String, tokens[7].kind);
+    EXPECT_EQ("str", tokens[7].text);
+    EXPECT_EQ(TokenKind::EndOfFile, tokens[8].kind);
+}
+
+TEST(LexerTest, CommentsAndWhitespace)
+{
+    auto tokens = tokenize("a # comment to end\n  b#another\nc");
+    ASSERT_EQ(4u, tokens.size());
+    EXPECT_EQ("a", tokens[0].text);
+    EXPECT_EQ("b", tokens[1].text);
+    EXPECT_EQ("c", tokens[2].text);
+}
+
+TEST(LexerTest, PositionsTracked)
+{
+    auto tokens = tokenize("a\n  bb");
+    EXPECT_EQ(1u, tokens[0].line);
+    EXPECT_EQ(1u, tokens[0].column);
+    EXPECT_EQ(2u, tokens[1].line);
+    EXPECT_EQ(3u, tokens[1].column);
+}
+
+TEST(LexerTest, KeywordMatchingIsCaseInsensitive)
+{
+    auto tokens = tokenize("DeViCe");
+    EXPECT_TRUE(tokens[0].isKeyword("DEVICE"));
+    EXPECT_TRUE(tokens[0].isKeyword("device"));
+    EXPECT_FALSE(tokens[0].isKeyword("DEVICES"));
+    EXPECT_FALSE(tokens[0].isKeyword("DEVIC"));
+}
+
+TEST(LexerTest, Errors)
+{
+    EXPECT_THROW(tokenize("\"unterminated"), MintError);
+    EXPECT_THROW(tokenize("\"new\nline\""), MintError);
+    EXPECT_THROW(tokenize("@"), MintError);
+    EXPECT_THROW(tokenize("1abc"), MintError);
+}
+
+TEST(LexerTest, ErrorCarriesPosition)
+{
+    try {
+        tokenize("ok\n  @");
+        FAIL() << "expected MintError";
+    } catch (const MintError &error) {
+        EXPECT_EQ(2u, error.line());
+        EXPECT_EQ(3u, error.column());
+    }
+}
+
+// --- Parser -----------------------------------------------------------
+
+const char *kSmallMint = R"(
+# A two-stage mixer chain.
+DEVICE demo_chip
+
+LAYER FLOW
+    PORT in1, in2 portRadius=700;
+    MIXER mix1 numberOfBends=5;
+    MIXER mix2;
+    PORT out1;
+
+    CHANNEL c1 from in1 to mix1 1 channelWidth=400;
+    CHANNEL c2 from in2 to mix1 1;
+    CHANNEL c3 from mix1 2 to mix2 1;
+    CHANNEL c4 from mix2 2 to out1;
+END LAYER
+)";
+
+TEST(ParserTest, ParsesSmallDevice)
+{
+    AstDevice ast = parseMint(kSmallMint);
+    EXPECT_EQ("demo_chip", ast.name);
+    ASSERT_EQ(1u, ast.layers.size());
+    const AstLayer &layer = ast.layers[0];
+    EXPECT_EQ("FLOW", layer.type);
+    // PORT in1,in2 / MIXER mix1 / MIXER mix2 / PORT out1.
+    ASSERT_EQ(4u, layer.primitives.size());
+    EXPECT_EQ(2u, layer.primitives[0].names.size());
+    EXPECT_EQ("PORT", layer.primitives[0].entity);
+    ASSERT_EQ(1u, layer.primitives[0].params.size());
+    EXPECT_EQ("portRadius", layer.primitives[0].params[0].name);
+    ASSERT_EQ(4u, layer.connections.size());
+}
+
+TEST(ParserTest, EndpointPortsParsed)
+{
+    AstDevice ast = parseMint(kSmallMint);
+    const AstConnection &c3 = ast.layers[0].connections[2];
+    EXPECT_EQ("mix1", c3.source.component);
+    EXPECT_EQ("2", c3.source.port);
+    EXPECT_EQ("mix2", c3.sinks[0].component);
+    EXPECT_EQ("1", c3.sinks[0].port);
+    // c4's sink has no port.
+    const AstConnection &c4 = ast.layers[0].connections[3];
+    EXPECT_EQ("", c4.sinks[0].port);
+}
+
+TEST(ParserTest, NetWithMultipleSinks)
+{
+    AstDevice ast = parseMint(R"(
+        DEVICE d
+        LAYER FLOW
+        PORT s;
+        MIXER a, b;
+        NET n1 from s to a 1, b 1 channelWidth=300;
+        END LAYER
+    )");
+    const AstConnection &net = ast.layers[0].connections[0];
+    EXPECT_EQ(2u, net.sinks.size());
+    EXPECT_EQ("b", net.sinks[1].component);
+}
+
+TEST(ParserTest, MultipleLayers)
+{
+    AstDevice ast = parseMint(R"(
+        DEVICE d
+        LAYER FLOW
+        PORT p;
+        END LAYER
+        LAYER CONTROL
+        PORT cp;
+        END LAYER
+    )");
+    ASSERT_EQ(2u, ast.layers.size());
+    EXPECT_EQ("CONTROL", ast.layers[1].type);
+}
+
+TEST(ParserTest, SyntaxErrors)
+{
+    EXPECT_THROW(parseMint("LAYER FLOW END LAYER"), MintError);
+    EXPECT_THROW(parseMint("DEVICE"), MintError);
+    EXPECT_THROW(parseMint("DEVICE d LAYER WATER END LAYER"),
+                 MintError);
+    EXPECT_THROW(parseMint("DEVICE d LAYER FLOW PORT p"), MintError);
+    EXPECT_THROW(parseMint(R"(
+        DEVICE d
+        LAYER FLOW
+        CHANNEL c1 from to b;
+        END LAYER
+    )"),
+                 MintError);
+    EXPECT_THROW(parseMint("DEVICE d LAYER FLOW PORT p; END LAYER x"),
+                 MintError);
+}
+
+// --- Elaboration ---------------------------------------------------------
+
+TEST(ElaborateTest, BuildsValidDevice)
+{
+    Device device = compileMint(kSmallMint);
+    EXPECT_EQ("demo_chip", device.name());
+    EXPECT_EQ(1u, device.layers().size());
+    // in1, in2, mix1, mix2, out1.
+    EXPECT_EQ(5u, device.components().size());
+    EXPECT_EQ(4u, device.connections().size());
+
+    auto issues = schema::checkRules(device);
+    EXPECT_FALSE(schema::hasErrors(issues))
+        << schema::formatIssues(issues);
+}
+
+TEST(ElaborateTest, ParamsCarryThrough)
+{
+    Device device = compileMint(kSmallMint);
+    const Component *in1 = device.findComponent("in1");
+    ASSERT_NE(nullptr, in1);
+    EXPECT_EQ(700, in1->params().getInt("portRadius"));
+    const Connection *c1 = device.findConnection("c1");
+    ASSERT_NE(nullptr, c1);
+    EXPECT_EQ(400, c1->channelWidth());
+}
+
+TEST(ElaborateTest, ExplicitPortsResolve)
+{
+    Device device = compileMint(kSmallMint);
+    const Connection *c3 = device.findConnection("c3");
+    ASSERT_NE(nullptr, c3);
+    EXPECT_EQ("2", *c3->source().portLabel);
+    EXPECT_EQ("1", *c3->sinks()[0].portLabel);
+}
+
+TEST(ElaborateTest, OpenEndpointsStayOpen)
+{
+    Device device = compileMint(kSmallMint);
+    const Connection *c4 = device.findConnection("c4");
+    EXPECT_FALSE(c4->sinks()[0].portLabel.has_value());
+}
+
+TEST(ElaborateTest, GeometryParamsResizeComponent)
+{
+    Device device = compileMint(R"(
+        DEVICE d
+        LAYER FLOW
+        MIXER m width=9000 height=6000;
+        PORT p;
+        CHANNEL c from p to m 1;
+        END LAYER
+    )");
+    const Component *mixer = device.findComponent("m");
+    EXPECT_EQ(9000, mixer->xSpan());
+    EXPECT_EQ(6000, mixer->ySpan());
+    // Port positions scale with the resize.
+    EXPECT_EQ(9000, mixer->findPort("2")->x);
+    auto issues = schema::checkRules(device);
+    EXPECT_FALSE(schema::hasErrors(issues))
+        << schema::formatIssues(issues);
+}
+
+TEST(ElaborateTest, ControlLayerComponents)
+{
+    Device device = compileMint(R"(
+        DEVICE d
+        LAYER FLOW
+        PORT a, b;
+        VALVE v1;
+        CHANNEL c1 from a to v1 1;
+        CHANNEL c2 from v1 2 to b;
+        END LAYER
+        LAYER CONTROL
+        END LAYER
+    )");
+    // The valve picked up a control port bound to the control layer.
+    const Component *valve = device.findComponent("v1");
+    ASSERT_NE(nullptr, valve);
+    ASSERT_NE(nullptr, valve->findPort("c1"));
+    EXPECT_EQ("control", valve->findPort("c1")->layerId);
+}
+
+TEST(ElaborateTest, SemanticErrors)
+{
+    // Unknown entity.
+    EXPECT_THROW(compileMint(R"(
+        DEVICE d
+        LAYER FLOW
+        WIDGET w;
+        END LAYER
+    )"),
+                 UserError);
+    // Duplicate instance.
+    EXPECT_THROW(compileMint(R"(
+        DEVICE d
+        LAYER FLOW
+        MIXER m; MIXER m;
+        END LAYER
+    )"),
+                 UserError);
+    // Undeclared endpoint.
+    EXPECT_THROW(compileMint(R"(
+        DEVICE d
+        LAYER FLOW
+        MIXER m;
+        CHANNEL c from m 2 to ghost;
+        END LAYER
+    )"),
+                 UserError);
+    // Bad port reference.
+    EXPECT_THROW(compileMint(R"(
+        DEVICE d
+        LAYER FLOW
+        MIXER a, b;
+        CHANNEL c from a 9 to b 1;
+        END LAYER
+    )"),
+                 UserError);
+    // No flow layer at all.
+    EXPECT_THROW(compileMint(R"(
+        DEVICE d
+        LAYER CONTROL
+        END LAYER
+    )"),
+                 UserError);
+}
+
+TEST(ElaborateTest, MultiWordEntitySpellings)
+{
+    Device device = compileMint(R"(
+        DEVICE d
+        LAYER FLOW
+        ROTARY_PUMP r;
+        PORT p, q;
+        CHANNEL c1 from p to r 1;
+        CHANNEL c2 from r 2 to q;
+        END LAYER
+    )");
+    EXPECT_EQ(EntityKind::RotaryPump,
+              device.findComponent("r")->entityKind());
+    // Canonical entity string is written, not the MINT spelling.
+    EXPECT_EQ("ROTARY PUMP", device.findComponent("r")->entity());
+}
+
+} // namespace
+} // namespace parchmint::mint

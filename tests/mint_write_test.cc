@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the MINT writer: canonical form, round-trip fixed
+ * point, and loss reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "core/builder.hh"
+#include "core/diff.hh"
+#include "mint/elaborate.hh"
+#include "mint/write_mint.hh"
+#include "schema/rules.hh"
+#include "suite/suite.hh"
+
+namespace parchmint::mint
+{
+namespace
+{
+
+TEST(MintWriteTest, RendersSmallDevice)
+{
+    Device device = DeviceBuilder("demo")
+                        .flowLayer()
+                        .component("in", EntityKind::Port)
+                        .component("m1", EntityKind::Mixer)
+                        .component("out", EntityKind::Port)
+                        .channel("c1", "in.1", "m1.1")
+                        .channel("c2", "m1.2", "out.1")
+                        .build();
+    RenderResult result = renderMint(device);
+    EXPECT_TRUE(result.lossless());
+    EXPECT_NE(std::string::npos, result.text.find("DEVICE demo"));
+    EXPECT_NE(std::string::npos, result.text.find("LAYER FLOW"));
+    EXPECT_NE(std::string::npos, result.text.find("MIXER m1"));
+    EXPECT_NE(std::string::npos,
+              result.text.find("CHANNEL c1 from in 1 to m1 1"));
+    EXPECT_NE(std::string::npos, result.text.find("END LAYER"));
+}
+
+TEST(MintWriteTest, MultiWordEntitiesUseUnderscores)
+{
+    Device device = DeviceBuilder("d")
+                        .flowLayer()
+                        .controlLayer()
+                        .component("r", EntityKind::RotaryPump)
+                        .build();
+    RenderResult result = renderMint(device);
+    EXPECT_NE(std::string::npos,
+              result.text.find("ROTARY_PUMP r"));
+}
+
+TEST(MintWriteTest, MultiSinkBecomesNet)
+{
+    Device device = DeviceBuilder("d")
+                        .flowLayer()
+                        .component("s", EntityKind::Port)
+                        .component("a", EntityKind::Mixer)
+                        .component("b", EntityKind::Mixer)
+                        .net("n1", "s.1", {"a.1", "b.1"})
+                        .build();
+    RenderResult result = renderMint(device);
+    EXPECT_NE(std::string::npos,
+              result.text.find("NET n1 from s 1 to a 1, b 1"));
+}
+
+TEST(MintWriteTest, GeometryOverridesRendered)
+{
+    Device device = compileMint(R"(
+        DEVICE d
+        LAYER FLOW
+        MIXER m width=9000 height=6000;
+        PORT p;
+        CHANNEL c from p to m 1;
+        END LAYER
+    )");
+    RenderResult result = renderMint(device);
+    EXPECT_NE(std::string::npos, result.text.find("width=9000"));
+    EXPECT_NE(std::string::npos, result.text.find("height=6000"));
+}
+
+TEST(MintWriteTest, UnknownEntityRejected)
+{
+    Device device("d");
+    device.addLayer(Layer{"flow", "flow", LayerType::Flow});
+    Component exotic("e", "e", "WARP DRIVE", 10, 10);
+    exotic.addLayerId("flow");
+    device.addComponent(std::move(exotic));
+    EXPECT_THROW(renderMint(device), UserError);
+}
+
+TEST(MintWriteTest, LossesReported)
+{
+    Device device = DeviceBuilder("d")
+                        .flowLayer()
+                        .component("a", EntityKind::Port)
+                        .component("b", EntityKind::Port)
+                        .channel("c1", "a.1", "b.1")
+                        .build();
+    // Routed path: inexpressible in MINT.
+    Connection *connection = device.findConnection("c1");
+    ChannelPath path;
+    path.source = connection->source();
+    path.sink = connection->sinks()[0];
+    path.waypoints = {{0, 0}, {10, 0}};
+    connection->addPath(path);
+    // Array-valued component param: inexpressible.
+    device.findComponent("a")->params().set(
+        "position",
+        json::Value::makeArray({json::Value(1), json::Value(2)}));
+
+    RenderResult result = renderMint(device);
+    ASSERT_EQ(2u, result.losses.size());
+    EXPECT_FALSE(result.lossless());
+}
+
+TEST(MintWriteTest, CompileRenderIsFixedPoint)
+{
+    const char *source = R"(
+        DEVICE fp
+        LAYER FLOW
+        PORT in1, in2;
+        MIXER m1 numberOfBends=5;
+        PORT out1;
+        CHANNEL c1 from in1 to m1 1 channelWidth=400;
+        CHANNEL c2 from in2 to m1 1 channelWidth=400;
+        CHANNEL c3 from m1 2 to out1 channelWidth=400;
+        END LAYER
+    )";
+    Device first = compileMint(source);
+    RenderResult rendered = renderMint(first);
+    ASSERT_TRUE(rendered.lossless()) << rendered.text;
+    Device second = compileMint(rendered.text);
+    auto differences = diff(first, second);
+    EXPECT_TRUE(differences.empty())
+        << formatDiff(differences) << "\n" << rendered.text;
+}
+
+TEST(MintWriteTest, ControlLayerPortsRoundTrip)
+{
+    const char *source = R"(
+        DEVICE ctl
+        LAYER FLOW
+        PORT a, b;
+        VALVE v1;
+        CHANNEL c1 from a to v1 1 channelWidth=400;
+        CHANNEL c2 from v1 2 to b channelWidth=400;
+        END LAYER
+        LAYER CONTROL
+        PORT pneu;
+        CHANNEL cc from pneu to v1 c1 channelWidth=200;
+        END LAYER
+    )";
+    Device first = compileMint(source);
+    // The control-block PORT's terminal binds to the control layer.
+    const Component *pneu = first.findComponent("pneu");
+    ASSERT_NE(nullptr, pneu);
+    EXPECT_EQ("control", pneu->ports()[0].layerId);
+    auto issues = schema::checkRules(first);
+    EXPECT_FALSE(schema::hasErrors(issues))
+        << schema::formatIssues(issues);
+
+    RenderResult rendered = renderMint(first);
+    ASSERT_TRUE(rendered.lossless()) << rendered.text;
+    Device second = compileMint(rendered.text);
+    auto differences = diff(first, second);
+    EXPECT_TRUE(differences.empty())
+        << formatDiff(differences) << "\n" << rendered.text;
+}
+
+class SuiteMintRenderTest
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteMintRenderTest, RenderedSuiteBenchmarkRecompiles)
+{
+    Device original = suite::buildBenchmark(GetParam());
+    RenderResult rendered = renderMint(original);
+    // Suite netlists are MINT-expressible (catalogue entities,
+    // scalar params); compiling the render must produce a valid
+    // device with identical component and connection inventory.
+    Device recompiled = compileMint(rendered.text);
+    EXPECT_EQ(original.components().size(),
+              recompiled.components().size());
+    EXPECT_EQ(original.connections().size(),
+              recompiled.connections().size());
+    auto issues = schema::checkRules(recompiled);
+    EXPECT_FALSE(schema::hasErrors(issues))
+        << GetParam() << "\n" << schema::formatIssues(issues);
+}
+
+std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> names;
+    for (const suite::BenchmarkInfo &info : suite::standardSuite())
+        names.push_back(info.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteMintRenderTest,
+                         ::testing::ValuesIn(suiteNames()));
+
+} // namespace
+} // namespace parchmint::mint

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Tests for placement: the placement state, cost model, and the
+ * three placers (random, row, annealing), including the quality
+ * ordering the paper's comparison depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "core/builder.hh"
+#include "core/deserialize.hh"
+#include "core/serialize.hh"
+#include "place/annealing_placer.hh"
+#include "place/cost.hh"
+#include "place/random_placer.hh"
+#include "place/row_placer.hh"
+#include "suite/suite.hh"
+
+namespace parchmint::place
+{
+namespace
+{
+
+Device
+chainDevice(size_t mixers)
+{
+    DeviceBuilder builder("chain");
+    builder.flowLayer();
+    builder.component("in", EntityKind::Port);
+    std::string previous = "in.1";
+    for (size_t i = 0; i < mixers; ++i) {
+        std::string id = "m" + std::to_string(i);
+        builder.component(id, EntityKind::Mixer);
+        builder.channel("c" + std::to_string(i), previous, id + ".1");
+        previous = id + ".2";
+    }
+    builder.component("out", EntityKind::Port);
+    builder.channel("c_out", previous, "out.1");
+    return builder.build();
+}
+
+// --- Placement state ---------------------------------------------------
+
+TEST(PlacementTest, SetAndQuery)
+{
+    Placement placement;
+    EXPECT_FALSE(placement.isPlaced("m1"));
+    placement.setPosition("m1", {100, 200});
+    EXPECT_TRUE(placement.isPlaced("m1"));
+    EXPECT_EQ((Point{100, 200}), placement.position("m1"));
+    EXPECT_THROW(placement.position("ghost"), UserError);
+}
+
+TEST(PlacementTest, RectAndTargets)
+{
+    Device device = chainDevice(1);
+    Placement placement;
+    placement.setPosition("m0", {1000, 2000});
+    Rect rect = placement.rectOf(device, "m0");
+    EXPECT_EQ((Rect{1000, 2000, 6000, 3000}), rect);
+
+    // Port target resolves to the port position.
+    Point p = placement.targetPosition(
+        device, ConnectionTarget{"m0", "2"});
+    EXPECT_EQ((Point{7000, 3500}), p);
+    // Open target resolves to the centre.
+    Point c = placement.targetPosition(
+        device, ConnectionTarget{"m0", std::nullopt});
+    EXPECT_EQ(rect.center(), c);
+}
+
+TEST(PlacementTest, OverlapArea)
+{
+    Device device = chainDevice(2);
+    Placement placement;
+    placement.setPosition("in", {100000, 100000});
+    placement.setPosition("out", {200000, 200000});
+    placement.setPosition("m0", {0, 0});
+    placement.setPosition("m1", {3000, 0}); // Overlaps m0 by half.
+    EXPECT_EQ(3000 * 3000, placement.totalOverlapArea(device));
+    placement.setPosition("m1", {6000, 0});
+    EXPECT_EQ(0, placement.totalOverlapArea(device));
+}
+
+TEST(PlacementTest, PersistsThroughJson)
+{
+    Device device = chainDevice(2);
+    Placement placement;
+    placement.setPosition("in", {0, 0});
+    placement.setPosition("out", {50000, 0});
+    placement.setPosition("m0", {10000, 0});
+    placement.setPosition("m1", {20000, 0});
+    placement.writeTo(device);
+
+    Device reloaded = fromJsonText(toJsonText(device));
+    Placement recovered = Placement::readFrom(reloaded);
+    EXPECT_EQ((Point{10000, 0}), recovered.position("m0"));
+    EXPECT_EQ((Point{50000, 0}), recovered.position("out"));
+}
+
+TEST(PlacementTest, MalformedPositionParamRejected)
+{
+    Device device = chainDevice(1);
+    device.findComponent("m0")->params().set(
+        "position", json::Value("not a pair"));
+    EXPECT_THROW(Placement::readFrom(device), UserError);
+}
+
+// --- Cost model ---------------------------------------------------------
+
+TEST(CostTest, HpwlOfTwoPinNet)
+{
+    Device device = chainDevice(1);
+    Placement placement;
+    placement.setPosition("in", {0, 0});
+    placement.setPosition("m0", {10000, 5000});
+    placement.setPosition("out", {20000, 5000});
+    const Connection *c0 = device.findConnection("c0");
+    // in.1 is the port centre at (1000, 1000); m0.1 at (10000, 6500).
+    EXPECT_EQ((10000 - 1000) + (6500 - 1000),
+              connectionHpwl(device, placement, *c0));
+}
+
+TEST(CostTest, EvaluateAggregates)
+{
+    Device device = chainDevice(2);
+    Placement placement;
+    placement.setPosition("in", {0, 0});
+    placement.setPosition("m0", {5000, 0});
+    placement.setPosition("m1", {5000, 0}); // Full overlap with m0.
+    placement.setPosition("out", {20000, 0});
+    PlacementCost cost = evaluatePlacement(device, placement);
+    EXPECT_GT(cost.hpwl, 0);
+    EXPECT_EQ(6000 * 3000, cost.overlapArea);
+    EXPECT_GT(cost.boundingArea, 0);
+    EXPECT_GT(cost.total, 0.0);
+}
+
+TEST(CostTest, WeightsScaleTotal)
+{
+    Device device = chainDevice(1);
+    Placement placement;
+    placement.setPosition("in", {0, 0});
+    placement.setPosition("m0", {10000, 0});
+    placement.setPosition("out", {30000, 0});
+    CostWeights none;
+    none.hpwl = 0;
+    none.overlap = 0;
+    none.area = 0;
+    EXPECT_DOUBLE_EQ(
+        0.0, evaluatePlacement(device, placement, none).total);
+}
+
+// --- Placers -----------------------------------------------------------
+
+TEST(RandomPlacerTest, PlacesEveryComponentInsideDie)
+{
+    Device device = suite::buildBenchmark("gradient_generator");
+    RandomPlacer placer(42);
+    Placement placement = placer.place(device);
+    Rect die = estimateDie(device);
+    for (const Component &component : device.components()) {
+        ASSERT_TRUE(placement.isPlaced(component.id()));
+        Rect rect = placement.rectOf(device, component.id());
+        EXPECT_GE(rect.left(), die.left());
+        EXPECT_LE(rect.right(), die.right());
+        EXPECT_GE(rect.top(), die.top());
+        EXPECT_LE(rect.bottom(), die.bottom());
+    }
+}
+
+TEST(RandomPlacerTest, SeedReproducibility)
+{
+    Device device = chainDevice(5);
+    Placement a = RandomPlacer(7).place(device);
+    Placement b = RandomPlacer(7).place(device);
+    Placement c = RandomPlacer(8).place(device);
+    bool all_equal = true;
+    bool any_differs = false;
+    for (const Component &component : device.components()) {
+        if (!(a.position(component.id()) ==
+              b.position(component.id()))) {
+            all_equal = false;
+        }
+        if (!(a.position(component.id()) ==
+              c.position(component.id()))) {
+            any_differs = true;
+        }
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_differs);
+}
+
+TEST(RowPlacerTest, ZeroOverlapAlways)
+{
+    for (const char *name :
+         {"aquaflex_5a", "gradient_generator", "synthetic_mux"}) {
+        Device device = suite::buildBenchmark(name);
+        Placement placement = RowPlacer().place(device);
+        EXPECT_EQ(0, placement.totalOverlapArea(device)) << name;
+        for (const Component &component : device.components())
+            EXPECT_TRUE(placement.isPlaced(component.id()));
+    }
+}
+
+TEST(RowPlacerTest, RespectsSpacing)
+{
+    Device device = chainDevice(3);
+    Placement placement = RowPlacer(1000).place(device);
+    // No pair of rects is closer than 0 (non-overlap is the
+    // guarantee; spacing creates gaps for routing).
+    EXPECT_EQ(0, placement.totalOverlapArea(device));
+}
+
+TEST(AnnealingPlacerTest, PlacesAllAndReportsCost)
+{
+    Device device = suite::buildBenchmark("droplet_transposer");
+    AnnealingOptions options;
+    options.seed = 3;
+    options.steps = 40;
+    AnnealingPlacer placer(options);
+    Placement placement = placer.place(device);
+    for (const Component &component : device.components())
+        EXPECT_TRUE(placement.isPlaced(component.id()));
+    PlacementCost recomputed = evaluatePlacement(device, placement);
+    EXPECT_DOUBLE_EQ(recomputed.total, placer.lastCost().total);
+}
+
+TEST(AnnealingPlacerTest, Deterministic)
+{
+    Device device = chainDevice(6);
+    AnnealingOptions options;
+    options.seed = 11;
+    options.steps = 30;
+    Placement a = AnnealingPlacer(options).place(device);
+    Placement b = AnnealingPlacer(options).place(device);
+    for (const Component &component : device.components()) {
+        EXPECT_EQ(a.position(component.id()),
+                  b.position(component.id()));
+    }
+}
+
+TEST(AnnealingPlacerTest, BeatsRandomOnWirelength)
+{
+    // The headline quality ordering: annealing < row < random on
+    // weighted cost for a connected netlist.
+    Device device = suite::buildBenchmark("cell_trap_array");
+    CostWeights weights;
+
+    Placement random_placement = RandomPlacer(5).place(device);
+    Placement row_placement = RowPlacer().place(device);
+    AnnealingOptions options;
+    options.seed = 5;
+    Placement annealed = AnnealingPlacer(options).place(device);
+
+    double random_cost =
+        evaluatePlacement(device, random_placement, weights).total;
+    double row_cost =
+        evaluatePlacement(device, row_placement, weights).total;
+    double annealed_cost =
+        evaluatePlacement(device, annealed, weights).total;
+
+    EXPECT_LT(annealed_cost, random_cost);
+    EXPECT_LE(annealed_cost, row_cost * 1.05);
+}
+
+TEST(AnnealingPlacerTest, KeepsOverlapNearZero)
+{
+    Device device = suite::buildBenchmark("logic_inverter");
+    AnnealingOptions options;
+    options.seed = 2;
+    Placement placement = AnnealingPlacer(options).place(device);
+    PlacementCost cost = evaluatePlacement(device, placement);
+    // The overlap penalty should drive overlap to (near) zero.
+    EXPECT_EQ(0, cost.overlapArea);
+}
+
+TEST(AnnealingPlacerTest, EmptyDevice)
+{
+    Device device("empty");
+    device.addLayer(Layer{"flow", "flow", LayerType::Flow});
+    Placement placement = AnnealingPlacer().place(device);
+    EXPECT_EQ(0u, placement.size());
+}
+
+TEST(EstimateDieTest, GrowsWithContent)
+{
+    Device small = chainDevice(1);
+    Device large = chainDevice(20);
+    EXPECT_GT(estimateDie(large).area(), estimateDie(small).area());
+    // Die always fits the widest component.
+    Rect die = estimateDie(small, 1.0);
+    EXPECT_GE(die.width, 6000);
+}
+
+} // namespace
+} // namespace parchmint::place

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Tests for the left-right planarity test, including the classic
+ * Kuratowski graphs, subdivisions, random planar graphs by
+ * construction, and randomized cross-checks against the Euler
+ * bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.hh"
+#include "graph/graph.hh"
+#include "graph/planarity.hh"
+
+namespace parchmint::graph
+{
+namespace
+{
+
+Graph
+completeGraph(size_t n)
+{
+    Graph graph(n);
+    for (VertexId a = 0; a < n; ++a) {
+        for (VertexId b = a + 1; b < n; ++b)
+            graph.addEdge(a, b);
+    }
+    return graph;
+}
+
+Graph
+completeBipartite(size_t m, size_t n)
+{
+    Graph graph(m + n);
+    for (VertexId a = 0; a < m; ++a) {
+        for (VertexId b = 0; b < n; ++b)
+            graph.addEdge(a, static_cast<VertexId>(m + b));
+    }
+    return graph;
+}
+
+Graph
+gridGraph(size_t rows, size_t cols)
+{
+    Graph graph(rows * cols);
+    auto at = [&](size_t r, size_t c) {
+        return static_cast<VertexId>(r * cols + c);
+    };
+    for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                graph.addEdge(at(r, c), at(r, c + 1));
+            if (r + 1 < rows)
+                graph.addEdge(at(r, c), at(r + 1, c));
+        }
+    }
+    return graph;
+}
+
+/** Subdivide every edge of a graph once (planarity-invariant). */
+Graph
+subdivide(const Graph &graph)
+{
+    Graph out(graph.vertexCount());
+    for (size_t e = 0; e < graph.edgeCount(); ++e) {
+        const Graph::Edge &edge = graph.edge(static_cast<EdgeId>(e));
+        VertexId mid = out.addVertex();
+        out.addEdge(edge.a, mid);
+        out.addEdge(mid, edge.b);
+    }
+    return out;
+}
+
+TEST(PlanarityTest, SmallGraphsArePlanar)
+{
+    EXPECT_TRUE(isPlanar(Graph(0)));
+    EXPECT_TRUE(isPlanar(Graph(1)));
+    EXPECT_TRUE(isPlanar(Graph(10))); // Edgeless.
+    EXPECT_TRUE(isPlanar(completeGraph(2)));
+    EXPECT_TRUE(isPlanar(completeGraph(3)));
+    EXPECT_TRUE(isPlanar(completeGraph(4)));
+}
+
+TEST(PlanarityTest, K5IsNotPlanar)
+{
+    EXPECT_FALSE(isPlanar(completeGraph(5)));
+}
+
+TEST(PlanarityTest, K33IsNotPlanar)
+{
+    EXPECT_FALSE(isPlanar(completeBipartite(3, 3)));
+}
+
+TEST(PlanarityTest, K24IsPlanar)
+{
+    EXPECT_TRUE(isPlanar(completeBipartite(2, 4)));
+}
+
+TEST(PlanarityTest, LargerCompleteGraphsAreNotPlanar)
+{
+    EXPECT_FALSE(isPlanar(completeGraph(6)));
+    EXPECT_FALSE(isPlanar(completeGraph(8)));
+}
+
+TEST(PlanarityTest, SubdivisionsPreservePlanarity)
+{
+    // Kuratowski: subdivisions of K5/K33 stay non-planar, and the
+    // Euler-bound shortcut no longer fires for them (more vertices,
+    // same structural edges), so this exercises the LR core.
+    EXPECT_FALSE(isPlanar(subdivide(completeGraph(5))));
+    EXPECT_FALSE(isPlanar(subdivide(completeBipartite(3, 3))));
+    EXPECT_FALSE(isPlanar(subdivide(subdivide(completeGraph(5)))));
+    EXPECT_TRUE(isPlanar(subdivide(completeGraph(4))));
+}
+
+TEST(PlanarityTest, GridsArePlanar)
+{
+    EXPECT_TRUE(isPlanar(gridGraph(3, 3)));
+    EXPECT_TRUE(isPlanar(gridGraph(8, 8)));
+    EXPECT_TRUE(isPlanar(gridGraph(1, 20)));
+}
+
+TEST(PlanarityTest, GridPlusFarCrossingsIsNotPlanar)
+{
+    // A 4x4 grid with K5 contracted onto far-apart vertices.
+    Graph graph = gridGraph(4, 4);
+    // Connect the four corners and the centre pairwise (K5 minor).
+    VertexId corners[5] = {0, 3, 12, 15, 5};
+    for (int i = 0; i < 5; ++i) {
+        for (int j = i + 1; j < 5; ++j)
+            graph.addEdge(corners[i], corners[j]);
+    }
+    EXPECT_FALSE(isPlanar(graph));
+}
+
+TEST(PlanarityTest, SelfLoopsAndParallelEdgesIgnored)
+{
+    Graph graph = completeGraph(4);
+    graph.addEdge(0, 0);
+    graph.addEdge(0, 1);
+    graph.addEdge(0, 1);
+    EXPECT_TRUE(isPlanar(graph));
+
+    Graph bad = completeGraph(5);
+    bad.addEdge(1, 1);
+    EXPECT_FALSE(isPlanar(bad));
+}
+
+TEST(PlanarityTest, DisconnectedComponentsCheckedIndependently)
+{
+    // One planar component + one K5 component.
+    Graph graph = gridGraph(3, 3);
+    VertexId offset = static_cast<VertexId>(graph.vertexCount());
+    for (int i = 0; i < 5; ++i)
+        graph.addVertex();
+    for (VertexId a = 0; a < 5; ++a) {
+        for (VertexId b = a + 1; b < 5; ++b)
+            graph.addEdge(offset + a, offset + b);
+    }
+    EXPECT_FALSE(isPlanar(graph));
+}
+
+TEST(PlanarityTest, PetersenGraphIsNotPlanar)
+{
+    Graph graph(10);
+    // Outer 5-cycle.
+    for (VertexId v = 0; v < 5; ++v)
+        graph.addEdge(v, (v + 1) % 5);
+    // Inner pentagram.
+    for (VertexId v = 0; v < 5; ++v)
+        graph.addEdge(5 + v, 5 + ((v + 2) % 5));
+    // Spokes.
+    for (VertexId v = 0; v < 5; ++v)
+        graph.addEdge(v, 5 + v);
+    EXPECT_FALSE(isPlanar(graph));
+}
+
+TEST(PlanarityTest, DodecahedronIsPlanar)
+{
+    // 20 vertices, 30 edges, 3-regular planar graph.
+    Graph graph(20);
+    const int edges[30][2] = {
+        {0, 1},   {1, 2},   {2, 3},   {3, 4},   {4, 0},
+        {0, 5},   {1, 6},   {2, 7},   {3, 8},   {4, 9},
+        {5, 10},  {10, 6},  {6, 11},  {11, 7},  {7, 12},
+        {12, 8},  {8, 13},  {13, 9},  {9, 14},  {14, 5},
+        {10, 15}, {11, 16}, {12, 17}, {13, 18}, {14, 19},
+        {15, 16}, {16, 17}, {17, 18}, {18, 19}, {19, 15},
+    };
+    for (const auto &edge : edges) {
+        graph.addEdge(static_cast<VertexId>(edge[0]),
+                      static_cast<VertexId>(edge[1]));
+    }
+    EXPECT_TRUE(isPlanar(graph));
+}
+
+/**
+ * Property sweep: maximal planar triangulations built by repeated
+ * vertex-in-triangle insertion are planar; adding any edge between
+ * two non-adjacent vertices makes them non-planar (they already have
+ * 3n-6 edges).
+ */
+class TriangulationTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(TriangulationTest, MaximalPlanarGraphsRecognized)
+{
+    parchmint::Rng rng(GetParam());
+    // Start from a triangle; track triangles as vertex triples.
+    Graph graph(3);
+    graph.addEdge(0, 1);
+    graph.addEdge(1, 2);
+    graph.addEdge(2, 0);
+    std::vector<std::array<VertexId, 3>> triangles = {{0, 1, 2}};
+
+    size_t inserts = 20 + rng.nextBelow(20);
+    for (size_t k = 0; k < inserts; ++k) {
+        size_t t = rng.nextBelow(triangles.size());
+        auto [a, b, c] = triangles[t];
+        VertexId v = graph.addVertex();
+        graph.addEdge(v, a);
+        graph.addEdge(v, b);
+        graph.addEdge(v, c);
+        triangles[t] = {a, b, v};
+        triangles.push_back({b, c, v});
+        triangles.push_back({c, a, v});
+    }
+    size_t n = graph.vertexCount();
+    ASSERT_EQ(3 * n - 6, graph.edgeCount());
+    EXPECT_TRUE(isPlanar(graph));
+
+    // Any extra edge between non-adjacent vertices exceeds the
+    // Euler bound (an edge to an adjacent vertex would only add a
+    // parallel edge, which simplifies away).
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        VertexId a = static_cast<VertexId>(rng.nextBelow(n));
+        VertexId b = static_cast<VertexId>(rng.nextBelow(n));
+        if (a == b)
+            continue;
+        bool adjacent = false;
+        for (const Graph::Incidence &inc : graph.incident(a)) {
+            if (inc.neighbor == b)
+                adjacent = true;
+        }
+        if (adjacent)
+            continue;
+        graph.addEdge(a, b);
+        EXPECT_FALSE(isPlanar(graph));
+        break;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriangulationTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+/**
+ * Random sparse graphs: results must agree between the LR test and
+ * brute force on tiny instances. Brute force: try all edge subsets?
+ * Too slow — instead cross-check the invariant that deleting edges
+ * from a non-planar graph eventually yields a planar one, and that
+ * planarity is monotone under edge deletion.
+ */
+class MonotonicityTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(MonotonicityTest, EdgeDeletionNeverBreaksPlanarity)
+{
+    parchmint::Rng rng(GetParam() + 100);
+    size_t n = 8 + rng.nextBelow(6);
+    Graph graph(n);
+    size_t edges = 2 * n + rng.nextBelow(n);
+    for (size_t e = 0; e < edges; ++e) {
+        VertexId a = static_cast<VertexId>(rng.nextBelow(n));
+        VertexId b = static_cast<VertexId>(rng.nextBelow(n));
+        if (a != b)
+            graph.addEdge(a, b);
+    }
+    bool planar_full = isPlanar(graph);
+
+    // Rebuild with a random strict subset of edges.
+    Graph sub(n);
+    for (size_t e = 0; e < graph.edgeCount(); ++e) {
+        if (rng.nextBool(0.6)) {
+            const Graph::Edge &edge =
+                graph.edge(static_cast<EdgeId>(e));
+            sub.addEdge(edge.a, edge.b);
+        }
+    }
+    if (planar_full) {
+        // Subgraphs of planar graphs are planar.
+        EXPECT_TRUE(isPlanar(sub));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotonicityTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
+} // namespace
+} // namespace parchmint::graph

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Robustness sweeps: hostile and randomly mutated inputs must never
+ * crash the library — every failure mode is a clean UserError or a
+ * reported issue list. These tests protect the interchange-format
+ * promise that any tool can safely ingest any file.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/deserialize.hh"
+#include "core/serialize.hh"
+#include "json/parse.hh"
+#include "mint/elaborate.hh"
+#include "place/annealing_placer.hh"
+#include "route/router.hh"
+#include "schema/rules.hh"
+#include "suite/suite.hh"
+
+namespace parchmint
+{
+namespace
+{
+
+/**
+ * Byte-level fuzzing of a valid document: flip/insert/delete random
+ * bytes, then run the whole pipeline. Outcomes allowed: clean
+ * validation, issues reported, or UserError. Crashes and
+ * InternalError are failures.
+ */
+class JsonFuzzTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(JsonFuzzTest, MutatedDocumentsNeverCrashPipeline)
+{
+    Rng rng(GetParam());
+    std::string pristine =
+        toJsonText(suite::buildBenchmark("logic_inverter"));
+
+    for (int trial = 0; trial < 40; ++trial) {
+        std::string text = pristine;
+        size_t mutations = 1 + rng.nextBelow(8);
+        for (size_t m = 0; m < mutations; ++m) {
+            if (text.empty())
+                break;
+            size_t pos = rng.nextBelow(text.size());
+            switch (rng.nextBelow(3)) {
+              case 0: // Flip a byte.
+                text[pos] = static_cast<char>(rng.nextBelow(256));
+                break;
+              case 1: // Delete a byte.
+                text.erase(pos, 1);
+                break;
+              default: // Insert a byte.
+                text.insert(pos, 1,
+                            static_cast<char>(rng.nextBelow(256)));
+                break;
+            }
+        }
+        try {
+            auto issues = schema::validateText(text);
+            (void)issues; // Any outcome is fine.
+        } catch (const InternalError &error) {
+            FAIL() << "InternalError on fuzzed input: "
+                   << error.what();
+        } catch (const UserError &) {
+            // Clean rejection: fine.
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzzTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+/** Structured JSON mutations (valid JSON, arbitrary shape). */
+class ShapeFuzzTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+json::Value
+randomShape(Rng &rng, int depth)
+{
+    switch (rng.nextBelow(depth > 0 ? 6 : 4)) {
+      case 0: return json::Value();
+      case 1: return json::Value(rng.nextBool());
+      case 2: return json::Value(rng.nextInRange(-5, 5));
+      case 3: {
+        const char *words[] = {"FLOW", "flow", "PORT", "x", "",
+                               "layers", "components"};
+        return json::Value(words[rng.nextBelow(std::size(words))]);
+      }
+      case 4: {
+        json::Value array = json::Value::makeArray();
+        size_t n = rng.nextBelow(4);
+        for (size_t i = 0; i < n; ++i)
+            array.append(randomShape(rng, depth - 1));
+        return array;
+      }
+      default: {
+        json::Value object = json::Value::makeObject();
+        const char *keys[] = {"name",    "layers", "components",
+                              "id",      "type",   "connections",
+                              "x-span",  "ports",  "source",
+                              "sinks",   "layer",  "entity"};
+        size_t n = rng.nextBelow(5);
+        for (size_t i = 0; i < n; ++i) {
+            object.set(keys[rng.nextBelow(std::size(keys))],
+                       randomShape(rng, depth - 1));
+        }
+        return object;
+      }
+    }
+}
+
+TEST_P(ShapeFuzzTest, ArbitraryJsonShapesNeverCrashValidation)
+{
+    Rng rng(GetParam() * 17 + 3);
+    for (int trial = 0; trial < 60; ++trial) {
+        json::Value document = randomShape(rng, 4);
+        try {
+            auto issues = schema::validateDocument(document);
+            (void)issues;
+        } catch (const InternalError &error) {
+            FAIL() << "InternalError on shape: " << error.what();
+        } catch (const UserError &) {
+        }
+        // The raw reader must also fail cleanly.
+        try {
+            Device device = fromJson(document);
+            (void)device;
+        } catch (const InternalError &error) {
+            FAIL() << "InternalError in reader: " << error.what();
+        } catch (const UserError &) {
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShapeFuzzTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+/** MINT source fuzzing. */
+class MintFuzzTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(MintFuzzTest, MutatedMintNeverCrashesCompiler)
+{
+    Rng rng(GetParam() * 31 + 1);
+    const std::string pristine = R"(
+DEVICE fuzz
+LAYER FLOW
+    PORT a, b;
+    MIXER m;
+    CHANNEL c1 from a to m 1;
+    CHANNEL c2 from m 2 to b;
+END LAYER
+)";
+    for (int trial = 0; trial < 60; ++trial) {
+        std::string text = pristine;
+        size_t mutations = 1 + rng.nextBelow(6);
+        for (size_t m = 0; m < mutations; ++m) {
+            if (text.empty())
+                break;
+            size_t pos = rng.nextBelow(text.size());
+            switch (rng.nextBelow(3)) {
+              case 0:
+                text[pos] =
+                    static_cast<char>(32 + rng.nextBelow(95));
+                break;
+              case 1:
+                text.erase(pos, 1);
+                break;
+              default:
+                text.insert(pos, 1,
+                            static_cast<char>(32 +
+                                              rng.nextBelow(95)));
+                break;
+            }
+        }
+        try {
+            Device device = mint::compileMint(text);
+            (void)device;
+        } catch (const InternalError &error) {
+            FAIL() << "InternalError on MINT: " << error.what();
+        } catch (const UserError &) {
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MintFuzzTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+/**
+ * Random devices through the full physical-design flow: the placer
+ * and router must handle every generator output without crashing,
+ * and routed devices must stay rule-clean.
+ */
+class FlowFuzzTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FlowFuzzTest, RandomDevicesSurvivePlaceAndRoute)
+{
+    uint64_t seed = GetParam();
+    Rng rng(seed);
+    size_t components = 4 + rng.nextBelow(24);
+    Device device =
+        suite::syntheticRandomPlanar(components, seed * 7 + 1);
+
+    place::AnnealingOptions options;
+    options.seed = seed;
+    options.steps = 25; // Cheap: robustness, not quality.
+    place::Placement placement =
+        place::AnnealingPlacer(options).place(device);
+    route::RouteResult result =
+        route::routeDevice(device, placement);
+    EXPECT_GE(result.completionRate(), 0.5);
+
+    auto issues = schema::checkRules(device);
+    EXPECT_FALSE(schema::hasErrors(issues))
+        << schema::formatIssues(issues);
+    // And the routed artifact round-trips.
+    Device reloaded = fromJsonText(toJsonText(device));
+    EXPECT_EQ(device, reloaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowFuzzTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+} // namespace
+} // namespace parchmint

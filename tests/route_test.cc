@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Tests for the routing engine: grid, A* search, and the full
+ * device router including rip-up behaviour and round-trip of routed
+ * paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "core/builder.hh"
+#include "core/deserialize.hh"
+#include "core/serialize.hh"
+#include "place/annealing_placer.hh"
+#include "place/row_placer.hh"
+#include "route/astar.hh"
+#include "route/metrics.hh"
+#include "route/router.hh"
+#include "route/routing_grid.hh"
+#include "schema/rules.hh"
+#include "suite/suite.hh"
+
+namespace parchmint::route
+{
+namespace
+{
+
+// --- RoutingGrid -----------------------------------------------------
+
+TEST(RoutingGridTest, DimensionsAndIndexing)
+{
+    RoutingGrid grid(Rect{0, 0, 1000, 500}, 100);
+    EXPECT_EQ(10, grid.columns());
+    EXPECT_EQ(5, grid.rows());
+    EXPECT_EQ((Cell{0, 0}), grid.cellAt({50, 50}));
+    EXPECT_EQ((Cell{9, 4}), grid.cellAt({999, 499}));
+    // Out-of-region points clamp.
+    EXPECT_EQ((Cell{0, 0}), grid.cellAt({-100, -100}));
+    EXPECT_EQ((Point{150, 250}), grid.center(Cell{1, 2}));
+}
+
+TEST(RoutingGridTest, InvalidConstruction)
+{
+    EXPECT_THROW(RoutingGrid(Rect{0, 0, 0, 100}, 100), UserError);
+    EXPECT_THROW(RoutingGrid(Rect{0, 0, 100, 100}, 0), UserError);
+}
+
+TEST(RoutingGridTest, StateTransitions)
+{
+    RoutingGrid grid(Rect{0, 0, 1000, 1000}, 100);
+    Cell cell{3, 3};
+    EXPECT_EQ(CellState::Free, grid.state(cell));
+    grid.setState(cell, CellState::Occupied, "net1");
+    EXPECT_EQ(CellState::Occupied, grid.state(cell));
+    EXPECT_EQ("net1", grid.occupant(cell));
+    grid.releaseNet("net1");
+    EXPECT_EQ(CellState::Free, grid.state(cell));
+    // Out-of-bounds reads as obstacle.
+    EXPECT_EQ(CellState::Obstacle, grid.state(Cell{-1, 0}));
+    EXPECT_EQ(CellState::Obstacle, grid.state(Cell{100, 0}));
+}
+
+TEST(RoutingGridTest, BlockRectWithClearance)
+{
+    RoutingGrid grid(Rect{0, 0, 2000, 2000}, 100);
+    grid.blockRect(Rect{500, 500, 400, 400}, 100);
+    // Inside the inflated rect.
+    EXPECT_EQ(CellState::Obstacle, grid.state(grid.cellAt({700, 700})));
+    EXPECT_EQ(CellState::Obstacle, grid.state(grid.cellAt({450, 700})));
+    // Far away stays free.
+    EXPECT_EQ(CellState::Free, grid.state(grid.cellAt({1500, 1500})));
+    // Carving converts the blocked cell into a shared port opening.
+    grid.carve(grid.cellAt({700, 700}));
+    EXPECT_EQ(CellState::PortOpening,
+              grid.state(grid.cellAt({700, 700})));
+    // Port openings are never claimed by occupyPath.
+    grid.occupyPath({grid.cellAt({700, 700})}, "net1");
+    EXPECT_EQ(CellState::PortOpening,
+              grid.state(grid.cellAt({700, 700})));
+}
+
+// --- A* ---------------------------------------------------------------
+
+TEST(AStarTest, StraightLine)
+{
+    RoutingGrid grid(Rect{0, 0, 1000, 1000}, 100);
+    AStarResult result =
+        findPath(grid, Cell{0, 5}, Cell{9, 5}, "n");
+    ASSERT_FALSE(result.path.empty());
+    EXPECT_EQ(10u, result.path.size());
+    EXPECT_EQ(0u, result.violations);
+}
+
+TEST(AStarTest, RoutesAroundObstacle)
+{
+    RoutingGrid grid(Rect{0, 0, 1000, 1000}, 100);
+    // Wall across the middle with a gap at the top.
+    for (int row = 1; row < 10; ++row)
+        grid.setState(Cell{5, row}, CellState::Obstacle);
+    AStarResult result =
+        findPath(grid, Cell{0, 5}, Cell{9, 5}, "n");
+    ASSERT_FALSE(result.path.empty());
+    // Must detour through row 0.
+    bool touched_top = false;
+    for (const Cell &cell : result.path) {
+        if (cell.row == 0)
+            touched_top = true;
+    }
+    EXPECT_TRUE(touched_top);
+}
+
+TEST(AStarTest, FailsWhenSealed)
+{
+    RoutingGrid grid(Rect{0, 0, 1000, 1000}, 100);
+    for (int row = 0; row < 10; ++row)
+        grid.setState(Cell{5, row}, CellState::Obstacle);
+    AStarResult result =
+        findPath(grid, Cell{0, 5}, Cell{9, 5}, "n");
+    EXPECT_TRUE(result.path.empty());
+}
+
+TEST(AStarTest, OwnNetCellsAreFree)
+{
+    RoutingGrid grid(Rect{0, 0, 1000, 1000}, 100);
+    for (int row = 0; row < 10; ++row)
+        grid.setState(Cell{5, row}, CellState::Occupied, "mine");
+    // Same net: passable.
+    EXPECT_FALSE(
+        findPath(grid, Cell{0, 5}, Cell{9, 5}, "mine").path.empty());
+    // Different net: sealed.
+    EXPECT_TRUE(
+        findPath(grid, Cell{0, 5}, Cell{9, 5}, "other").path.empty());
+}
+
+TEST(AStarTest, RelaxedModeCrossesWithViolations)
+{
+    RoutingGrid grid(Rect{0, 0, 1000, 1000}, 100);
+    for (int row = 0; row < 10; ++row)
+        grid.setState(Cell{5, row}, CellState::Occupied, "other");
+    AStarOptions relaxed;
+    relaxed.occupiedCost = 10.0;
+    AStarResult result =
+        findPath(grid, Cell{0, 5}, Cell{9, 5}, "mine", relaxed);
+    ASSERT_FALSE(result.path.empty());
+    EXPECT_EQ(1u, result.violations);
+}
+
+TEST(AStarTest, BendPenaltyPrefersStraighterRoutes)
+{
+    RoutingGrid grid(Rect{0, 0, 2000, 2000}, 100);
+    AStarOptions bendy;
+    bendy.bendPenalty = 0.0;
+    AStarOptions straight;
+    straight.bendPenalty = 10.0;
+    // Diagonal route: both reach, but the straight-preferring one
+    // should produce at most as many bends.
+    auto count_bends = [](const std::vector<Cell> &path) {
+        int bends = 0;
+        for (size_t i = 2; i < path.size(); ++i) {
+            bool h1 = path[i - 1].row == path[i - 2].row;
+            bool h2 = path[i].row == path[i - 1].row;
+            if (h1 != h2)
+                ++bends;
+        }
+        return bends;
+    };
+    auto a = findPath(grid, Cell{0, 0}, Cell{15, 15}, "n", bendy);
+    auto b = findPath(grid, Cell{0, 0}, Cell{15, 15}, "n", straight);
+    ASSERT_FALSE(a.path.empty());
+    ASSERT_FALSE(b.path.empty());
+    EXPECT_LE(count_bends(b.path), count_bends(a.path));
+    EXPECT_EQ(1, count_bends(b.path));
+}
+
+TEST(AStarTest, StartEqualsGoal)
+{
+    RoutingGrid grid(Rect{0, 0, 1000, 1000}, 100);
+    AStarResult result =
+        findPath(grid, Cell{3, 3}, Cell{3, 3}, "n");
+    ASSERT_EQ(1u, result.path.size());
+}
+
+TEST(AStarTest, ExpansionLimitAborts)
+{
+    RoutingGrid grid(Rect{0, 0, 10000, 10000}, 100);
+    AStarOptions options;
+    options.expansionLimit = 10;
+    AStarResult result =
+        findPath(grid, Cell{0, 0}, Cell{99, 99}, "n", options);
+    EXPECT_TRUE(result.path.empty());
+    EXPECT_LE(result.expanded, 11u);
+}
+
+// --- Device router ---------------------------------------------------
+
+TEST(RouterTest, RoutesSimpleChainCompletely)
+{
+    Device device = suite::buildBenchmark("droplet_transposer");
+    place::Placement placement = place::RowPlacer().place(device);
+    RouteResult result = routeDevice(device, placement);
+    EXPECT_EQ(1.0, result.completionRate());
+    EXPECT_EQ(0u, result.failedCount);
+    EXPECT_GT(result.totalLength, 0);
+    // Paths landed on the connections.
+    RoutedStats stats = measureRoutedDevice(device);
+    EXPECT_EQ(device.connections().size(),
+              stats.routedConnections);
+}
+
+TEST(RouterTest, RoutedDeviceStillPassesRules)
+{
+    Device device = suite::buildBenchmark("cell_trap_array");
+    place::Placement placement = place::RowPlacer().place(device);
+    routeDevice(device, placement);
+    auto issues = schema::checkRules(device);
+    EXPECT_FALSE(schema::hasErrors(issues))
+        << schema::formatIssues(issues);
+}
+
+TEST(RouterTest, RoutedPathsRoundTripThroughJson)
+{
+    Device device = suite::buildBenchmark("logic_inverter");
+    place::Placement placement = place::RowPlacer().place(device);
+    routeDevice(device, placement);
+    Device reloaded = fromJsonText(toJsonText(device));
+    EXPECT_EQ(device, reloaded);
+}
+
+TEST(RouterTest, MultiSinkNetsShareTrunk)
+{
+    Device device = DeviceBuilder("star")
+                        .flowLayer()
+                        .component("src", EntityKind::Port)
+                        .component("a", EntityKind::Mixer)
+                        .component("b", EntityKind::Mixer)
+                        .net("n", "src.1", {"a.1", "b.1"})
+                        .build();
+    place::Placement placement = place::RowPlacer().place(device);
+    RouteResult result = routeDevice(device, placement);
+    EXPECT_EQ(1.0, result.completionRate());
+    const Connection *net = device.findConnection("n");
+    EXPECT_EQ(2u, net->paths().size());
+}
+
+TEST(RouterTest, UnplacedComponentRejected)
+{
+    Device device = suite::buildBenchmark("logic_inverter");
+    place::Placement placement;
+    EXPECT_THROW(routeDevice(device, placement), UserError);
+}
+
+TEST(RouterTest, ControlLayerRoutedSeparately)
+{
+    Device device = suite::buildBenchmark("logic_inverter");
+    place::Placement placement = place::RowPlacer().place(device);
+    RouteResult result = routeDevice(device, placement);
+    // Control channels exist and routed.
+    size_t control_routed = 0;
+    for (const Connection &connection : device.connections()) {
+        const Layer *layer =
+            device.findLayer(connection.layerId());
+        if (layer->type == LayerType::Control &&
+            !connection.paths().empty()) {
+            ++control_routed;
+        }
+    }
+    EXPECT_GT(control_routed, 0u);
+    EXPECT_EQ(1.0, result.completionRate());
+}
+
+TEST(RouterTest, WaypointsAreRectilinear)
+{
+    Device device = suite::buildBenchmark("gradient_generator");
+    place::Placement placement = place::RowPlacer().place(device);
+    routeDevice(device, placement);
+    for (const Connection &connection : device.connections()) {
+        for (const ChannelPath &path : connection.paths()) {
+            for (size_t i = 1; i + 1 < path.waypoints.size(); ++i) {
+                // Interior segments are axis-aligned (the terminal
+                // stubs may be diagonal jumps from port to grid).
+                if (i >= 2) {
+                    const Point &a = path.waypoints[i - 1];
+                    const Point &b = path.waypoints[i];
+                    EXPECT_TRUE(a.x == b.x || a.y == b.y)
+                        << connection.id();
+                }
+            }
+        }
+    }
+}
+
+TEST(RouterTest, CompletionRateEmptyDevice)
+{
+    RouteResult empty;
+    EXPECT_EQ(1.0, empty.completionRate());
+}
+
+class SuiteRoutingTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteRoutingTest, HighCompletionOnRowPlacement)
+{
+    Device device = suite::buildBenchmark(GetParam());
+    place::Placement placement = place::RowPlacer().place(device);
+    RouteResult result = routeDevice(device, placement);
+    // Row placement with generous spacing should route nearly
+    // everything; require >= 90% on every benchmark.
+    EXPECT_GE(result.completionRate(), 0.9) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Representative, SuiteRoutingTest,
+    ::testing::Values("aquaflex_3b", "gradient_generator",
+                      "cell_trap_array", "droplet_transposer",
+                      "logic_inverter", "synthetic_tree"));
+
+// --- Routed metrics ---------------------------------------------------
+
+TEST(RoutedStatsTest, MeasuresStoredPaths)
+{
+    Device device = DeviceBuilder("m")
+                        .flowLayer()
+                        .component("a", EntityKind::Port)
+                        .component("b", EntityKind::Port)
+                        .channel("c1", "a.1", "b.1")
+                        .channel("c2", "a.1", "b.1")
+                        .build();
+    Connection *c1 = device.findConnection("c1");
+    ChannelPath path;
+    path.source = c1->source();
+    path.sink = c1->sinks()[0];
+    path.waypoints = {{0, 0}, {100, 0}, {100, 100}};
+    c1->addPath(path);
+
+    RoutedStats stats = measureRoutedDevice(device);
+    EXPECT_EQ(1u, stats.routedConnections);
+    EXPECT_EQ(1u, stats.unroutedConnections);
+    EXPECT_EQ(200, stats.totalLength);
+    EXPECT_EQ(1, stats.totalBends);
+    EXPECT_EQ(200, stats.maxPathLength);
+    EXPECT_DOUBLE_EQ(200.0, stats.meanPathLength);
+}
+
+} // namespace
+} // namespace parchmint::route

@@ -1,0 +1,504 @@
+/**
+ * @file
+ * Tests for the semantic rule checker (R1-R14) and the full
+ * validation pipeline, including an error-injection sweep that
+ * mutates a valid netlist in every rule's direction and checks the
+ * violation is caught.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/builder.hh"
+#include "core/serialize.hh"
+#include "json/parse.hh"
+#include "json/write.hh"
+#include "schema/rules.hh"
+#include "suite/suite.hh"
+
+namespace parchmint::schema
+{
+namespace
+{
+
+/** A small, fully valid device to mutate. */
+Device
+validDevice()
+{
+    DeviceBuilder builder("fixture");
+    builder.flowLayer().controlLayer();
+    builder.component("in", EntityKind::Port)
+        .component("v1", EntityKind::Valve)
+        .component("m1", EntityKind::Mixer)
+        .component("out", EntityKind::Port)
+        .channel("c1", "in.1", "v1.1")
+        .channel("c2", "v1.2", "m1.1")
+        .channel("c3", "m1.2", "out.1");
+    // Control line for the valve.
+    Component ctl("v1_ctl", "v1_ctl", "PORT", 2000, 2000);
+    ctl.addLayerId("control");
+    ctl.addPort(Port{"1", "control", 1000, 1000});
+    builder.component(std::move(ctl));
+    builder.controlChannel("cc1", "v1_ctl.1", "v1.c1");
+    return builder.build();
+}
+
+bool
+hasErrorContaining(const std::vector<Issue> &issues,
+                   const std::string &needle)
+{
+    for (const Issue &issue : issues) {
+        if (issue.severity == Severity::Error &&
+            issue.message.find(needle) != std::string::npos) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+hasWarningContaining(const std::vector<Issue> &issues,
+                     const std::string &needle)
+{
+    for (const Issue &issue : issues) {
+        if (issue.severity == Severity::Warning &&
+            issue.message.find(needle) != std::string::npos) {
+            return true;
+        }
+    }
+    return false;
+}
+
+TEST(RulesTest, ValidDeviceHasNoErrors)
+{
+    auto issues = checkRules(validDevice());
+    EXPECT_FALSE(hasErrors(issues)) << formatIssues(issues);
+}
+
+TEST(RulesTest, R1MissingFlowLayer)
+{
+    Device device("x");
+    device.addLayer(Layer{"control", "control", LayerType::Control});
+    auto issues = checkRules(device);
+    EXPECT_TRUE(hasErrorContaining(issues, "R1"));
+}
+
+TEST(RulesTest, R3UndeclaredComponentLayer)
+{
+    Device device = validDevice();
+    device.findComponent("m1")->addLayerId("phantom");
+    auto issues = checkRules(device);
+    EXPECT_TRUE(hasErrorContaining(issues, "R3"));
+}
+
+TEST(RulesTest, R4PortOnUndeclaredLayer)
+{
+    Device device = validDevice();
+    Component bad("bad", "bad", "MIXER", 100, 100);
+    bad.addLayerId("flow");
+    bad.addPort(Port{"1", "phantom", 0, 50});
+    device.addComponent(std::move(bad));
+    auto issues = checkRules(device);
+    EXPECT_TRUE(hasErrorContaining(issues, "R4"));
+}
+
+TEST(RulesTest, R4PortLayerNotInComponentList)
+{
+    Device device = validDevice();
+    Component bad("bad", "bad", "MIXER", 100, 100);
+    bad.addLayerId("flow");
+    // Control layer exists but the component does not list it.
+    bad.addPort(Port{"1", "control", 0, 50});
+    device.addComponent(std::move(bad));
+    auto issues = checkRules(device);
+    EXPECT_TRUE(hasErrorContaining(issues, "R4"));
+}
+
+TEST(RulesTest, R5PortOutsideSpan)
+{
+    Device device = validDevice();
+    Component bad("bad", "bad", "MIXER", 100, 100);
+    bad.addLayerId("flow");
+    bad.addPort(Port{"1", "flow", 500, 50});
+    device.addComponent(std::move(bad));
+    auto issues = checkRules(device);
+    EXPECT_TRUE(hasErrorContaining(issues, "R5"));
+}
+
+TEST(RulesTest, R5PortInsideButNotOnBoundary)
+{
+    Device device = validDevice();
+    Component bad("bad", "bad", "MIXER", 100, 100);
+    bad.addLayerId("flow");
+    bad.addPort(Port{"1", "flow", 50, 50});
+    device.addComponent(std::move(bad));
+    auto issues = checkRules(device);
+    EXPECT_TRUE(hasErrorContaining(issues, "R5"));
+}
+
+TEST(RulesTest, R5CentrePortAllowedOnIoPort)
+{
+    // PORT entities conventionally centre their terminal; no R5.
+    Device device = validDevice();
+    auto issues = checkRules(device);
+    EXPECT_FALSE(hasErrorContaining(issues, "R5"))
+        << formatIssues(issues);
+}
+
+TEST(RulesTest, R6NonPositiveSpans)
+{
+    Device device = validDevice();
+    device.findComponent("m1")->setSpans(0, 3000);
+    auto issues = checkRules(device);
+    EXPECT_TRUE(hasErrorContaining(issues, "R6"));
+}
+
+TEST(RulesTest, R7UndeclaredConnectionLayer)
+{
+    Device device = validDevice();
+    Connection bad("badc", "badc", "phantom");
+    bad.setSource(ConnectionTarget{"in", "1"});
+    bad.addSink(ConnectionTarget{"m1", "1"});
+    device.addConnection(std::move(bad));
+    auto issues = checkRules(device);
+    EXPECT_TRUE(hasErrorContaining(issues, "R7"));
+}
+
+TEST(RulesTest, R8MissingEndpointComponent)
+{
+    Device device = validDevice();
+    Connection bad("badc", "badc", "flow");
+    bad.setSource(ConnectionTarget{"ghost", std::nullopt});
+    bad.addSink(ConnectionTarget{"m1", "1"});
+    device.addConnection(std::move(bad));
+    auto issues = checkRules(device);
+    EXPECT_TRUE(hasErrorContaining(issues, "R8"));
+}
+
+TEST(RulesTest, R8MissingPortLabel)
+{
+    Device device = validDevice();
+    Connection bad("badc", "badc", "flow");
+    bad.setSource(ConnectionTarget{"m1", "99"});
+    bad.addSink(ConnectionTarget{"out", "1"});
+    device.addConnection(std::move(bad));
+    auto issues = checkRules(device);
+    EXPECT_TRUE(hasErrorContaining(issues, "R8"));
+}
+
+TEST(RulesTest, R9PortOnWrongLayer)
+{
+    Device device = validDevice();
+    // Flow connection targeting the valve's control port.
+    Connection bad("badc", "badc", "flow");
+    bad.setSource(ConnectionTarget{"v1", "c1"});
+    bad.addSink(ConnectionTarget{"m1", "1"});
+    device.addConnection(std::move(bad));
+    auto issues = checkRules(device);
+    EXPECT_TRUE(hasErrorContaining(issues, "R9"));
+}
+
+TEST(RulesTest, R10NoSinks)
+{
+    Device device = validDevice();
+    Connection bad("badc", "badc", "flow");
+    bad.setSource(ConnectionTarget{"m1", "1"});
+    device.addConnection(std::move(bad));
+    auto issues = checkRules(device);
+    EXPECT_TRUE(hasErrorContaining(issues, "R10"));
+}
+
+TEST(RulesTest, R11BadChannelWidth)
+{
+    Device device = validDevice();
+    device.findConnection("c1")->params().set(
+        "channelWidth", json::Value(-10));
+    auto issues = checkRules(device);
+    EXPECT_TRUE(hasErrorContaining(issues, "R11"));
+
+    Device device2 = validDevice();
+    device2.findConnection("c1")->params().set(
+        "channelWidth", json::Value("wide"));
+    EXPECT_TRUE(
+        hasErrorContaining(checkRules(device2), "R11"));
+}
+
+TEST(RulesTest, R12PathEndpointNotInConnection)
+{
+    Device device = validDevice();
+    Connection *connection = device.findConnection("c1");
+    ChannelPath path;
+    path.source = ConnectionTarget{"out", "1"};
+    path.sink = connection->sinks()[0];
+    path.waypoints = {{0, 0}, {1, 1}};
+    connection->addPath(path);
+    auto issues = checkRules(device);
+    EXPECT_TRUE(hasErrorContaining(issues, "R12"));
+}
+
+TEST(RulesTest, R12TooFewWaypoints)
+{
+    Device device = validDevice();
+    Connection *connection = device.findConnection("c1");
+    ChannelPath path;
+    path.source = connection->source();
+    path.sink = connection->sinks()[0];
+    path.waypoints = {{0, 0}};
+    connection->addPath(path);
+    auto issues = checkRules(device);
+    EXPECT_TRUE(hasErrorContaining(issues, "R12"));
+}
+
+TEST(RulesTest, R13UnknownEntityWarns)
+{
+    Device device = validDevice();
+    Component exotic("exo", "exo", "QUANTUM MIXER", 100, 100);
+    exotic.addLayerId("flow");
+    exotic.addPort(Port{"1", "flow", 0, 50});
+    device.addComponent(std::move(exotic));
+    auto issues = checkRules(device);
+    EXPECT_TRUE(hasWarningContaining(issues, "R13"));
+    // A warning, not an error.
+    EXPECT_FALSE(hasErrorContaining(issues, "R13"));
+}
+
+TEST(RulesTest, R14DisconnectedFlowWarns)
+{
+    Device device = validDevice();
+    // An island pair connected to each other but not the rest.
+    device.addComponent(
+        makeComponent("i1", "i1", EntityKind::Mixer, "flow"));
+    device.addComponent(
+        makeComponent("i2", "i2", EntityKind::Mixer, "flow"));
+    Connection island("ci", "ci", "flow");
+    island.setSource(ConnectionTarget{"i1", "2"});
+    island.addSink(ConnectionTarget{"i2", "1"});
+    device.addConnection(std::move(island));
+    auto issues = checkRules(device);
+    EXPECT_TRUE(hasWarningContaining(issues, "R14"));
+}
+
+// --- Full pipeline -----------------------------------------------------
+
+TEST(PipelineTest, ValidDocumentPasses)
+{
+    auto issues = validateDocument(toJson(validDevice()));
+    EXPECT_FALSE(hasErrors(issues)) << formatIssues(issues);
+}
+
+TEST(PipelineTest, ParseErrorBecomesIssue)
+{
+    auto issues = validateText("{not json");
+    ASSERT_EQ(1u, issues.size());
+    EXPECT_EQ(Severity::Error, issues[0].severity);
+    EXPECT_NE(std::string::npos,
+              issues[0].message.find("parse error"));
+}
+
+TEST(PipelineTest, SchemaErrorsShortCircuitRules)
+{
+    // Structurally broken: no layers member at all.
+    auto issues = validateText(R"({"name": "x",
+        "components": [], "connections": []})");
+    EXPECT_TRUE(hasErrors(issues));
+}
+
+TEST(PipelineTest, DuplicateIdBecomesIssue)
+{
+    auto issues = validateText(R"({
+        "name": "x",
+        "layers": [{"id": "f", "name": "f", "type": "FLOW"}],
+        "components": [
+            {"id": "c", "name": "c", "layers": ["f"], "x-span": 10,
+             "y-span": 10, "entity": "MIXER", "ports": []},
+            {"id": "c", "name": "c2", "layers": ["f"], "x-span": 10,
+             "y-span": 10, "entity": "MIXER", "ports": []}
+        ],
+        "connections": []
+    })");
+    EXPECT_TRUE(hasErrors(issues));
+    bool mentions_duplicate = false;
+    for (const Issue &issue : issues) {
+        if (issue.message.find("duplicate") != std::string::npos)
+            mentions_duplicate = true;
+    }
+    EXPECT_TRUE(mentions_duplicate) << formatIssues(issues);
+}
+
+/**
+ * Error-injection sweep: every mutation class applied to a suite
+ * benchmark's JSON must be flagged by the pipeline (T3's detection
+ * matrix in miniature).
+ */
+using Mutator = void (*)(json::Value &);
+
+struct MutationCase
+{
+    const char *name;
+    Mutator apply;
+};
+
+void
+dropName(json::Value &root)
+{
+    root.erase("name");
+}
+
+void
+clearLayers(json::Value &root)
+{
+    root.set("layers", json::Value::makeArray());
+}
+
+void
+corruptLayerType(json::Value &root)
+{
+    root.at("layers").at(size_t(0)).set("type", json::Value("GAS"));
+}
+
+void
+negateSpan(json::Value &root)
+{
+    root.at("components").at(size_t(0)).set("x-span",
+                                            json::Value(-100));
+}
+
+void
+danglingPortLayer(json::Value &root)
+{
+    auto &ports = root.at("components").at(size_t(0)).at("ports");
+    if (ports.size() > 0)
+        ports.at(size_t(0)).set("layer", json::Value("phantom"));
+    else
+        root.at("components")
+            .at(size_t(0))
+            .set("layers",
+                 json::Value::makeArray({json::Value("phantom")}));
+}
+
+void
+danglingConnectionSource(json::Value &root)
+{
+    root.at("connections")
+        .at(size_t(0))
+        .set("source", [] {
+            json::Value target = json::Value::makeObject();
+            target.set("component", json::Value("ghost"));
+            return target;
+        }());
+}
+
+void
+emptySinks(json::Value &root)
+{
+    root.at("connections")
+        .at(size_t(0))
+        .set("sinks", json::Value::makeArray());
+}
+
+void
+duplicateComponentId(json::Value &root)
+{
+    json::Value clone = root.at("components").at(size_t(0));
+    root.at("components").append(std::move(clone));
+}
+
+void
+stringSpan(json::Value &root)
+{
+    root.at("components").at(size_t(0)).set("x-span",
+                                            json::Value("wide"));
+}
+
+void
+badChannelWidth(json::Value &root)
+{
+    json::Value params = json::Value::makeObject();
+    params.set("channelWidth", json::Value(0));
+    root.at("connections").at(size_t(0)).set("params",
+                                             std::move(params));
+}
+
+void
+badConnectionLayer(json::Value &root)
+{
+    root.at("connections").at(size_t(0)).set("layer",
+                                             json::Value("phantom"));
+}
+
+void
+misspelledSinkKey(json::Value &root)
+{
+    json::Value sink = json::Value::makeObject();
+    sink.set("comp", json::Value("m1"));
+    root.at("connections")
+        .at(size_t(0))
+        .set("sinks", json::Value::makeArray({std::move(sink)}));
+}
+
+void
+invalidIdAlphabet(json::Value &root)
+{
+    root.at("components").at(size_t(0)).set(
+        "id", json::Value("two words"));
+}
+
+void
+portOffBoundary(json::Value &root)
+{
+    // Move the first non-PORT component's first port well inside.
+    auto &components = root.at("components");
+    for (size_t i = 0; i < components.size(); ++i) {
+        json::Value &component = components.at(i);
+        if (component.at("entity").asString() == "PORT")
+            continue;
+        auto &ports = component.at("ports");
+        if (ports.size() == 0)
+            continue;
+        int64_t xs = component.at("x-span").asInteger();
+        int64_t ys = component.at("y-span").asInteger();
+        ports.at(size_t(0)).set("x", json::Value(xs / 2));
+        ports.at(size_t(0)).set("y", json::Value(ys / 2));
+        return;
+    }
+}
+
+class MutationTest : public ::testing::TestWithParam<MutationCase>
+{
+};
+
+TEST_P(MutationTest, PipelineDetectsInjectedError)
+{
+    json::Value root =
+        toJson(suite::buildBenchmark("aquaflex_3b"));
+    // Sanity: the pristine document is clean.
+    ASSERT_FALSE(hasErrors(validateDocument(root)));
+    GetParam().apply(root);
+    auto issues = validateDocument(root);
+    EXPECT_TRUE(hasErrors(issues))
+        << "mutation " << GetParam().name << " was not detected";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mutations, MutationTest,
+    ::testing::Values(
+        MutationCase{"dropName", dropName},
+        MutationCase{"clearLayers", clearLayers},
+        MutationCase{"corruptLayerType", corruptLayerType},
+        MutationCase{"negateSpan", negateSpan},
+        MutationCase{"danglingPortLayer", danglingPortLayer},
+        MutationCase{"danglingConnectionSource",
+                     danglingConnectionSource},
+        MutationCase{"emptySinks", emptySinks},
+        MutationCase{"duplicateComponentId", duplicateComponentId},
+        MutationCase{"stringSpan", stringSpan},
+        MutationCase{"badChannelWidth", badChannelWidth},
+        MutationCase{"badConnectionLayer", badConnectionLayer},
+        MutationCase{"misspelledSinkKey", misspelledSinkKey},
+        MutationCase{"invalidIdAlphabet", invalidIdAlphabet},
+        MutationCase{"portOffBoundary", portOffBoundary}),
+    [](const ::testing::TestParamInfo<MutationCase> &info) {
+        return info.param.name;
+    });
+
+} // namespace
+} // namespace parchmint::schema

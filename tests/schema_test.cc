@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Tests for the JSON-Schema-subset engine and the ParchMint schema.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "core/serialize.hh"
+#include "json/parse.hh"
+#include "schema/parchmint_schema.hh"
+#include "schema/schema.hh"
+#include "suite/suite.hh"
+
+namespace parchmint::schema
+{
+namespace
+{
+
+std::vector<Issue>
+check(const char *schema_text, const char *instance_text)
+{
+    Schema schema = Schema::fromText(schema_text);
+    return schema.validate(json::parse(instance_text));
+}
+
+TEST(SchemaEngineTest, TypeChecking)
+{
+    EXPECT_TRUE(check(R"({"type": "integer"})", "3").empty());
+    EXPECT_FALSE(check(R"({"type": "integer"})", "\"x\"").empty());
+    EXPECT_TRUE(check(R"({"type": "string"})", "\"x\"").empty());
+    EXPECT_TRUE(check(R"({"type": "boolean"})", "true").empty());
+    EXPECT_TRUE(check(R"({"type": "null"})", "null").empty());
+    EXPECT_TRUE(check(R"({"type": "array"})", "[]").empty());
+    EXPECT_TRUE(check(R"({"type": "object"})", "{}").empty());
+    EXPECT_FALSE(check(R"({"type": "object"})", "[]").empty());
+}
+
+TEST(SchemaEngineTest, IntegerAcceptsZeroFractionReal)
+{
+    EXPECT_TRUE(check(R"({"type": "integer"})", "3.0").empty());
+    EXPECT_FALSE(check(R"({"type": "integer"})", "3.5").empty());
+    EXPECT_TRUE(check(R"({"type": "number"})", "3.5").empty());
+}
+
+TEST(SchemaEngineTest, RequiredMembers)
+{
+    const char *schema = R"({
+        "type": "object",
+        "required": ["a", "b"]
+    })";
+    EXPECT_TRUE(check(schema, R"({"a": 1, "b": 2})").empty());
+    auto issues = check(schema, R"({"a": 1})");
+    ASSERT_EQ(1u, issues.size());
+    EXPECT_NE(std::string::npos, issues[0].message.find("\"b\""));
+}
+
+TEST(SchemaEngineTest, AdditionalPropertiesFalse)
+{
+    const char *schema = R"({
+        "type": "object",
+        "additionalProperties": false,
+        "properties": {"a": {"type": "integer"}}
+    })";
+    EXPECT_TRUE(check(schema, R"({"a": 1})").empty());
+    auto issues = check(schema, R"({"a": 1, "z": 2})");
+    ASSERT_EQ(1u, issues.size());
+    EXPECT_EQ("/z", issues[0].location);
+}
+
+TEST(SchemaEngineTest, NestedPropertiesReportPointerLocations)
+{
+    const char *schema = R"({
+        "type": "object",
+        "properties": {
+            "list": {
+                "type": "array",
+                "items": {"type": "object",
+                          "required": ["id"]}
+            }
+        }
+    })";
+    auto issues = check(schema, R"({"list": [{"id": 1}, {}]})");
+    ASSERT_EQ(1u, issues.size());
+    EXPECT_EQ("/list/1", issues[0].location);
+}
+
+TEST(SchemaEngineTest, EnumOfStrings)
+{
+    const char *schema = R"({"enum": ["FLOW", "CONTROL"]})";
+    EXPECT_TRUE(check(schema, "\"FLOW\"").empty());
+    EXPECT_FALSE(check(schema, "\"GAS\"").empty());
+    EXPECT_FALSE(check(schema, "3").empty());
+}
+
+TEST(SchemaEngineTest, NumericBounds)
+{
+    const char *schema = R"({
+        "type": "integer", "minimum": 0, "maximum": 10
+    })";
+    EXPECT_TRUE(check(schema, "0").empty());
+    EXPECT_TRUE(check(schema, "10").empty());
+    EXPECT_FALSE(check(schema, "-1").empty());
+    EXPECT_FALSE(check(schema, "11").empty());
+
+    const char *exclusive =
+        R"({"type": "integer", "exclusiveMinimum": 0})";
+    EXPECT_TRUE(check(exclusive, "1").empty());
+    EXPECT_FALSE(check(exclusive, "0").empty());
+}
+
+TEST(SchemaEngineTest, StringConstraints)
+{
+    const char *schema = R"({
+        "type": "string", "minLength": 2,
+        "pattern": "^[a-z]+$"
+    })";
+    EXPECT_TRUE(check(schema, "\"abc\"").empty());
+    EXPECT_FALSE(check(schema, "\"a\"").empty());
+    EXPECT_FALSE(check(schema, "\"ABC\"").empty());
+}
+
+TEST(SchemaEngineTest, ArrayConstraints)
+{
+    const char *schema = R"({
+        "type": "array", "minItems": 1, "maxItems": 3,
+        "items": {"type": "integer"}
+    })";
+    EXPECT_TRUE(check(schema, "[1, 2]").empty());
+    EXPECT_FALSE(check(schema, "[]").empty());
+    EXPECT_FALSE(check(schema, "[1, 2, 3, 4]").empty());
+    EXPECT_FALSE(check(schema, "[1, \"x\"]").empty());
+}
+
+TEST(SchemaEngineTest, CollectsAllViolations)
+{
+    const char *schema = R"({
+        "type": "object",
+        "required": ["a"],
+        "properties": {
+            "b": {"type": "integer"},
+            "c": {"type": "string"}
+        }
+    })";
+    auto issues = check(schema, R"({"b": "no", "c": 4})");
+    EXPECT_EQ(3u, issues.size());
+}
+
+TEST(SchemaEngineTest, InvalidSchemaThrows)
+{
+    EXPECT_THROW(Schema::fromText(R"({"type": "banana"})"),
+                 UserError);
+    EXPECT_THROW(Schema::fromText(R"({"type": 3})"), UserError);
+    EXPECT_THROW(Schema::fromText(R"({"pattern": "["})"), UserError);
+    EXPECT_THROW(Schema::fromText(R"({"required": [1]})"),
+                 UserError);
+    EXPECT_THROW(Schema::fromText(R"({"minItems": -1})"), UserError);
+    EXPECT_THROW(Schema::fromText("[]"), UserError);
+}
+
+TEST(SchemaEngineTest, FormatIssuesRendering)
+{
+    std::vector<Issue> issues = {
+        {Severity::Error, "/a", "bad"},
+        {Severity::Warning, "", "odd"},
+    };
+    EXPECT_EQ("error /a: bad\nwarning /: odd\n",
+              formatIssues(issues));
+    EXPECT_TRUE(hasErrors(issues));
+    EXPECT_FALSE(hasErrors({{Severity::Warning, "", "x"}}));
+}
+
+// --- The ParchMint schema itself ------------------------------------------
+
+TEST(ParchmintSchemaTest, CompilesAndValidatesMinimalDocument)
+{
+    auto issues = validateStructure(json::parse(R"({
+        "name": "empty",
+        "layers": [{"id": "f", "name": "f", "type": "FLOW"}],
+        "components": [],
+        "connections": []
+    })"));
+    EXPECT_TRUE(issues.empty()) << formatIssues(issues);
+}
+
+TEST(ParchmintSchemaTest, RejectsMissingName)
+{
+    auto issues = validateStructure(json::parse(R"({
+        "layers": [{"id": "f", "name": "f", "type": "FLOW"}],
+        "components": [], "connections": []
+    })"));
+    EXPECT_TRUE(hasErrors(issues));
+}
+
+TEST(ParchmintSchemaTest, RejectsEmptyLayerList)
+{
+    auto issues = validateStructure(json::parse(R"({
+        "name": "x", "layers": [],
+        "components": [], "connections": []
+    })"));
+    EXPECT_TRUE(hasErrors(issues));
+}
+
+TEST(ParchmintSchemaTest, RejectsBadLayerType)
+{
+    auto issues = validateStructure(json::parse(R"({
+        "name": "x",
+        "layers": [{"id": "f", "name": "f", "type": "GAS"}],
+        "components": [], "connections": []
+    })"));
+    EXPECT_TRUE(hasErrors(issues));
+}
+
+TEST(ParchmintSchemaTest, RejectsNegativeSpan)
+{
+    auto issues = validateStructure(json::parse(R"({
+        "name": "x",
+        "layers": [{"id": "f", "name": "f", "type": "FLOW"}],
+        "components": [{"id": "c", "name": "c", "layers": ["f"],
+                        "x-span": -5, "y-span": 10,
+                        "entity": "MIXER", "ports": []}],
+        "connections": []
+    })"));
+    EXPECT_TRUE(hasErrors(issues));
+}
+
+TEST(ParchmintSchemaTest, RejectsRealSpans)
+{
+    auto issues = validateStructure(json::parse(R"({
+        "name": "x",
+        "layers": [{"id": "f", "name": "f", "type": "FLOW"}],
+        "components": [{"id": "c", "name": "c", "layers": ["f"],
+                        "x-span": 5.5, "y-span": 10,
+                        "entity": "MIXER", "ports": []}],
+        "connections": []
+    })"));
+    EXPECT_TRUE(hasErrors(issues));
+}
+
+TEST(ParchmintSchemaTest, RejectsEmptySinkList)
+{
+    auto issues = validateStructure(json::parse(R"({
+        "name": "x",
+        "layers": [{"id": "f", "name": "f", "type": "FLOW"}],
+        "components": [],
+        "connections": [{"id": "c1", "name": "c1", "layer": "f",
+                         "source": {"component": "a"},
+                         "sinks": []}]
+    })"));
+    EXPECT_TRUE(hasErrors(issues));
+}
+
+TEST(ParchmintSchemaTest, RejectsMisspelledPortMember)
+{
+    auto issues = validateStructure(json::parse(R"({
+        "name": "x",
+        "layers": [{"id": "f", "name": "f", "type": "FLOW"}],
+        "components": [{"id": "c", "name": "c", "layers": ["f"],
+                        "x-span": 5, "y-span": 10,
+                        "entity": "MIXER",
+                        "ports": [{"label": "1", "layr": "f",
+                                   "x": 0, "y": 5}]}],
+        "connections": []
+    })"));
+    EXPECT_TRUE(hasErrors(issues));
+}
+
+TEST(ParchmintSchemaTest, RejectsInvalidIdAlphabet)
+{
+    auto issues = validateStructure(json::parse(R"({
+        "name": "x",
+        "layers": [{"id": "has space", "name": "f",
+                    "type": "FLOW"}],
+        "components": [], "connections": []
+    })"));
+    EXPECT_TRUE(hasErrors(issues));
+}
+
+TEST(ParchmintSchemaTest, ToleratesVendorExtensionsAtTopLevel)
+{
+    auto issues = validateStructure(json::parse(R"({
+        "name": "x",
+        "layers": [{"id": "f", "name": "f", "type": "FLOW"}],
+        "components": [], "connections": [],
+        "x-vendor": {"anything": true}
+    })"));
+    EXPECT_FALSE(hasErrors(issues));
+}
+
+TEST(ParchmintSchemaTest, AcceptsEverySuiteBenchmark)
+{
+    for (const suite::BenchmarkInfo &info : suite::standardSuite()) {
+        auto issues =
+            validateStructure(toJson(info.build()));
+        EXPECT_FALSE(hasErrors(issues))
+            << info.name << "\n" << formatIssues(issues);
+    }
+}
+
+} // namespace
+} // namespace parchmint::schema

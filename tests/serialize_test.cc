@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Tests for ParchMint JSON serialization, deserialization, the
+ * device round-trip property, and netlist diffing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "core/builder.hh"
+#include "core/deserialize.hh"
+#include "core/diff.hh"
+#include "core/serialize.hh"
+#include "json/parse.hh"
+#include "suite/suite.hh"
+
+namespace parchmint
+{
+namespace
+{
+
+Device
+demoDevice()
+{
+    DeviceBuilder builder("demo");
+    builder.flowLayer().controlLayer();
+    builder.component("in", EntityKind::Port)
+        .component("v1", EntityKind::Valve)
+        .component("m1", EntityKind::Mixer)
+        .component("out", EntityKind::Port)
+        .channel("c1", "in.1", "v1.1")
+        .channel("c2", "v1.2", "m1.1")
+        .channel("c3", "m1.2", "out.1");
+    builder.param("note", json::Value("fixture"));
+    return builder.build();
+}
+
+TEST(SerializeTest, DocumentShape)
+{
+    json::Value root = toJson(demoDevice());
+    ASSERT_TRUE(root.isObject());
+    EXPECT_EQ("demo", root.at("name").asString());
+    EXPECT_EQ("1.0", root.at("version").asString());
+    EXPECT_EQ(2u, root.at("layers").size());
+    EXPECT_EQ(4u, root.at("components").size());
+    EXPECT_EQ(3u, root.at("connections").size());
+    EXPECT_TRUE(root.contains("params"));
+}
+
+TEST(SerializeTest, ComponentShape)
+{
+    json::Value root = toJson(demoDevice());
+    const json::Value &valve = root.at("components").at(size_t(1));
+    EXPECT_EQ("v1", valve.at("id").asString());
+    EXPECT_EQ("VALVE", valve.at("entity").asString());
+    EXPECT_EQ(1500, valve.at("x-span").asInteger());
+    EXPECT_EQ(1500, valve.at("y-span").asInteger());
+    // Valve has flow ports 1, 2 and control port c1.
+    EXPECT_EQ(3u, valve.at("ports").size());
+    const json::Value &port = valve.at("ports").at(size_t(0));
+    EXPECT_TRUE(port.contains("label"));
+    EXPECT_TRUE(port.contains("layer"));
+    EXPECT_TRUE(port.at("x").isInteger());
+}
+
+TEST(SerializeTest, ConnectionShape)
+{
+    json::Value root = toJson(demoDevice());
+    const json::Value &channel =
+        root.at("connections").at(size_t(0));
+    EXPECT_EQ("c1", channel.at("id").asString());
+    EXPECT_EQ("flow", channel.at("layer").asString());
+    EXPECT_EQ("in", channel.at("source").at("component").asString());
+    EXPECT_EQ("1", channel.at("source").at("port").asString());
+    EXPECT_EQ(1u, channel.at("sinks").size());
+    // No routed paths yet: member omitted.
+    EXPECT_FALSE(channel.contains("paths"));
+}
+
+TEST(SerializeTest, EmptyParamsOmitted)
+{
+    Device device = DeviceBuilder("d")
+                        .flowLayer()
+                        .component("p", EntityKind::Port)
+                        .build();
+    json::Value root = toJson(device);
+    EXPECT_FALSE(root.contains("params"));
+    EXPECT_FALSE(
+        root.at("components").at(size_t(0)).contains("params"));
+}
+
+TEST(SerializeTest, PathsSerializeWithWaypoints)
+{
+    Device device = demoDevice();
+    Connection *connection = device.findConnection("c1");
+    ChannelPath path;
+    path.source = connection->source();
+    path.sink = connection->sinks()[0];
+    path.waypoints = {{0, 0}, {500, 0}, {500, 700}};
+    connection->addPath(path);
+
+    json::Value root = toJson(device);
+    const json::Value &serialized =
+        root.at("connections").at(size_t(0)).at("paths");
+    ASSERT_EQ(1u, serialized.size());
+    const json::Value &waypoints =
+        serialized.at(size_t(0)).at("wayPoints");
+    ASSERT_EQ(3u, waypoints.size());
+    EXPECT_EQ(500,
+              waypoints.at(size_t(1)).at(size_t(0)).asInteger());
+}
+
+TEST(DeserializeTest, RoundTripEqualsOriginal)
+{
+    Device original = demoDevice();
+    Device reloaded = fromJsonText(toJsonText(original));
+    EXPECT_EQ(original, reloaded);
+    EXPECT_TRUE(diff(original, reloaded).empty());
+}
+
+TEST(DeserializeTest, RoundTripWithPaths)
+{
+    Device original = demoDevice();
+    Connection *connection = original.findConnection("c2");
+    ChannelPath path;
+    path.source = connection->source();
+    path.sink = connection->sinks()[0];
+    path.waypoints = {{10, 20}, {30, 20}};
+    connection->addPath(path);
+
+    Device reloaded = fromJsonText(toJsonText(original));
+    EXPECT_EQ(original, reloaded);
+    ASSERT_EQ(1u, reloaded.findConnection("c2")->paths().size());
+    EXPECT_EQ(
+        (Point{30, 20}),
+        reloaded.findConnection("c2")->paths()[0].waypoints[1]);
+}
+
+TEST(DeserializeTest, MissingRequiredMemberFails)
+{
+    EXPECT_THROW(fromJsonText(R"({"layers": [], "components": [],
+                                  "connections": []})"),
+                 UserError);
+    EXPECT_THROW(fromJsonText(R"({"name": "x"})"), UserError);
+}
+
+TEST(DeserializeTest, WrongKindsFail)
+{
+    EXPECT_THROW(fromJsonText("[]"), UserError);
+    EXPECT_THROW(fromJsonText(R"({"name": "x", "layers": {},
+        "components": [], "connections": []})"),
+                 UserError);
+    EXPECT_THROW(fromJsonText(R"({"name": "x",
+        "layers": [{"id": "f", "name": "f", "type": "FLOW"}],
+        "components": [{"id": "c", "name": "c", "layers": ["f"],
+                        "x-span": "wide", "y-span": 5,
+                        "entity": "MIXER", "ports": []}],
+        "connections": []})"),
+                 UserError);
+}
+
+TEST(DeserializeTest, UnknownLayerTypeFails)
+{
+    EXPECT_THROW(fromJsonText(R"({"name": "x",
+        "layers": [{"id": "f", "name": "f", "type": "FLUID"}],
+        "components": [], "connections": []})"),
+                 UserError);
+}
+
+TEST(DeserializeTest, DuplicateIdsFail)
+{
+    EXPECT_THROW(fromJsonText(R"({"name": "x",
+        "layers": [{"id": "f", "name": "f", "type": "FLOW"},
+                   {"id": "f", "name": "g", "type": "CONTROL"}],
+        "components": [], "connections": []})"),
+                 UserError);
+}
+
+TEST(DeserializeTest, UnknownEntityPassesThrough)
+{
+    Device device = fromJsonText(R"({"name": "x",
+        "layers": [{"id": "f", "name": "f", "type": "FLOW"}],
+        "components": [{"id": "c", "name": "c", "layers": ["f"],
+                        "x-span": 100, "y-span": 100,
+                        "entity": "NOVEL WIDGET",
+                        "ports": [{"label": "1", "layer": "f",
+                                   "x": 0, "y": 50}]}],
+        "connections": []})");
+    const Component *component = device.findComponent("c");
+    ASSERT_NE(nullptr, component);
+    EXPECT_EQ("NOVEL WIDGET", component->entity());
+    EXPECT_EQ(EntityKind::Unknown, component->entityKind());
+    // And the unknown entity survives a round-trip.
+    Device reloaded = fromJsonText(toJsonText(device));
+    EXPECT_EQ(device, reloaded);
+}
+
+TEST(DeserializeTest, MalformedWaypointFails)
+{
+    EXPECT_THROW(fromJsonText(R"({"name": "x",
+        "layers": [{"id": "f", "name": "f", "type": "FLOW"}],
+        "components": [],
+        "connections": [{"id": "c1", "name": "c1", "layer": "f",
+            "source": {"component": "a"},
+            "sinks": [{"component": "b"}],
+            "paths": [{"source": {"component": "a"},
+                       "sink": {"component": "b"},
+                       "wayPoints": [[1, 2, 3]]}]}]})"),
+                 UserError);
+}
+
+class SuiteRoundTripTest
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteRoundTripTest, EveryBenchmarkRoundTrips)
+{
+    Device original = suite::buildBenchmark(GetParam());
+    Device reloaded = fromJsonText(toJsonText(original));
+    auto differences = diff(original, reloaded);
+    EXPECT_TRUE(differences.empty()) << formatDiff(differences);
+    EXPECT_EQ(original, reloaded);
+}
+
+std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> names;
+    for (const suite::BenchmarkInfo &info : suite::standardSuite())
+        names.push_back(info.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteRoundTripTest,
+                         ::testing::ValuesIn(suiteNames()));
+
+// --- Diff -----------------------------------------------------------
+
+TEST(DiffTest, DetectsNameChange)
+{
+    Device a = demoDevice();
+    Device b = demoDevice();
+    b.setName("other");
+    auto differences = diff(a, b);
+    ASSERT_EQ(1u, differences.size());
+    EXPECT_EQ("device", differences[0].location);
+}
+
+TEST(DiffTest, DetectsComponentChanges)
+{
+    Device a = demoDevice();
+    Device b = demoDevice();
+    b.findComponent("m1")->setSpans(1, 1);
+    auto differences = diff(a, b);
+    ASSERT_EQ(1u, differences.size());
+    EXPECT_EQ("component m1", differences[0].location);
+    EXPECT_NE(std::string::npos,
+              differences[0].description.find("span"));
+}
+
+TEST(DiffTest, DetectsAddedAndRemoved)
+{
+    Device a = demoDevice();
+    Device b = demoDevice();
+    Device c = DeviceBuilder("demo").flowLayer("flow").build();
+    // c lacks everything a has except the flow layer.
+    auto differences = diff(a, c);
+    bool saw_removed = false;
+    for (const DiffEntry &entry : differences) {
+        if (entry.description == "removed")
+            saw_removed = true;
+    }
+    EXPECT_TRUE(saw_removed);
+
+    auto reverse = diff(c, a);
+    bool saw_added = false;
+    for (const DiffEntry &entry : reverse) {
+        if (entry.description == "added")
+            saw_added = true;
+    }
+    EXPECT_TRUE(saw_added);
+    EXPECT_TRUE(diff(a, b).empty());
+}
+
+TEST(DiffTest, DetectsConnectionRewiring)
+{
+    Device a = demoDevice();
+    Device b = demoDevice();
+    b.findConnection("c3")->setSource(ConnectionTarget{"v1", "2"});
+    auto differences = diff(a, b);
+    ASSERT_EQ(1u, differences.size());
+    EXPECT_EQ("connection c3", differences[0].location);
+    EXPECT_NE(std::string::npos,
+              differences[0].description.find("source"));
+}
+
+TEST(DiffTest, FormatDiffOneLinePerEntry)
+{
+    std::vector<DiffEntry> entries = {
+        {"component x", "removed"},
+        {"device", "name: \"a\" vs \"b\""},
+    };
+    std::string text = formatDiff(entries);
+    EXPECT_EQ("component x: removed\ndevice: name: \"a\" vs \"b\"\n",
+              text);
+}
+
+} // namespace
+} // namespace parchmint

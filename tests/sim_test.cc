@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Tests for the hydraulic analysis substrate: resistance formulas,
+ * the dense linear solver, and the network model (Kirchhoff
+ * conservation, series/parallel laws, symmetry of the gradient
+ * generator).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hh"
+#include "core/builder.hh"
+#include "sim/hydraulic.hh"
+#include "sim/linear_solver.hh"
+#include "sim/resistance.hh"
+#include "suite/suite.hh"
+
+namespace parchmint::sim
+{
+namespace
+{
+
+// --- Resistance formulas ----------------------------------------------
+
+TEST(ResistanceTest, ScalesLinearlyWithLength)
+{
+    double r1 = channelResistance(1000, 400, 100);
+    double r2 = channelResistance(2000, 400, 100);
+    EXPECT_NEAR(2.0, r2 / r1, 1e-12);
+}
+
+TEST(ResistanceTest, NarrowerChannelsResistMore)
+{
+    EXPECT_GT(channelResistance(1000, 200, 100),
+              channelResistance(1000, 400, 100));
+    EXPECT_GT(channelResistance(1000, 400, 50),
+              channelResistance(1000, 400, 100));
+}
+
+TEST(ResistanceTest, WidthHeightSymmetric)
+{
+    // The narrow dimension is cubed regardless of labelling.
+    EXPECT_DOUBLE_EQ(channelResistance(1000, 400, 100),
+                     channelResistance(1000, 100, 400));
+}
+
+TEST(ResistanceTest, PlausibleMagnitude)
+{
+    // A 1 cm x 400 um x 100 um water channel is a few 1e11
+    // Pa*s/m^3 (Bruus, Theoretical Microfluidics, eq. 3.57).
+    double r = channelResistance(10000, 400, 100);
+    EXPECT_GT(r, 1e11);
+    EXPECT_LT(r, 1e12);
+}
+
+TEST(ResistanceTest, InvalidGeometryRejected)
+{
+    EXPECT_THROW(channelResistance(1000, 0, 100), UserError);
+    EXPECT_THROW(channelResistance(1000, 400, -1), UserError);
+    EXPECT_THROW(channelResistance(-5, 400, 100), UserError);
+}
+
+TEST(ResistanceTest, EntityOrdering)
+{
+    // Serpentine mixers resist far more than pass-through ports.
+    EXPECT_GT(entityInternalResistance(EntityKind::Mixer),
+              10 * entityInternalResistance(EntityKind::Port));
+    EXPECT_GT(entityInternalResistance(EntityKind::CellTrap),
+              entityInternalResistance(EntityKind::Valve));
+}
+
+// --- Linear solver -----------------------------------------------------
+
+TEST(LinearSolverTest, SolvesSmallSystem)
+{
+    Matrix a(2);
+    a.at(0, 0) = 2;
+    a.at(0, 1) = 1;
+    a.at(1, 0) = 1;
+    a.at(1, 1) = 3;
+    auto x = solveLinearSystem(a, {5, 10});
+    EXPECT_NEAR(1.0, x[0], 1e-12);
+    EXPECT_NEAR(3.0, x[1], 1e-12);
+}
+
+TEST(LinearSolverTest, PivotingHandlesZeroDiagonal)
+{
+    Matrix a(2);
+    a.at(0, 0) = 0;
+    a.at(0, 1) = 1;
+    a.at(1, 0) = 1;
+    a.at(1, 1) = 0;
+    auto x = solveLinearSystem(a, {2, 3});
+    EXPECT_NEAR(3.0, x[0], 1e-12);
+    EXPECT_NEAR(2.0, x[1], 1e-12);
+}
+
+TEST(LinearSolverTest, SingularSystemRejected)
+{
+    Matrix a(2);
+    a.at(0, 0) = 1;
+    a.at(0, 1) = 1;
+    a.at(1, 0) = 1;
+    a.at(1, 1) = 1;
+    EXPECT_THROW(solveLinearSystem(a, {1, 2}), UserError);
+}
+
+// --- Hydraulic model ---------------------------------------------------
+
+/** in -> m1 -> m2 -> out, all defaults. */
+Device
+seriesDevice()
+{
+    return DeviceBuilder("series")
+        .flowLayer()
+        .component("in", EntityKind::Port)
+        .component("m1", EntityKind::Mixer)
+        .component("m2", EntityKind::Mixer)
+        .component("out", EntityKind::Port)
+        .channel("c1", "in.1", "m1.1")
+        .channel("c2", "m1.2", "m2.1")
+        .channel("c3", "m2.2", "out.1")
+        .build();
+}
+
+TEST(HydraulicTest, SeriesFlowIsUniform)
+{
+    HydraulicModel model = HydraulicModel::build(seriesDevice());
+    model.setPressure("in", 10000);
+    model.setPressure("out", 0);
+    HydraulicSolution solution = model.solve();
+
+    double q1 = solution.flowThrough("c1");
+    double q2 = solution.flowThrough("c2");
+    double q3 = solution.flowThrough("c3");
+    EXPECT_GT(q1, 0.0);
+    EXPECT_NEAR(q1, q2, std::fabs(q1) * 1e-9);
+    EXPECT_NEAR(q2, q3, std::fabs(q1) * 1e-9);
+
+    // Pressure falls monotonically along the series path.
+    EXPECT_GT(solution.pressureAt("in"),
+              solution.pressureAt("m1"));
+    EXPECT_GT(solution.pressureAt("m1"),
+              solution.pressureAt("m2"));
+    EXPECT_GT(solution.pressureAt("m2"),
+              solution.pressureAt("out"));
+}
+
+TEST(HydraulicTest, SeriesMatchesOhmsLaw)
+{
+    HydraulicModel model = HydraulicModel::build(seriesDevice());
+    model.setPressure("in", 10000);
+    model.setPressure("out", 0);
+    HydraulicSolution solution = model.solve();
+    double total_resistance = 0.0;
+    for (const HydraulicEdge &edge : model.edges())
+        total_resistance += edge.resistance;
+    EXPECT_NEAR(10000.0 / total_resistance,
+                solution.flowThrough("c1"),
+                solution.flowThrough("c1") * 1e-9);
+}
+
+TEST(HydraulicTest, ParallelBranchesSplitByConductance)
+{
+    // in splits into a wide and a narrow branch to out.
+    Device device = DeviceBuilder("parallel")
+                        .flowLayer()
+                        .component("in", EntityKind::Port)
+                        .component("out", EntityKind::Port)
+                        .channel("wide", "in.1", "out.1", 800)
+                        .channel("narrow", "in.1", "out.1", 200)
+                        .build();
+    HydraulicModel model = HydraulicModel::build(device);
+    model.setPressure("in", 5000);
+    model.setPressure("out", 0);
+    HydraulicSolution solution = model.solve();
+    double q_wide = solution.flowThrough("wide");
+    double q_narrow = solution.flowThrough("narrow");
+    EXPECT_GT(q_wide, q_narrow);
+    // Ratio equals the conductance ratio of the two edges.
+    double r_wide = model.edges()[0].resistance;
+    double r_narrow = model.edges()[1].resistance;
+    EXPECT_NEAR(r_narrow / r_wide, q_wide / q_narrow, 1e-9);
+}
+
+TEST(HydraulicTest, KirchhoffConservationAtInteriorNodes)
+{
+    Device device = suite::buildBenchmark("gradient_generator");
+    HydraulicModel model = HydraulicModel::build(device);
+    model.setPressure("inA", 20000);
+    model.setPressure("inB", 20000);
+    for (int i = 1; i <= 5; ++i)
+        model.setPressure("out" + std::to_string(i), 0);
+    HydraulicSolution solution = model.solve();
+
+    double max_flow = 0.0;
+    for (const HydraulicEdge &edge : solution.edges()) {
+        max_flow = std::max(
+            max_flow, std::fabs(solution.flowThrough(
+                          edge.connectionId, edge.sinkIndex)));
+    }
+    for (const Component &component : device.components()) {
+        if (component.entityKind() == EntityKind::Port)
+            continue; // Boundaries source/sink flow.
+        EXPECT_NEAR(0.0, solution.netInflow(component.id()),
+                    max_flow * 1e-9)
+            << component.id();
+    }
+}
+
+TEST(HydraulicTest, GradientGeneratorIsSymmetric)
+{
+    Device device = suite::buildBenchmark("gradient_generator");
+    HydraulicModel model = HydraulicModel::build(device);
+    model.setPressure("inA", 20000);
+    model.setPressure("inB", 20000);
+    for (int i = 1; i <= 5; ++i)
+        model.setPressure("out" + std::to_string(i), 0);
+    HydraulicSolution solution = model.solve();
+
+    // The tree is mirror-symmetric: outlet k and outlet 6-k see the
+    // same flow magnitude.
+    double q1 = solution.flowThrough("c_out1");
+    double q5 = solution.flowThrough("c_out5");
+    double q2 = solution.flowThrough("c_out2");
+    double q4 = solution.flowThrough("c_out4");
+    EXPECT_NEAR(q1, q5, std::fabs(q1) * 1e-9);
+    EXPECT_NEAR(q2, q4, std::fabs(q2) * 1e-9);
+    // And total outflow equals total inflow.
+    double inflow = -solution.netInflow("inA") -
+                    solution.netInflow("inB");
+    double outflow = 0.0;
+    for (int i = 1; i <= 5; ++i)
+        outflow +=
+            solution.netInflow("out" + std::to_string(i));
+    EXPECT_NEAR(inflow, outflow, std::fabs(inflow) * 1e-9);
+}
+
+TEST(HydraulicTest, EqualPressuresMeanNoFlow)
+{
+    HydraulicModel model = HydraulicModel::build(seriesDevice());
+    model.setPressure("in", 7000);
+    model.setPressure("out", 7000);
+    HydraulicSolution solution = model.solve();
+    EXPECT_NEAR(0.0, solution.flowThrough("c2"), 1e-20);
+}
+
+TEST(HydraulicTest, RoutedPathsLengthenChannels)
+{
+    Device straight = seriesDevice();
+    Device routed = seriesDevice();
+    // Give c2 a long routed detour.
+    Connection *connection = routed.findConnection("c2");
+    ChannelPath path;
+    path.source = connection->source();
+    path.sink = connection->sinks()[0];
+    path.waypoints = {{0, 0}, {50000, 0}, {50000, 40000}};
+    connection->addPath(path);
+
+    auto solve = [](const Device &device) {
+        HydraulicModel model = HydraulicModel::build(device);
+        model.setPressure("in", 10000);
+        model.setPressure("out", 0);
+        return model.solve().flowThrough("c1");
+    };
+    // Longer channel, higher resistance, lower flow.
+    EXPECT_LT(solve(routed), solve(straight));
+}
+
+TEST(HydraulicTest, FloatingComponentsReported)
+{
+    Device device = seriesDevice();
+    device.addComponent(
+        makeComponent("island", "island", EntityKind::Mixer,
+                      "flow"));
+    HydraulicModel model = HydraulicModel::build(device);
+    model.setPressure("in", 1000);
+    model.setPressure("out", 0);
+    HydraulicSolution solution = model.solve();
+    ASSERT_EQ(1u, solution.floating().size());
+    EXPECT_EQ("island", solution.floating()[0]);
+    EXPECT_THROW(solution.pressureAt("island"), UserError);
+}
+
+TEST(HydraulicTest, ErrorsOnBadUsage)
+{
+    HydraulicModel model = HydraulicModel::build(seriesDevice());
+    EXPECT_THROW(model.setPressure("ghost", 0), UserError);
+    model.setPressure("in", 100);
+    EXPECT_THROW(model.solve(), UserError); // One boundary only.
+
+    Device no_flow("x");
+    no_flow.addLayer(
+        Layer{"control", "control", LayerType::Control});
+    EXPECT_THROW(HydraulicModel::build(no_flow), UserError);
+}
+
+TEST(HydraulicTest, ControlComponentsExcluded)
+{
+    Device device = suite::buildBenchmark("logic_inverter");
+    HydraulicModel model = HydraulicModel::build(device);
+    // Control-layer pneumatic ports are not flow nodes.
+    EXPECT_THROW(model.setPressure("v_gate_c1_ctl", 0), UserError);
+}
+
+} // namespace
+} // namespace parchmint::sim

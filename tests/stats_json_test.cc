@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the machine-readable characterization reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/stats_json.hh"
+#include "analysis/suite_report.hh"
+#include "json/parse.hh"
+#include "json/write.hh"
+#include "suite/suite.hh"
+
+namespace parchmint::analysis
+{
+namespace
+{
+
+TEST(StatsJsonTest, ShapeOfSingleReport)
+{
+    Device device = suite::buildBenchmark("aquaflex_3b");
+    NetlistStats stats = computeNetlistStats(device);
+    json::Value report = statsToJson(stats);
+
+    EXPECT_EQ("aquaflex_3b", report.at("name").asString());
+    const json::Value &counts = report.at("counts");
+    EXPECT_EQ(18, counts.at("components").asInteger());
+    EXPECT_EQ(17, counts.at("connections").asInteger());
+    EXPECT_EQ(5, counts.at("valves").asInteger());
+    EXPECT_EQ(10, counts.at("ioPorts").asInteger());
+
+    const json::Value &entities = report.at("entities");
+    EXPECT_EQ(5, entities.at("VALVE").asInteger());
+    EXPECT_EQ(2, entities.at("MIXER").asInteger());
+
+    const json::Value &flow = report.at("flowGraph");
+    EXPECT_TRUE(flow.at("planar").asBoolean());
+    EXPECT_TRUE(flow.at("connected").asBoolean());
+    EXPECT_GT(flow.at("density").asDouble(), 0.0);
+}
+
+TEST(StatsJsonTest, SuiteReportContainsAllBenchmarks)
+{
+    auto rows = characterizeSuite();
+    json::Value report = suiteReportToJson(rows);
+    EXPECT_EQ("parchmint-standard",
+              report.at("suite").asString());
+    const json::Value &benchmarks = report.at("benchmarks");
+    ASSERT_EQ(suite::standardSuite().size(), benchmarks.size());
+    for (size_t i = 0; i < benchmarks.size(); ++i) {
+        EXPECT_EQ(suite::standardSuite()[i].name,
+                  benchmarks.at(i).at("name").asString());
+    }
+}
+
+TEST(StatsJsonTest, ReportRoundTripsThroughText)
+{
+    auto rows = characterizeSuite();
+    json::Value report = suiteReportToJson(rows);
+    json::Value reparsed = json::parse(json::write(report));
+    EXPECT_EQ(report, reparsed);
+}
+
+TEST(StatsJsonTest, CountsMatchTextTableInputs)
+{
+    // The JSON report and the text table derive from the same
+    // NetlistStats; spot-check agreement on a synthetic benchmark.
+    Device device = suite::syntheticGrid(4);
+    NetlistStats stats = computeNetlistStats(device);
+    json::Value report = statsToJson(stats);
+    EXPECT_EQ(static_cast<int64_t>(stats.componentCount),
+              report.at("counts").at("components").asInteger());
+    EXPECT_EQ(static_cast<int64_t>(stats.flowGraph.diameter),
+              report.at("flowGraph").at("diameter").asInteger());
+    EXPECT_DOUBLE_EQ(stats.flowGraph.meanDegree,
+                     report.at("flowGraph")
+                         .at("meanDegree")
+                         .asDouble());
+}
+
+} // namespace
+} // namespace parchmint::analysis

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for the benchmark suite: every benchmark validates cleanly,
+ * generators honour their parameters, and netlists are deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/netlist_stats.hh"
+#include "common/error.hh"
+#include "core/diff.hh"
+#include "core/serialize.hh"
+#include "graph/planarity.hh"
+#include "graph/traversal.hh"
+#include "schema/parchmint_schema.hh"
+#include "schema/rules.hh"
+#include "suite/suite.hh"
+
+namespace parchmint::suite
+{
+namespace
+{
+
+std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> names;
+    for (const BenchmarkInfo &info : standardSuite())
+        names.push_back(info.name);
+    return names;
+}
+
+TEST(SuiteTest, HasTwelveBenchmarks)
+{
+    EXPECT_EQ(12u, standardSuite().size());
+    size_t recreated = 0;
+    size_t synthetic = 0;
+    for (const BenchmarkInfo &info : standardSuite()) {
+        if (info.category == Category::Recreated)
+            ++recreated;
+        else
+            ++synthetic;
+        EXPECT_FALSE(info.description.empty()) << info.name;
+    }
+    EXPECT_EQ(8u, recreated);
+    EXPECT_EQ(4u, synthetic);
+}
+
+TEST(SuiteTest, NamesAreUnique)
+{
+    auto names = suiteNames();
+    std::set<std::string> unique(names.begin(), names.end());
+    EXPECT_EQ(names.size(), unique.size());
+}
+
+TEST(SuiteTest, UnknownBenchmarkNameFails)
+{
+    EXPECT_THROW(buildBenchmark("not_a_benchmark"), UserError);
+}
+
+class SuiteBenchmarkTest
+    : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    Device device_ = buildBenchmark(GetParam());
+};
+
+TEST_P(SuiteBenchmarkTest, PassesStructuralSchema)
+{
+    auto issues = schema::validateStructure(toJson(device_));
+    EXPECT_FALSE(schema::hasErrors(issues))
+        << schema::formatIssues(issues);
+}
+
+TEST_P(SuiteBenchmarkTest, PassesSemanticRules)
+{
+    auto issues = schema::checkRules(device_);
+    std::vector<schema::Issue> errors;
+    for (const schema::Issue &issue : issues) {
+        if (issue.severity == schema::Severity::Error)
+            errors.push_back(issue);
+    }
+    EXPECT_TRUE(errors.empty()) << schema::formatIssues(errors);
+}
+
+TEST_P(SuiteBenchmarkTest, FullPipelineReportsNoErrors)
+{
+    auto issues = schema::validateDocument(toJson(device_));
+    EXPECT_FALSE(schema::hasErrors(issues))
+        << schema::formatIssues(issues);
+}
+
+TEST_P(SuiteBenchmarkTest, FlowNetlistIsConnected)
+{
+    const Layer *flow = device_.firstLayer(LayerType::Flow);
+    ASSERT_NE(nullptr, flow);
+    graph::Graph graph = analysis::deviceGraph(device_, flow->id);
+    EXPECT_TRUE(graph::isConnected(graph)) << GetParam();
+}
+
+TEST_P(SuiteBenchmarkTest, BuildersAreDeterministic)
+{
+    Device again = buildBenchmark(GetParam());
+    auto differences = diff(device_, again);
+    EXPECT_TRUE(differences.empty()) << formatDiff(differences);
+}
+
+TEST_P(SuiteBenchmarkTest, HasIoPorts)
+{
+    size_t ports = 0;
+    for (const Component &component : device_.components()) {
+        if (component.entityKind() == EntityKind::Port)
+            ++ports;
+    }
+    EXPECT_GE(ports, 2u) << "a device needs fluidic I/O";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteBenchmarkTest,
+                         ::testing::ValuesIn(suiteNames()));
+
+// --- Generator parameter sweeps ------------------------------------------
+
+class GridGeneratorTest : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(GridGeneratorTest, CountsMatchFormula)
+{
+    size_t n = GetParam();
+    Device device = syntheticGrid(n);
+    // n^2 mixers + 2n ports.
+    EXPECT_EQ(n * n + 2 * n, device.components().size());
+    // Mesh: n*(n-1) east + n*(n-1) south + 2n I/O channels.
+    EXPECT_EQ(2 * n * (n - 1) + 2 * n,
+              device.connections().size());
+}
+
+TEST_P(GridGeneratorTest, GridsArePlanar)
+{
+    Device device = syntheticGrid(GetParam());
+    graph::Graph graph = analysis::deviceGraph(device, "flow");
+    EXPECT_TRUE(graph::isPlanar(graph));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GridGeneratorTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+class TreeGeneratorTest : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(TreeGeneratorTest, CountsMatchFormula)
+{
+    size_t depth = GetParam();
+    Device device = syntheticTree(depth);
+    size_t interior = (size_t(1) << depth) - 1;
+    size_t leaves = size_t(1) << depth;
+    // interior TREEs + leaf ports + 1 inlet.
+    EXPECT_EQ(interior + leaves + 1, device.components().size());
+    // Every component except the inlet has exactly one incoming
+    // channel.
+    EXPECT_EQ(interior + leaves, device.connections().size());
+}
+
+TEST_P(TreeGeneratorTest, TreeIsAcyclicConnectedPlanar)
+{
+    Device device = syntheticTree(GetParam());
+    graph::Graph graph = analysis::deviceGraph(device, "flow");
+    EXPECT_TRUE(graph::isConnected(graph));
+    EXPECT_FALSE(graph::hasCycle(graph));
+    EXPECT_TRUE(graph::isPlanar(graph));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, TreeGeneratorTest,
+                         ::testing::Values(1, 2, 3, 5, 7));
+
+class MuxGeneratorTest : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(MuxGeneratorTest, DeliversRequestedTargets)
+{
+    size_t targets = GetParam();
+    Device device = syntheticMux(targets);
+    size_t chambers = 0;
+    for (const Component &component : device.components()) {
+        if (component.entityKind() == EntityKind::DiamondChamber)
+            ++chambers;
+    }
+    EXPECT_EQ(targets, chambers);
+    // Valid netlist.
+    auto issues = schema::checkRules(device);
+    EXPECT_FALSE(schema::hasErrors(issues))
+        << schema::formatIssues(issues);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, MuxGeneratorTest,
+                         ::testing::Values(2, 4, 7, 16, 33));
+
+class RandomGeneratorTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RandomGeneratorTest, AlwaysPlanarAndConnected)
+{
+    Device device = syntheticRandomPlanar(48, GetParam());
+    graph::Graph graph = analysis::deviceGraph(device, "flow");
+    EXPECT_TRUE(graph::isPlanar(graph));
+    EXPECT_TRUE(graph::isConnected(graph));
+}
+
+TEST_P(RandomGeneratorTest, SeedControlsTopology)
+{
+    Device a = syntheticRandomPlanar(32, GetParam());
+    Device b = syntheticRandomPlanar(32, GetParam());
+    EXPECT_EQ(a, b);
+    Device c = syntheticRandomPlanar(32, GetParam() + 1000);
+    EXPECT_NE(a, c);
+}
+
+TEST_P(RandomGeneratorTest, ExtraChannelsBeyondSpanningTree)
+{
+    Device device = syntheticRandomPlanar(48, GetParam());
+    // Spanning tree is 47 channels + 2 I/O; random extras should
+    // push beyond that on essentially every seed.
+    EXPECT_GT(device.connections().size(), 49u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGeneratorTest,
+                         ::testing::Values(1, 7, 13, 42, 99));
+
+TEST(GeneratorTest, ParameterValidation)
+{
+    EXPECT_THROW(syntheticGrid(0), UserError);
+    EXPECT_THROW(syntheticTree(0), UserError);
+    EXPECT_THROW(syntheticMux(1), UserError);
+    EXPECT_THROW(syntheticRandomPlanar(1, 1), UserError);
+}
+
+} // namespace
+} // namespace parchmint::suite
