@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_router.dir/bench_ablation_router.cc.o"
+  "CMakeFiles/bench_ablation_router.dir/bench_ablation_router.cc.o.d"
+  "bench_ablation_router"
+  "bench_ablation_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_interchange.dir/bench_fig1_interchange.cc.o"
+  "CMakeFiles/bench_fig1_interchange.dir/bench_fig1_interchange.cc.o.d"
+  "bench_fig1_interchange"
+  "bench_fig1_interchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_interchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

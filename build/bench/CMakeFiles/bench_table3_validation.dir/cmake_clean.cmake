@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_validation.dir/bench_table3_validation.cc.o"
+  "CMakeFiles/bench_table3_validation.dir/bench_table3_validation.cc.o.d"
+  "bench_table3_validation"
+  "bench_table3_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mint_flow.dir/mint_flow.cpp.o"
+  "CMakeFiles/mint_flow.dir/mint_flow.cpp.o.d"
+  "mint_flow"
+  "mint_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mint_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

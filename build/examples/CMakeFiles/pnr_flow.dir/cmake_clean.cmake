@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnr_flow.dir/pnr_flow.cpp.o"
+  "CMakeFiles/pnr_flow.dir/pnr_flow.cpp.o.d"
+  "pnr_flow"
+  "pnr_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnr_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

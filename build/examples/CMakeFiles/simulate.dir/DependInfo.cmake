@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/simulate.cpp" "examples/CMakeFiles/simulate.dir/simulate.cpp.o" "gcc" "examples/CMakeFiles/simulate.dir/simulate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pm_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_mint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_export.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/netlist_stats.cc" "src/CMakeFiles/pm_analysis.dir/analysis/netlist_stats.cc.o" "gcc" "src/CMakeFiles/pm_analysis.dir/analysis/netlist_stats.cc.o.d"
+  "/root/repo/src/analysis/stats_json.cc" "src/CMakeFiles/pm_analysis.dir/analysis/stats_json.cc.o" "gcc" "src/CMakeFiles/pm_analysis.dir/analysis/stats_json.cc.o.d"
+  "/root/repo/src/analysis/suite_report.cc" "src/CMakeFiles/pm_analysis.dir/analysis/suite_report.cc.o" "gcc" "src/CMakeFiles/pm_analysis.dir/analysis/suite_report.cc.o.d"
+  "/root/repo/src/analysis/table.cc" "src/CMakeFiles/pm_analysis.dir/analysis/table.cc.o" "gcc" "src/CMakeFiles/pm_analysis.dir/analysis/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_mint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_analysis.dir/analysis/netlist_stats.cc.o"
+  "CMakeFiles/pm_analysis.dir/analysis/netlist_stats.cc.o.d"
+  "CMakeFiles/pm_analysis.dir/analysis/stats_json.cc.o"
+  "CMakeFiles/pm_analysis.dir/analysis/stats_json.cc.o.d"
+  "CMakeFiles/pm_analysis.dir/analysis/suite_report.cc.o"
+  "CMakeFiles/pm_analysis.dir/analysis/suite_report.cc.o.d"
+  "CMakeFiles/pm_analysis.dir/analysis/table.cc.o"
+  "CMakeFiles/pm_analysis.dir/analysis/table.cc.o.d"
+  "libpm_analysis.a"
+  "libpm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

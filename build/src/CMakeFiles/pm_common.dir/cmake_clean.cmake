@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_common.dir/common/error.cc.o"
+  "CMakeFiles/pm_common.dir/common/error.cc.o.d"
+  "CMakeFiles/pm_common.dir/common/rng.cc.o"
+  "CMakeFiles/pm_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/pm_common.dir/common/strings.cc.o"
+  "CMakeFiles/pm_common.dir/common/strings.cc.o.d"
+  "libpm_common.a"
+  "libpm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

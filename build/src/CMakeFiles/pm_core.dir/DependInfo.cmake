@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/builder.cc" "src/CMakeFiles/pm_core.dir/core/builder.cc.o" "gcc" "src/CMakeFiles/pm_core.dir/core/builder.cc.o.d"
+  "/root/repo/src/core/component.cc" "src/CMakeFiles/pm_core.dir/core/component.cc.o" "gcc" "src/CMakeFiles/pm_core.dir/core/component.cc.o.d"
+  "/root/repo/src/core/connection.cc" "src/CMakeFiles/pm_core.dir/core/connection.cc.o" "gcc" "src/CMakeFiles/pm_core.dir/core/connection.cc.o.d"
+  "/root/repo/src/core/deserialize.cc" "src/CMakeFiles/pm_core.dir/core/deserialize.cc.o" "gcc" "src/CMakeFiles/pm_core.dir/core/deserialize.cc.o.d"
+  "/root/repo/src/core/device.cc" "src/CMakeFiles/pm_core.dir/core/device.cc.o" "gcc" "src/CMakeFiles/pm_core.dir/core/device.cc.o.d"
+  "/root/repo/src/core/diff.cc" "src/CMakeFiles/pm_core.dir/core/diff.cc.o" "gcc" "src/CMakeFiles/pm_core.dir/core/diff.cc.o.d"
+  "/root/repo/src/core/entity.cc" "src/CMakeFiles/pm_core.dir/core/entity.cc.o" "gcc" "src/CMakeFiles/pm_core.dir/core/entity.cc.o.d"
+  "/root/repo/src/core/geometry.cc" "src/CMakeFiles/pm_core.dir/core/geometry.cc.o" "gcc" "src/CMakeFiles/pm_core.dir/core/geometry.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/CMakeFiles/pm_core.dir/core/params.cc.o" "gcc" "src/CMakeFiles/pm_core.dir/core/params.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/CMakeFiles/pm_core.dir/core/serialize.cc.o" "gcc" "src/CMakeFiles/pm_core.dir/core/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pm_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

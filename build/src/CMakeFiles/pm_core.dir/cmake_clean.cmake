@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_core.dir/core/builder.cc.o"
+  "CMakeFiles/pm_core.dir/core/builder.cc.o.d"
+  "CMakeFiles/pm_core.dir/core/component.cc.o"
+  "CMakeFiles/pm_core.dir/core/component.cc.o.d"
+  "CMakeFiles/pm_core.dir/core/connection.cc.o"
+  "CMakeFiles/pm_core.dir/core/connection.cc.o.d"
+  "CMakeFiles/pm_core.dir/core/deserialize.cc.o"
+  "CMakeFiles/pm_core.dir/core/deserialize.cc.o.d"
+  "CMakeFiles/pm_core.dir/core/device.cc.o"
+  "CMakeFiles/pm_core.dir/core/device.cc.o.d"
+  "CMakeFiles/pm_core.dir/core/diff.cc.o"
+  "CMakeFiles/pm_core.dir/core/diff.cc.o.d"
+  "CMakeFiles/pm_core.dir/core/entity.cc.o"
+  "CMakeFiles/pm_core.dir/core/entity.cc.o.d"
+  "CMakeFiles/pm_core.dir/core/geometry.cc.o"
+  "CMakeFiles/pm_core.dir/core/geometry.cc.o.d"
+  "CMakeFiles/pm_core.dir/core/params.cc.o"
+  "CMakeFiles/pm_core.dir/core/params.cc.o.d"
+  "CMakeFiles/pm_core.dir/core/serialize.cc.o"
+  "CMakeFiles/pm_core.dir/core/serialize.cc.o.d"
+  "libpm_core.a"
+  "libpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

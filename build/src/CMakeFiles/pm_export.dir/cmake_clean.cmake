@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_export.dir/export/dot.cc.o"
+  "CMakeFiles/pm_export.dir/export/dot.cc.o.d"
+  "CMakeFiles/pm_export.dir/export/svg.cc.o"
+  "CMakeFiles/pm_export.dir/export/svg.cc.o.d"
+  "libpm_export.a"
+  "libpm_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

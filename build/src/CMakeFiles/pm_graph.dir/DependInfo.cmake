@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/pm_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/pm_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/metrics.cc" "src/CMakeFiles/pm_graph.dir/graph/metrics.cc.o" "gcc" "src/CMakeFiles/pm_graph.dir/graph/metrics.cc.o.d"
+  "/root/repo/src/graph/planarity.cc" "src/CMakeFiles/pm_graph.dir/graph/planarity.cc.o" "gcc" "src/CMakeFiles/pm_graph.dir/graph/planarity.cc.o.d"
+  "/root/repo/src/graph/shortest_path.cc" "src/CMakeFiles/pm_graph.dir/graph/shortest_path.cc.o" "gcc" "src/CMakeFiles/pm_graph.dir/graph/shortest_path.cc.o.d"
+  "/root/repo/src/graph/spanning_tree.cc" "src/CMakeFiles/pm_graph.dir/graph/spanning_tree.cc.o" "gcc" "src/CMakeFiles/pm_graph.dir/graph/spanning_tree.cc.o.d"
+  "/root/repo/src/graph/traversal.cc" "src/CMakeFiles/pm_graph.dir/graph/traversal.cc.o" "gcc" "src/CMakeFiles/pm_graph.dir/graph/traversal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

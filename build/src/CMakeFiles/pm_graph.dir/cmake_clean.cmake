@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/pm_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/pm_graph.dir/graph/metrics.cc.o"
+  "CMakeFiles/pm_graph.dir/graph/metrics.cc.o.d"
+  "CMakeFiles/pm_graph.dir/graph/planarity.cc.o"
+  "CMakeFiles/pm_graph.dir/graph/planarity.cc.o.d"
+  "CMakeFiles/pm_graph.dir/graph/shortest_path.cc.o"
+  "CMakeFiles/pm_graph.dir/graph/shortest_path.cc.o.d"
+  "CMakeFiles/pm_graph.dir/graph/spanning_tree.cc.o"
+  "CMakeFiles/pm_graph.dir/graph/spanning_tree.cc.o.d"
+  "CMakeFiles/pm_graph.dir/graph/traversal.cc.o"
+  "CMakeFiles/pm_graph.dir/graph/traversal.cc.o.d"
+  "libpm_graph.a"
+  "libpm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/json/parse.cc" "src/CMakeFiles/pm_json.dir/json/parse.cc.o" "gcc" "src/CMakeFiles/pm_json.dir/json/parse.cc.o.d"
+  "/root/repo/src/json/pointer.cc" "src/CMakeFiles/pm_json.dir/json/pointer.cc.o" "gcc" "src/CMakeFiles/pm_json.dir/json/pointer.cc.o.d"
+  "/root/repo/src/json/value.cc" "src/CMakeFiles/pm_json.dir/json/value.cc.o" "gcc" "src/CMakeFiles/pm_json.dir/json/value.cc.o.d"
+  "/root/repo/src/json/write.cc" "src/CMakeFiles/pm_json.dir/json/write.cc.o" "gcc" "src/CMakeFiles/pm_json.dir/json/write.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_json.dir/json/parse.cc.o"
+  "CMakeFiles/pm_json.dir/json/parse.cc.o.d"
+  "CMakeFiles/pm_json.dir/json/pointer.cc.o"
+  "CMakeFiles/pm_json.dir/json/pointer.cc.o.d"
+  "CMakeFiles/pm_json.dir/json/value.cc.o"
+  "CMakeFiles/pm_json.dir/json/value.cc.o.d"
+  "CMakeFiles/pm_json.dir/json/write.cc.o"
+  "CMakeFiles/pm_json.dir/json/write.cc.o.d"
+  "libpm_json.a"
+  "libpm_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mint/ast.cc" "src/CMakeFiles/pm_mint.dir/mint/ast.cc.o" "gcc" "src/CMakeFiles/pm_mint.dir/mint/ast.cc.o.d"
+  "/root/repo/src/mint/elaborate.cc" "src/CMakeFiles/pm_mint.dir/mint/elaborate.cc.o" "gcc" "src/CMakeFiles/pm_mint.dir/mint/elaborate.cc.o.d"
+  "/root/repo/src/mint/lexer.cc" "src/CMakeFiles/pm_mint.dir/mint/lexer.cc.o" "gcc" "src/CMakeFiles/pm_mint.dir/mint/lexer.cc.o.d"
+  "/root/repo/src/mint/parser.cc" "src/CMakeFiles/pm_mint.dir/mint/parser.cc.o" "gcc" "src/CMakeFiles/pm_mint.dir/mint/parser.cc.o.d"
+  "/root/repo/src/mint/token.cc" "src/CMakeFiles/pm_mint.dir/mint/token.cc.o" "gcc" "src/CMakeFiles/pm_mint.dir/mint/token.cc.o.d"
+  "/root/repo/src/mint/write_mint.cc" "src/CMakeFiles/pm_mint.dir/mint/write_mint.cc.o" "gcc" "src/CMakeFiles/pm_mint.dir/mint/write_mint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_mint.dir/mint/ast.cc.o"
+  "CMakeFiles/pm_mint.dir/mint/ast.cc.o.d"
+  "CMakeFiles/pm_mint.dir/mint/elaborate.cc.o"
+  "CMakeFiles/pm_mint.dir/mint/elaborate.cc.o.d"
+  "CMakeFiles/pm_mint.dir/mint/lexer.cc.o"
+  "CMakeFiles/pm_mint.dir/mint/lexer.cc.o.d"
+  "CMakeFiles/pm_mint.dir/mint/parser.cc.o"
+  "CMakeFiles/pm_mint.dir/mint/parser.cc.o.d"
+  "CMakeFiles/pm_mint.dir/mint/token.cc.o"
+  "CMakeFiles/pm_mint.dir/mint/token.cc.o.d"
+  "CMakeFiles/pm_mint.dir/mint/write_mint.cc.o"
+  "CMakeFiles/pm_mint.dir/mint/write_mint.cc.o.d"
+  "libpm_mint.a"
+  "libpm_mint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_mint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

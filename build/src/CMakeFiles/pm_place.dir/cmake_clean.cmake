@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_place.dir/place/annealing_placer.cc.o"
+  "CMakeFiles/pm_place.dir/place/annealing_placer.cc.o.d"
+  "CMakeFiles/pm_place.dir/place/cost.cc.o"
+  "CMakeFiles/pm_place.dir/place/cost.cc.o.d"
+  "CMakeFiles/pm_place.dir/place/placement.cc.o"
+  "CMakeFiles/pm_place.dir/place/placement.cc.o.d"
+  "CMakeFiles/pm_place.dir/place/random_placer.cc.o"
+  "CMakeFiles/pm_place.dir/place/random_placer.cc.o.d"
+  "CMakeFiles/pm_place.dir/place/row_placer.cc.o"
+  "CMakeFiles/pm_place.dir/place/row_placer.cc.o.d"
+  "libpm_place.a"
+  "libpm_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

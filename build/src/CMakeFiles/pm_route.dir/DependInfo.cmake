@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/astar.cc" "src/CMakeFiles/pm_route.dir/route/astar.cc.o" "gcc" "src/CMakeFiles/pm_route.dir/route/astar.cc.o.d"
+  "/root/repo/src/route/metrics.cc" "src/CMakeFiles/pm_route.dir/route/metrics.cc.o" "gcc" "src/CMakeFiles/pm_route.dir/route/metrics.cc.o.d"
+  "/root/repo/src/route/router.cc" "src/CMakeFiles/pm_route.dir/route/router.cc.o" "gcc" "src/CMakeFiles/pm_route.dir/route/router.cc.o.d"
+  "/root/repo/src/route/routing_grid.cc" "src/CMakeFiles/pm_route.dir/route/routing_grid.cc.o" "gcc" "src/CMakeFiles/pm_route.dir/route/routing_grid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pm_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

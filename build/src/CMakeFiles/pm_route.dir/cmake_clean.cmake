@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_route.dir/route/astar.cc.o"
+  "CMakeFiles/pm_route.dir/route/astar.cc.o.d"
+  "CMakeFiles/pm_route.dir/route/metrics.cc.o"
+  "CMakeFiles/pm_route.dir/route/metrics.cc.o.d"
+  "CMakeFiles/pm_route.dir/route/router.cc.o"
+  "CMakeFiles/pm_route.dir/route/router.cc.o.d"
+  "CMakeFiles/pm_route.dir/route/routing_grid.cc.o"
+  "CMakeFiles/pm_route.dir/route/routing_grid.cc.o.d"
+  "libpm_route.a"
+  "libpm_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_schema.dir/schema/parchmint_schema.cc.o"
+  "CMakeFiles/pm_schema.dir/schema/parchmint_schema.cc.o.d"
+  "CMakeFiles/pm_schema.dir/schema/rules.cc.o"
+  "CMakeFiles/pm_schema.dir/schema/rules.cc.o.d"
+  "CMakeFiles/pm_schema.dir/schema/schema.cc.o"
+  "CMakeFiles/pm_schema.dir/schema/schema.cc.o.d"
+  "libpm_schema.a"
+  "libpm_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_sim.dir/sim/hydraulic.cc.o"
+  "CMakeFiles/pm_sim.dir/sim/hydraulic.cc.o.d"
+  "CMakeFiles/pm_sim.dir/sim/linear_solver.cc.o"
+  "CMakeFiles/pm_sim.dir/sim/linear_solver.cc.o.d"
+  "CMakeFiles/pm_sim.dir/sim/resistance.cc.o"
+  "CMakeFiles/pm_sim.dir/sim/resistance.cc.o.d"
+  "libpm_sim.a"
+  "libpm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/suite/real_devices.cc" "src/CMakeFiles/pm_suite.dir/suite/real_devices.cc.o" "gcc" "src/CMakeFiles/pm_suite.dir/suite/real_devices.cc.o.d"
+  "/root/repo/src/suite/real_devices2.cc" "src/CMakeFiles/pm_suite.dir/suite/real_devices2.cc.o" "gcc" "src/CMakeFiles/pm_suite.dir/suite/real_devices2.cc.o.d"
+  "/root/repo/src/suite/suite.cc" "src/CMakeFiles/pm_suite.dir/suite/suite.cc.o" "gcc" "src/CMakeFiles/pm_suite.dir/suite/suite.cc.o.d"
+  "/root/repo/src/suite/synthetic.cc" "src/CMakeFiles/pm_suite.dir/suite/synthetic.cc.o" "gcc" "src/CMakeFiles/pm_suite.dir/suite/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_mint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_suite.dir/suite/real_devices.cc.o"
+  "CMakeFiles/pm_suite.dir/suite/real_devices.cc.o.d"
+  "CMakeFiles/pm_suite.dir/suite/real_devices2.cc.o"
+  "CMakeFiles/pm_suite.dir/suite/real_devices2.cc.o.d"
+  "CMakeFiles/pm_suite.dir/suite/suite.cc.o"
+  "CMakeFiles/pm_suite.dir/suite/suite.cc.o.d"
+  "CMakeFiles/pm_suite.dir/suite/synthetic.cc.o"
+  "CMakeFiles/pm_suite.dir/suite/synthetic.cc.o.d"
+  "libpm_suite.a"
+  "libpm_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpm_suite.a"
+)

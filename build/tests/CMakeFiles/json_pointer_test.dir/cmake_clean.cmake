@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_pointer_test.dir/json_pointer_test.cc.o"
+  "CMakeFiles/json_pointer_test.dir/json_pointer_test.cc.o.d"
+  "json_pointer_test"
+  "json_pointer_test.pdb"
+  "json_pointer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_pointer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mint_test.dir/mint_test.cc.o"
+  "CMakeFiles/mint_test.dir/mint_test.cc.o.d"
+  "mint_test"
+  "mint_test.pdb"
+  "mint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mint_write_test.dir/mint_write_test.cc.o"
+  "CMakeFiles/mint_write_test.dir/mint_write_test.cc.o.d"
+  "mint_write_test"
+  "mint_write_test.pdb"
+  "mint_write_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mint_write_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_json_test.dir/stats_json_test.cc.o"
+  "CMakeFiles/stats_json_test.dir/stats_json_test.cc.o.d"
+  "stats_json_test"
+  "stats_json_test.pdb"
+  "stats_json_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
