@@ -7,6 +7,12 @@
  * report rows first, then runs any registered google-benchmark
  * timers. Reports go to stdout so `bench_* | tee` captures the
  * artifact.
+ *
+ * Passing `--json-report <path>` to any bench binary additionally
+ * enables observability for the run and writes a run-report JSON
+ * artifact (spans + metrics + environment snapshot, see
+ * obs/report.hh) next to the stdout report. The file doubles as a
+ * chrome://tracing trace.
  */
 
 #ifndef PARCHMINT_BENCH_BENCH_COMMON_HH
@@ -14,40 +20,18 @@
 
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
+#include <string>
+
+#include "obs/clock.hh"
+#include "obs/obs.hh"
+#include "obs/report.hh"
 
 namespace parchmint::bench
 {
 
-/** Wall-clock stopwatch reporting milliseconds. */
-class Stopwatch
-{
-  public:
-    Stopwatch()
-        : start_(std::chrono::steady_clock::now())
-    {
-    }
-
-    /** Milliseconds since construction or the last reset. */
-    double
-    elapsedMs() const
-    {
-        auto now = std::chrono::steady_clock::now();
-        return std::chrono::duration<double, std::milli>(now -
-                                                         start_)
-            .count();
-    }
-
-    void
-    reset()
-    {
-        start_ = std::chrono::steady_clock::now();
-    }
-
-  private:
-    std::chrono::steady_clock::time_point start_;
-};
+/** The obs wall-clock stopwatch, re-exported for bench code. */
+using Stopwatch = ::parchmint::obs::Stopwatch;
 
 /** Print a section heading for a report block. */
 inline void
@@ -57,19 +41,62 @@ heading(const char *experiment, const char *title)
 }
 
 /**
- * Standard main body: print the report, then hand over to
- * google-benchmark for the registered timers.
+ * Pull `--json-report <path>` out of argv (so google-benchmark
+ * never sees it) and enable observability when it was given.
+ *
+ * @return The report path, or "" when the flag is absent.
  */
-#define PARCHMINT_BENCH_MAIN(report_function)                        \
-    int main(int argc, char **argv)                                  \
-    {                                                                \
-        report_function();                                           \
-        ::benchmark::Initialize(&argc, argv);                        \
-        if (::benchmark::ReportUnrecognizedArguments(argc, argv))    \
-            return 1;                                                \
-        ::benchmark::RunSpecifiedBenchmarks();                       \
-        ::benchmark::Shutdown();                                     \
-        return 0;                                                    \
+inline std::string
+extractJsonReportFlag(int &argc, char **argv)
+{
+    std::string path;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json-report" &&
+            i + 1 < argc) {
+            path = argv[++i];
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    if (!path.empty())
+        ::parchmint::obs::setEnabled(true);
+    return path;
+}
+
+/** Write the run-report artifact for a bench binary. */
+inline void
+writeBenchReport(const std::string &path, const char *tool)
+{
+    ::parchmint::obs::RunInfo info;
+    info.tool = tool;
+    info.timestamp = ::parchmint::obs::localTimestamp();
+    ::parchmint::obs::writeRunReport(path, info);
+    std::printf("wrote run report %s\n", path.c_str());
+}
+
+/**
+ * Standard main body: print the report, then hand over to
+ * google-benchmark for the registered timers; finally emit the
+ * run-report artifact when `--json-report <path>` was passed.
+ */
+#define PARCHMINT_BENCH_MAIN(report_function)                         \
+    int main(int argc, char **argv)                                   \
+    {                                                                 \
+        std::string pm_bench_report_path =                            \
+            ::parchmint::bench::extractJsonReportFlag(argc, argv);    \
+        report_function();                                            \
+        ::benchmark::Initialize(&argc, argv);                         \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv))     \
+            return 1;                                                 \
+        ::benchmark::RunSpecifiedBenchmarks();                        \
+        ::benchmark::Shutdown();                                      \
+        if (!pm_bench_report_path.empty()) {                          \
+            ::parchmint::bench::writeBenchReport(                     \
+                pm_bench_report_path, argv[0]);                       \
+        }                                                             \
+        return 0;                                                     \
     }
 
 } // namespace parchmint::bench

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Observability overhead microbenchmarks.
+ *
+ * Verifies the zero-cost-when-disabled contract: a disabled span or
+ * counter must cost no more than a branch on a global bool, and the
+ * annealing placer (the library's hottest instrumented loop) must
+ * not regress measurably with observability off. The enabled
+ * variants quantify the recording price for when tracing is on.
+ */
+
+#include "bench_common.hh"
+
+#include "place/annealing_placer.hh"
+#include "suite/suite.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+void
+report()
+{
+    bench::heading("OBS", "observability overhead");
+    std::printf("Disabled-path cost of spans and counters, plus the\n"
+                "annealing placer with observability off vs on.\n\n");
+}
+
+void
+BM_SpanDisabled(benchmark::State &state)
+{
+    obs::setEnabled(false);
+    for (auto _ : state) {
+        PM_OBS_SPAN("bench.span", "bench");
+        benchmark::ClobberMemory();
+    }
+}
+
+void
+BM_SpanEnabled(benchmark::State &state)
+{
+    obs::setEnabled(true);
+    obs::reset();
+    for (auto _ : state) {
+        PM_OBS_SPAN("bench.span", "bench");
+        benchmark::ClobberMemory();
+    }
+    obs::setEnabled(false);
+    obs::reset();
+}
+
+void
+BM_CounterDisabled(benchmark::State &state)
+{
+    obs::setEnabled(false);
+    for (auto _ : state) {
+        PM_OBS_COUNT("bench.counter", 1);
+        benchmark::ClobberMemory();
+    }
+}
+
+void
+BM_CounterEnabled(benchmark::State &state)
+{
+    obs::setEnabled(true);
+    obs::reset();
+    for (auto _ : state) {
+        PM_OBS_COUNT("bench.counter", 1);
+        benchmark::ClobberMemory();
+    }
+    obs::setEnabled(false);
+    obs::reset();
+}
+
+/** The acceptance gate: annealing with observability disabled. */
+void
+BM_AnnealObsOff(benchmark::State &state)
+{
+    obs::setEnabled(false);
+    Device device = suite::buildBenchmark("droplet_transposer");
+    place::AnnealingOptions options;
+    options.steps = 30;
+    for (auto _ : state) {
+        place::AnnealingPlacer placer(options);
+        benchmark::DoNotOptimize(placer.place(device));
+    }
+}
+
+void
+BM_AnnealObsOn(benchmark::State &state)
+{
+    obs::setEnabled(true);
+    Device device = suite::buildBenchmark("droplet_transposer");
+    place::AnnealingOptions options;
+    options.steps = 30;
+    for (auto _ : state) {
+        obs::reset();
+        place::AnnealingPlacer placer(options);
+        benchmark::DoNotOptimize(placer.place(device));
+    }
+    obs::setEnabled(false);
+    obs::reset();
+}
+
+} // namespace
+
+BENCHMARK(BM_SpanDisabled);
+BENCHMARK(BM_SpanEnabled);
+BENCHMARK(BM_CounterDisabled);
+BENCHMARK(BM_CounterEnabled);
+BENCHMARK(BM_AnnealObsOff)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AnnealObsOn)->Unit(benchmark::kMillisecond);
+
+PARCHMINT_BENCH_MAIN(report)

@@ -8,10 +8,17 @@
  *       ./characterize --json           (suite report as JSON)
  *       ./characterize netlist.json    (validate + characterize one
  *                                        file)
+ *
+ * Any form also accepts `--report <path>`: observability is enabled
+ * and a run-report JSON artifact is written, carrying the
+ * per-device characterization timings from the metrics registry
+ * (the same code path that feeds the Table 1 numbers) and the
+ * validation spans.
  */
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/error.hh"
 #include "analysis/stats_json.hh"
@@ -19,6 +26,8 @@
 #include "json/write.hh"
 #include "core/deserialize.hh"
 #include "core/serialize.hh"
+#include "obs/obs.hh"
+#include "obs/report.hh"
 #include "schema/rules.hh"
 
 using namespace parchmint;
@@ -58,26 +67,50 @@ int
 main(int argc, char **argv)
 {
     try {
-        if (argc > 1 && std::string(argv[1]) == "--json") {
+        std::string report_path;
+        std::vector<std::string> args;
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--report" && i + 1 < argc) {
+                report_path = argv[++i];
+            } else {
+                args.push_back(arg);
+            }
+        }
+        if (!report_path.empty())
+            obs::setEnabled(true);
+
+        int status = 0;
+        if (!args.empty() && args[0] == "--json") {
             auto rows = analysis::characterizeSuite();
             std::printf(
                 "%s",
                 json::write(analysis::suiteReportToJson(rows))
                     .c_str());
-            return 0;
+        } else if (!args.empty()) {
+            status = characterizeFile(args[0]);
+        } else {
+            auto rows = analysis::characterizeSuite();
+            std::printf(
+                "ParchMint standard suite characterization\n\n");
+            std::printf(
+                "%s\n",
+                analysis::renderCharacterizationTable(rows).c_str());
+            std::printf("Suite composition (entity instances)\n\n");
+            std::printf(
+                "%s",
+                analysis::renderCompositionTable(rows).c_str());
         }
-        if (argc > 1)
-            return characterizeFile(argv[1]);
 
-        auto rows = analysis::characterizeSuite();
-        std::printf("ParchMint standard suite characterization\n\n");
-        std::printf(
-            "%s\n",
-            analysis::renderCharacterizationTable(rows).c_str());
-        std::printf("Suite composition (entity instances)\n\n");
-        std::printf("%s",
-                    analysis::renderCompositionTable(rows).c_str());
-        return 0;
+        if (!report_path.empty()) {
+            obs::RunInfo info;
+            info.tool = "characterize";
+            info.timestamp = obs::localTimestamp();
+            obs::writeRunReport(report_path, info);
+            std::printf("wrote run report %s\n",
+                        report_path.c_str());
+        }
+        return status;
     } catch (const UserError &error) {
         std::fprintf(stderr, "error: %s\n", error.what());
         return 1;

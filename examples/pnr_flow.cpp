@@ -1,26 +1,36 @@
 /**
  * @file
- * Physical design flow: place and route a suite benchmark, then
- * write the routed netlist (ParchMint JSON with positions and
- * paths) and an SVG rendering.
+ * Physical design flow: place and route a suite benchmark, validate
+ * the routed netlist, then write it out (ParchMint JSON with
+ * positions and paths) and an SVG rendering.
  *
- * Run:  ./pnr_flow [benchmark] [seed]
+ * Run:  ./pnr_flow [benchmark] [seed] [--report report.json]
  *
  * Defaults to the cell_trap_array benchmark. Benchmark names are
  * the standard suite names (see DESIGN.md or run ./characterize).
+ *
+ * With --report, observability is enabled for the run and a
+ * run-report JSON artifact is written: nested spans for
+ * place/route/validate, the annealing and router counters, and the
+ * timing histograms. Open the same file in chrome://tracing to see
+ * the flame view (see README.md "Observability").
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/error.hh"
 #include "core/serialize.hh"
 #include "export/svg.hh"
+#include "obs/obs.hh"
+#include "obs/report.hh"
 #include "place/annealing_placer.hh"
 #include "place/cost.hh"
 #include "route/metrics.hh"
 #include "route/router.hh"
+#include "schema/rules.hh"
 #include "suite/suite.hh"
 
 using namespace parchmint;
@@ -29,10 +39,25 @@ int
 main(int argc, char **argv)
 {
     try {
-        std::string name =
-            argc > 1 ? argv[1] : "cell_trap_array";
-        uint64_t seed =
-            argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+        std::string name = "cell_trap_array";
+        uint64_t seed = 1;
+        std::string report_path;
+
+        std::vector<std::string> positional;
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--report" && i + 1 < argc) {
+                report_path = argv[++i];
+            } else {
+                positional.push_back(arg);
+            }
+        }
+        if (positional.size() > 0)
+            name = positional[0];
+        if (positional.size() > 1)
+            seed = std::strtoull(positional[1].c_str(), nullptr, 10);
+        if (!report_path.empty())
+            obs::setEnabled(true);
 
         Device device = suite::buildBenchmark(name);
         std::printf("benchmark %s: %zu components, "
@@ -40,35 +65,77 @@ main(int argc, char **argv)
                     name.c_str(), device.components().size(),
                     device.connections().size());
 
-        // Place with simulated annealing.
         place::AnnealingOptions options;
         options.seed = seed;
         place::AnnealingPlacer placer(options);
-        place::Placement placement = placer.place(device);
-        const place::PlacementCost &cost = placer.lastCost();
-        std::printf("placement: hpwl=%lld um, overlap=%lld um^2, "
-                    "bounding area=%lld um^2\n",
-                    static_cast<long long>(cost.hpwl),
-                    static_cast<long long>(cost.overlapArea),
-                    static_cast<long long>(cost.boundingArea));
+        place::Placement placement;
+        route::RouteResult routed;
+        std::vector<schema::Issue> issues;
+        {
+            // Root span over the whole flow; the scope closes it
+            // before the run report is built below.
+            PM_OBS_SPAN("pnr_flow", "flow");
 
-        // Route every channel.
-        route::RouteResult routed = route::routeDevice(device,
-                                                       placement);
-        std::printf("routing: %zu/%zu nets routed (%.1f%%), "
-                    "length=%lld um, bends=%d, violations=%zu\n",
-                    routed.routedCount, routed.nets.size(),
-                    100.0 * routed.completionRate(),
-                    static_cast<long long>(routed.totalLength),
-                    routed.totalBends, routed.totalViolations);
+            // Place with simulated annealing.
+            {
+                PM_OBS_SPAN("place", "place");
+                placement = placer.place(device);
+            }
+            const place::PlacementCost &cost = placer.lastCost();
+            std::printf("placement: hpwl=%lld um, overlap=%lld "
+                        "um^2, bounding area=%lld um^2\n",
+                        static_cast<long long>(cost.hpwl),
+                        static_cast<long long>(cost.overlapArea),
+                        static_cast<long long>(cost.boundingArea));
 
-        // Persist physical design state into the netlist.
-        placement.writeTo(device);
+            // Route every channel.
+            {
+                PM_OBS_SPAN("route", "route");
+                routed = route::routeDevice(device, placement);
+            }
+            std::printf("routing: %zu/%zu nets routed (%.1f%%), "
+                        "length=%lld um, bends=%d, "
+                        "violations=%zu, expanded=%zu cells\n",
+                        routed.routedCount, routed.nets.size(),
+                        100.0 * routed.completionRate(),
+                        static_cast<long long>(routed.totalLength),
+                        routed.totalBends, routed.totalViolations,
+                        routed.totalExpansions);
+
+            // Persist physical design state into the netlist, then
+            // validate the routed result before shipping it.
+            placement.writeTo(device);
+            {
+                PM_OBS_SPAN("validate", "validate");
+                issues = schema::checkRules(device);
+            }
+            std::printf("validation: %zu issue(s)%s\n",
+                        issues.size(),
+                        schema::hasErrors(issues) ? " (ERRORS)"
+                                                  : "");
+            if (!issues.empty()) {
+                std::printf("%s",
+                            schema::formatIssues(issues).c_str());
+            }
+        }
+
         saveDevice(name + "_routed.json", device);
         exporter::writeSvg(name + ".svg", device, placement);
         std::printf("wrote %s_routed.json and %s.svg\n",
                     name.c_str(), name.c_str());
-        return 0;
+
+        if (!report_path.empty()) {
+            obs::RunInfo info;
+            info.tool = "pnr_flow";
+            info.timestamp = obs::localTimestamp();
+            info.notes = {{"benchmark", name},
+                          {"seed", std::to_string(seed)}};
+            obs::writeRunReport(report_path, info);
+            std::printf("wrote run report %s (open in "
+                        "chrome://tracing)\n",
+                        report_path.c_str());
+        }
+        return schema::hasErrors(issues) ? 1 : 0;
     } catch (const UserError &error) {
         std::fprintf(stderr, "error: %s\n", error.what());
         return 1;

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Lightweight formatting gate for the C++ sources.
+#
+# The repo uses a hand-kept 70-column style rather than an enforced
+# .clang-format profile, so this script checks the mechanical
+# invariants that style relies on: no hard tabs, no trailing
+# whitespace, and a newline at end of file. If a .clang-format file
+# is ever added and clang-format is installed, it is applied in
+# --dry-run mode as well.
+
+set -u
+
+cd "$(dirname "$0")/.."
+
+files=$(git ls-files '*.cc' '*.hh' '*.cpp' '*.h')
+status=0
+
+for f in $files; do
+    if grep -n -P '\t' "$f" > /dev/null; then
+        echo "error: hard tab in $f:"
+        grep -n -P '\t' "$f" | head -3
+        status=1
+    fi
+    if grep -n ' $' "$f" > /dev/null; then
+        echo "error: trailing whitespace in $f:"
+        grep -n ' $' "$f" | head -3
+        status=1
+    fi
+    if [ -s "$f" ] && [ -n "$(tail -c 1 "$f")" ]; then
+        echo "error: missing newline at end of $f"
+        status=1
+    fi
+done
+
+if [ -f .clang-format ] && command -v clang-format > /dev/null; then
+    if ! clang-format --dry-run --Werror $files; then
+        status=1
+    fi
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "format check passed ($(echo "$files" | wc -l) files)"
+fi
+exit "$status"

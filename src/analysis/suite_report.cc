@@ -4,6 +4,8 @@
 #include <set>
 
 #include "analysis/table.hh"
+#include "obs/clock.hh"
+#include "obs/obs.hh"
 #include "suite/suite.hh"
 
 namespace parchmint::analysis
@@ -12,11 +14,26 @@ namespace parchmint::analysis
 std::vector<NetlistStats>
 characterizeSuite()
 {
+    PM_OBS_SPAN("analysis.characterize_suite", "analysis");
     std::vector<NetlistStats> rows;
     for (const suite::BenchmarkInfo &info : suite::standardSuite()) {
+        // Per-device timing goes through the metrics registry, so
+        // Table 1 numbers and trace data share one code path.
+        obs::ScopedSpan span("characterize:" + info.name,
+                             "analysis");
+        obs::Stopwatch watch;
         Device device = info.build();
         NetlistStats stats = computeNetlistStats(device);
         stats.name = info.name;
+        if (obs::enabled()) {
+            double elapsed = watch.elapsedMs();
+            obs::registry().record("analysis.characterize_ms",
+                                   elapsed);
+            obs::registry().setGauge(
+                "analysis.characterize_ms." + info.name, elapsed);
+            obs::registry().add("analysis.devices_characterized",
+                                1);
+        }
         rows.push_back(std::move(stats));
     }
     return rows;

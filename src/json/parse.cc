@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/error.hh"
+#include "obs/obs.hh"
 
 namespace parchmint::json
 {
@@ -44,6 +45,9 @@ class Parser
             fail("trailing content after JSON value");
         return value;
     }
+
+    /** Values parsed so far (after run(): the whole document). */
+    size_t values() const { return values_; }
 
   private:
     bool atEnd() const { return pos_ >= text_.size(); }
@@ -110,6 +114,7 @@ class Parser
     Value
     parseValue()
     {
+        ++values_;
         if (depth_ > options_.maxDepth)
             fail("nesting depth exceeds limit of " +
                  std::to_string(options_.maxDepth));
@@ -359,6 +364,8 @@ class Parser
     size_t line_ = 1;
     size_t column_ = 1;
     size_t depth_ = 0;
+    /** Values parsed, for the observability counters. */
+    size_t values_ = 0;
 };
 
 } // namespace
@@ -366,8 +373,13 @@ class Parser
 Value
 parse(std::string_view text, const ParseOptions &options)
 {
+    PM_OBS_SPAN("json.parse", "parse");
     Parser parser(text, options);
-    return parser.run();
+    Value value = parser.run();
+    PM_OBS_COUNT("json.parse.calls", 1);
+    PM_OBS_COUNT("json.parse.bytes", text.size());
+    PM_OBS_COUNT("json.parse.values", parser.values());
+    return value;
 }
 
 Value

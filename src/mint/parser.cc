@@ -1,6 +1,7 @@
 #include "mint/parser.hh"
 
 #include "mint/lexer.hh"
+#include "obs/obs.hh"
 
 namespace parchmint::mint
 {
@@ -222,7 +223,12 @@ class Parser
 AstDevice
 parseMint(std::string_view source)
 {
-    Parser parser(tokenize(source));
+    PM_OBS_SPAN("mint.parse", "parse");
+    std::vector<Token> tokens = tokenize(source);
+    PM_OBS_COUNT("mint.parse.calls", 1);
+    PM_OBS_COUNT("mint.parse.bytes", source.size());
+    PM_OBS_COUNT("mint.parse.tokens", tokens.size());
+    Parser parser(std::move(tokens));
     return parser.run();
 }
 

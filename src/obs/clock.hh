@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Monotonic time helpers for the observability layer.
+ *
+ * Everything measures with steady_clock: span durations and
+ * stopwatch readings must never jump when the wall clock is
+ * adjusted. Wall-clock timestamps (for run-report metadata) are the
+ * caller's job and travel as preformatted strings.
+ */
+
+#ifndef PARCHMINT_OBS_CLOCK_HH
+#define PARCHMINT_OBS_CLOCK_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace parchmint::obs
+{
+
+/** The clock every span and stopwatch reads. */
+using Clock = std::chrono::steady_clock;
+
+/** Microseconds from @p start to @p stop. */
+inline int64_t
+microsBetween(Clock::time_point start, Clock::time_point stop)
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               stop - start)
+        .count();
+}
+
+/**
+ * Wall-clock stopwatch reporting milliseconds. The library's one
+ * ad-hoc timer; bench harnesses and reports that need a duration
+ * without a span use this.
+ */
+class Stopwatch
+{
+  public:
+    Stopwatch()
+        : start_(Clock::now())
+    {
+    }
+
+    /** Milliseconds since construction or the last reset. */
+    double
+    elapsedMs() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   Clock::now() - start_)
+            .count();
+    }
+
+    /** Microseconds since construction or the last reset. */
+    int64_t
+    elapsedUs() const
+    {
+        return microsBetween(start_, Clock::now());
+    }
+
+    void
+    reset()
+    {
+        start_ = Clock::now();
+    }
+
+  private:
+    Clock::time_point start_;
+};
+
+} // namespace parchmint::obs
+
+#endif // PARCHMINT_OBS_CLOCK_HH

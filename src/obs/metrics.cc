@@ -1,0 +1,97 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parchmint::obs
+{
+
+HistogramSummary
+Histogram::summary() const
+{
+    HistogramSummary out;
+    if (samples_.empty())
+        return out;
+
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+
+    size_t n = sorted.size();
+    out.count = n;
+    out.min = sorted.front();
+    out.max = sorted.back();
+
+    double sum = 0.0;
+    for (double sample : sorted)
+        sum += sample;
+    out.mean = sum / static_cast<double>(n);
+
+    if (n % 2 == 1) {
+        out.median = sorted[n / 2];
+    } else {
+        out.median = (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0;
+    }
+
+    // Nearest-rank percentile: the smallest sample such that at
+    // least 95% of samples are <= it.
+    size_t rank = static_cast<size_t>(
+        std::ceil(0.95 * static_cast<double>(n)));
+    out.p95 = sorted[std::min(n - 1, rank == 0 ? 0 : rank - 1)];
+    return out;
+}
+
+void
+Registry::add(const std::string &name, int64_t delta)
+{
+    counters_[name] += delta;
+}
+
+int64_t
+Registry::counter(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+Registry::setGauge(const std::string &name, double value)
+{
+    gauges_[name] = value;
+}
+
+double
+Registry::gauge(const std::string &name) const
+{
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void
+Registry::record(const std::string &name, double value)
+{
+    histograms_[name].record(value);
+}
+
+const Histogram *
+Registry::findHistogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+bool
+Registry::empty() const
+{
+    return counters_.empty() && gauges_.empty() &&
+           histograms_.empty();
+}
+
+void
+Registry::clear()
+{
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+} // namespace parchmint::obs

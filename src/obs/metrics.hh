@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Metrics registry: named counters, gauges, and histograms.
+ *
+ * Counters accumulate integer deltas (moves attempted, cells
+ * expanded, bytes parsed). Gauges hold the latest value of a
+ * quantity (matrix size, acceptance rate). Histograms keep every
+ * sample and summarize as count/min/max/mean/median/p95, the robust
+ * statistics the HPC benchmarking literature recommends over bare
+ * means.
+ *
+ * The registry is deliberately dependency-free (no JSON types) so
+ * the JSON parser itself can be instrumented without a layering
+ * cycle; serialization lives in obs/report.hh. Like the rest of the
+ * library, the registry is single-threaded.
+ */
+
+#ifndef PARCHMINT_OBS_METRICS_HH
+#define PARCHMINT_OBS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace parchmint::obs
+{
+
+/** Order statistics of one histogram's samples. */
+struct HistogramSummary
+{
+    size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    /** Middle sample; mean of the middle two for even counts. */
+    double median = 0.0;
+    /** 95th percentile by the nearest-rank method. */
+    double p95 = 0.0;
+};
+
+/** A named distribution; keeps raw samples until summarized. */
+class Histogram
+{
+  public:
+    void record(double value) { samples_.push_back(value); }
+
+    size_t count() const { return samples_.size(); }
+
+    /** All recorded samples, in recording order. */
+    const std::vector<double> &samples() const { return samples_; }
+
+    /** Summarize; all-zero for an empty histogram. */
+    HistogramSummary summary() const;
+
+  private:
+    std::vector<double> samples_;
+};
+
+/**
+ * The registry of every named metric. Names are dotted paths
+ * ("place.moves.accepted"); maps keep export order deterministic.
+ */
+class Registry
+{
+  public:
+    /** Add @p delta to a counter, creating it at zero. */
+    void add(const std::string &name, int64_t delta);
+
+    /** @return A counter's value; 0 when it was never touched. */
+    int64_t counter(const std::string &name) const;
+
+    /** Set a gauge to the latest observed value. */
+    void setGauge(const std::string &name, double value);
+
+    /** @return A gauge's value; 0.0 when it was never set. */
+    double gauge(const std::string &name) const;
+
+    /** Record one sample into a histogram, creating it if new. */
+    void record(const std::string &name, double value);
+
+    /** @return The histogram, or nullptr when absent. */
+    const Histogram *findHistogram(const std::string &name) const;
+
+    const std::map<std::string, int64_t> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, double> &gauges() const
+    {
+        return gauges_;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+
+    /** True when nothing has been recorded. */
+    bool empty() const;
+
+    /** Drop every metric. */
+    void clear();
+
+  private:
+    std::map<std::string, int64_t> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace parchmint::obs
+
+#endif // PARCHMINT_OBS_METRICS_HH

@@ -1,0 +1,38 @@
+#include "obs/obs.hh"
+
+namespace parchmint::obs
+{
+
+namespace detail
+{
+bool g_enabled = false;
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    detail::g_enabled = on;
+}
+
+Tracer &
+tracer()
+{
+    static Tracer instance;
+    return instance;
+}
+
+Registry &
+registry()
+{
+    static Registry instance;
+    return instance;
+}
+
+void
+reset()
+{
+    tracer().clear();
+    registry().clear();
+}
+
+} // namespace parchmint::obs

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Observability entry point: the global switch, the global tracer
+ * and metrics registry, and the instrumentation macros.
+ *
+ * Instrumentation contract (see DESIGN.md "Observability"):
+ *
+ *   - Off by default. Library code never pays more than one branch
+ *     on a global bool per instrumentation site when disabled; hot
+ *     loops accumulate into locals and flush once at the end.
+ *   - PM_OBS_SPAN / PM_OBS_COUNT / PM_OBS_GAUGE / PM_OBS_HIST are
+ *     the only spellings instrumented code uses, so defining
+ *     PARCHMINT_OBS_DISABLED at build time compiles every site out
+ *     to nothing.
+ *   - State is process-global and single-threaded, matching the
+ *     library; tests and tools reset() between runs.
+ */
+
+#ifndef PARCHMINT_OBS_OBS_HH
+#define PARCHMINT_OBS_OBS_HH
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace parchmint::obs
+{
+
+namespace detail
+{
+/** The switch; read through enabled() only. */
+extern bool g_enabled;
+} // namespace detail
+
+/** True when spans and metrics record. */
+inline bool
+enabled()
+{
+    return detail::g_enabled;
+}
+
+/** Flip the global switch; existing recordings are kept. */
+void setEnabled(bool on);
+
+/** The process-global tracer. */
+Tracer &tracer();
+
+/** The process-global metrics registry. */
+Registry &registry();
+
+/** Clear the tracer and the registry (the switch is untouched). */
+void reset();
+
+} // namespace parchmint::obs
+
+// Token pasting so each PM_OBS_SPAN gets a unique variable name.
+#define PM_OBS_CONCAT_INNER(a, b) a##b
+#define PM_OBS_CONCAT(a, b) PM_OBS_CONCAT_INNER(a, b)
+
+#ifndef PARCHMINT_OBS_DISABLED
+
+/** RAII span over the rest of the enclosing scope. */
+#define PM_OBS_SPAN(...)                                              \
+    ::parchmint::obs::ScopedSpan PM_OBS_CONCAT(pm_obs_span_,          \
+                                               __LINE__)(__VA_ARGS__)
+
+/** Add @p delta to the named counter. */
+#define PM_OBS_COUNT(name, delta)                                     \
+    do {                                                              \
+        if (::parchmint::obs::enabled()) {                            \
+            ::parchmint::obs::registry().add(                         \
+                (name), static_cast<int64_t>(delta));                 \
+        }                                                             \
+    } while (0)
+
+/** Set the named gauge to the latest value. */
+#define PM_OBS_GAUGE(name, value)                                     \
+    do {                                                              \
+        if (::parchmint::obs::enabled()) {                            \
+            ::parchmint::obs::registry().setGauge(                    \
+                (name), static_cast<double>(value));                  \
+        }                                                             \
+    } while (0)
+
+/** Record one sample into the named histogram. */
+#define PM_OBS_HIST(name, value)                                      \
+    do {                                                              \
+        if (::parchmint::obs::enabled()) {                            \
+            ::parchmint::obs::registry().record(                      \
+                (name), static_cast<double>(value));                  \
+        }                                                             \
+    } while (0)
+
+#else // PARCHMINT_OBS_DISABLED
+
+#define PM_OBS_SPAN(...) ((void)0)
+#define PM_OBS_COUNT(name, delta) ((void)0)
+#define PM_OBS_GAUGE(name, value) ((void)0)
+#define PM_OBS_HIST(name, value) ((void)0)
+
+#endif // PARCHMINT_OBS_DISABLED
+
+#endif // PARCHMINT_OBS_OBS_HH

@@ -1,0 +1,168 @@
+#include "obs/report.hh"
+
+#include <ctime>
+
+#include "json/write.hh"
+#include "obs/obs.hh"
+
+namespace parchmint::obs
+{
+
+json::Value
+summaryToJson(const HistogramSummary &summary)
+{
+    return json::Value::makeObject({
+        {"count", json::Value(static_cast<int64_t>(summary.count))},
+        {"min", json::Value(summary.min)},
+        {"max", json::Value(summary.max)},
+        {"mean", json::Value(summary.mean)},
+        {"median", json::Value(summary.median)},
+        {"p95", json::Value(summary.p95)},
+    });
+}
+
+json::Value
+metricsToJson(const Registry &registry)
+{
+    json::Value counters = json::Value::makeObject();
+    for (const auto &[name, value] : registry.counters())
+        counters.set(name, json::Value(value));
+
+    json::Value gauges = json::Value::makeObject();
+    for (const auto &[name, value] : registry.gauges())
+        gauges.set(name, json::Value(value));
+
+    json::Value histograms = json::Value::makeObject();
+    for (const auto &[name, histogram] : registry.histograms())
+        histograms.set(name, summaryToJson(histogram.summary()));
+
+    return json::Value::makeObject({
+        {"counters", std::move(counters)},
+        {"gauges", std::move(gauges)},
+        {"histograms", std::move(histograms)},
+    });
+}
+
+json::Value
+chromeTraceEvents(const Tracer &tracer)
+{
+    json::Value events = json::Value::makeArray();
+    for (const SpanEvent &span : tracer.events()) {
+        events.append(json::Value::makeObject({
+            {"name", json::Value(span.name)},
+            {"cat", json::Value(span.category.empty()
+                                    ? std::string("parchmint")
+                                    : span.category)},
+            {"ph", json::Value("X")},
+            {"ts", json::Value(span.startUs)},
+            {"dur", json::Value(span.durationUs)},
+            {"pid", json::Value(static_cast<int64_t>(1))},
+            {"tid", json::Value(static_cast<int64_t>(1))},
+        }));
+    }
+    return events;
+}
+
+std::string
+traceJsonLines(const Tracer &tracer)
+{
+    json::WriteOptions compact;
+    compact.pretty = false;
+    std::string out;
+    for (const SpanEvent &span : tracer.events()) {
+        json::Value line = json::Value::makeObject({
+            {"name", json::Value(span.name)},
+            {"cat", json::Value(span.category)},
+            {"ts_us", json::Value(span.startUs)},
+            {"dur_us", json::Value(span.durationUs)},
+            {"depth", json::Value(span.depth)},
+        });
+        out += json::write(line, compact);
+        out += '\n';
+    }
+    return out;
+}
+
+json::Value
+environmentJson()
+{
+#if defined(__VERSION__)
+    const char *compiler = "unknown " __VERSION__;
+#else
+    const char *compiler = "unknown";
+#endif
+#if defined(__clang__)
+    compiler = "clang " __VERSION__;
+#elif defined(__GNUC__)
+    compiler = "gcc " __VERSION__;
+#endif
+
+#if defined(PARCHMINT_BUILD_TYPE)
+    const char *build_type = PARCHMINT_BUILD_TYPE;
+#elif defined(NDEBUG)
+    const char *build_type = "release";
+#else
+    const char *build_type = "debug";
+#endif
+
+#if defined(__linux__)
+    const char *platform = "linux";
+#elif defined(__APPLE__)
+    const char *platform = "darwin";
+#elif defined(_WIN32)
+    const char *platform = "windows";
+#else
+    const char *platform = "unknown";
+#endif
+
+    return json::Value::makeObject({
+        {"compiler", json::Value(compiler)},
+        {"buildType", json::Value(build_type)},
+        {"platform", json::Value(platform)},
+        {"pointerBits",
+         json::Value(static_cast<int64_t>(sizeof(void *) * 8))},
+    });
+}
+
+json::Value
+buildRunReport(const RunInfo &info)
+{
+    json::Value notes = json::Value::makeObject();
+    for (const auto &[key, value] : info.notes)
+        notes.set(key, json::Value(value));
+
+    return json::Value::makeObject({
+        {"schema", json::Value("parchmint-run-report-v1")},
+        {"tool", json::Value(info.tool)},
+        {"timestamp", json::Value(info.timestamp)},
+        {"notes", std::move(notes)},
+        {"environment", environmentJson()},
+        {"metrics", metricsToJson(registry())},
+        {"traceEvents", chromeTraceEvents(tracer())},
+        {"displayTimeUnit", json::Value("ms")},
+    });
+}
+
+void
+writeRunReport(const std::string &path, const RunInfo &info)
+{
+    json::writeFile(path, buildRunReport(info));
+}
+
+std::string
+localTimestamp()
+{
+    std::time_t now = std::time(nullptr);
+    std::tm parts{};
+#if defined(_WIN32)
+    localtime_s(&parts, &now);
+#else
+    localtime_r(&now, &parts);
+#endif
+    char buffer[32];
+    std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%S",
+                  &parts);
+    return buffer;
+}
+
+} // namespace parchmint::obs

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Run reports: spans + metrics + environment, as one JSON document.
+ *
+ * A run report is the machine-readable artifact of one tool
+ * invocation, in the spirit of per-run JSON result files from HPC
+ * benchmark harnesses. The document carries the trace events at the
+ * top level under "traceEvents", which makes the same file loadable
+ * directly in chrome://tracing (extra top-level keys are treated as
+ * metadata there). Schema:
+ *
+ *   {
+ *     "schema": "parchmint-run-report-v1",
+ *     "tool": "pnr_flow",
+ *     "timestamp": "2026-08-06T12:00:00",     // caller-supplied
+ *     "notes": { "benchmark": "cell_trap_array", ... },
+ *     "environment": { "compiler": ..., "buildType": ...,
+ *                       "platform": ..., "pointerBits": ... },
+ *     "metrics": {
+ *       "counters":   { "place.moves.attempted": 288000, ... },
+ *       "gauges":     { "place.acceptance_rate": 0.41, ... },
+ *       "histograms": { "place.step_cost": { "count": ...,
+ *           "min": ..., "max": ..., "mean": ..., "median": ...,
+ *           "p95": ... }, ... }
+ *     },
+ *     "traceEvents": [ { "name": "place", "cat": "place",
+ *         "ph": "X", "ts": 12, "dur": 3456,
+ *         "pid": 1, "tid": 1 }, ... ],
+ *     "displayTimeUnit": "ms"
+ *   }
+ *
+ * This layer owns every obs<->JSON conversion, keeping obs/metrics
+ * and obs/trace free of JSON dependencies.
+ */
+
+#ifndef PARCHMINT_OBS_REPORT_HH
+#define PARCHMINT_OBS_REPORT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "json/value.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace parchmint::obs
+{
+
+/** Caller-supplied identification of one run. */
+struct RunInfo
+{
+    /** Producing tool ("pnr_flow", "bench_fig2_placement", ...). */
+    std::string tool;
+    /** Wall-clock timestamp; the caller formats it. */
+    std::string timestamp;
+    /** Free-form context, e.g. {"benchmark", "cell_trap_array"}. */
+    std::vector<std::pair<std::string, std::string>> notes;
+};
+
+/** A histogram summary as a JSON object. */
+json::Value summaryToJson(const HistogramSummary &summary);
+
+/** A registry as {"counters":…, "gauges":…, "histograms":…}. */
+json::Value metricsToJson(const Registry &registry);
+
+/** A tracer's spans as a Chrome trace-event array ("X" events). */
+json::Value chromeTraceEvents(const Tracer &tracer);
+
+/** A tracer's spans as a flat JSON-lines event log. */
+std::string traceJsonLines(const Tracer &tracer);
+
+/** Compile-time environment snapshot (compiler, build, platform). */
+json::Value environmentJson();
+
+/**
+ * Bundle the global tracer and registry into one run-report
+ * document (see the file comment for the schema).
+ */
+json::Value buildRunReport(const RunInfo &info);
+
+/**
+ * buildRunReport() serialized to a file.
+ * @throws UserError when the file cannot be written.
+ */
+void writeRunReport(const std::string &path, const RunInfo &info);
+
+/**
+ * "YYYY-MM-DDTHH:MM:SS" local wall-clock time, a convenience for
+ * callers filling RunInfo::timestamp.
+ */
+std::string localTimestamp();
+
+} // namespace parchmint::obs
+
+#endif // PARCHMINT_OBS_REPORT_HH

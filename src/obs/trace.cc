@@ -1,0 +1,38 @@
+#include "obs/trace.hh"
+
+#include "obs/obs.hh"
+
+namespace parchmint::obs
+{
+
+ScopedSpan::ScopedSpan(const char *name, const char *category)
+{
+    if (!enabled())
+        return;
+    active_ = true;
+    name_ = name;
+    category_ = category;
+    depth_ = tracer().enter();
+    start_ = Clock::now();
+}
+
+ScopedSpan::ScopedSpan(std::string name, std::string category)
+{
+    if (!enabled())
+        return;
+    active_ = true;
+    name_ = std::move(name);
+    category_ = std::move(category);
+    depth_ = tracer().enter();
+    start_ = Clock::now();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (!active_)
+        return;
+    tracer().complete(std::move(name_), std::move(category_),
+                      start_, depth_);
+}
+
+} // namespace parchmint::obs

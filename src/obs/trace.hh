@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Span tracer: RAII scoped spans with nesting and wall time.
+ *
+ * A span covers one phase of work (place, route, one annealing
+ * temperature step). Spans nest lexically; the tracer records each
+ * completed span with its start offset, duration, and nesting depth.
+ * Completed spans export as Chrome trace-event JSON (complete "X"
+ * events, loadable in chrome://tracing) or as a flat JSON-lines
+ * event log; both conversions live in obs/report.hh so this layer
+ * stays free of JSON dependencies.
+ *
+ * Spans are cheap when tracing is disabled: ScopedSpan's constructor
+ * checks the global switch first and records nothing. The tracer,
+ * like the rest of the library, is single-threaded; every span lands
+ * on the same conceptual track.
+ */
+
+#ifndef PARCHMINT_OBS_TRACE_HH
+#define PARCHMINT_OBS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hh"
+
+namespace parchmint::obs
+{
+
+/** One completed span. */
+struct SpanEvent
+{
+    std::string name;
+    /** Coarse grouping ("place", "route", ...); may be empty. */
+    std::string category;
+    /** Start offset from the tracer epoch, microseconds. */
+    int64_t startUs = 0;
+    /** Wall-time duration, microseconds. */
+    int64_t durationUs = 0;
+    /** Nesting depth at entry; 0 for a root span. */
+    int depth = 0;
+};
+
+/**
+ * Collects completed spans. Events append in completion order
+ * (children before their parents), each stamped with the nesting
+ * depth it was entered at.
+ */
+class Tracer
+{
+  public:
+    Tracer()
+        : epoch_(Clock::now())
+    {
+    }
+
+    /** Enter a span: returns its depth and deepens the stack. */
+    int
+    enter()
+    {
+        return depth_++;
+    }
+
+    /** Complete the innermost open span. */
+    void
+    complete(std::string name, std::string category,
+             Clock::time_point start, int depth)
+    {
+        --depth_;
+        events_.push_back(SpanEvent{
+            std::move(name), std::move(category),
+            microsBetween(epoch_, start),
+            microsBetween(start, Clock::now()), depth});
+    }
+
+    /** Completed spans, children before parents. */
+    const std::vector<SpanEvent> &events() const { return events_; }
+
+    /** Current nesting depth (open spans). */
+    int depth() const { return depth_; }
+
+    /** Drop recorded events and restart the epoch. */
+    void
+    clear()
+    {
+        events_.clear();
+        depth_ = 0;
+        epoch_ = Clock::now();
+    }
+
+  private:
+    Clock::time_point epoch_;
+    std::vector<SpanEvent> events_;
+    int depth_ = 0;
+};
+
+/**
+ * RAII span: enters the global tracer on construction (when
+ * observability is enabled) and completes itself on destruction.
+ * Prefer the PM_OBS_SPAN macro, which compiles out entirely under
+ * PARCHMINT_OBS_DISABLED.
+ */
+class ScopedSpan
+{
+  public:
+    /**
+     * Literal-name span: when disabled this costs one branch and
+     * never copies the strings.
+     */
+    explicit ScopedSpan(const char *name,
+                        const char *category = "");
+
+    /** Dynamic-name span for per-object names. */
+    explicit ScopedSpan(std::string name,
+                        std::string category = "");
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    ~ScopedSpan();
+
+  private:
+    std::string name_;
+    std::string category_;
+    Clock::time_point start_;
+    int depth_ = 0;
+    bool active_ = false;
+};
+
+} // namespace parchmint::obs
+
+#endif // PARCHMINT_OBS_TRACE_HH

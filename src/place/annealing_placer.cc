@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "obs/obs.hh"
 #include "place/row_placer.hh"
 
 namespace parchmint::place
@@ -282,6 +283,7 @@ AnnealingPlacer::AnnealingPlacer(AnnealingOptions options)
 Placement
 AnnealingPlacer::place(const Device &device)
 {
+    PM_OBS_SPAN("place.anneal", "place");
     if (device.components().empty()) {
         lastCost_ = PlacementCost{};
         return Placement();
@@ -306,6 +308,7 @@ AnnealingPlacer::place(const Device &device)
     // wirelength moves while rejecting legality disasters.
     double typical_uphill = 1.0;
     {
+        PM_OBS_SPAN("place.calibrate", "place");
         std::vector<double> uphill;
         double before = state.cost();
         int64_t sample_range = std::max<int64_t>(500, die.width / 8);
@@ -362,7 +365,16 @@ AnnealingPlacer::place(const Device &device)
     Placement best = state.toPlacement();
     double best_cost = current;
 
+    // Move outcomes accumulate in locals so the inner loop stays
+    // free of observability branches; totals flush to the registry
+    // once per run, per-step samples once per temperature step.
+    size_t moves_attempted = 0;
+    size_t moves_accepted = 0;
+
     for (size_t step = 0; step < options_.steps; ++step) {
+        PM_OBS_SPAN("place.step", "place");
+        size_t step_attempted = 0;
+        size_t step_accepted = 0;
         // Displacement range shrinks with temperature.
         double progress =
             static_cast<double>(step) /
@@ -387,12 +399,14 @@ AnnealingPlacer::place(const Device &device)
                 state.setPosition(i, pj);
                 state.setPosition(j, pi);
                 state.endMove({i, j});
+                ++step_attempted;
                 double candidate = state.cost();
                 double delta = candidate - current;
                 if (delta <= 0 ||
                     rng.nextDouble() <
                         std::exp(-delta / temperature)) {
                     current = candidate;
+                    ++step_accepted;
                 } else {
                     state.beginMove({i, j});
                     state.setPosition(i, pi);
@@ -418,12 +432,14 @@ AnnealingPlacer::place(const Device &device)
                 state.beginMove({i});
                 state.setPosition(i, fresh);
                 state.endMove({i});
+                ++step_attempted;
                 double candidate = state.cost();
                 double delta = candidate - current;
                 if (delta <= 0 ||
                     rng.nextDouble() <
                         std::exp(-delta / temperature)) {
                     current = candidate;
+                    ++step_accepted;
                 } else {
                     state.beginMove({i});
                     state.setPosition(i, old_pos);
@@ -435,11 +451,45 @@ AnnealingPlacer::place(const Device &device)
                 best = state.toPlacement();
             }
         }
+        moves_attempted += step_attempted;
+        moves_accepted += step_accepted;
+        if (obs::enabled()) {
+            // Cost trajectory and per-step acceptance, sampled once
+            // per temperature step.
+            obs::registry().record("place.step_cost", current);
+            obs::registry().record(
+                "place.step_acceptance",
+                step_attempted == 0
+                    ? 0.0
+                    : static_cast<double>(step_accepted) /
+                          static_cast<double>(step_attempted));
+        }
         temperature *= options_.cooling;
     }
 
+    PM_OBS_COUNT("place.steps", options_.steps);
+    PM_OBS_COUNT("place.moves.attempted", moves_attempted);
+    PM_OBS_COUNT("place.moves.accepted", moves_accepted);
+    PM_OBS_GAUGE("place.acceptance_rate",
+                 moves_attempted == 0
+                     ? 0.0
+                     : static_cast<double>(moves_accepted) /
+                           static_cast<double>(moves_attempted));
+
     // Report the cost of the best snapshot.
     lastCost_ = evaluatePlacement(device, best, options_.weights);
+    if (obs::enabled()) {
+        obs::registry().setGauge(
+            "place.cost.hpwl", static_cast<double>(lastCost_.hpwl));
+        obs::registry().setGauge(
+            "place.cost.overlap",
+            static_cast<double>(lastCost_.overlapArea));
+        obs::registry().setGauge(
+            "place.cost.bounding_area",
+            static_cast<double>(lastCost_.boundingArea));
+        obs::registry().setGauge("place.cost.total",
+                                 lastCost_.total);
+    }
     return best;
 }
 

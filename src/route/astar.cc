@@ -6,6 +6,8 @@
 #include <limits>
 #include <queue>
 
+#include "obs/obs.hh"
+
 namespace parchmint::route
 {
 
@@ -30,11 +32,9 @@ struct Node
     }
 };
 
-} // namespace
-
 AStarResult
-findPath(const RoutingGrid &grid, Cell start, Cell goal,
-         const std::string &net, const AStarOptions &options)
+findPathImpl(const RoutingGrid &grid, Cell start, Cell goal,
+             const std::string &net, const AStarOptions &options)
 {
     AStarResult result;
     if (!grid.inBounds(start) || !grid.inBounds(goal))
@@ -166,6 +166,25 @@ findPath(const RoutingGrid &grid, Cell start, Cell goal,
             }
         }
     }
+    return result;
+}
+
+} // namespace
+
+AStarResult
+findPath(const RoutingGrid &grid, Cell start, Cell goal,
+         const std::string &net, const AStarOptions &options)
+{
+    AStarResult result =
+        findPathImpl(grid, start, goal, net, options);
+    // Search effort, including failed and aborted searches; the
+    // per-net aggregate additionally lands in NetResult::expanded.
+    PM_OBS_COUNT("route.astar.searches", 1);
+    PM_OBS_COUNT("route.astar.expanded", result.expanded);
+    PM_OBS_HIST("route.astar.expanded_per_search",
+                result.expanded);
+    if (result.path.empty())
+        PM_OBS_COUNT("route.astar.failures", 1);
     return result;
 }
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/error.hh"
+#include "obs/obs.hh"
 #include "place/cost.hh"
 
 namespace parchmint::route
@@ -61,6 +62,7 @@ class DeviceRouter
             routeLayer(layer, result);
 
         for (const NetResult &net : result.nets) {
+            result.totalExpansions += net.expanded;
             if (net.routed) {
                 ++result.routedCount;
                 result.totalLength += net.length;
@@ -68,6 +70,24 @@ class DeviceRouter
                 result.totalViolations += net.violations;
             } else {
                 ++result.failedCount;
+            }
+        }
+        PM_OBS_COUNT("route.nets.routed", result.routedCount);
+        PM_OBS_COUNT("route.nets.failed", result.failedCount);
+        PM_OBS_COUNT("route.violations", result.totalViolations);
+        PM_OBS_COUNT("route.length_um", result.totalLength);
+        PM_OBS_GAUGE("route.completion_rate",
+                     result.completionRate());
+        if (obs::enabled()) {
+            for (const NetResult &net : result.nets) {
+                obs::registry().record(
+                    "route.net.expanded",
+                    static_cast<double>(net.expanded));
+                if (net.routed) {
+                    obs::registry().record(
+                        "route.net.length_um",
+                        static_cast<double>(net.length));
+                }
             }
         }
         return result;
@@ -86,6 +106,7 @@ class DeviceRouter
     RoutingGrid
     buildGrid(const Layer &layer) const
     {
+        PM_OBS_SPAN("route.grid", "route");
         Rect box = placement_.boundingBox(device_);
         // Margin so channels can skirt edge components.
         int64_t margin = std::max<int64_t>(2000, box.width / 10);
@@ -240,6 +261,9 @@ class DeviceRouter
             Cell goal = grid.cellAt(sink_pos);
             AStarResult found =
                 findPath(grid, start, goal, connection.id(), astar);
+            // Search effort counts even when the sink fails; a
+            // failed net's tally is reset if it is retried later.
+            net.expanded += found.expanded;
             if (found.path.empty())
                 return false;
             // Occupy immediately so later sinks share the trunk.
@@ -288,6 +312,7 @@ class DeviceRouter
     void
     routeLayer(const Layer &layer, RouteResult &result)
     {
+        PM_OBS_SPAN("route.layer", "route");
         std::vector<Connection *> connections =
             layerConnections(layer);
         if (connections.empty())
@@ -343,6 +368,8 @@ class DeviceRouter
         for (size_t round = 0;
              round < options_.ripupRounds && !failed.empty();
              ++round) {
+            PM_OBS_SPAN("route.ripup_round", "route");
+            PM_OBS_COUNT("route.ripup.rounds", 1);
             std::vector<Connection *> queue = std::move(failed);
             failed.clear();
             auto mark_failed = [&](Connection *connection) {
@@ -437,6 +464,7 @@ class DeviceRouter
         }
 
         if (options_.relaxedFinalPass && !failed.empty()) {
+            PM_OBS_SPAN("route.relaxed_pass", "route");
             AStarOptions relaxed = strict;
             relaxed.occupiedCost = 20.0;
             std::vector<Connection *> still_failed;
@@ -467,6 +495,7 @@ RouteResult
 routeDevice(Device &device, const place::Placement &placement,
             const RouterOptions &options)
 {
+    PM_OBS_SPAN("route.device", "route");
     for (const Component &component : device.components()) {
         if (!placement.isPlaced(component.id()))
             fatal("cannot route: component \"" + component.id() +

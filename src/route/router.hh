@@ -57,6 +57,8 @@ struct NetResult
     int bends = 0;
     /** Cells crossing another net (relaxed pass only). */
     size_t violations = 0;
+    /** A* cells expanded over all sink searches (search effort). */
+    size_t expanded = 0;
 };
 
 /** Whole-device routing outcome. */
@@ -68,6 +70,8 @@ struct RouteResult
     int64_t totalLength = 0;
     int totalBends = 0;
     size_t totalViolations = 0;
+    /** A* cells expanded over every net's final result. */
+    size_t totalExpansions = 0;
 
     /** routedCount / nets.size(); 1.0 for empty devices. */
     double completionRate() const;

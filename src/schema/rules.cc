@@ -7,6 +7,8 @@
 #include "common/strings.hh"
 #include "core/deserialize.hh"
 #include "json/parse.hh"
+#include "obs/clock.hh"
+#include "obs/obs.hh"
 #include "schema/parchmint_schema.hh"
 
 namespace parchmint::schema
@@ -26,14 +28,40 @@ class RuleChecker
     std::vector<Issue>
     run()
     {
-        checkLayers();
-        checkComponents();
-        checkConnections();
-        checkConnectivity();
+        runPhase("layers", [this] { checkLayers(); });
+        runPhase("components", [this] { checkComponents(); });
+        runPhase("connections", [this] { checkConnections(); });
+        runPhase("connectivity", [this] { checkConnectivity(); });
         return std::move(issues_);
     }
 
   private:
+    /**
+     * Run one rule family under a span and record its wall time
+     * and the issues it raised into the metrics registry.
+     */
+    template <typename Check>
+    void
+    runPhase(const char *phase, Check check)
+    {
+        if (!obs::enabled()) {
+            check();
+            return;
+        }
+        obs::ScopedSpan span(std::string("validate.rules.") + phase,
+                             "validate");
+        size_t before = issues_.size();
+        obs::Stopwatch watch;
+        check();
+        obs::registry().record(std::string("validate.rule_ms.") +
+                                   phase,
+                               watch.elapsedMs());
+        obs::registry().add("validate.rules.checked", 1);
+        obs::registry().add(
+            "validate.rules.failed",
+            static_cast<int64_t>(issues_.size() - before));
+    }
+
     void
     error(std::string location, std::string message)
     {
@@ -331,14 +359,33 @@ class RuleChecker
 std::vector<Issue>
 checkRules(const Device &device)
 {
+    PM_OBS_SPAN("validate.rules", "validate");
     RuleChecker checker(device);
-    return checker.run();
+    std::vector<Issue> issues = checker.run();
+    if (obs::enabled()) {
+        size_t errors = 0;
+        for (const Issue &issue : issues) {
+            if (issue.severity == Severity::Error)
+                ++errors;
+        }
+        obs::registry().add("validate.issues.errors",
+                            static_cast<int64_t>(errors));
+        obs::registry().add(
+            "validate.issues.warnings",
+            static_cast<int64_t>(issues.size() - errors));
+    }
+    return issues;
 }
 
 std::vector<Issue>
 validateDocument(const json::Value &document)
 {
-    std::vector<Issue> issues = validateStructure(document);
+    PM_OBS_SPAN("validate.document", "validate");
+    std::vector<Issue> issues;
+    {
+        PM_OBS_SPAN("validate.structure", "validate");
+        issues = validateStructure(document);
+    }
     if (hasErrors(issues))
         return issues;
     try {

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "common/error.hh"
+#include "obs/obs.hh"
 #include "sim/linear_solver.hh"
 
 namespace parchmint::sim
@@ -74,6 +75,7 @@ HydraulicModel
 HydraulicModel::build(const Device &device,
                       const HydraulicOptions &options)
 {
+    PM_OBS_SPAN("sim.build_model", "sim");
     const Layer *flow = device.firstLayer(LayerType::Flow);
     if (!flow)
         fatal("hydraulic model: device has no flow layer");
@@ -135,9 +137,14 @@ HydraulicModel::setPressure(const std::string &component_id,
 HydraulicSolution
 HydraulicModel::solve() const
 {
+    PM_OBS_SPAN("sim.solve", "sim");
     if (boundaries_.size() < 2)
         fatal("hydraulic solve needs at least two boundary "
               "pressures");
+    PM_OBS_COUNT("sim.solves", 1);
+    PM_OBS_GAUGE("sim.nodes", nodes_.size());
+    PM_OBS_GAUGE("sim.edges", edges_.size());
+    PM_OBS_GAUGE("sim.boundaries", boundaries_.size());
 
     // Adjacency for reachability from boundary nodes.
     std::vector<std::vector<size_t>> adjacency(nodes_.size());

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/error.hh"
+#include "obs/clock.hh"
+#include "obs/obs.hh"
 
 namespace parchmint::sim
 {
@@ -31,9 +33,14 @@ Matrix::at(size_t row, size_t col) const
 std::vector<double>
 solveLinearSystem(Matrix a, std::vector<double> b)
 {
+    PM_OBS_SPAN("sim.lu", "sim");
     size_t n = a.size();
     if (b.size() != n)
         panic("solveLinearSystem: dimension mismatch");
+    obs::Stopwatch lu_watch;
+    PM_OBS_COUNT("sim.lu.solves", 1);
+    PM_OBS_GAUGE("sim.lu.matrix_size", n);
+    PM_OBS_HIST("sim.lu.matrix_size", n);
 
     // Forward elimination with partial pivoting.
     for (size_t col = 0; col < n; ++col) {
@@ -73,6 +80,7 @@ solveLinearSystem(Matrix a, std::vector<double> b)
             sum -= a.at(row, k) * x[k];
         x[row] = sum / a.at(row, row);
     }
+    PM_OBS_HIST("sim.lu_ms", lu_watch.elapsedMs());
     return x;
 }
 

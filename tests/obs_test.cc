@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests for the observability subsystem: histogram statistics, span
+ * nesting, run-report export (round-tripped through the JSON
+ * parser), and the disabled-mode contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include "json/parse.hh"
+#include "json/write.hh"
+#include "obs/obs.hh"
+#include "obs/report.hh"
+
+namespace parchmint::obs
+{
+namespace
+{
+
+/** Enables observability on a clean slate; disables afterwards. */
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setEnabled(true);
+        reset();
+    }
+
+    void
+    TearDown() override
+    {
+        setEnabled(false);
+        reset();
+    }
+};
+
+// --- Histogram statistics --------------------------------------------
+
+TEST(HistogramTest, EmptySummaryIsZero)
+{
+    Histogram histogram;
+    HistogramSummary summary = histogram.summary();
+    EXPECT_EQ(0u, summary.count);
+    EXPECT_EQ(0.0, summary.median);
+    EXPECT_EQ(0.0, summary.p95);
+}
+
+TEST(HistogramTest, SingleSample)
+{
+    Histogram histogram;
+    histogram.record(7.0);
+    HistogramSummary summary = histogram.summary();
+    EXPECT_EQ(1u, summary.count);
+    EXPECT_DOUBLE_EQ(7.0, summary.min);
+    EXPECT_DOUBLE_EQ(7.0, summary.max);
+    EXPECT_DOUBLE_EQ(7.0, summary.mean);
+    EXPECT_DOUBLE_EQ(7.0, summary.median);
+    EXPECT_DOUBLE_EQ(7.0, summary.p95);
+}
+
+TEST(HistogramTest, OddCountMedianIsMiddleSample)
+{
+    Histogram histogram;
+    // Recording order must not matter.
+    histogram.record(3.0);
+    histogram.record(1.0);
+    histogram.record(2.0);
+    HistogramSummary summary = histogram.summary();
+    EXPECT_EQ(3u, summary.count);
+    EXPECT_DOUBLE_EQ(2.0, summary.median);
+    EXPECT_DOUBLE_EQ(2.0, summary.mean);
+    EXPECT_DOUBLE_EQ(3.0, summary.p95);
+}
+
+TEST(HistogramTest, EvenCountMedianAveragesMiddleTwo)
+{
+    Histogram histogram;
+    histogram.record(4.0);
+    histogram.record(1.0);
+    histogram.record(3.0);
+    histogram.record(2.0);
+    HistogramSummary summary = histogram.summary();
+    EXPECT_EQ(4u, summary.count);
+    EXPECT_DOUBLE_EQ(2.5, summary.median);
+    EXPECT_DOUBLE_EQ(4.0, summary.p95);
+}
+
+TEST(HistogramTest, P95NearestRankOnLargerSample)
+{
+    Histogram histogram;
+    for (int i = 1; i <= 100; ++i)
+        histogram.record(static_cast<double>(i));
+    HistogramSummary summary = histogram.summary();
+    // Nearest rank: ceil(0.95 * 100) = 95th sorted sample.
+    EXPECT_DOUBLE_EQ(95.0, summary.p95);
+    EXPECT_DOUBLE_EQ(50.5, summary.median);
+}
+
+// --- Registry ---------------------------------------------------------
+
+TEST_F(ObsTest, CountersAccumulateAndDefaultToZero)
+{
+    registry().add("a", 2);
+    registry().add("a", 3);
+    EXPECT_EQ(5, registry().counter("a"));
+    EXPECT_EQ(0, registry().counter("never.touched"));
+}
+
+TEST_F(ObsTest, GaugesKeepLatestValue)
+{
+    registry().setGauge("g", 1.0);
+    registry().setGauge("g", 2.5);
+    EXPECT_DOUBLE_EQ(2.5, registry().gauge("g"));
+}
+
+// --- Span nesting -----------------------------------------------------
+
+TEST_F(ObsTest, SpansRecordNestingDepth)
+{
+    {
+        ScopedSpan outer("outer", "test");
+        {
+            ScopedSpan inner("inner", "test");
+        }
+        {
+            ScopedSpan sibling("sibling", "test");
+        }
+    }
+    // Children complete before their parent.
+    const auto &events = tracer().events();
+    ASSERT_EQ(3u, events.size());
+    EXPECT_EQ("inner", events[0].name);
+    EXPECT_EQ(1, events[0].depth);
+    EXPECT_EQ("sibling", events[1].name);
+    EXPECT_EQ(1, events[1].depth);
+    EXPECT_EQ("outer", events[2].name);
+    EXPECT_EQ(0, events[2].depth);
+    EXPECT_EQ(0, tracer().depth());
+
+    // Children are contained in the parent's interval.
+    const SpanEvent &outer = events[2];
+    for (size_t i = 0; i < 2; ++i) {
+        EXPECT_GE(events[i].startUs, outer.startUs);
+        EXPECT_LE(events[i].startUs + events[i].durationUs,
+                  outer.startUs + outer.durationUs);
+    }
+}
+
+TEST_F(ObsTest, MacroSpansRecord)
+{
+    {
+        PM_OBS_SPAN("macro.span", "test");
+    }
+    ASSERT_EQ(1u, tracer().events().size());
+    EXPECT_EQ("macro.span", tracer().events()[0].name);
+}
+
+// --- Disabled mode ----------------------------------------------------
+
+TEST(ObsDisabledTest, RecordsNothing)
+{
+    setEnabled(false);
+    reset();
+    {
+        PM_OBS_SPAN("invisible", "test");
+        ScopedSpan direct("also.invisible");
+        PM_OBS_COUNT("invisible.counter", 7);
+        PM_OBS_GAUGE("invisible.gauge", 1.0);
+        PM_OBS_HIST("invisible.hist", 1.0);
+    }
+    EXPECT_TRUE(tracer().events().empty());
+    EXPECT_TRUE(registry().empty());
+    EXPECT_EQ(0, registry().counter("invisible.counter"));
+}
+
+// --- Run report and Chrome trace round-trip ---------------------------
+
+TEST_F(ObsTest, RunReportRoundTripsThroughJsonParser)
+{
+    {
+        ScopedSpan outer("flow", "test");
+        ScopedSpan inner("step", "test");
+        registry().add("widgets", 42);
+        registry().setGauge("ratio", 0.5);
+        for (int i = 1; i <= 5; ++i)
+            registry().record("latency_ms",
+                              static_cast<double>(i));
+    }
+
+    RunInfo info;
+    info.tool = "obs_test";
+    info.timestamp = "2026-08-06T00:00:00";
+    info.notes = {{"case", "round_trip"}};
+
+    std::string text = json::write(buildRunReport(info));
+    // Parsing the report also records parse metrics; that must not
+    // disturb the already-built document.
+    json::Value parsed = json::parse(text);
+
+    EXPECT_EQ("parchmint-run-report-v1",
+              parsed.at("schema").asString());
+    EXPECT_EQ("obs_test", parsed.at("tool").asString());
+    EXPECT_EQ("round_trip",
+              parsed.at("notes").at("case").asString());
+    EXPECT_TRUE(parsed.at("environment").contains("compiler"));
+    EXPECT_TRUE(parsed.at("environment").contains("buildType"));
+
+    // Chrome trace shape: complete events with name/ts/dur.
+    const json::Value &events = parsed.at("traceEvents");
+    ASSERT_TRUE(events.isArray());
+    ASSERT_EQ(2u, events.size());
+    for (const json::Value &event : events.elements()) {
+        EXPECT_EQ("X", event.at("ph").asString());
+        EXPECT_TRUE(event.at("ts").isInteger());
+        EXPECT_TRUE(event.at("dur").isInteger());
+        EXPECT_FALSE(event.at("name").asString().empty());
+    }
+    EXPECT_EQ("step", events.at(0).at("name").asString());
+    EXPECT_EQ("flow", events.at(1).at("name").asString());
+
+    // Metrics: counters, gauges, and summarized histograms.
+    const json::Value &metrics = parsed.at("metrics");
+    EXPECT_EQ(42,
+              metrics.at("counters").at("widgets").asInteger());
+    EXPECT_DOUBLE_EQ(0.5,
+                     metrics.at("gauges").at("ratio").asDouble());
+    const json::Value &latency =
+        metrics.at("histograms").at("latency_ms");
+    EXPECT_EQ(5, latency.at("count").asInteger());
+    EXPECT_DOUBLE_EQ(3.0, latency.at("median").asDouble());
+    EXPECT_DOUBLE_EQ(5.0, latency.at("p95").asDouble());
+}
+
+TEST_F(ObsTest, TraceJsonLinesOneEventPerLine)
+{
+    {
+        ScopedSpan a("a", "test");
+        ScopedSpan b("b", "test");
+    }
+    std::string lines = traceJsonLines(tracer());
+    size_t newlines = 0;
+    for (char c : lines) {
+        if (c == '\n')
+            ++newlines;
+    }
+    EXPECT_EQ(2u, newlines);
+    // Every line is itself a parseable JSON object.
+    size_t start = 0;
+    while (start < lines.size()) {
+        size_t end = lines.find('\n', start);
+        json::Value line =
+            json::parse(lines.substr(start, end - start));
+        EXPECT_TRUE(line.isObject());
+        EXPECT_TRUE(line.contains("name"));
+        EXPECT_TRUE(line.contains("depth"));
+        start = end + 1;
+    }
+}
+
+TEST_F(ObsTest, ResetClearsEverything)
+{
+    registry().add("c", 1);
+    {
+        ScopedSpan span("s");
+    }
+    EXPECT_FALSE(registry().empty());
+    EXPECT_FALSE(tracer().events().empty());
+    reset();
+    EXPECT_TRUE(registry().empty());
+    EXPECT_TRUE(tracer().events().empty());
+}
+
+} // namespace
+} // namespace parchmint::obs

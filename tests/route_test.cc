@@ -11,6 +11,7 @@
 #include "core/builder.hh"
 #include "core/deserialize.hh"
 #include "core/serialize.hh"
+#include "obs/obs.hh"
 #include "place/annealing_placer.hh"
 #include "place/row_placer.hh"
 #include "route/astar.hh"
@@ -205,6 +206,30 @@ TEST(RouterTest, RoutesSimpleChainCompletely)
     RoutedStats stats = measureRoutedDevice(device);
     EXPECT_EQ(device.connections().size(),
               stats.routedConnections);
+}
+
+TEST(RouterTest, SurfacesAStarExpansionEffort)
+{
+    obs::setEnabled(true);
+    obs::reset();
+    Device device = suite::buildBenchmark("droplet_transposer");
+    place::Placement placement = place::RowPlacer().place(device);
+    RouteResult result = routeDevice(device, placement);
+
+    // The search effort A* reports per call is aggregated on each
+    // net and on the whole result...
+    EXPECT_GT(result.totalExpansions, 0u);
+    size_t per_net = 0;
+    for (const NetResult &net : result.nets)
+        per_net += net.expanded;
+    EXPECT_EQ(per_net, result.totalExpansions);
+
+    // ...and surfaced through the metrics registry.
+    EXPECT_GE(static_cast<size_t>(
+                  obs::registry().counter("route.astar.expanded")),
+              result.totalExpansions);
+    obs::setEnabled(false);
+    obs::reset();
 }
 
 TEST(RouterTest, RoutedDeviceStillPassesRules)
