@@ -8,11 +8,16 @@
  * timers. Reports go to stdout so `bench_* | tee` captures the
  * artifact.
  *
- * Passing `--json-report <path>` to any bench binary additionally
- * enables observability for the run and writes a run-report JSON
- * artifact (spans + metrics + environment snapshot, see
- * obs/report.hh) next to the stdout report. The file doubles as a
- * chrome://tracing trace.
+ * Passing `--json-report <path>` (or `--json-report=<path>`) to any
+ * bench binary additionally enables observability for the run and
+ * writes a run-report JSON artifact (spans + metrics + environment
+ * snapshot, see obs/report.hh) next to the stdout report. The file
+ * doubles as a chrome://tracing trace, and a collapsed-stack
+ * flamegraph export lands next to it at `<path>.folded`.
+ * `--history <path>` (or `--history=<path>`) appends a compact
+ * summary record of the run to a JSONL history file (see
+ * obs/history.hh), so repeated bench runs accumulate into a perf
+ * trajectory that `report_diff` can gate on.
  */
 
 #ifndef PARCHMINT_BENCH_BENCH_COMMON_HH
@@ -23,7 +28,9 @@
 #include <cstdio>
 #include <string>
 
+#include "common/strings.hh"
 #include "obs/clock.hh"
+#include "obs/history.hh"
 #include "obs/obs.hh"
 #include "obs/report.hh"
 
@@ -40,62 +47,110 @@ heading(const char *experiment, const char *title)
     std::printf("== %s: %s ==\n\n", experiment, title);
 }
 
-/**
- * Pull `--json-report <path>` out of argv (so google-benchmark
- * never sees it) and enable observability when it was given.
- *
- * @return The report path, or "" when the flag is absent.
- */
-inline std::string
-extractJsonReportFlag(int &argc, char **argv)
+/** Harness flags shared by every bench binary. */
+struct BenchFlags
 {
-    std::string path;
+    /** `--json-report`: run-report artifact path, or "". */
+    std::string reportPath;
+    /** `--history`: JSONL history file to append to, or "". */
+    std::string historyPath;
+};
+
+/**
+ * Match one `--flag <value>` / `--flag=<value>` argument at
+ * position @p i, storing the value and advancing @p i past a
+ * space-separated value.
+ */
+inline bool
+matchValueFlag(int &i, int argc, char **argv, const char *name,
+               std::string &out)
+{
+    std::string arg = argv[i];
+    if (arg == name && i + 1 < argc) {
+        out = argv[++i];
+        return true;
+    }
+    std::string prefix = std::string(name) + "=";
+    if (::parchmint::startsWith(arg, prefix)) {
+        out = arg.substr(prefix.size());
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Pull the harness flags out of argv (so google-benchmark never
+ * sees them) and enable observability when any was given. Both the
+ * space-separated and the `=` spellings are accepted.
+ */
+inline BenchFlags
+extractBenchFlags(int &argc, char **argv)
+{
+    BenchFlags flags;
     int out = 1;
     for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--json-report" &&
-            i + 1 < argc) {
-            path = argv[++i];
+        if (matchValueFlag(i, argc, argv, "--json-report",
+                           flags.reportPath)) {
+            continue;
+        }
+        if (matchValueFlag(i, argc, argv, "--history",
+                           flags.historyPath)) {
             continue;
         }
         argv[out++] = argv[i];
     }
     argc = out;
-    if (!path.empty())
+    if (!flags.reportPath.empty() || !flags.historyPath.empty())
         ::parchmint::obs::setEnabled(true);
-    return path;
+    return flags;
 }
 
-/** Write the run-report artifact for a bench binary. */
+/**
+ * Emit the run artifacts for a bench binary: the run report plus
+ * its folded flamegraph when `--json-report` was passed, and the
+ * history record when `--history` was. The tool name is the
+ * basename of @p argv0, so reports from different build directories
+ * compare equal in the diff engine.
+ */
 inline void
-writeBenchReport(const std::string &path, const char *tool)
+writeBenchArtifacts(const BenchFlags &flags, const char *argv0)
 {
     ::parchmint::obs::RunInfo info;
-    info.tool = tool;
+    info.tool = ::parchmint::pathBasename(argv0);
     info.timestamp = ::parchmint::obs::localTimestamp();
-    ::parchmint::obs::writeRunReport(path, info);
-    std::printf("wrote run report %s\n", path.c_str());
+    if (!flags.reportPath.empty()) {
+        ::parchmint::obs::writeRunReport(flags.reportPath, info);
+        ::parchmint::obs::writeFoldedStacks(flags.reportPath +
+                                            ".folded");
+        std::printf("wrote run report %s (+ .folded)\n",
+                    flags.reportPath.c_str());
+    }
+    if (!flags.historyPath.empty()) {
+        ::parchmint::obs::appendHistory(flags.historyPath, info);
+        std::printf("appended run history %s\n",
+                    flags.historyPath.c_str());
+    }
 }
 
 /**
  * Standard main body: print the report, then hand over to
  * google-benchmark for the registered timers; finally emit the
- * run-report artifact when `--json-report <path>` was passed.
+ * run-report / history artifacts when `--json-report <path>` or
+ * `--history <path>` was passed.
  */
 #define PARCHMINT_BENCH_MAIN(report_function)                         \
     int main(int argc, char **argv)                                   \
     {                                                                 \
-        std::string pm_bench_report_path =                            \
-            ::parchmint::bench::extractJsonReportFlag(argc, argv);    \
+        ::parchmint::bench::BenchFlags pm_bench_flags =               \
+            ::parchmint::bench::extractBenchFlags(argc, argv);        \
         report_function();                                            \
         ::benchmark::Initialize(&argc, argv);                         \
         if (::benchmark::ReportUnrecognizedArguments(argc, argv))     \
             return 1;                                                 \
         ::benchmark::RunSpecifiedBenchmarks();                        \
         ::benchmark::Shutdown();                                      \
-        if (!pm_bench_report_path.empty()) {                          \
-            ::parchmint::bench::writeBenchReport(                     \
-                pm_bench_report_path, argv[0]);                       \
-        }                                                             \
+        ::parchmint::bench::writeBenchArtifacts(pm_bench_flags,       \
+                                                argv[0]);             \
         return 0;                                                     \
     }
 

@@ -13,7 +13,10 @@
  * and a run-report JSON artifact is written, carrying the
  * per-device characterization timings from the metrics registry
  * (the same code path that feeds the Table 1 numbers) and the
- * validation spans.
+ * validation spans; a collapsed-stack flamegraph export lands next
+ * to it at `<path>.folded`. `--history <path>` appends a compact
+ * summary record to a JSONL history file (obs/history.hh). Both
+ * flags accept the space-separated and the `=` spellings.
  */
 
 #include <cstdio>
@@ -21,11 +24,13 @@
 #include <vector>
 
 #include "common/error.hh"
+#include "common/strings.hh"
 #include "analysis/stats_json.hh"
 #include "analysis/suite_report.hh"
 #include "json/write.hh"
 #include "core/deserialize.hh"
 #include "core/serialize.hh"
+#include "obs/history.hh"
 #include "obs/obs.hh"
 #include "obs/report.hh"
 #include "schema/rules.hh"
@@ -68,16 +73,25 @@ main(int argc, char **argv)
 {
     try {
         std::string report_path;
+        std::string history_path;
         std::vector<std::string> args;
         for (int i = 1; i < argc; ++i) {
             std::string arg = argv[i];
             if (arg == "--report" && i + 1 < argc) {
                 report_path = argv[++i];
+            } else if (startsWith(arg, "--report=")) {
+                report_path = arg.substr(std::string("--report=")
+                                             .size());
+            } else if (arg == "--history" && i + 1 < argc) {
+                history_path = argv[++i];
+            } else if (startsWith(arg, "--history=")) {
+                history_path = arg.substr(std::string("--history=")
+                                              .size());
             } else {
                 args.push_back(arg);
             }
         }
-        if (!report_path.empty())
+        if (!report_path.empty() || !history_path.empty())
             obs::setEnabled(true);
 
         int status = 0;
@@ -102,13 +116,21 @@ main(int argc, char **argv)
                 analysis::renderCompositionTable(rows).c_str());
         }
 
-        if (!report_path.empty()) {
+        if (!report_path.empty() || !history_path.empty()) {
             obs::RunInfo info;
             info.tool = "characterize";
             info.timestamp = obs::localTimestamp();
-            obs::writeRunReport(report_path, info);
-            std::printf("wrote run report %s\n",
-                        report_path.c_str());
+            if (!report_path.empty()) {
+                obs::writeRunReport(report_path, info);
+                obs::writeFoldedStacks(report_path + ".folded");
+                std::printf("wrote run report %s (+ .folded)\n",
+                            report_path.c_str());
+            }
+            if (!history_path.empty()) {
+                obs::appendHistory(history_path, info);
+                std::printf("appended run history %s\n",
+                            history_path.c_str());
+            }
         }
         return status;
     } catch (const UserError &error) {

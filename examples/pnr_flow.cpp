@@ -5,6 +5,7 @@
  * positions and paths) and an SVG rendering.
  *
  * Run:  ./pnr_flow [benchmark] [seed] [--report report.json]
+ *           [--history history.jsonl]
  *
  * Defaults to the cell_trap_array benchmark. Benchmark names are
  * the standard suite names (see DESIGN.md or run ./characterize).
@@ -13,7 +14,13 @@
  * run-report JSON artifact is written: nested spans for
  * place/route/validate, the annealing and router counters, and the
  * timing histograms. Open the same file in chrome://tracing to see
- * the flame view (see README.md "Observability").
+ * the flame view (see README.md "Observability"); a collapsed-stack
+ * flamegraph export for flamegraph.pl / speedscope lands next to it
+ * at `<report>.folded`. With --history, a compact summary record of
+ * the run is appended to a JSONL history file (see obs/history.hh)
+ * so repeated runs accumulate into a perf trajectory; `report_diff`
+ * compares any two reports or records. Both flags accept the
+ * space-separated and the `=` spellings.
  */
 
 #include <cstdio>
@@ -22,8 +29,10 @@
 #include <vector>
 
 #include "common/error.hh"
+#include "common/strings.hh"
 #include "core/serialize.hh"
 #include "export/svg.hh"
+#include "obs/history.hh"
 #include "obs/obs.hh"
 #include "obs/report.hh"
 #include "place/annealing_placer.hh"
@@ -42,12 +51,21 @@ main(int argc, char **argv)
         std::string name = "cell_trap_array";
         uint64_t seed = 1;
         std::string report_path;
+        std::string history_path;
 
         std::vector<std::string> positional;
         for (int i = 1; i < argc; ++i) {
             std::string arg = argv[i];
             if (arg == "--report" && i + 1 < argc) {
                 report_path = argv[++i];
+            } else if (startsWith(arg, "--report=")) {
+                report_path = arg.substr(std::string("--report=")
+                                             .size());
+            } else if (arg == "--history" && i + 1 < argc) {
+                history_path = argv[++i];
+            } else if (startsWith(arg, "--history=")) {
+                history_path = arg.substr(std::string("--history=")
+                                              .size());
             } else {
                 positional.push_back(arg);
             }
@@ -56,7 +74,7 @@ main(int argc, char **argv)
             name = positional[0];
         if (positional.size() > 1)
             seed = std::strtoull(positional[1].c_str(), nullptr, 10);
-        if (!report_path.empty())
+        if (!report_path.empty() || !history_path.empty())
             obs::setEnabled(true);
 
         Device device = suite::buildBenchmark(name);
@@ -124,16 +142,26 @@ main(int argc, char **argv)
         std::printf("wrote %s_routed.json and %s.svg\n",
                     name.c_str(), name.c_str());
 
-        if (!report_path.empty()) {
+        if (!report_path.empty() || !history_path.empty()) {
             obs::RunInfo info;
             info.tool = "pnr_flow";
             info.timestamp = obs::localTimestamp();
             info.notes = {{"benchmark", name},
                           {"seed", std::to_string(seed)}};
-            obs::writeRunReport(report_path, info);
-            std::printf("wrote run report %s (open in "
-                        "chrome://tracing)\n",
-                        report_path.c_str());
+            if (!report_path.empty()) {
+                obs::writeRunReport(report_path, info);
+                obs::writeFoldedStacks(report_path + ".folded");
+                std::printf("wrote run report %s (open in "
+                            "chrome://tracing) and %s.folded "
+                            "(flamegraph.pl / speedscope)\n",
+                            report_path.c_str(),
+                            report_path.c_str());
+            }
+            if (!history_path.empty()) {
+                obs::appendHistory(history_path, info);
+                std::printf("appended run history %s\n",
+                            history_path.c_str());
+            }
         }
         return schema::hasErrors(issues) ? 1 : 0;
     } catch (const UserError &error) {

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Diff two run reports (or history records) and gate on
+ * regressions — the CI perf-gate front end of obs/compare.hh.
+ *
+ * Run:  ./report_diff [options] baseline.json current.json
+ *       ./report_diff [options] --baseline a1.json
+ *           [--baseline a2.json ...] --current b1.json
+ *           [--current b2.json ...]
+ *
+ * With repeated --baseline / --current files, each side is reduced
+ * to its per-metric median first (median-of-repeats), which is how
+ * noisy timing metrics become gateable.
+ *
+ * Options:
+ *   --threshold <pct>   relative noise threshold in percent
+ *                       (default 5)
+ *   --format <fmt>      table | markdown | json (default table)
+ *   --watch <prefix>    gate only metrics matching the prefix
+ *                       ("counter:", "route.astar", ...);
+ *                       repeatable; default gates everything
+ *   --all               also print rows classified as noise
+ *
+ * Exit status: 0 when no watched metric regressed, 1 when one did
+ * (the CI gate), 2 on usage or input errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "json/parse.hh"
+#include "json/write.hh"
+#include "obs/compare.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+/** Load and flatten one side, median-merging repeats. */
+obs::FlatMetrics
+loadSide(const std::vector<std::string> &paths)
+{
+    std::vector<obs::FlatMetrics> flats;
+    for (const std::string &path : paths) {
+        json::Value report = json::parseFile(path);
+        const json::Value *schema =
+            report.isObject() ? report.find("schema") : nullptr;
+        if (!schema || !schema->isString() ||
+            (schema->asString() != "parchmint-run-report-v1" &&
+             schema->asString() != "parchmint-run-history-v1")) {
+            std::fprintf(stderr,
+                         "warning: %s does not declare a known "
+                         "run-report schema\n",
+                         path.c_str());
+        }
+        flats.push_back(obs::flattenReport(report));
+    }
+    return flats.size() == 1 ? flats.front()
+                             : obs::medianOfFlats(flats);
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: report_diff [options] baseline.json current.json\n"
+        "       (or repeated --baseline/--current for medians)\n"
+        "options: --threshold <pct>  --format table|markdown|json\n"
+        "         --watch <prefix>   --all\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        std::vector<std::string> baselines;
+        std::vector<std::string> currents;
+        std::vector<std::string> positional;
+        std::vector<std::string> watch;
+        std::string format = "table";
+        double threshold_pct = 5.0;
+        bool include_noise = false;
+
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            auto value = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    usage();
+                return argv[++i];
+            };
+            if (arg == "--baseline") {
+                baselines.push_back(value());
+            } else if (arg == "--current") {
+                currents.push_back(value());
+            } else if (arg == "--watch") {
+                watch.push_back(value());
+            } else if (arg == "--format") {
+                format = value();
+            } else if (arg == "--threshold") {
+                threshold_pct = std::atof(value().c_str());
+            } else if (arg == "--all") {
+                include_noise = true;
+            } else if (arg == "--help" || arg == "-h") {
+                usage();
+            } else {
+                positional.push_back(arg);
+            }
+        }
+        if (positional.size() == 2 && baselines.empty() &&
+            currents.empty()) {
+            baselines.push_back(positional[0]);
+            currents.push_back(positional[1]);
+        } else if (!positional.empty() || baselines.empty() ||
+                   currents.empty()) {
+            usage();
+        }
+        if (format != "table" && format != "markdown" &&
+            format != "json") {
+            usage();
+        }
+
+        obs::CompareOptions options;
+        options.relativeThreshold = threshold_pct / 100.0;
+        obs::Comparison comparison = obs::compareFlat(
+            loadSide(baselines), loadSide(currents), options);
+
+        if (format == "json") {
+            std::printf(
+                "%s",
+                json::write(obs::comparisonToJson(comparison))
+                    .c_str());
+        } else if (format == "markdown") {
+            std::printf("%s",
+                        obs::renderComparisonMarkdown(
+                            comparison, include_noise)
+                            .c_str());
+        } else {
+            std::printf("%s",
+                        obs::renderComparisonTable(comparison,
+                                                   include_noise)
+                            .c_str());
+        }
+
+        return obs::hasWatchedRegression(comparison, watch) ? 1
+                                                            : 0;
+    } catch (const UserError &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 2;
+    }
+}

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# CI perf gate: run the pinned place-and-route flow with a run
+# report, then diff it against the checked-in baseline summary with
+# report_diff (see obs/compare.hh).
+#
+# Watched metrics are counters only: with a pinned benchmark and
+# seed the annealer, router and validator counters are fully
+# deterministic, so any drift is a real behaviour change. Wall-time
+# metrics (spans, histograms) vary across machines and stay
+# unwatched — they are recorded in the artifacts for trend reading,
+# not gated.
+#
+# Exit codes:  0  no watched regression (or no baseline yet)
+#              1  a watched counter regressed past the threshold
+#              2  harness / comparator failure
+#
+# Environment overrides:
+#   BUILD_DIR   build tree with pnr_flow + report_diff  [build]
+#   BASELINE    baseline record to diff against
+#               [bench/baselines/pnr_flow_cell_trap_array.json]
+#   THRESHOLD   relative noise threshold in percent     [2]
+#   OUT_DIR     where current.json etc. land   [$BUILD_DIR/perf_gate]
+#
+# Refresh the baseline after an intentional perf change with:
+#   BUILD_DIR=build scripts/perf_gate.sh --rebaseline
+
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+BASELINE=${BASELINE:-bench/baselines/pnr_flow_cell_trap_array.json}
+THRESHOLD=${THRESHOLD:-2}
+OUT_DIR=${OUT_DIR:-$BUILD_DIR/perf_gate}
+
+BENCHMARK=cell_trap_array
+SEED=1
+
+PNR="$PWD/$BUILD_DIR/examples/pnr_flow"
+DIFF="$PWD/$BUILD_DIR/examples/report_diff"
+
+if [ ! -x "$PNR" ] || [ ! -x "$DIFF" ]; then
+    echo "perf_gate: build '$BUILD_DIR' first (needs pnr_flow" \
+         "and report_diff)" >&2
+    exit 2
+fi
+
+mkdir -p "$OUT_DIR"
+
+# One pinned run; pnr_flow drops its netlist/SVG artifacts in cwd,
+# so run it inside OUT_DIR. The history file accumulates across
+# gate runs into the local perf trajectory.
+if ! (cd "$OUT_DIR" &&
+      "$PNR" "$BENCHMARK" "$SEED" \
+          --report current.json \
+          --history history.jsonl > run.log 2>&1); then
+    echo "perf_gate: pnr_flow failed:" >&2
+    cat "$OUT_DIR/run.log" >&2
+    exit 2
+fi
+
+if [ "${1:-}" = "--rebaseline" ]; then
+    mkdir -p "$(dirname "$BASELINE")"
+    tail -n 1 "$OUT_DIR/history.jsonl" > "$BASELINE"
+    echo "perf_gate: wrote new baseline $BASELINE"
+    exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+    echo "perf_gate: no baseline at $BASELINE; run with" \
+         "--rebaseline to create one. Skipping." >&2
+    exit 0
+fi
+
+"$DIFF" --threshold "$THRESHOLD" --watch counter: \
+    "$BASELINE" "$OUT_DIR/current.json"
+status=$?
+if [ "$status" -eq 1 ]; then
+    echo "perf_gate: watched counter regressed past" \
+         "${THRESHOLD}% (see table above)" >&2
+elif [ "$status" -ge 2 ]; then
+    echo "perf_gate: report_diff failed (exit $status)" >&2
+fi
+exit "$status"

@@ -37,6 +37,15 @@ join(const std::vector<std::string> &parts, std::string_view separator)
 }
 
 std::string
+pathBasename(std::string_view path)
+{
+    size_t slash = path.find_last_of("/\\");
+    if (slash == std::string_view::npos)
+        return std::string(path);
+    return std::string(path.substr(slash + 1));
+}
+
+std::string
 trim(std::string_view text)
 {
     size_t begin = 0;

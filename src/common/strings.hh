@@ -46,6 +46,14 @@ bool startsWith(std::string_view text, std::string_view prefix);
 bool endsWith(std::string_view text, std::string_view suffix);
 
 /**
+ * The final path component: everything after the last '/' (or '\\'
+ * on Windows-style paths). "build/examples/pnr_flow" and
+ * "./pnr_flow" both reduce to "pnr_flow", so tool names recorded in
+ * run reports compare equal across build directories.
+ */
+std::string pathBasename(std::string_view path);
+
+/**
  * Render a double the way JSON expects: integral values get no
  * trailing ".0" stripped surprises and non-integral values keep
  * round-trip precision.

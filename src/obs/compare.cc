@@ -1,0 +1,393 @@
+#include "obs/compare.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "common/error.hh"
+
+namespace parchmint::obs
+{
+
+namespace
+{
+
+/** Append "kind:name" -> value for every member of a number map. */
+void
+flattenNumberMap(const json::Value *object, const std::string &kind,
+                 FlatMetrics &out)
+{
+    if (!object || !object->isObject())
+        return;
+    for (const auto &[name, value] : object->members()) {
+        if (value.isNumber())
+            out[kind + ":" + name] = value.asDouble();
+    }
+}
+
+/** Pull one named summary statistic out of a histogram object. */
+void
+flattenHistogramStat(const json::Value &summary,
+                     const std::string &name, const char *stat,
+                     const std::string &kind, FlatMetrics &out)
+{
+    const json::Value *value = summary.find(stat);
+    if (value && value->isNumber())
+        out[kind + ":" + name] = value->asDouble();
+}
+
+/** Format a value compactly: integers plain, reals to 4 digits. */
+std::string
+formatCell(double value)
+{
+    char buffer[32];
+    if (value == std::floor(value) && std::abs(value) < 1e15) {
+        std::snprintf(buffer, sizeof(buffer), "%lld",
+                      static_cast<long long>(value));
+    } else {
+        std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+    }
+    return buffer;
+}
+
+/** One row of the rendered comparison, all cells as text. */
+std::vector<std::string>
+renderCells(const MetricDelta &delta)
+{
+    char percent[32];
+    std::snprintf(percent, sizeof(percent), "%+.1f%%",
+                  delta.percent);
+    bool one_sided = delta.verdict == Verdict::BaselineOnly ||
+                     delta.verdict == Verdict::CurrentOnly;
+    return {
+        delta.kind,
+        delta.name,
+        delta.verdict == Verdict::CurrentOnly
+            ? "-"
+            : formatCell(delta.baseline),
+        delta.verdict == Verdict::BaselineOnly
+            ? "-"
+            : formatCell(delta.current),
+        one_sided ? "-" : formatCell(delta.delta),
+        one_sided ? "-" : percent,
+        verdictName(delta.verdict),
+    };
+}
+
+const std::vector<std::string> kHeader = {
+    "kind", "metric", "baseline", "current",
+    "delta", "percent", "verdict",
+};
+
+std::string
+summaryLine(const Comparison &comparison)
+{
+    return std::to_string(comparison.improvements) +
+           " improvement(s), " +
+           std::to_string(comparison.regressions) +
+           " regression(s), " + std::to_string(comparison.noise) +
+           " within noise, " + std::to_string(comparison.oneSided) +
+           " one-sided";
+}
+
+std::vector<std::vector<std::string>>
+renderRows(const Comparison &comparison, bool include_noise)
+{
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back(kHeader);
+    for (const MetricDelta &delta : comparison.deltas) {
+        if (!include_noise && delta.verdict == Verdict::Noise)
+            continue;
+        rows.push_back(renderCells(delta));
+    }
+    return rows;
+}
+
+} // namespace
+
+const char *
+verdictName(Verdict verdict)
+{
+    switch (verdict) {
+      case Verdict::Noise:
+        return "noise";
+      case Verdict::Improvement:
+        return "improvement";
+      case Verdict::Regression:
+        return "regression";
+      case Verdict::BaselineOnly:
+        return "baseline-only";
+      case Verdict::CurrentOnly:
+        return "current-only";
+    }
+    panic("unknown verdict");
+}
+
+FlatMetrics
+flattenReport(const json::Value &report)
+{
+    FlatMetrics out;
+    if (!report.isObject())
+        fatal("comparison input is not a JSON object");
+
+    const json::Value *metrics = report.find("metrics");
+    if (metrics && metrics->isObject()) {
+        flattenNumberMap(metrics->find("counters"), "counter", out);
+        flattenNumberMap(metrics->find("gauges"), "gauge", out);
+        const json::Value *histograms = metrics->find("histograms");
+        if (histograms && histograms->isObject()) {
+            for (const auto &[name, summary] :
+                 histograms->members()) {
+                if (!summary.isObject())
+                    continue;
+                flattenHistogramStat(summary, name, "count",
+                                     "hist.count", out);
+                flattenHistogramStat(summary, name, "median",
+                                     "hist.median", out);
+                flattenHistogramStat(summary, name, "p99",
+                                     "hist.p99", out);
+            }
+        }
+    }
+
+    // Span totals: from the raw trace-event stream of a run report,
+    // or the pre-folded "spans" object of a history record.
+    const json::Value *events = report.find("traceEvents");
+    if (events && events->isArray()) {
+        for (const json::Value &event : events->elements()) {
+            if (!event.isObject() || !event.find("name") ||
+                !event.find("dur")) {
+                continue;
+            }
+            const std::string &name = event.at("name").asString();
+            out["span.count:" + name] += 1.0;
+            out["span.total_us:" + name] +=
+                event.at("dur").asDouble();
+        }
+    }
+    const json::Value *spans = report.find("spans");
+    if (spans && spans->isObject()) {
+        for (const auto &[name, span] : spans->members()) {
+            if (!span.isObject())
+                continue;
+            flattenHistogramStat(span, name, "count", "span.count",
+                                 out);
+            flattenHistogramStat(span, name, "totalUs",
+                                 "span.total_us", out);
+        }
+    }
+    return out;
+}
+
+FlatMetrics
+medianOfFlats(const std::vector<FlatMetrics> &repeats)
+{
+    std::map<std::string, std::vector<double>> gathered;
+    for (const FlatMetrics &repeat : repeats) {
+        for (const auto &[key, value] : repeat)
+            gathered[key].push_back(value);
+    }
+    FlatMetrics out;
+    for (auto &[key, values] : gathered) {
+        std::sort(values.begin(), values.end());
+        size_t n = values.size();
+        out[key] = n % 2 == 1 ? values[n / 2]
+                              : (values[n / 2 - 1] +
+                                 values[n / 2]) /
+                                    2.0;
+    }
+    return out;
+}
+
+Comparison
+compareFlat(const FlatMetrics &baseline, const FlatMetrics &current,
+            const CompareOptions &options)
+{
+    std::set<std::string> keys;
+    for (const auto &[key, value] : baseline)
+        keys.insert(key);
+    for (const auto &[key, value] : current)
+        keys.insert(key);
+
+    Comparison comparison;
+    for (const std::string &key : keys) {
+        MetricDelta delta;
+        size_t colon = key.find(':');
+        delta.kind = key.substr(0, colon);
+        delta.name = key.substr(colon + 1);
+
+        auto base_it = baseline.find(key);
+        auto curr_it = current.find(key);
+        if (base_it == baseline.end()) {
+            delta.current = curr_it->second;
+            delta.verdict = Verdict::CurrentOnly;
+            ++comparison.oneSided;
+        } else if (curr_it == current.end()) {
+            delta.baseline = base_it->second;
+            delta.verdict = Verdict::BaselineOnly;
+            ++comparison.oneSided;
+        } else {
+            delta.baseline = base_it->second;
+            delta.current = curr_it->second;
+            delta.delta = delta.current - delta.baseline;
+            // Percent against the baseline magnitude, falling back
+            // to the current magnitude so a zero baseline cannot
+            // divide by zero: 0 -> N reads as a 100% change.
+            double denominator = std::abs(delta.baseline);
+            if (denominator == 0.0)
+                denominator = std::abs(delta.current);
+            delta.percent = denominator == 0.0
+                                ? 0.0
+                                : 100.0 * delta.delta / denominator;
+            if (std::abs(delta.percent) <=
+                100.0 * options.relativeThreshold) {
+                delta.verdict = Verdict::Noise;
+                ++comparison.noise;
+            } else if (delta.delta > 0.0) {
+                delta.verdict = Verdict::Regression;
+                ++comparison.regressions;
+            } else {
+                delta.verdict = Verdict::Improvement;
+                ++comparison.improvements;
+            }
+        }
+        comparison.deltas.push_back(std::move(delta));
+    }
+    return comparison;
+}
+
+Comparison
+compareReports(const json::Value &baseline,
+               const json::Value &current,
+               const CompareOptions &options)
+{
+    return compareFlat(flattenReport(baseline),
+                       flattenReport(current), options);
+}
+
+bool
+watchMatches(const MetricDelta &delta,
+             const std::vector<std::string> &watch)
+{
+    if (watch.empty())
+        return true;
+    std::string key = delta.key();
+    for (const std::string &pattern : watch) {
+        if (key.compare(0, pattern.size(), pattern) == 0)
+            return true;
+        if (delta.name.compare(0, pattern.size(), pattern) == 0)
+            return true;
+    }
+    return false;
+}
+
+bool
+hasWatchedRegression(const Comparison &comparison,
+                     const std::vector<std::string> &watch)
+{
+    for (const MetricDelta &delta : comparison.deltas) {
+        if (delta.verdict == Verdict::Regression &&
+            watchMatches(delta, watch)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+renderComparisonTable(const Comparison &comparison,
+                      bool include_noise)
+{
+    auto rows = renderRows(comparison, include_noise);
+    std::vector<size_t> widths(kHeader.size(), 0);
+    for (const auto &row : rows) {
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    std::string out;
+    for (size_t r = 0; r < rows.size(); ++r) {
+        for (size_t i = 0; i < rows[r].size(); ++i) {
+            // Left-align the name columns, right-align numbers.
+            bool left = i < 2 || i == rows[r].size() - 1;
+            std::string cell = rows[r][i];
+            std::string pad(widths[i] - cell.size(), ' ');
+            out += left ? cell + pad : pad + cell;
+            if (i + 1 < rows[r].size())
+                out += "  ";
+        }
+        while (!out.empty() && out.back() == ' ')
+            out.pop_back();
+        out += '\n';
+        if (r == 0) {
+            size_t total = 0;
+            for (size_t width : widths)
+                total += width + 2;
+            out += std::string(total - 2, '-');
+            out += '\n';
+        }
+    }
+    out += summaryLine(comparison);
+    out += '\n';
+    return out;
+}
+
+std::string
+renderComparisonMarkdown(const Comparison &comparison,
+                         bool include_noise)
+{
+    auto rows = renderRows(comparison, include_noise);
+    std::string out;
+    for (size_t r = 0; r < rows.size(); ++r) {
+        out += "|";
+        for (const std::string &cell : rows[r])
+            out += " " + cell + " |";
+        out += '\n';
+        if (r == 0) {
+            out += "|";
+            for (size_t i = 0; i < rows[r].size(); ++i)
+                out += "---|";
+            out += '\n';
+        }
+    }
+    out += '\n';
+    out += summaryLine(comparison);
+    out += '\n';
+    return out;
+}
+
+json::Value
+comparisonToJson(const Comparison &comparison)
+{
+    json::Value deltas = json::Value::makeArray();
+    for (const MetricDelta &delta : comparison.deltas) {
+        deltas.append(json::Value::makeObject({
+            {"kind", json::Value(delta.kind)},
+            {"name", json::Value(delta.name)},
+            {"baseline", json::Value(delta.baseline)},
+            {"current", json::Value(delta.current)},
+            {"delta", json::Value(delta.delta)},
+            {"percent", json::Value(delta.percent)},
+            {"verdict", json::Value(verdictName(delta.verdict))},
+        }));
+    }
+    json::Value summary = json::Value::makeObject({
+        {"improvements",
+         json::Value(
+             static_cast<int64_t>(comparison.improvements))},
+        {"regressions",
+         json::Value(static_cast<int64_t>(comparison.regressions))},
+        {"noise",
+         json::Value(static_cast<int64_t>(comparison.noise))},
+        {"oneSided",
+         json::Value(static_cast<int64_t>(comparison.oneSided))},
+    });
+    return json::Value::makeObject({
+        {"schema", json::Value("parchmint-report-diff-v1")},
+        {"deltas", std::move(deltas)},
+        {"summary", std::move(summary)},
+    });
+}
+
+} // namespace parchmint::obs

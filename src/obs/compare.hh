@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Run-report comparison engine: align two runs metric-by-metric,
+ * compute deltas, and classify each as improvement, regression or
+ * noise.
+ *
+ * Inputs are JSON documents: full run reports
+ * (`parchmint-run-report-v1`, obs/report.hh) or compact history
+ * records (`parchmint-run-history-v1`, obs/history.hh). Either form
+ * is first *flattened* into a map from `kind:name` keys to numeric
+ * values:
+ *
+ *   counter:place.moves.attempted        -> 288000
+ *   gauge:place.acceptance_rate          -> 0.41
+ *   hist.median:route.astar.expanded...  -> 163
+ *   hist.p99:route.astar.expanded...     -> 902
+ *   hist.count:route.astar.expanded...   -> 24
+ *   span.total_us:route                  -> 51234
+ *
+ * Span totals come from the `traceEvents` stream of a run report or
+ * the pre-folded `spans` object of a history record, so reports and
+ * history records diff against each other transparently.
+ *
+ * Classification treats *lower as better* (counters count work,
+ * spans and histograms measure time): a relative increase beyond
+ * the threshold is a regression, a decrease an improvement, and
+ * anything within the threshold is noise. Percent deltas are
+ * guarded against zero baselines: the denominator falls back to the
+ * current value, and 0 -> 0 compares as exactly 0%. Metrics present
+ * on only one side are reported but never gate.
+ *
+ * Median-of-repeats: flatten each repeat and merge with
+ * medianOfFlats() before comparing, which is how a noisy timing
+ * metric becomes gateable.
+ */
+
+#ifndef PARCHMINT_OBS_COMPARE_HH
+#define PARCHMINT_OBS_COMPARE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "json/value.hh"
+
+namespace parchmint::obs
+{
+
+/** Classification of one aligned metric. */
+enum class Verdict
+{
+    /** Within the noise threshold. */
+    Noise,
+    /** Better (lower) than baseline beyond the threshold. */
+    Improvement,
+    /** Worse (higher) than baseline beyond the threshold. */
+    Regression,
+    /** Present in the baseline only. */
+    BaselineOnly,
+    /** Present in the current run only. */
+    CurrentOnly,
+};
+
+/** Lowercase display name of a verdict, e.g. "regression". */
+const char *verdictName(Verdict verdict);
+
+/** One aligned metric with its delta and verdict. */
+struct MetricDelta
+{
+    /** Metric kind: "counter", "gauge", "hist.median", ... */
+    std::string kind;
+    /** Dotted metric or span name. */
+    std::string name;
+    double baseline = 0.0;
+    double current = 0.0;
+    /** current - baseline (0 for one-sided metrics). */
+    double delta = 0.0;
+    /** Signed relative delta in percent; always finite. */
+    double percent = 0.0;
+    Verdict verdict = Verdict::Noise;
+
+    /** The flat "kind:name" key this delta was aligned on. */
+    std::string key() const { return kind + ":" + name; }
+};
+
+/** Comparison knobs. */
+struct CompareOptions
+{
+    /**
+     * Relative noise threshold: |delta| / baseline at or below this
+     * classifies as noise. 0.05 = 5%.
+     */
+    double relativeThreshold = 0.05;
+};
+
+/** The full result of comparing two runs. */
+struct Comparison
+{
+    /** Every aligned metric, sorted by kind then name. */
+    std::vector<MetricDelta> deltas;
+    size_t improvements = 0;
+    size_t regressions = 0;
+    size_t noise = 0;
+    /** Metrics present on one side only. */
+    size_t oneSided = 0;
+};
+
+/** Flattened numeric view of one run: "kind:name" -> value. */
+using FlatMetrics = std::map<std::string, double>;
+
+/**
+ * Flatten a run report or history record (see the file comment).
+ * Unknown or missing sections are skipped, so partial documents
+ * flatten to what they do carry.
+ */
+FlatMetrics flattenReport(const json::Value &report);
+
+/**
+ * Per-key median across repeats (mean of the middle two for even
+ * counts). Keys missing from a repeat are treated as absent, not
+ * zero: the median is taken over the runs that have the key.
+ */
+FlatMetrics medianOfFlats(const std::vector<FlatMetrics> &repeats);
+
+/** Compare two flattened runs. */
+Comparison compareFlat(const FlatMetrics &baseline,
+                       const FlatMetrics &current,
+                       const CompareOptions &options = {});
+
+/** flattenReport() both sides, then compareFlat(). */
+Comparison compareReports(const json::Value &baseline,
+                          const json::Value &current,
+                          const CompareOptions &options = {});
+
+/**
+ * True when the delta matches any watch pattern. A pattern matches
+ * as a prefix of the flat key ("counter:place.") or of the bare
+ * name ("place.moves"). An empty pattern list watches everything.
+ */
+bool watchMatches(const MetricDelta &delta,
+                  const std::vector<std::string> &watch);
+
+/**
+ * True when any watched metric regressed — the CI gate predicate
+ * (one-sided metrics never trip it).
+ */
+bool hasWatchedRegression(const Comparison &comparison,
+                          const std::vector<std::string> &watch);
+
+/**
+ * Render as a column-aligned text table. With @p include_noise
+ * false, noise rows are folded into the summary line only.
+ */
+std::string renderComparisonTable(const Comparison &comparison,
+                                  bool include_noise = false);
+
+/** Render as a GitHub-flavored markdown table. */
+std::string renderComparisonMarkdown(const Comparison &comparison,
+                                     bool include_noise = false);
+
+/** The comparison as a `parchmint-report-diff-v1` JSON document. */
+json::Value comparisonToJson(const Comparison &comparison);
+
+} // namespace parchmint::obs
+
+#endif // PARCHMINT_OBS_COMPARE_HH

@@ -1,0 +1,92 @@
+#include "obs/history.hh"
+
+#include <fstream>
+#include <map>
+
+#include "common/error.hh"
+#include "json/parse.hh"
+#include "json/write.hh"
+
+namespace parchmint::obs
+{
+
+json::Value
+summarizeReport(const json::Value &report)
+{
+    json::Value record = json::Value::makeObject();
+    record.set("schema", json::Value("parchmint-run-history-v1"));
+    for (const char *key : {"tool", "timestamp", "notes",
+                            "environment", "metrics"}) {
+        if (report.isObject() && report.find(key))
+            record.set(key, *report.find(key));
+    }
+
+    // Fold the trace-event stream into per-span-name totals; a
+    // history record keeps the aggregate, not the timeline.
+    std::map<std::string, std::pair<int64_t, int64_t>> totals;
+    const json::Value *events =
+        report.isObject() ? report.find("traceEvents") : nullptr;
+    if (events && events->isArray()) {
+        for (const json::Value &event : events->elements()) {
+            if (!event.isObject() || !event.find("name") ||
+                !event.find("dur")) {
+                continue;
+            }
+            auto &[count, total_us] =
+                totals[event.at("name").asString()];
+            ++count;
+            total_us += event.at("dur").asInteger();
+        }
+    }
+    json::Value spans = json::Value::makeObject();
+    for (const auto &[name, total] : totals) {
+        spans.set(name, json::Value::makeObject({
+                            {"count", json::Value(total.first)},
+                            {"totalUs", json::Value(total.second)},
+                        }));
+    }
+    record.set("spans", std::move(spans));
+    return record;
+}
+
+json::Value
+buildHistoryRecord(const RunInfo &info)
+{
+    return summarizeReport(buildRunReport(info));
+}
+
+void
+appendHistory(const std::string &path, const RunInfo &info)
+{
+    json::WriteOptions compact;
+    compact.pretty = false;
+    std::ofstream file(path, std::ios::binary | std::ios::app);
+    if (!file)
+        fatal("cannot append run history to '" + path + "'");
+    file << json::write(buildHistoryRecord(info), compact) << '\n';
+    if (!file.flush())
+        fatal("error writing run history to '" + path + "'");
+}
+
+std::vector<json::Value>
+readHistory(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        fatal("cannot read run history '" + path + "'");
+    std::vector<json::Value> records;
+    std::string line;
+    while (std::getline(file, line)) {
+        bool blank = true;
+        for (char c : line) {
+            if (c != ' ' && c != '\t' && c != '\r')
+                blank = false;
+        }
+        if (blank)
+            continue;
+        records.push_back(json::parse(line));
+    }
+    return records;
+}
+
+} // namespace parchmint::obs

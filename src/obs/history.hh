@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Run history: compact per-run summary records in a JSONL file.
+ *
+ * A run report (obs/report.hh) is a complete artifact of one tool
+ * invocation, trace events included. The history store keeps the
+ * *trajectory*: every run appends one compact summary line to a
+ * JSONL file, so repeated runs of the same tool accumulate into a
+ * queryable perf history (the benchmarking-transparency literature's
+ * "record results over time" requirement). Record schema
+ * (`parchmint-run-history-v1`):
+ *
+ *   { "schema": "parchmint-run-history-v1",
+ *     "tool": "pnr_flow",
+ *     "timestamp": "2026-08-06T12:00:00",
+ *     "notes": { "benchmark": "cell_trap_array", ... },
+ *     "environment": { "compiler", "buildType",
+ *                      "platform", "pointerBits" },
+ *     "metrics": { "counters": {...}, "gauges": {...},
+ *                  "histograms": { name: { count, min, max, mean,
+ *                        median, p50, p95, p99 }, ... } },
+ *     "spans": { name: { "count": n, "totalUs": us }, ... } }
+ *
+ * The trace-event stream is folded into per-span-name totals, which
+ * is what the comparison engine (obs/compare.hh) aligns on; both a
+ * full run report and a history record are valid comparison inputs.
+ */
+
+#ifndef PARCHMINT_OBS_HISTORY_HH
+#define PARCHMINT_OBS_HISTORY_HH
+
+#include <string>
+#include <vector>
+
+#include "json/value.hh"
+#include "obs/report.hh"
+
+namespace parchmint::obs
+{
+
+/**
+ * Fold a full run report into a history record: trace events become
+ * per-name span totals; metrics, notes and environment carry over.
+ */
+json::Value summarizeReport(const json::Value &report);
+
+/**
+ * Build a history record for the current global tracer/registry
+ * state (equivalent to summarizeReport(buildRunReport(info))).
+ */
+json::Value buildHistoryRecord(const RunInfo &info);
+
+/**
+ * Append one compact history-record line for the current run to a
+ * JSONL file, creating the file when absent.
+ * @throws UserError when the file cannot be written.
+ */
+void appendHistory(const std::string &path, const RunInfo &info);
+
+/**
+ * Parse a JSONL history file into its records; blank lines are
+ * skipped.
+ * @throws UserError when the file cannot be read or a line is not
+ *         valid JSON.
+ */
+std::vector<json::Value> readHistory(const std::string &path);
+
+} // namespace parchmint::obs
+
+#endif // PARCHMINT_OBS_HISTORY_HH

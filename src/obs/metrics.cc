@@ -33,10 +33,15 @@ Histogram::summary() const
     }
 
     // Nearest-rank percentile: the smallest sample such that at
-    // least 95% of samples are <= it.
-    size_t rank = static_cast<size_t>(
-        std::ceil(0.95 * static_cast<double>(n)));
-    out.p95 = sorted[std::min(n - 1, rank == 0 ? 0 : rank - 1)];
+    // least the requested fraction of samples are <= it.
+    auto nearest_rank = [&](double fraction) {
+        size_t rank = static_cast<size_t>(
+            std::ceil(fraction * static_cast<double>(n)));
+        return sorted[std::min(n - 1, rank == 0 ? 0 : rank - 1)];
+    };
+    out.p50 = out.median;
+    out.p95 = nearest_rank(0.95);
+    out.p99 = nearest_rank(0.99);
     return out;
 }
 

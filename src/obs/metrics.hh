@@ -5,9 +5,9 @@
  * Counters accumulate integer deltas (moves attempted, cells
  * expanded, bytes parsed). Gauges hold the latest value of a
  * quantity (matrix size, acceptance rate). Histograms keep every
- * sample and summarize as count/min/max/mean/median/p95, the robust
- * statistics the HPC benchmarking literature recommends over bare
- * means.
+ * sample and summarize as count/min/max/mean/median (a.k.a. p50)
+ * /p95/p99, the robust statistics the HPC benchmarking literature
+ * recommends over bare means.
  *
  * The registry is deliberately dependency-free (no JSON types) so
  * the JSON parser itself can be instrumented without a layering
@@ -35,8 +35,12 @@ struct HistogramSummary
     double mean = 0.0;
     /** Middle sample; mean of the middle two for even counts. */
     double median = 0.0;
+    /** Alias of median, under the name tail-latency tooling uses. */
+    double p50 = 0.0;
     /** 95th percentile by the nearest-rank method. */
     double p95 = 0.0;
+    /** 99th percentile by the nearest-rank method. */
+    double p99 = 0.0;
 };
 
 /** A named distribution; keeps raw samples until summarized. */

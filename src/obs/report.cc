@@ -1,7 +1,11 @@
 #include "obs/report.hh"
 
+#include <algorithm>
 #include <ctime>
+#include <fstream>
+#include <map>
 
+#include "common/error.hh"
 #include "json/write.hh"
 #include "obs/obs.hh"
 
@@ -17,7 +21,9 @@ summaryToJson(const HistogramSummary &summary)
         {"max", json::Value(summary.max)},
         {"mean", json::Value(summary.mean)},
         {"median", json::Value(summary.median)},
+        {"p50", json::Value(summary.p50)},
         {"p95", json::Value(summary.p95)},
+        {"p99", json::Value(summary.p99)},
     });
 }
 
@@ -81,6 +87,61 @@ traceJsonLines(const Tracer &tracer)
         out += '\n';
     }
     return out;
+}
+
+std::string
+foldedStacks(const Tracer &tracer)
+{
+    // Events arrive in completion order, children before parents.
+    // The parent of a depth-d span is therefore the first *later*
+    // event at depth d-1: any other depth-(d-1) span would have to
+    // be open concurrently with the real parent at the same depth,
+    // which a single stack cannot produce. Walking the list in
+    // reverse and remembering the most recently visited event per
+    // depth resolves every parent in one pass.
+    const std::vector<SpanEvent> &events = tracer.events();
+    std::vector<std::string> stacks(events.size());
+    std::vector<int64_t> child_us(events.size(), 0);
+    std::map<int, size_t> last_at_depth;
+    for (size_t i = events.size(); i-- > 0;) {
+        const SpanEvent &span = events[i];
+        auto parent = last_at_depth.find(span.depth - 1);
+        if (span.depth > 0 && parent != last_at_depth.end()) {
+            stacks[i] = stacks[parent->second] + ";" + span.name;
+            child_us[parent->second] += span.durationUs;
+        } else {
+            stacks[i] = span.name;
+        }
+        last_at_depth[span.depth] = i;
+    }
+
+    // Fold: aggregate self time (duration minus children) per
+    // unique stack; the map keeps the output sorted.
+    std::map<std::string, int64_t> folded;
+    for (size_t i = 0; i < events.size(); ++i) {
+        folded[stacks[i]] += std::max<int64_t>(
+            0, events[i].durationUs - child_us[i]);
+    }
+
+    std::string out;
+    for (const auto &[stack, self_us] : folded) {
+        out += stack;
+        out += ' ';
+        out += std::to_string(self_us);
+        out += '\n';
+    }
+    return out;
+}
+
+void
+writeFoldedStacks(const std::string &path)
+{
+    std::ofstream file(path, std::ios::binary);
+    if (!file)
+        fatal("cannot write folded stacks to '" + path + "'");
+    file << foldedStacks(tracer());
+    if (!file.flush())
+        fatal("error writing folded stacks to '" + path + "'");
 }
 
 json::Value

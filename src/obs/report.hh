@@ -21,7 +21,7 @@
  *       "gauges":     { "place.acceptance_rate": 0.41, ... },
  *       "histograms": { "place.step_cost": { "count": ...,
  *           "min": ..., "max": ..., "mean": ..., "median": ...,
- *           "p95": ... }, ... }
+ *           "p50": ..., "p95": ..., "p99": ... }, ... }
  *     },
  *     "traceEvents": [ { "name": "place", "cat": "place",
  *         "ph": "X", "ts": 12, "dur": 3456,
@@ -69,6 +69,22 @@ json::Value chromeTraceEvents(const Tracer &tracer);
 
 /** A tracer's spans as a flat JSON-lines event log. */
 std::string traceJsonLines(const Tracer &tracer);
+
+/**
+ * A tracer's spans as collapsed ("folded") flamegraph stacks: one
+ * `frame;frame;frame count` line per unique stack, where the count
+ * is the stack's self time in microseconds. The output loads
+ * directly in flamegraph.pl and speedscope, so any run that records
+ * spans doubles as a profile. Lines are sorted by stack name, making
+ * the export deterministic for identical span structures.
+ */
+std::string foldedStacks(const Tracer &tracer);
+
+/**
+ * foldedStacks() of the global tracer written to a file.
+ * @throws UserError when the file cannot be written.
+ */
+void writeFoldedStacks(const std::string &path);
 
 /** Compile-time environment snapshot (compiler, build, platform). */
 json::Value environmentJson();

@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Tests for the run-report analytics: the comparison engine
+ * (flattening, deltas, verdicts, watch gating, median-of-repeats),
+ * the JSONL history store, and the folded flamegraph export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/error.hh"
+#include "json/parse.hh"
+#include "json/write.hh"
+#include "obs/compare.hh"
+#include "obs/history.hh"
+#include "obs/obs.hh"
+#include "obs/report.hh"
+
+namespace parchmint::obs
+{
+namespace
+{
+
+/** Enables observability on a clean slate; disables afterwards. */
+class CompareTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setEnabled(true);
+        reset();
+    }
+
+    void
+    TearDown() override
+    {
+        setEnabled(false);
+        reset();
+    }
+
+    /** Record a deterministic workload and build its report. */
+    json::Value
+    sampleReport()
+    {
+        reset();
+        {
+            ScopedSpan flow("flow", "test");
+            {
+                ScopedSpan place("place", "test");
+                registry().add("place.moves", 1000);
+            }
+            {
+                ScopedSpan route("route", "test");
+                registry().add("route.expanded", 500);
+            }
+            registry().setGauge("acceptance", 0.5);
+            for (int i = 1; i <= 10; ++i)
+                registry().record("step_ms",
+                                  static_cast<double>(i));
+        }
+        RunInfo info;
+        info.tool = "compare_test";
+        info.timestamp = "2026-08-06T00:00:00";
+        return buildRunReport(info);
+    }
+};
+
+// --- Flattening -------------------------------------------------------
+
+TEST_F(CompareTest, FlattenCoversEveryMetricKind)
+{
+    FlatMetrics flat = flattenReport(sampleReport());
+    EXPECT_DOUBLE_EQ(1000.0, flat.at("counter:place.moves"));
+    EXPECT_DOUBLE_EQ(500.0, flat.at("counter:route.expanded"));
+    EXPECT_DOUBLE_EQ(0.5, flat.at("gauge:acceptance"));
+    EXPECT_DOUBLE_EQ(10.0, flat.at("hist.count:step_ms"));
+    EXPECT_DOUBLE_EQ(5.5, flat.at("hist.median:step_ms"));
+    EXPECT_DOUBLE_EQ(10.0, flat.at("hist.p99:step_ms"));
+    // Span totals come from the trace-event stream.
+    EXPECT_DOUBLE_EQ(1.0, flat.at("span.count:place"));
+    EXPECT_TRUE(flat.count("span.total_us:flow"));
+    EXPECT_GE(flat.at("span.total_us:flow"),
+              flat.at("span.total_us:place"));
+}
+
+TEST_F(CompareTest, HistoryRecordFlattensLikeItsReport)
+{
+    json::Value report = sampleReport();
+    FlatMetrics from_report = flattenReport(report);
+    FlatMetrics from_record = flattenReport(
+        summarizeReport(report));
+    EXPECT_EQ(from_report, from_record);
+}
+
+// --- Verdicts ---------------------------------------------------------
+
+TEST_F(CompareTest, IdenticalReportsDiffToAllNoise)
+{
+    json::Value report = sampleReport();
+    Comparison comparison = compareReports(report, report);
+    EXPECT_FALSE(comparison.deltas.empty());
+    EXPECT_EQ(0u, comparison.improvements);
+    EXPECT_EQ(0u, comparison.regressions);
+    EXPECT_EQ(0u, comparison.oneSided);
+    EXPECT_EQ(comparison.deltas.size(), comparison.noise);
+    for (const MetricDelta &delta : comparison.deltas) {
+        EXPECT_EQ(Verdict::Noise, delta.verdict) << delta.key();
+        EXPECT_DOUBLE_EQ(0.0, delta.delta);
+        EXPECT_DOUBLE_EQ(0.0, delta.percent);
+    }
+    // The CI gate predicate: identical runs never trip it.
+    EXPECT_FALSE(hasWatchedRegression(comparison, {}));
+}
+
+TEST_F(CompareTest, PerturbedCounterRegressesPastThreshold)
+{
+    FlatMetrics baseline{{"counter:route.expanded", 500.0}};
+    FlatMetrics current{{"counter:route.expanded", 600.0}};
+    CompareOptions options;
+    options.relativeThreshold = 0.05;
+    Comparison comparison =
+        compareFlat(baseline, current, options);
+    ASSERT_EQ(1u, comparison.deltas.size());
+    const MetricDelta &delta = comparison.deltas[0];
+    EXPECT_EQ("counter", delta.kind);
+    EXPECT_EQ("route.expanded", delta.name);
+    EXPECT_DOUBLE_EQ(100.0, delta.delta);
+    EXPECT_DOUBLE_EQ(20.0, delta.percent);
+    EXPECT_EQ(Verdict::Regression, delta.verdict);
+
+    // Watch gating: a matching watch trips, a disjoint one does
+    // not, and an empty watch list means "watch everything".
+    EXPECT_TRUE(hasWatchedRegression(comparison, {}));
+    EXPECT_TRUE(hasWatchedRegression(comparison, {"counter:"}));
+    EXPECT_TRUE(hasWatchedRegression(comparison, {"route."}));
+    EXPECT_FALSE(hasWatchedRegression(comparison, {"gauge:"}));
+    EXPECT_FALSE(hasWatchedRegression(comparison, {"place."}));
+
+    // A 20% move under a 25% threshold is noise.
+    options.relativeThreshold = 0.25;
+    EXPECT_EQ(Verdict::Noise,
+              compareFlat(baseline, current, options)
+                  .deltas[0]
+                  .verdict);
+}
+
+TEST_F(CompareTest, LowerIsBetterClassifiesImprovement)
+{
+    Comparison comparison =
+        compareFlat({{"counter:c", 1000.0}}, {{"counter:c", 800.0}});
+    ASSERT_EQ(1u, comparison.deltas.size());
+    EXPECT_EQ(Verdict::Improvement, comparison.deltas[0].verdict);
+    EXPECT_DOUBLE_EQ(-20.0, comparison.deltas[0].percent);
+    EXPECT_FALSE(hasWatchedRegression(comparison, {}));
+}
+
+TEST_F(CompareTest, OneSidedMetricsNeverGate)
+{
+    Comparison comparison =
+        compareFlat({{"counter:old.metric", 7.0}},
+                    {{"counter:new.metric", 9.0}});
+    ASSERT_EQ(2u, comparison.deltas.size());
+    EXPECT_EQ(Verdict::CurrentOnly, comparison.deltas[0].verdict);
+    EXPECT_EQ("new.metric", comparison.deltas[0].name);
+    EXPECT_EQ(Verdict::BaselineOnly, comparison.deltas[1].verdict);
+    EXPECT_EQ("old.metric", comparison.deltas[1].name);
+    EXPECT_EQ(2u, comparison.oneSided);
+    EXPECT_FALSE(hasWatchedRegression(comparison, {}));
+}
+
+TEST_F(CompareTest, ZeroBaselinePercentStaysFinite)
+{
+    Comparison comparison = compareFlat(
+        {{"counter:a", 0.0}, {"counter:b", 0.0}},
+        {{"counter:a", 50.0}, {"counter:b", 0.0}});
+    ASSERT_EQ(2u, comparison.deltas.size());
+    // 0 -> 50: the denominator falls back to the current value, so
+    // the jump reads as a finite 100% regression.
+    EXPECT_DOUBLE_EQ(100.0, comparison.deltas[0].percent);
+    EXPECT_EQ(Verdict::Regression, comparison.deltas[0].verdict);
+    // 0 -> 0 is exactly 0%, not NaN.
+    EXPECT_DOUBLE_EQ(0.0, comparison.deltas[1].percent);
+    EXPECT_EQ(Verdict::Noise, comparison.deltas[1].verdict);
+}
+
+TEST_F(CompareTest, EmptyHistogramsCompareAsNoise)
+{
+    // An empty histogram summarizes to all zeros; synthesize the
+    // document directly to pin that shape on both sides.
+    json::Value summary = json::Value::makeObject({
+        {"count", json::Value(static_cast<int64_t>(0))},
+        {"min", json::Value(0.0)},
+        {"max", json::Value(0.0)},
+        {"mean", json::Value(0.0)},
+        {"median", json::Value(0.0)},
+        {"p50", json::Value(0.0)},
+        {"p95", json::Value(0.0)},
+        {"p99", json::Value(0.0)},
+    });
+    json::Value histograms = json::Value::makeObject();
+    histograms.set("empty.stat", summary);
+    json::Value report = json::Value::makeObject({
+        {"schema", json::Value("parchmint-run-report-v1")},
+        {"metrics",
+         json::Value::makeObject({
+             {"counters", json::Value::makeObject()},
+             {"gauges", json::Value::makeObject()},
+             {"histograms", std::move(histograms)},
+         })},
+    });
+    Comparison comparison = compareReports(report, report);
+    EXPECT_FALSE(comparison.deltas.empty());
+    for (const MetricDelta &delta : comparison.deltas) {
+        EXPECT_EQ(Verdict::Noise, delta.verdict) << delta.key();
+        EXPECT_DOUBLE_EQ(0.0, delta.percent);
+    }
+    EXPECT_FALSE(hasWatchedRegression(comparison, {}));
+}
+
+// --- Median of repeats ------------------------------------------------
+
+TEST_F(CompareTest, MedianOfRepeatsTakesPerKeyMedian)
+{
+    FlatMetrics merged = medianOfFlats({
+        {{"gauge:t", 1.0}, {"counter:c", 5.0}},
+        {{"gauge:t", 9.0}},
+        {{"gauge:t", 2.0}, {"counter:c", 7.0}},
+    });
+    // Odd count: the middle sample; the outlier does not leak in.
+    EXPECT_DOUBLE_EQ(2.0, merged.at("gauge:t"));
+    // Keys absent from a repeat are skipped, not zero-filled.
+    EXPECT_DOUBLE_EQ(6.0, merged.at("counter:c"));
+}
+
+// --- Rendering --------------------------------------------------------
+
+TEST_F(CompareTest, RenderersAreDeterministicAndComplete)
+{
+    Comparison comparison = compareFlat(
+        {{"counter:a", 100.0}}, {{"counter:a", 200.0}});
+    std::string table = renderComparisonTable(comparison);
+    EXPECT_NE(std::string::npos, table.find("regression"));
+    EXPECT_NE(std::string::npos, table.find("+100.0%"));
+    EXPECT_EQ(table, renderComparisonTable(comparison));
+
+    std::string markdown = renderComparisonMarkdown(comparison);
+    EXPECT_NE(std::string::npos, markdown.find("| counter | a |"));
+
+    json::Value doc = comparisonToJson(comparison);
+    EXPECT_EQ("parchmint-report-diff-v1",
+              doc.at("schema").asString());
+    EXPECT_EQ(1, doc.at("summary").at("regressions").asInteger());
+    EXPECT_EQ("regression",
+              doc.at("deltas").at(0).at("verdict").asString());
+    // The document round-trips through the parser.
+    EXPECT_EQ(doc, json::parse(json::write(doc)));
+}
+
+// --- History store ----------------------------------------------------
+
+TEST_F(CompareTest, HistoryAppendsOneParseableRecordPerRun)
+{
+    std::string path =
+        ::testing::TempDir() + "obs_compare_history.jsonl";
+    std::remove(path.c_str());
+
+    sampleReport();
+    RunInfo info;
+    info.tool = "compare_test";
+    info.timestamp = "2026-08-06T00:00:00";
+    info.notes = {{"benchmark", "unit"}};
+    appendHistory(path, info);
+    appendHistory(path, info);
+
+    auto records = readHistory(path);
+    ASSERT_EQ(2u, records.size());
+    for (const json::Value &record : records) {
+        EXPECT_EQ("parchmint-run-history-v1",
+                  record.at("schema").asString());
+        EXPECT_EQ("compare_test", record.at("tool").asString());
+        EXPECT_EQ("unit",
+                  record.at("notes").at("benchmark").asString());
+        EXPECT_EQ(1000,
+                  record.at("metrics")
+                      .at("counters")
+                      .at("place.moves")
+                      .asInteger());
+        // Trace events fold into per-span-name totals.
+        EXPECT_FALSE(record.contains("traceEvents"));
+        EXPECT_EQ(1, record.at("spans")
+                         .at("place")
+                         .at("count")
+                         .asInteger());
+        EXPECT_TRUE(record.at("spans")
+                        .at("flow")
+                        .at("totalUs")
+                        .isInteger());
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(CompareTest, ReadHistoryRejectsMissingFile)
+{
+    EXPECT_THROW(readHistory("/nonexistent/history.jsonl"),
+                 UserError);
+}
+
+// --- Folded flamegraph export -----------------------------------------
+
+TEST_F(CompareTest, FoldedStacksOneLinePerUniqueStack)
+{
+    reset();
+    {
+        ScopedSpan flow("flow", "test");
+        {
+            ScopedSpan place("place", "test");
+            ScopedSpan step("step", "test");
+        }
+        {
+            ScopedSpan route("route", "test");
+        }
+    }
+    std::string folded = foldedStacks(tracer());
+
+    // Exactly one "frames count" line per unique stack, sorted.
+    std::vector<std::string> lines;
+    size_t start = 0;
+    while (start < folded.size()) {
+        size_t end = folded.find('\n', start);
+        lines.push_back(folded.substr(start, end - start));
+        start = end + 1;
+    }
+    ASSERT_EQ(4u, lines.size());
+    EXPECT_EQ(0u, lines[0].find("flow "));
+    EXPECT_EQ(0u, lines[1].find("flow;place "));
+    EXPECT_EQ(0u, lines[2].find("flow;place;step "));
+    EXPECT_EQ(0u, lines[3].find("flow;route "));
+    for (const std::string &line : lines) {
+        size_t space = line.rfind(' ');
+        ASSERT_NE(std::string::npos, space);
+        // The count parses as a non-negative integer (self time).
+        EXPECT_GE(std::stoll(line.substr(space + 1)), 0);
+    }
+}
+
+TEST_F(CompareTest, FoldedSelfTimesSumToRootDuration)
+{
+    reset();
+    {
+        ScopedSpan flow("flow", "test");
+        {
+            ScopedSpan place("place", "test");
+        }
+        {
+            ScopedSpan route("route", "test");
+        }
+    }
+    int64_t root_us = 0;
+    for (const SpanEvent &event : tracer().events()) {
+        if (event.depth == 0)
+            root_us = event.durationUs;
+    }
+    int64_t folded_sum = 0;
+    std::string folded = foldedStacks(tracer());
+    size_t start = 0;
+    while (start < folded.size()) {
+        size_t end = folded.find('\n', start);
+        std::string line = folded.substr(start, end - start);
+        folded_sum += std::stoll(line.substr(line.rfind(' ') + 1));
+        start = end + 1;
+    }
+    // Self times partition the root span's wall time exactly (no
+    // sample can be counted twice and clamping never fires here).
+    EXPECT_EQ(root_us, folded_sum);
+}
+
+TEST_F(CompareTest, EmptyTracerFoldsToNothing)
+{
+    reset();
+    EXPECT_EQ("", foldedStacks(tracer()));
+}
+
+} // namespace
+} // namespace parchmint::obs

@@ -44,7 +44,9 @@ TEST(HistogramTest, EmptySummaryIsZero)
     HistogramSummary summary = histogram.summary();
     EXPECT_EQ(0u, summary.count);
     EXPECT_EQ(0.0, summary.median);
+    EXPECT_EQ(0.0, summary.p50);
     EXPECT_EQ(0.0, summary.p95);
+    EXPECT_EQ(0.0, summary.p99);
 }
 
 TEST(HistogramTest, SingleSample)
@@ -57,7 +59,9 @@ TEST(HistogramTest, SingleSample)
     EXPECT_DOUBLE_EQ(7.0, summary.max);
     EXPECT_DOUBLE_EQ(7.0, summary.mean);
     EXPECT_DOUBLE_EQ(7.0, summary.median);
+    EXPECT_DOUBLE_EQ(7.0, summary.p50);
     EXPECT_DOUBLE_EQ(7.0, summary.p95);
+    EXPECT_DOUBLE_EQ(7.0, summary.p99);
 }
 
 TEST(HistogramTest, OddCountMedianIsMiddleSample)
@@ -93,9 +97,12 @@ TEST(HistogramTest, P95NearestRankOnLargerSample)
     for (int i = 1; i <= 100; ++i)
         histogram.record(static_cast<double>(i));
     HistogramSummary summary = histogram.summary();
-    // Nearest rank: ceil(0.95 * 100) = 95th sorted sample.
+    // Nearest rank: ceil(0.95 * 100) = 95th sorted sample, and
+    // ceil(0.99 * 100) = 99th; p50 aliases the median.
     EXPECT_DOUBLE_EQ(95.0, summary.p95);
+    EXPECT_DOUBLE_EQ(99.0, summary.p99);
     EXPECT_DOUBLE_EQ(50.5, summary.median);
+    EXPECT_DOUBLE_EQ(50.5, summary.p50);
 }
 
 // --- Registry ---------------------------------------------------------
@@ -139,12 +146,14 @@ TEST_F(ObsTest, SpansRecordNestingDepth)
     EXPECT_EQ(0, events[2].depth);
     EXPECT_EQ(0, tracer().depth());
 
-    // Children are contained in the parent's interval.
+    // Children are contained in the parent's interval. Start and
+    // duration truncate to microseconds independently, so a child
+    // end may exceed the parent's truncated end by one tick.
     const SpanEvent &outer = events[2];
     for (size_t i = 0; i < 2; ++i) {
         EXPECT_GE(events[i].startUs, outer.startUs);
         EXPECT_LE(events[i].startUs + events[i].durationUs,
-                  outer.startUs + outer.durationUs);
+                  outer.startUs + outer.durationUs + 1);
     }
 }
 
@@ -230,7 +239,9 @@ TEST_F(ObsTest, RunReportRoundTripsThroughJsonParser)
         metrics.at("histograms").at("latency_ms");
     EXPECT_EQ(5, latency.at("count").asInteger());
     EXPECT_DOUBLE_EQ(3.0, latency.at("median").asDouble());
+    EXPECT_DOUBLE_EQ(3.0, latency.at("p50").asDouble());
     EXPECT_DOUBLE_EQ(5.0, latency.at("p95").asDouble());
+    EXPECT_DOUBLE_EQ(5.0, latency.at("p99").asDouble());
 }
 
 TEST_F(ObsTest, TraceJsonLinesOneEventPerLine)
