@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Parallel suite-sweep throughput benchmarks.
+ *
+ * Quantifies the execution engine (src/exec/): a full
+ * place + route + validate sweep over the benchmark suite at one
+ * worker versus one worker per hardware thread. The report block
+ * records wall time, benchmarks/s, and the speedup; the registered
+ * timers re-measure a smaller sweep under google-benchmark so the
+ * perf trajectory captures both job counts. The routed netlists are
+ * byte-identical across job counts (per-netlist derived seeds), so
+ * every variant does exactly the same work.
+ */
+
+#include "bench_common.hh"
+
+#include "exec/suite_runner.hh"
+#include "exec/thread_pool.hh"
+#include "suite/suite.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+/** Small, fast subset for the repeated google-benchmark timers. */
+const std::vector<std::string> kSubset = {
+    "droplet_transposer",
+    "logic_inverter",
+    "synthetic_grid",
+    "synthetic_tree",
+};
+
+double
+sweepMs(size_t jobs, const std::vector<std::string> &benchmarks)
+{
+    exec::SuiteRunOptions options;
+    options.jobs = jobs;
+    options.seed = 42;
+    options.benchmarks = benchmarks;
+    options.simulate = false;
+    exec::SuiteRunSummary summary = exec::runSuite(options);
+    for (const exec::SuiteJobResult &job : summary.jobs) {
+        if (!job.ok())
+            fatal("sweep benchmark failed: " + job.benchmark);
+    }
+    return static_cast<double>(summary.wallUs) / 1000.0;
+}
+
+void
+report()
+{
+    bench::heading("EXEC", "parallel suite-sweep throughput");
+    size_t hardware = exec::ThreadPool::hardwareThreads();
+    std::printf("Full-suite place+route+validate sweep on the\n"
+                "execution engine; %zu hardware thread(s).\n\n",
+                hardware);
+    std::printf("%8s %12s %14s %8s\n", "jobs", "wall_ms",
+                "benchmarks/s", "speedup");
+
+    size_t count = suite::standardSuite().size();
+    double serial_ms = sweepMs(1, {});
+    PM_OBS_GAUGE("exec.sweep.jobs1_ms", serial_ms);
+    std::printf("%8zu %12.1f %14.2f %8.2f\n", size_t{1},
+                serial_ms,
+                1000.0 * static_cast<double>(count) / serial_ms,
+                1.0);
+
+    if (hardware > 1) {
+        double parallel_ms = sweepMs(hardware, {});
+        PM_OBS_GAUGE("exec.sweep.jobsN_ms", parallel_ms);
+        PM_OBS_GAUGE("exec.sweep.speedup",
+                     serial_ms / parallel_ms);
+        std::printf("%8zu %12.1f %14.2f %8.2f\n", hardware,
+                    parallel_ms,
+                    1000.0 * static_cast<double>(count) /
+                        parallel_ms,
+                    serial_ms / parallel_ms);
+    } else {
+        std::printf("%8s %12s %14s %8s  (single-core host)\n",
+                    "-", "-", "-", "-");
+    }
+    std::printf("\n");
+}
+
+void
+BM_SubsetSweep(benchmark::State &state)
+{
+    size_t jobs = static_cast<size_t>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sweepMs(jobs, kSubset));
+}
+
+} // namespace
+
+BENCHMARK(BM_SubsetSweep)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(2);
+
+PARCHMINT_BENCH_MAIN(report)

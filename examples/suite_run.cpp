@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Parallel suite sweep from the command line: run the full place +
+ * route + validate + simulate pipeline over the benchmark suite on
+ * the execution engine (src/exec/), with per-stage deadlines and
+ * fault containment, and print a suite-level summary table.
+ *
+ * Run:  ./suite_run [benchmark...] [--jobs N] [--deadline-ms M]
+ *           [--seed S] [--no-sim] [--out DIR]
+ *           [--report report.json] [--history history.jsonl]
+ *
+ * With no positional arguments the sweep covers the whole standard
+ * suite. `--jobs 0` means "one worker per hardware thread".
+ * Determinism guarantee: for a pinned --seed, the routed netlists
+ * are byte-identical for every --jobs value, because each
+ * benchmark's RNG stream is derived from the seed and its netlist
+ * name, never from scheduling order. A benchmark whose stage
+ * throws, or whose pipeline overruns --deadline-ms (measured from
+ * its first stage, checked at stage boundaries), is reported as
+ * failed/deadline and the rest of the suite completes.
+ *
+ * With --report, observability is enabled and the merged run
+ * report carries every worker's spans on its own chrome://tracing
+ * lane plus the exec.* counters; `<report>.folded` is the merged
+ * flamegraph export. --history appends the compact summary record
+ * (obs/history.hh) so repeated sweeps accumulate into a perf
+ * trajectory (`report_diff` compares them).
+ *
+ * Exit status: 0 when every benchmark passed, 1 otherwise.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/table.hh"
+#include "common/error.hh"
+#include "common/strings.hh"
+#include "exec/suite_runner.hh"
+#include "obs/history.hh"
+#include "obs/obs.hh"
+#include "obs/report.hh"
+
+using namespace parchmint;
+
+int
+main(int argc, char **argv)
+{
+    try {
+        exec::SuiteRunOptions options;
+        options.jobs = 1;
+        std::string report_path;
+        std::string history_path;
+
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            std::string value;
+            auto flag = [&](const char *name) {
+                if (arg == name && i + 1 < argc) {
+                    value = argv[++i];
+                    return true;
+                }
+                std::string prefix = std::string(name) + "=";
+                if (startsWith(arg, prefix)) {
+                    value = arg.substr(prefix.size());
+                    return true;
+                }
+                return false;
+            };
+            if (flag("--jobs")) {
+                options.jobs = static_cast<size_t>(
+                    std::strtoull(value.c_str(), nullptr, 10));
+            } else if (flag("--deadline-ms")) {
+                options.deadline = std::chrono::milliseconds(
+                    std::strtoll(value.c_str(), nullptr, 10));
+            } else if (flag("--seed")) {
+                options.seed =
+                    std::strtoull(value.c_str(), nullptr, 10);
+            } else if (flag("--out")) {
+                options.outDir = value;
+            } else if (flag("--report")) {
+                report_path = value;
+            } else if (flag("--history")) {
+                history_path = value;
+            } else if (arg == "--no-sim") {
+                options.simulate = false;
+            } else if (startsWith(arg, "--")) {
+                fatal("unknown flag \"" + arg + "\"");
+            } else {
+                options.benchmarks.push_back(arg);
+            }
+        }
+        if (!report_path.empty() || !history_path.empty())
+            obs::setEnabled(true);
+
+        exec::SuiteRunSummary summary = exec::runSuite(options);
+
+        analysis::TextTable table;
+        table.beginRow();
+        table.cell(std::string("benchmark"));
+        table.cell(std::string("status"));
+        table.cell(std::string("ms"));
+        table.cell(std::string("hpwl"));
+        table.cell(std::string("routed"));
+        table.cell(std::string("viol"));
+        table.cell(std::string("issues"));
+        table.cell(std::string("sim"));
+        for (const exec::SuiteJobResult &job : summary.jobs) {
+            // The first non-ok stage names the outcome.
+            std::string status = "ok";
+            std::string why;
+            for (const exec::TaskResult *stage :
+                 {&job.build, &job.place, &job.route,
+                  &job.validate, &job.sim}) {
+                if (!stage->ok()) {
+                    status = exec::taskStatusName(stage->status);
+                    why = stage->reason;
+                    break;
+                }
+            }
+            if (status == "ok" && job.issueErrors > 0)
+                status = "invalid";
+            table.beginRow();
+            table.cell(job.benchmark);
+            table.cell(status);
+            table.cell(static_cast<double>(job.totalUs()) / 1000.0,
+                       1);
+            table.cell(job.hpwl);
+            table.cell(std::to_string(job.routedNets) + "/" +
+                       std::to_string(job.totalNets));
+            table.cell(job.routeViolations);
+            table.cell(std::to_string(job.issueErrors) + "E/" +
+                       std::to_string(job.issueWarnings) + "W");
+            table.cell(job.simSolved
+                           ? std::string("solved")
+                           : (job.simNote.empty() ? "-"
+                                                  : "skipped"));
+            if (!why.empty()) {
+                std::fprintf(stderr, "%s: %s\n",
+                             job.benchmark.c_str(), why.c_str());
+            }
+        }
+        std::printf("%s\n", table.render().c_str());
+
+        double wall_ms =
+            static_cast<double>(summary.wallUs) / 1000.0;
+        double throughput =
+            wall_ms > 0.0 ? 1000.0 *
+                                static_cast<double>(
+                                    summary.jobs.size()) /
+                                wall_ms
+                          : 0.0;
+        std::printf("%zu/%zu benchmarks ok, %zu worker(s), "
+                    "%.1f ms wall, %.2f benchmarks/s\n",
+                    summary.okCount(), summary.jobs.size(),
+                    summary.workers, wall_ms, throughput);
+
+        if (!report_path.empty() || !history_path.empty()) {
+            obs::registry().setGauge("exec.sweep.throughput",
+                                     throughput);
+            obs::RunInfo info;
+            info.tool = "suite_run";
+            info.timestamp = obs::localTimestamp();
+            info.notes = {
+                {"jobs", std::to_string(summary.workers)},
+                {"seed", std::to_string(options.seed)},
+                {"benchmarks",
+                 std::to_string(summary.jobs.size())},
+            };
+            if (!report_path.empty()) {
+                obs::writeRunReport(report_path, info);
+                obs::writeFoldedStacks(report_path + ".folded");
+                std::printf("wrote run report %s (open in "
+                            "chrome://tracing; one lane per "
+                            "worker) and %s.folded\n",
+                            report_path.c_str(),
+                            report_path.c_str());
+            }
+            if (!history_path.empty()) {
+                obs::appendHistory(history_path, info);
+                std::printf("appended run history %s\n",
+                            history_path.c_str());
+            }
+        }
+        return summary.okCount() == summary.jobs.size() ? 0 : 1;
+    } catch (const UserError &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}

@@ -58,6 +58,27 @@ if ! (cd "$OUT_DIR" &&
     exit 2
 fi
 
+# Record parallel-sweep throughput into the trajectory: the same
+# suite sweep at one worker and at one worker per hardware thread.
+# Throughput is wall-clock and machine-dependent, so it is recorded
+# (exec.sweep.* gauges in sweep_history.jsonl), never gated; the
+# routed results themselves are byte-identical across job counts.
+SUITE="$PWD/$BUILD_DIR/examples/suite_run"
+if [ -x "$SUITE" ]; then
+    for jobs in 1 0; do
+        if ! (cd "$OUT_DIR" &&
+              "$SUITE" --jobs "$jobs" --seed "$SEED" --no-sim \
+                  --history sweep_history.jsonl \
+                  >> sweep.log 2>&1); then
+            echo "perf_gate: suite_run --jobs $jobs failed:" >&2
+            cat "$OUT_DIR/sweep.log" >&2
+            exit 2
+        fi
+    done
+    grep 'benchmarks/s' "$OUT_DIR/sweep.log" | tail -n 2 \
+        | sed 's/^/perf_gate: sweep /'
+fi
+
 if [ "${1:-}" = "--rebaseline" ]; then
     mkdir -p "$(dirname "$BASELINE")"
     tail -n 1 "$OUT_DIR/history.jsonl" > "$BASELINE"

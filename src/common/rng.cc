@@ -27,6 +27,19 @@ rotateLeft(uint64_t value, int shift)
 
 } // namespace
 
+uint64_t
+deriveSeed(uint64_t base, std::string_view name)
+{
+    // FNV-1a over the name bytes, seeded with the base, then one
+    // splitmix64 finalizer so similar names land far apart.
+    uint64_t hash = base ^ 0xcbf29ce484222325ULL;
+    for (char c : name) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return splitMix(hash);
+}
+
 Rng::Rng(uint64_t seed)
 {
     uint64_t mix = seed;

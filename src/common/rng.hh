@@ -14,9 +14,22 @@
 #define PARCHMINT_COMMON_RNG_HH
 
 #include <cstdint>
+#include <string_view>
 
 namespace parchmint
 {
+
+/**
+ * Derive an independent stream seed from a base seed and a name,
+ * e.g. the suite-level seed and a benchmark's netlist name. The
+ * name bytes are folded FNV-1a style into the base and finalized
+ * with a splitmix64 step, so every (seed, name) pair gets its own
+ * well-mixed stream. This is what makes parallel suite sweeps
+ * reproducible and order-independent: each job's RNG depends only
+ * on the pinned suite seed and its own name, never on how many
+ * jobs ran before it.
+ */
+uint64_t deriveSeed(uint64_t base, std::string_view name);
 
 /**
  * Deterministic, platform-independent pseudo random number source.

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Cooperative cancellation for the execution engine.
+ *
+ * A CancelToken is a copyable handle onto shared cancellation
+ * state: an explicit cancel flag plus an optional monotonic
+ * deadline. Long-running work polls cancelled() (or calls
+ * throwIfCancelled() at convenient checkpoints) and unwinds with
+ * exec::Cancelled when asked to stop. Cancellation is cooperative
+ * by design — the scheduler never kills a thread, it marks the
+ * task's result and lets the code reach its next checkpoint — which
+ * is the only containment model that keeps shared state sane in
+ * one address space.
+ */
+
+#ifndef PARCHMINT_EXEC_CANCEL_HH
+#define PARCHMINT_EXEC_CANCEL_HH
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "common/error.hh"
+
+namespace parchmint::exec
+{
+
+/** Thrown by CancelToken::throwIfCancelled(); the scheduler maps
+ * it to a DeadlineExpired / Cancelled task result rather than a
+ * failure. */
+class Cancelled : public Error
+{
+  public:
+    explicit Cancelled(const std::string &message)
+        : Error(message)
+    {
+    }
+};
+
+/** See file comment. */
+class CancelToken
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** A fresh, uncancelled token with no deadline. */
+    CancelToken()
+        : state_(std::make_shared<State>())
+    {
+    }
+
+    /** A token that expires @p timeout from now; zero or negative
+     * timeouts mean "no deadline". */
+    static CancelToken
+    withDeadline(std::chrono::milliseconds timeout)
+    {
+        CancelToken token;
+        if (timeout.count() > 0)
+            token.state_->deadline = Clock::now() + timeout;
+        return token;
+    }
+
+    /** Request cancellation; visible to every copy of the token. */
+    void
+    cancel()
+    {
+        state_->cancelled.store(true, std::memory_order_relaxed);
+    }
+
+    /** True when cancel() was called or the deadline passed. */
+    bool
+    cancelled() const
+    {
+        if (state_->cancelled.load(std::memory_order_relaxed))
+            return true;
+        return state_->deadline != Clock::time_point{} &&
+               Clock::now() >= state_->deadline;
+    }
+
+    /** True when this token carries a deadline. */
+    bool
+    hasDeadline() const
+    {
+        return state_->deadline != Clock::time_point{};
+    }
+
+    /**
+     * Checkpoint: raise exec::Cancelled when the token is
+     * cancelled or expired. @p what names the work being abandoned
+     * for the task result's reason string.
+     */
+    void
+    throwIfCancelled(const std::string &what = "task") const
+    {
+        if (!cancelled())
+            return;
+        if (state_->cancelled.load(std::memory_order_relaxed))
+            throw Cancelled(what + " cancelled");
+        throw Cancelled(what + " deadline expired");
+    }
+
+  private:
+    struct State
+    {
+        std::atomic<bool> cancelled{false};
+        /** Default-constructed time_point = no deadline. */
+        Clock::time_point deadline{};
+    };
+
+    std::shared_ptr<State> state_;
+};
+
+} // namespace parchmint::exec
+
+#endif // PARCHMINT_EXEC_CANCEL_HH

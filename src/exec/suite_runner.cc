@@ -1,0 +1,316 @@
+#include "exec/suite_runner.hh"
+
+#include <memory>
+#include <optional>
+
+#include "common/error.hh"
+#include "core/serialize.hh"
+#include "obs/clock.hh"
+#include "obs/obs.hh"
+#include "place/annealing_placer.hh"
+#include "place/cost.hh"
+#include "route/router.hh"
+#include "schema/rules.hh"
+#include "sim/hydraulic.hh"
+#include "suite/suite.hh"
+
+namespace parchmint::exec
+{
+
+namespace
+{
+
+/** Mutable pipeline state shared by one benchmark's stages. */
+struct JobState
+{
+    std::string benchmark;
+    std::optional<Device> device;
+    place::Placement placement;
+    place::PlacementCost placeCost;
+    route::RouteResult routed;
+    std::vector<schema::Issue> issues;
+    /** Why the hydraulic solve did not run; "" when it did. */
+    std::string simNote;
+    /** Whole-pipeline wall-clock deadline, armed when the chain's
+     * first stage starts executing and checked at every later
+     * stage boundary. Stages run sequentially within a chain, so
+     * only one stage touches it at a time. */
+    CancelToken chain;
+};
+
+/**
+ * The simulate-example boundary heuristic: pressurize flow-layer
+ * ports whose IDs look like inputs, ground the remaining flow
+ * ports. @return source and drain counts.
+ */
+std::pair<size_t, size_t>
+applyBoundaries(sim::HydraulicModel &model, const Device &device)
+{
+    const Layer *flow = device.firstLayer(LayerType::Flow);
+    size_t sources = 0;
+    size_t drains = 0;
+    for (const Component &component : device.components()) {
+        if (component.entityKind() != EntityKind::Port)
+            continue;
+        if (!flow || !component.onLayer(flow->id))
+            continue;
+        const std::string &id = component.id();
+        bool is_source = id.rfind("in", 0) == 0 ||
+                         id.rfind("inlet", 0) == 0 ||
+                         id.rfind("supply", 0) == 0 ||
+                         id.rfind("sample", 0) == 0 ||
+                         id.rfind("buffer", 0) == 0 ||
+                         id.rfind("fill", 0) == 0 ||
+                         id.rfind("elution", 0) == 0 ||
+                         id.rfind("win", 0) == 0;
+        model.setPressure(id, is_source ? 20000.0 : 0.0);
+        ++(is_source ? sources : drains);
+    }
+    return {sources, drains};
+}
+
+} // namespace
+
+bool
+SuiteJobResult::ok() const
+{
+    return build.ok() && place.ok() && route.ok() &&
+           validate.ok() && sim.status != TaskStatus::Failed &&
+           sim.status != TaskStatus::DeadlineExpired &&
+           issueErrors == 0;
+}
+
+int64_t
+SuiteJobResult::totalUs() const
+{
+    return build.durationUs + place.durationUs +
+           route.durationUs + validate.durationUs +
+           sim.durationUs;
+}
+
+size_t
+SuiteRunSummary::okCount() const
+{
+    size_t count = 0;
+    for (const SuiteJobResult &job : jobs)
+        count += job.ok() ? 1 : 0;
+    return count;
+}
+
+SuiteRunSummary
+runSuite(const SuiteRunOptions &options)
+{
+    std::vector<std::string> names = options.benchmarks;
+    if (names.empty()) {
+        for (const suite::BenchmarkInfo &info :
+             suite::standardSuite()) {
+            names.push_back(info.name);
+        }
+    } else {
+        // Fail fast on unknown names, before spinning anything up.
+        for (const std::string &name : names)
+            suite::buildBenchmark(name);
+    }
+
+    size_t workers = options.jobs == 0
+                         ? ThreadPool::hardwareThreads()
+                         : options.jobs;
+
+    // One state per benchmark, stable addresses for the closures.
+    std::vector<std::unique_ptr<JobState>> states;
+    states.reserve(names.size());
+    for (const std::string &name : names) {
+        auto state = std::make_unique<JobState>();
+        state->benchmark = name;
+        states.push_back(std::move(state));
+    }
+
+    uint64_t seed = options.seed;
+    std::string out_dir = options.outDir;
+    bool simulate = options.simulate;
+    std::chrono::milliseconds deadline = options.deadline;
+
+    TaskGraph graph;
+    struct JobTasks
+    {
+        TaskId build, place, route, validate, sim;
+    };
+    std::vector<JobTasks> ids(names.size());
+
+    for (size_t j = 0; j < names.size(); ++j) {
+        JobState *state = states[j].get();
+        const std::string &name = names[j];
+
+        ids[j].build = graph.add(
+            name + ".build",
+            [state, name, deadline](const CancelToken &token) {
+                token.throwIfCancelled("build " + name);
+                state->chain = CancelToken::withDeadline(deadline);
+                obs::ScopedSpan job(name, "suite");
+                PM_OBS_SPAN("build", "suite");
+                state->device = suite::buildBenchmark(name);
+            });
+
+        ids[j].place = graph.add(
+            name + ".place",
+            [state, name, seed](const CancelToken &token) {
+                token.throwIfCancelled("place " + name);
+                state->chain.throwIfCancelled("place " + name);
+                obs::ScopedSpan job(name, "suite");
+                place::AnnealingOptions annealing;
+                annealing.seed = seed;
+                place::AnnealingPlacer placer(annealing);
+                state->placement = placer.place(*state->device);
+                state->placeCost = placer.lastCost();
+            },
+            {ids[j].build});
+
+        ids[j].route = graph.add(
+            name + ".route",
+            [state, name](const CancelToken &token) {
+                token.throwIfCancelled("route " + name);
+                state->chain.throwIfCancelled("route " + name);
+                obs::ScopedSpan job(name, "suite");
+                state->routed = route::routeDevice(
+                    *state->device, state->placement);
+            },
+            {ids[j].place});
+
+        ids[j].validate = graph.add(
+            name + ".validate",
+            [state, name, out_dir](const CancelToken &token) {
+                token.throwIfCancelled("validate " + name);
+                state->chain.throwIfCancelled("validate " + name);
+                obs::ScopedSpan job(name, "suite");
+                state->placement.writeTo(*state->device);
+                {
+                    PM_OBS_SPAN("validate", "validate");
+                    state->issues =
+                        schema::checkRules(*state->device);
+                }
+                if (!out_dir.empty()) {
+                    saveDevice(out_dir + "/" + name +
+                                   "_routed.json",
+                               *state->device);
+                }
+            },
+            {ids[j].route});
+
+        ids[j].sim = graph.add(
+            name + ".sim",
+            [state, name, simulate](const CancelToken &token) {
+                if (!simulate)
+                    return;
+                token.throwIfCancelled("sim " + name);
+                state->chain.throwIfCancelled("sim " + name);
+                obs::ScopedSpan job(name, "suite");
+                PM_OBS_SPAN("sim", "sim");
+                // Best-effort: devices the standard heuristic
+                // cannot set up record a note, not a failure.
+                try {
+                    sim::HydraulicModel model =
+                        sim::HydraulicModel::build(*state->device);
+                    auto [sources, drains] =
+                        applyBoundaries(model, *state->device);
+                    if (sources == 0 || drains == 0) {
+                        state->simNote =
+                            "no source/drain port split";
+                        return;
+                    }
+                    model.solve();
+                } catch (const UserError &error) {
+                    state->simNote = error.what();
+                }
+            },
+            {ids[j].validate});
+    }
+
+    ThreadPool pool(workers);
+    RunOptions run_options;
+    run_options.taskDeadline = options.deadline;
+
+    obs::Stopwatch wall;
+    std::vector<TaskResult> results = graph.run(pool, run_options);
+
+    SuiteRunSummary summary;
+    summary.workers = workers;
+    summary.jobs.resize(names.size());
+    for (size_t j = 0; j < names.size(); ++j) {
+        SuiteJobResult &job = summary.jobs[j];
+        JobState &state = *states[j];
+        job.benchmark = names[j];
+        job.build = results[ids[j].build];
+        job.place = results[ids[j].place];
+        job.route = results[ids[j].route];
+        job.validate = results[ids[j].validate];
+        job.sim = results[ids[j].sim];
+        if (state.device) {
+            job.components = state.device->components().size();
+            job.connections = state.device->connections().size();
+        }
+        if (job.place.ok()) {
+            job.hpwl = state.placeCost.hpwl;
+            job.overlapArea = state.placeCost.overlapArea;
+        }
+        if (job.route.ok()) {
+            job.routedNets = state.routed.routedCount;
+            job.totalNets = state.routed.nets.size();
+            job.routedLength = state.routed.totalLength;
+            job.routeViolations = state.routed.totalViolations;
+        }
+        if (job.validate.ok()) {
+            for (const schema::Issue &issue : state.issues) {
+                if (issue.severity == schema::Severity::Error)
+                    ++job.issueErrors;
+                else
+                    ++job.issueWarnings;
+            }
+            job.routedJson = toJsonText(*state.device);
+        }
+        job.simNote = state.simNote;
+        job.simSolved =
+            job.sim.ok() && options.simulate && state.simNote.empty();
+    }
+    summary.wallUs = wall.elapsedUs();
+
+    if (obs::enabled()) {
+        size_t ok_tasks = 0;
+        size_t failed = 0;
+        size_t skipped = 0;
+        size_t deadline = 0;
+        for (const TaskResult &result : results) {
+            switch (result.status) {
+            case TaskStatus::Ok:
+                ++ok_tasks;
+                break;
+            case TaskStatus::Failed:
+                ++failed;
+                break;
+            case TaskStatus::Skipped:
+                ++skipped;
+                break;
+            case TaskStatus::DeadlineExpired:
+                ++deadline;
+                break;
+            }
+        }
+        obs::Registry &registry = obs::registry();
+        registry.add("exec.tasks.ok", ok_tasks);
+        registry.add("exec.tasks.failed", failed);
+        registry.add("exec.tasks.skipped", skipped);
+        registry.add("exec.tasks.deadline", deadline);
+        registry.setGauge("exec.workers",
+                          static_cast<double>(workers));
+        registry.setGauge(
+            "exec.sweep.wall_ms",
+            static_cast<double>(summary.wallUs) / 1000.0);
+        for (const SuiteJobResult &job : summary.jobs) {
+            registry.record("exec.job_ms",
+                            static_cast<double>(job.totalUs()) /
+                                1000.0);
+        }
+    }
+    return summary;
+}
+
+} // namespace parchmint::exec

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Parallel suite sweeps: the full PnR + validate + sim pipeline
+ * over the benchmark suite on the execution engine.
+ *
+ * Each benchmark becomes a five-stage task chain (build → place →
+ * route → validate → sim) on one TaskGraph, so with N workers the
+ * suite pipelines N netlists concurrently while every chain stays
+ * internally sequential. Jobs are independent by construction:
+ *
+ *   - The annealing RNG stream is derived from the suite seed and
+ *     the netlist name (common/rng.hh deriveSeed), never from job
+ *     order, so `--jobs 1` and `--jobs N` produce bit-identical
+ *     placements and routes.
+ *   - A throwing or deadline-expired stage is contained to its
+ *     chain: the stage's TaskResult records the failure, the
+ *     chain's remaining stages are skipped, and the rest of the
+ *     suite completes.
+ *   - Results return in canonical suite order regardless of
+ *     completion order.
+ *
+ * The hydraulic stage is best-effort: benchmarks without an obvious
+ * source/drain port split (or whose flow network is otherwise not
+ * solvable from the standard heuristic) record a note instead of
+ * failing the job, because the sweep's contract is the paper's
+ * PnR + validation pipeline with simulation riding along.
+ */
+
+#ifndef PARCHMINT_EXEC_SUITE_RUNNER_HH
+#define PARCHMINT_EXEC_SUITE_RUNNER_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/task_graph.hh"
+
+namespace parchmint::exec
+{
+
+/** Sweep configuration. */
+struct SuiteRunOptions
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    size_t jobs = 1;
+    /** Suite-level seed; per-netlist streams derive from it. */
+    uint64_t seed = 1;
+    /** Per-benchmark pipeline deadline: a wall-clock budget
+     * started when the benchmark's first stage begins executing
+     * (waiting for the sweep to reach the chain costs nothing;
+     * inter-stage waits for a free worker do count) and checked
+     * cooperatively at every stage boundary; zero = none. */
+    std::chrono::milliseconds deadline{0};
+    /** Benchmarks to run; empty = the full standard suite. */
+    std::vector<std::string> benchmarks;
+    /** Run the hydraulic stage. */
+    bool simulate = true;
+    /** Directory for `<name>_routed.json` artifacts; "" = none. */
+    std::string outDir;
+};
+
+/** Outcome of one benchmark's pipeline. */
+struct SuiteJobResult
+{
+    std::string benchmark;
+    /** Per-stage results: build, place, route, validate, sim. */
+    TaskResult build;
+    TaskResult place;
+    TaskResult route;
+    TaskResult validate;
+    TaskResult sim;
+
+    // Metrics captured by the stages that ran.
+    size_t components = 0;
+    size_t connections = 0;
+    int64_t hpwl = 0;
+    int64_t overlapArea = 0;
+    size_t routedNets = 0;
+    size_t totalNets = 0;
+    int64_t routedLength = 0;
+    size_t routeViolations = 0;
+    size_t issueErrors = 0;
+    size_t issueWarnings = 0;
+    /** Whether the hydraulic solve actually ran. */
+    bool simSolved = false;
+    std::string simNote;
+
+    /** The routed netlist as ParchMint JSON text ("" until the
+     * validate stage serialized it). The determinism guarantee is
+     * stated on this string: identical across --jobs settings. */
+    std::string routedJson;
+
+    /** Every stage that ran succeeded (sim is best-effort but its
+     * task must not have failed). */
+    bool ok() const;
+    /** Wall time summed over the stages that ran. */
+    int64_t totalUs() const;
+};
+
+/** Whole-sweep outcome. */
+struct SuiteRunSummary
+{
+    std::vector<SuiteJobResult> jobs;
+    /** Wall time of the whole sweep. */
+    int64_t wallUs = 0;
+    /** Worker threads actually used. */
+    size_t workers = 0;
+
+    size_t okCount() const;
+    size_t failedCount() const { return jobs.size() - okCount(); }
+};
+
+/**
+ * Run the sweep. Observability (when enabled) records one span
+ * tree per stage on the executing worker's track, merged exec.*
+ * counters, and a per-job duration histogram; the merged report is
+ * written by the caller exactly as in single-threaded tools.
+ *
+ * @throws UserError for unknown benchmark names (before any task
+ *         runs).
+ */
+SuiteRunSummary runSuite(const SuiteRunOptions &options);
+
+} // namespace parchmint::exec
+
+#endif // PARCHMINT_EXEC_SUITE_RUNNER_HH

@@ -1,0 +1,173 @@
+#include "exec/task_graph.hh"
+
+#include <exception>
+
+#include "common/error.hh"
+#include "obs/clock.hh"
+
+namespace parchmint::exec
+{
+
+const char *
+taskStatusName(TaskStatus status)
+{
+    switch (status) {
+    case TaskStatus::Ok:
+        return "ok";
+    case TaskStatus::Failed:
+        return "failed";
+    case TaskStatus::DeadlineExpired:
+        return "deadline";
+    case TaskStatus::Skipped:
+        return "skipped";
+    }
+    return "unknown";
+}
+
+struct TaskGraph::RunState
+{
+    std::mutex mutex;
+    std::condition_variable allSettled;
+    std::vector<TaskResult> results;
+    /** Unsettled dependencies per task. */
+    std::vector<size_t> pendingDeps;
+    /** Whether each task's result is final. */
+    std::vector<char> settled;
+    size_t settledCount = 0;
+};
+
+TaskId
+TaskGraph::add(std::string name, TaskFn fn,
+               std::vector<TaskId> dependencies)
+{
+    TaskId id = tasks_.size();
+    for (TaskId dep : dependencies) {
+        if (dep >= id) {
+            panic("TaskGraph::add: dependency " +
+                  std::to_string(dep) + " of task '" + name +
+                  "' is not a previously added task");
+        }
+        tasks_[dep].dependents.push_back(id);
+    }
+    tasks_.push_back(Task{std::move(name), std::move(fn),
+                          std::move(dependencies), {}});
+    return id;
+}
+
+std::vector<TaskResult>
+TaskGraph::run(ThreadPool &pool, const RunOptions &options)
+{
+    options_ = options;
+    RunState state;
+    state.results.resize(tasks_.size());
+    state.pendingDeps.resize(tasks_.size());
+    state.settled.assign(tasks_.size(), 0);
+    for (TaskId id = 0; id < tasks_.size(); ++id) {
+        state.results[id].name = tasks_[id].name;
+        state.pendingDeps[id] = tasks_[id].dependencies.size();
+    }
+    if (tasks_.empty())
+        return std::move(state.results);
+
+    // Collect the initially-ready tasks before dispatching any:
+    // once the first job is posted, workers mutate pendingDeps
+    // under the state mutex, which this scan does not hold.
+    std::vector<TaskId> ready;
+    for (TaskId id = 0; id < tasks_.size(); ++id) {
+        if (tasks_[id].dependencies.empty())
+            ready.push_back(id);
+    }
+    for (TaskId id : ready)
+        dispatch(pool, state, id);
+
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.allSettled.wait(lock, [&state, this] {
+        return state.settledCount == tasks_.size();
+    });
+    return std::move(state.results);
+}
+
+void
+TaskGraph::dispatch(ThreadPool &pool, RunState &state, TaskId id)
+{
+    // The posted job outlives neither run() nor the graph: run()
+    // blocks until every task settled, and settling this task is
+    // the job's final act.
+    pool.post([this, &pool, &state, id] {
+        TaskResult result;
+        result.name = tasks_[id].name;
+        CancelToken token =
+            CancelToken::withDeadline(options_.taskDeadline);
+        obs::Stopwatch watch;
+        try {
+            tasks_[id].fn(token);
+            result.status = TaskStatus::Ok;
+        } catch (const Cancelled &cancelled) {
+            result.status = TaskStatus::DeadlineExpired;
+            result.reason = cancelled.what();
+        } catch (const std::exception &error) {
+            result.status = TaskStatus::Failed;
+            result.reason = error.what();
+        } catch (...) {
+            result.status = TaskStatus::Failed;
+            result.reason = "unknown exception";
+        }
+        result.durationUs = watch.elapsedUs();
+        settle(pool, state, id, std::move(result));
+    });
+}
+
+void
+TaskGraph::settle(ThreadPool &pool, RunState &state, TaskId id,
+                  TaskResult result)
+{
+    std::vector<TaskId> ready;
+    {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        // Worklist of (task, settled result) pairs: a non-Ok task
+        // skips its dependents, which cascades.
+        std::vector<std::pair<TaskId, TaskResult>> settling;
+        settling.emplace_back(id, std::move(result));
+        while (!settling.empty()) {
+            auto [task, task_result] = std::move(settling.back());
+            settling.pop_back();
+            if (state.settled[task])
+                continue;
+            bool succeeded = task_result.ok();
+            std::string task_name = task_result.name;
+            const char *status_name =
+                taskStatusName(task_result.status);
+            state.results[task] = std::move(task_result);
+            state.settled[task] = 1;
+            ++state.settledCount;
+            for (TaskId dependent : tasks_[task].dependents) {
+                if (state.settled[dependent])
+                    continue;
+                if (succeeded) {
+                    // Dispatch only tasks every dependency of
+                    // which succeeded; a task already skipped by a
+                    // failing sibling dependency stays skipped.
+                    if (--state.pendingDeps[dependent] == 0)
+                        ready.push_back(dependent);
+                    continue;
+                }
+                TaskResult skipped;
+                skipped.name = tasks_[dependent].name;
+                skipped.status = TaskStatus::Skipped;
+                skipped.reason = "dependency '" + task_name +
+                                 "' " + status_name;
+                settling.emplace_back(dependent,
+                                      std::move(skipped));
+            }
+        }
+        // Notify while still holding the lock: the moment run()
+        // observes settledCount == size it destroys the RunState,
+        // so an unlocked notify could touch a dead condition
+        // variable.
+        state.allSettled.notify_all();
+    }
+    for (TaskId next : ready)
+        dispatch(pool, state, next);
+}
+
+} // namespace parchmint::exec

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Dependency-graph task scheduler with deadlines and fault
+ * containment.
+ *
+ * A TaskGraph holds named tasks with explicit dependencies (a task
+ * may only depend on tasks added before it, which makes the graph
+ * acyclic by construction). run() dispatches tasks topologically
+ * onto a ThreadPool: a task becomes ready the moment its last
+ * dependency succeeds, so independent chains pipeline freely across
+ * workers.
+ *
+ * Containment contract:
+ *
+ *   - A task that throws is recorded as Failed with the exception
+ *     message; the sweep continues.
+ *   - A task whose cancellation token expires (per-task deadline)
+ *     and that unwinds with exec::Cancelled is recorded as
+ *     DeadlineExpired.
+ *   - Dependents of a non-Ok task never run; they are recorded as
+ *     Skipped with the offending dependency's name.
+ *
+ * Results come back as one vector indexed by task id — insertion
+ * order — regardless of the order tasks finished in, so a parallel
+ * run reports identically to a serial one.
+ */
+
+#ifndef PARCHMINT_EXEC_TASK_GRAPH_HH
+#define PARCHMINT_EXEC_TASK_GRAPH_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/cancel.hh"
+#include "exec/thread_pool.hh"
+
+namespace parchmint::exec
+{
+
+/** Task identifier: the index of the add() call that created it. */
+using TaskId = size_t;
+
+/** Terminal state of one task. */
+enum class TaskStatus
+{
+    Ok,              ///< Ran to completion.
+    Failed,          ///< Threw; reason carries the message.
+    DeadlineExpired, ///< Gave up at a cancellation checkpoint.
+    Skipped,         ///< A dependency did not succeed.
+};
+
+/** Readable name of a status ("ok", "failed", ...). */
+const char *taskStatusName(TaskStatus status);
+
+/** Outcome of one task. */
+struct TaskResult
+{
+    std::string name;
+    TaskStatus status = TaskStatus::Skipped;
+    /** Failure message, deadline note, or skipped-because-of. */
+    std::string reason;
+    /** Wall time inside the task body; 0 for skipped tasks. */
+    int64_t durationUs = 0;
+
+    bool ok() const { return status == TaskStatus::Ok; }
+};
+
+/** Scheduling knobs for one run() call. */
+struct RunOptions
+{
+    /**
+     * Per-task deadline, measured from the task's own start; zero
+     * means none. Enforcement is cooperative: the task's
+     * CancelToken reports expiry and the body is expected to
+     * checkpoint via throwIfCancelled() (pipeline stages do this
+     * between phases).
+     */
+    std::chrono::milliseconds taskDeadline{0};
+};
+
+/** See file comment. */
+class TaskGraph
+{
+  public:
+    /** Task body; poll @p token at checkpoints. */
+    using TaskFn = std::function<void(const CancelToken &token)>;
+
+    /**
+     * Add a task depending on earlier tasks.
+     * @throws InternalError when a dependency id is not a
+     *         previously added task (which is also what rules out
+     *         cycles).
+     */
+    TaskId add(std::string name, TaskFn fn,
+               std::vector<TaskId> dependencies = {});
+
+    /** Number of tasks added so far. */
+    size_t size() const { return tasks_.size(); }
+
+    /**
+     * Run every task on @p pool and block until all have settled.
+     * @return One result per task, in insertion order.
+     */
+    std::vector<TaskResult> run(ThreadPool &pool,
+                                const RunOptions &options = {});
+
+  private:
+    struct Task
+    {
+        std::string name;
+        TaskFn fn;
+        std::vector<TaskId> dependencies;
+        std::vector<TaskId> dependents;
+    };
+
+    /** Shared state of one run() invocation. */
+    struct RunState;
+
+    void dispatch(ThreadPool &pool, RunState &state, TaskId id);
+    void settle(ThreadPool &pool, RunState &state, TaskId id,
+                TaskResult result);
+
+    std::vector<Task> tasks_;
+    RunOptions options_;
+};
+
+} // namespace parchmint::exec
+
+#endif // PARCHMINT_EXEC_TASK_GRAPH_HH

@@ -1,0 +1,84 @@
+#include "exec/thread_pool.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "obs/obs.hh"
+
+namespace parchmint::exec
+{
+
+ThreadPool::ThreadPool(size_t threads)
+{
+    size_t count = std::max<size_t>(1, threads);
+    workers_.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        workers_.emplace_back(
+            [this, i] { workerLoop(static_cast<int>(i) + 1); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    shutdown();
+}
+
+void
+ThreadPool::post(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            panic("ThreadPool::post after shutdown");
+        queue_.push_back(std::move(job));
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_) {
+        if (worker.joinable())
+            worker.join();
+    }
+}
+
+size_t
+ThreadPool::hardwareThreads()
+{
+    unsigned count = std::thread::hardware_concurrency();
+    return count == 0 ? 1 : count;
+}
+
+void
+ThreadPool::workerLoop(int worker_index)
+{
+    // Per-worker observability context: every span this worker
+    // emits lands on its own track (main thread = 0, workers 1..N).
+    obs::Tracer::setCurrentThreadTrack(worker_index);
+
+    while (true) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // Stopping and drained.
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+    }
+}
+
+} // namespace parchmint::exec

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fixed-size worker thread pool.
+ *
+ * The execution engine's substrate: N worker threads draining one
+ * FIFO work queue. Construction starts the workers; destruction (or
+ * an explicit shutdown()) drains the queue gracefully — every job
+ * already posted runs to completion before the workers join, so a
+ * pool can never drop scheduled work.
+ *
+ * Each worker registers itself with the observability tracer as
+ * track 1..N on startup (obs::Tracer::setCurrentThreadTrack), so
+ * spans emitted from pool jobs land on a stable per-worker lane in
+ * merged run reports and the chrome://tracing view shows one row
+ * per worker.
+ */
+
+#ifndef PARCHMINT_EXEC_THREAD_POOL_HH
+#define PARCHMINT_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parchmint::exec
+{
+
+/** See file comment. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p threads workers. Zero is clamped to one: a one-
+     * worker pool is the engine's serial mode, keeping the `--jobs
+     * 1` and `--jobs N` code paths identical.
+     */
+    explicit ThreadPool(size_t threads);
+
+    /** Graceful shutdown: drains the queue, then joins. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue a job. Jobs must not throw (the scheduler wraps task
+     * bodies; see task_graph.hh) — an escaping exception would
+     * terminate the process, so post() is for pre-wrapped work.
+     * @throws InternalError when the pool is shutting down.
+     */
+    void post(std::function<void()> job);
+
+    /** Worker count. */
+    size_t threadCount() const { return workers_.size(); }
+
+    /**
+     * Drain the queue and join the workers. Idempotent; the
+     * destructor calls it.
+     */
+    void shutdown();
+
+    /**
+     * The hardware's concurrency, at least 1 — the default for
+     * "--jobs 0 = auto" style knobs.
+     */
+    static size_t hardwareThreads();
+
+  private:
+    void workerLoop(int worker_index);
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+};
+
+} // namespace parchmint::exec
+
+#endif // PARCHMINT_EXEC_THREAD_POOL_HH

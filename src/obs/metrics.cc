@@ -48,12 +48,14 @@ Histogram::summary() const
 void
 Registry::add(const std::string &name, int64_t delta)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     counters_[name] += delta;
 }
 
 int64_t
 Registry::counter(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
 }
@@ -61,12 +63,14 @@ Registry::counter(const std::string &name) const
 void
 Registry::setGauge(const std::string &name, double value)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     gauges_[name] = value;
 }
 
 double
 Registry::gauge(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = gauges_.find(name);
     return it == gauges_.end() ? 0.0 : it->second;
 }
@@ -74,12 +78,14 @@ Registry::gauge(const std::string &name) const
 void
 Registry::record(const std::string &name, double value)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     histograms_[name].record(value);
 }
 
 const Histogram *
 Registry::findHistogram(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = histograms_.find(name);
     return it == histograms_.end() ? nullptr : &it->second;
 }
@@ -87,6 +93,7 @@ Registry::findHistogram(const std::string &name) const
 bool
 Registry::empty() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     return counters_.empty() && gauges_.empty() &&
            histograms_.empty();
 }
@@ -94,6 +101,7 @@ Registry::empty() const
 void
 Registry::clear()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     counters_.clear();
     gauges_.clear();
     histograms_.clear();

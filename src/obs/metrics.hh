@@ -11,8 +11,15 @@
  *
  * The registry is deliberately dependency-free (no JSON types) so
  * the JSON parser itself can be instrumented without a layering
- * cycle; serialization lives in obs/report.hh. Like the rest of the
- * library, the registry is single-threaded.
+ * cycle; serialization lives in obs/report.hh.
+ *
+ * Thread model: mutating operations (add/setGauge/record/clear) and
+ * point reads (counter/gauge/findHistogram) are mutex-guarded, so
+ * execution-engine workers can emit into one shared registry and
+ * the merged totals are exact. The whole-map accessors
+ * (counters()/gauges()/histograms()) return references and are
+ * quiescent-state reads: call them only after workers are joined,
+ * which is when reports are built.
  */
 
 #ifndef PARCHMINT_OBS_METRICS_HH
@@ -20,6 +27,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -106,6 +114,7 @@ class Registry
     void clear();
 
   private:
+    mutable std::mutex mutex_;
     std::map<std::string, int64_t> counters_;
     std::map<std::string, double> gauges_;
     std::map<std::string, Histogram> histograms_;

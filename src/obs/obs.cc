@@ -5,13 +5,13 @@ namespace parchmint::obs
 
 namespace detail
 {
-bool g_enabled = false;
+std::atomic<bool> g_enabled{false};
 } // namespace detail
 
 void
 setEnabled(bool on)
 {
-    detail::g_enabled = on;
+    detail::g_enabled.store(on, std::memory_order_relaxed);
 }
 
 Tracer &

@@ -12,12 +12,16 @@
  *     the only spellings instrumented code uses, so defining
  *     PARCHMINT_OBS_DISABLED at build time compiles every site out
  *     to nothing.
- *   - State is process-global and single-threaded, matching the
- *     library; tests and tools reset() between runs.
+ *   - State is process-global; the sinks are thread-safe (see
+ *     obs/trace.hh and obs/metrics.hh for the exact contract) so
+ *     execution-engine workers share them. Tests and tools reset()
+ *     between runs while the process is quiescent.
  */
 
 #ifndef PARCHMINT_OBS_OBS_HH
 #define PARCHMINT_OBS_OBS_HH
+
+#include <atomic>
 
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -27,15 +31,17 @@ namespace parchmint::obs
 
 namespace detail
 {
-/** The switch; read through enabled() only. */
-extern bool g_enabled;
+/** The switch; read through enabled() only. Atomic so concurrent
+ * workers read it race-free; relaxed order keeps the disabled path
+ * at one plain load. */
+extern std::atomic<bool> g_enabled;
 } // namespace detail
 
 /** True when spans and metrics record. */
 inline bool
 enabled()
 {
-    return detail::g_enabled;
+    return detail::g_enabled.load(std::memory_order_relaxed);
 }
 
 /** Flip the global switch; existing recordings are kept. */

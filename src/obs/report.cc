@@ -63,7 +63,10 @@ chromeTraceEvents(const Tracer &tracer)
             {"ts", json::Value(span.startUs)},
             {"dur", json::Value(span.durationUs)},
             {"pid", json::Value(static_cast<int64_t>(1))},
-            {"tid", json::Value(static_cast<int64_t>(1))},
+            // One chrome://tracing lane per emitting track: tid 1
+            // is the main thread, 2..N+1 the pool workers.
+            {"tid",
+             json::Value(static_cast<int64_t>(span.track + 1))},
         }));
     }
     return events;
@@ -82,6 +85,7 @@ traceJsonLines(const Tracer &tracer)
             {"ts_us", json::Value(span.startUs)},
             {"dur_us", json::Value(span.durationUs)},
             {"depth", json::Value(span.depth)},
+            {"track", json::Value(span.track)},
         });
         out += json::write(line, compact);
         out += '\n';
@@ -92,27 +96,30 @@ traceJsonLines(const Tracer &tracer)
 std::string
 foldedStacks(const Tracer &tracer)
 {
-    // Events arrive in completion order, children before parents.
+    // Events arrive in completion order, children before parents
+    // *within one track* (threads interleave freely across tracks).
     // The parent of a depth-d span is therefore the first *later*
-    // event at depth d-1: any other depth-(d-1) span would have to
-    // be open concurrently with the real parent at the same depth,
-    // which a single stack cannot produce. Walking the list in
-    // reverse and remembering the most recently visited event per
-    // depth resolves every parent in one pass.
+    // event of the same track at depth d-1: any other depth-(d-1)
+    // span would have to be open concurrently with the real parent
+    // at the same depth, which a single per-thread stack cannot
+    // produce. Walking the list in reverse and remembering the most
+    // recently visited event per (track, depth) resolves every
+    // parent in one pass.
     const std::vector<SpanEvent> &events = tracer.events();
     std::vector<std::string> stacks(events.size());
     std::vector<int64_t> child_us(events.size(), 0);
-    std::map<int, size_t> last_at_depth;
+    std::map<std::pair<int, int>, size_t> last_at_depth;
     for (size_t i = events.size(); i-- > 0;) {
         const SpanEvent &span = events[i];
-        auto parent = last_at_depth.find(span.depth - 1);
+        auto parent =
+            last_at_depth.find({span.track, span.depth - 1});
         if (span.depth > 0 && parent != last_at_depth.end()) {
             stacks[i] = stacks[parent->second] + ";" + span.name;
             child_us[parent->second] += span.durationUs;
         } else {
             stacks[i] = span.name;
         }
-        last_at_depth[span.depth] = i;
+        last_at_depth[{span.track, span.depth}] = i;
     }
 
     // Fold: aggregate self time (duration minus children) per

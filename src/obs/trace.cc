@@ -5,6 +5,71 @@
 namespace parchmint::obs
 {
 
+namespace
+{
+
+/**
+ * Per-thread span state. Depth is thread-local so concurrent
+ * workers nest independently; the track number gives each worker a
+ * stable lane in merged reports.
+ */
+struct ThreadSpanState
+{
+    int depth = 0;
+    int track = 0;
+};
+
+thread_local ThreadSpanState t_span_state;
+
+} // namespace
+
+int
+Tracer::enter()
+{
+    return t_span_state.depth++;
+}
+
+void
+Tracer::complete(std::string name, std::string category,
+                 Clock::time_point start, int depth)
+{
+    --t_span_state.depth;
+    SpanEvent event{std::move(name), std::move(category), 0, 0,
+                    depth, t_span_state.track};
+    Clock::time_point stop = Clock::now();
+    std::lock_guard<std::mutex> lock(mutex_);
+    event.startUs = microsBetween(epoch_, start);
+    event.durationUs = microsBetween(start, stop);
+    events_.push_back(std::move(event));
+}
+
+void
+Tracer::setCurrentThreadTrack(int track)
+{
+    t_span_state.track = track;
+}
+
+int
+Tracer::currentThreadTrack()
+{
+    return t_span_state.track;
+}
+
+int
+Tracer::depth() const
+{
+    return t_span_state.depth;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    t_span_state.depth = 0;
+    epoch_ = Clock::now();
+}
+
 ScopedSpan::ScopedSpan(const char *name, const char *category)
 {
     if (!enabled())

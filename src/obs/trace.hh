@@ -11,15 +11,25 @@
  * stays free of JSON dependencies.
  *
  * Spans are cheap when tracing is disabled: ScopedSpan's constructor
- * checks the global switch first and records nothing. The tracer,
- * like the rest of the library, is single-threaded; every span lands
- * on the same conceptual track.
+ * checks the global switch first and records nothing.
+ *
+ * Thread model: span nesting is tracked *per thread* (the depth
+ * counter is thread-local), and each thread emits onto a numbered
+ * track — track 0 for the main thread, and whatever
+ * setCurrentThreadTrack() assigned for execution-engine workers
+ * (exec::ThreadPool numbers its workers 1..N). Completed events from
+ * all threads merge into one list under a mutex, so a parallel
+ * sweep produces a single run report with one trace lane per
+ * worker. Reads (events()) are unsynchronized by design: build
+ * reports only after workers have been joined, the same
+ * quiescent-state contract the registry uses.
  */
 
 #ifndef PARCHMINT_OBS_TRACE_HH
 #define PARCHMINT_OBS_TRACE_HH
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,12 +50,15 @@ struct SpanEvent
     int64_t durationUs = 0;
     /** Nesting depth at entry; 0 for a root span. */
     int depth = 0;
+    /** Emitting track: 0 = main thread, 1..N = pool workers. */
+    int track = 0;
 };
 
 /**
  * Collects completed spans. Events append in completion order
- * (children before their parents), each stamped with the nesting
- * depth it was entered at.
+ * (children before their parents within one track), each stamped
+ * with the nesting depth it was entered at and the emitting
+ * thread's track.
  */
 class Tracer
 {
@@ -55,44 +68,46 @@ class Tracer
     {
     }
 
-    /** Enter a span: returns its depth and deepens the stack. */
-    int
-    enter()
-    {
-        return depth_++;
-    }
+    /** Enter a span: returns its depth and deepens this thread's
+     * stack. */
+    int enter();
 
-    /** Complete the innermost open span. */
-    void
-    complete(std::string name, std::string category,
-             Clock::time_point start, int depth)
-    {
-        --depth_;
-        events_.push_back(SpanEvent{
-            std::move(name), std::move(category),
-            microsBetween(epoch_, start),
-            microsBetween(start, Clock::now()), depth});
-    }
+    /** Complete the innermost open span of this thread. */
+    void complete(std::string name, std::string category,
+                  Clock::time_point start, int depth);
 
-    /** Completed spans, children before parents. */
+    /**
+     * Assign the calling thread's track number. Worker threads call
+     * this once at startup so every span they emit lands on a
+     * stable, deterministic lane (exec::ThreadPool uses 1..N; the
+     * main thread keeps the default 0).
+     */
+    static void setCurrentThreadTrack(int track);
+
+    /** The calling thread's track number. */
+    static int currentThreadTrack();
+
+    /**
+     * Completed spans, children before parents within each track.
+     * Quiescent-state read: call only when no other thread is
+     * completing spans (after pool workers are joined/idle).
+     */
     const std::vector<SpanEvent> &events() const { return events_; }
 
-    /** Current nesting depth (open spans). */
-    int depth() const { return depth_; }
+    /** Current nesting depth (open spans) of this thread. */
+    int depth() const;
 
-    /** Drop recorded events and restart the epoch. */
-    void
-    clear()
-    {
-        events_.clear();
-        depth_ = 0;
-        epoch_ = Clock::now();
-    }
+    /**
+     * Drop recorded events and restart the epoch. Resets the
+     * calling thread's depth; other threads must have no open
+     * spans (quiescent state).
+     */
+    void clear();
 
   private:
+    mutable std::mutex mutex_;
     Clock::time_point epoch_;
     std::vector<SpanEvent> events_;
-    int depth_ = 0;
 };
 
 /**

@@ -292,7 +292,11 @@ AnnealingPlacer::place(const Device &device)
     RowPlacer seeder(1000, options_.fillFactor);
     Placement initial = seeder.place(device);
     AnnealingState state(device, options_, initial);
-    Rng rng(options_.seed);
+    // The RNG stream is derived from the seed *and* the netlist
+    // name: every device anneals with its own stream, so a suite
+    // sweep produces the same placements whether the jobs run
+    // serially, in parallel, or in any order.
+    Rng rng(deriveSeed(options_.seed, device.name()));
     Rect die = estimateDie(device, options_.fillFactor);
 
     size_t moves_per_step = options_.movesPerStep

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Tests for the execution engine: thread pool draining, DAG
+ * scheduling edge cases (empty graph, single task, diamonds,
+ * failure skipping, deadlines, exception containment), and the
+ * parallel-equals-serial determinism guarantee of suite sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "common/rng.hh"
+#include "exec/suite_runner.hh"
+#include "exec/task_graph.hh"
+#include "exec/thread_pool.hh"
+
+namespace parchmint::exec
+{
+namespace
+{
+
+// --- Seed derivation --------------------------------------------------
+
+TEST(DeriveSeedTest, DependsOnBaseAndName)
+{
+    uint64_t a = deriveSeed(1, "cell_trap_array");
+    EXPECT_EQ(a, deriveSeed(1, "cell_trap_array"));
+    EXPECT_NE(a, deriveSeed(2, "cell_trap_array"));
+    EXPECT_NE(a, deriveSeed(1, "logic_inverter"));
+    EXPECT_NE(a, deriveSeed(1, ""));
+}
+
+// --- ThreadPool -------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryPostedJob)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(4);
+        for (int i = 0; i < 100; ++i)
+            pool.post([&ran] { ++ran; });
+        // Destructor drains the queue before joining.
+    }
+    EXPECT_EQ(100, ran.load());
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(1u, pool.threadCount());
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+// --- CancelToken ------------------------------------------------------
+
+TEST(CancelTokenTest, ExplicitCancelIsVisibleToCopies)
+{
+    CancelToken token;
+    CancelToken copy = token;
+    EXPECT_FALSE(copy.cancelled());
+    token.cancel();
+    EXPECT_TRUE(copy.cancelled());
+    EXPECT_THROW(copy.throwIfCancelled("work"), Cancelled);
+}
+
+TEST(CancelTokenTest, DeadlineExpires)
+{
+    CancelToken token =
+        CancelToken::withDeadline(std::chrono::milliseconds(1));
+    EXPECT_TRUE(token.hasDeadline());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelTokenTest, ZeroTimeoutMeansNoDeadline)
+{
+    CancelToken token =
+        CancelToken::withDeadline(std::chrono::milliseconds(0));
+    EXPECT_FALSE(token.hasDeadline());
+    EXPECT_FALSE(token.cancelled());
+}
+
+// --- TaskGraph --------------------------------------------------------
+
+TEST(TaskGraphTest, EmptyGraphReturnsNoResults)
+{
+    ThreadPool pool(2);
+    TaskGraph graph;
+    EXPECT_TRUE(graph.run(pool).empty());
+}
+
+TEST(TaskGraphTest, SingleTaskRuns)
+{
+    ThreadPool pool(2);
+    TaskGraph graph;
+    std::atomic<bool> ran{false};
+    graph.add("only", [&ran](const CancelToken &) { ran = true; });
+    std::vector<TaskResult> results = graph.run(pool);
+    ASSERT_EQ(1u, results.size());
+    EXPECT_TRUE(ran.load());
+    EXPECT_EQ(TaskStatus::Ok, results[0].status);
+    EXPECT_EQ("only", results[0].name);
+    EXPECT_GE(results[0].durationUs, 0);
+}
+
+TEST(TaskGraphTest, DiamondDependenciesRespectOrder)
+{
+    ThreadPool pool(4);
+    TaskGraph graph;
+    std::atomic<int> sequence{0};
+    std::atomic<int> top_done{0};
+    std::atomic<int> mid_done{0};
+    TaskId a = graph.add("a", [&](const CancelToken &) {
+        ++sequence;
+        top_done = sequence.load();
+    });
+    TaskId b = graph.add(
+        "b",
+        [&](const CancelToken &) {
+            EXPECT_GE(top_done.load(), 1);
+            ++sequence;
+        },
+        {a});
+    TaskId c = graph.add(
+        "c",
+        [&](const CancelToken &) {
+            EXPECT_GE(top_done.load(), 1);
+            ++sequence;
+            mid_done = 1;
+        },
+        {a});
+    TaskId d = graph.add(
+        "d",
+        [&](const CancelToken &) {
+            // Both middle tasks finished before the join runs.
+            EXPECT_EQ(4, sequence.fetch_add(1) + 1);
+        },
+        {b, c});
+    std::vector<TaskResult> results = graph.run(pool);
+    ASSERT_EQ(4u, results.size());
+    for (TaskId id : {a, b, c, d})
+        EXPECT_EQ(TaskStatus::Ok, results[id].status);
+    // Results come back in insertion order, not completion order.
+    EXPECT_EQ("a", results[0].name);
+    EXPECT_EQ("d", results[3].name);
+}
+
+TEST(TaskGraphTest, DependentsOfFailedTaskAreSkipped)
+{
+    ThreadPool pool(2);
+    TaskGraph graph;
+    std::atomic<bool> leaf_ran{false};
+    std::atomic<bool> other_ran{false};
+    TaskId bad = graph.add("bad", [](const CancelToken &) {
+        throw std::runtime_error("boom");
+    });
+    TaskId child = graph.add(
+        "child",
+        [&](const CancelToken &) { leaf_ran = true; }, {bad});
+    TaskId grandchild = graph.add(
+        "grandchild",
+        [&](const CancelToken &) { leaf_ran = true; }, {child});
+    TaskId unrelated = graph.add(
+        "unrelated",
+        [&](const CancelToken &) { other_ran = true; });
+    std::vector<TaskResult> results = graph.run(pool);
+
+    EXPECT_EQ(TaskStatus::Failed, results[bad].status);
+    EXPECT_EQ("boom", results[bad].reason);
+    EXPECT_EQ(TaskStatus::Skipped, results[child].status);
+    EXPECT_EQ("dependency 'bad' failed", results[child].reason);
+    // Skipping cascades with the *direct* dependency named.
+    EXPECT_EQ(TaskStatus::Skipped, results[grandchild].status);
+    EXPECT_EQ("dependency 'child' skipped",
+              results[grandchild].reason);
+    EXPECT_FALSE(leaf_ran.load());
+    // Containment: the failure never leaves its chain.
+    EXPECT_EQ(TaskStatus::Ok, results[unrelated].status);
+    EXPECT_TRUE(other_ran.load());
+}
+
+TEST(TaskGraphTest, MixedDependenciesStaySkipped)
+{
+    // A task with one succeeding and one failing dependency must
+    // be skipped exactly once, never dispatched.
+    ThreadPool pool(2);
+    TaskGraph graph;
+    std::atomic<bool> ran{false};
+    TaskId good = graph.add("good", [](const CancelToken &) {});
+    TaskId bad = graph.add("bad", [](const CancelToken &) {
+        throw std::runtime_error("no");
+    });
+    TaskId join = graph.add(
+        "join", [&](const CancelToken &) { ran = true; },
+        {good, bad});
+    std::vector<TaskResult> results = graph.run(pool);
+    EXPECT_EQ(TaskStatus::Ok, results[good].status);
+    EXPECT_EQ(TaskStatus::Skipped, results[join].status);
+    EXPECT_FALSE(ran.load());
+}
+
+TEST(TaskGraphTest, DeadlineExpiryMidTaskIsContained)
+{
+    ThreadPool pool(2);
+    TaskGraph graph;
+    TaskId slow = graph.add(
+        "slow", [](const CancelToken &token) {
+            // Cooperative loop: poll until the deadline trips.
+            while (true) {
+                token.throwIfCancelled("slow work");
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            }
+        });
+    TaskId after = graph.add(
+        "after", [](const CancelToken &) {}, {slow});
+    TaskId free_task =
+        graph.add("free", [](const CancelToken &) {});
+
+    RunOptions options;
+    options.taskDeadline = std::chrono::milliseconds(20);
+    std::vector<TaskResult> results = graph.run(pool, options);
+
+    EXPECT_EQ(TaskStatus::DeadlineExpired, results[slow].status);
+    EXPECT_EQ("slow work deadline expired", results[slow].reason);
+    EXPECT_EQ(TaskStatus::Skipped, results[after].status);
+    EXPECT_EQ("dependency 'slow' deadline",
+              results[after].reason);
+    EXPECT_EQ(TaskStatus::Ok, results[free_task].status);
+}
+
+TEST(TaskGraphTest, NonStdExceptionIsContained)
+{
+    ThreadPool pool(1);
+    TaskGraph graph;
+    TaskId weird =
+        graph.add("weird", [](const CancelToken &) { throw 42; });
+    std::vector<TaskResult> results = graph.run(pool);
+    EXPECT_EQ(TaskStatus::Failed, results[weird].status);
+    EXPECT_EQ("unknown exception", results[weird].reason);
+}
+
+TEST(TaskGraphTest, ForwardDependencyIsRejected)
+{
+    TaskGraph graph;
+    EXPECT_THROW(
+        graph.add("eager", [](const CancelToken &) {}, {0}),
+        InternalError);
+}
+
+TEST(TaskGraphTest, ManyIndependentTasksAllComplete)
+{
+    ThreadPool pool(4);
+    TaskGraph graph;
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 64; ++i) {
+        graph.add("task" + std::to_string(i),
+                  [&ran](const CancelToken &) { ++ran; });
+    }
+    std::vector<TaskResult> results = graph.run(pool);
+    EXPECT_EQ(64, ran.load());
+    for (const TaskResult &result : results)
+        EXPECT_EQ(TaskStatus::Ok, result.status);
+}
+
+// --- Suite sweeps -----------------------------------------------------
+
+TEST(SuiteRunnerTest, ParallelSweepMatchesSerialByteForByte)
+{
+    SuiteRunOptions serial;
+    serial.jobs = 1;
+    serial.seed = 13;
+    serial.benchmarks = {"droplet_transposer", "logic_inverter"};
+    serial.simulate = false;
+
+    SuiteRunOptions parallel = serial;
+    parallel.jobs = 4;
+
+    SuiteRunSummary one = runSuite(serial);
+    SuiteRunSummary four = runSuite(parallel);
+
+    ASSERT_EQ(one.jobs.size(), four.jobs.size());
+    for (size_t i = 0; i < one.jobs.size(); ++i) {
+        EXPECT_TRUE(one.jobs[i].ok()) << one.jobs[i].benchmark;
+        EXPECT_TRUE(four.jobs[i].ok()) << four.jobs[i].benchmark;
+        EXPECT_EQ(one.jobs[i].benchmark, four.jobs[i].benchmark);
+        EXPECT_EQ(one.jobs[i].hpwl, four.jobs[i].hpwl);
+        EXPECT_FALSE(one.jobs[i].routedJson.empty());
+        // The headline guarantee: the routed netlist JSON is
+        // byte-identical whatever --jobs was.
+        EXPECT_EQ(one.jobs[i].routedJson, four.jobs[i].routedJson)
+            << one.jobs[i].benchmark;
+    }
+}
+
+TEST(SuiteRunnerTest, SweepIsOrderIndependent)
+{
+    // Per-netlist derived seeds: a benchmark's result must not
+    // depend on which other benchmarks ran in the sweep.
+    SuiteRunOptions pair;
+    pair.jobs = 1;
+    pair.seed = 13;
+    pair.benchmarks = {"droplet_transposer", "logic_inverter"};
+    pair.simulate = false;
+
+    SuiteRunOptions solo = pair;
+    solo.benchmarks = {"logic_inverter"};
+
+    SuiteRunSummary both = runSuite(pair);
+    SuiteRunSummary only = runSuite(solo);
+    ASSERT_EQ(1u, only.jobs.size());
+    EXPECT_EQ(both.jobs[1].routedJson, only.jobs[0].routedJson);
+}
+
+TEST(SuiteRunnerTest, PipelineDeadlineIsContained)
+{
+    // A 1 ms pipeline budget is long gone by the time the
+    // (hundreds-of-ms) annealing stage finishes, so some later
+    // stage boundary must report DeadlineExpired, the rest of the
+    // chain must be skipped, and the sweep must still return.
+    SuiteRunOptions options;
+    options.jobs = 2;
+    options.benchmarks = {"droplet_transposer"};
+    options.deadline = std::chrono::milliseconds(1);
+
+    SuiteRunSummary summary = runSuite(options);
+    ASSERT_EQ(1u, summary.jobs.size());
+    const SuiteJobResult &job = summary.jobs[0];
+    EXPECT_FALSE(job.ok());
+
+    std::vector<const TaskResult *> stages = {
+        &job.build, &job.place, &job.route, &job.validate,
+        &job.sim};
+    size_t expired = stages.size();
+    for (size_t i = 0; i < stages.size(); ++i) {
+        if (stages[i]->status == TaskStatus::DeadlineExpired) {
+            expired = i;
+            break;
+        }
+    }
+    ASSERT_LT(expired, stages.size()) << "no stage expired";
+    EXPECT_NE(std::string::npos,
+              stages[expired]->reason.find("deadline expired"));
+    for (size_t i = expired + 1; i < stages.size(); ++i)
+        EXPECT_EQ(TaskStatus::Skipped, stages[i]->status);
+}
+
+TEST(SuiteRunnerTest, UnknownBenchmarkFailsFast)
+{
+    SuiteRunOptions options;
+    options.benchmarks = {"no_such_benchmark"};
+    EXPECT_THROW(runSuite(options), UserError);
+}
+
+} // namespace
+} // namespace parchmint::exec

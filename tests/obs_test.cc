@@ -7,6 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
 #include "json/parse.hh"
 #include "json/write.hh"
 #include "obs/obs.hh"
@@ -164,6 +169,93 @@ TEST_F(ObsTest, MacroSpansRecord)
     }
     ASSERT_EQ(1u, tracer().events().size());
     EXPECT_EQ("macro.span", tracer().events()[0].name);
+}
+
+// --- Concurrent emission ----------------------------------------------
+
+TEST_F(ObsTest, ThreadsMergeIntoOneCollector)
+{
+    // N worker threads emit nested spans and counters into the
+    // global collector at once, the model used by the execution
+    // engine (src/exec/). The merged result must have exact
+    // counter totals and per-track span-containment invariants.
+    constexpr int kThreads = 4;
+    constexpr int kSpansPerThread = 25;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            Tracer::setCurrentThreadTrack(t + 1);
+            for (int i = 0; i < kSpansPerThread; ++i) {
+                ScopedSpan outer("worker.outer", "test");
+                registry().add("work.items", 1);
+                registry().record("work.size",
+                                  static_cast<double>(i));
+                {
+                    ScopedSpan inner("worker.inner", "test");
+                    registry().add("work.steps", 2);
+                }
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    // Counters accumulated exactly, nothing lost to races.
+    EXPECT_EQ(kThreads * kSpansPerThread,
+              registry().counter("work.items"));
+    EXPECT_EQ(2 * kThreads * kSpansPerThread,
+              registry().counter("work.steps"));
+    EXPECT_EQ(static_cast<size_t>(kThreads * kSpansPerThread),
+              registry().findHistogram("work.size")->count());
+
+    const std::vector<SpanEvent> &events = tracer().events();
+    ASSERT_EQ(
+        static_cast<size_t>(2 * kThreads * kSpansPerThread),
+        events.size());
+
+    // Split the merged stream back into per-track streams: each
+    // track must satisfy the same invariants as a single-threaded
+    // trace (children complete before parents, nesting depth
+    // alternates 1/0, intervals contained).
+    std::map<int, std::vector<const SpanEvent *>> by_track;
+    for (const SpanEvent &event : events) {
+        EXPECT_GE(event.track, 1);
+        EXPECT_LE(event.track, kThreads);
+        by_track[event.track].push_back(&event);
+    }
+    ASSERT_EQ(static_cast<size_t>(kThreads), by_track.size());
+    for (const auto &[track, spans] : by_track) {
+        ASSERT_EQ(static_cast<size_t>(2 * kSpansPerThread),
+                  spans.size())
+            << "track " << track;
+        for (size_t i = 0; i < spans.size(); i += 2) {
+            const SpanEvent &inner = *spans[i];
+            const SpanEvent &outer = *spans[i + 1];
+            EXPECT_EQ("worker.inner", inner.name);
+            EXPECT_EQ(1, inner.depth);
+            EXPECT_EQ("worker.outer", outer.name);
+            EXPECT_EQ(0, outer.depth);
+            EXPECT_GE(inner.startUs, outer.startUs);
+            EXPECT_LE(inner.startUs + inner.durationUs,
+                      outer.startUs + outer.durationUs + 1);
+        }
+    }
+
+    // The merged report keeps the lanes apart: one tid per track,
+    // and the folded stacks resolve each inner span to its own
+    // track's parent (never a sibling thread's).
+    json::Value trace = chromeTraceEvents(tracer());
+    std::set<int64_t> tids;
+    for (const json::Value &event : trace.elements())
+        tids.insert(event.at("tid").asInteger());
+    EXPECT_EQ(static_cast<size_t>(kThreads), tids.size());
+
+    std::string folded = foldedStacks(tracer());
+    EXPECT_NE(std::string::npos,
+              folded.find("worker.outer;worker.inner "));
+    EXPECT_EQ(std::string::npos,
+              folded.find("worker.inner;worker.outer"));
 }
 
 // --- Disabled mode ----------------------------------------------------
