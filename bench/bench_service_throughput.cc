@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Service throughput: the netlist service measured end-to-end over
+ * loopback HTTP and in-process, isolating the wire from the work.
+ *
+ * The report section runs a fixed request mix against an in-process
+ * HttpServer (one keep-alive client, real sockets) and prints
+ * per-endpoint latency and the cache's effect: each endpoint is
+ * measured cold (first sight of the netlist) and warm (repeat, so
+ * the content-addressed result cache answers). The google-benchmark
+ * timers then cover the in-process handle() path — parse + dispatch
+ * without sockets — and the loopback round-trip, for validate (the
+ * cheapest pipeline) and place (the dearest), cold and warm.
+ */
+
+#include "bench_common.hh"
+
+#include "analysis/table.hh"
+#include "core/serialize.hh"
+#include "json/write.hh"
+#include "suite/suite.hh"
+#include "svc/client.hh"
+#include "svc/server.hh"
+#include "svc/service.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+std::string
+netlistBody(const std::string &benchmark)
+{
+    json::WriteOptions options;
+    options.pretty = false;
+    return json::write(toJson(suite::buildBenchmark(benchmark)),
+                       options);
+}
+
+/** POST one request and return its latency in microseconds. */
+double
+roundTripUs(svc::HttpClient &client, const std::string &endpoint,
+            const std::string &body)
+{
+    bench::Stopwatch watch;
+    svc::HttpResponse response = client.post(endpoint, body);
+    double us = watch.elapsedUs();
+    if (response.status != 200)
+        fatal("unexpected status " +
+              std::to_string(response.status) + " from " +
+              endpoint);
+    return us;
+}
+
+void
+report()
+{
+    bench::heading("service", "loopback latency, cold vs warm");
+
+    svc::NetlistService service;
+    svc::HttpServer server(service);
+    server.start();
+    svc::HttpClient client("127.0.0.1", server.port());
+
+    const char *endpoints[] = {"/v1/validate", "/v1/characterize",
+                               "/v1/place", "/v1/route"};
+    const char *benchmarks[] = {"cell_trap_array",
+                                "general_purpose_mfd"};
+
+    analysis::TextTable table;
+    table.beginRow();
+    table.cell(std::string("endpoint"));
+    table.cell(std::string("benchmark"));
+    table.cell(std::string("cold ms"));
+    table.cell(std::string("warm ms"));
+    table.cell(std::string("speedup"));
+    for (const char *benchmark : benchmarks) {
+        std::string body = netlistBody(benchmark);
+        for (const char *endpoint : endpoints) {
+            // A fresh service per cell would lose keep-alive; a
+            // fresh body suffix would defeat the cache. The cold
+            // number is the first request of this (endpoint,
+            // netlist) pair on a shared server, which is exactly
+            // how a client fleet sees it.
+            double cold_us =
+                roundTripUs(client, endpoint, body);
+            double warm_us = 0.0;
+            const int repeats = 16;
+            for (int i = 0; i < repeats; ++i)
+                warm_us += roundTripUs(client, endpoint, body);
+            warm_us /= repeats;
+            table.beginRow();
+            table.cell(std::string(endpoint));
+            table.cell(std::string(benchmark));
+            table.cell(cold_us / 1000.0, 3);
+            table.cell(warm_us / 1000.0, 3);
+            table.cell(warm_us > 0.0 ? cold_us / warm_us : 0.0,
+                       1);
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    svc::CacheStats results = service.resultCacheStats();
+    std::printf("result cache: %zu hits / %zu probes\n\n",
+                static_cast<size_t>(results.hits),
+                static_cast<size_t>(results.hits +
+                                    results.misses));
+    server.stop();
+}
+
+/** In-process handle(), no sockets. */
+void
+inProcess(benchmark::State &state, const char *endpoint,
+          bool warm)
+{
+    std::string body = netlistBody("cell_trap_array");
+    svc::HttpRequest request;
+    request.method = "POST";
+    request.target = endpoint;
+    request.body = body;
+    for (auto _ : state) {
+        if (!warm) {
+            state.PauseTiming();
+            svc::NetlistService cold_service;
+            state.ResumeTiming();
+            benchmark::DoNotOptimize(
+                cold_service.handle(request));
+            continue;
+        }
+        static svc::NetlistService warm_service;
+        benchmark::DoNotOptimize(warm_service.handle(request));
+    }
+}
+
+void
+BM_InProcessValidateCold(benchmark::State &state)
+{
+    inProcess(state, "/v1/validate", false);
+}
+BENCHMARK(BM_InProcessValidateCold)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_InProcessValidateWarm(benchmark::State &state)
+{
+    inProcess(state, "/v1/validate", true);
+}
+BENCHMARK(BM_InProcessValidateWarm)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_LoopbackValidateWarm(benchmark::State &state)
+{
+    svc::NetlistService service;
+    svc::HttpServer server(service);
+    server.start();
+    svc::HttpClient client("127.0.0.1", server.port());
+    std::string body = netlistBody("cell_trap_array");
+    client.post("/v1/validate", body);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            client.post("/v1/validate", body));
+    }
+    server.stop();
+}
+BENCHMARK(BM_LoopbackValidateWarm)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_LoopbackPlaceWarm(benchmark::State &state)
+{
+    svc::NetlistService service;
+    svc::HttpServer server(service);
+    server.start();
+    svc::HttpClient client("127.0.0.1", server.port());
+    std::string body = netlistBody("cell_trap_array");
+    client.post("/v1/place", body);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            client.post("/v1/place", body));
+    }
+    server.stop();
+}
+BENCHMARK(BM_LoopbackPlaceWarm)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+PARCHMINT_BENCH_MAIN(report)

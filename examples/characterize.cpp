@@ -24,15 +24,12 @@
 #include <vector>
 
 #include "common/error.hh"
-#include "common/strings.hh"
 #include "analysis/stats_json.hh"
 #include "analysis/suite_report.hh"
 #include "json/write.hh"
 #include "core/deserialize.hh"
 #include "core/serialize.hh"
-#include "obs/history.hh"
-#include "obs/obs.hh"
-#include "obs/report.hh"
+#include "obs/report_cli.hh"
 #include "schema/rules.hh"
 
 using namespace parchmint;
@@ -72,27 +69,14 @@ int
 main(int argc, char **argv)
 {
     try {
-        std::string report_path;
-        std::string history_path;
+        obs::ReportCli report_cli;
         std::vector<std::string> args;
         for (int i = 1; i < argc; ++i) {
-            std::string arg = argv[i];
-            if (arg == "--report" && i + 1 < argc) {
-                report_path = argv[++i];
-            } else if (startsWith(arg, "--report=")) {
-                report_path = arg.substr(std::string("--report=")
-                                             .size());
-            } else if (arg == "--history" && i + 1 < argc) {
-                history_path = argv[++i];
-            } else if (startsWith(arg, "--history=")) {
-                history_path = arg.substr(std::string("--history=")
-                                              .size());
-            } else {
-                args.push_back(arg);
-            }
+            if (report_cli.consume(argc, argv, i))
+                continue;
+            args.push_back(argv[i]);
         }
-        if (!report_path.empty() || !history_path.empty())
-            obs::setEnabled(true);
+        report_cli.enableIfRequested();
 
         int status = 0;
         if (!args.empty() && args[0] == "--json") {
@@ -116,22 +100,7 @@ main(int argc, char **argv)
                 analysis::renderCompositionTable(rows).c_str());
         }
 
-        if (!report_path.empty() || !history_path.empty()) {
-            obs::RunInfo info;
-            info.tool = "characterize";
-            info.timestamp = obs::localTimestamp();
-            if (!report_path.empty()) {
-                obs::writeRunReport(report_path, info);
-                obs::writeFoldedStacks(report_path + ".folded");
-                std::printf("wrote run report %s (+ .folded)\n",
-                            report_path.c_str());
-            }
-            if (!history_path.empty()) {
-                obs::appendHistory(history_path, info);
-                std::printf("appended run history %s\n",
-                            history_path.c_str());
-            }
-        }
+        report_cli.finish("characterize");
         return status;
     } catch (const UserError &error) {
         std::fprintf(stderr, "error: %s\n", error.what());

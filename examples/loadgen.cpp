@@ -1,0 +1,322 @@
+/**
+ * @file
+ * loadgen: closed-plus-paced load generator for parchmintd.
+ *
+ * Run:  ./loadgen --port P [--host ADDR] [--qps Q]
+ *           [--connections C] [--duration-s S]
+ *           [--endpoint /v1/validate] [--payloads N]
+ *           [--report report.json] [--history history.jsonl]
+ *
+ * Each of the C connections is a thread with its own keep-alive
+ * HTTP client, paced at Q/C requests per second. The request
+ * bodies are real suite netlists pulled from the server's own
+ * /v1/suite registry at startup (N distinct payloads, cycled), so
+ * the run exercises the full parse → pipeline → cache path with
+ * representative documents and a repeat pattern the
+ * content-addressed cache is expected to absorb.
+ *
+ * On completion it compares /statsz cache counters from before and
+ * after the run, prints a latency summary (p50/p95/p99 from
+ * obs::Histogram), and emits one greppable line:
+ *
+ *   loadgen: requests=N ok=N status_4xx=0 status_5xx=0
+ *     transport_errors=0 throughput_rps=X p50_ms=X p95_ms=X
+ *     p99_ms=X result_hit_rate=X.XX
+ *
+ * Exit status is 1 when any 5xx or transport error occurred (429s
+ * are counted but are not failures — rejecting work under overload
+ * is the server behaving as designed).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/strings.hh"
+#include "json/parse.hh"
+#include "json/value.hh"
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
+#include "obs/report_cli.hh"
+#include "svc/client.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+/** What one connection thread tallies. */
+struct WorkerTally
+{
+    std::vector<double> latencyMs;
+    uint64_t ok = 0;
+    uint64_t status4xx = 0;
+    uint64_t status5xx = 0;
+    uint64_t transportErrors = 0;
+};
+
+/** Result-cache hit/miss counters pulled out of a /statsz body. */
+struct CacheCounters
+{
+    int64_t hits = 0;
+    int64_t misses = 0;
+};
+
+CacheCounters
+resultCacheCounters(const std::string &statszBody)
+{
+    CacheCounters counters;
+    json::Value document = json::parse(statszBody);
+    const json::Value &result =
+        document.at("cache").at("result");
+    counters.hits = result.at("hits").asInteger();
+    counters.misses = result.at("misses").asInteger();
+    return counters;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        std::string host = "127.0.0.1";
+        uint16_t port = 0;
+        double qps = 100.0;
+        size_t connections = 4;
+        double duration_s = 5.0;
+        std::string endpoint = "/v1/validate";
+        size_t payload_count = 4;
+        obs::ReportCli report_cli;
+
+        for (int i = 1; i < argc; ++i) {
+            if (report_cli.consume(argc, argv, i))
+                continue;
+            std::string arg = argv[i];
+            std::string value;
+            auto flag = [&](const char *name) {
+                if (arg == name && i + 1 < argc) {
+                    value = argv[++i];
+                    return true;
+                }
+                std::string prefix = std::string(name) + "=";
+                if (startsWith(arg, prefix)) {
+                    value = arg.substr(prefix.size());
+                    return true;
+                }
+                return false;
+            };
+            if (flag("--host")) {
+                host = value;
+            } else if (flag("--port")) {
+                port = static_cast<uint16_t>(
+                    std::strtoul(value.c_str(), nullptr, 10));
+            } else if (flag("--qps")) {
+                qps = std::strtod(value.c_str(), nullptr);
+            } else if (flag("--connections")) {
+                connections = static_cast<size_t>(
+                    std::strtoull(value.c_str(), nullptr, 10));
+            } else if (flag("--duration-s")) {
+                duration_s = std::strtod(value.c_str(), nullptr);
+            } else if (flag("--endpoint")) {
+                endpoint = value;
+            } else if (flag("--payloads")) {
+                payload_count = static_cast<size_t>(
+                    std::strtoull(value.c_str(), nullptr, 10));
+            } else {
+                fatal("unknown argument \"" + arg + "\"");
+            }
+        }
+        if (port == 0)
+            fatal("--port is required (parchmintd prints its "
+                  "bound port and can write --port-file)");
+        if (connections == 0)
+            connections = 1;
+        if (payload_count == 0)
+            payload_count = 1;
+        report_cli.enableIfRequested();
+
+        // Pull real suite netlists to use as request bodies.
+        svc::HttpClient setup(host, port);
+        svc::HttpResponse index = setup.get("/v1/suite");
+        if (index.status != 200)
+            fatal("GET /v1/suite returned " +
+                  std::to_string(index.status));
+        json::Value suite = json::parse(index.body);
+        const json::Value &benchmarks = suite.at("benchmarks");
+        std::vector<std::string> payloads;
+        for (size_t i = 0;
+             i < benchmarks.size() && payloads.size() <
+                                          payload_count;
+             ++i) {
+            std::string name =
+                benchmarks.at(i).at("name").asString();
+            svc::HttpResponse netlist =
+                setup.get("/v1/suite/" + name);
+            if (netlist.status != 200)
+                continue;
+            payloads.push_back(std::move(netlist.body));
+        }
+        if (payloads.empty())
+            fatal("no usable suite payloads");
+        std::printf("loadgen: %zu payload(s), %zu connection(s), "
+                    "%.0f qps for %.1f s against %s%s\n",
+                    payloads.size(), connections, qps,
+                    duration_s, host.c_str(), endpoint.c_str());
+
+        CacheCounters before =
+            resultCacheCounters(setup.get("/statsz").body);
+
+        // Paced open-loop per connection: each thread owns one
+        // keep-alive client and fires every C/Q seconds against
+        // its own schedule, skipping slots it cannot keep (no
+        // coordinated-omission backlog bursts).
+        using Clock = std::chrono::steady_clock;
+        std::vector<WorkerTally> tallies(connections);
+        std::vector<std::thread> workers;
+        Clock::time_point start = Clock::now();
+        Clock::time_point deadline =
+            start + std::chrono::microseconds(static_cast<long>(
+                        duration_s * 1e6));
+        std::chrono::microseconds interval(static_cast<long>(
+            1e6 * static_cast<double>(connections) / qps));
+
+        for (size_t c = 0; c < connections; ++c) {
+            workers.emplace_back([&, c] {
+                WorkerTally &tally = tallies[c];
+                svc::HttpClient client(host, port);
+                Clock::time_point next =
+                    start + interval * c / connections;
+                size_t k = c;
+                while (true) {
+                    Clock::time_point now = Clock::now();
+                    if (now >= deadline)
+                        break;
+                    if (next > now) {
+                        std::this_thread::sleep_until(next);
+                        if (Clock::now() >= deadline)
+                            break;
+                    } else {
+                        // Behind schedule: skip missed slots
+                        // instead of bursting.
+                        next = now;
+                    }
+                    next += interval;
+
+                    const std::string &body =
+                        payloads[k++ % payloads.size()];
+                    Clock::time_point sent = Clock::now();
+                    try {
+                        svc::HttpResponse response =
+                            client.post(endpoint, body);
+                        double ms =
+                            std::chrono::duration<double,
+                                                  std::milli>(
+                                Clock::now() - sent)
+                                .count();
+                        tally.latencyMs.push_back(ms);
+                        if (response.status >= 500)
+                            ++tally.status5xx;
+                        else if (response.status >= 400)
+                            ++tally.status4xx;
+                        else
+                            ++tally.ok;
+                    } catch (const UserError &error) {
+                        // The first few reasons per connection go
+                        // to stderr; the rest would repeat them.
+                        if (++tally.transportErrors <= 3) {
+                            std::fprintf(
+                                stderr,
+                                "loadgen: connection %zu: %s\n",
+                                c, error.what());
+                        }
+                    }
+                }
+            });
+        }
+        for (std::thread &worker : workers)
+            worker.join();
+        double elapsed_s =
+            std::chrono::duration<double>(Clock::now() - start)
+                .count();
+
+        CacheCounters after =
+            resultCacheCounters(setup.get("/statsz").body);
+
+        // Merge the per-thread tallies.
+        obs::Histogram latency;
+        WorkerTally total;
+        for (const WorkerTally &tally : tallies) {
+            for (double ms : tally.latencyMs)
+                latency.record(ms);
+            total.ok += tally.ok;
+            total.status4xx += tally.status4xx;
+            total.status5xx += tally.status5xx;
+            total.transportErrors += tally.transportErrors;
+        }
+        uint64_t requests =
+            total.ok + total.status4xx + total.status5xx;
+        obs::HistogramSummary summary = latency.summary();
+        double throughput =
+            elapsed_s > 0.0
+                ? static_cast<double>(requests) / elapsed_s
+                : 0.0;
+        int64_t delta_hits = after.hits - before.hits;
+        int64_t delta_misses = after.misses - before.misses;
+        double hit_rate =
+            delta_hits + delta_misses > 0
+                ? static_cast<double>(delta_hits) /
+                      static_cast<double>(delta_hits +
+                                          delta_misses)
+                : 0.0;
+
+        std::printf(
+            "loadgen: requests=%llu ok=%llu status_4xx=%llu "
+            "status_5xx=%llu transport_errors=%llu "
+            "throughput_rps=%.1f p50_ms=%.2f p95_ms=%.2f "
+            "p99_ms=%.2f result_hit_rate=%.3f\n",
+            static_cast<unsigned long long>(requests),
+            static_cast<unsigned long long>(total.ok),
+            static_cast<unsigned long long>(total.status4xx),
+            static_cast<unsigned long long>(total.status5xx),
+            static_cast<unsigned long long>(
+                total.transportErrors),
+            throughput, summary.p50, summary.p95, summary.p99,
+            hit_rate);
+
+        if (report_cli.requested()) {
+            obs::Registry &registry = obs::registry();
+            for (double ms : latency.samples())
+                registry.record("loadgen.request.ms", ms);
+            registry.add("loadgen.requests",
+                         static_cast<int64_t>(requests));
+            registry.add("loadgen.errors.5xx",
+                         static_cast<int64_t>(total.status5xx));
+            registry.add(
+                "loadgen.errors.transport",
+                static_cast<int64_t>(total.transportErrors));
+            registry.setGauge("loadgen.throughput.rps",
+                              throughput);
+            registry.setGauge("loadgen.result_hit_rate",
+                              hit_rate);
+        }
+        report_cli.finish(
+            "loadgen",
+            {{"endpoint", endpoint},
+             {"qps", std::to_string(qps)},
+             {"connections", std::to_string(connections)},
+             {"requests", std::to_string(requests)}});
+
+        return total.status5xx > 0 || total.transportErrors > 0
+                   ? 1
+                   : 0;
+    } catch (const UserError &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * parchmintd: the ParchMint netlist service daemon.
+ *
+ * Serves the pipeline over JSON/HTTP (see src/svc/service.hh for
+ * the endpoint list) until SIGINT or SIGTERM, then drains: the
+ * listener closes, in-flight requests finish and flush their
+ * responses, and the worker pool joins before exit.
+ *
+ * Run:  ./parchmintd [--port P] [--bind ADDR] [--threads N]
+ *           [--cache-mb M] [--max-inflight K] [--seed S]
+ *           [--deadline-ms D] [--port-file PATH]
+ *           [--report report.json] [--history history.jsonl]
+ *
+ * `--port 0` (the default) binds a kernel-assigned ephemeral port;
+ * `--port-file` writes the bound port to a file so scripts (and the
+ * CI smoke test) can find the server without racing the log.
+ * `--cache-mb 0` disables the content-addressed caches;
+ * `--max-inflight 0` means "two heavy requests per hardware
+ * thread". With --report / --history the run-report artifacts are
+ * written on shutdown, carrying the per-endpoint latency
+ * histograms and the request/cache counters.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hh"
+#include "common/strings.hh"
+#include "obs/report_cli.hh"
+#include "svc/server.hh"
+#include "svc/service.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+/** Set by the signal handler; the main loop polls it. */
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--port P] [--bind ADDR] [--threads N]\n"
+        "          [--cache-mb M] [--max-inflight K] [--seed S]\n"
+        "          [--deadline-ms D] [--port-file PATH]\n"
+        "          [--report report.json] "
+        "[--history history.jsonl]\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        svc::ServiceOptions service_options;
+        svc::ServerOptions server_options;
+        std::string port_file;
+        obs::ReportCli report_cli;
+
+        for (int i = 1; i < argc; ++i) {
+            if (report_cli.consume(argc, argv, i))
+                continue;
+            std::string arg = argv[i];
+            std::string value;
+            auto flag = [&](const char *name) {
+                if (arg == name && i + 1 < argc) {
+                    value = argv[++i];
+                    return true;
+                }
+                std::string prefix = std::string(name) + "=";
+                if (startsWith(arg, prefix)) {
+                    value = arg.substr(prefix.size());
+                    return true;
+                }
+                return false;
+            };
+            if (flag("--port")) {
+                server_options.port = static_cast<uint16_t>(
+                    std::strtoul(value.c_str(), nullptr, 10));
+            } else if (flag("--bind")) {
+                server_options.bindAddress = value;
+            } else if (flag("--threads")) {
+                server_options.threads = static_cast<size_t>(
+                    std::strtoull(value.c_str(), nullptr, 10));
+            } else if (flag("--cache-mb")) {
+                service_options.cacheBytes =
+                    static_cast<size_t>(std::strtoull(
+                        value.c_str(), nullptr, 10)) *
+                    1024 * 1024;
+            } else if (flag("--max-inflight")) {
+                service_options.maxInflight = static_cast<size_t>(
+                    std::strtoull(value.c_str(), nullptr, 10));
+            } else if (flag("--seed")) {
+                service_options.seed =
+                    std::strtoull(value.c_str(), nullptr, 10);
+            } else if (flag("--deadline-ms")) {
+                service_options.requestDeadline =
+                    std::chrono::milliseconds(
+                        std::strtoll(value.c_str(), nullptr, 10));
+            } else if (flag("--port-file")) {
+                port_file = value;
+            } else {
+                usage(argv[0]);
+                fatal("unknown argument \"" + arg + "\"");
+            }
+        }
+        report_cli.enableIfRequested();
+        server_options.limits.maxBodyBytes =
+            service_options.maxBodyBytes;
+
+        svc::NetlistService service(service_options);
+        svc::HttpServer server(service, server_options);
+        server.start();
+        std::printf("parchmintd listening on %s:%u\n",
+                    server_options.bindAddress.c_str(),
+                    server.port());
+        std::fflush(stdout);
+        if (!port_file.empty()) {
+            FILE *f = std::fopen(port_file.c_str(), "w");
+            if (!f)
+                fatal("cannot write port file \"" + port_file +
+                      "\"");
+            std::fprintf(f, "%u\n", server.port());
+            std::fclose(f);
+        }
+
+        // Drain-then-shutdown on SIGINT/SIGTERM: the handler only
+        // flips a flag; this loop notices and stop() does the
+        // orderly part. The signals stay blocked outside
+        // sigsuspend() so a delivery cannot slip between the flag
+        // check and the wait.
+        struct sigaction action{};
+        action.sa_handler = onSignal;
+        sigemptyset(&action.sa_mask);
+        sigaction(SIGINT, &action, nullptr);
+        sigaction(SIGTERM, &action, nullptr);
+        sigset_t block, unblocked;
+        sigemptyset(&block);
+        sigaddset(&block, SIGINT);
+        sigaddset(&block, SIGTERM);
+        sigprocmask(SIG_BLOCK, &block, &unblocked);
+        while (!g_stop)
+            sigsuspend(&unblocked);
+        sigprocmask(SIG_SETMASK, &unblocked, nullptr);
+
+        std::printf("parchmintd draining (%llu connections "
+                    "served)\n",
+                    static_cast<unsigned long long>(
+                        server.connectionsAccepted()));
+        server.stop();
+
+        svc::CacheStats documents = service.documentCacheStats();
+        svc::CacheStats results = service.resultCacheStats();
+        std::printf(
+            "cache: doc %llu/%llu hits, result %llu/%llu hits; "
+            "admission: %llu admitted, %llu rejected\n",
+            static_cast<unsigned long long>(documents.hits),
+            static_cast<unsigned long long>(documents.hits +
+                                            documents.misses),
+            static_cast<unsigned long long>(results.hits),
+            static_cast<unsigned long long>(results.hits +
+                                            results.misses),
+            static_cast<unsigned long long>(
+                service.admission().admitted()),
+            static_cast<unsigned long long>(
+                service.admission().rejected()));
+
+        report_cli.finish(
+            "parchmintd",
+            {{"seed", std::to_string(service_options.seed)},
+             {"connections",
+              std::to_string(server.connectionsAccepted())}});
+        return 0;
+    } catch (const UserError &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}

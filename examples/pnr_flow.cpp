@@ -29,12 +29,10 @@
 #include <vector>
 
 #include "common/error.hh"
-#include "common/strings.hh"
 #include "core/serialize.hh"
 #include "export/svg.hh"
-#include "obs/history.hh"
 #include "obs/obs.hh"
-#include "obs/report.hh"
+#include "obs/report_cli.hh"
 #include "place/annealing_placer.hh"
 #include "place/cost.hh"
 #include "route/metrics.hh"
@@ -50,32 +48,19 @@ main(int argc, char **argv)
     try {
         std::string name = "cell_trap_array";
         uint64_t seed = 1;
-        std::string report_path;
-        std::string history_path;
+        obs::ReportCli report_cli;
 
         std::vector<std::string> positional;
         for (int i = 1; i < argc; ++i) {
-            std::string arg = argv[i];
-            if (arg == "--report" && i + 1 < argc) {
-                report_path = argv[++i];
-            } else if (startsWith(arg, "--report=")) {
-                report_path = arg.substr(std::string("--report=")
-                                             .size());
-            } else if (arg == "--history" && i + 1 < argc) {
-                history_path = argv[++i];
-            } else if (startsWith(arg, "--history=")) {
-                history_path = arg.substr(std::string("--history=")
-                                              .size());
-            } else {
-                positional.push_back(arg);
-            }
+            if (report_cli.consume(argc, argv, i))
+                continue;
+            positional.push_back(argv[i]);
         }
         if (positional.size() > 0)
             name = positional[0];
         if (positional.size() > 1)
             seed = std::strtoull(positional[1].c_str(), nullptr, 10);
-        if (!report_path.empty() || !history_path.empty())
-            obs::setEnabled(true);
+        report_cli.enableIfRequested();
 
         Device device = suite::buildBenchmark(name);
         std::printf("benchmark %s: %zu components, "
@@ -142,27 +127,9 @@ main(int argc, char **argv)
         std::printf("wrote %s_routed.json and %s.svg\n",
                     name.c_str(), name.c_str());
 
-        if (!report_path.empty() || !history_path.empty()) {
-            obs::RunInfo info;
-            info.tool = "pnr_flow";
-            info.timestamp = obs::localTimestamp();
-            info.notes = {{"benchmark", name},
-                          {"seed", std::to_string(seed)}};
-            if (!report_path.empty()) {
-                obs::writeRunReport(report_path, info);
-                obs::writeFoldedStacks(report_path + ".folded");
-                std::printf("wrote run report %s (open in "
-                            "chrome://tracing) and %s.folded "
-                            "(flamegraph.pl / speedscope)\n",
-                            report_path.c_str(),
-                            report_path.c_str());
-            }
-            if (!history_path.empty()) {
-                obs::appendHistory(history_path, info);
-                std::printf("appended run history %s\n",
-                            history_path.c_str());
-            }
-        }
+        report_cli.finish("pnr_flow",
+                          {{"benchmark", name},
+                           {"seed", std::to_string(seed)}});
         return schema::hasErrors(issues) ? 1 : 0;
     } catch (const UserError &error) {
         std::fprintf(stderr, "error: %s\n", error.what());

@@ -38,9 +38,8 @@
 #include "common/error.hh"
 #include "common/strings.hh"
 #include "exec/suite_runner.hh"
-#include "obs/history.hh"
 #include "obs/obs.hh"
-#include "obs/report.hh"
+#include "obs/report_cli.hh"
 
 using namespace parchmint;
 
@@ -50,10 +49,11 @@ main(int argc, char **argv)
     try {
         exec::SuiteRunOptions options;
         options.jobs = 1;
-        std::string report_path;
-        std::string history_path;
+        obs::ReportCli report_cli;
 
         for (int i = 1; i < argc; ++i) {
+            if (report_cli.consume(argc, argv, i))
+                continue;
             std::string arg = argv[i];
             std::string value;
             auto flag = [&](const char *name) {
@@ -79,10 +79,6 @@ main(int argc, char **argv)
                     std::strtoull(value.c_str(), nullptr, 10);
             } else if (flag("--out")) {
                 options.outDir = value;
-            } else if (flag("--report")) {
-                report_path = value;
-            } else if (flag("--history")) {
-                history_path = value;
             } else if (arg == "--no-sim") {
                 options.simulate = false;
             } else if (startsWith(arg, "--")) {
@@ -91,8 +87,7 @@ main(int argc, char **argv)
                 options.benchmarks.push_back(arg);
             }
         }
-        if (!report_path.empty() || !history_path.empty())
-            obs::setEnabled(true);
+        report_cli.enableIfRequested();
 
         exec::SuiteRunSummary summary = exec::runSuite(options);
 
@@ -156,33 +151,15 @@ main(int argc, char **argv)
                     summary.okCount(), summary.jobs.size(),
                     summary.workers, wall_ms, throughput);
 
-        if (!report_path.empty() || !history_path.empty()) {
+        if (report_cli.requested()) {
             obs::registry().setGauge("exec.sweep.throughput",
                                      throughput);
-            obs::RunInfo info;
-            info.tool = "suite_run";
-            info.timestamp = obs::localTimestamp();
-            info.notes = {
-                {"jobs", std::to_string(summary.workers)},
-                {"seed", std::to_string(options.seed)},
-                {"benchmarks",
-                 std::to_string(summary.jobs.size())},
-            };
-            if (!report_path.empty()) {
-                obs::writeRunReport(report_path, info);
-                obs::writeFoldedStacks(report_path + ".folded");
-                std::printf("wrote run report %s (open in "
-                            "chrome://tracing; one lane per "
-                            "worker) and %s.folded\n",
-                            report_path.c_str(),
-                            report_path.c_str());
-            }
-            if (!history_path.empty()) {
-                obs::appendHistory(history_path, info);
-                std::printf("appended run history %s\n",
-                            history_path.c_str());
-            }
         }
+        report_cli.finish(
+            "suite_run",
+            {{"jobs", std::to_string(summary.workers)},
+             {"seed", std::to_string(options.seed)},
+             {"benchmarks", std::to_string(summary.jobs.size())}});
         return summary.okCount() == summary.jobs.size() ? 0 : 1;
     } catch (const UserError &error) {
         std::fprintf(stderr, "error: %s\n", error.what());

@@ -79,6 +79,49 @@ if [ -x "$SUITE" ]; then
         | sed 's/^/perf_gate: sweep /'
 fi
 
+# Record service latency/throughput into the trajectory: a cold
+# and a warm loadgen pass against a local parchmintd on an
+# ephemeral port. Like the sweep numbers these are wall-clock and
+# machine-dependent, so they are recorded (loadgen.* metrics in
+# service_history.jsonl, p99/throughput echoed below), never gated.
+DAEMON="$PWD/$BUILD_DIR/examples/parchmintd"
+LOADGEN="$PWD/$BUILD_DIR/examples/loadgen"
+if [ -x "$DAEMON" ] && [ -x "$LOADGEN" ]; then
+    rm -f "$OUT_DIR/daemon.port"
+    (cd "$OUT_DIR" && exec "$DAEMON" --port 0 \
+        --port-file daemon.port > daemon.log 2>&1) &
+    daemon_pid=$!
+    for _ in $(seq 50); do
+        [ -s "$OUT_DIR/daemon.port" ] && break
+        sleep 0.1
+    done
+    if [ ! -s "$OUT_DIR/daemon.port" ]; then
+        echo "perf_gate: parchmintd did not report a port:" >&2
+        cat "$OUT_DIR/daemon.log" >&2
+        kill -TERM "$daemon_pid" 2>/dev/null
+        wait "$daemon_pid" 2>/dev/null
+        exit 2
+    fi
+    port=$(cat "$OUT_DIR/daemon.port")
+    for pass in cold warm; do
+        if ! (cd "$OUT_DIR" &&
+              "$LOADGEN" --port "$port" --qps 200 \
+                  --connections 4 --duration-s 2 \
+                  --history service_history.jsonl \
+                  >> service.log 2>&1); then
+            echo "perf_gate: loadgen ($pass pass) failed:" >&2
+            cat "$OUT_DIR/service.log" >&2
+            kill -TERM "$daemon_pid" 2>/dev/null
+            wait "$daemon_pid" 2>/dev/null
+            exit 2
+        fi
+    done
+    kill -TERM "$daemon_pid" 2>/dev/null
+    wait "$daemon_pid" 2>/dev/null
+    grep '^loadgen:' "$OUT_DIR/service.log" | tail -n 2 \
+        | sed 's/^/perf_gate: service /'
+fi
+
 if [ "${1:-}" = "--rebaseline" ]; then
     mkdir -p "$(dirname "$BASELINE")"
     tail -n 1 "$OUT_DIR/history.jsonl" > "$BASELINE"

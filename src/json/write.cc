@@ -62,6 +62,14 @@ appendEscaped(std::string &out, const std::string &text, bool ascii_only)
                     code = (code << 6) | (cont & 0x3f);
                 }
                 i += extra;
+                // A 4-byte lead can encode up to 0x1FFFFF and a
+                // 3-byte one can encode CESU-8 surrogate halves;
+                // both would emit garbage \u escapes downstream.
+                if (code > 0x10ffff ||
+                    (code >= 0xd800 && code <= 0xdfff)) {
+                    fatal("invalid Unicode code point in string "
+                          "being serialized");
+                }
                 char buffer[16];
                 if (code < 0x10000) {
                     std::snprintf(buffer, sizeof(buffer), "\\u%04x",

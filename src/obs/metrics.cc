@@ -90,6 +90,30 @@ Registry::findHistogram(const std::string &name) const
     return it == histograms_.end() ? nullptr : &it->second;
 }
 
+std::map<std::string, int64_t>
+Registry::countersSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+std::map<std::string, double>
+Registry::gaugesSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return gauges_;
+}
+
+std::map<std::string, HistogramSummary>
+Registry::histogramsSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, HistogramSummary> out;
+    for (const auto &[name, histogram] : histograms_)
+        out[name] = histogram.summary();
+    return out;
+}
+
 bool
 Registry::empty() const
 {

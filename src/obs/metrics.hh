@@ -94,6 +94,21 @@ class Registry
     /** @return The histogram, or nullptr when absent. */
     const Histogram *findHistogram(const std::string &name) const;
 
+    // Live snapshots: copies taken under the mutex, safe to call
+    // while workers are still mutating the registry. The service
+    // daemon's /statsz endpoint reads these; batch tools keep
+    // using the reference accessors below after joining.
+
+    /** Copy of every counter. */
+    std::map<std::string, int64_t> countersSnapshot() const;
+
+    /** Copy of every gauge. */
+    std::map<std::string, double> gaugesSnapshot() const;
+
+    /** Summaries of every histogram. */
+    std::map<std::string, HistogramSummary>
+    histogramsSnapshot() const;
+
     const std::map<std::string, int64_t> &counters() const
     {
         return counters_;

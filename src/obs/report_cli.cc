@@ -1,0 +1,80 @@
+#include "obs/report_cli.hh"
+
+#include <cstdio>
+
+#include "common/strings.hh"
+#include "obs/history.hh"
+#include "obs/obs.hh"
+#include "obs/report.hh"
+
+namespace parchmint::obs
+{
+
+namespace
+{
+
+/**
+ * Match `--flag value` or `--flag=value` at argv[i]; on a match
+ * stores the value and advances @p i past any consumed value
+ * argument.
+ */
+bool
+consumeFlag(const char *flag, int argc, char **argv, int &i,
+            std::string &out)
+{
+    std::string arg = argv[i];
+    if (arg == flag && i + 1 < argc) {
+        out = argv[++i];
+        return true;
+    }
+    std::string prefix = std::string(flag) + "=";
+    if (startsWith(arg, prefix)) {
+        out = arg.substr(prefix.size());
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+ReportCli::consume(int argc, char **argv, int &i)
+{
+    return consumeFlag("--report", argc, argv, i, reportPath_) ||
+           consumeFlag("--history", argc, argv, i, historyPath_);
+}
+
+void
+ReportCli::enableIfRequested() const
+{
+    if (requested())
+        setEnabled(true);
+}
+
+void
+ReportCli::finish(
+    const std::string &tool,
+    std::vector<std::pair<std::string, std::string>> notes) const
+{
+    if (!requested())
+        return;
+    RunInfo info;
+    info.tool = tool;
+    info.timestamp = localTimestamp();
+    info.notes = std::move(notes);
+    if (!reportPath_.empty()) {
+        writeRunReport(reportPath_, info);
+        writeFoldedStacks(reportPath_ + ".folded");
+        std::printf("wrote run report %s (open in "
+                    "chrome://tracing) and %s.folded "
+                    "(flamegraph.pl / speedscope)\n",
+                    reportPath_.c_str(), reportPath_.c_str());
+    }
+    if (!historyPath_.empty()) {
+        appendHistory(historyPath_, info);
+        std::printf("appended run history %s\n",
+                    historyPath_.c_str());
+    }
+}
+
+} // namespace parchmint::obs

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared `--report` / `--history` command-line plumbing.
+ *
+ * Every CLI tool that can emit run artifacts (pnr_flow,
+ * characterize, suite_run, parchmintd, loadgen) accepts the same
+ * two flags with the same two spellings and ends the run with the
+ * same write-report / append-history / print-confirmation dance.
+ * This helper owns that protocol once: consume() recognises the
+ * flags during argument parsing, enableIfRequested() switches
+ * observability on, and finish() writes whatever was asked for.
+ */
+
+#ifndef PARCHMINT_OBS_REPORT_CLI_HH
+#define PARCHMINT_OBS_REPORT_CLI_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace parchmint::obs
+{
+
+/** See file comment. */
+class ReportCli
+{
+  public:
+    /**
+     * Try to consume argv[i] as `--report`/`--history` (space or
+     * `=` spelling; the space form also consumes the value
+     * argument and advances @p i).
+     * @return true when the argument was recognised.
+     */
+    bool consume(int argc, char **argv, int &i);
+
+    /** True when either flag was given. */
+    bool requested() const
+    {
+        return !reportPath_.empty() || !historyPath_.empty();
+    }
+
+    /** obs::setEnabled(true) when either flag was given. */
+    void enableIfRequested() const;
+
+    /**
+     * Write the requested artifacts from the global registry and
+     * trace sink: the run report plus its `.folded` flamegraph
+     * sibling, and/or the appended history record. Prints one
+     * confirmation line per artifact. No-op when nothing was
+     * requested.
+     * @param tool  RunInfo.tool ("pnr_flow", "parchmintd", ...).
+     * @param notes Free-form RunInfo context pairs.
+     */
+    void finish(const std::string &tool,
+                std::vector<std::pair<std::string, std::string>>
+                    notes = {}) const;
+
+    const std::string &reportPath() const { return reportPath_; }
+    const std::string &historyPath() const
+    {
+        return historyPath_;
+    }
+
+  private:
+    std::string reportPath_;
+    std::string historyPath_;
+};
+
+} // namespace parchmint::obs
+
+#endif // PARCHMINT_OBS_REPORT_CLI_HH

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Admission control: bound the work in flight, shed the rest.
+ *
+ * A service that accepts every request degrades for everyone at
+ * once; a service that bounds its concurrency degrades only for
+ * the overflow, and tells it when to come back. The controller is
+ * a counting gate: each heavy request tries to take a slot before
+ * any pipeline work starts, and a request that finds the gate full
+ * is rejected immediately — the server maps that to
+ * `429 Too Many Requests` with a `Retry-After` hint, the standard
+ * backpressure contract load generators and clients understand.
+ *
+ * Slots are RAII tickets so an exception anywhere in a handler
+ * releases its slot; the live count doubles as the queue-depth
+ * style gauge exported through /statsz.
+ */
+
+#ifndef PARCHMINT_SVC_ADMISSION_HH
+#define PARCHMINT_SVC_ADMISSION_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace parchmint::svc
+{
+
+/** See file comment. */
+class AdmissionController
+{
+  public:
+    /** RAII slot; falsy when admission was refused. */
+    class Ticket
+    {
+      public:
+        Ticket() = default;
+
+        explicit Ticket(AdmissionController *controller)
+            : controller_(controller)
+        {
+        }
+
+        Ticket(Ticket &&other) noexcept
+            : controller_(
+                  std::exchange(other.controller_, nullptr))
+        {
+        }
+
+        Ticket &
+        operator=(Ticket &&other) noexcept
+        {
+            if (this != &other) {
+                release();
+                controller_ =
+                    std::exchange(other.controller_, nullptr);
+            }
+            return *this;
+        }
+
+        Ticket(const Ticket &) = delete;
+        Ticket &operator=(const Ticket &) = delete;
+
+        ~Ticket() { release(); }
+
+        /** True when a slot was granted. */
+        explicit operator bool() const
+        {
+            return controller_ != nullptr;
+        }
+
+        void
+        release()
+        {
+            if (controller_ != nullptr) {
+                controller_->release();
+                controller_ = nullptr;
+            }
+        }
+
+      private:
+        AdmissionController *controller_ = nullptr;
+    };
+
+    /** @param max_inflight Slot count; clamped to >= 1. */
+    explicit AdmissionController(size_t max_inflight)
+        : maxInflight_(max_inflight == 0 ? 1 : max_inflight)
+    {
+    }
+
+    /**
+     * Try to take a slot. Never blocks: overload is answered with
+     * rejection, not queueing — the thread pool's run queue is the
+     * only queue, and it is bounded by the connection count.
+     */
+    Ticket
+    tryAdmit()
+    {
+        size_t now =
+            inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+        if (now > maxInflight_) {
+            inflight_.fetch_sub(1, std::memory_order_acq_rel);
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            return Ticket();
+        }
+        admitted_.fetch_add(1, std::memory_order_relaxed);
+        return Ticket(this);
+    }
+
+    size_t
+    inflight() const
+    {
+        return inflight_.load(std::memory_order_relaxed);
+    }
+
+    size_t maxInflight() const { return maxInflight_; }
+
+    uint64_t
+    admitted() const
+    {
+        return admitted_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t
+    rejected() const
+    {
+        return rejected_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class Ticket;
+
+    void
+    release()
+    {
+        inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+
+    size_t maxInflight_;
+    std::atomic<size_t> inflight_{0};
+    std::atomic<uint64_t> admitted_{0};
+    std::atomic<uint64_t> rejected_{0};
+};
+
+} // namespace parchmint::svc
+
+#endif // PARCHMINT_SVC_ADMISSION_HH

@@ -1,0 +1,47 @@
+#include "svc/cache.hh"
+
+#include <cstdio>
+
+#include "common/rng.hh"
+#include "json/write.hh"
+
+namespace parchmint::svc
+{
+
+namespace
+{
+
+/**
+ * Base for content hashes. Any fixed value works; a distinctive
+ * one keeps service cache keys from colliding with RNG seed
+ * streams derived from the same mixing function.
+ */
+constexpr uint64_t kContentHashBase = 0x70617263686d696eULL;
+
+} // namespace
+
+uint64_t
+contentHash(std::string_view bytes)
+{
+    return deriveSeed(kContentHashBase, bytes);
+}
+
+std::string
+hashHex(uint64_t hash)
+{
+    char buffer[17];
+    std::snprintf(buffer, sizeof(buffer), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return std::string(buffer);
+}
+
+std::string
+canonicalJsonText(const json::Value &document)
+{
+    json::WriteOptions options;
+    options.pretty = false;
+    options.asciiOnly = true;
+    return json::write(document, options);
+}
+
+} // namespace parchmint::svc

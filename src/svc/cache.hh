@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Content-addressed result caching for the netlist service.
+ *
+ * The daemon's whole speedup comes from here: ParchMint is an
+ * interchange format, so the same netlist document arrives over and
+ * over from different tools, and parse + validate + place work is
+ * identical every time. Requests are addressed by *content*, not by
+ * anything session-like: the cache key is a 64-bit FNV-1a hash of
+ * the canonicalized document (finalized with a splitmix64 step —
+ * the same mixing as common/rng.hh deriveSeed, and in fact
+ * implemented by it), so two clients posting the same netlist with
+ * different whitespace or non-ASCII spellings hit the same entry.
+ *
+ * Two cache levels cooperate in the service:
+ *
+ *   - a *document* cache keyed by the hash of the raw body bytes,
+ *     mapping to the parsed JSON and its canonical key — a raw hit
+ *     skips JSON parsing entirely;
+ *   - a *result* cache keyed by endpoint + canonical key (+ seed
+ *     for the stochastic endpoints), mapping to the exact response
+ *     body previously served.
+ *
+ * Both are instances of ShardedLruCache: N independently locked
+ * shards (a key's shard is fixed by its hash, so one hot mutex
+ * never serializes the whole pool), each an LRU list with a byte
+ * budget. Values are shared_ptr-to-const, so an entry can be
+ * evicted while another worker is still reading it.
+ */
+
+#ifndef PARCHMINT_SVC_CACHE_HH
+#define PARCHMINT_SVC_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "json/value.hh"
+
+namespace parchmint::svc
+{
+
+/**
+ * 64-bit content hash: FNV-1a over the bytes, splitmix64
+ * finalized. Delegates to common/rng.hh deriveSeed so the service
+ * and the execution engine share one mixing function (and one set
+ * of golden-value tests).
+ */
+uint64_t contentHash(std::string_view bytes);
+
+/** The hash as 16 lowercase hex digits, for keys and logs. */
+std::string hashHex(uint64_t hash);
+
+/**
+ * Canonical text of a JSON document: compact (no whitespace),
+ * ASCII-only (non-ASCII escaped as \\uXXXX, astral code points as
+ * surrogate pairs), member order preserved. Two documents differing
+ * only in formatting canonicalize to identical bytes, which is
+ * what makes content hashes stable across clients.
+ */
+std::string canonicalJsonText(const json::Value &document);
+
+/** Point-in-time counters of one cache. */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    /** Entries rejected because they alone exceed a shard budget. */
+    uint64_t oversized = 0;
+    size_t entries = 0;
+    size_t bytes = 0;
+};
+
+/**
+ * A sharded LRU cache with a byte budget. Thread-safe; see the
+ * file comment. @tparam V the cached value type; entries carry an
+ * explicit byte cost supplied at insert time.
+ */
+template <typename V>
+class ShardedLruCache
+{
+  public:
+    /**
+     * @param shards Number of independently locked shards
+     *        (clamped to >= 1).
+     * @param byte_budget Total byte budget, split evenly across
+     *        shards; 0 disables caching (every find misses).
+     */
+    ShardedLruCache(size_t shards, size_t byte_budget)
+        : shards_(shards == 0 ? 1 : shards),
+          shardBudget_((byte_budget + shards_ - 1) / shards_),
+          enabled_(byte_budget > 0),
+          shardList_(shards_)
+    {
+    }
+
+    /** Look up a key, promoting a hit to most-recently-used. */
+    std::shared_ptr<const V>
+    find(const std::string &key)
+    {
+        if (!enabled_) {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            return nullptr;
+        }
+        Shard &shard = shardFor(key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.index.find(key);
+        if (it == shard.index.end()) {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            return nullptr;
+        }
+        // Promote: splice the entry to the front of the LRU list.
+        shard.entries.splice(shard.entries.begin(), shard.entries,
+                             it->second);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second->value;
+    }
+
+    /**
+     * Insert (or overwrite) an entry costing @p bytes. An entry
+     * whose cost alone exceeds the shard budget is not cached.
+     */
+    void
+    insert(const std::string &key, std::shared_ptr<const V> value,
+           size_t bytes)
+    {
+        if (!enabled_)
+            return;
+        if (bytes > shardBudget_) {
+            oversized_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        Shard &shard = shardFor(key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.index.find(key);
+        if (it != shard.index.end()) {
+            shard.bytes -= it->second->bytes;
+            shard.entries.erase(it->second);
+            shard.index.erase(it);
+        }
+        shard.entries.push_front(
+            Entry{key, std::move(value), bytes});
+        shard.index[key] = shard.entries.begin();
+        shard.bytes += bytes;
+        insertions_.fetch_add(1, std::memory_order_relaxed);
+        while (shard.bytes > shardBudget_) {
+            const Entry &victim = shard.entries.back();
+            shard.bytes -= victim.bytes;
+            shard.index.erase(victim.key);
+            shard.entries.pop_back();
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    /** Snapshot the counters and sizes. */
+    CacheStats
+    stats() const
+    {
+        CacheStats out;
+        out.hits = hits_.load(std::memory_order_relaxed);
+        out.misses = misses_.load(std::memory_order_relaxed);
+        out.insertions =
+            insertions_.load(std::memory_order_relaxed);
+        out.evictions = evictions_.load(std::memory_order_relaxed);
+        out.oversized = oversized_.load(std::memory_order_relaxed);
+        for (const Shard &shard : shardList_) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            out.entries += shard.entries.size();
+            out.bytes += shard.bytes;
+        }
+        return out;
+    }
+
+    size_t shardCount() const { return shards_; }
+    size_t shardBudget() const { return shardBudget_; }
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::shared_ptr<const V> value;
+        size_t bytes = 0;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        /** Most-recently-used first. */
+        std::list<Entry> entries;
+        std::unordered_map<std::string,
+                           typename std::list<Entry>::iterator>
+            index;
+        size_t bytes = 0;
+    };
+
+    Shard &
+    shardFor(const std::string &key)
+    {
+        return shardList_[contentHash(key) % shards_];
+    }
+
+    size_t shards_;
+    size_t shardBudget_;
+    bool enabled_;
+    std::vector<Shard> shardList_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> insertions_{0};
+    std::atomic<uint64_t> evictions_{0};
+    std::atomic<uint64_t> oversized_{0};
+};
+
+} // namespace parchmint::svc
+
+#endif // PARCHMINT_SVC_CACHE_HH

@@ -1,0 +1,145 @@
+#include "svc/client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hh"
+
+namespace parchmint::svc
+{
+
+HttpClient::HttpClient(std::string host, uint16_t port)
+    : host_(std::move(host)),
+      port_(port)
+{
+}
+
+HttpClient::~HttpClient()
+{
+    close();
+}
+
+void
+HttpClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+HttpClient::connect()
+{
+    close();
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal(std::string("cannot create socket: ") +
+              std::strerror(errno));
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port_);
+    if (::inet_pton(AF_INET, host_.c_str(), &address.sin_addr) !=
+        1) {
+        ::close(fd);
+        fatal("invalid host address \"" + host_ + "\"");
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&address),
+                  sizeof(address)) != 0) {
+        std::string reason = std::strerror(errno);
+        ::close(fd);
+        fatal("cannot connect to " + host_ + ":" +
+              std::to_string(port_) + ": " + reason);
+    }
+    if (timeout_.count() > 0) {
+        struct timeval tv;
+        tv.tv_sec = static_cast<time_t>(timeout_.count() / 1000);
+        tv.tv_usec = static_cast<suseconds_t>(
+            (timeout_.count() % 1000) * 1000);
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv,
+                     sizeof(tv));
+    }
+    fd_ = fd;
+}
+
+HttpResponse
+HttpClient::request(const HttpRequest &request)
+{
+    if (fd_ < 0)
+        connect();
+
+    std::string wire = serializeRequest(request);
+    size_t sent = 0;
+    while (sent < wire.size()) {
+        ssize_t n = ::send(fd_, wire.data() + sent,
+                           wire.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            std::string reason = std::strerror(errno);
+            close();
+            fatal("send failed: " + reason);
+        }
+        sent += static_cast<size_t>(n);
+    }
+
+    ResponseParser parser;
+    char buffer[16 * 1024];
+    while (parser.state() == ResponseParser::State::Headers ||
+           parser.state() == ResponseParser::State::Body) {
+        ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+        if (n > 0) {
+            parser.feed(std::string_view(
+                buffer, static_cast<size_t>(n)));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        std::string reason =
+            n == 0 ? "connection closed by server"
+                   : std::string("recv failed: ") +
+                         std::strerror(errno);
+        close();
+        fatal(reason);
+    }
+    if (parser.state() == ResponseParser::State::Error) {
+        std::string reason = parser.errorReason();
+        close();
+        fatal("malformed response: " + reason);
+    }
+
+    HttpResponse response = parser.response();
+    const std::string *connection =
+        response.findHeader("connection");
+    if (connection && *connection == "close")
+        close();
+    return response;
+}
+
+HttpResponse
+HttpClient::get(const std::string &target)
+{
+    HttpRequest request;
+    request.method = "GET";
+    request.target = target;
+    return this->request(request);
+}
+
+HttpResponse
+HttpClient::post(const std::string &target, std::string body)
+{
+    HttpRequest request;
+    request.method = "POST";
+    request.target = target;
+    request.headers.emplace_back("content-type",
+                                 "application/json");
+    request.body = std::move(body);
+    return this->request(request);
+}
+
+} // namespace parchmint::svc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Minimal blocking HTTP/1.1 client.
+ *
+ * The client half of the service's loopback story: the load
+ * generator, the serving benchmark and the end-to-end tests all
+ * talk to parchmintd through this class, so the repo exercises its
+ * own wire format from both sides without an external HTTP
+ * dependency. One client = one connection, reused across requests
+ * (keep-alive); transport failures surface as UserError and the
+ * caller decides whether to reconnect.
+ */
+
+#ifndef PARCHMINT_SVC_CLIENT_HH
+#define PARCHMINT_SVC_CLIENT_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "svc/http.hh"
+
+namespace parchmint::svc
+{
+
+/** See file comment. */
+class HttpClient
+{
+  public:
+    /**
+     * @param host Dotted-quad IPv4 address ("127.0.0.1").
+     * @param port Server port.
+     */
+    HttpClient(std::string host, uint16_t port);
+
+    /** Closes the connection. */
+    ~HttpClient();
+
+    HttpClient(const HttpClient &) = delete;
+    HttpClient &operator=(const HttpClient &) = delete;
+
+    /**
+     * Send a request and block for the response, connecting (or
+     * reconnecting) as needed.
+     * @throws UserError on connect/send/receive failure or a
+     *         malformed response.
+     */
+    HttpResponse request(const HttpRequest &request);
+
+    /** Convenience: GET @p target. */
+    HttpResponse get(const std::string &target);
+
+    /** Convenience: POST a JSON body to @p target. */
+    HttpResponse post(const std::string &target,
+                      std::string body);
+
+    /** True while the underlying connection is believed open. */
+    bool connected() const { return fd_ >= 0; }
+
+    /** Drop the connection (a later request reconnects). */
+    void close();
+
+    /** Receive timeout for responses (default 30 s). */
+    void setTimeout(std::chrono::milliseconds timeout)
+    {
+        timeout_ = timeout;
+    }
+
+  private:
+    void connect();
+
+    std::string host_;
+    uint16_t port_;
+    int fd_ = -1;
+    std::chrono::milliseconds timeout_{30000};
+};
+
+} // namespace parchmint::svc
+
+#endif // PARCHMINT_SVC_CLIENT_HH

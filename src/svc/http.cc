@@ -1,0 +1,461 @@
+#include "svc/http.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.hh"
+
+namespace parchmint::svc
+{
+
+namespace
+{
+
+/** Case-insensitive ASCII equality for header names. */
+bool
+iequals(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i]))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+const std::string *
+findIn(const std::vector<std::pair<std::string, std::string>> &headers,
+       std::string_view name)
+{
+    for (const auto &[key, value] : headers) {
+        if (iequals(key, name))
+            return &value;
+    }
+    return nullptr;
+}
+
+/**
+ * Parse "name: value" lines out of a header block (the bytes
+ * between the start line and the blank line). @return false on a
+ * malformed line.
+ */
+bool
+parseHeaderLines(std::string_view block,
+                 std::vector<std::pair<std::string, std::string>> &out)
+{
+    size_t pos = 0;
+    while (pos < block.size()) {
+        size_t eol = block.find("\r\n", pos);
+        if (eol == std::string_view::npos)
+            eol = block.size();
+        std::string_view line = block.substr(pos, eol - pos);
+        pos = eol + (eol < block.size() ? 2 : 0);
+        if (line.empty())
+            continue;
+        size_t colon = line.find(':');
+        if (colon == std::string_view::npos || colon == 0)
+            return false;
+        std::string name = toLower(trim(line.substr(0, colon)));
+        // A space inside the field name (e.g. from obs-fold
+        // continuation lines, which we do not support) is invalid.
+        if (name.find(' ') != std::string::npos)
+            return false;
+        out.emplace_back(std::move(name),
+                         trim(line.substr(colon + 1)));
+    }
+    return true;
+}
+
+/**
+ * Parse a nonnegative decimal Content-Length. @return false for
+ * anything but a plain digit string that fits in size_t.
+ */
+bool
+parseContentLength(std::string_view text, size_t &out)
+{
+    if (text.empty() || text.size() > 15)
+        return false;
+    size_t value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        value = value * 10 + static_cast<size_t>(c - '0');
+    }
+    out = value;
+    return true;
+}
+
+/** Split a start line into its three space-separated parts. */
+bool
+splitStartLine(std::string_view line, std::string_view &a,
+               std::string_view &b, std::string_view &c)
+{
+    size_t first = line.find(' ');
+    if (first == std::string_view::npos)
+        return false;
+    size_t second = line.find(' ', first + 1);
+    if (second == std::string_view::npos)
+        return false;
+    a = line.substr(0, first);
+    b = line.substr(first + 1, second - first - 1);
+    c = line.substr(second + 1);
+    return !a.empty() && !b.empty() && !c.empty();
+}
+
+} // namespace
+
+// --- Messages ---------------------------------------------------------
+
+const std::string *
+HttpRequest::findHeader(std::string_view name) const
+{
+    return findIn(headers, name);
+}
+
+std::string
+HttpRequest::path() const
+{
+    size_t query = target.find('?');
+    return query == std::string::npos ? target
+                                      : target.substr(0, query);
+}
+
+std::string
+HttpRequest::queryParam(std::string_view key) const
+{
+    size_t query = target.find('?');
+    if (query == std::string::npos)
+        return "";
+    for (const std::string &pair :
+         split(target.substr(query + 1), '&')) {
+        size_t eq = pair.find('=');
+        if (eq == std::string::npos)
+            continue;
+        if (std::string_view(pair).substr(0, eq) == key)
+            return pair.substr(eq + 1);
+    }
+    return "";
+}
+
+bool
+HttpRequest::keepAlive() const
+{
+    const std::string *connection = findHeader("connection");
+    if (version == "HTTP/1.0")
+        return connection && iequals(*connection, "keep-alive");
+    return !connection || !iequals(*connection, "close");
+}
+
+void
+HttpResponse::setHeader(std::string name, std::string value)
+{
+    for (auto &[key, existing] : headers) {
+        if (iequals(key, name)) {
+            existing = std::move(value);
+            return;
+        }
+    }
+    headers.emplace_back(std::move(name), std::move(value));
+}
+
+const std::string *
+HttpResponse::findHeader(std::string_view name) const
+{
+    return findIn(headers, name);
+}
+
+const char *
+statusText(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 204: return "No Content";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 413: return "Payload Too Large";
+      case 422: return "Unprocessable Entity";
+      case 429: return "Too Many Requests";
+      case 431: return "Request Header Fields Too Large";
+      case 500: return "Internal Server Error";
+      case 501: return "Not Implemented";
+      case 503: return "Service Unavailable";
+      case 505: return "HTTP Version Not Supported";
+      default: return "Unknown";
+    }
+}
+
+std::string
+serializeRequest(const HttpRequest &request)
+{
+    std::string out;
+    out.reserve(128 + request.body.size());
+    out += request.method;
+    out += ' ';
+    out += request.target;
+    out += ' ';
+    out += request.version;
+    out += "\r\n";
+    for (const auto &[name, value] : request.headers) {
+        out += name;
+        out += ": ";
+        out += value;
+        out += "\r\n";
+    }
+    out += "Content-Length: ";
+    out += std::to_string(request.body.size());
+    out += "\r\n\r\n";
+    out += request.body;
+    return out;
+}
+
+std::string
+serializeResponse(const HttpResponse &response)
+{
+    std::string out;
+    out.reserve(128 + response.body.size());
+    out += "HTTP/1.1 ";
+    out += std::to_string(response.status);
+    out += ' ';
+    out += statusText(response.status);
+    out += "\r\n";
+    for (const auto &[name, value] : response.headers) {
+        out += name;
+        out += ": ";
+        out += value;
+        out += "\r\n";
+    }
+    out += "Content-Length: ";
+    out += std::to_string(response.body.size());
+    out += "\r\n\r\n";
+    out += response.body;
+    return out;
+}
+
+// --- RequestParser ----------------------------------------------------
+
+RequestParser::RequestParser(ParserLimits limits)
+    : limits_(limits)
+{
+}
+
+void
+RequestParser::feed(std::string_view data)
+{
+    if (state_ == State::Complete || state_ == State::Error)
+        return;
+    buffer_.append(data);
+    advance();
+}
+
+void
+RequestParser::fail(int status, std::string reason)
+{
+    state_ = State::Error;
+    errorStatus_ = status;
+    errorReason_ = std::move(reason);
+}
+
+bool
+RequestParser::parseHeaderBlock(std::string_view block)
+{
+    size_t eol = block.find("\r\n");
+    std::string_view start_line =
+        block.substr(0, eol == std::string_view::npos ? block.size()
+                                                      : eol);
+    std::string_view rest =
+        eol == std::string_view::npos
+            ? std::string_view{}
+            : block.substr(eol + 2);
+
+    std::string_view method, target, version;
+    if (!splitStartLine(start_line, method, target, version)) {
+        fail(400, "malformed request line");
+        return false;
+    }
+    if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+        fail(505, "unsupported HTTP version \"" +
+                      std::string(version) + "\"");
+        return false;
+    }
+    request_ = HttpRequest{};
+    request_.method = std::string(method);
+    request_.target = std::string(target);
+    request_.version = std::string(version);
+    if (!parseHeaderLines(rest, request_.headers)) {
+        fail(400, "malformed header line");
+        return false;
+    }
+    if (request_.findHeader("transfer-encoding")) {
+        fail(501, "transfer encodings are not supported");
+        return false;
+    }
+    contentLength_ = 0;
+    if (const std::string *length =
+            request_.findHeader("content-length")) {
+        if (!parseContentLength(*length, contentLength_)) {
+            fail(400, "malformed Content-Length");
+            return false;
+        }
+    }
+    if (contentLength_ > limits_.maxBodyBytes) {
+        fail(413, "request body exceeds " +
+                      std::to_string(limits_.maxBodyBytes) +
+                      " bytes");
+        return false;
+    }
+    return true;
+}
+
+void
+RequestParser::advance()
+{
+    if (state_ == State::Headers) {
+        size_t end = buffer_.find("\r\n\r\n");
+        if (end == std::string::npos) {
+            if (buffer_.size() > limits_.maxHeaderBytes)
+                fail(431, "header block exceeds " +
+                              std::to_string(
+                                  limits_.maxHeaderBytes) +
+                              " bytes");
+            return;
+        }
+        if (end > limits_.maxHeaderBytes) {
+            fail(431, "header block exceeds " +
+                          std::to_string(limits_.maxHeaderBytes) +
+                          " bytes");
+            return;
+        }
+        if (!parseHeaderBlock(
+                std::string_view(buffer_).substr(0, end))) {
+            return;
+        }
+        bodyStart_ = end + 4;
+        state_ = State::Body;
+    }
+    if (state_ == State::Body) {
+        if (buffer_.size() - bodyStart_ < contentLength_)
+            return;
+        request_.body =
+            buffer_.substr(bodyStart_, contentLength_);
+        state_ = State::Complete;
+    }
+}
+
+void
+RequestParser::reset()
+{
+    if (state_ != State::Complete)
+        return;
+    // Keep pipelined bytes beyond the completed message.
+    buffer_.erase(0, bodyStart_ + contentLength_);
+    bodyStart_ = 0;
+    contentLength_ = 0;
+    request_ = HttpRequest{};
+    state_ = State::Headers;
+    advance();
+}
+
+// --- ResponseParser ---------------------------------------------------
+
+ResponseParser::ResponseParser(size_t max_body_bytes)
+    : maxBodyBytes_(max_body_bytes)
+{
+}
+
+void
+ResponseParser::feed(std::string_view data)
+{
+    if (state_ == State::Complete || state_ == State::Error)
+        return;
+    buffer_.append(data);
+    advance();
+}
+
+void
+ResponseParser::fail(std::string reason)
+{
+    state_ = State::Error;
+    errorReason_ = std::move(reason);
+}
+
+void
+ResponseParser::advance()
+{
+    if (state_ == State::Headers) {
+        size_t end = buffer_.find("\r\n\r\n");
+        if (end == std::string::npos)
+            return;
+        std::string_view block =
+            std::string_view(buffer_).substr(0, end);
+        size_t eol = block.find("\r\n");
+        std::string_view start_line = block.substr(
+            0, eol == std::string_view::npos ? block.size() : eol);
+        std::string_view version, status, phrase;
+        if (!splitStartLine(start_line, version, status, phrase) ||
+            !startsWith(version, "HTTP/")) {
+            fail("malformed status line");
+            return;
+        }
+        response_ = HttpResponse{};
+        response_.status =
+            static_cast<int>(std::strtol(
+                std::string(status).c_str(), nullptr, 10));
+        if (response_.status < 100 || response_.status > 599) {
+            fail("malformed status code");
+            return;
+        }
+        std::string_view rest =
+            eol == std::string_view::npos
+                ? std::string_view{}
+                : block.substr(eol + 2);
+        if (!parseHeaderLines(rest, response_.headers)) {
+            fail("malformed header line");
+            return;
+        }
+        if (response_.findHeader("transfer-encoding")) {
+            fail("transfer encodings are not supported");
+            return;
+        }
+        contentLength_ = 0;
+        if (const std::string *length =
+                response_.findHeader("content-length")) {
+            if (!parseContentLength(*length, contentLength_)) {
+                fail("malformed Content-Length");
+                return;
+            }
+        }
+        if (contentLength_ > maxBodyBytes_) {
+            fail("response body exceeds " +
+                 std::to_string(maxBodyBytes_) + " bytes");
+            return;
+        }
+        bodyStart_ = end + 4;
+        state_ = State::Body;
+    }
+    if (state_ == State::Body) {
+        if (buffer_.size() - bodyStart_ < contentLength_)
+            return;
+        response_.body =
+            buffer_.substr(bodyStart_, contentLength_);
+        state_ = State::Complete;
+    }
+}
+
+void
+ResponseParser::reset()
+{
+    if (state_ != State::Complete)
+        return;
+    buffer_.erase(0, bodyStart_ + contentLength_);
+    bodyStart_ = 0;
+    contentLength_ = 0;
+    response_ = HttpResponse{};
+    state_ = State::Headers;
+    advance();
+}
+
+} // namespace parchmint::svc

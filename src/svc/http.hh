@@ -1,0 +1,202 @@
+/**
+ * @file
+ * HTTP/1.1 message types and incremental parsers.
+ *
+ * The service daemon carries netlists over HTTP because that is
+ * what every load balancer, benchmark harness and curl invocation
+ * already speaks — but it depends on no HTTP library: this file is
+ * a small, strict subset of RFC 7230 sufficient for parchmintd and
+ * its clients. Requests and responses are plain structs; the
+ * parsers are *incremental* (feed bytes as they arrive from a
+ * socket, in as many fragments as the kernel hands over) with hard
+ * size limits so an adversarial or broken peer cannot balloon
+ * memory. Unsupported constructs are rejected with the HTTP status
+ * that tells the client why (431 oversized headers, 413 oversized
+ * body, 501 chunked transfer, 505 unknown version) rather than by
+ * dropping the connection.
+ *
+ * This layer is socket-free and deterministic: serialization of the
+ * same message always yields the same bytes (no Date headers, no
+ * clock reads), which is what lets the service promise byte-
+ * identical responses for identical requests.
+ */
+
+#ifndef PARCHMINT_SVC_HTTP_HH
+#define PARCHMINT_SVC_HTTP_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace parchmint::svc
+{
+
+/** One parsed HTTP request. Header names are lowercased. */
+struct HttpRequest
+{
+    std::string method;
+    /** Full request target, query string included. */
+    std::string target;
+    /** "HTTP/1.0" or "HTTP/1.1". */
+    std::string version = "HTTP/1.1";
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** @return The header's value, or nullptr when absent. */
+    const std::string *findHeader(std::string_view name) const;
+
+    /** The target without its query string. */
+    std::string path() const;
+
+    /**
+     * The value of a query parameter ("" when absent). Splitting
+     * only; no percent-decoding — parchmintd parameters are plain
+     * tokens (seeds, names).
+     */
+    std::string queryParam(std::string_view key) const;
+
+    /** Whether the connection should persist after the response:
+     * HTTP/1.1 unless "Connection: close", HTTP/1.0 only with
+     * "Connection: keep-alive". */
+    bool keepAlive() const;
+};
+
+/** One HTTP response. Content-Length is added at serialization. */
+struct HttpResponse
+{
+    int status = 200;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    void setHeader(std::string name, std::string value);
+    const std::string *findHeader(std::string_view name) const;
+};
+
+/** Reason phrase for a status code ("Unknown" when unlisted). */
+const char *statusText(int status);
+
+/** Serialize a request for the wire (adds Content-Length). */
+std::string serializeRequest(const HttpRequest &request);
+
+/** Serialize a response for the wire (adds Content-Length). */
+std::string serializeResponse(const HttpResponse &response);
+
+/** Incremental parser limits; defaults suit netlist payloads. */
+struct ParserLimits
+{
+    /** Request line + headers budget, bytes. */
+    size_t maxHeaderBytes = 64 * 1024;
+    /** Body budget, bytes; the largest suite netlists serialize
+     * well under 1 MiB, so 8 MiB leaves headroom for big
+     * synthetic instances without letting a peer buffer
+     * arbitrarily much. */
+    size_t maxBodyBytes = 8 * 1024 * 1024;
+};
+
+/**
+ * Incremental HTTP/1.1 request parser.
+ *
+ * Feed raw bytes in arbitrary fragments; the parser buffers until
+ * the message is Complete or rejected (Error). Bytes beyond the
+ * first complete message (pipelined requests) are kept and become
+ * the start of the next message after reset(). On Error,
+ * errorStatus()/errorReason() describe the HTTP rejection to send
+ * before closing.
+ */
+class RequestParser
+{
+  public:
+    enum class State
+    {
+        /** Waiting for the end of the header block. */
+        Headers,
+        /** Headers parsed; waiting for Content-Length body bytes. */
+        Body,
+        /** One full request is available via request(). */
+        Complete,
+        /** The message was rejected; see errorStatus(). */
+        Error,
+    };
+
+    explicit RequestParser(ParserLimits limits = {});
+
+    /** Consume a fragment of input. No-op in Complete/Error. */
+    void feed(std::string_view data);
+
+    State state() const { return state_; }
+
+    /** The parsed request; valid only in State::Complete. */
+    const HttpRequest &request() const { return request_; }
+
+    /** HTTP status for the rejection; valid only in Error. */
+    int errorStatus() const { return errorStatus_; }
+    const std::string &errorReason() const { return errorReason_; }
+
+    /**
+     * Discard the completed request and start parsing the next one
+     * from any already-buffered (pipelined) bytes. Valid only in
+     * State::Complete.
+     */
+    void reset();
+
+  private:
+    void advance();
+    void fail(int status, std::string reason);
+    bool parseHeaderBlock(std::string_view block);
+
+    ParserLimits limits_;
+    State state_ = State::Headers;
+    std::string buffer_;
+    /** End of the header block within buffer_ (past CRLFCRLF). */
+    size_t bodyStart_ = 0;
+    size_t contentLength_ = 0;
+    HttpRequest request_;
+    int errorStatus_ = 0;
+    std::string errorReason_;
+};
+
+/**
+ * Incremental HTTP response parser, the client-side twin of
+ * RequestParser. Responses must carry Content-Length (parchmintd
+ * always does); chunked bodies are rejected.
+ */
+class ResponseParser
+{
+  public:
+    enum class State
+    {
+        Headers,
+        Body,
+        Complete,
+        Error,
+    };
+
+    explicit ResponseParser(size_t max_body_bytes = 64 * 1024 * 1024);
+
+    void feed(std::string_view data);
+
+    State state() const { return state_; }
+    const HttpResponse &response() const { return response_; }
+    const std::string &errorReason() const { return errorReason_; }
+
+    /** Start parsing the next response from buffered bytes. */
+    void reset();
+
+  private:
+    void advance();
+    void fail(std::string reason);
+
+    size_t maxBodyBytes_;
+    State state_ = State::Headers;
+    std::string buffer_;
+    size_t bodyStart_ = 0;
+    size_t contentLength_ = 0;
+    HttpResponse response_;
+    std::string errorReason_;
+};
+
+} // namespace parchmint::svc
+
+#endif // PARCHMINT_SVC_HTTP_HH

@@ -1,0 +1,406 @@
+#include "svc/server.hh"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+
+#include "common/error.hh"
+#include "exec/thread_pool.hh"
+#include "json/write.hh"
+
+namespace parchmint::svc
+{
+
+namespace
+{
+
+void
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+} // namespace
+
+struct HttpServer::Connection
+{
+    int fd;
+    RequestParser parser;
+    /** Last time bytes moved; the poller expires idle ones. */
+    std::chrono::steady_clock::time_point lastActive;
+
+    Connection(int fd, ParserLimits limits)
+        : fd(fd),
+          parser(limits),
+          lastActive(std::chrono::steady_clock::now())
+    {
+    }
+};
+
+HttpServer::HttpServer(NetlistService &service,
+                       ServerOptions options)
+    : service_(service),
+      options_(std::move(options))
+{
+}
+
+HttpServer::~HttpServer()
+{
+    stop();
+}
+
+void
+HttpServer::start()
+{
+    if (started_.load(std::memory_order_acquire))
+        return;
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal(std::string("cannot create socket: ") +
+              std::strerror(errno));
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.bindAddress.c_str(),
+                    &address.sin_addr) != 1) {
+        ::close(fd);
+        fatal("invalid bind address \"" + options_.bindAddress +
+              "\"");
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&address),
+               sizeof(address)) != 0) {
+        std::string reason = std::strerror(errno);
+        ::close(fd);
+        fatal("cannot bind " + options_.bindAddress + ":" +
+              std::to_string(options_.port) + ": " + reason);
+    }
+    if (::listen(fd, 128) != 0) {
+        std::string reason = std::strerror(errno);
+        ::close(fd);
+        fatal("cannot listen: " + reason);
+    }
+
+    sockaddr_in bound{};
+    socklen_t length = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                      &length) != 0) {
+        std::string reason = std::strerror(errno);
+        ::close(fd);
+        fatal("cannot read bound address: " + reason);
+    }
+    port_ = ntohs(bound.sin_port);
+    setNonBlocking(fd);
+
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+        std::string reason = std::strerror(errno);
+        ::close(fd);
+        fatal("cannot create wake pipe: " + reason);
+    }
+    setNonBlocking(pipe_fds[0]);
+    setNonBlocking(pipe_fds[1]);
+    wakeRead_ = pipe_fds[0];
+    wakeWrite_ = pipe_fds[1];
+
+    listenFd_ = fd;
+    stopping_.store(false, std::memory_order_release);
+    size_t threads =
+        options_.threads == 0
+            ? exec::ThreadPool::hardwareThreads()
+            : options_.threads;
+    pool_ = std::make_unique<exec::ThreadPool>(threads);
+    eventThread_ = std::thread([this] { eventLoop(); });
+    started_.store(true, std::memory_order_release);
+}
+
+void
+HttpServer::stop()
+{
+    if (!started_.exchange(false, std::memory_order_acq_rel))
+        return;
+    stopping_.store(true, std::memory_order_release);
+
+    // The event thread notices stopping_ on wakeup, then closes
+    // the listener and its idle connections as it exits.
+    wakePoller();
+    if (eventThread_.joinable())
+        eventThread_.join();
+
+    // Half-close live connections: a worker pumping a socket sees
+    // EOF immediately, but one mid-response can still flush its
+    // write before closing — that is the "drain" in
+    // drain-then-shutdown.
+    {
+        std::lock_guard<std::mutex> lock(liveMutex_);
+        for (int fd : liveFds_)
+            ::shutdown(fd, SHUT_RD);
+    }
+    // The pool drains its queue (dispatched connections serve
+    // their buffered requests, see EOF, and close) then joins.
+    pool_->shutdown();
+    pool_.reset();
+
+    // Connections returned by workers after the event loop left
+    // have no poller to go back to.
+    {
+        std::lock_guard<std::mutex> lock(returnedMutex_);
+        for (const std::shared_ptr<Connection> &connection :
+             returned_) {
+            closeConnection(*connection);
+        }
+        returned_.clear();
+    }
+
+    ::close(wakeRead_);
+    ::close(wakeWrite_);
+    wakeRead_ = -1;
+    wakeWrite_ = -1;
+}
+
+void
+HttpServer::wakePoller()
+{
+    char byte = 1;
+    // Non-blocking: a full pipe already guarantees a wakeup.
+    [[maybe_unused]] ssize_t n = ::write(wakeWrite_, &byte, 1);
+}
+
+void
+HttpServer::closeConnection(const Connection &connection)
+{
+    {
+        std::lock_guard<std::mutex> lock(liveMutex_);
+        liveFds_.erase(connection.fd);
+    }
+    ::close(connection.fd);
+}
+
+void
+HttpServer::returnToPoller(std::shared_ptr<Connection> connection)
+{
+    if (stopping_.load(std::memory_order_acquire)) {
+        closeConnection(*connection);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(returnedMutex_);
+        returned_.push_back(std::move(connection));
+    }
+    wakePoller();
+}
+
+void
+HttpServer::eventLoop()
+{
+    // Idle connections, owned by this loop between dispatches.
+    std::map<int, std::shared_ptr<Connection>> idle;
+
+    while (!stopping_.load(std::memory_order_acquire)) {
+        {
+            std::lock_guard<std::mutex> lock(returnedMutex_);
+            for (std::shared_ptr<Connection> &connection :
+                 returned_) {
+                int fd = connection->fd;
+                idle.emplace(fd, std::move(connection));
+            }
+            returned_.clear();
+        }
+
+        std::vector<pollfd> fds;
+        fds.reserve(2 + idle.size());
+        fds.push_back({listenFd_, POLLIN, 0});
+        fds.push_back({wakeRead_, POLLIN, 0});
+        for (const auto &[fd, connection] : idle)
+            fds.push_back({fd, POLLIN, 0});
+
+        int timeout =
+            options_.idleTimeout.count() > 0
+                ? static_cast<int>(options_.idleTimeout.count())
+                : -1;
+        int ready = ::poll(fds.data(), fds.size(), timeout);
+        if (stopping_.load(std::memory_order_acquire))
+            break;
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+
+        if (fds[1].revents != 0) {
+            char drain[64];
+            while (::read(wakeRead_, drain, sizeof(drain)) > 0) {
+            }
+        }
+
+        if (fds[0].revents != 0) {
+            while (true) {
+                int fd = ::accept(listenFd_, nullptr, nullptr);
+                if (fd < 0)
+                    break;
+                connections_.fetch_add(1,
+                                       std::memory_order_relaxed);
+                setNonBlocking(fd);
+                {
+                    std::lock_guard<std::mutex> lock(liveMutex_);
+                    liveFds_.insert(fd);
+                }
+                idle.emplace(fd,
+                             std::make_shared<Connection>(
+                                 fd, options_.limits));
+            }
+        }
+
+        for (size_t i = 2; i < fds.size(); ++i) {
+            if (fds[i].revents == 0)
+                continue;
+            auto it = idle.find(fds[i].fd);
+            if (it == idle.end())
+                continue;
+            std::shared_ptr<Connection> connection =
+                std::move(it->second);
+            idle.erase(it);
+            connection->lastActive =
+                std::chrono::steady_clock::now();
+            try {
+                pool_->post([this, connection] {
+                    serveConnection(connection);
+                });
+            } catch (const Error &) {
+                // Pool refused (shutdown raced the poll).
+                closeConnection(*connection);
+            }
+        }
+
+        if (options_.idleTimeout.count() > 0) {
+            auto now = std::chrono::steady_clock::now();
+            for (auto it = idle.begin(); it != idle.end();) {
+                if (now - it->second->lastActive >=
+                    options_.idleTimeout) {
+                    closeConnection(*it->second);
+                    it = idle.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+    }
+
+    for (const auto &[fd, connection] : idle)
+        closeConnection(*connection);
+    ::close(listenFd_);
+    listenFd_ = -1;
+}
+
+bool
+HttpServer::sendAll(const Connection &connection,
+                    std::string_view data)
+{
+    size_t sent = 0;
+    while (sent < data.size()) {
+        ssize_t n =
+            ::send(connection.fd, data.data() + sent,
+                   data.size() - sent, MSG_NOSIGNAL);
+        if (n >= 0) {
+            sent += static_cast<size_t>(n);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK)
+            return false;
+        // Kernel buffer full: wait (bounded) for drainage.
+        pollfd out{connection.fd, POLLOUT, 0};
+        int timeout =
+            options_.idleTimeout.count() > 0
+                ? static_cast<int>(options_.idleTimeout.count())
+                : -1;
+        int ready = ::poll(&out, 1, timeout);
+        if (ready <= 0)
+            return false;
+    }
+    return true;
+}
+
+void
+HttpServer::serveConnection(std::shared_ptr<Connection> connection)
+{
+    RequestParser &parser = connection->parser;
+    char buffer[16 * 1024];
+
+    while (true) {
+        // Pump whatever the socket has; the parser accepts any
+        // fragmentation.
+        while (parser.state() == RequestParser::State::Headers ||
+               parser.state() == RequestParser::State::Body) {
+            ssize_t n = ::recv(connection->fd, buffer,
+                               sizeof(buffer), 0);
+            if (n > 0) {
+                parser.feed(std::string_view(
+                    buffer, static_cast<size_t>(n)));
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n < 0 &&
+                (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                // Socket ran dry mid-message (or between
+                // messages): park with the poller until more
+                // bytes arrive.
+                connection->lastActive =
+                    std::chrono::steady_clock::now();
+                returnToPoller(std::move(connection));
+                return;
+            }
+            // EOF or a hard error; nothing more to serve.
+            closeConnection(*connection);
+            return;
+        }
+
+        if (parser.state() == RequestParser::State::Error) {
+            HttpResponse response;
+            response.status = parser.errorStatus();
+            response.setHeader("Content-Type",
+                               "application/json");
+            response.setHeader("Connection", "close");
+            response.body =
+                "{\"error\":\"" +
+                json::escapeString(parser.errorReason()) + "\"}";
+            sendAll(*connection, serializeResponse(response));
+            closeConnection(*connection);
+            return;
+        }
+
+        const HttpRequest &request = parser.request();
+        HttpResponse response = service_.handle(request);
+        bool keep_alive =
+            request.keepAlive() &&
+            !stopping_.load(std::memory_order_acquire);
+        response.setHeader("Connection",
+                           keep_alive ? "keep-alive" : "close");
+        if (!sendAll(*connection,
+                     serializeResponse(response)) ||
+            !keep_alive) {
+            closeConnection(*connection);
+            return;
+        }
+        // reset() keeps pipelined bytes: the loop serves any
+        // already-complete request without touching the socket.
+        parser.reset();
+    }
+}
+
+} // namespace parchmint::svc

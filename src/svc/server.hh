@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The parchmintd HTTP server: a poll()-based readiness loop
+ * dispatching ready connections to exec::ThreadPool workers.
+ *
+ * Threading model (DESIGN.md "Netlist service"): one event thread
+ * owns the listener and every idle connection in a poll() set.
+ * When a connection becomes readable it is handed to the execution
+ * engine's thread pool; the worker pumps the non-blocking socket
+ * through the incremental parser, dispatches complete requests to
+ * the service, writes the responses, and returns the connection
+ * (with its parser state) to the poller as soon as the socket runs
+ * dry. Workers therefore hold a thread only while a request is
+ * actually arriving, computing, or flushing — never while a
+ * keep-alive connection sits idle — so C connections multiplex
+ * over N pool threads for any C and N, including N=1 on a
+ * single-core host. Request-level overload is the admission
+ * controller's job (429), not the socket layer's.
+ *
+ * Graceful shutdown is drain-then-join: stop() wakes the event
+ * thread (which closes the listener and its idle connections),
+ * half-closes (SHUT_RD) every live connection so pumping workers
+ * see EOF while in-flight responses still flush, then drains the
+ * pool. No request that reached a worker is abandoned mid-write.
+ */
+
+#ifndef PARCHMINT_SVC_SERVER_HH
+#define PARCHMINT_SVC_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/http.hh"
+#include "svc/service.hh"
+
+namespace parchmint::exec
+{
+class ThreadPool;
+}
+
+namespace parchmint::svc
+{
+
+/** Server knobs. */
+struct ServerOptions
+{
+    /** Listen address; loopback by default. */
+    std::string bindAddress = "127.0.0.1";
+    /** TCP port; 0 = kernel-assigned ephemeral (read port()). */
+    uint16_t port = 0;
+    /** Worker threads; 0 = one per hardware thread. */
+    size_t threads = 0;
+    /** Parser limits applied per connection. */
+    ParserLimits limits;
+    /** Close a keep-alive connection idle this long; also bounds
+     * a blocked response write. Zero = never. */
+    std::chrono::milliseconds idleTimeout{5000};
+};
+
+/** See file comment. */
+class HttpServer
+{
+  public:
+    /** The service must outlive the server. */
+    HttpServer(NetlistService &service, ServerOptions options = {});
+
+    /** Stops if still running. */
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /**
+     * Bind, listen, and start accepting.
+     * @throws UserError when the address cannot be bound.
+     */
+    void start();
+
+    /** The bound port (resolves port 0 to the actual one). */
+    uint16_t port() const { return port_; }
+
+    /** True between start() and stop(). */
+    bool running() const
+    {
+        return started_.load(std::memory_order_acquire);
+    }
+
+    /** Graceful drain-then-shutdown; idempotent. */
+    void stop();
+
+    /** Connections accepted over the server's lifetime. */
+    uint64_t connectionsAccepted() const
+    {
+        return connections_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /** One live connection's socket + parser state; shared_ptr
+     * only because pool jobs must be copyable — ownership is
+     * logically unique (poller or one worker). */
+    struct Connection;
+
+    void eventLoop();
+    void serveConnection(std::shared_ptr<Connection> connection);
+    void returnToPoller(std::shared_ptr<Connection> connection);
+    void closeConnection(const Connection &connection);
+    bool sendAll(const Connection &connection,
+                 std::string_view data);
+    void wakePoller();
+
+    NetlistService &service_;
+    ServerOptions options_;
+    uint16_t port_ = 0;
+    int listenFd_ = -1;
+    int wakeRead_ = -1;
+    int wakeWrite_ = -1;
+    std::thread eventThread_;
+    std::unique_ptr<exec::ThreadPool> pool_;
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<uint64_t> connections_{0};
+    std::mutex liveMutex_;
+    std::set<int> liveFds_;
+    /** Connections handed back by workers, awaiting re-poll. */
+    std::mutex returnedMutex_;
+    std::vector<std::shared_ptr<Connection>> returned_;
+};
+
+} // namespace parchmint::svc
+
+#endif // PARCHMINT_SVC_SERVER_HH

@@ -1,0 +1,482 @@
+#include "svc/service.hh"
+
+#include <cstdlib>
+
+#include "analysis/netlist_stats.hh"
+#include "analysis/stats_json.hh"
+#include "common/error.hh"
+#include "common/strings.hh"
+#include "core/deserialize.hh"
+#include "core/serialize.hh"
+#include "exec/thread_pool.hh"
+#include "json/parse.hh"
+#include "json/write.hh"
+#include "obs/clock.hh"
+#include "obs/obs.hh"
+#include "obs/report.hh"
+#include "place/annealing_placer.hh"
+#include "place/cost.hh"
+#include "route/router.hh"
+#include "schema/rules.hh"
+#include "suite/suite.hh"
+
+namespace parchmint::svc
+{
+
+namespace
+{
+
+/** Compact JSON text of a value (the wire format). */
+std::string
+compactJson(const json::Value &value)
+{
+    json::WriteOptions options;
+    options.pretty = false;
+    return json::write(value, options);
+}
+
+HttpResponse
+jsonResponse(int status, std::string body)
+{
+    HttpResponse response;
+    response.status = status;
+    response.setHeader("Content-Type", "application/json");
+    response.body = std::move(body);
+    return response;
+}
+
+HttpResponse
+errorResponse(int status, const std::string &message)
+{
+    json::Value body = json::Value::makeObject();
+    body.set("error", json::Value(message));
+    return jsonResponse(status, compactJson(body));
+}
+
+/** Short metric label for a request path ("other" if unknown). */
+std::string
+endpointLabel(const std::string &path)
+{
+    if (path == "/v1/validate")
+        return "validate";
+    if (path == "/v1/characterize")
+        return "characterize";
+    if (path == "/v1/place")
+        return "place";
+    if (path == "/v1/route")
+        return "route";
+    if (path == "/v1/suite" || startsWith(path, "/v1/suite/"))
+        return "suite";
+    if (path == "/healthz")
+        return "healthz";
+    if (path == "/statsz")
+        return "statsz";
+    return "other";
+}
+
+json::Value
+cacheStatsJson(const CacheStats &stats)
+{
+    json::Value out = json::Value::makeObject();
+    out.set("hits", json::Value(static_cast<int64_t>(stats.hits)));
+    out.set("misses",
+            json::Value(static_cast<int64_t>(stats.misses)));
+    out.set("insertions",
+            json::Value(static_cast<int64_t>(stats.insertions)));
+    out.set("evictions",
+            json::Value(static_cast<int64_t>(stats.evictions)));
+    out.set("oversized",
+            json::Value(static_cast<int64_t>(stats.oversized)));
+    out.set("entries",
+            json::Value(static_cast<int64_t>(stats.entries)));
+    out.set("bytes",
+            json::Value(static_cast<int64_t>(stats.bytes)));
+    return out;
+}
+
+} // namespace
+
+NetlistService::NetlistService(ServiceOptions options)
+    : options_(options),
+      admission_(options.maxInflight == 0
+                     ? 2 * exec::ThreadPool::hardwareThreads()
+                     : options.maxInflight),
+      docCache_(options.cacheShards, options.cacheBytes / 4),
+      resultCache_(options.cacheShards,
+                   options.cacheBytes - options.cacheBytes / 4)
+{
+}
+
+CacheStats
+NetlistService::documentCacheStats() const
+{
+    return docCache_.stats();
+}
+
+CacheStats
+NetlistService::resultCacheStats() const
+{
+    return resultCache_.stats();
+}
+
+HttpResponse
+NetlistService::handle(const HttpRequest &request)
+{
+    return handle(request, exec::CancelToken::withDeadline(
+                               options_.requestDeadline));
+}
+
+HttpResponse
+NetlistService::handle(const HttpRequest &request,
+                       const exec::CancelToken &token)
+{
+    obs::Stopwatch watch;
+    std::string label = endpointLabel(request.path());
+    HttpResponse response;
+    try {
+        response = dispatch(request, token);
+    } catch (const exec::Cancelled &cancelled) {
+        response = errorResponse(503, cancelled.what());
+    } catch (const json::ParseError &error) {
+        response = errorResponse(
+            400, std::string("invalid JSON: ") + error.what());
+    } catch (const UserError &error) {
+        response = errorResponse(422, error.what());
+    } catch (const std::exception &error) {
+        response = errorResponse(500, error.what());
+    }
+
+    // Request/response accounting is unconditional (not gated on
+    // the obs switch): /statsz must answer on a daemon launched
+    // without --report. Counters are bounded; the per-endpoint
+    // latency histograms record samples and stay behind the
+    // switch.
+    obs::Registry &registry = obs::registry();
+    registry.add("svc.requests", 1);
+    registry.add("svc.requests." + label, 1);
+    int status_class = response.status / 100;
+    registry.add("svc.responses." +
+                     std::to_string(status_class) + "xx",
+                 1);
+    if (response.status == 429)
+        registry.add("svc.responses.429", 1);
+    if (response.status == 503)
+        registry.add("svc.responses.503", 1);
+    PM_OBS_HIST("svc." + label + ".ms", watch.elapsedMs());
+    return response;
+}
+
+HttpResponse
+NetlistService::dispatch(const HttpRequest &request,
+                         const exec::CancelToken &token)
+{
+    const std::string path = request.path();
+
+    if (path == "/healthz") {
+        json::Value body = json::Value::makeObject();
+        body.set("status", json::Value("ok"));
+        return jsonResponse(200, compactJson(body));
+    }
+    if (path == "/statsz") {
+        if (request.method != "GET") {
+            HttpResponse response =
+                errorResponse(405, "use GET " + path);
+            response.setHeader("Allow", "GET");
+            return response;
+        }
+        return handleStatsz();
+    }
+    if (path == "/v1/suite" || startsWith(path, "/v1/suite/")) {
+        if (request.method != "GET") {
+            HttpResponse response =
+                errorResponse(405, "use GET " + path);
+            response.setHeader("Allow", "GET");
+            return response;
+        }
+        if (path == "/v1/suite")
+            return handleSuiteIndex();
+        return handleSuiteNetlist(
+            path.substr(std::string("/v1/suite/").size()));
+    }
+    if (path == "/v1/validate" || path == "/v1/characterize" ||
+        path == "/v1/place" || path == "/v1/route") {
+        if (request.method != "POST") {
+            HttpResponse response =
+                errorResponse(405, "use POST " + path);
+            response.setHeader("Allow", "POST");
+            return response;
+        }
+        return handlePipeline(endpointLabel(path), request,
+                              token);
+    }
+    return errorResponse(404,
+                         "no such endpoint \"" + path + "\"");
+}
+
+std::shared_ptr<const NetlistService::ParsedDoc>
+NetlistService::parseBody(const std::string &body)
+{
+    std::string raw_key = "doc:" + hashHex(contentHash(body));
+    if (std::shared_ptr<const ParsedDoc> hit =
+            docCache_.find(raw_key)) {
+        return hit;
+    }
+    json::Value parsed = json::parse(body);
+    std::string canonical = canonicalJsonText(parsed);
+    auto doc = std::make_shared<ParsedDoc>();
+    doc->canonKey = hashHex(contentHash(canonical));
+    doc->document = std::move(parsed);
+    // Cost proxy for the in-memory document: JSON value trees run
+    // a small multiple of their text size.
+    docCache_.insert(raw_key, doc, 2 * body.size());
+    return doc;
+}
+
+HttpResponse
+NetlistService::handlePipeline(const std::string &endpoint,
+                               const HttpRequest &request,
+                               const exec::CancelToken &token)
+{
+    AdmissionController::Ticket ticket = admission_.tryAdmit();
+    obs::registry().setGauge(
+        "svc.inflight",
+        static_cast<double>(admission_.inflight()));
+    if (!ticket) {
+        HttpResponse response = errorResponse(
+            429, "server at capacity (" +
+                     std::to_string(admission_.maxInflight()) +
+                     " requests in flight); retry shortly");
+        response.setHeader("Retry-After", "1");
+        return response;
+    }
+    if (request.body.empty())
+        return errorResponse(400, "empty request body");
+
+    token.throwIfCancelled("admit " + endpoint);
+    std::shared_ptr<const ParsedDoc> doc =
+        parseBody(request.body);
+    token.throwIfCancelled("parse " + endpoint);
+
+    bool seeded = endpoint == "place" || endpoint == "route";
+    uint64_t seed = options_.seed;
+    if (seeded) {
+        std::string param = request.queryParam("seed");
+        if (!param.empty())
+            seed = std::strtoull(param.c_str(), nullptr, 10);
+    }
+
+    std::string key = endpoint;
+    key += ':';
+    key += doc->canonKey;
+    if (seeded) {
+        key += ':';
+        key += std::to_string(seed);
+    }
+    if (std::shared_ptr<const std::string> hit =
+            resultCache_.find(key)) {
+        return jsonResponse(200, *hit);
+    }
+
+    std::string body =
+        computeResult(endpoint, doc->document, seed, token);
+    resultCache_.insert(
+        key, std::make_shared<const std::string>(body),
+        body.size());
+    return jsonResponse(200, std::move(body));
+}
+
+std::string
+NetlistService::computeResult(const std::string &endpoint,
+                              const json::Value &document,
+                              uint64_t seed,
+                              const exec::CancelToken &token)
+{
+    PM_OBS_SPAN(endpoint, "svc");
+
+    if (endpoint == "validate") {
+        std::vector<schema::Issue> issues =
+            schema::validateDocument(document);
+        size_t errors = 0;
+        size_t warnings = 0;
+        json::Value list = json::Value::makeArray();
+        for (const schema::Issue &issue : issues) {
+            bool is_error =
+                issue.severity == schema::Severity::Error;
+            ++(is_error ? errors : warnings);
+            json::Value entry = json::Value::makeObject();
+            entry.set("severity", json::Value(is_error
+                                                  ? "error"
+                                                  : "warning"));
+            entry.set("location", json::Value(issue.location));
+            entry.set("message", json::Value(issue.message));
+            list.append(std::move(entry));
+        }
+        json::Value out = json::Value::makeObject();
+        out.set("schema", json::Value("parchmintd-validate-v1"));
+        out.set("valid", json::Value(errors == 0));
+        out.set("errors",
+                json::Value(static_cast<int64_t>(errors)));
+        out.set("warnings",
+                json::Value(static_cast<int64_t>(warnings)));
+        out.set("issues", std::move(list));
+        return compactJson(out);
+    }
+
+    if (endpoint == "characterize") {
+        Device device = fromJson(document);
+        token.throwIfCancelled("characterize");
+        analysis::NetlistStats stats =
+            analysis::computeNetlistStats(device);
+        json::Value out = json::Value::makeObject();
+        out.set("schema",
+                json::Value("parchmintd-characterize-v1"));
+        out.set("stats", analysis::statsToJson(stats));
+        return compactJson(out);
+    }
+
+    // place / route share the front of the pipeline. The annealer
+    // derives its RNG stream from the seed and the device name, so
+    // the result is a pure function of (document, seed) — the
+    // property the result cache and the byte-identity guarantee
+    // both lean on.
+    Device device = fromJson(document);
+    token.throwIfCancelled(endpoint);
+    place::AnnealingOptions annealing;
+    annealing.seed = seed;
+    place::AnnealingPlacer placer(annealing);
+    place::Placement placement = placer.place(device);
+    token.throwIfCancelled(endpoint);
+
+    if (endpoint == "place") {
+        const place::PlacementCost &cost = placer.lastCost();
+        placement.writeTo(device);
+        json::Value cost_json = json::Value::makeObject();
+        cost_json.set("hpwl", json::Value(cost.hpwl));
+        cost_json.set("overlapArea",
+                      json::Value(cost.overlapArea));
+        cost_json.set("boundingArea",
+                      json::Value(cost.boundingArea));
+        json::Value out = json::Value::makeObject();
+        out.set("schema", json::Value("parchmintd-place-v1"));
+        out.set("seed", json::Value(static_cast<int64_t>(seed)));
+        out.set("cost", std::move(cost_json));
+        out.set("netlist", toJson(device));
+        return compactJson(out);
+    }
+
+    route::RouteResult routed =
+        route::routeDevice(device, placement);
+    token.throwIfCancelled("route");
+    placement.writeTo(device);
+    json::Value routing = json::Value::makeObject();
+    routing.set("routedNets",
+                json::Value(
+                    static_cast<int64_t>(routed.routedCount)));
+    routing.set("totalNets",
+                json::Value(
+                    static_cast<int64_t>(routed.nets.size())));
+    routing.set("length", json::Value(routed.totalLength));
+    routing.set("violations",
+                json::Value(static_cast<int64_t>(
+                    routed.totalViolations)));
+    json::Value out = json::Value::makeObject();
+    out.set("schema", json::Value("parchmintd-route-v1"));
+    out.set("seed", json::Value(static_cast<int64_t>(seed)));
+    out.set("routing", std::move(routing));
+    out.set("netlist", toJson(device));
+    return compactJson(out);
+}
+
+HttpResponse
+NetlistService::handleSuiteIndex()
+{
+    json::Value list = json::Value::makeArray();
+    for (const suite::BenchmarkInfo &info :
+         suite::standardSuite()) {
+        json::Value entry = json::Value::makeObject();
+        entry.set("name", json::Value(info.name));
+        entry.set("category",
+                  json::Value(info.category ==
+                                      suite::Category::Recreated
+                                  ? "recreated"
+                                  : "synthetic"));
+        entry.set("description",
+                  json::Value(info.description));
+        list.append(std::move(entry));
+    }
+    json::Value out = json::Value::makeObject();
+    out.set("schema", json::Value("parchmintd-suite-v1"));
+    out.set("benchmarks", std::move(list));
+    return jsonResponse(200, compactJson(out));
+}
+
+HttpResponse
+NetlistService::handleSuiteNetlist(const std::string &name)
+{
+    std::string key = "suite:" + name;
+    if (std::shared_ptr<const std::string> hit =
+            resultCache_.find(key)) {
+        return jsonResponse(200, *hit);
+    }
+    try {
+        Device device = suite::buildBenchmark(name);
+        std::string body = compactJson(toJson(device));
+        resultCache_.insert(
+            key, std::make_shared<const std::string>(body),
+            body.size());
+        return jsonResponse(200, std::move(body));
+    } catch (const UserError &error) {
+        return errorResponse(404, error.what());
+    }
+}
+
+HttpResponse
+NetlistService::handleStatsz()
+{
+    obs::Registry &registry = obs::registry();
+
+    json::Value counters = json::Value::makeObject();
+    for (const auto &[name, value] :
+         registry.countersSnapshot()) {
+        counters.set(name, json::Value(value));
+    }
+    json::Value gauges = json::Value::makeObject();
+    for (const auto &[name, value] : registry.gaugesSnapshot())
+        gauges.set(name, json::Value(value));
+    json::Value histograms = json::Value::makeObject();
+    for (const auto &[name, summary] :
+         registry.histogramsSnapshot()) {
+        histograms.set(name, obs::summaryToJson(summary));
+    }
+    json::Value metrics = json::Value::makeObject();
+    metrics.set("counters", std::move(counters));
+    metrics.set("gauges", std::move(gauges));
+    metrics.set("histograms", std::move(histograms));
+
+    json::Value cache = json::Value::makeObject();
+    cache.set("document", cacheStatsJson(docCache_.stats()));
+    cache.set("result", cacheStatsJson(resultCache_.stats()));
+
+    json::Value admission = json::Value::makeObject();
+    admission.set("maxInflight",
+                  json::Value(static_cast<int64_t>(
+                      admission_.maxInflight())));
+    admission.set("inflight",
+                  json::Value(static_cast<int64_t>(
+                      admission_.inflight())));
+    admission.set("admitted",
+                  json::Value(static_cast<int64_t>(
+                      admission_.admitted())));
+    admission.set("rejected",
+                  json::Value(static_cast<int64_t>(
+                      admission_.rejected())));
+
+    json::Value out = json::Value::makeObject();
+    out.set("schema", json::Value("parchmintd-statsz-v1"));
+    out.set("metrics", std::move(metrics));
+    out.set("cache", std::move(cache));
+    out.set("admission", std::move(admission));
+    return jsonResponse(200, compactJson(out));
+}
+
+} // namespace parchmint::svc

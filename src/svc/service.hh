@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The netlist service: ParchMint pipeline stages behind JSON-over-
+ * HTTP endpoints, with content-addressed caching and admission
+ * control.
+ *
+ * Endpoints (all bodies and responses are JSON):
+ *
+ *   POST /v1/validate      schema + semantic rules over the posted
+ *                          netlist document
+ *   POST /v1/characterize  netlist statistics (analysis/)
+ *   POST /v1/place         annealing placement; placed netlist +
+ *                          cost in the response
+ *   POST /v1/route         placement + routing; routed netlist +
+ *                          route metrics in the response
+ *   GET  /v1/suite         the standard benchmark registry
+ *   GET  /v1/suite/<name>  one standard benchmark's netlist
+ *   GET  /healthz          liveness probe
+ *   GET  /statsz           counters, cache and admission state
+ *
+ * The POST pipeline is fronted by the two-level content-addressed
+ * cache (svc/cache.hh): a raw-body hash resolves repeated request
+ * bytes without parsing, the canonical-JSON hash unifies
+ * reformatted duplicates, and per-endpoint results are memoized so
+ * a repeated netlist costs one hash probe and one memcpy. Heavy
+ * endpoints pass the admission gate first (svc/admission.hh;
+ * overload → 429 + Retry-After) and run under a per-request
+ * exec::CancelToken deadline checked at stage boundaries (expiry →
+ * 503).
+ *
+ * Determinism: the stochastic endpoints seed the annealer from the
+ * service seed (or an explicit ?seed= query parameter); the
+ * annealer derives its stream from the seed and the device name, so
+ * identical requests produce byte-identical responses — served
+ * from cache or recomputed, under any concurrency.
+ *
+ * handle() is thread-safe and is called concurrently by every
+ * server worker.
+ */
+
+#ifndef PARCHMINT_SVC_SERVICE_HH
+#define PARCHMINT_SVC_SERVICE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "exec/cancel.hh"
+#include "json/value.hh"
+#include "svc/admission.hh"
+#include "svc/cache.hh"
+#include "svc/http.hh"
+
+namespace parchmint::svc
+{
+
+/** Service knobs. */
+struct ServiceOptions
+{
+    /** Base seed for the stochastic endpoints; a request's
+     * ?seed= query parameter overrides it. */
+    uint64_t seed = 1;
+    /** Cache shards (both levels). */
+    size_t cacheShards = 8;
+    /** Total cache byte budget: 3/4 for results, 1/4 for parsed
+     * documents. 0 disables caching. */
+    size_t cacheBytes = 64 * 1024 * 1024;
+    /** Concurrent heavy requests admitted; 0 = two per hardware
+     * thread. */
+    size_t maxInflight = 0;
+    /** Per-request deadline, checked at stage boundaries; zero =
+     * none. */
+    std::chrono::milliseconds requestDeadline{0};
+    /** Request body budget, surfaced to the HTTP parser by the
+     * server. */
+    size_t maxBodyBytes = ParserLimits{}.maxBodyBytes;
+};
+
+/** See file comment. */
+class NetlistService
+{
+  public:
+    explicit NetlistService(ServiceOptions options = {});
+
+    /** Dispatch one request (thread-safe). */
+    HttpResponse handle(const HttpRequest &request);
+
+    /**
+     * Like handle(), but under a caller-supplied cancellation
+     * token instead of a fresh deadline token — the seam tests use
+     * to exercise the 503 path deterministically.
+     */
+    HttpResponse handle(const HttpRequest &request,
+                        const exec::CancelToken &token);
+
+    const ServiceOptions &options() const { return options_; }
+
+    /** Live cache counters (document level). */
+    CacheStats documentCacheStats() const;
+    /** Live cache counters (result level). */
+    CacheStats resultCacheStats() const;
+    const AdmissionController &admission() const
+    {
+        return admission_;
+    }
+
+  private:
+    /** A parsed request body, shared across endpoints. */
+    struct ParsedDoc
+    {
+        /** hashHex of the canonical-JSON content hash. */
+        std::string canonKey;
+        json::Value document;
+    };
+
+    HttpResponse dispatch(const HttpRequest &request,
+                          const exec::CancelToken &token);
+    HttpResponse handlePipeline(const std::string &endpoint,
+                                const HttpRequest &request,
+                                const exec::CancelToken &token);
+    std::string computeResult(const std::string &endpoint,
+                              const json::Value &document,
+                              uint64_t seed,
+                              const exec::CancelToken &token);
+    HttpResponse handleSuiteIndex();
+    HttpResponse handleSuiteNetlist(const std::string &name);
+    HttpResponse handleStatsz();
+
+    std::shared_ptr<const ParsedDoc>
+    parseBody(const std::string &body);
+
+    ServiceOptions options_;
+    AdmissionController admission_;
+    ShardedLruCache<ParsedDoc> docCache_;
+    ShardedLruCache<std::string> resultCache_;
+};
+
+} // namespace parchmint::svc
+
+#endif // PARCHMINT_SVC_SERVICE_HH

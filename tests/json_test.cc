@@ -346,6 +346,54 @@ TEST(WriteTest, AsciiOnlyEscapesUtf8)
               write(Value("\xf0\x9f\x98\x80"), options));
 }
 
+TEST(WriteTest, AsciiOnlyEmitsSurrogatePairsForAstralPlanes)
+{
+    WriteOptions options;
+    options.pretty = false;
+    options.asciiOnly = true;
+    // U+10000, the first astral code point: high surrogate at the
+    // bottom of its range, low surrogate at the bottom of its.
+    EXPECT_EQ("\"\\ud800\\udc00\"",
+              write(Value("\xf0\x90\x80\x80"), options));
+    // U+1F600 GRINNING FACE, the canonical emoji spot check.
+    EXPECT_EQ("\"\\ud83d\\ude00\"",
+              write(Value("\xf0\x9f\x98\x80"), options));
+    // U+10FFFF, the last code point: both surrogates at the top.
+    EXPECT_EQ("\"\\udbff\\udfff\"",
+              write(Value("\xf4\x8f\xbf\xbf"), options));
+}
+
+TEST(WriteTest, AsciiOnlyAstralRoundTrip)
+{
+    WriteOptions options;
+    options.pretty = false;
+    options.asciiOnly = true;
+    for (const char *text :
+         {"\xf0\x90\x80\x80", "\xf0\x9f\x98\x80",
+          "\xf4\x8f\xbf\xbf", "mix \xf0\x9f\x98\x80 ed"}) {
+        Value original(text);
+        Value reparsed = parse(write(original, options));
+        EXPECT_EQ(original, reparsed) << text;
+    }
+}
+
+TEST(WriteTest, AsciiOnlyRejectsInvalidCodePoints)
+{
+    WriteOptions options;
+    options.pretty = false;
+    options.asciiOnly = true;
+    // A 4-byte sequence decoding to 0x1FFFFF, beyond U+10FFFF:
+    // surrogate arithmetic on it would emit garbage escapes.
+    EXPECT_THROW(write(Value("\xf7\xbf\xbf\xbf"), options),
+                 UserError);
+    // CESU-8 encodings of surrogate halves (here U+D800) are not
+    // valid UTF-8 and would emit an unpaired surrogate.
+    EXPECT_THROW(write(Value("\xed\xa0\x80"), options),
+                 UserError);
+    EXPECT_THROW(write(Value("\xed\xbf\xbf"), options),
+                 UserError);
+}
+
 TEST(WriteTest, NonFiniteNumbersAreRejected)
 {
     EXPECT_THROW(write(Value(std::numeric_limits<double>::infinity())),

@@ -1,0 +1,597 @@
+/**
+ * @file
+ * Tests for the netlist service stack (src/svc/): the incremental
+ * HTTP parser, the content-addressed cache, admission control, the
+ * service endpoints in-process, and a real loopback server round
+ * trip. Everything here is deterministic except the saturation
+ * test, which asserts only that overload sheds *some* load.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hh"
+#include "core/serialize.hh"
+#include "exec/cancel.hh"
+#include "json/parse.hh"
+#include "json/write.hh"
+#include "suite/suite.hh"
+#include "svc/admission.hh"
+#include "svc/cache.hh"
+#include "svc/client.hh"
+#include "svc/http.hh"
+#include "svc/server.hh"
+#include "svc/service.hh"
+
+namespace parchmint::svc
+{
+namespace
+{
+
+std::string
+netlistBody(const std::string &benchmark)
+{
+    json::WriteOptions options;
+    options.pretty = false;
+    return json::write(toJson(suite::buildBenchmark(benchmark)),
+                       options);
+}
+
+HttpRequest
+postRequest(const std::string &target, std::string body)
+{
+    HttpRequest request;
+    request.method = "POST";
+    request.target = target;
+    request.body = std::move(body);
+    return request;
+}
+
+HttpRequest
+getRequest(const std::string &target)
+{
+    HttpRequest request;
+    request.method = "GET";
+    request.target = target;
+    return request;
+}
+
+// ---------------------------------------------------------------
+// RequestParser
+// ---------------------------------------------------------------
+
+TEST(RequestParserTest, ParsesOneChunk)
+{
+    RequestParser parser;
+    parser.feed("POST /v1/validate?seed=7 HTTP/1.1\r\n"
+                "Host: localhost\r\n"
+                "Content-Type: application/json\r\n"
+                "Content-Length: 6\r\n"
+                "\r\n"
+                "{\"\":1}");
+    ASSERT_EQ(RequestParser::State::Complete, parser.state());
+    const HttpRequest &request = parser.request();
+    EXPECT_EQ("POST", request.method);
+    EXPECT_EQ("/v1/validate?seed=7", request.target);
+    EXPECT_EQ("/v1/validate", request.path());
+    EXPECT_EQ("7", request.queryParam("seed"));
+    EXPECT_EQ("", request.queryParam("absent"));
+    EXPECT_EQ("HTTP/1.1", request.version);
+    // Header names are lowercased on parse.
+    const std::string *host = request.findHeader("host");
+    ASSERT_NE(nullptr, host);
+    EXPECT_EQ("localhost", *host);
+    EXPECT_EQ(nullptr, request.findHeader("x-missing"));
+    EXPECT_EQ("{\"\":1}", request.body);
+}
+
+TEST(RequestParserTest, ParsesByteAtATimeSplitReads)
+{
+    const std::string wire =
+        "POST /v1/place HTTP/1.1\r\n"
+        "Content-Length: 11\r\n"
+        "\r\n"
+        "hello world";
+    RequestParser parser;
+    for (char byte : wire) {
+        ASSERT_NE(RequestParser::State::Error, parser.state());
+        parser.feed(std::string_view(&byte, 1));
+    }
+    ASSERT_EQ(RequestParser::State::Complete, parser.state());
+    EXPECT_EQ("hello world", parser.request().body);
+    EXPECT_EQ("/v1/place", parser.request().target);
+}
+
+TEST(RequestParserTest, KeepsPipelinedBytesAcrossReset)
+{
+    RequestParser parser;
+    parser.feed("GET /healthz HTTP/1.1\r\n\r\n"
+                "GET /statsz HTTP/1.1\r\n\r\n");
+    ASSERT_EQ(RequestParser::State::Complete, parser.state());
+    EXPECT_EQ("/healthz", parser.request().target);
+    parser.reset();
+    ASSERT_EQ(RequestParser::State::Complete, parser.state());
+    EXPECT_EQ("/statsz", parser.request().target);
+}
+
+TEST(RequestParserTest, OversizedBodyIs413)
+{
+    ParserLimits limits;
+    limits.maxBodyBytes = 8;
+    RequestParser parser(limits);
+    parser.feed("POST /v1/validate HTTP/1.1\r\n"
+                "Content-Length: 9\r\n"
+                "\r\n");
+    ASSERT_EQ(RequestParser::State::Error, parser.state());
+    EXPECT_EQ(413, parser.errorStatus());
+}
+
+TEST(RequestParserTest, OversizedHeadersAre431)
+{
+    ParserLimits limits;
+    limits.maxHeaderBytes = 64;
+    RequestParser parser(limits);
+    parser.feed("GET /healthz HTTP/1.1\r\n"
+                "X-Padding: " +
+                std::string(100, 'a') + "\r\n\r\n");
+    ASSERT_EQ(RequestParser::State::Error, parser.state());
+    EXPECT_EQ(431, parser.errorStatus());
+}
+
+TEST(RequestParserTest, UnknownVersionIs505)
+{
+    RequestParser parser;
+    parser.feed("GET /healthz HTTP/2.0\r\n\r\n");
+    ASSERT_EQ(RequestParser::State::Error, parser.state());
+    EXPECT_EQ(505, parser.errorStatus());
+}
+
+TEST(RequestParserTest, MalformedRequestLineIs400)
+{
+    RequestParser parser;
+    parser.feed("NOT-EVEN-HTTP\r\n\r\n");
+    ASSERT_EQ(RequestParser::State::Error, parser.state());
+    EXPECT_EQ(400, parser.errorStatus());
+}
+
+TEST(RequestParserTest, ChunkedTransferIs501)
+{
+    RequestParser parser;
+    parser.feed("POST /v1/validate HTTP/1.1\r\n"
+                "Transfer-Encoding: chunked\r\n"
+                "\r\n");
+    ASSERT_EQ(RequestParser::State::Error, parser.state());
+    EXPECT_EQ(501, parser.errorStatus());
+}
+
+TEST(RequestParserTest, KeepAliveSemantics)
+{
+    HttpRequest request;
+    request.version = "HTTP/1.1";
+    EXPECT_TRUE(request.keepAlive());
+    request.headers.emplace_back("connection", "close");
+    EXPECT_FALSE(request.keepAlive());
+
+    HttpRequest old;
+    old.version = "HTTP/1.0";
+    EXPECT_FALSE(old.keepAlive());
+    old.headers.emplace_back("connection", "keep-alive");
+    EXPECT_TRUE(old.keepAlive());
+}
+
+TEST(ResponseParserTest, RoundTripsSerializedResponse)
+{
+    HttpResponse response;
+    response.status = 429;
+    response.setHeader("Retry-After", "1");
+    response.body = "{\"error\":\"busy\"}";
+    std::string wire = serializeResponse(response);
+
+    ResponseParser parser;
+    // Split mid-header to exercise incremental feeding.
+    parser.feed(wire.substr(0, 10));
+    parser.feed(wire.substr(10));
+    ASSERT_EQ(ResponseParser::State::Complete, parser.state());
+    EXPECT_EQ(429, parser.response().status);
+    const std::string *retry =
+        parser.response().findHeader("retry-after");
+    ASSERT_NE(nullptr, retry);
+    EXPECT_EQ("1", *retry);
+    EXPECT_EQ(response.body, parser.response().body);
+}
+
+// ---------------------------------------------------------------
+// Content hashing and the LRU cache
+// ---------------------------------------------------------------
+
+TEST(ContentHashTest, CanonicalTextUnifiesFormatting)
+{
+    json::Value a = json::parse("{\"x\": 1, \"y\": [1, 2]}");
+    json::Value b = json::parse("{\"x\":1,\"y\":[ 1,2 ]}");
+    EXPECT_EQ(canonicalJsonText(a), canonicalJsonText(b));
+    EXPECT_EQ(contentHash(canonicalJsonText(a)),
+              contentHash(canonicalJsonText(b)));
+    // Member order is semantic for the hash.
+    json::Value c = json::parse("{\"y\":[1,2],\"x\":1}");
+    EXPECT_NE(canonicalJsonText(a), canonicalJsonText(c));
+}
+
+TEST(ContentHashTest, HashHexIsSixteenLowercaseDigits)
+{
+    std::string hex = hashHex(contentHash("netlist"));
+    ASSERT_EQ(16u, hex.size());
+    for (char c : hex) {
+        EXPECT_TRUE((c >= '0' && c <= '9') ||
+                    (c >= 'a' && c <= 'f'))
+            << hex;
+    }
+    EXPECT_EQ("0000000000000000", hashHex(0));
+    EXPECT_EQ("ffffffffffffffff", hashHex(~uint64_t{0}));
+}
+
+std::shared_ptr<const std::string>
+cacheValue(const std::string &text)
+{
+    return std::make_shared<const std::string>(text);
+}
+
+TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsed)
+{
+    // One shard so the LRU order is globally deterministic; budget
+    // fits exactly two 10-byte entries.
+    ShardedLruCache<std::string> cache(1, 20);
+    cache.insert("a", cacheValue("A"), 10);
+    cache.insert("b", cacheValue("B"), 10);
+    // Touch "a" so "b" becomes the eviction victim.
+    ASSERT_NE(nullptr, cache.find("a"));
+    cache.insert("c", cacheValue("C"), 10);
+    EXPECT_NE(nullptr, cache.find("a"));
+    EXPECT_EQ(nullptr, cache.find("b"));
+    EXPECT_NE(nullptr, cache.find("c"));
+
+    CacheStats stats = cache.stats();
+    EXPECT_EQ(1u, stats.evictions);
+    EXPECT_EQ(2u, stats.entries);
+    EXPECT_EQ(20u, stats.bytes);
+}
+
+TEST(ShardedLruCacheTest, ByteBudgetAndOversizedEntries)
+{
+    ShardedLruCache<std::string> cache(1, 100);
+    // An entry that alone exceeds the budget is refused outright.
+    cache.insert("huge", cacheValue("H"), 101);
+    EXPECT_EQ(nullptr, cache.find("huge"));
+    EXPECT_EQ(1u, cache.stats().oversized);
+
+    // Inserting past the budget evicts from the cold end until the
+    // total fits again.
+    cache.insert("x", cacheValue("X"), 60);
+    cache.insert("y", cacheValue("Y"), 60);
+    CacheStats stats = cache.stats();
+    EXPECT_EQ(1u, stats.entries);
+    EXPECT_EQ(60u, stats.bytes);
+    EXPECT_EQ(nullptr, cache.find("x"));
+    EXPECT_NE(nullptr, cache.find("y"));
+}
+
+TEST(ShardedLruCacheTest, OverwriteReplacesCost)
+{
+    ShardedLruCache<std::string> cache(1, 100);
+    cache.insert("k", cacheValue("v1"), 40);
+    cache.insert("k", cacheValue("v2"), 10);
+    CacheStats stats = cache.stats();
+    EXPECT_EQ(1u, stats.entries);
+    EXPECT_EQ(10u, stats.bytes);
+    auto hit = cache.find("k");
+    ASSERT_NE(nullptr, hit);
+    EXPECT_EQ("v2", *hit);
+}
+
+TEST(ShardedLruCacheTest, ZeroBudgetDisablesCaching)
+{
+    ShardedLruCache<std::string> cache(4, 0);
+    cache.insert("k", cacheValue("v"), 1);
+    EXPECT_EQ(nullptr, cache.find("k"));
+    CacheStats stats = cache.stats();
+    EXPECT_EQ(0u, stats.entries);
+    EXPECT_EQ(1u, stats.misses);
+    EXPECT_EQ(0u, stats.insertions);
+}
+
+// ---------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------
+
+TEST(AdmissionControllerTest, GateAndRaiiRelease)
+{
+    AdmissionController gate(2);
+    EXPECT_EQ(2u, gate.maxInflight());
+
+    AdmissionController::Ticket first = gate.tryAdmit();
+    AdmissionController::Ticket second = gate.tryAdmit();
+    EXPECT_TRUE(static_cast<bool>(first));
+    EXPECT_TRUE(static_cast<bool>(second));
+    EXPECT_EQ(2u, gate.inflight());
+
+    AdmissionController::Ticket third = gate.tryAdmit();
+    EXPECT_FALSE(static_cast<bool>(third));
+    EXPECT_EQ(2u, gate.inflight());
+    EXPECT_EQ(2u, gate.admitted());
+    EXPECT_EQ(1u, gate.rejected());
+
+    second.release();
+    EXPECT_EQ(1u, gate.inflight());
+    {
+        AdmissionController::Ticket scoped = gate.tryAdmit();
+        EXPECT_TRUE(static_cast<bool>(scoped));
+        EXPECT_EQ(2u, gate.inflight());
+    }
+    // Destructor released the scoped ticket.
+    EXPECT_EQ(1u, gate.inflight());
+}
+
+TEST(AdmissionControllerTest, ZeroSlotsClampsToOne)
+{
+    AdmissionController gate(0);
+    EXPECT_EQ(1u, gate.maxInflight());
+    AdmissionController::Ticket ticket = gate.tryAdmit();
+    EXPECT_TRUE(static_cast<bool>(ticket));
+    EXPECT_FALSE(static_cast<bool>(gate.tryAdmit()));
+}
+
+// ---------------------------------------------------------------
+// NetlistService, in-process
+// ---------------------------------------------------------------
+
+TEST(NetlistServiceTest, ValidateSuiteBenchmark)
+{
+    NetlistService service;
+    HttpResponse response = service.handle(
+        postRequest("/v1/validate", netlistBody("cell_trap_array")));
+    ASSERT_EQ(200, response.status);
+    json::Value body = json::parse(response.body);
+    EXPECT_EQ("parchmintd-validate-v1",
+              body.at("schema").asString());
+    EXPECT_TRUE(body.at("valid").asBoolean());
+    EXPECT_EQ(0, body.at("errors").asInteger());
+}
+
+TEST(NetlistServiceTest, ErrorStatuses)
+{
+    NetlistService service;
+
+    HttpResponse bad_json = service.handle(
+        postRequest("/v1/validate", "{not json"));
+    EXPECT_EQ(400, bad_json.status);
+
+    HttpResponse empty = service.handle(
+        postRequest("/v1/characterize", ""));
+    EXPECT_EQ(400, empty.status);
+
+    HttpResponse unknown = service.handle(
+        getRequest("/v2/validate"));
+    EXPECT_EQ(404, unknown.status);
+
+    HttpResponse wrong_method = service.handle(
+        getRequest("/v1/validate"));
+    EXPECT_EQ(405, wrong_method.status);
+    const std::string *allow =
+        wrong_method.findHeader("Allow");
+    ASSERT_NE(nullptr, allow);
+    EXPECT_EQ("POST", *allow);
+
+    HttpResponse suite_post = service.handle(
+        postRequest("/v1/suite", "{}"));
+    EXPECT_EQ(405, suite_post.status);
+
+    HttpResponse missing = service.handle(
+        getRequest("/v1/suite/no_such_benchmark"));
+    EXPECT_EQ(404, missing.status);
+}
+
+TEST(NetlistServiceTest, HealthzAndStatsz)
+{
+    NetlistService service;
+    HttpResponse health = service.handle(getRequest("/healthz"));
+    ASSERT_EQ(200, health.status);
+    EXPECT_EQ("ok",
+              json::parse(health.body).at("status").asString());
+
+    HttpResponse stats = service.handle(getRequest("/statsz"));
+    ASSERT_EQ(200, stats.status);
+    json::Value body = json::parse(stats.body);
+    EXPECT_EQ("parchmintd-statsz-v1",
+              body.at("schema").asString());
+    EXPECT_TRUE(body.at("cache").contains("document"));
+    EXPECT_TRUE(body.at("cache").contains("result"));
+    EXPECT_TRUE(body.at("admission").contains("maxInflight"));
+    EXPECT_TRUE(body.at("metrics").contains("counters"));
+}
+
+TEST(NetlistServiceTest, SuiteEndpointsServeNetlists)
+{
+    NetlistService service;
+    HttpResponse index = service.handle(getRequest("/v1/suite"));
+    ASSERT_EQ(200, index.status);
+    json::Value body = json::parse(index.body);
+    EXPECT_EQ("parchmintd-suite-v1",
+              body.at("schema").asString());
+    const json::Value &benchmarks = body.at("benchmarks");
+    ASSERT_GT(benchmarks.size(), 0u);
+    std::string first =
+        benchmarks.at(size_t{0}).at("name").asString();
+
+    HttpResponse netlist =
+        service.handle(getRequest("/v1/suite/" + first));
+    ASSERT_EQ(200, netlist.status);
+    // The served body is itself a valid document for the pipeline.
+    HttpResponse validated = service.handle(
+        postRequest("/v1/validate", netlist.body));
+    ASSERT_EQ(200, validated.status);
+    EXPECT_TRUE(
+        json::parse(validated.body).at("valid").asBoolean());
+}
+
+TEST(NetlistServiceTest, PlaceIsDeterministicAndCached)
+{
+    NetlistService service;
+    std::string body = netlistBody("cell_trap_array");
+
+    HttpResponse first =
+        service.handle(postRequest("/v1/place", body));
+    ASSERT_EQ(200, first.status);
+    uint64_t hits_before = service.resultCacheStats().hits;
+    HttpResponse second =
+        service.handle(postRequest("/v1/place", body));
+    ASSERT_EQ(200, second.status);
+    // Byte-identical replay, answered by the result cache.
+    EXPECT_EQ(first.body, second.body);
+    EXPECT_GT(service.resultCacheStats().hits, hits_before);
+
+    // A different explicit seed is a different cache entry and
+    // (with overwhelming likelihood) a different placement.
+    HttpResponse reseeded = service.handle(
+        postRequest("/v1/place?seed=99", body));
+    ASSERT_EQ(200, reseeded.status);
+    EXPECT_NE(first.body, reseeded.body);
+}
+
+TEST(NetlistServiceTest, ReformattedDocumentSharesResultEntry)
+{
+    NetlistService service;
+    std::string compact = netlistBody("cell_trap_array");
+    json::WriteOptions pretty;
+    pretty.pretty = true;
+    std::string reformatted =
+        json::write(json::parse(compact), pretty);
+    ASSERT_NE(compact, reformatted);
+
+    HttpResponse first =
+        service.handle(postRequest("/v1/validate", compact));
+    ASSERT_EQ(200, first.status);
+    uint64_t hits_before = service.resultCacheStats().hits;
+    HttpResponse second = service.handle(
+        postRequest("/v1/validate", reformatted));
+    ASSERT_EQ(200, second.status);
+    EXPECT_EQ(first.body, second.body);
+    // Different raw bytes, same canonical key: the result cache
+    // answers even though the document cache missed.
+    EXPECT_GT(service.resultCacheStats().hits, hits_before);
+}
+
+TEST(NetlistServiceTest, CancelledTokenYields503)
+{
+    NetlistService service;
+    exec::CancelToken token;
+    token.cancel();
+    HttpResponse response = service.handle(
+        postRequest("/v1/characterize",
+                    netlistBody("cell_trap_array")),
+        token);
+    EXPECT_EQ(503, response.status);
+}
+
+TEST(NetlistServiceTest, SaturationSheds429WithRetryAfter)
+{
+    ServiceOptions options;
+    options.maxInflight = 1;
+    NetlistService service(options);
+    std::string body = netlistBody("general_purpose_mfd");
+
+    // Four threads race distinct-seed /v1/place requests (each a
+    // cache miss, tens of milliseconds of annealing) through a
+    // one-slot gate. The overlap guarantees rejections; exactly
+    // which thread is shed is scheduling-dependent.
+    std::atomic<int> ok{0};
+    std::atomic<int> shed{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t] {
+            HttpResponse response = service.handle(postRequest(
+                "/v1/place?seed=" + std::to_string(t), body));
+            if (response.status == 200) {
+                ok.fetch_add(1);
+            } else if (response.status == 429) {
+                shed.fetch_add(1);
+                const std::string *retry =
+                    response.findHeader("Retry-After");
+                EXPECT_NE(nullptr, retry);
+            } else {
+                ADD_FAILURE()
+                    << "unexpected status " << response.status;
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    EXPECT_GE(ok.load(), 1);
+    EXPECT_GE(shed.load(), 1);
+    EXPECT_GE(service.admission().rejected(), 1u);
+    EXPECT_EQ(0u, service.admission().inflight());
+
+    // The gate recovered: a retry of a shed request now succeeds.
+    HttpResponse retry =
+        service.handle(postRequest("/v1/place?seed=0", body));
+    EXPECT_EQ(200, retry.status);
+}
+
+// ---------------------------------------------------------------
+// Loopback end-to-end
+// ---------------------------------------------------------------
+
+TEST(LoopbackTest, ValidateRoundTripOverKeepAlive)
+{
+    NetlistService service;
+    HttpServer server(service);
+    server.start();
+    ASSERT_TRUE(server.running());
+    ASSERT_NE(0, server.port());
+
+    HttpClient client("127.0.0.1", server.port());
+    HttpResponse health = client.get("/healthz");
+    EXPECT_EQ(200, health.status);
+
+    std::string body = netlistBody("cell_trap_array");
+    HttpResponse first = client.post("/v1/validate", body);
+    ASSERT_EQ(200, first.status);
+    EXPECT_TRUE(
+        json::parse(first.body).at("valid").asBoolean());
+
+    uint64_t hits_before = service.resultCacheStats().hits;
+    HttpResponse second = client.post("/v1/validate", body);
+    ASSERT_EQ(200, second.status);
+    EXPECT_EQ(first.body, second.body);
+    EXPECT_GT(service.resultCacheStats().hits, hits_before);
+
+    // Three requests, one TCP connection: keep-alive held.
+    EXPECT_TRUE(client.connected());
+    EXPECT_EQ(1u, server.connectionsAccepted());
+
+    server.stop();
+    EXPECT_FALSE(server.running());
+    // stop() is idempotent.
+    server.stop();
+}
+
+TEST(LoopbackTest, OversizedBodyRejectedOnTheWire)
+{
+    NetlistService service;
+    ServerOptions options;
+    options.limits.maxBodyBytes = 64;
+    HttpServer server(service, options);
+    server.start();
+
+    HttpClient client("127.0.0.1", server.port());
+    HttpResponse response = client.post(
+        "/v1/validate", std::string(65, '{'));
+    EXPECT_EQ(413, response.status);
+    server.stop();
+}
+
+} // namespace
+} // namespace parchmint::svc
