@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Fuzzing throughput: executions per second for every registered
+ * fuzz target, plus google-benchmark timers for the hot paths.
+ *
+ * The report section drives each target through the deterministic
+ * engine for a fixed iteration budget (single worker, fixed seed,
+ * no corpus writes) and prints execs/sec — the number that decides
+ * how much property coverage a CI smoke minute buys. The perf gate
+ * records these so a generator or checker that silently gets 10x
+ * slower (and thus quietly shrinks fuzz coverage) shows up as a
+ * perf regression, not as a mystery drop in executions.
+ *
+ * The google-benchmark timers isolate one generate+check cycle of
+ * the cheapest (http_request) and the most structural (json_parse)
+ * targets, and the shrinker on a synthetic finding.
+ */
+
+#include "bench_common.hh"
+
+#include "analysis/table.hh"
+#include "common/rng.hh"
+#include "fuzz/engine.hh"
+#include "fuzz/shrink.hh"
+#include "fuzz/target.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+void
+report()
+{
+    bench::heading("fuzz", "executions per second per target");
+
+    fuzz::RunOptions options;
+    options.iters = 400;
+    options.seed = 1;
+    options.jobs = 1;
+
+    analysis::TextTable table;
+    table.beginRow();
+    table.cell(std::string("target"));
+    table.cell(std::string("execs"));
+    table.cell(std::string("execs/s"));
+    table.cell(std::string("findings"));
+    fuzz::RunSummary summary = fuzz::runFuzz(options);
+    for (const fuzz::TargetStats &stats : summary.targets) {
+        table.beginRow();
+        table.cell(stats.name);
+        table.cell(static_cast<int64_t>(stats.executions));
+        table.cell(stats.execsPerSecond(), 0);
+        table.cell(static_cast<int64_t>(stats.findings));
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("%llu exec(s) total, %zu finding(s)\n\n",
+                static_cast<unsigned long long>(
+                    summary.executions),
+                summary.findings.size());
+}
+
+/** One generate+check cycle of a registered target. */
+void
+cycleTarget(benchmark::State &state, const char *name)
+{
+    const fuzz::Target &target = fuzz::findTarget(name);
+    uint64_t i = 0;
+    for (auto _ : state) {
+        Rng rng(deriveSeed(1, std::to_string(i++)));
+        std::string input = target.generate(rng);
+        benchmark::DoNotOptimize(fuzz::runCheck(target, input));
+    }
+}
+
+void
+BM_FuzzCycleHttpRequest(benchmark::State &state)
+{
+    cycleTarget(state, "http_request");
+}
+BENCHMARK(BM_FuzzCycleHttpRequest)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_FuzzCycleJsonParse(benchmark::State &state)
+{
+    cycleTarget(state, "json_parse");
+}
+BENCHMARK(BM_FuzzCycleJsonParse)->Unit(benchmark::kMicrosecond);
+
+void
+BM_FuzzShrinkSynthetic(benchmark::State &state)
+{
+    // A planted failure in a noisy input: the shrinker's budget,
+    // not the check's cost, dominates here.
+    fuzz::Target target;
+    target.name = "bench_shrink";
+    target.generate = [](Rng &) { return std::string(); };
+    target.check = [](const std::string &input)
+        -> std::optional<std::string> {
+        if (input.find("!!") != std::string::npos)
+            return "planted";
+        return std::nullopt;
+    };
+    std::string noisy(200, 'x');
+    noisy.insert(120, "!!");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            fuzz::shrinkInput(target, noisy, 500));
+    }
+}
+BENCHMARK(BM_FuzzShrinkSynthetic)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+PARCHMINT_BENCH_MAIN(report)

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.hh"
 #include "common/error.hh"
 #include "analysis/stats_json.hh"
 #include "analysis/suite_report.hh"
@@ -78,6 +79,14 @@ main(int argc, char **argv)
         }
         report_cli.enableIfRequested();
 
+        for (const std::string &arg : args) {
+            if (arg.rfind("--", 0) == 0 && arg != "--json") {
+                cli::usageError(
+                    argv[0], "unknown flag \"" + arg + "\"",
+                    "usage: characterize [--json | netlist.json] "
+                    "[--report F] [--history F]");
+            }
+        }
         int status = 0;
         if (!args.empty() && args[0] == "--json") {
             auto rows = analysis::characterizeSuite();

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Deterministic fuzzing & property-testing driver (src/fuzz/).
+ *
+ * Run:  ./fuzz_run [--target NAME|all] [--iters N] [--time-ms M]
+ *           [--seed S] [--jobs N] [--corpus-dir DIR]
+ *           [--max-findings N] [--shrink-attempts N] [--list]
+ *           [--report report.json] [--history history.jsonl]
+ *
+ * `--target` may repeat; `all` (the default) runs every registered
+ * target. `--import FILE` (repeatable; requires exactly one
+ * --target and --corpus-dir) skips fuzzing and instead records the
+ * file's bytes as a content-addressed corpus entry for that
+ * target — the curation path for hand-written regression seeds. Determinism guarantee: with a pinned --iters and --seed,
+ * iteration i of target T derives its RNG stream from
+ * deriveSeed(seed, "T#i"), so `--jobs N` executes exactly the same
+ * inputs as `--jobs 1` and reports identical findings. A --time-ms
+ * budget (split evenly across targets) instead bounds how many of
+ * those iterations run, so only --iters-bounded runs are
+ * bit-reproducible. Each distinct failure is greedily shrunk and,
+ * with --corpus-dir, dumped as a content-addressed reproducer
+ * (<dir>/<target>/<hash>.input + .json metadata) that
+ * tests/fuzz_regression_test.cc replays when checked in under
+ * fuzz/corpus/.
+ *
+ * Exit status: 0 when every target is clean, 1 when findings (or a
+ * runtime error) occurred, 2 on a usage error.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/error.hh"
+#include "fuzz/corpus.hh"
+#include "fuzz/engine.hh"
+#include "obs/obs.hh"
+#include "obs/report_cli.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+void
+listTargets()
+{
+    for (const fuzz::Target &target : fuzz::allTargets()) {
+        std::printf("%-18s %s\n", target.name.c_str(),
+                    target.description.c_str());
+    }
+}
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream stream(path, std::ios::binary);
+    if (!stream)
+        fatal("cannot read \"" + path + "\"");
+    std::ostringstream buffer;
+    buffer << stream.rdbuf();
+    return buffer.str();
+}
+
+/** Record hand-written seed files as corpus entries. */
+int
+importSeeds(const fuzz::RunOptions &options,
+            const std::vector<std::string> &paths,
+            const char *program)
+{
+    if (options.targets.size() != 1) {
+        cli::usageError(program, "--import requires exactly one "
+                                 "--target");
+    }
+    if (options.corpusDir.empty())
+        cli::usageError(program, "--import requires --corpus-dir");
+    const fuzz::Target &target =
+        fuzz::findTarget(options.targets.front());
+    for (const std::string &path : paths) {
+        fuzz::CorpusEntry entry;
+        entry.targetName = target.name;
+        entry.input = readFileBytes(path);
+        std::optional<std::string> failure =
+            fuzz::runCheck(target, entry.input);
+        entry.message = failure ? *failure : "seed";
+        std::string written =
+            fuzz::writeCorpusEntry(options.corpusDir, entry);
+        std::printf("%s -> %s (%s)\n", path.c_str(),
+                    written.c_str(), entry.message.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        fuzz::RunOptions options;
+        options.iters = 10000;
+        std::vector<std::string> imports;
+        obs::ReportCli report_cli;
+
+        for (int i = 1; i < argc; ++i) {
+            if (report_cli.consume(argc, argv, i))
+                continue;
+            std::string arg = argv[i];
+            std::string value;
+            if (cli::matchValueFlag(argc, argv, i, "--target",
+                                    value)) {
+                if (value != "all")
+                    options.targets.push_back(value);
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--iters", value)) {
+                options.iters =
+                    cli::parseUint64(value, "--iters", argv[0]);
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--time-ms", value)) {
+                options.timeMs = static_cast<int64_t>(
+                    cli::parseUint64(value, "--time-ms", argv[0]));
+            } else if (cli::matchValueFlag(argc, argv, i, "--seed",
+                                           value)) {
+                options.seed = cli::parseSeed(value, argv[0]);
+            } else if (cli::matchValueFlag(argc, argv, i, "--jobs",
+                                           value)) {
+                options.jobs = static_cast<size_t>(
+                    cli::parseUint64(value, "--jobs", argv[0]));
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--corpus-dir", value)) {
+                options.corpusDir = value;
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--max-findings",
+                                           value)) {
+                options.maxFindingsPerTarget =
+                    static_cast<size_t>(cli::parseUint64(
+                        value, "--max-findings", argv[0]));
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--shrink-attempts",
+                                           value)) {
+                options.shrinkAttempts =
+                    static_cast<size_t>(cli::parseUint64(
+                        value, "--shrink-attempts", argv[0]));
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--import", value)) {
+                imports.push_back(value);
+            } else if (arg == "--list") {
+                listTargets();
+                return 0;
+            } else {
+                cli::usageError(
+                    argv[0], "unknown flag \"" + arg + "\"",
+                    "usage: fuzz_run [--target NAME|all] "
+                    "[--iters N] [--time-ms M] [--seed S] "
+                    "[--jobs N] [--corpus-dir DIR] "
+                    "[--max-findings N] [--shrink-attempts N] "
+                    "[--import FILE] [--list] [--report F] "
+                    "[--history F]");
+            }
+        }
+        if (!imports.empty())
+            return importSeeds(options, imports, argv[0]);
+        report_cli.enableIfRequested();
+
+        fuzz::RunSummary summary = fuzz::runFuzz(options);
+
+        for (const fuzz::TargetStats &stats : summary.targets) {
+            std::printf(
+                "%-18s %10llu execs  %6.0f execs/s  %zu finding(s)\n",
+                stats.name.c_str(),
+                static_cast<unsigned long long>(stats.executions),
+                stats.execsPerSecond(), stats.findings);
+        }
+        for (const fuzz::Finding &finding : summary.findings) {
+            std::printf("FINDING %s iter=%llu bytes=%zu<-%zu: %s\n",
+                        finding.targetName.c_str(),
+                        static_cast<unsigned long long>(
+                            finding.iteration),
+                        finding.input.size(),
+                        finding.originalBytes,
+                        finding.message.c_str());
+            if (!finding.corpusPath.empty()) {
+                std::printf("  reproducer: %s  (--seed %llu)\n",
+                            finding.corpusPath.c_str(),
+                            static_cast<unsigned long long>(
+                                options.seed));
+            }
+        }
+        double wall_ms =
+            static_cast<double>(summary.wallUs) / 1000.0;
+        std::printf("%llu exec(s) over %zu target(s), %zu "
+                    "worker(s), %.1f ms wall, %zu finding(s)\n",
+                    static_cast<unsigned long long>(
+                        summary.executions),
+                    summary.targets.size(), summary.workers,
+                    wall_ms, summary.findings.size());
+
+        report_cli.finish(
+            "fuzz_run",
+            {{"seed", std::to_string(options.seed)},
+             {"jobs", std::to_string(summary.workers)},
+             {"executions", std::to_string(summary.executions)},
+             {"findings",
+              std::to_string(summary.findings.size())}});
+        return summary.clean() ? 0 : 1;
+    } catch (const UserError &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}

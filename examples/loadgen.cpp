@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cli.hh"
 #include "common/error.hh"
 #include "common/strings.hh"
 #include "json/parse.hh"
@@ -99,42 +100,44 @@ main(int argc, char **argv)
                 continue;
             std::string arg = argv[i];
             std::string value;
-            auto flag = [&](const char *name) {
-                if (arg == name && i + 1 < argc) {
-                    value = argv[++i];
-                    return true;
-                }
-                std::string prefix = std::string(name) + "=";
-                if (startsWith(arg, prefix)) {
-                    value = arg.substr(prefix.size());
-                    return true;
-                }
-                return false;
-            };
-            if (flag("--host")) {
+            if (cli::matchValueFlag(argc, argv, i, "--host",
+                                    value)) {
                 host = value;
-            } else if (flag("--port")) {
+            } else if (cli::matchValueFlag(argc, argv, i, "--port",
+                                           value)) {
                 port = static_cast<uint16_t>(
-                    std::strtoul(value.c_str(), nullptr, 10));
-            } else if (flag("--qps")) {
+                    cli::parseUint64(value, "--port", argv[0]));
+            } else if (cli::matchValueFlag(argc, argv, i, "--qps",
+                                           value)) {
                 qps = std::strtod(value.c_str(), nullptr);
-            } else if (flag("--connections")) {
-                connections = static_cast<size_t>(
-                    std::strtoull(value.c_str(), nullptr, 10));
-            } else if (flag("--duration-s")) {
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--connections",
+                                           value)) {
+                connections = static_cast<size_t>(cli::parseUint64(
+                    value, "--connections", argv[0]));
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--duration-s",
+                                           value)) {
                 duration_s = std::strtod(value.c_str(), nullptr);
-            } else if (flag("--endpoint")) {
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--endpoint", value)) {
                 endpoint = value;
-            } else if (flag("--payloads")) {
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--payloads", value)) {
                 payload_count = static_cast<size_t>(
-                    std::strtoull(value.c_str(), nullptr, 10));
+                    cli::parseUint64(value, "--payloads",
+                                     argv[0]));
             } else {
-                fatal("unknown argument \"" + arg + "\"");
+                cli::usageError(argv[0], "unknown argument \"" +
+                                             arg + "\"");
             }
         }
-        if (port == 0)
-            fatal("--port is required (parchmintd prints its "
-                  "bound port and can write --port-file)");
+        if (port == 0) {
+            cli::usageError(
+                argv[0],
+                "--port is required (parchmintd prints its "
+                "bound port and can write --port-file)");
+        }
         if (connections == 0)
             connections = 1;
         if (payload_count == 0)

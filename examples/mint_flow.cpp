@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/cli.hh"
 #include "common/error.hh"
 #include "core/serialize.hh"
 #include "export/dot.hh"
@@ -51,6 +52,13 @@ int
 main(int argc, char **argv)
 {
     try {
+        if (argc > 1 &&
+            std::string_view(argv[1]).substr(0, 2) == "--") {
+            cli::usageError(argv[0],
+                            std::string("unknown flag \"") +
+                                argv[1] + "\"",
+                            "usage: mint_flow [program.mint]");
+        }
         Device device = argc > 1
                             ? mint::compileMintFile(argv[1])
                             : mint::compileMint(demo_program);

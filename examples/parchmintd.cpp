@@ -27,6 +27,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/cli.hh"
 #include "common/error.hh"
 #include "common/strings.hh"
 #include "obs/report_cli.hh"
@@ -76,46 +77,47 @@ main(int argc, char **argv)
                 continue;
             std::string arg = argv[i];
             std::string value;
-            auto flag = [&](const char *name) {
-                if (arg == name && i + 1 < argc) {
-                    value = argv[++i];
-                    return true;
-                }
-                std::string prefix = std::string(name) + "=";
-                if (startsWith(arg, prefix)) {
-                    value = arg.substr(prefix.size());
-                    return true;
-                }
-                return false;
-            };
-            if (flag("--port")) {
+            if (cli::matchValueFlag(argc, argv, i, "--port",
+                                    value)) {
                 server_options.port = static_cast<uint16_t>(
-                    std::strtoul(value.c_str(), nullptr, 10));
-            } else if (flag("--bind")) {
+                    cli::parseUint64(value, "--port", argv[0]));
+            } else if (cli::matchValueFlag(argc, argv, i, "--bind",
+                                           value)) {
                 server_options.bindAddress = value;
-            } else if (flag("--threads")) {
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--threads", value)) {
                 server_options.threads = static_cast<size_t>(
-                    std::strtoull(value.c_str(), nullptr, 10));
-            } else if (flag("--cache-mb")) {
+                    cli::parseUint64(value, "--threads", argv[0]));
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--cache-mb", value)) {
                 service_options.cacheBytes =
-                    static_cast<size_t>(std::strtoull(
-                        value.c_str(), nullptr, 10)) *
+                    static_cast<size_t>(cli::parseUint64(
+                        value, "--cache-mb", argv[0])) *
                     1024 * 1024;
-            } else if (flag("--max-inflight")) {
-                service_options.maxInflight = static_cast<size_t>(
-                    std::strtoull(value.c_str(), nullptr, 10));
-            } else if (flag("--seed")) {
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--max-inflight",
+                                           value)) {
+                service_options.maxInflight =
+                    static_cast<size_t>(cli::parseUint64(
+                        value, "--max-inflight", argv[0]));
+            } else if (cli::matchValueFlag(argc, argv, i, "--seed",
+                                           value)) {
                 service_options.seed =
-                    std::strtoull(value.c_str(), nullptr, 10);
-            } else if (flag("--deadline-ms")) {
+                    cli::parseSeed(value, argv[0]);
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--deadline-ms",
+                                           value)) {
                 service_options.requestDeadline =
                     std::chrono::milliseconds(
-                        std::strtoll(value.c_str(), nullptr, 10));
-            } else if (flag("--port-file")) {
+                        static_cast<int64_t>(cli::parseUint64(
+                            value, "--deadline-ms", argv[0])));
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--port-file", value)) {
                 port_file = value;
             } else {
                 usage(argv[0]);
-                fatal("unknown argument \"" + arg + "\"");
+                cli::usageError(argv[0], "unknown argument \"" +
+                                             arg + "\"");
             }
         }
         report_cli.enableIfRequested();

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.hh"
 #include "common/error.hh"
 #include "core/serialize.hh"
 #include "export/svg.hh"
@@ -54,12 +55,19 @@ main(int argc, char **argv)
         for (int i = 1; i < argc; ++i) {
             if (report_cli.consume(argc, argv, i))
                 continue;
-            positional.push_back(argv[i]);
+            std::string arg = argv[i];
+            if (arg.rfind("--", 0) == 0) {
+                cli::usageError(
+                    argv[0], "unknown flag \"" + arg + "\"",
+                    "usage: pnr_flow [benchmark] [seed] "
+                    "[--report F] [--history F]");
+            }
+            positional.push_back(std::move(arg));
         }
         if (positional.size() > 0)
             name = positional[0];
         if (positional.size() > 1)
-            seed = std::strtoull(positional[1].c_str(), nullptr, 10);
+            seed = cli::parseSeed(positional[1], argv[0]);
         report_cli.enableIfRequested();
 
         Device device = suite::buildBenchmark(name);

@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/cli.hh"
 #include "common/error.hh"
 #include "place/annealing_placer.hh"
 #include "route/router.hh"
@@ -27,6 +28,15 @@ int
 main(int argc, char **argv)
 {
     try {
+        for (int i = 1; i < argc; ++i) {
+            if (std::string_view(argv[i]).substr(0, 2) == "--") {
+                cli::usageError(argv[0],
+                                std::string("unknown flag \"") +
+                                    argv[i] + "\"",
+                                "usage: simulate [benchmark] "
+                                "[pressure_kpa]");
+            }
+        }
         std::string name =
             argc > 1 ? argv[1] : "gradient_generator";
         double pressure_pa =

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "analysis/table.hh"
+#include "common/cli.hh"
 #include "common/error.hh"
 #include "common/strings.hh"
 #include "exec/suite_runner.hh"
@@ -56,33 +57,27 @@ main(int argc, char **argv)
                 continue;
             std::string arg = argv[i];
             std::string value;
-            auto flag = [&](const char *name) {
-                if (arg == name && i + 1 < argc) {
-                    value = argv[++i];
-                    return true;
-                }
-                std::string prefix = std::string(name) + "=";
-                if (startsWith(arg, prefix)) {
-                    value = arg.substr(prefix.size());
-                    return true;
-                }
-                return false;
-            };
-            if (flag("--jobs")) {
+            if (cli::matchValueFlag(argc, argv, i, "--jobs",
+                                    value)) {
                 options.jobs = static_cast<size_t>(
-                    std::strtoull(value.c_str(), nullptr, 10));
-            } else if (flag("--deadline-ms")) {
+                    cli::parseUint64(value, "--jobs", argv[0]));
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--deadline-ms",
+                                           value)) {
                 options.deadline = std::chrono::milliseconds(
-                    std::strtoll(value.c_str(), nullptr, 10));
-            } else if (flag("--seed")) {
-                options.seed =
-                    std::strtoull(value.c_str(), nullptr, 10);
-            } else if (flag("--out")) {
+                    static_cast<int64_t>(cli::parseUint64(
+                        value, "--deadline-ms", argv[0])));
+            } else if (cli::matchValueFlag(argc, argv, i, "--seed",
+                                           value)) {
+                options.seed = cli::parseSeed(value, argv[0]);
+            } else if (cli::matchValueFlag(argc, argv, i, "--out",
+                                           value)) {
                 options.outDir = value;
             } else if (arg == "--no-sim") {
                 options.simulate = false;
             } else if (startsWith(arg, "--")) {
-                fatal("unknown flag \"" + arg + "\"");
+                cli::usageError(argv[0],
+                                "unknown flag \"" + arg + "\"");
             } else {
                 options.benchmarks.push_back(arg);
             }

@@ -122,6 +122,26 @@ if [ -x "$DAEMON" ] && [ -x "$LOADGEN" ]; then
         | sed 's/^/perf_gate: service /'
 fi
 
+# Record fuzzing throughput into the trajectory: execs/sec per
+# fuzz target from the deterministic engine at a fixed seed and
+# iteration budget. Wall-clock and machine-dependent like the sweep
+# and service numbers, so recorded (echoed below and kept in
+# fuzz_bench.log), never gated — a target that gets 10x slower
+# shows up here as shrinking CI smoke coverage.
+FUZZ_BENCH="$PWD/$BUILD_DIR/bench/bench_fuzz_throughput"
+if [ -x "$FUZZ_BENCH" ]; then
+    if ! (cd "$OUT_DIR" &&
+          "$FUZZ_BENCH" --benchmark_filter='$^' \
+              > fuzz_bench.log 2>&1); then
+        echo "perf_gate: bench_fuzz_throughput failed:" >&2
+        cat "$OUT_DIR/fuzz_bench.log" >&2
+        exit 2
+    fi
+    awk '/^target/{t=1} t && !NF {exit}
+         t {print "perf_gate: fuzz " $0}' \
+        "$OUT_DIR/fuzz_bench.log"
+fi
+
 if [ "${1:-}" = "--rebaseline" ]; then
     mkdir -p "$(dirname "$BASELINE")"
     tail -n 1 "$OUT_DIR/history.jsonl" > "$BASELINE"

@@ -1,0 +1,74 @@
+#include "common/cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace parchmint::cli
+{
+
+[[noreturn]] void
+usageError(const std::string &program, const std::string &message,
+           const std::string &hint)
+{
+    std::fprintf(stderr, "%s: %s\n", program.c_str(),
+                 message.c_str());
+    if (!hint.empty())
+        std::fprintf(stderr, "%s\n", hint.c_str());
+    std::exit(kUsageExit);
+}
+
+bool
+matchValueFlag(int argc, char **argv, int &i, const char *name,
+               std::string &value)
+{
+    std::string_view arg = argv[i];
+    std::string_view flag = name;
+    if (arg == flag) {
+        if (i + 1 >= argc) {
+            usageError(argv[0], std::string(flag) +
+                                    " requires a value");
+        }
+        value = argv[++i];
+        return true;
+    }
+    if (arg.size() > flag.size() + 1 &&
+        arg.substr(0, flag.size()) == flag &&
+        arg[flag.size()] == '=') {
+        value = std::string(arg.substr(flag.size() + 1));
+        return true;
+    }
+    return false;
+}
+
+uint64_t
+parseUint64(std::string_view text, const char *what,
+            const char *program)
+{
+    if (text.empty())
+        usageError(program, std::string(what) + ": empty value");
+    uint64_t result = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9') {
+            usageError(program,
+                       std::string(what) + ": expected a " +
+                           "nonnegative integer, got \"" +
+                           std::string(text) + "\"");
+        }
+        uint64_t digit = static_cast<uint64_t>(c - '0');
+        if (result > (UINT64_MAX - digit) / 10) {
+            usageError(program, std::string(what) +
+                                    ": value out of range: \"" +
+                                    std::string(text) + "\"");
+        }
+        result = result * 10 + digit;
+    }
+    return result;
+}
+
+uint64_t
+parseSeed(std::string_view text, const char *program)
+{
+    return parseUint64(text, "--seed", program);
+}
+
+} // namespace parchmint::cli

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared command-line parsing helpers for the example binaries.
+ *
+ * Every example CLI grew its own strtoull-based `--seed` handling
+ * and its own idea of what an unknown flag does; this header owns
+ * that protocol once. The conventions it enforces:
+ *
+ *   - numeric values are parsed strictly — "1x", "", and negative
+ *     seeds are usage errors, not silently-truncated numbers;
+ *   - usage errors (unknown flag, malformed value) print to stderr
+ *     and exit with status 2, distinct from runtime failures
+ *     (UserError -> 1), so scripts can tell "you called me wrong"
+ *     from "the input was bad".
+ */
+
+#ifndef PARCHMINT_COMMON_CLI_HH
+#define PARCHMINT_COMMON_CLI_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace parchmint::cli
+{
+
+/** Exit status for command-line usage errors. */
+constexpr int kUsageExit = 2;
+
+/**
+ * Print "<program>: <message>" to stderr and exit(2). @p hint,
+ * when nonempty, is printed on a second line (typically "try
+ * --help" or a usage string).
+ */
+[[noreturn]] void usageError(const std::string &program,
+                             const std::string &message,
+                             const std::string &hint = "");
+
+/**
+ * Match `--name <value>` / `--name=<value>` at argv[i]. On a space
+ * spelling, consumes the value argument and advances @p i. A flag
+ * given without a value is a usage error.
+ * @return true when argv[i] was this flag.
+ */
+bool matchValueFlag(int argc, char **argv, int &i,
+                    const char *name, std::string &value);
+
+/**
+ * Parse a nonnegative decimal integer CLI value strictly.
+ * @param what Flag name for the error message, e.g. "--seed".
+ * Usage-errors (exit 2) on empty/garbage/overflowing text.
+ */
+uint64_t parseUint64(std::string_view text, const char *what,
+                     const char *program);
+
+/** parseUint64 specialized for the ubiquitous `--seed` flag. */
+uint64_t parseSeed(std::string_view text, const char *program);
+
+} // namespace parchmint::cli
+
+#endif // PARCHMINT_COMMON_CLI_HH

@@ -1,0 +1,119 @@
+#include "fuzz/bytes.hh"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace parchmint::fuzz
+{
+
+namespace
+{
+
+/**
+ * Bytes that matter to the parsers under test: JSON/HTTP structure,
+ * MINT punctuation, whitespace, NUL and high-bit bytes.
+ */
+constexpr const char kStructural[] =
+    "{}[]\",:.;=#\\/ \t\r\n0123456789-+eE";
+
+/**
+ * Values that historically break length and index arithmetic:
+ * zero, extremes of small signed/unsigned widths, and 0x7f/0x80
+ * sign boundaries.
+ */
+constexpr unsigned char kInteresting[] = {0x00, 0x01, 0x7f, 0x80,
+                                          0xff, 0x20, 0x0a, 0x0d};
+
+char
+randomByte(Rng &rng)
+{
+    switch (rng.nextBelow(4)) {
+      case 0:
+        return kStructural[rng.nextBelow(sizeof(kStructural) - 1)];
+      case 1:
+        // Printable ASCII.
+        return static_cast<char>(0x20 + rng.nextBelow(0x5f));
+      case 2:
+        return static_cast<char>(
+            kInteresting[rng.nextBelow(sizeof(kInteresting))]);
+      default:
+        return static_cast<char>(rng.nextBelow(256));
+    }
+}
+
+} // namespace
+
+std::string
+randomBytes(Rng &rng, size_t max_length)
+{
+    size_t length = rng.nextBelow(max_length + 1);
+    std::string out;
+    out.reserve(length);
+    for (size_t i = 0; i < length; ++i)
+        out.push_back(randomByte(rng));
+    return out;
+}
+
+std::string
+mutateBytes(Rng &rng, const std::string &input, size_t max_mutations)
+{
+    std::string out = input;
+    size_t mutations = 1 + rng.nextBelow(std::max<size_t>(
+                               max_mutations, 1));
+    for (size_t m = 0; m < mutations; ++m) {
+        if (out.empty()) {
+            out.push_back(randomByte(rng));
+            continue;
+        }
+        size_t pos = rng.nextBelow(out.size());
+        switch (rng.nextBelow(7)) {
+          case 0: // Flip one bit.
+            out[pos] = static_cast<char>(
+                static_cast<unsigned char>(out[pos]) ^
+                (1u << rng.nextBelow(8)));
+            break;
+          case 1: // Overwrite with a random byte.
+            out[pos] = randomByte(rng);
+            break;
+          case 2: // Insert a random byte.
+            out.insert(pos, 1, randomByte(rng));
+            break;
+          case 3: // Delete one byte.
+            out.erase(pos, 1);
+            break;
+          case 4: { // Delete a chunk.
+            size_t len = 1 + rng.nextBelow(
+                                 std::max<size_t>(out.size() / 4, 1));
+            out.erase(pos, std::min(len, out.size() - pos));
+            break;
+          }
+          case 5: { // Duplicate a chunk in place.
+            size_t len = 1 + rng.nextBelow(
+                                 std::max<size_t>(out.size() / 4, 1));
+            len = std::min(len, out.size() - pos);
+            out.insert(pos, out.substr(pos, len));
+            break;
+          }
+          default: { // Copy a chunk from elsewhere (splice-in).
+            size_t src = rng.nextBelow(out.size());
+            size_t len = 1 + rng.nextBelow(
+                                 std::max<size_t>(out.size() / 4, 1));
+            len = std::min(len, out.size() - src);
+            out.insert(std::min(pos, out.size()),
+                       out.substr(src, len));
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+std::string
+spliceBytes(Rng &rng, const std::string &a, const std::string &b)
+{
+    size_t cut_a = a.empty() ? 0 : rng.nextBelow(a.size() + 1);
+    size_t cut_b = b.empty() ? 0 : rng.nextBelow(b.size() + 1);
+    return a.substr(0, cut_a) + b.substr(cut_b);
+}
+
+} // namespace parchmint::fuzz

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Seeded raw-byte generation and mutation.
+ *
+ * The lowest layer of the fuzzing engine: deterministic byte-string
+ * generators and mutators driven by common/rng.hh. Everything here
+ * is a pure function of (Rng state, input), so an engine iteration
+ * whose Rng is derived from (seed, target, iteration) reproduces
+ * bit-for-bit — across runs, platforms, and `--jobs` settings.
+ *
+ * Mutations follow the classic byte-fuzzer palette (bit flips,
+ * interesting integers, chunk deletion/duplication/splicing) because
+ * those are the operations that break length fields, delimiter
+ * scanning and state machines — exactly the failure modes a format
+ * front door must survive.
+ */
+
+#ifndef PARCHMINT_FUZZ_BYTES_HH
+#define PARCHMINT_FUZZ_BYTES_HH
+
+#include <cstddef>
+#include <string>
+
+#include "common/rng.hh"
+
+namespace parchmint::fuzz
+{
+
+/**
+ * A fresh random byte string: length in [0, max_length], bytes
+ * drawn uniformly with a bias toward printable ASCII and structural
+ * characters (braces, quotes, digits) so generated blobs hit parser
+ * fast paths as well as reject paths.
+ */
+std::string randomBytes(Rng &rng, size_t max_length);
+
+/**
+ * Mutate a copy of @p input with 1..@p max_mutations random edits:
+ * bit flips, byte overwrites with interesting values, insertions,
+ * deletions, chunk duplication and chunk shuffling. Never returns
+ * the input unchanged unless it is empty and stays empty.
+ */
+std::string mutateBytes(Rng &rng, const std::string &input,
+                        size_t max_mutations = 8);
+
+/**
+ * Splice two inputs: a random prefix of @p a joined to a random
+ * suffix of @p b — the crossover operator for corpus-driven runs.
+ */
+std::string spliceBytes(Rng &rng, const std::string &a,
+                        const std::string &b);
+
+} // namespace parchmint::fuzz
+
+#endif // PARCHMINT_FUZZ_BYTES_HH

@@ -1,0 +1,145 @@
+#include "fuzz/corpus.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hh"
+#include "json/parse.hh"
+#include "json/write.hh"
+#include "svc/cache.hh"
+
+namespace parchmint::fuzz
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+std::string
+readFileBytes(const fs::path &path)
+{
+    std::ifstream stream(path, std::ios::binary);
+    if (!stream)
+        fatal("cannot read corpus file: " + path.string());
+    std::ostringstream buffer;
+    buffer << stream.rdbuf();
+    return buffer.str();
+}
+
+void
+writeFileBytes(const fs::path &path, const std::string &bytes)
+{
+    std::ofstream stream(path, std::ios::binary | std::ios::trunc);
+    if (!stream)
+        fatal("cannot write corpus file: " + path.string());
+    stream.write(bytes.data(),
+                 static_cast<std::streamsize>(bytes.size()));
+    if (!stream)
+        fatal("short write to corpus file: " + path.string());
+}
+
+} // namespace
+
+std::string
+writeCorpusEntry(const std::string &root, const CorpusEntry &entry)
+{
+    fs::path dir = fs::path(root) / entry.targetName;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        fatal("cannot create corpus directory " + dir.string() +
+              ": " + ec.message());
+
+    std::string stem = svc::hashHex(svc::contentHash(entry.input));
+    fs::path input_path = dir / (stem + ".input");
+    writeFileBytes(input_path, entry.input);
+
+    json::Value meta = json::Value::makeObject();
+    meta.set("target", json::Value(entry.targetName));
+    meta.set("message", json::Value(entry.message));
+    meta.set("seed",
+             json::Value(static_cast<int64_t>(entry.seed)));
+    meta.set("iteration",
+             json::Value(static_cast<int64_t>(entry.iteration)));
+    meta.set("bytes",
+             json::Value(static_cast<int64_t>(entry.input.size())));
+    writeFileBytes(dir / (stem + ".json"), json::write(meta));
+
+    return input_path.string();
+}
+
+std::vector<CorpusEntry>
+loadCorpus(const std::string &root, const std::string &target_name)
+{
+    std::vector<CorpusEntry> entries;
+    fs::path dir = fs::path(root) / target_name;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        return entries;
+
+    std::vector<fs::path> inputs;
+    for (const fs::directory_entry &file :
+         fs::directory_iterator(dir)) {
+        if (file.path().extension() == ".input")
+            inputs.push_back(file.path());
+    }
+    // Directory iteration order is unspecified; sort for
+    // deterministic replay order.
+    std::sort(inputs.begin(), inputs.end());
+
+    for (const fs::path &path : inputs) {
+        CorpusEntry entry;
+        entry.targetName = target_name;
+        entry.input = readFileBytes(path);
+        fs::path meta_path = path;
+        meta_path.replace_extension(".json");
+        if (fs::exists(meta_path, ec)) {
+            try {
+                json::Value meta =
+                    json::parse(readFileBytes(meta_path));
+                if (const json::Value *message =
+                        meta.find("message")) {
+                    if (message->isString())
+                        entry.message = message->asString();
+                }
+                if (const json::Value *seed = meta.find("seed")) {
+                    if (seed->isInteger())
+                        entry.seed = static_cast<uint64_t>(
+                            seed->asInteger());
+                }
+                if (const json::Value *iteration =
+                        meta.find("iteration")) {
+                    if (iteration->isInteger())
+                        entry.iteration = static_cast<uint64_t>(
+                            iteration->asInteger());
+                }
+            } catch (const UserError &) {
+                // Best-effort metadata; the bytes are what matter.
+            }
+        }
+        entries.push_back(std::move(entry));
+    }
+    return entries;
+}
+
+std::vector<CorpusEntry>
+replayCorpus(const std::string &root)
+{
+    std::vector<CorpusEntry> failures;
+    for (const Target &target : allTargets()) {
+        for (CorpusEntry &entry : loadCorpus(root, target.name)) {
+            std::optional<std::string> failure =
+                runCheck(target, entry.input);
+            if (failure) {
+                entry.message = std::move(*failure);
+                failures.push_back(std::move(entry));
+            }
+        }
+    }
+    return failures;
+}
+
+} // namespace parchmint::fuzz

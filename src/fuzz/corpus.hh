@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Content-addressed crash-reproducer corpus.
+ *
+ * Every failure the engine finds becomes a permanent regression
+ * seed. Layout, under a corpus root:
+ *
+ *     <root>/<target>/<hash16>.input     the minimized input bytes
+ *     <root>/<target>/<hash16>.json      reproduction metadata
+ *
+ * where <hash16> is the input's 64-bit content hash (the same
+ * FNV-1a/splitmix64 mixing the service caches use) as 16 hex
+ * digits. Content addressing deduplicates across runs: re-finding
+ * the same minimized input overwrites the same file, so a corpus
+ * never accumulates copies. Metadata records the target, the seed
+ * and iteration that produced the failure, and the message — a
+ * reproducer is therefore self-describing: `fuzz_run --target T
+ * --seed S` regenerates it, and the regression test replays the
+ * bytes directly.
+ */
+
+#ifndef PARCHMINT_FUZZ_CORPUS_HH
+#define PARCHMINT_FUZZ_CORPUS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/target.hh"
+
+namespace parchmint::fuzz
+{
+
+/** One corpus entry: reproducer bytes plus provenance. */
+struct CorpusEntry
+{
+    std::string targetName;
+    /** The (minimized) input bytes. */
+    std::string input;
+    /** Failure message at dump time. */
+    std::string message;
+    /** Engine seed of the producing run. */
+    uint64_t seed = 0;
+    /** Iteration index within that run. */
+    uint64_t iteration = 0;
+};
+
+/**
+ * Write an entry under @p root, creating directories as needed.
+ * @return The path of the .input file written.
+ */
+std::string writeCorpusEntry(const std::string &root,
+                             const CorpusEntry &entry);
+
+/**
+ * Load every entry of one target (empty when the directory does
+ * not exist). Metadata is best-effort: a missing or unreadable
+ * .json sibling leaves the provenance fields defaulted.
+ */
+std::vector<CorpusEntry> loadCorpus(const std::string &root,
+                                    const std::string &target_name);
+
+/**
+ * Replay every stored entry of every registered target through its
+ * check.
+ * @return The entries that still fail, message refreshed. An empty
+ *         result is the regression-green state.
+ */
+std::vector<CorpusEntry> replayCorpus(const std::string &root);
+
+} // namespace parchmint::fuzz
+
+#endif // PARCHMINT_FUZZ_CORPUS_HH

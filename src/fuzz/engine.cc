@@ -1,0 +1,234 @@
+#include "fuzz/engine.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/error.hh"
+#include "exec/thread_pool.hh"
+#include "fuzz/corpus.hh"
+#include "fuzz/shrink.hh"
+#include "obs/clock.hh"
+#include "obs/obs.hh"
+
+namespace parchmint::fuzz
+{
+
+namespace
+{
+
+/** Iterations claimed per worker grab; amortizes the atomic. */
+constexpr uint64_t kBlock = 64;
+
+/**
+ * Failure-shape key: the message with digit runs collapsed, so
+ * "ghost_3" and "ghost_7" variants of one defect deduplicate.
+ */
+std::string
+failureKey(const std::string &message)
+{
+    std::string key;
+    key.reserve(message.size());
+    bool in_digits = false;
+    for (char c : message) {
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            if (!in_digits)
+                key.push_back('#');
+            in_digits = true;
+        } else {
+            in_digits = false;
+            key.push_back(c);
+        }
+    }
+    return key;
+}
+
+/** A raw (pre-shrink) failure with its ordering handle. */
+struct RawFailure
+{
+    uint64_t iteration = 0;
+    std::string message;
+    std::string input;
+};
+
+/**
+ * Execute one target's iteration budget on the pool and return
+ * every raw failure found.
+ */
+std::vector<RawFailure>
+sweepTarget(const Target &target, const RunOptions &options,
+            exec::ThreadPool &pool, int64_t target_time_ms,
+            uint64_t &executions)
+{
+    std::atomic<uint64_t> next{0};
+    std::atomic<uint64_t> executed{0};
+    obs::Clock::time_point deadline =
+        obs::Clock::now() +
+        std::chrono::milliseconds(target_time_ms);
+
+    std::mutex mutex;
+    std::vector<RawFailure> failures;
+    size_t pending = pool.threadCount();
+    std::condition_variable done;
+
+    auto worker = [&]() {
+        // Pool jobs must not throw; runCheck already contains the
+        // check, and generate() works on well-formed state.
+        for (;;) {
+            uint64_t begin =
+                next.fetch_add(kBlock, std::memory_order_relaxed);
+            if (begin >= options.iters)
+                break;
+            if (target_time_ms > 0 &&
+                obs::Clock::now() >= deadline) {
+                break;
+            }
+            uint64_t end =
+                std::min<uint64_t>(begin + kBlock, options.iters);
+            for (uint64_t i = begin; i < end; ++i) {
+                Rng rng(deriveSeed(options.seed,
+                                   target.name + "#" +
+                                       std::to_string(i)));
+                std::string input = target.generate(rng);
+                std::optional<std::string> failure =
+                    runCheck(target, input);
+                if (failure) {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    failures.push_back(
+                        {i, std::move(*failure),
+                         std::move(input)});
+                }
+            }
+            executed.fetch_add(end - begin,
+                               std::memory_order_relaxed);
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--pending == 0)
+            done.notify_all();
+    };
+
+    for (size_t w = 0; w < pool.threadCount(); ++w)
+        pool.post(worker);
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        done.wait(lock, [&] { return pending == 0; });
+    }
+
+    executions = executed.load(std::memory_order_relaxed);
+    std::sort(failures.begin(), failures.end(),
+              [](const RawFailure &a, const RawFailure &b) {
+                  return a.iteration < b.iteration;
+              });
+    return failures;
+}
+
+} // namespace
+
+double
+TargetStats::execsPerSecond() const
+{
+    if (wallUs <= 0)
+        return 0.0;
+    return static_cast<double>(executions) * 1e6 /
+           static_cast<double>(wallUs);
+}
+
+RunSummary
+runFuzz(const RunOptions &options,
+        const std::vector<Target> &targets)
+{
+    RunSummary summary;
+    obs::Stopwatch run_watch;
+    exec::ThreadPool pool(options.jobs == 0
+                              ? exec::ThreadPool::hardwareThreads()
+                              : options.jobs);
+    summary.workers = pool.threadCount();
+    int64_t target_time_ms =
+        options.timeMs > 0 && !targets.empty()
+            ? std::max<int64_t>(
+                  options.timeMs /
+                      static_cast<int64_t>(targets.size()),
+                  1)
+            : 0;
+
+    for (const Target &target : targets) {
+        PM_OBS_SPAN("fuzz.target", target.name.c_str());
+        obs::Stopwatch target_watch;
+        TargetStats stats;
+        stats.name = target.name;
+
+        std::vector<RawFailure> raw = sweepTarget(
+            target, options, pool, target_time_ms,
+            stats.executions);
+
+        // Deduplicate by failure shape in iteration order, then
+        // minimize and dump each representative.
+        std::vector<std::string> seen_keys;
+        for (RawFailure &failure : raw) {
+            if (seen_keys.size() >= options.maxFindingsPerTarget)
+                break;
+            std::string key = failureKey(failure.message);
+            if (std::find(seen_keys.begin(), seen_keys.end(),
+                          key) != seen_keys.end()) {
+                continue;
+            }
+            seen_keys.push_back(key);
+
+            Finding finding;
+            finding.targetName = target.name;
+            finding.iteration = failure.iteration;
+            finding.originalBytes = failure.input.size();
+            ShrinkResult shrunk =
+                shrinkInput(target, std::move(failure.input),
+                            options.shrinkAttempts);
+            finding.input = std::move(shrunk.input);
+            finding.message = shrunk.message.empty()
+                                  ? failure.message
+                                  : std::move(shrunk.message);
+            if (!options.corpusDir.empty()) {
+                CorpusEntry entry;
+                entry.targetName = target.name;
+                entry.input = finding.input;
+                entry.message = finding.message;
+                entry.seed = options.seed;
+                entry.iteration = finding.iteration;
+                finding.corpusPath =
+                    writeCorpusEntry(options.corpusDir, entry);
+            }
+            summary.findings.push_back(std::move(finding));
+        }
+
+        stats.findings = seen_keys.size();
+        stats.wallUs = target_watch.elapsedUs();
+        PM_OBS_COUNT("fuzz." + target.name + ".execs",
+                     stats.executions);
+        PM_OBS_COUNT("fuzz." + target.name + ".findings",
+                     stats.findings);
+        PM_OBS_GAUGE("fuzz." + target.name + ".execs_per_sec",
+                     stats.execsPerSecond());
+        summary.executions += stats.executions;
+        summary.targets.push_back(std::move(stats));
+    }
+
+    summary.wallUs = run_watch.elapsedUs();
+    PM_OBS_COUNT("fuzz.executions", summary.executions);
+    PM_OBS_COUNT("fuzz.findings", summary.findings.size());
+    return summary;
+}
+
+RunSummary
+runFuzz(const RunOptions &options)
+{
+    std::vector<Target> selected;
+    if (options.targets.empty()) {
+        selected = allTargets();
+    } else {
+        for (const std::string &name : options.targets)
+            selected.push_back(findTarget(name));
+    }
+    return runFuzz(options, selected);
+}
+
+} // namespace parchmint::fuzz

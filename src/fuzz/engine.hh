@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The deterministic fuzzing engine.
+ *
+ * Drives registered targets (target.hh) for a fixed iteration
+ * count or wall-clock budget, fanned out over an exec::ThreadPool.
+ * Reproducibility is the design center:
+ *
+ *   - Iteration i of target T uses an Rng seeded with
+ *     deriveSeed(seed, "T#i") — a pure function of the run seed,
+ *     never of scheduling. With a fixed --iters, `--jobs N`
+ *     therefore executes exactly the same inputs as `--jobs 1` and
+ *     reports identical findings (a wall-clock budget instead
+ *     bounds *how many* iterations run, so only --iters runs are
+ *     bit-reproducible).
+ *   - Failures are collected with their iteration index, sorted,
+ *     and deduplicated in iteration order (message shape keyed),
+ *     so the reported representative of each distinct failure is
+ *     stable too.
+ *   - Each representative is then greedily minimized (shrink.hh)
+ *     and, when a corpus directory is configured, dumped as a
+ *     content-addressed reproducer (corpus.hh).
+ *
+ * Observability: when enabled, the run records per-target
+ * fuzz.<target>.execs / .findings counters and an
+ * execs-per-second gauge, so `--report`/`--history` runs land in
+ * the same analytics pipeline as every other tool.
+ */
+
+#ifndef PARCHMINT_FUZZ_ENGINE_HH
+#define PARCHMINT_FUZZ_ENGINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/target.hh"
+
+namespace parchmint::fuzz
+{
+
+/** Engine configuration. */
+struct RunOptions
+{
+    /** Target names to run; empty = every registered target. */
+    std::vector<std::string> targets;
+    /** Iterations per target (the deterministic budget). */
+    uint64_t iters = 10000;
+    /**
+     * Wall-clock budget in milliseconds, split evenly across the
+     * selected targets; 0 = none. When set, iters becomes a cap
+     * checked alongside the clock.
+     */
+    int64_t timeMs = 0;
+    /** Run seed; per-iteration streams derive from it. */
+    uint64_t seed = 1;
+    /** Worker threads; 0 = hardware concurrency. */
+    size_t jobs = 1;
+    /** Corpus root for reproducer dumps; "" = no dumps. */
+    std::string corpusDir;
+    /** check() budget for minimizing each finding. */
+    size_t shrinkAttempts = 2000;
+    /** Distinct failures reported per target before moving on. */
+    size_t maxFindingsPerTarget = 8;
+};
+
+/** One distinct, minimized failure. */
+struct Finding
+{
+    std::string targetName;
+    /** Iteration that first produced this failure shape. */
+    uint64_t iteration = 0;
+    /** Failure message of the minimized input. */
+    std::string message;
+    /** Minimized input bytes. */
+    std::string input;
+    /** Size of the input before shrinking. */
+    size_t originalBytes = 0;
+    /** Where the reproducer was dumped ("" when not dumped). */
+    std::string corpusPath;
+};
+
+/** Per-target execution accounting. */
+struct TargetStats
+{
+    std::string name;
+    uint64_t executions = 0;
+    /** Distinct failures (post-dedup). */
+    size_t findings = 0;
+    int64_t wallUs = 0;
+
+    /** Checks per second over this target's wall time. */
+    double execsPerSecond() const;
+};
+
+/** Whole-run outcome. */
+struct RunSummary
+{
+    std::vector<Finding> findings;
+    std::vector<TargetStats> targets;
+    uint64_t executions = 0;
+    int64_t wallUs = 0;
+    size_t workers = 0;
+
+    bool clean() const { return findings.empty(); }
+};
+
+/**
+ * Run the engine over explicitly supplied targets (the test seam:
+ * callers can inject synthetic targets with planted bugs).
+ */
+RunSummary runFuzz(const RunOptions &options,
+                   const std::vector<Target> &targets);
+
+/**
+ * Run over the registered targets named by options.targets (all of
+ * them when empty).
+ * @throws UserError for unknown target names.
+ */
+RunSummary runFuzz(const RunOptions &options);
+
+} // namespace parchmint::fuzz
+
+#endif // PARCHMINT_FUZZ_ENGINE_HH

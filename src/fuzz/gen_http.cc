@@ -1,0 +1,129 @@
+#include "fuzz/gen_http.hh"
+
+#include <algorithm>
+
+#include "fuzz/bytes.hh"
+#include "svc/cache.hh"
+
+namespace parchmint::fuzz
+{
+
+namespace
+{
+
+svc::HttpRequest
+randomRequest(Rng &rng)
+{
+    svc::HttpRequest request;
+    static const char *kMethods[] = {"GET", "POST", "PUT", "HEAD"};
+    static const char *kTargets[] = {
+        "/healthz",
+        "/statsz",
+        "/v1/validate",
+        "/v1/place?seed=1",
+        "/v1/suite/cell_trap_array",
+        "/",
+    };
+    request.method = kMethods[rng.nextBelow(4)];
+    request.target = kTargets[rng.nextBelow(6)];
+    request.version = rng.nextBool(0.9) ? "HTTP/1.1" : "HTTP/1.0";
+    if (rng.nextBool(0.5))
+        request.headers.emplace_back("Host", "localhost");
+    if (rng.nextBool(0.3))
+        request.headers.emplace_back(
+            "Connection", rng.nextBool() ? "close" : "keep-alive");
+    if (rng.nextBool(0.3))
+        request.body = randomBytes(rng, 64);
+    return request;
+}
+
+/** Hand-assembled pathological framing the serializer never emits. */
+std::string
+pathologicalStream(Rng &rng)
+{
+    std::string out = "POST /v1/validate HTTP/1.1\r\n";
+    switch (rng.nextBelow(8)) {
+      case 0:
+        out += "Content-Length: +5\r\n\r\nhello";
+        break;
+      case 1:
+        out += "Content-Length: 007\r\n\r\nhello  ";
+        break;
+      case 2:
+        out += "Content-Length: 9223372036854775808\r\n\r\n";
+        break;
+      case 3:
+        out += "Content-Length: 5\r\nContent-Length: 6\r\n\r\n"
+               "helloX";
+        break;
+      case 4:
+        out += "Content-Length : 5\r\n\r\nhello";
+        break;
+      case 5:
+        out += "Content-Length\t: 5\r\n\r\nhello";
+        break;
+      case 6:
+        out += "Transfer-Encoding: chunked\r\n\r\n"
+               "5\r\nhello\r\n0\r\n\r\n";
+        break;
+      default: {
+        // An oversized header block fed as one stream.
+        out += "X-Pad: ";
+        out.append(1024 + rng.nextBelow(4096), 'a');
+        out += "\r\n\r\n";
+        break;
+      }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+randomHttpStream(Rng &rng)
+{
+    switch (rng.nextBelow(8)) {
+      case 0:
+      case 1: // Valid serialization, possibly pipelined.
+      {
+        std::string out = svc::serializeRequest(randomRequest(rng));
+        if (rng.nextBool(0.25))
+            out += svc::serializeRequest(randomRequest(rng));
+        return out;
+      }
+      case 2:
+      case 3: // Mutated valid serialization.
+        return mutateBytes(
+            rng, svc::serializeRequest(randomRequest(rng)));
+      case 4: // Hand-built pathological framing.
+      case 5:
+        return pathologicalStream(rng);
+      case 6: // Two streams spliced.
+        return spliceBytes(
+            rng, svc::serializeRequest(randomRequest(rng)),
+            pathologicalStream(rng));
+      default: // Raw noise.
+        return randomBytes(rng, 512);
+    }
+}
+
+void
+spliceFeed(svc::RequestParser &parser, const std::string &stream)
+{
+    // The fragment schedule must be a pure function of the input so
+    // failures replay from bytes alone: derive it from the content
+    // hash, the same mixing the service caches use.
+    Rng rng(svc::contentHash(stream));
+    size_t pos = 0;
+    while (pos < stream.size() &&
+           parser.state() != svc::RequestParser::State::Complete &&
+           parser.state() != svc::RequestParser::State::Error) {
+        size_t remaining = stream.size() - pos;
+        size_t fragment = 1 + rng.nextBelow(std::min<size_t>(
+                                  remaining, 97));
+        parser.feed(std::string_view(stream).substr(pos, fragment));
+        pos += fragment;
+    }
+}
+
+} // namespace parchmint::fuzz

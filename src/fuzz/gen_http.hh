@@ -1,0 +1,40 @@
+/**
+ * @file
+ * HTTP request byte-stream generation and splice replay.
+ *
+ * The daemon's RequestParser is *incremental*: the kernel hands it
+ * bytes in arbitrary fragments, so its state machine must reach the
+ * same verdict no matter where the fragment boundaries fall. The
+ * generator builds request streams (valid serializations, mutated
+ * ones, raw noise, and pathological header shapes), and spliceFeed
+ * replays any stream through a parser in fragments cut at
+ * offsets derived deterministically from the stream bytes — the
+ * replay schedule is a pure function of the input, so a failing
+ * stream is reproducible from its bytes alone.
+ */
+
+#ifndef PARCHMINT_FUZZ_GEN_HTTP_HH
+#define PARCHMINT_FUZZ_GEN_HTTP_HH
+
+#include <string>
+
+#include "common/rng.hh"
+#include "svc/http.hh"
+
+namespace parchmint::fuzz
+{
+
+/** One HTTP-request-shaped fuzz input byte stream. */
+std::string randomHttpStream(Rng &rng);
+
+/**
+ * Feed @p stream into @p parser in fragments whose boundaries are
+ * derived from a hash of the stream itself (deterministic per
+ * input). Feeding stops early once the parser is Complete or Error.
+ */
+void spliceFeed(svc::RequestParser &parser,
+                const std::string &stream);
+
+} // namespace parchmint::fuzz
+
+#endif // PARCHMINT_FUZZ_GEN_HTTP_HH

@@ -1,0 +1,115 @@
+#include "fuzz/gen_json.hh"
+
+#include <cstdint>
+#include <limits>
+
+#include "fuzz/bytes.hh"
+#include "json/write.hh"
+
+namespace parchmint::fuzz
+{
+
+namespace
+{
+
+std::string
+randomString(Rng &rng)
+{
+    static const char *kPool[] = {
+        "",     "name",   "layers",  "components", "connections",
+        "id",   "params", "x-span",  "y-span",     "entity",
+        "port", "flow",   "control", "a\tb",       "\xc3\xa9",
+    };
+    if (rng.nextBool(0.5))
+        return kPool[rng.nextBelow(sizeof(kPool) /
+                                   sizeof(kPool[0]))];
+    std::string out;
+    size_t length = rng.nextBelow(12);
+    for (size_t i = 0; i < length; ++i) {
+        // Printable ASCII plus the escape-relevant characters.
+        static const char kChars[] =
+            "abcXYZ019_.-\"\\/\b\f\n\r\t ";
+        out.push_back(kChars[rng.nextBelow(sizeof(kChars) - 1)]);
+    }
+    return out;
+}
+
+json::Value
+randomScalar(Rng &rng)
+{
+    switch (rng.nextBelow(6)) {
+      case 0:
+        return json::Value();
+      case 1:
+        return json::Value(rng.nextBool());
+      case 2: {
+        static const int64_t kEdges[] = {
+            0,
+            1,
+            -1,
+            127,
+            -128,
+            4096,
+            std::numeric_limits<int64_t>::max(),
+            std::numeric_limits<int64_t>::min(),
+            (int64_t{1} << 53),
+        };
+        return json::Value(kEdges[rng.nextBelow(
+            sizeof(kEdges) / sizeof(kEdges[0]))]);
+      }
+      case 3:
+        return json::Value(
+            static_cast<int64_t>(rng.nextInRange(-100000, 100000)));
+      case 4: {
+        static const double kReals[] = {0.0,    -0.0,  0.5,
+                                        1e-300, 1e300, 3.25};
+        return json::Value(kReals[rng.nextBelow(
+            sizeof(kReals) / sizeof(kReals[0]))]);
+      }
+      default:
+        return json::Value(randomString(rng));
+    }
+}
+
+json::Value
+randomNode(Rng &rng, size_t depth_budget)
+{
+    if (depth_budget == 0 || rng.nextBool(0.4))
+        return randomScalar(rng);
+    size_t width = rng.nextBelow(5);
+    if (rng.nextBool()) {
+        json::Value array = json::Value::makeArray();
+        for (size_t i = 0; i < width; ++i)
+            array.append(randomNode(rng, depth_budget - 1));
+        return array;
+    }
+    json::Value object = json::Value::makeObject();
+    for (size_t i = 0; i < width; ++i) {
+        // set() overwrites duplicates, so keys stay unique.
+        object.set(randomString(rng),
+                   randomNode(rng, depth_budget - 1));
+    }
+    return object;
+}
+
+} // namespace
+
+json::Value
+randomValue(Rng &rng, size_t max_depth)
+{
+    return randomNode(rng, max_depth);
+}
+
+std::string
+randomJsonText(Rng &rng)
+{
+    json::WriteOptions options;
+    options.pretty = rng.nextBool();
+    options.asciiOnly = rng.nextBool();
+    std::string text = json::write(randomValue(rng), options);
+    if (rng.nextBool(0.75))
+        text = mutateBytes(rng, text);
+    return text;
+}
+
+} // namespace parchmint::fuzz

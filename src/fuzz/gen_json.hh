@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Structured JSON generation for the fuzzing engine.
+ *
+ * Two generation modes feed the JSON targets:
+ *
+ *   - randomValue() builds a syntactically perfect document tree,
+ *     exercising the writer/parser round-trip invariant on inputs
+ *     the grammar admits (deep nesting, weird strings, integer/real
+ *     boundaries);
+ *   - randomJsonText() renders such a tree and then (usually)
+ *     corrupts it at the byte level, exercising the reject paths
+ *     with inputs that are *almost* JSON — far more effective at
+ *     reaching deep parser states than uniform noise.
+ */
+
+#ifndef PARCHMINT_FUZZ_GEN_JSON_HH
+#define PARCHMINT_FUZZ_GEN_JSON_HH
+
+#include <string>
+
+#include "common/rng.hh"
+#include "json/value.hh"
+
+namespace parchmint::fuzz
+{
+
+/**
+ * A random JSON document tree. Depth and width are budgeted so the
+ * expected size stays small (shrinking prefers small inputs anyway)
+ * while still reaching the parser's depth limit occasionally.
+ *
+ * @param max_depth Container nesting budget.
+ */
+json::Value randomValue(Rng &rng, size_t max_depth = 6);
+
+/**
+ * JSON-ish text: a rendered randomValue() tree, byte-mutated with
+ * probability ~3/4 (the unmutated quarter keeps the accept paths
+ * hot). Rendering randomly picks pretty or compact form.
+ */
+std::string randomJsonText(Rng &rng);
+
+} // namespace parchmint::fuzz
+
+#endif // PARCHMINT_FUZZ_GEN_JSON_HH

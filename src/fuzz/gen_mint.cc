@@ -1,0 +1,139 @@
+#include "fuzz/gen_mint.hh"
+
+#include <cstddef>
+
+#include "fuzz/bytes.hh"
+
+namespace parchmint::fuzz
+{
+
+namespace
+{
+
+constexpr const char *kEntities[] = {
+    "PORT", "MIXER",    "TREE",   "VALVE",     "PUMP",
+    "MUX",  "CELLTRAP", "FILTER", "RESERVOIR", "HEATER",
+};
+
+constexpr const char *kKeywords[] = {
+    "DEVICE", "LAYER", "FLOW",    "CONTROL", "INTEGRATION",
+    "END",    "FROM",  "TO",      "CHANNEL", "NET",
+};
+
+std::string
+ident(Rng &rng, const char *stem)
+{
+    return std::string(stem) + std::to_string(rng.nextBelow(12));
+}
+
+std::string
+randomParam(Rng &rng)
+{
+    std::string out = " ";
+    out += rng.nextBool() ? "channelWidth" : "portRadius";
+    out += "=";
+    switch (rng.nextBelow(3)) {
+      case 0:
+        out += std::to_string(rng.nextInRange(-10, 2000));
+        break;
+      case 1:
+        out += "2.5";
+        break;
+      default:
+        out += "\"wide\"";
+        break;
+    }
+    return out;
+}
+
+/** Keyword-and-identifier soup: tokens in a random order. */
+std::string
+tokenSoup(Rng &rng)
+{
+    std::string out;
+    size_t count = rng.nextBelow(40);
+    for (size_t i = 0; i < count; ++i) {
+        switch (rng.nextBelow(6)) {
+          case 0:
+            out += kKeywords[rng.nextBelow(
+                sizeof(kKeywords) / sizeof(kKeywords[0]))];
+            break;
+          case 1:
+            out += kEntities[rng.nextBelow(
+                sizeof(kEntities) / sizeof(kEntities[0]))];
+            break;
+          case 2:
+            out += ident(rng, "x");
+            break;
+          case 3:
+            out += std::to_string(rng.nextBelow(100000));
+            break;
+          case 4: {
+            static const char kPunct[] = ",;=#\"";
+            out += kPunct[rng.nextBelow(sizeof(kPunct) - 1)];
+            break;
+          }
+          default:
+            out += randomParam(rng);
+            break;
+        }
+        out += rng.nextBool(0.2) ? "\n" : " ";
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+validMintSource(Rng &rng)
+{
+    std::string out = "DEVICE " + ident(rng, "chip") + "\n";
+    out += "LAYER FLOW\n";
+    size_t stages = 1 + rng.nextBelow(5);
+    out += "    PORT in1;\n";
+    std::string previous = "in1";
+    for (size_t i = 0; i < stages; ++i) {
+        std::string name = "m";
+        name += std::to_string(i);
+        out += "    ";
+        out += kEntities[1 + rng.nextBelow(
+                             sizeof(kEntities) /
+                                 sizeof(kEntities[0]) -
+                             1)];
+        out += " " + name;
+        if (rng.nextBool(0.3))
+            out += randomParam(rng);
+        out += ";\n";
+        out += "    CHANNEL c" + std::to_string(i) + " FROM " +
+               previous + " TO " + name;
+        if (rng.nextBool(0.3))
+            out += " channelWidth=" +
+                   std::to_string(100 + rng.nextBelow(900));
+        out += ";\n";
+        previous = name;
+    }
+    out += "    PORT out1;\n";
+    out += "    CHANNEL cout FROM " + previous + " TO out1;\n";
+    out += "END LAYER\n";
+    if (rng.nextBool())
+        out += "END DEVICE\n";
+    return out;
+}
+
+std::string
+randomMintSource(Rng &rng)
+{
+    switch (rng.nextBelow(4)) {
+      case 0:
+        return validMintSource(rng);
+      case 1:
+        return "DEVICE soup\nLAYER FLOW\n" + tokenSoup(rng) +
+               "\nEND LAYER\n";
+      case 2:
+        return tokenSoup(rng);
+      default:
+        return mutateBytes(rng, validMintSource(rng));
+    }
+}
+
+} // namespace parchmint::fuzz

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * MINT source generation for the fuzzing engine.
+ *
+ * MINT is the suite's human-authored front door, so its inputs are
+ * exactly the kind of thing a designer (or an LLM emitting MINT)
+ * gets subtly wrong. The generator mixes three recipes: grammar-
+ * directed emission of valid-shaped programs, keyword/token soup
+ * assembled from the MINT vocabulary, and byte-mutations of a valid
+ * program — covering the accept path, the parser reject paths, and
+ * the lexer reject paths respectively.
+ */
+
+#ifndef PARCHMINT_FUZZ_GEN_MINT_HH
+#define PARCHMINT_FUZZ_GEN_MINT_HH
+
+#include <string>
+
+#include "common/rng.hh"
+
+namespace parchmint::fuzz
+{
+
+/** A syntactically valid MINT program of random shape. */
+std::string validMintSource(Rng &rng);
+
+/** One MINT-shaped fuzz input (see file comment for the mix). */
+std::string randomMintSource(Rng &rng);
+
+} // namespace parchmint::fuzz
+
+#endif // PARCHMINT_FUZZ_GEN_MINT_HH

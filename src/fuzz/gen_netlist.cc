@@ -1,0 +1,309 @@
+#include "fuzz/gen_netlist.hh"
+
+#include <string>
+#include <vector>
+
+#include "core/builder.hh"
+#include "core/serialize.hh"
+#include "fuzz/bytes.hh"
+#include "json/write.hh"
+
+namespace parchmint::fuzz
+{
+
+namespace
+{
+
+/** Catalogue kinds with flow ports, safe to chain with channels. */
+constexpr EntityKind kFlowKinds[] = {
+    EntityKind::Mixer,      EntityKind::DiamondChamber,
+    EntityKind::Tree,       EntityKind::CellTrap,
+    EntityKind::Filter,     EntityKind::Reservoir,
+    EntityKind::RotaryPump, EntityKind::Heater,
+};
+
+EntityKind
+randomFlowKind(Rng &rng)
+{
+    return kFlowKinds[rng.nextBelow(sizeof(kFlowKinds) /
+                                    sizeof(kFlowKinds[0]))];
+}
+
+/** in -> c0 -> c1 -> ... -> out, each hop a channel. */
+Device
+chainDevice(Rng &rng, size_t length)
+{
+    DeviceBuilder builder("fuzz_chain");
+    builder.flowLayer();
+    builder.component("in", EntityKind::Port);
+    std::string previous = "in";
+    for (size_t i = 0; i < length; ++i) {
+        std::string id = "c";
+        id += std::to_string(i);
+        builder.component(id, randomFlowKind(rng));
+        builder.channel("ch" + std::to_string(i), previous, id);
+        previous = id;
+    }
+    builder.component("out", EntityKind::Port);
+    builder.channel("ch_out", previous, "out");
+    return builder.build();
+}
+
+/** One hub component fanned out to n leaves via a multi-sink net. */
+Device
+starDevice(Rng &rng, size_t leaves)
+{
+    DeviceBuilder builder("fuzz_star");
+    builder.flowLayer();
+    builder.component("in", EntityKind::Port);
+    builder.component("hub", EntityKind::Tree);
+    builder.channel("feed", "in", "hub");
+    std::vector<std::string> leaf_ids;
+    std::vector<std::string_view> sinks;
+    for (size_t i = 0; i < leaves; ++i) {
+        std::string id = "leaf" + std::to_string(i);
+        builder.component(id, rng.nextBool()
+                                  ? EntityKind::CellTrap
+                                  : EntityKind::Reservoir);
+        leaf_ids.push_back(id);
+    }
+    for (const std::string &id : leaf_ids)
+        sinks.push_back(id);
+    builder.device().addConnection([&] {
+        Connection fanout("fan", "fan", "flow");
+        fanout.setSource(parseTarget("hub"));
+        for (const std::string &id : leaf_ids)
+            fanout.addSink(parseTarget(id));
+        return fanout;
+    }());
+    return builder.build();
+}
+
+/** A two-layer device with a valve over its flow channel. */
+Device
+valvedDevice(Rng &rng)
+{
+    DeviceBuilder builder("fuzz_valved");
+    builder.flowLayer().controlLayer();
+    builder.component("in", EntityKind::Port);
+    builder.component("mix", EntityKind::Mixer);
+    builder.component("v", EntityKind::Valve);
+    builder.component("out", EntityKind::Port);
+    builder.channel("ch0", "in", "mix");
+    builder.channel("ch1", "mix", "out",
+                    400 + 100 * rng.nextBelow(4));
+    builder.controlChannel("cc0", "v", "v");
+    return builder.build();
+}
+
+/** Pick a random member array of the document, if present. */
+json::Value *
+sectionOf(json::Value &document, const char *name)
+{
+    if (!document.isObject())
+        return nullptr;
+    json::Value *section = document.find(name);
+    if (!section || !section->isArray() || section->empty())
+        return nullptr;
+    return section;
+}
+
+/** A random element of the named top-level array, or nullptr. */
+json::Value *
+randomElement(Rng &rng, json::Value &document, const char *name)
+{
+    json::Value *section = sectionOf(document, name);
+    if (!section)
+        return nullptr;
+    return &section->at(rng.nextBelow(section->size()));
+}
+
+/** Corrupt one connection endpoint to name a ghost component. */
+void
+dangleConnection(Rng &rng, json::Value &connection)
+{
+    if (!connection.isObject())
+        return;
+    json::Value *endpoint = nullptr;
+    if (rng.nextBool()) {
+        endpoint = connection.find("source");
+    } else if (json::Value *sinks = connection.find("sinks")) {
+        if (sinks->isArray() && !sinks->empty())
+            endpoint = &sinks->at(rng.nextBelow(sinks->size()));
+    }
+    if (!endpoint || !endpoint->isObject())
+        return;
+    if (rng.nextBool()) {
+        endpoint->set("component",
+                      json::Value("ghost_" + std::to_string(
+                                                 rng.nextBelow(8))));
+    } else {
+        endpoint->set("port", json::Value("no_such_port"));
+    }
+}
+
+/** One structured mutation of a netlist document. */
+void
+mutateDocument(Rng &rng, json::Value &document)
+{
+    switch (rng.nextBelow(10)) {
+      case 0: { // Drop a component.
+        if (json::Value *section =
+                sectionOf(document, "components")) {
+            std::vector<json::Value> kept;
+            size_t victim = rng.nextBelow(section->size());
+            for (size_t i = 0; i < section->size(); ++i) {
+                if (i != victim)
+                    kept.push_back(section->at(i));
+            }
+            *section = json::Value::makeArray(std::move(kept));
+        }
+        break;
+      }
+      case 1: { // Duplicate a component (duplicate-ID path).
+        if (json::Value *section =
+                sectionOf(document, "components")) {
+            section->append(
+                section->at(rng.nextBelow(section->size())));
+        }
+        break;
+      }
+      case 2: // Dangle a connection endpoint.
+        if (json::Value *connection =
+                randomElement(rng, document, "connections")) {
+            dangleConnection(rng, *connection);
+        }
+        break;
+      case 3: // Corrupt a component span.
+        if (json::Value *component =
+                randomElement(rng, document, "components")) {
+            if (component->isObject()) {
+                static const int64_t kSpans[] = {
+                    0, -5, 1, int64_t{1} << 40};
+                component->set(
+                    rng.nextBool() ? "x-span" : "y-span",
+                    json::Value(kSpans[rng.nextBelow(4)]));
+            }
+        }
+        break;
+      case 4: // Corrupt a connection's channelWidth param.
+        if (json::Value *connection =
+                randomElement(rng, document, "connections")) {
+            if (connection->isObject()) {
+                json::Value params = json::Value::makeObject();
+                switch (rng.nextBelow(3)) {
+                  case 0:
+                    params.set("channelWidth", json::Value(
+                                                   int64_t{-400}));
+                    break;
+                  case 1:
+                    params.set("channelWidth", json::Value("wide"));
+                    break;
+                  default:
+                    params.set("channelWidth", json::Value(0.5));
+                    break;
+                }
+                connection->set("params", std::move(params));
+            }
+        }
+        break;
+      case 5: // Retype or drop a layer.
+        if (json::Value *layer =
+                randomElement(rng, document, "layers")) {
+            if (layer->isObject()) {
+                if (rng.nextBool()) {
+                    layer->set("type", json::Value("BOGUS"));
+                } else {
+                    layer->set("id", json::Value("orphan_layer"));
+                }
+            }
+        }
+        break;
+      case 6: { // Delete a required top-level member.
+        static const char *kMembers[] = {"name", "layers",
+                                         "components",
+                                         "connections"};
+        document.erase(kMembers[rng.nextBelow(4)]);
+        break;
+      }
+      case 7: // Corrupt a port's layer reference.
+        if (json::Value *component =
+                randomElement(rng, document, "components")) {
+            if (component->isObject()) {
+                if (json::Value *ports = component->find("ports")) {
+                    if (ports->isArray() && !ports->empty()) {
+                        json::Value &port = ports->at(
+                            rng.nextBelow(ports->size()));
+                        if (port.isObject()) {
+                            port.set("layer",
+                                     json::Value("ghost_layer"));
+                        }
+                    }
+                }
+            }
+        }
+        break;
+      case 8: // Wrong kind for a member the reader checks.
+        if (json::Value *component =
+                randomElement(rng, document, "components")) {
+            if (component->isObject()) {
+                static const char *kMembers[] = {"id", "layers",
+                                                 "ports", "entity"};
+                component->set(kMembers[rng.nextBelow(4)],
+                               json::Value(int64_t{42}));
+            }
+        }
+        break;
+      default: // Drop a connection's sinks (R10 path).
+        if (json::Value *connection =
+                randomElement(rng, document, "connections")) {
+            if (connection->isObject()) {
+                connection->set("sinks", json::Value::makeArray());
+            }
+        }
+        break;
+    }
+}
+
+} // namespace
+
+Device
+randomDevice(Rng &rng)
+{
+    switch (rng.nextBelow(3)) {
+      case 0:
+        return chainDevice(rng, 1 + rng.nextBelow(6));
+      case 1:
+        return starDevice(rng, 2 + rng.nextBelow(5));
+      default:
+        return valvedDevice(rng);
+    }
+}
+
+std::string
+mutateNetlistJson(Rng &rng, const Device &device,
+                  size_t max_mutations)
+{
+    json::Value document = toJson(device);
+    size_t mutations = 1 + rng.nextBelow(std::max<size_t>(
+                               max_mutations, 1));
+    for (size_t m = 0; m < mutations; ++m)
+        mutateDocument(rng, document);
+    json::WriteOptions options;
+    options.pretty = rng.nextBool();
+    return json::write(document, options);
+}
+
+std::string
+randomNetlistJson(Rng &rng)
+{
+    Device device = randomDevice(rng);
+    if (rng.nextBool(0.125))
+        return toJsonText(device);
+    std::string text = mutateNetlistJson(rng, device);
+    if (rng.nextBool(0.125))
+        text = mutateBytes(rng, text);
+    return text;
+}
+
+} // namespace parchmint::fuzz

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ParchMint netlist generation and structured mutation.
+ *
+ * Byte-level noise mostly dies in the JSON lexer; the interesting
+ * validator and pipeline bugs live behind it, reachable only by
+ * documents that *are* JSON and *almost are* netlists. This
+ * generator therefore works at the builder level: it constructs a
+ * small valid device, then applies semantic mutations — drop or
+ * duplicate a component, dangle a connection at a ghost component,
+ * corrupt spans/params/layers — and serializes the wreck to JSON
+ * text. A final optional byte-mutation pass keeps the lexer-level
+ * paths covered too.
+ */
+
+#ifndef PARCHMINT_FUZZ_GEN_NETLIST_HH
+#define PARCHMINT_FUZZ_GEN_NETLIST_HH
+
+#include <string>
+
+#include "common/rng.hh"
+#include "core/device.hh"
+
+namespace parchmint::fuzz
+{
+
+/**
+ * A small valid device: a random pick from a family of
+ * builder-constructed shapes (chains, stars, two-layer devices)
+ * sized by @p rng. Always passes the full validation pipeline.
+ */
+Device randomDevice(Rng &rng);
+
+/**
+ * Apply 1..@p max_mutations structured mutations to the device's
+ * JSON document: drop/duplicate components, retarget connections at
+ * ghost components or ports, corrupt spans and channel widths, drop
+ * or retype layers, delete required members. The result is always
+ * well-formed JSON; it is usually no longer a valid netlist.
+ */
+std::string mutateNetlistJson(Rng &rng, const Device &device,
+                              size_t max_mutations = 4);
+
+/**
+ * One netlist-shaped fuzz input: a randomDevice() serialized, then
+ * structurally mutated with probability ~7/8 (and byte-mutated on
+ * top with probability ~1/8).
+ */
+std::string randomNetlistJson(Rng &rng);
+
+} // namespace parchmint::fuzz
+
+#endif // PARCHMINT_FUZZ_GEN_NETLIST_HH

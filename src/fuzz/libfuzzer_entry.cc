@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Optional libFuzzer entry point (built under ENABLE_LIBFUZZER).
+ *
+ * Wraps the same target checks the deterministic engine runs, so a
+ * coverage-guided clang `-fsanitize=fuzzer` session attacks exactly
+ * the invariants of the in-tree harness and its corpus files are
+ * directly exchangeable with fuzz/corpus/ entries. The target is
+ * selected with the PM_FUZZ_TARGET environment variable (default
+ * json_parse); a property violation aborts so libFuzzer saves the
+ * reproducer.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "fuzz/target.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    using namespace parchmint::fuzz;
+    static const Target &target = [] () -> const Target & {
+        const char *name = std::getenv("PM_FUZZ_TARGET");
+        return findTarget(name && *name ? name : "json_parse");
+    }();
+    std::string input(reinterpret_cast<const char *>(data), size);
+    if (auto failure = runCheck(target, input)) {
+        std::fprintf(stderr, "fuzz target %s failed: %s\n",
+                     target.name.c_str(), failure->c_str());
+        std::abort();
+    }
+    return 0;
+}

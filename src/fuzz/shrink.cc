@@ -1,0 +1,93 @@
+#include "fuzz/shrink.hh"
+
+#include <algorithm>
+
+namespace parchmint::fuzz
+{
+
+namespace
+{
+
+/** Run the check, counting the attempt against the budget. */
+bool
+fails(const Target &target, const std::string &candidate,
+      size_t &attempts, std::string &message)
+{
+    ++attempts;
+    std::optional<std::string> failure =
+        runCheck(target, candidate);
+    if (!failure)
+        return false;
+    message = std::move(*failure);
+    return true;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkInput(const Target &target, std::string input,
+            size_t max_attempts)
+{
+    ShrinkResult result;
+    result.message = runCheck(target, input).value_or("");
+    result.attempts = 1;
+
+    // Phase 1: chunk deletion, halving the chunk size. Restart the
+    // pass after any success so earlier offsets get another look at
+    // the smaller input.
+    bool improved = true;
+    while (improved && result.attempts < max_attempts) {
+        improved = false;
+        for (size_t chunk = std::max<size_t>(input.size() / 2, 1);
+             chunk >= 1 && result.attempts < max_attempts;
+             chunk /= 2) {
+            for (size_t pos = 0;
+                 pos < input.size() &&
+                 result.attempts < max_attempts;) {
+                std::string candidate = input;
+                candidate.erase(pos,
+                                std::min(chunk,
+                                         candidate.size() - pos));
+                std::string message;
+                if (fails(target, candidate, result.attempts,
+                          message)) {
+                    input = std::move(candidate);
+                    result.message = std::move(message);
+                    improved = true;
+                    // Stay at pos: the next chunk slid into place.
+                } else {
+                    pos += chunk;
+                }
+            }
+            if (chunk == 1)
+                break;
+        }
+    }
+
+    // Phase 2: canonicalize bytes, one at a time. A minimized input
+    // of 'a'/'0'/' ' bytes makes the load-bearing bytes stand out.
+    for (size_t pos = 0;
+         pos < input.size() && result.attempts < max_attempts;
+         ++pos) {
+        for (char replacement : {'a', '0', ' '}) {
+            if (input[pos] == replacement)
+                break;
+            std::string candidate = input;
+            candidate[pos] = replacement;
+            std::string message;
+            if (fails(target, candidate, result.attempts,
+                      message)) {
+                input = std::move(candidate);
+                result.message = std::move(message);
+                break;
+            }
+            if (result.attempts >= max_attempts)
+                break;
+        }
+    }
+
+    result.input = std::move(input);
+    return result;
+}
+
+} // namespace parchmint::fuzz

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Greedy input shrinking.
+ *
+ * A raw failing input from the generators is usually hundreds of
+ * bytes of noise around a few that matter. Before a failure is
+ * reported or written to the corpus, the engine minimizes it:
+ * repeatedly try to delete chunks (halving chunk sizes down to one
+ * byte) and to canonicalize surviving bytes to 'a'/'0'/' ', keeping
+ * any candidate on which the target still fails. The result is a
+ * local minimum: no single remaining deletion or simplification
+ * preserves the failure.
+ *
+ * Shrinking accepts *any* failure of the target, not just the
+ * original message — if a deletion turns one crash into a different
+ * one, the smaller input is still the better regression seed.
+ * Deterministic by construction: candidate order is fixed and
+ * check() is a pure function of the input.
+ */
+
+#ifndef PARCHMINT_FUZZ_SHRINK_HH
+#define PARCHMINT_FUZZ_SHRINK_HH
+
+#include <cstddef>
+#include <string>
+
+#include "fuzz/target.hh"
+
+namespace parchmint::fuzz
+{
+
+/** Outcome of a shrink run. */
+struct ShrinkResult
+{
+    /** The minimized input. */
+    std::string input;
+    /** The failure message the minimized input produces. */
+    std::string message;
+    /** check() executions spent. */
+    size_t attempts = 0;
+};
+
+/**
+ * Minimize @p input, which must currently fail @p target.
+ *
+ * @param max_attempts Budget of check() executions.
+ */
+ShrinkResult shrinkInput(const Target &target, std::string input,
+                         size_t max_attempts = 2000);
+
+} // namespace parchmint::fuzz
+
+#endif // PARCHMINT_FUZZ_SHRINK_HH

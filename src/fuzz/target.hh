@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fuzz targets: named (generator, property) pairs.
+ *
+ * A target couples an input generator with a checked invariant.
+ * The engine (engine.hh) drives targets; the registry here is the
+ * single inventory shared by the CLI, the regression replayer, the
+ * throughput bench and the optional libFuzzer entry points.
+ *
+ * The determinism contract every target must satisfy:
+ *
+ *   - generate() is a pure function of the Rng state;
+ *   - check() is a pure function of the input bytes — any internal
+ *     randomness (splice offsets, derived seeds) must come from a
+ *     hash of the input, never from ambient state — so a failure
+ *     is reproducible from the input alone, and a corpus file
+ *     replays identically forever.
+ *
+ * check() reports a property violation by returning a message.
+ * Exceptions are part of the contract: UserError (and subclasses)
+ * is the *expected* way for parsers to reject bad input and never
+ * counts as a failure; any other exception escaping check() does.
+ */
+
+#ifndef PARCHMINT_FUZZ_TARGET_HH
+#define PARCHMINT_FUZZ_TARGET_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace parchmint::fuzz
+{
+
+/** See file comment. */
+struct Target
+{
+    /** Registry-unique name, e.g. "json_parse". */
+    std::string name;
+    /** One-line description for --list and reports. */
+    std::string description;
+    /** Produce one input from seeded randomness. */
+    std::function<std::string(Rng &)> generate;
+    /**
+     * Check the invariant on one input. nullopt = held;
+     * a message = violated. May throw UserError to signal an
+     * (acceptable) input rejection; any other escaping exception
+     * is recorded as a failure by the engine.
+     */
+    std::function<std::optional<std::string>(const std::string &)>
+        check;
+};
+
+/** All registered targets, in canonical order. */
+const std::vector<Target> &allTargets();
+
+/**
+ * Find a target by name.
+ * @throws UserError listing valid names when unknown.
+ */
+const Target &findTarget(std::string_view name);
+
+/**
+ * Run one target's check under the engine's exception contract:
+ * UserError = pass, property message = failure, any other
+ * exception = failure (message prefixed with the exception type).
+ */
+std::optional<std::string> runCheck(const Target &target,
+                                    const std::string &input);
+
+} // namespace parchmint::fuzz
+
+#endif // PARCHMINT_FUZZ_TARGET_HH

@@ -1,0 +1,407 @@
+/**
+ * @file
+ * The fuzz target inventory (see target.hh for the contract).
+ *
+ * Targets cover the trust boundary of the suite: the three
+ * hand-written parsers (JSON, MINT, HTTP), the validator, the
+ * pipeline stages whose outputs downstream tools consume (placer,
+ * router), and the service's content-addressed cache keys. Each
+ * check distinguishes *rejection* (UserError — always acceptable)
+ * from *property violation* (a returned message): a parser may say
+ * no to any input, but it may never crash, loop, mis-accept, or
+ * give two different answers for the same bytes.
+ */
+
+#include "fuzz/target.hh"
+
+#include <algorithm>
+#include <exception>
+#include <typeinfo>
+
+#include "common/error.hh"
+#include "core/deserialize.hh"
+#include "core/serialize.hh"
+#include "fuzz/bytes.hh"
+#include "fuzz/gen_http.hh"
+#include "fuzz/gen_json.hh"
+#include "fuzz/gen_mint.hh"
+#include "fuzz/gen_netlist.hh"
+#include "json/parse.hh"
+#include "json/write.hh"
+#include "mint/elaborate.hh"
+#include "place/annealing_placer.hh"
+#include "place/row_placer.hh"
+#include "route/router.hh"
+#include "schema/rules.hh"
+#include "svc/cache.hh"
+
+namespace parchmint::fuzz
+{
+
+namespace
+{
+
+/** Compact, deterministic rendering for equality checks. */
+std::string
+compactText(const json::Value &value)
+{
+    json::WriteOptions options;
+    options.pretty = false;
+    return json::write(value, options);
+}
+
+// --- json_parse -------------------------------------------------------
+
+std::optional<std::string>
+checkJsonParse(const std::string &input)
+{
+    json::Value value = json::parse(input); // UserError = rejected.
+    // Accepted input must survive the writer/parser round trip.
+    std::string text = compactText(value);
+    json::Value again = json::parse(text);
+    if (again != value)
+        return "accepted document does not round-trip through "
+               "write/parse";
+    if (compactText(again) != text)
+        return "compact serialization is not a fixpoint";
+    return std::nullopt;
+}
+
+// --- json_roundtrip ---------------------------------------------------
+
+std::optional<std::string>
+checkJsonRoundtrip(const std::string &input)
+{
+    json::Value value = json::parse(input);
+    json::WriteOptions pretty;
+    json::WriteOptions ascii;
+    ascii.pretty = false;
+    ascii.asciiOnly = true;
+    for (const json::WriteOptions &options : {pretty, ascii}) {
+        json::Value again =
+            json::parse(json::write(value, options));
+        if (again != value)
+            return std::string("round trip through ") +
+                   (options.asciiOnly ? "ascii" : "pretty") +
+                   " form changed the document";
+    }
+    return std::nullopt;
+}
+
+// --- mint_parse -------------------------------------------------------
+
+std::optional<std::string>
+checkMintParse(const std::string &input)
+{
+    Device device = mint::compileMint(input); // UserError = rejected.
+    // An accepted program elaborates to a device that must survive
+    // the ParchMint JSON round trip.
+    json::Value document = toJson(device);
+    Device again = fromJson(document);
+    if (compactText(toJson(again)) != compactText(document))
+        return "elaborated device does not round-trip through "
+               "ParchMint JSON";
+    return std::nullopt;
+}
+
+// --- netlist_validate -------------------------------------------------
+
+std::optional<std::string>
+checkNetlistValidate(const std::string &input)
+{
+    std::vector<schema::Issue> first = schema::validateText(input);
+    std::vector<schema::Issue> second = schema::validateText(input);
+    if (schema::formatIssues(first) != schema::formatIssues(second))
+        return "validator verdict is not deterministic";
+    return std::nullopt;
+}
+
+// --- netlist_roundtrip ------------------------------------------------
+
+std::optional<std::string>
+checkNetlistRoundtrip(const std::string &input)
+{
+    Device device = fromJsonText(input); // UserError = rejected.
+    std::string once = compactText(toJson(device));
+    Device again = fromJsonText(once);
+    std::string twice = compactText(toJson(again));
+    if (once != twice)
+        return "ParchMint serialization is not a fixpoint";
+    return std::nullopt;
+}
+
+// --- http_request -----------------------------------------------------
+
+const char *
+stateName(svc::RequestParser::State state)
+{
+    switch (state) {
+      case svc::RequestParser::State::Headers: return "Headers";
+      case svc::RequestParser::State::Body: return "Body";
+      case svc::RequestParser::State::Complete: return "Complete";
+      default: return "Error";
+    }
+}
+
+std::optional<std::string>
+checkHttpRequest(const std::string &input)
+{
+    svc::RequestParser whole;
+    whole.feed(input);
+    svc::RequestParser spliced;
+    spliceFeed(spliced, input);
+
+    if (whole.state() != spliced.state()) {
+        return std::string("fragmented feed diverges: whole=") +
+               stateName(whole.state()) +
+               " spliced=" + stateName(spliced.state());
+    }
+    if (whole.state() == svc::RequestParser::State::Error &&
+        whole.errorStatus() != spliced.errorStatus()) {
+        return "fragmented feed yields a different error status";
+    }
+    if (whole.state() == svc::RequestParser::State::Complete) {
+        const svc::HttpRequest &a = whole.request();
+        const svc::HttpRequest &b = spliced.request();
+        if (a.method != b.method || a.target != b.target ||
+            a.version != b.version || a.headers != b.headers ||
+            a.body != b.body) {
+            return "fragmented feed parses a different request";
+        }
+        svc::ParserLimits limits;
+        if (a.body.size() > limits.maxBodyBytes)
+            return "accepted body exceeds the parser's own limit";
+    }
+    return std::nullopt;
+}
+
+// --- placer_legal -----------------------------------------------------
+
+std::optional<std::string>
+checkPlacerLegal(const std::string &input)
+{
+    Device device = fromJsonText(input); // UserError = rejected.
+    try {
+        place::RowPlacer row;
+        place::Placement placement = row.place(device);
+        for (const Component &component : device.components()) {
+            if (!placement.isPlaced(component.id()))
+                return "row placer left component \"" +
+                       component.id() + "\" unplaced";
+        }
+        if (placement.totalOverlapArea(device) != 0)
+            return "row placement has overlapping components";
+        for (const Component &component : device.components()) {
+            Point corner = placement.position(component.id());
+            if (corner.x < 0 || corner.y < 0)
+                return "row placement leaves the die (negative "
+                       "coordinates)";
+        }
+
+        place::AnnealingOptions options;
+        options.seed = svc::contentHash(input);
+        options.steps = 8; // Keep iterations cheap.
+        place::AnnealingPlacer annealer(options);
+        place::Placement first = annealer.place(device);
+        place::Placement second = annealer.place(device);
+        for (const Component &component : device.components()) {
+            if (!first.isPlaced(component.id()))
+                return "annealing placer left component \"" +
+                       component.id() + "\" unplaced";
+            if (first.position(component.id()) !=
+                second.position(component.id())) {
+                return "annealing placement is not deterministic "
+                       "for a pinned seed";
+            }
+        }
+    } catch (const UserError &error) {
+        // The device loaded, so the placers have no business
+        // rejecting it.
+        return std::string("placer rejected a loadable device: ") +
+               error.what();
+    }
+    return std::nullopt;
+}
+
+// --- router_grid ------------------------------------------------------
+
+std::optional<std::string>
+checkRouterGrid(const std::string &input)
+{
+    Device device = fromJsonText(input); // UserError = rejected.
+    try {
+        place::RowPlacer row;
+        place::Placement placement = row.place(device);
+        route::RouterOptions options;
+        options.ripupRounds = 2;
+        // The property under test is path geometry, not routing
+        // quality: a coarse grid (~48 cells across instead of the
+        // auto 384) exercises the same code paths at a small
+        // fraction of the per-execution cost.
+        Rect die = placement.boundingBox(device);
+        options.cellSize =
+            std::max<int64_t>(die.width / 48, 200);
+        route::RouteResult result =
+            routeDevice(device, placement, options);
+        (void)result;
+        for (const Connection &connection : device.connections()) {
+            for (const ChannelPath &path : connection.paths()) {
+                if (path.waypoints.size() < 2)
+                    return "routed path on \"" + connection.id() +
+                           "\" has fewer than two waypoints";
+                for (size_t i = 1; i < path.waypoints.size(); ++i) {
+                    const Point &a = path.waypoints[i - 1];
+                    const Point &b = path.waypoints[i];
+                    if (a.x != b.x && a.y != b.y)
+                        return "routed segment on \"" +
+                               connection.id() +
+                               "\" is not axis-aligned";
+                    // A 2-point zero-length path is the legal
+                    // degenerate form for coincident terminals;
+                    // repeats anywhere else are bugs.
+                    if (a == b && path.waypoints.size() > 2)
+                        return "routed path on \"" +
+                               connection.id() +
+                               "\" repeats a waypoint";
+                }
+            }
+        }
+    } catch (const UserError &error) {
+        return std::string("router rejected a loadable device: ") +
+               error.what();
+    }
+    return std::nullopt;
+}
+
+// --- svc_cache_key ----------------------------------------------------
+
+std::optional<std::string>
+checkCacheKey(const std::string &input)
+{
+    json::Value value = json::parse(input); // UserError = rejected.
+    std::string canonical = svc::canonicalJsonText(value);
+    std::string again =
+        svc::canonicalJsonText(json::parse(canonical));
+    if (canonical != again)
+        return "canonical JSON text is not a fixpoint";
+
+    // Reformatting must not move the content address: pretty and
+    // compact renderings of the same document share one key.
+    json::WriteOptions pretty;
+    std::string reformatted = json::write(value, pretty);
+    std::string via_pretty =
+        svc::canonicalJsonText(json::parse(reformatted));
+    if (svc::contentHash(via_pretty) != svc::contentHash(canonical))
+        return "content hash differs across formattings of one "
+               "document";
+    return std::nullopt;
+}
+
+std::vector<Target>
+buildTargets()
+{
+    std::vector<Target> targets;
+    targets.push_back(
+        {"json_parse",
+         "json::parse never crashes; accepted text round-trips",
+         [](Rng &rng) {
+             return rng.nextBool(0.125) ? randomBytes(rng, 256)
+                                        : randomJsonText(rng);
+         },
+         checkJsonParse});
+    targets.push_back(
+        {"json_roundtrip",
+         "valid documents survive write/parse in every form",
+         [](Rng &rng) {
+             json::WriteOptions options;
+             options.pretty = rng.nextBool();
+             return json::write(randomValue(rng), options);
+         },
+         checkJsonRoundtrip});
+    targets.push_back(
+        {"mint_parse",
+         "MINT front end never crashes; accepted programs "
+         "elaborate to round-trippable devices",
+         [](Rng &rng) { return randomMintSource(rng); },
+         checkMintParse});
+    targets.push_back(
+        {"netlist_validate",
+         "validator never crashes and verdicts are deterministic",
+         [](Rng &rng) { return randomNetlistJson(rng); },
+         checkNetlistValidate});
+    targets.push_back(
+        {"netlist_roundtrip",
+         "loadable netlists serialize to a fixpoint",
+         [](Rng &rng) {
+             return rng.nextBool(0.25)
+                        ? randomNetlistJson(rng)
+                        : toJsonText(randomDevice(rng));
+         },
+         checkNetlistRoundtrip});
+    targets.push_back(
+        {"http_request",
+         "RequestParser verdicts are fragmentation-independent",
+         [](Rng &rng) { return randomHttpStream(rng); },
+         checkHttpRequest});
+    targets.push_back(
+        {"placer_legal",
+         "placers place every component; row placement is "
+         "overlap-free and in-bounds; annealing is deterministic",
+         [](Rng &rng) { return toJsonText(randomDevice(rng)); },
+         checkPlacerLegal});
+    targets.push_back(
+        {"router_grid",
+         "router outputs axis-aligned, non-degenerate paths",
+         [](Rng &rng) { return toJsonText(randomDevice(rng)); },
+         checkRouterGrid});
+    targets.push_back(
+        {"svc_cache_key",
+         "service cache keys are byte-stable across formattings",
+         [](Rng &rng) { return randomJsonText(rng); },
+         checkCacheKey});
+    return targets;
+}
+
+} // namespace
+
+const std::vector<Target> &
+allTargets()
+{
+    static const std::vector<Target> targets = buildTargets();
+    return targets;
+}
+
+const Target &
+findTarget(std::string_view name)
+{
+    for (const Target &target : allTargets()) {
+        if (target.name == name)
+            return target;
+    }
+    std::string names;
+    for (const Target &target : allTargets()) {
+        if (!names.empty())
+            names += ", ";
+        names += target.name;
+    }
+    fatal("unknown fuzz target \"" + std::string(name) +
+          "\" (known: " + names + ")");
+}
+
+std::optional<std::string>
+runCheck(const Target &target, const std::string &input)
+{
+    try {
+        return target.check(input);
+    } catch (const UserError &) {
+        // Rejection is the parsers' prerogative.
+        return std::nullopt;
+    } catch (const std::exception &error) {
+        return std::string("unexpected exception (") +
+               typeid(error).name() + "): " + error.what();
+    } catch (...) {
+        return std::string("unexpected non-standard exception");
+    }
+}
+
+} // namespace parchmint::fuzz

@@ -1,7 +1,9 @@
 #include "mint/lexer.hh"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 
 namespace parchmint::mint
 {
@@ -29,6 +31,13 @@ isIdentBody(char c)
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
            c == '.' || c == '-';
 }
+
+/**
+ * Identifiers (and numeric literals) beyond this length are a
+ * hostile input, not a netlist; rejecting them bounds token memory
+ * under fuzzed input.
+ */
+constexpr size_t kMaxTokenLength = 1024;
 
 } // namespace
 
@@ -93,6 +102,30 @@ tokenize(std::string_view source)
                 if (d == '\n')
                     throw MintError("newline in string literal",
                                     token.line, token.column);
+                if (d == '\\') {
+                    size_t escape_line = line;
+                    size_t escape_column = column;
+                    advance();
+                    if (pos >= source.size())
+                        throw MintError(
+                            "unterminated string literal",
+                            token.line, token.column);
+                    char e = source[pos];
+                    switch (e) {
+                      case '\\': text.push_back('\\'); break;
+                      case '"': text.push_back('"'); break;
+                      case 'n': text.push_back('\n'); break;
+                      case 't': text.push_back('\t'); break;
+                      default:
+                        throw MintError(
+                            std::string(
+                                "invalid escape sequence '\\") +
+                                e + "' in string literal",
+                            escape_line, escape_column);
+                    }
+                    advance();
+                    continue;
+                }
                 text.push_back(d);
                 advance();
             }
@@ -121,18 +154,46 @@ tokenize(std::string_view source)
                 throw MintError("identifier cannot start with a digit",
                                 token.line, token.column);
             }
+            if (text.size() > kMaxTokenLength) {
+                throw MintError("numeric literal is too long",
+                                token.line, token.column);
+            }
             token.text = text;
             if (is_real) {
                 token.kind = TokenKind::Real;
                 token.real = std::strtod(text.c_str(), nullptr);
+                if (!std::isfinite(token.real)) {
+                    throw MintError("real literal out of range",
+                                    token.line, token.column);
+                }
             } else {
                 token.kind = TokenKind::Integer;
-                token.integer = std::strtoll(text.c_str(), nullptr, 10);
+                // strtoll saturates silently on overflow; fold the
+                // digits with an explicit range check instead so
+                // "99999999999999999999" is a positioned error,
+                // not LLONG_MAX.
+                int64_t value = 0;
+                constexpr int64_t kMax =
+                    std::numeric_limits<int64_t>::max();
+                for (char d : text) {
+                    int64_t digit = d - '0';
+                    if (value > (kMax - digit) / 10) {
+                        throw MintError(
+                            "integer literal out of range",
+                            token.line, token.column);
+                    }
+                    value = value * 10 + digit;
+                }
+                token.integer = value;
             }
         } else if (isIdentStart(c)) {
             std::string text;
             while (pos < source.size() && isIdentBody(source[pos])) {
                 text.push_back(source[pos]);
+                if (text.size() > kMaxTokenLength) {
+                    throw MintError("identifier is too long",
+                                    token.line, token.column);
+                }
                 advance();
             }
             token.kind = TokenKind::Identifier;

@@ -35,6 +35,28 @@ isScalar(const json::Value &value)
            value.isBoolean();
 }
 
+/**
+ * Quote a string literal, escaping the characters the lexer treats
+ * specially — emitting them raw would produce MINT the lexer
+ * rejects (or silently mis-reads).
+ */
+std::string
+quoted(const std::string &text)
+{
+    std::string out = "\"";
+    for (char c : text) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out.push_back(c); break;
+        }
+    }
+    out += "\"";
+    return out;
+}
+
 std::string
 paramValueText(const json::Value &value)
 {
@@ -49,12 +71,12 @@ paramValueText(const json::Value &value)
         bool bare = std::isalnum(static_cast<unsigned char>(c)) ||
                     c == '_' || c == '.' || c == '-';
         if (!bare)
-            return "\"" + text + "\"";
+            return quoted(text);
     }
     if (text.empty())
-        return "\"\"";
+        return quoted(text);
     if (std::isdigit(static_cast<unsigned char>(text[0])))
-        return "\"" + text + "\"";
+        return quoted(text);
     return text;
 }
 

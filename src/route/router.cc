@@ -281,17 +281,33 @@ class DeviceRouter
                 }
             }
 
+            // A port rarely sits exactly on its grid cell's
+            // center, so the escape stub from terminal to grid
+            // (and back) must be bent into an L — otherwise the
+            // emitted path has diagonal end segments and the
+            // "axis-aligned waypoints" contract only holds for
+            // interior segments.
+            auto append_rectilinear = [](std::vector<Point> &list,
+                                         const Point &p) {
+                if (!list.empty()) {
+                    const Point &last = list.back();
+                    if (last.x != p.x && last.y != p.y)
+                        list.push_back(Point{last.x, p.y});
+                }
+                list.push_back(p);
+            };
             std::vector<Point> waypoints;
             waypoints.push_back(source_pos);
             for (const Cell &cell : found.path)
-                waypoints.push_back(grid.center(cell));
-            waypoints.push_back(sink_pos);
+                append_rectilinear(waypoints, grid.center(cell));
+            append_rectilinear(waypoints, sink_pos);
             ChannelPath path;
             path.source = connection.source();
             path.sink = sink;
             path.waypoints = simplify(waypoints);
             if (path.waypoints.size() < 2) {
-                // Degenerate (same cell): keep both terminals.
+                // Degenerate (coincident terminals): keep a
+                // zero-length two-point path.
                 path.waypoints = {source_pos, sink_pos};
             }
             length += path.length();

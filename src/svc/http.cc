@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <limits>
 
 #include "common/strings.hh"
 
@@ -58,12 +59,16 @@ parseHeaderLines(std::string_view block,
         size_t colon = line.find(':');
         if (colon == std::string_view::npos || colon == 0)
             return false;
-        std::string name = toLower(trim(line.substr(0, colon)));
-        // A space inside the field name (e.g. from obs-fold
-        // continuation lines, which we do not support) is invalid.
-        if (name.find(' ') != std::string::npos)
+        std::string_view raw_name = line.substr(0, colon);
+        // Whitespace anywhere in the field name is invalid per RFC
+        // 7230 §3.2.4 — trimming "Content-Length :" into a valid
+        // name (as this parser once did) lets a front end and back
+        // end disagree about which header was sent. This also
+        // rejects obs-fold continuation lines, which we do not
+        // support.
+        if (raw_name.find_first_of(" \t") != std::string_view::npos)
             return false;
-        out.emplace_back(std::move(name),
+        out.emplace_back(toLower(raw_name),
                          trim(line.substr(colon + 1)));
     }
     return true;
@@ -76,15 +81,28 @@ parseHeaderLines(std::string_view block,
 bool
 parseContentLength(std::string_view text, size_t &out)
 {
-    if (text.empty() || text.size() > 15)
+    if (text.empty())
         return false;
-    size_t value = 0;
+    // "007" and "+5" are tolerated by some stacks and rejected by
+    // others — exactly the disagreement request smuggling exploits.
+    // Only the canonical spelling is accepted: decimal digits, no
+    // sign, no leading zero (except "0" itself), and a value that
+    // fits in int64 (19+ digit lengths used to be waved through by
+    // a length heuristic that silently wrapped on 16-18 digits).
+    if (text.size() > 1 && text[0] == '0')
+        return false;
+    constexpr uint64_t kMax =
+        static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
+    uint64_t value = 0;
     for (char c : text) {
         if (c < '0' || c > '9')
             return false;
-        value = value * 10 + static_cast<size_t>(c - '0');
+        uint64_t digit = static_cast<uint64_t>(c - '0');
+        if (value > (kMax - digit) / 10)
+            return false;
+        value = value * 10 + digit;
     }
-    out = value;
+    out = static_cast<size_t>(value);
     return true;
 }
 
@@ -294,8 +312,20 @@ RequestParser::parseHeaderBlock(std::string_view block)
         return false;
     }
     contentLength_ = 0;
-    if (const std::string *length =
-            request_.findHeader("content-length")) {
+    // Conflicting duplicate Content-Length headers are the classic
+    // request-smuggling desync; findHeader() would silently pick
+    // the first one.
+    const std::string *length = nullptr;
+    for (const auto &header : request_.headers) {
+        if (header.first != "content-length")
+            continue;
+        if (length && *length != header.second) {
+            fail(400, "conflicting Content-Length headers");
+            return false;
+        }
+        length = &header.second;
+    }
+    if (length) {
         if (!parseContentLength(*length, contentLength_)) {
             fail(400, "malformed Content-Length");
             return false;

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Unit tests for the fuzzing & property-testing engine (src/fuzz/).
+ *
+ * The engine's load-bearing promise is determinism: generators are
+ * pure functions of their Rng, checks are pure functions of the
+ * input bytes, and the scheduler never leaks into either — so
+ * `--jobs 4` must report exactly what `--jobs 1` reports. These
+ * tests pin that promise, plus shrinking, corpus round-trips, and
+ * the shared CLI parsing helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "common/cli.hh"
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "fuzz/bytes.hh"
+#include "fuzz/corpus.hh"
+#include "fuzz/engine.hh"
+#include "fuzz/gen_http.hh"
+#include "fuzz/gen_json.hh"
+#include "fuzz/gen_mint.hh"
+#include "fuzz/gen_netlist.hh"
+#include "fuzz/shrink.hh"
+#include "fuzz/target.hh"
+
+using namespace parchmint;
+using namespace parchmint::fuzz;
+
+namespace
+{
+
+/**
+ * A synthetic target with a planted bug: the "parser" crashes on
+ * any input containing the byte pair "]]" . The generator plants
+ * the trigger in roughly one of eight inputs, buried in noise, so
+ * the engine has both finding and shrinking work to do.
+ */
+Target
+plantedBugTarget()
+{
+    Target target;
+    target.name = "planted_bug";
+    target.description = "synthetic crash on \"]]\"";
+    target.generate = [](Rng &rng) {
+        std::string input = randomBytes(rng, 64);
+        if (rng.nextBelow(8) == 0) {
+            size_t at = input.empty()
+                            ? 0
+                            : rng.nextBelow(input.size());
+            input.insert(at, "]]");
+        }
+        return input;
+    };
+    target.check =
+        [](const std::string &input) -> std::optional<std::string> {
+        if (input.find("]]") != std::string::npos)
+            throw std::logic_error("planted parser bug");
+        return std::nullopt;
+    };
+    return target;
+}
+
+std::string
+tempDir(const char *leaf)
+{
+    std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) / leaf;
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+} // namespace
+
+TEST(FuzzGeneratorTest, GeneratorsAreDeterministic)
+{
+    for (const Target &target : allTargets()) {
+        Rng a(42);
+        Rng b(42);
+        for (int i = 0; i < 5; ++i) {
+            EXPECT_EQ(target.generate(a), target.generate(b))
+                << target.name;
+        }
+    }
+}
+
+TEST(FuzzGeneratorTest, GeneratorsVaryAcrossSeeds)
+{
+    // Not a randomness-quality test — just a guard against a
+    // generator that ignores its Rng entirely.
+    for (const Target &target : allTargets()) {
+        Rng a(1);
+        Rng b(2);
+        std::set<std::string> outputs;
+        for (int i = 0; i < 4; ++i) {
+            outputs.insert(target.generate(a));
+            outputs.insert(target.generate(b));
+        }
+        EXPECT_GT(outputs.size(), 1u) << target.name;
+    }
+}
+
+TEST(FuzzGeneratorTest, ByteMutatorsAreDeterministic)
+{
+    std::string base = "The quick brown fox";
+    Rng a(7);
+    Rng b(7);
+    EXPECT_EQ(mutateBytes(a, base), mutateBytes(b, base));
+    Rng c(9);
+    Rng d(9);
+    EXPECT_EQ(spliceBytes(c, base, "jumps over"),
+              spliceBytes(d, base, "jumps over"));
+    Rng e(11);
+    Rng f(11);
+    EXPECT_EQ(randomBytes(e, 128), randomBytes(f, 128));
+}
+
+TEST(FuzzTargetTest, RegistryHasUniqueNamesAndLookup)
+{
+    std::set<std::string> names;
+    for (const Target &target : allTargets()) {
+        EXPECT_TRUE(names.insert(target.name).second)
+            << "duplicate target " << target.name;
+        EXPECT_FALSE(target.description.empty()) << target.name;
+        EXPECT_EQ(target.name, findTarget(target.name).name);
+    }
+    EXPECT_GE(names.size(), 9u);
+    EXPECT_THROW(findTarget("no_such_target"), UserError);
+}
+
+TEST(FuzzTargetTest, ChecksAcceptKnownGoodInputs)
+{
+    EXPECT_FALSE(runCheck(findTarget("json_parse"),
+                          "{\"a\":[1,2.5,\"x\",null,true]}"));
+    EXPECT_FALSE(runCheck(findTarget("svc_cache_key"),
+                          "{\"b\":2,\"a\":1}"));
+    EXPECT_FALSE(runCheck(
+        findTarget("mint_parse"),
+        "DEVICE d\nLAYER FLOW\nPORT p1;\nPORT p2;\n"
+        "CHANNEL c1 FROM p1 TO p2 channelWidth=400;\nEND LAYER\n"));
+    // Rejections (UserError) are acceptance too: no verdict.
+    EXPECT_FALSE(runCheck(findTarget("json_parse"), "{not json"));
+}
+
+TEST(FuzzTargetTest, ChecksReportNonUserExceptions)
+{
+    Target target = plantedBugTarget();
+    std::optional<std::string> verdict = runCheck(target, "a]]b");
+    ASSERT_TRUE(verdict.has_value());
+    EXPECT_NE(std::string::npos, verdict->find("planted"));
+    EXPECT_FALSE(runCheck(target, "clean"));
+}
+
+TEST(FuzzShrinkTest, ShrinksToMinimalTrigger)
+{
+    Target target = plantedBugTarget();
+    std::string noisy =
+        "prefix prefix prefix ]] suffix suffix suffix";
+    ShrinkResult result = shrinkInput(target, noisy, 2000);
+    EXPECT_EQ("]]", result.input);
+    EXPECT_NE(std::string::npos, result.message.find("planted"));
+    EXPECT_GT(result.attempts, 0u);
+}
+
+TEST(FuzzShrinkTest, CanonicalizesSurvivingBytes)
+{
+    // Failure depends only on length here, so every byte should
+    // canonicalize to 'a'.
+    Target target;
+    target.name = "len";
+    target.generate = [](Rng &) { return std::string(); };
+    target.check =
+        [](const std::string &input) -> std::optional<std::string> {
+        if (input.size() >= 3)
+            return "too long";
+        return std::nullopt;
+    };
+    ShrinkResult result = shrinkInput(target, "XYZW!?", 2000);
+    EXPECT_EQ("aaa", result.input);
+}
+
+TEST(FuzzEngineTest, FindsShrinksAndDumpsPlantedBug)
+{
+    std::string corpus = tempDir("fuzz_engine_corpus");
+    RunOptions options;
+    options.iters = 200;
+    options.seed = 5;
+    options.jobs = 2;
+    options.corpusDir = corpus;
+
+    RunSummary summary =
+        runFuzz(options, {plantedBugTarget()});
+    ASSERT_FALSE(summary.clean());
+    ASSERT_EQ(1u, summary.findings.size());
+    const Finding &finding = summary.findings.front();
+    EXPECT_EQ("planted_bug", finding.targetName);
+    EXPECT_EQ("]]", finding.input);
+    EXPECT_FALSE(finding.corpusPath.empty());
+
+    // The dump must replay: same bytes, same verdict.
+    std::vector<CorpusEntry> entries =
+        loadCorpus(corpus, "planted_bug");
+    ASSERT_EQ(1u, entries.size());
+    EXPECT_EQ("]]", entries.front().input);
+    EXPECT_EQ(options.seed, entries.front().seed);
+    EXPECT_TRUE(
+        runCheck(plantedBugTarget(), entries.front().input));
+}
+
+TEST(FuzzEngineTest, JobCountDoesNotChangeFindings)
+{
+    RunOptions base;
+    base.iters = 300;
+    base.seed = 17;
+
+    RunOptions serial = base;
+    serial.jobs = 1;
+    RunOptions parallel = base;
+    parallel.jobs = 4;
+
+    RunSummary a = runFuzz(serial, {plantedBugTarget()});
+    RunSummary b = runFuzz(parallel, {plantedBugTarget()});
+    EXPECT_EQ(4u, b.workers);
+    ASSERT_EQ(a.findings.size(), b.findings.size());
+    for (size_t i = 0; i < a.findings.size(); ++i) {
+        EXPECT_EQ(a.findings[i].targetName,
+                  b.findings[i].targetName);
+        EXPECT_EQ(a.findings[i].iteration,
+                  b.findings[i].iteration);
+        EXPECT_EQ(a.findings[i].message, b.findings[i].message);
+        EXPECT_EQ(a.findings[i].input, b.findings[i].input);
+    }
+    EXPECT_EQ(a.executions, b.executions);
+}
+
+TEST(FuzzEngineTest, RegisteredTargetSmoke)
+{
+    // A tiny run over every registered target: nothing crashes,
+    // every execution is counted, and (with hardened parsers) no
+    // findings surface.
+    RunOptions options;
+    options.iters = 25;
+    options.seed = 3;
+    options.jobs = 2;
+    RunSummary summary = runFuzz(options);
+    EXPECT_EQ(25u * allTargets().size(), summary.executions);
+    for (const Finding &finding : summary.findings)
+        ADD_FAILURE() << finding.targetName << ": "
+                      << finding.message;
+}
+
+TEST(FuzzEngineTest, TimeBudgetStopsEarly)
+{
+    Target slow;
+    slow.name = "slow";
+    slow.generate = [](Rng &rng) {
+        return randomBytes(rng, 16);
+    };
+    slow.check =
+        [](const std::string &) -> std::optional<std::string> {
+        return std::nullopt;
+    };
+    RunOptions options;
+    options.iters = 50'000'000; // far more than 1ms allows
+    options.timeMs = 1;
+    options.jobs = 2;
+    RunSummary summary = runFuzz(options, {slow});
+    EXPECT_LT(summary.executions, 50'000'000u);
+}
+
+TEST(FuzzCorpusTest, WriteLoadRoundTrip)
+{
+    std::string root = tempDir("fuzz_corpus_rt");
+    CorpusEntry entry;
+    entry.targetName = "json_parse";
+    entry.input = "{\"k\":[1,2,3]}";
+    entry.message = "seed";
+    entry.seed = 99;
+    entry.iteration = 12;
+    std::string path = writeCorpusEntry(root, entry);
+    EXPECT_TRUE(std::filesystem::exists(path));
+
+    std::vector<CorpusEntry> loaded =
+        loadCorpus(root, "json_parse");
+    ASSERT_EQ(1u, loaded.size());
+    EXPECT_EQ(entry.input, loaded.front().input);
+    EXPECT_EQ(entry.message, loaded.front().message);
+    EXPECT_EQ(entry.seed, loaded.front().seed);
+    EXPECT_EQ(entry.iteration, loaded.front().iteration);
+
+    // Re-writing identical bytes is idempotent (content-addressed).
+    EXPECT_EQ(path, writeCorpusEntry(root, entry));
+    EXPECT_EQ(1u, loadCorpus(root, "json_parse").size());
+
+    // A clean registered-target corpus replays with no failures.
+    EXPECT_TRUE(replayCorpus(root).empty());
+    EXPECT_TRUE(loadCorpus(root, "absent_target").empty());
+}
+
+TEST(CliTest, ParseUint64AcceptsCanonicalNumbers)
+{
+    EXPECT_EQ(0u, cli::parseUint64("0", "--seed", "t"));
+    EXPECT_EQ(123u, cli::parseUint64("123", "--seed", "t"));
+    EXPECT_EQ(UINT64_MAX,
+              cli::parseUint64("18446744073709551615", "--seed",
+                               "t"));
+}
+
+TEST(CliDeathTest, GarbageValuesExitWithStatusTwo)
+{
+    EXPECT_EXIT(cli::parseUint64("12x", "--iters", "t"),
+                ::testing::ExitedWithCode(cli::kUsageExit), "");
+    EXPECT_EXIT(cli::parseUint64("", "--iters", "t"),
+                ::testing::ExitedWithCode(cli::kUsageExit), "");
+    EXPECT_EXIT(cli::parseUint64("-1", "--iters", "t"),
+                ::testing::ExitedWithCode(cli::kUsageExit), "");
+    EXPECT_EXIT(
+        cli::parseUint64("18446744073709551616", "--iters", "t"),
+        ::testing::ExitedWithCode(cli::kUsageExit), "");
+    EXPECT_EXIT(cli::parseSeed("1.5", "t"),
+                ::testing::ExitedWithCode(cli::kUsageExit), "");
+}
+
+TEST(CliTest, MatchValueFlagHandlesBothSpellings)
+{
+    const char *raw[] = {"prog", "--seed", "7", "--jobs=4"};
+    char **argv = const_cast<char **>(raw);
+    std::string value;
+    int i = 1;
+    EXPECT_TRUE(cli::matchValueFlag(4, argv, i, "--seed", value));
+    EXPECT_EQ("7", value);
+    EXPECT_EQ(2, i); // consumed the value argument
+    i = 3;
+    EXPECT_FALSE(cli::matchValueFlag(4, argv, i, "--seed", value));
+    EXPECT_TRUE(cli::matchValueFlag(4, argv, i, "--jobs", value));
+    EXPECT_EQ("4", value);
+}

@@ -82,6 +82,105 @@ TEST(LexerTest, ErrorCarriesPosition)
     }
 }
 
+TEST(LexerTest, StringEscapes)
+{
+    std::vector<Token> tokens = tokenize(R"("a\\b\"c\n\t")");
+    ASSERT_EQ(2u, tokens.size());
+    EXPECT_EQ(TokenKind::String, tokens[0].kind);
+    EXPECT_EQ("a\\b\"c\n\t", tokens[0].text);
+}
+
+TEST(LexerTest, InvalidEscapeIsPositionedError)
+{
+    try {
+        tokenize("\n  \"ab\\qcd\"");
+        FAIL() << "expected MintError";
+    } catch (const MintError &error) {
+        EXPECT_NE(std::string::npos,
+                  std::string(error.what())
+                      .find("invalid escape sequence"));
+        EXPECT_EQ(2u, error.line());
+        // The error points at the backslash, not the string start.
+        EXPECT_EQ(6u, error.column());
+    }
+}
+
+TEST(LexerTest, BackslashAtEndOfInputIsUnterminated)
+{
+    EXPECT_THROW(tokenize("\"abc\\"), MintError);
+}
+
+TEST(LexerTest, UnterminatedStringReportsOpeningQuote)
+{
+    try {
+        tokenize("DEVICE d\n   \"never closed");
+        FAIL() << "expected MintError";
+    } catch (const MintError &error) {
+        EXPECT_NE(std::string::npos,
+                  std::string(error.what()).find("unterminated"));
+        EXPECT_EQ(2u, error.line());
+        EXPECT_EQ(4u, error.column());
+    }
+}
+
+TEST(LexerTest, CommentRunningToEndOfInputIsNotAnError)
+{
+    // A '#' comment is terminated by newline or EOF; a file that
+    // ends mid-comment lexes cleanly to just the EOF token.
+    std::vector<Token> tokens = tokenize("# trailing comment");
+    ASSERT_EQ(1u, tokens.size());
+    EXPECT_EQ(TokenKind::EndOfFile, tokens[0].kind);
+
+    tokens = tokenize("DEVICE d # explain");
+    ASSERT_EQ(3u, tokens.size());
+    EXPECT_EQ(TokenKind::EndOfFile, tokens[2].kind);
+}
+
+TEST(LexerTest, IntegerOverflowIsPositionedError)
+{
+    // strtoll would silently saturate to LLONG_MAX here.
+    try {
+        tokenize("w=99999999999999999999");
+        FAIL() << "expected MintError";
+    } catch (const MintError &error) {
+        EXPECT_NE(std::string::npos,
+                  std::string(error.what()).find("out of range"));
+        EXPECT_EQ(1u, error.line());
+        EXPECT_EQ(3u, error.column());
+    }
+    // The extremes that do fit still lex.
+    std::vector<Token> tokens = tokenize("9223372036854775807");
+    EXPECT_EQ(INT64_MAX, tokens[0].integer);
+}
+
+TEST(LexerTest, RealOverflowIsPositionedError)
+{
+    std::string huge = "1" + std::string(400, '0') + ".0";
+    EXPECT_THROW(tokenize(huge), MintError);
+}
+
+TEST(LexerTest, OverlongIdentifierIsPositionedError)
+{
+    std::string ok(1024, 'a');
+    EXPECT_EQ(TokenKind::Identifier, tokenize(ok)[0].kind);
+    try {
+        tokenize("x\n" + std::string(1025, 'a'));
+        FAIL() << "expected MintError";
+    } catch (const MintError &error) {
+        EXPECT_NE(std::string::npos,
+                  std::string(error.what()).find("too long"));
+        EXPECT_EQ(2u, error.line());
+        EXPECT_EQ(1u, error.column());
+    }
+}
+
+TEST(LexerTest, OverlongNumericLiteralIsPositionedError)
+{
+    // Even with a dot keeping it "real", a thousand-digit literal
+    // is rejected by length before range.
+    EXPECT_THROW(tokenize(std::string(1030, '1')), MintError);
+}
+
 // --- Parser -----------------------------------------------------------
 
 const char *kSmallMint = R"(

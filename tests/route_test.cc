@@ -300,15 +300,14 @@ TEST(RouterTest, WaypointsAreRectilinear)
     routeDevice(device, placement);
     for (const Connection &connection : device.connections()) {
         for (const ChannelPath &path : connection.paths()) {
-            for (size_t i = 1; i + 1 < path.waypoints.size(); ++i) {
-                // Interior segments are axis-aligned (the terminal
-                // stubs may be diagonal jumps from port to grid).
-                if (i >= 2) {
-                    const Point &a = path.waypoints[i - 1];
-                    const Point &b = path.waypoints[i];
-                    EXPECT_TRUE(a.x == b.x || a.y == b.y)
-                        << connection.id();
-                }
+            for (size_t i = 1; i < path.waypoints.size(); ++i) {
+                // Every segment, terminal stubs included, is
+                // axis-aligned: ports off their grid-cell center
+                // get an L-shaped escape, not a diagonal jump.
+                const Point &a = path.waypoints[i - 1];
+                const Point &b = path.waypoints[i];
+                EXPECT_TRUE(a.x == b.x || a.y == b.y)
+                    << connection.id();
             }
         }
     }

@@ -168,6 +168,116 @@ TEST(RequestParserTest, ChunkedTransferIs501)
     EXPECT_EQ(501, parser.errorStatus());
 }
 
+namespace
+{
+
+/** Feed a whole request with the given Content-Length value text. */
+RequestParser
+parseWithContentLength(const std::string &value)
+{
+    RequestParser parser;
+    parser.feed("POST /v1/validate HTTP/1.1\r\n"
+                "Content-Length: " +
+                value +
+                "\r\n"
+                "\r\n");
+    return parser;
+}
+
+} // namespace
+
+TEST(RequestParserTest, ContentLengthLeadingPlusIs400)
+{
+    RequestParser parser = parseWithContentLength("+5");
+    ASSERT_EQ(RequestParser::State::Error, parser.state());
+    EXPECT_EQ(400, parser.errorStatus());
+}
+
+TEST(RequestParserTest, ContentLengthLeadingZerosAre400)
+{
+    // "007" means 7 to a lenient stack and garbage to a strict
+    // one; any disagreement across a proxy chain is a smuggling
+    // vector, so only the canonical spelling is accepted.
+    for (const char *value : {"007", "00", "01"}) {
+        RequestParser parser = parseWithContentLength(value);
+        ASSERT_EQ(RequestParser::State::Error, parser.state())
+            << value;
+        EXPECT_EQ(400, parser.errorStatus()) << value;
+    }
+    RequestParser zero = parseWithContentLength("0");
+    EXPECT_EQ(RequestParser::State::Complete, zero.state());
+}
+
+TEST(RequestParserTest, ContentLengthOverflowIs400)
+{
+    // 2^63 and a 20-digit value that would wrap uint64 arithmetic.
+    for (const char *value :
+         {"9223372036854775808", "18446744073709551617",
+          "99999999999999999999999999"}) {
+        RequestParser parser = parseWithContentLength(value);
+        ASSERT_EQ(RequestParser::State::Error, parser.state())
+            << value;
+        EXPECT_EQ(400, parser.errorStatus()) << value;
+    }
+}
+
+TEST(RequestParserTest, ConflictingContentLengthsAre400)
+{
+    RequestParser parser;
+    parser.feed("POST /v1/validate HTTP/1.1\r\n"
+                "Content-Length: 6\r\n"
+                "Content-Length: 2\r\n"
+                "\r\n"
+                "{\"\":1}");
+    ASSERT_EQ(RequestParser::State::Error, parser.state());
+    EXPECT_EQ(400, parser.errorStatus());
+}
+
+TEST(RequestParserTest, RepeatedIdenticalContentLengthCollapses)
+{
+    // RFC 7230 §3.3.2: identical repeats may be collapsed; only
+    // conflicting values must be rejected.
+    RequestParser parser;
+    parser.feed("POST /v1/validate HTTP/1.1\r\n"
+                "Content-Length: 6\r\n"
+                "Content-Length: 6\r\n"
+                "\r\n"
+                "{\"\":1}");
+    ASSERT_EQ(RequestParser::State::Complete, parser.state());
+    EXPECT_EQ("{\"\":1}", parser.request().body);
+}
+
+TEST(RequestParserTest, WhitespaceInHeaderNameIs400)
+{
+    // "Content-Length :" must not be trimmed into a valid header;
+    // RFC 7230 §3.2.4 requires rejecting whitespace before the
+    // colon (space or tab, leading or trailing).
+    for (const char *line :
+         {"Content-Length : 5", "Content-Length\t: 5",
+          " Content-Length: 5", "Bad Name: x"}) {
+        RequestParser parser;
+        parser.feed("POST /v1/validate HTTP/1.1\r\n" +
+                    std::string(line) +
+                    "\r\n"
+                    "\r\n");
+        ASSERT_EQ(RequestParser::State::Error, parser.state())
+            << line;
+        EXPECT_EQ(400, parser.errorStatus()) << line;
+    }
+}
+
+TEST(RequestParserTest, OversizedHeaderBlockWithWhitespaceNameIs431)
+{
+    // When the header block never completes, the size limit still
+    // fires even though the block would also be malformed.
+    RequestParser parser;
+    std::string huge = "POST / HTTP/1.1\r\nX Pad: ";
+    huge.append(70000, 'a');
+    parser.feed(huge);
+    ASSERT_EQ(RequestParser::State::Error, parser.state());
+    EXPECT_EQ(431, parser.errorStatus());
+}
+
 TEST(RequestParserTest, KeepAliveSemantics)
 {
     HttpRequest request;
