@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Cross-version leaderboard over a JSONL run-history file — the
+ * front end of obs/leaderboard.hh.
+ *
+ * Run:  ./leaderboard [options] history.jsonl [more.jsonl ...]
+ *
+ * Records are grouped by (problem, manifest_version, env_id) and
+ * every metric gets a ranked board with manifest-declared better-
+ * directions; runs from different environments or manifest
+ * revisions never rank against each other. A chronological
+ * regression-provenance section reports, for each metric that
+ * moved in the worse direction, the first run — with its env and
+ * manifest stamps — where it did, flagging movements that coincide
+ * with an environment or manifest change as confounded.
+ *
+ * Output is a pure function of the input records: the same history
+ * file renders byte-identically, so leaderboards are diffable CI
+ * artifacts.
+ *
+ * Options:
+ *   --format <fmt>     table | markdown | json (default table)
+ *   --metric <prefix>  board only metrics matching the flat-key
+ *                      prefix ("counter:place.", "gauge:");
+ *                      repeatable; default uses the problem's
+ *                      manifest-declared metric families
+ *   --threshold <pct>  regression-provenance threshold in percent
+ *                      (default 5)
+ *
+ * Exit status: 0 on success (regressions included — ranking is
+ * reporting, not gating; gate with report_diff), 2 on usage or
+ * input errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "json/write.hh"
+#include "obs/history.hh"
+#include "obs/leaderboard.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: leaderboard [options] history.jsonl [...]\n"
+        "options: --format table|markdown|json\n"
+        "         --metric <prefix>  --threshold <pct>\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        std::vector<std::string> paths;
+        std::string format = "table";
+        obs::LeaderboardOptions options;
+
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            auto value = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    usage();
+                return argv[++i];
+            };
+            if (arg == "--format") {
+                format = value();
+            } else if (arg == "--metric") {
+                options.metrics.push_back(value());
+            } else if (arg == "--threshold") {
+                options.regressionThreshold =
+                    std::atof(value().c_str()) / 100.0;
+            } else if (arg == "--help" || arg == "-h") {
+                usage();
+            } else {
+                paths.push_back(arg);
+            }
+        }
+        if (paths.empty())
+            usage();
+        if (format != "table" && format != "markdown" &&
+            format != "json") {
+            usage();
+        }
+
+        std::vector<json::Value> records;
+        for (const std::string &path : paths) {
+            for (json::Value &record : obs::readHistory(path))
+                records.push_back(std::move(record));
+        }
+
+        obs::Leaderboard board =
+            obs::buildLeaderboard(records, options);
+
+        if (format == "json") {
+            std::printf(
+                "%s\n",
+                json::write(obs::leaderboardToJson(board))
+                    .c_str());
+        } else if (format == "markdown") {
+            std::printf(
+                "%s",
+                obs::renderLeaderboardMarkdown(board).c_str());
+        } else {
+            std::printf(
+                "%s", obs::renderLeaderboardTable(board).c_str());
+        }
+        return 0;
+    } catch (const UserError &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 2;
+    }
+}

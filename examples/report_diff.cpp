@@ -12,17 +12,26 @@
  * to its per-metric median first (median-of-repeats), which is how
  * noisy timing metrics become gateable.
  *
+ * Every rendering ends with a provenance line comparing the two
+ * sides' env_id and manifest_version stamps (obs/env.hh, obs/
+ * manifest.hh): a diff across different environments or problem
+ * definitions is annotated, never silent. Legacy records without
+ * the stamps are called out as such.
+ *
  * Options:
- *   --threshold <pct>   relative noise threshold in percent
- *                       (default 5)
- *   --format <fmt>      table | markdown | json (default table)
- *   --watch <prefix>    gate only metrics matching the prefix
- *                       ("counter:", "route.astar", ...);
- *                       repeatable; default gates everything
- *   --all               also print rows classified as noise
+ *   --threshold <pct>     relative noise threshold in percent
+ *                         (default 5)
+ *   --format <fmt>        table | markdown | json (default table)
+ *   --watch <prefix>      gate only metrics matching the prefix
+ *                         ("counter:", "route.astar", ...);
+ *                         repeatable; default gates everything
+ *   --all                 also print rows classified as noise
+ *   --require-same-env    refuse to diff runs whose env_ids both
+ *                         exist and differ (exit 2)
  *
  * Exit status: 0 when no watched metric regressed, 1 when one did
- * (the CI gate), 2 on usage or input errors.
+ * (the CI gate), 2 on usage or input errors — including an env_id
+ * mismatch under --require-same-env.
  */
 
 #include <cstdio>
@@ -40,22 +49,41 @@ using namespace parchmint;
 namespace
 {
 
-/** Load and flatten one side, median-merging repeats. */
+/**
+ * Load and flatten one side, median-merging repeats. The side's
+ * provenance lands in @p provenance: the common stamp when every
+ * repeat agrees, "mixed" when repeats disagree (which is itself a
+ * provenance problem worth surfacing).
+ */
 obs::FlatMetrics
-loadSide(const std::vector<std::string> &paths)
+loadSide(const std::vector<std::string> &paths,
+         obs::Provenance &provenance)
 {
     std::vector<obs::FlatMetrics> flats;
+    bool first = true;
     for (const std::string &path : paths) {
         json::Value report = json::parseFile(path);
         const json::Value *schema =
             report.isObject() ? report.find("schema") : nullptr;
         if (!schema || !schema->isString() ||
             (schema->asString() != "parchmint-run-report-v1" &&
-             schema->asString() != "parchmint-run-history-v1")) {
+             schema->asString() != "parchmint-run-report-v2" &&
+             schema->asString() != "parchmint-run-history-v1" &&
+             schema->asString() != "parchmint-run-history-v2")) {
             std::fprintf(stderr,
                          "warning: %s does not declare a known "
                          "run-report schema\n",
                          path.c_str());
+        }
+        obs::Provenance one = obs::extractProvenance(report);
+        if (first) {
+            provenance = one;
+            first = false;
+        } else {
+            if (provenance.envId != one.envId)
+                provenance.envId = "mixed";
+            if (provenance.manifestVersion != one.manifestVersion)
+                provenance.manifestVersion = "mixed";
         }
         flats.push_back(obs::flattenReport(report));
     }
@@ -71,7 +99,7 @@ usage()
         "usage: report_diff [options] baseline.json current.json\n"
         "       (or repeated --baseline/--current for medians)\n"
         "options: --threshold <pct>  --format table|markdown|json\n"
-        "         --watch <prefix>   --all\n");
+        "         --watch <prefix>   --all  --require-same-env\n");
     std::exit(2);
 }
 
@@ -88,6 +116,7 @@ main(int argc, char **argv)
         std::string format = "table";
         double threshold_pct = 5.0;
         bool include_noise = false;
+        bool require_same_env = false;
 
         for (int i = 1; i < argc; ++i) {
             std::string arg = argv[i];
@@ -108,6 +137,8 @@ main(int argc, char **argv)
                 threshold_pct = std::atof(value().c_str());
             } else if (arg == "--all") {
                 include_noise = true;
+            } else if (arg == "--require-same-env") {
+                require_same_env = true;
             } else if (arg == "--help" || arg == "-h") {
                 usage();
             } else {
@@ -129,8 +160,27 @@ main(int argc, char **argv)
 
         obs::CompareOptions options;
         options.relativeThreshold = threshold_pct / 100.0;
-        obs::Comparison comparison = obs::compareFlat(
-            loadSide(baselines), loadSide(currents), options);
+        obs::Provenance baseline_provenance;
+        obs::Provenance current_provenance;
+        obs::FlatMetrics baseline =
+            loadSide(baselines, baseline_provenance);
+        obs::FlatMetrics current =
+            loadSide(currents, current_provenance);
+        obs::Comparison comparison =
+            obs::compareFlat(baseline, current, options);
+        comparison.provenanceChecked = true;
+        comparison.baselineProvenance = baseline_provenance;
+        comparison.currentProvenance = current_provenance;
+
+        if (require_same_env && comparison.envMismatch()) {
+            std::fprintf(
+                stderr,
+                "error: env_id mismatch (baseline %s, current "
+                "%s); runs come from different environments\n",
+                baseline_provenance.envId.c_str(),
+                current_provenance.envId.c_str());
+            return 2;
+        }
 
         if (format == "json") {
             std::printf(

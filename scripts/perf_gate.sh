@@ -155,9 +155,21 @@ if [ ! -f "$BASELINE" ]; then
     exit 0
 fi
 
+# The diff ends with a provenance line comparing the env_id and
+# manifest_version stamps of the two runs. Echo it loudly when the
+# environments mismatch (or the baseline predates the stamps):
+# counter drift measured on a different machine, compiler or
+# problem definition is annotated, never silently gated.
 "$DIFF" --threshold "$THRESHOLD" --watch counter: \
-    "$BASELINE" "$OUT_DIR/current.json"
-status=$?
+    "$BASELINE" "$OUT_DIR/current.json" \
+    | tee "$OUT_DIR/diff.txt"
+status=${PIPESTATUS[0]}
+provenance=$(grep '^provenance:' "$OUT_DIR/diff.txt" || true)
+case "$provenance" in
+    *mismatch*|*legacy*|*unchecked*)
+        echo "perf_gate: PROVENANCE NOTE: ${provenance#provenance: }" >&2
+        ;;
+esac
 if [ "$status" -eq 1 ]; then
     echo "perf_gate: watched counter regressed past" \
          "${THRESHOLD}% (see table above)" >&2

@@ -76,6 +76,7 @@ json::Value
 suiteReportToJson(const std::vector<NetlistStats> &rows)
 {
     json::Value root = json::Value::makeObject();
+    root.set("schema", json::Value("parchmint-suite-report-v1"));
     root.set("suite", json::Value("parchmint-standard"));
     json::Value benchmarks = json::Value::makeArray();
     for (const NetlistStats &row : rows)

@@ -104,7 +104,69 @@ renderRows(const Comparison &comparison, bool include_noise)
     return rows;
 }
 
+/** "env-1234..." or the legacy placeholder for display. */
+std::string
+displayId(const std::string &id)
+{
+    return id.empty() ? std::string("none (legacy record)") : id;
+}
+
 } // namespace
+
+Provenance
+extractProvenance(const json::Value &report)
+{
+    Provenance provenance;
+    if (!report.isObject())
+        return provenance;
+    const json::Value *system = report.find("system");
+    if (system && system->isObject()) {
+        const json::Value *env_id = system->find("env_id");
+        if (env_id && env_id->isString())
+            provenance.envId = env_id->asString();
+    }
+    const json::Value *manifest = report.find("manifest_version");
+    if (manifest && manifest->isString())
+        provenance.manifestVersion = manifest->asString();
+    return provenance;
+}
+
+std::string
+provenanceAnnotation(const Comparison &comparison)
+{
+    if (!comparison.provenanceChecked)
+        return "";
+    const Provenance &base = comparison.baselineProvenance;
+    const Provenance &curr = comparison.currentProvenance;
+
+    std::string out = "provenance: ";
+    if (comparison.envMismatch()) {
+        out += "WARNING env_id mismatch (baseline " + base.envId +
+               ", current " + curr.envId +
+               ") — runs come from different environments; "
+               "timing metrics are not comparable";
+    } else if (base.envId.empty() || curr.envId.empty()) {
+        out += "env_id " + displayId(base.envId) + " vs " +
+               displayId(curr.envId) +
+               " — environment alignment unchecked";
+    } else {
+        out += "env_id " + base.envId + " matches";
+    }
+    out += "; ";
+    if (comparison.manifestMismatch()) {
+        out += "WARNING manifest_version mismatch (baseline " +
+               base.manifestVersion + ", current " +
+               curr.manifestVersion +
+               ") — problem definitions differ";
+    } else if (base.manifestVersion.empty() ||
+               curr.manifestVersion.empty()) {
+        out += "manifest " + displayId(base.manifestVersion) +
+               " vs " + displayId(curr.manifestVersion);
+    } else {
+        out += "manifest " + base.manifestVersion + " matches";
+    }
+    return out;
+}
 
 const char *
 verdictName(Verdict verdict)
@@ -262,8 +324,12 @@ compareReports(const json::Value &baseline,
                const json::Value &current,
                const CompareOptions &options)
 {
-    return compareFlat(flattenReport(baseline),
-                       flattenReport(current), options);
+    Comparison comparison = compareFlat(
+        flattenReport(baseline), flattenReport(current), options);
+    comparison.provenanceChecked = true;
+    comparison.baselineProvenance = extractProvenance(baseline);
+    comparison.currentProvenance = extractProvenance(current);
+    return comparison;
 }
 
 bool
@@ -330,6 +396,11 @@ renderComparisonTable(const Comparison &comparison,
     }
     out += summaryLine(comparison);
     out += '\n';
+    std::string annotation = provenanceAnnotation(comparison);
+    if (!annotation.empty()) {
+        out += annotation;
+        out += '\n';
+    }
     return out;
 }
 
@@ -354,6 +425,12 @@ renderComparisonMarkdown(const Comparison &comparison,
     out += '\n';
     out += summaryLine(comparison);
     out += '\n';
+    std::string annotation = provenanceAnnotation(comparison);
+    if (!annotation.empty()) {
+        out += '\n';
+        out += annotation;
+        out += '\n';
+    }
     return out;
 }
 
@@ -383,11 +460,32 @@ comparisonToJson(const Comparison &comparison)
         {"oneSided",
          json::Value(static_cast<int64_t>(comparison.oneSided))},
     });
-    return json::Value::makeObject({
+    json::Value out = json::Value::makeObject({
         {"schema", json::Value("parchmint-report-diff-v1")},
         {"deltas", std::move(deltas)},
         {"summary", std::move(summary)},
     });
+    if (comparison.provenanceChecked) {
+        auto side = [](const Provenance &provenance) {
+            return json::Value::makeObject({
+                {"env_id", json::Value(provenance.envId)},
+                {"manifest_version",
+                 json::Value(provenance.manifestVersion)},
+            });
+        };
+        out.set("provenance",
+                json::Value::makeObject({
+                    {"baseline",
+                     side(comparison.baselineProvenance)},
+                    {"current",
+                     side(comparison.currentProvenance)},
+                    {"envMismatch",
+                     json::Value(comparison.envMismatch())},
+                    {"manifestMismatch",
+                     json::Value(comparison.manifestMismatch())},
+                }));
+    }
+    return out;
 }
 
 } // namespace parchmint::obs

@@ -93,6 +93,28 @@ struct CompareOptions
     double relativeThreshold = 0.05;
 };
 
+/**
+ * Measurement provenance of one run document: which environment
+ * (obs/env.hh) and which problem-manifest revision (obs/
+ * manifest.hh) produced it. Legacy records carry neither field and
+ * extract to empty strings.
+ */
+struct Provenance
+{
+    /** system.env_id, or "" for legacy records. */
+    std::string envId;
+    /** manifest_version, or "" for legacy records. */
+    std::string manifestVersion;
+
+    bool known() const
+    {
+        return !envId.empty() || !manifestVersion.empty();
+    }
+};
+
+/** Pull the provenance fields out of a report/history document. */
+Provenance extractProvenance(const json::Value &report);
+
 /** The full result of comparing two runs. */
 struct Comparison
 {
@@ -103,7 +125,40 @@ struct Comparison
     size_t noise = 0;
     /** Metrics present on one side only. */
     size_t oneSided = 0;
+
+    /** True once both sides' provenance has been inspected —
+     * compareReports() does it, compareFlat() callers can fill
+     * the fields themselves. Renderers append the provenance
+     * annotation only when this is set. */
+    bool provenanceChecked = false;
+    Provenance baselineProvenance;
+    Provenance currentProvenance;
+
+    /** Both sides carry an env_id and they differ. */
+    bool envMismatch() const
+    {
+        return !baselineProvenance.envId.empty() &&
+               !currentProvenance.envId.empty() &&
+               baselineProvenance.envId !=
+                   currentProvenance.envId;
+    }
+    /** Both sides carry a manifest_version and they differ. */
+    bool manifestMismatch() const
+    {
+        return !baselineProvenance.manifestVersion.empty() &&
+               !currentProvenance.manifestVersion.empty() &&
+               baselineProvenance.manifestVersion !=
+                   currentProvenance.manifestVersion;
+    }
 };
+
+/**
+ * One-line provenance annotation for a checked comparison: env_id
+ * match/mismatch/legacy status, manifest_version likewise. ""
+ * when provenance was never checked. Every renderer appends it, so
+ * a diff across environments is never silent.
+ */
+std::string provenanceAnnotation(const Comparison &comparison);
 
 /** Flattened numeric view of one run: "kind:name" -> value. */
 using FlatMetrics = std::map<std::string, double>;

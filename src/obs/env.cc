@@ -1,0 +1,207 @@
+#include "obs/env.hh"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#if !defined(_WIN32)
+#include <sys/utsname.h>
+#include <unistd.h>
+#endif
+
+#include "common/rng.hh"
+#include "common/strings.hh"
+#include "json/write.hh"
+
+namespace parchmint::obs
+{
+
+namespace
+{
+
+/** First "model name" entry of /proc/cpuinfo, or "unknown". */
+std::string
+cpuModelName()
+{
+#if defined(__linux__)
+    std::ifstream cpuinfo("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(cpuinfo, line)) {
+        size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            continue;
+        std::string key = trim(line.substr(0, colon));
+        if (key == "model name" || key == "Model" ||
+            key == "cpu model") {
+            std::string value = trim(line.substr(colon + 1));
+            if (!value.empty())
+                return value;
+        }
+    }
+#endif
+    return "unknown";
+}
+
+/** Total physical memory in bytes, or 0 when undeterminable. */
+int64_t
+physicalMemoryBytes()
+{
+#if !defined(_WIN32)
+    long pages = sysconf(_SC_PHYS_PAGES);
+    long page_size = sysconf(_SC_PAGE_SIZE);
+    if (pages > 0 && page_size > 0)
+        return static_cast<int64_t>(pages) *
+               static_cast<int64_t>(page_size);
+#endif
+    return 0;
+}
+
+std::string
+compilerVersion()
+{
+#if defined(__clang__)
+    return "clang " __VERSION__;
+#elif defined(__GNUC__)
+    return "gcc " __VERSION__;
+#elif defined(__VERSION__)
+    return "unknown " __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+json::Value
+sanitizerList()
+{
+    json::Value list = json::Value::makeArray();
+#if defined(__SANITIZE_ADDRESS__)
+    list.append(json::Value("address"));
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+    list.append(json::Value("address"));
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+    list.append(json::Value("thread"));
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+    list.append(json::Value("thread"));
+#endif
+#endif
+    // UBSan defines no feature macro; fall back to the recorded
+    // compile flags so `-fsanitize=undefined` builds still declare
+    // themselves.
+#if defined(PARCHMINT_CXX_FLAGS)
+    if (std::string(PARCHMINT_CXX_FLAGS).find("undefined") !=
+        std::string::npos) {
+        list.append(json::Value("undefined"));
+    }
+#endif
+    return list;
+}
+
+} // namespace
+
+json::Value
+buildSystemJson()
+{
+    std::string os = "unknown";
+    std::string kernel = "unknown";
+    std::string arch = "unknown";
+    std::string hostname = "unknown";
+#if !defined(_WIN32)
+    struct utsname names{};
+    if (uname(&names) == 0) {
+        os = toLower(names.sysname);
+        kernel = names.release;
+        arch = names.machine;
+        hostname = names.nodename;
+    }
+#else
+    os = "windows";
+#endif
+
+#if defined(PARCHMINT_CXX_FLAGS)
+    const char *flags = PARCHMINT_CXX_FLAGS;
+#else
+    const char *flags = "";
+#endif
+#if defined(PARCHMINT_BUILD_TYPE)
+    const char *build_type = PARCHMINT_BUILD_TYPE;
+#elif defined(NDEBUG)
+    const char *build_type = "release";
+#else
+    const char *build_type = "debug";
+#endif
+#if defined(PARCHMINT_GIT_SHA)
+    const char *git_sha = PARCHMINT_GIT_SHA;
+#else
+    const char *git_sha = "unknown";
+#endif
+#if defined(PARCHMINT_GIT_DIRTY) && PARCHMINT_GIT_DIRTY
+    bool git_dirty = true;
+#else
+    bool git_dirty = false;
+#endif
+
+    json::Value system = json::Value::makeObject({
+        {"os", json::Value(os)},
+        {"kernel", json::Value(kernel)},
+        {"arch", json::Value(arch)},
+        {"hostname", json::Value(hostname)},
+        {"cpuModel", json::Value(cpuModelName())},
+        {"hardwareThreads",
+         json::Value(static_cast<int64_t>(
+             std::thread::hardware_concurrency()))},
+        {"memoryBytes", json::Value(physicalMemoryBytes())},
+        {"compiler", json::Value(compilerVersion())},
+        {"compilerFlags", json::Value(flags)},
+        {"buildType", json::Value(build_type)},
+        {"sanitizers", sanitizerList()},
+        {"pointerBits",
+         json::Value(static_cast<int64_t>(sizeof(void *) * 8))},
+        {"gitSha", json::Value(git_sha)},
+        {"gitDirty", json::Value(git_dirty)},
+    });
+    system.set("env_id", json::Value(envIdOf(system)));
+    return system;
+}
+
+std::string
+envIdOf(const json::Value &system)
+{
+    // Hash the canonical compact text of the identity-bearing
+    // fields: hostname names one machine, not a measurement
+    // platform, and env_id itself must not feed its own digest.
+    json::Value identity = system;
+    identity.erase("hostname");
+    identity.erase("env_id");
+    json::WriteOptions compact;
+    compact.pretty = false;
+    uint64_t digest =
+        deriveSeed(0x70617263686d696eULL /* "parchmin" */,
+                   json::write(identity, compact));
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "env-%016llx",
+                  static_cast<unsigned long long>(digest));
+    return buffer;
+}
+
+const json::Value &
+systemJson()
+{
+    static const json::Value snapshot = buildSystemJson();
+    return snapshot;
+}
+
+const std::string &
+envId()
+{
+    static const std::string id =
+        systemJson().at("env_id").asString();
+    return id;
+}
+
+} // namespace parchmint::obs

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Environment snapshots: where a measurement was taken, as data.
+ *
+ * Every perf number this repo emits (run reports, history records,
+ * bench tables, loadgen latencies) is meaningless without the
+ * platform that produced it — the reproducibility gap the
+ * sustainable-benchmarking literature calls out for academic
+ * suites. This module captures that platform once per process as a
+ * stable `system` JSON block:
+ *
+ *   { "os": "linux", "kernel": "6.8.0-31-generic",
+ *     "arch": "x86_64", "hostname": "ci-runner-7",
+ *     "cpuModel": "AMD EPYC 7543", "hardwareThreads": 64,
+ *     "memoryBytes": 270116651008,
+ *     "compiler": "gcc 13.2.0", "compilerFlags": "-O3 -DNDEBUG",
+ *     "buildType": "Release", "sanitizers": ["address"],
+ *     "pointerBits": 64,
+ *     "gitSha": "47c6277a1b2c", "gitDirty": false,
+ *     "env_id": "env-9f2c4d1e8a3b7650" }
+ *
+ * `env_id` is content-addressed: a deriveSeed() digest of the
+ * canonical JSON text of every field above *except* `hostname` (two
+ * identical machines are the same measurement platform) and
+ * `env_id` itself. Two runs with the same env_id were measured on
+ * an equivalent platform with an equivalent build, so their timings
+ * are comparable; the leaderboard engine aligns on it and
+ * `report_diff` annotates diffs that cross it.
+ *
+ * The snapshotter is dependency-free (libc + /proc only) and
+ * degrades gracefully: fields it cannot determine read "unknown"
+ * rather than failing, so the block is always present.
+ */
+
+#ifndef PARCHMINT_OBS_ENV_HH
+#define PARCHMINT_OBS_ENV_HH
+
+#include <string>
+
+#include "json/value.hh"
+
+namespace parchmint::obs
+{
+
+/**
+ * Build a fresh environment snapshot (see the file comment for the
+ * schema), `env_id` included. Reads /proc and uname; call
+ * systemJson() for the cached per-process copy instead.
+ */
+json::Value buildSystemJson();
+
+/**
+ * Derive the content-addressed environment id of a system block:
+ * "env-" plus 16 hex digits of a deriveSeed() digest over the
+ * canonical compact JSON of the block without its `hostname` and
+ * `env_id` members.
+ */
+std::string envIdOf(const json::Value &system);
+
+/** The process-wide snapshot, computed once and cached. */
+const json::Value &systemJson();
+
+/** The cached snapshot's env_id. */
+const std::string &envId();
+
+} // namespace parchmint::obs
+
+#endif // PARCHMINT_OBS_ENV_HH

@@ -1,5 +1,6 @@
 #include "obs/history.hh"
 
+#include <cstdio>
 #include <fstream>
 #include <map>
 
@@ -14,9 +15,10 @@ json::Value
 summarizeReport(const json::Value &report)
 {
     json::Value record = json::Value::makeObject();
-    record.set("schema", json::Value("parchmint-run-history-v1"));
-    for (const char *key : {"tool", "timestamp", "notes",
-                            "environment", "metrics"}) {
+    record.set("schema", json::Value("parchmint-run-history-v2"));
+    for (const char *key :
+         {"tool", "timestamp", "manifest_version", "notes",
+          "environment", "system", "metrics"}) {
         if (report.isObject() && report.find(key))
             record.set(key, *report.find(key));
     }
@@ -69,14 +71,17 @@ appendHistory(const std::string &path, const RunInfo &info)
 }
 
 std::vector<json::Value>
-readHistory(const std::string &path)
+readHistory(const std::string &path, size_t *skipped)
 {
     std::ifstream file(path, std::ios::binary);
     if (!file)
         fatal("cannot read run history '" + path + "'");
     std::vector<json::Value> records;
     std::string line;
+    size_t line_number = 0;
+    size_t bad = 0;
     while (std::getline(file, line)) {
+        ++line_number;
         bool blank = true;
         for (char c : line) {
             if (c != ' ' && c != '\t' && c != '\r')
@@ -84,8 +89,22 @@ readHistory(const std::string &path)
         }
         if (blank)
             continue;
-        records.push_back(json::parse(line));
+        // A crash mid-append leaves a truncated (or otherwise
+        // corrupt) line behind; one bad record must not cost the
+        // whole trajectory, so skip it with a warning and keep
+        // loading.
+        try {
+            records.push_back(json::parse(line));
+        } catch (const json::ParseError &error) {
+            ++bad;
+            std::fprintf(stderr,
+                         "warning: %s:%zu: skipping corrupt "
+                         "history line (%s)\n",
+                         path.c_str(), line_number, error.what());
+        }
     }
+    if (skipped)
+        *skipped = bad;
     return records;
 }
 

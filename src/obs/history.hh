@@ -8,14 +8,17 @@
  * JSONL file, so repeated runs of the same tool accumulate into a
  * queryable perf history (the benchmarking-transparency literature's
  * "record results over time" requirement). Record schema
- * (`parchmint-run-history-v1`):
+ * (`parchmint-run-history-v2`):
  *
- *   { "schema": "parchmint-run-history-v1",
+ *   { "schema": "parchmint-run-history-v2",
  *     "tool": "pnr_flow",
  *     "timestamp": "2026-08-06T12:00:00",
+ *     "manifest_version": "parchmint-manifest-v1",
  *     "notes": { "benchmark": "cell_trap_array", ... },
  *     "environment": { "compiler", "buildType",
  *                      "platform", "pointerBits" },
+ *     "system": { "os", "kernel", "cpuModel", ...,
+ *                 "env_id": "env-..." },
  *     "metrics": { "counters": {...}, "gauges": {...},
  *                  "histograms": { name: { count, min, max, mean,
  *                        median, p50, p95, p99 }, ... } },
@@ -59,11 +62,14 @@ void appendHistory(const std::string &path, const RunInfo &info);
 
 /**
  * Parse a JSONL history file into its records; blank lines are
- * skipped.
- * @throws UserError when the file cannot be read or a line is not
- *         valid JSON.
+ * skipped. A line that is not valid JSON — the footprint of a
+ * crash mid-append — is skipped with a warning on stderr instead
+ * of failing the whole load; @p skipped (when non-null) receives
+ * the count of such lines.
+ * @throws UserError when the file cannot be read.
  */
-std::vector<json::Value> readHistory(const std::string &path);
+std::vector<json::Value> readHistory(const std::string &path,
+                                     size_t *skipped = nullptr);
 
 } // namespace parchmint::obs
 

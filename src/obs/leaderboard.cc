@@ -1,0 +1,537 @@
+#include "obs/leaderboard.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace parchmint::obs
+{
+
+namespace
+{
+
+/** Default board families for problems the manifest doesn't know. */
+const std::vector<std::string> kDefaultFamilies = {
+    "counter:", "gauge:", "span.total_us:", "hist.median:",
+    "hist.p99:",
+};
+
+/** Format a value compactly: integers plain, reals to 4 digits. */
+std::string
+formatCell(double value)
+{
+    char buffer[32];
+    if (value == std::floor(value) && std::abs(value) < 1e15) {
+        std::snprintf(buffer, sizeof(buffer), "%lld",
+                      static_cast<long long>(value));
+    } else {
+        std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+    }
+    return buffer;
+}
+
+std::string
+formatPercent(double percent)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%+.1f%%", percent);
+    return buffer;
+}
+
+/** "k=v k=v" over a notes object, insertion order. */
+std::string
+renderNotes(const json::Value *notes)
+{
+    if (!notes || !notes->isObject())
+        return "";
+    std::string out;
+    for (const auto &[key, value] : notes->members()) {
+        if (!out.empty())
+            out += ' ';
+        out += key;
+        out += '=';
+        if (value.isString())
+            out += value.asString();
+        else if (value.isNumber())
+            out += formatCell(value.asDouble());
+        else if (value.isBoolean())
+            out += value.asBoolean() ? "true" : "false";
+    }
+    return out;
+}
+
+/** "#3" display handle for a run (1-based input position). */
+std::string
+runHandle(const RunEntry &run)
+{
+    return "#" + std::to_string(run.index + 1);
+}
+
+std::string
+displayId(const std::string &id)
+{
+    return id.empty() ? std::string("none (legacy record)") : id;
+}
+
+/** The board prefixes for a problem: explicit filter, manifest
+ * families, or the default set — in that priority order. */
+std::vector<std::string>
+boardFamilies(const std::string &problem,
+              const LeaderboardOptions &options)
+{
+    if (!options.metrics.empty())
+        return options.metrics;
+    size_t colon = problem.find(':');
+    const ProblemSpec *spec =
+        findProblem(problem.substr(0, colon));
+    if (!spec)
+        return kDefaultFamilies;
+    std::vector<std::string> families;
+    for (const MetricSpec &metric : spec->metrics)
+        families.push_back(metric.key);
+    return families;
+}
+
+bool
+familyMatches(const std::string &key,
+              const std::vector<std::string> &families)
+{
+    for (const std::string &family : families) {
+        if (key.compare(0, family.size(), family) == 0)
+            return true;
+    }
+    return false;
+}
+
+/** Worse-direction relative movement in percent, or 0. */
+double
+worsening(double before, double after, Direction direction)
+{
+    double denominator = std::abs(before);
+    if (denominator == 0.0)
+        denominator = std::abs(after);
+    if (denominator == 0.0)
+        return 0.0;
+    double percent = 100.0 * (after - before) / denominator;
+    if (direction == Direction::HigherIsBetter)
+        percent = -percent;
+    return percent > 0.0 ? percent : 0.0;
+}
+
+MetricBoard
+buildBoard(const std::string &metric,
+           const ProblemSpec *spec,
+           const std::vector<size_t> &members,
+           const std::vector<RunEntry> &runs)
+{
+    MetricBoard board;
+    board.metric = metric;
+    board.unit = metricUnit(spec, metric);
+    board.direction = metricDirection(spec, metric);
+
+    for (size_t run : members) {
+        auto it = runs[run].flat.find(metric);
+        if (it == runs[run].flat.end())
+            continue;
+        BoardRow row;
+        row.run = run;
+        row.value = it->second;
+        board.rows.push_back(row);
+    }
+    // Best first; equal values keep input order (stable), so the
+    // rendering is a pure function of the history file.
+    bool lower = board.direction == Direction::LowerIsBetter;
+    std::stable_sort(board.rows.begin(), board.rows.end(),
+                     [lower](const BoardRow &a, const BoardRow &b) {
+                         return lower ? a.value < b.value
+                                      : a.value > b.value;
+                     });
+    double best = board.rows.empty() ? 0.0 : board.rows[0].value;
+    size_t rank = 0;
+    for (size_t i = 0; i < board.rows.size(); ++i) {
+        if (i == 0 || board.rows[i].value != board.rows[i - 1].value)
+            rank = i + 1;
+        board.rows[i].rank = rank;
+        double denominator = std::abs(best);
+        if (denominator == 0.0)
+            denominator = std::abs(board.rows[i].value);
+        board.rows[i].behindBestPercent =
+            denominator == 0.0
+                ? 0.0
+                : 100.0 *
+                      std::abs(board.rows[i].value - best) /
+                      denominator;
+    }
+    return board;
+}
+
+} // namespace
+
+Leaderboard
+buildLeaderboard(const std::vector<json::Value> &records,
+                 const LeaderboardOptions &options)
+{
+    Leaderboard board;
+    for (const json::Value &record : records) {
+        RunEntry run;
+        run.index = board.runs.size();
+        if (record.isObject()) {
+            const json::Value *tool = record.find("tool");
+            if (tool && tool->isString())
+                run.tool = tool->asString();
+            const json::Value *timestamp =
+                record.find("timestamp");
+            if (timestamp && timestamp->isString())
+                run.timestamp = timestamp->asString();
+            run.notes = renderNotes(record.find("notes"));
+        }
+        run.problem = problemKeyOf(record);
+        run.provenance = extractProvenance(record);
+        run.flat = flattenReport(record);
+        board.runs.push_back(std::move(run));
+    }
+
+    // Align: same problem + same manifest + same environment. A
+    // std::map keyed on the triple gives the sorted, deterministic
+    // group order the renderers rely on.
+    std::map<std::tuple<std::string, std::string, std::string>,
+             std::vector<size_t>>
+        grouped;
+    for (const RunEntry &run : board.runs) {
+        grouped[{run.problem, run.provenance.manifestVersion,
+                 run.provenance.envId}]
+            .push_back(run.index);
+    }
+    for (const auto &[key, members] : grouped) {
+        LeaderboardGroup group;
+        group.problem = std::get<0>(key);
+        group.manifestVersion = std::get<1>(key);
+        group.envId = std::get<2>(key);
+        group.runs = members;
+
+        std::vector<std::string> families =
+            boardFamilies(group.problem, options);
+        std::set<std::string> keys;
+        for (size_t run : members) {
+            for (const auto &[flat_key, value] :
+                 board.runs[run].flat) {
+                if (familyMatches(flat_key, families))
+                    keys.insert(flat_key);
+            }
+        }
+        size_t colon = group.problem.find(':');
+        const ProblemSpec *spec =
+            findProblem(group.problem.substr(0, colon));
+        for (const std::string &metric : keys) {
+            group.boards.push_back(
+                buildBoard(metric, spec, members, board.runs));
+        }
+        board.groups.push_back(std::move(group));
+    }
+
+    // Regression provenance: walk each problem's full trajectory in
+    // file order — across environment and manifest boundaries — and
+    // record every worse-direction movement beyond the threshold,
+    // flagging transitions that coincide with an env/manifest
+    // change as confounded.
+    std::map<std::string, std::vector<size_t>> byProblem;
+    for (const RunEntry &run : board.runs)
+        byProblem[run.problem].push_back(run.index);
+    for (const auto &[problem, members] : byProblem) {
+        if (members.size() < 2)
+            continue;
+        std::vector<std::string> families =
+            boardFamilies(problem, options);
+        size_t colon = problem.find(':');
+        const ProblemSpec *spec =
+            findProblem(problem.substr(0, colon));
+        std::set<std::string> keys;
+        for (size_t run : members) {
+            for (const auto &[flat_key, value] :
+                 board.runs[run].flat) {
+                if (familyMatches(flat_key, families))
+                    keys.insert(flat_key);
+            }
+        }
+        for (const std::string &metric : keys) {
+            Direction direction = metricDirection(spec, metric);
+            // Track the last run that carried the metric so gaps
+            // (a repeat that skipped a phase) don't fake a 0-based
+            // movement.
+            bool seen = false;
+            size_t prev = 0;
+            double prev_value = 0.0;
+            for (size_t run : members) {
+                auto it = board.runs[run].flat.find(metric);
+                if (it == board.runs[run].flat.end())
+                    continue;
+                if (seen) {
+                    double percent = worsening(
+                        prev_value, it->second, direction);
+                    if (percent >
+                        100.0 * options.regressionThreshold) {
+                        Movement movement;
+                        movement.problem = problem;
+                        movement.metric = metric;
+                        movement.fromRun = prev;
+                        movement.atRun = run;
+                        movement.before = prev_value;
+                        movement.after = it->second;
+                        movement.percent = percent;
+                        movement.crossesEnv =
+                            board.runs[prev].provenance.envId !=
+                            board.runs[run].provenance.envId;
+                        movement.crossesManifest =
+                            board.runs[prev]
+                                .provenance.manifestVersion !=
+                            board.runs[run]
+                                .provenance.manifestVersion;
+                        board.movements.push_back(
+                            std::move(movement));
+                    }
+                }
+                seen = true;
+                prev = run;
+                prev_value = it->second;
+            }
+        }
+    }
+    return board;
+}
+
+namespace
+{
+
+std::string
+movementLine(const Leaderboard &board, const Movement &movement)
+{
+    const RunEntry &at = board.runs[movement.atRun];
+    std::string line = movement.metric + " worsened at run " +
+                       runHandle(at) + " (" + at.timestamp +
+                       ", env " +
+                       displayId(at.provenance.envId) +
+                       ", manifest " +
+                       displayId(at.provenance.manifestVersion) +
+                       "): " + formatCell(movement.before) +
+                       " -> " + formatCell(movement.after) + " (" +
+                       formatPercent(movement.percent) + ")";
+    if (movement.crossesEnv)
+        line += " [CONFOUNDED: environment changed]";
+    if (movement.crossesManifest)
+        line += " [CONFOUNDED: manifest changed]";
+    return line;
+}
+
+std::string
+groupHeading(const LeaderboardGroup &group)
+{
+    return "problem " + group.problem + " | manifest " +
+           displayId(group.manifestVersion) + " | env " +
+           displayId(group.envId);
+}
+
+std::string
+directionLabel(const MetricBoard &board)
+{
+    std::string label = directionName(board.direction);
+    label += " is better";
+    if (!board.unit.empty())
+        label = board.unit + ", " + label;
+    return label;
+}
+
+} // namespace
+
+std::string
+renderLeaderboardTable(const Leaderboard &board)
+{
+    std::string out;
+    if (board.runs.empty())
+        return "leaderboard: no runs\n";
+    out += "leaderboard: " + std::to_string(board.runs.size()) +
+           " run(s), " + std::to_string(board.groups.size()) +
+           " aligned group(s)\n";
+    for (const LeaderboardGroup &group : board.groups) {
+        out += "\n== " + groupHeading(group) + " ==\n";
+        out += "runs:";
+        for (size_t run : group.runs) {
+            const RunEntry &entry = board.runs[run];
+            out += " " + runHandle(entry) + "[" + entry.timestamp;
+            if (!entry.notes.empty())
+                out += " " + entry.notes;
+            out += "]";
+        }
+        out += "\n";
+        for (const MetricBoard &metric : group.boards) {
+            out += "  " + metric.metric + " (" +
+                   directionLabel(metric) + ")\n";
+            // Column widths over this board's cells.
+            size_t value_width = 5;
+            for (const BoardRow &row : metric.rows) {
+                value_width = std::max(
+                    value_width, formatCell(row.value).size());
+            }
+            for (const BoardRow &row : metric.rows) {
+                std::string value = formatCell(row.value);
+                std::string pad(value_width - value.size(), ' ');
+                out += "    " + std::to_string(row.rank) + ". " +
+                       runHandle(board.runs[row.run]) + "  " +
+                       pad + value;
+                out += row.rank == 1
+                           ? "  (best)"
+                           : "  (" +
+                                 formatPercent(
+                                     row.behindBestPercent) +
+                                 " behind best)";
+                out += "\n";
+            }
+        }
+    }
+    if (!board.movements.empty()) {
+        out += "\nregression provenance:\n";
+        for (const Movement &movement : board.movements)
+            out += "  " + movementLine(board, movement) + "\n";
+    }
+    return out;
+}
+
+std::string
+renderLeaderboardMarkdown(const Leaderboard &board)
+{
+    std::string out = "# Leaderboard\n\n";
+    if (board.runs.empty())
+        return out + "_no runs_\n";
+    out += std::to_string(board.runs.size()) + " run(s), " +
+           std::to_string(board.groups.size()) +
+           " aligned group(s).\n";
+    for (const LeaderboardGroup &group : board.groups) {
+        out += "\n## " + groupHeading(group) + "\n\n";
+        out += "Runs:";
+        for (size_t run : group.runs) {
+            const RunEntry &entry = board.runs[run];
+            out += " `" + runHandle(entry) + "` " +
+                   entry.timestamp;
+            if (!entry.notes.empty())
+                out += " (" + entry.notes + ")";
+            out += ";";
+        }
+        out += "\n\n";
+        out += "| metric | direction | rank | run | value | vs "
+               "best |\n";
+        out += "|---|---|---|---|---|---|\n";
+        for (const MetricBoard &metric : group.boards) {
+            for (const BoardRow &row : metric.rows) {
+                out += "| " + metric.metric + " | " +
+                       directionLabel(metric) + " | " +
+                       std::to_string(row.rank) + " | " +
+                       runHandle(board.runs[row.run]) + " | " +
+                       formatCell(row.value) + " | " +
+                       (row.rank == 1
+                            ? std::string("best")
+                            : formatPercent(
+                                  row.behindBestPercent)) +
+                       " |\n";
+            }
+        }
+    }
+    if (!board.movements.empty()) {
+        out += "\n## Regression provenance\n\n";
+        for (const Movement &movement : board.movements)
+            out += "- " + movementLine(board, movement) + "\n";
+    }
+    return out;
+}
+
+json::Value
+leaderboardToJson(const Leaderboard &board)
+{
+    json::Value runs = json::Value::makeArray();
+    for (const RunEntry &run : board.runs) {
+        runs.append(json::Value::makeObject({
+            {"run", json::Value(static_cast<int64_t>(
+                        run.index + 1))},
+            {"tool", json::Value(run.tool)},
+            {"timestamp", json::Value(run.timestamp)},
+            {"problem", json::Value(run.problem)},
+            {"notes", json::Value(run.notes)},
+            {"env_id", json::Value(run.provenance.envId)},
+            {"manifest_version",
+             json::Value(run.provenance.manifestVersion)},
+        }));
+    }
+
+    json::Value groups = json::Value::makeArray();
+    for (const LeaderboardGroup &group : board.groups) {
+        json::Value boards = json::Value::makeArray();
+        for (const MetricBoard &metric : group.boards) {
+            json::Value rows = json::Value::makeArray();
+            for (const BoardRow &row : metric.rows) {
+                rows.append(json::Value::makeObject({
+                    {"rank", json::Value(static_cast<int64_t>(
+                                 row.rank))},
+                    {"run", json::Value(static_cast<int64_t>(
+                                row.run + 1))},
+                    {"value", json::Value(row.value)},
+                    {"behindBestPercent",
+                     json::Value(row.behindBestPercent)},
+                }));
+            }
+            boards.append(json::Value::makeObject({
+                {"metric", json::Value(metric.metric)},
+                {"unit", json::Value(metric.unit)},
+                {"direction",
+                 json::Value(std::string(
+                     directionName(metric.direction)))},
+                {"rows", std::move(rows)},
+            }));
+        }
+        json::Value members = json::Value::makeArray();
+        for (size_t run : group.runs)
+            members.append(
+                json::Value(static_cast<int64_t>(run + 1)));
+        groups.append(json::Value::makeObject({
+            {"problem", json::Value(group.problem)},
+            {"manifest_version",
+             json::Value(group.manifestVersion)},
+            {"env_id", json::Value(group.envId)},
+            {"runs", std::move(members)},
+            {"boards", std::move(boards)},
+        }));
+    }
+
+    json::Value movements = json::Value::makeArray();
+    for (const Movement &movement : board.movements) {
+        const RunEntry &at = board.runs[movement.atRun];
+        movements.append(json::Value::makeObject({
+            {"problem", json::Value(movement.problem)},
+            {"metric", json::Value(movement.metric)},
+            {"fromRun", json::Value(static_cast<int64_t>(
+                            movement.fromRun + 1))},
+            {"atRun", json::Value(static_cast<int64_t>(
+                          movement.atRun + 1))},
+            {"atTimestamp", json::Value(at.timestamp)},
+            {"atEnvId", json::Value(at.provenance.envId)},
+            {"atManifestVersion",
+             json::Value(at.provenance.manifestVersion)},
+            {"before", json::Value(movement.before)},
+            {"after", json::Value(movement.after)},
+            {"percent", json::Value(movement.percent)},
+            {"crossesEnv", json::Value(movement.crossesEnv)},
+            {"crossesManifest",
+             json::Value(movement.crossesManifest)},
+        }));
+    }
+
+    return json::Value::makeObject({
+        {"schema", json::Value("parchmint-leaderboard-v1")},
+        {"manifest_version", json::Value(manifestVersion())},
+        {"runs", std::move(runs)},
+        {"groups", std::move(groups)},
+        {"movements", std::move(movements)},
+    });
+}
+
+} // namespace parchmint::obs

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Leaderboard engine: rank runs from the JSONL history store,
+ * aligned by provenance.
+ *
+ * The comparison engine (obs/compare.hh) diffs *two* runs; the
+ * leaderboard reads the whole trajectory. Records are grouped by
+ * (problem, manifest_version, env_id) — the three coordinates that
+ * make numbers comparable: the same problem definition, measured
+ * against the same manifest revision, on the same environment.
+ * Within a group every metric gets a ranked board (direction-aware
+ * via the manifest: lower wall time wins, higher throughput wins),
+ * and runs from different environments or manifest revisions are
+ * *never* ranked against each other — they land in separate groups
+ * instead of silently mixing.
+ *
+ * Regression provenance: for each problem the engine also walks
+ * the records chronologically (file order) across group
+ * boundaries and reports every metric movement beyond the
+ * threshold in the worse direction — which run it first appeared
+ * in, under which env_id and manifest_version, and whether the
+ * transition coincided with an environment or manifest change
+ * (i.e. is confounded). This answers "when did this metric get
+ * worse, and was that a code change or a machine change?" — the
+ * audit trail every perf claim needs.
+ *
+ * Everything is a pure function of the input records: the same
+ * history file renders to byte-identical output, so leaderboards
+ * are diffable artifacts themselves.
+ */
+
+#ifndef PARCHMINT_OBS_LEADERBOARD_HH
+#define PARCHMINT_OBS_LEADERBOARD_HH
+
+#include <string>
+#include <vector>
+
+#include "json/value.hh"
+#include "obs/compare.hh"
+#include "obs/manifest.hh"
+
+namespace parchmint::obs
+{
+
+/** Leaderboard knobs. */
+struct LeaderboardOptions
+{
+    /**
+     * Flat-key prefixes selecting which metrics get boards
+     * ("counter:", "gauge:exec."). Empty = the metric families the
+     * problem's manifest entry declares (obs/manifest.hh), or a
+     * default counter/gauge/span set for unknown problems.
+     */
+    std::vector<std::string> metrics;
+    /**
+     * Relative movement below this is not reported as a
+     * regression transition. 0.05 = 5%.
+     */
+    double regressionThreshold = 0.05;
+};
+
+/** One parsed history record. */
+struct RunEntry
+{
+    /** 0-based position in the input record list. */
+    size_t index = 0;
+    std::string tool;
+    std::string timestamp;
+    /** problemKeyOf(): tool plus benchmark note. */
+    std::string problem;
+    /** "k=v k=v" rendering of the record's notes. */
+    std::string notes;
+    Provenance provenance;
+    FlatMetrics flat;
+};
+
+/** One run's standing on one metric board. */
+struct BoardRow
+{
+    /** 1-based rank; ties share a rank. */
+    size_t rank = 0;
+    /** Index into Leaderboard::runs. */
+    size_t run = 0;
+    double value = 0.0;
+    /** Relative distance behind the best value, in percent. */
+    double behindBestPercent = 0.0;
+};
+
+/** Ranked standings for one metric inside one group. */
+struct MetricBoard
+{
+    /** Flat "kind:name" key. */
+    std::string metric;
+    /** Manifest unit, or "". */
+    std::string unit;
+    Direction direction = Direction::LowerIsBetter;
+    /** Best first; ties in input order. */
+    std::vector<BoardRow> rows;
+};
+
+/** Runs aligned on (problem, manifest_version, env_id). */
+struct LeaderboardGroup
+{
+    std::string problem;
+    /** "" for legacy records without the stamp. */
+    std::string manifestVersion;
+    /** "" for legacy records without the stamp. */
+    std::string envId;
+    /** Indices into Leaderboard::runs, input order. */
+    std::vector<size_t> runs;
+    /** One board per selected metric, sorted by metric key. */
+    std::vector<MetricBoard> boards;
+};
+
+/** One worse-direction movement of a metric over the trajectory. */
+struct Movement
+{
+    std::string problem;
+    std::string metric;
+    /** Indices into Leaderboard::runs. */
+    size_t fromRun = 0;
+    size_t atRun = 0;
+    double before = 0.0;
+    double after = 0.0;
+    /** Relative worsening in percent (always positive). */
+    double percent = 0.0;
+    /** True when the transition also changed env_id /
+     * manifest_version — the movement is confounded and may be a
+     * platform or problem-definition change, not a code change. */
+    bool crossesEnv = false;
+    bool crossesManifest = false;
+};
+
+/** The complete leaderboard over one history file. */
+struct Leaderboard
+{
+    std::vector<RunEntry> runs;
+    /** Sorted by (problem, manifestVersion, envId). */
+    std::vector<LeaderboardGroup> groups;
+    /** Chronological regression transitions, per problem. */
+    std::vector<Movement> movements;
+};
+
+/** Build the leaderboard from parsed history records. */
+Leaderboard
+buildLeaderboard(const std::vector<json::Value> &records,
+                 const LeaderboardOptions &options = {});
+
+/** Column-aligned text rendering. */
+std::string renderLeaderboardTable(const Leaderboard &board);
+
+/** GitHub-flavored markdown rendering. */
+std::string renderLeaderboardMarkdown(const Leaderboard &board);
+
+/** The `parchmint-leaderboard-v1` JSON document. */
+json::Value leaderboardToJson(const Leaderboard &board);
+
+} // namespace parchmint::obs
+
+#endif // PARCHMINT_OBS_LEADERBOARD_HH

@@ -1,0 +1,254 @@
+#include "obs/manifest.hh"
+
+#include "common/error.hh"
+#include "common/strings.hh"
+
+namespace parchmint::obs
+{
+
+std::string
+manifestVersion()
+{
+    return "parchmint-manifest-v" +
+           std::to_string(kManifestVersion);
+}
+
+const char *
+directionName(Direction direction)
+{
+    switch (direction) {
+      case Direction::LowerIsBetter:
+        return "lower";
+      case Direction::HigherIsBetter:
+        return "higher";
+    }
+    panic("unknown direction");
+}
+
+const std::vector<ProblemSpec> &
+standardManifest()
+{
+    static const std::vector<ProblemSpec> manifest = {
+        {
+            "pnr_flow",
+            "Place, route and validate one suite benchmark",
+            "suite benchmark netlist",
+            {"benchmark", "seed"},
+            {
+                {"counter:place.", "count",
+                 Direction::LowerIsBetter,
+                 "annealer work (moves, steps)"},
+                {"counter:route.", "count",
+                 Direction::LowerIsBetter,
+                 "router work (expansions, rip-ups, violations)"},
+                {"counter:validate.", "count",
+                 Direction::LowerIsBetter, "rule-check findings"},
+                {"gauge:place.", "ratio",
+                 Direction::LowerIsBetter,
+                 "annealer state (final cost, acceptance)"},
+                {"span.total_us:", "us", Direction::LowerIsBetter,
+                 "stage wall time"},
+                {"hist.", "ms", Direction::LowerIsBetter,
+                 "per-step timing distributions"},
+            },
+        },
+        {
+            "suite_run",
+            "Full-pipeline sweep over the benchmark suite on the "
+            "execution engine",
+            "standard suite netlists",
+            {"jobs", "seed", "benchmarks"},
+            {
+                {"gauge:exec.sweep.throughput", "benchmarks/s",
+                 Direction::HigherIsBetter, "sweep throughput"},
+                {"counter:exec.tasks.", "count",
+                 Direction::LowerIsBetter,
+                 "scheduler task outcomes"},
+                {"span.total_us:", "us", Direction::LowerIsBetter,
+                 "stage wall time"},
+                {"hist.", "ms", Direction::LowerIsBetter,
+                 "per-job timing distributions"},
+            },
+        },
+        {
+            "loadgen",
+            "Closed-loop load against a parchmintd instance",
+            "generated HTTP request mix over suite netlists",
+            {"qps", "connections", "duration"},
+            {
+                {"gauge:loadgen.throughput.rps", "rps",
+                 Direction::HigherIsBetter, "achieved throughput"},
+                {"gauge:loadgen.result_hit_rate", "ratio",
+                 Direction::HigherIsBetter, "result-cache hits"},
+                {"counter:loadgen.errors.", "count",
+                 Direction::LowerIsBetter, "transport/5xx errors"},
+                {"hist.", "ms", Direction::LowerIsBetter,
+                 "request latency distribution"},
+            },
+        },
+        {
+            "parchmintd",
+            "Netlist service daemon serving the pipeline over "
+            "JSON/HTTP",
+            "client-posted netlist documents",
+            {"seed", "connections"},
+            {
+                {"counter:svc.responses.5", "count",
+                 Direction::LowerIsBetter, "server errors"},
+                {"counter:svc.", "count",
+                 Direction::LowerIsBetter, "request accounting"},
+                {"hist.", "ms", Direction::LowerIsBetter,
+                 "per-endpoint latency distributions"},
+            },
+        },
+        {
+            "characterize",
+            "Netlist statistics over the suite (paper tables 1-3)",
+            "standard suite netlists",
+            {},
+            {
+                {"counter:analysis.", "count",
+                 Direction::LowerIsBetter,
+                 "characterization work"},
+                {"span.total_us:", "us", Direction::LowerIsBetter,
+                 "stage wall time"},
+            },
+        },
+        {
+            "fuzz_run",
+            "Deterministic fuzzing sweep over the registered "
+            "targets",
+            "seeded generator streams",
+            {"seed", "targets"},
+            {
+                {"gauge:fuzz.", "execs/s",
+                 Direction::HigherIsBetter, "fuzzing throughput"},
+                {"counter:fuzz.findings", "count",
+                 Direction::LowerIsBetter, "crashing inputs"},
+                {"counter:fuzz.executions", "count",
+                 Direction::HigherIsBetter, "executions in budget"},
+            },
+        },
+        {
+            "bench_*",
+            "google-benchmark harness binaries regenerating the "
+            "paper's tables and figures",
+            "standard suite netlists",
+            {},
+            {
+                {"counter:", "count", Direction::LowerIsBetter,
+                 "algorithm work counters"},
+                {"span.total_us:", "us", Direction::LowerIsBetter,
+                 "kernel wall time"},
+                {"hist.", "ms", Direction::LowerIsBetter,
+                 "kernel timing distributions"},
+            },
+        },
+    };
+    return manifest;
+}
+
+const ProblemSpec *
+findProblem(std::string_view tool)
+{
+    for (const ProblemSpec &problem : standardManifest()) {
+        if (problem.tool == tool)
+            return &problem;
+    }
+    if (startsWith(tool, "bench_")) {
+        for (const ProblemSpec &problem : standardManifest()) {
+            if (problem.tool == "bench_*")
+                return &problem;
+        }
+    }
+    return nullptr;
+}
+
+Direction
+metricDirection(const ProblemSpec *problem,
+                std::string_view flatKey)
+{
+    Direction direction = Direction::LowerIsBetter;
+    size_t best = 0;
+    if (problem) {
+        for (const MetricSpec &metric : problem->metrics) {
+            if (metric.key.size() >= best &&
+                startsWith(flatKey, metric.key)) {
+                best = metric.key.size();
+                direction = metric.direction;
+            }
+        }
+    }
+    return direction;
+}
+
+std::string
+metricUnit(const ProblemSpec *problem, std::string_view flatKey)
+{
+    std::string unit;
+    size_t best = 0;
+    if (problem) {
+        for (const MetricSpec &metric : problem->metrics) {
+            if (metric.key.size() >= best &&
+                startsWith(flatKey, metric.key)) {
+                best = metric.key.size();
+                unit = metric.unit;
+            }
+        }
+    }
+    return unit;
+}
+
+json::Value
+manifestToJson()
+{
+    json::Value problems = json::Value::makeArray();
+    for (const ProblemSpec &problem : standardManifest()) {
+        json::Value parameters = json::Value::makeArray();
+        for (const std::string &parameter : problem.parameters)
+            parameters.append(json::Value(parameter));
+        json::Value metrics = json::Value::makeArray();
+        for (const MetricSpec &metric : problem.metrics) {
+            metrics.append(json::Value::makeObject({
+                {"key", json::Value(metric.key)},
+                {"unit", json::Value(metric.unit)},
+                {"direction",
+                 json::Value(directionName(metric.direction))},
+                {"description",
+                 json::Value(metric.description)},
+            }));
+        }
+        problems.append(json::Value::makeObject({
+            {"tool", json::Value(problem.tool)},
+            {"description", json::Value(problem.description)},
+            {"input", json::Value(problem.input)},
+            {"parameters", std::move(parameters)},
+            {"metrics", std::move(metrics)},
+        }));
+    }
+    return json::Value::makeObject({
+        {"schema", json::Value("parchmint-manifest-v1")},
+        {"manifest_version", json::Value(manifestVersion())},
+        {"problems", std::move(problems)},
+    });
+}
+
+std::string
+problemKeyOf(const json::Value &record)
+{
+    if (!record.isObject())
+        return "unknown";
+    const json::Value *tool = record.find("tool");
+    std::string key = tool && tool->isString()
+                          ? tool->asString()
+                          : std::string("unknown");
+    const json::Value *notes = record.find("notes");
+    if (notes && notes->isObject()) {
+        const json::Value *benchmark = notes->find("benchmark");
+        if (benchmark && benchmark->isString())
+            key += ":" + benchmark->asString();
+    }
+    return key;
+}
+
+} // namespace parchmint::obs

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Versioned benchmark manifests: each suite problem defined by its
+ * IO contract, pbbsbench-style.
+ *
+ * A *problem* is what a producing tool measures: which input
+ * netlists it consumes, which seed and parameters pin the run, and
+ * which named metrics — with units and a better-direction — the
+ * run emits. The manifest is the registry of every problem this
+ * repo's tools produce, and `manifest_version` is its version
+ * stamp: every run report, history record, bench `--json-report`
+ * and `/statsz` response carries it, so a consumer always knows
+ * *which problem definition* a number was measured against. When a
+ * problem's contract changes (different input, different metric
+ * semantics), bump kManifestVersion — the leaderboard engine
+ * refuses to rank runs across manifest versions, which is exactly
+ * the apples-to-oranges comparison a version bump exists to
+ * prevent.
+ *
+ * Metric references are flat-key *prefixes* in the comparison
+ * engine's "kind:name" space (obs/compare.hh): "counter:route."
+ * names every routing counter, "gauge:exec.sweep.throughput" one
+ * specific gauge. Directions default to lower-is-better (counters
+ * count work, spans and histograms measure time); the exceptions —
+ * throughputs, hit rates — are declared explicitly.
+ */
+
+#ifndef PARCHMINT_OBS_MANIFEST_HH
+#define PARCHMINT_OBS_MANIFEST_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/value.hh"
+
+namespace parchmint::obs
+{
+
+/** Manifest schema revision; bump on any contract change. */
+constexpr int kManifestVersion = 1;
+
+/** The manifest_version stamp, e.g. "parchmint-manifest-v1". */
+std::string manifestVersion();
+
+/** Which way "better" points for a metric. */
+enum class Direction
+{
+    LowerIsBetter,
+    HigherIsBetter,
+};
+
+/** "lower" / "higher". */
+const char *directionName(Direction direction);
+
+/** One named metric family a problem emits. */
+struct MetricSpec
+{
+    /** Flat-key prefix in compare's "kind:name" space. */
+    std::string key;
+    /** Unit of the values ("count", "us", "ms", "rps", ...). */
+    std::string unit;
+    Direction direction = Direction::LowerIsBetter;
+    std::string description;
+};
+
+/** One problem: IO contract of a producing tool. */
+struct ProblemSpec
+{
+    /** RunInfo::tool of the producer ("pnr_flow", ...). */
+    std::string tool;
+    std::string description;
+    /** Input contract ("suite benchmark netlist", ...). */
+    std::string input;
+    /** Note keys that parameterize a run ("benchmark", "seed"). */
+    std::vector<std::string> parameters;
+    /** The metric families the problem emits. */
+    std::vector<MetricSpec> metrics;
+};
+
+/** Every problem in the standard manifest, stable order. */
+const std::vector<ProblemSpec> &standardManifest();
+
+/** The problem for a producing tool, or nullptr when unknown.
+ * Bench binaries ("bench_fig3_routing", ...) all resolve to the
+ * shared "bench_*" problem. */
+const ProblemSpec *findProblem(std::string_view tool);
+
+/**
+ * Direction of a flat metric key under a problem's contract:
+ * longest matching MetricSpec prefix wins; unknown keys default to
+ * lower-is-better. @p problem may be nullptr.
+ */
+Direction metricDirection(const ProblemSpec *problem,
+                          std::string_view flatKey);
+
+/** Unit of a flat key under a problem, or "" when undeclared. */
+std::string metricUnit(const ProblemSpec *problem,
+                       std::string_view flatKey);
+
+/**
+ * The whole manifest as a `parchmint-manifest-v1` JSON document
+ * (schema, manifest_version, problems with their IO contracts).
+ */
+json::Value manifestToJson();
+
+/**
+ * The problem key a run record belongs to: the record's tool, plus
+ * ":" and its "benchmark" note when present — "pnr_flow" runs on
+ * different suite netlists are different problem instances.
+ * Records without a tool map to "unknown".
+ */
+std::string problemKeyOf(const json::Value &record);
+
+} // namespace parchmint::obs
+
+#endif // PARCHMINT_OBS_MANIFEST_HH

@@ -114,6 +114,16 @@ Registry::histogramsSnapshot() const
     return out;
 }
 
+std::map<std::string, std::vector<double>>
+Registry::histogramSamplesSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, std::vector<double>> out;
+    for (const auto &[name, histogram] : histograms_)
+        out[name] = histogram.samples();
+    return out;
+}
+
 bool
 Registry::empty() const
 {

@@ -109,6 +109,11 @@ class Registry
     std::map<std::string, HistogramSummary>
     histogramsSnapshot() const;
 
+    /** Copy of every histogram's raw samples; the Prometheus
+     * exposition (obs/prometheus.hh) buckets from these. */
+    std::map<std::string, std::vector<double>>
+    histogramSamplesSnapshot() const;
+
     const std::map<std::string, int64_t> &counters() const
     {
         return counters_;

@@ -1,0 +1,153 @@
+#include "obs/prometheus.hh"
+
+#include <cstdio>
+
+namespace parchmint::obs
+{
+
+namespace
+{
+
+/** Fixed cumulative-bucket ladder; covers sub-ms latencies through
+ * ten-thousand-unit iteration counts. */
+const double kBucketBounds[] = {
+    0.1, 0.25, 0.5,  1,   2.5, 5,    10,   25,
+    50,  100,  250,  500, 1000, 2500, 5000, 10000,
+};
+
+/** Shortest round-trippable rendering of a sample value. */
+std::string
+formatValue(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    // Prefer the shortest representation that still parses back to
+    // the same double; keeps the exposition readable.
+    for (int precision = 1; precision < 17; ++precision) {
+        char candidate[64];
+        std::snprintf(candidate, sizeof(candidate), "%.*g",
+                      precision, value);
+        double parsed = 0.0;
+        if (std::sscanf(candidate, "%lf", &parsed) == 1 &&
+            parsed == value) {
+            return candidate;
+        }
+    }
+    return buffer;
+}
+
+std::string
+formatBound(double bound)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%g", bound);
+    return buffer;
+}
+
+/** One exposition line: family{name="...",extra} value */
+void
+appendLine(std::string &out, const char *family,
+           const std::string &name, const std::string &extraLabel,
+           const std::string &value)
+{
+    out += family;
+    out += "{name=\"";
+    out += prometheusEscapeLabel(name);
+    out += '"';
+    if (!extraLabel.empty()) {
+        out += ',';
+        out += extraLabel;
+    }
+    out += "} ";
+    out += value;
+    out += '\n';
+}
+
+} // namespace
+
+std::string
+prometheusEscapeLabel(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case '"':
+            out += "\\\"";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+renderPrometheusText(const Registry &registry)
+{
+    std::string out;
+
+    auto counters = registry.countersSnapshot();
+    if (!counters.empty()) {
+        out += "# HELP parchmint_counter Monotonic work counter "
+               "from the metrics registry.\n";
+        out += "# TYPE parchmint_counter counter\n";
+        for (const auto &[name, value] : counters) {
+            appendLine(out, "parchmint_counter", name, "",
+                       std::to_string(value));
+        }
+    }
+
+    auto gauges = registry.gaugesSnapshot();
+    if (!gauges.empty()) {
+        out += "# HELP parchmint_gauge Latest observed value of a "
+               "registry gauge.\n";
+        out += "# TYPE parchmint_gauge gauge\n";
+        for (const auto &[name, value] : gauges) {
+            appendLine(out, "parchmint_gauge", name, "",
+                       formatValue(value));
+        }
+    }
+
+    auto histograms = registry.histogramSamplesSnapshot();
+    if (!histograms.empty()) {
+        out += "# HELP parchmint_histogram Sample distribution of "
+               "a registry histogram.\n";
+        out += "# TYPE parchmint_histogram histogram\n";
+        for (const auto &[name, samples] : histograms) {
+            double sum = 0.0;
+            for (double sample : samples)
+                sum += sample;
+            // Cumulative buckets: each le bound counts every
+            // sample at or below it, and +Inf equals the total.
+            for (double bound : kBucketBounds) {
+                size_t cumulative = 0;
+                for (double sample : samples) {
+                    if (sample <= bound)
+                        ++cumulative;
+                }
+                appendLine(out, "parchmint_histogram_bucket",
+                           name,
+                           "le=\"" + formatBound(bound) + "\"",
+                           std::to_string(cumulative));
+            }
+            appendLine(out, "parchmint_histogram_bucket", name,
+                       "le=\"+Inf\"",
+                       std::to_string(samples.size()));
+            appendLine(out, "parchmint_histogram_sum", name, "",
+                       formatValue(sum));
+            appendLine(out, "parchmint_histogram_count", name, "",
+                       std::to_string(samples.size()));
+        }
+    }
+
+    return out;
+}
+
+} // namespace parchmint::obs

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Prometheus text-exposition rendering of a metrics registry.
+ *
+ * Renders the version-0.0.4 text format a Prometheus server
+ * scrapes. Dotted registry names are carried in a `name` label
+ * rather than mangled into the metric identifier, so every counter
+ * shares one metric family and nothing is lost to sanitization:
+ *
+ *   # TYPE parchmint_counter counter
+ *   parchmint_counter{name="svc.requests"} 42
+ *   # TYPE parchmint_gauge gauge
+ *   parchmint_gauge{name="svc.inflight"} 1
+ *   # TYPE parchmint_histogram histogram
+ *   parchmint_histogram_bucket{name="svc.latency",le="0.5"} 3
+ *   ...
+ *   parchmint_histogram_bucket{name="svc.latency",le="+Inf"} 9
+ *   parchmint_histogram_sum{name="svc.latency"} 17.25
+ *   parchmint_histogram_count{name="svc.latency"} 9
+ *
+ * Buckets are cumulative over a fixed log-ish bound ladder (0.1 ..
+ * 10000 plus +Inf), which covers both millisecond latencies and
+ * iteration counts. Label values escape `\`, `"` and newline per
+ * the exposition-format rules.
+ *
+ * Lives in the dependency-free obs core (no JSON types) so the
+ * service daemon can expose it without pulling the report stack
+ * into the scrape path.
+ */
+
+#ifndef PARCHMINT_OBS_PROMETHEUS_HH
+#define PARCHMINT_OBS_PROMETHEUS_HH
+
+#include <string>
+
+#include "obs/metrics.hh"
+
+namespace parchmint::obs
+{
+
+/** Escape a label value: \ -> \\, " -> \", newline -> \n. */
+std::string prometheusEscapeLabel(const std::string &value);
+
+/**
+ * Render every metric in @p registry as Prometheus text
+ * exposition (content type `text/plain; version=0.0.4`). Uses the
+ * live snapshots, so it is safe while workers are mutating.
+ */
+std::string renderPrometheusText(const Registry &registry);
+
+} // namespace parchmint::obs
+
+#endif // PARCHMINT_OBS_PROMETHEUS_HH

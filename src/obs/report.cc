@@ -7,6 +7,8 @@
 
 #include "common/error.hh"
 #include "json/write.hh"
+#include "obs/env.hh"
+#include "obs/manifest.hh"
 #include "obs/obs.hh"
 
 namespace parchmint::obs
@@ -200,11 +202,13 @@ buildRunReport(const RunInfo &info)
         notes.set(key, json::Value(value));
 
     return json::Value::makeObject({
-        {"schema", json::Value("parchmint-run-report-v1")},
+        {"schema", json::Value("parchmint-run-report-v2")},
         {"tool", json::Value(info.tool)},
         {"timestamp", json::Value(info.timestamp)},
+        {"manifest_version", json::Value(manifestVersion())},
         {"notes", std::move(notes)},
         {"environment", environmentJson()},
+        {"system", systemJson()},
         {"metrics", metricsToJson(registry())},
         {"traceEvents", chromeTraceEvents(tracer())},
         {"displayTimeUnit", json::Value("ms")},

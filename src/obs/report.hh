@@ -10,12 +10,15 @@
  * metadata there). Schema:
  *
  *   {
- *     "schema": "parchmint-run-report-v1",
+ *     "schema": "parchmint-run-report-v2",
  *     "tool": "pnr_flow",
  *     "timestamp": "2026-08-06T12:00:00",     // caller-supplied
+ *     "manifest_version": "parchmint-manifest-v1",
  *     "notes": { "benchmark": "cell_trap_array", ... },
  *     "environment": { "compiler": ..., "buildType": ...,
  *                       "platform": ..., "pointerBits": ... },
+ *     "system": { "os": ..., "kernel": ..., "cpuModel": ...,
+ *                 "gitSha": ..., ..., "env_id": "env-..." },
  *     "metrics": {
  *       "counters":   { "place.moves.attempted": 288000, ... },
  *       "gauges":     { "place.acceptance_rate": 0.41, ... },

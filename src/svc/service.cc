@@ -12,7 +12,10 @@
 #include "json/parse.hh"
 #include "json/write.hh"
 #include "obs/clock.hh"
+#include "obs/env.hh"
+#include "obs/manifest.hh"
 #include "obs/obs.hh"
+#include "obs/prometheus.hh"
 #include "obs/report.hh"
 #include "place/annealing_placer.hh"
 #include "place/cost.hh"
@@ -71,6 +74,8 @@ endpointLabel(const std::string &path)
         return "healthz";
     if (path == "/statsz")
         return "statsz";
+    if (path == "/metricsz")
+        return "metricsz";
     return "other";
 }
 
@@ -185,6 +190,15 @@ NetlistService::dispatch(const HttpRequest &request,
             return response;
         }
         return handleStatsz();
+    }
+    if (path == "/metricsz") {
+        if (request.method != "GET") {
+            HttpResponse response =
+                errorResponse(405, "use GET " + path);
+            response.setHeader("Allow", "GET");
+            return response;
+        }
+        return handleMetricsz();
     }
     if (path == "/v1/suite" || startsWith(path, "/v1/suite/")) {
         if (request.method != "GET") {
@@ -473,10 +487,24 @@ NetlistService::handleStatsz()
 
     json::Value out = json::Value::makeObject();
     out.set("schema", json::Value("parchmintd-statsz-v1"));
+    out.set("manifest_version",
+            json::Value(obs::manifestVersion()));
+    out.set("system", obs::systemJson());
     out.set("metrics", std::move(metrics));
     out.set("cache", std::move(cache));
     out.set("admission", std::move(admission));
     return jsonResponse(200, compactJson(out));
+}
+
+HttpResponse
+NetlistService::handleMetricsz()
+{
+    HttpResponse response;
+    response.status = 200;
+    response.setHeader("Content-Type",
+                       "text/plain; version=0.0.4");
+    response.body = obs::renderPrometheusText(obs::registry());
+    return response;
 }
 
 } // namespace parchmint::svc

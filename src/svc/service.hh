@@ -16,7 +16,11 @@
  *   GET  /v1/suite         the standard benchmark registry
  *   GET  /v1/suite/<name>  one standard benchmark's netlist
  *   GET  /healthz          liveness probe
- *   GET  /statsz           counters, cache and admission state
+ *   GET  /statsz           counters, cache and admission state,
+ *                          stamped with manifest_version and the
+ *                          environment snapshot (obs/env.hh)
+ *   GET  /metricsz         Prometheus text exposition of the
+ *                          metrics registry (text/plain, not JSON)
  *
  * The POST pipeline is fronted by the two-level content-addressed
  * cache (svc/cache.hh): a raw-body hash resolves repeated request
@@ -126,6 +130,7 @@ class NetlistService
     HttpResponse handleSuiteIndex();
     HttpResponse handleSuiteNetlist(const std::string &name);
     HttpResponse handleStatsz();
+    HttpResponse handleMetricsz();
 
     std::shared_ptr<const ParsedDoc>
     parseBody(const std::string &body);

@@ -9,9 +9,16 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/netlist_stats.hh"
+#include "analysis/stats_json.hh"
 #include "core/builder.hh"
 #include "core/deserialize.hh"
 #include "core/serialize.hh"
+#include "obs/compare.hh"
+#include "obs/history.hh"
+#include "obs/leaderboard.hh"
+#include "obs/manifest.hh"
+#include "obs/report.hh"
 
 namespace parchmint
 {
@@ -201,6 +208,47 @@ TEST(GoldenFormatTest, GoldenTextLoadsBackToReferenceDevice)
 {
     Device loaded = fromJsonText(golden_text);
     EXPECT_EQ(referenceDevice(), loaded);
+}
+
+TEST(GoldenFormatTest, EveryJsonDocumentSelfIdentifies)
+{
+    // Each JSON document family this repo produces carries a
+    // version marker, so a consumer can always tell what it is
+    // reading. The interchange format predates the `schema` key
+    // and pins `version` instead; everything else stamps `schema`.
+    EXPECT_NE(std::string::npos,
+              std::string(golden_text)
+                  .find("\"version\": \"1.0\""));
+
+    obs::RunInfo info;
+    info.tool = "golden";
+    info.timestamp = "2026-08-06T00:00:00";
+    EXPECT_EQ("parchmint-run-report-v2",
+              obs::buildRunReport(info).at("schema").asString());
+    EXPECT_EQ("parchmint-run-history-v2",
+              obs::buildHistoryRecord(info)
+                  .at("schema")
+                  .asString());
+
+    obs::Comparison comparison = obs::compareFlat({}, {});
+    EXPECT_EQ("parchmint-report-diff-v1",
+              obs::comparisonToJson(comparison)
+                  .at("schema")
+                  .asString());
+
+    EXPECT_EQ("parchmint-manifest-v1",
+              obs::manifestToJson().at("schema").asString());
+    EXPECT_EQ("parchmint-leaderboard-v1",
+              obs::leaderboardToJson(obs::buildLeaderboard({}))
+                  .at("schema")
+                  .asString());
+
+    analysis::NetlistStats stats =
+        analysis::computeNetlistStats(referenceDevice());
+    EXPECT_EQ("parchmint-suite-report-v1",
+              analysis::suiteReportToJson({stats})
+                  .at("schema")
+                  .asString());
 }
 
 } // namespace

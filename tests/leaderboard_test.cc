@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Tests for the leaderboard engine: provenance-aligned grouping,
+ * direction-aware ranking, regression provenance over the
+ * trajectory, and byte-identical rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "json/parse.hh"
+#include "json/write.hh"
+#include "obs/leaderboard.hh"
+
+namespace parchmint::obs
+{
+namespace
+{
+
+/** One synthetic history record with full provenance stamps. */
+json::Value
+record(const std::string &tool, const std::string &timestamp,
+       const std::string &benchmark, const std::string &env_id,
+       const std::string &manifest_version, int64_t moves,
+       double throughput = 0.0)
+{
+    json::Value counters = json::Value::makeObject();
+    counters.set("place.moves.attempted", json::Value(moves));
+    json::Value gauges = json::Value::makeObject();
+    if (throughput != 0.0)
+        gauges.set("exec.sweep.throughput",
+                   json::Value(throughput));
+    json::Value out = json::Value::makeObject({
+        {"schema", json::Value("parchmint-run-history-v2")},
+        {"tool", json::Value(tool)},
+        {"timestamp", json::Value(timestamp)},
+        {"notes",
+         json::Value::makeObject(
+             {{"benchmark", json::Value(benchmark)},
+              {"seed", json::Value(static_cast<int64_t>(1))}})},
+        {"metrics",
+         json::Value::makeObject({
+             {"counters", std::move(counters)},
+             {"gauges", std::move(gauges)},
+         })},
+    });
+    if (!manifest_version.empty())
+        out.set("manifest_version",
+                json::Value(manifest_version));
+    if (!env_id.empty())
+        out.set("system",
+                json::Value::makeObject(
+                    {{"env_id", json::Value(env_id)}}));
+    return out;
+}
+
+const char *kManifest = "parchmint-manifest-v1";
+
+TEST(LeaderboardTest, GroupsAlignOnProblemManifestAndEnv)
+{
+    std::vector<json::Value> records = {
+        record("pnr_flow", "t1", "cell_trap_array", "env-a",
+               kManifest, 1000),
+        record("pnr_flow", "t2", "cell_trap_array", "env-a",
+               kManifest, 900),
+        // Different environment: must land in its own group.
+        record("pnr_flow", "t3", "cell_trap_array", "env-b",
+               kManifest, 100),
+        // Different benchmark: different problem instance.
+        record("pnr_flow", "t4", "chromatin_trap", "env-a",
+               kManifest, 500),
+    };
+    Leaderboard board = buildLeaderboard(records);
+    ASSERT_EQ(4u, board.runs.size());
+    ASSERT_EQ(3u, board.groups.size());
+    // std::map order: problem, then manifest, then env.
+    EXPECT_EQ("pnr_flow:cell_trap_array",
+              board.groups[0].problem);
+    EXPECT_EQ("env-a", board.groups[0].envId);
+    EXPECT_EQ(2u, board.groups[0].runs.size());
+    EXPECT_EQ("env-b", board.groups[1].envId);
+    EXPECT_EQ("pnr_flow:chromatin_trap",
+              board.groups[2].problem);
+}
+
+TEST(LeaderboardTest, RanksLowerIsBetterWithTies)
+{
+    std::vector<json::Value> records = {
+        record("pnr_flow", "t1", "b", "env-a", kManifest, 1000),
+        record("pnr_flow", "t2", "b", "env-a", kManifest, 800),
+        record("pnr_flow", "t3", "b", "env-a", kManifest, 1000),
+    };
+    Leaderboard board = buildLeaderboard(records);
+    ASSERT_EQ(1u, board.groups.size());
+    ASSERT_EQ(1u, board.groups[0].boards.size());
+    const MetricBoard &moves = board.groups[0].boards[0];
+    EXPECT_EQ("counter:place.moves.attempted", moves.metric);
+    EXPECT_EQ(Direction::LowerIsBetter, moves.direction);
+    ASSERT_EQ(3u, moves.rows.size());
+    // 800 wins; the two 1000s tie at rank 2 in input order.
+    EXPECT_EQ(1u, moves.rows[0].rank);
+    EXPECT_EQ(1u, moves.rows[0].run);
+    EXPECT_DOUBLE_EQ(800.0, moves.rows[0].value);
+    EXPECT_DOUBLE_EQ(0.0, moves.rows[0].behindBestPercent);
+    EXPECT_EQ(2u, moves.rows[1].rank);
+    EXPECT_EQ(0u, moves.rows[1].run);
+    EXPECT_EQ(2u, moves.rows[2].rank);
+    EXPECT_EQ(2u, moves.rows[2].run);
+    EXPECT_DOUBLE_EQ(25.0, moves.rows[1].behindBestPercent);
+}
+
+TEST(LeaderboardTest, HigherIsBetterMetricRanksDescending)
+{
+    std::vector<json::Value> records = {
+        record("suite_run", "t1", "", "env-a", kManifest, 0,
+               10.0),
+        record("suite_run", "t2", "", "env-a", kManifest, 0,
+               25.0),
+    };
+    Leaderboard board = buildLeaderboard(records);
+    ASSERT_EQ(1u, board.groups.size());
+    const MetricBoard *throughput = nullptr;
+    for (const MetricBoard &metric : board.groups[0].boards) {
+        if (metric.metric == "gauge:exec.sweep.throughput")
+            throughput = &metric;
+    }
+    ASSERT_NE(nullptr, throughput);
+    EXPECT_EQ(Direction::HigherIsBetter, throughput->direction);
+    ASSERT_EQ(2u, throughput->rows.size());
+    EXPECT_DOUBLE_EQ(25.0, throughput->rows[0].value);
+    EXPECT_EQ(1u, throughput->rows[0].rank);
+    // Rising throughput is the good direction: no movement.
+    EXPECT_TRUE(board.movements.empty());
+}
+
+TEST(LeaderboardTest, ThroughputDropIsAMovement)
+{
+    std::vector<json::Value> records = {
+        record("suite_run", "t1", "", "env-a", kManifest, 0,
+               25.0),
+        record("suite_run", "t2", "", "env-a", kManifest, 0,
+               10.0),
+    };
+    Leaderboard board = buildLeaderboard(records);
+    ASSERT_EQ(1u, board.movements.size());
+    EXPECT_EQ("gauge:exec.sweep.throughput",
+              board.movements[0].metric);
+    EXPECT_DOUBLE_EQ(25.0, board.movements[0].before);
+    EXPECT_DOUBLE_EQ(10.0, board.movements[0].after);
+    EXPECT_DOUBLE_EQ(60.0, board.movements[0].percent);
+}
+
+TEST(LeaderboardTest, MovementAcrossEnvChangeIsConfounded)
+{
+    std::vector<json::Value> records = {
+        record("pnr_flow", "t1", "b", "env-a", kManifest, 1000),
+        record("pnr_flow", "t2", "b", "env-b", kManifest, 2000),
+    };
+    Leaderboard board = buildLeaderboard(records);
+    // Separate groups — never ranked together...
+    EXPECT_EQ(2u, board.groups.size());
+    // ...but the trajectory walk still reports the movement, with
+    // the confound flagged.
+    ASSERT_EQ(1u, board.movements.size());
+    EXPECT_TRUE(board.movements[0].crossesEnv);
+    EXPECT_FALSE(board.movements[0].crossesManifest);
+    std::string table = renderLeaderboardTable(board);
+    EXPECT_NE(std::string::npos,
+              table.find("CONFOUNDED: environment changed"));
+}
+
+TEST(LeaderboardTest, SmallMovementsStayBelowThreshold)
+{
+    std::vector<json::Value> records = {
+        record("pnr_flow", "t1", "b", "env-a", kManifest, 1000),
+        record("pnr_flow", "t2", "b", "env-a", kManifest, 1030),
+    };
+    EXPECT_TRUE(buildLeaderboard(records).movements.empty());
+
+    LeaderboardOptions tight;
+    tight.regressionThreshold = 0.01;
+    EXPECT_EQ(1u,
+              buildLeaderboard(records, tight).movements.size());
+}
+
+TEST(LeaderboardTest, MetricFilterOverridesManifestFamilies)
+{
+    std::vector<json::Value> records = {
+        record("suite_run", "t1", "", "env-a", kManifest, 77,
+               10.0),
+        record("suite_run", "t2", "", "env-a", kManifest, 66,
+               12.0),
+    };
+    LeaderboardOptions options;
+    options.metrics = {"counter:place."};
+    Leaderboard board = buildLeaderboard(records, options);
+    ASSERT_EQ(1u, board.groups.size());
+    ASSERT_EQ(1u, board.groups[0].boards.size());
+    EXPECT_EQ("counter:place.moves.attempted",
+              board.groups[0].boards[0].metric);
+}
+
+TEST(LeaderboardTest, RenderingIsByteIdentical)
+{
+    std::vector<json::Value> records = {
+        record("pnr_flow", "t1", "b", "env-a", kManifest, 1000),
+        record("pnr_flow", "t2", "b", "env-a", kManifest, 800),
+        record("pnr_flow", "t3", "b", "env-b", kManifest, 2000),
+    };
+    Leaderboard first = buildLeaderboard(records);
+    Leaderboard second = buildLeaderboard(records);
+    EXPECT_EQ(renderLeaderboardTable(first),
+              renderLeaderboardTable(second));
+    EXPECT_EQ(renderLeaderboardMarkdown(first),
+              renderLeaderboardMarkdown(second));
+    EXPECT_EQ(json::write(leaderboardToJson(first)),
+              json::write(leaderboardToJson(second)));
+}
+
+TEST(LeaderboardTest, JsonDocumentRoundTripsAndCarriesSchema)
+{
+    std::vector<json::Value> records = {
+        record("pnr_flow", "t1", "b", "env-a", kManifest, 1000),
+        record("pnr_flow", "t2", "b", "env-a", kManifest, 1200),
+    };
+    json::Value doc =
+        leaderboardToJson(buildLeaderboard(records));
+    EXPECT_EQ("parchmint-leaderboard-v1",
+              doc.at("schema").asString());
+    EXPECT_EQ(manifestVersion(),
+              doc.at("manifest_version").asString());
+    EXPECT_EQ(2u, doc.at("runs").size());
+    EXPECT_EQ(1u, doc.at("groups").size());
+    EXPECT_EQ(1u, doc.at("movements").size());
+    const json::Value &movement = doc.at("movements").at(0);
+    EXPECT_EQ("counter:place.moves.attempted",
+              movement.at("metric").asString());
+    EXPECT_EQ("env-a", movement.at("atEnvId").asString());
+    EXPECT_EQ(kManifest,
+              movement.at("atManifestVersion").asString());
+    EXPECT_EQ(doc, json::parse(json::write(doc)));
+}
+
+TEST(LeaderboardTest, LegacyRecordsGroupUnderEmptyStamps)
+{
+    std::vector<json::Value> records = {
+        record("pnr_flow", "t1", "b", "", "", 1000),
+        record("pnr_flow", "t2", "b", "", "", 900),
+        record("pnr_flow", "t3", "b", "env-a", kManifest, 950),
+    };
+    Leaderboard board = buildLeaderboard(records);
+    ASSERT_EQ(2u, board.groups.size());
+    // Legacy ("" stamps) sorts before the stamped group and is
+    // displayed as such, never silently mixed in.
+    EXPECT_EQ("", board.groups[0].envId);
+    EXPECT_EQ(2u, board.groups[0].runs.size());
+    EXPECT_EQ("env-a", board.groups[1].envId);
+    std::string table = renderLeaderboardTable(board);
+    EXPECT_NE(std::string::npos,
+              table.find("none (legacy record)"));
+}
+
+TEST(LeaderboardTest, EmptyHistoryRendersGracefully)
+{
+    Leaderboard board = buildLeaderboard({});
+    EXPECT_EQ("leaderboard: no runs\n",
+              renderLeaderboardTable(board));
+    EXPECT_EQ(0u,
+              leaderboardToJson(board).at("runs").size());
+}
+
+} // namespace
+} // namespace parchmint::obs

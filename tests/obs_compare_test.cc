@@ -14,7 +14,9 @@
 #include "json/parse.hh"
 #include "json/write.hh"
 #include "obs/compare.hh"
+#include "obs/env.hh"
 #include "obs/history.hh"
+#include "obs/manifest.hh"
 #include "obs/obs.hh"
 #include "obs/report.hh"
 
@@ -278,11 +280,16 @@ TEST_F(CompareTest, HistoryAppendsOneParseableRecordPerRun)
     auto records = readHistory(path);
     ASSERT_EQ(2u, records.size());
     for (const json::Value &record : records) {
-        EXPECT_EQ("parchmint-run-history-v1",
+        EXPECT_EQ("parchmint-run-history-v2",
                   record.at("schema").asString());
         EXPECT_EQ("compare_test", record.at("tool").asString());
         EXPECT_EQ("unit",
                   record.at("notes").at("benchmark").asString());
+        // v2 provenance stamps carry over from the run report.
+        EXPECT_EQ(manifestVersion(),
+                  record.at("manifest_version").asString());
+        EXPECT_EQ(envId(),
+                  record.at("system").at("env_id").asString());
         EXPECT_EQ(1000,
                   record.at("metrics")
                       .at("counters")
@@ -306,6 +313,179 @@ TEST_F(CompareTest, ReadHistoryRejectsMissingFile)
 {
     EXPECT_THROW(readHistory("/nonexistent/history.jsonl"),
                  UserError);
+}
+
+TEST_F(CompareTest, ReadHistorySkipsCorruptLinesWithWarning)
+{
+    std::string path =
+        ::testing::TempDir() + "obs_compare_corrupt.jsonl";
+    std::remove(path.c_str());
+
+    sampleReport();
+    RunInfo info;
+    info.tool = "compare_test";
+    info.timestamp = "2026-08-06T00:00:00";
+    appendHistory(path, info);
+    // A crash mid-append leaves a truncated line; a stray editor
+    // leaves garbage. Neither may cost the rest of the trajectory.
+    {
+        std::FILE *file = std::fopen(path.c_str(), "ab");
+        ASSERT_NE(nullptr, file);
+        std::fputs("{\"schema\": \"parchmint-run-h\n", file);
+        std::fclose(file);
+    }
+    appendHistory(path, info);
+
+    size_t skipped = 0;
+    auto records = readHistory(path, &skipped);
+    EXPECT_EQ(1u, skipped);
+    ASSERT_EQ(2u, records.size());
+    for (const json::Value &record : records)
+        EXPECT_EQ("compare_test", record.at("tool").asString());
+    std::remove(path.c_str());
+}
+
+TEST_F(CompareTest, ReadHistoryTruncatedTrailingLineOnly)
+{
+    // The common crash footprint: good records, then one
+    // truncated final line with no trailing newline.
+    std::string path =
+        ::testing::TempDir() + "obs_compare_trunc.jsonl";
+    std::remove(path.c_str());
+    {
+        std::FILE *file = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(nullptr, file);
+        std::fputs("{\"tool\": \"a\"}\n{\"tool\": \"b\"}\n"
+                   "{\"tool\": \"c\", \"metrics\": {\"coun",
+                   file);
+        std::fclose(file);
+    }
+    size_t skipped = 0;
+    auto records = readHistory(path, &skipped);
+    EXPECT_EQ(1u, skipped);
+    ASSERT_EQ(2u, records.size());
+    EXPECT_EQ("a", records[0].at("tool").asString());
+    EXPECT_EQ("b", records[1].at("tool").asString());
+    std::remove(path.c_str());
+}
+
+// --- Provenance -------------------------------------------------------
+
+/** A minimal v2-style document with the given stamps. */
+json::Value
+stampedReport(const std::string &env_id,
+              const std::string &manifest_version)
+{
+    json::Value report = json::Value::makeObject({
+        {"schema", json::Value("parchmint-run-history-v2")},
+        {"metrics",
+         json::Value::makeObject({
+             {"counters",
+              json::Value::makeObject(
+                  {{"work", json::Value(100)}})},
+         })},
+    });
+    if (!manifest_version.empty())
+        report.set("manifest_version",
+                   json::Value(manifest_version));
+    if (!env_id.empty())
+        report.set("system",
+                   json::Value::makeObject(
+                       {{"env_id", json::Value(env_id)}}));
+    return report;
+}
+
+TEST_F(CompareTest, CompareReportsExtractsMatchingProvenance)
+{
+    json::Value report = sampleReport();
+    Comparison comparison = compareReports(report, report);
+    ASSERT_TRUE(comparison.provenanceChecked);
+    EXPECT_EQ(envId(), comparison.baselineProvenance.envId);
+    EXPECT_FALSE(comparison.envMismatch());
+    EXPECT_FALSE(comparison.manifestMismatch());
+    std::string annotation = provenanceAnnotation(comparison);
+    EXPECT_NE(std::string::npos, annotation.find("matches"));
+    EXPECT_EQ(std::string::npos, annotation.find("WARNING"));
+}
+
+TEST_F(CompareTest, EnvMismatchIsAnnotatedInEveryRenderer)
+{
+    Comparison comparison = compareReports(
+        stampedReport("env-aaaa", "parchmint-manifest-v1"),
+        stampedReport("env-bbbb", "parchmint-manifest-v1"));
+    EXPECT_TRUE(comparison.envMismatch());
+    EXPECT_FALSE(comparison.manifestMismatch());
+
+    std::string annotation = provenanceAnnotation(comparison);
+    EXPECT_NE(std::string::npos,
+              annotation.find("WARNING env_id mismatch"));
+    EXPECT_NE(std::string::npos, annotation.find("env-aaaa"));
+    EXPECT_NE(std::string::npos, annotation.find("env-bbbb"));
+
+    EXPECT_NE(std::string::npos,
+              renderComparisonTable(comparison)
+                  .find("WARNING env_id mismatch"));
+    EXPECT_NE(std::string::npos,
+              renderComparisonMarkdown(comparison)
+                  .find("WARNING env_id mismatch"));
+
+    json::Value doc = comparisonToJson(comparison);
+    const json::Value &provenance = doc.at("provenance");
+    EXPECT_TRUE(provenance.at("envMismatch").asBoolean());
+    EXPECT_FALSE(provenance.at("manifestMismatch").asBoolean());
+    EXPECT_EQ("env-aaaa",
+              provenance.at("baseline").at("env_id").asString());
+    EXPECT_EQ("env-bbbb",
+              provenance.at("current").at("env_id").asString());
+}
+
+TEST_F(CompareTest, ManifestMismatchIsAnnotated)
+{
+    Comparison comparison = compareReports(
+        stampedReport("env-aaaa", "parchmint-manifest-v1"),
+        stampedReport("env-aaaa", "parchmint-manifest-v2"));
+    EXPECT_FALSE(comparison.envMismatch());
+    EXPECT_TRUE(comparison.manifestMismatch());
+    std::string annotation = provenanceAnnotation(comparison);
+    EXPECT_NE(std::string::npos,
+              annotation.find("WARNING manifest_version mismatch"));
+    EXPECT_NE(std::string::npos, annotation.find("env-aaaa"));
+}
+
+TEST_F(CompareTest, LegacyRecordsDiffWithClearAnnotation)
+{
+    // A legacy record (no system/manifest blocks) against a
+    // stamped one: the diff proceeds, and the annotation says the
+    // alignment was unchecked rather than claiming a match.
+    Comparison comparison =
+        compareReports(stampedReport("", ""),
+                       stampedReport("env-bbbb",
+                                     "parchmint-manifest-v1"));
+    ASSERT_TRUE(comparison.provenanceChecked);
+    EXPECT_FALSE(comparison.baselineProvenance.known());
+    EXPECT_FALSE(comparison.envMismatch());
+    EXPECT_FALSE(comparison.manifestMismatch());
+    std::string annotation = provenanceAnnotation(comparison);
+    EXPECT_NE(std::string::npos,
+              annotation.find("none (legacy record)"));
+    EXPECT_NE(std::string::npos, annotation.find("unchecked"));
+    EXPECT_EQ(std::string::npos, annotation.find("WARNING"));
+    // And the metric itself still aligned.
+    ASSERT_EQ(1u, comparison.deltas.size());
+    EXPECT_EQ(Verdict::Noise, comparison.deltas[0].verdict);
+}
+
+TEST_F(CompareTest, CompareFlatLeavesProvenanceUnchecked)
+{
+    Comparison comparison = compareFlat({{"counter:c", 1.0}},
+                                        {{"counter:c", 1.0}});
+    EXPECT_FALSE(comparison.provenanceChecked);
+    EXPECT_EQ("", provenanceAnnotation(comparison));
+    EXPECT_EQ(std::string::npos,
+              renderComparisonTable(comparison)
+                  .find("provenance:"));
+    EXPECT_FALSE(
+        comparisonToJson(comparison).contains("provenance"));
 }
 
 // --- Folded flamegraph export -----------------------------------------

@@ -14,7 +14,10 @@
 
 #include "json/parse.hh"
 #include "json/write.hh"
+#include "obs/env.hh"
+#include "obs/manifest.hh"
 #include "obs/obs.hh"
+#include "obs/prometheus.hh"
 #include "obs/report.hh"
 
 namespace parchmint::obs
@@ -300,13 +303,30 @@ TEST_F(ObsTest, RunReportRoundTripsThroughJsonParser)
     // disturb the already-built document.
     json::Value parsed = json::parse(text);
 
-    EXPECT_EQ("parchmint-run-report-v1",
+    EXPECT_EQ("parchmint-run-report-v2",
               parsed.at("schema").asString());
     EXPECT_EQ("obs_test", parsed.at("tool").asString());
     EXPECT_EQ("round_trip",
               parsed.at("notes").at("case").asString());
     EXPECT_TRUE(parsed.at("environment").contains("compiler"));
     EXPECT_TRUE(parsed.at("environment").contains("buildType"));
+
+    // v2 provenance stamps: the manifest version and the
+    // environment snapshot with its content-addressed id.
+    EXPECT_EQ(manifestVersion(),
+              parsed.at("manifest_version").asString());
+    const json::Value &system = parsed.at("system");
+    EXPECT_TRUE(system.contains("os"));
+    EXPECT_TRUE(system.contains("cpuModel"));
+    EXPECT_TRUE(system.contains("compiler"));
+    EXPECT_TRUE(system.contains("gitSha"));
+    EXPECT_TRUE(system.at("sanitizers").isArray());
+    std::string env_id = system.at("env_id").asString();
+    EXPECT_EQ(0u, env_id.rfind("env-", 0));
+    EXPECT_EQ(4u + 16u, env_id.size());
+    // The id is content-addressed over the snapshot (minus the
+    // hostname, which names a machine, not a platform).
+    EXPECT_EQ(env_id, envIdOf(system));
 
     // Chrome trace shape: complete events with name/ts/dur.
     const json::Value &events = parsed.at("traceEvents");
@@ -373,6 +393,122 @@ TEST_F(ObsTest, ResetClearsEverything)
     reset();
     EXPECT_TRUE(registry().empty());
     EXPECT_TRUE(tracer().events().empty());
+}
+
+TEST(EnvTest, EnvIdIsStableAndIgnoresHostname)
+{
+    json::Value a = buildSystemJson();
+    json::Value b = buildSystemJson();
+    EXPECT_EQ(a.at("env_id").asString(),
+              b.at("env_id").asString());
+
+    // Same platform on a different machine: same id.
+    b.set("hostname", json::Value("elsewhere"));
+    EXPECT_EQ(a.at("env_id").asString(), envIdOf(b));
+
+    // Any identity-bearing field change moves the id.
+    b.set("compiler", json::Value("gcc 99.0"));
+    EXPECT_NE(a.at("env_id").asString(), envIdOf(b));
+}
+
+TEST(EnvTest, CachedSnapshotMatchesEnvId)
+{
+    EXPECT_EQ(envId(), systemJson().at("env_id").asString());
+    EXPECT_EQ(&systemJson(), &systemJson());
+}
+
+TEST(ManifestTest, FindProblemResolvesToolsAndBenchWildcard)
+{
+    ASSERT_NE(nullptr, findProblem("pnr_flow"));
+    ASSERT_NE(nullptr, findProblem("bench_fig3_routing"));
+    EXPECT_EQ("bench_*",
+              findProblem("bench_fig3_routing")->tool);
+    EXPECT_EQ(nullptr, findProblem("no_such_tool"));
+}
+
+TEST(ManifestTest, DirectionLongestPrefixWins)
+{
+    const ProblemSpec *suite = findProblem("suite_run");
+    ASSERT_NE(nullptr, suite);
+    // "gauge:exec.sweep.throughput" beats any shorter prefix.
+    EXPECT_EQ(Direction::HigherIsBetter,
+              metricDirection(suite,
+                              "gauge:exec.sweep.throughput"));
+    EXPECT_EQ(Direction::LowerIsBetter,
+              metricDirection(suite, "counter:exec.tasks.run"));
+    // Unknown keys and unknown problems default to lower.
+    EXPECT_EQ(Direction::LowerIsBetter,
+              metricDirection(suite, "gauge:unrelated"));
+    EXPECT_EQ(Direction::LowerIsBetter,
+              metricDirection(nullptr, "gauge:anything"));
+}
+
+TEST(ManifestTest, ManifestJsonCarriesVersionAndProblems)
+{
+    json::Value manifest = manifestToJson();
+    EXPECT_EQ("parchmint-manifest-v1",
+              manifest.at("schema").asString());
+    EXPECT_EQ(manifestVersion(),
+              manifest.at("manifest_version").asString());
+    EXPECT_EQ(standardManifest().size(),
+              manifest.at("problems").size());
+}
+
+TEST(PrometheusTest, EscapesLabelValues)
+{
+    EXPECT_EQ("plain", prometheusEscapeLabel("plain"));
+    EXPECT_EQ("a\\\\b", prometheusEscapeLabel("a\\b"));
+    EXPECT_EQ("say \\\"hi\\\"",
+              prometheusEscapeLabel("say \"hi\""));
+    EXPECT_EQ("two\\nlines", prometheusEscapeLabel("two\nlines"));
+}
+
+TEST(PrometheusTest, RendersCountersGaugesAndHistogram)
+{
+    Registry registry;
+    registry.add("svc.requests", 42);
+    registry.setGauge("svc.inflight", 1.5);
+    registry.record("svc.latency", 0.25);
+    registry.record("svc.latency", 4.0);
+    registry.record("svc.latency", 20000.0);
+
+    std::string text = renderPrometheusText(registry);
+    EXPECT_NE(std::string::npos,
+              text.find("# TYPE parchmint_counter counter\n"));
+    EXPECT_NE(
+        std::string::npos,
+        text.find(
+            "parchmint_counter{name=\"svc.requests\"} 42\n"));
+    EXPECT_NE(
+        std::string::npos,
+        text.find("parchmint_gauge{name=\"svc.inflight\"} 1.5\n"));
+
+    // Cumulative buckets: le=0.5 holds one sample, le=5 two, +Inf
+    // all three; sum and count close the family.
+    EXPECT_NE(std::string::npos,
+              text.find("parchmint_histogram_bucket{name=\"svc."
+                        "latency\",le=\"0.5\"} 1\n"));
+    EXPECT_NE(std::string::npos,
+              text.find("parchmint_histogram_bucket{name=\"svc."
+                        "latency\",le=\"5\"} 2\n"));
+    EXPECT_NE(std::string::npos,
+              text.find("parchmint_histogram_bucket{name=\"svc."
+                        "latency\",le=\"10000\"} 2\n"));
+    EXPECT_NE(std::string::npos,
+              text.find("parchmint_histogram_bucket{name=\"svc."
+                        "latency\",le=\"+Inf\"} 3\n"));
+    EXPECT_NE(std::string::npos,
+              text.find("parchmint_histogram_sum{name=\"svc."
+                        "latency\"} 20004.25\n"));
+    EXPECT_NE(std::string::npos,
+              text.find("parchmint_histogram_count{name=\"svc."
+                        "latency\"} 3\n"));
+}
+
+TEST(PrometheusTest, EmptyRegistryRendersNothing)
+{
+    Registry registry;
+    EXPECT_EQ("", renderPrometheusText(registry));
 }
 
 } // namespace

@@ -43,6 +43,8 @@ TEST(StatsJsonTest, SuiteReportContainsAllBenchmarks)
 {
     auto rows = characterizeSuite();
     json::Value report = suiteReportToJson(rows);
+    EXPECT_EQ("parchmint-suite-report-v1",
+              report.at("schema").asString());
     EXPECT_EQ("parchmint-standard",
               report.at("suite").asString());
     const json::Value &benchmarks = report.at("benchmarks");

@@ -19,6 +19,9 @@
 #include "exec/cancel.hh"
 #include "json/parse.hh"
 #include "json/write.hh"
+#include "obs/env.hh"
+#include "obs/manifest.hh"
+#include "obs/obs.hh"
 #include "suite/suite.hh"
 #include "svc/admission.hh"
 #include "svc/cache.hh"
@@ -520,6 +523,57 @@ TEST(NetlistServiceTest, HealthzAndStatsz)
     EXPECT_TRUE(body.at("cache").contains("result"));
     EXPECT_TRUE(body.at("admission").contains("maxInflight"));
     EXPECT_TRUE(body.at("metrics").contains("counters"));
+    // Provenance stamps: which problem-manifest revision and which
+    // environment the numbers were measured under.
+    EXPECT_EQ(obs::manifestVersion(),
+              body.at("manifest_version").asString());
+    EXPECT_EQ(obs::envId(),
+              body.at("system").at("env_id").asString());
+}
+
+TEST(NetlistServiceTest, MetricszExposesPrometheusText)
+{
+    NetlistService service;
+    // Drive one request through so the accounting counters exist.
+    service.handle(getRequest("/healthz"));
+
+    HttpResponse metrics = service.handle(
+        getRequest("/metricsz"));
+    ASSERT_EQ(200, metrics.status);
+    const std::string *type =
+        metrics.findHeader("Content-Type");
+    ASSERT_NE(nullptr, type);
+    EXPECT_EQ("text/plain; version=0.0.4", *type);
+
+    const std::string &body = metrics.body;
+    EXPECT_NE(std::string::npos,
+              body.find("# TYPE parchmint_counter counter\n"));
+    EXPECT_NE(
+        std::string::npos,
+        body.find("parchmint_counter{name=\"svc.requests\"} "));
+    EXPECT_NE(std::string::npos,
+              body.find("parchmint_counter{name=\"svc.requests."
+                        "healthz\"} "));
+
+    // POST is not allowed, like the other read-only endpoints.
+    HttpResponse post = service.handle(
+        postRequest("/metricsz", "{}"));
+    EXPECT_EQ(405, post.status);
+}
+
+TEST(NetlistServiceTest, MetricszEscapesLabelValues)
+{
+    NetlistService service;
+    // A metric name carrying every character the exposition format
+    // must escape: backslash, double quote, newline.
+    obs::registry().add("weird\\name\"with\nnasties", 7);
+    HttpResponse metrics = service.handle(
+        getRequest("/metricsz"));
+    ASSERT_EQ(200, metrics.status);
+    EXPECT_NE(
+        std::string::npos,
+        metrics.body.find("parchmint_counter{name=\"weird\\\\"
+                          "name\\\"with\\nnasties\"} 7\n"));
 }
 
 TEST(NetlistServiceTest, SuiteEndpointsServeNetlists)
