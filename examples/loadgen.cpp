@@ -23,11 +23,20 @@
  *     transport_errors=0 throughput_rps=X p50_ms=X p95_ms=X
  *     p99_ms=X result_hit_rate=X.XX
  *
+ * followed by the five slowest requests with the trace IDs the
+ * server echoed in X-Parchmint-Trace —
+ *
+ *   loadgen: slow[1] ms=12.34 trace=4f2a9c...
+ *
+ * — so a tail-latency outlier can be looked up at the server's
+ * /tracez (per-stage timings) and grepped in its /logz lines.
+ *
  * Exit status is 1 when any 5xx or transport error occurred (429s
  * are counted but are not failures — rejecting work under overload
  * is the server behaving as designed).
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -55,6 +64,9 @@ namespace
 struct WorkerTally
 {
     std::vector<double> latencyMs;
+    /** Trace ID echoed by the server per request, aligned with
+     * latencyMs so the slowest requests can be named. */
+    std::vector<std::string> traceIds;
     uint64_t ok = 0;
     uint64_t status4xx = 0;
     uint64_t status5xx = 0;
@@ -223,6 +235,12 @@ main(int argc, char **argv)
                                 Clock::now() - sent)
                                 .count();
                         tally.latencyMs.push_back(ms);
+                        const std::string *trace =
+                            response.findHeader(
+                                "X-Parchmint-Trace");
+                        tally.traceIds.push_back(
+                            trace != nullptr ? *trace
+                                             : std::string());
                         if (response.status >= 500)
                             ++tally.status5xx;
                         else if (response.status >= 400)
@@ -254,9 +272,13 @@ main(int argc, char **argv)
         // Merge the per-thread tallies.
         obs::Histogram latency;
         WorkerTally total;
+        std::vector<std::pair<double, std::string>> traced;
         for (const WorkerTally &tally : tallies) {
-            for (double ms : tally.latencyMs)
-                latency.record(ms);
+            for (size_t i = 0; i < tally.latencyMs.size(); ++i) {
+                latency.record(tally.latencyMs[i]);
+                traced.emplace_back(tally.latencyMs[i],
+                                    tally.traceIds[i]);
+            }
             total.ok += tally.ok;
             total.status4xx += tally.status4xx;
             total.status5xx += tally.status5xx;
@@ -291,6 +313,23 @@ main(int argc, char **argv)
                 total.transportErrors),
             throughput, summary.p50, summary.p95, summary.p99,
             hit_rate);
+
+        // Name the slowest requests so they can be looked up at
+        // the server's /tracez (and grepped in its /logz lines).
+        size_t slow_count = std::min<size_t>(5, traced.size());
+        std::partial_sort(
+            traced.begin(), traced.begin() + slow_count,
+            traced.end(),
+            [](const auto &a, const auto &b) {
+                return a.first > b.first;
+            });
+        for (size_t i = 0; i < slow_count; ++i) {
+            std::printf("loadgen: slow[%zu] ms=%.2f trace=%s\n",
+                        i + 1, traced[i].first,
+                        traced[i].second.empty()
+                            ? "(none)"
+                            : traced[i].second.c_str());
+        }
 
         if (report_cli.requested()) {
             obs::Registry &registry = obs::registry();

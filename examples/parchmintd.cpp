@@ -10,6 +10,9 @@
  * Run:  ./parchmintd [--port P] [--bind ADDR] [--threads N]
  *           [--cache-mb M] [--max-inflight K] [--seed S]
  *           [--deadline-ms D] [--port-file PATH]
+ *           [--log-level debug|info|warn|error|off]
+ *           [--log-json PATH|-] [--log-burst N] [--log-rate N]
+ *           [--crash-file PATH] [--flight-events N]
  *           [--report report.json] [--history history.jsonl]
  *
  * `--port 0` (the default) binds a kernel-assigned ephemeral port;
@@ -20,6 +23,15 @@
  * thread". With --report / --history the run-report artifacts are
  * written on shutdown, carrying the per-endpoint latency
  * histograms and the request/cache counters.
+ *
+ * Live observability: `--log-json -` streams structured JSONL log
+ * lines to stderr (`--log-json PATH` appends to a file) at
+ * `--log-level` (default info; logging is off without --log-json).
+ * The flight recorder always runs (`--flight-events` resizes its
+ * ring, default 2048) and is dumped to stderr — and to
+ * `--crash-file PATH` when given — if the daemon dies on
+ * SIGSEGV/SIGABRT. /tracez, /logz, and /profilez serve the live
+ * views; see src/svc/service.hh.
  */
 
 #include <csignal>
@@ -30,6 +42,8 @@
 #include "common/cli.hh"
 #include "common/error.hh"
 #include "common/strings.hh"
+#include "obs/flight.hh"
+#include "obs/log.hh"
 #include "obs/report_cli.hh"
 #include "svc/server.hh"
 #include "svc/service.hh"
@@ -56,6 +70,10 @@ usage(const char *argv0)
         "usage: %s [--port P] [--bind ADDR] [--threads N]\n"
         "          [--cache-mb M] [--max-inflight K] [--seed S]\n"
         "          [--deadline-ms D] [--port-file PATH]\n"
+        "          [--log-level debug|info|warn|error|off]\n"
+        "          [--log-json PATH|-] [--log-burst N]\n"
+        "          [--log-rate N] [--crash-file PATH]\n"
+        "          [--flight-events N]\n"
         "          [--report report.json] "
         "[--history history.jsonl]\n",
         argv0);
@@ -70,6 +88,11 @@ main(int argc, char **argv)
         svc::ServiceOptions service_options;
         svc::ServerOptions server_options;
         std::string port_file;
+        std::string log_json;
+        std::string crash_file;
+        size_t flight_events = 2048;
+        obs::LogLevel log_level = obs::LogLevel::Info;
+        obs::LogRateLimit log_limit;
         obs::ReportCli report_cli;
 
         for (int i = 1; i < argc; ++i) {
@@ -114,6 +137,35 @@ main(int argc, char **argv)
             } else if (cli::matchValueFlag(argc, argv, i,
                                            "--port-file", value)) {
                 port_file = value;
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--log-level", value)) {
+                if (!obs::parseLogLevel(value, log_level))
+                    cli::usageError(argv[0],
+                                    "bad --log-level \"" + value +
+                                        "\" (want debug|info|"
+                                        "warn|error|off)");
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--log-json", value)) {
+                log_json = value;
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--log-burst",
+                                           value)) {
+                log_limit.burst =
+                    std::strtod(value.c_str(), nullptr);
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--log-rate", value)) {
+                log_limit.ratePerSecond =
+                    std::strtod(value.c_str(), nullptr);
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--crash-file",
+                                           value)) {
+                crash_file = value;
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--flight-events",
+                                           value)) {
+                flight_events = static_cast<size_t>(
+                    cli::parseUint64(value, "--flight-events",
+                                     argv[0]));
             } else {
                 usage(argv[0]);
                 cli::usageError(argv[0], "unknown argument \"" +
@@ -124,6 +176,19 @@ main(int argc, char **argv)
         server_options.limits.maxBodyBytes =
             service_options.maxBodyBytes;
 
+        // Observability plumbing before the first request: size
+        // the flight ring, arm the crash handlers, attach the log
+        // sink. Logging stays off unless --log-json asked for it.
+        obs::flight::configure(flight_events);
+        obs::flight::installCrashHandlers(crash_file);
+        if (!log_json.empty()) {
+            if (log_json == "-")
+                obs::logger().setSink(stderr, log_level);
+            else
+                obs::logger().openSink(log_json, log_level);
+            obs::logger().setRateLimit(log_limit);
+        }
+
         svc::NetlistService service(service_options);
         svc::HttpServer server(service, server_options);
         server.start();
@@ -131,6 +196,12 @@ main(int argc, char **argv)
                     server_options.bindAddress.c_str(),
                     server.port());
         std::fflush(stdout);
+        PM_LOG_INFO(
+            "svc.daemon", "listening",
+            {{"bind", server_options.bindAddress},
+             {"port", std::to_string(server.port())},
+             {"seed",
+              std::to_string(service_options.seed)}});
         if (!port_file.empty()) {
             FILE *f = std::fopen(port_file.c_str(), "w");
             if (!f)
@@ -163,6 +234,10 @@ main(int argc, char **argv)
                     "served)\n",
                     static_cast<unsigned long long>(
                         server.connectionsAccepted()));
+        PM_LOG_INFO("svc.daemon", "draining",
+                    {{"connections",
+                      std::to_string(
+                          server.connectionsAccepted())}});
         server.stop();
 
         svc::CacheStats documents = service.documentCacheStats();

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""CI assertion for the end-to-end observability smoke.
+
+Usage:
+    check_trace_smoke.py TRACE_ID TRACEZ_JSON LOGZ_JSONL LOG_JSONL
+
+Given the trace ID of the slowest request from a loadgen route
+pass, asserts the full observability story holds together:
+
+  * the ID resolves at /tracez (TRACEZ_JSON) in both the recent
+    ring and the slowest board, with non-empty stage timings;
+  * some /v1/route record carries the canonical stage breakdown
+    parse -> validate -> place -> route;
+  * the same ID appears in the flight-recorder view (/logz,
+    LOGZ_JSONL) and in the daemon's structured log (LOG_JSONL);
+  * the /logz summary trailer reports zero dropped log lines —
+    a healthy CI run must not be rate-limited into silence.
+
+Exits nonzero with a one-line reason on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(reason):
+    print("check_trace_smoke: FAIL: " + reason, file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) != 5:
+        fail("usage: check_trace_smoke.py TRACE_ID TRACEZ_JSON"
+             " LOGZ_JSONL LOG_JSONL")
+    trace, tracez_path, logz_path, log_path = argv[1:]
+    if not trace:
+        fail("empty trace ID (loadgen printed no slow[1] line?)")
+
+    with open(tracez_path) as handle:
+        tracez = json.load(handle)
+    if tracez.get("schema") != "parchmintd-tracez-v1":
+        fail("unexpected /tracez schema %r" % tracez.get("schema"))
+
+    def records_with(records, wanted):
+        return [r for r in records if r.get("trace") == wanted]
+
+    recent = records_with(tracez["recent"], trace)
+    slowest = records_with(tracez["slowest"], trace)
+    if not recent:
+        fail("trace %s not in /tracez recent ring" % trace)
+    if not slowest:
+        fail("trace %s not on /tracez slowest board" % trace)
+    for record in recent + slowest:
+        if not record.get("stages"):
+            fail("trace %s record has no stage timings" % trace)
+
+    canonical = ["parse", "validate", "place", "route"]
+    route_records = [r for r in tracez["recent"] + tracez["slowest"]
+                     if r.get("endpoint") == "route"]
+    if not any([s["name"] for s in r.get("stages", [])] == canonical
+               for r in route_records):
+        fail("no route record with the canonical stage breakdown "
+             "%s" % canonical)
+
+    with open(logz_path) as handle:
+        logz_lines = [json.loads(line)
+                      for line in handle if line.strip()]
+    if not logz_lines:
+        fail("/logz served no lines")
+    trailer = logz_lines[-1]
+    if trailer.get("type") != "logz_summary":
+        fail("/logz does not end with a logz_summary trailer")
+    if trailer.get("log_dropped") != 0:
+        fail("daemon dropped %s log lines under CI load "
+             "(rate limit too tight, or a log-volume regression)"
+             % trailer.get("log_dropped"))
+    if not any(event.get("trace") == trace
+               for event in logz_lines[:-1]):
+        fail("trace %s not in the /logz flight view" % trace)
+
+    with open(log_path) as handle:
+        log_lines = [json.loads(line)
+                     for line in handle if line.strip()]
+    if not any(line.get("trace") == trace for line in log_lines):
+        fail("trace %s not in the structured daemon log" % trace)
+
+    print("check_trace_smoke: OK: trace %s resolved at /tracez "
+          "(%d recent, %d slowest records), found in /logz "
+          "(%d events, 0 dropped) and the daemon log (%d lines)"
+          % (trace, len(recent), len(slowest),
+             len(logz_lines) - 1, len(log_lines)))
+
+
+if __name__ == "__main__":
+    main(sys.argv)

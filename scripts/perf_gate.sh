@@ -142,6 +142,47 @@ if [ -x "$FUZZ_BENCH" ]; then
         "$OUT_DIR/fuzz_bench.log"
 fi
 
+# Gate the logger's deterministic token-bucket budget: with refill
+# 0 and burst 1000 the bench writes exactly 1000 of 10000 lines on
+# every machine, so bench.log.written/dropped are gateable counters
+# like the annealer's — drift means the rate limiter changed
+# semantics, not that the machine got slower. The timer section
+# (disabled-site cost etc.) is skipped here; it is wall-clock and
+# belongs to the bench artifacts, not the gate.
+LOG_BENCH="$PWD/$BUILD_DIR/bench/bench_log_overhead"
+LOG_BASELINE=${LOG_BASELINE:-bench/baselines/log_overhead.json}
+log_status=0
+if [ -x "$LOG_BENCH" ]; then
+    if ! (cd "$OUT_DIR" &&
+          "$LOG_BENCH" --benchmark_filter='$^' \
+              --json-report log_overhead.json \
+              --history log_history.jsonl \
+              > log_bench.log 2>&1); then
+        echo "perf_gate: bench_log_overhead failed:" >&2
+        cat "$OUT_DIR/log_bench.log" >&2
+        exit 2
+    fi
+    grep 'token bucket' "$OUT_DIR/log_bench.log" \
+        | sed 's/^/perf_gate: log /'
+    if [ "${1:-}" = "--rebaseline" ]; then
+        mkdir -p "$(dirname "$LOG_BASELINE")"
+        tail -n 1 "$OUT_DIR/log_history.jsonl" > "$LOG_BASELINE"
+        echo "perf_gate: wrote new baseline $LOG_BASELINE"
+    elif [ -f "$LOG_BASELINE" ]; then
+        "$DIFF" --threshold "$THRESHOLD" --watch counter: \
+            "$LOG_BASELINE" "$OUT_DIR/log_overhead.json" \
+            | tee "$OUT_DIR/log_diff.txt"
+        log_status=${PIPESTATUS[0]}
+        if [ "$log_status" -eq 1 ]; then
+            echo "perf_gate: logger budget counters drifted" \
+                 "past ${THRESHOLD}% (see table above)" >&2
+        fi
+    else
+        echo "perf_gate: no baseline at $LOG_BASELINE; run with" \
+             "--rebaseline to create one. Skipping." >&2
+    fi
+fi
+
 if [ "${1:-}" = "--rebaseline" ]; then
     mkdir -p "$(dirname "$BASELINE")"
     tail -n 1 "$OUT_DIR/history.jsonl" > "$BASELINE"
@@ -175,5 +216,8 @@ if [ "$status" -eq 1 ]; then
          "${THRESHOLD}% (see table above)" >&2
 elif [ "$status" -ge 2 ]; then
     echo "perf_gate: report_diff failed (exit $status)" >&2
+fi
+if [ "$status" -eq 0 ] && [ "$log_status" -ne 0 ]; then
+    exit "$log_status"
 fi
 exit "$status"

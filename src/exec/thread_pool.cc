@@ -4,6 +4,7 @@
 
 #include "common/error.hh"
 #include "obs/obs.hh"
+#include "obs/reqtrace.hh"
 
 namespace parchmint::exec
 {
@@ -26,6 +27,18 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::post(std::function<void()> job)
 {
+    // Capture the poster's request trace context so work fanned
+    // out through the pool (and through TaskGraph, which posts
+    // from already-contexted threads) keeps its request identity
+    // in spans, logs, and flight-recorder events.
+    if (!obs::reqtrace::currentTraceId().empty()) {
+        std::string trace = obs::reqtrace::currentTraceId();
+        job = [trace = std::move(trace),
+               inner = std::move(job)]() {
+            obs::reqtrace::ScopedTraceContext context(trace);
+            inner();
+        };
+    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (stopping_)

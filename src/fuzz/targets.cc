@@ -29,11 +29,13 @@
 #include "json/parse.hh"
 #include "json/write.hh"
 #include "mint/elaborate.hh"
+#include "obs/reqtrace.hh"
 #include "place/annealing_placer.hh"
 #include "place/row_placer.hh"
 #include "route/router.hh"
 #include "schema/rules.hh"
 #include "svc/cache.hh"
+#include "svc/service.hh"
 
 namespace parchmint::fuzz
 {
@@ -297,6 +299,127 @@ checkCacheKey(const std::string &input)
     return std::nullopt;
 }
 
+// --- http_trace_header ------------------------------------------------
+
+/** A request stream whose X-Parchmint-Trace headers probe the
+ * resolution contract: valid, malformed, oversized, duplicated
+ * (agreeing and conflicting), or absent. */
+std::string
+randomTraceHeaderStream(Rng &rng)
+{
+    auto randomTraceValue = [&rng]() -> std::string {
+        switch (rng.nextBelow(6)) {
+        case 0: // Valid, short.
+        case 1: {
+            size_t len = 1 + rng.nextBelow(24);
+            static const char alphabet[] =
+                "abcdefghijklmnopqrstuvwxyz"
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-";
+            std::string value;
+            for (size_t i = 0; i < len; ++i)
+                value += alphabet[rng.nextBelow(
+                    sizeof(alphabet) - 1)];
+            return value;
+        }
+        case 2: // Exactly at / just past the length cap.
+            return std::string(
+                obs::reqtrace::kMaxTraceIdLength +
+                    rng.nextBelow(3),
+                'a');
+        case 3: // Oversized.
+            return std::string(65 + rng.nextBelow(4096), 'x');
+        case 4: // Bad alphabet (kept header-safe so the parser
+                // accepts the line and resolution sees the value).
+            return "bad id(" + std::to_string(rng.nextBelow(100)) +
+                   ")!";
+        default: // Empty.
+            return "";
+        }
+    };
+
+    std::string body = "{}";
+    std::string out = "POST /v1/validate HTTP/1.1\r\n";
+    out += "Host: fuzz\r\n";
+    size_t headerCount = rng.nextBelow(4);
+    std::string first;
+    for (size_t i = 0; i < headerCount; ++i) {
+        std::string value;
+        if (i > 0 && rng.nextBool(0.5)) {
+            value = first; // Agreeing duplicate.
+        } else {
+            value = randomTraceValue();
+            if (i == 0)
+                first = value;
+        }
+        out += rng.nextBool(0.25) ? "x-parchmint-trace: "
+                                  : "X-Parchmint-Trace: ";
+        out += value;
+        out += "\r\n";
+    }
+    out += "Content-Length: " + std::to_string(body.size()) +
+           "\r\n\r\n";
+    out += body;
+    if (rng.nextBool(0.15))
+        return mutateBytes(rng, out);
+    return out;
+}
+
+std::optional<std::string>
+checkTraceHeader(const std::string &input)
+{
+    svc::RequestParser parser;
+    parser.feed(input);
+    if (parser.state() != svc::RequestParser::State::Complete)
+        return std::nullopt; // Parser-level rejection is fine.
+
+    const svc::HttpRequest &request = parser.request();
+    const uint64_t seed = 42;
+    const uint64_t ordinal = 7;
+    svc::TraceResolution a =
+        svc::resolveTraceHeader(request, seed, ordinal);
+    svc::TraceResolution b =
+        svc::resolveTraceHeader(request, seed, ordinal);
+
+    if (a.ok != b.ok || a.id != b.id || a.minted != b.minted)
+        return "trace resolution is nondeterministic";
+    if (!obs::reqtrace::isValidTraceId(a.id))
+        return "resolved trace ID is not itself valid";
+    if (!a.ok && a.error.empty())
+        return "rejection carries no error message";
+    if (!a.ok && !a.minted)
+        return "rejection did not re-mint a replacement ID";
+
+    // Count distinct client-supplied values; exactly one valid
+    // value (possibly repeated) must be accepted verbatim, zero
+    // must mint, anything else must 400.
+    std::vector<std::string> values;
+    bool allValid = true;
+    for (const auto &[name, value] : request.headers) {
+        if (name != svc::kTraceHeader)
+            continue;
+        if (!obs::reqtrace::isValidTraceId(value))
+            allValid = false;
+        if (std::find(values.begin(), values.end(), value) ==
+            values.end())
+            values.push_back(value);
+    }
+    if (values.empty()) {
+        if (!a.minted ||
+            a.id != obs::reqtrace::mintTraceId(seed, ordinal))
+            return "absent header did not mint the "
+                   "deterministic ID";
+    } else if (allValid && values.size() == 1) {
+        if (!a.ok || a.minted || a.id != values.front())
+            return "single valid header was not accepted "
+                   "verbatim";
+    } else {
+        if (a.ok)
+            return "invalid or conflicting headers were not "
+                   "rejected";
+    }
+    return std::nullopt;
+}
+
 std::vector<Target>
 buildTargets()
 {
@@ -359,6 +482,12 @@ buildTargets()
          "service cache keys are byte-stable across formattings",
          [](Rng &rng) { return randomJsonText(rng); },
          checkCacheKey});
+    targets.push_back(
+        {"http_trace_header",
+         "X-Parchmint-Trace resolution: malformed/oversized/"
+         "conflicting headers 400, absent headers mint "
+         "deterministically, never crash",
+         randomTraceHeaderStream, checkTraceHeader});
     return targets;
 }
 

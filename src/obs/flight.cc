@@ -1,0 +1,358 @@
+#include "obs/flight.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <fcntl.h>
+#include <mutex>
+#include <signal.h>
+#include <unistd.h>
+
+#include "obs/log.hh"
+
+namespace parchmint::obs::flight
+{
+
+namespace
+{
+
+constexpr size_t kTraceBytes = 32;
+constexpr size_t kDetailBytes = 48;
+
+/**
+ * One ring slot. `marker` is the per-slot seqlock: 0 = never
+ * written, seq*2+1 = write in progress for `seq`, seq*2+2 = slot
+ * holds the completed event `seq` (sequence numbers start at 1 so
+ * the encodings never collide with 0).
+ */
+struct Slot
+{
+    std::atomic<uint64_t> marker{0};
+    int64_t tsUs = 0;
+    uint64_t sequence = 0;
+    EventType type = EventType::Note;
+    int status = 0;
+    char trace[kTraceBytes] = {};
+    char detail[kDetailBytes] = {};
+};
+
+/** The ring. Allocated once by configure()/ensureRing(). */
+Slot *g_slots = nullptr;
+size_t g_capacity = 0; // power of two
+std::atomic<uint64_t> g_next{1};
+std::mutex g_config_mutex;
+
+/** Crash-handler state: plain statics the handler may read. */
+char g_crash_path[512] = {};
+std::atomic<bool> g_handlers_installed{false};
+
+int64_t
+wallUs()
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_REALTIME, &ts);
+    return static_cast<int64_t>(ts.tv_sec) * 1000000 +
+           ts.tv_nsec / 1000;
+}
+
+size_t
+roundUpPow2(size_t n)
+{
+    size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+void
+ensureRing()
+{
+    if (g_slots != nullptr)
+        return;
+    std::lock_guard<std::mutex> lock(g_config_mutex);
+    if (g_slots == nullptr) {
+        size_t cap = roundUpPow2(2048);
+        Slot *slots = new Slot[cap];
+        g_capacity = cap;
+        std::atomic_thread_fence(std::memory_order_release);
+        g_slots = slots;
+    }
+}
+
+/** Copy into a fixed slot field, replacing JSON-unsafe bytes. */
+void
+sanitizeInto(char *dst, size_t dstSize, std::string_view src)
+{
+    size_t n = std::min(src.size(), dstSize - 1);
+    for (size_t i = 0; i < n; ++i) {
+        unsigned char c = static_cast<unsigned char>(src[i]);
+        dst[i] = (c < 0x20 || c == '"' || c == '\\' || c >= 0x7F)
+                     ? '_'
+                     : static_cast<char>(c);
+    }
+    dst[n] = '\0';
+}
+
+/**
+ * Async-signal-safe building blocks for dumpTo(): an unbuffered
+ * writer over write(2) and a hand-rolled integer formatter.
+ */
+void
+rawWrite(int fd, const char *data, size_t len)
+{
+    size_t off = 0;
+    while (off < len) {
+        ssize_t n = ::write(fd, data + off, len - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        off += static_cast<size_t>(n);
+    }
+}
+
+void
+rawWriteStr(int fd, const char *s)
+{
+    rawWrite(fd, s, std::strlen(s));
+}
+
+void
+rawWriteInt(int fd, int64_t value)
+{
+    char buf[24];
+    char *p = buf + sizeof(buf);
+    bool negative = value < 0;
+    uint64_t v = negative
+                     ? ~static_cast<uint64_t>(value) + 1
+                     : static_cast<uint64_t>(value);
+    do {
+        *--p = static_cast<char>('0' + v % 10);
+        v /= 10;
+    } while (v != 0);
+    if (negative)
+        *--p = '-';
+    rawWrite(fd, p, static_cast<size_t>(buf + sizeof(buf) - p));
+}
+
+/** Emit one completed slot as a JSON line. Signal-safe. */
+void
+dumpSlot(int fd, const Slot &slot)
+{
+    rawWriteStr(fd, "{\"seq\":");
+    rawWriteInt(fd, static_cast<int64_t>(slot.sequence));
+    rawWriteStr(fd, ",\"ts_us\":");
+    rawWriteInt(fd, slot.tsUs);
+    rawWriteStr(fd, ",\"type\":\"");
+    rawWriteStr(fd, eventTypeName(slot.type));
+    rawWriteStr(fd, "\",\"status\":");
+    rawWriteInt(fd, slot.status);
+    rawWriteStr(fd, ",\"trace\":\"");
+    rawWriteStr(fd, slot.trace);
+    rawWriteStr(fd, "\",\"detail\":\"");
+    rawWriteStr(fd, slot.detail);
+    rawWriteStr(fd, "\"}\n");
+}
+
+extern "C" void
+crashHandler(int signal)
+{
+    // Restore the default disposition first so a fault inside the
+    // dump terminates instead of recursing.
+    struct sigaction dfl;
+    std::memset(&dfl, 0, sizeof(dfl));
+    dfl.sa_handler = SIG_DFL;
+    ::sigaction(signal, &dfl, nullptr);
+
+    dumpTo(STDERR_FILENO, signal);
+    if (g_crash_path[0] != '\0') {
+        int fd = ::open(g_crash_path,
+                        O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd >= 0) {
+            dumpTo(fd, signal);
+            ::close(fd);
+        }
+    }
+    ::raise(signal);
+}
+
+} // namespace
+
+const char *
+eventTypeName(EventType type)
+{
+    switch (type) {
+    case EventType::RequestStart:
+        return "request_start";
+    case EventType::RequestEnd:
+        return "request_end";
+    case EventType::CacheHit:
+        return "cache_hit";
+    case EventType::Admission:
+        return "admission";
+    case EventType::Cancel:
+        return "cancel";
+    case EventType::Note:
+        return "note";
+    }
+    return "note";
+}
+
+void
+configure(size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(g_config_mutex);
+    size_t cap = roundUpPow2(capacity == 0 ? 1 : capacity);
+    Slot *slots = new Slot[cap];
+    Slot *old = g_slots;
+    g_capacity = cap;
+    g_next.store(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    g_slots = slots;
+    // Intentionally leak `old` if traffic could still be touching
+    // it; configure() is documented as a startup-only call, and a
+    // few hundred KiB beats a use-after-free. Tests call it before
+    // traffic, where old is null or quiescent.
+    (void)old;
+}
+
+void
+note(EventType type, std::string_view trace,
+     std::string_view detail, int status)
+{
+    ensureRing();
+    uint64_t seq = g_next.fetch_add(1, std::memory_order_relaxed);
+    Slot &slot = g_slots[seq & (g_capacity - 1)];
+
+    slot.marker.store(seq * 2 + 1, std::memory_order_release);
+    slot.sequence = seq;
+    slot.tsUs = wallUs();
+    slot.type = type;
+    slot.status = status;
+    sanitizeInto(slot.trace, kTraceBytes, trace);
+    sanitizeInto(slot.detail, kDetailBytes, detail);
+    slot.marker.store(seq * 2 + 2, std::memory_order_release);
+}
+
+uint64_t
+recorded()
+{
+    return g_next.load(std::memory_order_relaxed) - 1;
+}
+
+std::vector<Event>
+snapshot()
+{
+    std::vector<Event> out;
+    if (g_slots == nullptr)
+        return out;
+    uint64_t next = g_next.load(std::memory_order_acquire);
+    uint64_t first =
+        next > g_capacity ? next - g_capacity : 1;
+    out.reserve(next - first);
+    for (uint64_t seq = first; seq < next; ++seq) {
+        const Slot &slot = g_slots[seq & (g_capacity - 1)];
+        if (slot.marker.load(std::memory_order_acquire) !=
+            seq * 2 + 2)
+            continue; // torn or overwritten; skip
+        Event event;
+        event.sequence = slot.sequence;
+        event.tsUs = slot.tsUs;
+        event.type = slot.type;
+        event.status = slot.status;
+        event.trace = slot.trace;
+        event.detail = slot.detail;
+        // Re-check after copying: a wrapping writer may have
+        // reclaimed the slot mid-copy.
+        if (slot.marker.load(std::memory_order_acquire) !=
+            seq * 2 + 2)
+            continue;
+        out.push_back(std::move(event));
+    }
+    return out;
+}
+
+std::string
+toJsonLines()
+{
+    std::string out;
+    for (const Event &event : snapshot()) {
+        out += "{\"seq\":";
+        out += std::to_string(event.sequence);
+        out += ",\"ts_us\":";
+        out += std::to_string(event.tsUs);
+        out += ",\"type\":\"";
+        out += eventTypeName(event.type);
+        out += "\",\"status\":";
+        out += std::to_string(event.status);
+        out += ",\"trace\":\"";
+        appendJsonEscaped(out, event.trace);
+        out += "\",\"detail\":\"";
+        appendJsonEscaped(out, event.detail);
+        out += "\"}\n";
+    }
+    return out;
+}
+
+void
+dumpTo(int fd, int signal)
+{
+    if (signal != 0) {
+        rawWriteStr(fd, "{\"type\":\"crash\",\"signal\":");
+        rawWriteInt(fd, signal);
+        rawWriteStr(fd, ",\"ts_us\":");
+        rawWriteInt(fd, wallUs());
+        rawWriteStr(fd, ",\"events\":");
+        rawWriteInt(fd, static_cast<int64_t>(recorded()));
+        rawWriteStr(fd, "}\n");
+    }
+    if (g_slots == nullptr)
+        return;
+    uint64_t next = g_next.load(std::memory_order_acquire);
+    uint64_t first =
+        next > g_capacity ? next - g_capacity : 1;
+    for (uint64_t seq = first; seq < next; ++seq) {
+        const Slot &slot = g_slots[seq & (g_capacity - 1)];
+        if (slot.marker.load(std::memory_order_acquire) !=
+            seq * 2 + 2)
+            continue;
+        dumpSlot(fd, slot);
+    }
+}
+
+void
+installCrashHandlers(const std::string &crashPath)
+{
+    ensureRing();
+    size_t n =
+        std::min(crashPath.size(), sizeof(g_crash_path) - 1);
+    std::memcpy(g_crash_path, crashPath.data(), n);
+    g_crash_path[n] = '\0';
+
+    if (g_handlers_installed.exchange(true))
+        return;
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = crashHandler;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(SIGSEGV, &action, nullptr);
+    ::sigaction(SIGABRT, &action, nullptr);
+}
+
+void
+resetForTest()
+{
+    std::lock_guard<std::mutex> lock(g_config_mutex);
+    if (g_slots != nullptr) {
+        for (size_t i = 0; i < g_capacity; ++i) {
+            g_slots[i].marker.store(0,
+                                    std::memory_order_relaxed);
+        }
+    }
+    g_next.store(1, std::memory_order_relaxed);
+}
+
+} // namespace parchmint::obs::flight

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Flight recorder: a lock-free ring buffer journaling request
+ * lifecycle events, readable three ways — a normal snapshot for
+ * /logz, and an async-signal-safe dump to stderr plus a crash file
+ * when the process dies on SIGSEGV/SIGABRT.
+ *
+ * The design constraint is the crash path. A signal handler may
+ * interrupt any thread at any instruction, so the dump can use
+ * only async-signal-safe calls (write(2), open(2)) and can take no
+ * locks — which forces the recorder itself to be lock-free and its
+ * slots to be self-describing PODs:
+ *
+ *  - Writers claim a slot with one fetch_add on the head counter,
+ *    then publish through a per-slot *marker* word (a seqlock):
+ *    marker = seq*2+1 while the slot is being filled, seq*2+2 once
+ *    complete. A reader (snapshot or crash dump) accepts a slot
+ *    only when the marker shows "complete" for the sequence it
+ *    expects, so a torn half-written slot is skipped, never
+ *    emitted.
+ *  - Slots hold fixed char arrays, not std::string: the trace ID
+ *    (its alphabet is JSON-safe by construction) and a detail
+ *    string *sanitized at record time* — any byte that would need
+ *    JSON escaping is replaced with '_' — so the crash dump can
+ *    write slot bytes verbatim between quotes without an escaper.
+ *  - The dump formats integers with a hand-rolled itoa into a
+ *    stack buffer; no malloc, no stdio.
+ *
+ * Capacity is fixed at configure() time (default 2048 slots ≈ 200
+ * KiB): at 1k req/s with 2 events per request, the ring holds the
+ * last ~1 s of traffic — enough to see what the daemon was doing
+ * when it died, small enough to never matter. Events wrap; /logz
+ * and the crash file always show the newest `capacity` events.
+ */
+
+#ifndef PARCHMINT_OBS_FLIGHT_HH
+#define PARCHMINT_OBS_FLIGHT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parchmint::obs::flight
+{
+
+/** Request lifecycle moments the recorder journals. */
+enum class EventType : uint8_t
+{
+    RequestStart = 1,
+    RequestEnd = 2,
+    CacheHit = 3,
+    Admission = 4,
+    Cancel = 5,
+    Note = 6,
+};
+
+/** "request_start", "cache_hit", ... */
+const char *eventTypeName(EventType type);
+
+/** A decoded ring slot (snapshot view). */
+struct Event
+{
+    uint64_t sequence = 0;
+    int64_t tsUs = 0;
+    EventType type = EventType::Note;
+    int status = 0;
+    std::string trace;
+    std::string detail;
+};
+
+/**
+ * Size the ring to @p capacity slots (rounded up to a power of
+ * two). Call once at startup, before traffic; calling after
+ * events exist discards them.
+ */
+void configure(size_t capacity);
+
+/**
+ * Journal one event. Lock-free: one fetch_add plus POD stores.
+ * @p trace is truncated to 31 bytes, @p detail to 47; bytes that
+ * would need JSON escaping become '_'.
+ */
+void note(EventType type, std::string_view trace,
+          std::string_view detail, int status = 0);
+
+/** Events recorded over the process lifetime. */
+uint64_t recorded();
+
+/** Decode the current ring contents, oldest first. */
+std::vector<Event> snapshot();
+
+/** The snapshot as JSONL (one {"seq":...} object per line). */
+std::string toJsonLines();
+
+/**
+ * Write the ring to @p fd as JSONL, preceded by a header line
+ * {"type":"crash","signal":S,...} when @p signal is nonzero.
+ * Async-signal-safe: write(2) only, no allocation, no locks.
+ */
+void dumpTo(int fd, int signal);
+
+/**
+ * Install SIGSEGV/SIGABRT handlers that dump the ring to stderr
+ * and to @p crashPath (truncated to 511 bytes), then re-raise with
+ * the default disposition. Idempotent; the latest path wins.
+ */
+void installCrashHandlers(const std::string &crashPath);
+
+/** Drop all events and reset counters (tests). */
+void resetForTest();
+
+} // namespace parchmint::obs::flight
+
+#endif // PARCHMINT_OBS_FLIGHT_HH

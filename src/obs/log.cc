@@ -1,0 +1,269 @@
+#include "obs/log.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <ctime>
+
+#include "common/error.hh"
+#include "obs/reqtrace.hh"
+
+namespace parchmint::obs
+{
+
+namespace
+{
+
+/** Wall-clock microseconds since the Unix epoch. */
+int64_t
+wallClockUs()
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_REALTIME, &ts);
+    return static_cast<int64_t>(ts.tv_sec) * 1000000 +
+           ts.tv_nsec / 1000;
+}
+
+} // namespace
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+    case LogLevel::Debug:
+        return "debug";
+    case LogLevel::Info:
+        return "info";
+    case LogLevel::Warn:
+        return "warn";
+    case LogLevel::Error:
+        return "error";
+    case LogLevel::Off:
+        return "off";
+    }
+    return "off";
+}
+
+bool
+parseLogLevel(std::string_view text, LogLevel &out)
+{
+    if (text == "debug")
+        out = LogLevel::Debug;
+    else if (text == "info")
+        out = LogLevel::Info;
+    else if (text == "warn")
+        out = LogLevel::Warn;
+    else if (text == "error")
+        out = LogLevel::Error;
+    else if (text == "off")
+        out = LogLevel::Off;
+    else
+        return false;
+    return true;
+}
+
+void
+appendJsonEscaped(std::string &out, std::string_view text)
+{
+    for (char c : text) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\b':
+            out += "\\b";
+            break;
+        case '\f':
+            out += "\\f";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+void
+Logger::setSink(std::FILE *sink, LogLevel level)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (owned_ != nullptr) {
+        std::fclose(owned_);
+        owned_ = nullptr;
+    }
+    sink_ = sink;
+    level_.store(sink == nullptr
+                     ? static_cast<int>(LogLevel::Off)
+                     : static_cast<int>(level),
+                 std::memory_order_relaxed);
+}
+
+void
+Logger::openSink(const std::string &path, LogLevel level)
+{
+    std::FILE *file = std::fopen(path.c_str(), "a");
+    if (file == nullptr)
+        throw UserError("cannot open log file: " + path);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (owned_ != nullptr)
+        std::fclose(owned_);
+    owned_ = file;
+    sink_ = file;
+    level_.store(static_cast<int>(level),
+                 std::memory_order_relaxed);
+}
+
+void
+Logger::disable()
+{
+    setSink(nullptr, LogLevel::Off);
+}
+
+void
+Logger::setRateLimit(LogRateLimit limit)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    limit_ = limit;
+    buckets_.clear();
+}
+
+void
+Logger::log(LogLevel level, std::string_view site,
+            std::string_view message, std::vector<LogField> fields)
+{
+    if (!enabledFor(level))
+        return;
+
+    const int64_t tsUs = wallClockUs();
+    const std::string &trace = reqtrace::currentTraceId();
+
+    // Build the line outside the lock; only the bucket check and
+    // the write happen under it.
+    std::string line;
+    line.reserve(128 + message.size());
+    line += "{\"ts_us\":";
+    line += std::to_string(tsUs);
+    line += ",\"level\":\"";
+    line += logLevelName(level);
+    line += "\",\"site\":\"";
+    appendJsonEscaped(line, site);
+    line += '"';
+    if (!trace.empty()) {
+        line += ",\"trace\":\"";
+        appendJsonEscaped(line, trace);
+        line += '"';
+    }
+    line += ",\"msg\":\"";
+    appendJsonEscaped(line, message);
+    line += '"';
+    if (!fields.empty()) {
+        line += ",\"fields\":{";
+        bool first = true;
+        for (const LogField &field : fields) {
+            if (!first)
+                line += ',';
+            first = false;
+            line += '"';
+            appendJsonEscaped(line, field.key);
+            line += "\":\"";
+            appendJsonEscaped(line, field.value);
+            line += '"';
+        }
+        line += '}';
+    }
+    line += "}\n";
+
+    const Clock::time_point now = Clock::now();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sink_ == nullptr)
+        return;
+
+    Bucket &bucket = buckets_[std::string(site)];
+    if (!bucket.initialized) {
+        bucket.tokens = limit_.burst;
+        bucket.lastRefill = now;
+        bucket.initialized = true;
+    } else if (limit_.ratePerSecond > 0.0) {
+        double elapsedSec =
+            static_cast<double>(
+                microsBetween(bucket.lastRefill, now)) /
+            1e6;
+        if (elapsedSec > 0.0) {
+            bucket.tokens =
+                std::min(limit_.burst,
+                         bucket.tokens +
+                             elapsedSec * limit_.ratePerSecond);
+            bucket.lastRefill = now;
+        }
+    }
+
+    if (bucket.tokens < 1.0) {
+        bucket.dropped++;
+        dropped_++;
+        return;
+    }
+    bucket.tokens -= 1.0;
+
+    std::fwrite(line.data(), 1, line.size(), sink_);
+    std::fflush(sink_);
+    written_++;
+}
+
+LogStats
+Logger::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {written_, dropped_};
+}
+
+uint64_t
+Logger::droppedAt(const std::string &site) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = buckets_.find(site);
+    return it == buckets_.end() ? 0 : it->second.dropped;
+}
+
+void
+Logger::resetForTest()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (owned_ != nullptr) {
+        std::fclose(owned_);
+        owned_ = nullptr;
+    }
+    sink_ = nullptr;
+    level_.store(static_cast<int>(LogLevel::Off),
+                 std::memory_order_relaxed);
+    limit_ = LogRateLimit{};
+    buckets_.clear();
+    written_ = 0;
+    dropped_ = 0;
+}
+
+Logger &
+logger()
+{
+    static Logger instance;
+    return instance;
+}
+
+} // namespace parchmint::obs

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Structured JSONL logger with levels and per-site token-bucket
+ * rate limiting.
+ *
+ * One line per event, one JSON object per line:
+ *
+ *   {"ts_us":1722945600123456,"level":"info","site":"svc.request",
+ *    "trace":"4f2a...","msg":"served","fields":{"status":"200",
+ *    "ms":"1.42"}}
+ *
+ * `ts_us` is wall-clock microseconds since the Unix epoch; `trace`
+ * is the ambient request context (obs/reqtrace.hh) and is omitted
+ * when none is installed; `fields` preserves the caller's key
+ * order. Serialization is hand-rolled (this layer sits in the obs
+ * core, below pm_json) with full string escaping, so any message
+ * survives the trip.
+ *
+ * Cost contract, mirroring the span/metric macros: a PM_LOG_*
+ * site below the configured level — including the logger's
+ * default "off" state — costs one relaxed atomic load and a
+ * compare. Everything else (timestamping, bucket lookup,
+ * formatting, the sink write) happens only for lines that pass.
+ *
+ * Rate limiting is per *site* (the dotted site string identifies a
+ * call site): each site owns a token bucket refilled at
+ * `ratePerSecond` up to `burst`. A line arriving to an empty
+ * bucket is dropped and counted — never blocked on — and the
+ * dropped totals are visible via stats() so a scrape (or CI) can
+ * assert that nothing was lost. Refill 0 makes the budget fixed,
+ * which the determinism-minded benches use.
+ *
+ * The logger is process-global (obs::logger()) and thread-safe:
+ * one mutex guards the sink and the buckets, the same shared-sink
+ * discipline the tracer and registry use.
+ */
+
+#ifndef PARCHMINT_OBS_LOG_HH
+#define PARCHMINT_OBS_LOG_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.hh"
+
+namespace parchmint::obs
+{
+
+/** Severity ladder; Off disables every site. */
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    Off = 4,
+};
+
+/** "debug", "info", "warn", "error", "off". */
+const char *logLevelName(LogLevel level);
+
+/** Parse a level name; false (and @p out untouched) when unknown. */
+bool parseLogLevel(std::string_view text, LogLevel &out);
+
+/** One structured key/value pair on a log line. */
+struct LogField
+{
+    std::string key;
+    std::string value;
+};
+
+/** Rate-limit knobs, applied per site. */
+struct LogRateLimit
+{
+    /** Bucket capacity: lines a silent site may burst. */
+    double burst = 100.0;
+    /** Refill rate, lines per second; 0 = no refill. */
+    double ratePerSecond = 200.0;
+};
+
+/** Counters a scrape reads; see Logger::stats(). */
+struct LogStats
+{
+    uint64_t written = 0;
+    uint64_t dropped = 0;
+};
+
+/** See file comment. */
+class Logger
+{
+  public:
+    /**
+     * Attach a sink and enable the logger at @p level. The FILE*
+     * must stay valid until the next setSink/disable; the logger
+     * never closes it (stderr and test sinks stay safe).
+     */
+    void setSink(std::FILE *sink, LogLevel level);
+
+    /**
+     * Open @p path for appending and log into it.
+     * @throws UserError when the file cannot be opened.
+     */
+    void openSink(const std::string &path, LogLevel level);
+
+    /** Detach the sink; the logger reads as Off. */
+    void disable();
+
+    /** Replace the rate-limit knobs (existing buckets reset). */
+    void setRateLimit(LogRateLimit limit);
+
+    /** The effective level (Off when no sink is attached). */
+    LogLevel level() const
+    {
+        return static_cast<LogLevel>(
+            level_.load(std::memory_order_relaxed));
+    }
+
+    /** The one-branch gate the PM_LOG_* macros check. */
+    bool enabledFor(LogLevel level) const
+    {
+        return static_cast<int>(level) >=
+               level_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Emit one line (rate limits permitting). The ambient trace
+     * context is attached automatically. Call through the
+     * PM_LOG_* macros so filtered sites stay one branch.
+     */
+    void log(LogLevel level, std::string_view site,
+             std::string_view message,
+             std::vector<LogField> fields = {});
+
+    /** Written/dropped totals since the last reset. */
+    LogStats stats() const;
+
+    /** Dropped lines for one site (0 when never throttled). */
+    uint64_t droppedAt(const std::string &site) const;
+
+    /** Detach the sink and zero counters/buckets (tests). */
+    void resetForTest();
+
+  private:
+    struct Bucket
+    {
+        double tokens = 0.0;
+        Clock::time_point lastRefill;
+        uint64_t dropped = 0;
+        bool initialized = false;
+    };
+
+    /** Off until a sink is attached; mirrors level under sink_. */
+    std::atomic<int> level_{static_cast<int>(LogLevel::Off)};
+    mutable std::mutex mutex_;
+    std::FILE *sink_ = nullptr;
+    /** Sink opened by openSink(), owned (closed on replace). */
+    std::FILE *owned_ = nullptr;
+    LogRateLimit limit_;
+    std::map<std::string, Bucket> buckets_;
+    uint64_t written_ = 0;
+    uint64_t dropped_ = 0;
+};
+
+/** The process-global logger. */
+Logger &logger();
+
+/**
+ * JSON-escape @p text into @p out (quotes not included): the
+ * minimal escaper the logger and the flight recorder share so obs
+ * stays below pm_json.
+ */
+void appendJsonEscaped(std::string &out, std::string_view text);
+
+} // namespace parchmint::obs
+
+#define PM_LOG_AT(level_, site, msg, ...)                             \
+    do {                                                              \
+        if (::parchmint::obs::logger().enabledFor(level_)) {          \
+            ::parchmint::obs::logger().log(                           \
+                (level_), (site), (msg), ##__VA_ARGS__);              \
+        }                                                             \
+    } while (0)
+
+#define PM_LOG_DEBUG(site, msg, ...)                                  \
+    PM_LOG_AT(::parchmint::obs::LogLevel::Debug, site, msg,           \
+              ##__VA_ARGS__)
+#define PM_LOG_INFO(site, msg, ...)                                   \
+    PM_LOG_AT(::parchmint::obs::LogLevel::Info, site, msg,            \
+              ##__VA_ARGS__)
+#define PM_LOG_WARN(site, msg, ...)                                   \
+    PM_LOG_AT(::parchmint::obs::LogLevel::Warn, site, msg,            \
+              ##__VA_ARGS__)
+#define PM_LOG_ERROR(site, msg, ...)                                  \
+    PM_LOG_AT(::parchmint::obs::LogLevel::Error, site, msg,           \
+              ##__VA_ARGS__)
+
+#endif // PARCHMINT_OBS_LOG_HH

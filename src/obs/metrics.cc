@@ -9,11 +9,17 @@ namespace parchmint::obs
 HistogramSummary
 Histogram::summary() const
 {
+    return summarizeSamples(samples_);
+}
+
+HistogramSummary
+summarizeSamples(std::vector<double> samples)
+{
     HistogramSummary out;
-    if (samples_.empty())
+    if (samples.empty())
         return out;
 
-    std::vector<double> sorted = samples_;
+    std::vector<double> sorted = std::move(samples);
     std::sort(sorted.begin(), sorted.end());
 
     size_t n = sorted.size();
@@ -107,10 +113,16 @@ Registry::gaugesSnapshot() const
 std::map<std::string, HistogramSummary>
 Registry::histogramsSnapshot() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    // Copy the raw samples under the lock, summarize (sort!)
+    // outside it: summarizing inline would hold the mutex every
+    // hot-path record()/add() contends on for O(n log n) per
+    // histogram, stalling in-flight requests whenever /statsz or
+    // /metricsz is scraped.
+    std::map<std::string, std::vector<double>> samples =
+        histogramSamplesSnapshot();
     std::map<std::string, HistogramSummary> out;
-    for (const auto &[name, histogram] : histograms_)
-        out[name] = histogram.summary();
+    for (auto &[name, values] : samples)
+        out[name] = summarizeSamples(std::move(values));
     return out;
 }
 

@@ -51,6 +51,11 @@ struct HistogramSummary
     double p99 = 0.0;
 };
 
+/** Summarize a raw sample vector (the engine behind
+ * Histogram::summary(), usable on a snapshot copy so the sort
+ * happens outside any lock). */
+HistogramSummary summarizeSamples(std::vector<double> samples);
+
 /** A named distribution; keeps raw samples until summarized. */
 class Histogram
 {

@@ -1,0 +1,206 @@
+#include "obs/profiler.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <signal.h>
+#include <sys/time.h>
+#include <vector>
+
+namespace parchmint::obs::prof
+{
+
+namespace detail
+{
+
+std::atomic<bool> g_sampling{false};
+
+namespace
+{
+
+/**
+ * The per-thread span-label stack the SIGPROF handler reads. The
+ * handler runs on the same thread it samples, so plain stores
+ * ordered by signal fences are enough — no cross-thread access.
+ */
+struct FrameStack
+{
+    const char *frames[kMaxFrames];
+    std::atomic<int> depth{0};
+};
+
+thread_local FrameStack t_frames;
+
+} // namespace
+
+void
+pushFrame(const char *label)
+{
+    int depth = t_frames.depth.load(std::memory_order_relaxed);
+    if (depth < static_cast<int>(kMaxFrames))
+        t_frames.frames[depth] = label;
+    // Publish the frame before the depth so a handler firing
+    // between the stores never reads an unset pointer.
+    std::atomic_signal_fence(std::memory_order_release);
+    t_frames.depth.store(depth + 1, std::memory_order_relaxed);
+}
+
+void
+popFrame()
+{
+    int depth = t_frames.depth.load(std::memory_order_relaxed);
+    t_frames.depth.store(depth - 1, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+namespace
+{
+
+/** One captured sample: fixed-size copies of the frame labels. */
+struct Sample
+{
+    char frames[kMaxFrames][kMaxFrameLength];
+    int depth = 0;
+};
+
+constexpr size_t kMaxSamples = 16384;
+
+std::mutex g_control_mutex;
+std::vector<Sample> g_samples; // preallocated by start()
+std::atomic<size_t> g_sample_index{0};
+std::atomic<uint64_t> g_dropped{0};
+struct sigaction g_previous_action;
+bool g_have_previous_action = false;
+
+extern "C" void
+profHandler(int)
+{
+    if (!detail::g_sampling.load(std::memory_order_relaxed))
+        return;
+    size_t index =
+        g_sample_index.fetch_add(1, std::memory_order_relaxed);
+    if (index >= g_samples.size()) {
+        g_dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    Sample &sample = g_samples[index];
+    int depth = detail::t_frames.depth.load(
+        std::memory_order_relaxed);
+    std::atomic_signal_fence(std::memory_order_acquire);
+    if (depth > static_cast<int>(kMaxFrames))
+        depth = static_cast<int>(kMaxFrames);
+    if (depth < 0)
+        depth = 0;
+    sample.depth = depth;
+    for (int i = 0; i < depth; ++i) {
+        const char *label = detail::t_frames.frames[i];
+        size_t j = 0;
+        for (; j < kMaxFrameLength - 1 && label[j] != '\0'; ++j)
+            sample.frames[i][j] = label[j];
+        sample.frames[i][j] = '\0';
+    }
+}
+
+} // namespace
+
+bool
+start(int hz)
+{
+    std::lock_guard<std::mutex> lock(g_control_mutex);
+    if (detail::g_sampling.load(std::memory_order_relaxed))
+        return false;
+    if (hz <= 0)
+        hz = 97;
+    if (hz > 1000)
+        hz = 1000;
+
+    g_samples.assign(kMaxSamples, Sample{});
+    g_sample_index.store(0, std::memory_order_relaxed);
+    g_dropped.store(0, std::memory_order_relaxed);
+
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = profHandler;
+    sigemptyset(&action.sa_mask);
+    // SA_RESTART keeps most blocking syscalls transparent to the
+    // rest of the daemon; poll()/nanosleep still return EINTR by
+    // spec, which the server/endpoint loops handle explicitly.
+    action.sa_flags = SA_RESTART;
+    ::sigaction(SIGPROF, &action, &g_previous_action);
+    g_have_previous_action = true;
+
+    detail::g_sampling.store(true, std::memory_order_relaxed);
+
+    struct itimerval timer;
+    timer.it_interval.tv_sec = 0;
+    timer.it_interval.tv_usec = 1000000 / hz;
+    timer.it_value = timer.it_interval;
+    ::setitimer(ITIMER_PROF, &timer, nullptr);
+    return true;
+}
+
+std::string
+stop()
+{
+    std::lock_guard<std::mutex> lock(g_control_mutex);
+    if (!detail::g_sampling.load(std::memory_order_relaxed))
+        return "";
+
+    struct itimerval off;
+    std::memset(&off, 0, sizeof(off));
+    ::setitimer(ITIMER_PROF, &off, nullptr);
+    detail::g_sampling.store(false, std::memory_order_relaxed);
+    if (g_have_previous_action) {
+        ::sigaction(SIGPROF, &g_previous_action, nullptr);
+        g_have_previous_action = false;
+    }
+
+    size_t taken = std::min(
+        g_sample_index.load(std::memory_order_relaxed),
+        g_samples.size());
+
+    std::map<std::string, uint64_t> folded;
+    for (size_t i = 0; i < taken; ++i) {
+        const Sample &sample = g_samples[i];
+        std::string stack;
+        if (sample.depth == 0) {
+            stack = "(unspanned)";
+        } else {
+            for (int f = 0; f < sample.depth; ++f) {
+                if (f > 0)
+                    stack += ';';
+                stack += sample.frames[f];
+            }
+        }
+        folded[stack]++;
+    }
+
+    std::string out;
+    for (const auto &[stack, count] : folded) {
+        out += stack;
+        out += ' ';
+        out += std::to_string(count);
+        out += '\n';
+    }
+    g_samples.clear();
+    g_samples.shrink_to_fit();
+    return out;
+}
+
+uint64_t
+sampleCount()
+{
+    return std::min<uint64_t>(
+        g_sample_index.load(std::memory_order_relaxed),
+        kMaxSamples);
+}
+
+uint64_t
+droppedSamples()
+{
+    return g_dropped.load(std::memory_order_relaxed);
+}
+
+} // namespace parchmint::obs::prof

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * SIGPROF sampling profiler: on-demand CPU profiles of a running
+ * daemon, exported as folded stacks compatible with the repo's
+ * flamegraph format (the `.folded` files run reports emit:
+ * "frame;frame;frame count" lines, flamegraph.pl-ready).
+ *
+ * How it samples: ITIMER_PROF delivers SIGPROF to the process at
+ * `hz` times per CPU-second; the kernel delivers each tick on
+ * *some* currently-running thread, which is exactly the sampling
+ * bias a CPU profiler wants. The handler walks not the native call
+ * stack but the thread's *span-label stack*: a thread-local array
+ * of `const char *` frames pushed/popped by ScopedSpan (and so by
+ * PM_OBS_SPAN and request stages). That makes samples symbolic and
+ * async-signal-safe by construction — the handler copies bytes
+ * from strings owned by live ScopedSpan objects *on the same
+ * thread it interrupted*, so the strings cannot be destroyed
+ * mid-read; no unwinder, no malloc, no symbolization step.
+ *
+ * The cost contract still holds when idle: samplingActive() is one
+ * relaxed atomic load, and ScopedSpan only maintains the frame
+ * stack while a profile is being captured (or spans are enabled
+ * anyway). Ticks that land on a thread with no open span are
+ * recorded as "(unspanned)" — time in recv/poll/epoll shows up
+ * honestly instead of vanishing.
+ *
+ * One profile at a time: start() fails if a capture is running
+ * (the HTTP layer turns that into 409). stop() cancels the timer,
+ * aggregates identical stacks, and renders "stack count" lines
+ * sorted for byte-stable output.
+ */
+
+#ifndef PARCHMINT_OBS_PROFILER_HH
+#define PARCHMINT_OBS_PROFILER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace parchmint::obs::prof
+{
+
+/** Deepest span nesting a sample keeps (deeper frames dropped). */
+constexpr size_t kMaxFrames = 16;
+/** Longest frame label bytes copied per sample. */
+constexpr size_t kMaxFrameLength = 40;
+
+namespace detail
+{
+
+extern std::atomic<bool> g_sampling;
+
+/** Push/pop the calling thread's span-label frame stack. */
+void pushFrame(const char *label);
+void popFrame();
+
+} // namespace detail
+
+/** True while a capture is running (one relaxed load). */
+inline bool
+samplingActive()
+{
+    return detail::g_sampling.load(std::memory_order_relaxed);
+}
+
+/**
+ * Begin a capture at @p hz samples per CPU-second. Returns false
+ * (and changes nothing) if a capture is already running.
+ */
+bool start(int hz = 97);
+
+/**
+ * End the capture and return the folded-stack text:
+ * "frame;frame count\n" lines, lexicographically sorted. Returns
+ * "" when no capture was running.
+ */
+std::string stop();
+
+/** Samples taken in the current/last capture. */
+uint64_t sampleCount();
+
+/** Samples dropped because the buffer filled. */
+uint64_t droppedSamples();
+
+} // namespace parchmint::obs::prof
+
+#endif // PARCHMINT_OBS_PROFILER_HH

@@ -56,7 +56,7 @@ chromeTraceEvents(const Tracer &tracer)
 {
     json::Value events = json::Value::makeArray();
     for (const SpanEvent &span : tracer.events()) {
-        events.append(json::Value::makeObject({
+        json::Value event = json::Value::makeObject({
             {"name", json::Value(span.name)},
             {"cat", json::Value(span.category.empty()
                                     ? std::string("parchmint")
@@ -69,7 +69,14 @@ chromeTraceEvents(const Tracer &tracer)
             // is the main thread, 2..N+1 the pool workers.
             {"tid",
              json::Value(static_cast<int64_t>(span.track + 1))},
-        }));
+        });
+        if (!span.trace.empty()) {
+            event.set("args", json::Value::makeObject({
+                                  {"trace",
+                                   json::Value(span.trace)},
+                              }));
+        }
+        events.append(std::move(event));
     }
     return events;
 }

@@ -1,0 +1,160 @@
+#include "obs/reqtrace.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+
+namespace parchmint::obs::reqtrace
+{
+
+namespace
+{
+
+thread_local std::string t_trace_id;
+thread_local RequestRecord *t_active_request = nullptr;
+
+} // namespace
+
+bool
+isValidTraceId(std::string_view id)
+{
+    if (id.empty() || id.size() > kMaxTraceIdLength)
+        return false;
+    for (char c : id) {
+        bool ok = (c >= 'a' && c <= 'z') ||
+                  (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+std::string
+mintTraceId(uint64_t seed, uint64_t ordinal)
+{
+    uint64_t value = deriveSeed(
+        seed, "trace#" + std::to_string(ordinal));
+    static const char *digits = "0123456789abcdef";
+    std::string id(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        id[static_cast<size_t>(i)] =
+            digits[value & 0xF];
+        value >>= 4;
+    }
+    return id;
+}
+
+const std::string &
+currentTraceId()
+{
+    return t_trace_id;
+}
+
+ScopedTraceContext::ScopedTraceContext(std::string id)
+    : previous_(std::move(t_trace_id))
+{
+    t_trace_id = std::move(id);
+}
+
+ScopedTraceContext::~ScopedTraceContext()
+{
+    t_trace_id = std::move(previous_);
+}
+
+ActiveRequest::ActiveRequest(RequestRecord *record)
+    : previous_(t_active_request)
+{
+    t_active_request = record;
+}
+
+ActiveRequest::~ActiveRequest()
+{
+    t_active_request = previous_;
+}
+
+void
+noteCache(const char *provenance)
+{
+    if (t_active_request != nullptr)
+        t_active_request->cache = provenance;
+}
+
+ScopedStage::ScopedStage(const char *name)
+    : name_(name),
+      start_(Clock::now()),
+      span_(name, "stage")
+{
+}
+
+ScopedStage::~ScopedStage()
+{
+    if (t_active_request == nullptr)
+        return;
+    t_active_request->stages.push_back(
+        {name_, microsBetween(start_, Clock::now())});
+}
+
+RequestCapture::RequestCapture(size_t recentCapacity,
+                               size_t slowestCapacity)
+    : epoch_(Clock::now()),
+      recentCapacity_(recentCapacity == 0 ? 1 : recentCapacity),
+      slowestCapacity_(slowestCapacity == 0 ? 1 : slowestCapacity)
+{
+}
+
+int64_t
+RequestCapture::nowUs() const
+{
+    return microsBetween(epoch_, Clock::now());
+}
+
+void
+RequestCapture::record(RequestRecord record)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    record.sequence = sequence_++;
+
+    recent_.push_back(record);
+    while (recent_.size() > recentCapacity_)
+        recent_.pop_front();
+
+    // Duration-descending board; equal durations keep the earlier
+    // sequence first, so upper_bound places a tying newcomer
+    // behind every incumbent and the pop below evicts *it* — a new
+    // request displaces the current minimum only when strictly
+    // slower.
+    auto position = std::upper_bound(
+        slowest_.begin(), slowest_.end(), record,
+        [](const RequestRecord &a, const RequestRecord &b) {
+            return a.durationUs > b.durationUs;
+        });
+    slowest_.insert(position, std::move(record));
+    if (slowest_.size() > slowestCapacity_)
+        slowest_.pop_back();
+}
+
+std::vector<RequestRecord>
+RequestCapture::recent() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::vector<RequestRecord>(recent_.rbegin(),
+                                      recent_.rend());
+}
+
+std::vector<RequestRecord>
+RequestCapture::slowest() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slowest_;
+}
+
+uint64_t
+RequestCapture::completed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sequence_;
+}
+
+} // namespace parchmint::obs::reqtrace

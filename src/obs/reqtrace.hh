@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Request tracing: trace IDs, the ambient trace context, and the
+ * in-memory capture of completed requests served at /tracez.
+ *
+ * A trace ID names one request end to end. The serving path accepts
+ * a caller-supplied ID (the `X-Parchmint-Trace` header, validated
+ * by isValidTraceId) or mints one deterministically from the
+ * service seed and a request ordinal via deriveSeed — so a daemon
+ * replayed with the same seed mints the same IDs in the same
+ * order. The resolved ID travels as an ambient *trace context*: a
+ * thread-local string installed with ScopedTraceContext, read by
+ * the span tracer (every completed span is stamped with it), the
+ * structured logger (every line carries it), and the flight
+ * recorder. exec::ThreadPool::post() captures the poster's context
+ * and restores it around the job, so work fanned out through the
+ * pool or the task graph keeps its request's identity.
+ *
+ * RequestCapture keeps two bounded views of completed requests for
+ * /tracez: the N most recent (a ring) and the N slowest (a
+ * duration-ordered board where a newcomer displaces the current
+ * minimum only when *strictly* slower — ties never evict an
+ * incumbent). Each record carries the per-stage timings
+ * (parse/validate/place/route) that ScopedStage collected while
+ * the request was the thread's active request, plus the cache
+ * provenance of the response.
+ *
+ * Everything here is dependency-free (no JSON types) so it can sit
+ * in the obs core next to the tracer; /tracez serialization lives
+ * in the service layer.
+ */
+
+#ifndef PARCHMINT_OBS_REQTRACE_HH
+#define PARCHMINT_OBS_REQTRACE_HH
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/clock.hh"
+#include "obs/trace.hh"
+
+namespace parchmint::obs::reqtrace
+{
+
+/** Longest accepted X-Parchmint-Trace value, bytes. */
+constexpr size_t kMaxTraceIdLength = 64;
+
+/**
+ * True for a well-formed trace ID: 1..64 characters drawn from
+ * [A-Za-z0-9._-]. The alphabet is a subset of token-safe header
+ * characters, so a valid ID never needs escaping in headers, JSON
+ * log lines, or flight-recorder slots.
+ */
+bool isValidTraceId(std::string_view id);
+
+/**
+ * Mint a trace ID: 16 lowercase hex digits of
+ * deriveSeed(seed, "trace#<ordinal>"). Deterministic per (seed,
+ * ordinal), so a replayed daemon mints a replayed ID stream.
+ */
+std::string mintTraceId(uint64_t seed, uint64_t ordinal);
+
+/** The calling thread's trace context ("" when none). */
+const std::string &currentTraceId();
+
+/**
+ * Install a trace context for the current scope, restoring the
+ * previous one on destruction (contexts nest).
+ */
+class ScopedTraceContext
+{
+  public:
+    explicit ScopedTraceContext(std::string id);
+    ScopedTraceContext(const ScopedTraceContext &) = delete;
+    ScopedTraceContext &operator=(const ScopedTraceContext &) =
+        delete;
+    ~ScopedTraceContext();
+
+  private:
+    std::string previous_;
+};
+
+/** One named phase of a request (parse, validate, place, route). */
+struct StageTiming
+{
+    std::string name;
+    int64_t durationUs = 0;
+};
+
+/** One completed request, as /tracez reports it. */
+struct RequestRecord
+{
+    /** Completion order; assigned by RequestCapture::record. */
+    uint64_t sequence = 0;
+    std::string traceId;
+    std::string method;
+    std::string path;
+    /** Endpoint label ("route", "statsz", ...). */
+    std::string endpoint;
+    /**
+     * Cache provenance: "none" (endpoint has no cache), "miss"
+     * (computed), "result" (served from the result cache), or
+     * "doc" (document cache hit, result recomputed).
+     */
+    std::string cache = "none";
+    int status = 0;
+    /** Start offset from the capture epoch, microseconds. */
+    int64_t startUs = 0;
+    int64_t durationUs = 0;
+    std::vector<StageTiming> stages;
+};
+
+/**
+ * Make @p record the calling thread's *active request* for the
+ * current scope: ScopedStage and noteCache() append to it. The
+ * record must outlive the scope.
+ */
+class ActiveRequest
+{
+  public:
+    explicit ActiveRequest(RequestRecord *record);
+    ActiveRequest(const ActiveRequest &) = delete;
+    ActiveRequest &operator=(const ActiveRequest &) = delete;
+    ~ActiveRequest();
+
+  private:
+    RequestRecord *previous_;
+};
+
+/** Set the active request's cache provenance (no-op without one). */
+void noteCache(const char *provenance);
+
+/**
+ * Time one request stage: appends a StageTiming to the active
+ * request on destruction and emits an obs span (category "stage")
+ * while open, so stage timings appear both at /tracez and in run
+ * reports.
+ */
+class ScopedStage
+{
+  public:
+    explicit ScopedStage(const char *name);
+    ScopedStage(const ScopedStage &) = delete;
+    ScopedStage &operator=(const ScopedStage &) = delete;
+    ~ScopedStage();
+
+  private:
+    const char *name_;
+    Clock::time_point start_;
+    ScopedSpan span_;
+};
+
+/** See file comment. */
+class RequestCapture
+{
+  public:
+    explicit RequestCapture(size_t recentCapacity = 64,
+                            size_t slowestCapacity = 16);
+
+    /** Microseconds since the capture epoch (for startUs). */
+    int64_t nowUs() const;
+
+    /** File a completed request (assigns its sequence). */
+    void record(RequestRecord record);
+
+    /** The most recent requests, newest first. */
+    std::vector<RequestRecord> recent() const;
+
+    /**
+     * The slowest requests, longest first; equal durations rank
+     * the *older* request higher (see eviction rule above).
+     */
+    std::vector<RequestRecord> slowest() const;
+
+    /** Requests filed over the capture's lifetime. */
+    uint64_t completed() const;
+
+    size_t recentCapacity() const { return recentCapacity_; }
+    size_t slowestCapacity() const { return slowestCapacity_; }
+
+  private:
+    mutable std::mutex mutex_;
+    Clock::time_point epoch_;
+    uint64_t sequence_ = 0;
+    size_t recentCapacity_;
+    size_t slowestCapacity_;
+    std::deque<RequestRecord> recent_;
+    /** Sorted by duration descending, ties by sequence ascending. */
+    std::vector<RequestRecord> slowest_;
+};
+
+} // namespace parchmint::obs::reqtrace
+
+#endif // PARCHMINT_OBS_REQTRACE_HH

@@ -1,6 +1,8 @@
 #include "obs/trace.hh"
 
 #include "obs/obs.hh"
+#include "obs/profiler.hh"
+#include "obs/reqtrace.hh"
 
 namespace parchmint::obs
 {
@@ -35,7 +37,8 @@ Tracer::complete(std::string name, std::string category,
 {
     --t_span_state.depth;
     SpanEvent event{std::move(name), std::move(category), 0, 0,
-                    depth, t_span_state.track};
+                    depth, t_span_state.track,
+                    reqtrace::currentTraceId()};
     Clock::time_point stop = Clock::now();
     std::lock_guard<std::mutex> lock(mutex_);
     event.startUs = microsBetween(epoch_, start);
@@ -72,28 +75,46 @@ Tracer::clear()
 
 ScopedSpan::ScopedSpan(const char *name, const char *category)
 {
+    bool profiling = prof::samplingActive();
+    if (!enabled() && !profiling)
+        return;
+    name_ = name;
+    category_ = category;
+    if (profiling) {
+        // The SIGPROF handler reads name_'s bytes; it interrupts
+        // this same thread, so the string outlives every read.
+        prof::detail::pushFrame(name_.c_str());
+        profFrame_ = true;
+    }
     if (!enabled())
         return;
     active_ = true;
-    name_ = name;
-    category_ = category;
     depth_ = tracer().enter();
     start_ = Clock::now();
 }
 
 ScopedSpan::ScopedSpan(std::string name, std::string category)
 {
+    bool profiling = prof::samplingActive();
+    if (!enabled() && !profiling)
+        return;
+    name_ = std::move(name);
+    category_ = std::move(category);
+    if (profiling) {
+        prof::detail::pushFrame(name_.c_str());
+        profFrame_ = true;
+    }
     if (!enabled())
         return;
     active_ = true;
-    name_ = std::move(name);
-    category_ = std::move(category);
     depth_ = tracer().enter();
     start_ = Clock::now();
 }
 
 ScopedSpan::~ScopedSpan()
 {
+    if (profFrame_)
+        prof::detail::popFrame();
     if (!active_)
         return;
     tracer().complete(std::move(name_), std::move(category_),

@@ -52,6 +52,12 @@ struct SpanEvent
     int depth = 0;
     /** Emitting track: 0 = main thread, 1..N = pool workers. */
     int track = 0;
+    /**
+     * The request trace context the span completed under
+     * (obs/reqtrace.hh); "" outside a request. Last so existing
+     * aggregate initializers stay valid.
+     */
+    std::string trace;
 };
 
 /**
@@ -141,6 +147,8 @@ class ScopedSpan
     Clock::time_point start_;
     int depth_ = 0;
     bool active_ = false;
+    /** True when this span pushed a profiler frame (obs/prof). */
+    bool profFrame_ = false;
 };
 
 } // namespace parchmint::obs

@@ -329,6 +329,8 @@ HttpServer::sendAll(const Connection &connection,
                 ? static_cast<int>(options_.idleTimeout.count())
                 : -1;
         int ready = ::poll(&out, 1, timeout);
+        if (ready < 0 && errno == EINTR)
+            continue; // e.g. SIGPROF during a profile capture
         if (ready <= 0)
             return false;
     }

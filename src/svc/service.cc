@@ -1,6 +1,8 @@
 #include "svc/service.hh"
 
+#include <algorithm>
 #include <cstdlib>
+#include <thread>
 
 #include "analysis/netlist_stats.hh"
 #include "analysis/stats_json.hh"
@@ -13,8 +15,11 @@
 #include "json/write.hh"
 #include "obs/clock.hh"
 #include "obs/env.hh"
+#include "obs/flight.hh"
+#include "obs/log.hh"
 #include "obs/manifest.hh"
 #include "obs/obs.hh"
+#include "obs/profiler.hh"
 #include "obs/prometheus.hh"
 #include "obs/report.hh"
 #include "place/annealing_placer.hh"
@@ -76,6 +81,12 @@ endpointLabel(const std::string &path)
         return "statsz";
     if (path == "/metricsz")
         return "metricsz";
+    if (path == "/tracez")
+        return "tracez";
+    if (path == "/logz")
+        return "logz";
+    if (path == "/profilez")
+        return "profilez";
     return "other";
 }
 
@@ -99,7 +110,72 @@ cacheStatsJson(const CacheStats &stats)
     return out;
 }
 
+/** One /tracez request record as JSON. */
+json::Value
+requestRecordJson(const obs::reqtrace::RequestRecord &record)
+{
+    json::Value stages = json::Value::makeArray();
+    for (const obs::reqtrace::StageTiming &stage :
+         record.stages) {
+        json::Value entry = json::Value::makeObject();
+        entry.set("name", json::Value(stage.name));
+        entry.set("dur_us", json::Value(stage.durationUs));
+        stages.append(std::move(entry));
+    }
+    json::Value out = json::Value::makeObject();
+    out.set("seq", json::Value(
+                       static_cast<int64_t>(record.sequence)));
+    out.set("trace", json::Value(record.traceId));
+    out.set("method", json::Value(record.method));
+    out.set("path", json::Value(record.path));
+    out.set("endpoint", json::Value(record.endpoint));
+    out.set("cache", json::Value(record.cache));
+    out.set("status", json::Value(record.status));
+    out.set("start_us", json::Value(record.startUs));
+    out.set("dur_us", json::Value(record.durationUs));
+    out.set("stages", std::move(stages));
+    return out;
+}
+
 } // namespace
+
+TraceResolution
+resolveTraceHeader(const HttpRequest &request, uint64_t seed,
+                   uint64_t ordinal)
+{
+    TraceResolution out;
+    const std::string *seen = nullptr;
+    for (const auto &[name, value] : request.headers) {
+        if (name != kTraceHeader)
+            continue;
+        if (!obs::reqtrace::isValidTraceId(value)) {
+            out.ok = false;
+            out.error =
+                value.size() >
+                        obs::reqtrace::kMaxTraceIdLength
+                    ? "X-Parchmint-Trace too long (max 64 bytes)"
+                    : "malformed X-Parchmint-Trace (want 1..64 "
+                      "chars of [A-Za-z0-9._-])";
+            break;
+        }
+        if (seen != nullptr && *seen != value) {
+            out.ok = false;
+            out.error =
+                "conflicting duplicate X-Parchmint-Trace headers";
+            break;
+        }
+        seen = &value;
+    }
+    if (out.ok && seen != nullptr) {
+        out.id = *seen;
+        return out;
+    }
+    // Absent or rejected header: mint. The rejection response
+    // carries the minted ID too, so it is itself traceable.
+    out.id = obs::reqtrace::mintTraceId(seed, ordinal);
+    out.minted = true;
+    return out;
+}
 
 NetlistService::NetlistService(ServiceOptions options)
     : options_(options),
@@ -137,19 +213,68 @@ NetlistService::handle(const HttpRequest &request,
 {
     obs::Stopwatch watch;
     std::string label = endpointLabel(request.path());
+
+    TraceResolution trace = resolveTraceHeader(
+        request, options_.seed,
+        traceOrdinal_.fetch_add(1, std::memory_order_relaxed));
+
+    // Install the trace context before any work: every span, log
+    // line, and flight event below inherits the ID, including work
+    // fanned out through the thread pool.
+    obs::reqtrace::ScopedTraceContext context(trace.id);
+    obs::flight::note(obs::flight::EventType::RequestStart,
+                      trace.id, label);
+
+    obs::reqtrace::RequestRecord record;
+    record.traceId = trace.id;
+    record.method = request.method;
+    record.path = request.path();
+    record.endpoint = label;
+    record.startUs = capture_.nowUs();
+
     HttpResponse response;
-    try {
-        response = dispatch(request, token);
-    } catch (const exec::Cancelled &cancelled) {
-        response = errorResponse(503, cancelled.what());
-    } catch (const json::ParseError &error) {
-        response = errorResponse(
-            400, std::string("invalid JSON: ") + error.what());
-    } catch (const UserError &error) {
-        response = errorResponse(422, error.what());
-    } catch (const std::exception &error) {
-        response = errorResponse(500, error.what());
+    {
+        obs::reqtrace::ActiveRequest active(&record);
+        if (!trace.ok) {
+            response = errorResponse(400, trace.error);
+        } else {
+            try {
+                response = dispatch(request, token);
+            } catch (const exec::Cancelled &cancelled) {
+                obs::flight::note(
+                    obs::flight::EventType::Cancel, trace.id,
+                    label, 503);
+                response = errorResponse(503, cancelled.what());
+            } catch (const json::ParseError &error) {
+                response = errorResponse(
+                    400,
+                    std::string("invalid JSON: ") + error.what());
+            } catch (const UserError &error) {
+                response = errorResponse(422, error.what());
+            } catch (const std::exception &error) {
+                response = errorResponse(500, error.what());
+            }
+        }
     }
+
+    record.status = response.status;
+    record.durationUs = watch.elapsedUs();
+    std::string cacheProvenance = record.cache;
+    capture_.record(std::move(record));
+    obs::flight::note(obs::flight::EventType::RequestEnd,
+                      trace.id, label, response.status);
+    response.setHeader(kTraceHeaderEcho, trace.id);
+
+    obs::LogLevel logLevel =
+        response.status >= 500
+            ? obs::LogLevel::Error
+            : (response.status >= 400 ? obs::LogLevel::Warn
+                                      : obs::LogLevel::Info);
+    PM_LOG_AT(logLevel, "svc.request", "served",
+              {{"endpoint", label},
+               {"status", std::to_string(response.status)},
+               {"ms", std::to_string(watch.elapsedMs())},
+               {"cache", cacheProvenance}});
 
     // Request/response accounting is unconditional (not gated on
     // the obs switch): /statsz must answer on a daemon launched
@@ -200,6 +325,20 @@ NetlistService::dispatch(const HttpRequest &request,
         }
         return handleMetricsz();
     }
+    if (path == "/tracez" || path == "/logz" ||
+        path == "/profilez") {
+        if (request.method != "GET") {
+            HttpResponse response =
+                errorResponse(405, "use GET " + path);
+            response.setHeader("Allow", "GET");
+            return response;
+        }
+        if (path == "/tracez")
+            return handleTracez();
+        if (path == "/logz")
+            return handleLogz();
+        return handleProfilez(request);
+    }
     if (path == "/v1/suite" || startsWith(path, "/v1/suite/")) {
         if (request.method != "GET") {
             HttpResponse response =
@@ -233,6 +372,7 @@ NetlistService::parseBody(const std::string &body)
     std::string raw_key = "doc:" + hashHex(contentHash(body));
     if (std::shared_ptr<const ParsedDoc> hit =
             docCache_.find(raw_key)) {
+        obs::reqtrace::noteCache("doc");
         return hit;
     }
     json::Value parsed = json::parse(body);
@@ -256,6 +396,9 @@ NetlistService::handlePipeline(const std::string &endpoint,
         "svc.inflight",
         static_cast<double>(admission_.inflight()));
     if (!ticket) {
+        obs::flight::note(obs::flight::EventType::Admission,
+                          obs::reqtrace::currentTraceId(),
+                          endpoint, 429);
         HttpResponse response = errorResponse(
             429, "server at capacity (" +
                      std::to_string(admission_.maxInflight()) +
@@ -267,8 +410,12 @@ NetlistService::handlePipeline(const std::string &endpoint,
         return errorResponse(400, "empty request body");
 
     token.throwIfCancelled("admit " + endpoint);
-    std::shared_ptr<const ParsedDoc> doc =
-        parseBody(request.body);
+    obs::reqtrace::noteCache("miss");
+    std::shared_ptr<const ParsedDoc> doc;
+    {
+        obs::reqtrace::ScopedStage stage("parse");
+        doc = parseBody(request.body);
+    }
     token.throwIfCancelled("parse " + endpoint);
 
     bool seeded = endpoint == "place" || endpoint == "route";
@@ -288,6 +435,10 @@ NetlistService::handlePipeline(const std::string &endpoint,
     }
     if (std::shared_ptr<const std::string> hit =
             resultCache_.find(key)) {
+        obs::reqtrace::noteCache("result");
+        obs::flight::note(obs::flight::EventType::CacheHit,
+                          obs::reqtrace::currentTraceId(),
+                          endpoint, 200);
         return jsonResponse(200, *hit);
     }
 
@@ -308,6 +459,7 @@ NetlistService::computeResult(const std::string &endpoint,
     PM_OBS_SPAN(endpoint, "svc");
 
     if (endpoint == "validate") {
+        obs::reqtrace::ScopedStage stage("validate");
         std::vector<schema::Issue> issues =
             schema::validateDocument(document);
         size_t errors = 0;
@@ -337,8 +489,12 @@ NetlistService::computeResult(const std::string &endpoint,
     }
 
     if (endpoint == "characterize") {
-        Device device = fromJson(document);
+        Device device = [&] {
+            obs::reqtrace::ScopedStage stage("validate");
+            return fromJson(document);
+        }();
         token.throwIfCancelled("characterize");
+        obs::reqtrace::ScopedStage stage("characterize");
         analysis::NetlistStats stats =
             analysis::computeNetlistStats(device);
         json::Value out = json::Value::makeObject();
@@ -353,12 +509,18 @@ NetlistService::computeResult(const std::string &endpoint,
     // the result is a pure function of (document, seed) — the
     // property the result cache and the byte-identity guarantee
     // both lean on.
-    Device device = fromJson(document);
+    Device device = [&] {
+        obs::reqtrace::ScopedStage stage("validate");
+        return fromJson(document);
+    }();
     token.throwIfCancelled(endpoint);
     place::AnnealingOptions annealing;
     annealing.seed = seed;
     place::AnnealingPlacer placer(annealing);
-    place::Placement placement = placer.place(device);
+    place::Placement placement = [&] {
+        obs::reqtrace::ScopedStage stage("place");
+        return placer.place(device);
+    }();
     token.throwIfCancelled(endpoint);
 
     if (endpoint == "place") {
@@ -378,8 +540,10 @@ NetlistService::computeResult(const std::string &endpoint,
         return compactJson(out);
     }
 
-    route::RouteResult routed =
-        route::routeDevice(device, placement);
+    route::RouteResult routed = [&] {
+        obs::reqtrace::ScopedStage stage("route");
+        return route::routeDevice(device, placement);
+    }();
     token.throwIfCancelled("route");
     placement.writeTo(device);
     json::Value routing = json::Value::makeObject();
@@ -504,6 +668,109 @@ NetlistService::handleMetricsz()
     response.setHeader("Content-Type",
                        "text/plain; version=0.0.4");
     response.body = obs::renderPrometheusText(obs::registry());
+    return response;
+}
+
+HttpResponse
+NetlistService::handleTracez()
+{
+    json::Value recent = json::Value::makeArray();
+    for (const obs::reqtrace::RequestRecord &record :
+         capture_.recent())
+        recent.append(requestRecordJson(record));
+    json::Value slowest = json::Value::makeArray();
+    for (const obs::reqtrace::RequestRecord &record :
+         capture_.slowest())
+        slowest.append(requestRecordJson(record));
+
+    json::Value out = json::Value::makeObject();
+    out.set("schema", json::Value("parchmintd-tracez-v1"));
+    out.set("completed",
+            json::Value(
+                static_cast<int64_t>(capture_.completed())));
+    out.set("recent_capacity",
+            json::Value(static_cast<int64_t>(
+                capture_.recentCapacity())));
+    out.set("slowest_capacity",
+            json::Value(static_cast<int64_t>(
+                capture_.slowestCapacity())));
+    out.set("recent", std::move(recent));
+    out.set("slowest", std::move(slowest));
+    return jsonResponse(200, compactJson(out));
+}
+
+HttpResponse
+NetlistService::handleLogz()
+{
+    // Flight-recorder events as JSONL, closed by a summary line
+    // carrying the logger's written/dropped counters — the line CI
+    // asserts dropped == 0 against.
+    std::string body = obs::flight::toJsonLines();
+    obs::LogStats stats = obs::logger().stats();
+    body += "{\"type\":\"logz_summary\",\"flight_events\":";
+    body += std::to_string(obs::flight::recorded());
+    body += ",\"log_written\":";
+    body += std::to_string(stats.written);
+    body += ",\"log_dropped\":";
+    body += std::to_string(stats.dropped);
+    body += "}\n";
+
+    HttpResponse response;
+    response.status = 200;
+    response.setHeader("Content-Type", "text/plain");
+    response.body = std::move(body);
+    return response;
+}
+
+HttpResponse
+NetlistService::handleProfilez(const HttpRequest &request)
+{
+    int64_t seconds = 2;
+    std::string param = request.queryParam("seconds");
+    if (!param.empty()) {
+        char *end = nullptr;
+        long long parsed = std::strtoll(param.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || parsed <= 0)
+            return errorResponse(
+                400, "bad seconds parameter \"" + param + "\"");
+        seconds = parsed;
+    }
+    seconds = std::min<int64_t>(seconds, 30);
+
+    if (!obs::prof::start())
+        return errorResponse(
+            409, "a profile capture is already running");
+    PM_LOG_INFO("svc.profilez", "profile started",
+                {{"seconds", std::to_string(seconds)}});
+
+    // Hold this worker for the capture window. sleep_for can wake
+    // early on EINTR while SIGPROF is firing, so loop on the
+    // deadline instead of trusting one sleep.
+    obs::Clock::time_point deadline =
+        obs::Clock::now() + std::chrono::seconds(seconds);
+    while (obs::Clock::now() < deadline) {
+        std::this_thread::sleep_for(std::min(
+            std::chrono::duration_cast<
+                std::chrono::milliseconds>(
+                deadline - obs::Clock::now()),
+            std::chrono::milliseconds(50)));
+    }
+
+    std::string folded = obs::prof::stop();
+    PM_LOG_INFO(
+        "svc.profilez", "profile finished",
+        {{"samples",
+          std::to_string(obs::prof::sampleCount())},
+         {"dropped",
+          std::to_string(obs::prof::droppedSamples())}});
+
+    HttpResponse response;
+    response.status = 200;
+    response.setHeader("Content-Type", "text/plain");
+    response.setHeader(
+        "X-Parchmint-Profile-Samples",
+        std::to_string(obs::prof::sampleCount()));
+    response.body = std::move(folded);
     return response;
 }
 

@@ -21,6 +21,28 @@
  *                          environment snapshot (obs/env.hh)
  *   GET  /metricsz         Prometheus text exposition of the
  *                          metrics registry (text/plain, not JSON)
+ *   GET  /tracez           the N most recent and N slowest
+ *                          completed requests: trace ID, status,
+ *                          cache provenance, per-stage timings
+ *   GET  /logz             flight-recorder events as JSONL plus a
+ *                          logz_summary trailer with the logger's
+ *                          written/dropped counters (text/plain)
+ *   GET  /profilez?seconds=S  capture a CPU profile for S seconds
+ *                          (clamped to 1..30, default 2) and return
+ *                          folded stacks (text/plain); 409 when a
+ *                          capture is already running
+ *
+ * Trace IDs: every request resolves to one. A client may supply
+ * its own via the `X-Parchmint-Trace` header (1..64 chars of
+ * [A-Za-z0-9._-]); absent the header, the service mints a
+ * deterministic ID from its seed and a request ordinal. A
+ * malformed, oversized, or self-conflicting header is answered
+ * with 400 — but the response still carries a freshly minted ID so
+ * the rejection itself is traceable. The resolved ID is echoed in
+ * the `X-Parchmint-Trace` response header and stamped into every
+ * span, log line, and flight-recorder event the request produces.
+ * (The echo makes full response *messages* differ per request;
+ * cached response *bodies* remain byte-identical.)
  *
  * The POST pipeline is fronted by the two-level content-addressed
  * cache (svc/cache.hh): a raw-body hash resolves repeated request
@@ -45,6 +67,7 @@
 #ifndef PARCHMINT_SVC_SERVICE_HH
 #define PARCHMINT_SVC_SERVICE_HH
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -52,12 +75,42 @@
 
 #include "exec/cancel.hh"
 #include "json/value.hh"
+#include "obs/reqtrace.hh"
 #include "svc/admission.hh"
 #include "svc/cache.hh"
 #include "svc/http.hh"
 
 namespace parchmint::svc
 {
+
+/** The request/response header carrying the trace ID (requests
+ * arrive with parser-lowercased names). */
+inline constexpr const char *kTraceHeader = "x-parchmint-trace";
+inline constexpr const char *kTraceHeaderEcho = "X-Parchmint-Trace";
+
+/** Outcome of resolveTraceHeader(). */
+struct TraceResolution
+{
+    /** False: the header was malformed; answer 400 with @c error.
+     * @c id still holds a freshly minted replacement. */
+    bool ok = true;
+    /** The resolved (accepted or minted) trace ID. */
+    std::string id;
+    /** True when the ID was minted rather than client-supplied. */
+    bool minted = false;
+    std::string error;
+};
+
+/**
+ * Resolve a request's trace ID per the header contract above.
+ * Pure: the same (request, seed, ordinal) always resolves
+ * identically — the property the http_trace_header fuzz target
+ * checks. Duplicate headers with byte-identical values are
+ * accepted; conflicting duplicates are malformed.
+ */
+TraceResolution resolveTraceHeader(const HttpRequest &request,
+                                   uint64_t seed,
+                                   uint64_t ordinal);
 
 /** Service knobs. */
 struct ServiceOptions
@@ -109,6 +162,12 @@ class NetlistService
         return admission_;
     }
 
+    /** The /tracez capture (recent + slowest requests). */
+    const obs::reqtrace::RequestCapture &capture() const
+    {
+        return capture_;
+    }
+
   private:
     /** A parsed request body, shared across endpoints. */
     struct ParsedDoc
@@ -131,6 +190,9 @@ class NetlistService
     HttpResponse handleSuiteNetlist(const std::string &name);
     HttpResponse handleStatsz();
     HttpResponse handleMetricsz();
+    HttpResponse handleTracez();
+    HttpResponse handleLogz();
+    HttpResponse handleProfilez(const HttpRequest &request);
 
     std::shared_ptr<const ParsedDoc>
     parseBody(const std::string &body);
@@ -139,6 +201,9 @@ class NetlistService
     AdmissionController admission_;
     ShardedLruCache<ParsedDoc> docCache_;
     ShardedLruCache<std::string> resultCache_;
+    obs::reqtrace::RequestCapture capture_;
+    /** Ordinal feeding minted trace IDs (deterministic per seed). */
+    std::atomic<uint64_t> traceOrdinal_{0};
 };
 
 } // namespace parchmint::svc

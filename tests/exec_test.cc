@@ -17,6 +17,7 @@
 #include "exec/suite_runner.hh"
 #include "exec/task_graph.hh"
 #include "exec/thread_pool.hh"
+#include "obs/reqtrace.hh"
 
 namespace parchmint::exec
 {
@@ -46,6 +47,54 @@ TEST(ThreadPoolTest, RunsEveryPostedJob)
         // Destructor drains the queue before joining.
     }
     EXPECT_EQ(100, ran.load());
+}
+
+TEST(ThreadPoolTest, PropagatesTraceContextIntoJobs)
+{
+    // post() captures the poster's ambient trace context and
+    // restores it around the job, so pool workers log/span under
+    // the request that fanned the work out.
+    ThreadPool pool(2);
+    std::string seen_with, seen_without;
+    std::atomic<bool> done_with{false}, done_without{false};
+    {
+        obs::reqtrace::ScopedTraceContext context("pool-trace-1");
+        pool.post([&seen_with, &done_with] {
+            seen_with = obs::reqtrace::currentTraceId();
+            done_with = true;
+        });
+    }
+    pool.post([&seen_without, &done_without] {
+        seen_without = obs::reqtrace::currentTraceId();
+        done_without = true;
+    });
+    while (!done_with.load() || !done_without.load())
+        std::this_thread::yield();
+    EXPECT_EQ("pool-trace-1", seen_with);
+    EXPECT_EQ("", seen_without);
+}
+
+TEST(ThreadPoolTest, WorkerContextDoesNotLeakAcrossJobs)
+{
+    // One worker, two jobs: the context installed for the first
+    // must be gone before the second runs.
+    ThreadPool pool(1);
+    std::string first_seen, second_seen;
+    std::atomic<bool> done{false};
+    {
+        obs::reqtrace::ScopedTraceContext context("leak-check");
+        pool.post([&first_seen] {
+            first_seen = obs::reqtrace::currentTraceId();
+        });
+    }
+    pool.post([&second_seen, &done] {
+        second_seen = obs::reqtrace::currentTraceId();
+        done = true;
+    });
+    while (!done.load())
+        std::this_thread::yield();
+    EXPECT_EQ("leak-check", first_seen);
+    EXPECT_EQ("", second_seen);
 }
 
 TEST(ThreadPoolTest, ZeroThreadsClampsToOne)
@@ -250,6 +299,34 @@ TEST(TaskGraphTest, ForwardDependencyIsRejected)
     EXPECT_THROW(
         graph.add("eager", [](const CancelToken &) {}, {0}),
         InternalError);
+}
+
+TEST(TaskGraphTest, TasksInheritTraceContext)
+{
+    // A graph run from a request thread keeps that request's
+    // identity: run() posts from the caller (and tasks cascade
+    // from contexted workers), so every task sees the trace.
+    ThreadPool pool(3);
+    TaskGraph graph;
+    std::vector<std::string> seen(3);
+    TaskId a = graph.add("a", [&seen](const CancelToken &) {
+        seen[0] = obs::reqtrace::currentTraceId();
+    });
+    TaskId b = graph.add("b", [&seen](const CancelToken &) {
+        seen[1] = obs::reqtrace::currentTraceId();
+    });
+    graph.add(
+        "join",
+        [&seen](const CancelToken &) {
+            seen[2] = obs::reqtrace::currentTraceId();
+        },
+        {a, b});
+    obs::reqtrace::ScopedTraceContext context("graph-trace-1");
+    std::vector<TaskResult> results = graph.run(pool);
+    for (const TaskResult &result : results)
+        EXPECT_EQ(TaskStatus::Ok, result.status);
+    for (const std::string &trace : seen)
+        EXPECT_EQ("graph-trace-1", trace);
 }
 
 TEST(TaskGraphTest, ManyIndependentTasksAllComplete)

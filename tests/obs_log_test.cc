@@ -1,0 +1,482 @@
+/**
+ * @file
+ * Tests for the live-observability core: the structured JSONL
+ * logger (levels, per-site token buckets, escaping, ambient trace
+ * field), request tracing (trace-ID validation and minting, context
+ * nesting, the /tracez capture rings), the flight recorder (seqlock
+ * ring, sanitization, JSONL and fd dumps), and the SIGPROF sampling
+ * profiler. Log lines and flight dumps are round-tripped through
+ * the real JSON parser: "well-formed JSONL" is checked by parsing,
+ * not by eyeball.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "json/parse.hh"
+#include "obs/flight.hh"
+#include "obs/log.hh"
+#include "obs/obs.hh"
+#include "obs/profiler.hh"
+#include "obs/reqtrace.hh"
+
+namespace parchmint::obs
+{
+namespace
+{
+
+/** Split a blob into its non-empty lines. */
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    size_t start = 0;
+    while (start < text.size()) {
+        size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            end = text.size();
+        if (end > start)
+            lines.push_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+    return lines;
+}
+
+/** A logger writing into a malloc-backed in-memory FILE*. */
+class LogTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        logger().resetForTest();
+        buffer_ = nullptr;
+        size_ = 0;
+        sink_ = open_memstream(&buffer_, &size_);
+        ASSERT_NE(nullptr, sink_);
+    }
+
+    void
+    TearDown() override
+    {
+        logger().resetForTest();
+        std::fclose(sink_);
+        free(buffer_);
+    }
+
+    std::vector<std::string>
+    lines()
+    {
+        std::fflush(sink_);
+        return splitLines(std::string(buffer_, size_));
+    }
+
+    std::FILE *sink_ = nullptr;
+    char *buffer_ = nullptr;
+    size_t size_ = 0;
+};
+
+TEST_F(LogTest, LevelNamesRoundTrip)
+{
+    for (LogLevel level :
+         {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+          LogLevel::Error, LogLevel::Off}) {
+        LogLevel parsed = LogLevel::Info;
+        EXPECT_TRUE(parseLogLevel(logLevelName(level), parsed));
+        EXPECT_EQ(level, parsed);
+    }
+    LogLevel out = LogLevel::Info;
+    EXPECT_FALSE(parseLogLevel("verbose", out));
+    EXPECT_EQ(LogLevel::Info, out);
+}
+
+TEST_F(LogTest, OffByDefaultAndSafeWithoutSink)
+{
+    EXPECT_EQ(LogLevel::Off, logger().level());
+    EXPECT_FALSE(logger().enabledFor(LogLevel::Error));
+    PM_LOG_ERROR("test.site", "goes nowhere");
+    EXPECT_EQ(0u, logger().stats().written);
+}
+
+TEST_F(LogTest, LevelGateFiltersBelowConfigured)
+{
+    logger().setSink(sink_, LogLevel::Warn);
+    EXPECT_FALSE(logger().enabledFor(LogLevel::Debug));
+    EXPECT_FALSE(logger().enabledFor(LogLevel::Info));
+    EXPECT_TRUE(logger().enabledFor(LogLevel::Warn));
+    EXPECT_TRUE(logger().enabledFor(LogLevel::Error));
+    PM_LOG_INFO("test.site", "filtered");
+    PM_LOG_WARN("test.site", "passes");
+    EXPECT_EQ(1u, lines().size());
+    EXPECT_EQ(1u, logger().stats().written);
+}
+
+TEST_F(LogTest, LinesAreParseableJsonWithFields)
+{
+    logger().setSink(sink_, LogLevel::Debug);
+    PM_LOG_INFO("svc.request", "served",
+                {{"status", "200"}, {"ms", "1.42"}});
+    std::vector<std::string> out = lines();
+    ASSERT_EQ(1u, out.size());
+    json::Value line = json::parse(out[0]);
+    EXPECT_EQ("info", line.at("level").asString());
+    EXPECT_EQ("svc.request", line.at("site").asString());
+    EXPECT_EQ("served", line.at("msg").asString());
+    EXPECT_EQ("200", line.at("fields").at("status").asString());
+    EXPECT_EQ("1.42", line.at("fields").at("ms").asString());
+    EXPECT_GT(line.at("ts_us").asInteger(), 0);
+}
+
+TEST_F(LogTest, AmbientTraceContextIsAttached)
+{
+    logger().setSink(sink_, LogLevel::Debug);
+    PM_LOG_INFO("test.site", "no context");
+    {
+        reqtrace::ScopedTraceContext context("trace-abc.1");
+        PM_LOG_INFO("test.site", "with context");
+    }
+    std::vector<std::string> out = lines();
+    ASSERT_EQ(2u, out.size());
+    EXPECT_EQ(nullptr, json::parse(out[0]).find("trace"));
+    EXPECT_EQ("trace-abc.1",
+              json::parse(out[1]).at("trace").asString());
+}
+
+TEST_F(LogTest, HostileBytesSurviveEscaping)
+{
+    logger().setSink(sink_, LogLevel::Debug);
+    std::string hostile = "q\"b\\s\nnl\ttab\x01ctl";
+    PM_LOG_ERROR("test.site", hostile, {{"k\"ey", hostile}});
+    std::vector<std::string> out = lines();
+    ASSERT_EQ(1u, out.size());
+    json::Value line = json::parse(out[0]);
+    EXPECT_EQ(hostile, line.at("msg").asString());
+    EXPECT_EQ(hostile, line.at("fields").at("k\"ey").asString());
+}
+
+TEST_F(LogTest, TokenBucketIsPerSiteAndDeterministic)
+{
+    logger().setSink(sink_, LogLevel::Debug);
+    // Refill 0: the budget is fixed, so counts are exact.
+    logger().setRateLimit({3.0, 0.0});
+    for (int i = 0; i < 10; ++i)
+        PM_LOG_INFO("site.a", "line");
+    for (int i = 0; i < 2; ++i)
+        PM_LOG_INFO("site.b", "line");
+    LogStats stats = logger().stats();
+    EXPECT_EQ(5u, stats.written); // 3 from a, 2 from b
+    EXPECT_EQ(7u, stats.dropped);
+    EXPECT_EQ(7u, logger().droppedAt("site.a"));
+    EXPECT_EQ(0u, logger().droppedAt("site.b"));
+    EXPECT_EQ(5u, lines().size());
+}
+
+TEST_F(LogTest, AppendJsonEscapedCoversControlBytes)
+{
+    std::string out;
+    appendJsonEscaped(out, "a\"b\\c\n\x02");
+    EXPECT_EQ("a\\\"b\\\\c\\n\\u0002", out);
+}
+
+TEST(ReqtraceTest, TraceIdValidation)
+{
+    using reqtrace::isValidTraceId;
+    EXPECT_TRUE(isValidTraceId("a"));
+    EXPECT_TRUE(isValidTraceId("ci-demo.0042_x"));
+    EXPECT_TRUE(isValidTraceId(
+        std::string(reqtrace::kMaxTraceIdLength, 'a')));
+    EXPECT_FALSE(isValidTraceId(""));
+    EXPECT_FALSE(isValidTraceId(
+        std::string(reqtrace::kMaxTraceIdLength + 1, 'a')));
+    EXPECT_FALSE(isValidTraceId("has space"));
+    EXPECT_FALSE(isValidTraceId("quote\"inject"));
+    EXPECT_FALSE(isValidTraceId("semi;colon"));
+}
+
+TEST(ReqtraceTest, MintedIdsAreDeterministicHex)
+{
+    std::string id = reqtrace::mintTraceId(42, 7);
+    EXPECT_EQ(id, reqtrace::mintTraceId(42, 7));
+    EXPECT_NE(id, reqtrace::mintTraceId(42, 8));
+    EXPECT_NE(id, reqtrace::mintTraceId(43, 7));
+    ASSERT_EQ(16u, id.size());
+    for (char c : id)
+        EXPECT_TRUE((c >= '0' && c <= '9') ||
+                    (c >= 'a' && c <= 'f'))
+            << id;
+    EXPECT_TRUE(reqtrace::isValidTraceId(id));
+}
+
+TEST(ReqtraceTest, ContextsNestAndRestore)
+{
+    EXPECT_EQ("", reqtrace::currentTraceId());
+    {
+        reqtrace::ScopedTraceContext outer("outer-id");
+        EXPECT_EQ("outer-id", reqtrace::currentTraceId());
+        {
+            reqtrace::ScopedTraceContext inner("inner-id");
+            EXPECT_EQ("inner-id", reqtrace::currentTraceId());
+        }
+        EXPECT_EQ("outer-id", reqtrace::currentTraceId());
+    }
+    EXPECT_EQ("", reqtrace::currentTraceId());
+}
+
+namespace
+{
+
+reqtrace::RequestRecord
+recordWithDuration(const std::string &trace, int64_t duration_us)
+{
+    reqtrace::RequestRecord record;
+    record.traceId = trace;
+    record.durationUs = duration_us;
+    return record;
+}
+
+} // namespace
+
+TEST(ReqtraceTest, RecentRingIsNewestFirstAndBounded)
+{
+    reqtrace::RequestCapture capture(3, 3);
+    for (int i = 1; i <= 5; ++i)
+        capture.record(
+            recordWithDuration("r" + std::to_string(i), i));
+    std::vector<reqtrace::RequestRecord> recent =
+        capture.recent();
+    ASSERT_EQ(3u, recent.size());
+    EXPECT_EQ("r5", recent[0].traceId);
+    EXPECT_EQ("r4", recent[1].traceId);
+    EXPECT_EQ("r3", recent[2].traceId);
+    EXPECT_EQ(5u, capture.completed());
+    // Sequences were assigned in completion order (0-based).
+    EXPECT_EQ(4u, recent[0].sequence);
+    EXPECT_EQ(2u, recent[2].sequence);
+}
+
+TEST(ReqtraceTest, SlowestBoardEvictsMinimumOnly)
+{
+    reqtrace::RequestCapture capture(8, 3);
+    capture.record(recordWithDuration("d5", 5));
+    capture.record(recordWithDuration("d1", 1));
+    capture.record(recordWithDuration("d3", 3));
+    std::vector<reqtrace::RequestRecord> slowest =
+        capture.slowest();
+    ASSERT_EQ(3u, slowest.size());
+    EXPECT_EQ("d5", slowest[0].traceId);
+    EXPECT_EQ("d3", slowest[1].traceId);
+    EXPECT_EQ("d1", slowest[2].traceId);
+
+    // A strictly slower newcomer displaces the current minimum.
+    capture.record(recordWithDuration("d2", 2));
+    slowest = capture.slowest();
+    ASSERT_EQ(3u, slowest.size());
+    EXPECT_EQ("d5", slowest[0].traceId);
+    EXPECT_EQ("d3", slowest[1].traceId);
+    EXPECT_EQ("d2", slowest[2].traceId);
+}
+
+TEST(ReqtraceTest, SlowestBoardTieNeverEvictsIncumbent)
+{
+    reqtrace::RequestCapture capture(8, 2);
+    capture.record(recordWithDuration("first7", 7));
+    capture.record(recordWithDuration("first4", 4));
+    // Equal duration: the incumbent (older) keeps its seat.
+    capture.record(recordWithDuration("tie4", 4));
+    std::vector<reqtrace::RequestRecord> slowest =
+        capture.slowest();
+    ASSERT_EQ(2u, slowest.size());
+    EXPECT_EQ("first7", slowest[0].traceId);
+    EXPECT_EQ("first4", slowest[1].traceId);
+    // Equal durations rank the older request higher.
+    capture.record(recordWithDuration("tie7", 7));
+    slowest = capture.slowest();
+    EXPECT_EQ("first7", slowest[0].traceId);
+    EXPECT_EQ("tie7", slowest[1].traceId);
+}
+
+TEST(ReqtraceTest, ActiveRequestCollectsStagesAndCache)
+{
+    reqtrace::RequestRecord record;
+    {
+        reqtrace::ActiveRequest active(&record);
+        { reqtrace::ScopedStage stage("parse"); }
+        { reqtrace::ScopedStage stage("route"); }
+        reqtrace::noteCache("result");
+    }
+    // Outside the scope, stage/cache notes are no-ops.
+    { reqtrace::ScopedStage stage("ignored"); }
+    reqtrace::noteCache("ignored");
+    ASSERT_EQ(2u, record.stages.size());
+    EXPECT_EQ("parse", record.stages[0].name);
+    EXPECT_EQ("route", record.stages[1].name);
+    EXPECT_GE(record.stages[0].durationUs, 0);
+    EXPECT_EQ("result", record.cache);
+}
+
+TEST(ReqtraceTest, SpansAreStampedWithAmbientTrace)
+{
+    setEnabled(true);
+    reset();
+    {
+        reqtrace::ScopedTraceContext context("stamp-me");
+        PM_OBS_SPAN("stamped.span", "test");
+    }
+    ASSERT_EQ(1u, tracer().events().size());
+    EXPECT_EQ("stamp-me", tracer().events()[0].trace);
+    setEnabled(false);
+    reset();
+}
+
+/** Flight-recorder tests share the global ring; reset around. */
+class FlightTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        flight::resetForTest();
+        flight::configure(8);
+    }
+
+    void
+    TearDown() override
+    {
+        flight::resetForTest();
+    }
+};
+
+TEST_F(FlightTest, EventsRoundTripThroughSnapshot)
+{
+    flight::note(flight::EventType::RequestStart, "trace-1",
+                 "GET /v1/route");
+    flight::note(flight::EventType::CacheHit, "trace-1", "result");
+    flight::note(flight::EventType::RequestEnd, "trace-1", "",
+                 200);
+    std::vector<flight::Event> events = flight::snapshot();
+    ASSERT_EQ(3u, events.size());
+    EXPECT_EQ(flight::EventType::RequestStart, events[0].type);
+    EXPECT_EQ("trace-1", events[0].trace);
+    EXPECT_EQ("GET /v1/route", events[0].detail);
+    EXPECT_EQ(flight::EventType::RequestEnd, events[2].type);
+    EXPECT_EQ(200, events[2].status);
+    EXPECT_LT(events[0].sequence, events[2].sequence);
+    EXPECT_EQ(3u, flight::recorded());
+}
+
+TEST_F(FlightTest, RingWrapsKeepingNewest)
+{
+    for (int i = 0; i < 20; ++i)
+        flight::note(flight::EventType::Note, "t",
+                     "event " + std::to_string(i));
+    std::vector<flight::Event> events = flight::snapshot();
+    ASSERT_EQ(8u, events.size());
+    EXPECT_EQ("event 12", events.front().detail);
+    EXPECT_EQ("event 19", events.back().detail);
+    EXPECT_EQ(20u, flight::recorded());
+}
+
+TEST_F(FlightTest, HostileBytesAreSanitizedAndTruncated)
+{
+    flight::note(flight::EventType::Note,
+                 "quote\"and\nnewline",
+                 std::string(200, 'x') + "\"tail");
+    std::vector<flight::Event> events = flight::snapshot();
+    ASSERT_EQ(1u, events.size());
+    EXPECT_EQ("quote_and_newline", events[0].trace);
+    EXPECT_LE(events[0].detail.size(), 47u);
+    EXPECT_EQ(std::string::npos, events[0].detail.find('"'));
+}
+
+TEST_F(FlightTest, JsonLinesParse)
+{
+    flight::note(flight::EventType::RequestStart, "trace-x",
+                 "POST /v1/validate");
+    flight::note(flight::EventType::RequestEnd, "trace-x", "",
+                 400);
+    std::vector<std::string> lines =
+        splitLines(flight::toJsonLines());
+    ASSERT_EQ(2u, lines.size());
+    json::Value first = json::parse(lines[0]);
+    EXPECT_EQ("request_start", first.at("type").asString());
+    EXPECT_EQ("trace-x", first.at("trace").asString());
+    EXPECT_EQ(400, json::parse(lines[1]).at("status").asInteger());
+}
+
+TEST_F(FlightTest, DumpToFdIsWellFormedWithCrashHeader)
+{
+    flight::note(flight::EventType::RequestStart, "dump-trace",
+                 "GET /statsz");
+    char path[] = "/tmp/parchmint_flight_test_XXXXXX";
+    int fd = ::mkstemp(path);
+    ASSERT_GE(fd, 0);
+    flight::dumpTo(fd, 6);
+    ::lseek(fd, 0, SEEK_SET);
+    std::string blob;
+    char buffer[4096];
+    ssize_t n;
+    while ((n = ::read(fd, buffer, sizeof(buffer))) > 0)
+        blob.append(buffer, static_cast<size_t>(n));
+    ::close(fd);
+    ::unlink(path);
+    std::vector<std::string> lines = splitLines(blob);
+    ASSERT_EQ(2u, lines.size());
+    json::Value header = json::parse(lines[0]);
+    EXPECT_EQ("crash", header.at("type").asString());
+    EXPECT_EQ(6, header.at("signal").asInteger());
+    EXPECT_EQ("dump-trace",
+              json::parse(lines[1]).at("trace").asString());
+}
+
+TEST(ProfilerTest, OnlyOneCaptureAtATime)
+{
+    ASSERT_TRUE(prof::start(50));
+    EXPECT_TRUE(prof::samplingActive());
+    EXPECT_FALSE(prof::start(50));
+    prof::stop();
+    EXPECT_FALSE(prof::samplingActive());
+    EXPECT_EQ("", prof::stop());
+}
+
+TEST(ProfilerTest, BusyLoopSamplesIntoSpannedFoldedStacks)
+{
+    ASSERT_TRUE(prof::start(500));
+    // Burn CPU inside a span until samples arrive (ITIMER_PROF
+    // only ticks while CPU time advances) or a wall deadline.
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(5);
+    volatile uint64_t sink = 0;
+    {
+        PM_OBS_SPAN("prof.test.label", "test");
+        while (prof::sampleCount() < 5 &&
+               std::chrono::steady_clock::now() < deadline) {
+            for (int i = 0; i < 100000; ++i)
+                sink = sink +
+                       static_cast<uint64_t>(i) * 2654435761u;
+        }
+    }
+    uint64_t samples = prof::sampleCount();
+    std::string folded = prof::stop();
+    if (samples == 0)
+        GTEST_SKIP() << "ITIMER_PROF did not fire here";
+    EXPECT_FALSE(folded.empty());
+    // Every folded line is "stack count".
+    for (const std::string &line : splitLines(folded)) {
+        size_t space = line.rfind(' ');
+        ASSERT_NE(std::string::npos, space) << line;
+        EXPECT_GT(std::stoull(line.substr(space + 1)), 0u)
+            << line;
+    }
+    EXPECT_NE(std::string::npos, folded.find("prof.test.label"))
+        << folded;
+}
+
+} // namespace
+} // namespace parchmint::obs

@@ -20,8 +20,11 @@
 #include "json/parse.hh"
 #include "json/write.hh"
 #include "obs/env.hh"
+#include "obs/flight.hh"
 #include "obs/manifest.hh"
 #include "obs/obs.hh"
+#include "obs/profiler.hh"
+#include "obs/reqtrace.hh"
 #include "suite/suite.hh"
 #include "svc/admission.hh"
 #include "svc/cache.hh"
@@ -755,6 +758,269 @@ TEST(LoopbackTest, OversizedBodyRejectedOnTheWire)
         "/v1/validate", std::string(65, '{'));
     EXPECT_EQ(413, response.status);
     server.stop();
+}
+
+// ---------------------------------------------------------------
+// Trace-ID header contract and the observability endpoints
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** A request carrying trace headers, as the parser would emit it
+ * (the parser lowercases header names). */
+HttpRequest
+tracedRequest(HttpRequest request,
+              std::vector<std::string> traceValues)
+{
+    for (std::string &value : traceValues)
+        request.headers.emplace_back(kTraceHeader,
+                                     std::move(value));
+    return request;
+}
+
+std::string
+echoedTrace(const HttpResponse &response)
+{
+    const std::string *header =
+        response.findHeader(kTraceHeaderEcho);
+    return header != nullptr ? *header : std::string();
+}
+
+} // namespace
+
+TEST(TraceContractTest, MintsDeterministicIdsPerSeedAndOrdinal)
+{
+    ServiceOptions options;
+    options.seed = 42;
+    NetlistService service(options);
+    HttpResponse first =
+        service.handle(getRequest("/healthz"));
+    HttpResponse second =
+        service.handle(getRequest("/healthz"));
+    EXPECT_EQ(obs::reqtrace::mintTraceId(42, 0),
+              echoedTrace(first));
+    EXPECT_EQ(obs::reqtrace::mintTraceId(42, 1),
+              echoedTrace(second));
+
+    // A replayed daemon with the same seed mints the same stream.
+    NetlistService replay(options);
+    EXPECT_EQ(echoedTrace(first),
+              echoedTrace(replay.handle(getRequest("/healthz"))));
+}
+
+TEST(TraceContractTest, AcceptsCallerIdVerbatim)
+{
+    NetlistService service;
+    HttpResponse response = service.handle(tracedRequest(
+        getRequest("/healthz"), {"caller-id.007"}));
+    EXPECT_EQ(200, response.status);
+    EXPECT_EQ("caller-id.007", echoedTrace(response));
+
+    // Agreeing duplicates collapse.
+    HttpResponse dup = service.handle(tracedRequest(
+        getRequest("/healthz"), {"dup-id", "dup-id"}));
+    EXPECT_EQ(200, dup.status);
+    EXPECT_EQ("dup-id", echoedTrace(dup));
+}
+
+TEST(TraceContractTest, RejectsBadHeadersWith400)
+{
+    NetlistService service;
+    HttpResponse malformed = service.handle(tracedRequest(
+        getRequest("/healthz"), {"bad id!"}));
+    EXPECT_EQ(400, malformed.status);
+    EXPECT_NE(std::string::npos,
+              malformed.body.find("malformed"));
+
+    HttpResponse oversized = service.handle(tracedRequest(
+        getRequest("/healthz"),
+        {std::string(obs::reqtrace::kMaxTraceIdLength + 1,
+                     'a')}));
+    EXPECT_EQ(400, oversized.status);
+    EXPECT_NE(std::string::npos,
+              oversized.body.find("too long"));
+
+    HttpResponse conflict = service.handle(tracedRequest(
+        getRequest("/healthz"), {"first-id", "second-id"}));
+    EXPECT_EQ(400, conflict.status);
+    EXPECT_NE(std::string::npos,
+              conflict.body.find("conflicting"));
+
+    // Rejections still echo a (minted) ID, so they are traceable.
+    EXPECT_TRUE(obs::reqtrace::isValidTraceId(
+        echoedTrace(conflict)));
+
+    // The value at exactly the cap is fine.
+    HttpResponse at_cap = service.handle(tracedRequest(
+        getRequest("/healthz"),
+        {std::string(obs::reqtrace::kMaxTraceIdLength, 'a')}));
+    EXPECT_EQ(200, at_cap.status);
+}
+
+TEST(TracezTest, ReportsStageTimingsAndCacheProvenance)
+{
+    NetlistService service;
+    std::string body = netlistBody("cell_trap_array");
+    HttpResponse computed = service.handle(tracedRequest(
+        postRequest("/v1/route", body), {"tracez-probe-1"}));
+    ASSERT_EQ(200, computed.status);
+    HttpResponse cached = service.handle(tracedRequest(
+        postRequest("/v1/route", body), {"tracez-probe-2"}));
+    ASSERT_EQ(200, cached.status);
+
+    HttpResponse tracez = service.handle(getRequest("/tracez"));
+    ASSERT_EQ(200, tracez.status);
+    json::Value view = json::parse(tracez.body);
+    EXPECT_EQ("parchmintd-tracez-v1",
+              view.at("schema").asString());
+    // Newest first: the result-cache hit, then the computed run.
+    const json::Value &recent = view.at("recent");
+    ASSERT_GE(recent.size(), 2u);
+    const json::Value &hit = recent.at(0);
+    const json::Value &miss = recent.at(1);
+    EXPECT_EQ("tracez-probe-2", hit.at("trace").asString());
+    EXPECT_EQ("result", hit.at("cache").asString());
+    EXPECT_EQ("tracez-probe-1", miss.at("trace").asString());
+    EXPECT_EQ("miss", miss.at("cache").asString());
+    EXPECT_EQ("route", miss.at("endpoint").asString());
+    EXPECT_EQ(200, miss.at("status").asInteger());
+    EXPECT_GE(miss.at("dur_us").asInteger(), 0);
+
+    // The computed request went through every pipeline stage.
+    std::vector<std::string> stages;
+    for (size_t i = 0; i < miss.at("stages").size(); ++i)
+        stages.push_back(
+            miss.at("stages").at(i).at("name").asString());
+    EXPECT_EQ((std::vector<std::string>{"parse", "validate",
+                                        "place", "route"}),
+              stages);
+
+    // The slowest board carries the computed run above the hit.
+    const json::Value &slowest = view.at("slowest");
+    ASSERT_GE(slowest.size(), 2u);
+    EXPECT_GE(slowest.at(0).at("dur_us").asInteger(),
+              slowest.at(slowest.size() - 1)
+                  .at("dur_us")
+                  .asInteger());
+}
+
+TEST(LogzTest, ServesFlightJsonlWithSummaryTrailer)
+{
+    obs::flight::resetForTest();
+    obs::flight::configure(64);
+    NetlistService service;
+    HttpResponse probe = service.handle(tracedRequest(
+        getRequest("/healthz"), {"logz-probe-1"}));
+    ASSERT_EQ(200, probe.status);
+
+    HttpResponse logz = service.handle(getRequest("/logz"));
+    ASSERT_EQ(200, logz.status);
+    std::vector<std::string> lines;
+    size_t start = 0;
+    while (start < logz.body.size()) {
+        size_t end = logz.body.find('\n', start);
+        if (end == std::string::npos)
+            end = logz.body.size();
+        if (end > start)
+            lines.push_back(logz.body.substr(start, end - start));
+        start = end + 1;
+    }
+    ASSERT_GE(lines.size(), 3u); // start + end + summary
+    bool saw_probe = false;
+    for (const std::string &line : lines) {
+        json::Value parsed = json::parse(line); // must not throw
+        if (const json::Value *trace = parsed.find("trace"))
+            saw_probe |= trace->asString() == "logz-probe-1";
+    }
+    EXPECT_TRUE(saw_probe);
+    json::Value summary = json::parse(lines.back());
+    EXPECT_EQ("logz_summary", summary.at("type").asString());
+    EXPECT_GE(summary.at("flight_events").asInteger(), 2);
+    EXPECT_GE(summary.at("log_dropped").asInteger(), 0);
+    obs::flight::resetForTest();
+}
+
+TEST(ProfilezTest, ValidatesSecondsParameter)
+{
+    NetlistService service;
+    EXPECT_EQ(400,
+              service
+                  .handle(getRequest("/profilez?seconds=abc"))
+                  .status);
+    EXPECT_EQ(400,
+              service.handle(getRequest("/profilez?seconds=-1"))
+                  .status);
+    EXPECT_EQ(400,
+              service.handle(getRequest("/profilez?seconds=0"))
+                  .status);
+}
+
+TEST(ProfilezTest, ConcurrentCaptureIs409)
+{
+    // The single-capture rule: with a capture already running
+    // (started here directly; over HTTP a second worker would hit
+    // the same path), /profilez refuses rather than corrupting
+    // the running capture.
+    NetlistService service;
+    ASSERT_TRUE(obs::prof::start(50));
+    HttpResponse busy =
+        service.handle(getRequest("/profilez?seconds=1"));
+    EXPECT_EQ(409, busy.status);
+    EXPECT_NE(std::string::npos,
+              busy.body.find("already running"));
+    obs::prof::stop();
+}
+
+TEST(ProfilezTest, ShortCaptureServesFoldedStacks)
+{
+    NetlistService service;
+    HttpResponse response =
+        service.handle(getRequest("/profilez?seconds=1"));
+    ASSERT_EQ(200, response.status);
+    const std::string *samples =
+        response.findHeader("X-Parchmint-Profile-Samples");
+    ASSERT_NE(nullptr, samples);
+    // An idle process accrues ~no CPU time, so 0 samples is a
+    // legitimate (and on a 1-CPU box, the expected) outcome; the
+    // contract is a well-formed folded body, not a sample count.
+    for (char c : response.body)
+        EXPECT_TRUE(c == '\n' || (c >= 0x20 && c < 0x7F));
+    EXPECT_FALSE(obs::prof::samplingActive());
+}
+
+TEST(ScrapeRegressionTest, ConcurrentScrapesDuringPnrStayClean)
+{
+    // Regression: /statsz and /metricsz once serialized their JSON
+    // under the registry mutex; a scrape arriving while PnR
+    // requests record histogram samples contended pathologically.
+    // Snapshot-under-lock/serialize-outside keeps both sides 200.
+    NetlistService service;
+    std::string body = netlistBody("cell_trap_array");
+    std::atomic<bool> stop{false};
+    std::atomic<int> scrape_failures{0};
+    std::vector<std::thread> scrapers;
+    for (int t = 0; t < 2; ++t) {
+        scrapers.emplace_back([&service, &stop,
+                               &scrape_failures, t] {
+            while (!stop.load()) {
+                HttpResponse response = service.handle(
+                    getRequest(t == 0 ? "/statsz"
+                                      : "/metricsz"));
+                if (response.status != 200)
+                    scrape_failures.fetch_add(1);
+            }
+        });
+    }
+    for (int i = 0; i < 6; ++i) {
+        HttpResponse response = service.handle(postRequest(
+            i % 2 == 0 ? "/v1/route" : "/v1/place", body));
+        EXPECT_EQ(200, response.status);
+    }
+    stop.store(true);
+    for (std::thread &scraper : scrapers)
+        scraper.join();
+    EXPECT_EQ(0, scrape_failures.load());
 }
 
 } // namespace
