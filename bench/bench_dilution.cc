@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Dilution-tree synthesizer benchmarks.
+ *
+ * The report section sweeps every target k/256 at tolerance 1/512
+ * and records the aggregate ladder depth, reagent/buffer loads,
+ * and Farey denominators as registry counters (bench.dilute.*).
+ * The sweep is pure integer/dyadic arithmetic — identical on every
+ * machine — so the perf gate diffs the counters against a
+ * checked-in baseline: drift means the synthesis algorithm
+ * changed, not that the machine got slower. The timers price one
+ * synthesis (depth scan + Farey walk + netlist emission) at an
+ * easy and a worst-case tolerance.
+ */
+
+#include "bench_common.hh"
+
+#include <algorithm>
+
+#include "obs/metrics.hh"
+#include "sim/dilution.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+void
+report()
+{
+    bench::heading("DILUTE", "dilution-tree synthesizer");
+    std::printf(
+        "Every target k/256 at tolerance 1/512: ladder depth,\n"
+        "reagent cost, and the minimal Farey denominator.\n\n");
+
+    int64_t syntheses = 0;
+    int64_t depth_total = 0;
+    int64_t reagent_total = 0;
+    int64_t buffer_total = 0;
+    int64_t farey_den_total = 0;
+    int64_t max_depth = 0;
+    for (int k = 0; k <= 256; ++k) {
+        sim::DilutionSpec spec;
+        spec.target = static_cast<double>(k) / 256.0;
+        spec.tolerance = 1.0 / 512.0;
+        sim::DilutionPlan plan = sim::synthesizeDilution(spec);
+        ++syntheses;
+        depth_total += static_cast<int64_t>(plan.depth);
+        reagent_total += static_cast<int64_t>(plan.reagentUnits);
+        buffer_total += static_cast<int64_t>(plan.bufferUnits);
+        farey_den_total +=
+            static_cast<int64_t>(plan.fareyDenominator);
+        max_depth = std::max(max_depth,
+                             static_cast<int64_t>(plan.depth));
+    }
+    std::printf("%lld syntheses: total depth %lld (max %lld), "
+                "%lld reagent + %lld buffer loads,\n"
+                "Farey denominator total %lld\n\n",
+                static_cast<long long>(syntheses),
+                static_cast<long long>(depth_total),
+                static_cast<long long>(max_depth),
+                static_cast<long long>(reagent_total),
+                static_cast<long long>(buffer_total),
+                static_cast<long long>(farey_den_total));
+
+    obs::Registry &registry = obs::registry();
+    registry.add("bench.dilute.syntheses", syntheses);
+    registry.add("bench.dilute.depth_total", depth_total);
+    registry.add("bench.dilute.reagent_total", reagent_total);
+    registry.add("bench.dilute.buffer_total", buffer_total);
+    registry.add("bench.dilute.farey_den_total", farey_den_total);
+}
+
+/** An easy target: shallow ladder, short Farey walk. */
+void
+BM_DiluteEasy(benchmark::State &state)
+{
+    sim::DilutionSpec spec;
+    spec.target = 0.3;
+    spec.tolerance = 1.0 / 128.0;
+    for (auto _ : state) {
+        sim::DilutionPlan plan = sim::synthesizeDilution(spec);
+        benchmark::DoNotOptimize(plan.numerator);
+    }
+}
+
+/** A tight tolerance at an awkward irrational-ish target: full
+ * depth scan and a long mediant walk. */
+void
+BM_DiluteTight(benchmark::State &state)
+{
+    sim::DilutionSpec spec;
+    spec.target = 0.381966011250105; // 2 - golden ratio.
+    spec.tolerance = 1e-7;
+    spec.maxDepth = 30;
+    for (auto _ : state) {
+        sim::DilutionPlan plan = sim::synthesizeDilution(spec);
+        benchmark::DoNotOptimize(plan.numerator);
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_DiluteEasy);
+BENCHMARK(BM_DiluteTight);
+
+PARCHMINT_BENCH_MAIN(report)

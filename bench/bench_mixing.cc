@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Continuous-flow mixing solver benchmarks.
+ *
+ * The report section is deterministic: the steady-state
+ * concentration solve over unrouted suite netlists is a pure
+ * function of the netlist (nominal channel lengths, no annealer in
+ * the loop), so outlet counts and integerized quality numbers are
+ * identical on every machine. Those totals are recorded as
+ * registry counters (bench.mix.*) for the perf gate — drift there
+ * means the solver's physics changed, not that the machine got
+ * slower. The timers price one full solve (hydraulic build +
+ * two linear systems) on the gradient ladder and the recirculating
+ * grid.
+ */
+
+#include "bench_common.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hh"
+#include "obs/metrics.hh"
+#include "sim/mixing.hh"
+#include "suite/suite.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+void
+report()
+{
+    bench::heading("MIX", "steady-state mixing solver");
+    std::printf(
+        "Concentration solve over every standard-suite netlist\n"
+        "(unrouted, nominal channel lengths — annealer-free and\n"
+        "machine-independent).\n\n");
+    std::printf("%-22s %8s %8s %8s\n", "benchmark", "outlets",
+                "quality", "mean_c");
+
+    int64_t solved = 0;
+    int64_t outlets = 0;
+    int64_t quality_ppm = 0;
+    int64_t mean_ppm = 0;
+    for (const suite::BenchmarkInfo &info :
+         suite::standardSuite()) {
+        Device device = suite::buildBenchmark(info.name);
+        try {
+            sim::MixingResult mix = sim::solveMixing(device);
+            ++solved;
+            outlets += static_cast<int64_t>(mix.outlets.size());
+            quality_ppm += static_cast<int64_t>(
+                std::llround(mix.mixingQuality * 1e6));
+            mean_ppm += static_cast<int64_t>(
+                std::llround(mix.meanConcentration * 1e6));
+            std::printf("%-22s %8zu %8.3f %8.3f\n",
+                        info.name.c_str(), mix.outlets.size(),
+                        mix.mixingQuality,
+                        mix.meanConcentration);
+        } catch (const UserError &error) {
+            std::printf("%-22s %8s (%s)\n", info.name.c_str(),
+                        "skip", error.what());
+        }
+    }
+    std::printf("\nsolved %lld netlist(s), %lld outlet(s)\n\n",
+                static_cast<long long>(solved),
+                static_cast<long long>(outlets));
+
+    obs::Registry &registry = obs::registry();
+    registry.add("bench.mix.solved", solved);
+    registry.add("bench.mix.outlets", outlets);
+    registry.add("bench.mix.quality_ppm", quality_ppm);
+    registry.add("bench.mix.mean_ppm", mean_ppm);
+}
+
+/** One full solve on the 5-outlet gradient ladder. */
+void
+BM_MixGradientGenerator(benchmark::State &state)
+{
+    Device device = suite::buildBenchmark("gradient_generator");
+    for (auto _ : state) {
+        sim::MixingResult mix = sim::solveMixing(device);
+        benchmark::DoNotOptimize(mix.mixingQuality);
+    }
+}
+
+/** One full solve on the recirculating synthetic grid. */
+void
+BM_MixSyntheticGrid(benchmark::State &state)
+{
+    Device device = suite::buildBenchmark("synthetic_grid");
+    for (auto _ : state) {
+        sim::MixingResult mix = sim::solveMixing(device);
+        benchmark::DoNotOptimize(mix.mixingQuality);
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_MixGradientGenerator);
+BENCHMARK(BM_MixSyntheticGrid);
+
+PARCHMINT_BENCH_MAIN(report)

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Cross-suite continuous-flow quality table from the command line:
+ * place + route every standard-suite benchmark, then run the three
+ * continuous-flow solvers (mixing, dilution synthesis, flow-path
+ * scheduling) over the routed netlists and print one quality row
+ * per benchmark.
+ *
+ * Run:  ./flow_workloads                 (text table)
+ *       ./flow_workloads --json          (flow-quality report JSON)
+ *       ./flow_workloads --seed 7        (different annealer seed)
+ *
+ * The table is deterministic per seed: the annealer derives its
+ * stream from (seed, device name), and every solver downstream is
+ * a pure function of the routed netlist.
+ *
+ * `--report <path>` / `--history <path>` behave as everywhere
+ * else: observability on, run-report artifact + JSONL history
+ * record carrying the solver metrics (sim.mix.*, sim.dilute.*,
+ * sim.schedule.*).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/flow_quality.hh"
+#include "common/cli.hh"
+#include "common/error.hh"
+#include "json/write.hh"
+#include "obs/report_cli.hh"
+
+using namespace parchmint;
+
+int
+main(int argc, char **argv)
+{
+    try {
+        obs::ReportCli report_cli;
+        uint64_t seed = 1;
+        bool as_json = false;
+        for (int i = 1; i < argc; ++i) {
+            if (report_cli.consume(argc, argv, i))
+                continue;
+            std::string arg = argv[i];
+            if (arg == "--json") {
+                as_json = true;
+            } else if (arg == "--seed" && i + 1 < argc) {
+                seed = cli::parseSeed(argv[++i], argv[0]);
+            } else if (arg.rfind("--seed=", 0) == 0) {
+                seed = cli::parseSeed(
+                    arg.substr(std::string("--seed=").size()),
+                    argv[0]);
+            } else {
+                cli::usageError(
+                    argv[0], "unknown argument \"" + arg + "\"",
+                    "usage: flow_workloads [--json] [--seed N] "
+                    "[--report F] [--history F]");
+            }
+        }
+        report_cli.enableIfRequested();
+
+        std::vector<analysis::FlowQualityRow> rows =
+            analysis::computeFlowQuality(seed);
+        if (as_json) {
+            std::printf(
+                "%s",
+                json::write(
+                    analysis::flowQualityToJson(rows, seed))
+                    .c_str());
+        } else {
+            std::printf("Continuous-flow workload quality "
+                        "(seed %llu)\n\n",
+                        static_cast<unsigned long long>(seed));
+            std::printf(
+                "%s",
+                analysis::renderFlowQualityTable(rows).c_str());
+        }
+
+        report_cli.finish("flow_workloads",
+                          {{"seed", std::to_string(seed)}});
+        return 0;
+    } catch (const UserError &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}

@@ -7,13 +7,19 @@
  *           [--endpoint /v1/validate] [--payloads N]
  *           [--report report.json] [--history history.jsonl]
  *
+ * --endpoint also accepts short names (validate, characterize,
+ * place, route, mix, dilute, schedule), which map onto /v1/<name>.
+ *
  * Each of the C connections is a thread with its own keep-alive
  * HTTP client, paced at Q/C requests per second. The request
  * bodies are real suite netlists pulled from the server's own
  * /v1/suite registry at startup (N distinct payloads, cycled), so
  * the run exercises the full parse → pipeline → cache path with
  * representative documents and a repeat pattern the
- * content-addressed cache is expected to absorb.
+ * content-addressed cache is expected to absorb. The dilute
+ * endpoint takes concentration specs instead of netlists, so for
+ * it loadgen synthesizes N deterministic spec payloads (distinct
+ * targets, fixed tolerance) with the same cycling repeat pattern.
  *
  * On completion it compares /statsz cache counters from before and
  * after the run, prints a latency summary (p50/p95/p99 from
@@ -154,28 +160,50 @@ main(int argc, char **argv)
             connections = 1;
         if (payload_count == 0)
             payload_count = 1;
+        // Short endpoint names map onto /v1/<name>, so
+        // `--endpoint mix` and `--endpoint /v1/mix` coincide.
+        if (!endpoint.empty() && endpoint[0] != '/')
+            endpoint = "/v1/" + endpoint;
         report_cli.enableIfRequested();
 
-        // Pull real suite netlists to use as request bodies.
         svc::HttpClient setup(host, port);
-        svc::HttpResponse index = setup.get("/v1/suite");
-        if (index.status != 200)
-            fatal("GET /v1/suite returned " +
-                  std::to_string(index.status));
-        json::Value suite = json::parse(index.body);
-        const json::Value &benchmarks = suite.at("benchmarks");
         std::vector<std::string> payloads;
-        for (size_t i = 0;
-             i < benchmarks.size() && payloads.size() <
-                                          payload_count;
-             ++i) {
-            std::string name =
-                benchmarks.at(i).at("name").asString();
-            svc::HttpResponse netlist =
-                setup.get("/v1/suite/" + name);
-            if (netlist.status != 200)
-                continue;
-            payloads.push_back(std::move(netlist.body));
+        if (endpoint == "/v1/dilute") {
+            // Dilution requests are concentration specs, not
+            // netlists: synthesize N deterministic payloads with
+            // distinct targets so the cycling repeat pattern
+            // still feeds the result cache.
+            for (size_t i = 0; i < payload_count; ++i) {
+                double target =
+                    static_cast<double>(i + 1) /
+                    static_cast<double>(payload_count + 1);
+                char body[96];
+                std::snprintf(body, sizeof body,
+                              "{\"target\": %.6f, "
+                              "\"tolerance\": 0.00390625}",
+                              target);
+                payloads.emplace_back(body);
+            }
+        } else {
+            // Pull real suite netlists to use as request bodies.
+            svc::HttpResponse index = setup.get("/v1/suite");
+            if (index.status != 200)
+                fatal("GET /v1/suite returned " +
+                      std::to_string(index.status));
+            json::Value suite = json::parse(index.body);
+            const json::Value &benchmarks = suite.at("benchmarks");
+            for (size_t i = 0;
+                 i < benchmarks.size() && payloads.size() <
+                                              payload_count;
+                 ++i) {
+                std::string name =
+                    benchmarks.at(i).at("name").asString();
+                svc::HttpResponse netlist =
+                    setup.get("/v1/suite/" + name);
+                if (netlist.status != 200)
+                    continue;
+                payloads.push_back(std::move(netlist.body));
+            }
         }
         if (payloads.empty())
             fatal("no usable suite payloads");

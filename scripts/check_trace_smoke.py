@@ -2,15 +2,18 @@
 """CI assertion for the end-to-end observability smoke.
 
 Usage:
-    check_trace_smoke.py TRACE_ID TRACEZ_JSON LOGZ_JSONL LOG_JSONL
+    check_trace_smoke.py [--endpoint NAME] [--stages CSV] \
+        TRACE_ID TRACEZ_JSON LOGZ_JSONL LOG_JSONL
 
-Given the trace ID of the slowest request from a loadgen route
-pass, asserts the full observability story holds together:
+Given the trace ID of the slowest request from a loadgen pass,
+asserts the full observability story holds together:
 
   * the ID resolves at /tracez (TRACEZ_JSON) in both the recent
     ring and the slowest board, with non-empty stage timings;
-  * some /v1/route record carries the canonical stage breakdown
-    parse -> validate -> place -> route;
+  * some record for --endpoint (default "route") carries the
+    canonical stage breakdown --stages (default
+    parse,validate,place,route — the continuous-flow smoke passes
+    e.g. --endpoint mix --stages parse,validate,place,route,mix);
   * the same ID appears in the flight-recorder view (/logz,
     LOGZ_JSONL) and in the daemon's structured log (LOG_JSONL);
   * the /logz summary trailer reports zero dropped log lines —
@@ -19,6 +22,7 @@ pass, asserts the full observability story holds together:
 Exits nonzero with a one-line reason on the first violation.
 """
 
+import argparse
 import json
 import sys
 
@@ -29,10 +33,17 @@ def fail(reason):
 
 
 def main(argv):
-    if len(argv) != 5:
-        fail("usage: check_trace_smoke.py TRACE_ID TRACEZ_JSON"
+    parser = argparse.ArgumentParser(add_help=False)
+    parser.add_argument("--endpoint", default="route")
+    parser.add_argument("--stages",
+                        default="parse,validate,place,route")
+    parser.add_argument("positional", nargs="*")
+    options = parser.parse_args(argv[1:])
+    if len(options.positional) != 4:
+        fail("usage: check_trace_smoke.py [--endpoint NAME]"
+             " [--stages CSV] TRACE_ID TRACEZ_JSON"
              " LOGZ_JSONL LOG_JSONL")
-    trace, tracez_path, logz_path, log_path = argv[1:]
+    trace, tracez_path, logz_path, log_path = options.positional
     if not trace:
         fail("empty trace ID (loadgen printed no slow[1] line?)")
 
@@ -54,13 +65,17 @@ def main(argv):
         if not record.get("stages"):
             fail("trace %s record has no stage timings" % trace)
 
-    canonical = ["parse", "validate", "place", "route"]
-    route_records = [r for r in tracez["recent"] + tracez["slowest"]
-                     if r.get("endpoint") == "route"]
+    canonical = options.stages.split(",")
+    endpoint_records = [r for r in
+                        tracez["recent"] + tracez["slowest"]
+                        if r.get("endpoint") == options.endpoint]
+    if not endpoint_records:
+        fail("no /tracez record for endpoint %r"
+             % options.endpoint)
     if not any([s["name"] for s in r.get("stages", [])] == canonical
-               for r in route_records):
-        fail("no route record with the canonical stage breakdown "
-             "%s" % canonical)
+               for r in endpoint_records):
+        fail("no %s record with the canonical stage breakdown "
+             "%s" % (options.endpoint, canonical))
 
     with open(logz_path) as handle:
         logz_lines = [json.loads(line)

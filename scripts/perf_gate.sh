@@ -183,6 +183,48 @@ if [ -x "$LOG_BENCH" ]; then
     fi
 fi
 
+# Gate the continuous-flow solver counters the same way: the
+# mixing report solves pinned, unrouted suite netlists (no
+# annealer in the loop) and the dilution report is pure dyadic
+# arithmetic, so bench.mix.* / bench.dilute.* counters are
+# machine-independent — drift means solver semantics changed.
+flow_status=0
+for flow in mixing dilution; do
+    FLOW_BENCH="$PWD/$BUILD_DIR/bench/bench_$flow"
+    FLOW_BASELINE="bench/baselines/$flow.json"
+    [ -x "$FLOW_BENCH" ] || continue
+    if ! (cd "$OUT_DIR" &&
+          "$FLOW_BENCH" --benchmark_filter='$^' \
+              --json-report "$flow.json" \
+              --history "${flow}_history.jsonl" \
+              > "$flow.log" 2>&1); then
+        echo "perf_gate: bench_$flow failed:" >&2
+        cat "$OUT_DIR/$flow.log" >&2
+        exit 2
+    fi
+    grep -E 'solved|syntheses' "$OUT_DIR/$flow.log" \
+        | sed "s/^/perf_gate: $flow /"
+    if [ "${1:-}" = "--rebaseline" ]; then
+        mkdir -p "$(dirname "$FLOW_BASELINE")"
+        tail -n 1 "$OUT_DIR/${flow}_history.jsonl" \
+            > "$FLOW_BASELINE"
+        echo "perf_gate: wrote new baseline $FLOW_BASELINE"
+    elif [ -f "$FLOW_BASELINE" ]; then
+        "$DIFF" --threshold "$THRESHOLD" --watch counter: \
+            "$FLOW_BASELINE" "$OUT_DIR/$flow.json" \
+            | tee "$OUT_DIR/${flow}_diff.txt"
+        this_status=${PIPESTATUS[0]}
+        if [ "$this_status" -ne 0 ]; then
+            echo "perf_gate: $flow solver counters drifted" \
+                 "past ${THRESHOLD}% (see table above)" >&2
+            flow_status=$this_status
+        fi
+    else
+        echo "perf_gate: no baseline at $FLOW_BASELINE; run" \
+             "with --rebaseline to create one. Skipping." >&2
+    fi
+done
+
 if [ "${1:-}" = "--rebaseline" ]; then
     mkdir -p "$(dirname "$BASELINE")"
     tail -n 1 "$OUT_DIR/history.jsonl" > "$BASELINE"
@@ -219,5 +261,8 @@ elif [ "$status" -ge 2 ]; then
 fi
 if [ "$status" -eq 0 ] && [ "$log_status" -ne 0 ]; then
     exit "$log_status"
+fi
+if [ "$status" -eq 0 ] && [ "$flow_status" -ne 0 ]; then
+    exit "$flow_status"
 fi
 exit "$status"

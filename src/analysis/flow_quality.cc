@@ -1,0 +1,169 @@
+#include "analysis/flow_quality.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/table.hh"
+#include "common/error.hh"
+#include "obs/obs.hh"
+#include "place/annealing_placer.hh"
+#include "route/router.hh"
+#include "sim/dilution.hh"
+#include "sim/mixing.hh"
+#include "sim/schedule.hh"
+#include "suite/suite.hh"
+
+namespace parchmint::analysis
+{
+
+namespace
+{
+
+FlowQualityRow
+computeRow(const std::string &name, uint64_t seed)
+{
+    FlowQualityRow row;
+    row.benchmark = name;
+
+    Device device = suite::buildBenchmark(name);
+    place::AnnealingOptions annealing;
+    annealing.seed = seed;
+    place::AnnealingPlacer placer(annealing);
+    place::Placement placement = placer.place(device);
+    route::routeDevice(device, placement);
+    placement.writeTo(device);
+
+    double dilution_target = 0.5;
+    try {
+        sim::MixingResult mix = sim::solveMixing(device);
+        row.mixSolved = true;
+        row.mixQuality = mix.mixingQuality;
+        row.meanConcentration = mix.meanConcentration;
+        row.outlets = mix.outlets.size();
+        dilution_target =
+            std::clamp(mix.meanConcentration, 0.0, 1.0);
+    } catch (const UserError &error) {
+        row.mixNote = error.what();
+    }
+
+    // Tolerance 1/128 is reachable for every target at depth <= 7,
+    // well inside the default ladder budget.
+    sim::DilutionSpec spec;
+    spec.target = dilution_target;
+    spec.tolerance = 1.0 / 128.0;
+    sim::DilutionPlan plan = sim::synthesizeDilution(spec);
+    row.diluteDepth = plan.depth;
+    row.diluteReagentUnits = plan.reagentUnits;
+    row.diluteError = plan.error;
+
+    try {
+        sim::ScheduleResult schedule =
+            sim::scheduleFlows(device);
+        row.scheduled = true;
+        row.scheduleOps = schedule.ops.size();
+        row.makespan = schedule.makespan;
+        row.storageChannels = schedule.storageChannels;
+        row.utilization = schedule.utilization;
+    } catch (const UserError &) {
+        // Portless or channel-free devices: no schedule row.
+    }
+    return row;
+}
+
+} // namespace
+
+std::vector<FlowQualityRow>
+computeFlowQuality(uint64_t seed)
+{
+    PM_OBS_SPAN("analysis.flow_quality", "analysis");
+    std::vector<FlowQualityRow> rows;
+    for (const suite::BenchmarkInfo &info :
+         suite::standardSuite()) {
+        rows.push_back(computeRow(info.name, seed));
+    }
+    PM_OBS_COUNT("analysis.flow_quality.rows", rows.size());
+    return rows;
+}
+
+std::string
+renderFlowQualityTable(const std::vector<FlowQualityRow> &rows)
+{
+    TextTable table;
+    table.beginRow();
+    table.cell("benchmark");
+    table.cell("mix");
+    table.cell("quality");
+    table.cell("mean_c");
+    table.cell("outlets");
+    table.cell("dil_depth");
+    table.cell("dil_reagent");
+    table.cell("dil_err");
+    table.cell("ops");
+    table.cell("makespan");
+    table.cell("stores");
+    table.cell("util");
+    for (const FlowQualityRow &row : rows) {
+        table.beginRow();
+        table.cell(row.benchmark);
+        table.cell(row.mixSolved ? "ok" : "skip");
+        table.cell(row.mixQuality, 3);
+        table.cell(row.meanConcentration, 3);
+        table.cell(row.outlets);
+        table.cell(row.diluteDepth);
+        table.cell(row.diluteReagentUnits);
+        table.cell(row.diluteError, 4);
+        table.cell(row.scheduleOps);
+        table.cell(row.makespan);
+        table.cell(row.storageChannels);
+        table.cell(row.utilization, 3);
+    }
+    return table.render();
+}
+
+json::Value
+flowQualityToJson(const std::vector<FlowQualityRow> &rows,
+                  uint64_t seed)
+{
+    json::Value list = json::Value::makeArray();
+    for (const FlowQualityRow &row : rows) {
+        json::Value mix = json::Value::makeObject();
+        mix.set("solved", json::Value(row.mixSolved));
+        if (!row.mixNote.empty())
+            mix.set("note", json::Value(row.mixNote));
+        mix.set("quality", json::Value(row.mixQuality));
+        mix.set("mean_concentration",
+                json::Value(row.meanConcentration));
+        mix.set("outlets", json::Value(static_cast<int64_t>(
+                               row.outlets)));
+        json::Value dilute = json::Value::makeObject();
+        dilute.set("depth", json::Value(static_cast<int64_t>(
+                                row.diluteDepth)));
+        dilute.set("reagent_units",
+                   json::Value(static_cast<int64_t>(
+                       row.diluteReagentUnits)));
+        dilute.set("error", json::Value(row.diluteError));
+        json::Value schedule = json::Value::makeObject();
+        schedule.set("scheduled", json::Value(row.scheduled));
+        schedule.set("ops", json::Value(static_cast<int64_t>(
+                                row.scheduleOps)));
+        schedule.set("makespan", json::Value(row.makespan));
+        schedule.set("storage_channels",
+                     json::Value(static_cast<int64_t>(
+                         row.storageChannels)));
+        schedule.set("utilization",
+                     json::Value(row.utilization));
+        json::Value entry = json::Value::makeObject();
+        entry.set("benchmark", json::Value(row.benchmark));
+        entry.set("mix", std::move(mix));
+        entry.set("dilute", std::move(dilute));
+        entry.set("schedule", std::move(schedule));
+        list.append(std::move(entry));
+    }
+    json::Value out = json::Value::makeObject();
+    out.set("schema", json::Value("parchmint-flow-quality-v1"));
+    out.set("seed", json::Value(static_cast<int64_t>(seed)));
+    out.set("benchmarks", std::move(list));
+    return out;
+}
+
+} // namespace parchmint::analysis

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Cross-suite continuous-flow quality characterization: the three
+ * continuous-flow solvers (mixing, dilution, scheduling) run over
+ * every netlist of the standard suite, one row per benchmark —
+ * the paper's algorithmic-quality table widened beyond PnR.
+ *
+ * Every row is computed from the *routed* netlist: the benchmark
+ * is placed (annealer seeded per device, so the table is a pure
+ * function of the seed) and routed first, then mixing quality,
+ * dilution cost for the benchmark's own mean outlet concentration,
+ * and the transport schedule are derived from the same geometry a
+ * fabricated device would have.
+ */
+
+#ifndef PARCHMINT_ANALYSIS_FLOW_QUALITY_HH
+#define PARCHMINT_ANALYSIS_FLOW_QUALITY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "json/value.hh"
+
+namespace parchmint::analysis
+{
+
+/** One benchmark's continuous-flow quality numbers. */
+struct FlowQualityRow
+{
+    std::string benchmark;
+
+    /** Mixing solve (sim/mixing.hh). */
+    bool mixSolved = false;
+    /** Why the mix solve was skipped; "" when it ran. */
+    std::string mixNote;
+    double mixQuality = 0.0;
+    double meanConcentration = 0.0;
+    size_t outlets = 0;
+
+    /** Dilution synthesis (sim/dilution.hh) targeting this
+     * benchmark's mean outlet concentration (0.5 when the mix
+     * solve was skipped), tolerance 1/128. */
+    size_t diluteDepth = 0;
+    size_t diluteReagentUnits = 0;
+    double diluteError = 0.0;
+
+    /** Flow-path schedule (sim/schedule.hh), 2-way manifold. */
+    bool scheduled = false;
+    size_t scheduleOps = 0;
+    int64_t makespan = 0;
+    size_t storageChannels = 0;
+    double utilization = 0.0;
+};
+
+/**
+ * Run the three solvers over every standard-suite benchmark.
+ * Deterministic: rows are a pure function of @p seed.
+ */
+std::vector<FlowQualityRow> computeFlowQuality(uint64_t seed);
+
+/** Render the quality table (experiment F6). */
+std::string
+renderFlowQualityTable(const std::vector<FlowQualityRow> &rows);
+
+/** Serialize with schema "parchmint-flow-quality-v1". */
+json::Value
+flowQualityToJson(const std::vector<FlowQualityRow> &rows,
+                  uint64_t seed);
+
+} // namespace parchmint::analysis
+
+#endif // PARCHMINT_ANALYSIS_FLOW_QUALITY_HH

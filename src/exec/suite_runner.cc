@@ -5,6 +5,7 @@
 
 #include "common/error.hh"
 #include "core/serialize.hh"
+#include "json/write.hh"
 #include "obs/clock.hh"
 #include "obs/obs.hh"
 #include "place/annealing_placer.hh"
@@ -12,6 +13,8 @@
 #include "route/router.hh"
 #include "schema/rules.hh"
 #include "sim/hydraulic.hh"
+#include "sim/mixing.hh"
+#include "sim/schedule.hh"
 #include "suite/suite.hh"
 
 namespace parchmint::exec
@@ -31,6 +34,8 @@ struct JobState
     std::vector<schema::Issue> issues;
     /** Why the hydraulic solve did not run; "" when it did. */
     std::string simNote;
+    /** Continuous-flow solver results as JSON text. */
+    std::string flowJson;
     /** Whole-pipeline wall-clock deadline, armed when the chain's
      * first stage starts executing and checked at every later
      * stage boundary. Stages run sequentially within a chain, so
@@ -67,6 +72,67 @@ applyBoundaries(sim::HydraulicModel &model, const Device &device)
         ++(is_source ? sources : drains);
     }
     return {sources, drains};
+}
+
+/**
+ * Run the continuous-flow solvers over the routed device and
+ * collect the results into one "parchmint-flow-sim-v1" document.
+ * Best-effort per solver, mirroring the hydraulic contract: a
+ * device without the inlet/outlet split (or without channels)
+ * records a note in the document instead of failing the stage.
+ */
+json::Value
+flowDocument(const std::string &name, const Device &device)
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("schema", json::Value("parchmint-flow-sim-v1"));
+    doc.set("benchmark", json::Value(name));
+
+    json::Value mix = json::Value::makeObject();
+    try {
+        sim::MixingResult solved = sim::solveMixing(device);
+        mix.set("solved", json::Value(true));
+        mix.set("quality", json::Value(solved.mixingQuality));
+        mix.set("mean_concentration",
+                json::Value(solved.meanConcentration));
+        json::Value outlets = json::Value::makeArray();
+        for (const sim::OutletProfile &outlet : solved.outlets) {
+            json::Value entry = json::Value::makeObject();
+            entry.set("port", json::Value(outlet.portId));
+            entry.set("concentration",
+                      json::Value(outlet.concentration));
+            outlets.append(std::move(entry));
+        }
+        mix.set("outlets", std::move(outlets));
+    } catch (const UserError &error) {
+        mix.set("solved", json::Value(false));
+        mix.set("note", json::Value(std::string(error.what())));
+    }
+    doc.set("mix", std::move(mix));
+
+    json::Value schedule = json::Value::makeObject();
+    try {
+        sim::ScheduleResult solved = sim::scheduleFlows(device);
+        schedule.set("scheduled", json::Value(true));
+        schedule.set("ops",
+                     json::Value(static_cast<int64_t>(
+                         solved.ops.size())));
+        schedule.set("makespan", json::Value(solved.makespan));
+        schedule.set("stored_ops",
+                     json::Value(static_cast<int64_t>(
+                         solved.storedOps)));
+        schedule.set("storage_channels",
+                     json::Value(static_cast<int64_t>(
+                         solved.storageChannels)));
+        schedule.set("utilization",
+                     json::Value(solved.utilization));
+    } catch (const UserError &error) {
+        schedule.set("scheduled", json::Value(false));
+        schedule.set("note",
+                     json::Value(std::string(error.what())));
+    }
+    doc.set("schedule", std::move(schedule));
+    return doc;
 }
 
 } // namespace
@@ -198,7 +264,8 @@ runSuite(const SuiteRunOptions &options)
 
         ids[j].sim = graph.add(
             name + ".sim",
-            [state, name, simulate](const CancelToken &token) {
+            [state, name, simulate,
+             out_dir](const CancelToken &token) {
                 if (!simulate)
                     return;
                 token.throwIfCancelled("sim " + name);
@@ -215,11 +282,22 @@ runSuite(const SuiteRunOptions &options)
                     if (sources == 0 || drains == 0) {
                         state->simNote =
                             "no source/drain port split";
-                        return;
+                    } else {
+                        model.solve();
                     }
-                    model.solve();
                 } catch (const UserError &error) {
                     state->simNote = error.what();
+                }
+                // Continuous-flow solvers ride the sim stage;
+                // their serialized results carry the same --jobs
+                // determinism guarantee as the routed netlist.
+                json::Value flow =
+                    flowDocument(name, *state->device);
+                state->flowJson = json::write(flow);
+                if (!out_dir.empty()) {
+                    json::writeFile(out_dir + "/" + name +
+                                        "_flow.json",
+                                    flow);
                 }
             },
             {ids[j].validate});
@@ -268,6 +346,7 @@ runSuite(const SuiteRunOptions &options)
             job.routedJson = toJsonText(*state.device);
         }
         job.simNote = state.simNote;
+        job.flowJson = state.flowJson;
         job.simSolved =
             job.sim.ok() && options.simulate && state.simNote.empty();
     }

@@ -54,9 +54,10 @@ struct SuiteRunOptions
     std::chrono::milliseconds deadline{0};
     /** Benchmarks to run; empty = the full standard suite. */
     std::vector<std::string> benchmarks;
-    /** Run the hydraulic stage. */
+    /** Run the hydraulic + continuous-flow stage. */
     bool simulate = true;
-    /** Directory for `<name>_routed.json` artifacts; "" = none. */
+    /** Directory for `<name>_routed.json` and `<name>_flow.json`
+     * artifacts; "" = none. */
     std::string outDir;
 };
 
@@ -90,6 +91,12 @@ struct SuiteJobResult
      * validate stage serialized it). The determinism guarantee is
      * stated on this string: identical across --jobs settings. */
     std::string routedJson;
+
+    /** The continuous-flow solver results (mixing + transport
+     * schedule over the routed netlist) as JSON text with schema
+     * "parchmint-flow-sim-v1"; "" until the sim stage ran. Covered
+     * by the same determinism guarantee as routedJson. */
+    std::string flowJson;
 
     /** Every stage that ran succeeded (sim is best-effort but its
      * task must not have failed). */

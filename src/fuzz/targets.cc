@@ -15,6 +15,7 @@
 #include "fuzz/target.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
 #include <typeinfo>
 
@@ -34,6 +35,8 @@
 #include "place/row_placer.hh"
 #include "route/router.hh"
 #include "schema/rules.hh"
+#include "sim/dilution.hh"
+#include "sim/mixing.hh"
 #include "svc/cache.hh"
 #include "svc/service.hh"
 
@@ -420,6 +423,189 @@ checkTraceHeader(const std::string &input)
     return std::nullopt;
 }
 
+// --- mix_request ------------------------------------------------------
+
+/** A /v1/mix request body: bare or wrapped netlists (valid,
+ * mutated, or cyclic), with inlet maps, pressures, and concurrency
+ * knobs ranging from sensible to hostile. */
+std::string
+randomMixRequest(Rng &rng)
+{
+    std::string netlist = rng.nextBool(0.5)
+                              ? toJsonText(randomDevice(rng))
+                              : randomNetlistJson(rng);
+    if (rng.nextBool(0.4))
+        return netlist; // The bare form the CI smoke posts.
+
+    std::string out = "{\"netlist\": " + netlist;
+    if (rng.nextBool(0.6)) {
+        out += ", \"inlets\": {";
+        size_t count = rng.nextBelow(4);
+        for (size_t i = 0; i < count; ++i) {
+            if (i > 0)
+                out += ", ";
+            out += "\"in" + std::to_string(rng.nextBelow(8)) +
+                   "\": ";
+            switch (rng.nextBelow(6)) {
+            case 0: out += "0.5"; break;
+            case 1: out += "1"; break;
+            case 2: out += "0"; break;
+            case 3: out += "-3.5"; break;     // Out of range.
+            case 4: out += "1e308"; break;    // Huge.
+            default: out += "\"NaN\""; break; // Wrong type.
+            }
+        }
+        out += "}";
+    }
+    if (rng.nextBool(0.5)) {
+        switch (rng.nextBelow(4)) {
+        case 0: out += ", \"pressure_kpa\": 20"; break;
+        case 1: out += ", \"pressure_kpa\": -1"; break;
+        case 2: out += ", \"pressure_kpa\": 1e300"; break;
+        default: out += ", \"pressure_kpa\": null"; break;
+        }
+    }
+    if (rng.nextBool(0.5)) {
+        out += ", \"concurrency\": " +
+               std::to_string(rng.nextBelow(100));
+    }
+    out += "}";
+    if (rng.nextBool(0.1))
+        return mutateBytes(rng, out);
+    return out;
+}
+
+std::optional<std::string>
+checkMixRequest(const std::string &input)
+{
+    json::Value document = json::parse(input); // UserError = rejected.
+    svc::FlowRequest a = svc::parseFlowRequest(document);
+    svc::FlowRequest b = svc::parseFlowRequest(document);
+    if (a.inlets != b.inlets || a.pressurePa != b.pressurePa ||
+        a.concurrency != b.concurrency)
+        return "flow-request parse is not deterministic";
+
+    Device device = fromJson(*a.netlist); // UserError = rejected.
+    sim::MixingOptions options;
+    options.inletPressurePa = a.pressurePa;
+    // The solver may reject the device (no flow layer, no port
+    // split, bad concentrations) — but an accepted solve must be
+    // deterministic and keep every concentration inside [0, 1].
+    sim::MixingResult first =
+        sim::solveMixing(device, a.inlets, options);
+    sim::MixingResult second =
+        sim::solveMixing(device, a.inlets, options);
+    if (first.outlets.size() != second.outlets.size())
+        return "mix solve is not deterministic (outlet count)";
+    for (size_t i = 0; i < first.outlets.size(); ++i) {
+        const sim::OutletProfile &x = first.outlets[i];
+        const sim::OutletProfile &y = second.outlets[i];
+        if (x.portId != y.portId ||
+            x.concentration != y.concentration ||
+            x.outflow != y.outflow)
+            return "mix solve is not deterministic";
+        if (!(x.concentration >= 0.0 && x.concentration <= 1.0))
+            return "outlet concentration leaves [0, 1]";
+    }
+    if (first.mixingQuality != second.mixingQuality ||
+        first.meanConcentration != second.meanConcentration)
+        return "mix summary is not deterministic";
+    if (!(first.mixingQuality >= 0.0 &&
+          first.mixingQuality <= 1.0))
+        return "mixing quality leaves [0, 1]";
+    if (!std::isfinite(first.meanConcentration))
+        return "mean concentration is not finite";
+    return std::nullopt;
+}
+
+// --- dilution_spec ----------------------------------------------------
+
+/** A /v1/dilute spec body: in-range targets, NaN-ish strings,
+ * negatives, huge magnitudes, missing members, junk members, and
+ * byte-level mutations. */
+std::string
+randomDilutionSpec(Rng &rng)
+{
+    auto number = [&rng]() -> std::string {
+        switch (rng.nextBelow(8)) {
+        case 0: return "0.5";
+        case 1:
+            return "0." + std::to_string(rng.nextBelow(1000000));
+        case 2: return "0";
+        case 3: return "1";
+        case 4: return "-0.25";
+        case 5: return "1e308";
+        case 6: return "-1e-300";
+        default: return std::to_string(rng.nextBelow(1000));
+        }
+    };
+    std::string out = "{";
+    bool first = true;
+    auto field = [&](const char *name, const std::string &value) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += std::string("\"") + name + "\": " + value;
+    };
+    if (rng.nextBool(0.9))
+        field("target", number());
+    if (rng.nextBool(0.7))
+        field("tolerance",
+              rng.nextBool(0.5) ? "0.00390625" : number());
+    if (rng.nextBool(0.5))
+        field("max_depth",
+              std::to_string(
+                  static_cast<int64_t>(rng.nextBelow(64)) - 8));
+    if (rng.nextBool(0.1))
+        field("junk", "[1, 2, {}]");
+    out += "}";
+    if (rng.nextBool(0.15))
+        return mutateBytes(rng, out);
+    return out;
+}
+
+std::optional<std::string>
+checkDilutionSpec(const std::string &input)
+{
+    json::Value document = json::parse(input); // UserError = rejected.
+    sim::DilutionSpec spec = sim::parseDilutionSpec(document);
+    sim::DilutionPlan first = sim::synthesizeDilution(spec);
+    sim::DilutionPlan second = sim::synthesizeDilution(spec);
+    if (first.numerator != second.numerator ||
+        first.depth != second.depth ||
+        first.achieved != second.achieved ||
+        first.fareyNumerator != second.fareyNumerator ||
+        first.fareyDenominator != second.fareyDenominator)
+        return "dilution synthesis is not deterministic";
+    if (first.depth > spec.maxDepth)
+        return "plan exceeds the requested depth budget";
+    if (first.error > spec.tolerance)
+        return "accepted plan misses the tolerance window";
+    double achieved =
+        std::ldexp(static_cast<double>(first.numerator),
+                   -static_cast<int>(first.depth));
+    if (achieved != first.achieved)
+        return "achieved concentration disagrees with "
+               "numerator/2^depth";
+    // The dyadic numerator/2^depth lands in the window, so the
+    // minimal Farey denominator can never exceed that scale.
+    if (first.fareyDenominator == 0 ||
+        first.fareyDenominator > (uint64_t{1} << first.depth))
+        return "Farey denominator exceeds the dyadic scale";
+    // The plan's mixer tree must round-trip and validate clean.
+    std::string text = compactText(toJson(first.netlist));
+    Device again = fromJsonText(text);
+    if (compactText(toJson(again)) != text)
+        return "synthesized netlist is not a serialization "
+               "fixpoint";
+    for (const schema::Issue &issue : schema::validateText(text)) {
+        if (issue.severity == schema::Severity::Error)
+            return "synthesized netlist fails validation: " +
+                   issue.message;
+    }
+    return std::nullopt;
+}
+
 std::vector<Target>
 buildTargets()
 {
@@ -482,6 +668,18 @@ buildTargets()
          "service cache keys are byte-stable across formattings",
          [](Rng &rng) { return randomJsonText(rng); },
          checkCacheKey});
+    targets.push_back(
+        {"mix_request",
+         "/v1/mix bodies: request parse + mixing solve never "
+         "crash; accepted solves are deterministic with outlet "
+         "concentrations in [0, 1]",
+         randomMixRequest, checkMixRequest});
+    targets.push_back(
+        {"dilution_spec",
+         "/v1/dilute specs: synthesis never crashes; accepted "
+         "plans hit tolerance within the depth budget and emit "
+         "valid netlists",
+         randomDilutionSpec, checkDilutionSpec});
     targets.push_back(
         {"http_trace_header",
          "X-Parchmint-Trace resolution: malformed/oversized/"

@@ -115,6 +115,85 @@ standardManifest()
             },
         },
         {
+            "mix",
+            "Steady-state concentration/mixing solve over a "
+            "flow-layer netlist",
+            "netlist document (+ optional inlet concentrations)",
+            {"seed", "inlets", "pressure_kpa"},
+            {
+                {"gauge:sim.mix.quality", "ratio",
+                 Direction::HigherIsBetter,
+                 "outlet uniformity index (1 = perfectly mixed)"},
+                {"gauge:sim.mix.", "count",
+                 Direction::LowerIsBetter,
+                 "model size (nodes, outlets)"},
+                {"counter:sim.", "count",
+                 Direction::LowerIsBetter, "solver work"},
+                {"span.total_us:", "us", Direction::LowerIsBetter,
+                 "stage wall time"},
+            },
+        },
+        {
+            "dilute",
+            "Dilution-tree synthesis: target concentration to "
+            "minimal mixer ladder",
+            "dilution spec {target, tolerance, max_depth}",
+            {"target", "tolerance", "max_depth"},
+            {
+                {"gauge:sim.dilute.depth", "mixers",
+                 Direction::LowerIsBetter, "ladder depth"},
+                {"gauge:sim.dilute.error", "ratio",
+                 Direction::LowerIsBetter,
+                 "|achieved - target|"},
+                {"counter:sim.dilute.reagent_units", "loads",
+                 Direction::LowerIsBetter, "fresh reagent spent"},
+                {"counter:sim.", "count",
+                 Direction::LowerIsBetter, "synthesis work"},
+                {"span.total_us:", "us", Direction::LowerIsBetter,
+                 "stage wall time"},
+            },
+        },
+        {
+            "schedule",
+            "Flow-path scheduling (transport-vs-store) over a "
+            "routed netlist",
+            "netlist document (+ optional concurrency)",
+            {"seed", "concurrency"},
+            {
+                {"gauge:sim.schedule.makespan", "time units",
+                 Direction::LowerIsBetter, "schedule length"},
+                {"gauge:sim.schedule.storage_channels",
+                 "channels", Direction::LowerIsBetter,
+                 "distinct channels used as storage"},
+                {"gauge:sim.schedule.utilization", "ratio",
+                 Direction::HigherIsBetter,
+                 "manifold slot utilization"},
+                {"counter:sim.", "count",
+                 Direction::LowerIsBetter, "scheduler work"},
+                {"span.total_us:", "us", Direction::LowerIsBetter,
+                 "stage wall time"},
+            },
+        },
+        {
+            "flow_workloads",
+            "Cross-suite continuous-flow quality table (mix + "
+            "dilute + schedule over every benchmark)",
+            "standard suite netlists",
+            {"seed"},
+            {
+                {"gauge:sim.mix.quality", "ratio",
+                 Direction::HigherIsBetter,
+                 "outlet uniformity index"},
+                {"gauge:sim.schedule.utilization", "ratio",
+                 Direction::HigherIsBetter,
+                 "manifold slot utilization"},
+                {"counter:sim.", "count",
+                 Direction::LowerIsBetter, "solver work"},
+                {"span.total_us:", "us", Direction::LowerIsBetter,
+                 "stage wall time"},
+            },
+        },
+        {
             "fuzz_run",
             "Deterministic fuzzing sweep over the registered "
             "targets",

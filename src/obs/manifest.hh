@@ -37,8 +37,10 @@
 namespace parchmint::obs
 {
 
-/** Manifest schema revision; bump on any contract change. */
-constexpr int kManifestVersion = 1;
+/** Manifest schema revision; bump on any contract change.
+ * v2: continuous-flow workload family (mix/dilute/schedule
+ * problem contracts). */
+constexpr int kManifestVersion = 2;
 
 /** The manifest_version stamp, e.g. "parchmint-manifest-v1". */
 std::string manifestVersion();

@@ -1,0 +1,267 @@
+#include "sim/dilution.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hh"
+#include "core/builder.hh"
+#include "obs/obs.hh"
+
+namespace parchmint::sim
+{
+
+namespace
+{
+
+/**
+ * Stern-Brocot walk: the fraction with the smallest denominator
+ * inside [lo, hi] (0 <= lo <= hi <= 1 and the window is known
+ * non-empty). Runs of same-direction mediant steps are batched so
+ * narrow windows near the ends of [0, 1] stay cheap.
+ */
+void
+fareySearch(double lo, double hi, uint64_t &numerator,
+            uint64_t &denominator)
+{
+    if (lo <= 0.0) {
+        numerator = 0;
+        denominator = 1;
+        return;
+    }
+    if (hi >= 1.0) {
+        numerator = 1;
+        denominator = 1;
+        return;
+    }
+    uint64_t ln = 0;
+    uint64_t ld = 1;
+    uint64_t hn = 1;
+    uint64_t hd = 1;
+    for (int guard = 0; guard < 128; ++guard) {
+        uint64_t mn = ln + hn;
+        uint64_t md = ld + hd;
+        double mediant =
+            static_cast<double>(mn) / static_cast<double>(md);
+        if (mediant < lo) {
+            // Batch the right-steps: the largest k keeping
+            // (ln + k*hn) / (ld + k*hd) below the window.
+            uint64_t k = 1;
+            double slope = static_cast<double>(hn) -
+                           lo * static_cast<double>(hd);
+            if (slope > 0.0) {
+                double steps = std::floor(
+                    (lo * static_cast<double>(ld) -
+                     static_cast<double>(ln)) /
+                    slope);
+                if (steps > 1.0)
+                    k = static_cast<uint64_t>(steps);
+            }
+            while (k > 1 &&
+                   static_cast<double>(ln + k * hn) >=
+                       lo * static_cast<double>(ld + k * hd))
+                --k;
+            ln += k * hn;
+            ld += k * hd;
+        } else if (mediant > hi) {
+            uint64_t k = 1;
+            double slope = hi * static_cast<double>(ld) -
+                           static_cast<double>(ln);
+            if (slope > 0.0) {
+                double steps = std::floor(
+                    (static_cast<double>(hn) -
+                     hi * static_cast<double>(hd)) /
+                    slope);
+                if (steps > 1.0)
+                    k = static_cast<uint64_t>(steps);
+            }
+            while (k > 1 &&
+                   static_cast<double>(hn + k * ln) <=
+                       hi * static_cast<double>(hd + k * ld))
+                --k;
+            hn += k * ln;
+            hd += k * ld;
+        } else {
+            numerator = mn;
+            denominator = md;
+            return;
+        }
+    }
+    // Floating-point corner: leave the caller's dyadic fallback.
+}
+
+double
+requireFiniteNumber(const json::Value &document, const char *key,
+                    double fallback, bool required)
+{
+    const json::Value *member = document.find(key);
+    if (!member) {
+        if (required)
+            fatal(std::string("dilution spec: missing \"") + key +
+                  "\"");
+        return fallback;
+    }
+    if (!member->isNumber())
+        fatal(std::string("dilution spec: \"") + key +
+              "\" must be a number");
+    double value = member->asDouble();
+    if (!std::isfinite(value))
+        fatal(std::string("dilution spec: \"") + key +
+              "\" must be finite");
+    return value;
+}
+
+} // namespace
+
+DilutionSpec
+parseDilutionSpec(const json::Value &document)
+{
+    if (!document.isObject())
+        fatal("dilution spec: document must be a JSON object");
+    DilutionSpec spec;
+    spec.target =
+        requireFiniteNumber(document, "target", 0.0, true);
+    spec.tolerance = requireFiniteNumber(document, "tolerance",
+                                         spec.tolerance, false);
+    const json::Value *depth = document.find("max_depth");
+    if (depth) {
+        if (!depth->isInteger())
+            fatal("dilution spec: \"max_depth\" must be an "
+                  "integer");
+        int64_t value = depth->asInteger();
+        if (value < 1 || value > 30)
+            fatal("dilution spec: \"max_depth\" must be in "
+                  "[1, 30]");
+        spec.maxDepth = static_cast<size_t>(value);
+    }
+    if (spec.target < 0.0 || spec.target > 1.0)
+        fatal("dilution spec: \"target\" must be in [0, 1]");
+    if (spec.tolerance <= 0.0 || spec.tolerance > 1.0)
+        fatal("dilution spec: \"tolerance\" must be in (0, 1]");
+    if (spec.maxDepth < 1 || spec.maxDepth > 30)
+        fatal("dilution spec: \"max_depth\" must be in [1, 30]");
+    return spec;
+}
+
+DilutionPlan
+synthesizeDilution(const DilutionSpec &spec)
+{
+    PM_OBS_SPAN("sim.dilute", "sim");
+    if (!std::isfinite(spec.target) || spec.target < 0.0 ||
+        spec.target > 1.0)
+        fatal("dilution: target must be a finite number in "
+              "[0, 1]");
+    if (!std::isfinite(spec.tolerance) || spec.tolerance <= 0.0 ||
+        spec.tolerance > 1.0)
+        fatal("dilution: tolerance must be in (0, 1]");
+    if (spec.maxDepth < 1 || spec.maxDepth > 30)
+        fatal("dilution: maxDepth must be in [1, 30]");
+
+    // Shallowest ladder first: a depth-d ladder realizes exactly
+    // the dyadics a/2^d, so scan d upward for the first whose
+    // nearest dyadic is inside the tolerance.
+    DilutionPlan plan;
+    bool found = false;
+    for (size_t d = 0; d <= spec.maxDepth; ++d) {
+        uint64_t scale = uint64_t{1} << d;
+        double exact = spec.target * static_cast<double>(scale);
+        uint64_t nearest = static_cast<uint64_t>(
+            std::llround(std::max(0.0, exact)));
+        if (nearest > scale)
+            nearest = scale;
+        double achieved = static_cast<double>(nearest) /
+                          static_cast<double>(scale);
+        double error = std::fabs(achieved - spec.target);
+        if (error <= spec.tolerance) {
+            plan.numerator = nearest;
+            plan.depth = d;
+            plan.achieved = achieved;
+            plan.error = error;
+            found = true;
+            break;
+        }
+    }
+    if (!found)
+        fatal("dilution: target " + std::to_string(spec.target) +
+              " unreachable within tolerance " +
+              std::to_string(spec.tolerance) + " at max depth " +
+              std::to_string(spec.maxDepth));
+
+    // Minimal-denominator fraction inside the window, seeded with
+    // the dyadic as the fallback answer.
+    plan.fareyNumerator = plan.numerator;
+    plan.fareyDenominator = uint64_t{1} << plan.depth;
+    fareySearch(spec.target - spec.tolerance,
+                spec.target + spec.tolerance, plan.fareyNumerator,
+                plan.fareyDenominator);
+
+    // Decode the ladder loads x_0..x_d (achieved =
+    // (x_0 + sum_k x_k 2^{k-1}) / 2^d): x_0 pairs with x_1 at the
+    // first mixer, every later mixer folds the previous output
+    // with one fresh load.
+    size_t d = plan.depth;
+    uint64_t a = plan.numerator;
+    uint64_t scale = uint64_t{1} << d;
+    std::vector<int> loads(d + 1, 0);
+    if (a == scale) {
+        for (int &load : loads)
+            load = 1;
+    } else {
+        loads[0] = static_cast<int>(a & 1);
+        uint64_t rest = a - (a & 1);
+        for (size_t k = 1; k <= d; ++k)
+            loads[k] =
+                static_cast<int>((rest >> (k - 1)) & 1);
+    }
+    for (int load : loads)
+        (load != 0 ? plan.reagentUnits : plan.bufferUnits) += 1;
+
+    // Emit the plan as a ParchMint netlist: reagent/buffer ports
+    // (classified as inlets by the suite heuristic), one MIXER per
+    // ladder stage, both stage inputs feeding port 1, the blend
+    // leaving port 2, and an "out" port reporting the product.
+    DeviceBuilder builder("dilution_" +
+                          std::to_string(plan.numerator) + "_of_" +
+                          std::to_string(scale));
+    builder.flowLayer();
+    bool uses_reagent = plan.reagentUnits > 0;
+    bool uses_buffer = plan.bufferUnits > 0;
+    if (uses_reagent)
+        builder.component("reagent", EntityKind::Port);
+    if (uses_buffer)
+        builder.component("buffer", EntityKind::Port);
+    builder.component("out", EntityKind::Port);
+    auto load_source = [](int load) {
+        return load != 0 ? "reagent.1" : "buffer.1";
+    };
+    if (d == 0) {
+        builder.channel("c0", load_source(loads[0]), "out.1");
+    } else {
+        for (size_t k = 1; k <= d; ++k) {
+            std::string stage = std::to_string(k);
+            builder.component("m" + stage, EntityKind::Mixer);
+        }
+        builder.channel("c0", load_source(loads[0]), "m1.1");
+        builder.channel("c1", load_source(loads[1]), "m1.1");
+        for (size_t k = 2; k <= d; ++k) {
+            std::string stage = std::to_string(k);
+            std::string previous = std::to_string(k - 1);
+            builder.channel("s" + stage, "m" + previous + ".2",
+                            "m" + stage + ".1");
+            builder.channel("c" + stage, load_source(loads[k]),
+                            "m" + stage + ".1");
+        }
+        std::string last = std::to_string(d);
+        builder.channel("cout", "m" + last + ".2", "out.1");
+    }
+    plan.netlist = builder.build();
+
+    PM_OBS_COUNT("sim.dilute.syntheses", 1);
+    PM_OBS_COUNT("sim.dilute.mixers", plan.depth);
+    PM_OBS_COUNT("sim.dilute.reagent_units", plan.reagentUnits);
+    PM_OBS_GAUGE("sim.dilute.depth", plan.depth);
+    PM_OBS_GAUGE("sim.dilute.error", plan.error);
+    return plan;
+}
+
+} // namespace parchmint::sim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Sample-preparation dilution-tree synthesis.
+ *
+ * Given a target concentration and an error bound, emits the
+ * shallowest bit-serial 1:1 mixer ladder whose output hits the
+ * target within tolerance — every depth-d ladder realizes exactly
+ * the dyadic concentrations a/2^d, so the search is over the
+ * smallest d whose nearest dyadic is close enough. Alongside the
+ * realizable plan, a Stern-Brocot (Farey mediant) walk reports the
+ * minimal-denominator fraction inside the tolerance window — the
+ * information-theoretic floor a non-dyadic mixer could reach.
+ *
+ * The synthesized tree is a *valid ParchMint netlist*: reagent and
+ * buffer PORTs feeding a chain of catalogue MIXER components, so
+ * every downstream tool (validate, place, route, characterize, the
+ * mixing solver itself) consumes the plan unchanged.
+ */
+
+#ifndef PARCHMINT_SIM_DILUTION_HH
+#define PARCHMINT_SIM_DILUTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/device.hh"
+#include "json/value.hh"
+
+namespace parchmint::sim
+{
+
+/** What to synthesize. */
+struct DilutionSpec
+{
+    /** Desired output concentration, in [0, 1]. */
+    double target = 0.5;
+    /** Acceptable |achieved - target|, > 0. */
+    double tolerance = 1.0 / 256.0;
+    /** Deepest mixer ladder considered (1..30). */
+    size_t maxDepth = 12;
+};
+
+/**
+ * Parse a spec document: an object with required "target" and
+ * optional "tolerance" / "max_depth" members.
+ * @throws UserError on missing/mistyped members or out-of-range
+ *         values (NaN, infinities, negatives, zero tolerance).
+ */
+DilutionSpec parseDilutionSpec(const json::Value &document);
+
+/** A synthesized plan. */
+struct DilutionPlan
+{
+    /** achieved == numerator / 2^depth. */
+    uint64_t numerator = 0;
+    /** Mixers in the ladder (0 = pure reagent or buffer). */
+    size_t depth = 0;
+    /** Output concentration actually realized. */
+    double achieved = 0.0;
+    /** |achieved - target|. */
+    double error = 0.0;
+    /** Fresh reagent loads consumed. */
+    size_t reagentUnits = 0;
+    /** Buffer loads consumed. */
+    size_t bufferUnits = 0;
+    /** Minimal-denominator fraction within tolerance (Farey). */
+    uint64_t fareyNumerator = 0;
+    uint64_t fareyDenominator = 1;
+    /** The mixer tree as a valid ParchMint netlist. */
+    Device netlist;
+};
+
+/**
+ * Synthesize the shallowest ladder for @p spec.
+ * @throws UserError when the spec is invalid or no depth up to
+ *         maxDepth reaches the tolerance.
+ */
+DilutionPlan synthesizeDilution(const DilutionSpec &spec);
+
+} // namespace parchmint::sim
+
+#endif // PARCHMINT_SIM_DILUTION_HH

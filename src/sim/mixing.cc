@@ -1,0 +1,235 @@
+#include "sim/mixing.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/error.hh"
+#include "obs/obs.hh"
+#include "sim/linear_solver.hh"
+
+namespace parchmint::sim
+{
+
+namespace
+{
+
+/** The suite-wide "this port drives flow" ID-prefix heuristic. */
+bool
+looksLikeInlet(const std::string &id)
+{
+    return id.rfind("in", 0) == 0 || id.rfind("inlet", 0) == 0 ||
+           id.rfind("supply", 0) == 0 ||
+           id.rfind("sample", 0) == 0 ||
+           id.rfind("buffer", 0) == 0 ||
+           id.rfind("reagent", 0) == 0 ||
+           id.rfind("fill", 0) == 0 ||
+           id.rfind("elution", 0) == 0 || id.rfind("win", 0) == 0;
+}
+
+} // namespace
+
+PortPartition
+classifyFlowPorts(const Device &device)
+{
+    const Layer *flow = device.firstLayer(LayerType::Flow);
+    if (!flow)
+        fatal("mixing: device has no flow layer");
+    PortPartition partition;
+    for (const Component &component : device.components()) {
+        if (component.entityKind() != EntityKind::Port)
+            continue;
+        if (!component.onLayer(flow->id))
+            continue;
+        if (looksLikeInlet(component.id()))
+            partition.inlets.push_back(component.id());
+        else
+            partition.outlets.push_back(component.id());
+    }
+    return partition;
+}
+
+MixingResult
+solveMixing(const Device &device,
+            const std::map<std::string, double>
+                &inlet_concentrations,
+            const MixingOptions &options)
+{
+    PM_OBS_SPAN("sim.mix", "sim");
+
+    PortPartition ports = classifyFlowPorts(device);
+    if (ports.inlets.empty())
+        fatal("mixing: no inlet ports (no flow-layer PORT id "
+              "matches the inlet prefixes)");
+    if (ports.outlets.empty())
+        fatal("mixing: no outlet ports (every flow-layer PORT "
+              "looks like an inlet)");
+
+    // Resolve the prescribed inlet concentrations.
+    std::unordered_map<std::string, double> inlet_value;
+    for (size_t i = 0; i < ports.inlets.size(); ++i) {
+        inlet_value[ports.inlets[i]] =
+            inlet_concentrations.empty() ? (i % 2 == 0 ? 1.0 : 0.0)
+                                         : 0.0;
+    }
+    for (const auto &[id, value] : inlet_concentrations) {
+        auto it = inlet_value.find(id);
+        if (it == inlet_value.end())
+            fatal("mixing: \"" + id + "\" is not an inlet port");
+        if (!std::isfinite(value) || value < 0.0 || value > 1.0)
+            fatal("mixing: concentration for \"" + id +
+                  "\" must be a finite number in [0, 1]");
+        it->second = value;
+    }
+
+    // Hydraulic pass: pressurize inlets, ground outlets, solve for
+    // every channel's volumetric flow.
+    HydraulicModel model =
+        HydraulicModel::build(device, options.hydraulic);
+    for (const std::string &id : ports.inlets)
+        model.setPressure(id, options.inletPressurePa);
+    for (const std::string &id : ports.outlets)
+        model.setPressure(id, 0.0);
+    HydraulicSolution flow = model.solve();
+
+    // Collect the concentration nodes: every component that carries
+    // a non-floating hydraulic edge. Ordered by first appearance in
+    // the edge list so the assembled system is deterministic.
+    std::unordered_map<std::string, size_t> node_index;
+    std::vector<std::string> node_ids;
+    std::vector<double> edge_flow(flow.edges().size(), 0.0);
+    double max_flow = 0.0;
+    for (size_t e = 0; e < flow.edges().size(); ++e) {
+        const HydraulicEdge &edge = flow.edges()[e];
+        edge_flow[e] =
+            flow.flowThrough(edge.connectionId, edge.sinkIndex);
+        max_flow = std::max(max_flow, std::fabs(edge_flow[e]));
+        for (const std::string *id :
+             {&edge.sourceId, &edge.sinkId}) {
+            if (node_index.emplace(*id, node_ids.size()).second)
+                node_ids.push_back(*id);
+        }
+    }
+    // Flows smaller than this are stagnant film, not transport.
+    const double eps = 1e-9 * std::max(max_flow, 1e-300);
+
+    // Unknowns: every node that is not an inlet. Each gets the
+    // junction balance (sum of inflows) * c_v = sum(Q_in * c_u);
+    // stagnant nodes pin to zero. Inlets substitute their
+    // prescribed value into the right-hand side.
+    std::vector<size_t> unknown_of_node(node_ids.size(),
+                                        SIZE_MAX);
+    std::vector<size_t> unknowns;
+    for (size_t v = 0; v < node_ids.size(); ++v) {
+        if (inlet_value.count(node_ids[v]))
+            continue;
+        unknown_of_node[v] = unknowns.size();
+        unknowns.push_back(v);
+    }
+
+    Matrix balance(unknowns.size());
+    std::vector<double> rhs(unknowns.size(), 0.0);
+    std::vector<double> inflow(node_ids.size(), 0.0);
+    for (size_t e = 0; e < flow.edges().size(); ++e) {
+        if (std::fabs(edge_flow[e]) <= eps)
+            continue;
+        const HydraulicEdge &edge = flow.edges()[e];
+        // Positive flow runs source -> sink; negative reverses.
+        const std::string &from = edge_flow[e] > 0.0
+                                      ? edge.sourceId
+                                      : edge.sinkId;
+        const std::string &to = edge_flow[e] > 0.0
+                                    ? edge.sinkId
+                                    : edge.sourceId;
+        double q = std::fabs(edge_flow[e]);
+        size_t to_node = node_index.at(to);
+        size_t from_node = node_index.at(from);
+        inflow[to_node] += q;
+        size_t row = unknown_of_node[to_node];
+        if (row == SIZE_MAX)
+            continue; // Inlet: concentration prescribed.
+        balance.at(row, row) += q;
+        size_t col = unknown_of_node[from_node];
+        if (col != SIZE_MAX)
+            balance.at(row, col) -= q;
+        else
+            rhs[row] += q * inlet_value.at(node_ids[from_node]);
+    }
+    for (size_t u = 0; u < unknowns.size(); ++u) {
+        if (inflow[unknowns[u]] <= eps)
+            balance.at(u, u) = 1.0; // Stagnant: c = 0.
+    }
+
+    std::vector<double> solved =
+        unknowns.empty()
+            ? std::vector<double>{}
+            : solveLinearSystem(std::move(balance),
+                                std::move(rhs));
+
+    auto concentration_of = [&](const std::string &id) {
+        auto inlet = inlet_value.find(id);
+        if (inlet != inlet_value.end())
+            return inlet->second;
+        auto node = node_index.find(id);
+        if (node == node_index.end())
+            return 0.0; // Isolated component: no transport.
+        size_t row = unknown_of_node[node->second];
+        return row == SIZE_MAX ? 0.0 : solved[row];
+    };
+
+    MixingResult result;
+    result.nodes = model.nodeCount();
+    result.edges = flow.edges().size();
+    result.inlets = ports.inlets.size();
+    result.floating = flow.floating().size();
+
+    double weight_total = 0.0;
+    double weighted_sum = 0.0;
+    for (const std::string &id : ports.outlets) {
+        OutletProfile profile;
+        profile.portId = id;
+        profile.concentration =
+            std::clamp(concentration_of(id), 0.0, 1.0);
+        bool floating =
+            std::find(flow.floating().begin(),
+                      flow.floating().end(),
+                      id) != flow.floating().end();
+        profile.outflow = floating ? 0.0 : flow.netInflow(id);
+        if (profile.outflow > eps) {
+            weight_total += profile.outflow;
+            weighted_sum +=
+                profile.outflow * profile.concentration;
+        }
+        result.outlets.push_back(std::move(profile));
+    }
+
+    if (weight_total > 0.0) {
+        double mean = weighted_sum / weight_total;
+        double variance = 0.0;
+        for (const OutletProfile &profile : result.outlets) {
+            if (profile.outflow <= eps)
+                continue;
+            double d = profile.concentration - mean;
+            variance += profile.outflow * d * d;
+        }
+        variance /= weight_total;
+        result.meanConcentration = mean;
+        result.mixingQuality =
+            mean > 1e-12
+                ? std::clamp(1.0 - std::sqrt(variance) / mean,
+                             0.0, 1.0)
+                : 1.0;
+    } else {
+        // Nothing flows out: trivially uniform.
+        result.mixingQuality = 1.0;
+    }
+
+    PM_OBS_COUNT("sim.mix.solves", 1);
+    PM_OBS_GAUGE("sim.mix.quality", result.mixingQuality);
+    PM_OBS_GAUGE("sim.mix.mean", result.meanConcentration);
+    PM_OBS_GAUGE("sim.mix.outlets", result.outlets.size());
+    PM_OBS_GAUGE("sim.mix.nodes", result.nodes);
+    return result;
+}
+
+} // namespace parchmint::sim

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Steady-state concentration/mixing analysis of flow-layer
+ * netlists (after Luu & Chrobak, "Modeling Fluid Mixing in
+ * Microfluidic Grids").
+ *
+ * Rides the hydraulic resistor-network solve (sim/hydraulic.hh):
+ * once per-channel volumetric flows are known, solute transport at
+ * every junction is a linear balance — the concentration leaving a
+ * node is the flow-weighted average of the concentrations entering
+ * it. That balance over all interior nodes is a second linear
+ * system, solved with the same dense LU kernel
+ * (sim/linear_solver.hh), which handles recirculating grids that a
+ * simple topological sweep cannot.
+ *
+ * Inlet/outlet selection reuses the suite-wide port-ID heuristic
+ * (classifyFlowPorts): ports named like inputs are pressurized and
+ * carry prescribed concentrations, the remaining flow ports are
+ * grounded and report the mixed profile.
+ */
+
+#ifndef PARCHMINT_SIM_MIXING_HH
+#define PARCHMINT_SIM_MIXING_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/device.hh"
+#include "sim/hydraulic.hh"
+
+namespace parchmint::sim
+{
+
+/** Flow-layer PORT components split into inlets and outlets. */
+struct PortPartition
+{
+    /** IDs that look like supplies (in/inlet/supply/sample/...),
+     * in device component order. */
+    std::vector<std::string> inlets;
+    /** The remaining flow-layer ports, in component order. */
+    std::vector<std::string> outlets;
+};
+
+/**
+ * Classify a device's flow-layer PORT components with the same ID-
+ * prefix heuristic the suite runner and simulate example use, so
+ * every consumer agrees on which ports drive and which drain.
+ */
+PortPartition classifyFlowPorts(const Device &device);
+
+/** Mixing-solver knobs. */
+struct MixingOptions
+{
+    /** Hydraulic model knobs (viscosity, nominal length, ...). */
+    HydraulicOptions hydraulic;
+    /** Pressure applied at every inlet port, Pa (outlets sit at
+     * atmospheric zero). */
+    double inletPressurePa = 20000.0;
+};
+
+/** Concentration profile at one outlet port. */
+struct OutletProfile
+{
+    std::string portId;
+    /** Steady-state solute concentration, in [0, 1]. */
+    double concentration = 0.0;
+    /** Volumetric outflow through the port, m^3/s. */
+    double outflow = 0.0;
+};
+
+/** Result of a mixing solve. */
+struct MixingResult
+{
+    /** Per-outlet profiles, in device component order. */
+    std::vector<OutletProfile> outlets;
+    /**
+     * Outlet uniformity index in [0, 1]: one minus the flow-
+     * weighted coefficient of variation of the outlet
+     * concentrations, clamped. 1 = perfectly mixed (every outlet
+     * sees the same concentration), lower = a gradient survives.
+     */
+    double mixingQuality = 0.0;
+    /** Flow-weighted mean outlet concentration. */
+    double meanConcentration = 0.0;
+    /** Pressure nodes in the hydraulic model. */
+    size_t nodes = 0;
+    /** Resistor edges in the hydraulic model. */
+    size_t edges = 0;
+    /** Inlet port count. */
+    size_t inlets = 0;
+    /** Components excluded as hydraulically floating. */
+    size_t floating = 0;
+};
+
+/**
+ * Solve the steady-state concentration field of @p device.
+ *
+ * @param device The netlist; routed paths refine channel lengths
+ *        when present.
+ * @param inlet_concentrations Prescribed concentration per inlet
+ *        port ID, each in [0, 1]. Inlets not named default to 0;
+ *        when the map is empty, inlets alternate 1, 0, 1, ... in
+ *        component order (the canonical two-reagent experiment).
+ * @param options Solver knobs.
+ * @throws UserError when the device has no flow layer, no inlet or
+ *         no outlet ports, a named port is not an inlet, a
+ *         concentration is non-finite or outside [0, 1], or the
+ *         junction balance is singular.
+ */
+MixingResult
+solveMixing(const Device &device,
+            const std::map<std::string, double>
+                &inlet_concentrations = {},
+            const MixingOptions &options = {});
+
+} // namespace parchmint::sim
+
+#endif // PARCHMINT_SIM_MIXING_HH

@@ -1,0 +1,223 @@
+#include "sim/schedule.hh"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hh"
+#include "obs/obs.hh"
+#include "sim/mixing.hh"
+
+namespace parchmint::sim
+{
+
+namespace
+{
+
+/** Routed path length for one sink; nominal when unrouted. */
+int64_t
+channelLength(const Connection &connection,
+              const ConnectionTarget &sink,
+              const ScheduleOptions &options)
+{
+    for (const ChannelPath &path : connection.paths()) {
+        if (path.sink.componentId == sink.componentId &&
+            (!sink.portLabel || !path.sink.portLabel ||
+             *path.sink.portLabel == *sink.portLabel)) {
+            return path.length();
+        }
+    }
+    return options.nominalChannelLength;
+}
+
+} // namespace
+
+ScheduleResult
+scheduleFlows(const Device &device,
+              const ScheduleOptions &options)
+{
+    PM_OBS_SPAN("sim.schedule", "sim");
+    if (options.concurrency == 0)
+        fatal("schedule: concurrency must be >= 1");
+    if (options.lengthPerUnit <= 0)
+        fatal("schedule: lengthPerUnit must be >= 1");
+    const Layer *flow = device.firstLayer(LayerType::Flow);
+    if (!flow)
+        fatal("schedule: device has no flow layer");
+
+    // Transport operations: one per (connection, sink) pair whose
+    // endpoints resolve (dangling references are the rule
+    // checker's finding, not the scheduler's).
+    ScheduleResult result;
+    for (const Connection &connection : device.connections()) {
+        if (connection.layerId() != flow->id)
+            continue;
+        if (!device.findComponent(
+                connection.source().componentId))
+            continue;
+        for (size_t s = 0; s < connection.sinks().size(); ++s) {
+            const ConnectionTarget &sink =
+                connection.sinks()[s];
+            if (!device.findComponent(sink.componentId))
+                continue;
+            TransportOp op;
+            op.connectionId = connection.id();
+            op.sinkIndex = s;
+            op.sourceId = connection.source().componentId;
+            op.sinkId = sink.componentId;
+            int64_t length =
+                channelLength(connection, sink, options);
+            op.duration = std::max<int64_t>(
+                1, (length + options.lengthPerUnit - 1) /
+                       options.lengthPerUnit);
+            result.ops.push_back(std::move(op));
+        }
+    }
+    if (result.ops.empty())
+        fatal("schedule: flow layer has no transport operations");
+
+    // BFS depth from the inlet ports along source -> sink edges.
+    // Unreached components rank last and carry no dependencies.
+    const int64_t unreachable =
+        std::numeric_limits<int64_t>::max();
+    std::unordered_map<std::string, int64_t> depth;
+    std::unordered_map<std::string, std::vector<std::string>>
+        downstream;
+    for (const TransportOp &op : result.ops)
+        downstream[op.sourceId].push_back(op.sinkId);
+    std::deque<std::string> frontier;
+    PortPartition ports = classifyFlowPorts(device);
+    std::vector<std::string> roots =
+        ports.inlets.empty() ? ports.outlets : ports.inlets;
+    if (roots.empty()) {
+        // Portless device: every source component is a root.
+        std::set<std::string> sources;
+        for (const TransportOp &op : result.ops)
+            sources.insert(op.sourceId);
+        roots.assign(sources.begin(), sources.end());
+    }
+    for (const std::string &id : roots) {
+        if (depth.emplace(id, 0).second)
+            frontier.push_back(id);
+    }
+    while (!frontier.empty()) {
+        std::string id = frontier.front();
+        frontier.pop_front();
+        int64_t next = depth.at(id) + 1;
+        for (const std::string &sink : downstream[id]) {
+            if (depth.emplace(sink, next).second)
+                frontier.push_back(sink);
+        }
+    }
+    auto depth_of = [&](const std::string &id) {
+        auto it = depth.find(id);
+        return it == depth.end() ? unreachable : it->second;
+    };
+
+    // Dependencies: op (u -> v) waits for every op (w -> u) with
+    // depth(w) < depth(u). The strict decrease breaks grid cycles:
+    // any dependency chain strictly lowers the source depth, so
+    // the precedence graph is acyclic by construction.
+    size_t n = result.ops.size();
+    std::unordered_map<std::string, std::vector<size_t>> ops_into;
+    for (size_t i = 0; i < n; ++i)
+        ops_into[result.ops[i].sinkId].push_back(i);
+    std::vector<std::vector<size_t>> dependents(n);
+    std::vector<size_t> waiting(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        const TransportOp &op = result.ops[i];
+        int64_t source_depth = depth_of(op.sourceId);
+        if (source_depth == 0 || source_depth == unreachable)
+            continue;
+        auto feeders = ops_into.find(op.sourceId);
+        if (feeders == ops_into.end())
+            continue;
+        for (size_t f : feeders->second) {
+            if (depth_of(result.ops[f].sourceId) < source_depth) {
+                dependents[f].push_back(i);
+                ++waiting[i];
+            }
+        }
+    }
+
+    // K-way list schedule: ready ops start in (source depth,
+    // declaration order) priority as manifold slots free up.
+    auto priority = [&](size_t i) {
+        return std::make_pair(depth_of(result.ops[i].sourceId),
+                              i);
+    };
+    std::set<std::pair<int64_t, size_t>> ready;
+    for (size_t i = 0; i < n; ++i) {
+        if (waiting[i] == 0)
+            ready.insert(priority(i));
+    }
+    using Running = std::pair<int64_t, size_t>; // (end, op)
+    std::priority_queue<Running, std::vector<Running>,
+                        std::greater<Running>>
+        running;
+    int64_t now = 0;
+    size_t done = 0;
+    while (done < n) {
+        while (running.size() < options.concurrency &&
+               !ready.empty()) {
+            size_t i = ready.begin()->second;
+            ready.erase(ready.begin());
+            result.ops[i].start = now;
+            result.ops[i].end = now + result.ops[i].duration;
+            running.emplace(result.ops[i].end, i);
+        }
+        if (running.empty())
+            panic("schedule: stalled with ops outstanding");
+        auto [end, finished] = running.top();
+        running.pop();
+        now = end;
+        ++done;
+        for (size_t dependent : dependents[finished]) {
+            if (--waiting[dependent] == 0)
+                ready.insert(priority(dependent));
+        }
+    }
+
+    // Transport-vs-store: an op whose product out-waits its
+    // earliest consumer's start parks in the channel — that
+    // channel serves as distributed storage.
+    std::set<std::string> storage_channels;
+    int64_t busy = 0;
+    for (size_t i = 0; i < n; ++i) {
+        TransportOp &op = result.ops[i];
+        result.makespan = std::max(result.makespan, op.end);
+        busy += op.duration;
+        if (dependents[i].empty())
+            continue;
+        int64_t first_consumer =
+            std::numeric_limits<int64_t>::max();
+        for (size_t dependent : dependents[i])
+            first_consumer = std::min(
+                first_consumer, result.ops[dependent].start);
+        if (first_consumer > op.end) {
+            op.stored = true;
+            op.storedUnits = first_consumer - op.end;
+            ++result.storedOps;
+            storage_channels.insert(op.connectionId);
+        }
+    }
+    result.storageChannels = storage_channels.size();
+    result.utilization =
+        static_cast<double>(busy) /
+        (static_cast<double>(options.concurrency) *
+         static_cast<double>(result.makespan));
+
+    PM_OBS_COUNT("sim.schedule.runs", 1);
+    PM_OBS_COUNT("sim.schedule.ops", result.ops.size());
+    PM_OBS_GAUGE("sim.schedule.makespan", result.makespan);
+    PM_OBS_GAUGE("sim.schedule.storage_channels",
+                 result.storageChannels);
+    PM_OBS_GAUGE("sim.schedule.utilization", result.utilization);
+    return result;
+}
+
+} // namespace parchmint::sim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Flow-path scheduling over routed netlists (after Zhu et al.,
+ * "Transport or Store?": distributed channel storage in
+ * continuous-flow biochips).
+ *
+ * Every (connection, sink) pair of the flow layer is one transport
+ * operation whose duration scales with its routed channel length
+ * (nominal length before routing). Operations are ordered by a
+ * BFS depth from the inlet ports — an op entering a component
+ * waits for the ops feeding that component from shallower depth,
+ * which breaks grid cycles deterministically — and dispatched by a
+ * K-way list scheduler modeling a pressure manifold that can drive
+ * only K concurrent transports. Afterwards each op is classified
+ * transport-vs-store: an op whose product sits in its channel
+ * waiting for a downstream consumer is a *store*, and the number
+ * of distinct channels ever used as storage is the
+ * storage-channel count the paper's quality story ranks.
+ */
+
+#ifndef PARCHMINT_SIM_SCHEDULE_HH
+#define PARCHMINT_SIM_SCHEDULE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/device.hh"
+
+namespace parchmint::sim
+{
+
+/** Scheduler knobs. */
+struct ScheduleOptions
+{
+    /** Concurrent transports the manifold drives (>= 1). */
+    size_t concurrency = 2;
+    /** Micrometers of channel advanced per time unit. */
+    int64_t lengthPerUnit = 1000;
+    /** Length assumed for unrouted channels, um. */
+    int64_t nominalChannelLength = 5000;
+};
+
+/** One scheduled transport operation. */
+struct TransportOp
+{
+    std::string connectionId;
+    size_t sinkIndex = 0;
+    std::string sourceId;
+    std::string sinkId;
+    /** Transport time, in scheduler time units (>= 1). */
+    int64_t duration = 0;
+    int64_t start = 0;
+    int64_t end = 0;
+    /** True when the product waits in its channel for the first
+     * consumer (distributed channel storage). */
+    bool stored = false;
+    /** Time units spent stored (0 when not stored). */
+    int64_t storedUnits = 0;
+};
+
+/** Result of a scheduling pass. */
+struct ScheduleResult
+{
+    /** Ops in connection/sink declaration order. */
+    std::vector<TransportOp> ops;
+    int64_t makespan = 0;
+    /** Ops classified as stores. */
+    size_t storedOps = 0;
+    /** Distinct channels ever used as storage. */
+    size_t storageChannels = 0;
+    /** Total busy time / (concurrency * makespan), in (0, 1]. */
+    double utilization = 0.0;
+};
+
+/**
+ * Schedule the flow layer of @p device.
+ * @throws UserError when the device has no flow layer, no
+ *         transport operations, or concurrency is zero.
+ */
+ScheduleResult scheduleFlows(const Device &device,
+                             const ScheduleOptions &options = {});
+
+} // namespace parchmint::sim
+
+#endif // PARCHMINT_SIM_SCHEDULE_HH

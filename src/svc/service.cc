@@ -1,7 +1,9 @@
 #include "svc/service.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
+#include <map>
 #include <thread>
 
 #include "analysis/netlist_stats.hh"
@@ -26,6 +28,9 @@
 #include "place/cost.hh"
 #include "route/router.hh"
 #include "schema/rules.hh"
+#include "sim/dilution.hh"
+#include "sim/mixing.hh"
+#include "sim/schedule.hh"
 #include "suite/suite.hh"
 
 namespace parchmint::svc
@@ -61,6 +66,56 @@ errorResponse(int status, const std::string &message)
     return jsonResponse(status, compactJson(body));
 }
 
+} // namespace
+
+FlowRequest
+parseFlowRequest(const json::Value &document)
+{
+    FlowRequest request;
+    request.netlist = &document;
+    if (!document.isObject() || !document.find("netlist"))
+        return request;
+    const json::Value *netlist = document.find("netlist");
+    if (!netlist->isObject())
+        fatal("\"netlist\" must be an object");
+    request.netlist = netlist;
+    if (const json::Value *inlets = document.find("inlets")) {
+        if (!inlets->isObject())
+            fatal("\"inlets\" must map port IDs to "
+                  "concentrations");
+        for (const auto &[port, value] : inlets->members()) {
+            if (!value.isNumber())
+                fatal("inlet concentration for \"" + port +
+                      "\" must be a number");
+            request.inlets[port] = value.asDouble();
+        }
+    }
+    if (const json::Value *pressure =
+            document.find("pressure_kpa")) {
+        if (!pressure->isNumber())
+            fatal("\"pressure_kpa\" must be a number");
+        double kpa = pressure->asDouble();
+        if (!std::isfinite(kpa) || kpa <= 0.0 || kpa > 1e6)
+            fatal("\"pressure_kpa\" must be a positive finite "
+                  "number (at most 1e6)");
+        request.pressurePa = 1000.0 * kpa;
+    }
+    if (const json::Value *concurrency =
+            document.find("concurrency")) {
+        if (!concurrency->isInteger() ||
+            concurrency->asInteger() < 1 ||
+            concurrency->asInteger() > 64)
+            fatal("\"concurrency\" must be an integer in "
+                  "[1, 64]");
+        request.concurrency =
+            static_cast<size_t>(concurrency->asInteger());
+    }
+    return request;
+}
+
+namespace
+{
+
 /** Short metric label for a request path ("other" if unknown). */
 std::string
 endpointLabel(const std::string &path)
@@ -73,6 +128,12 @@ endpointLabel(const std::string &path)
         return "place";
     if (path == "/v1/route")
         return "route";
+    if (path == "/v1/mix")
+        return "mix";
+    if (path == "/v1/dilute")
+        return "dilute";
+    if (path == "/v1/schedule")
+        return "schedule";
     if (path == "/v1/suite" || startsWith(path, "/v1/suite/"))
         return "suite";
     if (path == "/healthz")
@@ -352,7 +413,9 @@ NetlistService::dispatch(const HttpRequest &request,
             path.substr(std::string("/v1/suite/").size()));
     }
     if (path == "/v1/validate" || path == "/v1/characterize" ||
-        path == "/v1/place" || path == "/v1/route") {
+        path == "/v1/place" || path == "/v1/route" ||
+        path == "/v1/mix" || path == "/v1/dilute" ||
+        path == "/v1/schedule") {
         if (request.method != "POST") {
             HttpResponse response =
                 errorResponse(405, "use POST " + path);
@@ -418,7 +481,10 @@ NetlistService::handlePipeline(const std::string &endpoint,
     }
     token.throwIfCancelled("parse " + endpoint);
 
-    bool seeded = endpoint == "place" || endpoint == "route";
+    // Seeded endpoints run the annealer; dilute is a pure function
+    // of the spec document alone.
+    bool seeded = endpoint == "place" || endpoint == "route" ||
+                  endpoint == "mix" || endpoint == "schedule";
     uint64_t seed = options_.seed;
     if (seeded) {
         std::string param = request.queryParam("seed");
@@ -488,6 +554,45 @@ NetlistService::computeResult(const std::string &endpoint,
         return compactJson(out);
     }
 
+    if (endpoint == "dilute") {
+        sim::DilutionSpec spec = [&] {
+            obs::reqtrace::ScopedStage stage("validate");
+            return sim::parseDilutionSpec(document);
+        }();
+        token.throwIfCancelled("dilute");
+        sim::DilutionPlan plan = [&] {
+            obs::reqtrace::ScopedStage stage("dilute");
+            return sim::synthesizeDilution(spec);
+        }();
+        json::Value farey = json::Value::makeObject();
+        farey.set("numerator",
+                  json::Value(static_cast<int64_t>(
+                      plan.fareyNumerator)));
+        farey.set("denominator",
+                  json::Value(static_cast<int64_t>(
+                      plan.fareyDenominator)));
+        json::Value out = json::Value::makeObject();
+        out.set("schema", json::Value("parchmintd-dilute-v1"));
+        out.set("target", json::Value(spec.target));
+        out.set("tolerance", json::Value(spec.tolerance));
+        out.set("achieved", json::Value(plan.achieved));
+        out.set("error", json::Value(plan.error));
+        out.set("depth", json::Value(static_cast<int64_t>(
+                             plan.depth)));
+        out.set("numerator",
+                json::Value(
+                    static_cast<int64_t>(plan.numerator)));
+        out.set("reagent_units",
+                json::Value(
+                    static_cast<int64_t>(plan.reagentUnits)));
+        out.set("buffer_units",
+                json::Value(
+                    static_cast<int64_t>(plan.bufferUnits)));
+        out.set("farey", std::move(farey));
+        out.set("netlist", toJson(plan.netlist));
+        return compactJson(out);
+    }
+
     if (endpoint == "characterize") {
         Device device = [&] {
             obs::reqtrace::ScopedStage stage("validate");
@@ -504,13 +609,22 @@ NetlistService::computeResult(const std::string &endpoint,
         return compactJson(out);
     }
 
-    // place / route share the front of the pipeline. The annealer
-    // derives its RNG stream from the seed and the device name, so
-    // the result is a pure function of (document, seed) — the
-    // property the result cache and the byte-identity guarantee
-    // both lean on.
+    // place / route / mix / schedule share the front of the
+    // pipeline. The annealer derives its RNG stream from the seed
+    // and the device name, so the result is a pure function of
+    // (document, seed) — the property the result cache and the
+    // byte-identity guarantee both lean on. The continuous-flow
+    // endpoints solve over the *routed* netlist, so routed channel
+    // lengths (not nominal fallbacks) drive their physics.
+    bool flow_endpoint =
+        endpoint == "mix" || endpoint == "schedule";
+    FlowRequest flow_request;
     Device device = [&] {
         obs::reqtrace::ScopedStage stage("validate");
+        if (flow_endpoint) {
+            flow_request = parseFlowRequest(document);
+            return fromJson(*flow_request.netlist);
+        }
         return fromJson(document);
     }();
     token.throwIfCancelled(endpoint);
@@ -546,6 +660,83 @@ NetlistService::computeResult(const std::string &endpoint,
     }();
     token.throwIfCancelled("route");
     placement.writeTo(device);
+
+    if (endpoint == "mix") {
+        sim::MixingOptions mixing;
+        mixing.inletPressurePa = flow_request.pressurePa;
+        sim::MixingResult result = [&] {
+            obs::reqtrace::ScopedStage stage("mix");
+            return sim::solveMixing(device, flow_request.inlets,
+                                    mixing);
+        }();
+        json::Value outlets = json::Value::makeArray();
+        for (const sim::OutletProfile &profile :
+             result.outlets) {
+            json::Value entry = json::Value::makeObject();
+            entry.set("port", json::Value(profile.portId));
+            entry.set("concentration",
+                      json::Value(profile.concentration));
+            entry.set("outflow_nl_s",
+                      json::Value(profile.outflow * 1e12));
+            outlets.append(std::move(entry));
+        }
+        json::Value out = json::Value::makeObject();
+        out.set("schema", json::Value("parchmintd-mix-v1"));
+        out.set("seed", json::Value(static_cast<int64_t>(seed)));
+        out.set("quality", json::Value(result.mixingQuality));
+        out.set("mean_concentration",
+                json::Value(result.meanConcentration));
+        out.set("inlets", json::Value(static_cast<int64_t>(
+                              result.inlets)));
+        out.set("nodes", json::Value(static_cast<int64_t>(
+                             result.nodes)));
+        out.set("floating",
+                json::Value(
+                    static_cast<int64_t>(result.floating)));
+        out.set("outlets", std::move(outlets));
+        return compactJson(out);
+    }
+
+    if (endpoint == "schedule") {
+        sim::ScheduleOptions scheduling;
+        scheduling.concurrency = flow_request.concurrency;
+        sim::ScheduleResult result = [&] {
+            obs::reqtrace::ScopedStage stage("schedule");
+            return sim::scheduleFlows(device, scheduling);
+        }();
+        json::Value ops = json::Value::makeArray();
+        for (const sim::TransportOp &op : result.ops) {
+            json::Value entry = json::Value::makeObject();
+            entry.set("connection",
+                      json::Value(op.connectionId));
+            entry.set("sink", json::Value(static_cast<int64_t>(
+                                  op.sinkIndex)));
+            entry.set("start", json::Value(op.start));
+            entry.set("end", json::Value(op.end));
+            entry.set("duration", json::Value(op.duration));
+            entry.set("stored", json::Value(op.stored));
+            ops.append(std::move(entry));
+        }
+        json::Value out = json::Value::makeObject();
+        out.set("schema",
+                json::Value("parchmintd-schedule-v1"));
+        out.set("seed", json::Value(static_cast<int64_t>(seed)));
+        out.set("concurrency",
+                json::Value(static_cast<int64_t>(
+                    scheduling.concurrency)));
+        out.set("makespan", json::Value(result.makespan));
+        out.set("stored_ops",
+                json::Value(
+                    static_cast<int64_t>(result.storedOps)));
+        out.set("storage_channels",
+                json::Value(static_cast<int64_t>(
+                    result.storageChannels)));
+        out.set("utilization",
+                json::Value(result.utilization));
+        out.set("ops", std::move(ops));
+        return compactJson(out);
+    }
+
     json::Value routing = json::Value::makeObject();
     routing.set("routedNets",
                 json::Value(

@@ -13,6 +13,21 @@
  *                          cost in the response
  *   POST /v1/route         placement + routing; routed netlist +
  *                          route metrics in the response
+ *   POST /v1/mix           place + route, then the steady-state
+ *                          concentration solve (sim/mixing.hh);
+ *                          per-outlet profiles + mixing quality.
+ *                          Body: a netlist, or {"netlist": {...},
+ *                          "inlets": {port: c}, "pressure_kpa": P}
+ *   POST /v1/dilute        dilution-tree synthesis
+ *                          (sim/dilution.hh) from a spec body
+ *                          {"target": t, "tolerance": e,
+ *                          "max_depth": d}; the plan's mixer tree
+ *                          is returned as a ParchMint netlist
+ *   POST /v1/schedule      place + route, then flow-path
+ *                          scheduling (sim/schedule.hh); makespan,
+ *                          storage-channel counts and the op
+ *                          timeline. Body: a netlist, or
+ *                          {"netlist": {...}, "concurrency": K}
  *   GET  /v1/suite         the standard benchmark registry
  *   GET  /v1/suite/<name>  one standard benchmark's netlist
  *   GET  /healthz          liveness probe
@@ -70,6 +85,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -111,6 +127,33 @@ struct TraceResolution
 TraceResolution resolveTraceHeader(const HttpRequest &request,
                                    uint64_t seed,
                                    uint64_t ordinal);
+
+/**
+ * A /v1/mix or /v1/schedule request body: either a bare netlist
+ * document, or a wrapper object {"netlist": {...}} with optional
+ * solver knobs. The bare form lets loadgen and CI post suite
+ * netlists unmodified.
+ */
+struct FlowRequest
+{
+    /** The netlist document (points into the request document). */
+    const json::Value *netlist = nullptr;
+    /** Prescribed inlet concentrations (mix only). */
+    std::map<std::string, double> inlets;
+    /** Inlet drive pressure, Pa (mix only). */
+    double pressurePa = 20000.0;
+    /** Manifold slots (schedule only). */
+    size_t concurrency = 2;
+};
+
+/**
+ * Parse a flow request body per the contract above. Pure — the
+ * property the mix_request fuzz target leans on.
+ *
+ * @throws UserError for malformed wrappers (non-object netlist,
+ *         non-numeric inlets, out-of-range pressure/concurrency).
+ */
+FlowRequest parseFlowRequest(const json::Value &document);
 
 /** Service knobs. */
 struct ServiceOptions

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Tests for the continuous-flow workload family (src/sim/mixing,
+ * src/sim/dilution, src/sim/schedule): solver physics on small
+ * hand-built devices, spec parsing and error paths, cross-solver
+ * consistency (a synthesized dilution ladder really produces its
+ * advertised concentration under the mixing solver), and the
+ * suite-runner flow artifact's --jobs determinism guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "common/error.hh"
+#include "core/builder.hh"
+#include "exec/suite_runner.hh"
+#include "json/parse.hh"
+#include "schema/rules.hh"
+#include "sim/dilution.hh"
+#include "sim/mixing.hh"
+#include "sim/schedule.hh"
+#include "suite/suite.hh"
+
+namespace parchmint
+{
+namespace
+{
+
+/** Two inlets feeding one mixer feeding one outlet. */
+Device
+yMixer()
+{
+    DeviceBuilder builder("y_mixer");
+    builder.flowLayer();
+    builder.component("in_a", EntityKind::Port)
+        .component("in_b", EntityKind::Port)
+        .component("mix1", EntityKind::Mixer)
+        .component("out", EntityKind::Port)
+        .channel("c_a", "in_a.1", "mix1.1")
+        .channel("c_b", "in_b.1", "mix1.1")
+        .channel("c_out", "mix1.2", "out.1");
+    return builder.build();
+}
+
+// --- classifyFlowPorts ------------------------------------------------
+
+TEST(FlowPortsTest, SplitsByIdPrefixInComponentOrder)
+{
+    sim::PortPartition ports = sim::classifyFlowPorts(yMixer());
+    ASSERT_EQ(2u, ports.inlets.size());
+    EXPECT_EQ("in_a", ports.inlets[0]);
+    EXPECT_EQ("in_b", ports.inlets[1]);
+    ASSERT_EQ(1u, ports.outlets.size());
+    EXPECT_EQ("out", ports.outlets[0]);
+}
+
+// --- solveMixing ------------------------------------------------------
+
+TEST(MixingTest, SymmetricJunctionMixesToHalf)
+{
+    // Default inlet concentrations alternate 1, 0; the two equal-
+    // resistance branches split flow evenly, so the single outlet
+    // sees exactly one half.
+    sim::MixingResult mix = sim::solveMixing(yMixer());
+    ASSERT_EQ(1u, mix.outlets.size());
+    EXPECT_EQ("out", mix.outlets[0].portId);
+    EXPECT_NEAR(0.5, mix.outlets[0].concentration, 1e-9);
+    EXPECT_NEAR(0.5, mix.meanConcentration, 1e-9);
+    // A single outlet is trivially uniform.
+    EXPECT_NEAR(1.0, mix.mixingQuality, 1e-12);
+    EXPECT_GT(mix.outlets[0].outflow, 0.0);
+    EXPECT_EQ(2u, mix.inlets);
+}
+
+TEST(MixingTest, PrescribedInletConcentrationsAreHonored)
+{
+    std::map<std::string, double> inlets = {{"in_a", 0.8},
+                                            {"in_b", 0.2}};
+    sim::MixingResult mix = sim::solveMixing(yMixer(), inlets);
+    EXPECT_NEAR(0.5, mix.outlets[0].concentration, 1e-9);
+
+    inlets = {{"in_a", 1.0}, {"in_b", 1.0}};
+    mix = sim::solveMixing(yMixer(), inlets);
+    EXPECT_NEAR(1.0, mix.outlets[0].concentration, 1e-9);
+}
+
+TEST(MixingTest, RejectsBadInletMaps)
+{
+    EXPECT_THROW(sim::solveMixing(yMixer(), {{"out", 0.5}}),
+                 UserError);
+    EXPECT_THROW(sim::solveMixing(yMixer(), {{"in_a", 1.5}}),
+                 UserError);
+    EXPECT_THROW(
+        sim::solveMixing(yMixer(), {{"in_a", std::nan("")}}),
+        UserError);
+}
+
+TEST(MixingTest, RejectsDevicesWithoutPortSplit)
+{
+    DeviceBuilder builder("no_ports");
+    builder.flowLayer();
+    builder.component("mix", EntityKind::Mixer);
+    EXPECT_THROW(sim::solveMixing(builder.build()), UserError);
+}
+
+TEST(MixingTest, GradientGeneratorKeepsItsGradient)
+{
+    // The paper's gradient generator exists to produce distinct
+    // outlet concentrations — the solver must see a non-uniform
+    // profile, monotone across the ladder, not a perfect mix.
+    Device device = suite::buildBenchmark("gradient_generator");
+    sim::MixingResult first = sim::solveMixing(device);
+    ASSERT_EQ(5u, first.outlets.size());
+    EXPECT_LT(first.mixingQuality, 0.9);
+    EXPECT_GT(first.outlets.front().concentration,
+              first.outlets.back().concentration);
+
+    // And bit-exact determinism across repeated solves.
+    sim::MixingResult second = sim::solveMixing(device);
+    EXPECT_EQ(first.mixingQuality, second.mixingQuality);
+    for (size_t i = 0; i < first.outlets.size(); ++i) {
+        EXPECT_EQ(first.outlets[i].concentration,
+                  second.outlets[i].concentration);
+    }
+}
+
+// --- dilution ---------------------------------------------------------
+
+TEST(DilutionTest, ExactDyadicTargetsAreExact)
+{
+    sim::DilutionSpec spec;
+    spec.target = 0.5;
+    sim::DilutionPlan plan = sim::synthesizeDilution(spec);
+    EXPECT_EQ(1u, plan.depth);
+    EXPECT_EQ(1u, plan.numerator);
+    EXPECT_EQ(0.5, plan.achieved);
+    EXPECT_EQ(0.0, plan.error);
+    EXPECT_EQ(1u, plan.reagentUnits);
+    EXPECT_EQ(1u, plan.bufferUnits);
+
+    spec.target = 0.0;
+    plan = sim::synthesizeDilution(spec);
+    EXPECT_EQ(0u, plan.depth);
+    EXPECT_EQ(0u, plan.reagentUnits);
+
+    spec.target = 1.0;
+    plan = sim::synthesizeDilution(spec);
+    EXPECT_EQ(0u, plan.depth);
+    EXPECT_EQ(0u, plan.bufferUnits);
+}
+
+TEST(DilutionTest, MeetsToleranceAtMinimalDepth)
+{
+    sim::DilutionSpec spec;
+    spec.target = 0.3;
+    spec.tolerance = 1.0 / 256.0;
+    sim::DilutionPlan plan = sim::synthesizeDilution(spec);
+    EXPECT_LE(plan.error, spec.tolerance);
+    EXPECT_LE(plan.depth, spec.maxDepth);
+    // Depth 6 is the first dyadic scale within 1/256 of 0.3:
+    // 19/64 = 0.296875 misses by 1/320 < 1/256.
+    EXPECT_EQ(6u, plan.depth);
+    EXPECT_EQ(19u, plan.numerator);
+    EXPECT_EQ(0.296875, plan.achieved);
+
+    // The Farey walk finds the information-theoretic floor: 3/10
+    // is the minimal-denominator fraction inside the window.
+    EXPECT_EQ(3u, plan.fareyNumerator);
+    EXPECT_EQ(10u, plan.fareyDenominator);
+}
+
+TEST(DilutionTest, UnreachableToleranceIsRejected)
+{
+    sim::DilutionSpec spec;
+    spec.target = 0.3;
+    spec.tolerance = 1e-12;
+    spec.maxDepth = 4;
+    EXPECT_THROW(sim::synthesizeDilution(spec), UserError);
+}
+
+TEST(DilutionTest, SpecParsingValidates)
+{
+    sim::DilutionSpec spec = sim::parseDilutionSpec(json::parse(
+        R"({"target": 0.25, "tolerance": 0.01, "max_depth": 6})"));
+    EXPECT_EQ(0.25, spec.target);
+    EXPECT_EQ(0.01, spec.tolerance);
+    EXPECT_EQ(6u, spec.maxDepth);
+
+    EXPECT_THROW(sim::parseDilutionSpec(json::parse("{}")),
+                 UserError);
+    EXPECT_THROW(sim::parseDilutionSpec(
+                     json::parse(R"({"target": 2.0})")),
+                 UserError);
+    EXPECT_THROW(sim::parseDilutionSpec(
+                     json::parse(R"({"target": -0.1})")),
+                 UserError);
+    EXPECT_THROW(
+        sim::parseDilutionSpec(json::parse(
+            R"({"target": 0.5, "tolerance": 0})")),
+        UserError);
+    EXPECT_THROW(
+        sim::parseDilutionSpec(json::parse(
+            R"({"target": 0.5, "max_depth": 0})")),
+        UserError);
+}
+
+TEST(DilutionTest, SynthesizedLadderIsAConsumableNetlist)
+{
+    // Cross-solver consistency: the emitted netlist passes the
+    // schema rules and the mixing solver consumes it unchanged.
+    sim::DilutionSpec spec;
+    spec.target = 0.3;
+    spec.tolerance = 1.0 / 256.0;
+    sim::DilutionPlan plan = sim::synthesizeDilution(spec);
+
+    std::vector<schema::Issue> issues =
+        schema::checkRules(plan.netlist);
+    for (const schema::Issue &issue : issues) {
+        EXPECT_NE(schema::Severity::Error, issue.severity)
+            << issue.message;
+    }
+
+    sim::MixingResult mix = sim::solveMixing(plan.netlist);
+    ASSERT_EQ(1u, mix.outlets.size());
+    EXPECT_GE(mix.outlets[0].concentration, 0.0);
+    EXPECT_LE(mix.outlets[0].concentration, 1.0);
+
+    // At depth 1 the ladder *is* a single y-mixer, where the
+    // steady-state hydraulic solve and the bit-serial 1:1 semantics
+    // coincide exactly; deeper chains diverge because the upstream
+    // resistance skews the per-stage flow split.
+    spec.target = 0.5;
+    plan = sim::synthesizeDilution(spec);
+    mix = sim::solveMixing(plan.netlist);
+    ASSERT_EQ(1u, mix.outlets.size());
+    EXPECT_NEAR(0.5, mix.outlets[0].concentration, 1e-9);
+}
+
+// --- scheduleFlows ----------------------------------------------------
+
+TEST(ScheduleTest, SerializesOnOneManifoldSlot)
+{
+    sim::ScheduleOptions options;
+    options.concurrency = 1;
+    sim::ScheduleResult schedule =
+        sim::scheduleFlows(yMixer(), options);
+    // Three channels at nominal length 5000 um and 1000 um per
+    // time unit: 5 + 5 + 5 fully serialized.
+    ASSERT_EQ(3u, schedule.ops.size());
+    EXPECT_EQ(15, schedule.makespan);
+    EXPECT_EQ(1.0, schedule.utilization);
+    // c_a finishes at 5 but its dependent (c_out) starts at 10:
+    // the fluid sits in a storage channel meanwhile.
+    EXPECT_EQ(1u, schedule.storedOps);
+    EXPECT_EQ(1u, schedule.storageChannels);
+}
+
+TEST(ScheduleTest, ParallelSlotsShortenMakespan)
+{
+    sim::ScheduleOptions options;
+    options.concurrency = 2;
+    sim::ScheduleResult schedule =
+        sim::scheduleFlows(yMixer(), options);
+    // Both inlet transports overlap, then the outlet leg.
+    EXPECT_EQ(10, schedule.makespan);
+    EXPECT_EQ(0u, schedule.storedOps);
+
+    // Dependencies hold regardless of slot count: the outlet leg
+    // starts only after both feeds arrived.
+    for (const sim::TransportOp &op : schedule.ops) {
+        if (op.connectionId == "c_out") {
+            EXPECT_EQ(5, op.start);
+        }
+    }
+}
+
+TEST(ScheduleTest, RejectsChannelFreeDevices)
+{
+    DeviceBuilder builder("no_channels");
+    builder.flowLayer();
+    builder.component("in", EntityKind::Port);
+    EXPECT_THROW(sim::scheduleFlows(builder.build()), UserError);
+}
+
+TEST(ScheduleTest, DeterministicOnRecirculatingGrids)
+{
+    Device device = suite::buildBenchmark("synthetic_grid");
+    sim::ScheduleResult first = sim::scheduleFlows(device);
+    sim::ScheduleResult second = sim::scheduleFlows(device);
+    EXPECT_EQ(first.makespan, second.makespan);
+    EXPECT_EQ(first.storedOps, second.storedOps);
+    ASSERT_EQ(first.ops.size(), second.ops.size());
+    for (size_t i = 0; i < first.ops.size(); ++i) {
+        EXPECT_EQ(first.ops[i].connectionId,
+                  second.ops[i].connectionId);
+        EXPECT_EQ(first.ops[i].start, second.ops[i].start);
+        EXPECT_EQ(first.ops[i].end, second.ops[i].end);
+    }
+    EXPECT_GT(first.ops.size(), 0u);
+    EXPECT_GT(first.makespan, 0);
+}
+
+// --- suite-runner flow artifact ---------------------------------------
+
+TEST(FlowArtifactTest, ParallelSweepMatchesSerialByteForByte)
+{
+    exec::SuiteRunOptions serial;
+    serial.jobs = 1;
+    serial.seed = 13;
+    serial.benchmarks = {"droplet_transposer",
+                         "gradient_generator"};
+
+    exec::SuiteRunOptions parallel = serial;
+    parallel.jobs = 4;
+
+    exec::SuiteRunSummary one = exec::runSuite(serial);
+    exec::SuiteRunSummary four = exec::runSuite(parallel);
+
+    ASSERT_EQ(one.jobs.size(), four.jobs.size());
+    for (size_t i = 0; i < one.jobs.size(); ++i) {
+        ASSERT_FALSE(one.jobs[i].flowJson.empty())
+            << one.jobs[i].benchmark;
+        // The determinism guarantee extends to the flow solvers:
+        // the serialized mixing + schedule results are byte-
+        // identical whatever --jobs was.
+        EXPECT_EQ(one.jobs[i].flowJson, four.jobs[i].flowJson)
+            << one.jobs[i].benchmark;
+
+        json::Value doc = json::parse(one.jobs[i].flowJson);
+        EXPECT_EQ("parchmint-flow-sim-v1",
+                  doc.at("schema").asString());
+        EXPECT_EQ(one.jobs[i].benchmark,
+                  doc.at("benchmark").asString());
+        EXPECT_TRUE(doc.at("mix").at("solved").asBoolean())
+            << one.jobs[i].benchmark;
+        EXPECT_TRUE(
+            doc.at("schedule").at("scheduled").asBoolean())
+            << one.jobs[i].benchmark;
+    }
+}
+
+} // namespace
+} // namespace parchmint

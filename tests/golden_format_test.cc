@@ -9,8 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/flow_quality.hh"
 #include "analysis/netlist_stats.hh"
 #include "analysis/stats_json.hh"
+#include "json/parse.hh"
+#include "json/write.hh"
 #include "core/builder.hh"
 #include "core/deserialize.hh"
 #include "core/serialize.hh"
@@ -19,6 +22,7 @@
 #include "obs/leaderboard.hh"
 #include "obs/manifest.hh"
 #include "obs/report.hh"
+#include "svc/service.hh"
 
 namespace parchmint
 {
@@ -236,8 +240,16 @@ TEST(GoldenFormatTest, EveryJsonDocumentSelfIdentifies)
                   .at("schema")
                   .asString());
 
+    // The manifest document shape is additive (schema stays v1)
+    // but its contract revision advanced with the continuous-flow
+    // problems; both markers are pinned here.
     EXPECT_EQ("parchmint-manifest-v1",
               obs::manifestToJson().at("schema").asString());
+    EXPECT_EQ("parchmint-manifest-v2", obs::manifestVersion());
+    EXPECT_EQ("parchmint-manifest-v2",
+              obs::manifestToJson()
+                  .at("manifest_version")
+                  .asString());
     EXPECT_EQ("parchmint-leaderboard-v1",
               obs::leaderboardToJson(obs::buildLeaderboard({}))
                   .at("schema")
@@ -249,6 +261,37 @@ TEST(GoldenFormatTest, EveryJsonDocumentSelfIdentifies)
               analysis::suiteReportToJson({stats})
                   .at("schema")
                   .asString());
+
+    EXPECT_EQ("parchmint-flow-quality-v1",
+              analysis::flowQualityToJson({}, 1)
+                  .at("schema")
+                  .asString());
+
+    // The continuous-flow service responses self-identify too;
+    // the reference device (one inlet, one valve, one outlet) is
+    // cheap to place and route in-process.
+    svc::NetlistService service;
+    json::WriteOptions compact;
+    compact.pretty = false;
+    std::string netlist =
+        json::write(toJson(referenceDevice()), compact);
+    auto post = [&](const std::string &target,
+                    std::string body) {
+        svc::HttpRequest request;
+        request.method = "POST";
+        request.target = target;
+        request.body = std::move(body);
+        svc::HttpResponse response = service.handle(request);
+        EXPECT_EQ(200, response.status) << response.body;
+        return json::parse(response.body)
+            .at("schema")
+            .asString();
+    };
+    EXPECT_EQ("parchmintd-mix-v1", post("/v1/mix", netlist));
+    EXPECT_EQ("parchmintd-schedule-v1",
+              post("/v1/schedule", netlist));
+    EXPECT_EQ("parchmintd-dilute-v1",
+              post("/v1/dilute", R"({"target": 0.25})"));
 }
 
 } // namespace

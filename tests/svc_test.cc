@@ -25,6 +25,8 @@
 #include "obs/obs.hh"
 #include "obs/profiler.hh"
 #include "obs/reqtrace.hh"
+#include "schema/rules.hh"
+#include "sim/mixing.hh"
 #include "suite/suite.hh"
 #include "svc/admission.hh"
 #include "svc/cache.hh"
@@ -1021,6 +1023,248 @@ TEST(ScrapeRegressionTest, ConcurrentScrapesDuringPnrStayClean)
     for (std::thread &scraper : scrapers)
         scraper.join();
     EXPECT_EQ(0, scrape_failures.load());
+}
+
+// ---------------------------------------------------------------
+// Continuous-flow endpoints: /v1/mix, /v1/dilute, /v1/schedule
+
+TEST(FlowEndpointTest, MixIsDeterministicAndCached)
+{
+    NetlistService service;
+    std::string body = netlistBody("gradient_generator");
+
+    HttpResponse first =
+        service.handle(postRequest("/v1/mix", body));
+    ASSERT_EQ(200, first.status) << first.body;
+    json::Value doc = json::parse(first.body);
+    EXPECT_EQ("parchmintd-mix-v1", doc.at("schema").asString());
+    EXPECT_EQ(5u, doc.at("outlets").size());
+    double quality = doc.at("quality").asDouble();
+    EXPECT_GE(quality, 0.0);
+    EXPECT_LE(quality, 1.0);
+    for (size_t i = 0; i < doc.at("outlets").size(); ++i) {
+        const json::Value &outlet = doc.at("outlets").at(i);
+        double concentration =
+            outlet.at("concentration").asDouble();
+        EXPECT_GE(concentration, 0.0);
+        EXPECT_LE(concentration, 1.0);
+        EXPECT_GT(outlet.at("outflow_nl_s").asDouble(), 0.0);
+    }
+
+    // Byte-identical replay answered by the result cache.
+    uint64_t hits_before = service.resultCacheStats().hits;
+    HttpResponse second =
+        service.handle(postRequest("/v1/mix", body));
+    ASSERT_EQ(200, second.status);
+    EXPECT_EQ(first.body, second.body);
+    EXPECT_GT(service.resultCacheStats().hits, hits_before);
+
+    // The solve runs on the *routed* netlist, so the seed reaches
+    // the physics via the annealer; a different seed is a
+    // different cache entry and a different response.
+    HttpResponse reseeded =
+        service.handle(postRequest("/v1/mix?seed=99", body));
+    ASSERT_EQ(200, reseeded.status);
+    EXPECT_NE(first.body, reseeded.body);
+    EXPECT_EQ(99, json::parse(reseeded.body)
+                      .at("seed")
+                      .asInteger());
+}
+
+TEST(FlowEndpointTest, MixAcceptsWrapperWithInlets)
+{
+    NetlistService service;
+    Device device = suite::buildBenchmark("gradient_generator");
+    sim::PortPartition ports = sim::classifyFlowPorts(device);
+    ASSERT_FALSE(ports.inlets.empty());
+
+    json::Value inlets = json::Value::makeObject();
+    for (const std::string &inlet : ports.inlets)
+        inlets.set(inlet, json::Value(1.0));
+    json::Value wrapper = json::Value::makeObject();
+    wrapper.set("netlist", toJson(device));
+    wrapper.set("inlets", std::move(inlets));
+    wrapper.set("pressure_kpa", json::Value(25.0));
+    json::WriteOptions compact;
+    compact.pretty = false;
+
+    HttpResponse response = service.handle(postRequest(
+        "/v1/mix", json::write(wrapper, compact)));
+    ASSERT_EQ(200, response.status) << response.body;
+    json::Value doc = json::parse(response.body);
+    // Every inlet feeds pure reagent: the steady state is uniform
+    // concentration 1 everywhere downstream.
+    EXPECT_NEAR(1.0, doc.at("mean_concentration").asDouble(),
+                1e-9);
+    EXPECT_NEAR(1.0, doc.at("quality").asDouble(), 1e-9);
+}
+
+TEST(FlowEndpointTest, MixRejectsBadRequests)
+{
+    NetlistService service;
+
+    // Malformed wrapper members are user errors (422), not 500s.
+    HttpResponse bad_netlist = service.handle(
+        postRequest("/v1/mix", R"({"netlist": 3})"));
+    EXPECT_EQ(422, bad_netlist.status);
+
+    json::Value wrapper = json::Value::makeObject();
+    wrapper.set("netlist",
+                toJson(suite::buildBenchmark("cell_trap_array")));
+    wrapper.set("pressure_kpa", json::Value(-5.0));
+    json::WriteOptions compact;
+    compact.pretty = false;
+    HttpResponse bad_pressure = service.handle(postRequest(
+        "/v1/mix", json::write(wrapper, compact)));
+    EXPECT_EQ(422, bad_pressure.status);
+
+    // An inlet concentration outside [0, 1] is rejected by the
+    // solver itself.
+    wrapper = json::Value::makeObject();
+    Device device = suite::buildBenchmark("gradient_generator");
+    sim::PortPartition ports = sim::classifyFlowPorts(device);
+    json::Value inlets = json::Value::makeObject();
+    inlets.set(ports.inlets.front(), json::Value(2.5));
+    wrapper.set("netlist", toJson(device));
+    wrapper.set("inlets", std::move(inlets));
+    HttpResponse bad_inlet = service.handle(postRequest(
+        "/v1/mix", json::write(wrapper, compact)));
+    EXPECT_EQ(422, bad_inlet.status);
+
+    // An empty body never reaches the solver: 400.
+    HttpResponse empty =
+        service.handle(postRequest("/v1/mix", ""));
+    EXPECT_EQ(400, empty.status);
+}
+
+TEST(FlowEndpointTest, DiluteSolvesSpecsUnseeded)
+{
+    NetlistService service;
+    std::string body =
+        R"({"target": 0.3, "tolerance": 0.00390625})";
+
+    HttpResponse first =
+        service.handle(postRequest("/v1/dilute", body));
+    ASSERT_EQ(200, first.status) << first.body;
+    json::Value doc = json::parse(first.body);
+    EXPECT_EQ("parchmintd-dilute-v1",
+              doc.at("schema").asString());
+    EXPECT_LE(std::abs(doc.at("achieved").asDouble() - 0.3),
+              doc.at("tolerance").asDouble());
+    EXPECT_GE(doc.at("farey").at("denominator").asInteger(), 1);
+
+    // The embedded plan is a valid ParchMint netlist.
+    std::vector<schema::Issue> issues =
+        schema::validateDocument(doc.at("netlist"));
+    for (const schema::Issue &issue : issues) {
+        EXPECT_NE(schema::Severity::Error, issue.severity)
+            << issue.message;
+    }
+
+    // Replays hit the result cache.
+    uint64_t hits_before = service.resultCacheStats().hits;
+    HttpResponse second =
+        service.handle(postRequest("/v1/dilute", body));
+    ASSERT_EQ(200, second.status);
+    EXPECT_EQ(first.body, second.body);
+    EXPECT_GT(service.resultCacheStats().hits, hits_before);
+
+    // Dilution is seed-free: an explicit ?seed neither changes
+    // the answer nor forks the cache entry.
+    HttpResponse reseeded =
+        service.handle(postRequest("/v1/dilute?seed=7", body));
+    ASSERT_EQ(200, reseeded.status);
+    EXPECT_EQ(first.body, reseeded.body);
+
+    // Spec errors map to 422.
+    HttpResponse bad = service.handle(
+        postRequest("/v1/dilute", R"({"target": 2.0})"));
+    EXPECT_EQ(422, bad.status);
+    HttpResponse missing =
+        service.handle(postRequest("/v1/dilute", "{}"));
+    EXPECT_EQ(422, missing.status);
+}
+
+TEST(FlowEndpointTest, ScheduleHonorsConcurrency)
+{
+    NetlistService service;
+    Device device = suite::buildBenchmark("cell_trap_array");
+    json::WriteOptions compact;
+    compact.pretty = false;
+
+    // Bare netlist: the default two-slot manifold.
+    HttpResponse bare = service.handle(postRequest(
+        "/v1/schedule", netlistBody("cell_trap_array")));
+    ASSERT_EQ(200, bare.status) << bare.body;
+    json::Value bare_doc = json::parse(bare.body);
+    EXPECT_EQ("parchmintd-schedule-v1",
+              bare_doc.at("schema").asString());
+    EXPECT_EQ(2, bare_doc.at("concurrency").asInteger());
+    EXPECT_GT(bare_doc.at("makespan").asInteger(), 0);
+    EXPECT_GT(bare_doc.at("ops").size(), 0u);
+
+    // Wrapper concurrency flows through; more slots never
+    // lengthen the schedule.
+    json::Value wrapper = json::Value::makeObject();
+    wrapper.set("netlist", toJson(device));
+    wrapper.set("concurrency", json::Value(int64_t{4}));
+    HttpResponse wide = service.handle(postRequest(
+        "/v1/schedule", json::write(wrapper, compact)));
+    ASSERT_EQ(200, wide.status) << wide.body;
+    json::Value wide_doc = json::parse(wide.body);
+    EXPECT_EQ(4, wide_doc.at("concurrency").asInteger());
+    EXPECT_LE(wide_doc.at("makespan").asInteger(),
+              bare_doc.at("makespan").asInteger());
+
+    // Zero slots is a malformed request, not a hung solve.
+    wrapper.set("concurrency", json::Value(int64_t{0}));
+    HttpResponse zero = service.handle(postRequest(
+        "/v1/schedule", json::write(wrapper, compact)));
+    EXPECT_EQ(422, zero.status);
+}
+
+TEST(FlowEndpointTest, TracesNameTheSolverStages)
+{
+    NetlistService service;
+    HttpResponse mixed = service.handle(tracedRequest(
+        postRequest("/v1/mix", netlistBody("cell_trap_array")),
+        {"flow-probe-mix"}));
+    ASSERT_EQ(200, mixed.status) << mixed.body;
+    HttpResponse diluted = service.handle(tracedRequest(
+        postRequest("/v1/dilute", R"({"target": 0.25})"),
+        {"flow-probe-dilute"}));
+    ASSERT_EQ(200, diluted.status) << diluted.body;
+
+    HttpResponse tracez = service.handle(getRequest("/tracez"));
+    ASSERT_EQ(200, tracez.status);
+    const json::Value view = json::parse(tracez.body);
+    const json::Value &recent = view.at("recent");
+    bool saw_mix = false;
+    bool saw_dilute = false;
+    for (size_t i = 0; i < recent.size(); ++i) {
+        const json::Value &entry = recent.at(i);
+        std::vector<std::string> stages;
+        for (size_t j = 0; j < entry.at("stages").size(); ++j)
+            stages.push_back(
+                entry.at("stages").at(j).at("name").asString());
+        if (entry.at("trace").asString() == "flow-probe-mix") {
+            saw_mix = true;
+            // Mixing rides the place/route pipeline, then solves.
+            EXPECT_EQ((std::vector<std::string>{
+                          "parse", "validate", "place", "route",
+                          "mix"}),
+                      stages);
+        } else if (entry.at("trace").asString() ==
+                   "flow-probe-dilute") {
+            saw_dilute = true;
+            // Dilution synthesizes straight from the spec.
+            EXPECT_EQ((std::vector<std::string>{
+                          "parse", "validate", "dilute"}),
+                      stages);
+        }
+    }
+    EXPECT_TRUE(saw_mix);
+    EXPECT_TRUE(saw_dilute);
 }
 
 } // namespace
