@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Synthetic-generator scaling benchmarks (experiment F7).
+ *
+ * The report walks the corpus-size ladder 12 → 100 → 1000 → 10000:
+ * every tier expands one fixed spec per topology-family rotation
+ * and measures generation throughput (wall-clock, recorded but
+ * never gated). The machine-independent totals — netlist count,
+ * component/connection/byte sums, rule errors over the PnR sample —
+ * are recorded as registry counters (bench.gen.*) for the perf
+ * gate: the generator derives every draw from
+ * deriveSeed(spec.seed, instance name), so any counter drift means
+ * the grammar changed, not that the machine got slower.
+ *
+ * The full place-and-route pipeline is priced on a bounded sample
+ * (min(tier, 12) instances per tier) so the report stays minutes-
+ * free while still proving generated netlists survive PnR and
+ * validate clean at every scale. The timers price one netlist
+ * expansion per family.
+ */
+
+#include "bench_common.hh"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/generator.hh"
+#include "gen/spec.hh"
+#include "obs/metrics.hh"
+#include "place/annealing_placer.hh"
+#include "route/router.hh"
+#include "schema/rules.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+/** One fixed spec per tier; the family rotates so the ladder
+ * covers the whole grammar, and the windows stay small enough
+ * that the 10k tier generates in seconds. */
+gen::GenSpec
+tierSpec(size_t count, gen::Family family)
+{
+    gen::GenSpec spec;
+    spec.name = "f7";
+    spec.family = family;
+    spec.seed = 7;
+    spec.count = count;
+    spec.minComponents = 8;
+    spec.maxComponents = 24;
+    spec.maxFanout = 2;
+    return spec;
+}
+
+void
+report()
+{
+    bench::heading("F7", "synthetic generation scaling");
+    std::printf(
+        "Corpus-size ladder over the generator grammar: per tier,\n"
+        "expand every instance (throughput), then place, route and\n"
+        "validate a bounded sample. Totals are seed-pinned and\n"
+        "machine-independent; only the rates vary per machine.\n\n");
+    std::printf("%8s %-10s %10s %12s %8s %8s %8s\n", "tier",
+                "family", "components", "netlists/s", "sample",
+                "routed", "errors");
+
+    static const struct
+    {
+        size_t count;
+        gen::Family family;
+    } tiers[] = {
+        {12, gen::Family::Chain},
+        {100, gen::Family::Grid},
+        {1000, gen::Family::Ladder},
+        {10000, gen::Family::RandomDag},
+    };
+
+    int64_t netlists = 0;
+    int64_t components = 0;
+    int64_t connections = 0;
+    int64_t bytes = 0;
+    int64_t samples = 0;
+    int64_t routed_nets = 0;
+    int64_t total_nets = 0;
+    int64_t rule_errors = 0;
+
+    for (const auto &tier : tiers) {
+        gen::GenSpec spec = tierSpec(tier.count, tier.family);
+
+        // Expansion throughput over the full tier. Component and
+        // connection totals come from the Device (no re-parse);
+        // byte totals from the canonical text the corpus stores.
+        int64_t tier_components = 0;
+        bench::Stopwatch watch;
+        for (size_t i = 0; i < spec.count; ++i) {
+            Device device = gen::generateNetlist(spec, i);
+            tier_components += static_cast<int64_t>(
+                device.components().size());
+            connections += static_cast<int64_t>(
+                device.connections().size());
+            bytes += static_cast<int64_t>(
+                gen::generateNetlistText(spec, i).size());
+        }
+        double seconds = watch.elapsedMs() / 1e3;
+        double rate = seconds > 0.0
+                          ? static_cast<double>(spec.count) /
+                                seconds
+                          : 0.0;
+        netlists += static_cast<int64_t>(spec.count);
+        components += tier_components;
+
+        // Full-pipeline sample: place, route, write back, check
+        // rules. Deterministic at the pinned seed, so the routed
+        // and error totals gate like the annealer's counters.
+        size_t sample = spec.count < 12 ? spec.count : 12;
+        int64_t tier_routed = 0;
+        int64_t tier_errors = 0;
+        for (size_t i = 0; i < sample; ++i) {
+            Device device = gen::generateNetlist(spec, i);
+            place::AnnealingOptions annealing;
+            annealing.seed = spec.seed;
+            place::AnnealingPlacer placer(annealing);
+            place::Placement placement = placer.place(device);
+            route::RouteResult result =
+                route::routeDevice(device, placement);
+            tier_routed +=
+                static_cast<int64_t>(result.routedCount);
+            total_nets += static_cast<int64_t>(result.nets.size());
+            placement.writeTo(device);
+            for (const schema::Issue &issue :
+                 schema::checkRules(device)) {
+                if (issue.severity == schema::Severity::Error)
+                    ++tier_errors;
+            }
+        }
+        samples += static_cast<int64_t>(sample);
+        routed_nets += tier_routed;
+        rule_errors += tier_errors;
+
+        std::printf("%8zu %-10s %10lld %12.0f %8zu %8lld %8lld\n",
+                    spec.count, gen::familyName(spec.family),
+                    static_cast<long long>(tier_components), rate,
+                    sample, static_cast<long long>(tier_routed),
+                    static_cast<long long>(tier_errors));
+    }
+
+    std::printf("\ngenerated %lld netlist(s), %lld component(s), "
+                "%lld connection(s);\nPnR sample: %lld netlist(s), "
+                "%lld/%lld net(s) routed, %lld rule error(s)\n\n",
+                static_cast<long long>(netlists),
+                static_cast<long long>(components),
+                static_cast<long long>(connections),
+                static_cast<long long>(samples),
+                static_cast<long long>(routed_nets),
+                static_cast<long long>(total_nets),
+                static_cast<long long>(rule_errors));
+
+    obs::Registry &registry = obs::registry();
+    registry.add("bench.gen.netlists", netlists);
+    registry.add("bench.gen.components", components);
+    registry.add("bench.gen.connections", connections);
+    registry.add("bench.gen.bytes", bytes);
+    registry.add("bench.gen.pnr_samples", samples);
+    registry.add("bench.gen.routed_nets", routed_nets);
+    registry.add("bench.gen.total_nets", total_nets);
+    registry.add("bench.gen.rule_errors", rule_errors);
+}
+
+/** One expansion per family at the standard window. */
+void
+generateOne(benchmark::State &state, gen::Family family)
+{
+    gen::GenSpec spec = tierSpec(1, family);
+    for (auto _ : state) {
+        std::string text = gen::generateNetlistText(spec, 0);
+        benchmark::DoNotOptimize(text.data());
+    }
+}
+
+void
+BM_GenerateChain(benchmark::State &state)
+{
+    generateOne(state, gen::Family::Chain);
+}
+
+void
+BM_GenerateGrid(benchmark::State &state)
+{
+    generateOne(state, gen::Family::Grid);
+}
+
+void
+BM_GenerateTree(benchmark::State &state)
+{
+    generateOne(state, gen::Family::Tree);
+}
+
+void
+BM_GenerateLadder(benchmark::State &state)
+{
+    generateOne(state, gen::Family::Ladder);
+}
+
+void
+BM_GenerateRandomDag(benchmark::State &state)
+{
+    generateOne(state, gen::Family::RandomDag);
+}
+
+} // namespace
+
+BENCHMARK(BM_GenerateChain);
+BENCHMARK(BM_GenerateGrid);
+BENCHMARK(BM_GenerateTree);
+BENCHMARK(BM_GenerateLadder);
+BENCHMARK(BM_GenerateRandomDag);
+
+PARCHMINT_BENCH_MAIN(report)

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * The synthetic-suite factory from the command line: expand a
+ * generator spec (src/gen/) into a content-addressed corpus
+ * directory, inspect it, and integrity-check it.
+ *
+ * Run:  ./gen_suite generate --out DIR [--spec FILE]
+ *           [--name N] [--family F] [--seed S] [--count C]
+ *           [--min-components A] [--max-components B]
+ *           [--max-fanout K] [--mint] [--jobs N]
+ *           [--report report.json] [--history history.jsonl]
+ *       ./gen_suite describe --corpus DIR
+ *       ./gen_suite verify-integrity --corpus DIR
+ *           [--regenerate] [--limit N]
+ *
+ * generate: expands the spec into DIR (see gen/corpus.hh for the
+ * on-disk format). Knob flags override the --spec file; with no
+ * --spec the knobs build the whole spec. Determinism guarantee:
+ * the same spec and seed produce a byte-identical corpus directory
+ * at any --jobs value.
+ *
+ * describe: prints the embedded spec, provenance and aggregate
+ * shape of an existing corpus without loading any netlists.
+ *
+ * verify-integrity: checks every manifest entry's file exists and
+ * matches its recorded size and content hash; --regenerate
+ * additionally re-expands each entry from the embedded spec and
+ * compares bytes (the strongest reproducibility check; --limit
+ * bounds how many entries are re-expanded).
+ *
+ * Exit status: 0 on success, 1 on failures (including any
+ * integrity problem), 2 on usage errors.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/table.hh"
+#include "common/cli.hh"
+#include "common/error.hh"
+#include "common/strings.hh"
+#include "gen/corpus.hh"
+#include "gen/generator.hh"
+#include "gen/spec.hh"
+#include "json/parse.hh"
+#include "json/write.hh"
+#include "obs/clock.hh"
+#include "obs/obs.hh"
+#include "obs/report_cli.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+int
+runGenerate(int argc, char **argv)
+{
+    gen::GenSpec spec;
+    bool have_spec_file = false;
+    std::string out_dir;
+    gen::WriteCorpusOptions write_options;
+    obs::ReportCli report_cli;
+
+    // The spec file parses first so knob flags can override it;
+    // two passes keep flag order irrelevant.
+    for (int i = 2; i < argc; ++i) {
+        std::string value;
+        if (cli::matchValueFlag(argc, argv, i, "--spec", value)) {
+            spec = gen::parseGenSpec(json::parseFile(value));
+            have_spec_file = true;
+        }
+    }
+    for (int i = 2; i < argc; ++i) {
+        if (report_cli.consume(argc, argv, i))
+            continue;
+        std::string arg = argv[i];
+        std::string value;
+        if (cli::matchValueFlag(argc, argv, i, "--spec", value)) {
+            continue; // First pass consumed it.
+        } else if (cli::matchValueFlag(argc, argv, i, "--out",
+                                       value)) {
+            out_dir = value;
+        } else if (cli::matchValueFlag(argc, argv, i, "--name",
+                                       value)) {
+            spec.name = value;
+        } else if (cli::matchValueFlag(argc, argv, i, "--family",
+                                       value)) {
+            spec.family = gen::parseFamilyName(value);
+        } else if (cli::matchValueFlag(argc, argv, i, "--seed",
+                                       value)) {
+            spec.seed = cli::parseSeed(value, argv[0]);
+        } else if (cli::matchValueFlag(argc, argv, i, "--count",
+                                       value)) {
+            spec.count = static_cast<size_t>(
+                cli::parseUint64(value, "--count", argv[0]));
+        } else if (cli::matchValueFlag(argc, argv, i,
+                                       "--min-components", value)) {
+            spec.minComponents = static_cast<size_t>(cli::parseUint64(
+                value, "--min-components", argv[0]));
+        } else if (cli::matchValueFlag(argc, argv, i,
+                                       "--max-components", value)) {
+            spec.maxComponents = static_cast<size_t>(cli::parseUint64(
+                value, "--max-components", argv[0]));
+        } else if (cli::matchValueFlag(argc, argv, i,
+                                       "--max-fanout", value)) {
+            spec.maxFanout = static_cast<size_t>(cli::parseUint64(
+                value, "--max-fanout", argv[0]));
+        } else if (arg == "--mint") {
+            spec.emitMint = true;
+        } else if (cli::matchValueFlag(argc, argv, i, "--jobs",
+                                       value)) {
+            write_options.jobs = static_cast<size_t>(
+                cli::parseUint64(value, "--jobs", argv[0]));
+        } else {
+            cli::usageError(argv[0],
+                            "unknown flag \"" + arg + "\"");
+        }
+    }
+    if (out_dir.empty())
+        cli::usageError(argv[0], "generate requires --out DIR");
+    // Round-trip through the canonical form so CLI-built specs
+    // obey exactly the same limits as file- and service-supplied
+    // ones.
+    spec = gen::parseGenSpec(gen::specToJson(spec));
+    (void)have_spec_file;
+    report_cli.enableIfRequested();
+
+    obs::Stopwatch wall;
+    gen::WriteCorpusResult result =
+        gen::writeCorpus(out_dir, spec, write_options);
+    double wall_ms = static_cast<double>(wall.elapsedUs()) / 1000.0;
+    double throughput =
+        wall_ms > 0.0 ? 1000.0 *
+                            static_cast<double>(
+                                result.manifest.entries.size()) /
+                            wall_ms
+                      : 0.0;
+    std::printf("%s: %zu netlists (%zu files, %zu deduplicated), "
+                "%.1f KiB, %.1f ms, %.1f netlists/s\n",
+                out_dir.c_str(), result.manifest.entries.size(),
+                result.filesWritten, result.deduplicated,
+                static_cast<double>(result.netlistBytes) / 1024.0,
+                wall_ms, throughput);
+
+    if (report_cli.requested()) {
+        obs::Registry &registry = obs::registry();
+        registry.add("gen.write.netlists",
+                     result.manifest.entries.size());
+        registry.add("gen.write.files", result.filesWritten);
+        registry.add("gen.write.deduplicated", result.deduplicated);
+        registry.add("gen.write.bytes", result.netlistBytes);
+        registry.setGauge("gen.write.throughput", throughput);
+    }
+    report_cli.finish(
+        "gen_suite",
+        {{"family", gen::familyName(spec.family)},
+         {"seed", std::to_string(spec.seed)},
+         {"count", std::to_string(spec.count)},
+         {"jobs", std::to_string(write_options.jobs)}});
+    return 0;
+}
+
+int
+runDescribe(int argc, char **argv)
+{
+    std::string dir;
+    for (int i = 2; i < argc; ++i) {
+        std::string value;
+        if (cli::matchValueFlag(argc, argv, i, "--corpus", value))
+            dir = value;
+        else
+            cli::usageError(argv[0], std::string("unknown flag \"") +
+                                         argv[i] + "\"");
+    }
+    if (dir.empty())
+        cli::usageError(argv[0], "describe requires --corpus DIR");
+
+    gen::CorpusManifest manifest = gen::readCorpusManifest(dir);
+    std::printf("spec:\n%s\n",
+                json::write(gen::specToJson(manifest.spec)).c_str());
+    std::printf("manifest_version: %s\n",
+                manifest.manifestVersion.c_str());
+
+    uint64_t bytes = 0;
+    size_t min_components = 0;
+    size_t max_components = 0;
+    uint64_t total_components = 0;
+    uint64_t total_connections = 0;
+    for (const gen::CorpusEntry &entry : manifest.entries) {
+        bytes += entry.bytes;
+        total_components += entry.components;
+        total_connections += entry.connections;
+        if (min_components == 0 ||
+            entry.components < min_components)
+            min_components = entry.components;
+        max_components = std::max(max_components, entry.components);
+    }
+    size_t count = manifest.entries.size();
+    std::printf("entries: %zu, %.1f KiB total\n", count,
+                static_cast<double>(bytes) / 1024.0);
+    if (count > 0) {
+        std::printf("components: %zu..%zu (mean %.1f), "
+                    "connections: mean %.1f\n",
+                    min_components, max_components,
+                    static_cast<double>(total_components) /
+                        static_cast<double>(count),
+                    static_cast<double>(total_connections) /
+                        static_cast<double>(count));
+    }
+
+    analysis::TextTable table;
+    table.beginRow();
+    table.cell(std::string("index"));
+    table.cell(std::string("name"));
+    table.cell(std::string("file"));
+    table.cell(std::string("comps"));
+    table.cell(std::string("conns"));
+    size_t shown = std::min<size_t>(count, 5);
+    for (size_t i = 0; i < shown; ++i) {
+        const gen::CorpusEntry &entry = manifest.entries[i];
+        table.beginRow();
+        table.cell(static_cast<int64_t>(entry.index));
+        table.cell(entry.name);
+        table.cell(entry.file);
+        table.cell(static_cast<int64_t>(entry.components));
+        table.cell(static_cast<int64_t>(entry.connections));
+    }
+    std::printf("%s", table.render().c_str());
+    if (count > shown)
+        std::printf("... %zu more\n", count - shown);
+    return 0;
+}
+
+int
+runVerify(int argc, char **argv)
+{
+    std::string dir;
+    bool regenerate = false;
+    size_t limit = 0;
+    for (int i = 2; i < argc; ++i) {
+        std::string value;
+        if (cli::matchValueFlag(argc, argv, i, "--corpus", value)) {
+            dir = value;
+        } else if (std::string(argv[i]) == "--regenerate") {
+            regenerate = true;
+        } else if (cli::matchValueFlag(argc, argv, i, "--limit",
+                                       value)) {
+            limit = static_cast<size_t>(
+                cli::parseUint64(value, "--limit", argv[0]));
+        } else {
+            cli::usageError(argv[0], std::string("unknown flag \"") +
+                                         argv[i] + "\"");
+        }
+    }
+    if (dir.empty())
+        cli::usageError(argv[0],
+                        "verify-integrity requires --corpus DIR");
+
+    gen::VerifyCorpusResult result = gen::verifyCorpus(dir);
+    for (const std::string &problem : result.problems)
+        std::fprintf(stderr, "problem: %s\n", problem.c_str());
+
+    size_t regen_mismatches = 0;
+    size_t regen_checked = 0;
+    if (regenerate) {
+        gen::CorpusManifest manifest = gen::readCorpusManifest(dir);
+        for (const gen::CorpusEntry &entry : manifest.entries) {
+            if (limit != 0 && regen_checked >= limit)
+                break;
+            ++regen_checked;
+            std::string text = gen::generateNetlistText(
+                manifest.spec, entry.index);
+            if (gen::corpusHashHex(gen::corpusHash(text)) !=
+                entry.hash) {
+                ++regen_mismatches;
+                std::fprintf(stderr,
+                             "problem: %s: regeneration does not "
+                             "reproduce the recorded bytes\n",
+                             entry.name.c_str());
+            }
+        }
+    }
+
+    std::printf("%zu entries checked: %zu missing, %zu corrupt",
+                result.checked, result.missing, result.corrupt);
+    if (regenerate)
+        std::printf("; %zu regenerated, %zu mismatched",
+                    regen_checked, regen_mismatches);
+    std::printf("\n");
+    return result.ok() && regen_mismatches == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        if (argc < 2) {
+            cli::usageError(argv[0],
+                            "expected a subcommand: generate, "
+                            "describe or verify-integrity");
+        }
+        std::string command = argv[1];
+        if (command == "generate")
+            return runGenerate(argc, argv);
+        if (command == "describe")
+            return runDescribe(argc, argv);
+        if (command == "verify-integrity")
+            return runVerify(argc, argv);
+        cli::usageError(argv[0], "unknown subcommand \"" + command +
+                                     "\" (expected generate, "
+                                     "describe or "
+                                     "verify-integrity)");
+    } catch (const UserError &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+    return 0;
+}

@@ -5,6 +5,7 @@
  * Run:  ./loadgen --port P [--host ADDR] [--qps Q]
  *           [--connections C] [--duration-s S]
  *           [--endpoint /v1/validate] [--payloads N]
+ *           [--corpus DIR] [--sample-seed S]
  *           [--report report.json] [--history history.jsonl]
  *
  * --endpoint also accepts short names (validate, characterize,
@@ -20,6 +21,14 @@
  * endpoint takes concentration specs instead of netlists, so for
  * it loadgen synthesizes N deterministic spec payloads (distinct
  * targets, fixed tolerance) with the same cycling repeat pattern.
+ *
+ * `--corpus DIR` swaps the payload source for a generated corpus
+ * directory (gen_suite generate): the first N intact netlists are
+ * read locally via the hash-verifying corpus reader and driven
+ * against the endpoint. Payloads cycle round-robin by default;
+ * `--sample-seed S` switches to seeded random sampling (each
+ * connection draws from its own deriveSeed(S, connection) stream,
+ * so a run is reproducible at fixed C).
  *
  * On completion it compares /statsz cache counters from before and
  * after the run, prints a latency summary (p50/p95/p99 from
@@ -53,7 +62,9 @@
 
 #include "common/cli.hh"
 #include "common/error.hh"
+#include "common/rng.hh"
 #include "common/strings.hh"
+#include "gen/corpus.hh"
 #include "json/parse.hh"
 #include "json/value.hh"
 #include "obs/metrics.hh"
@@ -111,6 +122,9 @@ main(int argc, char **argv)
         double duration_s = 5.0;
         std::string endpoint = "/v1/validate";
         size_t payload_count = 4;
+        std::string corpus_dir;
+        bool seeded_sampling = false;
+        uint64_t sample_seed = 0;
         obs::ReportCli report_cli;
 
         for (int i = 1; i < argc; ++i) {
@@ -145,6 +159,14 @@ main(int argc, char **argv)
                 payload_count = static_cast<size_t>(
                     cli::parseUint64(value, "--payloads",
                                      argv[0]));
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--corpus", value)) {
+                corpus_dir = value;
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--sample-seed",
+                                           value)) {
+                seeded_sampling = true;
+                sample_seed = cli::parseSeed(value, argv[0]);
             } else {
                 cli::usageError(argv[0], "unknown argument \"" +
                                              arg + "\"");
@@ -168,7 +190,29 @@ main(int argc, char **argv)
 
         svc::HttpClient setup(host, port);
         std::vector<std::string> payloads;
-        if (endpoint == "/v1/dilute") {
+        if (!corpus_dir.empty()) {
+            // Generated-corpus payloads: stream the first N intact
+            // netlists through the hash-verifying reader. Dilute
+            // takes concentration specs, not netlists, so the two
+            // sources do not compose.
+            if (endpoint == "/v1/dilute")
+                cli::usageError(argv[0],
+                                "--corpus drives netlist "
+                                "endpoints; /v1/dilute takes "
+                                "concentration specs");
+            gen::CorpusReader reader(corpus_dir);
+            gen::CorpusEntry entry;
+            std::string text;
+            while (payloads.size() < payload_count &&
+                   reader.next(entry, text))
+                payloads.push_back(std::move(text));
+            for (const std::string &warning : reader.warnings())
+                std::fprintf(stderr, "loadgen: corpus: %s\n",
+                             warning.c_str());
+            if (payloads.empty())
+                fatal("no intact netlists in corpus \"" +
+                      corpus_dir + "\"");
+        } else if (endpoint == "/v1/dilute") {
             // Dilution requests are concentration specs, not
             // netlists: synthesize N deterministic payloads with
             // distinct targets so the cycling repeat pattern
@@ -207,10 +251,15 @@ main(int argc, char **argv)
         }
         if (payloads.empty())
             fatal("no usable suite payloads");
-        std::printf("loadgen: %zu payload(s), %zu connection(s), "
-                    "%.0f qps for %.1f s against %s%s\n",
-                    payloads.size(), connections, qps,
-                    duration_s, host.c_str(), endpoint.c_str());
+        std::printf("loadgen: %zu payload(s)%s, "
+                    "%zu connection(s), "
+                    "%.0f qps for %.1f s against %s%s%s\n",
+                    payloads.size(),
+                    corpus_dir.empty() ? "" : " from corpus",
+                    connections, qps, duration_s, host.c_str(),
+                    endpoint.c_str(),
+                    seeded_sampling ? " (seeded sampling)"
+                                    : "");
 
         CacheCounters before =
             resultCacheCounters(setup.get("/statsz").body);
@@ -236,6 +285,12 @@ main(int argc, char **argv)
                 Clock::time_point next =
                     start + interval * c / connections;
                 size_t k = c;
+                // Seeded sampling: each connection owns a stream
+                // derived from (--sample-seed, connection index),
+                // so reruns at fixed C replay the same draws.
+                Rng sampler(deriveSeed(
+                    sample_seed,
+                    "loadgen_c" + std::to_string(c)));
                 while (true) {
                     Clock::time_point now = Clock::now();
                     if (now >= deadline)
@@ -252,7 +307,10 @@ main(int argc, char **argv)
                     next += interval;
 
                     const std::string &body =
-                        payloads[k++ % payloads.size()];
+                        payloads[seeded_sampling
+                                     ? sampler.nextBelow(
+                                           payloads.size())
+                                     : k++ % payloads.size()];
                     Clock::time_point sent = Clock::now();
                     try {
                         svc::HttpResponse response =
@@ -380,7 +438,8 @@ main(int argc, char **argv)
             {{"endpoint", endpoint},
              {"qps", std::to_string(qps)},
              {"connections", std::to_string(connections)},
-             {"requests", std::to_string(requests)}});
+             {"requests", std::to_string(requests)},
+             {"corpus", corpus_dir}});
 
         return total.status5xx > 0 || total.transportErrors > 0
                    ? 1

@@ -9,7 +9,7 @@
  *
  * Run:  ./parchmintd [--port P] [--bind ADDR] [--threads N]
  *           [--cache-mb M] [--max-inflight K] [--seed S]
- *           [--deadline-ms D] [--port-file PATH]
+ *           [--deadline-ms D] [--port-file PATH] [--corpus DIR]
  *           [--log-level debug|info|warn|error|off]
  *           [--log-json PATH|-] [--log-burst N] [--log-rate N]
  *           [--crash-file PATH] [--flight-events N]
@@ -20,7 +20,9 @@
  * CI smoke test) can find the server without racing the log.
  * `--cache-mb 0` disables the content-addressed caches;
  * `--max-inflight 0` means "two heavy requests per hardware
- * thread". With --report / --history the run-report artifacts are
+ * thread". `--corpus DIR` mounts a generated corpus directory
+ * (gen_suite generate) under GET /v1/corpus — the manifest is
+ * validated up front, netlists are read from disk per request. With --report / --history the run-report artifacts are
  * written on shutdown, carrying the per-endpoint latency
  * histograms and the request/cache counters.
  *
@@ -42,6 +44,7 @@
 #include "common/cli.hh"
 #include "common/error.hh"
 #include "common/strings.hh"
+#include "gen/corpus.hh"
 #include "obs/flight.hh"
 #include "obs/log.hh"
 #include "obs/report_cli.hh"
@@ -70,6 +73,7 @@ usage(const char *argv0)
         "usage: %s [--port P] [--bind ADDR] [--threads N]\n"
         "          [--cache-mb M] [--max-inflight K] [--seed S]\n"
         "          [--deadline-ms D] [--port-file PATH]\n"
+        "          [--corpus DIR]\n"
         "          [--log-level debug|info|warn|error|off]\n"
         "          [--log-json PATH|-] [--log-burst N]\n"
         "          [--log-rate N] [--crash-file PATH]\n"
@@ -138,6 +142,9 @@ main(int argc, char **argv)
                                            "--port-file", value)) {
                 port_file = value;
             } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--corpus", value)) {
+                service_options.corpusDir = value;
+            } else if (cli::matchValueFlag(argc, argv, i,
                                            "--log-level", value)) {
                 if (!obs::parseLogLevel(value, log_level))
                     cli::usageError(argv[0],
@@ -175,6 +182,17 @@ main(int argc, char **argv)
         report_cli.enableIfRequested();
         server_options.limits.maxBodyBytes =
             service_options.maxBodyBytes;
+
+        // Fail fast on an unreadable corpus: a daemon that would
+        // 404 every /v1/corpus request should not start quietly.
+        if (!service_options.corpusDir.empty()) {
+            gen::CorpusManifest manifest = gen::readCorpusManifest(
+                service_options.corpusDir);
+            std::printf("parchmintd corpus: %zu netlists from "
+                        "spec \"%s\"\n",
+                        manifest.entries.size(),
+                        manifest.spec.name.c_str());
+        }
 
         // Observability plumbing before the first request: size
         // the flight ring, arm the crash handlers, attach the log

@@ -7,10 +7,20 @@
  *
  * Run:  ./suite_run [benchmark...] [--jobs N] [--deadline-ms M]
  *           [--seed S] [--no-sim] [--out DIR]
+ *           [--corpus DIR] [--limit N] [--window N]
  *           [--report report.json] [--history history.jsonl]
  *
  * With no positional arguments the sweep covers the whole standard
  * suite. `--jobs 0` means "one worker per hardware thread".
+ *
+ * With --corpus the sweep runs over a generated corpus directory
+ * (gen_suite generate) instead of the standard suite, streaming
+ * it through the same pipeline in bounded-memory windows
+ * (src/gen/corpus_run.hh): at most --window netlists (default 4x
+ * jobs) are resident at once, so 10,000-netlist corpora sweep in
+ * constant memory. --limit stops after N entries; only aggregate
+ * counters are printed. Positional benchmark names and --out are
+ * incompatible with --corpus.
  * Determinism guarantee: for a pinned --seed, the routed netlists
  * are byte-identical for every --jobs value, because each
  * benchmark's RNG stream is derived from the seed and its netlist
@@ -39,10 +49,68 @@
 #include "common/error.hh"
 #include "common/strings.hh"
 #include "exec/suite_runner.hh"
+#include "gen/corpus_run.hh"
 #include "obs/obs.hh"
 #include "obs/report_cli.hh"
 
 using namespace parchmint;
+
+namespace
+{
+
+/** The --corpus mode: stream a generated corpus through the
+ * pipeline and print the aggregate summary. */
+int
+runCorpusSweep(const std::string &corpus_dir,
+               const gen::CorpusRunOptions &options,
+               obs::ReportCli &report_cli)
+{
+    gen::CorpusRunSummary summary =
+        gen::runCorpus(corpus_dir, options);
+
+    for (const std::string &warning : summary.warnings)
+        std::fprintf(stderr, "warning: %s\n", warning.c_str());
+    for (const std::string &failure : summary.failures)
+        std::fprintf(stderr, "failed: %s\n", failure.c_str());
+
+    double wall_ms = static_cast<double>(summary.wallUs) / 1000.0;
+    double throughput =
+        wall_ms > 0.0 ? 1000.0 *
+                            static_cast<double>(summary.entries) /
+                            wall_ms
+                      : 0.0;
+    std::printf("%zu/%zu corpus netlists ok (%zu skipped), "
+                "%zu worker(s), window %zu, %.1f ms wall, "
+                "%.2f netlists/s\n",
+                summary.okCount, summary.entries, summary.skipped,
+                summary.workers, summary.peakWindow, wall_ms,
+                throughput);
+    std::printf("aggregate: %llu components, %llu connections, "
+                "%llu/%llu nets routed, %llu violations, "
+                "%llu rule errors\n",
+                static_cast<unsigned long long>(summary.components),
+                static_cast<unsigned long long>(
+                    summary.connections),
+                static_cast<unsigned long long>(summary.routedNets),
+                static_cast<unsigned long long>(summary.totalNets),
+                static_cast<unsigned long long>(
+                    summary.routeViolations),
+                static_cast<unsigned long long>(
+                    summary.issueErrors));
+
+    if (report_cli.requested()) {
+        obs::registry().setGauge("exec.sweep.throughput",
+                                 throughput);
+    }
+    report_cli.finish(
+        "suite_run",
+        {{"jobs", std::to_string(summary.workers)},
+         {"seed", std::to_string(options.seed)},
+         {"corpus", std::to_string(summary.entries)}});
+    return summary.failedCount == 0 && summary.skipped == 0 ? 0 : 1;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -50,6 +118,9 @@ main(int argc, char **argv)
     try {
         exec::SuiteRunOptions options;
         options.jobs = 1;
+        std::string corpus_dir;
+        size_t corpus_limit = 0;
+        size_t corpus_window = 0;
         obs::ReportCli report_cli;
 
         for (int i = 1; i < argc; ++i) {
@@ -73,6 +144,17 @@ main(int argc, char **argv)
             } else if (cli::matchValueFlag(argc, argv, i, "--out",
                                            value)) {
                 options.outDir = value;
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--corpus", value)) {
+                corpus_dir = value;
+            } else if (cli::matchValueFlag(argc, argv, i, "--limit",
+                                           value)) {
+                corpus_limit = static_cast<size_t>(
+                    cli::parseUint64(value, "--limit", argv[0]));
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--window", value)) {
+                corpus_window = static_cast<size_t>(
+                    cli::parseUint64(value, "--window", argv[0]));
             } else if (arg == "--no-sim") {
                 options.simulate = false;
             } else if (startsWith(arg, "--")) {
@@ -82,7 +164,31 @@ main(int argc, char **argv)
                 options.benchmarks.push_back(arg);
             }
         }
+        if (corpus_dir.empty() &&
+            (corpus_limit != 0 || corpus_window != 0)) {
+            cli::usageError(
+                argv[0], "--limit/--window require --corpus DIR");
+        }
+        if (!corpus_dir.empty() &&
+            (!options.benchmarks.empty() ||
+             !options.outDir.empty())) {
+            cli::usageError(argv[0],
+                            "--corpus is incompatible with "
+                            "benchmark names and --out");
+        }
         report_cli.enableIfRequested();
+
+        if (!corpus_dir.empty()) {
+            gen::CorpusRunOptions corpus_options;
+            corpus_options.jobs = options.jobs;
+            corpus_options.seed = options.seed;
+            corpus_options.simulate = options.simulate;
+            corpus_options.limit = corpus_limit;
+            corpus_options.window = corpus_window;
+            corpus_options.deadline = options.deadline;
+            return runCorpusSweep(corpus_dir, corpus_options,
+                                  report_cli);
+        }
 
         exec::SuiteRunSummary summary = exec::runSuite(options);
 

@@ -183,13 +183,14 @@ if [ -x "$LOG_BENCH" ]; then
     fi
 fi
 
-# Gate the continuous-flow solver counters the same way: the
-# mixing report solves pinned, unrouted suite netlists (no
-# annealer in the loop) and the dilution report is pure dyadic
-# arithmetic, so bench.mix.* / bench.dilute.* counters are
-# machine-independent — drift means solver semantics changed.
+# Gate the continuous-flow solver and generator counters the same
+# way: the mixing report solves pinned, unrouted suite netlists
+# (no annealer in the loop), the dilution report is pure dyadic
+# arithmetic, and the generator derives every draw from the spec
+# seed, so bench.mix.* / bench.dilute.* / bench.gen.* counters are
+# machine-independent — drift means semantics changed.
 flow_status=0
-for flow in mixing dilution; do
+for flow in mixing dilution gen_scaling; do
     FLOW_BENCH="$PWD/$BUILD_DIR/bench/bench_$flow"
     FLOW_BASELINE="bench/baselines/$flow.json"
     [ -x "$FLOW_BENCH" ] || continue
@@ -202,7 +203,7 @@ for flow in mixing dilution; do
         cat "$OUT_DIR/$flow.log" >&2
         exit 2
     fi
-    grep -E 'solved|syntheses' "$OUT_DIR/$flow.log" \
+    grep -E 'solved|syntheses|generated' "$OUT_DIR/$flow.log" \
         | sed "s/^/perf_gate: $flow /"
     if [ "${1:-}" = "--rebaseline" ]; then
         mkdir -p "$(dirname "$FLOW_BASELINE")"

@@ -27,6 +27,8 @@
 #include "fuzz/gen_json.hh"
 #include "fuzz/gen_mint.hh"
 #include "fuzz/gen_netlist.hh"
+#include "gen/generator.hh"
+#include "gen/spec.hh"
 #include "json/parse.hh"
 #include "json/write.hh"
 #include "mint/elaborate.hh"
@@ -606,6 +608,147 @@ checkDilutionSpec(const std::string &input)
     return std::nullopt;
 }
 
+// --- gen_spec ---------------------------------------------------------
+
+/** A /v1/generate spec body: families real and invented, names
+ * clean and hostile, component windows sensible, inverted or huge,
+ * entity mixes with unknown kinds and out-of-range weights, junk
+ * members, and byte-level mutations. */
+std::string
+randomGenSpec(Rng &rng)
+{
+    std::string out = "{";
+    bool first = true;
+    auto field = [&](const char *name, const std::string &value) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += std::string("\"") + name + "\": " + value;
+    };
+    if (rng.nextBool(0.3))
+        field("schema", rng.nextBool(0.8)
+                            ? "\"parchmint-gen-spec-v1\""
+                            : "\"parchmint-gen-spec-v9\"");
+    if (rng.nextBool(0.8)) {
+        switch (rng.nextBelow(5)) {
+        case 0: field("name", "\"fuzz\""); break;
+        case 1: field("name", "\"a.b-c_9\""); break;
+        case 2: field("name", "\"\""); break;             // Empty.
+        case 3: field("name", "\"has space\""); break;    // Bad char.
+        default:
+            field("name",
+                  "\"" + std::string(60 + rng.nextBelow(10), 'n') +
+                      "\""); // Straddles the length cap.
+        }
+    }
+    if (rng.nextBool(0.9)) {
+        static const char *families[] = {
+            "\"chain\"", "\"grid\"",   "\"tree\"",
+            "\"ladder\"", "\"random_dag\"", "\"torus\"", "\"\"",
+            "7"};
+        field("family", families[rng.nextBelow(8)]);
+    }
+    if (rng.nextBool(0.7))
+        field("seed", std::to_string(
+                          static_cast<int64_t>(rng.nextBelow(
+                              1000000)) -
+                          5));
+    if (rng.nextBool(0.8)) {
+        switch (rng.nextBelow(4)) {
+        case 0: field("count", "1"); break;
+        case 1:
+            field("count",
+                  std::to_string(1 + rng.nextBelow(16)));
+            break;
+        case 2: field("count", "0"); break;        // Below range.
+        default: field("count", "2000000"); break; // Above cap.
+        }
+    }
+    if (rng.nextBool(0.7)) {
+        // Mostly small windows (cheap expansions), sometimes
+        // inverted or past the component cap.
+        uint64_t lo = 2 + rng.nextBelow(24);
+        uint64_t hi = lo + rng.nextBelow(24);
+        if (rng.nextBool(0.15))
+            std::swap(lo, hi); // Inverted when they differ.
+        if (rng.nextBool(0.1))
+            hi = 4096; // Past kMaxComponents.
+        field("min_components", std::to_string(lo));
+        field("max_components", std::to_string(hi));
+    }
+    if (rng.nextBool(0.5))
+        field("max_fanout",
+              std::to_string(rng.nextBelow(12))); // 0 and >8 bad.
+    if (rng.nextBool(0.5)) {
+        std::string mix = "{";
+        size_t kinds = rng.nextBelow(4);
+        for (size_t i = 0; i < kinds; ++i) {
+            if (i > 0)
+                mix += ", ";
+            switch (rng.nextBelow(5)) {
+            case 0: mix += "\"MIXER\": 3"; break;
+            case 1: mix += "\"diamond chamber\": 1"; break;
+            case 2: mix += "\"HEATER\": 0"; break;  // Bad weight.
+            case 3: mix += "\"VALVE3D\": 1"; break; // Unknown.
+            default:
+                mix += "\"SENSOR\": " +
+                       std::to_string(rng.nextBelow(2000000));
+            }
+        }
+        mix += "}";
+        field("entity_mix", mix);
+    }
+    if (rng.nextBool(0.3))
+        field("emit_mint",
+              rng.nextBool(0.8) ? "true" : "\"yes\"");
+    if (rng.nextBool(0.1))
+        field("junk", "[{}, 4]");
+    out += "}";
+    if (rng.nextBool(0.15))
+        return mutateBytes(rng, out);
+    return out;
+}
+
+std::optional<std::string>
+checkGenSpec(const std::string &input)
+{
+    json::Value document = json::parse(input); // UserError = rejected.
+    gen::GenSpec spec = gen::parseGenSpec(document); // Ditto.
+    // Accepted specs are a toJson/parse fixpoint.
+    std::string once = compactText(gen::specToJson(spec));
+    gen::GenSpec again = gen::parseGenSpec(json::parse(once));
+    if (compactText(gen::specToJson(again)) != once)
+        return "spec serialization is not a fixpoint";
+
+    // Expansion is deterministic, and every emitted netlist loads,
+    // serializes to a fixpoint, and validates with zero errors —
+    // the generator's core contract. First and last instance
+    // bracket the index range without expanding huge counts.
+    size_t indexes[] = {0, spec.count - 1};
+    for (size_t index : indexes) {
+        std::string text = gen::generateNetlistText(spec, index);
+        if (gen::generateNetlistText(spec, index) != text)
+            return "generation is not deterministic for index " +
+                   std::to_string(index);
+        Device device = fromJsonText(text);
+        if (compactText(toJson(device)) != text)
+            return "generated netlist is not a serialization "
+                   "fixpoint";
+        for (const schema::Issue &issue :
+             schema::validateText(text)) {
+            if (issue.severity == schema::Severity::Error)
+                return "generated netlist fails validation: " +
+                       issue.message;
+        }
+        if (spec.emitMint &&
+            gen::generateMintText(spec, index).empty())
+            return "emit_mint spec produced empty MINT source";
+        if (index == spec.count - 1)
+            break; // count == 1: both indexes coincide.
+    }
+    return std::nullopt;
+}
+
 std::vector<Target>
 buildTargets()
 {
@@ -680,6 +823,12 @@ buildTargets()
          "plans hit tolerance within the depth budget and emit "
          "valid netlists",
          randomDilutionSpec, checkDilutionSpec});
+    targets.push_back(
+        {"gen_spec",
+         "/v1/generate specs: parse + expansion never crash; "
+         "accepted specs are serialization fixpoints and every "
+         "emitted netlist validates clean",
+         randomGenSpec, checkGenSpec});
     targets.push_back(
         {"http_trace_header",
          "X-Parchmint-Trace resolution: malformed/oversized/"

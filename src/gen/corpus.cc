@@ -1,0 +1,414 @@
+#include "gen/corpus.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "core/serialize.hh"
+#include "exec/task_graph.hh"
+#include "exec/thread_pool.hh"
+#include "gen/generator.hh"
+#include "json/parse.hh"
+#include "json/write.hh"
+#include "obs/env.hh"
+#include "obs/manifest.hh"
+
+namespace parchmint::gen
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** Mirrors svc/cache.cc (gen cannot link svc; gen_test pins the
+ * two equal). */
+constexpr uint64_t kContentHashBase = 0x70617263686d696eULL;
+
+std::string
+readFileBytes(const fs::path &path, bool &ok)
+{
+    std::ifstream stream(path, std::ios::binary);
+    if (!stream) {
+        ok = false;
+        return {};
+    }
+    std::ostringstream buffer;
+    buffer << stream.rdbuf();
+    ok = static_cast<bool>(stream) || stream.eof();
+    return buffer.str();
+}
+
+/** Write via a temp name and rename into place (see corpus.hh). */
+void
+writeFileAtomic(const fs::path &path, const std::string &bytes,
+                size_t writer_tag)
+{
+    fs::path temp = path;
+    temp += ".tmp" + std::to_string(writer_tag);
+    {
+        std::ofstream stream(temp,
+                             std::ios::binary | std::ios::trunc);
+        if (!stream)
+            throw UserError("gen corpus: cannot write " +
+                            temp.string());
+        stream.write(bytes.data(),
+                     static_cast<std::streamsize>(bytes.size()));
+        if (!stream)
+            throw UserError("gen corpus: short write to " +
+                            temp.string());
+    }
+    std::error_code ec;
+    fs::rename(temp, path, ec);
+    if (ec) {
+        fs::remove(temp, ec);
+        throw UserError("gen corpus: cannot rename into " +
+                        path.string());
+    }
+}
+
+json::Value
+entryToJson(const CorpusEntry &entry)
+{
+    json::Value object = json::Value::makeObject();
+    object.set("index",
+               json::Value(static_cast<int64_t>(entry.index)));
+    object.set("name", json::Value(entry.name));
+    object.set("file", json::Value(entry.file));
+    object.set("hash", json::Value(entry.hash));
+    object.set("bytes",
+               json::Value(static_cast<int64_t>(entry.bytes)));
+    object.set("components",
+               json::Value(static_cast<int64_t>(entry.components)));
+    object.set(
+        "connections",
+        json::Value(static_cast<int64_t>(entry.connections)));
+    if (!entry.mintFile.empty())
+        object.set("mint_file", json::Value(entry.mintFile));
+    return object;
+}
+
+size_t
+requireEntryUint(const json::Value &object, const char *member,
+                 size_t index)
+{
+    const json::Value *value = object.find(member);
+    if (!value || !value->isInteger() || value->asInteger() < 0)
+        throw UserError("gen corpus: manifest entry " +
+                        std::to_string(index) + ": \"" + member +
+                        "\" must be a non-negative integer");
+    return static_cast<size_t>(value->asInteger());
+}
+
+std::string
+requireEntryString(const json::Value &object, const char *member,
+                   size_t index)
+{
+    const json::Value *value = object.find(member);
+    if (!value || !value->isString() || value->asString().empty())
+        throw UserError("gen corpus: manifest entry " +
+                        std::to_string(index) + ": \"" + member +
+                        "\" must be a non-empty string");
+    return value->asString();
+}
+
+CorpusEntry
+entryFromJson(const json::Value &object, size_t position)
+{
+    if (!object.isObject())
+        throw UserError("gen corpus: manifest entry " +
+                        std::to_string(position) +
+                        " must be an object");
+    CorpusEntry entry;
+    entry.index = requireEntryUint(object, "index", position);
+    entry.name = requireEntryString(object, "name", position);
+    entry.file = requireEntryString(object, "file", position);
+    entry.hash = requireEntryString(object, "hash", position);
+    entry.bytes = requireEntryUint(object, "bytes", position);
+    if (object.find("components"))
+        entry.components =
+            requireEntryUint(object, "components", position);
+    if (object.find("connections"))
+        entry.connections =
+            requireEntryUint(object, "connections", position);
+    if (const json::Value *mint = object.find("mint_file")) {
+        if (!mint->isString())
+            throw UserError("gen corpus: manifest entry " +
+                            std::to_string(position) +
+                            ": \"mint_file\" must be a string");
+        entry.mintFile = mint->asString();
+    }
+    return entry;
+}
+
+} // namespace
+
+uint64_t
+corpusHash(std::string_view bytes)
+{
+    return deriveSeed(kContentHashBase, bytes);
+}
+
+std::string
+corpusHashHex(uint64_t hash)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string text(16, '0');
+    for (size_t i = 0; i < 16; ++i)
+        text[15 - i] = digits[(hash >> (4 * i)) & 0xF];
+    return text;
+}
+
+std::string
+corpusFileName(std::string_view bytes)
+{
+    return "gen-" + corpusHashHex(corpusHash(bytes)) + ".json";
+}
+
+std::string
+corpusManifestText(const CorpusManifest &manifest)
+{
+    json::Value document = json::Value::makeObject();
+    document.set("schema", json::Value(kCorpusSchema));
+    document.set("manifest_version",
+                 json::Value(manifest.manifestVersion));
+    document.set("spec", specToJson(manifest.spec));
+    document.set("environment", manifest.environment);
+    json::Value entries = json::Value::makeArray();
+    for (const CorpusEntry &entry : manifest.entries)
+        entries.append(entryToJson(entry));
+    document.set("entries", std::move(entries));
+    json::WriteOptions options;
+    options.pretty = false;
+    options.asciiOnly = true;
+    return json::write(document, options);
+}
+
+WriteCorpusResult
+writeCorpus(const std::string &dir, const GenSpec &spec,
+            const WriteCorpusOptions &options)
+{
+    fs::path root(dir);
+    std::error_code ec;
+    fs::create_directories(root, ec);
+    if (ec)
+        throw UserError("gen corpus: cannot create directory " +
+                        root.string() + ": " + ec.message());
+
+    WriteCorpusResult result;
+    result.manifest.spec = spec;
+    result.manifest.manifestVersion = obs::manifestVersion();
+    result.manifest.environment = obs::systemJson();
+    result.manifest.entries.resize(spec.count);
+
+    // One task per instance; each generates, hashes and writes its
+    // own file, holding exactly one netlist in memory. Entry order
+    // is by index regardless of scheduling, so the corpus bytes
+    // are jobs-independent.
+    std::vector<CorpusEntry> &entries = result.manifest.entries;
+    exec::TaskGraph graph;
+    for (size_t i = 0; i < spec.count; ++i) {
+        graph.add("gen_" + std::to_string(i),
+                  [&, i](const exec::CancelToken &) {
+                      Device device = generateNetlist(spec, i);
+                      json::WriteOptions text_options;
+                      text_options.pretty = false;
+                      text_options.asciiOnly = true;
+                      std::string text =
+                          json::write(toJson(device), text_options);
+                      CorpusEntry &entry = entries[i];
+                      entry.index = i;
+                      entry.name = device.name();
+                      entry.hash =
+                          corpusHashHex(corpusHash(text));
+                      entry.file = "gen-" + entry.hash + ".json";
+                      entry.bytes = text.size();
+                      entry.components = device.components().size();
+                      entry.connections =
+                          device.connections().size();
+                      fs::path path = root / entry.file;
+                      std::error_code exists_ec;
+                      if (!fs::exists(path, exists_ec))
+                          writeFileAtomic(path, text, i);
+                      if (spec.emitMint) {
+                          entry.mintFile =
+                              "gen-" + entry.hash + ".mint";
+                          fs::path mint_path = root / entry.mintFile;
+                          if (!fs::exists(mint_path, exists_ec))
+                              writeFileAtomic(
+                                  mint_path,
+                                  generateMintText(spec, i), i);
+                      }
+                  });
+    }
+    exec::ThreadPool pool(options.jobs == 0 ? 1 : options.jobs);
+    std::vector<exec::TaskResult> outcomes = graph.run(pool, {});
+    for (const exec::TaskResult &outcome : outcomes) {
+        if (outcome.status != exec::TaskStatus::Ok)
+            throw UserError("gen corpus: " + outcome.name +
+                            " failed: " + outcome.reason);
+    }
+
+    std::set<std::string> distinct;
+    for (const CorpusEntry &entry : entries) {
+        result.netlistBytes += entry.bytes;
+        if (!distinct.insert(entry.file).second)
+            ++result.deduplicated;
+    }
+    result.filesWritten = distinct.size();
+
+    writeFileAtomic(root / kCorpusManifestFile,
+                    corpusManifestText(result.manifest),
+                    spec.count);
+    return result;
+}
+
+CorpusManifest
+readCorpusManifest(const std::string &dir)
+{
+    fs::path path = fs::path(dir) / kCorpusManifestFile;
+    bool ok = true;
+    std::string text = readFileBytes(path, ok);
+    if (!ok)
+        throw UserError("gen corpus: cannot read manifest " +
+                        path.string());
+    json::Value document;
+    try {
+        document = json::parse(text);
+    } catch (const json::ParseError &error) {
+        throw UserError("gen corpus: manifest " + path.string() +
+                        " is not valid JSON: " + error.what());
+    }
+    if (!document.isObject())
+        throw UserError("gen corpus: manifest must be an object");
+    const json::Value *schema = document.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->asString() != kCorpusSchema)
+        throw UserError(
+            std::string("gen corpus: manifest schema must be \"") +
+            kCorpusSchema + "\"");
+
+    CorpusManifest manifest;
+    const json::Value *spec = document.find("spec");
+    if (!spec)
+        throw UserError("gen corpus: manifest has no \"spec\"");
+    manifest.spec = parseGenSpec(*spec);
+    if (const json::Value *version =
+            document.find("manifest_version")) {
+        if (!version->isString())
+            throw UserError("gen corpus: \"manifest_version\" must "
+                            "be a string");
+        manifest.manifestVersion = version->asString();
+    }
+    if (const json::Value *environment =
+            document.find("environment"))
+        manifest.environment = *environment;
+    const json::Value *entries = document.find("entries");
+    if (!entries || !entries->isArray())
+        throw UserError(
+            "gen corpus: manifest \"entries\" must be an array");
+    manifest.entries.reserve(entries->size());
+    for (size_t i = 0; i < entries->size(); ++i)
+        manifest.entries.push_back(
+            entryFromJson(entries->at(i), i));
+    return manifest;
+}
+
+bool
+readCorpusEntry(const std::string &dir, const CorpusEntry &entry,
+                std::string &text)
+{
+    bool ok = true;
+    std::string bytes = readFileBytes(fs::path(dir) / entry.file,
+                                      ok);
+    if (!ok || bytes.size() != entry.bytes ||
+        corpusHashHex(corpusHash(bytes)) != entry.hash)
+        return false;
+    text = std::move(bytes);
+    return true;
+}
+
+CorpusReader::CorpusReader(std::string dir)
+    : dir_(std::move(dir)), manifest_(readCorpusManifest(dir_))
+{
+}
+
+bool
+CorpusReader::next(CorpusEntry &entry, std::string &text)
+{
+    while (cursor_ < manifest_.entries.size()) {
+        const CorpusEntry &candidate =
+            manifest_.entries[cursor_++];
+        fs::path path = fs::path(dir_) / candidate.file;
+        bool ok = true;
+        std::string bytes = readFileBytes(path, ok);
+        if (!ok) {
+            ++skipped_;
+            warnings_.push_back("skipped " + candidate.file +
+                                " (index " +
+                                std::to_string(candidate.index) +
+                                "): cannot read");
+            continue;
+        }
+        if (bytes.size() != candidate.bytes ||
+            corpusHashHex(corpusHash(bytes)) != candidate.hash) {
+            ++skipped_;
+            warnings_.push_back(
+                "skipped " + candidate.file + " (index " +
+                std::to_string(candidate.index) +
+                "): content does not match manifest hash");
+            continue;
+        }
+        entry = candidate;
+        text = std::move(bytes);
+        return true;
+    }
+    return false;
+}
+
+VerifyCorpusResult
+verifyCorpus(const std::string &dir)
+{
+    CorpusManifest manifest = readCorpusManifest(dir);
+    VerifyCorpusResult result;
+    for (const CorpusEntry &entry : manifest.entries) {
+        ++result.checked;
+        if (entry.file != "gen-" + entry.hash + ".json") {
+            ++result.corrupt;
+            result.problems.push_back(
+                entry.file + ": file name does not encode the "
+                             "recorded hash");
+            continue;
+        }
+        fs::path path = fs::path(dir) / entry.file;
+        bool ok = true;
+        std::string bytes = readFileBytes(path, ok);
+        if (!ok) {
+            ++result.missing;
+            result.problems.push_back(entry.file + ": missing");
+            continue;
+        }
+        if (bytes.size() != entry.bytes ||
+            corpusHashHex(corpusHash(bytes)) != entry.hash) {
+            ++result.corrupt;
+            result.problems.push_back(
+                entry.file + ": bytes do not match the manifest");
+            continue;
+        }
+        if (!entry.mintFile.empty()) {
+            std::error_code ec;
+            if (!fs::exists(fs::path(dir) / entry.mintFile, ec)) {
+                ++result.missing;
+                result.problems.push_back(entry.mintFile +
+                                          ": missing");
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace parchmint::gen

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * The content-addressed on-disk corpus format
+ * (`parchmint-gen-corpus-v1`).
+ *
+ * A corpus directory holds one canonical-JSON netlist per
+ * generated instance plus a manifest:
+ *
+ *   <dir>/corpus.json        the manifest: schema, spec,
+ *                            manifest_version, environment
+ *                            snapshot, ordered entry table
+ *   <dir>/gen-<hash16>.json  canonical (compact, ASCII) netlist
+ *                            text; <hash16> content-addresses the
+ *                            bytes with the service's content hash
+ *   <dir>/gen-<hash16>.mint  MINT source, when the spec sets
+ *                            emit_mint
+ *
+ * Content addressing makes the corpus self-verifying (a file's
+ * name commits to its bytes) and deduplicating (identical
+ * instances share one file; the manifest still lists every index).
+ * Files are written to a temp name and renamed into place, so
+ * concurrent writers — `--jobs N`, or two processes racing on the
+ * same directory — never expose partial files.
+ *
+ * Determinism: the manifest embeds the spec verbatim and entries
+ * are ordered by index, so the same (spec, seed) produces a
+ * byte-identical corpus directory at any `--jobs`, and
+ * regenerating from a manifest's spec reproduces every netlist
+ * byte-for-byte. The embedded environment snapshot is provenance
+ * (which machine stamped the corpus), not an input to generation.
+ *
+ * Reading streams: CorpusReader loads only the manifest up front
+ * and materializes one netlist at a time, so a 10k-instance sweep
+ * holds O(1) netlists in memory. Corrupt, truncated or missing
+ * corpus files are skipped with a warning rather than aborting the
+ * stream — a damaged corpus still yields every intact entry.
+ */
+
+#ifndef PARCHMINT_GEN_CORPUS_HH
+#define PARCHMINT_GEN_CORPUS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gen/spec.hh"
+#include "json/value.hh"
+
+namespace parchmint::gen
+{
+
+/** Manifest schema identifier. */
+inline constexpr const char *kCorpusSchema =
+    "parchmint-gen-corpus-v1";
+/** Manifest file name inside a corpus directory. */
+inline constexpr const char *kCorpusManifestFile = "corpus.json";
+
+/**
+ * The corpus content hash: deriveSeed folded over the bytes with
+ * the service's content-hash base, so corpus file stems equal the
+ * daemon's cache keys for the same bytes (gen cannot link svc —
+ * the service links gen — hence the mirror; gen_test pins the two
+ * functions equal).
+ */
+uint64_t corpusHash(std::string_view bytes);
+
+/** 16 lowercase hex digits of @p hash (the <hash16> file stem). */
+std::string corpusHashHex(uint64_t hash);
+
+/** "gen-<hash16>.json" for canonical netlist text @p bytes. */
+std::string corpusFileName(std::string_view bytes);
+
+/** One manifest entry (ordered by index in the manifest). */
+struct CorpusEntry
+{
+    size_t index = 0;
+    /** generatedName(spec, index). */
+    std::string name;
+    /** Netlist file name within the corpus directory. */
+    std::string file;
+    /** corpusHashHex of the netlist bytes. */
+    std::string hash;
+    /** Netlist byte count. */
+    size_t bytes = 0;
+    /** Component count (ports included). */
+    size_t components = 0;
+    size_t connections = 0;
+    /** MINT file name; empty unless the spec sets emit_mint. */
+    std::string mintFile;
+};
+
+/** The parsed corpus manifest. */
+struct CorpusManifest
+{
+    GenSpec spec;
+    /** obs::manifestVersion() at write time. */
+    std::string manifestVersion;
+    /** obs environment snapshot at write time (provenance). */
+    json::Value environment;
+    std::vector<CorpusEntry> entries;
+};
+
+/** writeCorpus knobs. */
+struct WriteCorpusOptions
+{
+    /** Worker threads; byte-identical output at any value. */
+    size_t jobs = 1;
+};
+
+/** writeCorpus outcome. */
+struct WriteCorpusResult
+{
+    /** Distinct netlist files written. */
+    size_t filesWritten = 0;
+    /** Instances that deduplicated onto an existing file. */
+    size_t deduplicated = 0;
+    /** Total netlist bytes across all entries (pre-dedupe). */
+    uint64_t netlistBytes = 0;
+    CorpusManifest manifest;
+};
+
+/**
+ * Generate spec.count instances and write a corpus directory (see
+ * file comment). Creates @p dir as needed; existing files with
+ * matching names are reused (content addressing makes them
+ * correct by construction).
+ *
+ * @throws UserError on I/O failures.
+ */
+WriteCorpusResult writeCorpus(const std::string &dir,
+                              const GenSpec &spec,
+                              const WriteCorpusOptions &options = {});
+
+/**
+ * Read and validate a corpus manifest.
+ * @throws UserError when the manifest is missing, malformed, or
+ *         carries the wrong schema.
+ */
+CorpusManifest readCorpusManifest(const std::string &dir);
+
+/** Serialize a manifest (the exact bytes writeCorpus stores). */
+std::string corpusManifestText(const CorpusManifest &manifest);
+
+/**
+ * Read one manifest entry's netlist bytes, verifying size and
+ * content hash — the random-access complement to CorpusReader
+ * (the daemon serves /v1/corpus/<ref> with it, one file read per
+ * request).
+ *
+ * @return False when the file is missing, truncated or corrupt.
+ */
+bool readCorpusEntry(const std::string &dir,
+                     const CorpusEntry &entry, std::string &text);
+
+/**
+ * Bounded-memory streaming reader (see file comment). Not
+ * thread-safe; give each thread its own reader.
+ */
+class CorpusReader
+{
+  public:
+    /** Loads the manifest only. @throws UserError (see
+     * readCorpusManifest). */
+    explicit CorpusReader(std::string dir);
+
+    const CorpusManifest &manifest() const { return manifest_; }
+
+    /**
+     * Fetch the next intact entry: fills @p entry and the netlist
+     * @p text, verifying the content hash. Damaged entries are
+     * skipped with a warning.
+     *
+     * @return False when the corpus is exhausted.
+     */
+    bool next(CorpusEntry &entry, std::string &text);
+
+    /** Entries skipped so far (missing/truncated/corrupt). */
+    size_t skipped() const { return skipped_; }
+    /** One human-readable line per skipped entry. */
+    const std::vector<std::string> &warnings() const
+    {
+        return warnings_;
+    }
+
+  private:
+    std::string dir_;
+    CorpusManifest manifest_;
+    size_t cursor_ = 0;
+    size_t skipped_ = 0;
+    std::vector<std::string> warnings_;
+};
+
+/** verifyCorpus outcome. */
+struct VerifyCorpusResult
+{
+    size_t checked = 0;
+    size_t missing = 0;
+    size_t corrupt = 0;
+    /** One line per problem. */
+    std::vector<std::string> problems;
+    bool ok() const { return missing == 0 && corrupt == 0; }
+};
+
+/**
+ * Integrity-check every manifest entry: the file exists, its bytes
+ * match the recorded size and content hash, and its stem matches
+ * the hash. Does not regenerate (see gen_suite --regenerate for
+ * the stronger spec-level check).
+ */
+VerifyCorpusResult verifyCorpus(const std::string &dir);
+
+} // namespace parchmint::gen
+
+#endif // PARCHMINT_GEN_CORPUS_HH

@@ -1,0 +1,213 @@
+#include "gen/corpus_run.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hh"
+#include "core/deserialize.hh"
+#include "exec/task_graph.hh"
+#include "exec/thread_pool.hh"
+#include "gen/corpus.hh"
+#include "obs/clock.hh"
+#include "obs/obs.hh"
+#include "place/annealing_placer.hh"
+#include "place/cost.hh"
+#include "route/router.hh"
+#include "schema/rules.hh"
+#include "sim/mixing.hh"
+
+namespace parchmint::gen
+{
+
+namespace
+{
+
+/** Per-entry pipeline outcome, reduced into the summary and then
+ * discarded with its window. */
+struct EntryResult
+{
+    std::string name;
+    bool ok = false;
+    bool simSolved = false;
+    std::string failure;
+    size_t components = 0;
+    size_t connections = 0;
+    size_t issueErrors = 0;
+    size_t issueWarnings = 0;
+    size_t routedNets = 0;
+    size_t totalNets = 0;
+    int64_t routedLength = 0;
+    size_t routeViolations = 0;
+    int64_t hpwl = 0;
+};
+
+/** The full per-entry pipeline; throws propagate to the task
+ * graph, which records them per entry. */
+void
+runEntry(const std::string &name, const std::string &text,
+         uint64_t seed, bool simulate, EntryResult &out)
+{
+    obs::ScopedSpan job(name, "corpus");
+    Device device = [&] {
+        PM_OBS_SPAN("parse", "corpus");
+        return fromJsonText(text);
+    }();
+    out.components = device.components().size();
+    out.connections = device.connections().size();
+
+    place::AnnealingOptions annealing;
+    annealing.seed = seed;
+    place::AnnealingPlacer placer(annealing);
+    place::Placement placement = [&] {
+        PM_OBS_SPAN("place", "corpus");
+        return placer.place(device);
+    }();
+    out.hpwl = placer.lastCost().hpwl;
+
+    route::RouteResult routed = [&] {
+        PM_OBS_SPAN("route", "corpus");
+        return route::routeDevice(device, placement);
+    }();
+    out.routedNets = routed.routedCount;
+    out.totalNets = routed.nets.size();
+    out.routedLength = routed.totalLength;
+    out.routeViolations = routed.totalViolations;
+
+    placement.writeTo(device);
+    {
+        PM_OBS_SPAN("validate", "corpus");
+        for (const schema::Issue &issue :
+             schema::checkRules(device)) {
+            if (issue.severity == schema::Severity::Error)
+                ++out.issueErrors;
+            else
+                ++out.issueWarnings;
+        }
+    }
+    if (simulate) {
+        PM_OBS_SPAN("sim", "corpus");
+        try {
+            sim::solveMixing(device);
+            out.simSolved = true;
+        } catch (const UserError &) {
+            // Best-effort, as in the suite runner.
+        }
+    }
+    out.ok = out.issueErrors == 0;
+    if (!out.ok)
+        out.failure = "semantic rule errors after PnR";
+}
+
+} // namespace
+
+CorpusRunSummary
+runCorpus(const std::string &dir, const CorpusRunOptions &options)
+{
+    CorpusReader reader(dir);
+    size_t workers = options.jobs == 0 ? 1 : options.jobs;
+    size_t window = options.window == 0
+                        ? std::max<size_t>(4 * workers, 8)
+                        : options.window;
+
+    CorpusRunSummary summary;
+    summary.workers = workers;
+
+    exec::ThreadPool pool(workers);
+    exec::RunOptions run_options;
+    run_options.taskDeadline = options.deadline;
+
+    obs::Stopwatch wall;
+    bool exhausted = false;
+    while (!exhausted) {
+        // Materialize one window of intact entries.
+        std::vector<std::pair<CorpusEntry, std::string>> batch;
+        batch.reserve(window);
+        CorpusEntry entry;
+        std::string text;
+        while (batch.size() < window) {
+            if (options.limit != 0 &&
+                summary.entries + batch.size() >= options.limit) {
+                exhausted = true;
+                break;
+            }
+            if (!reader.next(entry, text)) {
+                exhausted = true;
+                break;
+            }
+            batch.emplace_back(std::move(entry), std::move(text));
+        }
+        if (batch.empty())
+            break;
+        summary.peakWindow =
+            std::max(summary.peakWindow, batch.size());
+
+        std::vector<EntryResult> results(batch.size());
+        exec::TaskGraph graph;
+        for (size_t i = 0; i < batch.size(); ++i) {
+            const std::string &name = batch[i].first.name;
+            const std::string &bytes = batch[i].second;
+            EntryResult &out = results[i];
+            uint64_t seed = options.seed;
+            bool simulate = options.simulate;
+            graph.add(name,
+                      [&name, &bytes, &out, seed,
+                       simulate](const exec::CancelToken &token) {
+                          token.throwIfCancelled("corpus " + name);
+                          runEntry(name, bytes, seed, simulate,
+                                   out);
+                      });
+        }
+        std::vector<exec::TaskResult> outcomes =
+            graph.run(pool, run_options);
+
+        for (size_t i = 0; i < batch.size(); ++i) {
+            const exec::TaskResult &outcome = outcomes[i];
+            EntryResult &result = results[i];
+            ++summary.entries;
+            summary.components += result.components;
+            summary.connections += result.connections;
+            summary.issueErrors += result.issueErrors;
+            summary.issueWarnings += result.issueWarnings;
+            summary.routedNets += result.routedNets;
+            summary.totalNets += result.totalNets;
+            summary.routedLength += result.routedLength;
+            summary.routeViolations += result.routeViolations;
+            summary.hpwl += result.hpwl;
+            summary.simSolved += result.simSolved ? 1 : 0;
+            if (outcome.ok() && result.ok) {
+                ++summary.okCount;
+                continue;
+            }
+            ++summary.failedCount;
+            if (summary.failures.size() <
+                CorpusRunSummary::kMaxFailureLines) {
+                summary.failures.push_back(
+                    batch[i].first.name + ": " +
+                    (outcome.ok() ? result.failure
+                                  : outcome.reason));
+            }
+        }
+    }
+    summary.wallUs = wall.elapsedUs();
+    summary.skipped = reader.skipped();
+    for (const std::string &warning : reader.warnings()) {
+        if (summary.warnings.size() <
+            CorpusRunSummary::kMaxFailureLines)
+            summary.warnings.push_back(warning);
+    }
+
+    if (obs::enabled()) {
+        obs::Registry &registry = obs::registry();
+        registry.add("gen.corpus.entries", summary.entries);
+        registry.add("gen.corpus.ok", summary.okCount);
+        registry.add("gen.corpus.failed", summary.failedCount);
+        registry.add("gen.corpus.skipped", summary.skipped);
+        registry.setGauge("gen.corpus.window",
+                          static_cast<double>(summary.peakWindow));
+        registry.setGauge("exec.workers",
+                          static_cast<double>(workers));
+    }
+    return summary;
+}
+
+} // namespace parchmint::gen

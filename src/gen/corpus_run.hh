@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Bounded-memory PnR sweeps over a generated corpus.
+ *
+ * runCorpus() streams a corpus directory (gen/corpus.hh) through
+ * the paper's pipeline — parse, place, route, validate, optional
+ * sim — in fixed-size windows: at most `window` netlists (default
+ * 4x jobs) are materialized at once, each window runs as one task
+ * graph on the shared pool, and only aggregate counters survive
+ * the window. That is what lets suite_run and parchmintd sweep a
+ * 10,000-netlist corpus without holding 10,000 routed netlists.
+ *
+ * Determinism matches the suite runner: the annealer derives its
+ * stream from the sweep seed and the device name, never from job
+ * or window order, so `--jobs 1` and `--jobs N` aggregate
+ * identical per-netlist results. Damaged corpus files are skipped
+ * by the reader (with a warning); pipeline failures are contained
+ * to their entry and summarized.
+ */
+
+#ifndef PARCHMINT_GEN_CORPUS_RUN_HH
+#define PARCHMINT_GEN_CORPUS_RUN_HH
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parchmint::gen
+{
+
+/** Sweep configuration. */
+struct CorpusRunOptions
+{
+    /** Worker threads; 0 = one. */
+    size_t jobs = 1;
+    /** Sweep seed; per-netlist annealing streams derive from it
+     * and the device name. */
+    uint64_t seed = 1;
+    /** Run the best-effort mixing solve after validation. */
+    bool simulate = false;
+    /** Netlists resident at once; 0 = max(4 x jobs, 8). */
+    size_t window = 0;
+    /** Stop after this many intact entries; 0 = all. */
+    size_t limit = 0;
+    /** Per-entry pipeline deadline; zero = none. */
+    std::chrono::milliseconds deadline{0};
+};
+
+/** Aggregate sweep outcome (per-entry state is not retained). */
+struct CorpusRunSummary
+{
+    /** Intact entries attempted. */
+    size_t entries = 0;
+    /** Entries the reader skipped (missing/corrupt files). */
+    size_t skipped = 0;
+    size_t okCount = 0;
+    size_t failedCount = 0;
+    /** Semantic-rule totals across all validated entries. */
+    uint64_t issueErrors = 0;
+    uint64_t issueWarnings = 0;
+    uint64_t components = 0;
+    uint64_t connections = 0;
+    uint64_t routedNets = 0;
+    uint64_t totalNets = 0;
+    int64_t routedLength = 0;
+    uint64_t routeViolations = 0;
+    int64_t hpwl = 0;
+    /** Entries whose mixing solve converged (simulate only). */
+    size_t simSolved = 0;
+    /** Largest window actually materialized. */
+    size_t peakWindow = 0;
+    size_t workers = 0;
+    int64_t wallUs = 0;
+    /** "name: reason" lines, capped at kMaxFailureLines. */
+    std::vector<std::string> failures;
+    /** Reader warnings, capped at kMaxFailureLines. */
+    std::vector<std::string> warnings;
+
+    static constexpr size_t kMaxFailureLines = 20;
+};
+
+/**
+ * Stream the corpus at @p dir through the pipeline (see file
+ * comment).
+ *
+ * @throws UserError when the corpus manifest is missing or
+ *         malformed (per-entry problems never throw).
+ */
+CorpusRunSummary runCorpus(const std::string &dir,
+                           const CorpusRunOptions &options);
+
+} // namespace parchmint::gen
+
+#endif // PARCHMINT_GEN_CORPUS_RUN_HH

@@ -1,0 +1,373 @@
+#include "gen/generator.hh"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/builder.hh"
+#include "core/serialize.hh"
+#include "json/write.hh"
+#include "mint/write_mint.hh"
+
+namespace parchmint::gen
+{
+
+namespace
+{
+
+/** Weighted entity draw. */
+EntityKind
+drawKind(Rng &rng, const std::vector<EntityWeight> &mix)
+{
+    uint64_t total = 0;
+    for (const EntityWeight &entry : mix)
+        total += entry.weight;
+    uint64_t roll = rng.nextBelow(total);
+    for (const EntityWeight &entry : mix) {
+        if (roll < entry.weight)
+            return entry.kind;
+        roll -= entry.weight;
+    }
+    return mix.back().kind;
+}
+
+/** Functional component count drawn from the spec window. */
+size_t
+drawComponentCount(Rng &rng, const GenSpec &spec)
+{
+    return spec.minComponents +
+           rng.nextBelow(spec.maxComponents - spec.minComponents +
+                         1);
+}
+
+/** Inlet/outlet multiplicity drawn from the fan-out knob. */
+size_t
+drawFanout(Rng &rng, const GenSpec &spec)
+{
+    return 1 + rng.nextBelow(spec.maxFanout);
+}
+
+/** Diverse but deterministic channel width in micrometers. */
+int64_t
+drawWidth(Rng &rng)
+{
+    return 200 + 100 * static_cast<int64_t>(rng.nextBelow(5));
+}
+
+std::string
+comp(size_t i)
+{
+    return "n" + std::to_string(i);
+}
+
+/**
+ * Series pipeline: inlet -> n mixed components -> outlet, with up
+ * to fanout-1 tap outlets off evenly spaced intermediates.
+ */
+void
+expandChain(DeviceBuilder &builder, Rng &rng, const GenSpec &spec,
+            const std::vector<EntityWeight> &mix)
+{
+    size_t n = drawComponentCount(rng, spec);
+    size_t fanout = drawFanout(rng, spec);
+    for (size_t i = 0; i < n; ++i)
+        builder.component(comp(i), drawKind(rng, mix));
+    builder.component("in0", EntityKind::Port)
+        .component("out0", EntityKind::Port)
+        .channel("c_in0", "in0.1", comp(0) + ".1", drawWidth(rng));
+    for (size_t i = 0; i + 1 < n; ++i)
+        builder.channel("c" + std::to_string(i), comp(i) + ".2",
+                        comp(i + 1) + ".1", drawWidth(rng));
+    builder.channel("c_out0", comp(n - 1) + ".2", "out0.1",
+                    drawWidth(rng));
+    for (size_t t = 1; t < fanout && n > 1; ++t) {
+        size_t pos = t * (n - 1) / fanout;
+        const std::string tap = "tap" + std::to_string(t);
+        builder.component(tap, EntityKind::Port)
+            .channel("c_" + tap, comp(pos) + ".2", tap + ".1",
+                     drawWidth(rng));
+    }
+}
+
+/**
+ * Planar mesh: rows x cols mixed cells wired east and south, west
+ * inlets on the top rows and east outlets on the bottom rows (so
+ * the sink row always drains).
+ */
+void
+expandGrid(DeviceBuilder &builder, Rng &rng, const GenSpec &spec,
+           const std::vector<EntityWeight> &mix)
+{
+    size_t n = drawComponentCount(rng, spec);
+    size_t rows = 1;
+    while ((rows + 1) * (rows + 1) <= n)
+        ++rows;
+    size_t cols = n / rows;
+    if (cols < 1)
+        cols = 1;
+
+    auto cell = [](size_t r, size_t c) {
+        return "g" + std::to_string(r) + "_" + std::to_string(c);
+    };
+    for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < cols; ++c)
+            builder.component(cell(r, c), drawKind(rng, mix));
+    }
+    size_t io = drawFanout(rng, spec);
+    if (io > rows)
+        io = rows;
+    for (size_t t = 0; t < io; ++t) {
+        const std::string in_id = "in" + std::to_string(t);
+        const std::string out_id = "out" + std::to_string(t);
+        size_t in_row = t;
+        size_t out_row = rows - 1 - t;
+        builder.component(in_id, EntityKind::Port)
+            .component(out_id, EntityKind::Port)
+            .channel("c_" + in_id, in_id + ".1",
+                     cell(in_row, 0) + ".1", drawWidth(rng))
+            .channel("c_" + out_id, cell(out_row, cols - 1) + ".2",
+                     out_id + ".1", drawWidth(rng));
+    }
+    for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                builder.channel("c_e_" + cell(r, c),
+                                cell(r, c) + ".2",
+                                cell(r, c + 1) + ".1",
+                                drawWidth(rng));
+            if (r + 1 < rows)
+                builder.channel("c_s_" + cell(r, c),
+                                cell(r, c) + ".2",
+                                cell(r + 1, c) + ".1",
+                                drawWidth(rng));
+        }
+    }
+}
+
+/**
+ * Splitting tree: TREE interiors, one mixed component behind every
+ * leaf split, each draining to its own outlet.
+ */
+void
+expandTree(DeviceBuilder &builder, Rng &rng, const GenSpec &spec,
+           const std::vector<EntityWeight> &mix)
+{
+    // Interiors (2^d - 1) plus leaves (2^d) must fit the drawn
+    // window; the smallest tree (depth 1) has 3 functional
+    // components.
+    size_t n = drawComponentCount(rng, spec);
+    size_t depth = 1;
+    while (((size_t(1) << (depth + 2)) - 1) <= n)
+        ++depth;
+
+    auto node = [](size_t level, size_t index) {
+        return "t" + std::to_string(level) + "_" +
+               std::to_string(index);
+    };
+    builder.component("in0", EntityKind::Port);
+    for (size_t level = 0; level < depth; ++level) {
+        size_t width = size_t(1) << level;
+        for (size_t i = 0; i < width; ++i)
+            builder.component(node(level, i), EntityKind::Tree);
+    }
+    builder.channel("c_root", "in0.1", node(0, 0) + ".1",
+                    drawWidth(rng));
+    for (size_t level = 0; level + 1 < depth; ++level) {
+        size_t width = size_t(1) << level;
+        for (size_t i = 0; i < width; ++i) {
+            builder.channel("c_l_" + node(level, i),
+                            node(level, i) + ".2",
+                            node(level + 1, 2 * i) + ".1",
+                            drawWidth(rng));
+            builder.channel("c_r_" + node(level, i),
+                            node(level, i) + ".3",
+                            node(level + 1, 2 * i + 1) + ".1",
+                            drawWidth(rng));
+        }
+    }
+    size_t leaf_level = depth - 1;
+    size_t width = size_t(1) << leaf_level;
+    for (size_t i = 0; i < width; ++i) {
+        for (size_t branch = 0; branch < 2; ++branch) {
+            const std::string tag = std::to_string(2 * i + branch);
+            const std::string leaf = "leaf" + tag;
+            const std::string out = "out" + tag;
+            builder.component(leaf, drawKind(rng, mix))
+                .component(out, EntityKind::Port)
+                .channel("c_" + leaf,
+                         node(leaf_level, i) + "." +
+                             std::to_string(2 + branch),
+                         leaf + ".1", drawWidth(rng))
+                .channel("c_" + out, leaf + ".2", out + ".1",
+                         drawWidth(rng));
+        }
+    }
+}
+
+/**
+ * Dilution-style ladder: a series spine alternating MIXER stages
+ * (each with its own buffer inlet) and mixed payload stages, with
+ * waste taps off evenly spaced stages.
+ */
+void
+expandLadder(DeviceBuilder &builder, Rng &rng, const GenSpec &spec,
+             const std::vector<EntityWeight> &mix)
+{
+    size_t n = drawComponentCount(rng, spec);
+    size_t fanout = drawFanout(rng, spec);
+    for (size_t i = 0; i < n; ++i) {
+        bool mixer_stage = (i % 2 == 0);
+        builder.component(comp(i), mixer_stage
+                                       ? EntityKind::Mixer
+                                       : drawKind(rng, mix));
+        if (mixer_stage) {
+            const std::string buffer = "buf" + std::to_string(i);
+            builder.component(buffer, EntityKind::Port)
+                .channel("c_" + buffer, buffer + ".1",
+                         comp(i) + ".1", drawWidth(rng));
+        }
+    }
+    builder.component("sample", EntityKind::Port)
+        .component("product", EntityKind::Port)
+        .channel("c_sample", "sample.1", comp(0) + ".1",
+                 drawWidth(rng));
+    for (size_t i = 0; i + 1 < n; ++i)
+        builder.channel("c" + std::to_string(i), comp(i) + ".2",
+                        comp(i + 1) + ".1", drawWidth(rng));
+    builder.channel("c_product", comp(n - 1) + ".2", "product.1",
+                    drawWidth(rng));
+    for (size_t t = 1; t < fanout && n > 1; ++t) {
+        size_t pos = t * (n - 1) / fanout;
+        const std::string waste = "waste" + std::to_string(t);
+        builder.component(waste, EntityKind::Port)
+            .channel("c_" + waste, comp(pos) + ".2", waste + ".1",
+                     drawWidth(rng));
+    }
+}
+
+/**
+ * Ranked random DAG: a random spanning tree keeps the netlist
+ * connected; extra edges always point from lower to higher rank
+ * (acyclic by construction) and respect the fan-out cap.
+ */
+void
+expandRandomDag(DeviceBuilder &builder, Rng &rng,
+                const GenSpec &spec,
+                const std::vector<EntityWeight> &mix)
+{
+    size_t n = drawComponentCount(rng, spec);
+    size_t fanout = drawFanout(rng, spec);
+    for (size_t i = 0; i < n; ++i)
+        builder.component(comp(i), drawKind(rng, mix));
+
+    std::set<std::pair<size_t, size_t>> edges;
+    std::vector<size_t> out_degree(n, 0);
+    size_t channel_count = 0;
+    auto add_edge = [&](size_t a, size_t b) {
+        builder.channel("c" + std::to_string(channel_count++),
+                        comp(a) + ".2", comp(b) + ".1",
+                        drawWidth(rng));
+        edges.insert({a, b});
+        ++out_degree[a];
+    };
+    for (size_t i = 1; i < n; ++i)
+        add_edge(rng.nextBelow(i), i);
+    for (size_t k = 0; k < n; ++k) {
+        size_t a = rng.nextBelow(n);
+        size_t b = rng.nextBelow(n);
+        if (a == b)
+            continue;
+        if (a > b)
+            std::swap(a, b);
+        if (out_degree[a] >= fanout + 1 || edges.count({a, b}))
+            continue;
+        add_edge(a, b);
+    }
+
+    builder.component("in0", EntityKind::Port)
+        .channel("c_in0", "in0.1", comp(0) + ".1", drawWidth(rng));
+    for (size_t t = 1; t < fanout && n > 1; ++t) {
+        size_t pos = t * (n - 1) / fanout;
+        const std::string in_id = "in" + std::to_string(t);
+        builder.component(in_id, EntityKind::Port)
+            .channel("c_" + in_id, in_id + ".1",
+                     comp(pos) + ".1", drawWidth(rng));
+    }
+    // Component n-1 never sources an extra edge (they point to
+    // higher ranks), so at least one sink always exists.
+    size_t outlets = 0;
+    for (size_t i = n; i-- > 0 && outlets < fanout;) {
+        if (out_degree[i] != 0)
+            continue;
+        const std::string out_id = "out" + std::to_string(outlets++);
+        builder.component(out_id, EntityKind::Port)
+            .channel("c_" + out_id, comp(i) + ".2", out_id + ".1",
+                     drawWidth(rng));
+    }
+}
+
+} // namespace
+
+std::string
+generatedName(const GenSpec &spec, size_t index)
+{
+    return spec.name + "_" + familyName(spec.family) + "_s" +
+           std::to_string(spec.seed) + "_i" + std::to_string(index);
+}
+
+Device
+generateNetlist(const GenSpec &spec, size_t index)
+{
+    const std::string name = generatedName(spec, index);
+    Rng rng(deriveSeed(spec.seed, name));
+    DeviceBuilder builder(name);
+    builder.flowLayer();
+    builder.param("generator",
+                  json::Value(std::string("gen/") +
+                              familyName(spec.family)));
+    builder.param("gen_spec", json::Value(spec.name));
+    builder.param("gen_seed",
+                  json::Value(static_cast<int64_t>(spec.seed)));
+    builder.param("gen_index",
+                  json::Value(static_cast<int64_t>(index)));
+
+    const std::vector<EntityWeight> &mix =
+        spec.entityMix.empty() ? defaultEntityMix() : spec.entityMix;
+    switch (spec.family) {
+    case Family::Chain:
+        expandChain(builder, rng, spec, mix);
+        break;
+    case Family::Grid:
+        expandGrid(builder, rng, spec, mix);
+        break;
+    case Family::Tree:
+        expandTree(builder, rng, spec, mix);
+        break;
+    case Family::Ladder:
+        expandLadder(builder, rng, spec, mix);
+        break;
+    case Family::RandomDag:
+        expandRandomDag(builder, rng, spec, mix);
+        break;
+    }
+    return builder.build();
+}
+
+std::string
+generateNetlistText(const GenSpec &spec, size_t index)
+{
+    json::WriteOptions options;
+    options.pretty = false;
+    options.asciiOnly = true;
+    return json::write(toJson(generateNetlist(spec, index)),
+                       options);
+}
+
+std::string
+generateMintText(const GenSpec &spec, size_t index)
+{
+    return mint::renderMint(generateNetlist(spec, index)).text;
+}
+
+} // namespace parchmint::gen

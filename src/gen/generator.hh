@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The grammar-driven netlist generator.
+ *
+ * Each Family in gen/spec.hh is a small template grammar expanded
+ * under a deterministic RNG: the spec's size window draws the
+ * functional component count, the entity mix draws component
+ * kinds, and the fan-out knob controls inlet/outlet/tap counts.
+ * I/O Port components ride on top of the functional-component
+ * window — the window sizes the interesting part of the netlist.
+ *
+ * Seeding contract: instance @c index of spec @c S uses
+ * @c Rng(deriveSeed(S.seed, generatedName(S, index))) and nothing
+ * else, so generating instance 7 never requires generating
+ * instances 0..6 and a corpus sharded across `--jobs N` workers is
+ * byte-identical to a sequential run. The device name embeds the
+ * spec name, family, seed and index, which also keeps downstream
+ * name-seeded stages (the annealing placer) deterministic per
+ * instance.
+ *
+ * Every emitted netlist is valid by construction: catalogue
+ * entities only, channels between declared flow ports, connected
+ * flow graphs — the gen_spec fuzz target re-checks this against
+ * the full validation pipeline for every spec it can parse.
+ */
+
+#ifndef PARCHMINT_GEN_GENERATOR_HH
+#define PARCHMINT_GEN_GENERATOR_HH
+
+#include <cstddef>
+#include <string>
+
+#include "core/device.hh"
+#include "gen/spec.hh"
+
+namespace parchmint::gen
+{
+
+/** The deterministic device name of instance @p index:
+ * "<name>_<family>_s<seed>_i<index>". */
+std::string generatedName(const GenSpec &spec, size_t index);
+
+/**
+ * Expand instance @p index of @p spec. Deterministic: the same
+ * (spec, index) yields the same Device on every platform, in any
+ * order, under any parallelism. @p index is normally below
+ * spec.count, but any index expands deterministically.
+ */
+Device generateNetlist(const GenSpec &spec, size_t index);
+
+/**
+ * generateNetlist rendered as canonical ParchMint JSON text
+ * (compact, ASCII-only) — the exact bytes the corpus stores and
+ * content-addresses.
+ */
+std::string generateNetlistText(const GenSpec &spec, size_t index);
+
+/** generateNetlist rendered as MINT source (mint/write_mint.hh). */
+std::string generateMintText(const GenSpec &spec, size_t index);
+
+} // namespace parchmint::gen
+
+#endif // PARCHMINT_GEN_GENERATOR_HH

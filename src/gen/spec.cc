@@ -1,0 +1,252 @@
+#include "gen/spec.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "json/parse.hh"
+
+namespace parchmint::gen
+{
+
+namespace
+{
+
+bool
+validSpecName(std::string_view name)
+{
+    if (name.empty() || name.size() > kMaxSpecNameLength)
+        return false;
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+uint64_t
+requireUint(const json::Value &value, const char *member)
+{
+    if (!value.isInteger() || value.asInteger() < 0)
+        throw UserError(std::string("gen spec: \"") + member +
+                        "\" must be a non-negative integer");
+    return static_cast<uint64_t>(value.asInteger());
+}
+
+size_t
+requireRange(const json::Value &value, const char *member,
+             size_t lowest, size_t highest)
+{
+    uint64_t raw = requireUint(value, member);
+    if (raw < lowest || raw > highest)
+        throw UserError(std::string("gen spec: \"") + member +
+                        "\" must be in [" + std::to_string(lowest) +
+                        ", " + std::to_string(highest) + "], found " +
+                        std::to_string(raw));
+    return static_cast<size_t>(raw);
+}
+
+} // namespace
+
+const std::vector<Family> &
+allFamilies()
+{
+    static const std::vector<Family> families = {
+        Family::Chain, Family::Grid, Family::Tree, Family::Ladder,
+        Family::RandomDag,
+    };
+    return families;
+}
+
+const char *
+familyName(Family family)
+{
+    switch (family) {
+    case Family::Chain:
+        return "chain";
+    case Family::Grid:
+        return "grid";
+    case Family::Tree:
+        return "tree";
+    case Family::Ladder:
+        return "ladder";
+    case Family::RandomDag:
+        return "random_dag";
+    }
+    throw UserError("gen spec: invalid family enumerator");
+}
+
+Family
+parseFamilyName(std::string_view name)
+{
+    for (Family family : allFamilies()) {
+        if (name == familyName(family))
+            return family;
+    }
+    throw UserError("gen spec: unknown family \"" +
+                    std::string(name) +
+                    "\" (expected chain, grid, tree, ladder or "
+                    "random_dag)");
+}
+
+const std::vector<EntityKind> &
+drawableEntityKinds()
+{
+    static const std::vector<EntityKind> kinds = {
+        EntityKind::Mixer,    EntityKind::DiamondChamber,
+        EntityKind::CellTrap, EntityKind::Filter,
+        EntityKind::Heater,   EntityKind::Sensor,
+    };
+    return kinds;
+}
+
+const std::vector<EntityWeight> &
+defaultEntityMix()
+{
+    static const std::vector<EntityWeight> mix = [] {
+        std::vector<EntityWeight> weights;
+        for (EntityKind kind : drawableEntityKinds())
+            weights.push_back(EntityWeight{kind, 1});
+        return weights;
+    }();
+    return mix;
+}
+
+GenSpec
+parseGenSpec(const json::Value &document)
+{
+    if (!document.isObject())
+        throw UserError("gen spec: document must be an object");
+
+    GenSpec spec;
+
+    if (const json::Value *schema = document.find("schema")) {
+        if (!schema->isString() ||
+            schema->asString() != kSpecSchema)
+            throw UserError(
+                std::string("gen spec: \"schema\" must be \"") +
+                kSpecSchema + "\" when present");
+    }
+    if (const json::Value *name = document.find("name")) {
+        if (!name->isString() || !validSpecName(name->asString()))
+            throw UserError(
+                "gen spec: \"name\" must be 1..64 chars of "
+                "[A-Za-z0-9._-]");
+        spec.name = name->asString();
+    }
+    if (const json::Value *family = document.find("family")) {
+        if (!family->isString())
+            throw UserError("gen spec: \"family\" must be a string");
+        spec.family = parseFamilyName(family->asString());
+    }
+    if (const json::Value *seed = document.find("seed"))
+        spec.seed = requireUint(*seed, "seed");
+    if (const json::Value *count = document.find("count"))
+        spec.count = requireRange(*count, "count", 1, kMaxCount);
+    if (const json::Value *low = document.find("min_components"))
+        spec.minComponents =
+            requireRange(*low, "min_components", 1, kMaxComponents);
+    if (const json::Value *high = document.find("max_components"))
+        spec.maxComponents =
+            requireRange(*high, "max_components", 1, kMaxComponents);
+    if (spec.minComponents > spec.maxComponents)
+        throw UserError(
+            "gen spec: min_components (" +
+            std::to_string(spec.minComponents) +
+            ") must not exceed max_components (" +
+            std::to_string(spec.maxComponents) + ")");
+    if (const json::Value *fanout = document.find("max_fanout"))
+        spec.maxFanout =
+            requireRange(*fanout, "max_fanout", 1, kMaxFanout);
+    if (const json::Value *mix = document.find("entity_mix")) {
+        if (!mix->isObject())
+            throw UserError("gen spec: \"entity_mix\" must be an "
+                            "object of entity -> weight");
+        if (mix->empty())
+            throw UserError(
+                "gen spec: \"entity_mix\" must not be empty");
+        const auto &drawable = drawableEntityKinds();
+        for (const auto &[entity, weight] : mix->members()) {
+            EntityKind kind = parseEntity(entity);
+            if (std::find(drawable.begin(), drawable.end(), kind) ==
+                drawable.end())
+                throw UserError(
+                    "gen spec: entity \"" + entity +
+                    "\" is not drawable (two-port flow entities "
+                    "only)");
+            if (!weight.isInteger() || weight.asInteger() < 1 ||
+                weight.asInteger() > 1000000)
+                throw UserError("gen spec: weight for \"" + entity +
+                                "\" must be an integer in "
+                                "[1, 1000000]");
+            spec.entityMix.push_back(EntityWeight{
+                kind,
+                static_cast<uint32_t>(weight.asInteger())});
+        }
+        // Canonical order: catalogue order, not document order, so
+        // re-encoded specs hash identically.
+        std::sort(spec.entityMix.begin(), spec.entityMix.end(),
+                  [&](const EntityWeight &a, const EntityWeight &b) {
+                      auto rank = [&](EntityKind kind) {
+                          return std::find(drawable.begin(),
+                                           drawable.end(), kind) -
+                                 drawable.begin();
+                      };
+                      return rank(a.kind) < rank(b.kind);
+                  });
+        for (size_t i = 1; i < spec.entityMix.size(); ++i) {
+            if (spec.entityMix[i - 1].kind == spec.entityMix[i].kind)
+                throw UserError(
+                    "gen spec: entity_mix names \"" +
+                    entityName(spec.entityMix[i].kind) +
+                    "\" more than once");
+        }
+    }
+    if (const json::Value *mint = document.find("emit_mint")) {
+        if (!mint->isBoolean())
+            throw UserError(
+                "gen spec: \"emit_mint\" must be a boolean");
+        spec.emitMint = mint->asBoolean();
+    }
+    return spec;
+}
+
+GenSpec
+parseGenSpecText(const std::string &text)
+{
+    return parseGenSpec(json::parse(text));
+}
+
+json::Value
+specToJson(const GenSpec &spec)
+{
+    json::Value document = json::Value::makeObject();
+    document.set("schema", json::Value(kSpecSchema));
+    document.set("name", json::Value(spec.name));
+    document.set("family", json::Value(familyName(spec.family)));
+    document.set("seed",
+                 json::Value(static_cast<int64_t>(spec.seed)));
+    document.set("count",
+                 json::Value(static_cast<int64_t>(spec.count)));
+    document.set(
+        "min_components",
+        json::Value(static_cast<int64_t>(spec.minComponents)));
+    document.set(
+        "max_components",
+        json::Value(static_cast<int64_t>(spec.maxComponents)));
+    document.set("max_fanout",
+                 json::Value(static_cast<int64_t>(spec.maxFanout)));
+    json::Value mix = json::Value::makeObject();
+    const std::vector<EntityWeight> &weights =
+        spec.entityMix.empty() ? defaultEntityMix() : spec.entityMix;
+    for (const EntityWeight &entry : weights)
+        mix.set(entityName(entry.kind),
+                json::Value(static_cast<int64_t>(entry.weight)));
+    document.set("entity_mix", std::move(mix));
+    document.set("emit_mint", json::Value(spec.emitMint));
+    return document;
+}
+
+} // namespace parchmint::gen

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Generator specifications: the grammar knobs for synthetic
+ * netlist families.
+ *
+ * A GenSpec is the complete, serializable description of a netlist
+ * family: topology grammar (chain, grid, tree, ladder, random
+ * DAG), size window, entity mix and port fan-out, plus the base
+ * seed and the number of instances. The spec is the unit of
+ * reproducibility — the corpus manifest embeds it verbatim, and
+ * regenerating from the manifest yields byte-identical netlists
+ * (see gen/generator.hh for the seeding contract).
+ *
+ * parseGenSpec is strict about the members it knows (wrong types
+ * and out-of-range values are UserError) and ignores members it
+ * does not, so wrapper documents — the /v1/generate request body
+ * adds "index" — can carry a spec without re-encoding it.
+ * specToJson emits a canonical form: parseGenSpec(specToJson(s))
+ * round-trips every field, and specToJson(parseGenSpec(d)) is a
+ * fixpoint for any accepted document.
+ */
+
+#ifndef PARCHMINT_GEN_SPEC_HH
+#define PARCHMINT_GEN_SPEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/entity.hh"
+#include "json/value.hh"
+
+namespace parchmint::gen
+{
+
+/** Schema identifier stamped into serialized specs. */
+inline constexpr const char *kSpecSchema = "parchmint-gen-spec-v1";
+
+/** Topology grammar family. */
+enum class Family
+{
+    /** Series pipeline with tap outlets. */
+    Chain,
+    /** Planar mesh with west inlets and east outlets. */
+    Grid,
+    /** Splitting tree: TREE interiors, mixed-entity leaves. */
+    Tree,
+    /** Dilution-style mixer ladder with buffer inlets and waste
+     * taps. */
+    Ladder,
+    /** Ranked random DAG: spanning tree plus forward extra edges. */
+    RandomDag,
+};
+
+/** All families, in canonical (serialization) order. */
+const std::vector<Family> &allFamilies();
+
+/** Canonical name ("chain", "grid", "tree", "ladder",
+ * "random_dag"). */
+const char *familyName(Family family);
+
+/**
+ * Parse a canonical family name.
+ * @throws UserError on an unknown name.
+ */
+Family parseFamilyName(std::string_view name);
+
+/** One entry of the entity mix: an entity and its draw weight. */
+struct EntityWeight
+{
+    EntityKind kind = EntityKind::Mixer;
+    /** Relative draw weight; always >= 1 after parsing. */
+    uint32_t weight = 1;
+};
+
+/** Spec limits enforced by parseGenSpec. */
+inline constexpr size_t kMaxCount = 1000000;
+inline constexpr size_t kMaxComponents = 2048;
+inline constexpr size_t kMaxFanout = 8;
+inline constexpr size_t kMaxSpecNameLength = 64;
+
+/** See file comment. */
+struct GenSpec
+{
+    /** Family name prefix for generated netlists; identifier
+     * alphabet [A-Za-z0-9._-], 1..64 chars. */
+    std::string name = "gen";
+    Family family = Family::RandomDag;
+    /** Base seed; per-instance streams derive from it. */
+    uint64_t seed = 1;
+    /** Number of netlists in the family (1..kMaxCount). */
+    size_t count = 1;
+    /** Component-count window, inclusive (1..kMaxComponents). */
+    size_t minComponents = 8;
+    size_t maxComponents = 24;
+    /** Inlet/outlet fan-out knob (1..kMaxFanout). */
+    size_t maxFanout = 2;
+    /** Entity draw weights; empty means defaultEntityMix(). */
+    std::vector<EntityWeight> entityMix;
+    /** Also render MINT source into the corpus. */
+    bool emitMint = false;
+};
+
+/**
+ * The entity kinds a spec may draw from: the catalogue's two-port
+ * flow entities, so every family is valid by construction.
+ */
+const std::vector<EntityKind> &drawableEntityKinds();
+
+/** Uniform weights over drawableEntityKinds(). */
+const std::vector<EntityWeight> &defaultEntityMix();
+
+/**
+ * Parse a spec document per the file comment.
+ *
+ * Members: "name" (string), "family" (string), "seed" (uint),
+ * "count" (uint), "min_components"/"max_components" (uint),
+ * "max_fanout" (uint), "entity_mix" (object: entity name ->
+ * positive integer weight), "emit_mint" (bool), and an optional
+ * "schema" that must equal kSpecSchema when present. Every member
+ * is optional; defaults are the GenSpec initializers.
+ *
+ * @throws UserError on wrong types, out-of-range values,
+ *         min > max, unknown families or non-drawable entities.
+ */
+GenSpec parseGenSpec(const json::Value &document);
+
+/** Parse a spec from JSON text. @throws json::ParseError,
+ * UserError. */
+GenSpec parseGenSpecText(const std::string &text);
+
+/** Serialize canonically (see file comment). */
+json::Value specToJson(const GenSpec &spec);
+
+} // namespace parchmint::gen
+
+#endif // PARCHMINT_GEN_SPEC_HH

@@ -194,6 +194,27 @@ standardManifest()
             },
         },
         {
+            "gen_suite",
+            "Grammar-driven synthetic netlist generation into a "
+            "content-addressed corpus",
+            "generator spec (family, seed, count, component "
+            "window, entity mix)",
+            {"family", "seed", "count", "jobs"},
+            {
+                {"gauge:gen.write.throughput", "netlists/s",
+                 Direction::HigherIsBetter,
+                 "corpus write throughput"},
+                {"counter:gen.write.", "count",
+                 Direction::LowerIsBetter,
+                 "writer work (instances, files, dedupe)"},
+                {"counter:gen.corpus.", "count",
+                 Direction::LowerIsBetter,
+                 "corpus-sweep outcomes (ok, failed, skipped)"},
+                {"span.total_us:", "us", Direction::LowerIsBetter,
+                 "stage wall time"},
+            },
+        },
+        {
             "fuzz_run",
             "Deterministic fuzzing sweep over the registered "
             "targets",

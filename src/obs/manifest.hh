@@ -39,8 +39,10 @@ namespace parchmint::obs
 
 /** Manifest schema revision; bump on any contract change.
  * v2: continuous-flow workload family (mix/dilute/schedule
- * problem contracts). */
-constexpr int kManifestVersion = 2;
+ * problem contracts).
+ * v3: synthetic generation (gen_suite corpus writer contract;
+ * suite_run gains the corpus-sweep gen.corpus.* metrics). */
+constexpr int kManifestVersion = 3;
 
 /** The manifest_version stamp, e.g. "parchmint-manifest-v1". */
 std::string manifestVersion();

@@ -13,6 +13,7 @@
 #include "core/deserialize.hh"
 #include "core/serialize.hh"
 #include "exec/thread_pool.hh"
+#include "gen/generator.hh"
 #include "json/parse.hh"
 #include "json/write.hh"
 #include "obs/clock.hh"
@@ -134,8 +135,12 @@ endpointLabel(const std::string &path)
         return "dilute";
     if (path == "/v1/schedule")
         return "schedule";
+    if (path == "/v1/generate")
+        return "generate";
     if (path == "/v1/suite" || startsWith(path, "/v1/suite/"))
         return "suite";
+    if (path == "/v1/corpus" || startsWith(path, "/v1/corpus/"))
+        return "corpus";
     if (path == "/healthz")
         return "healthz";
     if (path == "/statsz")
@@ -412,10 +417,22 @@ NetlistService::dispatch(const HttpRequest &request,
         return handleSuiteNetlist(
             path.substr(std::string("/v1/suite/").size()));
     }
+    if (path == "/v1/corpus" || startsWith(path, "/v1/corpus/")) {
+        if (request.method != "GET") {
+            HttpResponse response =
+                errorResponse(405, "use GET " + path);
+            response.setHeader("Allow", "GET");
+            return response;
+        }
+        if (path == "/v1/corpus")
+            return handleCorpusIndex();
+        return handleCorpusNetlist(
+            path.substr(std::string("/v1/corpus/").size()));
+    }
     if (path == "/v1/validate" || path == "/v1/characterize" ||
         path == "/v1/place" || path == "/v1/route" ||
         path == "/v1/mix" || path == "/v1/dilute" ||
-        path == "/v1/schedule") {
+        path == "/v1/schedule" || path == "/v1/generate") {
         if (request.method != "POST") {
             HttpResponse response =
                 errorResponse(405, "use POST " + path);
@@ -590,6 +607,56 @@ NetlistService::computeResult(const std::string &endpoint,
                     static_cast<int64_t>(plan.bufferUnits)));
         out.set("farey", std::move(farey));
         out.set("netlist", toJson(plan.netlist));
+        return compactJson(out);
+    }
+
+    if (endpoint == "generate") {
+        // Pure function of the body (like dilute): the spec plus an
+        // optional "index" member the spec parser itself ignores.
+        gen::GenSpec spec = [&] {
+            obs::reqtrace::ScopedStage stage("validate");
+            return gen::parseGenSpec(document);
+        }();
+        size_t index = 0;
+        if (const json::Value *member = document.find("index")) {
+            if (!member->isInteger() || member->asInteger() < 0)
+                fatal("\"index\" must be a non-negative integer");
+            index = static_cast<size_t>(member->asInteger());
+        }
+        if (index >= spec.count)
+            fatal("\"index\" (" + std::to_string(index) +
+                  ") must be below the spec count (" +
+                  std::to_string(spec.count) + ")");
+        token.throwIfCancelled("generate");
+        Device device = [&] {
+            obs::reqtrace::ScopedStage stage("generate");
+            return gen::generateNetlist(spec, index);
+        }();
+        json::Value netlist = toJson(device);
+        std::string canonical = canonicalJsonText(netlist);
+        json::Value out = json::Value::makeObject();
+        out.set("schema", json::Value("parchmintd-generate-v1"));
+        out.set("name", json::Value(device.name()));
+        out.set("family",
+                json::Value(gen::familyName(spec.family)));
+        out.set("seed",
+                json::Value(static_cast<int64_t>(spec.seed)));
+        out.set("index",
+                json::Value(static_cast<int64_t>(index)));
+        out.set("count",
+                json::Value(static_cast<int64_t>(spec.count)));
+        out.set("components",
+                json::Value(static_cast<int64_t>(
+                    device.components().size())));
+        out.set("connections",
+                json::Value(static_cast<int64_t>(
+                    device.connections().size())));
+        out.set("hash", json::Value(gen::corpusHashHex(
+                            gen::corpusHash(canonical))));
+        if (spec.emitMint)
+            out.set("mint", json::Value(gen::generateMintText(
+                                spec, index)));
+        out.set("netlist", std::move(netlist));
         return compactJson(out);
     }
 
@@ -797,6 +864,96 @@ NetlistService::handleSuiteNetlist(const std::string &name)
     } catch (const UserError &error) {
         return errorResponse(404, error.what());
     }
+}
+
+std::shared_ptr<const gen::CorpusManifest>
+NetlistService::corpusManifest()
+{
+    if (options_.corpusDir.empty())
+        fatal("no corpus mounted (start the daemon with a corpus "
+              "directory)");
+    std::lock_guard<std::mutex> lock(corpusMutex_);
+    if (!corpusManifest_) {
+        corpusManifest_ =
+            std::make_shared<const gen::CorpusManifest>(
+                gen::readCorpusManifest(options_.corpusDir));
+    }
+    return corpusManifest_;
+}
+
+HttpResponse
+NetlistService::handleCorpusIndex()
+{
+    std::shared_ptr<const gen::CorpusManifest> manifest;
+    try {
+        manifest = corpusManifest();
+    } catch (const UserError &error) {
+        return errorResponse(404, error.what());
+    }
+    json::Value entries = json::Value::makeArray();
+    for (const gen::CorpusEntry &entry : manifest->entries) {
+        json::Value item = json::Value::makeObject();
+        item.set("index",
+                 json::Value(static_cast<int64_t>(entry.index)));
+        item.set("name", json::Value(entry.name));
+        item.set("file", json::Value(entry.file));
+        item.set("hash", json::Value(entry.hash));
+        item.set("bytes",
+                 json::Value(static_cast<int64_t>(entry.bytes)));
+        entries.append(std::move(item));
+    }
+    json::Value out = json::Value::makeObject();
+    out.set("schema", json::Value("parchmintd-corpus-v1"));
+    out.set("manifest_version",
+            json::Value(manifest->manifestVersion));
+    out.set("spec", gen::specToJson(manifest->spec));
+    out.set("count", json::Value(static_cast<int64_t>(
+                         manifest->entries.size())));
+    out.set("entries", std::move(entries));
+    return jsonResponse(200, compactJson(out));
+}
+
+HttpResponse
+NetlistService::handleCorpusNetlist(const std::string &ref)
+{
+    std::shared_ptr<const gen::CorpusManifest> manifest;
+    try {
+        manifest = corpusManifest();
+    } catch (const UserError &error) {
+        return errorResponse(404, error.what());
+    }
+    // Resolve by file name or bare hash16 against the manifest
+    // (never the raw path), so requests cannot escape the corpus
+    // directory.
+    const gen::CorpusEntry *found = nullptr;
+    for (const gen::CorpusEntry &entry : manifest->entries) {
+        if (entry.file == ref || entry.hash == ref) {
+            found = &entry;
+            break;
+        }
+    }
+    if (found == nullptr) {
+        return errorResponse(404, "no corpus entry \"" + ref +
+                                      "\"");
+    }
+    // Read from disk per request: bounded memory regardless of
+    // corpus size, LRU-bounded reuse via the result cache.
+    std::string key = "corpus:" + found->hash;
+    if (std::shared_ptr<const std::string> hit =
+            resultCache_.find(key)) {
+        obs::reqtrace::noteCache("result");
+        return jsonResponse(200, *hit);
+    }
+    std::string text;
+    if (!gen::readCorpusEntry(options_.corpusDir, *found, text)) {
+        return errorResponse(502, "corpus entry \"" + ref +
+                                      "\" is missing or corrupt "
+                                      "on disk");
+    }
+    resultCache_.insert(
+        key, std::make_shared<const std::string>(text),
+        text.size());
+    return jsonResponse(200, std::move(text));
 }
 
 HttpResponse

@@ -28,8 +28,23 @@
  *                          storage-channel counts and the op
  *                          timeline. Body: a netlist, or
  *                          {"netlist": {...}, "concurrency": K}
+ *   POST /v1/generate      expand one instance of a generator
+ *                          spec (gen/spec.hh). Body: a spec
+ *                          document, plus an optional "index"
+ *                          member selecting the instance
+ *                          (default 0; must be below the spec's
+ *                          count). Pure function of the body, so
+ *                          responses cache like /v1/dilute.
  *   GET  /v1/suite         the standard benchmark registry
  *   GET  /v1/suite/<name>  one standard benchmark's netlist
+ *   GET  /v1/corpus        the mounted corpus's manifest summary
+ *                          (404 unless the daemon was started
+ *                          with a corpus directory)
+ *   GET  /v1/corpus/<ref>  one corpus netlist by file name or
+ *                          hash16; the file is read from disk per
+ *                          request and hash-verified, so serving
+ *                          a 10k-netlist corpus holds O(1)
+ *                          netlists in memory
  *   GET  /healthz          liveness probe
  *   GET  /statsz           counters, cache and admission state,
  *                          stamped with manifest_version and the
@@ -87,9 +102,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "exec/cancel.hh"
+#include "gen/corpus.hh"
 #include "json/value.hh"
 #include "obs/reqtrace.hh"
 #include "svc/admission.hh"
@@ -175,6 +192,10 @@ struct ServiceOptions
     /** Request body budget, surfaced to the HTTP parser by the
      * server. */
     size_t maxBodyBytes = ParserLimits{}.maxBodyBytes;
+    /** Generated-corpus directory served under /v1/corpus
+     * (gen/corpus.hh); empty = corpus endpoints answer 404. The
+     * manifest is loaded lazily on first use and then pinned. */
+    std::string corpusDir;
 };
 
 /** See file comment. */
@@ -231,6 +252,12 @@ class NetlistService
                               const exec::CancelToken &token);
     HttpResponse handleSuiteIndex();
     HttpResponse handleSuiteNetlist(const std::string &name);
+    HttpResponse handleCorpusIndex();
+    HttpResponse handleCorpusNetlist(const std::string &ref);
+    /** The pinned corpus manifest, loading it on first use.
+     * @throws UserError when no corpus is mounted or the manifest
+     *         is unreadable. */
+    std::shared_ptr<const gen::CorpusManifest> corpusManifest();
     HttpResponse handleStatsz();
     HttpResponse handleMetricsz();
     HttpResponse handleTracez();
@@ -247,6 +274,9 @@ class NetlistService
     obs::reqtrace::RequestCapture capture_;
     /** Ordinal feeding minted trace IDs (deterministic per seed). */
     std::atomic<uint64_t> traceOrdinal_{0};
+    /** Lazily pinned corpus manifest (see corpusManifest()). */
+    std::mutex corpusMutex_;
+    std::shared_ptr<const gen::CorpusManifest> corpusManifest_;
 };
 
 } // namespace parchmint::svc

@@ -1,0 +1,553 @@
+/**
+ * @file
+ * Tests for the synthetic netlist generator (src/gen/): spec
+ * parsing and its serialization fixpoint, grammar expansion across
+ * every topology family, jobs-independent corpus writing, the
+ * streaming reader's skip-and-warn contract, integrity
+ * verification, the corpus sweep runner, and the service's
+ * /v1/generate and /v1/corpus endpoints in-process.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "core/deserialize.hh"
+#include "core/device.hh"
+#include "core/serialize.hh"
+#include "gen/corpus.hh"
+#include "gen/corpus_run.hh"
+#include "gen/generator.hh"
+#include "gen/spec.hh"
+#include "json/parse.hh"
+#include "json/write.hh"
+#include "mint/elaborate.hh"
+#include "schema/rules.hh"
+#include "svc/cache.hh"
+#include "svc/http.hh"
+#include "svc/service.hh"
+
+namespace parchmint::gen
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** A fresh directory under /tmp, removed on destruction. */
+struct TempDir
+{
+    TempDir()
+    {
+        char name[] = "/tmp/parchmint_gen_test_XXXXXX";
+        path = ::mkdtemp(name);
+        EXPECT_FALSE(path.empty());
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+    std::string path;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+std::string
+compactText(const json::Value &value)
+{
+    json::WriteOptions options;
+    options.pretty = false;
+    options.asciiOnly = true;
+    return json::write(value, options);
+}
+
+size_t
+countErrors(const std::string &netlistText)
+{
+    size_t errors = 0;
+    for (const schema::Issue &issue :
+         schema::validateText(netlistText)) {
+        if (issue.severity == schema::Severity::Error)
+            ++errors;
+    }
+    return errors;
+}
+
+GenSpec
+smallSpec(Family family, size_t count = 4)
+{
+    GenSpec spec;
+    spec.name = "t";
+    spec.family = family;
+    spec.seed = 99;
+    spec.count = count;
+    spec.minComponents = 8;
+    spec.maxComponents = 20;
+    spec.maxFanout = 3;
+    return spec;
+}
+
+// ---------------------------------------------------------------
+// GenSpec
+// ---------------------------------------------------------------
+
+TEST(GenSpecTest, ParseToJsonIsAFixpoint)
+{
+    GenSpec spec = smallSpec(Family::Ladder, 7);
+    spec.emitMint = true;
+    spec.entityMix = {{EntityKind::Mixer, 3},
+                      {EntityKind::Sensor, 1}};
+    json::Value once = specToJson(spec);
+    GenSpec again = parseGenSpec(once);
+    EXPECT_EQ(compactText(once), compactText(specToJson(again)));
+    EXPECT_EQ(spec.name, again.name);
+    EXPECT_EQ(spec.family, again.family);
+    EXPECT_EQ(spec.seed, again.seed);
+    EXPECT_EQ(spec.count, again.count);
+    EXPECT_TRUE(again.emitMint);
+    ASSERT_EQ(2u, again.entityMix.size());
+}
+
+TEST(GenSpecTest, DefaultsAndSchemaMember)
+{
+    GenSpec spec = parseGenSpec(json::parse("{}"));
+    EXPECT_EQ("gen", spec.name);
+    EXPECT_EQ(Family::RandomDag, spec.family);
+    EXPECT_EQ(1u, spec.count);
+
+    EXPECT_NO_THROW(parseGenSpec(json::parse(
+        "{\"schema\": \"parchmint-gen-spec-v1\"}")));
+    EXPECT_THROW(parseGenSpec(json::parse(
+                     "{\"schema\": \"parchmint-gen-spec-v9\"}")),
+                 UserError);
+}
+
+TEST(GenSpecTest, RejectsMalformedSpecs)
+{
+    auto reject = [](const char *text) {
+        EXPECT_THROW(parseGenSpec(json::parse(text)), UserError)
+            << text;
+    };
+    reject("{\"family\": \"torus\"}");
+    reject("{\"family\": 7}");
+    reject("{\"name\": \"\"}");
+    reject("{\"name\": \"has space\"}");
+    reject("{\"count\": 0}");
+    reject("{\"count\": 2000000}");
+    reject("{\"min_components\": 12, \"max_components\": 8}");
+    reject("{\"max_components\": 4096}");
+    reject("{\"max_fanout\": 0}");
+    reject("{\"max_fanout\": 9}");
+    reject("{\"entity_mix\": {\"VALVE3D\": 1}}");
+    reject("{\"entity_mix\": {\"MIXER\": 0}}");
+    reject("{\"entity_mix\": {\"MIXER\": 1, \"mixer\": 2}}");
+    reject("{\"emit_mint\": \"yes\"}");
+}
+
+// ---------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------
+
+TEST(GeneratorTest, EveryFamilyEmitsValidDeterministicNetlists)
+{
+    for (Family family :
+         {Family::Chain, Family::Grid, Family::Tree,
+          Family::Ladder, Family::RandomDag}) {
+        GenSpec spec = smallSpec(family);
+        for (size_t i = 0; i < spec.count; ++i) {
+            std::string text = generateNetlistText(spec, i);
+            EXPECT_EQ(text, generateNetlistText(spec, i))
+                << familyName(family) << " index " << i;
+            EXPECT_EQ(0u, countErrors(text))
+                << familyName(family) << " index " << i;
+            // Canonical text is a serialization fixpoint.
+            Device device = fromJsonText(text);
+            EXPECT_EQ(text, compactText(toJson(device)));
+        }
+    }
+}
+
+TEST(GeneratorTest, InstanceStreamsAreIndependentOfEachOther)
+{
+    // Instance i's bytes depend only on (spec, i) — generating
+    // i alone equals generating it inside a full sweep, the
+    // property that makes --jobs N byte-identical.
+    GenSpec spec = smallSpec(Family::RandomDag, 6);
+    std::vector<std::string> sweep;
+    for (size_t i = 0; i < spec.count; ++i)
+        sweep.push_back(generateNetlistText(spec, i));
+    EXPECT_EQ(sweep[5], generateNetlistText(spec, 5));
+    EXPECT_EQ(sweep[0], generateNetlistText(spec, 0));
+    // Distinct instances draw distinct streams.
+    EXPECT_NE(sweep[0], sweep[1]);
+}
+
+TEST(GeneratorTest, NamesEmbedSpecIdentity)
+{
+    GenSpec spec = smallSpec(Family::Grid);
+    EXPECT_EQ("t_grid_s99_i3", generatedName(spec, 3));
+    Device device = generateNetlist(spec, 3);
+    EXPECT_EQ("t_grid_s99_i3", device.name());
+}
+
+TEST(GeneratorTest, ComponentWindowIsRespected)
+{
+    GenSpec spec = smallSpec(Family::Chain, 8);
+    for (size_t i = 0; i < spec.count; ++i) {
+        Device device = generateNetlist(spec, i);
+        size_t functional = 0;
+        for (const Component &component : device.components()) {
+            if (component.entityKind() != EntityKind::Port)
+                ++functional;
+        }
+        EXPECT_GE(functional, spec.minComponents);
+        EXPECT_LE(functional, spec.maxComponents);
+    }
+}
+
+TEST(GeneratorTest, MintEmissionCompilesBack)
+{
+    GenSpec spec = smallSpec(Family::Ladder, 1);
+    std::string mint = generateMintText(spec, 0);
+    ASSERT_FALSE(mint.empty());
+    Device device = mint::compileMint(mint);
+    EXPECT_FALSE(device.components().empty());
+}
+
+// ---------------------------------------------------------------
+// Corpus
+// ---------------------------------------------------------------
+
+TEST(CorpusTest, HashMatchesServiceContentHash)
+{
+    // gen mirrors the service's content hash so corpus file stems
+    // equal daemon cache keys; this pin keeps the two in lockstep.
+    for (const std::string bytes :
+         {std::string(""), std::string("{\"a\": 1}"),
+          std::string(4096, 'x')}) {
+        EXPECT_EQ(svc::contentHash(bytes), corpusHash(bytes));
+        EXPECT_EQ(svc::hashHex(svc::contentHash(bytes)),
+                  corpusHashHex(corpusHash(bytes)));
+    }
+}
+
+TEST(CorpusTest, WriteIsByteIdenticalAcrossJobs)
+{
+    GenSpec spec = smallSpec(Family::Tree, 10);
+    TempDir serial, parallel;
+    WriteCorpusOptions one, four;
+    one.jobs = 1;
+    four.jobs = 4;
+    WriteCorpusResult a = writeCorpus(serial.path, spec, one);
+    WriteCorpusResult b = writeCorpus(parallel.path, spec, four);
+    ASSERT_EQ(10u, a.manifest.entries.size());
+    EXPECT_EQ(corpusManifestText(a.manifest),
+              corpusManifestText(b.manifest));
+    for (const CorpusEntry &entry : a.manifest.entries) {
+        EXPECT_EQ(readFile(serial.path + "/" + entry.file),
+                  readFile(parallel.path + "/" + entry.file))
+            << entry.file;
+    }
+}
+
+TEST(CorpusTest, StreamReadRoundTripsAndRegenerates)
+{
+    GenSpec spec = smallSpec(Family::Grid, 6);
+    TempDir dir;
+    WriteCorpusResult written = writeCorpus(dir.path, spec);
+    EXPECT_EQ(0u, written.deduplicated);
+
+    CorpusReader reader(dir.path);
+    EXPECT_EQ(compactText(specToJson(spec)),
+              compactText(specToJson(reader.manifest().spec)));
+    CorpusEntry entry;
+    std::string text;
+    size_t index = 0;
+    while (reader.next(entry, text)) {
+        EXPECT_EQ(index, entry.index);
+        EXPECT_EQ(corpusFileName(text), entry.file);
+        // Regenerating from the manifest's spec reproduces the
+        // stored bytes exactly.
+        EXPECT_EQ(text, generateNetlistText(reader.manifest().spec,
+                                            entry.index));
+        ++index;
+    }
+    EXPECT_EQ(6u, index);
+    EXPECT_EQ(0u, reader.skipped());
+    EXPECT_TRUE(verifyCorpus(dir.path).ok());
+}
+
+TEST(CorpusTest, DamagedEntriesAreSkippedWithWarnings)
+{
+    GenSpec spec = smallSpec(Family::Chain, 5);
+    TempDir dir;
+    CorpusManifest manifest = writeCorpus(dir.path, spec).manifest;
+    ASSERT_EQ(5u, manifest.entries.size());
+
+    // Corrupt entry 1 (flip bytes, same length), truncate entry 2,
+    // remove entry 3.
+    const std::string corrupt =
+        dir.path + "/" + manifest.entries[1].file;
+    std::string bytes = readFile(corrupt);
+    bytes[bytes.size() / 2] ^= 0x20;
+    std::ofstream(corrupt, std::ios::binary) << bytes;
+    const std::string truncated =
+        dir.path + "/" + manifest.entries[2].file;
+    std::ofstream(truncated, std::ios::binary)
+        << readFile(truncated).substr(0, 10);
+    fs::remove(dir.path + "/" + manifest.entries[3].file);
+
+    CorpusReader reader(dir.path);
+    CorpusEntry entry;
+    std::string text;
+    std::vector<size_t> seen;
+    while (reader.next(entry, text))
+        seen.push_back(entry.index);
+    EXPECT_EQ((std::vector<size_t>{0, 4}), seen);
+    EXPECT_EQ(3u, reader.skipped());
+    EXPECT_EQ(3u, reader.warnings().size());
+
+    VerifyCorpusResult verdict = verifyCorpus(dir.path);
+    EXPECT_FALSE(verdict.ok());
+    EXPECT_EQ(1u, verdict.missing);
+    EXPECT_EQ(2u, verdict.corrupt);
+
+    // Random access agrees: intact entries verify, damaged fail.
+    EXPECT_TRUE(readCorpusEntry(dir.path, manifest.entries[0],
+                                text));
+    EXPECT_FALSE(readCorpusEntry(dir.path, manifest.entries[1],
+                                 text));
+    EXPECT_FALSE(readCorpusEntry(dir.path, manifest.entries[3],
+                                 text));
+}
+
+TEST(CorpusTest, ManifestRejectsWrongSchema)
+{
+    TempDir dir;
+    std::ofstream(dir.path + "/corpus.json")
+        << "{\"schema\": \"parchmint-gen-corpus-v9\"}";
+    EXPECT_THROW(readCorpusManifest(dir.path), UserError);
+    EXPECT_THROW(CorpusReader reader(dir.path), UserError);
+}
+
+TEST(CorpusTest, DedupeSharesIdenticalInstanceFiles)
+{
+    // One-component window and a one-entity mix collapse the
+    // random draws, so identical instances land on one file.
+    GenSpec spec;
+    spec.name = "dup";
+    spec.family = Family::Chain;
+    spec.seed = 1;
+    spec.count = 3;
+    spec.minComponents = 8;
+    spec.maxComponents = 8;
+    spec.maxFanout = 1;
+    spec.entityMix = {{EntityKind::Mixer, 1}};
+    TempDir dir;
+    WriteCorpusResult written = writeCorpus(dir.path, spec);
+    // Instance names differ, so dedupe only happens when the
+    // bodies are truly identical; count the distinct files either
+    // way and require the manifest to keep every index.
+    std::set<std::string> files;
+    for (const CorpusEntry &entry : written.manifest.entries)
+        files.insert(entry.file);
+    EXPECT_EQ(3u, written.manifest.entries.size());
+    EXPECT_EQ(files.size(), written.filesWritten);
+    EXPECT_EQ(3u - files.size(), written.deduplicated);
+}
+
+// ---------------------------------------------------------------
+// Corpus sweep runner
+// ---------------------------------------------------------------
+
+TEST(CorpusRunTest, SweepsEveryEntryWindowed)
+{
+    GenSpec spec = smallSpec(Family::Ladder, 9);
+    TempDir dir;
+    writeCorpus(dir.path, spec);
+
+    CorpusRunOptions options;
+    options.jobs = 2;
+    options.window = 4;
+    CorpusRunSummary summary = runCorpus(dir.path, options);
+    EXPECT_EQ(9u, summary.entries);
+    EXPECT_EQ(9u, summary.okCount);
+    EXPECT_EQ(0u, summary.failedCount);
+    EXPECT_EQ(0u, summary.skipped);
+    EXPECT_EQ(0u, summary.issueErrors);
+    EXPECT_LE(summary.peakWindow, 4u);
+    EXPECT_GT(summary.components, 0u);
+    EXPECT_GT(summary.routedNets, 0u);
+}
+
+TEST(CorpusRunTest, LimitBoundsTheSweep)
+{
+    GenSpec spec = smallSpec(Family::Chain, 6);
+    TempDir dir;
+    writeCorpus(dir.path, spec);
+    CorpusRunOptions options;
+    options.limit = 2;
+    CorpusRunSummary summary = runCorpus(dir.path, options);
+    EXPECT_EQ(2u, summary.entries);
+    EXPECT_EQ(2u, summary.okCount);
+}
+
+// ---------------------------------------------------------------
+// Service endpoints
+// ---------------------------------------------------------------
+
+svc::HttpRequest
+postRequest(const std::string &target, std::string body)
+{
+    svc::HttpRequest request;
+    request.method = "POST";
+    request.target = target;
+    request.body = std::move(body);
+    return request;
+}
+
+svc::HttpRequest
+getRequest(const std::string &target)
+{
+    svc::HttpRequest request;
+    request.method = "GET";
+    request.target = target;
+    return request;
+}
+
+TEST(GenerateEndpointTest, ExpandsSpecDeterministically)
+{
+    svc::NetlistService service;
+    const char *body =
+        "{\"name\": \"api\", \"family\": \"tree\", \"seed\": 3, "
+        "\"count\": 4, \"index\": 2}";
+    svc::HttpResponse response =
+        service.handle(postRequest("/v1/generate", body));
+    ASSERT_EQ(200, response.status) << response.body;
+    json::Value document = json::parse(response.body);
+    EXPECT_EQ("parchmintd-generate-v1",
+              document.at("schema").asString());
+    EXPECT_EQ("api_tree_s3_i2", document.at("name").asString());
+    EXPECT_EQ("tree", document.at("family").asString());
+    EXPECT_EQ(2, document.at("index").asInteger());
+
+    // The embedded netlist equals direct generation, and the hash
+    // commits to its canonical bytes.
+    GenSpec spec = parseGenSpec(json::parse(body));
+    std::string direct = generateNetlistText(spec, 2);
+    EXPECT_EQ(direct, compactText(document.at("netlist")));
+    EXPECT_EQ(corpusHashHex(corpusHash(direct)),
+              document.at("hash").asString());
+
+    // Byte-identical on repeat (served from cache or not).
+    svc::HttpResponse again =
+        service.handle(postRequest("/v1/generate", body));
+    EXPECT_EQ(response.body, again.body);
+}
+
+TEST(GenerateEndpointTest, RejectsBadSpecsAndIndexes)
+{
+    svc::NetlistService service;
+    EXPECT_EQ(422, service
+                       .handle(postRequest(
+                           "/v1/generate",
+                           "{\"family\": \"torus\"}"))
+                       .status);
+    EXPECT_EQ(422, service
+                       .handle(postRequest(
+                           "/v1/generate",
+                           "{\"count\": 2, \"index\": 2}"))
+                       .status);
+    EXPECT_EQ(422, service
+                       .handle(postRequest("/v1/generate",
+                                           "{\"index\": -1}"))
+                       .status);
+}
+
+TEST(CorpusEndpointTest, ServesMountedCorpusByNameAndHash)
+{
+    GenSpec spec = smallSpec(Family::Grid, 3);
+    TempDir dir;
+    CorpusManifest manifest = writeCorpus(dir.path, spec).manifest;
+
+    svc::ServiceOptions options;
+    options.corpusDir = dir.path;
+    svc::NetlistService service(options);
+
+    svc::HttpResponse index =
+        service.handle(getRequest("/v1/corpus"));
+    ASSERT_EQ(200, index.status) << index.body;
+    json::Value summary = json::parse(index.body);
+    EXPECT_EQ("parchmintd-corpus-v1",
+              summary.at("schema").asString());
+    EXPECT_EQ(3, summary.at("count").asInteger());
+    EXPECT_EQ(3u, summary.at("entries").size());
+
+    const CorpusEntry &first = manifest.entries[0];
+    svc::HttpResponse by_file =
+        service.handle(getRequest("/v1/corpus/" + first.file));
+    ASSERT_EQ(200, by_file.status);
+    EXPECT_EQ(generateNetlistText(spec, 0), by_file.body);
+    svc::HttpResponse by_hash =
+        service.handle(getRequest("/v1/corpus/" + first.hash));
+    EXPECT_EQ(by_file.body, by_hash.body);
+
+    EXPECT_EQ(404, service
+                       .handle(getRequest(
+                           "/v1/corpus/gen-no-such.json"))
+                       .status);
+}
+
+TEST(CorpusEndpointTest, UnmountedCorpusAnswers404)
+{
+    svc::NetlistService service;
+    EXPECT_EQ(404,
+              service.handle(getRequest("/v1/corpus")).status);
+    EXPECT_EQ(404, service.handle(getRequest("/v1/corpus/x"))
+                       .status);
+}
+
+TEST(CorpusEndpointTest, CorruptEntryAnswers502)
+{
+    GenSpec spec = smallSpec(Family::Chain, 2);
+    TempDir dir;
+    CorpusManifest manifest = writeCorpus(dir.path, spec).manifest;
+    const std::string victim =
+        dir.path + "/" + manifest.entries[0].file;
+    std::string bytes = readFile(victim);
+    bytes[bytes.size() / 2] ^= 0x20;
+    std::ofstream(victim, std::ios::binary) << bytes;
+
+    svc::ServiceOptions options;
+    options.corpusDir = dir.path;
+    svc::NetlistService service(options);
+    EXPECT_EQ(502, service
+                       .handle(getRequest(
+                           "/v1/corpus/" +
+                           manifest.entries[0].file))
+                       .status);
+    EXPECT_EQ(200, service
+                       .handle(getRequest(
+                           "/v1/corpus/" +
+                           manifest.entries[1].file))
+                       .status);
+}
+
+} // namespace
+} // namespace parchmint::gen

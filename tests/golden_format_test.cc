@@ -17,6 +17,8 @@
 #include "core/builder.hh"
 #include "core/deserialize.hh"
 #include "core/serialize.hh"
+#include "gen/corpus.hh"
+#include "gen/spec.hh"
 #include "obs/compare.hh"
 #include "obs/history.hh"
 #include "obs/leaderboard.hh"
@@ -241,12 +243,12 @@ TEST(GoldenFormatTest, EveryJsonDocumentSelfIdentifies)
                   .asString());
 
     // The manifest document shape is additive (schema stays v1)
-    // but its contract revision advanced with the continuous-flow
-    // problems; both markers are pinned here.
+    // but its contract revision advanced with the synthetic
+    // generation problem; both markers are pinned here.
     EXPECT_EQ("parchmint-manifest-v1",
               obs::manifestToJson().at("schema").asString());
-    EXPECT_EQ("parchmint-manifest-v2", obs::manifestVersion());
-    EXPECT_EQ("parchmint-manifest-v2",
+    EXPECT_EQ("parchmint-manifest-v3", obs::manifestVersion());
+    EXPECT_EQ("parchmint-manifest-v3",
               obs::manifestToJson()
                   .at("manifest_version")
                   .asString());
@@ -292,6 +294,20 @@ TEST(GoldenFormatTest, EveryJsonDocumentSelfIdentifies)
               post("/v1/schedule", netlist));
     EXPECT_EQ("parchmintd-dilute-v1",
               post("/v1/dilute", R"({"target": 0.25})"));
+    EXPECT_EQ("parchmintd-generate-v1",
+              post("/v1/generate",
+                   R"({"family": "chain", "count": 1})"));
+
+    // The generator's own schema stamps: the spec document and
+    // the corpus manifest (gen/spec.hh, gen/corpus.hh).
+    EXPECT_EQ("parchmint-gen-spec-v1",
+              std::string(gen::kSpecSchema));
+    EXPECT_EQ("parchmint-gen-corpus-v1",
+              std::string(gen::kCorpusSchema));
+    EXPECT_EQ("parchmint-gen-spec-v1",
+              gen::specToJson(gen::GenSpec{})
+                  .at("schema")
+                  .asString());
 }
 
 } // namespace
