@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Cluster serving benchmarks: ring sharding quality, coalescing
+ * under a synchronized burst, and router latency vs offered load
+ * over real loopback sockets.
+ *
+ * The machine-independent totals are recorded as registry counters
+ * (bench.cluster.*) for the perf gate:
+ *
+ *  - Ring shares and the moved-key count on backend removal are
+ *    pure functions of svc::contentHash and the ring construction,
+ *    so any drift means the hash or the ring changed, not that the
+ *    machine got slower.
+ *  - The coalescing burst gates its leader so all K-1 other
+ *    requests *must* join the flight before it completes; leaders
+ *    and followers per round are therefore exact, not a race the
+ *    benchmark usually wins.
+ *  - The sweep issues a fixed request count per concurrency level,
+ *    so bench.cluster.sweep.requests / errors are exact; the
+ *    latency percentiles and throughput are wall-clock,
+ *    machine-dependent, and recorded (histograms + echoed lines),
+ *    never gated.
+ *
+ * The timers price a ring lookup (the per-request routing cost)
+ * and the warm loopback round trip through router + backend.
+ */
+
+#include "bench_common.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "analysis/table.hh"
+#include "cluster/coalesce.hh"
+#include "cluster/ring.hh"
+#include "cluster/router.hh"
+#include "core/serialize.hh"
+#include "json/write.hh"
+#include "obs/metrics.hh"
+#include "suite/suite.hh"
+#include "svc/cache.hh"
+#include "svc/client.hh"
+#include "svc/server.hh"
+#include "svc/service.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+std::string
+netlistBody(const std::string &benchmark)
+{
+    json::WriteOptions options;
+    options.pretty = false;
+    return json::write(toJson(suite::buildBenchmark(benchmark)),
+                       options);
+}
+
+std::vector<std::string>
+syntheticBackends(size_t count)
+{
+    std::vector<std::string> backends;
+    for (size_t i = 0; i < count; ++i)
+        backends.push_back("10.0.0." + std::to_string(i + 1) +
+                           ":8081");
+    return backends;
+}
+
+/** Ring sharding quality: share spread and remap-on-removal. */
+void
+reportRing()
+{
+    bench::heading("cluster", "consistent-hash ring quality");
+
+    const size_t keys = 20000;
+    const size_t backends = 4;
+    cluster::HashRing ring(syntheticBackends(backends), 128);
+    cluster::HashRing smaller(
+        syntheticBackends(backends - 1), 128);
+
+    std::map<std::string, int64_t> share;
+    int64_t moved = 0;
+    for (size_t i = 0; i < keys; ++i) {
+        uint64_t key = svc::contentHash(
+            "netlist-" + std::to_string(i));
+        const std::string &owner = ring.owner(key);
+        ++share[owner];
+        // The removed backend is the highest-numbered one, which
+        // smaller does not have; every key moving off a *survivor*
+        // would be a consistency bug, so count all moves.
+        if (owner != smaller.owner(key))
+            ++moved;
+    }
+    int64_t largest = 0, smallest = keys;
+    for (const auto &[backend, count] : share) {
+        largest = std::max(largest, count);
+        smallest = std::min(smallest, count);
+    }
+
+    std::printf("ring: %zu keys sharded across %zu backends, "
+                "share %lld..%lld (ideal %lld), "
+                "%lld moved on removal (ideal ~%lld)\n\n",
+                keys, backends, static_cast<long long>(smallest),
+                static_cast<long long>(largest),
+                static_cast<long long>(keys / backends),
+                static_cast<long long>(moved),
+                static_cast<long long>(keys / backends));
+
+    obs::Registry &registry = obs::registry();
+    registry.add("bench.cluster.ring.keys",
+                 static_cast<int64_t>(keys));
+    registry.add("bench.cluster.ring.largest_share", largest);
+    registry.add("bench.cluster.ring.smallest_share", smallest);
+    registry.add("bench.cluster.ring.moved_on_removal", moved);
+}
+
+/** Coalescing: K synchronized identical requests, one compute. */
+void
+reportCoalesce()
+{
+    bench::heading("cluster", "single-flight coalescing");
+
+    const size_t clients = 8;
+    const size_t rounds = 8;
+    std::atomic<uint64_t> computes{0};
+    cluster::Coalescer coalescer;
+
+    for (size_t round = 0; round < rounds; ++round) {
+        std::mutex gate_mutex;
+        std::condition_variable gate_cv;
+        bool gate_open = false;
+        auto compute = [&] {
+            computes.fetch_add(1);
+            std::unique_lock<std::mutex> lock(gate_mutex);
+            gate_cv.wait(lock, [&] { return gate_open; });
+            svc::HttpResponse response;
+            response.status = 200;
+            return response;
+        };
+        std::vector<std::thread> threads;
+        std::string key = "round-" + std::to_string(round);
+        for (size_t i = 0; i < clients; ++i) {
+            threads.emplace_back(
+                [&] { coalescer.run(key, compute); });
+        }
+        // Every other request must fold into the leader's flight
+        // before it is released, so the counters are exact.
+        while (coalescer.stats().followers <
+               (round + 1) * (clients - 1))
+            std::this_thread::yield();
+        {
+            std::lock_guard<std::mutex> lock(gate_mutex);
+            gate_open = true;
+        }
+        gate_cv.notify_all();
+        for (std::thread &thread : threads)
+            thread.join();
+    }
+
+    cluster::CoalesceStats stats = coalescer.stats();
+    std::printf("coalesced: %zu rounds x %zu identical requests "
+                "-> %llu backend calls, %llu followers\n\n",
+                rounds, clients,
+                static_cast<unsigned long long>(computes.load()),
+                static_cast<unsigned long long>(stats.followers));
+
+    obs::Registry &registry = obs::registry();
+    registry.add("bench.cluster.coalesce.leaders",
+                 static_cast<int64_t>(stats.leaders));
+    registry.add("bench.cluster.coalesce.followers",
+                 static_cast<int64_t>(stats.followers));
+    registry.add("bench.cluster.coalesce.backend_calls",
+                 static_cast<int64_t>(computes.load()));
+}
+
+/** Closed-loop latency vs offered load through a real router. */
+void
+reportSweep()
+{
+    bench::heading("cluster",
+                   "router latency vs offered load (closed loop)");
+
+    svc::NetlistService service1, service2;
+    svc::HttpServer backend1(service1), backend2(service2);
+    backend1.start();
+    backend2.start();
+
+    cluster::RouterOptions options;
+    options.backends = {
+        "127.0.0.1:" + std::to_string(backend1.port()),
+        "127.0.0.1:" + std::to_string(backend2.port())};
+    options.probeInterval = std::chrono::milliseconds(0);
+    cluster::Router router(options);
+    svc::ServerOptions front_options;
+    front_options.threads = 8;
+    svc::HttpServer front(router, front_options);
+    front.start();
+
+    // One payload per worker: concurrent *identical* requests
+    // would coalesce (nondeterministically, depending on overlap),
+    // which is great for the cluster and terrible for a gateable
+    // backend-request counter. Distinct per-worker payloads keep
+    // every request a real backend call. Warm all caches first so
+    // the sweep prices the serving stack, not the first placement.
+    std::vector<std::string> payloads = {
+        netlistBody("cell_trap_array"),
+        netlistBody("gradient_generator"),
+        netlistBody("logic_inverter"),
+        netlistBody("droplet_transposer")};
+    {
+        svc::HttpClient warmup("127.0.0.1", front.port());
+        for (const std::string &payload : payloads)
+            warmup.post("/v1/validate", payload);
+    }
+
+    obs::Registry &registry = obs::registry();
+    analysis::TextTable table;
+    table.beginRow();
+    table.cell(std::string("concurrency"));
+    table.cell(std::string("requests"));
+    table.cell(std::string("throughput rps"));
+    table.cell(std::string("p50 ms"));
+    table.cell(std::string("p99 ms"));
+
+    const size_t per_point = 400;
+    int64_t total_requests = 0, total_errors = 0;
+    for (size_t concurrency : {1, 2, 4}) {
+        obs::Histogram latency;
+        std::mutex latency_mutex;
+        std::atomic<int64_t> errors{0};
+        std::vector<std::thread> workers;
+        bench::Stopwatch watch;
+        for (size_t w = 0; w < concurrency; ++w) {
+            workers.emplace_back([&, w] {
+                svc::HttpClient client("127.0.0.1",
+                                       front.port());
+                size_t quota = per_point / concurrency;
+                const std::string &payload =
+                    payloads[w % payloads.size()];
+                for (size_t i = 0; i < quota; ++i) {
+                    bench::Stopwatch request_watch;
+                    svc::HttpResponse response =
+                        client.post("/v1/validate", payload);
+                    double ms =
+                        request_watch.elapsedUs() / 1000.0;
+                    if (response.status != 200)
+                        errors.fetch_add(1);
+                    std::lock_guard<std::mutex> lock(
+                        latency_mutex);
+                    latency.record(ms);
+                }
+            });
+        }
+        for (std::thread &worker : workers)
+            worker.join();
+        double elapsed_s = watch.elapsedUs() / 1e6;
+        obs::HistogramSummary summary = latency.summary();
+        double throughput =
+            elapsed_s > 0.0
+                ? static_cast<double>(latency.count()) /
+                      elapsed_s
+                : 0.0;
+        table.beginRow();
+        table.cell(static_cast<double>(concurrency), 0);
+        table.cell(static_cast<double>(latency.count()), 0);
+        table.cell(throughput, 1);
+        table.cell(summary.p50, 3);
+        table.cell(summary.p99, 3);
+        std::printf("cluster sweep c=%zu: requests=%zu "
+                    "errors=%lld throughput_rps=%.1f "
+                    "p50_ms=%.3f p99_ms=%.3f\n",
+                    concurrency, latency.count(),
+                    static_cast<long long>(errors.load()),
+                    throughput, summary.p50, summary.p99);
+        for (double ms : latency.samples())
+            registry.record("bench.cluster.sweep.request_ms",
+                            ms);
+        total_requests += static_cast<int64_t>(latency.count());
+        total_errors += errors.load();
+    }
+    std::printf("\n%s\n", table.render().c_str());
+
+    registry.add("bench.cluster.sweep.requests", total_requests);
+    registry.add("bench.cluster.sweep.errors", total_errors);
+
+    front.stop();
+    backend1.stop();
+    backend2.stop();
+}
+
+void
+report()
+{
+    reportRing();
+    reportCoalesce();
+    reportSweep();
+}
+
+void
+BM_RingLookup(benchmark::State &state)
+{
+    cluster::HashRing ring(syntheticBackends(8), 128);
+    uint64_t key = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ring.owner(key));
+        ++key;
+    }
+}
+BENCHMARK(BM_RingLookup)->Unit(benchmark::kNanosecond);
+
+void
+BM_RouterLoopbackValidateWarm(benchmark::State &state)
+{
+    svc::NetlistService service;
+    svc::HttpServer backend(service);
+    backend.start();
+    cluster::RouterOptions options;
+    options.backends = {"127.0.0.1:" +
+                        std::to_string(backend.port())};
+    options.probeInterval = std::chrono::milliseconds(0);
+    cluster::Router router(options);
+    svc::HttpServer front(router);
+    front.start();
+    svc::HttpClient client("127.0.0.1", front.port());
+    std::string body = netlistBody("cell_trap_array");
+    client.post("/v1/validate", body);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            client.post("/v1/validate", body));
+    }
+    front.stop();
+    backend.stop();
+}
+BENCHMARK(BM_RouterLoopbackValidateWarm)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+PARCHMINT_BENCH_MAIN(report)

@@ -1,37 +1,52 @@
 /**
  * @file
- * loadgen: closed-plus-paced load generator for parchmintd.
+ * loadgen: closed- and open-loop load generator for parchmintd and
+ * the cluster router.
  *
  * Run:  ./loadgen --port P [--host ADDR] [--qps Q]
  *           [--connections C] [--duration-s S]
  *           [--endpoint /v1/validate] [--payloads N]
  *           [--corpus DIR] [--sample-seed S]
+ *           [--statsz HOST:PORT ...]
+ *           [--sweep Q1,Q2,...] [--closed-loop]
+ *           [--sweep-connections C1,C2,...]
+ *           [--sweep-json PATH]
  *           [--report report.json] [--history history.jsonl]
  *
  * --endpoint also accepts short names (validate, characterize,
  * place, route, mix, dilute, schedule), which map onto /v1/<name>.
  *
- * Each of the C connections is a thread with its own keep-alive
- * HTTP client, paced at Q/C requests per second. The request
- * bodies are real suite netlists pulled from the server's own
- * /v1/suite registry at startup (N distinct payloads, cycled), so
- * the run exercises the full parse → pipeline → cache path with
- * representative documents and a repeat pattern the
+ * Modes:
+ *
+ *   open loop (default): each of the C connections is a thread
+ *   with its own keep-alive HTTP client, paced at Q/C requests per
+ *   second against its own schedule, skipping slots it cannot keep
+ *   (no coordinated-omission backlog bursts). `--sweep` runs one
+ *   such point per listed QPS value — the latency-vs-offered-load
+ *   curve that finds a cluster's knee.
+ *
+ *   closed loop (`--closed-loop`): pacing off; every connection
+ *   fires its next request the moment the previous response lands,
+ *   so offered load is the concurrency itself.
+ *   `--sweep-connections` (implies --closed-loop) runs one point
+ *   per listed connection count.
+ *
+ * The request bodies are real suite netlists pulled from the
+ * target's own /v1/suite registry at startup (N distinct payloads,
+ * cycled), so the run exercises the full parse → pipeline → cache
+ * path with representative documents and a repeat pattern the
  * content-addressed cache is expected to absorb. The dilute
  * endpoint takes concentration specs instead of netlists, so for
  * it loadgen synthesizes N deterministic spec payloads (distinct
  * targets, fixed tolerance) with the same cycling repeat pattern.
- *
  * `--corpus DIR` swaps the payload source for a generated corpus
- * directory (gen_suite generate): the first N intact netlists are
- * read locally via the hash-verifying corpus reader and driven
- * against the endpoint. Payloads cycle round-robin by default;
- * `--sample-seed S` switches to seeded random sampling (each
- * connection draws from its own deriveSeed(S, connection) stream,
- * so a run is reproducible at fixed C).
+ * directory (read locally through the hash-verifying corpus
+ * reader); `--sample-seed S` switches payload cycling to seeded
+ * random sampling (per-connection deriveSeed streams, reproducible
+ * at fixed C).
  *
- * On completion it compares /statsz cache counters from before and
- * after the run, prints a latency summary (p50/p95/p99 from
+ * Per point it compares the target's /statsz cache counters from
+ * before and after, prints a latency summary (p50/p95/p99 from
  * obs::Histogram), and emits one greppable line:
  *
  *   loadgen: requests=N ok=N status_4xx=0 status_5xx=0
@@ -39,16 +54,30 @@
  *     p99_ms=X result_hit_rate=X.XX
  *
  * followed by the five slowest requests with the trace IDs the
- * server echoed in X-Parchmint-Trace —
+ * server echoed in X-Parchmint-Trace (look them up at /tracez).
  *
- *   loadgen: slow[1] ms=12.34 trace=4f2a9c...
+ * Cluster runs: `--statsz HOST:PORT` (repeatable) names the
+ * *backends* behind a router target. Per point, loadgen diffs each
+ * backend's /statsz — result-cache hit rate and 5xx response
+ * counters — and prints one line per backend:
  *
- * — so a tail-latency outlier can be looked up at the server's
- * /tracez (per-stage timings) and grepped in its /logz lines.
+ *   loadgen: backend[HOST:PORT] result_hit_rate=X.XX
+ *     delta_hits=N delta_misses=N status_5xx_delta=0
  *
- * Exit status is 1 when any 5xx or transport error occurred (429s
- * are counted but are not failures — rejecting work under overload
- * is the server behaving as designed).
+ * A nonzero 5xx delta on *any* backend fails the run (exit 1) even
+ * when the router shielded clients from it — the cluster is
+ * supposed to be error-free end to end.
+ *
+ * `--sweep-json PATH` writes the whole run as JSON (schema
+ * parchmint-loadgen-sweep-v1): one entry per point with offered
+ * load, achieved throughput, latency percentiles, and error
+ * counts. The cluster benchmark's latency-vs-offered-load curves
+ * come from here.
+ *
+ * Exit status is 1 when any 5xx, transport error, or backend 5xx
+ * delta occurred (429s are counted but are not failures —
+ * rejecting work under overload is the server behaving as
+ * designed).
  */
 
 #include <algorithm>
@@ -60,6 +89,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/pool.hh"
 #include "common/cli.hh"
 #include "common/error.hh"
 #include "common/rng.hh"
@@ -67,6 +97,7 @@
 #include "gen/corpus.hh"
 #include "json/parse.hh"
 #include "json/value.hh"
+#include "json/write.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
 #include "obs/report_cli.hh"
@@ -90,23 +121,95 @@ struct WorkerTally
     uint64_t transportErrors = 0;
 };
 
-/** Result-cache hit/miss counters pulled out of a /statsz body. */
-struct CacheCounters
+/** Counters pulled out of one /statsz body. */
+struct StatszCounters
 {
+    /** Result-cache hits/misses (zero when the target exposes no
+     * cache — the router's /statsz has none). */
     int64_t hits = 0;
     int64_t misses = 0;
+    /** Sum of svc.responses.5xx / router.responses.5xx counters. */
+    int64_t responses5xx = 0;
 };
 
-CacheCounters
-resultCacheCounters(const std::string &statszBody)
+StatszCounters
+parseStatsz(const std::string &statszBody)
 {
-    CacheCounters counters;
+    StatszCounters counters;
     json::Value document = json::parse(statszBody);
-    const json::Value &result =
-        document.at("cache").at("result");
-    counters.hits = result.at("hits").asInteger();
-    counters.misses = result.at("misses").asInteger();
+    if (!document.isObject())
+        return counters;
+    if (const json::Value *cache = document.find("cache")) {
+        if (const json::Value *result = cache->find("result")) {
+            counters.hits = result->at("hits").asInteger();
+            counters.misses = result->at("misses").asInteger();
+        }
+    }
+    if (const json::Value *metrics = document.find("metrics")) {
+        if (const json::Value *names =
+                metrics->find("counters")) {
+            for (const json::Value::Member &member :
+                 names->members()) {
+                if ((startsWith(member.first,
+                                "svc.responses.5") ||
+                     startsWith(member.first,
+                                "router.responses.5")))
+                    counters.responses5xx +=
+                        member.second.asInteger();
+            }
+        }
+    }
     return counters;
+}
+
+/** One offered-load point of a run. */
+struct PointSpec
+{
+    double qps = 0.0;
+    size_t connections = 1;
+    bool closedLoop = false;
+};
+
+/** What one point measured. */
+struct PointOutcome
+{
+    PointSpec spec;
+    uint64_t requests = 0;
+    uint64_t ok = 0;
+    uint64_t status4xx = 0;
+    uint64_t status5xx = 0;
+    uint64_t transportErrors = 0;
+    double elapsedS = 0.0;
+    double throughputRps = 0.0;
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double hitRate = 0.0;
+};
+
+/** Parse a comma-separated list of positive numbers. */
+std::vector<double>
+parseNumberList(const std::string &text, const char *flag,
+                const char *argv0)
+{
+    std::vector<double> values;
+    for (const std::string &item : split(text, ',')) {
+        std::string trimmed = trim(item);
+        if (trimmed.empty())
+            continue;
+        char *end = nullptr;
+        double value = std::strtod(trimmed.c_str(), &end);
+        if (end == trimmed.c_str() || *end != '\0' ||
+            value <= 0.0)
+            cli::usageError(argv0,
+                            std::string("bad ") + flag +
+                                " entry \"" + trimmed + "\"");
+        values.push_back(value);
+    }
+    if (values.empty())
+        cli::usageError(argv0, std::string(flag) +
+                                   " needs at least one value");
+    return values;
 }
 
 } // namespace
@@ -125,6 +228,11 @@ main(int argc, char **argv)
         std::string corpus_dir;
         bool seeded_sampling = false;
         uint64_t sample_seed = 0;
+        std::vector<std::string> backend_statsz;
+        std::vector<double> sweep_qps;
+        std::vector<double> sweep_connections;
+        bool closed_loop = false;
+        std::string sweep_json;
         obs::ReportCli report_cli;
 
         for (int i = 1; i < argc; ++i) {
@@ -167,6 +275,27 @@ main(int argc, char **argv)
                                            value)) {
                 seeded_sampling = true;
                 sample_seed = cli::parseSeed(value, argv[0]);
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--statsz", value)) {
+                // Validates host:port up front.
+                cluster::parseBackendAddress(value);
+                backend_statsz.push_back(value);
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--sweep", value)) {
+                sweep_qps = parseNumberList(value, "--sweep",
+                                            argv[0]);
+            } else if (cli::matchValueFlag(
+                           argc, argv, i, "--sweep-connections",
+                           value)) {
+                sweep_connections = parseNumberList(
+                    value, "--sweep-connections", argv[0]);
+                closed_loop = true;
+            } else if (arg == "--closed-loop") {
+                closed_loop = true;
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--sweep-json",
+                                           value)) {
+                sweep_json = value;
             } else {
                 cli::usageError(argv[0], "unknown argument \"" +
                                              arg + "\"");
@@ -182,6 +311,11 @@ main(int argc, char **argv)
             connections = 1;
         if (payload_count == 0)
             payload_count = 1;
+        if (!sweep_qps.empty() && closed_loop)
+            cli::usageError(argv[0],
+                            "--sweep is open-loop; use "
+                            "--sweep-connections with "
+                            "--closed-loop");
         // Short endpoint names map onto /v1/<name>, so
         // `--endpoint mix` and `--endpoint /v1/mix` coincide.
         if (!endpoint.empty() && endpoint[0] != '/')
@@ -251,197 +385,380 @@ main(int argc, char **argv)
         }
         if (payloads.empty())
             fatal("no usable suite payloads");
-        std::printf("loadgen: %zu payload(s)%s, "
-                    "%zu connection(s), "
-                    "%.0f qps for %.1f s against %s%s%s\n",
+
+        // The points this run will drive.
+        std::vector<PointSpec> points;
+        if (!sweep_qps.empty()) {
+            for (double value : sweep_qps)
+                points.push_back(
+                    PointSpec{value, connections, false});
+        } else if (!sweep_connections.empty()) {
+            for (double value : sweep_connections)
+                points.push_back(PointSpec{
+                    0.0, static_cast<size_t>(value), true});
+        } else {
+            points.push_back(
+                PointSpec{qps, connections, closed_loop});
+        }
+
+        std::printf("loadgen: %zu payload(s)%s against %s%s%s"
+                    "%s, %zu point(s)\n",
                     payloads.size(),
                     corpus_dir.empty() ? "" : " from corpus",
-                    connections, qps, duration_s, host.c_str(),
-                    endpoint.c_str(),
-                    seeded_sampling ? " (seeded sampling)"
-                                    : "");
+                    host.c_str(), endpoint.c_str(),
+                    seeded_sampling ? " (seeded sampling)" : "",
+                    closed_loop ? " (closed loop)" : "",
+                    points.size());
 
-        CacheCounters before =
-            resultCacheCounters(setup.get("/statsz").body);
+        // Baseline backend counters: the per-run 5xx gate diffs
+        // against these at the end.
+        std::vector<StatszCounters> backends_before;
+        for (const std::string &address : backend_statsz) {
+            auto [bhost, bport] =
+                cluster::parseBackendAddress(address);
+            svc::HttpClient probe(bhost, bport);
+            backends_before.push_back(
+                parseStatsz(probe.get("/statsz").body));
+        }
 
-        // Paced open-loop per connection: each thread owns one
-        // keep-alive client and fires every C/Q seconds against
-        // its own schedule, skipping slots it cannot keep (no
-        // coordinated-omission backlog bursts).
         using Clock = std::chrono::steady_clock;
-        std::vector<WorkerTally> tallies(connections);
-        std::vector<std::thread> workers;
-        Clock::time_point start = Clock::now();
-        Clock::time_point deadline =
-            start + std::chrono::microseconds(static_cast<long>(
-                        duration_s * 1e6));
-        std::chrono::microseconds interval(static_cast<long>(
-            1e6 * static_cast<double>(connections) / qps));
+        std::vector<PointOutcome> outcomes;
+        obs::Histogram all_latency;
+        uint64_t total_requests = 0;
+        uint64_t total_5xx = 0;
+        uint64_t total_transport = 0;
 
-        for (size_t c = 0; c < connections; ++c) {
-            workers.emplace_back([&, c] {
-                WorkerTally &tally = tallies[c];
-                svc::HttpClient client(host, port);
-                Clock::time_point next =
-                    start + interval * c / connections;
-                size_t k = c;
-                // Seeded sampling: each connection owns a stream
-                // derived from (--sample-seed, connection index),
-                // so reruns at fixed C replay the same draws.
-                Rng sampler(deriveSeed(
-                    sample_seed,
-                    "loadgen_c" + std::to_string(c)));
-                while (true) {
-                    Clock::time_point now = Clock::now();
-                    if (now >= deadline)
-                        break;
-                    if (next > now) {
-                        std::this_thread::sleep_until(next);
-                        if (Clock::now() >= deadline)
+        for (const PointSpec &point : points) {
+            if (points.size() > 1)
+                std::printf("loadgen: point %s%.0f "
+                            "connections=%zu\n",
+                            point.closedLoop ? "closed-loop "
+                                             : "qps=",
+                            point.closedLoop
+                                ? static_cast<double>(
+                                      point.connections)
+                                : point.qps,
+                            point.connections);
+            StatszCounters before =
+                parseStatsz(setup.get("/statsz").body);
+
+            // Paced open-loop per connection, or closed-loop
+            // fire-on-response when the point asks for it.
+            std::vector<WorkerTally> tallies(point.connections);
+            std::vector<std::thread> workers;
+            Clock::time_point start = Clock::now();
+            Clock::time_point deadline =
+                start +
+                std::chrono::microseconds(static_cast<long>(
+                    duration_s * 1e6));
+            std::chrono::microseconds interval(
+                point.closedLoop
+                    ? 0
+                    : static_cast<long>(
+                          1e6 *
+                          static_cast<double>(
+                              point.connections) /
+                          point.qps));
+
+            for (size_t c = 0; c < point.connections; ++c) {
+                workers.emplace_back([&, c] {
+                    WorkerTally &tally = tallies[c];
+                    svc::HttpClient client(host, port);
+                    Clock::time_point next =
+                        start + interval * c / point.connections;
+                    size_t k = c;
+                    // Seeded sampling: each connection owns a
+                    // stream derived from (--sample-seed,
+                    // connection index), so reruns at fixed C
+                    // replay the same draws.
+                    Rng sampler(deriveSeed(
+                        sample_seed,
+                        "loadgen_c" + std::to_string(c)));
+                    while (true) {
+                        Clock::time_point now = Clock::now();
+                        if (now >= deadline)
                             break;
-                    } else {
-                        // Behind schedule: skip missed slots
-                        // instead of bursting.
-                        next = now;
-                    }
-                    next += interval;
+                        if (!point.closedLoop) {
+                            if (next > now) {
+                                std::this_thread::sleep_until(
+                                    next);
+                                if (Clock::now() >= deadline)
+                                    break;
+                            } else {
+                                // Behind schedule: skip missed
+                                // slots instead of bursting.
+                                next = now;
+                            }
+                            next += interval;
+                        }
 
-                    const std::string &body =
-                        payloads[seeded_sampling
-                                     ? sampler.nextBelow(
-                                           payloads.size())
-                                     : k++ % payloads.size()];
-                    Clock::time_point sent = Clock::now();
-                    try {
-                        svc::HttpResponse response =
-                            client.post(endpoint, body);
-                        double ms =
-                            std::chrono::duration<double,
-                                                  std::milli>(
-                                Clock::now() - sent)
-                                .count();
-                        tally.latencyMs.push_back(ms);
-                        const std::string *trace =
-                            response.findHeader(
-                                "X-Parchmint-Trace");
-                        tally.traceIds.push_back(
-                            trace != nullptr ? *trace
-                                             : std::string());
-                        if (response.status >= 500)
-                            ++tally.status5xx;
-                        else if (response.status >= 400)
-                            ++tally.status4xx;
-                        else
-                            ++tally.ok;
-                    } catch (const UserError &error) {
-                        // The first few reasons per connection go
-                        // to stderr; the rest would repeat them.
-                        if (++tally.transportErrors <= 3) {
-                            std::fprintf(
-                                stderr,
-                                "loadgen: connection %zu: %s\n",
-                                c, error.what());
+                        const std::string &body =
+                            payloads[seeded_sampling
+                                         ? sampler.nextBelow(
+                                               payloads.size())
+                                         : k++ %
+                                               payloads.size()];
+                        Clock::time_point sent = Clock::now();
+                        try {
+                            svc::HttpResponse response =
+                                client.post(endpoint, body);
+                            double ms = std::chrono::duration<
+                                            double, std::milli>(
+                                            Clock::now() - sent)
+                                            .count();
+                            tally.latencyMs.push_back(ms);
+                            const std::string *trace =
+                                response.findHeader(
+                                    "X-Parchmint-Trace");
+                            tally.traceIds.push_back(
+                                trace != nullptr
+                                    ? *trace
+                                    : std::string());
+                            if (response.status >= 500)
+                                ++tally.status5xx;
+                            else if (response.status >= 400)
+                                ++tally.status4xx;
+                            else
+                                ++tally.ok;
+                        } catch (const UserError &error) {
+                            // The first few reasons per
+                            // connection go to stderr; the rest
+                            // would repeat them.
+                            if (++tally.transportErrors <= 3) {
+                                std::fprintf(
+                                    stderr,
+                                    "loadgen: connection %zu: "
+                                    "%s\n",
+                                    c, error.what());
+                            }
                         }
                     }
-                }
-            });
-        }
-        for (std::thread &worker : workers)
-            worker.join();
-        double elapsed_s =
-            std::chrono::duration<double>(Clock::now() - start)
-                .count();
-
-        CacheCounters after =
-            resultCacheCounters(setup.get("/statsz").body);
-
-        // Merge the per-thread tallies.
-        obs::Histogram latency;
-        WorkerTally total;
-        std::vector<std::pair<double, std::string>> traced;
-        for (const WorkerTally &tally : tallies) {
-            for (size_t i = 0; i < tally.latencyMs.size(); ++i) {
-                latency.record(tally.latencyMs[i]);
-                traced.emplace_back(tally.latencyMs[i],
-                                    tally.traceIds[i]);
+                });
             }
-            total.ok += tally.ok;
-            total.status4xx += tally.status4xx;
-            total.status5xx += tally.status5xx;
-            total.transportErrors += tally.transportErrors;
+            for (std::thread &worker : workers)
+                worker.join();
+            double elapsed_s =
+                std::chrono::duration<double>(Clock::now() -
+                                              start)
+                    .count();
+
+            StatszCounters after =
+                parseStatsz(setup.get("/statsz").body);
+
+            // Merge the per-thread tallies.
+            obs::Histogram latency;
+            WorkerTally total;
+            std::vector<std::pair<double, std::string>> traced;
+            for (const WorkerTally &tally : tallies) {
+                for (size_t i = 0; i < tally.latencyMs.size();
+                     ++i) {
+                    latency.record(tally.latencyMs[i]);
+                    all_latency.record(tally.latencyMs[i]);
+                    traced.emplace_back(tally.latencyMs[i],
+                                        tally.traceIds[i]);
+                }
+                total.ok += tally.ok;
+                total.status4xx += tally.status4xx;
+                total.status5xx += tally.status5xx;
+                total.transportErrors += tally.transportErrors;
+            }
+            uint64_t requests =
+                total.ok + total.status4xx + total.status5xx;
+            obs::HistogramSummary summary = latency.summary();
+            double throughput =
+                elapsed_s > 0.0
+                    ? static_cast<double>(requests) / elapsed_s
+                    : 0.0;
+            int64_t delta_hits = after.hits - before.hits;
+            int64_t delta_misses = after.misses - before.misses;
+            double hit_rate =
+                delta_hits + delta_misses > 0
+                    ? static_cast<double>(delta_hits) /
+                          static_cast<double>(delta_hits +
+                                              delta_misses)
+                    : 0.0;
+
+            std::printf(
+                "loadgen: requests=%llu ok=%llu status_4xx=%llu "
+                "status_5xx=%llu transport_errors=%llu "
+                "throughput_rps=%.1f p50_ms=%.2f p95_ms=%.2f "
+                "p99_ms=%.2f result_hit_rate=%.3f\n",
+                static_cast<unsigned long long>(requests),
+                static_cast<unsigned long long>(total.ok),
+                static_cast<unsigned long long>(total.status4xx),
+                static_cast<unsigned long long>(total.status5xx),
+                static_cast<unsigned long long>(
+                    total.transportErrors),
+                throughput, summary.p50, summary.p95,
+                summary.p99, hit_rate);
+
+            // Name the slowest requests so they can be looked up
+            // at the server's /tracez (and grepped in its /logz
+            // lines).
+            size_t slow_count =
+                std::min<size_t>(5, traced.size());
+            std::partial_sort(
+                traced.begin(), traced.begin() + slow_count,
+                traced.end(),
+                [](const auto &a, const auto &b) {
+                    return a.first > b.first;
+                });
+            for (size_t i = 0; i < slow_count; ++i) {
+                std::printf(
+                    "loadgen: slow[%zu] ms=%.2f trace=%s\n",
+                    i + 1, traced[i].first,
+                    traced[i].second.empty()
+                        ? "(none)"
+                        : traced[i].second.c_str());
+            }
+
+            PointOutcome outcome;
+            outcome.spec = point;
+            outcome.requests = requests;
+            outcome.ok = total.ok;
+            outcome.status4xx = total.status4xx;
+            outcome.status5xx = total.status5xx;
+            outcome.transportErrors = total.transportErrors;
+            outcome.elapsedS = elapsed_s;
+            outcome.throughputRps = throughput;
+            outcome.p50Ms = summary.p50;
+            outcome.p95Ms = summary.p95;
+            outcome.p99Ms = summary.p99;
+            outcome.hitRate = hit_rate;
+            outcomes.push_back(outcome);
+
+            total_requests += requests;
+            total_5xx += total.status5xx;
+            total_transport += total.transportErrors;
         }
-        uint64_t requests =
-            total.ok + total.status4xx + total.status5xx;
-        obs::HistogramSummary summary = latency.summary();
-        double throughput =
-            elapsed_s > 0.0
-                ? static_cast<double>(requests) / elapsed_s
-                : 0.0;
-        int64_t delta_hits = after.hits - before.hits;
-        int64_t delta_misses = after.misses - before.misses;
-        double hit_rate =
-            delta_hits + delta_misses > 0
-                ? static_cast<double>(delta_hits) /
-                      static_cast<double>(delta_hits +
-                                          delta_misses)
-                : 0.0;
 
-        std::printf(
-            "loadgen: requests=%llu ok=%llu status_4xx=%llu "
-            "status_5xx=%llu transport_errors=%llu "
-            "throughput_rps=%.1f p50_ms=%.2f p95_ms=%.2f "
-            "p99_ms=%.2f result_hit_rate=%.3f\n",
-            static_cast<unsigned long long>(requests),
-            static_cast<unsigned long long>(total.ok),
-            static_cast<unsigned long long>(total.status4xx),
-            static_cast<unsigned long long>(total.status5xx),
-            static_cast<unsigned long long>(
-                total.transportErrors),
-            throughput, summary.p50, summary.p95, summary.p99,
-            hit_rate);
+        // Per-backend deltas over the whole run: cache hit rates
+        // show how well the ring sharded, and any backend-side
+        // 5xx fails the run even if the router shielded clients.
+        bool backend_5xx = false;
+        for (size_t b = 0; b < backend_statsz.size(); ++b) {
+            auto [bhost, bport] =
+                cluster::parseBackendAddress(backend_statsz[b]);
+            svc::HttpClient probe(bhost, bport);
+            StatszCounters after =
+                parseStatsz(probe.get("/statsz").body);
+            const StatszCounters &before = backends_before[b];
+            int64_t delta_hits = after.hits - before.hits;
+            int64_t delta_misses =
+                after.misses - before.misses;
+            int64_t delta_5xx =
+                after.responses5xx - before.responses5xx;
+            double hit_rate =
+                delta_hits + delta_misses > 0
+                    ? static_cast<double>(delta_hits) /
+                          static_cast<double>(delta_hits +
+                                              delta_misses)
+                    : 0.0;
+            std::printf(
+                "loadgen: backend[%s] result_hit_rate=%.3f "
+                "delta_hits=%lld delta_misses=%lld "
+                "status_5xx_delta=%lld\n",
+                backend_statsz[b].c_str(), hit_rate,
+                static_cast<long long>(delta_hits),
+                static_cast<long long>(delta_misses),
+                static_cast<long long>(delta_5xx));
+            if (delta_5xx > 0)
+                backend_5xx = true;
+        }
 
-        // Name the slowest requests so they can be looked up at
-        // the server's /tracez (and grepped in its /logz lines).
-        size_t slow_count = std::min<size_t>(5, traced.size());
-        std::partial_sort(
-            traced.begin(), traced.begin() + slow_count,
-            traced.end(),
-            [](const auto &a, const auto &b) {
-                return a.first > b.first;
-            });
-        for (size_t i = 0; i < slow_count; ++i) {
-            std::printf("loadgen: slow[%zu] ms=%.2f trace=%s\n",
-                        i + 1, traced[i].first,
-                        traced[i].second.empty()
-                            ? "(none)"
-                            : traced[i].second.c_str());
+        if (!sweep_json.empty()) {
+            json::Value points_out = json::Value::makeArray();
+            for (const PointOutcome &outcome : outcomes) {
+                json::Value entry = json::Value::makeObject();
+                entry.set("mode",
+                          json::Value(outcome.spec.closedLoop
+                                          ? "closed"
+                                          : "open"));
+                entry.set("offered_qps",
+                          json::Value(outcome.spec.qps));
+                entry.set("connections",
+                          json::Value(static_cast<int64_t>(
+                              outcome.spec.connections)));
+                entry.set("requests",
+                          json::Value(static_cast<int64_t>(
+                              outcome.requests)));
+                entry.set("ok", json::Value(static_cast<int64_t>(
+                                    outcome.ok)));
+                entry.set("status_4xx",
+                          json::Value(static_cast<int64_t>(
+                              outcome.status4xx)));
+                entry.set("status_5xx",
+                          json::Value(static_cast<int64_t>(
+                              outcome.status5xx)));
+                entry.set("transport_errors",
+                          json::Value(static_cast<int64_t>(
+                              outcome.transportErrors)));
+                entry.set("elapsed_s",
+                          json::Value(outcome.elapsedS));
+                entry.set("throughput_rps",
+                          json::Value(outcome.throughputRps));
+                entry.set("p50_ms", json::Value(outcome.p50Ms));
+                entry.set("p95_ms", json::Value(outcome.p95Ms));
+                entry.set("p99_ms", json::Value(outcome.p99Ms));
+                entry.set("result_hit_rate",
+                          json::Value(outcome.hitRate));
+                points_out.append(std::move(entry));
+            }
+            json::Value sweep_out = json::Value::makeObject();
+            sweep_out.set(
+                "schema",
+                json::Value("parchmint-loadgen-sweep-v1"));
+            sweep_out.set("endpoint", json::Value(endpoint));
+            sweep_out.set("duration_s",
+                          json::Value(duration_s));
+            sweep_out.set("payloads",
+                          json::Value(static_cast<int64_t>(
+                              payloads.size())));
+            sweep_out.set("points", std::move(points_out));
+            json::WriteOptions options;
+            options.pretty = true;
+            std::string text = json::write(sweep_out, options);
+            FILE *f = std::fopen(sweep_json.c_str(), "w");
+            if (!f)
+                fatal("cannot write --sweep-json \"" +
+                      sweep_json + "\"");
+            std::fputs(text.c_str(), f);
+            std::fputc('\n', f);
+            std::fclose(f);
+            std::printf("loadgen: sweep written to %s\n",
+                        sweep_json.c_str());
         }
 
         if (report_cli.requested()) {
             obs::Registry &registry = obs::registry();
-            for (double ms : latency.samples())
+            for (double ms : all_latency.samples())
                 registry.record("loadgen.request.ms", ms);
             registry.add("loadgen.requests",
-                         static_cast<int64_t>(requests));
+                         static_cast<int64_t>(total_requests));
             registry.add("loadgen.errors.5xx",
-                         static_cast<int64_t>(total.status5xx));
+                         static_cast<int64_t>(total_5xx));
             registry.add(
                 "loadgen.errors.transport",
-                static_cast<int64_t>(total.transportErrors));
-            registry.setGauge("loadgen.throughput.rps",
-                              throughput);
-            registry.setGauge("loadgen.result_hit_rate",
-                              hit_rate);
+                static_cast<int64_t>(total_transport));
+            if (!outcomes.empty()) {
+                registry.setGauge(
+                    "loadgen.throughput.rps",
+                    outcomes.back().throughputRps);
+                registry.setGauge("loadgen.result_hit_rate",
+                                  outcomes.back().hitRate);
+            }
         }
         report_cli.finish(
             "loadgen",
             {{"endpoint", endpoint},
              {"qps", std::to_string(qps)},
              {"connections", std::to_string(connections)},
-             {"requests", std::to_string(requests)},
+             {"points", std::to_string(outcomes.size())},
+             {"requests", std::to_string(total_requests)},
              {"corpus", corpus_dir}});
 
-        return total.status5xx > 0 || total.transportErrors > 0
+        return total_5xx > 0 || total_transport > 0 ||
+                       backend_5xx
                    ? 1
                    : 0;
     } catch (const UserError &error) {

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * parchmint_router: the cluster front end.
+ *
+ * Consistent-hashes content-addressed requests across N parchmintd
+ * backends (src/cluster/router.hh): a given netlist always lands
+ * on the same backend, so the cluster's two-level caches shard
+ * instead of duplicating; identical in-flight requests coalesce
+ * into one backend call; dead backends are ejected by the health
+ * tracker and re-admitted by the background prober when they come
+ * back. Serves until SIGINT/SIGTERM, then drains like parchmintd:
+ * prober stops, listener closes, in-flight requests flush.
+ *
+ * Run:  ./parchmint_router --backend HOST:PORT
+ *           [--backend HOST:PORT ...]
+ *           [--port P] [--bind ADDR] [--threads N] [--seed S]
+ *           [--vnodes V] [--failure-threshold K]
+ *           [--cooldown-ms C] [--probe-interval-ms I]
+ *           [--backend-timeout-ms T] [--pool-idle N]
+ *           [--port-file PATH]
+ *           [--log-level debug|info|warn|error|off]
+ *           [--log-json PATH|-]
+ *
+ * `--backend` repeats, one per parchmintd. `--probe-interval-ms 0`
+ * disables background probing (health is then fed by live traffic
+ * only). `--port-file` writes the bound port, for scripts and the
+ * CI cluster smoke test. The router's own /healthz, /statsz
+ * (parchmint-router-stats-v1), and /tracez are served locally;
+ * everything else is forwarded.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cluster/router.hh"
+#include "common/cli.hh"
+#include "common/error.hh"
+#include "obs/log.hh"
+#include "svc/server.hh"
+
+using namespace parchmint;
+
+namespace
+{
+
+/** Set by the signal handler; the main loop polls it. */
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --backend HOST:PORT [--backend HOST:PORT ...]\n"
+        "          [--port P] [--bind ADDR] [--threads N]\n"
+        "          [--seed S] [--vnodes V]\n"
+        "          [--failure-threshold K] [--cooldown-ms C]\n"
+        "          [--probe-interval-ms I]\n"
+        "          [--backend-timeout-ms T] [--pool-idle N]\n"
+        "          [--port-file PATH]\n"
+        "          [--log-level debug|info|warn|error|off]\n"
+        "          [--log-json PATH|-]\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        cluster::RouterOptions router_options;
+        svc::ServerOptions server_options;
+        std::string port_file;
+        std::string log_json;
+        obs::LogLevel log_level = obs::LogLevel::Info;
+
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            std::string value;
+            if (cli::matchValueFlag(argc, argv, i, "--backend",
+                                    value)) {
+                router_options.backends.push_back(value);
+            } else if (cli::matchValueFlag(argc, argv, i, "--port",
+                                           value)) {
+                server_options.port = static_cast<uint16_t>(
+                    cli::parseUint64(value, "--port", argv[0]));
+            } else if (cli::matchValueFlag(argc, argv, i, "--bind",
+                                           value)) {
+                server_options.bindAddress = value;
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--threads", value)) {
+                server_options.threads = static_cast<size_t>(
+                    cli::parseUint64(value, "--threads",
+                                     argv[0]));
+            } else if (cli::matchValueFlag(argc, argv, i, "--seed",
+                                           value)) {
+                router_options.seed =
+                    cli::parseSeed(value, argv[0]);
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--vnodes", value)) {
+                router_options.vnodes = static_cast<size_t>(
+                    cli::parseUint64(value, "--vnodes",
+                                     argv[0]));
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--failure-threshold",
+                                           value)) {
+                router_options.failureThreshold =
+                    static_cast<uint32_t>(cli::parseUint64(
+                        value, "--failure-threshold", argv[0]));
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--cooldown-ms",
+                                           value)) {
+                router_options.cooldown =
+                    std::chrono::milliseconds(
+                        static_cast<int64_t>(cli::parseUint64(
+                            value, "--cooldown-ms", argv[0])));
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--probe-interval-ms",
+                                           value)) {
+                router_options.probeInterval =
+                    std::chrono::milliseconds(
+                        static_cast<int64_t>(cli::parseUint64(
+                            value, "--probe-interval-ms",
+                            argv[0])));
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--backend-timeout-ms",
+                                           value)) {
+                router_options.requestTimeout =
+                    std::chrono::milliseconds(
+                        static_cast<int64_t>(cli::parseUint64(
+                            value, "--backend-timeout-ms",
+                            argv[0])));
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--pool-idle",
+                                           value)) {
+                router_options.maxIdlePerBackend =
+                    static_cast<size_t>(cli::parseUint64(
+                        value, "--pool-idle", argv[0]));
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--port-file",
+                                           value)) {
+                port_file = value;
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--log-level",
+                                           value)) {
+                if (!obs::parseLogLevel(value, log_level))
+                    cli::usageError(argv[0],
+                                    "bad --log-level \"" + value +
+                                        "\" (want debug|info|"
+                                        "warn|error|off)");
+            } else if (cli::matchValueFlag(argc, argv, i,
+                                           "--log-json", value)) {
+                log_json = value;
+            } else {
+                usage(argv[0]);
+                cli::usageError(argv[0], "unknown argument \"" +
+                                             arg + "\"");
+            }
+        }
+        if (router_options.backends.empty()) {
+            usage(argv[0]);
+            cli::usageError(argv[0],
+                            "at least one --backend required");
+        }
+
+        if (!log_json.empty()) {
+            if (log_json == "-")
+                obs::logger().setSink(stderr, log_level);
+            else
+                obs::logger().openSink(log_json, log_level);
+        }
+
+        cluster::Router router(router_options);
+        if (router_options.probeInterval.count() > 0) {
+            // Know the initial cluster state before serving: a
+            // backend that is down at startup is ejected by its
+            // first probes, not by client traffic.
+            router.probeOnce();
+            router.startProbing();
+        }
+        svc::HttpServer server(router, server_options);
+        server.start();
+        std::printf("parchmint_router listening on %s:%u "
+                    "(%zu backends)\n",
+                    server_options.bindAddress.c_str(),
+                    server.port(),
+                    router.ring().backends().size());
+        std::fflush(stdout);
+        PM_LOG_INFO("cluster.router", "listening",
+                    {{"bind", server_options.bindAddress},
+                     {"port", std::to_string(server.port())},
+                     {"backends",
+                      std::to_string(
+                          router.ring().backends().size())}});
+        if (!port_file.empty()) {
+            FILE *f = std::fopen(port_file.c_str(), "w");
+            if (!f)
+                fatal("cannot write port file \"" + port_file +
+                      "\"");
+            std::fprintf(f, "%u\n", server.port());
+            std::fclose(f);
+        }
+
+        // Drain-then-shutdown on SIGINT/SIGTERM, same discipline
+        // as parchmintd: the handler flips a flag, the signals
+        // stay blocked outside sigsuspend() so a delivery cannot
+        // slip between the check and the wait.
+        struct sigaction action{};
+        action.sa_handler = onSignal;
+        sigemptyset(&action.sa_mask);
+        sigaction(SIGINT, &action, nullptr);
+        sigaction(SIGTERM, &action, nullptr);
+        sigset_t block, unblocked;
+        sigemptyset(&block);
+        sigaddset(&block, SIGINT);
+        sigaddset(&block, SIGTERM);
+        sigprocmask(SIG_BLOCK, &block, &unblocked);
+        while (!g_stop)
+            sigsuspend(&unblocked);
+        sigprocmask(SIG_SETMASK, &unblocked, nullptr);
+
+        std::printf("parchmint_router draining (%llu connections "
+                    "served)\n",
+                    static_cast<unsigned long long>(
+                        server.connectionsAccepted()));
+        router.stopProbing();
+        server.stop();
+
+        cluster::CoalesceStats coalesce =
+            router.coalescer().stats();
+        cluster::PoolStats pool = router.pool().stats();
+        std::printf(
+            "router: %llu flights led, %llu coalesced; pool %llu "
+            "reused / %llu created\n",
+            static_cast<unsigned long long>(coalesce.leaders),
+            static_cast<unsigned long long>(coalesce.followers),
+            static_cast<unsigned long long>(pool.reused),
+            static_cast<unsigned long long>(pool.created));
+        return 0;
+    } catch (const UserError &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}

@@ -183,14 +183,20 @@ if [ -x "$LOG_BENCH" ]; then
     fi
 fi
 
-# Gate the continuous-flow solver and generator counters the same
-# way: the mixing report solves pinned, unrouted suite netlists
-# (no annealer in the loop), the dilution report is pure dyadic
-# arithmetic, and the generator derives every draw from the spec
-# seed, so bench.mix.* / bench.dilute.* / bench.gen.* counters are
-# machine-independent — drift means semantics changed.
+# Gate the continuous-flow solver, generator, and cluster counters
+# the same way: the mixing report solves pinned, unrouted suite
+# netlists (no annealer in the loop), the dilution report is pure
+# dyadic arithmetic, the generator derives every draw from the spec
+# seed, and the cluster report's ring shares / moved keys /
+# coalesce counts are pure functions of the content hash and a
+# gated burst, so bench.mix.* / bench.dilute.* / bench.gen.* /
+# bench.cluster.* counters are machine-independent — drift means
+# semantics changed. The cluster report also runs a closed-loop
+# latency-vs-load sweep through a real router; its p99/throughput
+# lines are wall-clock, echoed below for the trajectory, never
+# gated.
 flow_status=0
-for flow in mixing dilution gen_scaling; do
+for flow in mixing dilution gen_scaling cluster; do
     FLOW_BENCH="$PWD/$BUILD_DIR/bench/bench_$flow"
     FLOW_BASELINE="bench/baselines/$flow.json"
     [ -x "$FLOW_BENCH" ] || continue
@@ -203,7 +209,8 @@ for flow in mixing dilution gen_scaling; do
         cat "$OUT_DIR/$flow.log" >&2
         exit 2
     fi
-    grep -E 'solved|syntheses|generated' "$OUT_DIR/$flow.log" \
+    grep -E 'solved|syntheses|generated|sharded|coalesced|p99_ms' \
+        "$OUT_DIR/$flow.log" \
         | sed "s/^/perf_gate: $flow /"
     if [ "${1:-}" = "--rebaseline" ]; then
         mkdir -p "$(dirname "$FLOW_BASELINE")"

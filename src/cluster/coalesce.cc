@@ -1,0 +1,79 @@
+#include "cluster/coalesce.hh"
+
+#include "common/error.hh"
+
+namespace parchmint::cluster
+{
+
+std::shared_ptr<const svc::HttpResponse>
+Coalescer::run(const std::string &key,
+               const std::function<svc::HttpResponse()> &compute)
+{
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = flights_.find(key);
+        if (it != flights_.end()) {
+            flight = it->second;
+        } else {
+            flight = std::make_shared<Flight>();
+            flights_.emplace(key, flight);
+            leader = true;
+        }
+    }
+
+    if (!leader) {
+        followers_.fetch_add(1, std::memory_order_relaxed);
+        std::unique_lock<std::mutex> lock(flight->mutex);
+        flight->cv.wait(lock, [&] { return flight->done; });
+        if (!flight->error.empty())
+            fatal(flight->error);
+        return flight->response;
+    }
+
+    leaders_.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<const svc::HttpResponse> response;
+    std::string error;
+    try {
+        response = std::make_shared<const svc::HttpResponse>(
+            compute());
+    } catch (const Error &e) {
+        error = e.what();
+    }
+
+    // Unpublish *before* waking followers: see file comment.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        flights_.erase(key);
+    }
+    {
+        std::lock_guard<std::mutex> lock(flight->mutex);
+        flight->response = response;
+        flight->error = error;
+        flight->done = true;
+    }
+    flight->cv.notify_all();
+
+    if (!error.empty())
+        fatal(error);
+    return response;
+}
+
+CoalesceStats
+Coalescer::stats() const
+{
+    CoalesceStats out;
+    out.leaders = leaders_.load(std::memory_order_relaxed);
+    out.followers = followers_.load(std::memory_order_relaxed);
+    return out;
+}
+
+size_t
+Coalescer::inflight() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return flights_.size();
+}
+
+} // namespace parchmint::cluster

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * In-flight request coalescing ("single-flight") for the router.
+ *
+ * Benchmark sweeps and CI storms post the *same* netlist from many
+ * clients at once. The backend's content-addressed cache already
+ * dedupes sequential repeats, but K identical requests in flight
+ * simultaneously all miss (the first has not finished computing),
+ * so the cluster does K placements of one netlist. The coalescer
+ * folds them: the first arrival for a key becomes the *leader* and
+ * actually calls the backend; the other K-1 become *followers* and
+ * block on the leader's flight; everyone receives the same
+ * shared_ptr-to-const response.
+ *
+ * Keying: the router keys a flight by endpoint target + trace
+ * header + content hash of the body, so only byte-equivalent work
+ * coalesces and every follower's response (including the echoed
+ * trace ID) is byte-identical to what a solo request would get.
+ *
+ * Publication order matters: the leader *erases the flight from
+ * the table before* filling the result and waking followers. A
+ * request arriving after the erase starts a fresh flight — it can
+ * never join a completed one — so a flight's result is written
+ * exactly once and no reader ever observes a half-published state.
+ * Followers hold a shared_ptr to the flight itself, so the erase
+ * does not free it under them.
+ *
+ * Failures propagate: a leader whose backend call throws publishes
+ * the error message instead of a response, and every follower of
+ * that flight throws UserError with it. Followers never retry —
+ * their caller (the router) owns retry policy.
+ */
+
+#ifndef PARCHMINT_CLUSTER_COALESCE_HH
+#define PARCHMINT_CLUSTER_COALESCE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "svc/http.hh"
+
+namespace parchmint::cluster
+{
+
+/** Point-in-time coalescer counters. */
+struct CoalesceStats
+{
+    /** Flights led (actual backend calls). */
+    uint64_t leaders = 0;
+    /** Requests folded into another's flight. */
+    uint64_t followers = 0;
+};
+
+/** See file comment. */
+class Coalescer
+{
+  public:
+    /**
+     * Run @p compute for @p key, unless an identical flight is
+     * already in progress — then wait for it and share its result.
+     * @return The (shared) response; never null.
+     * @throws UserError when the flight's leader threw — followers
+     *         get the leader's error message.
+     */
+    std::shared_ptr<const svc::HttpResponse>
+    run(const std::string &key,
+        const std::function<svc::HttpResponse()> &compute);
+
+    CoalesceStats stats() const;
+
+    /** Flights currently in progress. */
+    size_t inflight() const;
+
+  private:
+    struct Flight
+    {
+        std::mutex mutex;
+        std::condition_variable cv;
+        bool done = false;
+        std::shared_ptr<const svc::HttpResponse> response;
+        /** Non-empty when the leader failed. */
+        std::string error;
+    };
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_ptr<Flight>>
+        flights_;
+    std::atomic<uint64_t> leaders_{0};
+    std::atomic<uint64_t> followers_{0};
+};
+
+} // namespace parchmint::cluster
+
+#endif // PARCHMINT_CLUSTER_COALESCE_HH

@@ -1,0 +1,113 @@
+#include "cluster/health.hh"
+
+namespace parchmint::cluster
+{
+
+const char *
+healthStateName(HealthState state)
+{
+    switch (state) {
+    case HealthState::Healthy:
+        return "healthy";
+    case HealthState::Ejected:
+        return "ejected";
+    case HealthState::HalfOpen:
+        return "half_open";
+    }
+    return "unknown";
+}
+
+HealthTracker::HealthTracker(std::vector<std::string> backends,
+                             uint32_t failureThreshold,
+                             Clock::duration cooldown)
+    : failureThreshold_(failureThreshold == 0 ? 1
+                                              : failureThreshold),
+      cooldown_(cooldown)
+{
+    for (std::string &backend : backends)
+        entries_.emplace(std::move(backend), Entry{});
+}
+
+void
+HealthTracker::recordSuccess(const std::string &backend,
+                             Clock::time_point /*now*/)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(backend);
+    if (it == entries_.end())
+        return;
+    Entry &entry = it->second;
+    ++entry.health.successes;
+    entry.health.consecutiveFailures = 0;
+    entry.health.state = HealthState::Healthy;
+}
+
+void
+HealthTracker::recordFailure(const std::string &backend,
+                             Clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(backend);
+    if (it == entries_.end())
+        return;
+    Entry &entry = it->second;
+    ++entry.health.failures;
+    ++entry.health.consecutiveFailures;
+    bool eject =
+        entry.health.state == HealthState::HalfOpen ||
+        (entry.health.state == HealthState::Healthy &&
+         entry.health.consecutiveFailures >= failureThreshold_);
+    if (eject) {
+        entry.health.state = HealthState::Ejected;
+        ++entry.health.ejections;
+        entry.ejectedAt = now;
+    } else if (entry.health.state == HealthState::Ejected) {
+        // A failure while already ejected (a probe that lost the
+        // HalfOpen race) restarts the cooldown.
+        entry.ejectedAt = now;
+    }
+}
+
+bool
+HealthTracker::admits(const std::string &backend,
+                      Clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(backend);
+    if (it == entries_.end())
+        return false;
+    Entry &entry = it->second;
+    switch (entry.health.state) {
+    case HealthState::Healthy:
+    case HealthState::HalfOpen:
+        return true;
+    case HealthState::Ejected:
+        if (now - entry.ejectedAt >= cooldown_) {
+            entry.health.state = HealthState::HalfOpen;
+            return true;
+        }
+        return false;
+    }
+    return false;
+}
+
+BackendHealth
+HealthTracker::view(const std::string &backend) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(backend);
+    return it == entries_.end() ? BackendHealth{}
+                                : it->second.health;
+}
+
+std::map<std::string, BackendHealth>
+HealthTracker::viewAll() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, BackendHealth> out;
+    for (const auto &[name, entry] : entries_)
+        out.emplace(name, entry.health);
+    return out;
+}
+
+} // namespace parchmint::cluster

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Per-backend health tracking: a small circuit-breaker state
+ * machine fed by probe results and live request outcomes.
+ *
+ * States and transitions (per backend):
+ *
+ *   Healthy  --(failures reach threshold)-->  Ejected
+ *   Ejected  --(cooldown elapses)----------->  HalfOpen
+ *   HalfOpen --(one success)--------------->  Healthy
+ *   HalfOpen --(one failure)--------------->  Ejected (cooldown
+ *                                              restarts)
+ *
+ * Healthy backends receive traffic. Ejected backends receive none
+ * — the router skips them in the ring's preference order — so a
+ * dead backend costs one connect timeout per failure threshold,
+ * not one per request. HalfOpen is the re-admission gate: after
+ * the cooldown, admits() returns true again and the *next* outcome
+ * decides — a success restores Healthy, a failure re-ejects and
+ * restarts the cooldown. The periodic prober (cluster/router.hh)
+ * guarantees the next outcome arrives within a probe interval even
+ * when no client traffic would touch the backend.
+ *
+ * Failures only count consecutively: any success zeroes the streak,
+ * so a lossy-but-alive backend is not ejected by sporadic errors.
+ * Only *transport* failures (connect/send/recv) count; an HTTP
+ * error status is a healthy backend answering.
+ *
+ * Time is injected (a steady_clock::time_point parameter on every
+ * transition) so the health_test drives the cooldown with a fake
+ * clock instead of sleeping.
+ *
+ * Thread-safe; every method takes the tracker mutex.
+ */
+
+#ifndef PARCHMINT_CLUSTER_HEALTH_HH
+#define PARCHMINT_CLUSTER_HEALTH_HH
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace parchmint::cluster
+{
+
+/** One backend's breaker state. */
+enum class HealthState
+{
+    Healthy,
+    Ejected,
+    HalfOpen,
+};
+
+/** The name, for logs and /statsz. */
+const char *healthStateName(HealthState state);
+
+/** A point-in-time view of one backend. */
+struct BackendHealth
+{
+    HealthState state = HealthState::Healthy;
+    /** Consecutive transport failures. */
+    uint32_t consecutiveFailures = 0;
+    uint64_t successes = 0;
+    uint64_t failures = 0;
+    /** Ejections over the backend's lifetime. */
+    uint64_t ejections = 0;
+};
+
+/** See file comment. */
+class HealthTracker
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /**
+     * @param backends The tracked backend names; all start
+     *        Healthy.
+     * @param failureThreshold Consecutive failures that eject
+     *        (clamped to >= 1).
+     * @param cooldown Ejected -> HalfOpen delay.
+     */
+    HealthTracker(std::vector<std::string> backends,
+                  uint32_t failureThreshold,
+                  Clock::duration cooldown);
+
+    /**
+     * Record a success (probe or live request) at @p now.
+     * Unknown backends are ignored.
+     */
+    void recordSuccess(const std::string &backend,
+                       Clock::time_point now);
+
+    /** Record a transport failure at @p now. */
+    void recordFailure(const std::string &backend,
+                       Clock::time_point now);
+
+    /**
+     * May @p backend receive traffic at @p now? True for Healthy
+     * and HalfOpen (the trial request); an Ejected backend whose
+     * cooldown has elapsed is promoted to HalfOpen first, so
+     * admits() is the transition edge. False for unknown backends.
+     */
+    bool admits(const std::string &backend, Clock::time_point now);
+
+    /** Current view of one backend (default-constructed when
+     * unknown). */
+    BackendHealth view(const std::string &backend) const;
+
+    /** Current view of every backend, keyed by name. */
+    std::map<std::string, BackendHealth> viewAll() const;
+
+  private:
+    struct Entry
+    {
+        BackendHealth health;
+        Clock::time_point ejectedAt{};
+    };
+
+    uint32_t failureThreshold_;
+    Clock::duration cooldown_;
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace parchmint::cluster
+
+#endif // PARCHMINT_CLUSTER_HEALTH_HH

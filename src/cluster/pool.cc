@@ -1,0 +1,140 @@
+#include "cluster/pool.hh"
+
+#include "common/error.hh"
+
+namespace parchmint::cluster
+{
+
+std::pair<std::string, uint16_t>
+parseBackendAddress(const std::string &backend)
+{
+    size_t colon = backend.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == backend.size())
+        fatal("backend address \"" + backend +
+              "\" is not host:port");
+    std::string host = backend.substr(0, colon);
+    std::string port_text = backend.substr(colon + 1);
+    long port = 0;
+    for (char c : port_text) {
+        if (c < '0' || c > '9')
+            fatal("backend port \"" + port_text +
+                  "\" is not a number");
+        port = port * 10 + (c - '0');
+        if (port > 65535)
+            break;
+    }
+    if (port < 1 || port > 65535)
+        fatal("backend port \"" + port_text +
+              "\" is out of range 1..65535");
+    return {std::move(host), static_cast<uint16_t>(port)};
+}
+
+ClientPool::ClientPool(size_t maxIdlePerBackend,
+                       std::chrono::milliseconds requestTimeout)
+    : maxIdlePerBackend_(
+          maxIdlePerBackend == 0 ? 1 : maxIdlePerBackend),
+      requestTimeout_(requestTimeout)
+{
+}
+
+ClientPool::Lease::Lease(ClientPool *pool, std::string backend,
+                         std::unique_ptr<svc::HttpClient> client)
+    : pool_(pool),
+      backend_(std::move(backend)),
+      client_(std::move(client))
+{
+}
+
+ClientPool::Lease::Lease(Lease &&other) noexcept
+    : pool_(other.pool_),
+      backend_(std::move(other.backend_)),
+      client_(std::move(other.client_))
+{
+    other.pool_ = nullptr;
+}
+
+ClientPool::Lease &
+ClientPool::Lease::operator=(Lease &&other) noexcept
+{
+    if (this != &other) {
+        if (pool_ && client_)
+            pool_->release(backend_, std::move(client_));
+        pool_ = other.pool_;
+        backend_ = std::move(other.backend_);
+        client_ = std::move(other.client_);
+        other.pool_ = nullptr;
+    }
+    return *this;
+}
+
+ClientPool::Lease::~Lease()
+{
+    if (pool_ && client_)
+        pool_->release(backend_, std::move(client_));
+}
+
+void
+ClientPool::Lease::discard()
+{
+    if (!client_)
+        return;
+    client_.reset();
+    if (pool_) {
+        std::lock_guard<std::mutex> lock(pool_->mutex_);
+        ++pool_->discarded_;
+    }
+    pool_ = nullptr;
+}
+
+ClientPool::Lease
+ClientPool::lease(const std::string &backend)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = idle_.find(backend);
+        if (it != idle_.end() && !it->second.empty()) {
+            std::unique_ptr<svc::HttpClient> client =
+                std::move(it->second.back());
+            it->second.pop_back();
+            ++reused_;
+            return Lease(this, backend, std::move(client));
+        }
+    }
+    auto [host, port] = parseBackendAddress(backend);
+    auto client =
+        std::make_unique<svc::HttpClient>(std::move(host), port);
+    client->setTimeout(requestTimeout_);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++created_;
+    }
+    return Lease(this, backend, std::move(client));
+}
+
+void
+ClientPool::release(const std::string &backend,
+                    std::unique_ptr<svc::HttpClient> client)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::unique_ptr<svc::HttpClient>> &stack =
+        idle_[backend];
+    if (stack.size() < maxIdlePerBackend_)
+        stack.push_back(std::move(client));
+    // Else: let the client destruct (closing its socket).
+}
+
+PoolStats
+ClientPool::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    PoolStats out;
+    out.reused = reused_;
+    out.created = created_;
+    out.discarded = discarded_;
+    for (const auto &[backend, stack] : idle_)
+        out.idle += stack.size();
+    return out;
+}
+
+} // namespace parchmint::cluster

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Pooled keep-alive connections to the cluster's backends.
+ *
+ * Each router worker thread needs an HttpClient to some backend
+ * for the duration of one forwarded request. Creating a client per
+ * request would reconnect every time — the exact overhead
+ * keep-alive exists to avoid — so the pool keeps idle clients per
+ * backend and leases them out RAII-style:
+ *
+ *   { auto lease = pool.lease("127.0.0.1:8081");
+ *     response = lease->request(...); }   // returned on scope exit
+ *
+ * A lease holds exactly one client; release returns it to its
+ * backend's idle stack (LIFO, so the warmest connection — the one
+ * least likely to have hit the server's idle timeout — is reused
+ * first). When a request fails hard the caller discards the lease
+ * instead, so a broken connection is never re-pooled:
+ * lease.discard(). Idle depth per backend is capped; beyond it a
+ * returned client is simply closed.
+ *
+ * The stale idle-timeout race (server closed an idle pooled
+ * connection) is handled one layer down: svc::HttpClient
+ * transparently reconnects and retries once when a *reused*
+ * connection dies before yielding a response byte, so pool users
+ * never see it.
+ *
+ * Thread-safe: lease/release take the pool mutex; the leased
+ * client itself is used unlocked by exactly one worker.
+ */
+
+#ifndef PARCHMINT_CLUSTER_POOL_HH
+#define PARCHMINT_CLUSTER_POOL_HH
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "svc/client.hh"
+
+namespace parchmint::cluster
+{
+
+/** Point-in-time pool counters. */
+struct PoolStats
+{
+    /** Leases served from an idle pooled client. */
+    uint64_t reused = 0;
+    /** Leases that had to build a fresh client. */
+    uint64_t created = 0;
+    /** Clients dropped via Lease::discard(). */
+    uint64_t discarded = 0;
+    /** Idle clients currently pooled (all backends). */
+    size_t idle = 0;
+};
+
+/** See file comment. */
+class ClientPool
+{
+  public:
+    /**
+     * @param maxIdlePerBackend Idle clients kept per backend;
+     *        returns beyond this are closed (clamped to >= 1).
+     * @param requestTimeout Receive timeout stamped on every
+     *        client the pool builds.
+     */
+    explicit ClientPool(
+        size_t maxIdlePerBackend = 8,
+        std::chrono::milliseconds requestTimeout =
+            std::chrono::milliseconds(30000));
+
+    /** An exclusive hold on one backend client; returns it to the
+     * pool on destruction unless discarded. Movable, not
+     * copyable. */
+    class Lease
+    {
+      public:
+        Lease(Lease &&other) noexcept;
+        Lease &operator=(Lease &&other) noexcept;
+        Lease(const Lease &) = delete;
+        Lease &operator=(const Lease &) = delete;
+        ~Lease();
+
+        svc::HttpClient &operator*() { return *client_; }
+        svc::HttpClient *operator->() { return client_.get(); }
+
+        /** Drop the client instead of re-pooling it (call after a
+         * hard transport failure). */
+        void discard();
+
+      private:
+        friend class ClientPool;
+        Lease(ClientPool *pool, std::string backend,
+              std::unique_ptr<svc::HttpClient> client);
+
+        ClientPool *pool_ = nullptr;
+        std::string backend_;
+        std::unique_ptr<svc::HttpClient> client_;
+    };
+
+    /**
+     * Lease a client for @p backend ("host:port"), reusing an idle
+     * one when available. Connection happens lazily on first
+     * request, so leasing never blocks on the network.
+     * @throws UserError for a malformed backend address.
+     */
+    Lease lease(const std::string &backend);
+
+    PoolStats stats() const;
+
+  private:
+    friend class Lease;
+    void release(const std::string &backend,
+                 std::unique_ptr<svc::HttpClient> client);
+
+    size_t maxIdlePerBackend_;
+    std::chrono::milliseconds requestTimeout_;
+    mutable std::mutex mutex_;
+    std::map<std::string,
+             std::vector<std::unique_ptr<svc::HttpClient>>>
+        idle_;
+    uint64_t reused_ = 0;
+    uint64_t created_ = 0;
+    uint64_t discarded_ = 0;
+};
+
+/**
+ * Split "host:port" into its parts.
+ * @throws UserError when the port is missing or not in 1..65535.
+ */
+std::pair<std::string, uint16_t>
+parseBackendAddress(const std::string &backend);
+
+} // namespace parchmint::cluster
+
+#endif // PARCHMINT_CLUSTER_POOL_HH

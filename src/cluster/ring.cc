@@ -1,0 +1,81 @@
+#include "cluster/ring.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+
+namespace parchmint::cluster
+{
+
+HashRing::HashRing(std::vector<std::string> backends,
+                   size_t vnodes)
+    : vnodes_(vnodes == 0 ? 1 : vnodes)
+{
+    std::set<std::string> distinct(backends.begin(),
+                                   backends.end());
+    backends_.assign(distinct.begin(), distinct.end());
+
+    points_.reserve(backends_.size() * vnodes_);
+    for (uint32_t b = 0; b < backends_.size(); ++b) {
+        for (size_t i = 0; i < vnodes_; ++i) {
+            uint64_t position = deriveSeed(
+                static_cast<uint64_t>(i), backends_[b]);
+            points_.push_back(Point{position, b});
+        }
+    }
+    std::sort(points_.begin(), points_.end(),
+              [](const Point &a, const Point &b) {
+                  // Backend index breaks position ties so the
+                  // ring is deterministic even across a (never
+                  // observed, but possible) 64-bit collision.
+                  return a.position != b.position
+                             ? a.position < b.position
+                             : a.backend < b.backend;
+              });
+}
+
+size_t
+HashRing::ownerPoint(uint64_t key) const
+{
+    if (points_.empty())
+        panic("lookup on an empty hash ring");
+    // First point at or clockwise of the key; wrap to the start.
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(), key,
+        [](const Point &point, uint64_t k) {
+            return point.position < k;
+        });
+    if (it == points_.end())
+        it = points_.begin();
+    return static_cast<size_t>(it - points_.begin());
+}
+
+const std::string &
+HashRing::owner(uint64_t key) const
+{
+    return backends_[points_[ownerPoint(key)].backend];
+}
+
+std::vector<std::string>
+HashRing::preferenceOrder(uint64_t key) const
+{
+    size_t start = ownerPoint(key);
+    std::vector<std::string> order;
+    order.reserve(backends_.size());
+    std::vector<bool> seen(backends_.size(), false);
+    for (size_t step = 0;
+         step < points_.size() && order.size() < backends_.size();
+         ++step) {
+        uint32_t backend =
+            points_[(start + step) % points_.size()].backend;
+        if (!seen[backend]) {
+            seen[backend] = true;
+            order.push_back(backends_[backend]);
+        }
+    }
+    return order;
+}
+
+} // namespace parchmint::cluster

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Consistent-hash ring over the cluster's backends.
+ *
+ * Why consistent hashing: the daemon's two-level cache
+ * (svc/cache.hh) is content-addressed, so the shard a request
+ * lands on decides whether it hits. Round-robin across N backends
+ * stores every hot netlist N times and hits each copy 1/N as
+ * often; hashing the request's content onto a stable ring sends a
+ * given netlist to the *same* backend every time, so the cluster's
+ * aggregate cache behaves like one N-times-larger cache.
+ *
+ * Construction: each backend contributes `vnodes` points on a
+ * 64-bit ring, point i at deriveSeed(i, backend-name) — the same
+ * FNV-1a + splitmix64 mix as svc::contentHash, so ring placement
+ * inherits its golden-tested dispersion. A key (already a 64-bit
+ * content hash) is owned by the first point clockwise from it.
+ * Virtual nodes smooth the load: with ~128 points per backend the
+ * largest share stays within a few percent of 1/N.
+ *
+ * The consistency property — and the reason this beats
+ * `hash % N` — is that adding or removing one backend only remaps
+ * the keys that backend's points owned, ~1/N of the key space;
+ * every other key keeps its backend and therefore its warm cache.
+ * The ring_test asserts both the stability and the remap bound.
+ *
+ * preferenceOrder() walks the ring clockwise collecting each
+ * *distinct* backend in first-encounter order: element 0 is the
+ * owner, element 1 is where the key goes if the owner is down, and
+ * so on. The router retries down this list so failover traffic for
+ * one dead backend spreads across the survivors instead of piling
+ * onto a single designated successor.
+ *
+ * Immutable after construction and therefore freely shared across
+ * threads; membership changes build a new ring (the router swaps a
+ * shared_ptr).
+ */
+
+#ifndef PARCHMINT_CLUSTER_RING_HH
+#define PARCHMINT_CLUSTER_RING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parchmint::cluster
+{
+
+/** See file comment. */
+class HashRing
+{
+  public:
+    /**
+     * @param backends Backend names (e.g. "127.0.0.1:8081");
+     *        order does not matter, duplicates are collapsed.
+     * @param vnodes Ring points per backend (clamped to >= 1).
+     */
+    explicit HashRing(std::vector<std::string> backends,
+                      size_t vnodes = 128);
+
+    /** The distinct backend names, sorted. */
+    const std::vector<std::string> &backends() const
+    {
+        return backends_;
+    }
+
+    /** True when the ring has no backends (lookups panic). */
+    bool empty() const { return backends_.empty(); }
+
+    /**
+     * The backend owning @p key.
+     * @throws InternalError on an empty ring.
+     */
+    const std::string &owner(uint64_t key) const;
+
+    /**
+     * Every distinct backend in failover order for @p key: the
+     * owner first, then each next-encountered backend clockwise.
+     * @throws InternalError on an empty ring.
+     */
+    std::vector<std::string>
+    preferenceOrder(uint64_t key) const;
+
+    /** Ring points per backend actually used. */
+    size_t vnodes() const { return vnodes_; }
+
+  private:
+    struct Point
+    {
+        uint64_t position;
+        /** Index into backends_. */
+        uint32_t backend;
+    };
+
+    /** Index of the point owning @p key. */
+    size_t ownerPoint(uint64_t key) const;
+
+    std::vector<std::string> backends_;
+    size_t vnodes_;
+    /** Sorted by position. */
+    std::vector<Point> points_;
+};
+
+} // namespace parchmint::cluster
+
+#endif // PARCHMINT_CLUSTER_RING_HH

@@ -1,0 +1,417 @@
+#include "cluster/router.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.hh"
+#include "common/strings.hh"
+#include "json/value.hh"
+#include "json/write.hh"
+#include "obs/obs.hh"
+#include "svc/cache.hh"
+#include "svc/service.hh"
+
+namespace parchmint::cluster
+{
+
+namespace
+{
+
+std::string
+compactJson(const json::Value &value)
+{
+    json::WriteOptions options;
+    options.pretty = false;
+    return json::write(value, options);
+}
+
+svc::HttpResponse
+jsonResponse(int status, std::string body)
+{
+    svc::HttpResponse response;
+    response.status = status;
+    response.setHeader("Content-Type", "application/json");
+    response.body = std::move(body);
+    return response;
+}
+
+svc::HttpResponse
+errorResponse(int status, const std::string &message)
+{
+    json::Value body = json::Value::makeObject();
+    body.set("error", json::Value(message));
+    return jsonResponse(status, compactJson(body));
+}
+
+/** True for headers the serializers own or the router rewrites. */
+bool
+isHopByHop(const std::string &name)
+{
+    std::string lower = toLower(name);
+    return lower == "content-length" || lower == "connection" ||
+           lower == svc::kTraceHeader;
+}
+
+void
+stripHopByHop(
+    std::vector<std::pair<std::string, std::string>> &headers)
+{
+    headers.erase(
+        std::remove_if(headers.begin(), headers.end(),
+                       [](const auto &header) {
+                           return isHopByHop(header.first);
+                       }),
+        headers.end());
+}
+
+/** The capture's endpoint label for a request. */
+std::string
+endpointLabel(const svc::HttpRequest &request)
+{
+    if (request.method == "GET") {
+        std::string path = request.path();
+        if (path == "/healthz")
+            return "healthz";
+        if (path == "/statsz")
+            return "statsz";
+        if (path == "/tracez")
+            return "tracez";
+    }
+    return "forward";
+}
+
+} // namespace
+
+Router::Router(RouterOptions options)
+    : options_(std::move(options)),
+      ring_(options_.backends, options_.vnodes),
+      health_(ring_.backends(), options_.failureThreshold,
+              options_.cooldown),
+      pool_(options_.maxIdlePerBackend, options_.requestTimeout)
+{
+    if (ring_.empty())
+        fatal("router needs at least one backend");
+    // Surface a malformed address at construction, not on the
+    // first forwarded request.
+    for (const std::string &backend : ring_.backends())
+        parseBackendAddress(backend);
+}
+
+Router::~Router()
+{
+    stopProbing();
+}
+
+void
+Router::probeOnce()
+{
+    svc::HttpRequest probe;
+    probe.method = "GET";
+    probe.target = "/healthz";
+    for (const std::string &backend : ring_.backends()) {
+        auto now = HealthTracker::Clock::now();
+        try {
+            svc::HttpResponse response =
+                forwardOnce(backend, probe);
+            if (response.status == 200) {
+                health_.recordSuccess(backend, now);
+            } else {
+                health_.recordFailure(backend, now);
+                obs::registry().add("router.probe.failures", 1);
+            }
+        } catch (const Error &) {
+            health_.recordFailure(backend, now);
+            obs::registry().add("router.probe.failures", 1);
+        }
+    }
+}
+
+void
+Router::startProbing()
+{
+    if (!prober_)
+        prober_ = std::make_unique<exec::PeriodicTask>(
+            options_.probeInterval, [this] { probeOnce(); });
+    prober_->start();
+}
+
+void
+Router::stopProbing()
+{
+    if (prober_)
+        prober_->stop();
+}
+
+std::map<std::string, uint64_t>
+Router::forwardedCounts() const
+{
+    std::lock_guard<std::mutex> lock(countsMutex_);
+    return forwarded_;
+}
+
+svc::HttpResponse
+Router::handle(const svc::HttpRequest &request)
+{
+    uint64_t ordinal =
+        traceOrdinal_.fetch_add(1, std::memory_order_relaxed);
+    svc::TraceResolution trace = svc::resolveTraceHeader(
+        request, options_.seed, ordinal);
+    obs::reqtrace::ScopedTraceContext context(trace.id);
+
+    obs::reqtrace::RequestRecord record;
+    record.traceId = trace.id;
+    record.method = request.method;
+    record.path = request.path();
+    record.endpoint = endpointLabel(request);
+    record.startUs = capture_.nowUs();
+    auto started = std::chrono::steady_clock::now();
+
+    svc::HttpResponse response;
+    {
+        obs::reqtrace::ActiveRequest active(&record);
+        if (!trace.ok) {
+            response = errorResponse(400, trace.error);
+        } else {
+            try {
+                response = dispatch(request, trace.id);
+            } catch (const InternalError &e) {
+                response = errorResponse(500, e.what());
+            } catch (const Error &e) {
+                response = errorResponse(502, e.what());
+            }
+        }
+    }
+
+    response.setHeader(svc::kTraceHeaderEcho, trace.id);
+    record.status = response.status;
+    record.durationUs =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    capture_.record(std::move(record));
+    obs::registry().add("router.requests", 1);
+    obs::registry().add("router.responses." +
+                            std::to_string(response.status),
+                        1);
+    return response;
+}
+
+svc::HttpResponse
+Router::dispatch(const svc::HttpRequest &request,
+                 const std::string &traceId)
+{
+    if (request.method == "GET") {
+        std::string path = request.path();
+        if (path == "/healthz")
+            return handleHealthz();
+        if (path == "/statsz")
+            return handleStatsz();
+        if (path == "/tracez")
+            return handleTracez();
+    }
+    if (request.method != "GET" && request.method != "POST")
+        return errorResponse(405, "method \"" + request.method +
+                                      "\" not supported");
+    return forwardRequest(request, traceId);
+}
+
+svc::HttpResponse
+Router::handleHealthz()
+{
+    json::Value out = json::Value::makeObject();
+    out.set("status", json::Value("ok"));
+    out.set("role", json::Value("router"));
+    out.set("backends",
+            json::Value(static_cast<int64_t>(
+                ring_.backends().size())));
+    return jsonResponse(200, compactJson(out));
+}
+
+svc::HttpResponse
+Router::handleStatsz()
+{
+    std::map<std::string, BackendHealth> healthView =
+        health_.viewAll();
+    std::map<std::string, uint64_t> forwarded;
+    std::map<std::string, uint64_t> transportFailures;
+    {
+        std::lock_guard<std::mutex> lock(countsMutex_);
+        forwarded = forwarded_;
+        transportFailures = transportFailures_;
+    }
+
+    json::Value backends = json::Value::makeObject();
+    for (const std::string &name : ring_.backends()) {
+        const BackendHealth &health = healthView[name];
+        json::Value entry = json::Value::makeObject();
+        entry.set("state",
+                  json::Value(healthStateName(health.state)));
+        entry.set("forwarded",
+                  json::Value(static_cast<int64_t>(
+                      forwarded[name])));
+        entry.set("transport_failures",
+                  json::Value(static_cast<int64_t>(
+                      transportFailures[name])));
+        entry.set("successes",
+                  json::Value(static_cast<int64_t>(
+                      health.successes)));
+        entry.set("failures",
+                  json::Value(static_cast<int64_t>(
+                      health.failures)));
+        entry.set("consecutive_failures",
+                  json::Value(static_cast<int64_t>(
+                      health.consecutiveFailures)));
+        entry.set("ejections",
+                  json::Value(static_cast<int64_t>(
+                      health.ejections)));
+        backends.set(name, std::move(entry));
+    }
+
+    json::Value ring = json::Value::makeObject();
+    ring.set("vnodes", json::Value(static_cast<int64_t>(
+                           ring_.vnodes())));
+    ring.set("backends",
+             json::Value(static_cast<int64_t>(
+                 ring_.backends().size())));
+
+    CoalesceStats coalesce = coalescer_.stats();
+    json::Value coalesceOut = json::Value::makeObject();
+    coalesceOut.set("leaders",
+                    json::Value(static_cast<int64_t>(
+                        coalesce.leaders)));
+    coalesceOut.set("followers",
+                    json::Value(static_cast<int64_t>(
+                        coalesce.followers)));
+    coalesceOut.set("inflight",
+                    json::Value(static_cast<int64_t>(
+                        coalescer_.inflight())));
+
+    PoolStats pool = pool_.stats();
+    json::Value poolOut = json::Value::makeObject();
+    poolOut.set("reused", json::Value(static_cast<int64_t>(
+                              pool.reused)));
+    poolOut.set("created", json::Value(static_cast<int64_t>(
+                               pool.created)));
+    poolOut.set("discarded",
+                json::Value(static_cast<int64_t>(
+                    pool.discarded)));
+    poolOut.set("idle", json::Value(static_cast<int64_t>(
+                            pool.idle)));
+
+    json::Value out = json::Value::makeObject();
+    out.set("schema", json::Value("parchmint-router-stats-v1"));
+    out.set("seed", json::Value(static_cast<int64_t>(
+                        options_.seed)));
+    out.set("completed",
+            json::Value(static_cast<int64_t>(
+                capture_.completed())));
+    out.set("backends", std::move(backends));
+    out.set("ring", std::move(ring));
+    out.set("coalesce", std::move(coalesceOut));
+    out.set("pool", std::move(poolOut));
+    return jsonResponse(200, compactJson(out));
+}
+
+svc::HttpResponse
+Router::handleTracez()
+{
+    return jsonResponse(
+        200, compactJson(svc::captureJson(
+                 capture_, "parchmint-router-tracez-v1")));
+}
+
+svc::HttpResponse
+Router::forwardRequest(const svc::HttpRequest &request,
+                       const std::string &traceId)
+{
+    svc::HttpRequest forward;
+    forward.method = request.method;
+    forward.target = request.target;
+    forward.body = request.body;
+    forward.headers = request.headers;
+    stripHopByHop(forward.headers);
+    forward.headers.emplace_back(svc::kTraceHeader, traceId);
+
+    if (request.method != "POST") {
+        uint64_t key = svc::contentHash(request.target);
+        return forwardWithFailover(forward, key);
+    }
+
+    // Shard by the same raw-body hash the backend's document
+    // cache is keyed by: affinity makes the cluster's caches
+    // partition instead of duplicate.
+    uint64_t key = svc::contentHash(request.body);
+    const std::string *clientTrace =
+        request.findHeader(svc::kTraceHeader);
+    std::string flightKey =
+        request.method + "|" + request.target + "|" +
+        (clientTrace ? *clientTrace : std::string()) + "|" +
+        svc::hashHex(key);
+    std::shared_ptr<const svc::HttpResponse> shared =
+        coalescer_.run(flightKey, [&] {
+            return forwardWithFailover(forward, key);
+        });
+    return *shared;
+}
+
+svc::HttpResponse
+Router::forwardWithFailover(const svc::HttpRequest &request,
+                            uint64_t key)
+{
+    std::vector<std::string> order = ring_.preferenceOrder(key);
+    auto now = HealthTracker::Clock::now();
+    std::vector<std::string> candidates;
+    for (const std::string &backend : order) {
+        if (health_.admits(backend, now))
+            candidates.push_back(backend);
+    }
+    // Health refusing everyone means our information is stale or
+    // the cluster is down; trying beats a reflexive 502.
+    if (candidates.empty())
+        candidates = order;
+
+    std::string lastError = "no backends configured";
+    for (const std::string &backend : candidates) {
+        try {
+            svc::HttpResponse response =
+                forwardOnce(backend, request);
+            health_.recordSuccess(backend,
+                                  HealthTracker::Clock::now());
+            {
+                std::lock_guard<std::mutex> lock(countsMutex_);
+                ++forwarded_[backend];
+            }
+            return response;
+        } catch (const Error &e) {
+            health_.recordFailure(backend,
+                                  HealthTracker::Clock::now());
+            {
+                std::lock_guard<std::mutex> lock(countsMutex_);
+                ++transportFailures_[backend];
+            }
+            obs::registry().add("router.failover", 1);
+            lastError = e.what();
+        }
+    }
+    return errorResponse(502, "no backend available: " +
+                                  lastError);
+}
+
+svc::HttpResponse
+Router::forwardOnce(const std::string &backend,
+                    const svc::HttpRequest &request)
+{
+    ClientPool::Lease lease = pool_.lease(backend);
+    svc::HttpResponse response;
+    try {
+        response = lease->request(request);
+    } catch (...) {
+        // Never re-pool a connection that just failed.
+        lease.discard();
+        throw;
+    }
+    stripHopByHop(response.headers);
+    return response;
+}
+
+} // namespace parchmint::cluster

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The cluster router: one svc::HttpHandler that fronts N
+ * parchmintd backends.
+ *
+ * Request path (POST pipeline endpoints):
+ *
+ *   1. Resolve the trace ID exactly as the daemon does
+ *      (svc/service.hh resolveTraceHeader) — same header, same 400
+ *      contract, same deterministic minting.
+ *   2. Shard: the ring key is svc::contentHash of the raw body —
+ *      the same hash the backend's *document* cache is keyed by —
+ *      so a given netlist always lands on the backend whose cache
+ *      already holds it (cluster/ring.hh).
+ *   3. Coalesce: identical in-flight requests (same method,
+ *      target, client trace value, and body hash) fold into one
+ *      backend call; followers share the leader's response body
+ *      byte for byte (cluster/coalesce.hh). Each response still
+ *      carries the *requester's own* trace echo — the router
+ *      rewrites the X-Parchmint-Trace header per request.
+ *   4. Forward with failover: walk the ring's preference order,
+ *      skipping backends the health tracker refuses
+ *      (cluster/health.hh); transport failures advance to the next
+ *      backend and feed the tracker. When health refuses *every*
+ *      backend the router tries the full order anyway — serving a
+ *      maybe-dead backend beats a certain 502. Only when every
+ *      attempt fails does the client see 502.
+ *
+ * GET requests shard by target instead of body (there is none) and
+ * skip coalescing — suite/corpus lookups are cache-cheap on the
+ * backend. The router answers /healthz, /statsz
+ * (parchmint-router-stats-v1: per-backend health + forwarding
+ * counters, ring, coalescer, pool), and /tracez
+ * (parchmint-router-tracez-v1) locally.
+ *
+ * Forwarded messages are sanitized in both directions:
+ * content-length and connection headers are hop-by-hop (the
+ * serializers re-derive them; forwarding the originals would
+ * produce conflicting duplicates, a 400 at the parser), and the
+ * backend's trace echo is replaced with the router's.
+ *
+ * Health probing: probeOnce() GETs every backend's /healthz and
+ * feeds the tracker; startProbing() runs it on a periodic
+ * background thread (exec/periodic.hh) so an ejected backend is
+ * re-admitted within one probe interval of coming back, even with
+ * no client traffic. The prober stops before the router is torn
+ * down (stop is in the destructor), which is the drain story: the
+ * owning HttpServer drains in-flight requests first, then the
+ * router destructs.
+ *
+ * Thread-safe: handle() runs concurrently on every server worker.
+ */
+
+#ifndef PARCHMINT_CLUSTER_ROUTER_HH
+#define PARCHMINT_CLUSTER_ROUTER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/coalesce.hh"
+#include "cluster/health.hh"
+#include "cluster/pool.hh"
+#include "cluster/ring.hh"
+#include "exec/periodic.hh"
+#include "obs/reqtrace.hh"
+#include "svc/handler.hh"
+#include "svc/http.hh"
+
+namespace parchmint::cluster
+{
+
+/** Router knobs. */
+struct RouterOptions
+{
+    /** Backend addresses ("host:port"); at least one required. */
+    std::vector<std::string> backends;
+    /** Ring points per backend. */
+    size_t vnodes = 128;
+    /** Consecutive transport failures that eject a backend. */
+    uint32_t failureThreshold = 3;
+    /** Ejected -> HalfOpen cooldown. */
+    std::chrono::milliseconds cooldown{2000};
+    /** Background /healthz probe period (startProbing()). */
+    std::chrono::milliseconds probeInterval{1000};
+    /** Per-request receive timeout on backend connections. */
+    std::chrono::milliseconds requestTimeout{30000};
+    /** Idle pooled connections kept per backend. */
+    size_t maxIdlePerBackend = 8;
+    /** Seed for minted trace IDs (same contract as the daemon). */
+    uint64_t seed = 1;
+};
+
+/** See file comment. */
+class Router : public svc::HttpHandler
+{
+  public:
+    /** @throws UserError when options name no backends or a
+     * malformed address. */
+    explicit Router(RouterOptions options);
+
+    /** Stops the prober. */
+    ~Router() override;
+
+    /** Dispatch one request (thread-safe). */
+    svc::HttpResponse
+    handle(const svc::HttpRequest &request) override;
+
+    /** Probe every backend's /healthz once, synchronously. */
+    void probeOnce();
+
+    /** Start the periodic background prober; idempotent. */
+    void startProbing();
+
+    /** Stop and join the prober; idempotent. */
+    void stopProbing();
+
+    const RouterOptions &options() const { return options_; }
+    const HashRing &ring() const { return ring_; }
+    HealthTracker &health() { return health_; }
+    const Coalescer &coalescer() const { return coalescer_; }
+    const ClientPool &pool() const { return pool_; }
+    const obs::reqtrace::RequestCapture &capture() const
+    {
+        return capture_;
+    }
+
+    /** Requests successfully forwarded, per backend. */
+    std::map<std::string, uint64_t> forwardedCounts() const;
+
+  private:
+    svc::HttpResponse
+    dispatch(const svc::HttpRequest &request,
+             const std::string &traceId);
+    svc::HttpResponse handleHealthz();
+    svc::HttpResponse handleStatsz();
+    svc::HttpResponse handleTracez();
+    /** Forward (coalescing POSTs) and rewrite the trace echo. */
+    svc::HttpResponse
+    forwardRequest(const svc::HttpRequest &request,
+                   const std::string &traceId);
+    /** Walk the preference order until a backend answers. */
+    svc::HttpResponse
+    forwardWithFailover(const svc::HttpRequest &request,
+                        uint64_t key);
+    /** One attempt against one backend.
+     * @throws UserError on transport failure. */
+    svc::HttpResponse
+    forwardOnce(const std::string &backend,
+                const svc::HttpRequest &request);
+
+    RouterOptions options_;
+    HashRing ring_;
+    HealthTracker health_;
+    Coalescer coalescer_;
+    ClientPool pool_;
+    obs::reqtrace::RequestCapture capture_;
+    std::atomic<uint64_t> traceOrdinal_{0};
+    std::unique_ptr<exec::PeriodicTask> prober_;
+    mutable std::mutex countsMutex_;
+    std::map<std::string, uint64_t> forwarded_;
+    std::map<std::string, uint64_t> transportFailures_;
+};
+
+} // namespace parchmint::cluster
+
+#endif // PARCHMINT_CLUSTER_ROUTER_HH

@@ -1,0 +1,69 @@
+#include "exec/periodic.hh"
+
+namespace parchmint::exec
+{
+
+PeriodicTask::PeriodicTask(std::chrono::milliseconds interval,
+                           std::function<void()> fn)
+    : interval_(interval.count() < 1
+                    ? std::chrono::milliseconds(1)
+                    : interval),
+      fn_(std::move(fn))
+{
+}
+
+PeriodicTask::~PeriodicTask()
+{
+    stop();
+}
+
+void
+PeriodicTask::start()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_)
+        return;
+    stopping_ = false;
+    running_ = true;
+    thread_ = std::thread([this] { loop(); });
+}
+
+void
+PeriodicTask::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!running_)
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_ = false;
+}
+
+bool
+PeriodicTask::running() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return running_;
+}
+
+void
+PeriodicTask::loop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+        if (cv_.wait_for(lock, interval_,
+                         [this] { return stopping_; }))
+            return;
+        // Run unlocked so stop() is never blocked behind fn_.
+        lock.unlock();
+        fn_();
+        lock.lock();
+    }
+}
+
+} // namespace parchmint::exec

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A background thread running one callback at a fixed interval.
+ *
+ * The cluster router's health prober is the motivating client: it
+ * needs "call probe() every N ms until stopped" with a stop that
+ * does not wait out a full interval. The thread sleeps on a
+ * condition variable, so stop() wakes it immediately and joins —
+ * shutdown latency is the callback's running time, not the period.
+ *
+ * The callback runs on the task's own thread; anything it touches
+ * must be thread-safe. A callback that throws terminates the
+ * process (same contract as exec::ThreadPool jobs): periodic work
+ * that can fail must catch and record its own errors.
+ */
+
+#ifndef PARCHMINT_EXEC_PERIODIC_HH
+#define PARCHMINT_EXEC_PERIODIC_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace parchmint::exec
+{
+
+/** See file comment. */
+class PeriodicTask
+{
+  public:
+    /**
+     * @param interval Delay between the end of one run and the
+     *        start of the next (clamped to >= 1ms).
+     * @param fn The callback; first run happens one interval after
+     *        start(), not immediately.
+     */
+    PeriodicTask(std::chrono::milliseconds interval,
+                 std::function<void()> fn);
+
+    /** Stops if still running. */
+    ~PeriodicTask();
+
+    PeriodicTask(const PeriodicTask &) = delete;
+    PeriodicTask &operator=(const PeriodicTask &) = delete;
+
+    /** Start the thread; idempotent. */
+    void start();
+
+    /** Wake, stop, and join the thread; idempotent. A callback
+     * mid-run finishes first. */
+    void stop();
+
+    /** True between start() and stop(). */
+    bool running() const;
+
+  private:
+    void loop();
+
+    std::chrono::milliseconds interval_;
+    std::function<void()> fn_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    bool running_ = false;
+    std::thread thread_;
+};
+
+} // namespace parchmint::exec
+
+#endif // PARCHMINT_EXEC_PERIODIC_HH

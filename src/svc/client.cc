@@ -65,15 +65,13 @@ HttpClient::connect()
                      sizeof(tv));
     }
     fd_ = fd;
+    ++connectsOpened_;
 }
 
-HttpResponse
-HttpClient::request(const HttpRequest &request)
+bool
+HttpClient::attempt(const std::string &wire, bool mayRetry,
+                    HttpResponse &response)
 {
-    if (fd_ < 0)
-        connect();
-
-    std::string wire = serializeRequest(request);
     size_t sent = 0;
     while (sent < wire.size()) {
         ssize_t n = ::send(fd_, wire.data() + sent,
@@ -81,8 +79,12 @@ HttpClient::request(const HttpRequest &request)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            bool stale =
+                errno == EPIPE || errno == ECONNRESET;
             std::string reason = std::strerror(errno);
             close();
+            if (stale && mayRetry)
+                return false;
             fatal("send failed: " + reason);
         }
         sent += static_cast<size_t>(n);
@@ -90,21 +92,31 @@ HttpClient::request(const HttpRequest &request)
 
     ResponseParser parser;
     char buffer[16 * 1024];
+    size_t received = 0;
     while (parser.state() == ResponseParser::State::Headers ||
            parser.state() == ResponseParser::State::Body) {
         ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
         if (n > 0) {
+            received += static_cast<size_t>(n);
             parser.feed(std::string_view(
                 buffer, static_cast<size_t>(n)));
             continue;
         }
         if (n < 0 && errno == EINTR)
             continue;
+        // A hangup before the first response byte on a reused
+        // connection is the keep-alive idle-timeout race: the
+        // request was never processed, so it is safe to retry.
+        bool stale = received == 0 &&
+                     (n == 0 || errno == ECONNRESET ||
+                      errno == EPIPE);
         std::string reason =
             n == 0 ? "connection closed by server"
                    : std::string("recv failed: ") +
                          std::strerror(errno);
         close();
+        if (stale && mayRetry)
+            return false;
         fatal(reason);
     }
     if (parser.state() == ResponseParser::State::Error) {
@@ -113,11 +125,31 @@ HttpClient::request(const HttpRequest &request)
         fatal("malformed response: " + reason);
     }
 
-    HttpResponse response = parser.response();
+    response = parser.response();
     const std::string *connection =
         response.findHeader("connection");
     if (connection && *connection == "close")
         close();
+    return true;
+}
+
+HttpResponse
+HttpClient::request(const HttpRequest &request)
+{
+    ++requestsSent_;
+    bool reused = fd_ >= 0;
+    if (!reused)
+        connect();
+
+    std::string wire = serializeRequest(request);
+    HttpResponse response;
+    if (attempt(wire, /*mayRetry=*/reused, response))
+        return response;
+
+    // Stale reused connection: reconnect and retry exactly once.
+    ++staleRetries_;
+    connect();
+    attempt(wire, /*mayRetry=*/false, response);
     return response;
 }
 

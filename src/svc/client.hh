@@ -9,6 +9,19 @@
  * dependency. One client = one connection, reused across requests
  * (keep-alive); transport failures surface as UserError and the
  * caller decides whether to reconnect.
+ *
+ * Stale keep-alive handling: a server may close an idle connection
+ * at any time (parchmintd does after ServerOptions::idleTimeout),
+ * and the client only discovers it when the next send or receive
+ * fails. When a *reused* connection dies before yielding a single
+ * response byte, the request cannot have been processed, so the
+ * client transparently reconnects and retries it once — callers
+ * never see the idle-timeout race. A failure on a fresh connection,
+ * or after response bytes arrived, is reported as UserError as
+ * before (retrying those could double-apply a request).
+ * staleRetries() counts the transparent retries; connectsOpened()
+ * against requestsSent() measures how well keep-alive reuse is
+ * working (a pooled router cares).
  */
 
 #ifndef PARCHMINT_SVC_CLIENT_HH
@@ -66,13 +79,32 @@ class HttpClient
         timeout_ = timeout;
     }
 
+    /** Requests attempted through request(). */
+    uint64_t requestsSent() const { return requestsSent_; }
+    /** TCP connections opened over the client's lifetime. */
+    uint64_t connectsOpened() const { return connectsOpened_; }
+    /** Transparent reconnect-and-retry count (stale keep-alive). */
+    uint64_t staleRetries() const { return staleRetries_; }
+
   private:
     void connect();
+    /**
+     * One send+receive attempt over the current connection.
+     * @return true with @p response filled on success; false when
+     * the connection proved stale — the peer hung up before any
+     * response byte — and @p mayRetry allows a retry. Throws
+     * UserError for every other failure.
+     */
+    bool attempt(const std::string &wire, bool mayRetry,
+                 HttpResponse &response);
 
     std::string host_;
     uint16_t port_;
     int fd_ = -1;
     std::chrono::milliseconds timeout_{30000};
+    uint64_t requestsSent_ = 0;
+    uint64_t connectsOpened_ = 0;
+    uint64_t staleRetries_ = 0;
 };
 
 } // namespace parchmint::svc

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The request-handling seam between the HTTP server and whatever
+ * answers requests.
+ *
+ * HttpServer owns sockets, parsing, and threading; it knows nothing
+ * about endpoints. Anything that maps a complete HttpRequest to an
+ * HttpResponse — the netlist service (svc/service.hh), the cluster
+ * router (cluster/router.hh), a test stub — implements this
+ * interface and is served by the same reactor loop. handle() is
+ * called concurrently from every server worker, so implementations
+ * must be thread-safe.
+ */
+
+#ifndef PARCHMINT_SVC_HANDLER_HH
+#define PARCHMINT_SVC_HANDLER_HH
+
+#include "svc/http.hh"
+
+namespace parchmint::svc
+{
+
+/** See file comment. */
+class HttpHandler
+{
+  public:
+    virtual ~HttpHandler() = default;
+
+    /** Answer one request (thread-safe). */
+    virtual HttpResponse handle(const HttpRequest &request) = 0;
+};
+
+} // namespace parchmint::svc
+
+#endif // PARCHMINT_SVC_HANDLER_HH

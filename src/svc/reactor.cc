@@ -1,0 +1,132 @@
+#include "svc/reactor.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hh"
+
+#if PARCHMINT_REACTOR_EPOLL
+#include <sys/epoll.h>
+#include <unistd.h>
+#else
+#include <algorithm>
+#include <poll.h>
+#endif
+
+namespace parchmint::svc
+{
+
+#if PARCHMINT_REACTOR_EPOLL
+
+Reactor::Reactor()
+{
+    epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epollFd_ < 0)
+        panic(std::string("epoll_create1 failed: ") +
+              std::strerror(errno));
+}
+
+Reactor::~Reactor()
+{
+    if (epollFd_ >= 0)
+        ::close(epollFd_);
+}
+
+void
+Reactor::add(int fd)
+{
+    epoll_event event{};
+    event.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
+    event.data.fd = fd;
+    if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &event) != 0)
+        panic(std::string("epoll_ctl(ADD) failed: ") +
+              std::strerror(errno));
+    ++watched_;
+}
+
+void
+Reactor::remove(int fd)
+{
+    if (::epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr) == 0)
+        --watched_;
+}
+
+int
+Reactor::wait(int timeout_ms, std::vector<int> &ready)
+{
+    ready.clear();
+    epoll_event events[256];
+    int n = ::epoll_wait(epollFd_, events, 256, timeout_ms);
+    if (n < 0)
+        return -1;
+    ready.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        ready.push_back(events[i].data.fd);
+    return n;
+}
+
+size_t
+Reactor::size() const
+{
+    return watched_;
+}
+
+const char *
+Reactor::backendName()
+{
+    return "epoll";
+}
+
+#else // poll() fallback
+
+Reactor::Reactor() = default;
+
+Reactor::~Reactor() = default;
+
+void
+Reactor::add(int fd)
+{
+    watched_.push_back(fd);
+}
+
+void
+Reactor::remove(int fd)
+{
+    auto it = std::find(watched_.begin(), watched_.end(), fd);
+    if (it != watched_.end())
+        watched_.erase(it);
+}
+
+int
+Reactor::wait(int timeout_ms, std::vector<int> &ready)
+{
+    ready.clear();
+    std::vector<pollfd> fds;
+    fds.reserve(watched_.size());
+    for (int fd : watched_)
+        fds.push_back({fd, POLLIN, 0});
+    int n = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (n <= 0)
+        return n;
+    for (const pollfd &entry : fds) {
+        if (entry.revents != 0)
+            ready.push_back(entry.fd);
+    }
+    return static_cast<int>(ready.size());
+}
+
+size_t
+Reactor::size() const
+{
+    return watched_.size();
+}
+
+const char *
+Reactor::backendName()
+{
+    return "poll";
+}
+
+#endif
+
+} // namespace parchmint::svc

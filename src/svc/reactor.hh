@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Readiness reactor: edge-triggered epoll on Linux, poll()
+ * elsewhere, behind one tiny interface.
+ *
+ * The server's event loop (svc/server.hh) needs exactly three
+ * things from the kernel: "watch this fd for readability", "stop
+ * watching it", and "wake me when any watched fd turns readable".
+ * The original loop rebuilt a pollfd array from scratch on every
+ * iteration — O(connections) of copying per wakeup, which is the
+ * part of poll() that stops scaling once thousands of keep-alive
+ * connections sit idle. The epoll backend registers each fd once
+ * (EPOLLIN | EPOLLET) and pays O(ready) per wakeup instead.
+ *
+ * Edge-triggered registration is safe under the server's dispatch
+ * discipline: an fd is removed from the reactor before it is
+ * handed to a worker, the worker pumps the socket until EAGAIN,
+ * and the fd is re-added afterwards — and EPOLL_CTL_ADD reports an
+ * initial readiness edge for an fd that is already readable, so
+ * bytes that arrived while the fd was off the reactor are never
+ * lost. Persistent fds (the listener, the wake pipe) are likewise
+ * drained to EAGAIN by their owner on every event, which is all
+ * edge-triggering asks of them.
+ *
+ * The poll() fallback keeps the same interface and the same
+ * remove-before-dispatch discipline on platforms without epoll, so
+ * server code is identical either way; only wait() complexity
+ * differs. backendName() says which one was compiled in (surfaced
+ * at /statsz).
+ *
+ * Not thread-safe: add/remove/wait belong to the owning event
+ * thread. This mirrors the server's ownership model — only the
+ * event thread ever touches the watch set.
+ */
+
+#ifndef PARCHMINT_SVC_REACTOR_HH
+#define PARCHMINT_SVC_REACTOR_HH
+
+#include <cstddef>
+#include <vector>
+
+#if defined(__linux__)
+#define PARCHMINT_REACTOR_EPOLL 1
+#else
+#define PARCHMINT_REACTOR_EPOLL 0
+#endif
+
+namespace parchmint::svc
+{
+
+/** See file comment. */
+class Reactor
+{
+  public:
+    /** @throws InternalError when the kernel facility fails. */
+    Reactor();
+    ~Reactor();
+
+    Reactor(const Reactor &) = delete;
+    Reactor &operator=(const Reactor &) = delete;
+
+    /** Watch @p fd for readability (edge-triggered on epoll). */
+    void add(int fd);
+
+    /**
+     * Stop watching @p fd. Must be called before the fd is handed
+     * to another thread or closed by one; harmless for an fd that
+     * is not watched.
+     */
+    void remove(int fd);
+
+    /**
+     * Block until a watched fd is readable, @p timeout_ms elapses
+     * (-1 = forever), or a signal arrives. Appends ready fds to
+     * @p ready (cleared first). @return the ready count, 0 on
+     * timeout, or -1 with errno set (EINTR passes through so the
+     * caller can re-check its stop flag).
+     */
+    int wait(int timeout_ms, std::vector<int> &ready);
+
+    /** Watched fd count. */
+    size_t size() const;
+
+    /** "epoll" or "poll" — which backend was compiled in. */
+    static const char *backendName();
+
+  private:
+#if PARCHMINT_REACTOR_EPOLL
+    int epollFd_ = -1;
+    size_t watched_ = 0;
+#else
+    /** Watched fds; rebuilt into a pollfd array per wait(). */
+    std::vector<int> watched_;
+#endif
+};
+
+} // namespace parchmint::svc
+
+#endif // PARCHMINT_SVC_REACTOR_HH

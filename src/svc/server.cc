@@ -15,6 +15,7 @@
 #include "common/error.hh"
 #include "exec/thread_pool.hh"
 #include "json/write.hh"
+#include "svc/reactor.hh"
 
 namespace parchmint::svc
 {
@@ -47,9 +48,9 @@ struct HttpServer::Connection
     }
 };
 
-HttpServer::HttpServer(NetlistService &service,
+HttpServer::HttpServer(HttpHandler &handler,
                        ServerOptions options)
-    : service_(service),
+    : handler_(handler),
       options_(std::move(options))
 {
 }
@@ -206,8 +207,20 @@ HttpServer::returnToPoller(std::shared_ptr<Connection> connection)
 void
 HttpServer::eventLoop()
 {
+    // The listener and wake pipe are watched for the loop's whole
+    // life; connection fds come and go. Edge-triggered readiness
+    // is safe because every consumer drains to EAGAIN: the accept
+    // loop accepts until empty, the wake handler drains the pipe,
+    // and workers pump sockets dry before returning them — and a
+    // re-add after a dispatch reports any already-pending bytes as
+    // a fresh edge.
+    Reactor reactor;
+    reactor.add(listenFd_);
+    reactor.add(wakeRead_);
+
     // Idle connections, owned by this loop between dispatches.
     std::map<int, std::shared_ptr<Connection>> idle;
+    std::vector<int> ready;
 
     while (!stopping_.load(std::memory_order_acquire)) {
         {
@@ -215,64 +228,64 @@ HttpServer::eventLoop()
             for (std::shared_ptr<Connection> &connection :
                  returned_) {
                 int fd = connection->fd;
+                reactor.add(fd);
                 idle.emplace(fd, std::move(connection));
             }
             returned_.clear();
         }
 
-        std::vector<pollfd> fds;
-        fds.reserve(2 + idle.size());
-        fds.push_back({listenFd_, POLLIN, 0});
-        fds.push_back({wakeRead_, POLLIN, 0});
-        for (const auto &[fd, connection] : idle)
-            fds.push_back({fd, POLLIN, 0});
-
         int timeout =
             options_.idleTimeout.count() > 0
                 ? static_cast<int>(options_.idleTimeout.count())
                 : -1;
-        int ready = ::poll(fds.data(), fds.size(), timeout);
+        int woke = reactor.wait(timeout, ready);
         if (stopping_.load(std::memory_order_acquire))
             break;
-        if (ready < 0) {
+        if (woke < 0) {
             if (errno == EINTR)
                 continue;
             break;
         }
 
-        if (fds[1].revents != 0) {
-            char drain[64];
-            while (::read(wakeRead_, drain, sizeof(drain)) > 0) {
-            }
-        }
-
-        if (fds[0].revents != 0) {
-            while (true) {
-                int fd = ::accept(listenFd_, nullptr, nullptr);
-                if (fd < 0)
-                    break;
-                connections_.fetch_add(1,
-                                       std::memory_order_relaxed);
-                setNonBlocking(fd);
-                {
-                    std::lock_guard<std::mutex> lock(liveMutex_);
-                    liveFds_.insert(fd);
+        for (int fd : ready) {
+            if (fd == wakeRead_) {
+                char drain[64];
+                while (::read(wakeRead_, drain, sizeof(drain)) >
+                       0) {
                 }
-                idle.emplace(fd,
-                             std::make_shared<Connection>(
-                                 fd, options_.limits));
-            }
-        }
-
-        for (size_t i = 2; i < fds.size(); ++i) {
-            if (fds[i].revents == 0)
                 continue;
-            auto it = idle.find(fds[i].fd);
+            }
+            if (fd == listenFd_) {
+                while (true) {
+                    int client =
+                        ::accept(listenFd_, nullptr, nullptr);
+                    if (client < 0)
+                        break;
+                    connections_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    setNonBlocking(client);
+                    {
+                        std::lock_guard<std::mutex> lock(
+                            liveMutex_);
+                        liveFds_.insert(client);
+                    }
+                    reactor.add(client);
+                    idle.emplace(client,
+                                 std::make_shared<Connection>(
+                                     client, options_.limits));
+                }
+                continue;
+            }
+            auto it = idle.find(fd);
             if (it == idle.end())
                 continue;
             std::shared_ptr<Connection> connection =
                 std::move(it->second);
             idle.erase(it);
+            // Unwatch before dispatch: the worker owns the fd
+            // until returnToPoller() re-adds it, so the reactor
+            // never reports a socket a worker is mid-pump on.
+            reactor.remove(fd);
             connection->lastActive =
                 std::chrono::steady_clock::now();
             try {
@@ -280,7 +293,7 @@ HttpServer::eventLoop()
                     serveConnection(connection);
                 });
             } catch (const Error &) {
-                // Pool refused (shutdown raced the poll).
+                // Pool refused (shutdown raced the wait).
                 closeConnection(*connection);
             }
         }
@@ -290,6 +303,7 @@ HttpServer::eventLoop()
             for (auto it = idle.begin(); it != idle.end();) {
                 if (now - it->second->lastActive >=
                     options_.idleTimeout) {
+                    reactor.remove(it->first);
                     closeConnection(*it->second);
                     it = idle.erase(it);
                 } else {
@@ -387,7 +401,7 @@ HttpServer::serveConnection(std::shared_ptr<Connection> connection)
         }
 
         const HttpRequest &request = parser.request();
-        HttpResponse response = service_.handle(request);
+        HttpResponse response = handler_.handle(request);
         bool keep_alive =
             request.keepAlive() &&
             !stopping_.load(std::memory_order_acquire);

@@ -1,10 +1,12 @@
 /**
  * @file
- * The parchmintd HTTP server: a poll()-based readiness loop
- * dispatching ready connections to exec::ThreadPool workers.
+ * The HTTP server: an edge-triggered reactor loop (epoll on Linux,
+ * poll() elsewhere — svc/reactor.hh) dispatching ready connections
+ * to exec::ThreadPool workers. Serves any HttpHandler: the netlist
+ * service daemon and the cluster router share this loop.
  *
  * Threading model (DESIGN.md "Netlist service"): one event thread
- * owns the listener and every idle connection in a poll() set.
+ * owns the listener and every idle connection in the reactor set.
  * When a connection becomes readable it is handed to the execution
  * engine's thread pool; the worker pumps the non-blocking socket
  * through the incremental parser, dispatches complete requests to
@@ -37,8 +39,8 @@
 #include <thread>
 #include <vector>
 
+#include "svc/handler.hh"
 #include "svc/http.hh"
-#include "svc/service.hh"
 
 namespace parchmint::exec
 {
@@ -68,8 +70,8 @@ struct ServerOptions
 class HttpServer
 {
   public:
-    /** The service must outlive the server. */
-    HttpServer(NetlistService &service, ServerOptions options = {});
+    /** The handler must outlive the server. */
+    HttpServer(HttpHandler &handler, ServerOptions options = {});
 
     /** Stops if still running. */
     ~HttpServer();
@@ -115,7 +117,7 @@ class HttpServer
                  std::string_view data);
     void wakePoller();
 
-    NetlistService &service_;
+    HttpHandler &handler_;
     ServerOptions options_;
     uint16_t port_ = 0;
     int listenFd_ = -1;

@@ -176,7 +176,8 @@ cacheStatsJson(const CacheStats &stats)
     return out;
 }
 
-/** One /tracez request record as JSON. */
+} // namespace
+
 json::Value
 requestRecordJson(const obs::reqtrace::RequestRecord &record)
 {
@@ -203,7 +204,34 @@ requestRecordJson(const obs::reqtrace::RequestRecord &record)
     return out;
 }
 
-} // namespace
+json::Value
+captureJson(const obs::reqtrace::RequestCapture &capture,
+            const std::string &schema)
+{
+    json::Value recent = json::Value::makeArray();
+    for (const obs::reqtrace::RequestRecord &record :
+         capture.recent())
+        recent.append(requestRecordJson(record));
+    json::Value slowest = json::Value::makeArray();
+    for (const obs::reqtrace::RequestRecord &record :
+         capture.slowest())
+        slowest.append(requestRecordJson(record));
+
+    json::Value out = json::Value::makeObject();
+    out.set("schema", json::Value(schema));
+    out.set("completed",
+            json::Value(
+                static_cast<int64_t>(capture.completed())));
+    out.set("recent_capacity",
+            json::Value(static_cast<int64_t>(
+                capture.recentCapacity())));
+    out.set("slowest_capacity",
+            json::Value(static_cast<int64_t>(
+                capture.slowestCapacity())));
+    out.set("recent", std::move(recent));
+    out.set("slowest", std::move(slowest));
+    return out;
+}
 
 TraceResolution
 resolveTraceHeader(const HttpRequest &request, uint64_t seed,
@@ -1022,29 +1050,9 @@ NetlistService::handleMetricsz()
 HttpResponse
 NetlistService::handleTracez()
 {
-    json::Value recent = json::Value::makeArray();
-    for (const obs::reqtrace::RequestRecord &record :
-         capture_.recent())
-        recent.append(requestRecordJson(record));
-    json::Value slowest = json::Value::makeArray();
-    for (const obs::reqtrace::RequestRecord &record :
-         capture_.slowest())
-        slowest.append(requestRecordJson(record));
-
-    json::Value out = json::Value::makeObject();
-    out.set("schema", json::Value("parchmintd-tracez-v1"));
-    out.set("completed",
-            json::Value(
-                static_cast<int64_t>(capture_.completed())));
-    out.set("recent_capacity",
-            json::Value(static_cast<int64_t>(
-                capture_.recentCapacity())));
-    out.set("slowest_capacity",
-            json::Value(static_cast<int64_t>(
-                capture_.slowestCapacity())));
-    out.set("recent", std::move(recent));
-    out.set("slowest", std::move(slowest));
-    return jsonResponse(200, compactJson(out));
+    return jsonResponse(
+        200, compactJson(captureJson(capture_,
+                                     "parchmintd-tracez-v1")));
 }
 
 HttpResponse

@@ -111,6 +111,7 @@
 #include "obs/reqtrace.hh"
 #include "svc/admission.hh"
 #include "svc/cache.hh"
+#include "svc/handler.hh"
 #include "svc/http.hh"
 
 namespace parchmint::svc
@@ -172,6 +173,17 @@ struct FlowRequest
  */
 FlowRequest parseFlowRequest(const json::Value &document);
 
+/** One /tracez request record as JSON (shared with the cluster
+ * router, which serves its own capture). */
+json::Value
+requestRecordJson(const obs::reqtrace::RequestRecord &record);
+
+/** A whole /tracez document (recent + slowest boards) over a
+ * capture, stamped with @p schema. */
+json::Value
+captureJson(const obs::reqtrace::RequestCapture &capture,
+            const std::string &schema);
+
 /** Service knobs. */
 struct ServiceOptions
 {
@@ -199,13 +211,13 @@ struct ServiceOptions
 };
 
 /** See file comment. */
-class NetlistService
+class NetlistService : public HttpHandler
 {
   public:
     explicit NetlistService(ServiceOptions options = {});
 
     /** Dispatch one request (thread-safe). */
-    HttpResponse handle(const HttpRequest &request);
+    HttpResponse handle(const HttpRequest &request) override;
 
     /**
      * Like handle(), but under a caller-supplied cancellation

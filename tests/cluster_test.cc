@@ -1,0 +1,640 @@
+/**
+ * @file
+ * Tests for the cluster serving layer (src/cluster/): the
+ * consistent-hash ring's stability and remap bounds, single-flight
+ * coalescing with a gated leader, the health breaker driven by a
+ * fake clock, the connection pool, and a real loopback router
+ * fronting in-process backends — including killing one mid-run and
+ * re-admitting it after restart.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/coalesce.hh"
+#include "cluster/health.hh"
+#include "cluster/pool.hh"
+#include "cluster/ring.hh"
+#include "cluster/router.hh"
+#include "common/error.hh"
+#include "core/serialize.hh"
+#include "json/parse.hh"
+#include "json/write.hh"
+#include "suite/suite.hh"
+#include "svc/cache.hh"
+#include "svc/client.hh"
+#include "svc/handler.hh"
+#include "svc/server.hh"
+#include "svc/service.hh"
+
+namespace parchmint::cluster
+{
+namespace
+{
+
+std::string
+netlistBody(const std::string &benchmark)
+{
+    json::WriteOptions options;
+    options.pretty = false;
+    return json::write(
+        toJson(suite::buildBenchmark(benchmark)), options);
+}
+
+// ---------------------------------------------------------------
+// HashRing
+// ---------------------------------------------------------------
+
+TEST(HashRingTest, OwnerIsDeterministicAndMembershipCanonical)
+{
+    HashRing ring({"b:2", "a:1", "c:3", "a:1"}, 64);
+    // Duplicates collapse, membership is sorted.
+    std::vector<std::string> expected = {"a:1", "b:2", "c:3"};
+    EXPECT_EQ(expected, ring.backends());
+
+    HashRing again({"c:3", "a:1", "b:2"}, 64);
+    for (uint64_t key = 0; key < 1000; ++key) {
+        // Same membership, any construction order: same owner.
+        EXPECT_EQ(ring.owner(key), again.owner(key));
+    }
+}
+
+TEST(HashRingTest, LoadSpreadsAcrossBackends)
+{
+    HashRing ring({"a:1", "b:2", "c:3"}, 128);
+    std::map<std::string, size_t> share;
+    const size_t keys = 30000;
+    for (uint64_t key = 0; key < keys; ++key)
+        ++share[ring.owner(svc::contentHash(
+            "netlist-" + std::to_string(key)))];
+    ASSERT_EQ(3u, share.size());
+    for (const auto &[backend, count] : share) {
+        // Perfect balance is 1/3; 128 vnodes should hold every
+        // backend within [1/6, 1/2].
+        EXPECT_GT(count, keys / 6) << backend;
+        EXPECT_LT(count, keys / 2) << backend;
+    }
+}
+
+TEST(HashRingTest, RemovingABackendRemapsOnlyItsKeys)
+{
+    std::vector<std::string> four = {"a:1", "b:2", "c:3", "d:4"};
+    HashRing before(four, 128);
+    HashRing after({"a:1", "b:2", "c:3"}, 128);
+
+    const size_t keys = 20000;
+    size_t moved = 0;
+    for (uint64_t i = 0; i < keys; ++i) {
+        uint64_t key = svc::contentHash(
+            "netlist-" + std::to_string(i));
+        const std::string &was = before.owner(key);
+        const std::string &now = after.owner(key);
+        if (was == "d:4") {
+            // Orphaned keys must land somewhere in the survivors.
+            EXPECT_NE("d:4", now);
+        } else {
+            // The consistency property: surviving backends keep
+            // every key they owned (and their warm caches).
+            EXPECT_EQ(was, now);
+        }
+        if (was != now)
+            ++moved;
+    }
+    // Only ~1/4 of the key space belonged to the removed backend.
+    EXPECT_LT(moved, keys * 35 / 100);
+    EXPECT_GT(moved, keys * 15 / 100);
+}
+
+TEST(HashRingTest, PreferenceOrderStartsAtOwnerAndCoversAll)
+{
+    HashRing ring({"a:1", "b:2", "c:3", "d:4"}, 64);
+    for (uint64_t i = 0; i < 200; ++i) {
+        uint64_t key = svc::contentHash(std::to_string(i));
+        std::vector<std::string> order =
+            ring.preferenceOrder(key);
+        ASSERT_EQ(4u, order.size());
+        EXPECT_EQ(ring.owner(key), order[0]);
+        EXPECT_EQ(4u, std::set<std::string>(order.begin(),
+                                            order.end())
+                          .size());
+    }
+}
+
+TEST(HashRingTest, EmptyRingRefusesLookups)
+{
+    HashRing ring({}, 64);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_THROW(ring.owner(1), InternalError);
+    EXPECT_THROW(ring.preferenceOrder(1), InternalError);
+}
+
+// ---------------------------------------------------------------
+// Coalescer
+// ---------------------------------------------------------------
+
+TEST(CoalescerTest, ConcurrentIdenticalRequestsFoldIntoOneCall)
+{
+    Coalescer coalescer;
+    const size_t clients = 6;
+
+    // The leader's compute blocks on this gate until every other
+    // thread has joined the flight as a follower, which makes the
+    // "K concurrent -> 1 call" outcome deterministic instead of a
+    // race the test usually wins.
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    bool gate_open = false;
+    std::atomic<uint64_t> backend_calls{0};
+
+    auto compute = [&] {
+        backend_calls.fetch_add(1);
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        gate_cv.wait(lock, [&] { return gate_open; });
+        svc::HttpResponse response;
+        response.status = 200;
+        response.body = "{\"valid\": true}";
+        return response;
+    };
+
+    std::vector<std::thread> threads;
+    std::vector<std::shared_ptr<const svc::HttpResponse>>
+        results(clients);
+    for (size_t i = 0; i < clients; ++i) {
+        threads.emplace_back([&, i] {
+            results[i] = coalescer.run("flight-key", compute);
+        });
+    }
+    // Wait for all K-1 followers to join, then release the leader.
+    while (coalescer.stats().followers < clients - 1)
+        std::this_thread::yield();
+    {
+        std::lock_guard<std::mutex> lock(gate_mutex);
+        gate_open = true;
+    }
+    gate_cv.notify_all();
+    for (std::thread &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(1u, backend_calls.load());
+    CoalesceStats stats = coalescer.stats();
+    EXPECT_EQ(1u, stats.leaders);
+    EXPECT_EQ(clients - 1, stats.followers);
+    EXPECT_EQ(0u, coalescer.inflight());
+    for (const auto &result : results) {
+        ASSERT_NE(nullptr, result);
+        // Everyone shares the leader's response object.
+        EXPECT_EQ(results[0].get(), result.get());
+        EXPECT_EQ("{\"valid\": true}", result->body);
+    }
+}
+
+TEST(CoalescerTest, SequentialRunsAreSeparateFlights)
+{
+    Coalescer coalescer;
+    std::atomic<uint64_t> calls{0};
+    auto compute = [&] {
+        calls.fetch_add(1);
+        svc::HttpResponse response;
+        response.status = 200;
+        return response;
+    };
+    coalescer.run("key", compute);
+    coalescer.run("key", compute);
+    // A flight is unpublished before completion, so a later
+    // arrival can never join a finished one.
+    EXPECT_EQ(2u, calls.load());
+    EXPECT_EQ(2u, coalescer.stats().leaders);
+    EXPECT_EQ(0u, coalescer.stats().followers);
+}
+
+TEST(CoalescerTest, LeaderFailurePropagatesToFollowers)
+{
+    Coalescer coalescer;
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    bool gate_open = false;
+
+    auto compute = [&]() -> svc::HttpResponse {
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        gate_cv.wait(lock, [&] { return gate_open; });
+        fatal("backend exploded");
+    };
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < 3; ++i) {
+        threads.emplace_back([&] {
+            try {
+                coalescer.run("doomed", compute);
+            } catch (const UserError &error) {
+                EXPECT_STREQ("backend exploded", error.what());
+                failures.fetch_add(1);
+            }
+        });
+    }
+    while (coalescer.stats().followers < 2)
+        std::this_thread::yield();
+    {
+        std::lock_guard<std::mutex> lock(gate_mutex);
+        gate_open = true;
+    }
+    gate_cv.notify_all();
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(3, failures.load());
+}
+
+// ---------------------------------------------------------------
+// HealthTracker (fake clock — no sleeping)
+// ---------------------------------------------------------------
+
+TEST(HealthTrackerTest, BreakerWalksTheFullStateMachine)
+{
+    using Clock = HealthTracker::Clock;
+    Clock::time_point t0{};
+    std::chrono::seconds cooldown(2);
+    HealthTracker tracker({"a:1", "b:2"}, 3, cooldown);
+
+    EXPECT_TRUE(tracker.admits("a:1", t0));
+    tracker.recordFailure("a:1", t0);
+    tracker.recordFailure("a:1", t0);
+    // Two of three: streak alive, still admitted.
+    EXPECT_TRUE(tracker.admits("a:1", t0));
+    EXPECT_EQ(HealthState::Healthy, tracker.view("a:1").state);
+
+    tracker.recordFailure("a:1", t0);
+    EXPECT_EQ(HealthState::Ejected, tracker.view("a:1").state);
+    EXPECT_FALSE(tracker.admits("a:1", t0));
+    EXPECT_FALSE(
+        tracker.admits("a:1", t0 + cooldown / 2));
+    // The healthy peer is untouched.
+    EXPECT_TRUE(tracker.admits("b:2", t0));
+
+    // Cooldown elapses: admits() is the Ejected -> HalfOpen edge.
+    EXPECT_TRUE(tracker.admits("a:1", t0 + cooldown));
+    EXPECT_EQ(HealthState::HalfOpen, tracker.view("a:1").state);
+
+    // The trial request fails: re-ejected, cooldown restarts.
+    tracker.recordFailure("a:1", t0 + cooldown);
+    EXPECT_EQ(HealthState::Ejected, tracker.view("a:1").state);
+    EXPECT_FALSE(
+        tracker.admits("a:1", t0 + cooldown + cooldown / 2));
+    EXPECT_TRUE(tracker.admits("a:1", t0 + 2 * cooldown));
+
+    // This time the trial succeeds: fully healthy again.
+    tracker.recordSuccess("a:1", t0 + 2 * cooldown);
+    EXPECT_EQ(HealthState::Healthy, tracker.view("a:1").state);
+    EXPECT_TRUE(tracker.admits("a:1", t0 + 2 * cooldown));
+    EXPECT_EQ(2u, tracker.view("a:1").ejections);
+}
+
+TEST(HealthTrackerTest, SuccessResetsTheFailureStreak)
+{
+    using Clock = HealthTracker::Clock;
+    Clock::time_point t0{};
+    HealthTracker tracker({"a:1"}, 3, std::chrono::seconds(1));
+    // A lossy-but-alive backend never accumulates a streak.
+    for (int round = 0; round < 5; ++round) {
+        tracker.recordFailure("a:1", t0);
+        tracker.recordFailure("a:1", t0);
+        tracker.recordSuccess("a:1", t0);
+    }
+    EXPECT_EQ(HealthState::Healthy, tracker.view("a:1").state);
+    EXPECT_EQ(0u, tracker.view("a:1").ejections);
+    EXPECT_EQ(0u, tracker.view("a:1").consecutiveFailures);
+}
+
+TEST(HealthTrackerTest, UnknownBackendsAreRefused)
+{
+    HealthTracker tracker({"a:1"}, 1, std::chrono::seconds(1));
+    EXPECT_FALSE(
+        tracker.admits("ghost:9", HealthTracker::Clock::now()));
+}
+
+// ---------------------------------------------------------------
+// ClientPool
+// ---------------------------------------------------------------
+
+TEST(ClientPoolTest, ParsesAndRejectsBackendAddresses)
+{
+    auto [host, port] = parseBackendAddress("10.0.0.7:8081");
+    EXPECT_EQ("10.0.0.7", host);
+    EXPECT_EQ(8081, port);
+    EXPECT_THROW(parseBackendAddress("nohost"), UserError);
+    EXPECT_THROW(parseBackendAddress(":8081"), UserError);
+    EXPECT_THROW(parseBackendAddress("host:"), UserError);
+    EXPECT_THROW(parseBackendAddress("host:99999"), UserError);
+    EXPECT_THROW(parseBackendAddress("host:12ab"), UserError);
+}
+
+TEST(ClientPoolTest, ReusesReleasedConnectionsAndDropsDiscards)
+{
+    svc::NetlistService service;
+    svc::HttpServer server(service);
+    server.start();
+    std::string backend =
+        "127.0.0.1:" + std::to_string(server.port());
+
+    ClientPool pool(4, std::chrono::milliseconds(2000));
+    {
+        ClientPool::Lease lease = pool.lease(backend);
+        EXPECT_EQ(200, lease->get("/healthz").status);
+    } // Released to the idle stack.
+    {
+        ClientPool::Lease lease = pool.lease(backend);
+        EXPECT_EQ(200, lease->get("/healthz").status);
+        EXPECT_EQ(1u, pool.stats().reused);
+        lease.discard();
+    } // Discarded: not returned to the stack.
+    PoolStats stats = pool.stats();
+    EXPECT_EQ(1u, stats.created);
+    EXPECT_EQ(1u, stats.reused);
+    EXPECT_EQ(1u, stats.discarded);
+    EXPECT_EQ(0u, stats.idle);
+    server.stop();
+}
+
+// ---------------------------------------------------------------
+// Router end to end, over real loopback servers
+// ---------------------------------------------------------------
+
+/** A fake backend that counts calls and can stall until released,
+ * for asserting router-level coalescing deterministically. */
+class CountingBackend : public svc::HttpHandler
+{
+  public:
+    svc::HttpResponse
+    handle(const svc::HttpRequest &request) override
+    {
+        if (request.target == "/healthz") {
+            svc::HttpResponse response;
+            response.status = 200;
+            response.body = "{\"status\": \"ok\"}";
+            return response;
+        }
+        calls_.fetch_add(1);
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [&] { return !stalled_; });
+        }
+        svc::HttpResponse response;
+        response.status = 200;
+        response.body = "{\"answer\": 42}";
+        return response;
+    }
+
+    void stall() { stalled_ = true; }
+
+    void release()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stalled_ = false;
+        }
+        cv_.notify_all();
+    }
+
+    uint64_t calls() const { return calls_.load(); }
+
+  private:
+    std::atomic<uint64_t> calls_{0};
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stalled_ = false;
+};
+
+RouterOptions
+twoBackendOptions(uint16_t port1, uint16_t port2)
+{
+    RouterOptions options;
+    options.backends = {"127.0.0.1:" + std::to_string(port1),
+                        "127.0.0.1:" + std::to_string(port2)};
+    options.failureThreshold = 1;
+    options.cooldown = std::chrono::milliseconds(50);
+    // Probing is driven explicitly via probeOnce() in tests.
+    options.probeInterval = std::chrono::milliseconds(0);
+    options.requestTimeout = std::chrono::milliseconds(2000);
+    return options;
+}
+
+TEST(RouterTest, RequiresBackendsAndValidAddresses)
+{
+    EXPECT_THROW(Router{RouterOptions{}}, UserError);
+    RouterOptions bad;
+    bad.backends = {"nonsense"};
+    EXPECT_THROW(Router{bad}, UserError);
+}
+
+TEST(RouterTest, ShardsStickilyAndServesOwnEndpoints)
+{
+    svc::NetlistService service1, service2;
+    svc::HttpServer backend1(service1), backend2(service2);
+    backend1.start();
+    backend2.start();
+
+    Router router(
+        twoBackendOptions(backend1.port(), backend2.port()));
+    svc::HttpServer front(router);
+    front.start();
+    svc::HttpClient client("127.0.0.1", front.port());
+
+    EXPECT_EQ(200, client.get("/healthz").status);
+    svc::HttpRequest unsupported;
+    unsupported.method = "DELETE";
+    unsupported.target = "/v1/validate";
+    EXPECT_EQ(405, client.request(unsupported).status);
+
+    // The same payload always lands on the same backend.
+    std::string body = netlistBody("cell_trap_array");
+    for (int i = 0; i < 4; ++i) {
+        svc::HttpResponse response =
+            client.post("/v1/validate", body);
+        ASSERT_EQ(200, response.status);
+        EXPECT_TRUE(
+            json::parse(response.body).at("valid").asBoolean());
+        // Each response carries its own freshly minted trace.
+        EXPECT_NE(nullptr,
+                  response.findHeader("X-Parchmint-Trace"));
+    }
+    std::map<std::string, uint64_t> counts =
+        router.forwardedCounts();
+    uint64_t total = 0, peak = 0;
+    for (const auto &[backend, count] : counts) {
+        total += count;
+        peak = std::max(peak, count);
+    }
+    EXPECT_EQ(4u, total);
+    EXPECT_EQ(4u, peak); // All four on the owner.
+
+    // The second request onward hit the owner's result cache.
+    EXPECT_GE(service1.resultCacheStats().hits +
+                  service2.resultCacheStats().hits,
+              3u);
+
+    // /statsz reports the router's own schema, not a backend's.
+    svc::HttpResponse stats = client.get("/statsz");
+    ASSERT_EQ(200, stats.status);
+    json::Value parsed = json::parse(stats.body);
+    EXPECT_EQ("parchmint-router-stats-v1",
+              parsed.at("schema").asString());
+    EXPECT_EQ(2u, parsed.at("backends").size());
+
+    front.stop();
+    backend1.stop();
+    backend2.stop();
+}
+
+TEST(RouterTest, CoalescesConcurrentIdenticalPosts)
+{
+    CountingBackend slow;
+    svc::HttpServer backend(slow);
+    backend.start();
+
+    RouterOptions options;
+    options.backends = {"127.0.0.1:" +
+                        std::to_string(backend.port())};
+    options.probeInterval = std::chrono::milliseconds(0);
+    Router router(options);
+    // The leader parks a front worker while stalled inside the
+    // backend, so the followers need workers of their own (the
+    // default is one per hardware thread — possibly just one).
+    svc::ServerOptions front_options;
+    front_options.threads = 8;
+    svc::HttpServer front(router, front_options);
+    front.start();
+
+    slow.stall();
+    const size_t clients = 4;
+    std::vector<std::thread> threads;
+    std::vector<svc::HttpResponse> responses(clients);
+    for (size_t i = 0; i < clients; ++i) {
+        threads.emplace_back([&, i] {
+            svc::HttpClient client("127.0.0.1", front.port());
+            responses[i] =
+                client.post("/v1/validate", "{\"same\": 1}");
+        });
+    }
+    // The leader is stalled inside the backend; wait until the
+    // other three are folded into its flight, then release.
+    while (router.coalescer().stats().followers < clients - 1)
+        std::this_thread::yield();
+    slow.release();
+    for (std::thread &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(1u, slow.calls());
+    for (size_t i = 0; i < clients; ++i) {
+        EXPECT_EQ(200, responses[i].status);
+        // Identical bodies for everyone...
+        EXPECT_EQ(responses[0].body, responses[i].body);
+        // ...but each requester keeps its own trace echo.
+        ASSERT_NE(nullptr,
+                  responses[i].findHeader("X-Parchmint-Trace"));
+    }
+    std::set<std::string> traces;
+    for (const svc::HttpResponse &response : responses)
+        traces.insert(*response.findHeader("X-Parchmint-Trace"));
+    EXPECT_EQ(clients, traces.size());
+
+    front.stop();
+    backend.stop();
+}
+
+TEST(RouterTest, FailsOverEjectsAndReadmitsAcrossRestart)
+{
+    svc::NetlistService service1, service2;
+    svc::HttpServer backend1(service1);
+    auto backend2 = std::make_unique<svc::HttpServer>(service2);
+    backend1.start();
+    backend2->start();
+    uint16_t port2 = backend2->port();
+
+    Router router(twoBackendOptions(backend1.port(), port2));
+    svc::HttpServer front(router);
+    front.start();
+    svc::HttpClient client("127.0.0.1", front.port());
+    std::string backend2_name =
+        "127.0.0.1:" + std::to_string(port2);
+
+    // Find a payload owned by backend2, so killing it exercises
+    // failover (suite benchmarks give us plenty to choose from).
+    std::string body;
+    for (const std::string &name :
+         {"cell_trap_array", "gradient_generator",
+          "logic_inverter", "droplet_transposer",
+          "general_purpose_mfd", "synthetic_grid"}) {
+        std::string candidate = netlistBody(name);
+        if (router.ring().owner(svc::contentHash(candidate)) ==
+            backend2_name) {
+            body = candidate;
+            break;
+        }
+    }
+    ASSERT_FALSE(body.empty())
+        << "no suite payload hashed onto backend2";
+    ASSERT_EQ(200, client.post("/v1/validate", body).status);
+
+    // Kill the owner. The next request fails over to the
+    // survivor — the client still sees 200, never a 5xx.
+    backend2->stop();
+    svc::HttpResponse failed_over =
+        client.post("/v1/validate", body);
+    EXPECT_EQ(200, failed_over.status);
+    EXPECT_EQ(HealthState::Ejected,
+              router.health().view(backend2_name).state);
+
+    // While ejected, traffic keeps flowing to the survivor
+    // without paying a connect attempt on the corpse.
+    EXPECT_EQ(200, client.post("/v1/validate", body).status);
+
+    // Restart on the same port; the probe re-admits it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    svc::ServerOptions revive_options;
+    revive_options.port = port2;
+    svc::NetlistService revived_service;
+    svc::HttpServer revived(revived_service, revive_options);
+    revived.start();
+    router.probeOnce();
+    EXPECT_EQ(HealthState::Healthy,
+              router.health().view(backend2_name).state);
+    EXPECT_EQ(200, client.post("/v1/validate", body).status);
+    EXPECT_GE(router.forwardedCounts()[backend2_name], 2u);
+
+    front.stop();
+    backend1.stop();
+    revived.stop();
+}
+
+TEST(RouterTest, AllBackendsDownIs502NotACrash)
+{
+    svc::NetlistService service;
+    auto backend = std::make_unique<svc::HttpServer>(service);
+    backend->start();
+    RouterOptions options;
+    options.backends = {"127.0.0.1:" +
+                        std::to_string(backend->port())};
+    options.failureThreshold = 1;
+    options.probeInterval = std::chrono::milliseconds(0);
+    Router router(options);
+    svc::HttpServer front(router);
+    front.start();
+    svc::HttpClient client("127.0.0.1", front.port());
+
+    backend->stop();
+    svc::HttpResponse response =
+        client.post("/v1/validate", "{}");
+    EXPECT_EQ(502, response.status);
+    front.stop();
+}
+
+} // namespace
+} // namespace parchmint::cluster

@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <array>
 #include <atomic>
 #include <string>
 #include <thread>
@@ -32,6 +35,7 @@
 #include "svc/cache.hh"
 #include "svc/client.hh"
 #include "svc/http.hh"
+#include "svc/reactor.hh"
 #include "svc/server.hh"
 #include "svc/service.hh"
 
@@ -710,6 +714,76 @@ TEST(NetlistServiceTest, SaturationSheds429WithRetryAfter)
 }
 
 // ---------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------
+
+TEST(ReactorTest, ReportsReadableFdsAndHonorsRemove)
+{
+    int fds[2];
+    ASSERT_EQ(0, pipe(fds));
+    Reactor reactor;
+    reactor.add(fds[0]);
+    EXPECT_EQ(1u, reactor.size());
+
+    std::vector<int> ready;
+    // Nothing to read yet: zero-timeout wait reports nothing.
+    EXPECT_EQ(0, reactor.wait(0, ready));
+
+    ASSERT_EQ(1, write(fds[1], "x", 1));
+    ASSERT_EQ(1, reactor.wait(1000, ready));
+    ASSERT_EQ(1u, ready.size());
+    EXPECT_EQ(fds[0], ready[0]);
+
+    // The edge-triggered contract the server relies on: removing
+    // the fd and re-adding it reports the *still unread* byte as a
+    // fresh readiness edge (EPOLL_CTL_ADD reports initial state).
+    reactor.remove(fds[0]);
+    EXPECT_EQ(0u, reactor.size());
+    EXPECT_EQ(0, reactor.wait(0, ready));
+    reactor.add(fds[0]);
+    ASSERT_EQ(1, reactor.wait(1000, ready));
+    EXPECT_EQ(fds[0], ready[0]);
+
+    // Removing an fd that is not watched is harmless.
+    reactor.remove(fds[0]);
+    reactor.remove(fds[0]);
+    close(fds[0]);
+    close(fds[1]);
+}
+
+TEST(ReactorTest, WatchesManyFdsAndWakesOnlyTheReadyOne)
+{
+    const size_t pipes = 16;
+    std::vector<std::array<int, 2>> channels(pipes);
+    Reactor reactor;
+    for (auto &channel : channels) {
+        ASSERT_EQ(0, pipe(channel.data()));
+        reactor.add(channel[0]);
+    }
+    EXPECT_EQ(pipes, reactor.size());
+
+    ASSERT_EQ(1, write(channels[11][1], "x", 1));
+    std::vector<int> ready;
+    ASSERT_EQ(1, reactor.wait(1000, ready));
+    EXPECT_EQ(channels[11][0], ready[0]);
+
+    for (auto &channel : channels) {
+        reactor.remove(channel[0]);
+        close(channel[0]);
+        close(channel[1]);
+    }
+}
+
+TEST(ReactorTest, NamesItsCompiledBackend)
+{
+#if PARCHMINT_REACTOR_EPOLL
+    EXPECT_STREQ("epoll", Reactor::backendName());
+#else
+    EXPECT_STREQ("poll", Reactor::backendName());
+#endif
+}
+
+// ---------------------------------------------------------------
 // Loopback end-to-end
 // ---------------------------------------------------------------
 
@@ -759,6 +833,37 @@ TEST(LoopbackTest, OversizedBodyRejectedOnTheWire)
     HttpResponse response = client.post(
         "/v1/validate", std::string(65, '{'));
     EXPECT_EQ(413, response.status);
+    server.stop();
+}
+
+TEST(LoopbackTest, StaleKeepAliveConnectionRetriesOnce)
+{
+    NetlistService service;
+    ServerOptions options;
+    // An aggressive idle timeout forces the server to hang up on
+    // our parked keep-alive connection between requests.
+    options.idleTimeout = std::chrono::milliseconds(50);
+    HttpServer server(service, options);
+    server.start();
+
+    HttpClient client("127.0.0.1", server.port());
+    EXPECT_EQ(200, client.get("/healthz").status);
+    EXPECT_EQ(1u, client.connectsOpened());
+
+    // Let the server reap the idle connection, then request
+    // again: the client must notice the stale socket and retry on
+    // a fresh connection instead of surfacing the hangup.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    HttpResponse retried = client.get("/healthz");
+    EXPECT_EQ(200, retried.status);
+    EXPECT_EQ(1u, client.staleRetries());
+    EXPECT_EQ(2u, client.connectsOpened());
+    EXPECT_EQ(2u, client.requestsSent());
+
+    // A live connection keeps being reused without retries.
+    EXPECT_EQ(200, client.get("/healthz").status);
+    EXPECT_EQ(1u, client.staleRetries());
+    EXPECT_EQ(2u, client.connectsOpened());
     server.stop();
 }
 
